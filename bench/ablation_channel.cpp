@@ -1,0 +1,85 @@
+// Ablation B (DESIGN.md §6): channel-model and refinement design choices.
+//
+//  B1  fading robustness — OCR of all three protocols with log-normal
+//      shadowing and/or Nakagami-m small-scale fading enabled.
+//  B2  refinement granularity theta_min — narrower final beams raise link
+//      gain but cost more cross-search probes per frame.
+//  B3  median isolation — open vs closed median changes the effective
+//      degree and with it every protocol's load.
+//
+// Usage: ablation_channel [vpl=D] [horizon_s=T] [seed=S]
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmv2v;
+  using namespace mmv2v::bench;
+
+  const ConfigMap cli = parse_cli(argc, argv);
+  const double vpl = cli.get_or("vpl", 15.0);
+  const double horizon = cli.get_or("horizon_s", 1.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{31}));
+
+  print_header("Ablation B1: fading robustness (OCR at 15 vpl)");
+  struct FadingCase {
+    const char* name;
+    phy::FadingParams params;
+  };
+  const FadingCase cases[] = {
+      {"none", {}},
+      {"shadow 4 dB", {.shadowing_sigma_db = 4.0}},
+      {"nakagami m=3", {.nakagami_m = 3.0}},
+      {"both", {.shadowing_sigma_db = 4.0, .nakagami_m = 3.0}},
+  };
+  std::printf("%-14s | %8s %8s %8s\n", "channel", "mmV2V", "ROP", "11ad");
+  for (const FadingCase& c : cases) {
+    core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    scenario.fading = c.params;
+    const double mm =
+        run_once<protocols::MmV2VProtocol>(scenario, make_mmv2v_params(seed ^ 1)).ocr;
+    const double rop = run_once<protocols::RopProtocol>(scenario, make_rop_params(seed ^ 2)).ocr;
+    const double ad =
+        run_once<protocols::Ieee80211adProtocol>(scenario, make_ad_params(seed ^ 3)).ocr;
+    std::printf("%-14s | %8.3f %8.3f %8.3f\n", c.name, mm, rop, ad);
+  }
+  std::printf("expectation: ordering is preserved under fading; shadowing mostly\n"
+              "rescales while fast fading softens MCS boundaries\n");
+
+  print_header("Ablation B2: refinement beam width theta_min (OCR)");
+  std::printf("%10s | %6s | %8s\n", "theta_min", "s", "OCR");
+  for (const double theta_min : {1.5, 3.0, 5.0, 7.5, 15.0}) {
+    core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    protocols::MmV2VParams params = make_mmv2v_params(seed ^ 4);
+    params.refinement.theta_min_deg = theta_min;
+    const int s = static_cast<int>(15.0 / theta_min + 1e-9) + 1;
+    std::printf("%9.1f° | %6d | %8.3f\n", theta_min, s,
+                run_once<protocols::MmV2VProtocol>(scenario, params).ocr);
+  }
+  std::printf("expectation: an interior optimum — very narrow beams pay more "
+              "probe time and lose more to drift; very wide ones forfeit gain\n");
+
+  print_header("Ablation B3: median isolation");
+  std::printf("%-14s | %8s | %8s\n", "median", "degree", "OCR");
+  for (const bool open : {false, true}) {
+    core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    scenario.cross_median_blockers = open ? 0 : 3;
+    const RunResult r =
+        run_once<protocols::MmV2VProtocol>(scenario, make_mmv2v_params(seed ^ 5));
+    std::printf("%-14s | %8.2f | %8.3f\n", open ? "open" : "barrier", r.mean_degree, r.ocr);
+  }
+  std::printf("expectation: an open median roughly doubles the degree and the\n"
+              "task load, dropping OCR accordingly\n");
+
+  print_header("Ablation B4: persistent-matching extension (bulk OCR)");
+  std::printf("%-12s | %8s\n", "matching", "OCR");
+  for (const bool persistent : {false, true}) {
+    core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    protocols::MmV2VParams params = make_mmv2v_params(seed ^ 6);
+    params.persistent_matching = persistent;
+    std::printf("%-12s | %8.3f\n", persistent ? "persistent" : "per-frame",
+                run_once<protocols::MmV2VProtocol>(scenario, params).ocr);
+  }
+  std::printf("expectation: for the bulk OHM task per-frame re-negotiation wins\n"
+              "slightly (it reacts to completions); persistence trades that for\n"
+              "stable links, which live-stream workloads prefer\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Ablation A (DESIGN.md §6): discovery-layer design choices.
+//
+//  A1  capture model vs idealized multi-packet reception — how much of
+//      Theorem 2's bound the physical SND actually delivers, and what that
+//      costs end-to-end.
+//  A2  Tx/Rx beam-width tradeoff (paper Section III-B: "wider beams consume
+//      less time but coarser link measurement") — sweep alpha with the
+//      sweep-step count fixed by the sector grid, so wider beams mean more
+//      overlap (robustness) but lower gain (shorter reach / coarser SNR).
+//
+// Usage: ablation_discovery [vpl=D] [horizon_s=T] [seed=S]
+#include "bench_util.hpp"
+
+#include "common/stats.hpp"
+#include "protocols/mmv2v/snd.hpp"
+
+namespace {
+
+using namespace mmv2v;
+using namespace mmv2v::bench;
+
+double discovery_ratio(const core::World& world, const protocols::SndParams& params,
+                       std::uint64_t seed) {
+  const protocols::SyncNeighborDiscovery snd{params};
+  RunningStats ratio;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<net::NeighborTable> tables(world.size(), net::NeighborTable{5});
+    Xoshiro256pp rng{seed + static_cast<std::uint64_t>(rep) * 17};
+    snd.run(world, 0, tables, rng);
+    std::size_t found = 0, total = 0;
+    for (net::NodeId i = 0; i < world.size(); ++i) {
+      for (net::NodeId j : world.ground_truth_neighbors(i)) {
+        ++total;
+        if (tables[i].contains(j)) ++found;
+      }
+    }
+    if (total > 0) ratio.add(static_cast<double>(found) / static_cast<double>(total));
+  }
+  return ratio.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ConfigMap cli = parse_cli(argc, argv);
+  const double horizon = cli.get_or("horizon_s", 1.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{21}));
+
+  print_header("Ablation A1: capture model vs ideal multi-packet reception");
+  std::printf("%6s | %14s %14s | %12s %12s\n", "vpl", "ratio:capture", "ratio:ideal",
+              "OCR:capture", "OCR:ideal");
+  for (const double vpl : {10.0, 20.0, 30.0}) {
+    const core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    const core::World world{scenario, seed};
+
+    protocols::SndParams snd_capture;
+    snd_capture.max_neighbor_range_m = scenario.comm_range_m;
+    protocols::SndParams snd_ideal = snd_capture;
+    snd_ideal.ideal_capture = true;
+
+    protocols::MmV2VParams capture_params = make_mmv2v_params(seed ^ 1);
+    protocols::MmV2VParams ideal_params = capture_params;
+    ideal_params.snd.ideal_capture = true;
+
+    std::printf("%6.0f | %14.3f %14.3f | %12.3f %12.3f\n", vpl,
+                discovery_ratio(world, snd_capture, seed),
+                discovery_ratio(world, snd_ideal, seed),
+                run_once<protocols::MmV2VProtocol>(scenario, capture_params).ocr,
+                run_once<protocols::MmV2VProtocol>(scenario, ideal_params).ocr);
+  }
+  std::printf("expectation: ideal reception recovers the 1-0.5^K bound; the "
+              "end-to-end OCR gap shows the cost of same-sector capture losses\n");
+
+  print_header("Ablation A2: Tx beam width alpha (S = 24, beta = 12 deg)");
+  const double vpl = cli.get_or("vpl", 20.0);
+  const core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+  const core::World world{scenario, seed};
+  std::printf("%10s | %14s | %8s\n", "alpha", "disc. ratio", "OCR");
+  for (const double alpha : {15.0, 22.5, 30.0, 45.0, 60.0}) {
+    protocols::SndParams snd;
+    snd.alpha_deg = alpha;
+    snd.max_neighbor_range_m = scenario.comm_range_m;
+    protocols::MmV2VParams params = make_mmv2v_params(seed ^ 2);
+    params.snd.alpha_deg = alpha;
+    std::printf("%9.1f° | %14.3f | %8.3f\n", alpha, discovery_ratio(world, snd, seed),
+                run_once<protocols::MmV2VProtocol>(scenario, params).ocr);
+  }
+
+  print_header("Ablation A2b: Rx beam width beta (alpha = 30 deg)");
+  std::printf("%10s | %14s | %8s\n", "beta", "disc. ratio", "OCR");
+  for (const double beta : {6.0, 9.0, 12.0, 15.0, 24.0}) {
+    protocols::SndParams snd;
+    snd.beta_deg = beta;
+    snd.max_neighbor_range_m = scenario.comm_range_m;
+    protocols::MmV2VParams params = make_mmv2v_params(seed ^ 3);
+    params.snd.beta_deg = beta;
+    std::printf("%9.1f° | %14.3f | %8.3f\n", beta, discovery_ratio(world, snd, seed),
+                run_once<protocols::MmV2VProtocol>(scenario, params).ocr);
+  }
+  std::printf("expectation: beams matched to the sector pitch (alpha ~ 2*theta, "
+              "beta ~ 0.8*theta) balance rendezvous coverage against link gain\n");
+
+  print_header("Ablation A3: clock-synchronization error (dwell = 16 us)");
+  std::printf("%12s | %14s | %8s\n", "sigma", "disc. ratio", "OCR");
+  for (const double sigma_us : {0.0, 0.0001, 0.1, 2.0, 8.0, 16.0, 32.0}) {
+    protocols::SndParams snd;
+    snd.max_neighbor_range_m = scenario.comm_range_m;
+    snd.clock_sigma_s = sigma_us * 1e-6;
+    protocols::MmV2VParams params = make_mmv2v_params(seed ^ 4);
+    params.snd.clock_sigma_s = sigma_us * 1e-6;
+    std::printf("%9.4f us | %14.3f | %8.3f\n", sigma_us,
+                discovery_ratio(world, snd, seed),
+                run_once<protocols::MmV2VProtocol>(scenario, params).ocr);
+  }
+  std::printf("expectation: GPS-grade sync (0.1 us = the paper's 100 ns budget) is "
+              "indistinguishable from perfect; errors near the 16 us dwell collapse "
+              "discovery — validating the paper's synchronization requirement\n");
+  return 0;
+}

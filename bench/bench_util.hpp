@@ -1,0 +1,87 @@
+// Shared helpers for the figure-reproduction benches: scenario/protocol
+// assembly with paper defaults, CLI overrides, and table printing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config_parser.hpp"
+#include "core/simulation.hpp"
+#include "protocols/ad/ieee80211ad.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "protocols/rop/rop.hpp"
+
+namespace mmv2v::bench {
+
+/// Parse "key=value" CLI arguments.
+inline ConfigMap parse_cli(int argc, char** argv) {
+  ConfigMap cfg;
+  cfg.apply_overrides(std::vector<std::string>(argv + 1, argv + argc));
+  return cfg;
+}
+
+/// Paper-default scenario (Section IV-A / IV-C) at a given density.
+inline core::ScenarioConfig make_scenario(double density_vpl, std::uint64_t seed,
+                                          double horizon_s = 2.0) {
+  core::ScenarioConfig s;
+  s.traffic.density_vpl = density_vpl;
+  s.seed = seed;
+  s.horizon_s = horizon_s;
+  return s;
+}
+
+/// Paper-default mmV2V parameters: S=24 (theta=15 deg), alpha=30, beta=12,
+/// C=7, K=3, M=40.
+inline protocols::MmV2VParams make_mmv2v_params(std::uint64_t seed) {
+  protocols::MmV2VParams p;
+  p.seed = seed;
+  return p;
+}
+
+inline protocols::RopParams make_rop_params(std::uint64_t seed) {
+  protocols::RopParams p;
+  p.seed = seed;
+  return p;
+}
+
+inline protocols::AdParams make_ad_params(std::uint64_t seed) {
+  protocols::AdParams p;
+  p.seed = seed;
+  return p;
+}
+
+struct RunResult {
+  double ocr = 0.0;
+  double atp = 0.0;
+  double dtp = 0.0;
+  double mean_degree = 0.0;
+  std::vector<double> ocr_per_vehicle;
+  std::vector<double> atp_per_vehicle;
+};
+
+/// Run one protocol on one scenario and harvest final metrics.
+template <typename Protocol, typename Params>
+RunResult run_once(const core::ScenarioConfig& scenario, Params params) {
+  Protocol protocol{params};
+  core::OhmSimulation sim{scenario, protocol};
+  sim.run(/*sample_interval_s=*/0.0);
+  RunResult r;
+  const core::NetworkMetrics& m = sim.final_metrics();
+  r.ocr = m.mean_ocr();
+  r.atp = m.mean_atp();
+  r.dtp = m.mean_dtp();
+  r.mean_degree = sim.world().mean_degree();
+  for (const core::VehicleMetrics& v : m.per_vehicle) {
+    r.ocr_per_vehicle.push_back(v.ocr);
+    r.atp_per_vehicle.push_back(v.atp);
+  }
+  return r;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace mmv2v::bench

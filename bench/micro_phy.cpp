@@ -1,0 +1,104 @@
+// Microbenchmarks (E7): throughput of the PHY and geometry hot paths that
+// dominate simulation wall-clock — antenna gain, path loss, SINR assembly,
+// LOS blockage tests, and traffic stepping.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "geom/angles.hpp"
+#include "geom/los.hpp"
+#include "phy/antenna.hpp"
+#include "phy/channel.hpp"
+#include "phy/mcs.hpp"
+#include "phy/pathloss.hpp"
+#include "traffic/traffic_sim.hpp"
+
+namespace {
+
+using namespace mmv2v;
+
+void BM_AntennaGain(benchmark::State& state) {
+  const phy::BeamPattern p = phy::BeamPattern::make(geom::deg_to_rad(30.0));
+  double gamma = 0.0;
+  for (auto _ : state) {
+    gamma += 0.01;
+    if (gamma > geom::kPi) gamma = -geom::kPi;
+    benchmark::DoNotOptimize(p.gain(gamma));
+  }
+}
+BENCHMARK(BM_AntennaGain);
+
+void BM_PathLoss(benchmark::State& state) {
+  const phy::PathLossParams p;
+  double d = 1.0;
+  for (auto _ : state) {
+    d = d > 200.0 ? 1.0 : d + 0.37;
+    benchmark::DoNotOptimize(phy::channel_gain(p, d, 1));
+  }
+}
+BENCHMARK(BM_PathLoss);
+
+void BM_McsSelect(benchmark::State& state) {
+  const phy::McsTable mcs;
+  double snr = -10.0;
+  for (auto _ : state) {
+    snr = snr > 25.0 ? -10.0 : snr + 0.13;
+    benchmark::DoNotOptimize(mcs.data_rate_bps(snr));
+  }
+}
+BENCHMARK(BM_McsSelect);
+
+void BM_SinrWithInterferers(benchmark::State& state) {
+  const phy::ChannelModel channel{};
+  const phy::BeamPattern narrow = phy::BeamPattern::make(geom::deg_to_rad(3.0));
+  const geom::LosEvaluator los;
+  const phy::Emitter tx{0, {0, 0}, phy::Beam{0.0, &narrow}, 28.0};
+  const phy::Receiver rx{1, {0, 66}, phy::Beam{geom::kPi, &narrow}};
+  std::vector<phy::Emitter> interferers;
+  for (int k = 0; k < state.range(0); ++k) {
+    interferers.push_back(
+        phy::Emitter{static_cast<std::size_t>(10 + k),
+                     {20.0 + 10.0 * k, 30.0}, phy::Beam{1.0, &narrow}, 28.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.sinr_db(tx, rx, interferers, los));
+  }
+}
+BENCHMARK(BM_SinrWithInterferers)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_LosBlockerCount(benchmark::State& state) {
+  // A realistic highway snapshot: N bodies along two lanes.
+  geom::LosEvaluator los;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double x = static_cast<double>(k) * 12.0;
+    const double y = (k % 2 == 0) ? 0.0 : 5.0;
+    los.add(geom::Blocker{geom::OrientedRect{{x, y}, {1, 0}, 2.3, 0.9}, k});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(los.blocker_count({0, 0}, {140.0, 5.0}, 0, 11));
+  }
+}
+BENCHMARK(BM_LosBlockerCount)->Arg(30)->Arg(120);
+
+void BM_TrafficStep(benchmark::State& state) {
+  traffic::TrafficConfig cfg;
+  cfg.density_vpl = static_cast<double>(state.range(0));
+  traffic::TrafficSimulator sim{cfg, 1};
+  for (auto _ : state) {
+    sim.step(0.005);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sim.size()));
+}
+BENCHMARK(BM_TrafficStep)->Arg(15)->Arg(30);
+
+void BM_Xoshiro(benchmark::State& state) {
+  Xoshiro256pp rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+}  // namespace
+
+BENCHMARK_MAIN();

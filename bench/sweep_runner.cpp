@@ -1,0 +1,98 @@
+// Generic density-sweep tool over any of the three protocols, built on
+// core::ExperimentRunner. Where the fig* benches pin the paper's exact
+// setups, this binary is the knob-turning entry point for new studies.
+//
+// Usage examples:
+//   sweep_runner protocol=mmv2v densities=10,20,30 reps=3 horizon_s=1.5
+//   sweep_runner protocol=ad vpl_min=10 vpl_max=30 vpl_step=5
+//   sweep_runner protocol=mmv2v k=4 m=60 c=9 shadowing_db=4
+#include "bench_util.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "core/experiment.hpp"
+
+namespace {
+
+std::vector<double> parse_densities(const mmv2v::ConfigMap& cli) {
+  if (const auto list = cli.get_string("densities")) {
+    std::vector<double> out;
+    std::stringstream ss{*list};
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+    return out;
+  }
+  const double lo = cli.get_or("vpl_min", 10.0);
+  const double hi = cli.get_or("vpl_max", 30.0);
+  const double step = cli.get_or("vpl_step", 5.0);
+  std::vector<double> out;
+  for (double d = lo; d <= hi + 1e-9; d += step) out.push_back(d);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmv2v;
+  using namespace mmv2v::bench;
+
+  const ConfigMap cli = parse_cli(argc, argv);
+  const std::string protocol = cli.get_or("protocol", std::string{"mmv2v"});
+
+  core::ExperimentConfig experiment;
+  experiment.densities_vpl = parse_densities(cli);
+  experiment.repetitions = static_cast<int>(cli.get_or("reps", std::int64_t{3}));
+  experiment.horizon_s = cli.get_or("horizon_s", 1.5);
+  experiment.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
+
+  core::ScenarioConfig base;
+  base.task.rate_mbps = cli.get_or("rate_mbps", 200.0);
+  base.comm_range_m = cli.get_or("comm_range_m", base.comm_range_m);
+  base.fading.shadowing_sigma_db = cli.get_or("shadowing_db", 0.0);
+  base.fading.nakagami_m = cli.get_or("nakagami_m", 0.0);
+
+  core::ProtocolFactory factory;
+  if (protocol == "mmv2v") {
+    protocols::MmV2VParams params;
+    params.snd.rounds = static_cast<int>(cli.get_or("k", std::int64_t{3}));
+    params.dcm.slots = static_cast<int>(cli.get_or("m", std::int64_t{40}));
+    params.dcm.modulus_c = static_cast<int>(cli.get_or("c", std::int64_t{7}));
+    params.persistent_matching = cli.get_or("persistent", false);
+    factory = [params](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
+      protocols::MmV2VParams p = params;
+      p.seed = seed;
+      return std::make_unique<protocols::MmV2VProtocol>(p);
+    };
+  } else if (protocol == "rop") {
+    factory = [](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
+      protocols::RopParams p;
+      p.seed = seed;
+      return std::make_unique<protocols::RopProtocol>(p);
+    };
+  } else if (protocol == "ad") {
+    factory = [](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
+      protocols::AdParams p;
+      p.seed = seed;
+      return std::make_unique<protocols::Ieee80211adProtocol>(p);
+    };
+  } else {
+    std::fprintf(stderr, "unknown protocol '%s' (use mmv2v | rop | ad)\n",
+                 protocol.c_str());
+    return 2;
+  }
+
+  const auto points = core::run_density_sweep(experiment, base, factory);
+  core::print_sweep(std::cout, protocol + " density sweep", points);
+
+  // Per-vehicle OCR deciles at each density (compact CDF view).
+  std::printf("\nper-vehicle OCR percentiles:\n%6s %8s %8s %8s %8s %8s\n", "vpl", "p10",
+              "p25", "p50", "p75", "p90");
+  for (const core::SweepPoint& p : points) {
+    std::printf("%6.0f %8.3f %8.3f %8.3f %8.3f %8.3f\n", p.density_vpl,
+                p.ocr_samples.percentile(10), p.ocr_samples.percentile(25),
+                p.ocr_samples.percentile(50), p.ocr_samples.percentile(75),
+                p.ocr_samples.percentile(90));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Platoon sensor sharing: a single-lane convoy of closely spaced vehicles
+// (the 3GPP "video data sharing for assisted driving" use case the paper
+// motivates) exchanging high-rate sensor streams with mmV2V. Demonstrates
+// using the library below the OhmSimulation facade: a custom TrafficConfig,
+// direct access to discovery tables and the per-frame matching.
+//
+// Usage: platoon_share [vehicles=N] [rate_mbps=R] [horizon_s=T]
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/config_parser.hpp"
+#include "core/simulation.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+
+int main(int argc, char** argv) try {
+  using namespace mmv2v;
+
+  ConfigMap cli;
+  cli.apply_overrides(std::vector<std::string>(argv + 1, argv + argc));
+  const auto vehicles = cli.get_or("vehicles", std::int64_t{20});
+  const double rate = cli.get_or("rate_mbps", 400.0);
+  const double horizon = cli.get_or("horizon_s", 1.0);
+
+  core::ScenarioConfig scenario;
+  // One lane, one direction, tight spacing, no lane changes: a platoon.
+  scenario.traffic.lanes_per_direction = 1;
+  scenario.traffic.bidirectional = false;
+  scenario.traffic.enable_lane_changes = false;
+  scenario.traffic.road_length_m = 1000.0;
+  scenario.traffic.density_vpl = static_cast<double>(vehicles);
+  scenario.traffic.lane_speed_bands = {{72.0, 72.0}};  // lockstep 20 m/s
+  scenario.task.rate_mbps = rate;
+  scenario.horizon_s = horizon;
+  scenario.seed = 42;
+
+  protocols::MmV2VParams params;
+  params.seed = 7;
+  protocols::MmV2VProtocol protocol{params};
+  core::OhmSimulation sim{scenario, protocol};
+
+  std::printf("platoon of %zu vehicles, %0.f Mb/s per link, %.1f s horizon\n",
+              sim.world().size(), rate, horizon);
+  std::printf("mean degree %.2f (platoon LOS is blocked past the next vehicle)\n\n",
+              sim.world().mean_degree());
+
+  sim.run(horizon / 4.0);
+
+  std::printf("%8s %8s %8s %8s\n", "t [s]", "OCR", "ATP", "DTP");
+  for (const core::MetricsSample& s : sim.samples()) {
+    std::printf("%8.2f %8.3f %8.3f %8.3f\n", s.time_s, s.metrics.mean_ocr(),
+                s.metrics.mean_atp(), s.metrics.mean_dtp());
+  }
+
+  // Per-vehicle completion detail: in a line platoon, LOS blockage means
+  // each member mostly talks to its immediate neighbors.
+  std::printf("\nper-vehicle detail (final):\n%6s %10s %8s %8s\n", "id", "neighbors",
+              "OCR", "ATP");
+  for (const core::VehicleMetrics& v : sim.final_metrics().per_vehicle) {
+    std::printf("%6zu %10zu %8.3f %8.3f\n", v.id, v.neighbor_count, v.ocr, v.atp);
+  }
+
+  std::printf("\nlast-frame matching (%zu pairs):", protocol.current_matching().size());
+  for (const auto& [a, b] : protocol.current_matching()) {
+    std::printf(" %zu-%zu", a, b);
+  }
+  std::printf("\n");
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "platoon_share failed: %s\n", e.what());
+  return 1;
+}

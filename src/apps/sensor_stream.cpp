@@ -1,0 +1,44 @@
+#include "apps/sensor_stream.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmv2v::apps {
+
+SensorStream::SensorStream(SensorStreamParams params) : params_(params) {
+  if (params.rate_mbps <= 0.0 || params.frame_rate_hz <= 0.0) {
+    throw std::invalid_argument{"SensorStream: rate and fps must be positive"};
+  }
+  if (params.key_frame_interval <= 0 || params.key_frame_scale < 1.0) {
+    throw std::invalid_argument{"SensorStream: bad key-frame parameters"};
+  }
+  mean_frame_bits_ = params.rate_mbps * 1e6 / params.frame_rate_hz;
+  // Solve delta size d such that per GOP of k frames:
+  //   (k-1)*d + scale*d = k * mean   =>   d = k*mean / (k - 1 + scale)
+  const double k = static_cast<double>(params.key_frame_interval);
+  delta_frame_bits_ = k * mean_frame_bits_ / (k - 1.0 + params.key_frame_scale);
+}
+
+double SensorStream::frame_bits(std::uint64_t index) const {
+  const bool key = index % static_cast<std::uint64_t>(params_.key_frame_interval) == 0;
+  const double base = key ? delta_frame_bits_ * params_.key_frame_scale : delta_frame_bits_;
+  // +-20% deterministic jitter on delta frames (content-dependent size).
+  if (key) return base;
+  const double u =
+      static_cast<double>(mix64(index ^ params_.seed) >> 11) * 0x1.0p-53;  // [0,1)
+  return base * (0.8 + 0.4 * u);
+}
+
+std::uint64_t SensorStream::latest_frame_at(double t_s) const {
+  if (t_s <= 0.0) return 0;
+  return static_cast<std::uint64_t>(t_s * params_.frame_rate_hz);
+}
+
+double SensorStream::bits_generated_by(double t_s) const {
+  const std::uint64_t last = latest_frame_at(t_s);
+  double acc = 0.0;
+  for (std::uint64_t i = 0; i <= last; ++i) acc += frame_bits(i);
+  return acc;
+}
+
+}  // namespace mmv2v::apps

@@ -1,0 +1,104 @@
+#include "apps/streaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace mmv2v::apps {
+
+namespace {
+std::uint64_t key(net::NodeId from, net::NodeId to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+}
+}  // namespace
+
+StreamingAnalyzer::StreamingAnalyzer(StreamingParams params) : params_(params) {
+  if (params.rate_mbps <= 0.0 || params.window_s <= 0.0) {
+    throw std::invalid_argument{"StreamingAnalyzer: rate and window must be positive"};
+  }
+  window_bits_required_ = units::mbps_to_bps(params.rate_mbps) * params.window_s;
+}
+
+void StreamingAnalyzer::on_frame(const core::FrameContext& ctx) {
+  const double frame_end = ctx.frame_start_s + ctx.world.config().timing.frame_s;
+  end_time_ = frame_end;
+  // Close every window whose end falls at or before this frame's end.
+  while (last_window_end_ + params_.window_s <= frame_end + 1e-9) {
+    close_window(ctx.world, ctx.ledger, last_window_end_ + params_.window_s);
+  }
+}
+
+void StreamingAnalyzer::finish(const core::World& world, const core::TransferLedger& ledger) {
+  if (end_time_ > last_window_end_ + 1e-9) {
+    close_window(world, ledger, end_time_);
+  }
+}
+
+void StreamingAnalyzer::close_window(const core::World& world,
+                                     const core::TransferLedger& ledger,
+                                     double window_end) {
+  // Delivered bits within the window, per directed link.
+  std::unordered_map<std::uint64_t, double> delivered_now;
+  for (const auto& d : ledger.snapshot()) {
+    delivered_now[key(d.from, d.to)] = d.bits;
+  }
+
+  for (net::NodeId i = 0; i < world.size(); ++i) {
+    for (net::NodeId j : world.ground_truth_neighbors(i)) {
+      const std::uint64_t k = key(i, j);
+      const double now = delivered_now.count(k) != 0 ? delivered_now.at(k) : 0.0;
+      const double before = last_totals_.count(k) != 0 ? last_totals_.at(k) : 0.0;
+      const bool ok = now - before + 1e-6 >= window_bits_required_;
+      ++link_windows_total_[k];
+      ++total_;
+      if (ok) {
+        ++link_windows_met_[k];
+        ++met_;
+        last_met_time_[k] = window_end;
+      } else if (last_met_time_.count(k) == 0) {
+        // Track links that never met a window so AoI covers them from t=0.
+        last_met_time_.emplace(k, 0.0);
+      }
+    }
+  }
+  last_totals_ = std::move(delivered_now);
+  last_window_end_ = window_end;
+  ++windows_;
+}
+
+double StreamingAnalyzer::delivery_ratio() const {
+  return total_ == 0 ? 0.0 : static_cast<double>(met_) / static_cast<double>(total_);
+}
+
+std::vector<double> StreamingAnalyzer::per_vehicle_ratio(std::size_t n) const {
+  std::vector<double> met(n, 0.0);
+  std::vector<double> total(n, 0.0);
+  for (const auto& [k, count] : link_windows_total_) {
+    const auto from = static_cast<std::size_t>(k >> 32);
+    if (from >= n) continue;
+    total[from] += static_cast<double>(count);
+    const auto it = link_windows_met_.find(k);
+    if (it != link_windows_met_.end()) met[from] += static_cast<double>(it->second);
+  }
+  std::vector<double> ratio(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ratio[i] = total[i] > 0.0 ? met[i] / total[i] : 0.0;
+  }
+  return ratio;
+}
+
+double StreamingAnalyzer::mean_age_of_information_s() const {
+  if (last_met_time_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [k, t] : last_met_time_) acc += end_time_ - t;
+  return acc / static_cast<double>(last_met_time_.size());
+}
+
+double StreamingAnalyzer::max_age_of_information_s() const {
+  double worst = 0.0;
+  for (const auto& [k, t] : last_met_time_) worst = std::max(worst, end_time_ - t);
+  return worst;
+}
+
+}  // namespace mmv2v::apps

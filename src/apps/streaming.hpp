@@ -1,0 +1,79 @@
+// Streaming-delivery analyzer: evaluates an OHM protocol as the transport of
+// a live cooperative-perception stream (the paper's VaD use case) instead of
+// a one-shot bulk task.
+//
+// Attach to OhmSimulation via set_frame_observer(). The analyzer divides
+// time into fixed windows; a directed link (i -> j) "meets" a window if the
+// bits delivered within it reach the stream's nominal rate x window. From
+// that it derives:
+//   * delivery ratio  — fraction of (link, window) pairs met,
+//   * per-vehicle delivery ratio distribution,
+//   * age of information (AoI) — time since each link last met a window,
+// evaluated against the ground-truth neighborhood at each window boundary.
+//
+// Note: run the simulation with a bulk-task unit larger than the horizon can
+// deliver (ScenarioConfig::task.rate_mbps generous) so the protocol never
+// declares pairs "complete" — a live stream never completes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/protocol.hpp"
+
+namespace mmv2v::apps {
+
+struct StreamingParams {
+  /// Required delivery rate per directed link [Mb/s].
+  double rate_mbps = 200.0;
+  /// Window length [s]; windows are aligned to simulation time 0.
+  double window_s = 0.1;
+};
+
+class StreamingAnalyzer {
+ public:
+  explicit StreamingAnalyzer(StreamingParams params);
+
+  /// Frame observer: call once per protocol frame (hook into
+  /// OhmSimulation::set_frame_observer, or call manually in custom loops).
+  void on_frame(const core::FrameContext& ctx);
+
+  /// Finalize the current (possibly partial) window; call after the run
+  /// with the simulation's world and ledger.
+  void finish(const core::World& world, const core::TransferLedger& ledger);
+
+  // --- results ------------------------------------------------------------
+  [[nodiscard]] std::size_t windows_evaluated() const noexcept { return windows_; }
+  /// Fraction of (directed ground-truth link, window) pairs that met the
+  /// rate requirement.
+  [[nodiscard]] double delivery_ratio() const;
+  /// Per-vehicle delivery ratio (over the vehicle's outgoing links).
+  [[nodiscard]] std::vector<double> per_vehicle_ratio(std::size_t n) const;
+  /// Mean age of information over links at the end of the run [s].
+  [[nodiscard]] double mean_age_of_information_s() const;
+  /// Worst-case AoI [s].
+  [[nodiscard]] double max_age_of_information_s() const;
+
+ private:
+  void close_window(const core::World& world, const core::TransferLedger& ledger,
+                    double window_end);
+
+  StreamingParams params_;
+  std::size_t windows_ = 0;
+  double window_bits_required_ = 0.0;
+  /// Delivered totals at the last window boundary, per directed key.
+  std::unordered_map<std::uint64_t, double> last_totals_;
+  /// Per-source counters.
+  std::unordered_map<std::uint64_t, std::size_t> link_windows_met_;
+  std::unordered_map<std::uint64_t, std::size_t> link_windows_total_;
+  /// Time each directed link last met a window.
+  std::unordered_map<std::uint64_t, double> last_met_time_;
+  double last_window_end_ = 0.0;
+  double end_time_ = 0.0;
+  std::size_t met_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mmv2v::apps

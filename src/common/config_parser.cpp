@@ -1,0 +1,142 @@
+#include "common/config_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mmv2v {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::string lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+ConfigMap ConfigMap::parse(std::string_view text) {
+  ConfigMap map;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw std::runtime_error{"config parse error at line " + std::to_string(line_no) +
+                               ": expected key = value"};
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      throw std::runtime_error{"config parse error at line " + std::to_string(line_no) +
+                               ": empty key"};
+    }
+    map.set(std::string{key}, std::string{value});
+  }
+  return map;
+}
+
+ConfigMap ConfigMap::load(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open config file: " + path};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void ConfigMap::apply_overrides(const std::vector<std::string>& overrides) {
+  for (const std::string& o : overrides) {
+    const std::size_t eq = o.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error{"bad override (expected key=value): " + o};
+    }
+    set(std::string{trim(std::string_view{o}.substr(0, eq))},
+        std::string{trim(std::string_view{o}.substr(eq + 1))});
+  }
+}
+
+void ConfigMap::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+bool ConfigMap::contains(std::string_view key) const {
+  return entries_.find(key) != entries_.end();
+}
+
+std::optional<std::string> ConfigMap::get_string(std::string_view key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> ConfigMap::get_double(std::string_view key) const {
+  const auto s = get_string(key);
+  if (!s) return std::nullopt;
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(*s, &consumed);
+    if (consumed != s->size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> ConfigMap::get_int(std::string_view key) const {
+  const auto s = get_string(key);
+  if (!s) return std::nullopt;
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s->data(), s->data() + s->size(), v);
+  if (ec != std::errc{} || ptr != s->data() + s->size()) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> ConfigMap::get_bool(std::string_view key) const {
+  const auto s = get_string(key);
+  if (!s) return std::nullopt;
+  const std::string l = lower(*s);
+  if (l == "true" || l == "1" || l == "yes" || l == "on") return true;
+  if (l == "false" || l == "0" || l == "no" || l == "off") return false;
+  return std::nullopt;
+}
+
+std::string ConfigMap::get_or(std::string_view key, std::string def) const {
+  return get_string(key).value_or(std::move(def));
+}
+
+double ConfigMap::get_or(std::string_view key, double def) const {
+  return get_double(key).value_or(def);
+}
+
+std::int64_t ConfigMap::get_or(std::string_view key, std::int64_t def) const {
+  return get_int(key).value_or(def);
+}
+
+bool ConfigMap::get_or(std::string_view key, bool def) const {
+  return get_bool(key).value_or(def);
+}
+
+}  // namespace mmv2v

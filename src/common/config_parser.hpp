@@ -1,0 +1,52 @@
+// Tiny key=value scenario-file parser used by the examples and bench
+// harnesses, so scenarios can be described in text files / CLI overrides
+// without an external dependency.
+//
+// Format: one `key = value` per line; `#` starts a comment; keys are
+// dot-scoped strings (e.g. "traffic.density_vpl"). Values are parsed on
+// access as string / double / int / bool.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmv2v {
+
+class ConfigMap {
+ public:
+  /// Parse from file contents. Throws std::runtime_error on malformed lines
+  /// (line number included in the message).
+  static ConfigMap parse(std::string_view text);
+
+  /// Load and parse a file from disk. Throws on I/O error.
+  static ConfigMap load(const std::string& path);
+
+  /// Apply CLI-style overrides of the form "key=value".
+  void apply_overrides(const std::vector<std::string>& overrides);
+
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(std::string_view key) const;
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view key) const;
+
+  /// Convenience accessors with defaults.
+  [[nodiscard]] std::string get_or(std::string_view key, std::string def) const;
+  [[nodiscard]] double get_or(std::string_view key, double def) const;
+  [[nodiscard]] std::int64_t get_or(std::string_view key, std::int64_t def) const;
+  [[nodiscard]] bool get_or(std::string_view key, bool def) const;
+
+  [[nodiscard]] const std::map<std::string, std::string, std::less<>>& entries() const noexcept {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace mmv2v

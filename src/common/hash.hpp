@@ -1,0 +1,57 @@
+// Hash functions used by the Consensual Neighbor Schedule (CNS) and by
+// deterministic per-entity stream seeding.
+//
+// CNS requires a hash H over MAC addresses such that for a vehicle pair
+// (v_i, v_j) both ends compute the identical slot (H(MAC_i)+H(MAC_j)) mod C
+// (paper Section III-C1). Any well-mixing deterministic hash works; we use
+// FNV-1a over the raw address bytes followed by a 64-bit finalizer so that
+// consecutive MAC addresses (common for fleet-assigned radios) still spread
+// uniformly across slots.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace mmv2v {
+
+/// FNV-1a 64-bit over an arbitrary byte span.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// FNV-1a 64-bit over a string.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Stafford variant-13 64-bit finalizer (the SplitMix64 mixer). Bijective.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The CNS hash H: mixes a 64-bit key (e.g. a MAC address value) into a
+/// uniformly distributed 64-bit value.
+[[nodiscard]] constexpr std::uint64_t cns_hash(std::uint64_t key) noexcept {
+  return mix64(key * 0x9e3779b97f4a7c15ULL);
+}
+
+/// Combine two hashes order-independently, as CNS needs H(a)+H(b) to be
+/// symmetric in the pair.
+[[nodiscard]] constexpr std::uint64_t cns_pair_hash(std::uint64_t a, std::uint64_t b) noexcept {
+  return cns_hash(a) + cns_hash(b);
+}
+
+}  // namespace mmv2v

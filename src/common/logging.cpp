@@ -1,0 +1,42 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace mmv2v {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger()
+    : sink_([](LogLevel level, std::string_view msg) {
+        std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(to_string(level).size()),
+                     to_string(level).data(), static_cast<int>(msg.size()), msg.data());
+      }) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    *this = Logger{};  // restore defaults (level intentionally also reset)
+  }
+}
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (enabled(level)) sink_(level, message);
+}
+
+}  // namespace mmv2v

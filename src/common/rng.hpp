@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in the simulator draws from an explicitly seeded
+// generator so that a scenario is fully reproducible from (config, seed).
+// We implement SplitMix64 (for seeding / stream splitting) and Xoshiro256++
+// (the workhorse generator) rather than relying on std::mt19937 so that the
+// bit streams are stable across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mmv2v {
+
+/// SplitMix64: tiny, fast generator used to expand a single 64-bit seed into
+/// independent streams (one per vehicle, per subsystem, ...).
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256++ by Blackman & Vigna: fast, high-quality 256-bit-state PRNG.
+/// Satisfies the C++ UniformRandomBitGenerator concept.
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seed via SplitMix64 expansion (the recommended seeding procedure).
+  explicit constexpr Xoshiro256pp(std::uint64_t seed = 0x2545f4914f6cdd1dULL) noexcept {
+    SplitMix64 sm{seed};
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). n must be > 0. Uses Lemire's rejection-free
+  /// bounded method with the widening-multiply trick (slight bias < 2^-64,
+  /// irrelevant for simulation purposes).
+  constexpr std::uint64_t uniform_int(std::uint64_t n) noexcept {
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>((*this)()) * static_cast<unsigned __int128>(n);
+    return static_cast<std::uint64_t>(wide >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    uniform_int(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Fork an independent child stream keyed by `key`. Children with distinct
+  /// keys are statistically independent of each other and of the parent.
+  [[nodiscard]] constexpr Xoshiro256pp fork(std::uint64_t key) const noexcept {
+    SplitMix64 sm{state_[0] ^ (key * 0x9e3779b97f4a7c15ULL)};
+    Xoshiro256pp child{sm.next()};
+    return child;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mmv2v

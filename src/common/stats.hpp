@@ -1,0 +1,98 @@
+// Streaming and batch statistics used by the metrics layer and the benchmark
+// harnesses (means, deviations, percentiles, empirical CDFs, histograms).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mmv2v {
+
+/// Welford streaming accumulator: numerically stable mean/variance without
+/// storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n), matching the paper's DTP definition.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Sample variance (divides by n-1).
+  [[nodiscard]] double sample_variance() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample container with percentile / CDF queries. Samples are sorted
+/// lazily on first query.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void add_all(const std::vector<double>& xs);
+  void clear() { samples_.clear(); sorted_ = false; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Linear-interpolated percentile, q in [0, 100]. Empty set returns 0.
+  [[nodiscard]] double percentile(double q) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Empirical CDF value P(X <= x).
+  [[nodiscard]] double cdf_at(double x) const;
+
+  /// Evaluate the empirical CDF on `points` equally spaced values in
+  /// [lo, hi]; returns (x, F(x)) pairs. Useful for reproducing the paper's
+  /// CDF figures (Fig. 7 / Fig. 8).
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf_curve(
+      double lo, double hi, std::size_t points) const;
+
+  [[nodiscard]] const std::vector<double>& raw() const noexcept { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+/// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Render a terse ASCII sparkline (for example programs / debugging).
+  [[nodiscard]] std::string ascii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace mmv2v

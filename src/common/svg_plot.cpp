@@ -1,0 +1,204 @@
+#include "common/svg_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mmv2v {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e",
+                                    "#9467bd", "#8c564b", "#17becf", "#7f7f7f"};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// A "nice" tick step covering span/target ticks (1/2/5 * 10^k).
+double nice_step(double span, int target_ticks) {
+  if (span <= 0.0) return 1.0;
+  const double raw = span / std::max(1, target_ticks);
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (const double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (raw <= m * mag) return m * mag;
+  }
+  return 10.0 * mag;
+}
+
+std::string format_tick(double v) {
+  std::ostringstream out;
+  if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    out.precision(2);
+    out << std::scientific << v;
+  } else {
+    out.precision(4);
+    out << v;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+SvgChart::SvgChart(int width_px, int height_px, std::string title)
+    : width_(width_px), height_(height_px), title_(std::move(title)) {
+  if (width_px <= kMarginLeft + kMarginRight || height_px <= kMarginTop + kMarginBottom) {
+    throw std::invalid_argument{"SvgChart: canvas too small for margins"};
+  }
+}
+
+void SvgChart::add_series(std::string name, std::vector<std::pair<double, double>> points) {
+  series_.push_back(Series{std::move(name), std::move(points)});
+}
+
+void SvgChart::set_x_range(double lo, double hi) {
+  if (!(hi > lo)) throw std::invalid_argument{"SvgChart: x range needs hi > lo"};
+  x_range_ = Range{lo, hi, true};
+}
+
+void SvgChart::set_y_range(double lo, double hi) {
+  if (!(hi > lo)) throw std::invalid_argument{"SvgChart: y range needs hi > lo"};
+  y_range_ = Range{lo, hi, true};
+}
+
+void SvgChart::fit_ranges() const {
+  const auto fit = [&](bool x_axis, Range& range) {
+    if (range.fixed) return;
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (const Series& s : series_) {
+      for (const auto& [px, py] : s.points) {
+        const double v = x_axis ? px : py;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!std::isfinite(lo)) {
+      lo = 0.0;
+      hi = 1.0;
+    }
+    if (hi - lo < 1e-12) hi = lo + 1.0;
+    const double pad = (hi - lo) * 0.05;
+    range.lo = lo - (x_axis ? 0.0 : pad);
+    range.hi = hi + pad;
+  };
+  fit(true, x_range_);
+  fit(false, y_range_);
+}
+
+std::pair<double, double> SvgChart::to_pixels(double x, double y) const {
+  fit_ranges();
+  const double plot_w = static_cast<double>(width_ - kMarginLeft - kMarginRight);
+  const double plot_h = static_cast<double>(height_ - kMarginTop - kMarginBottom);
+  const double px =
+      kMarginLeft + (x - x_range_.lo) / (x_range_.hi - x_range_.lo) * plot_w;
+  const double py =
+      kMarginTop + (1.0 - (y - y_range_.lo) / (y_range_.hi - y_range_.lo)) * plot_h;
+  return {px, py};
+}
+
+std::string SvgChart::render() const {
+  fit_ranges();
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_ << "\" height=\""
+      << height_ << "\" viewBox=\"0 0 " << width_ << ' ' << height_ << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << width_ / 2 << "\" y=\"22\" text-anchor=\"middle\" "
+      << "font-family=\"sans-serif\" font-size=\"15\" font-weight=\"bold\">"
+      << escape_xml(title_) << "</text>\n";
+
+  const int plot_right = width_ - kMarginRight;
+  const int plot_bottom = height_ - kMarginBottom;
+
+  // Axes box.
+  svg << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop << "\" width=\""
+      << plot_right - kMarginLeft << "\" height=\"" << plot_bottom - kMarginTop
+      << "\" fill=\"none\" stroke=\"#333\"/>\n";
+
+  // Ticks and grid.
+  const double x_step = nice_step(x_range_.hi - x_range_.lo, 6);
+  for (double t = std::ceil(x_range_.lo / x_step) * x_step; t <= x_range_.hi + 1e-12;
+       t += x_step) {
+    const auto [px, py] = to_pixels(t, y_range_.lo);
+    svg << "<line x1=\"" << px << "\" y1=\"" << kMarginTop << "\" x2=\"" << px
+        << "\" y2=\"" << plot_bottom << "\" stroke=\"#ddd\"/>\n";
+    svg << "<text x=\"" << px << "\" y=\"" << plot_bottom + 16
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">"
+        << format_tick(t) << "</text>\n";
+    (void)py;
+  }
+  const double y_step = nice_step(y_range_.hi - y_range_.lo, 6);
+  for (double t = std::ceil(y_range_.lo / y_step) * y_step; t <= y_range_.hi + 1e-12;
+       t += y_step) {
+    const auto [px, py] = to_pixels(x_range_.lo, t);
+    svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << py << "\" x2=\"" << plot_right
+        << "\" y2=\"" << py << "\" stroke=\"#ddd\"/>\n";
+    svg << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << py + 4
+        << "\" text-anchor=\"end\" font-family=\"sans-serif\" font-size=\"11\">"
+        << format_tick(t) << "</text>\n";
+    (void)px;
+  }
+
+  // Axis labels.
+  if (!x_label_.empty()) {
+    svg << "<text x=\"" << (kMarginLeft + plot_right) / 2 << "\" y=\"" << height_ - 10
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\">"
+        << escape_xml(x_label_) << "</text>\n";
+  }
+  if (!y_label_.empty()) {
+    svg << "<text x=\"14\" y=\"" << (kMarginTop + plot_bottom) / 2
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\" "
+        << "transform=\"rotate(-90 14 " << (kMarginTop + plot_bottom) / 2 << ")\">"
+        << escape_xml(y_label_) << "</text>\n";
+  }
+
+  // Series polylines + legend.
+  for (std::size_t s = 0; s < series_.size(); ++s) {
+    const char* color = kPalette[s % kPaletteSize];
+    std::ostringstream pts;
+    for (const auto& [x, y] : series_[s].points) {
+      const auto [px, py] = to_pixels(x, y);
+      pts << px << ',' << py << ' ';
+    }
+    svg << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"2\" points=\"" << pts.str() << "\"/>\n";
+    for (const auto& [x, y] : series_[s].points) {
+      const auto [px, py] = to_pixels(x, y);
+      svg << "<circle cx=\"" << px << "\" cy=\"" << py << "\" r=\"3\" fill=\"" << color
+          << "\"/>\n";
+    }
+    const int ly = kMarginTop + 14 + static_cast<int>(s) * 18;
+    svg << "<line x1=\"" << plot_right + 10 << "\" y1=\"" << ly << "\" x2=\""
+        << plot_right + 34 << "\" y2=\"" << ly << "\" stroke=\"" << color
+        << "\" stroke-width=\"2\"/>\n";
+    svg << "<text x=\"" << plot_right + 40 << "\" y=\"" << ly + 4
+        << "\" font-family=\"sans-serif\" font-size=\"12\">" << escape_xml(series_[s].name)
+        << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void SvgChart::save(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"SvgChart: cannot open " + path};
+  out << render();
+  if (!out) throw std::runtime_error{"SvgChart: write failed for " + path};
+}
+
+}  // namespace mmv2v

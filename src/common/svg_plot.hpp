@@ -1,0 +1,64 @@
+// Dependency-free SVG line-chart writer. The figure benches use it to emit
+// visual counterparts of the paper's plots (OCR vs density, CDFs, ...)
+// without any plotting toolchain.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mmv2v {
+
+class SvgChart {
+ public:
+  SvgChart(int width_px, int height_px, std::string title);
+
+  /// Add a named line series; colors cycle through a built-in palette.
+  void add_series(std::string name, std::vector<std::pair<double, double>> points);
+
+  void set_x_label(std::string label) { x_label_ = std::move(label); }
+  void set_y_label(std::string label) { y_label_ = std::move(label); }
+  /// Fix an axis range instead of auto-fitting the data.
+  void set_x_range(double lo, double hi);
+  void set_y_range(double lo, double hi);
+
+  /// Render the complete <svg> document.
+  [[nodiscard]] std::string render() const;
+
+  /// Write render() to a file. Throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+  [[nodiscard]] std::size_t series_count() const noexcept { return series_.size(); }
+
+  // Exposed for tests: data-space -> pixel-space mapping of the current chart.
+  [[nodiscard]] std::pair<double, double> to_pixels(double x, double y) const;
+
+ private:
+  struct Series {
+    std::string name;
+    std::vector<std::pair<double, double>> points;
+  };
+  struct Range {
+    double lo = 0.0;
+    double hi = 1.0;
+    bool fixed = false;
+  };
+
+  void fit_ranges() const;
+
+  int width_;
+  int height_;
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+  mutable Range x_range_;
+  mutable Range y_range_;
+
+  static constexpr int kMarginLeft = 60;
+  static constexpr int kMarginRight = 140;  // legend space
+  static constexpr int kMarginTop = 36;
+  static constexpr int kMarginBottom = 48;
+};
+
+}  // namespace mmv2v

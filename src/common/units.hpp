@@ -1,0 +1,81 @@
+// Physical unit helpers and constants used throughout the mmV2V stack.
+//
+// Conventions:
+//   * power       : dBm for logs/configs, watts (linear) for arithmetic
+//   * gain / loss : dB for logs/configs, dimensionless linear for arithmetic
+//   * time        : seconds (double); protocol constants also exposed in
+//                   microseconds where the 802.11ad standard quotes them
+//   * distance    : meters
+//   * angles      : radians internally (see geom/angles.hpp); degrees only at
+//                   the config boundary
+#pragma once
+
+#include <cmath>
+
+namespace mmv2v::units {
+
+// --- dB <-> linear -----------------------------------------------------------
+
+/// Convert a dB gain/loss to a linear ratio.
+[[nodiscard]] inline double db_to_linear(double db) noexcept {
+  return std::pow(10.0, db / 10.0);
+}
+
+/// Convert a linear ratio to dB. Ratio must be > 0.
+[[nodiscard]] inline double linear_to_db(double linear) noexcept {
+  return 10.0 * std::log10(linear);
+}
+
+/// Convert a power in dBm to watts.
+[[nodiscard]] inline double dbm_to_watts(double dbm) noexcept {
+  return std::pow(10.0, (dbm - 30.0) / 10.0);
+}
+
+/// Convert a power in watts to dBm. Power must be > 0.
+[[nodiscard]] inline double watts_to_dbm(double watts) noexcept {
+  return 10.0 * std::log10(watts) + 30.0;
+}
+
+// --- speed -------------------------------------------------------------------
+
+[[nodiscard]] constexpr double kmh_to_mps(double kmh) noexcept { return kmh / 3.6; }
+[[nodiscard]] constexpr double mps_to_kmh(double mps) noexcept { return mps * 3.6; }
+
+// --- data volume -------------------------------------------------------------
+
+[[nodiscard]] constexpr double mbps_to_bps(double mbps) noexcept { return mbps * 1e6; }
+[[nodiscard]] constexpr double gbps_to_bps(double gbps) noexcept { return gbps * 1e9; }
+[[nodiscard]] constexpr double bits_to_megabits(double bits) noexcept { return bits / 1e6; }
+
+// --- time --------------------------------------------------------------------
+
+[[nodiscard]] constexpr double us_to_s(double us) noexcept { return us * 1e-6; }
+[[nodiscard]] constexpr double ms_to_s(double ms) noexcept { return ms * 1e-3; }
+[[nodiscard]] constexpr double s_to_ms(double s) noexcept { return s * 1e3; }
+[[nodiscard]] constexpr double s_to_us(double s) noexcept { return s * 1e6; }
+
+// --- physical constants ------------------------------------------------------
+
+/// Speed of light [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Thermal noise power spectral density at 290 K [dBm/Hz] (paper Eq. 3).
+inline constexpr double kNoiseDensityDbmHz = -174.0;
+
+/// 802.11ad channel bandwidth [Hz] (paper Section IV-A).
+inline constexpr double kChannelBandwidthHz = 2.16e9;
+
+/// 60 GHz carrier frequency [Hz].
+inline constexpr double kCarrierFrequencyHz = 60.0e9;
+
+/// Thermal noise power over the full 802.11ad channel [watts].
+[[nodiscard]] inline double thermal_noise_watts(double bandwidth_hz = kChannelBandwidthHz) noexcept {
+  return dbm_to_watts(kNoiseDensityDbmHz) * bandwidth_hz;
+}
+
+/// Thermal noise power over the full 802.11ad channel [dBm].
+[[nodiscard]] inline double thermal_noise_dbm(double bandwidth_hz = kChannelBandwidthHz) noexcept {
+  return kNoiseDensityDbmHz + 10.0 * std::log10(bandwidth_hz);
+}
+
+}  // namespace mmv2v::units

@@ -1,0 +1,69 @@
+#include "core/experiment.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+#include "core/simulation.hpp"
+
+namespace mmv2v::core {
+
+std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
+                                          const ScenarioConfig& base,
+                                          const ProtocolFactory& factory) {
+  if (config.repetitions <= 0) {
+    throw std::invalid_argument{"experiment: repetitions must be >= 1"};
+  }
+  if (!factory) throw std::invalid_argument{"experiment: null protocol factory"};
+
+  std::vector<SweepPoint> points;
+  points.reserve(config.densities_vpl.size());
+  for (const double density : config.densities_vpl) {
+    SweepPoint point;
+    point.density_vpl = density;
+    for (int rep = 0; rep < config.repetitions; ++rep) {
+      const std::uint64_t seed =
+          config.seed + static_cast<std::uint64_t>(rep) * 7919 +
+          static_cast<std::uint64_t>(density * 131.0);
+      ScenarioConfig scenario = base;
+      scenario.traffic.density_vpl = density;
+      scenario.horizon_s = config.horizon_s;
+      scenario.seed = seed;
+
+      const std::unique_ptr<OhmProtocol> protocol = factory(seed ^ 0xabcd);
+      OhmSimulation sim{scenario, *protocol};
+      sim.run(0.0);
+
+      const NetworkMetrics& m = sim.final_metrics();
+      point.degree.add(sim.world().mean_degree());
+      point.ocr.add(m.mean_ocr());
+      point.atp.add(m.mean_atp());
+      point.dtp.add(m.mean_dtp());
+      point.fairness.add(network_atp_fairness(m));
+      for (const VehicleMetrics& v : m.per_vehicle) {
+        point.ocr_samples.add(v.ocr);
+        point.atp_samples.add(v.atp);
+      }
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+void print_sweep(std::ostream& out, const std::string& title,
+                 const std::vector<SweepPoint>& points) {
+  out << "== " << title << " ==\n";
+  out << std::fixed << std::setprecision(3);
+  out << std::setw(6) << "vpl" << std::setw(9) << "degree" << std::setw(8) << "OCR"
+      << std::setw(8) << "+-" << std::setw(8) << "ATP" << std::setw(8) << "DTP"
+      << std::setw(9) << "Jain" << '\n';
+  for (const SweepPoint& p : points) {
+    out << std::setw(6) << std::setprecision(0) << p.density_vpl << std::setprecision(2)
+        << std::setw(9) << p.degree.mean() << std::setprecision(3) << std::setw(8)
+        << p.ocr.mean() << std::setw(8) << p.ocr.stddev() << std::setw(8) << p.atp.mean()
+        << std::setw(8) << p.dtp.mean() << std::setw(9) << p.fairness.mean() << '\n';
+  }
+}
+
+}  // namespace mmv2v::core

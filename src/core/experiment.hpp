@@ -1,0 +1,52 @@
+// Experiment runner: repeatable parameter sweeps over scenarios with
+// aggregation across seeds. The figure benches and the generic sweep tool
+// are built on this.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/protocol.hpp"
+#include "core/scenario.hpp"
+
+namespace mmv2v::core {
+
+/// Builds a fresh protocol instance for one repetition. The seed is derived
+/// from the experiment seed and the repetition index.
+using ProtocolFactory = std::function<std::unique_ptr<OhmProtocol>(std::uint64_t seed)>;
+
+struct ExperimentConfig {
+  std::vector<double> densities_vpl{10.0, 15.0, 20.0, 25.0, 30.0};
+  int repetitions = 3;
+  double horizon_s = 1.5;
+  std::uint64_t seed = 1;
+};
+
+/// Aggregated outcome of one sweep point.
+struct SweepPoint {
+  double density_vpl = 0.0;
+  RunningStats degree;
+  RunningStats ocr;
+  RunningStats atp;
+  RunningStats dtp;
+  RunningStats fairness;  // Jain index of per-vehicle ATP
+  /// Raw per-vehicle samples pooled over repetitions (for CDFs).
+  SampleSet ocr_samples;
+  SampleSet atp_samples;
+};
+
+/// Run a density sweep: for each density, `repetitions` independent worlds
+/// and protocol instances. `base` provides every non-density scenario knob.
+[[nodiscard]] std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
+                                                        const ScenarioConfig& base,
+                                                        const ProtocolFactory& factory);
+
+/// Render a sweep as an aligned text table.
+void print_sweep(std::ostream& out, const std::string& title,
+                 const std::vector<SweepPoint>& points);
+
+}  // namespace mmv2v::core

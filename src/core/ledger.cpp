@@ -1,0 +1,44 @@
+#include "core/ledger.hpp"
+
+#include <stdexcept>
+
+namespace mmv2v::core {
+
+TransferLedger::TransferLedger(double unit_bits) : unit_bits_(unit_bits) {
+  if (unit_bits <= 0.0) throw std::invalid_argument{"TransferLedger: unit_bits must be > 0"};
+}
+
+double TransferLedger::record(net::NodeId from, net::NodeId to, double bits) {
+  if (bits <= 0.0) return 0.0;
+  double& acc = directed_[key(from, to)];
+  const double credited = std::min(bits, unit_bits_ - acc);
+  acc += credited;
+  return credited;
+}
+
+double TransferLedger::delivered(net::NodeId from, net::NodeId to) const noexcept {
+  const auto it = directed_.find(key(from, to));
+  return it == directed_.end() ? 0.0 : it->second;
+}
+
+double TransferLedger::eta(net::NodeId a, net::NodeId b) const noexcept {
+  return (delivered(a, b) + delivered(b, a)) / (2.0 * unit_bits_);
+}
+
+double TransferLedger::total_delivered() const noexcept {
+  double acc = 0.0;
+  for (const auto& [key, bits] : directed_) acc += bits;
+  return acc;
+}
+
+std::vector<TransferLedger::DirectedDelivery> TransferLedger::snapshot() const {
+  std::vector<DirectedDelivery> out;
+  out.reserve(directed_.size());
+  for (const auto& [key, bits] : directed_) {
+    out.push_back(DirectedDelivery{static_cast<net::NodeId>(key >> 32),
+                                   static_cast<net::NodeId>(key & 0xffffffffULL), bits});
+  }
+  return out;
+}
+
+}  // namespace mmv2v::core

@@ -1,0 +1,67 @@
+// TransferLedger: tracks, per directed vehicle pair, how many bits of the
+// OHM task have been delivered. The paper's metrics (OCR / ATP / DTP,
+// Section IV-A) are all derived from these counters.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/mac_address.hpp"
+
+namespace mmv2v::core {
+
+class TransferLedger {
+ public:
+  /// `unit_bits` is the per-direction task size D: a pair (a, b) is complete
+  /// when both a->b and b->a have delivered D bits.
+  explicit TransferLedger(double unit_bits);
+
+  [[nodiscard]] double unit_bits() const noexcept { return unit_bits_; }
+
+  /// Record delivered bits; clamps at the per-direction unit. Returns the
+  /// bits actually credited.
+  double record(net::NodeId from, net::NodeId to, double bits);
+
+  [[nodiscard]] double delivered(net::NodeId from, net::NodeId to) const noexcept;
+  [[nodiscard]] double remaining(net::NodeId from, net::NodeId to) const noexcept {
+    return unit_bits_ - delivered(from, to);
+  }
+  [[nodiscard]] bool direction_complete(net::NodeId from, net::NodeId to) const noexcept {
+    return remaining(from, to) <= 0.0;
+  }
+
+  /// Transmission progress eta_{a,b} = D_{a,b} / D where D_{a,b} counts both
+  /// directions against a both-direction unit of 2D.
+  [[nodiscard]] double eta(net::NodeId a, net::NodeId b) const noexcept;
+  [[nodiscard]] bool pair_complete(net::NodeId a, net::NodeId b) const noexcept {
+    return direction_complete(a, b) && direction_complete(b, a);
+  }
+
+  void reset() { directed_.clear(); }
+  [[nodiscard]] std::size_t tracked_directions() const noexcept { return directed_.size(); }
+
+  /// Total bits delivered across all directed pairs.
+  [[nodiscard]] double total_delivered() const noexcept;
+
+  /// One directed delivery counter.
+  struct DirectedDelivery {
+    net::NodeId from = 0;
+    net::NodeId to = 0;
+    double bits = 0.0;
+  };
+  /// All nonzero directed counters (unordered); for application-layer
+  /// analyzers that need per-link deltas between frames.
+  [[nodiscard]] std::vector<DirectedDelivery> snapshot() const;
+
+ private:
+  static std::uint64_t key(net::NodeId from, net::NodeId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  }
+
+  double unit_bits_;
+  std::unordered_map<std::uint64_t, double> directed_;
+};
+
+}  // namespace mmv2v::core

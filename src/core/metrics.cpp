@@ -1,0 +1,68 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+
+namespace mmv2v::core {
+
+std::optional<VehicleMetrics> evaluate_vehicle(const World& world, const TransferLedger& ledger,
+                                               net::NodeId id) {
+  const std::vector<net::NodeId> neighbors = world.ground_truth_neighbors(id);
+  if (neighbors.empty()) return std::nullopt;
+
+  VehicleMetrics m;
+  m.id = id;
+  m.neighbor_count = neighbors.size();
+
+  std::size_t completed = 0;
+  double eta_sum = 0.0;
+  std::vector<double> etas;
+  etas.reserve(neighbors.size());
+  for (net::NodeId j : neighbors) {
+    const double eta = ledger.eta(id, j);
+    etas.push_back(eta);
+    eta_sum += eta;
+    if (ledger.pair_complete(id, j)) ++completed;
+  }
+  const double n = static_cast<double>(neighbors.size());
+  m.ocr = static_cast<double>(completed) / n;
+  m.atp = eta_sum / n;
+
+  double var = 0.0;
+  for (double eta : etas) var += (eta - m.atp) * (eta - m.atp);
+  m.dtp = std::sqrt(var / n);
+  return m;
+}
+
+double jain_fairness(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double network_atp_fairness(const NetworkMetrics& metrics) {
+  std::vector<double> atps;
+  atps.reserve(metrics.per_vehicle.size());
+  for (const VehicleMetrics& v : metrics.per_vehicle) atps.push_back(v.atp);
+  return jain_fairness(atps);
+}
+
+NetworkMetrics evaluate_network(const World& world, const TransferLedger& ledger) {
+  NetworkMetrics net;
+  for (net::NodeId id = 0; id < world.size(); ++id) {
+    if (const auto m = evaluate_vehicle(world, ledger, id)) {
+      net.per_vehicle.push_back(*m);
+      net.ocr.add(m->ocr);
+      net.atp.add(m->atp);
+      net.dtp.add(m->dtp);
+    }
+  }
+  return net;
+}
+
+}  // namespace mmv2v::core

@@ -1,0 +1,61 @@
+// Evaluation metrics (paper Section IV-A):
+//   * OCR — OHM completion ratio: |N_i^C| / |N_i|
+//   * ATP — average transmission progress: mean over neighbors of eta_{i,j}
+//   * DTP — deviation of transmission progress: population std-dev of eta
+// computed per vehicle against the ground-truth neighborhood, then
+// aggregated over the network.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/ledger.hpp"
+#include "core/world.hpp"
+
+namespace mmv2v::core {
+
+struct VehicleMetrics {
+  net::NodeId id = 0;
+  std::size_t neighbor_count = 0;
+  double ocr = 0.0;
+  double atp = 0.0;
+  double dtp = 0.0;
+};
+
+struct NetworkMetrics {
+  std::vector<VehicleMetrics> per_vehicle;
+  SampleSet ocr;
+  SampleSet atp;
+  SampleSet dtp;
+
+  [[nodiscard]] double mean_ocr() const { return ocr.mean(); }
+  [[nodiscard]] double mean_atp() const { return atp.mean(); }
+  [[nodiscard]] double mean_dtp() const { return dtp.mean(); }
+};
+
+/// A network-metrics snapshot taken at a simulation time.
+struct MetricsSample {
+  double time_s = 0.0;
+  NetworkMetrics metrics;
+};
+
+/// Metrics for one vehicle, or nullopt if it currently has no neighbors.
+[[nodiscard]] std::optional<VehicleMetrics> evaluate_vehicle(const World& world,
+                                                             const TransferLedger& ledger,
+                                                             net::NodeId id);
+
+/// Metrics over the whole network (vehicles without neighbors are skipped).
+[[nodiscard]] NetworkMetrics evaluate_network(const World& world, const TransferLedger& ledger);
+
+/// Jain's fairness index over a set of non-negative allocations:
+/// (sum x)^2 / (n * sum x^2), in (0, 1]; 1 = perfectly fair. Empty or
+/// all-zero input returns 0.
+[[nodiscard]] double jain_fairness(const std::vector<double>& values);
+
+/// Jain fairness of per-vehicle ATP — a complementary fairness view to the
+/// paper's per-vehicle DTP (which measures fairness *within* one vehicle's
+/// neighborhood, while this measures fairness *across* vehicles).
+[[nodiscard]] double network_atp_fairness(const NetworkMetrics& metrics);
+
+}  // namespace mmv2v::core

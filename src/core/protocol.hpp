@@ -1,0 +1,51 @@
+// OHM protocol interface. A protocol is driven frame by frame by the
+// Simulation: control phases run at the frame start (topology is treated as
+// stationary during them — paper Section IV-B3 notes they take < 5 ms), and
+// data transmission is integrated over sub-intervals delimited by the 5 ms
+// mobility ticks so link quality follows vehicle motion within the frame.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/ledger.hpp"
+#include "core/world.hpp"
+
+namespace mmv2v::core {
+
+struct FrameContext {
+  World& world;
+  TransferLedger& ledger;
+  /// Frame index since protocol start.
+  std::uint64_t frame = 0;
+  /// Absolute simulation time of the frame start [s].
+  double frame_start_s = 0.0;
+};
+
+class OhmProtocol {
+ public:
+  virtual ~OhmProtocol() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Run the control phases (discovery, matching, beam refinement) on the
+  /// frame-start snapshot and set up this frame's data sessions.
+  virtual void begin_frame(FrameContext& ctx) = 0;
+
+  /// Offset within the frame at which data transmission begins [s].
+  [[nodiscard]] virtual double udt_start_offset_s() const = 0;
+
+  /// Transfer data over the in-frame interval [t0, t1) (both offsets within
+  /// the frame, t0 >= udt_start_offset_s). Called once per mobility
+  /// sub-interval with the World refreshed to the sub-interval start.
+  virtual void udt_step(FrameContext& ctx, double t0, double t1) = 0;
+
+  /// Frame teardown hook.
+  virtual void end_frame(FrameContext& /*ctx*/) {}
+
+  /// Number of links (matched pairs / scheduled service periods) this frame
+  /// activated; feeds the trace recorder.
+  [[nodiscard]] virtual std::size_t active_link_count() const { return 0; }
+};
+
+}  // namespace mmv2v::core

@@ -1,0 +1,55 @@
+// Scenario configuration: everything that defines one simulated deployment,
+// independent of the OHM protocol under test. Defaults follow the paper's
+// evaluation setup (Section IV-A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "phy/channel.hpp"
+#include "phy/fading.hpp"
+#include "sim/frame.hpp"
+#include "traffic/traffic_sim.hpp"
+
+namespace mmv2v::core {
+
+/// The HRIE data-exchange task (paper Section IV-A): each vehicle must
+/// exchange `rate_mbps` worth of sensory data per second with each one-hop
+/// neighbor, in both directions. Over a horizon T the per-direction unit is
+/// rate * T bits.
+struct TaskParams {
+  double rate_mbps = 200.0;
+};
+
+struct ScenarioConfig {
+  traffic::TrafficConfig traffic;
+  phy::ChannelParams channel;
+  /// Optional shadowing / small-scale fading (defaults off; see phy/fading.hpp).
+  phy::FadingParams fading;
+  sim::TimingConfig timing;
+  TaskParams task;
+
+  /// One-hop neighborhood radius defining the ground-truth N_i [m].
+  double comm_range_m = 80.0;
+  /// Extra blocker count charged to links crossing the median between the
+  /// two carriageways (a guardrail/divider blocks grazing 60 GHz paths), so
+  /// opposite-direction traffic contributes load realism but not links.
+  /// Set to 0 for an open median.
+  int cross_median_blockers = 3;
+  /// Radius within which pair geometry is cached and interference is summed
+  /// [m]; beyond this, received power is far below the noise floor.
+  double interference_range_m = 220.0;
+  /// Total simulated time [s].
+  double horizon_s = 2.0;
+  /// Warm-up time for the traffic model before the radio protocol starts [s].
+  double traffic_warmup_s = 5.0;
+
+  std::uint64_t seed = 1;
+
+  /// Per-direction task unit in bits for this scenario's horizon.
+  [[nodiscard]] double unit_bits() const noexcept {
+    return units::mbps_to_bps(task.rate_mbps) * horizon_s;
+  }
+};
+
+}  // namespace mmv2v::core

@@ -1,0 +1,91 @@
+#include "core/simulation.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mmv2v::core {
+
+OhmSimulation::OhmSimulation(ScenarioConfig config, OhmProtocol& protocol)
+    : config_(std::move(config)),
+      world_(config_, config_.seed),
+      ledger_(config_.unit_bits()),
+      protocol_(protocol) {
+  const double frame = config_.timing.frame_s;
+  const double tick = config_.timing.mobility_tick_s;
+  if (std::fmod(frame + 1e-12, tick) > 1e-9) {
+    throw std::invalid_argument{"frame duration must be a multiple of the mobility tick"};
+  }
+}
+
+void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start) {
+  // Frame execution is driven by the discrete-event engine: the frame-start
+  // event runs the control phases, then one event per mobility tick moves
+  // data over the preceding sub-interval and advances the traffic world.
+  sim::Engine engine;
+  FrameContext ctx{world_, ledger_, frame_index, frame_start};
+  const double frame = config_.timing.frame_s;
+  const double tick = config_.timing.mobility_tick_s;
+
+  engine.schedule_at(frame_start, [&] {
+    protocol_.begin_frame(ctx);
+    const double udt_start = protocol_.udt_start_offset_s();
+    if (udt_start < 0.0 || udt_start >= frame) {
+      throw std::logic_error{"protocol UDT start offset outside the frame"};
+    }
+    double prev = 0.0;
+    for (double boundary = tick; boundary <= frame + 1e-12; boundary += tick) {
+      const double t0 = std::max(prev, udt_start);
+      const double t1 = std::min(boundary, frame);
+      engine.schedule_at(frame_start + boundary, [&, t0, t1] {
+        if (t1 > t0) protocol_.udt_step(ctx, t0, t1);
+        world_.advance(tick);
+      });
+      prev = boundary;
+    }
+  });
+  engine.run_until(frame_start + frame);
+  protocol_.end_frame(ctx);
+  if (observer_) observer_(ctx);
+
+  const double total = ledger_.total_delivered();
+  const double prev_total = trace_.empty() ? 0.0 : trace_.frames().back().bits_total;
+  trace_.add_frame(FrameRecord{frame_index, frame_start, protocol_.active_link_count(),
+                               total - prev_total, total});
+  ++frames_run_;
+}
+
+void OhmSimulation::run(double sample_interval_s) {
+  const double frame = config_.timing.frame_s;
+  const auto total_frames =
+      static_cast<std::uint64_t>(std::llround(config_.horizon_s / frame));
+  double next_sample = sample_interval_s > 0.0 ? sample_interval_s
+                                               : std::numeric_limits<double>::infinity();
+
+  for (std::uint64_t f = 0; f < total_frames; ++f) {
+    const double t = static_cast<double>(f) * frame;
+    run_one_frame(f, t);
+    const double t_end = t + frame;
+    if (t_end + 1e-9 >= next_sample) {
+      samples_.push_back(MetricsSample{t_end, evaluate_network(world_, ledger_)});
+      next_sample += sample_interval_s;
+    }
+  }
+  // Always sample at the horizon.
+  if (samples_.empty() || samples_.back().time_s + 1e-9 < config_.horizon_s) {
+    samples_.push_back(
+        MetricsSample{config_.horizon_s, evaluate_network(world_, ledger_)});
+  }
+  MMV2V_LOG(kInfo) << protocol_.name() << ": ran " << frames_run_ << " frames, final OCR "
+                   << final_metrics().mean_ocr();
+}
+
+const NetworkMetrics& OhmSimulation::final_metrics() const {
+  if (samples_.empty()) throw std::logic_error{"simulation has not run"};
+  return samples_.back().metrics;
+}
+
+}  // namespace mmv2v::core

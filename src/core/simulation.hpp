@@ -1,0 +1,55 @@
+// OhmSimulation: the top-level facade. Owns the World, the TransferLedger
+// and the frame/mobility event loop; drives one OhmProtocol and samples
+// network metrics on a fixed schedule.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/protocol.hpp"
+#include "core/scenario.hpp"
+#include "core/trace.hpp"
+#include "core/world.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mmv2v::core {
+
+class OhmSimulation {
+ public:
+  /// Called at the end of every frame (after UDT completes); used by
+  /// application-layer analyzers (see apps/) and custom instrumentation.
+  using FrameObserver = std::function<void(const FrameContext&)>;
+
+  /// The protocol must outlive the simulation.
+  OhmSimulation(ScenarioConfig config, OhmProtocol& protocol);
+
+  void set_frame_observer(FrameObserver observer) { observer_ = std::move(observer); }
+
+  /// Run the full horizon. Metrics are sampled every `sample_interval_s`
+  /// (<= 0 samples only at the end) and at the horizon.
+  void run(double sample_interval_s = 1.0);
+
+  [[nodiscard]] const World& world() const noexcept { return world_; }
+  [[nodiscard]] World& world() noexcept { return world_; }
+  [[nodiscard]] const TransferLedger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const std::vector<MetricsSample>& samples() const noexcept { return samples_; }
+  [[nodiscard]] const NetworkMetrics& final_metrics() const;
+  [[nodiscard]] std::uint64_t frames_run() const noexcept { return frames_run_; }
+  [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+
+ private:
+  void run_one_frame(std::uint64_t frame_index, double frame_start);
+
+  ScenarioConfig config_;
+  World world_;
+  TransferLedger ledger_;
+  OhmProtocol& protocol_;
+  FrameObserver observer_;
+  std::vector<MetricsSample> samples_;
+  TraceRecorder trace_;
+  std::uint64_t frames_run_ = 0;
+};
+
+}  // namespace mmv2v::core

@@ -1,0 +1,49 @@
+#include "core/trace.hpp"
+
+#include <ostream>
+
+namespace mmv2v::core {
+
+double TraceRecorder::mean_throughput_bps() const {
+  if (frames_.size() < 2) return 0.0;
+  // Frame starts are uniformly spaced; infer the frame duration from the
+  // spacing so the window covers the last frame fully.
+  const double n = static_cast<double>(frames_.size());
+  const double frame_dur = (frames_.back().time_s - frames_.front().time_s) / (n - 1.0);
+  const double window = n * frame_dur;
+  return window > 0.0 ? frames_.back().bits_total / window : 0.0;
+}
+
+double TraceRecorder::mean_active_links() const {
+  if (frames_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const FrameRecord& f : frames_) acc += static_cast<double>(f.active_links);
+  return acc / static_cast<double>(frames_.size());
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  out << "frame,time_s,active_links,bits_delivered,bits_total\n";
+  for (const FrameRecord& f : frames_) {
+    out << f.frame << ',' << f.time_s << ',' << f.active_links << ',' << f.bits_delivered
+        << ',' << f.bits_total << '\n';
+  }
+}
+
+void TraceRecorder::write_metrics_csv(std::ostream& out,
+                                      const std::vector<MetricsSample>& samples) {
+  out << "time_s,mean_ocr,mean_atp,mean_dtp,vehicles\n";
+  for (const MetricsSample& s : samples) {
+    out << s.time_s << ',' << s.metrics.mean_ocr() << ',' << s.metrics.mean_atp() << ','
+        << s.metrics.mean_dtp() << ',' << s.metrics.per_vehicle.size() << '\n';
+  }
+}
+
+void TraceRecorder::write_per_vehicle_csv(std::ostream& out, const NetworkMetrics& metrics) {
+  out << "vehicle,neighbors,ocr,atp,dtp\n";
+  for (const VehicleMetrics& v : metrics.per_vehicle) {
+    out << v.id << ',' << v.neighbor_count << ',' << v.ocr << ',' << v.atp << ',' << v.dtp
+        << '\n';
+  }
+}
+
+}  // namespace mmv2v::core

@@ -1,0 +1,51 @@
+// Per-frame trace recording and CSV export. OhmSimulation records one
+// FrameRecord per protocol frame; downstream tooling (plots, regression
+// dashboards) consumes the CSV.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace mmv2v::core {
+
+struct FrameRecord {
+  std::uint64_t frame = 0;
+  /// Frame start time [s].
+  double time_s = 0.0;
+  /// Links (matched pairs / service periods) the protocol activated.
+  std::size_t active_links = 0;
+  /// Bits delivered network-wide during this frame.
+  double bits_delivered = 0.0;
+  /// Cumulative bits delivered since simulation start.
+  double bits_total = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  void add_frame(FrameRecord record) { frames_.push_back(record); }
+  void clear() { frames_.clear(); }
+
+  [[nodiscard]] const std::vector<FrameRecord>& frames() const noexcept { return frames_; }
+  [[nodiscard]] bool empty() const noexcept { return frames_.empty(); }
+
+  /// Aggregate network throughput over the recorded window [bit/s].
+  [[nodiscard]] double mean_throughput_bps() const;
+  /// Mean number of concurrently active links per frame.
+  [[nodiscard]] double mean_active_links() const;
+
+  /// Write the frame series as CSV (header + one row per frame).
+  void write_csv(std::ostream& out) const;
+  /// Write metric samples (time, OCR, ATP, DTP aggregates) as CSV.
+  static void write_metrics_csv(std::ostream& out, const std::vector<MetricsSample>& samples);
+  /// Write final per-vehicle metrics as CSV.
+  static void write_per_vehicle_csv(std::ostream& out, const NetworkMetrics& metrics);
+
+ private:
+  std::vector<FrameRecord> frames_;
+};
+
+}  // namespace mmv2v::core

@@ -1,0 +1,76 @@
+#include "core/world.hpp"
+
+#include "geom/angles.hpp"
+
+namespace mmv2v::core {
+
+World::World(ScenarioConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      traffic_(config_.traffic, seed),
+      channel_(config_.channel),
+      fading_(config_.fading) {
+  // Let the traffic model relax from its synthetic initial placement so the
+  // radio protocol sees realistic headways and speeds.
+  const double warmup_dt = 0.1;
+  for (double t = 0.0; t < config_.traffic_warmup_s; t += warmup_dt) {
+    traffic_.step(warmup_dt);
+  }
+  refresh_snapshot();
+}
+
+void World::advance(double dt) {
+  traffic_.step(dt);
+  ++tick_;
+  refresh_snapshot();
+}
+
+void World::refresh_snapshot() {
+  los_ = traffic_.make_los_evaluator();
+  const std::size_t n = traffic_.size();
+  nearby_.assign(n, {});
+  const double radius = config_.interference_range_m;
+  const double radius_sq = radius * radius;
+
+  std::vector<geom::Vec2> pos(n);
+  for (std::size_t i = 0; i < n; ++i) pos[i] = traffic_.position_of(i);
+
+  const auto& vehicles = traffic_.vehicles();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (geom::distance_sq(pos[i], pos[j]) > radius_sq) continue;
+      const double d = geom::distance(pos[i], pos[j]);
+      int blockers = los_.blocker_count(pos[i], pos[j], i, j);
+      if (vehicles[i].direction != vehicles[j].direction) {
+        blockers += config_.cross_median_blockers;
+      }
+      const double fade = fading_.enabled() ? fading_.loss_db(i, j, tick_) : 0.0;
+      nearby_[i].push_back(PairGeom{j, d, geom::bearing(pos[i], pos[j]), blockers, fade});
+      nearby_[j].push_back(PairGeom{i, d, geom::bearing(pos[j], pos[i]), blockers, fade});
+    }
+  }
+}
+
+const PairGeom* World::pair(net::NodeId a, net::NodeId b) const noexcept {
+  if (a >= nearby_.size()) return nullptr;
+  for (const PairGeom& p : nearby_[a]) {
+    if (p.other == b) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<net::NodeId> World::ground_truth_neighbors(net::NodeId id) const {
+  std::vector<net::NodeId> out;
+  for (const PairGeom& p : nearby_.at(id)) {
+    if (p.distance_m <= config_.comm_range_m && p.blockers == 0) out.push_back(p.other);
+  }
+  return out;
+}
+
+double World::mean_degree() const {
+  if (size() == 0) return 0.0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < size(); ++i) total += ground_truth_neighbors(i).size();
+  return static_cast<double>(total) / static_cast<double>(size());
+}
+
+}  // namespace mmv2v::core

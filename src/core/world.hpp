@@ -1,0 +1,84 @@
+// World: the radio-relevant snapshot of the simulated environment. Couples
+// the traffic microsimulator with the channel model and caches, per mobility
+// tick, the pairwise geometry (distance, bearing, blocker count) every
+// protocol component consumes.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/scenario.hpp"
+#include "geom/los.hpp"
+#include "net/mac_address.hpp"
+#include "phy/channel.hpp"
+#include "traffic/traffic_sim.hpp"
+
+namespace mmv2v::core {
+
+/// Cached geometry of an (ordered) nearby pair, valid for one snapshot.
+struct PairGeom {
+  net::NodeId other = 0;
+  double distance_m = 0.0;
+  /// Compass bearing from the owning vehicle toward `other`.
+  double bearing_rad = 0.0;
+  int blockers = 0;
+  /// Fading loss for this snapshot [dB] (0 when fading is disabled).
+  double extra_loss_db = 0.0;
+};
+
+/// Linear channel power gain for a cached pair, including path loss, blocker
+/// penalties and this snapshot's fading.
+[[nodiscard]] inline double pair_channel_gain(const phy::ChannelParams& channel,
+                                              const PairGeom& g) noexcept {
+  double gain = phy::channel_gain(channel.pathloss, g.distance_m, g.blockers);
+  if (g.extra_loss_db != 0.0) gain *= units::db_to_linear(-g.extra_loss_db);
+  return gain;
+}
+
+class World {
+ public:
+  World(ScenarioConfig config, std::uint64_t seed);
+
+  /// Advance traffic by dt and refresh the geometry snapshot.
+  void advance(double dt);
+  /// Rebuild the snapshot from current vehicle positions.
+  void refresh_snapshot();
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const traffic::TrafficSimulator& traffic() const noexcept { return traffic_; }
+  [[nodiscard]] const phy::ChannelModel& channel() const noexcept { return channel_; }
+  [[nodiscard]] const geom::LosEvaluator& los() const noexcept { return los_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return traffic_.size(); }
+  [[nodiscard]] net::MacAddress mac(net::NodeId id) const {
+    return net::MacAddress::for_vehicle(id);
+  }
+  [[nodiscard]] geom::Vec2 position(net::NodeId id) const { return traffic_.position_of(id); }
+
+  /// All cached pairs within interference range of `id`.
+  [[nodiscard]] std::span<const PairGeom> nearby(net::NodeId id) const {
+    return nearby_.at(id);
+  }
+
+  /// Cached geometry from a toward b, if within interference range.
+  [[nodiscard]] const PairGeom* pair(net::NodeId a, net::NodeId b) const noexcept;
+
+  /// Ground-truth one-hop neighborhood N_i: LOS vehicles within comm range.
+  [[nodiscard]] std::vector<net::NodeId> ground_truth_neighbors(net::NodeId id) const;
+
+  /// Mean |N_i| over all vehicles.
+  [[nodiscard]] double mean_degree() const;
+
+ private:
+  ScenarioConfig config_;
+  traffic::TrafficSimulator traffic_;
+  phy::ChannelModel channel_;
+  phy::FadingModel fading_;
+  geom::LosEvaluator los_;
+  std::vector<std::vector<PairGeom>> nearby_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace mmv2v::core

@@ -1,0 +1,83 @@
+// Angle and compass-bearing arithmetic.
+//
+// The mmV2V protocol indexes antenna sectors clockwise from geographic north
+// (paper Section III-B2): sector i covers bearings [i*theta, (i+1)*theta)
+// where theta = 2*pi / S. We therefore distinguish:
+//   * mathematical angles  — CCW from +x axis (only used internally)
+//   * compass bearings     — CW from north (+y axis), range [0, 2*pi)
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+#include "geom/vec2.hpp"
+
+namespace mmv2v::geom {
+
+inline constexpr double kPi = std::numbers::pi;
+inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+[[nodiscard]] constexpr double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+[[nodiscard]] constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to [0, 2*pi).
+[[nodiscard]] inline double wrap_two_pi(double a) noexcept {
+  a = std::fmod(a, kTwoPi);
+  return a < 0.0 ? a + kTwoPi : a;
+}
+
+/// Wrap an angle to (-pi, pi].
+[[nodiscard]] inline double wrap_pi(double a) noexcept {
+  a = wrap_two_pi(a);
+  return a > kPi ? a - kTwoPi : a;
+}
+
+/// Smallest absolute difference between two angles, in [0, pi].
+[[nodiscard]] inline double angular_distance(double a, double b) noexcept {
+  return std::abs(wrap_pi(a - b));
+}
+
+/// Compass bearing of the direction from `from` to `to`:
+/// 0 = north (+y), pi/2 = east (+x), clockwise positive, range [0, 2*pi).
+[[nodiscard]] inline double bearing(Vec2 from, Vec2 to) noexcept {
+  const Vec2 d = to - from;
+  return wrap_two_pi(std::atan2(d.x, d.y));
+}
+
+/// Unit vector pointing along a compass bearing.
+[[nodiscard]] inline Vec2 bearing_to_unit(double bearing_rad) noexcept {
+  return {std::sin(bearing_rad), std::cos(bearing_rad)};
+}
+
+/// Sector geometry used by SND: S equal sectors indexed clockwise from north.
+class SectorGrid {
+ public:
+  explicit constexpr SectorGrid(int sector_count) noexcept : count_(sector_count) {}
+
+  [[nodiscard]] constexpr int count() const noexcept { return count_; }
+  [[nodiscard]] constexpr double width() const noexcept {
+    return kTwoPi / static_cast<double>(count_);
+  }
+
+  /// Sector index containing a compass bearing.
+  [[nodiscard]] int sector_of(double bearing_rad) const noexcept {
+    const double w = width();
+    auto idx = static_cast<int>(wrap_two_pi(bearing_rad) / w);
+    return idx >= count_ ? count_ - 1 : idx;  // guard fp rounding at 2*pi
+  }
+
+  /// Center bearing of a sector.
+  [[nodiscard]] constexpr double center(int sector) const noexcept {
+    return (static_cast<double>(sector) + 0.5) * width();
+  }
+
+  /// The diametrically opposite sector: (i + S/2) mod S (paper III-B3).
+  [[nodiscard]] constexpr int opposite(int sector) const noexcept {
+    return (sector + count_ / 2) % count_;
+  }
+
+ private:
+  int count_;
+};
+
+}  // namespace mmv2v::geom

@@ -1,0 +1,24 @@
+#include "geom/los.hpp"
+
+namespace mmv2v::geom {
+
+int LosEvaluator::blocker_count(Vec2 a, Vec2 b, std::size_t owner_a,
+                                std::size_t owner_b) const noexcept {
+  int count = 0;
+  for (const Blocker& blocker : blockers_) {
+    if (blocker.owner_id == owner_a || blocker.owner_id == owner_b) continue;
+    // Cheap reject: blocker must overlap the segment's bounding box inflated
+    // by its circumscribed radius.
+    const Vec2 c = blocker.body.center();
+    const double r = blocker.body.half_length() + blocker.body.half_width();
+    const double min_x = std::min(a.x, b.x) - r;
+    const double max_x = std::max(a.x, b.x) + r;
+    const double min_y = std::min(a.y, b.y) - r;
+    const double max_y = std::max(a.y, b.y) + r;
+    if (c.x < min_x || c.x > max_x || c.y < min_y || c.y > max_y) continue;
+    if (blocker.body.intersects_segment(a, b)) ++count;
+  }
+  return count;
+}
+
+}  // namespace mmv2v::geom

@@ -1,0 +1,46 @@
+// Line-of-sight evaluation between antenna positions with vehicle bodies as
+// blockers. The path-loss model (paper Eq. 1) takes the number of blockers
+// on the direct path; LosEvaluator computes that count geometrically.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+
+namespace mmv2v::geom {
+
+/// One potential blocker: a vehicle body (antenna mounted on the roof, so a
+/// vehicle never blocks its own link endpoints).
+struct Blocker {
+  OrientedRect body;
+  /// Identifier of the vehicle owning this body; links touching this id skip it.
+  std::size_t owner_id = 0;
+};
+
+class LosEvaluator {
+ public:
+  LosEvaluator() = default;
+  explicit LosEvaluator(std::vector<Blocker> blockers) : blockers_(std::move(blockers)) {}
+
+  void clear() noexcept { blockers_.clear(); }
+  void add(Blocker blocker) { blockers_.push_back(std::move(blocker)); }
+  [[nodiscard]] std::size_t size() const noexcept { return blockers_.size(); }
+
+  /// Number of distinct bodies crossing the segment (a, b), excluding the two
+  /// endpoint owners.
+  [[nodiscard]] int blocker_count(Vec2 a, Vec2 b, std::size_t owner_a,
+                                  std::size_t owner_b) const noexcept;
+
+  /// True if no third-party body crosses the segment.
+  [[nodiscard]] bool has_los(Vec2 a, Vec2 b, std::size_t owner_a,
+                             std::size_t owner_b) const noexcept {
+    return blocker_count(a, b, owner_a, owner_b) == 0;
+  }
+
+ private:
+  std::vector<Blocker> blockers_;
+};
+
+}  // namespace mmv2v::geom

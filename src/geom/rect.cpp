@@ -1,0 +1,51 @@
+#include "geom/rect.hpp"
+
+#include <algorithm>
+
+namespace mmv2v::geom {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Orientation of the triplet (a, b, c): >0 CCW, <0 CW, 0 collinear.
+double orient(Vec2 a, Vec2 b, Vec2 c) noexcept { return (b - a).cross(c - a); }
+
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) noexcept {
+  return std::min(a.x, b.x) - kEps <= p.x && p.x <= std::max(a.x, b.x) + kEps &&
+         std::min(a.y, b.y) - kEps <= p.y && p.y <= std::max(a.y, b.y) + kEps;
+}
+
+}  // namespace
+
+bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) noexcept {
+  const double d1 = orient(q1, q2, p1);
+  const double d2 = orient(q1, q2, p2);
+  const double d3 = orient(p1, p2, q1);
+  const double d4 = orient(p1, p2, q2);
+
+  if (((d1 > kEps && d2 < -kEps) || (d1 < -kEps && d2 > kEps)) &&
+      ((d3 > kEps && d4 < -kEps) || (d3 < -kEps && d4 > kEps))) {
+    return true;
+  }
+  // Collinear / touching cases.
+  if (std::abs(d1) <= kEps && on_segment(q1, q2, p1)) return true;
+  if (std::abs(d2) <= kEps && on_segment(q1, q2, p2)) return true;
+  if (std::abs(d3) <= kEps && on_segment(p1, p2, q1)) return true;
+  if (std::abs(d4) <= kEps && on_segment(p1, p2, q2)) return true;
+  return false;
+}
+
+bool OrientedRect::intersects_segment(Vec2 a, Vec2 b) const noexcept {
+  if (contains(a) || contains(b)) return true;
+  const auto cs = corners();
+  for (int i = 0; i < 4; ++i) {
+    if (segments_intersect(a, b, cs[static_cast<std::size_t>(i)],
+                           cs[static_cast<std::size_t>((i + 1) % 4)])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mmv2v::geom

@@ -1,0 +1,55 @@
+// Oriented rectangles (vehicle bodies) and segment intersection tests used
+// for line-of-sight blockage evaluation.
+#pragma once
+
+#include <array>
+
+#include "geom/vec2.hpp"
+
+namespace mmv2v::geom {
+
+/// A rectangle with center `center`, half-extents `half_length` along the
+/// unit heading vector `heading` and `half_width` along its perpendicular.
+class OrientedRect {
+ public:
+  OrientedRect(Vec2 center, Vec2 heading_unit, double half_length, double half_width) noexcept
+      : center_(center),
+        axis_(heading_unit),
+        half_length_(half_length),
+        half_width_(half_width) {}
+
+  [[nodiscard]] Vec2 center() const noexcept { return center_; }
+  [[nodiscard]] double half_length() const noexcept { return half_length_; }
+  [[nodiscard]] double half_width() const noexcept { return half_width_; }
+
+  /// Corner points in CCW order.
+  [[nodiscard]] std::array<Vec2, 4> corners() const noexcept {
+    const Vec2 u = axis_ * half_length_;
+    const Vec2 v = axis_.perp() * half_width_;
+    return {center_ + u + v, center_ - u + v, center_ - u - v, center_ + u - v};
+  }
+
+  /// True if point p lies inside or on the rectangle.
+  [[nodiscard]] bool contains(Vec2 p) const noexcept {
+    const Vec2 d = p - center_;
+    return std::abs(d.dot(axis_)) <= half_length_ + kEps &&
+           std::abs(d.dot(axis_.perp())) <= half_width_ + kEps;
+  }
+
+  /// True if the open segment (a, b) intersects the rectangle. Endpoints
+  /// inside the rectangle count as intersection.
+  [[nodiscard]] bool intersects_segment(Vec2 a, Vec2 b) const noexcept;
+
+ private:
+  static constexpr double kEps = 1e-9;
+
+  Vec2 center_;
+  Vec2 axis_;
+  double half_length_;
+  double half_width_;
+};
+
+/// True if segments (p1, p2) and (q1, q2) intersect (inclusive of endpoints).
+[[nodiscard]] bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) noexcept;
+
+}  // namespace mmv2v::geom

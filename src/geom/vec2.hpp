@@ -1,0 +1,47 @@
+// 2-D vector type. The road plane uses x = east, y = north (right-handed),
+// so compass bearings measured clockwise from north map to
+// atan2(x, y) — see geom/angles.hpp.
+#pragma once
+
+#include <cmath>
+
+namespace mmv2v::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2& operator+=(Vec2 o) noexcept { x += o.x; y += o.y; return *this; }
+  constexpr Vec2& operator-=(Vec2 o) noexcept { x -= o.x; y -= o.y; return *this; }
+  constexpr Vec2& operator*=(double s) noexcept { x *= s; y *= s; return *this; }
+
+  [[nodiscard]] constexpr double dot(Vec2 o) const noexcept { return x * o.x + y * o.y; }
+  /// z-component of the 3-D cross product; > 0 when `o` is counter-clockwise
+  /// of *this.
+  [[nodiscard]] constexpr double cross(Vec2 o) const noexcept { return x * o.y - y * o.x; }
+  [[nodiscard]] constexpr double norm_sq() const noexcept { return x * x + y * y; }
+  [[nodiscard]] double norm() const noexcept { return std::hypot(x, y); }
+
+  [[nodiscard]] Vec2 normalized() const noexcept {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Perpendicular vector rotated +90 degrees counter-clockwise.
+  [[nodiscard]] constexpr Vec2 perp() const noexcept { return {-y, x}; }
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double s) noexcept { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator*(double s, Vec2 a) noexcept { return {a.x * s, a.y * s}; }
+  friend constexpr Vec2 operator/(Vec2 a, double s) noexcept { return {a.x / s, a.y / s}; }
+  friend constexpr Vec2 operator-(Vec2 a) noexcept { return {-a.x, -a.y}; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) noexcept = default;
+};
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept { return (a - b).norm(); }
+[[nodiscard]] constexpr double distance_sq(Vec2 a, Vec2 b) noexcept {
+  return (a - b).norm_sq();
+}
+
+}  // namespace mmv2v::geom

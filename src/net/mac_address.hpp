@@ -1,0 +1,39 @@
+// 48-bit MAC addresses. The CNS hash operates on MAC addresses (paper
+// Section III-C1), and the DCM tie-break rule ("the vehicle with a larger
+// MAC address does first") needs a total order.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mmv2v::net {
+
+/// Stable simulator-wide node (vehicle) identifier.
+using NodeId = std::size_t;
+
+class MacAddress {
+ public:
+  constexpr MacAddress() noexcept = default;
+  /// From the low 48 bits of a value.
+  explicit constexpr MacAddress(std::uint64_t value) noexcept
+      : value_(value & 0xffff'ffff'ffffULL) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const noexcept { return value_; }
+
+  /// Deterministic per-vehicle address for simulations: a locally
+  /// administered OUI with the vehicle id in the low bits.
+  [[nodiscard]] static constexpr MacAddress for_vehicle(std::size_t vehicle_id) noexcept {
+    return MacAddress{0x0200'5e00'0000ULL | static_cast<std::uint64_t>(vehicle_id)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(MacAddress a, MacAddress b) noexcept = default;
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+}  // namespace mmv2v::net

@@ -1,0 +1,57 @@
+// Control-plane message types exchanged by the protocols. The simulator
+// delivers these synchronously within their slot when the PHY says the
+// control MCS decodes; the structs document the over-the-air payloads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/mac_address.hpp"
+
+namespace mmv2v::net {
+
+/// Sector-sweep frame sent while sweeping (paper Section III-B2: the
+/// transmitter "sends out its ID (e.g. MAC address) and the sector ID").
+struct SswFrame {
+  NodeId sender = 0;
+  MacAddress sender_mac;
+  int sweep_sector = 0;
+};
+
+/// What a receiver learns from a decoded SswFrame (paper Section III-B3:
+/// sender ID, sweeping sector ID, channel SNR).
+struct SswObservation {
+  SswFrame frame;
+  int sensing_sector = 0;
+  double snr_db = 0.0;
+};
+
+/// Candidate descriptor carried in DCM negotiation frames.
+struct CandidateInfo {
+  std::optional<NodeId> candidate;
+  /// Quality (SNR dB) of the link to that candidate; meaningless when
+  /// candidate is empty.
+  double link_quality_db = 0.0;
+};
+
+/// First half of a negotiation slot: both ends exchange their candidates
+/// (paper Section III-C2).
+struct NegotiationFrame {
+  NodeId sender = 0;
+  CandidateInfo info;
+};
+
+/// Second half of a negotiation slot: tell a previous candidate it was
+/// dropped ("link update" in paper Fig. 4).
+struct LinkUpdateFrame {
+  NodeId sender = 0;
+  NodeId dropped_partner = 0;
+};
+
+/// Beam-refinement probe (cross search, paper Section III-D).
+struct RefinementProbe {
+  NodeId sender = 0;
+  int beam_index = 0;
+};
+
+}  // namespace mmv2v::net

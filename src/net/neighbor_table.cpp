@@ -1,0 +1,48 @@
+#include "net/neighbor_table.hpp"
+
+namespace mmv2v::net {
+
+void NeighborTable::observe(NeighborEntry entry) {
+  auto [it, inserted] = entries_.try_emplace(entry.id, entry);
+  if (inserted) return;
+  // Newer frames replace; within one frame keep the strongest measurement
+  // (the main-lobe rendezvous beats any side-lobe sighting).
+  if (entry.last_seen_frame > it->second.last_seen_frame ||
+      (entry.last_seen_frame == it->second.last_seen_frame &&
+       entry.snr_db > it->second.snr_db)) {
+    it->second = entry;
+  }
+}
+
+void NeighborTable::age_out(std::uint64_t current_frame) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (current_frame - it->second.last_seen_frame > max_age_frames_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::optional<NeighborEntry> NeighborTable::find(NodeId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NeighborEntry> NeighborTable::entries() const {
+  std::vector<NeighborEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(e);
+  return out;
+}
+
+std::vector<NeighborEntry> NeighborTable::entries_seen_in(std::uint64_t frame) const {
+  std::vector<NeighborEntry> out;
+  for (const auto& [id, e] : entries_) {
+    if (e.last_seen_frame == frame) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace mmv2v::net

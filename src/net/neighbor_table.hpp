@@ -1,0 +1,59 @@
+// Per-vehicle neighbor table populated by neighbor discovery. An entry
+// records what SND learned about one LOS neighbor: identity, the sector the
+// neighbor was heard on (so both sides know which wide beam coarsely aligns
+// the pair), and the measured link SNR.
+//
+// Entries age out after `max_age_frames` frames without re-discovery, and
+// the union over frames U_l N_i^l (paper Section III-A) is what UDT's
+// completion bookkeeping consumes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/mac_address.hpp"
+
+namespace mmv2v::net {
+
+struct NeighborEntry {
+  NodeId id = 0;
+  MacAddress mac;
+  /// Sector (at the owner of the table) pointing toward the neighbor.
+  int sector_toward = 0;
+  /// SNR of the discovery measurement [dB].
+  double snr_db = 0.0;
+  /// Frame index of the most recent (re-)discovery.
+  std::uint64_t last_seen_frame = 0;
+};
+
+class NeighborTable {
+ public:
+  explicit NeighborTable(std::uint64_t max_age_frames = 5)
+      : max_age_frames_(max_age_frames) {}
+
+  /// Insert or refresh an entry; keeps the newest measurement.
+  void observe(NeighborEntry entry);
+
+  /// Drop entries older than max_age_frames relative to `current_frame`.
+  void age_out(std::uint64_t current_frame);
+
+  void erase(NodeId id) { entries_.erase(id); }
+  void clear() { entries_.clear(); }
+
+  [[nodiscard]] bool contains(NodeId id) const { return entries_.count(id) != 0; }
+  [[nodiscard]] std::optional<NeighborEntry> find(NodeId id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// All current entries (unordered).
+  [[nodiscard]] std::vector<NeighborEntry> entries() const;
+  /// Entries discovered in `frame` exactly (N_i^f).
+  [[nodiscard]] std::vector<NeighborEntry> entries_seen_in(std::uint64_t frame) const;
+
+ private:
+  std::uint64_t max_age_frames_;
+  std::unordered_map<NodeId, NeighborEntry> entries_;
+};
+
+}  // namespace mmv2v::net

@@ -1,0 +1,67 @@
+#include "phy/antenna.hpp"
+
+#include <stdexcept>
+
+namespace mmv2v::phy {
+
+namespace {
+/// Gaussian decay rate k such that the main lobe is
+/// g1 * exp(-k * gamma^2) = g1 * 10^(-(3/10)(gamma/(w/2))^2).
+double gaussian_rate(double width_rad) noexcept {
+  const double half = width_rad / 2.0;
+  return 0.3 * std::numbers::ln10 / (half * half);
+}
+}  // namespace
+
+BeamPattern::BeamPattern(double width_rad, double main_gain, double side_gain)
+    : width_(width_rad), g1_(main_gain), g2_(side_gain) {
+  if (width_rad <= 0.0 || width_rad > geom::kTwoPi) {
+    throw std::invalid_argument{"BeamPattern: width out of (0, 2*pi]"};
+  }
+  if (main_gain <= 0.0 || side_gain <= 0.0 || side_gain > main_gain) {
+    throw std::invalid_argument{"BeamPattern: need 0 < side <= main gain"};
+  }
+  theta1_ = (width_rad / 2.0) * std::sqrt(10.0 / 3.0 * std::log10(g1_ / g2_));
+}
+
+BeamPattern BeamPattern::make(double width_rad, double side_lobe_down_db) {
+  if (width_rad <= 0.0) throw std::invalid_argument{"BeamPattern: width must be > 0"};
+  if (side_lobe_down_db <= 0.0) {
+    throw std::invalid_argument{"BeamPattern: side lobe must be below main lobe"};
+  }
+  const double r = std::pow(10.0, -side_lobe_down_db / 10.0);  // g2 / g1
+  const double half = width_rad / 2.0;
+  const double theta1 = half * std::sqrt(10.0 / 3.0 * std::log10(1.0 / r));
+  const double k = gaussian_rate(width_rad);
+
+  // Energy conservation:
+  //   g1 * [ 2*I + (2*pi - 2*theta1) * r ] = 2*pi
+  // with I = integral_0^{theta1} exp(-k g^2) dg = sqrt(pi/(4k)) * erf(theta1*sqrt(k)).
+  const double main_integral =
+      std::sqrt(geom::kPi / k) * std::erf(theta1 * std::sqrt(k));  // = 2*I
+  const double theta1_clamped = std::min(theta1, geom::kPi);
+  const double side_integral = (geom::kTwoPi - 2.0 * theta1_clamped) * r;
+  const double g1 = geom::kTwoPi / (main_integral + side_integral);
+  return BeamPattern{width_rad, g1, g1 * r};
+}
+
+double BeamPattern::gain(double gamma_rad) const noexcept {
+  const double gamma = std::abs(gamma_rad);
+  if (gamma >= theta1_) return g2_;
+  const double half = width_ / 2.0;
+  const double x = gamma / half;
+  return g1_ * std::pow(10.0, -0.3 * x * x);
+}
+
+double BeamPattern::integrated_power(int samples) const noexcept {
+  // Midpoint rule over [-pi, pi].
+  const double dg = geom::kTwoPi / static_cast<double>(samples);
+  double acc = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double gamma = -geom::kPi + (static_cast<double>(i) + 0.5) * dg;
+    acc += gain(gamma) * dg;
+  }
+  return acc;
+}
+
+}  // namespace mmv2v::phy

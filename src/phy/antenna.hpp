@@ -1,0 +1,63 @@
+// Directional antenna pattern (paper Eq. 2, after Wildman et al. [12]):
+//
+//   g(gamma) = g1 * 10^(-(3/10) * (|gamma| / (w/2))^2)   for |gamma| < theta1
+//            = g2                                         otherwise
+//
+// with theta1 = (w/2) * sqrt((10/3) * log10(g1/g2)) — the offset where the
+// Gaussian main lobe decays to the side-lobe floor, making the pattern
+// continuous. The main-lobe peak g1 is chosen so that the total radiated
+// power over the circle is conserved:
+//
+//   integral_0^{2pi} g(gamma) dgamma = 2*pi
+//
+// which has the closed form used in make_pattern() via the error function.
+#pragma once
+
+#include <cmath>
+
+#include "geom/angles.hpp"
+
+namespace mmv2v::phy {
+
+/// A two-lobe Gaussian beam pattern for one 3 dB beam width.
+class BeamPattern {
+ public:
+  /// Construct with explicit main/side lobe linear gains.
+  BeamPattern(double width_rad, double main_gain, double side_gain);
+
+  /// Construct an energy-conserving pattern whose side lobe sits
+  /// `side_lobe_down_db` below the main-lobe peak (default 20 dB).
+  [[nodiscard]] static BeamPattern make(double width_rad, double side_lobe_down_db = 20.0);
+
+  /// Antenna power gain (linear) at angular offset gamma from boresight.
+  [[nodiscard]] double gain(double gamma_rad) const noexcept;
+
+  [[nodiscard]] double width() const noexcept { return width_; }
+  [[nodiscard]] double main_gain() const noexcept { return g1_; }
+  [[nodiscard]] double side_gain() const noexcept { return g2_; }
+  /// Main-lobe boundary theta1.
+  [[nodiscard]] double main_lobe_boundary() const noexcept { return theta1_; }
+
+  /// Numerically integrate the pattern over the circle (test/diagnostic aid;
+  /// should return ~2*pi for energy-conserving patterns).
+  [[nodiscard]] double integrated_power(int samples = 100000) const noexcept;
+
+ private:
+  double width_;
+  double g1_;
+  double g2_;
+  double theta1_;
+};
+
+/// A steered beam: a pattern pointing at an absolute compass bearing.
+struct Beam {
+  double center_bearing_rad = 0.0;
+  const BeamPattern* pattern = nullptr;
+
+  /// Gain toward an absolute compass bearing.
+  [[nodiscard]] double gain_toward(double bearing_rad) const noexcept {
+    return pattern->gain(geom::angular_distance(bearing_rad, center_bearing_rad));
+  }
+};
+
+}  // namespace mmv2v::phy

@@ -1,0 +1,40 @@
+#include "phy/channel.hpp"
+
+namespace mmv2v::phy {
+
+ChannelModel::ChannelModel(ChannelParams params)
+    : params_(params),
+      mcs_(params.noise_figure_db, params.bandwidth_hz),
+      noise_watts_(units::thermal_noise_watts(params.bandwidth_hz) *
+                   units::db_to_linear(params.noise_figure_db)) {}
+
+double ChannelModel::rx_power_watts(const Emitter& tx, const Receiver& rx,
+                                    const geom::LosEvaluator& los) const noexcept {
+  const double d = geom::distance(tx.position, rx.position);
+  if (d <= 0.0) return 0.0;  // co-located radios are not a physical link
+  const int blockers = los.blocker_count(tx.position, rx.position, tx.vehicle_id, rx.vehicle_id);
+  const double g_t = tx.beam.gain_toward(geom::bearing(tx.position, rx.position));
+  const double g_r = rx.beam.gain_toward(geom::bearing(rx.position, tx.position));
+  const double g_c = channel_gain(params_.pathloss, d, blockers);
+  return units::dbm_to_watts(tx.tx_power_dbm) * g_t * g_c * g_r;
+}
+
+double ChannelModel::snr_db(const Emitter& tx, const Receiver& rx,
+                            const geom::LosEvaluator& los) const noexcept {
+  const double p = rx_power_watts(tx, rx, los);
+  return units::linear_to_db(p / noise_watts_);
+}
+
+double ChannelModel::sinr_db(const Emitter& tx, const Receiver& rx,
+                             std::span<const Emitter> interferers,
+                             const geom::LosEvaluator& los) const noexcept {
+  const double signal = rx_power_watts(tx, rx, los);
+  double interference = 0.0;
+  for (const Emitter& k : interferers) {
+    if (k.vehicle_id == tx.vehicle_id || k.vehicle_id == rx.vehicle_id) continue;
+    interference += rx_power_watts(k, rx, los);
+  }
+  return units::linear_to_db(signal / (noise_watts_ + interference));
+}
+
+}  // namespace mmv2v::phy

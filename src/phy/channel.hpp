@@ -1,0 +1,73 @@
+// Link-budget and SINR computation (paper Eq. 3):
+//
+//   SINR_{i,j} = p_i g^t_i g^c_{i,j} g^r_j /
+//                ( N0 * B + sum_{k in interferers} p_k g^t_k g^c_{k,j} g^r_j )
+//
+// All terms are evaluated against a per-tick Snapshot of antenna positions
+// and vehicle-body blockers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "geom/los.hpp"
+#include "phy/antenna.hpp"
+#include "phy/mcs.hpp"
+#include "phy/pathloss.hpp"
+
+namespace mmv2v::phy {
+
+struct ChannelParams {
+  PathLossParams pathloss;
+  /// Uniform transmission power (paper Section II-A / IV-A: 28 dBm).
+  double tx_power_dbm = 28.0;
+  double bandwidth_hz = units::kChannelBandwidthHz;
+  double noise_figure_db = 10.0;
+};
+
+/// One radiating endpoint for a SINR evaluation.
+struct Emitter {
+  std::size_t vehicle_id = 0;
+  geom::Vec2 position;
+  Beam beam;
+  double tx_power_dbm = 28.0;
+};
+
+/// One receiving endpoint.
+struct Receiver {
+  std::size_t vehicle_id = 0;
+  geom::Vec2 position;
+  Beam beam;
+};
+
+class ChannelModel {
+ public:
+  explicit ChannelModel(ChannelParams params = {});
+
+  [[nodiscard]] const ChannelParams& params() const noexcept { return params_; }
+  [[nodiscard]] const McsTable& mcs() const noexcept { return mcs_; }
+  [[nodiscard]] double noise_watts() const noexcept { return noise_watts_; }
+
+  /// Received power [watts] at `rx` from `tx` given the blockage snapshot.
+  [[nodiscard]] double rx_power_watts(const Emitter& tx, const Receiver& rx,
+                                      const geom::LosEvaluator& los) const noexcept;
+
+  /// SNR in dB (no interference).
+  [[nodiscard]] double snr_db(const Emitter& tx, const Receiver& rx,
+                              const geom::LosEvaluator& los) const noexcept;
+
+  /// SINR in dB against a set of concurrent interfering emitters. The wanted
+  /// transmitter is skipped automatically if present in `interferers`.
+  [[nodiscard]] double sinr_db(const Emitter& tx, const Receiver& rx,
+                               std::span<const Emitter> interferers,
+                               const geom::LosEvaluator& los) const noexcept;
+
+ private:
+  ChannelParams params_;
+  McsTable mcs_;
+  double noise_watts_;
+};
+
+}  // namespace mmv2v::phy

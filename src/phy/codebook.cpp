@@ -1,0 +1,40 @@
+#include "phy/codebook.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mmv2v::phy {
+
+CodebookLevel::CodebookLevel(double width_rad, int beam_count, double side_lobe_down_db)
+    : pattern_(BeamPattern::make(width_rad, side_lobe_down_db)), beam_count_(beam_count) {
+  if (beam_count <= 0) throw std::invalid_argument{"CodebookLevel: beam_count must be > 0"};
+}
+
+double CodebookLevel::center_of(int index) const {
+  if (index < 0 || index >= beam_count_) throw std::out_of_range{"beam index"};
+  return (static_cast<double>(index) + 0.5) * geom::kTwoPi / static_cast<double>(beam_count_);
+}
+
+Beam CodebookLevel::beam(int index) const { return Beam{center_of(index), &pattern_}; }
+
+int CodebookLevel::best_index_toward(double bearing_rad) const noexcept {
+  const double step = geom::kTwoPi / static_cast<double>(beam_count_);
+  auto idx = static_cast<int>(std::floor(geom::wrap_two_pi(bearing_rad) / step));
+  if (idx >= beam_count_) idx = beam_count_ - 1;
+  return idx;
+}
+
+Beam CodebookLevel::best_beam_toward(double bearing_rad) const {
+  return beam(best_index_toward(bearing_rad));
+}
+
+Beam CodebookLevel::steered(double bearing_rad) const noexcept {
+  return Beam{geom::wrap_two_pi(bearing_rad), &pattern_};
+}
+
+std::size_t Codebook::add_level(CodebookLevel level) {
+  levels_.push_back(std::move(level));
+  return levels_.size() - 1;
+}
+
+}  // namespace mmv2v::phy

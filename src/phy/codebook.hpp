@@ -1,0 +1,57 @@
+// Multi-level beam codebook (paper Section II-A: "a phased antenna array
+// which can beam the signal with a desired beam width and in a desired
+// direction according to multi-level codebooks").
+//
+// A level is a set of equally spaced beams of one width covering the full
+// circle. mmV2V uses three levels by default:
+//   * a wide Tx sweep level   (alpha = 30 deg)
+//   * a wide Rx sense level   (beta  = 12 deg)
+//   * a narrow refinement level (theta_min = 3 deg)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "phy/antenna.hpp"
+
+namespace mmv2v::phy {
+
+class CodebookLevel {
+ public:
+  /// `beam_count` beams of `width_rad` each, centers at
+  /// (k + 0.5) * 2*pi / beam_count clockwise from north (aligned with the
+  /// SND sector grid when beam_count == sector count).
+  CodebookLevel(double width_rad, int beam_count, double side_lobe_down_db = 20.0);
+
+  [[nodiscard]] int beam_count() const noexcept { return beam_count_; }
+  [[nodiscard]] const BeamPattern& pattern() const noexcept { return pattern_; }
+  [[nodiscard]] double center_of(int index) const;
+  [[nodiscard]] Beam beam(int index) const;
+  /// Beam whose center is nearest to a compass bearing.
+  [[nodiscard]] int best_index_toward(double bearing_rad) const noexcept;
+  [[nodiscard]] Beam best_beam_toward(double bearing_rad) const;
+  /// A beam of this level steered at an arbitrary bearing (phased arrays can
+  /// interpolate between codebook entries; used by beam refinement).
+  [[nodiscard]] Beam steered(double bearing_rad) const noexcept;
+
+ private:
+  BeamPattern pattern_;
+  int beam_count_;
+};
+
+class Codebook {
+ public:
+  Codebook() = default;
+
+  /// Returns the index of the added level.
+  std::size_t add_level(CodebookLevel level);
+
+  [[nodiscard]] std::size_t level_count() const noexcept { return levels_.size(); }
+  [[nodiscard]] const CodebookLevel& level(std::size_t i) const { return levels_.at(i); }
+
+ private:
+  std::vector<CodebookLevel> levels_;
+};
+
+}  // namespace mmv2v::phy

@@ -1,0 +1,55 @@
+#include "phy/mcs.hpp"
+
+#include <stdexcept>
+
+namespace mmv2v::phy {
+
+McsTable::McsTable(double noise_figure_db, double bandwidth_hz)
+    : noise_figure_db_(noise_figure_db),
+      noise_floor_dbm_(units::thermal_noise_dbm(bandwidth_hz)) {
+  for (std::size_t i = 0; i < kMcsTable.size(); ++i) {
+    required_snr_db_[i] = kMcsTable[i].sensitivity_dbm - noise_floor_dbm_ - noise_figure_db_;
+  }
+}
+
+double McsTable::required_snr_db(int mcs) const {
+  if (mcs < 0 || static_cast<std::size_t>(mcs) >= kMcsTable.size()) {
+    throw std::out_of_range{"MCS index"};
+  }
+  return required_snr_db_[static_cast<std::size_t>(mcs)];
+}
+
+std::optional<int> McsTable::select(double sinr_db) const noexcept {
+  // Sensitivity is not monotone in the index (e.g. MCS5 vs MCS6), so scan for
+  // the highest-rate decodable entry rather than the highest index.
+  std::optional<int> best;
+  double best_rate = -1.0;
+  for (std::size_t i = 0; i < kMcsTable.size(); ++i) {
+    if (sinr_db >= required_snr_db_[i] && kMcsTable[i].rate_bps > best_rate) {
+      best_rate = kMcsTable[i].rate_bps;
+      best = kMcsTable[i].index;
+    }
+  }
+  return best;
+}
+
+double McsTable::data_rate_bps(double sinr_db) const noexcept {
+  double best_rate = 0.0;
+  for (std::size_t i = 1; i < kMcsTable.size(); ++i) {
+    if (sinr_db >= required_snr_db_[i]) best_rate = std::max(best_rate, kMcsTable[i].rate_bps);
+  }
+  return best_rate;
+}
+
+bool McsTable::control_decodable(double sinr_db) const noexcept {
+  return sinr_db >= required_snr_db_[0];
+}
+
+double McsTable::rate_of(int mcs) const {
+  if (mcs < 0 || static_cast<std::size_t>(mcs) >= kMcsTable.size()) {
+    throw std::out_of_range{"MCS index"};
+  }
+  return kMcsTable[static_cast<std::size_t>(mcs)].rate_bps;
+}
+
+}  // namespace mmv2v::phy

@@ -1,0 +1,89 @@
+// IEEE 802.11ad Modulation and Coding Schemes (paper Section IV-A): MCS0 is
+// the control PHY (used for SSW and negotiation frames), MCS1-12 are the
+// single-carrier data rates up to 4.62 Gb/s.
+//
+// Required SNR per MCS is derived from the standard's receiver sensitivity
+// table: sensitivity = noise_floor(B) + NF + SNR_req, with the thermal noise
+// floor over the 2.16 GHz channel (~-80.6 dBm) and a configurable receiver
+// noise figure (default 10 dB, the value the standard assumes).
+//
+// The paper also references the EVM requirement EVM = SINR^(-1/2)
+// (Mahmoud & Arslan); evm_from_sinr() exposes that conversion.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/units.hpp"
+
+namespace mmv2v::phy {
+
+struct McsEntry {
+  int index = 0;
+  /// PHY data rate [bit/s].
+  double rate_bps = 0.0;
+  /// Receiver sensitivity from IEEE 802.11ad Table 21-3 [dBm].
+  double sensitivity_dbm = 0.0;
+  std::string_view modulation;
+};
+
+/// The 13 single-carrier entries (MCS0 = control PHY).
+inline constexpr std::array<McsEntry, 13> kMcsTable{{
+    {0, 27.5e6, -78.0, "DBPSK (control)"},
+    {1, 385.0e6, -68.0, "pi/2-BPSK 1/2 x2"},
+    {2, 770.0e6, -66.0, "pi/2-BPSK 1/2"},
+    {3, 962.5e6, -65.0, "pi/2-BPSK 5/8"},
+    {4, 1155.0e6, -64.0, "pi/2-BPSK 3/4"},
+    {5, 1251.25e6, -62.0, "pi/2-BPSK 13/16"},
+    {6, 1540.0e6, -63.0, "pi/2-QPSK 1/2"},
+    {7, 1925.0e6, -62.0, "pi/2-QPSK 5/8"},
+    {8, 2310.0e6, -61.0, "pi/2-QPSK 3/4"},
+    {9, 2502.5e6, -59.0, "pi/2-QPSK 13/16"},
+    {10, 3080.0e6, -55.0, "pi/2-16QAM 1/2"},
+    {11, 3850.0e6, -54.0, "pi/2-16QAM 5/8"},
+    {12, 4620.0e6, -53.0, "pi/2-16QAM 3/4"},
+}};
+
+class McsTable {
+ public:
+  explicit McsTable(double noise_figure_db = 10.0,
+                    double bandwidth_hz = units::kChannelBandwidthHz);
+
+  /// Required SNR [dB] for an MCS index.
+  [[nodiscard]] double required_snr_db(int mcs) const;
+
+  /// Highest-rate MCS decodable at the given SINR, or nullopt if even the
+  /// control PHY (MCS0) fails.
+  [[nodiscard]] std::optional<int> select(double sinr_db) const noexcept;
+
+  /// Data rate of the best decodable data MCS (MCS1-12) at the given SINR;
+  /// 0 if no data MCS is decodable.
+  [[nodiscard]] double data_rate_bps(double sinr_db) const noexcept;
+
+  /// True if the control PHY (MCS0: SSW, negotiation frames) decodes.
+  [[nodiscard]] bool control_decodable(double sinr_db) const noexcept;
+
+  [[nodiscard]] double rate_of(int mcs) const;
+  [[nodiscard]] static constexpr double max_rate_bps() noexcept {
+    return kMcsTable.back().rate_bps;
+  }
+
+  [[nodiscard]] double noise_figure_db() const noexcept { return noise_figure_db_; }
+  [[nodiscard]] double noise_floor_dbm() const noexcept { return noise_floor_dbm_; }
+
+ private:
+  double noise_figure_db_;
+  double noise_floor_dbm_;
+  std::array<double, kMcsTable.size()> required_snr_db_{};
+};
+
+/// Error Vector Magnitude from SINR (linear): EVM = SINR^(-1/2)
+/// (paper Section IV-A, citing Mahmoud & Arslan).
+[[nodiscard]] inline double evm_from_sinr(double sinr_linear) noexcept {
+  return 1.0 / std::sqrt(sinr_linear);
+}
+
+}  // namespace mmv2v::phy

@@ -1,0 +1,46 @@
+// Long-distance 60 GHz inter-vehicle path-loss model (paper Eq. 1, after
+// Yamamoto et al., "Path-Loss Prediction Models for Intervehicle
+// Communication at 60 GHz"):
+//
+//   PL(d) [dB] = a * 10 * log10(d) + O + 15 * d / 1000
+//
+// where `a` is the path-loss exponent, `O` aggregates the intercept and a
+// per-blocker penalty (the paper defines O as "a constant determined by the
+// number of blockers"), and the last term is atmospheric (oxygen)
+// attenuation at 60 GHz, 15 dB/km.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+
+namespace mmv2v::phy {
+
+struct PathLossParams {
+  /// Path-loss exponent (Yamamoto et al. LOS fit).
+  double exponent = 2.66;
+  /// Intercept at d = 1 m [dB] (~free-space at 60 GHz).
+  double intercept_db = 68.0;
+  /// Extra attenuation per blocking vehicle on the direct path [dB].
+  double per_blocker_db = 10.0;
+  /// Atmospheric attenuation [dB/km].
+  double atmospheric_db_per_km = 15.0;
+};
+
+/// Path loss in dB for distance `d_m` with `blockers` vehicles on the path.
+[[nodiscard]] inline double path_loss_db(const PathLossParams& p, double d_m,
+                                         int blockers = 0) noexcept {
+  const double d = std::max(d_m, 1.0);  // model valid beyond ~1 m
+  return p.exponent * 10.0 * std::log10(d) + p.intercept_db +
+         p.per_blocker_db * static_cast<double>(blockers) +
+         p.atmospheric_db_per_km * d / 1000.0;
+}
+
+/// Linear channel power gain g^c = 10^(-PL/10) (paper Eq. 3 numerator term).
+[[nodiscard]] inline double channel_gain(const PathLossParams& p, double d_m,
+                                         int blockers = 0) noexcept {
+  return units::db_to_linear(-path_loss_db(p, d_m, blockers));
+}
+
+}  // namespace mmv2v::phy

@@ -1,0 +1,226 @@
+#include "protocols/ad/ieee80211ad.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "geom/angles.hpp"
+#include "phy/pathloss.hpp"
+
+namespace mmv2v::protocols {
+
+Ieee80211adProtocol::Ieee80211adProtocol(AdParams params)
+    : params_(params),
+      rng_(params.seed),
+      beacon_pattern_(phy::BeamPattern::make(geom::deg_to_rad(params.beacon_beam_deg),
+                                             params.side_lobe_down_db)),
+      omni_pattern_(geom::kTwoPi, 1.0, 1.0),
+      grid_(params.sectors) {
+  params_.refinement.sectors = params_.sectors;
+  refinement_ = std::make_unique<BeamRefinement>(params_.refinement);
+}
+
+void Ieee80211adProtocol::ensure_initialized(const core::World& world) {
+  if (pcp_tenure_.size() == world.size()) return;
+  pcp_tenure_.assign(world.size(), 0);
+  member_of_.assign(world.size(), kNone);
+}
+
+void Ieee80211adProtocol::run_bti(const core::World& world,
+                                  std::vector<std::vector<net::NodeId>>& joinable) {
+  const std::size_t n = world.size();
+  const phy::ChannelModel& channel = world.channel();
+  const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+
+  for (int t = 0; t < grid_.count(); ++t) {
+    const double sweep_center = grid_.center(t);
+    for (net::NodeId j = 0; j < n; ++j) {
+      if (pcp_tenure_[j] > 0) continue;  // PCPs transmit, they don't scan
+      double total_w = 0.0;
+      double best_w = 0.0;
+      net::NodeId best = kNone;
+      for (const core::PairGeom& p : world.nearby(j)) {
+        if (pcp_tenure_[p.other] <= 0) continue;
+        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+        const double g_t =
+            beacon_pattern_.gain(geom::angular_distance(back_bearing, sweep_center));
+        const double g_c = core::pair_channel_gain(channel.params(), p);
+        const double w = p_w * g_t * g_c;  // quasi-omni rx gain = 1
+        total_w += w;
+        if (w > best_w) {
+          best_w = w;
+          best = p.other;
+        }
+      }
+      if (best == kNone) continue;
+      const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
+      if (!channel.mcs().control_decodable(sinr_db)) continue;
+      if (std::find(joinable[j].begin(), joinable[j].end(), best) == joinable[j].end()) {
+        joinable[j].push_back(best);
+      }
+    }
+  }
+}
+
+void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
+  const core::World& world = ctx.world;
+  const std::size_t n = world.size();
+  ensure_initialized(world);
+
+  // 1. Tenure bookkeeping: expired PCPs disband and release their members.
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (pcp_tenure_[v] > 0 && --pcp_tenure_[v] == 0) {
+      for (net::NodeId m = 0; m < n; ++m) {
+        if (member_of_[m] == v) member_of_[m] = kNone;
+      }
+    }
+  }
+
+  // 2. Election: free vehicles (no PBSS, no role) may become PCP.
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (pcp_tenure_[v] == 0 && member_of_[v] == kNone &&
+        rng_.bernoulli(params_.pcp_probability)) {
+      pcp_tenure_[v] = params_.pcp_tenure_frames;
+    }
+  }
+
+  // 3. BTI: who can hear whom.
+  std::vector<std::vector<net::NodeId>> joinable(n);
+  run_bti(world, joinable);
+
+  // 4. Membership maintenance: drop members whose PCP disbanded, whose
+  // beacon no longer decodes, or who have nothing left to exchange inside
+  // their PBSS (they disassociate to find fresh partners).
+  for (net::NodeId v = 0; v < n; ++v) {
+    const net::NodeId pcp = member_of_[v];
+    if (pcp == kNone) continue;
+    const bool pcp_alive = pcp_tenure_[pcp] > 0;
+    const bool beacon_ok =
+        std::find(joinable[v].begin(), joinable[v].end(), pcp) != joinable[v].end();
+    bool work_left = !ctx.ledger.pair_complete(v, pcp);
+    for (net::NodeId m = 0; m < n && !work_left; ++m) {
+      if (m != v && member_of_[m] == pcp && !ctx.ledger.pair_complete(v, m)) {
+        work_left = true;
+      }
+    }
+    if (!pcp_alive || !beacon_ok || !work_left) member_of_[v] = kNone;
+  }
+
+  // 5. A-BFT: unassociated vehicles pick a random decodable PBSS and a
+  // random contention slot; same (PBSS, slot) pairs collide and retry next
+  // beacon interval.
+  struct Attempt {
+    net::NodeId vehicle;
+    net::NodeId pcp;
+    int slot;
+  };
+  std::vector<Attempt> attempts;
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (pcp_tenure_[v] > 0 || member_of_[v] != kNone || joinable[v].empty()) continue;
+    const net::NodeId pcp = joinable[v][rng_.uniform_int(joinable[v].size())];
+    const int slot = static_cast<int>(
+        rng_.uniform_int(static_cast<std::uint64_t>(params_.abft_slots)));
+    attempts.push_back(Attempt{v, pcp, slot});
+  }
+  for (const Attempt& a : attempts) {
+    bool collided = false;
+    for (const Attempt& b : attempts) {
+      if (&a != &b && a.pcp == b.pcp && a.slot == b.slot) {
+        collided = true;
+        break;
+      }
+    }
+    if (collided) {
+      ++abft_collisions_;
+    } else {
+      member_of_[a.vehicle] = a.pcp;
+    }
+  }
+
+  // 6. Materialize the PBSS lists.
+  pbss_members_.clear();
+  associated_count_ = 0;
+  for (net::NodeId v = 0; v < n; ++v) {
+    if (pcp_tenure_[v] <= 0) continue;
+    std::vector<net::NodeId> group{v};
+    for (net::NodeId m = 0; m < n; ++m) {
+      if (member_of_[m] == v) {
+        group.push_back(m);
+        ++associated_count_;
+      }
+    }
+    pbss_members_.push_back(std::move(group));
+  }
+}
+
+void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
+  const core::World& world = ctx.world;
+  const sim::TimingConfig& timing = world.config().timing;
+  const double dti_end_s = timing.frame_s;
+  const double sls_s = refinement_->beams_per_side() * 2.0 *
+                           (timing.ssw_frame_s + timing.beam_switch_s) +
+                       2.0 * (timing.control_preamble_s + timing.sifs_s);
+
+  udt_.clear();
+  for (const std::vector<net::NodeId>& group : pbss_members_) {
+    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+    for (std::size_t x = 0; x < group.size(); ++x) {
+      for (std::size_t y = x + 1; y < group.size(); ++y) {
+        if (!ctx.ledger.pair_complete(group[x], group[y])) {
+          pairs.emplace_back(group[x], group[y]);
+        }
+      }
+    }
+    if (pairs.empty()) continue;
+
+    // Fisher-Yates shuffle, then cap: statistical round-robin across frames.
+    for (std::size_t k = pairs.size(); k > 1; --k) {
+      std::swap(pairs[k - 1], pairs[rng_.uniform_int(k)]);
+    }
+    if (static_cast<int>(pairs.size()) > params_.max_sps) {
+      pairs.resize(static_cast<std::size_t>(params_.max_sps));
+    }
+
+    const double sp_len = (dti_end_s - dti_start_s_) / static_cast<double>(pairs.size());
+    for (std::size_t k = 0; k < pairs.size(); ++k) {
+      const auto [a, b] = pairs[k];
+      const double sp_start = dti_start_s_ + static_cast<double>(k) * sp_len;
+      const double data_start = sp_start + sls_s;
+      const double sp_end = sp_start + sp_len;
+      if (data_start >= sp_end) continue;  // SP too short: all SLS, no data
+
+      // In-SP SLS: both ends end up with refined narrow beams (the refine
+      // helper models the cross search on the current snapshot).
+      const core::PairGeom* ab = world.pair(a, b);
+      if (ab == nullptr) continue;
+      const int sector_a = grid_.sector_of(ab->bearing_rad);
+      const int sector_b = grid_.sector_of(geom::wrap_two_pi(ab->bearing_rad + geom::kPi));
+      const BeamRefinement::Result beams =
+          refinement_->refine(world, a, sector_a, b, sector_b, beacon_pattern_);
+
+      const bool a_first = world.mac(a) > world.mac(b);
+      const net::NodeId first = a_first ? a : b;
+      const net::NodeId second = a_first ? b : a;
+      const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
+      const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
+      udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
+                        second_bearing, &refinement_->narrow_pattern(), data_start, sp_end);
+    }
+  }
+}
+
+void Ieee80211adProtocol::begin_frame(core::FrameContext& ctx) {
+  const sim::TimingConfig& timing = ctx.world.config().timing;
+  const double bti_s = static_cast<double>(grid_.count()) *
+                       (timing.ssw_frame_s + timing.beam_switch_s);
+  dti_start_s_ = bti_s + params_.abft_s;
+
+  elect_and_associate(ctx);
+  schedule_dti(ctx);
+}
+
+void Ieee80211adProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
+  udt_.step(ctx, t0, t1);
+}
+
+}  // namespace mmv2v::protocols

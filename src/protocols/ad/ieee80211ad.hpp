@@ -1,0 +1,103 @@
+// IEEE 802.11ad baseline (paper Section IV-A). Per 20 ms beacon interval:
+//
+//   * PCP election — a free vehicle elects itself PCP with probability 0.3
+//     and keeps the role for `pcp_tenure_frames` beacon intervals, then
+//     disbands (members are released).
+//   * BTI — PCPs transmit DMG beacons over a sector sweep; non-members
+//     listen quasi-omni and record decodable PCPs (co-channel PCPs beaming
+//     the same sector index interfere).
+//   * Association is persistent: a member stays in its PBSS while the PCP
+//     holds its role and its beacon still decodes. Unassociated vehicles
+//     pick a random decodable PBSS and contend in the A-BFT: each chooses
+//     one of `abft_slots` SSW slots; two contenders in the same slot of the
+//     same PBSS collide and retry next interval.
+//   * DTI — the PCP serializes data exchange among PBSS members in
+//     round-robin service periods; each SP pays an in-SP SLS cost before
+//     half-duplex TDD transfer with refined beams. Co-channel PBSSs
+//     interfere freely (no inter-PBSS coordination — the structural handicap
+//     the paper's Fig. 9 exposes at high density).
+//
+// Simplifications vs the full standard (documented in DESIGN.md): ATI is
+// omitted and association signalling is folded into the A-BFT charge.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protocol.hpp"
+#include "protocols/mmv2v/refinement.hpp"
+#include "protocols/udt_engine.hpp"
+
+namespace mmv2v::protocols {
+
+struct AdParams {
+  /// Probability a free vehicle elects itself PCP each beacon interval.
+  double pcp_probability = 0.3;
+  /// Beacon intervals a PCP keeps its role before disbanding.
+  int pcp_tenure_frames = 15;
+  /// Beacon sweep sectors and beam width (matches mmV2V's wide Tx level).
+  int sectors = 24;
+  double beacon_beam_deg = 30.0;
+  double side_lobe_down_db = 20.0;
+  /// A-BFT duration [s] and number of contention slots.
+  double abft_s = 0.5e-3;
+  int abft_slots = 8;
+  /// Cap on service periods a PCP schedules per DTI.
+  int max_sps = 32;
+  RefinementParams refinement;
+  std::uint64_t seed = 0x5eed;
+};
+
+class Ieee80211adProtocol final : public core::OhmProtocol {
+ public:
+  explicit Ieee80211adProtocol(AdParams params);
+
+  [[nodiscard]] std::string_view name() const override { return "802.11ad"; }
+  void begin_frame(core::FrameContext& ctx) override;
+  [[nodiscard]] double udt_start_offset_s() const override { return dti_start_s_; }
+  void udt_step(core::FrameContext& ctx, double t0, double t1) override;
+  /// Scheduled service periods this beacon interval (two transfers per SP).
+  [[nodiscard]] std::size_t active_link_count() const override {
+    return udt_.transfers().size() / 2;
+  }
+
+  // --- diagnostics for tests/benches --------------------------------------
+  [[nodiscard]] std::size_t pbss_count() const noexcept { return pbss_members_.size(); }
+  [[nodiscard]] const std::vector<std::vector<net::NodeId>>& pbss_members() const noexcept {
+    return pbss_members_;
+  }
+  /// Association failures due to A-BFT slot collisions since construction.
+  [[nodiscard]] std::size_t abft_collisions() const noexcept { return abft_collisions_; }
+  /// Members associated at the last frame.
+  [[nodiscard]] std::size_t associated_count() const noexcept { return associated_count_; }
+
+ private:
+  static constexpr net::NodeId kNone = static_cast<net::NodeId>(-1);
+
+  void ensure_initialized(const core::World& world);
+  /// Beacon decode set for vehicle j given the current PCPs.
+  void run_bti(const core::World& world, std::vector<std::vector<net::NodeId>>& joinable);
+  void elect_and_associate(core::FrameContext& ctx);
+  void schedule_dti(core::FrameContext& ctx);
+
+  AdParams params_;
+  Xoshiro256pp rng_;
+  phy::BeamPattern beacon_pattern_;
+  phy::BeamPattern omni_pattern_;
+  geom::SectorGrid grid_;
+  std::unique_ptr<BeamRefinement> refinement_;
+
+  /// Remaining PCP tenure per vehicle (0 = not a PCP).
+  std::vector<int> pcp_tenure_;
+  /// PBSS each vehicle is associated with (kNone = unassociated).
+  std::vector<net::NodeId> member_of_;
+  /// Members per PBSS for the current frame; element 0 is the PCP.
+  std::vector<std::vector<net::NodeId>> pbss_members_;
+  UdtEngine udt_;
+  double dti_start_s_ = 0.0;
+  std::size_t abft_collisions_ = 0;
+  std::size_t associated_count_ = 0;
+};
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,11 @@
+#include "protocols/mmv2v/cns.hpp"
+
+#include <stdexcept>
+
+namespace mmv2v::protocols {
+
+ConsensualSchedule::ConsensualSchedule(int modulus_c) : c_(modulus_c) {
+  if (modulus_c <= 0) throw std::invalid_argument{"CNS: C must be >= 1"};
+}
+
+}  // namespace mmv2v::protocols

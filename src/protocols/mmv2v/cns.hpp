@@ -1,0 +1,38 @@
+// Consensual Neighbor Schedule (paper Section III-C1): both ends of a
+// neighbor pair independently map the pair to the same negotiation slot
+//
+//   slot(v_i, v_j) = (H(MAC_i) + H(MAC_j)) mod C
+//
+// and, with M > C slots in a frame, the pair recurs in every slot m with
+// m mod C == slot(v_i, v_j), giving vehicles repeated chances to update
+// their decisions.
+#pragma once
+
+#include "net/mac_address.hpp"
+
+#include "common/hash.hpp"
+
+namespace mmv2v::protocols {
+
+class ConsensualSchedule {
+ public:
+  explicit ConsensualSchedule(int modulus_c);
+
+  [[nodiscard]] int modulus() const noexcept { return c_; }
+
+  /// The canonical slot (in [0, C)) of a pair; symmetric in its arguments.
+  [[nodiscard]] int pair_slot(net::MacAddress a, net::MacAddress b) const noexcept {
+    return static_cast<int>(cns_pair_hash(a.value(), b.value()) %
+                            static_cast<std::uint64_t>(c_));
+  }
+
+  /// True if the pair negotiates in absolute slot m (m in [0, M)).
+  [[nodiscard]] bool scheduled_in(net::MacAddress a, net::MacAddress b, int m) const noexcept {
+    return pair_slot(a, b) == m % c_;
+  }
+
+ private:
+  int c_;
+};
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,114 @@
+#include "protocols/mmv2v/dcm.hpp"
+
+#include <stdexcept>
+
+namespace mmv2v::protocols {
+
+ConsensualMatching::ConsensualMatching(DcmParams params)
+    : params_(params), cns_(params.modulus_c) {
+  if (params.slots <= 0) throw std::invalid_argument{"DCM: M must be >= 1"};
+}
+
+void ConsensualMatching::reset(std::size_t n) { state_.assign(n, CandidateState{}); }
+
+namespace {
+struct SlotChoice {
+  bool active = false;
+  net::NodeId partner = 0;
+  /// Own measurement of the link quality to the partner [dB].
+  double link_db = 0.0;
+};
+}  // namespace
+
+int ConsensualMatching::run_slot(int m,
+                                 const std::vector<std::vector<net::NeighborEntry>>& neighbors,
+                                 const std::vector<net::MacAddress>& macs,
+                                 const core::TransferLedger* ledger, Xoshiro256pp& rng,
+                                 const NegotiationChannel* channel) {
+  const std::size_t n = state_.size();
+  if (neighbors.size() != n || macs.size() != n) {
+    throw std::invalid_argument{"DCM: neighbors/macs must match reset() size"};
+  }
+
+  // Step 1: every vehicle independently picks the neighbor the CNS assigns
+  // to this slot; a hash collision or small C can assign several, in which
+  // case it picks one at random (paper Section III-C1).
+  std::vector<SlotChoice> choice(n);
+  for (net::NodeId i = 0; i < n; ++i) {
+    const net::NeighborEntry* picked = nullptr;
+    int eligible = 0;
+    for (const net::NeighborEntry& e : neighbors[i]) {
+      if (!cns_.scheduled_in(macs[i], macs[e.id], m)) continue;
+      if (ledger != nullptr && ledger->pair_complete(i, e.id)) continue;
+      ++eligible;
+      // Reservoir-sample one uniformly among eligible entries.
+      if (rng.uniform_int(static_cast<std::uint64_t>(eligible)) == 0) picked = &e;
+    }
+    if (picked != nullptr) {
+      choice[i] = SlotChoice{true, picked->id, picked->snr_db};
+    }
+  }
+
+  // Step 2: collect the mutual picks, then let the link layer decide which
+  // of the concurrent exchanges actually decode.
+  std::vector<std::pair<net::NodeId, net::NodeId>> negotiating;
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (!choice[i].active) continue;
+    const net::NodeId j = choice[i].partner;
+    if (j <= i) continue;  // handle each pair once, from the smaller id
+    if (!choice[j].active || choice[j].partner != i) continue;
+    negotiating.emplace_back(i, j);
+  }
+  std::vector<bool> ok(negotiating.size(), true);
+  if (channel != nullptr) ok = channel->exchange_succeeds(negotiating);
+
+  // Step 3: successful exchanges update candidates; both adopt the link iff
+  // it improves (or establishes) each side's candidate. Previous candidates
+  // are informed and cleared (paper Fig. 4 "link update").
+  int updates = 0;
+  for (std::size_t p = 0; p < negotiating.size(); ++p) {
+    if (!ok[p]) continue;
+    const auto [i, j] = negotiating[p];
+
+    const bool improve_i =
+        !state_[i].candidate.has_value() || choice[i].link_db > state_[i].quality_db;
+    const bool improve_j =
+        !state_[j].candidate.has_value() || choice[j].link_db > state_[j].quality_db;
+    if (!improve_i || !improve_j) continue;
+    if (state_[i].candidate == j) continue;  // already linked
+
+    for (const net::NodeId v : {i, j}) {
+      if (state_[v].candidate.has_value()) {
+        CandidateState& prev = state_[*state_[v].candidate];
+        // The dropped partner had `v` as its candidate (mutuality invariant).
+        prev.candidate.reset();
+        prev.quality_db = 0.0;
+      }
+    }
+    state_[i] = CandidateState{j, choice[i].link_db};
+    state_[j] = CandidateState{i, choice[j].link_db};
+    ++updates;
+  }
+  return updates;
+}
+
+void ConsensualMatching::run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
+                                 const std::vector<net::MacAddress>& macs,
+                                 const core::TransferLedger* ledger, Xoshiro256pp& rng,
+                                 const NegotiationChannel* channel) {
+  for (int m = 0; m < params_.slots; ++m) {
+    run_slot(m, neighbors, macs, ledger, rng, channel);
+  }
+}
+
+std::vector<std::pair<net::NodeId, net::NodeId>> ConsensualMatching::matched_pairs() const {
+  std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+  for (net::NodeId i = 0; i < state_.size(); ++i) {
+    if (!state_[i].candidate.has_value()) continue;
+    const net::NodeId j = *state_[i].candidate;
+    if (j > i && state_[j].candidate == i) pairs.emplace_back(i, j);
+  }
+  return pairs;
+}
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,87 @@
+// Distributed Consensual Matching (paper Section III-C2): a distributed
+// greedy weighted matching. Each vehicle holds at most one tentative
+// communication candidate; in each negotiation slot the CNS-designated pair
+// exchanges its current candidates' link quality and both adopt each other
+// iff the new link improves on each side's current candidate (a vehicle
+// with no candidate always improves). A replaced candidate is informed in
+// the second half of the slot and becomes candidate-less.
+//
+// The candidate relation is therefore mutual at all times — an invariant the
+// test suite checks — and the set of mutual candidates after M slots is the
+// frame's matching.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ledger.hpp"
+#include "net/neighbor_table.hpp"
+#include "protocols/mmv2v/cns.hpp"
+
+namespace mmv2v::protocols {
+
+struct DcmParams {
+  /// Number of negotiation slots M per frame.
+  int slots = 40;
+  /// CNS modulus C.
+  int modulus_c = 7;
+};
+
+/// Link-layer hook deciding whether a negotiation exchange succeeds.
+/// `pairs` are ALL pairs negotiating concurrently in this slot (both ends
+/// beam at each other with their discovery beams); an implementation can
+/// model mutual interference between them. Return the indices of `pairs`
+/// whose exchange decodes on both ends. Null channel = ideal (all succeed),
+/// which matches the paper's assumption that the CNS avoids collisions.
+class NegotiationChannel {
+ public:
+  virtual ~NegotiationChannel() = default;
+  [[nodiscard]] virtual std::vector<bool> exchange_succeeds(
+      const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const = 0;
+};
+
+struct CandidateState {
+  std::optional<net::NodeId> candidate;
+  /// Quality (SNR dB) of the link to the candidate, as locally measured.
+  double quality_db = 0.0;
+};
+
+class ConsensualMatching {
+ public:
+  explicit ConsensualMatching(DcmParams params);
+
+  [[nodiscard]] const DcmParams& params() const noexcept { return params_; }
+  [[nodiscard]] const ConsensualSchedule& schedule() const noexcept { return cns_; }
+
+  /// Reset candidate state for an n-vehicle network (call at frame start).
+  void reset(std::size_t n);
+
+  /// Run negotiation slot m. `neighbors[i]` is vehicle i's discovered
+  /// neighbor list for this frame; pairs whose task is already complete in
+  /// `ledger` (nullptr = no filtering) are skipped. `macs[i]` is vehicle i's
+  /// address for the CNS hash. An optional NegotiationChannel models the
+  /// over-the-air exchange. Returns the number of links (re)established.
+  int run_slot(int m, const std::vector<std::vector<net::NeighborEntry>>& neighbors,
+               const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
+               Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr);
+
+  /// Run all M slots.
+  void run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
+               const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
+               Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr);
+
+  [[nodiscard]] const std::vector<CandidateState>& candidates() const noexcept {
+    return state_;
+  }
+
+  /// The current matching: mutual candidate pairs (a < b).
+  [[nodiscard]] std::vector<std::pair<net::NodeId, net::NodeId>> matched_pairs() const;
+
+ private:
+  DcmParams params_;
+  ConsensualSchedule cns_;
+  std::vector<CandidateState> state_;
+};
+
+}  // namespace mmv2v::protocols

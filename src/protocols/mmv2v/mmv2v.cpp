@@ -1,0 +1,119 @@
+#include "protocols/mmv2v/mmv2v.hpp"
+
+#include "protocols/mmv2v/negotiation.hpp"
+
+#include <stdexcept>
+
+namespace mmv2v::protocols {
+
+MmV2VProtocol::MmV2VProtocol(MmV2VParams params)
+    : params_(params), rng_(params.seed) {
+  params_.refinement.sectors = params_.snd.sectors;  // theta is shared
+  snd_ = std::make_unique<SyncNeighborDiscovery>(params_.snd);
+  dcm_ = std::make_unique<ConsensualMatching>(params_.dcm);
+  refinement_ = std::make_unique<BeamRefinement>(params_.refinement);
+}
+
+void MmV2VProtocol::ensure_initialized(core::FrameContext& ctx) {
+  if (initialized_) return;
+  const core::World& world = ctx.world;
+  const std::size_t n = world.size();
+
+  if (params_.auto_admission) {
+    SndParams snd_params = params_.snd;
+    snd_params.max_neighbor_range_m = world.config().comm_range_m;
+    params_.snd = snd_params;
+    snd_ = std::make_unique<SyncNeighborDiscovery>(snd_params);
+  }
+
+  schedule_ = std::make_unique<sim::FrameSchedule>(
+      world.config().timing, params_.snd.sectors, params_.snd.rounds, params_.dcm.slots,
+      refinement_->beams_per_side());
+
+  tables_.assign(n, net::NeighborTable{params_.neighbor_max_age_frames});
+  macs_.resize(n);
+  for (net::NodeId i = 0; i < n; ++i) macs_[i] = world.mac(i);
+  initialized_ = true;
+}
+
+double MmV2VProtocol::udt_start_offset_s() const {
+  if (schedule_ == nullptr) throw std::logic_error{"mmV2V: begin_frame has not run yet"};
+  return schedule_->udt_start_s();
+}
+
+double MmV2VProtocol::control_overhead_s() const {
+  if (schedule_ == nullptr) throw std::logic_error{"mmV2V: begin_frame has not run yet"};
+  return schedule_->udt_start_s();
+}
+
+void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
+  ensure_initialized(ctx);
+  const core::World& world = ctx.world;
+  const std::size_t n = world.size();
+
+  // 1. Synchronized neighbor discovery; stale entries age out first.
+  for (auto& table : tables_) table.age_out(ctx.frame);
+  snd_->run(world, ctx.frame, tables_, rng_);
+
+  // Persistent-matching extension: keep last frame's still-viable pairs and
+  // withdraw their endpoints from this frame's negotiation.
+  std::vector<std::pair<net::NodeId, net::NodeId>> carried;
+  std::vector<bool> carried_over(n, false);
+  if (params_.persistent_matching) {
+    for (const auto& [a, b] : matching_) {
+      if (ctx.ledger.pair_complete(a, b) || world.pair(a, b) == nullptr) continue;
+      carried.emplace_back(a, b);
+      carried_over[a] = carried_over[b] = true;
+    }
+  }
+
+  // 2. Distributed consensual matching over THIS frame's discoveries N_i^f
+  // (paper Section III-A): a neighbor missed by this frame's SND (expected
+  // fraction 0.5^K) is not negotiable until rediscovered — this is exactly
+  // the tradeoff that makes K = 3 optimal in Fig. 7.
+  std::vector<std::vector<net::NeighborEntry>> neighbors(n);
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (carried_over[i]) continue;  // busy with a persistent link
+    for (const net::NeighborEntry& e : tables_[i].entries_seen_in(ctx.frame)) {
+      if (!carried_over[e.id]) neighbors[i].push_back(e);
+    }
+  }
+  dcm_->reset(n);
+  if (params_.physical_negotiation) {
+    const PhyNegotiationChannel channel{world, tables_, snd_->tx_pattern(),
+                                        snd_->rx_pattern(), params_.snd.sectors};
+    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, &channel);
+  } else {
+    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_);
+  }
+  matching_ = dcm_->matched_pairs();
+  matching_.insert(matching_.end(), carried.begin(), carried.end());
+
+  // 3 + 4. Beam refinement per matched pair, then register the TDD session.
+  udt_.clear();
+  const double udt_start = schedule_->udt_start_s();
+  const double frame_end = world.config().timing.frame_s;
+  for (const auto& [a, b] : matching_) {
+    const auto entry_ab = tables_[a].find(b);
+    const auto entry_ba = tables_[b].find(a);
+    if (!entry_ab || !entry_ba) continue;  // cannot happen if DCM used the tables
+
+    const BeamRefinement::Result beams = refinement_->refine(
+        world, a, entry_ab->sector_toward, b, entry_ba->sector_toward, snd_->tx_pattern());
+
+    // The larger MAC address transmits first (paper Section III footnote).
+    const bool a_first = macs_[a] > macs_[b];
+    const net::NodeId first = a_first ? a : b;
+    const net::NodeId second = a_first ? b : a;
+    const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
+    const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
+    udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
+                      second_bearing, &refinement_->narrow_pattern(), udt_start, frame_end);
+  }
+}
+
+void MmV2VProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
+  udt_.step(ctx, t0, t1);
+}
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,83 @@
+// The mmV2V protocol (paper Section III): per frame,
+//   1. SND  — synchronized neighbor discovery (K rounds),
+//   2. DCM  — distributed consensual matching over M CNS-scheduled slots,
+//   3. beam refinement for every matched pair,
+//   4. UDT  — half-duplex TDD data exchange for the rest of the frame.
+// Completed neighbors are excluded from subsequent matchings until the task
+// ledger says otherwise (paper Section III-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protocol.hpp"
+#include "net/neighbor_table.hpp"
+#include "protocols/mmv2v/dcm.hpp"
+#include "protocols/mmv2v/refinement.hpp"
+#include "protocols/mmv2v/snd.hpp"
+#include "protocols/udt_engine.hpp"
+#include "sim/frame.hpp"
+
+namespace mmv2v::protocols {
+
+struct MmV2VParams {
+  SndParams snd;
+  DcmParams dcm;
+  RefinementParams refinement;
+  /// Neighbor-table entries expire after this many frames unseen.
+  std::uint64_t neighbor_max_age_frames = 5;
+  /// Bound the discovered neighborhood by the scenario's comm range (SSW
+  /// frames carry GPS positions). When false, SndParams' own filters apply.
+  bool auto_admission = true;
+  /// Model the over-the-air negotiation exchange physically (concurrent
+  /// slot interference, both halves must decode). False = ideal exchanges,
+  /// the paper's assumption.
+  bool physical_negotiation = true;
+  /// Extension (not in the paper): carry incomplete matched pairs over to
+  /// the next frame instead of re-negotiating, trading matching optimality
+  /// for link stability. Useful for live-stream workloads.
+  bool persistent_matching = false;
+  std::uint64_t seed = 0x5eed;
+};
+
+class MmV2VProtocol final : public core::OhmProtocol {
+ public:
+  explicit MmV2VProtocol(MmV2VParams params);
+
+  [[nodiscard]] std::string_view name() const override { return "mmV2V"; }
+  void begin_frame(core::FrameContext& ctx) override;
+  [[nodiscard]] double udt_start_offset_s() const override;
+  void udt_step(core::FrameContext& ctx, double t0, double t1) override;
+  [[nodiscard]] std::size_t active_link_count() const override { return matching_.size(); }
+
+  // --- component access (benches / tests) --------------------------------
+  [[nodiscard]] const MmV2VParams& params() const noexcept { return params_; }
+  [[nodiscard]] const SyncNeighborDiscovery& snd() const { return *snd_; }
+  [[nodiscard]] const ConsensualMatching& dcm() const { return *dcm_; }
+  [[nodiscard]] const BeamRefinement& refinement() const { return *refinement_; }
+  [[nodiscard]] const std::vector<net::NeighborTable>& tables() const { return tables_; }
+  [[nodiscard]] const std::vector<std::pair<net::NodeId, net::NodeId>>& current_matching()
+      const noexcept {
+    return matching_;
+  }
+  /// Duration of all control phases (SND + DCM + refinement) per frame.
+  [[nodiscard]] double control_overhead_s() const;
+
+ private:
+  void ensure_initialized(core::FrameContext& ctx);
+
+  MmV2VParams params_;
+  Xoshiro256pp rng_;
+  std::unique_ptr<SyncNeighborDiscovery> snd_;
+  std::unique_ptr<ConsensualMatching> dcm_;
+  std::unique_ptr<BeamRefinement> refinement_;
+  std::unique_ptr<sim::FrameSchedule> schedule_;
+  std::vector<net::NeighborTable> tables_;
+  std::vector<net::MacAddress> macs_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> matching_;
+  UdtEngine udt_;
+  bool initialized_ = false;
+};
+
+}  // namespace mmv2v::protocols

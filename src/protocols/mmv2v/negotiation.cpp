@@ -1,0 +1,92 @@
+#include "protocols/mmv2v/negotiation.hpp"
+
+#include "common/units.hpp"
+#include "geom/angles.hpp"
+
+namespace mmv2v::protocols {
+
+PhyNegotiationChannel::PhyNegotiationChannel(const core::World& world,
+                                             const std::vector<net::NeighborTable>& tables,
+                                             const phy::BeamPattern& tx_pattern,
+                                             const phy::BeamPattern& rx_pattern, int sectors)
+    : world_(world),
+      tables_(tables),
+      tx_pattern_(tx_pattern),
+      rx_pattern_(rx_pattern),
+      grid_(sectors) {}
+
+void PhyNegotiationChannel::evaluate_half(
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
+    const std::vector<bool>& first_is_tx, std::vector<bool>& ok) const {
+  const phy::ChannelModel& channel = world_.channel();
+  const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+
+  // Beam boresights for this half: the transmitter of each pair points its
+  // wide Tx beam at the stored sector toward its partner; the receiver
+  // points its wide Rx beam likewise.
+  struct HalfLink {
+    net::NodeId tx = 0;
+    net::NodeId rx = 0;
+    double tx_bearing = 0.0;
+    double rx_bearing = 0.0;
+  };
+  std::vector<HalfLink> links(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    const auto [a, b] = pairs[p];
+    const net::NodeId tx = first_is_tx[p] ? a : b;
+    const net::NodeId rx = first_is_tx[p] ? b : a;
+    const auto toward_rx = tables_[tx].find(rx);
+    const auto toward_tx = tables_[rx].find(tx);
+    links[p].tx = tx;
+    links[p].rx = rx;
+    links[p].tx_bearing = toward_rx ? grid_.center(toward_rx->sector_toward) : 0.0;
+    links[p].rx_bearing = toward_tx ? grid_.center(toward_tx->sector_toward) : 0.0;
+  }
+
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    if (!ok[p]) continue;
+    const HalfLink& link = links[p];
+    const core::PairGeom* g = world_.pair(link.rx, link.tx);
+    if (g == nullptr) {
+      ok[p] = false;
+      continue;
+    }
+    const double tx_to_rx = geom::wrap_two_pi(g->bearing_rad + geom::kPi);
+    const double signal =
+        p_w * tx_pattern_.gain(geom::angular_distance(tx_to_rx, link.tx_bearing)) *
+        core::pair_channel_gain(channel.params(), *g) *
+        rx_pattern_.gain(geom::angular_distance(g->bearing_rad, link.rx_bearing));
+
+    double interference = 0.0;
+    for (std::size_t q = 0; q < pairs.size(); ++q) {
+      if (q == p) continue;
+      const HalfLink& other = links[q];
+      const core::PairGeom* gi = world_.pair(link.rx, other.tx);
+      if (gi == nullptr) continue;
+      const double i_to_rx = geom::wrap_two_pi(gi->bearing_rad + geom::kPi);
+      interference +=
+          p_w * tx_pattern_.gain(geom::angular_distance(i_to_rx, other.tx_bearing)) *
+          core::pair_channel_gain(channel.params(), *gi) *
+          rx_pattern_.gain(geom::angular_distance(gi->bearing_rad, link.rx_bearing));
+    }
+    const double sinr_db = units::linear_to_db(signal / (noise_w + interference));
+    if (!channel.mcs().control_decodable(sinr_db)) ok[p] = false;
+  }
+}
+
+std::vector<bool> PhyNegotiationChannel::exchange_succeeds(
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const {
+  std::vector<bool> ok(pairs.size(), true);
+  // First half: larger MAC transmits (paper footnote); second half swaps.
+  std::vector<bool> first_is_tx(pairs.size());
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    first_is_tx[p] = world_.mac(pairs[p].first) > world_.mac(pairs[p].second);
+  }
+  evaluate_half(pairs, first_is_tx, ok);
+  for (std::size_t p = 0; p < pairs.size(); ++p) first_is_tx[p] = !first_is_tx[p];
+  evaluate_half(pairs, first_is_tx, ok);
+  return ok;
+}
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,45 @@
+// Physical negotiation channel: models the over-the-air DCM exchange. All
+// pairs scheduled in a slot transmit concurrently (that is by design — the
+// CNS only guarantees each VEHICLE is in at most one exchange per slot;
+// network-wide concurrency is resolved spatially by the directional beams).
+// Each half of the slot one side of every pair transmits (larger MAC first,
+// per the paper's ordering footnote) using its wide discovery Tx beam aimed
+// at the stored sector, while its partner listens with the wide Rx beam; the
+// exchange succeeds iff both halves decode at the control MCS under the
+// concurrent interference.
+#pragma once
+
+#include <vector>
+
+#include "core/world.hpp"
+#include "net/neighbor_table.hpp"
+#include "protocols/mmv2v/dcm.hpp"
+#include "phy/antenna.hpp"
+
+namespace mmv2v::protocols {
+
+class PhyNegotiationChannel final : public NegotiationChannel {
+ public:
+  /// `tables` must outlive the channel and hold each vehicle's sector toward
+  /// its neighbors; `tx_pattern`/`rx_pattern` are the discovery beams.
+  PhyNegotiationChannel(const core::World& world,
+                        const std::vector<net::NeighborTable>& tables,
+                        const phy::BeamPattern& tx_pattern, const phy::BeamPattern& rx_pattern,
+                        int sectors);
+
+  [[nodiscard]] std::vector<bool> exchange_succeeds(
+      const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const override;
+
+ private:
+  /// One transmission half: `tx_of` maps pair index to its transmitter.
+  void evaluate_half(const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
+                     const std::vector<bool>& first_is_tx, std::vector<bool>& ok) const;
+
+  const core::World& world_;
+  const std::vector<net::NeighborTable>& tables_;
+  const phy::BeamPattern& tx_pattern_;
+  const phy::BeamPattern& rx_pattern_;
+  geom::SectorGrid grid_;
+};
+
+}  // namespace mmv2v::protocols

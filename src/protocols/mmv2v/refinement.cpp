@@ -1,0 +1,89 @@
+#include "protocols/mmv2v/refinement.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "phy/pathloss.hpp"
+
+namespace mmv2v::protocols {
+
+BeamRefinement::BeamRefinement(RefinementParams params)
+    : params_(params),
+      narrow_(phy::BeamPattern::make(geom::deg_to_rad(params.theta_min_deg),
+                                     params.side_lobe_down_db)),
+      grid_(params.sectors),
+      // s = floor(theta / theta_min) + 1 (paper Section III-D); the epsilon
+      // absorbs 2*pi/S round-off so e.g. 15/3 counts as exactly 5.
+      beams_per_side_(static_cast<int>(std::floor(
+                          geom::rad_to_deg(grid_.width()) / params.theta_min_deg + 1e-9)) +
+                      1) {
+  if (params.theta_min_deg <= 0.0) {
+    throw std::invalid_argument{"refinement: theta_min must be > 0"};
+  }
+  if (params.sectors <= 0) throw std::invalid_argument{"refinement: sectors must be > 0"};
+}
+
+std::vector<double> BeamRefinement::candidate_bearings(int sector) const {
+  const double start = static_cast<double>(sector) * grid_.width();
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(beams_per_side_));
+  const double step = grid_.width() / static_cast<double>(beams_per_side_);
+  for (int k = 0; k < beams_per_side_; ++k) {
+    out.push_back(geom::wrap_two_pi(start + (static_cast<double>(k) + 0.5) * step));
+  }
+  return out;
+}
+
+BeamRefinement::Result BeamRefinement::refine(const core::World& world, net::NodeId a,
+                                              int sector_a, net::NodeId b, int sector_b,
+                                              const phy::BeamPattern& wide) const {
+  Result result;
+  const core::PairGeom* ab = world.pair(a, b);
+  const core::PairGeom* ba = world.pair(b, a);
+  if (ab == nullptr || ba == nullptr) {
+    // Out of cached range: fall back to sector centers; no measurable power.
+    result.bearing_a = grid_.center(sector_a);
+    result.bearing_b = grid_.center(sector_b);
+    return result;
+  }
+
+  const phy::ChannelModel& channel = world.channel();
+  const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double g_c = core::pair_channel_gain(channel.params(), *ab);
+
+  // Pass 1: a sweeps its narrow candidates against b's wide beam (held at
+  // b's discovery sector center).
+  const double b_wide_center = grid_.center(sector_b);
+  const double g_b_wide = wide.gain(geom::angular_distance(ba->bearing_rad, b_wide_center));
+  double best_a = grid_.center(sector_a);
+  double best_w = -1.0;
+  for (const double c : candidate_bearings(sector_a)) {
+    const double g_a = narrow_.gain(geom::angular_distance(ab->bearing_rad, c));
+    const double w = p_w * g_a * g_c * g_b_wide;
+    if (w > best_w) {
+      best_w = w;
+      best_a = c;
+    }
+  }
+
+  // Pass 2: b sweeps its narrow candidates against a's winning narrow beam.
+  const double g_a_final = narrow_.gain(geom::angular_distance(ab->bearing_rad, best_a));
+  double best_b = b_wide_center;
+  best_w = -1.0;
+  for (const double c : candidate_bearings(sector_b)) {
+    const double g_b = narrow_.gain(geom::angular_distance(ba->bearing_rad, c));
+    const double w = p_w * g_a_final * g_c * g_b;
+    if (w > best_w) {
+      best_w = w;
+      best_b = c;
+    }
+  }
+
+  result.bearing_a = best_a;
+  result.bearing_b = best_b;
+  result.final_rx_watts = best_w;
+  return result;
+}
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,57 @@
+// Beam refinement via cross searching (paper Section III-D). A matched pair
+// is coarsely aligned at sector level after SND; each side then searches
+// s = floor(theta / theta_min) + 1 narrowest beams spanning its discovery
+// sector. In the cross search one side probes its candidates against the
+// peer's wide beam, then roles flip with the winner held fixed.
+#pragma once
+
+#include "core/world.hpp"
+#include "geom/angles.hpp"
+#include "net/mac_address.hpp"
+#include "phy/antenna.hpp"
+
+namespace mmv2v::protocols {
+
+struct RefinementParams {
+  /// Narrowest beam width theta_min [deg].
+  double theta_min_deg = 3.0;
+  /// Sector count S (theta = 360 / S).
+  int sectors = 24;
+  double side_lobe_down_db = 20.0;
+};
+
+class BeamRefinement {
+ public:
+  explicit BeamRefinement(RefinementParams params);
+
+  [[nodiscard]] const RefinementParams& params() const noexcept { return params_; }
+  /// Narrow beams searched per side: s = floor(theta/theta_min) + 1.
+  [[nodiscard]] int beams_per_side() const noexcept { return beams_per_side_; }
+  [[nodiscard]] const phy::BeamPattern& narrow_pattern() const noexcept { return narrow_; }
+
+  struct Result {
+    /// Chosen narrow-beam boresights (absolute compass bearings).
+    double bearing_a = 0.0;
+    double bearing_b = 0.0;
+    /// Boresight received power at the end of the search [watts]; 0 when the
+    /// pair is out of cached range.
+    double final_rx_watts = 0.0;
+  };
+
+  /// Cross search between vehicles a and b. `sector_a` is a's discovery
+  /// sector toward b and vice versa; `wide` is the pattern held by the
+  /// non-searching side (the discovery Tx beam).
+  [[nodiscard]] Result refine(const core::World& world, net::NodeId a, int sector_a,
+                              net::NodeId b, int sector_b, const phy::BeamPattern& wide) const;
+
+  /// Candidate boresights spanning one sector.
+  [[nodiscard]] std::vector<double> candidate_bearings(int sector) const;
+
+ private:
+  RefinementParams params_;
+  phy::BeamPattern narrow_;
+  geom::SectorGrid grid_;
+  int beams_per_side_;
+};
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,165 @@
+#include "protocols/mmv2v/snd.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+#include "common/units.hpp"
+
+namespace mmv2v::protocols {
+
+double admission_snr_for_range(const phy::ChannelModel& channel,
+                               const phy::BeamPattern& tx_pattern,
+                               const phy::BeamPattern& rx_pattern, double range_m,
+                               double alignment_margin_db) {
+  const double rx_w = units::dbm_to_watts(channel.params().tx_power_dbm) *
+                      tx_pattern.main_gain() *
+                      phy::channel_gain(channel.params().pathloss, range_m, 0) *
+                      rx_pattern.main_gain();
+  return units::linear_to_db(rx_w / channel.noise_watts()) - alignment_margin_db;
+}
+
+SyncNeighborDiscovery::SyncNeighborDiscovery(SndParams params)
+    : params_(params),
+      alpha_(phy::BeamPattern::make(geom::deg_to_rad(params.alpha_deg),
+                                    params.side_lobe_down_db)),
+      beta_(phy::BeamPattern::make(geom::deg_to_rad(params.beta_deg),
+                                   params.side_lobe_down_db)),
+      grid_(params.sectors) {
+  if (params.sectors <= 0 || params.sectors % 2 != 0) {
+    throw std::invalid_argument{"SND: sector count must be positive and even"};
+  }
+  if (params.p_tx <= 0.0 || params.p_tx >= 1.0) {
+    throw std::invalid_argument{"SND: p must be in (0, 1)"};
+  }
+  if (params.rounds <= 0) throw std::invalid_argument{"SND: rounds must be >= 1"};
+}
+
+void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
+                                std::vector<net::NeighborTable>& tables,
+                                Xoshiro256pp& rng) const {
+  const std::size_t n = world.size();
+  std::vector<bool> tx_first(n);
+  for (int k = 0; k < params_.rounds; ++k) {
+    for (std::size_t i = 0; i < n; ++i) tx_first[i] = rng.bernoulli(params_.p_tx);
+    run_round(world, frame, tx_first, tables);
+  }
+}
+
+void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t frame,
+                                      const std::vector<bool>& tx_first,
+                                      std::vector<net::NeighborTable>& tables) const {
+  if (tx_first.size() != world.size() || tables.size() != world.size()) {
+    throw std::invalid_argument{"SND: role/table vectors must match the vehicle count"};
+  }
+  run_sweep(world, frame, tx_first, tables);
+  // Role swap (paper Section III-B4).
+  std::vector<bool> swapped(tx_first.size());
+  for (std::size_t i = 0; i < tx_first.size(); ++i) swapped[i] = !tx_first[i];
+  run_sweep(world, frame, swapped, tables);
+}
+
+double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
+  if (params_.clock_sigma_s <= 0.0) return 0.0;
+  // Counter-based standard normal (Box-Muller on two hashed uniforms): each
+  // vehicle carries a stable offset for the protocol's lifetime.
+  const std::uint64_t key = mix64(static_cast<std::uint64_t>(id) ^ params_.clock_seed);
+  const double u1 =
+      static_cast<double>((key | 1ULL) >> 11) * 0x1.0p-53 + 0x1.0p-54;
+  const double u2 =
+      static_cast<double>((mix64(key) | 1ULL) >> 11) * 0x1.0p-53 + 0x1.0p-54;
+  return params_.clock_sigma_s * std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * geom::kPi * u2);
+}
+
+void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t frame,
+                                      const std::vector<bool>& is_tx,
+                                      std::vector<net::NeighborTable>& tables) const {
+  const phy::ChannelModel& channel = world.channel();
+  const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+
+  std::vector<double> clock(world.size(), 0.0);
+  if (params_.clock_sigma_s > 0.0) {
+    for (net::NodeId i = 0; i < world.size(); ++i) clock[i] = clock_offset_s(i);
+  }
+
+  for (int t = 0; t < grid_.count(); ++t) {
+    const double sweep_center = grid_.center(t);
+    const double sense_center = grid_.center(grid_.opposite(t));
+
+    for (net::NodeId rx = 0; rx < world.size(); ++rx) {
+      if (is_tx[rx]) continue;
+
+      // Accumulate the power of every concurrent transmitter as heard
+      // through this receiver's sensing beam.
+      double total_w = 0.0;
+      double best_w = 0.0;
+      const core::PairGeom* best = nullptr;
+      std::vector<std::pair<const core::PairGeom*, double>> arrivals;
+      for (const core::PairGeom& p : world.nearby(rx)) {
+        if (!is_tx[p.other]) continue;
+        // Unsynchronized pair: the receiver's dwell no longer overlaps the
+        // transmitter's SSW frame enough to decode the preamble.
+        if (params_.clock_sigma_s > 0.0 &&
+            std::abs(clock[p.other] - clock[rx]) > params_.sector_dwell_s / 2.0) {
+          continue;
+        }
+        // Reverse bearing (Tx -> Rx) is the receiver's bearing plus pi.
+        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+        const double g_t = alpha_.gain(geom::angular_distance(back_bearing, sweep_center));
+        const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
+        const double g_c = core::pair_channel_gain(channel.params(), p);
+        const double w = tx_power_w * g_t * g_c * g_r;
+        total_w += w;
+        arrivals.emplace_back(&p, w);
+        if (w > best_w) {
+          best_w = w;
+          best = &p;
+        }
+      }
+      if (best == nullptr) continue;
+
+      const auto record = [&](const core::PairGeom& p, double w) {
+        const double snr_db = units::linear_to_db(w / noise_w);
+        if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
+          return;
+        }
+        if (!std::isnan(params_.max_neighbor_range_m) &&
+            p.distance_m > params_.max_neighbor_range_m) {
+          return;
+        }
+        net::NeighborEntry entry;
+        entry.id = p.other;
+        entry.mac = world.mac(p.other);
+        // The receiver can only attribute the arrival to the sector it was
+        // sensing. For the main-lobe rendezvous this IS the true sector
+        // toward the transmitter; a side-lobe decode records a wrong sector,
+        // but the strongest same-frame observation (the rendezvous) wins in
+        // the table.
+        entry.sector_toward = grid_.opposite(t);
+        entry.snr_db = snr_db;
+        entry.last_seen_frame = frame;
+        tables[rx].observe(entry);
+      };
+
+      if (params_.ideal_capture) {
+        // Idealization: every transmitter whose interference-free SNR clears
+        // the control threshold decodes (perfect multi-packet reception).
+        for (const auto& [p, w] : arrivals) {
+          if (channel.mcs().control_decodable(units::linear_to_db(w / noise_w))) {
+            record(*p, w);
+          }
+        }
+      } else {
+        // Capture model: only the strongest arrival decodes, and only if its
+        // SINR against the other concurrent sweepers clears the threshold.
+        const double sinr_db =
+            units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
+        if (channel.mcs().control_decodable(sinr_db)) record(*best, best_w);
+      }
+    }
+  }
+}
+
+}  // namespace mmv2v::protocols

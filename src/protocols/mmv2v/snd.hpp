@@ -1,0 +1,109 @@
+// Synchronized Neighbor Discovery (paper Section III-B).
+//
+// K independent rounds. Per round every vehicle draws a role (transmitter
+// with probability p, else receiver); then two synchronized sweeps happen,
+// with roles swapped between them. In a sweep, all transmitters beam an SSW
+// frame at sector t (clockwise from north, t = 0..S-1) while all receivers
+// sense the diametrically opposite sector (t + S/2) mod S. Because the
+// bearing from Rx to Tx is exactly the reverse of Tx to Rx, a receiver's
+// sensing sector automatically faces every transmitter located in the swept
+// sector — so each LOS Tx/Rx pair aligns exactly once per sweep.
+//
+// Physical realism beyond the paper's idealization: when two transmitters
+// fall into the same sensing sector of one receiver simultaneously, their
+// SSW frames collide; we decode the strongest arrival iff its SINR clears
+// the control-PHY threshold (capture model). Set `ideal_capture` to decode
+// whenever the interference-free SNR clears the threshold instead.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/world.hpp"
+#include "geom/angles.hpp"
+#include "net/neighbor_table.hpp"
+#include "phy/antenna.hpp"
+
+namespace mmv2v::protocols {
+
+struct SndParams {
+  /// Number of sweep sectors S (theta = 360/S; paper uses S = 24).
+  int sectors = 24;
+  /// Tx sweep beam width alpha [deg].
+  double alpha_deg = 30.0;
+  /// Rx sense beam width beta [deg].
+  double beta_deg = 12.0;
+  /// Transmitter-role probability p (Theorem 2: p = 0.5 is optimal).
+  double p_tx = 0.5;
+  /// Number of discovery rounds K.
+  int rounds = 3;
+  /// Side-lobe suppression of the discovery beams [dB].
+  double side_lobe_down_db = 20.0;
+  /// Decode on interference-free SNR instead of capture SINR.
+  bool ideal_capture = false;
+  /// Admission threshold [dB]: discovered neighbors with wide-beam SNR below
+  /// this are ignored. NaN (default) disables the filter.
+  double admission_snr_db = std::numeric_limits<double>::quiet_NaN();
+  /// Neighborhood radius [m]: SSW frames carry the sender's GPS position
+  /// (system model Section II-A), so a receiver admits only senders within
+  /// this range — bounding the protocol's neighborhood to the task's
+  /// communication range. NaN disables the filter.
+  double max_neighbor_range_m = std::numeric_limits<double>::quiet_NaN();
+  /// Clock-synchronization error: per-vehicle offsets ~ N(0, sigma). The
+  /// paper assumes GPS sync (< 100 ns); a pair whose relative offset exceeds
+  /// half the sector dwell (16 us) misses its sweep rendezvous entirely.
+  /// 0 disables the model.
+  double clock_sigma_s = 0.0;
+  /// Sector dwell used by the sync-error model (SSW frame + beam switch).
+  double sector_dwell_s = 16e-6;
+  std::uint64_t clock_seed = 0xc10c;
+};
+
+/// Compute the wide-beam boresight SNR at distance `range_m` (LOS) minus an
+/// alignment margin; using this as SndParams::admission_snr_db makes the
+/// discovered neighborhood match the ground-truth N_i radius. The margin
+/// covers the worst-case sector-grid misalignment loss (Tx up to theta/2 off
+/// a 30 deg beam, Rx up to theta/2 off a 12 deg beam: ~5.5 dB), so in-range
+/// neighbors are not rejected merely for sitting at a sector edge.
+[[nodiscard]] double admission_snr_for_range(const phy::ChannelModel& channel,
+                                             const phy::BeamPattern& tx_pattern,
+                                             const phy::BeamPattern& rx_pattern,
+                                             double range_m,
+                                             double alignment_margin_db = 6.0);
+
+class SyncNeighborDiscovery {
+ public:
+  explicit SyncNeighborDiscovery(SndParams params);
+
+  [[nodiscard]] const SndParams& params() const noexcept { return params_; }
+  [[nodiscard]] const phy::BeamPattern& tx_pattern() const noexcept { return alpha_; }
+  [[nodiscard]] const phy::BeamPattern& rx_pattern() const noexcept { return beta_; }
+  [[nodiscard]] const geom::SectorGrid& grid() const noexcept { return grid_; }
+
+  /// Run K rounds on the current world snapshot, inserting observations into
+  /// the per-vehicle neighbor tables (indexed by NodeId). `frame` stamps the
+  /// entries; `rng` drives the role draws.
+  void run(const core::World& world, std::uint64_t frame,
+           std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng) const;
+
+  /// One round with externally fixed roles (roles[i] true = transmitter in
+  /// the first sweep). Exposed for tests and the Theorem 2 bench.
+  void run_round(const core::World& world, std::uint64_t frame,
+                 const std::vector<bool>& tx_first, std::vector<net::NeighborTable>& tables) const;
+
+  /// Stable clock offset of a vehicle under the sync-error model [s].
+  [[nodiscard]] double clock_offset_s(net::NodeId id) const;
+
+ private:
+  void run_sweep(const core::World& world, std::uint64_t frame,
+                 const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables) const;
+
+  SndParams params_;
+  phy::BeamPattern alpha_;
+  phy::BeamPattern beta_;
+  geom::SectorGrid grid_;
+};
+
+}  // namespace mmv2v::protocols

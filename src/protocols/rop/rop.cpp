@@ -1,0 +1,196 @@
+#include "protocols/rop/rop.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "phy/pathloss.hpp"
+
+namespace mmv2v::protocols {
+
+RopProtocol::RopProtocol(RopParams params)
+    : params_(params),
+      rng_(params.seed),
+      alpha_(phy::BeamPattern::make(geom::deg_to_rad(params.discovery.alpha_deg),
+                                    params.discovery.side_lobe_down_db)),
+      beta_(phy::BeamPattern::make(geom::deg_to_rad(params.discovery.beta_deg),
+                                   params.discovery.side_lobe_down_db)),
+      grid_(params.discovery.sectors) {
+  params_.refinement.sectors = params_.discovery.sectors;
+  refinement_ = std::make_unique<BeamRefinement>(params_.refinement);
+  max_range_m_ = params_.discovery.max_neighbor_range_m;
+}
+
+void RopProtocol::ensure_initialized(core::FrameContext& ctx) {
+  if (initialized_) return;
+  const core::World& world = ctx.world;
+  if (params_.auto_admission) {
+    max_range_m_ = world.config().comm_range_m;
+  }
+  // Same frame budget as mmV2V with matching parameters; ROP has no DCM, so
+  // its "negotiation" budget is a single slot for the mutual-choice exchange.
+  schedule_ = std::make_unique<sim::FrameSchedule>(world.config().timing,
+                                                   params_.discovery.sectors,
+                                                   params_.discovery.rounds, 1,
+                                                   refinement_->beams_per_side());
+  tables_.assign(world.size(), net::NeighborTable{params_.neighbor_max_age_frames});
+  initialized_ = true;
+}
+
+double RopProtocol::udt_start_offset_s() const {
+  if (schedule_ == nullptr) throw std::logic_error{"ROP: begin_frame has not run yet"};
+  return schedule_->udt_start_s();
+}
+
+void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t frame) {
+  const std::size_t n = world.size();
+  const phy::ChannelModel& channel = world.channel();
+  const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+
+  // Random role and random absolute sector per vehicle for this step.
+  std::vector<bool> is_tx(n);
+  std::vector<int> sector(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    is_tx[i] = rng_.bernoulli(params_.discovery.p_tx);
+    sector[i] = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(grid_.count())));
+  }
+
+  for (net::NodeId rx = 0; rx < n; ++rx) {
+    if (is_tx[rx]) continue;
+    const double sense_center = grid_.center(sector[rx]);
+
+    double total_w = 0.0;
+    double best_w = 0.0;
+    const core::PairGeom* best = nullptr;
+    for (const core::PairGeom& p : world.nearby(rx)) {
+      if (!is_tx[p.other]) continue;
+      const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+      const double g_t =
+          alpha_.gain(geom::angular_distance(back_bearing, grid_.center(sector[p.other])));
+      const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
+      const double g_c = core::pair_channel_gain(channel.params(), p);
+      const double w = p_w * g_t * g_c * g_r;
+      total_w += w;
+      if (w > best_w) {
+        best_w = w;
+        best = &p;
+      }
+    }
+    if (best == nullptr) continue;
+
+    const double snr_db = units::linear_to_db(best_w / noise_w);
+    const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
+    if (!channel.mcs().control_decodable(sinr_db)) continue;
+    if (!std::isnan(max_range_m_) && best->distance_m > max_range_m_) continue;
+
+    // One-way discovery (paper Section IV-A: "the corresponding Tx vehicle
+    // is identified by the Rx vehicle"): only the receiver learns the link.
+    // The pair can only match once both sides have independently discovered
+    // each other — ROP's structural weakness vs SND's role swapping.
+    net::NeighborEntry entry;
+    entry.id = best->other;
+    entry.mac = world.mac(best->other);
+    // The receiver attributes the arrival to its (random) sensing sector; a
+    // side-lobe decode therefore stores a wrong sector and later beam
+    // refinement searches the wrong direction — ROP's info is only as good
+    // as its lottery.
+    entry.sector_toward = sector[rx];
+    entry.snr_db = snr_db;
+    entry.last_seen_frame = frame;
+    tables_[rx].observe(entry);
+  }
+}
+
+void RopProtocol::random_matching(core::FrameContext& ctx) {
+  const std::size_t n = ctx.world.size();
+  if (partner_.size() != n) partner_.assign(n, n);  // n = unmatched
+
+  // Release pairs whose task completed, whose partner drifted away, or that
+  // made no progress over the last frame (e.g. matched via a wrong-sector
+  // side-lobe observation).
+  for (net::NodeId i = 0; i < n; ++i) {
+    const net::NodeId j = partner_[i];
+    if (j == n || j < i) continue;
+    const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | j;
+    const double eta = ctx.ledger.eta(i, j);
+    const auto prev = last_eta_.find(key);
+    const bool stalled = prev != last_eta_.end() && eta <= prev->second + 1e-12;
+    if (ctx.ledger.pair_complete(i, j) || ctx.world.pair(i, j) == nullptr || stalled) {
+      partner_[i] = n;
+      partner_[j] = n;
+      last_eta_.erase(key);
+    } else {
+      last_eta_[key] = eta;
+    }
+  }
+
+  // Unmatched vehicles make random mutual-choice attempts; a formed match
+  // persists until released above.
+  std::vector<net::NodeId> choice(n, n);
+  for (int round = 0; round < params_.matching_rounds; ++round) {
+    for (net::NodeId i = 0; i < n; ++i) {
+      choice[i] = n;
+      if (partner_[i] != n) continue;
+      int eligible = 0;
+      for (const net::NeighborEntry& e : tables_[i].entries()) {
+        if (partner_[e.id] != n || ctx.ledger.pair_complete(i, e.id)) continue;
+        ++eligible;
+        if (rng_.uniform_int(static_cast<std::uint64_t>(eligible)) == 0) choice[i] = e.id;
+      }
+    }
+    for (net::NodeId i = 0; i < n; ++i) {
+      const net::NodeId j = choice[i];
+      if (j < n && j > i && choice[j] == i) {
+        partner_[i] = j;
+        partner_[j] = i;
+      }
+    }
+  }
+
+  matching_.clear();
+  for (net::NodeId i = 0; i < n; ++i) {
+    if (partner_[i] != n && partner_[i] > i) matching_.emplace_back(i, partner_[i]);
+  }
+}
+
+void RopProtocol::begin_frame(core::FrameContext& ctx) {
+  ensure_initialized(ctx);
+  const core::World& world = ctx.world;
+
+  for (auto& table : tables_) table.age_out(ctx.frame);
+
+  // Same airtime as K SND rounds, but naive: a vehicle draws a random role
+  // and a random beam direction per sweep period (two per round, mirroring
+  // SND's pre/post role-swap sweeps) and holds them, so each sweep period is
+  // a single alignment lottery instead of SND's guaranteed rendezvous.
+  for (int sweep = 0; sweep < 2 * params_.discovery.rounds; ++sweep) {
+    run_discovery_step(world, ctx.frame);
+  }
+
+  random_matching(ctx);
+
+  udt_.clear();
+  const double udt_start = schedule_->udt_start_s();
+  const double frame_end = world.config().timing.frame_s;
+  for (const auto& [a, b] : matching_) {
+    const auto entry_ab = tables_[a].find(b);
+    const auto entry_ba = tables_[b].find(a);
+    if (!entry_ab || !entry_ba) continue;
+    const BeamRefinement::Result beams = refinement_->refine(
+        world, a, entry_ab->sector_toward, b, entry_ba->sector_toward, alpha_);
+    const bool a_first = world.mac(a) > world.mac(b);
+    const net::NodeId first = a_first ? a : b;
+    const net::NodeId second = a_first ? b : a;
+    const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
+    const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
+    udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
+                      second_bearing, &refinement_->narrow_pattern(), udt_start, frame_end);
+  }
+}
+
+void RopProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
+  udt_.step(ctx, t0, t1);
+}
+
+}  // namespace mmv2v::protocols

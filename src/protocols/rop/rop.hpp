@@ -1,0 +1,86 @@
+// Random OHM Protocol (ROP) baseline (paper Section IV-A): random
+// discovery and random matching.
+//
+// Discovery: in each step every vehicle randomly becomes Tx or Rx and casts
+// its wide beam in a uniformly random sector; a transmitter is identified
+// when its beam and a receiver's beam happen to face each other and the
+// control frame decodes under concurrent interference. ROP is granted the
+// same discovery airtime as mmV2V's SND (rounds * 2 * S steps) so the
+// comparison isolates coordination, not time budget.
+//
+// Matching: once per frame every vehicle picks a random incomplete neighbor;
+// a pair is matched iff the choice is mutual. Matched pairs refine beams and
+// exchange data exactly like mmV2V.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/protocol.hpp"
+#include "net/neighbor_table.hpp"
+#include "protocols/mmv2v/refinement.hpp"
+#include "protocols/mmv2v/snd.hpp"
+#include "protocols/udt_engine.hpp"
+#include "sim/frame.hpp"
+
+namespace mmv2v::protocols {
+
+struct RopParams {
+  /// Reuses the SND beam/sector geometry and airtime budget.
+  SndParams discovery;
+  RefinementParams refinement;
+  /// Random mutual-choice attempts per frame for still-unmatched vehicles.
+  /// Matches persist across frames until the pair's task completes (paper:
+  /// "matched if they are both unmatched before and choose each other").
+  int matching_rounds = 3;
+  /// ROP accumulates its neighbor knowledge across frames (union of N_i^l);
+  /// with its lottery-based discovery a short age-out would leave it blind.
+  std::uint64_t neighbor_max_age_frames = 250;
+  bool auto_admission = true;
+  std::uint64_t seed = 0x5eed;
+};
+
+class RopProtocol final : public core::OhmProtocol {
+ public:
+  explicit RopProtocol(RopParams params);
+
+  [[nodiscard]] std::string_view name() const override { return "ROP"; }
+  void begin_frame(core::FrameContext& ctx) override;
+  [[nodiscard]] double udt_start_offset_s() const override;
+  void udt_step(core::FrameContext& ctx, double t0, double t1) override;
+  [[nodiscard]] std::size_t active_link_count() const override { return matching_.size(); }
+
+  [[nodiscard]] const std::vector<net::NeighborTable>& tables() const { return tables_; }
+  [[nodiscard]] const std::vector<std::pair<net::NodeId, net::NodeId>>& current_matching()
+      const noexcept {
+    return matching_;
+  }
+
+ private:
+  void ensure_initialized(core::FrameContext& ctx);
+  void run_discovery_step(const core::World& world, std::uint64_t frame);
+  void random_matching(core::FrameContext& ctx);
+
+  RopParams params_;
+  Xoshiro256pp rng_;
+  phy::BeamPattern alpha_;
+  phy::BeamPattern beta_;
+  geom::SectorGrid grid_;
+  std::unique_ptr<BeamRefinement> refinement_;
+  std::unique_ptr<sim::FrameSchedule> schedule_;
+  std::vector<net::NeighborTable> tables_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> matching_;
+  /// Persistent partner of each vehicle (n = unmatched).
+  std::vector<net::NodeId> partner_;
+  /// Pair progress at the previous frame, to release stalled matches (a
+  /// match formed on a bogus side-lobe sector never moves data).
+  std::unordered_map<std::uint64_t, double> last_eta_;
+  UdtEngine udt_;
+  double max_range_m_ = std::numeric_limits<double>::quiet_NaN();
+  bool initialized_ = false;
+};
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,92 @@
+#include "protocols/udt_engine.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+#include "geom/angles.hpp"
+#include "phy/pathloss.hpp"
+
+namespace mmv2v::protocols {
+
+void UdtEngine::add_tdd_pair(net::NodeId first_tx, double first_tx_bearing,
+                             const phy::BeamPattern* first_pattern, net::NodeId second_tx,
+                             double second_tx_bearing, const phy::BeamPattern* second_pattern,
+                             double start_s, double end_s) {
+  const double mid = (start_s + end_s) / 2.0;
+  add(DirectedTransfer{first_tx, second_tx, start_s, mid, first_tx_bearing, second_tx_bearing,
+                       first_pattern, second_pattern});
+  add(DirectedTransfer{second_tx, first_tx, mid, end_s, second_tx_bearing, first_tx_bearing,
+                       second_pattern, first_pattern});
+}
+
+double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) const {
+  if (t1 <= t0 || transfers_.empty()) return 0.0;
+
+  // Elementary intervals: cut [t0, t1) at every window boundary inside it.
+  std::vector<double> cuts{t0, t1};
+  for (const DirectedTransfer& t : transfers_) {
+    if (t.window_start_s > t0 && t.window_start_s < t1) cuts.push_back(t.window_start_s);
+    if (t.window_end_s > t0 && t.window_end_s < t1) cuts.push_back(t.window_end_s);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  const core::World& world = ctx.world;
+  const phy::ChannelModel& channel = world.channel();
+  const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+
+  double total_bits = 0.0;
+  std::vector<const DirectedTransfer*> active;
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const double seg0 = cuts[c];
+    const double seg1 = cuts[c + 1];
+    const double mid = (seg0 + seg1) / 2.0;
+
+    active.clear();
+    for (const DirectedTransfer& t : transfers_) {
+      if (t.window_start_s <= mid && mid < t.window_end_s &&
+          !ctx.ledger.direction_complete(t.tx, t.rx)) {
+        active.push_back(&t);
+      }
+    }
+    if (active.empty()) continue;
+
+    for (const DirectedTransfer* t : active) {
+      const core::PairGeom* geom_rx = world.pair(t->rx, t->tx);
+      if (geom_rx == nullptr) continue;  // drifted out of range mid-frame
+
+      // Wanted signal through both refined beams.
+      const double tx_to_rx = geom::wrap_two_pi(geom_rx->bearing_rad + geom::kPi);
+      const double g_t =
+          t->tx_pattern->gain(geom::angular_distance(tx_to_rx, t->tx_bearing_rad));
+      const double g_r =
+          t->rx_pattern->gain(geom::angular_distance(geom_rx->bearing_rad, t->rx_bearing_rad));
+      const double g_c = core::pair_channel_gain(channel.params(), *geom_rx);
+      const double signal_w = p_w * g_t * g_c * g_r;
+
+      // Interference from every other concurrently active transmitter.
+      double interference_w = 0.0;
+      for (const DirectedTransfer* k : active) {
+        if (k == t || k->tx == t->tx || k->tx == t->rx) continue;
+        const core::PairGeom* gk = world.pair(t->rx, k->tx);
+        if (gk == nullptr) continue;  // beyond the interference radius
+        const double k_to_rx = geom::wrap_two_pi(gk->bearing_rad + geom::kPi);
+        const double gk_t =
+            k->tx_pattern->gain(geom::angular_distance(k_to_rx, k->tx_bearing_rad));
+        const double gk_r =
+            t->rx_pattern->gain(geom::angular_distance(gk->bearing_rad, t->rx_bearing_rad));
+        const double gk_c = core::pair_channel_gain(channel.params(), *gk);
+        interference_w += p_w * gk_t * gk_c * gk_r;
+      }
+
+      const double sinr_db = units::linear_to_db(signal_w / (noise_w + interference_w));
+      const double rate = channel.mcs().data_rate_bps(sinr_db);
+      if (rate <= 0.0) continue;
+      total_bits += ctx.ledger.record(t->tx, t->rx, rate * (seg1 - seg0));
+    }
+  }
+  return total_bits;
+}
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,56 @@
+// Shared data-plane engine. Protocols register directed transfers, each
+// active over a window of in-frame time with fixed (refined) beams; the
+// engine integrates delivered bits over arbitrary sub-intervals, evaluating
+// per-interval SINR against all concurrently active transmitters (paper
+// Eq. 3) on the current World snapshot.
+//
+// Used by mmV2V and ROP (one half-duplex TDD session per matched pair:
+// the larger-MAC side transmits in the first half) and by the 802.11ad
+// baseline (one directed transfer per service-period half).
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "phy/antenna.hpp"
+
+namespace mmv2v::protocols {
+
+struct DirectedTransfer {
+  net::NodeId tx = 0;
+  net::NodeId rx = 0;
+  /// In-frame activity window [start, end).
+  double window_start_s = 0.0;
+  double window_end_s = 0.0;
+  /// Fixed beam boresights for the window (absolute compass bearings).
+  double tx_bearing_rad = 0.0;
+  double rx_bearing_rad = 0.0;
+  const phy::BeamPattern* tx_pattern = nullptr;
+  const phy::BeamPattern* rx_pattern = nullptr;
+};
+
+class UdtEngine {
+ public:
+  void clear() { transfers_.clear(); }
+  void add(DirectedTransfer t) { transfers_.push_back(t); }
+  [[nodiscard]] const std::vector<DirectedTransfer>& transfers() const noexcept {
+    return transfers_;
+  }
+
+  /// Helper: add the two half-duplex TDD halves of a matched pair over
+  /// [start, end). `first_tx` transmits in the first half.
+  void add_tdd_pair(net::NodeId first_tx, double first_tx_bearing,
+                    const phy::BeamPattern* first_pattern, net::NodeId second_tx,
+                    double second_tx_bearing, const phy::BeamPattern* second_pattern,
+                    double start_s, double end_s);
+
+  /// Integrate transfers over the in-frame interval [t0, t1), crediting the
+  /// ledger. A directed transfer stops radiating once its direction of the
+  /// task is complete. Returns total bits credited.
+  double step(core::FrameContext& ctx, double t0, double t1) const;
+
+ private:
+  std::vector<DirectedTransfer> transfers_;
+};
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,72 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace mmv2v::sim {
+
+EventId EventQueue::schedule(SimTime at, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), heap_later);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Only mark ids that are actually still pending.
+  const bool pending = std::any_of(heap_.begin(), heap_.end(),
+                                   [id](const Entry& e) { return e.id == id; });
+  if (!pending) return false;
+  return cancelled_.insert(id).second;
+}
+
+void EventQueue::drop_cancelled_front() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  // const_cast-free variant: scan past cancelled entries without mutating.
+  // The heap front is the earliest entry; cancelled fronts are rare, so a
+  // copy of the lazy-drop logic on a const path would complicate things —
+  // instead we require callers to go through run_next()/empty() which keep
+  // the front live. Enforce that invariant here.
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_cancelled_front();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  return heap_.front().at;
+}
+
+SimTime EventQueue::run_next() {
+  drop_cancelled_front();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::run_next on empty queue"};
+  std::pop_heap(heap_.begin(), heap_.end(), heap_later);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  entry.action();
+  return entry.at;
+}
+
+void Engine::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    // Advance the clock BEFORE executing the event so actions scheduling
+    // relative work (schedule_in) see the correct current time.
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+  now_ = std::max(now_, until);
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+  }
+}
+
+}  // namespace mmv2v::sim

@@ -1,0 +1,87 @@
+// Discrete-event simulation core: a time-ordered event queue with stable
+// FIFO ordering for simultaneous events, and an engine that drives it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+namespace mmv2v::sim {
+
+using SimTime = double;  // seconds
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `action` at absolute time `at`. Events at equal times fire in
+  /// scheduling order. Returns an id usable with cancel().
+  EventId schedule(SimTime at, std::function<void()> action);
+
+  /// Cancel a pending event (lazy deletion). Cancelling an already-fired or
+  /// unknown id returns false.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept { return live_count() == 0; }
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return heap_.size() - cancelled_.size();
+  }
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and run the earliest live event; returns its time.
+  SimTime run_next();
+
+ private:
+  struct Entry {
+    SimTime at = 0.0;
+    std::uint64_t seq = 0;
+    EventId id = 0;
+    std::function<void()> action;
+  };
+  /// Min-heap ordering (std heap algorithms build a max-heap, so invert).
+  static bool heap_later(const Entry& a, const Entry& b) noexcept {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  void drop_cancelled_front();
+
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+/// Simulation engine: clock + queue + convenience run loops.
+class Engine {
+ public:
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] EventQueue& queue() noexcept { return queue_; }
+
+  /// Schedule relative to the current time.
+  EventId schedule_in(SimTime delay, std::function<void()> action) {
+    if (delay < 0.0) throw std::invalid_argument{"negative delay"};
+    return queue_.schedule(now_ + delay, std::move(action));
+  }
+
+  EventId schedule_at(SimTime at, std::function<void()> action) {
+    if (at < now_) throw std::invalid_argument{"schedule in the past"};
+    return queue_.schedule(at, std::move(action));
+  }
+
+  /// Run events with time <= until; clock ends at exactly `until`.
+  void run_until(SimTime until);
+
+  /// Run until the queue is empty.
+  void run();
+
+  /// Drop all pending events and reset the clock to zero.
+  void reset() { *this = Engine{}; }
+
+ private:
+  SimTime now_ = 0.0;
+  EventQueue queue_;
+};
+
+}  // namespace mmv2v::sim

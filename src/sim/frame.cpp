@@ -1,0 +1,24 @@
+#include "sim/frame.hpp"
+
+namespace mmv2v::sim {
+
+FrameSchedule::FrameSchedule(TimingConfig timing, int sectors, int discovery_rounds,
+                             int negotiation_slots, int refinement_beams)
+    : timing_(timing),
+      sectors_(sectors),
+      discovery_rounds_(discovery_rounds),
+      negotiation_slots_(negotiation_slots),
+      refinement_beams_(refinement_beams) {
+  if (sectors <= 0 || sectors % 2 != 0) {
+    throw std::invalid_argument{"FrameSchedule: sector count must be positive and even"};
+  }
+  if (discovery_rounds <= 0) throw std::invalid_argument{"FrameSchedule: K must be >= 1"};
+  if (negotiation_slots <= 0) throw std::invalid_argument{"FrameSchedule: M must be >= 1"};
+  if (refinement_beams <= 0) throw std::invalid_argument{"FrameSchedule: s must be >= 1"};
+  if (udt_duration_s() <= 0.0) {
+    throw std::invalid_argument{
+        "FrameSchedule: control phases exceed the frame; no UDT time left"};
+  }
+}
+
+}  // namespace mmv2v::sim

@@ -1,0 +1,85 @@
+// Frame timing (paper Section IV-A). mmV2V operates in synchronized frames
+// of 20 ms; within a frame the time budget is:
+//
+//   [ SND: K rounds ][ DCM: M slots ][ refinement ][ UDT: remainder ]
+//
+// One SND round sweeps S sectors twice (role swap), each sector taking one
+// SSW frame (15 us) plus a beam-forming delay (1 us): at S = 24 this is
+// 2 * 24 * 16 us = 0.768 ms, matching the paper's "one round of SND takes
+// 0.8 ms". One DCM negotiation slot is 0.03 ms (two control exchanges of
+// aControlPHYPreambleLength = 4.3 us each plus aSIFSTime = 3 us per frame,
+// for setup and update, both directions).
+#pragma once
+
+#include <stdexcept>
+
+namespace mmv2v::sim {
+
+struct TimingConfig {
+  double frame_s = 20e-3;
+  double ssw_frame_s = 15e-6;
+  double beam_switch_s = 1e-6;
+  double control_preamble_s = 4.3e-6;  // aControlPHYPreambleLength
+  double sifs_s = 3e-6;                // aSIFSTime
+  double negotiation_slot_s = 0.03e-3;
+  double mobility_tick_s = 5e-3;
+};
+
+class FrameSchedule {
+ public:
+  /// `sectors` = S, `discovery_rounds` = K, `negotiation_slots` = M,
+  /// `refinement_beams` = s (narrow beams per side in the cross search).
+  FrameSchedule(TimingConfig timing, int sectors, int discovery_rounds, int negotiation_slots,
+                int refinement_beams);
+
+  [[nodiscard]] const TimingConfig& timing() const noexcept { return timing_; }
+
+  /// Duration of one sector dwell (SSW frame + beam switch).
+  [[nodiscard]] double sector_dwell_s() const noexcept {
+    return timing_.ssw_frame_s + timing_.beam_switch_s;
+  }
+  /// One SND round: sweep all sectors in both role assignments.
+  [[nodiscard]] double snd_round_s() const noexcept {
+    return 2.0 * static_cast<double>(sectors_) * sector_dwell_s();
+  }
+  [[nodiscard]] double snd_total_s() const noexcept {
+    return static_cast<double>(discovery_rounds_) * snd_round_s();
+  }
+  [[nodiscard]] double dcm_total_s() const noexcept {
+    return static_cast<double>(negotiation_slots_) * timing_.negotiation_slot_s;
+  }
+  /// Beam refinement: cross search of `refinement_beams` probes per side plus
+  /// a control feedback exchange per side.
+  [[nodiscard]] double refinement_s() const noexcept {
+    const double probes = 2.0 * static_cast<double>(refinement_beams_) * sector_dwell_s();
+    const double feedback = 2.0 * (timing_.control_preamble_s + timing_.sifs_s);
+    return probes + feedback;
+  }
+  /// Start offsets within the frame.
+  [[nodiscard]] double snd_start_s() const noexcept { return 0.0; }
+  [[nodiscard]] double dcm_start_s() const noexcept { return snd_total_s(); }
+  [[nodiscard]] double refinement_start_s() const noexcept {
+    return snd_total_s() + dcm_total_s();
+  }
+  [[nodiscard]] double udt_start_s() const noexcept {
+    return refinement_start_s() + refinement_s();
+  }
+  /// Time available for data transmission in one frame.
+  [[nodiscard]] double udt_duration_s() const noexcept {
+    return timing_.frame_s - udt_start_s();
+  }
+
+  [[nodiscard]] int sectors() const noexcept { return sectors_; }
+  [[nodiscard]] int discovery_rounds() const noexcept { return discovery_rounds_; }
+  [[nodiscard]] int negotiation_slots() const noexcept { return negotiation_slots_; }
+  [[nodiscard]] int refinement_beams() const noexcept { return refinement_beams_; }
+
+ private:
+  TimingConfig timing_;
+  int sectors_;
+  int discovery_rounds_;
+  int negotiation_slots_;
+  int refinement_beams_;
+};
+
+}  // namespace mmv2v::sim

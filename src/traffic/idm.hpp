@@ -1,0 +1,46 @@
+// Intelligent Driver Model (IDM) car-following (Treiber, Hennecke, Helbing,
+// 2000). Used as the car-following model of the VENUS-substitute traffic
+// simulator (see DESIGN.md, substitutions table).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmv2v::traffic {
+
+struct IdmParams {
+  /// Maximum acceleration [m/s^2].
+  double a_max = 1.5;
+  /// Comfortable deceleration [m/s^2].
+  double b_comfort = 2.0;
+  /// Desired time headway [s].
+  double time_headway_s = 1.2;
+  /// Minimum bumper-to-bumper jam distance [m].
+  double min_gap_m = 2.0;
+  /// Free-acceleration exponent.
+  double delta = 4.0;
+};
+
+/// Desired dynamic gap s*(v, dv) for speed v and approach rate dv (= v - v_leader).
+[[nodiscard]] inline double idm_desired_gap(const IdmParams& p, double v, double dv) noexcept {
+  const double dynamic =
+      v * p.time_headway_s + v * dv / (2.0 * std::sqrt(p.a_max * p.b_comfort));
+  return p.min_gap_m + std::max(0.0, dynamic);
+}
+
+/// IDM acceleration for a follower at speed `v` with desired speed `v0`,
+/// bumper-to-bumper `gap` to its leader, and approach rate `dv = v - v_leader`.
+/// Pass gap = +infinity for a free road.
+[[nodiscard]] inline double idm_acceleration(const IdmParams& p, double v, double v0, double gap,
+                                             double dv) noexcept {
+  const double free_term = std::pow(std::max(0.0, v) / std::max(v0, 0.1), p.delta);
+  double interaction = 0.0;
+  if (std::isfinite(gap)) {
+    const double safe_gap = std::max(gap, 0.1);  // avoid division blow-up on contact
+    const double s_star = idm_desired_gap(p, v, dv);
+    interaction = (s_star / safe_gap) * (s_star / safe_gap);
+  }
+  return p.a_max * (1.0 - free_term - interaction);
+}
+
+}  // namespace mmv2v::traffic

@@ -1,0 +1,60 @@
+// MOBIL lane-changing criterion (Kesting, Treiber, Helbing, 2007):
+// "Minimizing Overall Braking Induced by Lane changes". Used as the
+// lane-changing model of the VENUS-substitute traffic simulator.
+#pragma once
+
+namespace mmv2v::traffic {
+
+struct MobilParams {
+  /// Politeness factor: weight of other drivers' (dis)advantage.
+  double politeness = 0.3;
+  /// Net acceleration gain threshold for changing [m/s^2].
+  double changing_threshold = 0.2;
+  /// Maximum deceleration imposed on the new follower [m/s^2].
+  double b_safe = 3.0;
+  /// Bias toward staying in the current lane (hysteresis) [m/s^2].
+  double keep_lane_bias = 0.1;
+  /// Cooldown between lane changes of one vehicle [s].
+  double cooldown_s = 4.0;
+  /// Duration of the lateral maneuver [s].
+  double duration_s = 3.0;
+};
+
+/// Accelerations entering the MOBIL incentive/safety conditions. All values
+/// are IDM accelerations [m/s^2] computed by the caller:
+///   self_after    — the candidate's acceleration if it changed lane
+///   self_before   — its current acceleration
+///   new_follower_after / new_follower_before — the would-be follower in the
+///       target lane, with and without the candidate in front
+///   old_follower_after / old_follower_before — the current follower, after
+///       and before the candidate leaves
+struct MobilAccelerations {
+  double self_after = 0.0;
+  double self_before = 0.0;
+  double new_follower_after = 0.0;
+  double new_follower_before = 0.0;
+  double old_follower_after = 0.0;
+  double old_follower_before = 0.0;
+};
+
+/// Safety criterion: the new follower must not brake harder than b_safe.
+[[nodiscard]] inline bool mobil_safe(const MobilParams& p, const MobilAccelerations& a) noexcept {
+  return a.new_follower_after >= -p.b_safe;
+}
+
+/// Incentive criterion: own gain plus politeness-weighted gain of affected
+/// followers must exceed the threshold (plus keep-lane hysteresis).
+[[nodiscard]] inline bool mobil_incentive(const MobilParams& p,
+                                          const MobilAccelerations& a) noexcept {
+  const double own_gain = a.self_after - a.self_before;
+  const double others_gain = (a.new_follower_after - a.new_follower_before) +
+                             (a.old_follower_after - a.old_follower_before);
+  return own_gain + p.politeness * others_gain > p.changing_threshold + p.keep_lane_bias;
+}
+
+[[nodiscard]] inline bool mobil_should_change(const MobilParams& p,
+                                              const MobilAccelerations& a) noexcept {
+  return mobil_safe(p, a) && mobil_incentive(p, a);
+}
+
+}  // namespace mmv2v::traffic

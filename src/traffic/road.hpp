@@ -1,0 +1,84 @@
+// Road geometry: a straight segment of `length_m` with `lanes_per_direction`
+// lanes of `lane_width_m` on each direction (paper Section IV-A: 1 km, three
+// 5 m lanes per direction). Longitudinal coordinates are periodic (ring
+// road), which keeps the density constant over arbitrarily long simulations
+// without inflow/outflow boundary artifacts.
+//
+// Layout (y = north / lateral, x = east / longitudinal):
+//   direction kForward  (+x): lanes at y = -w/2, -3w/2, -5w/2  (index 0,1,2)
+//   direction kBackward (-x): lanes at y = +w/2, +3w/2, +5w/2  (index 0,1,2)
+// Lane index 0 is the innermost (closest to the median); the paper's
+// speed bands are assigned per lane index by TrafficConfig.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geom/vec2.hpp"
+
+namespace mmv2v::traffic {
+
+enum class Direction { kForward, kBackward };
+
+[[nodiscard]] constexpr double direction_sign(Direction d) noexcept {
+  return d == Direction::kForward ? 1.0 : -1.0;
+}
+
+class RoadGeometry {
+ public:
+  RoadGeometry(double length_m, int lanes_per_direction, double lane_width_m)
+      : length_(length_m), lanes_(lanes_per_direction), lane_width_(lane_width_m) {
+    if (length_m <= 0.0 || lanes_per_direction <= 0 || lane_width_m <= 0.0) {
+      throw std::invalid_argument{"RoadGeometry: all dimensions must be positive"};
+    }
+  }
+
+  [[nodiscard]] double length() const noexcept { return length_; }
+  [[nodiscard]] int lanes_per_direction() const noexcept { return lanes_; }
+  [[nodiscard]] double lane_width() const noexcept { return lane_width_; }
+
+  /// Wrap a longitudinal coordinate into [0, length).
+  [[nodiscard]] double wrap(double s) const noexcept {
+    s = std::fmod(s, length_);
+    return s < 0.0 ? s + length_ : s;
+  }
+
+  /// Signed forward gap from s_back to s_front along the ring, in [0, length).
+  [[nodiscard]] double forward_gap(double s_back, double s_front) const noexcept {
+    return wrap(s_front - s_back);
+  }
+
+  /// Shortest signed longitudinal separation, in [-length/2, length/2).
+  [[nodiscard]] double signed_separation(double s_from, double s_to) const noexcept {
+    double d = wrap(s_to - s_from);
+    if (d >= length_ / 2.0) d -= length_;
+    return d;
+  }
+
+  /// Lateral center of a lane.
+  [[nodiscard]] double lane_center_y(Direction dir, int lane) const {
+    if (lane < 0 || lane >= lanes_) throw std::out_of_range{"lane index"};
+    const double inner = lane_width_ / 2.0 + static_cast<double>(lane) * lane_width_;
+    return dir == Direction::kForward ? -inner : inner;
+  }
+
+  /// World position from (direction, longitudinal s, lateral y).
+  [[nodiscard]] geom::Vec2 position(Direction dir, double s, double lateral_y) const noexcept {
+    // Backward-direction vehicles drive toward -x; their s still increases in
+    // the travel direction, so map s -> length - s for world x.
+    const double x = dir == Direction::kForward ? wrap(s) : length_ - wrap(s);
+    return {x, lateral_y};
+  }
+
+  /// Unit heading of travel for a direction.
+  [[nodiscard]] geom::Vec2 heading(Direction dir) const noexcept {
+    return {direction_sign(dir), 0.0};
+  }
+
+ private:
+  double length_;
+  int lanes_;
+  double lane_width_;
+};
+
+}  // namespace mmv2v::traffic

@@ -1,0 +1,281 @@
+#include "traffic/traffic_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/units.hpp"
+#include "geom/angles.hpp"
+
+namespace mmv2v::traffic {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TrafficSimulator::TrafficSimulator(TrafficConfig config, std::uint64_t seed)
+    : config_(std::move(config)),
+      road_(config_.road_length_m, config_.lanes_per_direction, config_.lane_width_m),
+      rng_(seed) {
+  if (static_cast<int>(config_.lane_speed_bands.size()) < config_.lanes_per_direction) {
+    throw std::invalid_argument{"TrafficConfig: need a speed band per lane"};
+  }
+  if (config_.density_vpl < 0.0) {
+    throw std::invalid_argument{"TrafficConfig: negative density"};
+  }
+  spawn_all();
+  rebuild_lane_index();
+}
+
+double TrafficSimulator::sample_desired_speed(int lane) {
+  const LaneSpeedBand& band = config_.lane_speed_bands.at(static_cast<std::size_t>(lane));
+  return units::kmh_to_mps(rng_.uniform(band.min_kmh, band.max_kmh));
+}
+
+void TrafficSimulator::spawn_all() {
+  const auto per_lane = static_cast<int>(
+      std::lround(config_.density_vpl * config_.road_length_m / 1000.0));
+  const int directions = config_.bidirectional ? 2 : 1;
+  for (int d = 0; d < directions; ++d) {
+    const Direction dir = d == 0 ? Direction::kForward : Direction::kBackward;
+    for (int lane = 0; lane < config_.lanes_per_direction; ++lane) {
+      spawn_lane(dir, lane, per_lane);
+    }
+  }
+}
+
+void TrafficSimulator::spawn_lane(Direction dir, int lane, int count) {
+  if (count <= 0) return;
+  const double spacing = road_.length() / static_cast<double>(count);
+  // Jitter must keep initial ordering so nobody spawns inside a neighbor.
+  const double max_jitter = std::max(0.0, (spacing - config_.dims.length_m - 1.0) / 2.0);
+  for (int k = 0; k < count; ++k) {
+    VehicleState v;
+    v.id = vehicles_.size();
+    v.direction = dir;
+    v.lane = lane;
+    v.target_lane = lane;
+    v.s = road_.wrap(static_cast<double>(k) * spacing +
+                     rng_.uniform(-max_jitter, max_jitter));
+    v.lateral_y = road_.lane_center_y(dir, lane);
+    v.desired_speed_mps = sample_desired_speed(lane);
+    v.speed_mps = v.desired_speed_mps;
+    v.dims = config_.dims;
+    vehicles_.push_back(v);
+  }
+}
+
+void TrafficSimulator::rebuild_lane_index() {
+  const std::size_t slots =
+      static_cast<std::size_t>(2 * config_.lanes_per_direction);
+  lane_index_.assign(slots, {});
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const VehicleState& v = vehicles_[i];
+    const std::size_t slot =
+        (v.direction == Direction::kForward ? 0u
+                                            : static_cast<std::size_t>(config_.lanes_per_direction)) +
+        static_cast<std::size_t>(v.lane);
+    lane_index_[slot].push_back(i);
+  }
+  for (auto& lane : lane_index_) {
+    std::sort(lane.begin(), lane.end(),
+              [this](std::size_t a, std::size_t b) { return vehicles_[a].s < vehicles_[b].s; });
+  }
+}
+
+TrafficSimulator::Neighbors TrafficSimulator::find_neighbors(const VehicleState& v,
+                                                             int lane) const {
+  Neighbors out;
+  if (lane < 0 || lane >= config_.lanes_per_direction) return out;
+  const std::size_t slot =
+      (v.direction == Direction::kForward ? 0u
+                                          : static_cast<std::size_t>(config_.lanes_per_direction)) +
+      static_cast<std::size_t>(lane);
+  const auto& ring = lane_index_[slot];
+
+  double best_ahead = kInf;
+  double best_behind = kInf;
+  for (std::size_t idx : ring) {
+    if (vehicles_[idx].id == v.id) continue;
+    const double ahead = road_.forward_gap(v.s, vehicles_[idx].s);
+    if (ahead > 0.0 && ahead < best_ahead) {
+      best_ahead = ahead;
+      out.leader = idx;
+    }
+    const double behind = road_.forward_gap(vehicles_[idx].s, v.s);
+    if (behind > 0.0 && behind < best_behind) {
+      best_behind = behind;
+      out.follower = idx;
+    }
+  }
+  return out;
+}
+
+double TrafficSimulator::bumper_gap(const VehicleState& back, const VehicleState& front) const {
+  return road_.forward_gap(back.s, front.s) -
+         (back.dims.length_m + front.dims.length_m) / 2.0;
+}
+
+double TrafficSimulator::effective_desired_speed(const VehicleState& v) const {
+  double v0 = v.desired_speed_mps;
+  if (!config_.speed_zones.empty()) {
+    const double x = v.position(road_).x;
+    for (const SpeedZone& zone : config_.speed_zones) {
+      if (zone.contains(x)) v0 = std::min(v0, units::kmh_to_mps(zone.limit_kmh));
+    }
+  }
+  return v0;
+}
+
+double TrafficSimulator::accel_with_leader(const VehicleState& v, std::size_t leader_idx) const {
+  const double v0 = effective_desired_speed(v);
+  if (leader_idx == kNone) {
+    return idm_acceleration(config_.idm, v.speed_mps, v0, kInf, 0.0);
+  }
+  const VehicleState& leader = vehicles_[leader_idx];
+  return idm_acceleration(config_.idm, v.speed_mps, v0, bumper_gap(v, leader),
+                          v.speed_mps - leader.speed_mps);
+}
+
+void TrafficSimulator::maybe_change_lane(VehicleState& v) {
+  const Neighbors cur = find_neighbors(v, v.lane);
+  const double self_before = accel_with_leader(v, cur.leader);
+
+  for (const int delta : {-1, +1}) {
+    const int target = v.lane + delta;
+    if (target < 0 || target >= config_.lanes_per_direction) continue;
+
+    const Neighbors tgt = find_neighbors(v, target);
+    MobilAccelerations a;
+    a.self_before = self_before;
+    a.self_after = accel_with_leader(v, tgt.leader);
+
+    if (tgt.follower != kNone) {
+      const VehicleState& nf = vehicles_[tgt.follower];
+      a.new_follower_before = accel_with_leader(nf, tgt.leader);
+      a.new_follower_after =
+          idm_acceleration(config_.idm, nf.speed_mps, effective_desired_speed(nf),
+                           bumper_gap(nf, v), nf.speed_mps - v.speed_mps);
+      // Hard safety: refuse changes that would start inside the follower.
+      if (bumper_gap(nf, v) < config_.idm.min_gap_m) continue;
+    }
+    if (tgt.leader != kNone &&
+        bumper_gap(v, vehicles_[tgt.leader]) < config_.idm.min_gap_m) {
+      continue;
+    }
+    if (cur.follower != kNone) {
+      const VehicleState& of = vehicles_[cur.follower];
+      a.old_follower_before =
+          idm_acceleration(config_.idm, of.speed_mps, effective_desired_speed(of),
+                           bumper_gap(of, v), of.speed_mps - v.speed_mps);
+      a.old_follower_after = accel_with_leader(of, cur.leader);
+    }
+
+    if (mobil_should_change(config_.mobil, a)) {
+      v.changing_lane = true;
+      v.target_lane = target;
+      v.lane_change_progress = 0.0;
+      v.lane = target;  // occupy the target lane immediately for gap logic
+      v.desired_speed_mps = sample_desired_speed(target);
+      v.lane_change_cooldown_s = config_.mobil.cooldown_s;
+      return;
+    }
+  }
+}
+
+void TrafficSimulator::apply_lane_change_kinematics(VehicleState& v, double dt) {
+  const double target_y = road_.lane_center_y(v.direction, v.lane);
+  if (!v.changing_lane) {
+    v.lateral_y = target_y;
+    return;
+  }
+  v.lane_change_progress += dt / config_.mobil.duration_s;
+  if (v.lane_change_progress >= 1.0) {
+    v.changing_lane = false;
+    v.lane_change_progress = 0.0;
+    v.lateral_y = target_y;
+    ++completed_lane_changes_;
+    return;
+  }
+  // Smoothstep lateral trajectory between the old and new lane centers.
+  const double t = v.lane_change_progress;
+  const double smooth = t * t * (3.0 - 2.0 * t);
+  const double source_y = v.lateral_y;
+  // Move a fraction of the remaining distance so the path is C1-ish even if
+  // the change was pre-empted mid-way.
+  v.lateral_y = source_y + (target_y - source_y) * smooth * dt / (config_.mobil.duration_s * (1.0 - t) + dt);
+  // Snap when close.
+  if (std::abs(v.lateral_y - target_y) < 1e-3) v.lateral_y = target_y;
+}
+
+void TrafficSimulator::step(double dt) {
+  if (dt <= 0.0) throw std::invalid_argument{"step dt must be positive"};
+  rebuild_lane_index();
+
+  // Phase 1: longitudinal accelerations from the current snapshot.
+  std::vector<double> accel(vehicles_.size(), 0.0);
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const VehicleState& v = vehicles_[i];
+    accel[i] = accel_with_leader(v, find_neighbors(v, v.lane).leader);
+  }
+
+  // Phase 2: lane-change decisions (Poisson-thinned so drivers don't all
+  // evaluate on the same tick).
+  if (config_.enable_lane_changes && config_.lanes_per_direction > 1) {
+    const double check_p = std::min(1.0, config_.lane_change_check_rate_hz * dt);
+    for (VehicleState& v : vehicles_) {
+      if (v.changing_lane || v.lane_change_cooldown_s > 0.0) continue;
+      if (!rng_.bernoulli(check_p)) continue;
+      maybe_change_lane(v);
+    }
+  }
+
+  // Phase 3: integrate.
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    VehicleState& v = vehicles_[i];
+    v.accel_mps2 = accel[i];
+    v.speed_mps = std::max(0.0, v.speed_mps + accel[i] * dt);
+    v.s = road_.wrap(v.s + v.speed_mps * dt);
+    v.lane_change_cooldown_s = std::max(0.0, v.lane_change_cooldown_s - dt);
+    apply_lane_change_kinematics(v, dt);
+  }
+}
+
+double TrafficSimulator::distance(VehicleId a, VehicleId b) const {
+  return geom::distance(position_of(a), position_of(b));
+}
+
+geom::LosEvaluator TrafficSimulator::make_los_evaluator() const {
+  std::vector<geom::Blocker> blockers;
+  blockers.reserve(vehicles_.size());
+  for (const VehicleState& v : vehicles_) {
+    blockers.push_back(geom::Blocker{v.body(road_), v.id});
+  }
+  return geom::LosEvaluator{std::move(blockers)};
+}
+
+std::vector<VehicleId> TrafficSimulator::los_neighbors(VehicleId id, double range_m,
+                                                       const geom::LosEvaluator& los) const {
+  std::vector<VehicleId> out;
+  const geom::Vec2 p = position_of(id);
+  for (const VehicleState& other : vehicles_) {
+    if (other.id == id) continue;
+    const geom::Vec2 q = other.position(road_);
+    if (geom::distance_sq(p, q) > range_m * range_m) continue;
+    if (los.has_los(p, q, id, other.id)) out.push_back(other.id);
+  }
+  return out;
+}
+
+double TrafficSimulator::mean_degree(double range_m) const {
+  if (vehicles_.empty()) return 0.0;
+  const geom::LosEvaluator los = make_los_evaluator();
+  std::size_t total = 0;
+  for (const VehicleState& v : vehicles_) {
+    total += los_neighbors(v.id, range_m, los).size();
+  }
+  return static_cast<double>(total) / static_cast<double>(vehicles_.size());
+}
+
+}  // namespace mmv2v::traffic

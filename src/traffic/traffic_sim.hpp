@@ -1,0 +1,126 @@
+// Microscopic traffic simulator: IDM car-following + MOBIL lane changing on
+// a periodic multi-lane road. This substitutes the paper's VENUS simulator
+// (see DESIGN.md). It produces, per mobility tick, the vehicle positions,
+// headings and body rectangles that the mmWave channel model consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/los.hpp"
+#include "traffic/idm.hpp"
+#include "traffic/mobil.hpp"
+#include "traffic/road.hpp"
+#include "traffic/vehicle_state.hpp"
+
+namespace mmv2v::traffic {
+
+/// Per-lane free-flow speed band; drivers sample their desired speed
+/// uniformly from the band of their current lane (paper Section IV-A:
+/// 40-60 / 50-70 / 60-80 km/h for lanes 0/1/2).
+struct LaneSpeedBand {
+  double min_kmh = 40.0;
+  double max_kmh = 60.0;
+};
+
+/// A road segment with a reduced speed limit (work zone, curve, tunnel):
+/// drivers cap their desired speed while inside [start_x, end_x) in world
+/// coordinates. Creates realistic congestion waves and density gradients.
+struct SpeedZone {
+  double start_x_m = 0.0;
+  double end_x_m = 0.0;
+  double limit_kmh = 30.0;
+
+  [[nodiscard]] bool contains(double x) const noexcept {
+    return x >= start_x_m && x < end_x_m;
+  }
+};
+
+struct TrafficConfig {
+  double road_length_m = 1000.0;
+  int lanes_per_direction = 3;
+  double lane_width_m = 5.0;
+  /// Traffic on both directions (paper's evaluation road) or forward only.
+  bool bidirectional = true;
+  /// Density in vehicles per lane per km ("vpl" in the paper).
+  double density_vpl = 15.0;
+  std::vector<LaneSpeedBand> lane_speed_bands{{40.0, 60.0}, {50.0, 70.0}, {60.0, 80.0}};
+  IdmParams idm;
+  MobilParams mobil;
+  VehicleDims dims;
+  bool enable_lane_changes = true;
+  /// Mean rate [1/s] at which an eligible driver evaluates a lane change.
+  double lane_change_check_rate_hz = 1.0;
+  /// Optional reduced-speed zones (both directions observe them).
+  std::vector<SpeedZone> speed_zones;
+};
+
+class TrafficSimulator {
+ public:
+  TrafficSimulator(TrafficConfig config, std::uint64_t seed);
+
+  /// Advance all vehicles by dt seconds (typically the 5 ms mobility tick).
+  void step(double dt);
+
+  [[nodiscard]] const RoadGeometry& road() const noexcept { return road_; }
+  [[nodiscard]] const TrafficConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<VehicleState>& vehicles() const noexcept { return vehicles_; }
+  [[nodiscard]] std::size_t size() const noexcept { return vehicles_.size(); }
+  [[nodiscard]] const VehicleState& vehicle(VehicleId id) const { return vehicles_.at(id); }
+
+  [[nodiscard]] geom::Vec2 position_of(VehicleId id) const {
+    return vehicles_.at(id).position(road_);
+  }
+
+  /// Euclidean distance between two vehicles' antennas.
+  [[nodiscard]] double distance(VehicleId a, VehicleId b) const;
+
+  /// Build a blockage evaluator snapshot from the current vehicle bodies.
+  [[nodiscard]] geom::LosEvaluator make_los_evaluator() const;
+
+  /// Ground-truth one-hop neighborhood: vehicles within `range_m` with LOS
+  /// (paper Section II-B). `los` must be a snapshot from the same tick.
+  [[nodiscard]] std::vector<VehicleId> los_neighbors(VehicleId id, double range_m,
+                                                     const geom::LosEvaluator& los) const;
+
+  /// Mean ground-truth degree over all vehicles (used to calibrate Fig. 6's
+  /// "average number of neighbors" scenarios).
+  [[nodiscard]] double mean_degree(double range_m) const;
+
+  /// Number of lane changes completed since construction (diagnostics).
+  [[nodiscard]] std::size_t completed_lane_changes() const noexcept {
+    return completed_lane_changes_;
+  }
+
+  /// Desired speed after applying any speed zone at the vehicle's position.
+  [[nodiscard]] double effective_desired_speed(const VehicleState& v) const;
+
+ private:
+  struct Neighbors {
+    // Index into vehicles_, or kNone.
+    std::size_t leader = kNone;
+    std::size_t follower = kNone;
+  };
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  void spawn_all();
+  void spawn_lane(Direction dir, int lane, int count);
+  void rebuild_lane_index();
+  [[nodiscard]] Neighbors find_neighbors(const VehicleState& v, int lane) const;
+  [[nodiscard]] double bumper_gap(const VehicleState& back, const VehicleState& front) const;
+  [[nodiscard]] double accel_with_leader(const VehicleState& v, std::size_t leader_idx) const;
+  void maybe_change_lane(VehicleState& v);
+  void apply_lane_change_kinematics(VehicleState& v, double dt);
+  [[nodiscard]] double sample_desired_speed(int lane);
+
+  TrafficConfig config_;
+  RoadGeometry road_;
+  Xoshiro256pp rng_;
+  std::vector<VehicleState> vehicles_;
+  /// vehicles sorted by s per (direction, lane): index = dir*lanes + lane.
+  std::vector<std::vector<std::size_t>> lane_index_;
+  std::size_t completed_lane_changes_ = 0;
+};
+
+}  // namespace mmv2v::traffic

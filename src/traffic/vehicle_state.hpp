@@ -1,0 +1,55 @@
+// Kinematic state of one simulated vehicle.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+#include "traffic/road.hpp"
+
+namespace mmv2v::traffic {
+
+using VehicleId = std::size_t;
+
+struct VehicleDims {
+  double length_m = 4.6;
+  double width_m = 1.8;
+};
+
+struct VehicleState {
+  VehicleId id = 0;
+  Direction direction = Direction::kForward;
+  int lane = 0;
+
+  /// Longitudinal position along the travel direction, periodic in road length.
+  double s = 0.0;
+  /// Current lateral world-y (interpolates during a lane change).
+  double lateral_y = 0.0;
+  double speed_mps = 0.0;
+  double accel_mps2 = 0.0;
+  /// Driver's desired (free-flow) speed, sampled from the lane's speed band.
+  double desired_speed_mps = 0.0;
+
+  VehicleDims dims;
+
+  // --- lane change bookkeeping -------------------------------------------
+  bool changing_lane = false;
+  int target_lane = 0;
+  /// Progress of the current lane change in [0, 1].
+  double lane_change_progress = 0.0;
+  /// Cooldown before the next lane change is allowed [s].
+  double lane_change_cooldown_s = 0.0;
+
+  /// World position of the antenna (roof center).
+  [[nodiscard]] geom::Vec2 position(const RoadGeometry& road) const noexcept {
+    return road.position(direction, s, lateral_y);
+  }
+
+  /// Body rectangle for blockage computation.
+  [[nodiscard]] geom::OrientedRect body(const RoadGeometry& road) const noexcept {
+    return geom::OrientedRect{position(road), road.heading(direction), dims.length_m / 2.0,
+                              dims.width_m / 2.0};
+  }
+};
+
+}  // namespace mmv2v::traffic

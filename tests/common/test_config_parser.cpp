@@ -1,0 +1,76 @@
+#include "common/config_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmv2v {
+namespace {
+
+TEST(ConfigMap, ParsesKeyValueLines) {
+  const auto cfg = ConfigMap::parse("a = 1\ntraffic.density_vpl = 15.5\nname = hello world\n");
+  EXPECT_EQ(cfg.get_int("a"), 1);
+  EXPECT_EQ(cfg.get_double("traffic.density_vpl"), 15.5);
+  EXPECT_EQ(cfg.get_string("name"), "hello world");
+}
+
+TEST(ConfigMap, IgnoresCommentsAndBlankLines) {
+  const auto cfg = ConfigMap::parse("# header\n\n  \nkey = 3  # trailing comment\n");
+  EXPECT_EQ(cfg.get_int("key"), 3);
+  EXPECT_EQ(cfg.entries().size(), 1u);
+}
+
+TEST(ConfigMap, ThrowsOnMalformedLine) {
+  EXPECT_THROW(ConfigMap::parse("not a key value"), std::runtime_error);
+  EXPECT_THROW(ConfigMap::parse("ok = 1\n= empty key"), std::runtime_error);
+}
+
+TEST(ConfigMap, ErrorMessageNamesLine) {
+  try {
+    ConfigMap::parse("good = 1\nbad line\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigMap, TypedAccessorsRejectGarbage) {
+  const auto cfg = ConfigMap::parse("x = 12abc\ny = maybe\n");
+  EXPECT_FALSE(cfg.get_int("x").has_value());
+  EXPECT_FALSE(cfg.get_double("x").has_value());
+  EXPECT_FALSE(cfg.get_bool("y").has_value());
+  EXPECT_TRUE(cfg.get_string("x").has_value());
+}
+
+TEST(ConfigMap, BoolSpellings) {
+  const auto cfg =
+      ConfigMap::parse("a = true\nb = FALSE\nc = 1\nd = 0\ne = Yes\nf = off\n");
+  EXPECT_EQ(cfg.get_bool("a"), true);
+  EXPECT_EQ(cfg.get_bool("b"), false);
+  EXPECT_EQ(cfg.get_bool("c"), true);
+  EXPECT_EQ(cfg.get_bool("d"), false);
+  EXPECT_EQ(cfg.get_bool("e"), true);
+  EXPECT_EQ(cfg.get_bool("f"), false);
+}
+
+TEST(ConfigMap, GetOrDefaults) {
+  const auto cfg = ConfigMap::parse("present = 2\n");
+  EXPECT_EQ(cfg.get_or("present", std::int64_t{9}), 2);
+  EXPECT_EQ(cfg.get_or("missing", std::int64_t{9}), 9);
+  EXPECT_DOUBLE_EQ(cfg.get_or("missing", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_or("missing", std::string{"d"}), "d");
+  EXPECT_EQ(cfg.get_or("missing", true), true);
+}
+
+TEST(ConfigMap, OverridesReplaceValues) {
+  auto cfg = ConfigMap::parse("k = 1\n");
+  cfg.apply_overrides({"k=2", "new.key = 7"});
+  EXPECT_EQ(cfg.get_int("k"), 2);
+  EXPECT_EQ(cfg.get_int("new.key"), 7);
+  EXPECT_THROW(cfg.apply_overrides({"no-equals"}), std::runtime_error);
+}
+
+TEST(ConfigMap, MissingFileThrows) {
+  EXPECT_THROW(ConfigMap::load("/nonexistent/path/config.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mmv2v

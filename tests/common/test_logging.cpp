@@ -1,0 +1,61 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mmv2v {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink([this](LogLevel level, std::string_view msg) {
+      captured_.emplace_back(level, std::string{msg});
+    });
+    Logger::instance().set_level(LogLevel::kDebug);
+  }
+  void TearDown() override { Logger::instance().set_sink(nullptr); }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+};
+
+TEST_F(LoggingTest, MessagesReachSink) {
+  MMV2V_LOG(kInfo) << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LoggingTest, LevelFiltersLowerSeverity) {
+  Logger::instance().set_level(LogLevel::kWarn);
+  MMV2V_LOG(kDebug) << "dropped";
+  MMV2V_LOG(kError) << "kept";
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].second, "kept");
+}
+
+TEST_F(LoggingTest, DisabledLevelSkipsStreaming) {
+  Logger::instance().set_level(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return std::string{"expensive"};
+  };
+  MMV2V_LOG(kInfo) << expensive();
+  EXPECT_EQ(evaluations, 0) << "stream operands must not evaluate when filtered";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(to_string(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kError), "ERROR");
+  EXPECT_EQ(to_string(LogLevel::kOff), "OFF");
+}
+
+}  // namespace
+}  // namespace mmv2v

@@ -1,0 +1,131 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace mmv2v {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a{42};
+  SplitMix64 b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a{1};
+  SplitMix64 b{2};
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256pp a{7};
+  Xoshiro256pp b{7};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, UniformRangeIsHalfOpen) {
+  Xoshiro256pp rng{123};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformBoundsRespected) {
+  Xoshiro256pp rng{9};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro, UniformMeanApproximatesMidpoint) {
+  Xoshiro256pp rng{11};
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro, UniformIntInRange) {
+  Xoshiro256pp rng{17};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.uniform_int(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u) << "all buckets should be hit";
+}
+
+TEST(Xoshiro, UniformIntInclusiveRange) {
+  Xoshiro256pp rng{19};
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Xoshiro, BernoulliFrequencyMatchesP) {
+  Xoshiro256pp rng{23};
+  const int n = 100000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro, BernoulliDegenerateProbabilities) {
+  Xoshiro256pp rng{29};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro, ForkedStreamsAreIndependent) {
+  Xoshiro256pp parent{31};
+  Xoshiro256pp childA = parent.fork(1);
+  Xoshiro256pp childB = parent.fork(2);
+  // Streams with different keys should not be identical.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (childA() == childB()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, ForkIsDeterministic) {
+  Xoshiro256pp parent{31};
+  Xoshiro256pp a = parent.fork(5);
+  Xoshiro256pp b = parent.fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256pp>);
+  SUCCEED();
+}
+
+TEST(Xoshiro, ChiSquareByteUniformity) {
+  // Coarse uniformity check over the top byte of each draw.
+  Xoshiro256pp rng{37};
+  std::array<int, 256> counts{};
+  const int n = 256 * 1000;
+  for (int i = 0; i < n; ++i) ++counts[static_cast<std::size_t>(rng() >> 56)];
+  double chi2 = 0.0;
+  const double expected = n / 256.0;
+  for (int c : counts) chi2 += (c - expected) * (c - expected) / expected;
+  // 255 dof; mean 255, stddev ~22.6. Accept within ~5 sigma.
+  EXPECT_LT(chi2, 255.0 + 5.0 * 22.6);
+  EXPECT_GT(chi2, 255.0 - 5.0 * 22.6);
+}
+
+}  // namespace
+}  // namespace mmv2v

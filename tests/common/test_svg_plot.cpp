@@ -1,0 +1,100 @@
+#include "common/svg_plot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mmv2v {
+namespace {
+
+TEST(SvgChart, RejectsTinyCanvas) {
+  EXPECT_THROW(SvgChart(100, 50, "t"), std::invalid_argument);
+}
+
+TEST(SvgChart, RendersWellFormedDocument) {
+  SvgChart chart{640, 400, "OCR vs density"};
+  chart.set_x_label("vpl");
+  chart.set_y_label("OCR");
+  chart.add_series("mmV2V", {{10, 0.85}, {20, 0.62}, {30, 0.52}});
+  chart.add_series("ROP", {{10, 0.30}, {20, 0.20}, {30, 0.14}});
+  const std::string svg = chart.render();
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("OCR vs density"), std::string::npos);
+  EXPECT_NE(svg.find("mmV2V"), std::string::npos);
+  EXPECT_NE(svg.find("ROP"), std::string::npos);
+  EXPECT_EQ(chart.series_count(), 2u);
+  // Two polylines, one per series.
+  std::size_t polylines = 0;
+  for (std::size_t pos = svg.find("<polyline"); pos != std::string::npos;
+       pos = svg.find("<polyline", pos + 1)) {
+    ++polylines;
+  }
+  EXPECT_EQ(polylines, 2u);
+}
+
+TEST(SvgChart, EscapesXmlInLabels) {
+  SvgChart chart{640, 400, "a < b & c"};
+  chart.add_series("s<1>", {{0, 0}, {1, 1}});
+  const std::string svg = chart.render();
+  EXPECT_EQ(svg.find("a < b &"), std::string::npos) << "raw specials must be escaped";
+  EXPECT_NE(svg.find("a &lt; b &amp; c"), std::string::npos);
+  EXPECT_NE(svg.find("s&lt;1&gt;"), std::string::npos);
+}
+
+TEST(SvgChart, PixelMappingIsMonotone) {
+  SvgChart chart{640, 400, "t"};
+  chart.set_x_range(0.0, 10.0);
+  chart.set_y_range(0.0, 1.0);
+  const auto [x0, y0] = chart.to_pixels(0.0, 0.0);
+  const auto [x1, y1] = chart.to_pixels(10.0, 1.0);
+  EXPECT_LT(x0, x1) << "x grows rightward";
+  EXPECT_GT(y0, y1) << "y grows upward (pixel y decreases)";
+  const auto [xm, ym] = chart.to_pixels(5.0, 0.5);
+  EXPECT_NEAR(xm, (x0 + x1) / 2.0, 1e-9);
+  EXPECT_NEAR(ym, (y0 + y1) / 2.0, 1e-9);
+}
+
+TEST(SvgChart, AutoRangeCoversData) {
+  SvgChart chart{640, 400, "t"};
+  chart.add_series("s", {{-5.0, 100.0}, {15.0, 300.0}});
+  // All data points must land inside the canvas.
+  for (const auto& [x, y] : std::vector<std::pair<double, double>>{{-5, 100}, {15, 300}}) {
+    const auto [px, py] = chart.to_pixels(x, y);
+    EXPECT_GE(px, 0.0);
+    EXPECT_LE(px, 640.0);
+    EXPECT_GE(py, 0.0);
+    EXPECT_LE(py, 400.0);
+  }
+}
+
+TEST(SvgChart, FixedRangeValidation) {
+  SvgChart chart{640, 400, "t"};
+  EXPECT_THROW(chart.set_x_range(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(chart.set_y_range(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(SvgChart, SaveWritesFile) {
+  SvgChart chart{640, 400, "save test"};
+  chart.add_series("s", {{0, 0}, {1, 1}});
+  const std::string path = ::testing::TempDir() + "mmv2v_chart_test.svg";
+  chart.save(path);
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.rfind("<svg", 0), 0u);
+  in.close();
+  std::remove(path.c_str());
+  EXPECT_THROW(chart.save("/nonexistent-dir/x.svg"), std::runtime_error);
+}
+
+TEST(SvgChart, EmptySeriesStillRenders) {
+  SvgChart chart{640, 400, "empty"};
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmv2v

@@ -1,0 +1,51 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmv2v::units {
+namespace {
+
+TEST(Units, DbLinearRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 20.0}) {
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, KnownDbValues) {
+  EXPECT_NEAR(db_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9952623, 1e-6);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-12);
+}
+
+TEST(Units, DbmWattsRoundTrip) {
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(dbm_to_watts(28.0)), 28.0, 1e-12);
+}
+
+TEST(Units, SpeedConversions) {
+  EXPECT_NEAR(kmh_to_mps(36.0), 10.0, 1e-12);
+  EXPECT_NEAR(mps_to_kmh(10.0), 36.0, 1e-12);
+  EXPECT_NEAR(mps_to_kmh(kmh_to_mps(72.5)), 72.5, 1e-12);
+}
+
+TEST(Units, DataAndTime) {
+  EXPECT_DOUBLE_EQ(mbps_to_bps(200.0), 2e8);
+  EXPECT_DOUBLE_EQ(gbps_to_bps(4.62), 4.62e9);
+  EXPECT_DOUBLE_EQ(bits_to_megabits(2e8), 200.0);
+  EXPECT_DOUBLE_EQ(us_to_s(15.0), 15e-6);
+  EXPECT_DOUBLE_EQ(ms_to_s(20.0), 0.02);
+  EXPECT_DOUBLE_EQ(s_to_ms(0.02), 20.0);
+  EXPECT_DOUBLE_EQ(s_to_us(1.0), 1e6);
+}
+
+TEST(Units, ThermalNoise80211adChannel) {
+  // -174 dBm/Hz over 2.16 GHz is about -80.65 dBm (paper Eq. 3 terms).
+  EXPECT_NEAR(thermal_noise_dbm(), -80.654, 0.01);
+  EXPECT_NEAR(watts_to_dbm(thermal_noise_watts()), thermal_noise_dbm(), 1e-9);
+}
+
+}  // namespace
+}  // namespace mmv2v::units

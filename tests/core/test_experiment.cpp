@@ -1,0 +1,109 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/metrics.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+ExperimentConfig tiny_experiment() {
+  ExperimentConfig e;
+  e.densities_vpl = {10.0, 20.0};
+  e.repetitions = 2;
+  e.horizon_s = 0.2;
+  e.seed = 3;
+  return e;
+}
+
+ScenarioConfig tiny_base() {
+  ScenarioConfig s = mmv2v::testing::small_scenario();
+  return s;
+}
+
+ProtocolFactory mmv2v_factory() {
+  return [](std::uint64_t seed) -> std::unique_ptr<OhmProtocol> {
+    protocols::MmV2VParams p;
+    p.seed = seed;
+    return std::make_unique<protocols::MmV2VProtocol>(p);
+  };
+}
+
+TEST(Experiment, RunsAllPointsAndReps) {
+  const auto points = run_density_sweep(tiny_experiment(), tiny_base(), mmv2v_factory());
+  ASSERT_EQ(points.size(), 2u);
+  for (const SweepPoint& p : points) {
+    EXPECT_EQ(p.ocr.count(), 2u);
+    EXPECT_EQ(p.degree.count(), 2u);
+    EXPECT_GT(p.ocr_samples.size(), 0u);
+    EXPECT_GE(p.fairness.mean(), 0.0);
+    EXPECT_LE(p.fairness.mean(), 1.0);
+  }
+  EXPECT_GT(points[1].degree.mean(), points[0].degree.mean())
+      << "denser traffic has more neighbors";
+}
+
+TEST(Experiment, ValidatesInput) {
+  ExperimentConfig bad = tiny_experiment();
+  bad.repetitions = 0;
+  EXPECT_THROW(run_density_sweep(bad, tiny_base(), mmv2v_factory()),
+               std::invalid_argument);
+  EXPECT_THROW(run_density_sweep(tiny_experiment(), tiny_base(), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Experiment, IsDeterministic) {
+  const auto a = run_density_sweep(tiny_experiment(), tiny_base(), mmv2v_factory());
+  const auto b = run_density_sweep(tiny_experiment(), tiny_base(), mmv2v_factory());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].ocr.mean(), b[i].ocr.mean());
+    EXPECT_DOUBLE_EQ(a[i].atp.mean(), b[i].atp.mean());
+  }
+}
+
+TEST(Experiment, PrintSweepRendersTable) {
+  const auto points = run_density_sweep(tiny_experiment(), tiny_base(), mmv2v_factory());
+  std::ostringstream out;
+  print_sweep(out, "test sweep", points);
+  const std::string table = out.str();
+  EXPECT_NE(table.find("test sweep"), std::string::npos);
+  EXPECT_NE(table.find("Jain"), std::string::npos);
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'),
+            static_cast<std::ptrdiff_t>(points.size()) + 2);
+}
+
+TEST(JainFairness, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({2.0, 2.0, 2.0}), 1.0);
+  // One user hogging everything among n: index = 1/n.
+  EXPECT_NEAR(jain_fairness({1.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+  // Classic example: {1,2,3} -> 36 / (3*14).
+  EXPECT_NEAR(jain_fairness({1.0, 2.0, 3.0}), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  const std::vector<double> x{1.0, 4.0, 2.0, 7.0};
+  std::vector<double> scaled;
+  for (double v : x) scaled.push_back(v * 123.0);
+  EXPECT_NEAR(jain_fairness(x), jain_fairness(scaled), 1e-12);
+}
+
+TEST(JainFairness, NetworkAtpFairnessFromMetrics) {
+  NetworkMetrics m;
+  for (double atp : {0.5, 0.5, 0.5}) {
+    VehicleMetrics v;
+    v.atp = atp;
+    m.per_vehicle.push_back(v);
+  }
+  EXPECT_DOUBLE_EQ(network_atp_fairness(m), 1.0);
+}
+
+}  // namespace
+}  // namespace mmv2v::core

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/ledger.hpp"
+#include "core/metrics.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+TEST(TransferLedger, RejectsNonPositiveUnit) {
+  EXPECT_THROW((TransferLedger{0.0}), std::invalid_argument);
+  EXPECT_THROW((TransferLedger{-1.0}), std::invalid_argument);
+}
+
+TEST(TransferLedger, RecordAccumulatesPerDirection) {
+  TransferLedger ledger{100.0};
+  EXPECT_DOUBLE_EQ(ledger.record(1, 2, 30.0), 30.0);
+  EXPECT_DOUBLE_EQ(ledger.delivered(1, 2), 30.0);
+  EXPECT_DOUBLE_EQ(ledger.delivered(2, 1), 0.0) << "directions are independent";
+  EXPECT_DOUBLE_EQ(ledger.remaining(1, 2), 70.0);
+}
+
+TEST(TransferLedger, RecordClampsAtUnit) {
+  TransferLedger ledger{100.0};
+  EXPECT_DOUBLE_EQ(ledger.record(1, 2, 80.0), 80.0);
+  EXPECT_DOUBLE_EQ(ledger.record(1, 2, 50.0), 20.0) << "only 20 remained";
+  EXPECT_DOUBLE_EQ(ledger.delivered(1, 2), 100.0);
+  EXPECT_TRUE(ledger.direction_complete(1, 2));
+  EXPECT_DOUBLE_EQ(ledger.record(1, 2, 10.0), 0.0);
+}
+
+TEST(TransferLedger, NegativeOrZeroBitsIgnored) {
+  TransferLedger ledger{100.0};
+  EXPECT_DOUBLE_EQ(ledger.record(1, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.record(1, 2, -5.0), 0.0);
+  EXPECT_EQ(ledger.tracked_directions(), 0u);
+}
+
+TEST(TransferLedger, EtaCombinesBothDirections) {
+  TransferLedger ledger{100.0};
+  ledger.record(1, 2, 100.0);
+  EXPECT_DOUBLE_EQ(ledger.eta(1, 2), 0.5) << "one direction done = 50% progress";
+  EXPECT_DOUBLE_EQ(ledger.eta(2, 1), 0.5) << "eta is symmetric";
+  ledger.record(2, 1, 100.0);
+  EXPECT_DOUBLE_EQ(ledger.eta(1, 2), 1.0);
+  EXPECT_TRUE(ledger.pair_complete(1, 2));
+  EXPECT_TRUE(ledger.pair_complete(2, 1));
+}
+
+TEST(TransferLedger, PairCompleteNeedsBothDirections) {
+  TransferLedger ledger{100.0};
+  ledger.record(1, 2, 100.0);
+  EXPECT_FALSE(ledger.pair_complete(1, 2));
+}
+
+TEST(TransferLedger, ResetClears) {
+  TransferLedger ledger{100.0};
+  ledger.record(1, 2, 50.0);
+  ledger.reset();
+  EXPECT_DOUBLE_EQ(ledger.delivered(1, 2), 0.0);
+  EXPECT_EQ(ledger.tracked_directions(), 0u);
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest() : world_(testing::small_scenario(15.0, 31), 31), ledger_(100.0) {}
+
+  core::World world_;
+  TransferLedger ledger_;
+};
+
+TEST_F(MetricsTest, EmptyLedgerGivesZeroMetrics) {
+  const NetworkMetrics m = evaluate_network(world_, ledger_);
+  EXPECT_DOUBLE_EQ(m.mean_ocr(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_atp(), 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_dtp(), 0.0);
+  EXPECT_FALSE(m.per_vehicle.empty());
+}
+
+TEST_F(MetricsTest, FullLedgerGivesPerfectMetrics) {
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (net::NodeId j : world_.ground_truth_neighbors(i)) {
+      ledger_.record(i, j, 100.0);
+    }
+  }
+  const NetworkMetrics m = evaluate_network(world_, ledger_);
+  EXPECT_DOUBLE_EQ(m.mean_ocr(), 1.0);
+  EXPECT_DOUBLE_EQ(m.mean_atp(), 1.0);
+  EXPECT_NEAR(m.mean_dtp(), 0.0, 1e-12);
+}
+
+TEST_F(MetricsTest, PartialProgressMatchesPaperDefinitions) {
+  // Pick any vehicle with >= 2 neighbors; complete one pair fully,
+  // half-complete another, leave the rest untouched, and verify OCR/ATP/DTP
+  // against the paper's formulas computed by hand.
+  net::NodeId v = world_.size();
+  std::vector<net::NodeId> nbrs;
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    nbrs = world_.ground_truth_neighbors(i);
+    if (nbrs.size() >= 2) {
+      v = i;
+      break;
+    }
+  }
+  ASSERT_NE(v, world_.size()) << "test world must contain a connected vehicle";
+
+  ledger_.record(v, nbrs[0], 100.0);
+  ledger_.record(nbrs[0], v, 100.0);   // eta = 1, complete
+  ledger_.record(v, nbrs[1], 50.0);    // eta = 0.25
+  const auto m = evaluate_vehicle(world_, ledger_, v);
+  ASSERT_TRUE(m.has_value());
+
+  const double n = static_cast<double>(nbrs.size());
+  EXPECT_DOUBLE_EQ(m->ocr, 1.0 / n);
+  const double mean_eta = (1.0 + 0.25) / n;
+  EXPECT_DOUBLE_EQ(m->atp, mean_eta);
+  double var = (1.0 - mean_eta) * (1.0 - mean_eta) + (0.25 - mean_eta) * (0.25 - mean_eta) +
+               (n - 2.0) * mean_eta * mean_eta;
+  EXPECT_NEAR(m->dtp, std::sqrt(var / n), 1e-12);
+}
+
+TEST_F(MetricsTest, VehicleWithoutNeighborsIsSkipped) {
+  // Fabricate: vehicle id beyond range has no neighbors -> nullopt.
+  core::ScenarioConfig s = testing::small_scenario(0.0);
+  s.traffic.density_vpl = 1.0;  // 1 per lane on 500 m: all isolated beyond 80 m?
+  s.traffic.bidirectional = false;
+  const core::World sparse{s, 1};
+  bool any_isolated = false;
+  for (net::NodeId i = 0; i < sparse.size(); ++i) {
+    if (!evaluate_vehicle(sparse, ledger_, i).has_value()) any_isolated = true;
+  }
+  // With 3 vehicles on 500 m they are usually isolated; tolerate either, but
+  // the network evaluation must not crash and must skip isolated vehicles.
+  const NetworkMetrics m = evaluate_network(sparse, ledger_);
+  EXPECT_LE(m.per_vehicle.size(), sparse.size());
+  (void)any_isolated;
+}
+
+}  // namespace
+}  // namespace mmv2v::core

@@ -1,0 +1,95 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/simulation.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+TEST(TraceRecorder, EmptyRecorder) {
+  const TraceRecorder trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.mean_throughput_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.mean_active_links(), 0.0);
+}
+
+TEST(TraceRecorder, AggregatesFromRecords) {
+  TraceRecorder trace;
+  trace.add_frame({0, 0.00, 2, 10e6, 10e6});
+  trace.add_frame({1, 0.02, 4, 30e6, 40e6});
+  trace.add_frame({2, 0.04, 3, 20e6, 60e6});
+  EXPECT_DOUBLE_EQ(trace.mean_active_links(), 3.0);
+  // 60 Mb over 3 frames of 20 ms = 1 Gb/s.
+  EXPECT_NEAR(trace.mean_throughput_bps(), 1e9, 1e3);
+}
+
+TEST(TraceRecorder, CsvRoundTripStructure) {
+  TraceRecorder trace;
+  trace.add_frame({0, 0.0, 1, 5.0, 5.0});
+  trace.add_frame({1, 0.02, 2, 7.0, 12.0});
+  std::ostringstream out;
+  trace.write_csv(out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("frame,time_s,active_links,bits_delivered,bits_total"),
+            std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("1,0.02,2,7,12"), std::string::npos);
+}
+
+TEST(TraceRecorder, SimulationFillsTrace) {
+  protocols::MmV2VParams params;
+  protocols::MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 71);
+  s.horizon_s = 0.2;
+  OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+
+  const TraceRecorder& trace = sim.trace();
+  ASSERT_EQ(trace.frames().size(), sim.frames_run());
+  EXPECT_GT(trace.mean_active_links(), 0.0);
+  EXPECT_GT(trace.mean_throughput_bps(), 0.0);
+  // Cumulative totals must be non-decreasing and consistent with deltas.
+  double running = 0.0;
+  for (const FrameRecord& f : trace.frames()) {
+    running += f.bits_delivered;
+    EXPECT_NEAR(f.bits_total, running, 1.0);
+  }
+  EXPECT_NEAR(running, sim.ledger().total_delivered(), 1.0);
+}
+
+TEST(TraceRecorder, MetricsCsvWritesSamples) {
+  protocols::MmV2VParams params;
+  protocols::MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 73);
+  s.horizon_s = 0.2;
+  OhmSimulation sim{s, protocol};
+  sim.run(0.1);
+
+  std::ostringstream metrics_csv;
+  TraceRecorder::write_metrics_csv(metrics_csv, sim.samples());
+  const std::string metrics = metrics_csv.str();
+  EXPECT_EQ(std::count(metrics.begin(), metrics.end(), '\n'),
+            static_cast<std::ptrdiff_t>(sim.samples().size()) + 1);
+
+  std::ostringstream vehicle_csv;
+  TraceRecorder::write_per_vehicle_csv(vehicle_csv, sim.final_metrics());
+  const std::string vehicles = vehicle_csv.str();
+  EXPECT_EQ(std::count(vehicles.begin(), vehicles.end(), '\n'),
+            static_cast<std::ptrdiff_t>(sim.final_metrics().per_vehicle.size()) + 1);
+}
+
+TEST(Ledger, TotalDeliveredSumsDirections) {
+  TransferLedger ledger{100.0};
+  ledger.record(1, 2, 30.0);
+  ledger.record(2, 1, 20.0);
+  ledger.record(3, 4, 50.0);
+  EXPECT_DOUBLE_EQ(ledger.total_delivered(), 100.0);
+}
+
+}  // namespace
+}  // namespace mmv2v::core

@@ -1,0 +1,103 @@
+#include "geom/angles.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmv2v::geom {
+namespace {
+
+TEST(Angles, DegRadRoundTrip) {
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(rad_to_deg(kPi / 2.0), 90.0, 1e-12);
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(37.5)), 37.5, 1e-12);
+}
+
+TEST(Angles, WrapTwoPi) {
+  EXPECT_NEAR(wrap_two_pi(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(-kPi / 2.0), 1.5 * kPi, 1e-12);
+  EXPECT_NEAR(wrap_two_pi(5.0 * kTwoPi + 1.0), 1.0, 1e-9);
+}
+
+TEST(Angles, WrapPi) {
+  EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-12);
+  EXPECT_NEAR(wrap_pi(kPi + 0.1), -kPi + 0.1, 1e-12);
+  EXPECT_NEAR(wrap_pi(-0.1), -0.1, 1e-12);
+}
+
+TEST(Angles, AngularDistanceSymmetricAndBounded) {
+  EXPECT_NEAR(angular_distance(0.1, kTwoPi - 0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angular_distance(0.0, kPi), kPi, 1e-12);
+  for (double a = 0.0; a < kTwoPi; a += 0.37) {
+    for (double b = 0.0; b < kTwoPi; b += 0.53) {
+      EXPECT_NEAR(angular_distance(a, b), angular_distance(b, a), 1e-12);
+      EXPECT_LE(angular_distance(a, b), kPi + 1e-12);
+      EXPECT_GE(angular_distance(a, b), 0.0);
+    }
+  }
+}
+
+TEST(Bearing, CompassConvention) {
+  const Vec2 origin{0.0, 0.0};
+  EXPECT_NEAR(bearing(origin, {0.0, 1.0}), 0.0, 1e-12) << "north";
+  EXPECT_NEAR(bearing(origin, {1.0, 0.0}), kPi / 2.0, 1e-12) << "east";
+  EXPECT_NEAR(bearing(origin, {0.0, -1.0}), kPi, 1e-12) << "south";
+  EXPECT_NEAR(bearing(origin, {-1.0, 0.0}), 1.5 * kPi, 1e-12) << "west";
+}
+
+TEST(Bearing, ReverseBearingIsPlusPi) {
+  const Vec2 a{3.0, 7.0};
+  const Vec2 b{-2.0, 1.0};
+  EXPECT_NEAR(wrap_two_pi(bearing(a, b) + kPi), bearing(b, a), 1e-12);
+}
+
+TEST(Bearing, UnitVectorRoundTrip) {
+  for (double br = 0.05; br < kTwoPi; br += 0.31) {
+    const Vec2 u = bearing_to_unit(br);
+    EXPECT_NEAR(u.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(bearing({0.0, 0.0}, u), br, 1e-9);
+  }
+}
+
+TEST(SectorGrid, WidthAndCenters) {
+  const SectorGrid grid{24};
+  EXPECT_EQ(grid.count(), 24);
+  EXPECT_NEAR(grid.width(), deg_to_rad(15.0), 1e-12);
+  EXPECT_NEAR(grid.center(0), deg_to_rad(7.5), 1e-12);
+  EXPECT_NEAR(grid.center(23), deg_to_rad(352.5), 1e-12);
+}
+
+TEST(SectorGrid, SectorOfCoversAllBearings) {
+  const SectorGrid grid{24};
+  EXPECT_EQ(grid.sector_of(0.0), 0);
+  EXPECT_EQ(grid.sector_of(deg_to_rad(14.999)), 0);
+  EXPECT_EQ(grid.sector_of(deg_to_rad(15.001)), 1);
+  EXPECT_EQ(grid.sector_of(deg_to_rad(359.999)), 23);
+  // fp guard: exactly 2*pi wraps to sector 0
+  EXPECT_EQ(grid.sector_of(kTwoPi), 0);
+}
+
+TEST(SectorGrid, OppositeSector) {
+  const SectorGrid grid{24};
+  EXPECT_EQ(grid.opposite(0), 12);
+  EXPECT_EQ(grid.opposite(12), 0);
+  EXPECT_EQ(grid.opposite(23), 11);
+  for (int s = 0; s < 24; ++s) {
+    EXPECT_EQ(grid.opposite(grid.opposite(s)), s);
+  }
+}
+
+TEST(SectorGrid, OppositeSectorFacesReverseBearing) {
+  // The SND rendezvous invariant: if the bearing from A to B lies in sector
+  // s, then the bearing from B to A lies in opposite(s).
+  const SectorGrid grid{24};
+  const Vec2 a{0.0, 0.0};
+  for (double angle = 0.01; angle < kTwoPi; angle += 0.05) {
+    const Vec2 b = a + bearing_to_unit(angle) * 50.0;
+    const int s_ab = grid.sector_of(bearing(a, b));
+    const int s_ba = grid.sector_of(bearing(b, a));
+    EXPECT_EQ(s_ba, grid.opposite(s_ab)) << "angle " << angle;
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::geom

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "geom/los.hpp"
+#include "geom/rect.hpp"
+
+namespace mmv2v::geom {
+namespace {
+
+TEST(Segments, BasicIntersection) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(Segments, TouchingEndpointsCount) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {1, 5}));
+}
+
+TEST(Segments, CollinearOverlap) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {3, 0}, {1, 0}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {2, 0}, {3, 0}));
+}
+
+TEST(OrientedRect, ContainsAxisAligned) {
+  const OrientedRect r{{0, 0}, {1, 0}, 2.0, 1.0};  // 4 x 2 box
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({1.9, 0.9}));
+  EXPECT_TRUE(r.contains({2.0, 1.0}));  // boundary
+  EXPECT_FALSE(r.contains({2.1, 0.0}));
+  EXPECT_FALSE(r.contains({0.0, 1.1}));
+}
+
+TEST(OrientedRect, ContainsRotated) {
+  // Heading 45 degrees: the rect's long axis runs along (1,1)/sqrt(2).
+  const Vec2 axis = Vec2{1.0, 1.0}.normalized();
+  const OrientedRect r{{0, 0}, axis, 2.0, 0.5};
+  EXPECT_TRUE(r.contains(axis * 1.9));
+  EXPECT_FALSE(r.contains(axis * 2.1));
+  EXPECT_FALSE(r.contains({1.9, 0.0}));  // outside the rotated footprint
+}
+
+TEST(OrientedRect, CornersFormTheFootprint) {
+  const OrientedRect r{{1, 1}, {1, 0}, 2.0, 0.5};
+  const auto c = r.corners();
+  for (const Vec2 p : c) {
+    EXPECT_TRUE(r.contains(p));
+  }
+  EXPECT_NEAR(distance(c[0], c[2]), 2.0 * std::hypot(2.0, 0.5), 1e-12);
+}
+
+TEST(OrientedRect, SegmentIntersection) {
+  const OrientedRect r{{5, 0}, {1, 0}, 2.0, 1.0};  // x in [3,7], y in [-1,1]
+  EXPECT_TRUE(r.intersects_segment({0, 0}, {10, 0})) << "straight through";
+  EXPECT_TRUE(r.intersects_segment({0, 0}, {5, 0})) << "endpoint inside";
+  EXPECT_FALSE(r.intersects_segment({0, 2}, {10, 2})) << "passes above";
+  EXPECT_TRUE(r.intersects_segment({0, -2}, {10, 2})) << "diagonal crossing";
+  EXPECT_FALSE(r.intersects_segment({0, 0}, {2, 0})) << "stops short";
+}
+
+TEST(LosEvaluator, CountsBlockersOnPath) {
+  LosEvaluator los;
+  // Vehicles at x = 10, 20, 30 on the segment from (0,0) to (40,0).
+  for (std::size_t k = 0; k < 3; ++k) {
+    los.add(Blocker{OrientedRect{{10.0 * (k + 1), 0.0}, {1, 0}, 2.3, 0.9}, 100 + k});
+  }
+  EXPECT_EQ(los.blocker_count({0, 0}, {40, 0}, 1, 2), 3);
+  EXPECT_FALSE(los.has_los({0, 0}, {40, 0}, 1, 2));
+  EXPECT_TRUE(los.has_los({0, 5}, {40, 5}, 1, 2)) << "one lane over is clear";
+}
+
+TEST(LosEvaluator, ExcludesEndpointOwners) {
+  LosEvaluator los;
+  los.add(Blocker{OrientedRect{{10, 0}, {1, 0}, 2.3, 0.9}, 7});
+  los.add(Blocker{OrientedRect{{20, 0}, {1, 0}, 2.3, 0.9}, 8});
+  // Link between vehicles 7 and 8: their own bodies do not block.
+  EXPECT_EQ(los.blocker_count({10, 0}, {20, 0}, 7, 8), 0);
+  // A third party sees both as blockers.
+  EXPECT_EQ(los.blocker_count({0, 0}, {30, 0}, 1, 2), 2);
+}
+
+TEST(LosEvaluator, AdjacentLaneGeometry) {
+  // A car 66 m ahead in the adjacent lane is NOT blocked by the car halfway
+  // in between in either lane (the classic highway visibility case).
+  LosEvaluator los;
+  los.add(Blocker{OrientedRect{{33, 0}, {1, 0}, 2.3, 0.9}, 50});   // own lane
+  los.add(Blocker{OrientedRect{{33, 5}, {1, 0}, 2.3, 0.9}, 51});   // adjacent
+  EXPECT_TRUE(los.has_los({0, 0}, {66, 5}, 1, 2));
+  // But straight ahead in the own lane it IS blocked.
+  EXPECT_FALSE(los.has_los({0, 0}, {66, 0}, 1, 2));
+}
+
+TEST(LosEvaluator, EmptyIsAlwaysClear) {
+  const LosEvaluator los;
+  EXPECT_TRUE(los.has_los({0, 0}, {100, 100}, 0, 1));
+  EXPECT_EQ(los.size(), 0u);
+}
+
+TEST(LosEvaluator, BoundingBoxPrefilterDoesNotMissDiagonals) {
+  LosEvaluator los;
+  los.add(Blocker{OrientedRect{{50, 50}, {1, 0}, 2.3, 0.9}, 9});
+  EXPECT_FALSE(los.has_los({0, 0}, {100, 100}, 1, 2));
+  // A segment whose bounding box contains the car but whose line passes ~7 m
+  // away must stay clear (prefilter must not produce false positives).
+  EXPECT_TRUE(los.has_los({0, 90}, {100, -10}, 1, 2));
+}
+
+}  // namespace
+}  // namespace mmv2v::geom

@@ -1,0 +1,65 @@
+// Parameterized sector-grid properties over the even sector counts the
+// protocol stack supports.
+#include <gtest/gtest.h>
+
+#include "geom/angles.hpp"
+
+namespace mmv2v::geom {
+namespace {
+
+class SectorGridProperties : public ::testing::TestWithParam<int> {
+ protected:
+  SectorGrid grid_{GetParam()};
+};
+
+TEST_P(SectorGridProperties, SectorsPartitionTheCircle) {
+  // Every bearing maps to exactly one sector, and centers map to themselves.
+  const int s = GetParam();
+  for (int i = 0; i < s; ++i) {
+    EXPECT_EQ(grid_.sector_of(grid_.center(i)), i);
+  }
+  // Dense scan: sector index is non-decreasing then wraps once.
+  int wraps = 0;
+  int prev = grid_.sector_of(0.0);
+  for (double b = 0.001; b < kTwoPi; b += 0.001) {
+    const int cur = grid_.sector_of(b);
+    if (cur != prev) {
+      EXPECT_TRUE(cur == prev + 1 || (prev == s - 1 && cur == 0));
+      if (prev == s - 1 && cur == 0) ++wraps;
+      prev = cur;
+    }
+  }
+  EXPECT_LE(wraps, 1);
+}
+
+TEST_P(SectorGridProperties, OppositeIsInvolutionWithHalfTurn) {
+  const int s = GetParam();
+  for (int i = 0; i < s; ++i) {
+    const int opp = grid_.opposite(i);
+    EXPECT_EQ(grid_.opposite(opp), i);
+    EXPECT_NEAR(angular_distance(grid_.center(i), grid_.center(opp)), kPi, 1e-9);
+  }
+}
+
+TEST_P(SectorGridProperties, RendezvousInvariantHoldsEverywhere) {
+  // If bearing(a->b) is in sector t, bearing(b->a) is in opposite(t): the
+  // geometric foundation of SND for any even S.
+  const Vec2 a{0.0, 0.0};
+  for (double angle = 0.0005; angle < kTwoPi; angle += 0.01) {
+    const Vec2 b = a + bearing_to_unit(angle) * 42.0;
+    EXPECT_EQ(grid_.sector_of(bearing(b, a)),
+              grid_.opposite(grid_.sector_of(bearing(a, b))))
+        << "angle " << angle << " S " << GetParam();
+  }
+}
+
+TEST_P(SectorGridProperties, WidthTimesCountIsFullCircle) {
+  EXPECT_NEAR(grid_.width() * GetParam(), kTwoPi, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(EvenCounts, SectorGridProperties,
+                         ::testing::Values(2, 4, 8, 12, 16, 24, 36, 64),
+                         [](const auto& info) { return "S" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace mmv2v::geom

@@ -1,0 +1,61 @@
+#include "geom/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmv2v::geom {
+namespace {
+
+TEST(Vec2, ArithmeticOperators) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -4.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, -2.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 6.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2.0}));
+  EXPECT_EQ(-a, (Vec2{-1.0, -2.0}));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1.0, 1.0};
+  v += Vec2{2.0, 3.0};
+  EXPECT_EQ(v, (Vec2{3.0, 4.0}));
+  v -= Vec2{1.0, 1.0};
+  EXPECT_EQ(v, (Vec2{2.0, 3.0}));
+  v *= 2.0;
+  EXPECT_EQ(v, (Vec2{4.0, 6.0}));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 x{1.0, 0.0};
+  const Vec2 y{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+  EXPECT_DOUBLE_EQ(x.dot(x), 1.0);
+  EXPECT_DOUBLE_EQ(x.cross(y), 1.0) << "y is CCW of x";
+  EXPECT_DOUBLE_EQ(y.cross(x), -1.0);
+}
+
+TEST(Vec2, NormAndDistance) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, v), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, NormalizedHandlesZero) {
+  EXPECT_EQ((Vec2{0.0, 0.0}).normalized(), (Vec2{0.0, 0.0}));
+  const Vec2 n = Vec2{10.0, 0.0}.normalized();
+  EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+  EXPECT_DOUBLE_EQ(n.x, 1.0);
+}
+
+TEST(Vec2, PerpIsCcwRotation) {
+  const Vec2 v{2.0, 1.0};
+  const Vec2 p = v.perp();
+  EXPECT_DOUBLE_EQ(v.dot(p), 0.0);
+  EXPECT_GT(v.cross(p), 0.0) << "perp must be +90 deg (CCW)";
+}
+
+}  // namespace
+}  // namespace mmv2v::geom

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "net/mac_address.hpp"
+#include "net/neighbor_table.hpp"
+
+namespace mmv2v::net {
+namespace {
+
+TEST(MacAddress, Masks48Bits) {
+  const MacAddress m{0xffff'ffff'ffff'ffffULL};
+  EXPECT_EQ(m.value(), 0xffff'ffff'ffffULL);
+}
+
+TEST(MacAddress, ForVehicleIsInjective) {
+  for (std::size_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(MacAddress::for_vehicle(i).value() & 0xffffffULL, i);
+    EXPECT_NE(MacAddress::for_vehicle(i), MacAddress::for_vehicle(i + 1));
+  }
+}
+
+TEST(MacAddress, TotalOrderMatchesValue) {
+  EXPECT_LT(MacAddress{1}, MacAddress{2});
+  EXPECT_GT(MacAddress::for_vehicle(9), MacAddress::for_vehicle(3));
+  EXPECT_EQ(MacAddress{5}, MacAddress{5});
+}
+
+TEST(MacAddress, ToStringFormat) {
+  EXPECT_EQ(MacAddress{0x0200'5e00'002aULL}.to_string(), "02:00:5e:00:00:2a");
+  EXPECT_EQ(MacAddress{0}.to_string(), "00:00:00:00:00:00");
+}
+
+NeighborEntry entry(NodeId id, std::uint64_t frame, double snr = 10.0, int sector = 0) {
+  NeighborEntry e;
+  e.id = id;
+  e.mac = MacAddress::for_vehicle(id);
+  e.sector_toward = sector;
+  e.snr_db = snr;
+  e.last_seen_frame = frame;
+  return e;
+}
+
+TEST(NeighborTable, ObserveInsertsAndFinds) {
+  NeighborTable t{5};
+  t.observe(entry(3, 0));
+  EXPECT_TRUE(t.contains(3));
+  EXPECT_FALSE(t.contains(4));
+  ASSERT_TRUE(t.find(3).has_value());
+  EXPECT_EQ(t.find(3)->id, 3u);
+  EXPECT_FALSE(t.find(4).has_value());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(NeighborTable, NewerFrameReplaces) {
+  NeighborTable t{5};
+  t.observe(entry(3, 0, 10.0, 1));
+  t.observe(entry(3, 2, 5.0, 7));
+  EXPECT_EQ(t.find(3)->sector_toward, 7);
+  EXPECT_DOUBLE_EQ(t.find(3)->snr_db, 5.0);
+}
+
+TEST(NeighborTable, SameFrameKeepsStrongest) {
+  // Within one frame a main-lobe rendezvous must beat a side-lobe sighting
+  // regardless of arrival order.
+  NeighborTable t{5};
+  t.observe(entry(3, 1, 4.0, 9));    // side lobe first
+  t.observe(entry(3, 1, 20.0, 2));   // rendezvous
+  t.observe(entry(3, 1, -3.0, 11));  // another side lobe after
+  EXPECT_EQ(t.find(3)->sector_toward, 2);
+  EXPECT_DOUBLE_EQ(t.find(3)->snr_db, 20.0);
+}
+
+TEST(NeighborTable, OlderFrameNeverDowngrades) {
+  NeighborTable t{5};
+  t.observe(entry(3, 5, 10.0, 1));
+  t.observe(entry(3, 4, 50.0, 2));  // stale, even if stronger
+  EXPECT_EQ(t.find(3)->sector_toward, 1);
+}
+
+TEST(NeighborTable, AgeOutDropsStaleEntries) {
+  NeighborTable t{2};
+  t.observe(entry(1, 0));
+  t.observe(entry(2, 3));
+  t.age_out(5);  // entry 1 is 5 frames old (> 2), entry 2 is 2 frames old
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_TRUE(t.contains(2));
+}
+
+TEST(NeighborTable, EntriesSeenInFiltersByFrame) {
+  NeighborTable t{10};
+  t.observe(entry(1, 3));
+  t.observe(entry(2, 4));
+  t.observe(entry(3, 4));
+  EXPECT_EQ(t.entries_seen_in(4).size(), 2u);
+  EXPECT_EQ(t.entries_seen_in(3).size(), 1u);
+  EXPECT_EQ(t.entries().size(), 3u);
+}
+
+TEST(NeighborTable, EraseAndClear) {
+  NeighborTable t{5};
+  t.observe(entry(1, 0));
+  t.observe(entry(2, 0));
+  t.erase(1);
+  EXPECT_FALSE(t.contains(1));
+  EXPECT_EQ(t.size(), 1u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mmv2v::net

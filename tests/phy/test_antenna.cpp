@@ -1,0 +1,97 @@
+#include "phy/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/angles.hpp"
+
+namespace mmv2v::phy {
+namespace {
+
+using geom::deg_to_rad;
+
+TEST(BeamPattern, PeakAtBoresight) {
+  const BeamPattern p = BeamPattern::make(deg_to_rad(30.0));
+  EXPECT_DOUBLE_EQ(p.gain(0.0), p.main_gain());
+  EXPECT_LT(p.gain(deg_to_rad(5.0)), p.main_gain());
+}
+
+TEST(BeamPattern, HalfPowerAtHalfBeamWidth) {
+  // By Eq. 2 the gain at gamma = w/2 is exactly 3 dB below the peak.
+  for (double width_deg : {12.0, 30.0, 3.0}) {
+    const BeamPattern p = BeamPattern::make(deg_to_rad(width_deg));
+    const double ratio = p.gain(deg_to_rad(width_deg / 2.0)) / p.main_gain();
+    EXPECT_NEAR(10.0 * std::log10(ratio), -3.0, 1e-9) << width_deg << " deg";
+  }
+}
+
+TEST(BeamPattern, SideLobeFloorBeyondBoundary) {
+  const BeamPattern p = BeamPattern::make(deg_to_rad(30.0), 20.0);
+  EXPECT_DOUBLE_EQ(p.gain(geom::kPi), p.side_gain());
+  EXPECT_DOUBLE_EQ(p.gain(p.main_lobe_boundary() * 1.01), p.side_gain());
+  EXPECT_NEAR(10.0 * std::log10(p.main_gain() / p.side_gain()), 20.0, 1e-9);
+}
+
+TEST(BeamPattern, ContinuousAtMainLobeBoundary) {
+  const BeamPattern p = BeamPattern::make(deg_to_rad(12.0), 20.0);
+  const double theta1 = p.main_lobe_boundary();
+  EXPECT_NEAR(p.gain(theta1 - 1e-9), p.side_gain(), p.side_gain() * 1e-3);
+}
+
+TEST(BeamPattern, EnergyConservation) {
+  // make() chooses the main gain so total radiated power over the circle is
+  // 2*pi (Wildman-style normalization).
+  for (double width_deg : {3.0, 12.0, 30.0, 60.0}) {
+    const BeamPattern p = BeamPattern::make(deg_to_rad(width_deg));
+    EXPECT_NEAR(p.integrated_power(), geom::kTwoPi, geom::kTwoPi * 0.01)
+        << width_deg << " deg";
+  }
+}
+
+TEST(BeamPattern, NarrowerBeamHasHigherPeakGain) {
+  const double g30 = BeamPattern::make(deg_to_rad(30.0)).main_gain();
+  const double g12 = BeamPattern::make(deg_to_rad(12.0)).main_gain();
+  const double g3 = BeamPattern::make(deg_to_rad(3.0)).main_gain();
+  EXPECT_GT(g12, g30);
+  EXPECT_GT(g3, g12);
+}
+
+TEST(BeamPattern, GainIsEven) {
+  const BeamPattern p = BeamPattern::make(deg_to_rad(30.0));
+  for (double g = 0.0; g < geom::kPi; g += 0.1) {
+    EXPECT_DOUBLE_EQ(p.gain(g), p.gain(-g));
+  }
+}
+
+TEST(BeamPattern, RejectsBadParameters) {
+  EXPECT_THROW(BeamPattern::make(0.0), std::invalid_argument);
+  EXPECT_THROW(BeamPattern::make(deg_to_rad(30.0), 0.0), std::invalid_argument);
+  EXPECT_THROW((BeamPattern{deg_to_rad(30.0), 1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW((BeamPattern{deg_to_rad(30.0), -1.0, 0.5}), std::invalid_argument);
+}
+
+TEST(BeamPattern, IsotropicSpecialCase) {
+  const BeamPattern omni{geom::kTwoPi, 1.0, 1.0};
+  for (double g = 0.0; g <= geom::kPi; g += 0.3) {
+    EXPECT_DOUBLE_EQ(omni.gain(g), 1.0);
+  }
+}
+
+TEST(Beam, GainTowardUsesAngularDistance) {
+  const BeamPattern p = BeamPattern::make(deg_to_rad(30.0));
+  const Beam beam{deg_to_rad(350.0), &p};
+  // 15 degrees away across the north wrap.
+  EXPECT_NEAR(beam.gain_toward(deg_to_rad(5.0)), p.gain(deg_to_rad(15.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(beam.gain_toward(deg_to_rad(350.0)), p.main_gain());
+}
+
+TEST(BeamPattern, PaperBeamWidthsHavePlausibleGains) {
+  // 2-D energy-conserving gains: 30 deg -> ~10 dB, 12 deg -> ~13.5 dB,
+  // 3 deg -> ~17 dB. These anchor the link budget of the whole simulator.
+  const auto db = [](double g) { return 10.0 * std::log10(g); };
+  EXPECT_NEAR(db(BeamPattern::make(deg_to_rad(30.0)).main_gain()), 10.2, 0.5);
+  EXPECT_NEAR(db(BeamPattern::make(deg_to_rad(12.0)).main_gain()), 13.5, 0.5);
+  EXPECT_NEAR(db(BeamPattern::make(deg_to_rad(3.0)).main_gain()), 17.3, 0.5);
+}
+
+}  // namespace
+}  // namespace mmv2v::phy

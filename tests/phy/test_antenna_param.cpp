@@ -1,0 +1,82 @@
+// Parameterized property suite over beam widths: every codebook level the
+// protocols use (and a few extremes) must satisfy the pattern invariants.
+#include "phy/antenna.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/angles.hpp"
+
+namespace mmv2v::phy {
+namespace {
+
+class BeamWidthProperties : public ::testing::TestWithParam<double> {
+ protected:
+  double width_rad() const { return geom::deg_to_rad(GetParam()); }
+};
+
+TEST_P(BeamWidthProperties, EnergyIsConserved) {
+  const BeamPattern p = BeamPattern::make(width_rad());
+  EXPECT_NEAR(p.integrated_power(), geom::kTwoPi, geom::kTwoPi * 0.015);
+}
+
+TEST_P(BeamWidthProperties, GainIsMonotoneOutToSideLobe) {
+  const BeamPattern p = BeamPattern::make(width_rad());
+  double prev = p.gain(0.0);
+  const double theta1 = std::min(p.main_lobe_boundary(), geom::kPi);
+  for (double g = theta1 / 200.0; g <= theta1; g += theta1 / 200.0) {
+    const double cur = p.gain(g);
+    EXPECT_LE(cur, prev + 1e-12) << "at offset " << g;
+    prev = cur;
+  }
+}
+
+TEST_P(BeamWidthProperties, SideLobeTwentyDbBelowPeak) {
+  const BeamPattern p = BeamPattern::make(width_rad(), 20.0);
+  EXPECT_NEAR(10.0 * std::log10(p.main_gain() / p.side_gain()), 20.0, 1e-9);
+}
+
+TEST_P(BeamWidthProperties, HalfPowerPointAtHalfWidth) {
+  const BeamPattern p = BeamPattern::make(width_rad());
+  const double ratio_db =
+      10.0 * std::log10(p.gain(width_rad() / 2.0) / p.main_gain());
+  EXPECT_NEAR(ratio_db, -3.0, 1e-9);
+}
+
+TEST_P(BeamWidthProperties, PeakGainBelowTheoreticalMaximum) {
+  // A 2-D pattern radiating all power into exactly the main lobe of width w
+  // would have gain 2*pi/w; the Gaussian pattern must stay below that.
+  const BeamPattern p = BeamPattern::make(width_rad());
+  EXPECT_LT(p.main_gain(), geom::kTwoPi / width_rad() * 1.5);
+  EXPECT_GT(p.main_gain(), 1.0) << "directional beams beat isotropic";
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAndExtremeWidths, BeamWidthProperties,
+                         ::testing::Values(1.0, 3.0, 6.0, 12.0, 15.0, 30.0, 45.0,
+                                           60.0, 90.0),
+                         [](const auto& info) {
+                           return "deg" + std::to_string(static_cast<int>(info.param));
+                         });
+
+class SideLobeProperties : public ::testing::TestWithParam<double> {};
+
+TEST_P(SideLobeProperties, DeeperSuppressionRaisesPeak) {
+  const double sll = GetParam();
+  const BeamPattern base = BeamPattern::make(geom::deg_to_rad(30.0), sll);
+  const BeamPattern deeper = BeamPattern::make(geom::deg_to_rad(30.0), sll + 10.0);
+  EXPECT_GT(deeper.main_gain(), base.main_gain());
+  EXPECT_LT(deeper.side_gain(), base.side_gain());
+}
+
+TEST_P(SideLobeProperties, EnergyHoldsAcrossSuppressionLevels) {
+  const BeamPattern p = BeamPattern::make(geom::deg_to_rad(12.0), GetParam());
+  EXPECT_NEAR(p.integrated_power(), geom::kTwoPi, geom::kTwoPi * 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suppression, SideLobeProperties,
+                         ::testing::Values(10.0, 15.0, 20.0, 25.0, 30.0),
+                         [](const auto& info) {
+                           return "sll" + std::to_string(static_cast<int>(info.param));
+                         });
+
+}  // namespace
+}  // namespace mmv2v::phy

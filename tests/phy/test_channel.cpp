@@ -1,0 +1,145 @@
+#include "phy/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "geom/angles.hpp"
+#include "phy/codebook.hpp"
+
+namespace mmv2v::phy {
+namespace {
+
+using geom::deg_to_rad;
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelModel channel_{};
+  BeamPattern narrow_ = BeamPattern::make(deg_to_rad(3.0));
+  BeamPattern wide_ = BeamPattern::make(deg_to_rad(30.0));
+  geom::LosEvaluator empty_los_{};
+
+  Emitter emitter(std::size_t id, geom::Vec2 pos, double bearing,
+                  const BeamPattern* p) const {
+    return Emitter{id, pos, Beam{bearing, p}, channel_.params().tx_power_dbm};
+  }
+  Receiver receiver(std::size_t id, geom::Vec2 pos, double bearing,
+                    const BeamPattern* p) const {
+    return Receiver{id, pos, Beam{bearing, p}};
+  }
+};
+
+TEST_F(ChannelTest, BoresightLinkBudget) {
+  // Vehicle at origin beaming north at a receiver 66 m north beaming south.
+  const Emitter tx = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  const double p_rx_dbm = units::watts_to_dbm(channel_.rx_power_watts(tx, rx, empty_los_));
+  const double expected = 28.0 + 2.0 * 10.0 * std::log10(narrow_.main_gain()) -
+                          path_loss_db(channel_.params().pathloss, 66.0);
+  EXPECT_NEAR(p_rx_dbm, expected, 1e-9);
+}
+
+TEST_F(ChannelTest, SnrSupportsHighMcsAtPaperDistances) {
+  // At the paper's 15 vpl spacing (66 m) a refined link must run fast MCS.
+  const Emitter tx = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  const double snr = channel_.snr_db(tx, rx, empty_los_);
+  EXPECT_GT(channel_.mcs().data_rate_bps(snr), 2.0e9);
+}
+
+TEST_F(ChannelTest, MisalignedBeamsLoseGain) {
+  const Emitter tx_on = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Emitter tx_off = emitter(0, {0, 0}, deg_to_rad(20.0), &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  EXPECT_GT(channel_.rx_power_watts(tx_on, rx, empty_los_),
+            channel_.rx_power_watts(tx_off, rx, empty_los_) * 50.0);
+}
+
+TEST_F(ChannelTest, BlockerCutsPower) {
+  geom::LosEvaluator los;
+  los.add(geom::Blocker{geom::OrientedRect{{0, 33}, {0, 1}, 2.3, 0.9}, 99});
+  const Emitter tx = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  const double clear = channel_.rx_power_watts(tx, rx, empty_los_);
+  const double blocked = channel_.rx_power_watts(tx, rx, los);
+  EXPECT_NEAR(10.0 * std::log10(clear / blocked),
+              channel_.params().pathloss.per_blocker_db, 1e-9);
+}
+
+TEST_F(ChannelTest, SinrEqualsSnrWithoutInterferers) {
+  const Emitter tx = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  EXPECT_NEAR(channel_.sinr_db(tx, rx, {}, empty_los_), channel_.snr_db(tx, rx, empty_los_),
+              1e-12);
+}
+
+TEST_F(ChannelTest, InterferenceLowersSinr) {
+  const Emitter tx = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  // An interferer 30 m east of the receiver beaming straight at it.
+  const Emitter interferer = emitter(2, {30, 66}, deg_to_rad(270.0), &narrow_);
+  std::vector<Emitter> interferers{interferer};
+  const double sinr = channel_.sinr_db(tx, rx, interferers, empty_los_);
+  EXPECT_LT(sinr, channel_.snr_db(tx, rx, empty_los_) - 3.0);
+}
+
+TEST_F(ChannelTest, InterferenceSkipsLinkEndpoints) {
+  const Emitter tx = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  // "Interferers" that are actually the link's own endpoints are skipped.
+  std::vector<Emitter> interferers{emitter(0, {0, 0}, 0.0, &narrow_),
+                                   emitter(1, {0, 66}, geom::kPi, &narrow_)};
+  EXPECT_NEAR(channel_.sinr_db(tx, rx, interferers, empty_los_),
+              channel_.snr_db(tx, rx, empty_los_), 1e-12);
+}
+
+TEST_F(ChannelTest, SidelobeInterferenceIsWeak) {
+  const Emitter tx = emitter(0, {0, 0}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {0, 66}, geom::kPi, &narrow_);
+  // Interferer at same distance but beaming away from the receiver.
+  const Emitter interferer = emitter(2, {30, 66}, deg_to_rad(90.0), &narrow_);
+  std::vector<Emitter> interferers{interferer};
+  EXPECT_NEAR(channel_.sinr_db(tx, rx, interferers, empty_los_),
+              channel_.snr_db(tx, rx, empty_los_), 1.5);
+}
+
+TEST_F(ChannelTest, CoLocatedRadiosYieldNoPower) {
+  const Emitter tx = emitter(0, {5, 5}, 0.0, &narrow_);
+  const Receiver rx = receiver(1, {5, 5}, 0.0, &narrow_);
+  EXPECT_DOUBLE_EQ(channel_.rx_power_watts(tx, rx, empty_los_), 0.0);
+}
+
+TEST(Codebook, LevelBeamsTileTheCircle) {
+  const CodebookLevel level{deg_to_rad(15.0), 24};
+  EXPECT_EQ(level.beam_count(), 24);
+  EXPECT_NEAR(level.center_of(0), deg_to_rad(7.5), 1e-12);
+  EXPECT_NEAR(level.center_of(23), deg_to_rad(352.5), 1e-12);
+  EXPECT_THROW((void)level.center_of(24), std::out_of_range);
+}
+
+TEST(Codebook, BestBeamTowardIsNearest) {
+  const CodebookLevel level{deg_to_rad(15.0), 24};
+  EXPECT_EQ(level.best_index_toward(deg_to_rad(8.0)), 0);
+  EXPECT_EQ(level.best_index_toward(deg_to_rad(16.0)), 1);
+  EXPECT_EQ(level.best_index_toward(deg_to_rad(359.0)), 23);
+  const Beam b = level.best_beam_toward(deg_to_rad(100.0));
+  EXPECT_NEAR(b.center_bearing_rad, deg_to_rad(97.5), 1e-12);
+}
+
+TEST(Codebook, SteeredBeamPointsAnywhere) {
+  const CodebookLevel level{deg_to_rad(3.0), 120};
+  const Beam b = level.steered(deg_to_rad(123.4));
+  EXPECT_NEAR(b.center_bearing_rad, deg_to_rad(123.4), 1e-12);
+}
+
+TEST(Codebook, MultiLevelAccess) {
+  Codebook book;
+  EXPECT_EQ(book.add_level(CodebookLevel{deg_to_rad(30.0), 12}), 0u);
+  EXPECT_EQ(book.add_level(CodebookLevel{deg_to_rad(12.0), 30}), 1u);
+  EXPECT_EQ(book.add_level(CodebookLevel{deg_to_rad(3.0), 120}), 2u);
+  EXPECT_EQ(book.level_count(), 3u);
+  EXPECT_EQ(book.level(2).beam_count(), 120);
+  EXPECT_THROW((void)book.level(3), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mmv2v::phy

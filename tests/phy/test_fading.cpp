@@ -1,0 +1,87 @@
+#include "phy/fading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace mmv2v::phy {
+namespace {
+
+TEST(Fading, DisabledByDefault) {
+  const FadingModel model;
+  EXPECT_FALSE(model.enabled());
+  EXPECT_DOUBLE_EQ(model.loss_db(1, 2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.shadowing_db(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(model.small_scale_gain(1, 2, 7), 1.0);
+}
+
+TEST(Fading, ShadowingIsSymmetricAndQuasiStatic) {
+  const FadingModel model{{.shadowing_sigma_db = 4.0, .nakagami_m = 0.0, .seed = 9}};
+  EXPECT_DOUBLE_EQ(model.shadowing_db(3, 8), model.shadowing_db(8, 3));
+  EXPECT_DOUBLE_EQ(model.loss_db(3, 8, 0), model.loss_db(3, 8, 1000))
+      << "shadowing must not vary with the tick";
+}
+
+TEST(Fading, ShadowingMomentsMatchSigma) {
+  const double sigma = 6.0;
+  const FadingModel model{{.shadowing_sigma_db = sigma, .nakagami_m = 0.0, .seed = 1}};
+  RunningStats stats;
+  for (std::size_t a = 0; a < 200; ++a) {
+    for (std::size_t b = a + 1; b < a + 11; ++b) stats.add(model.shadowing_db(a, b));
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.5);
+  EXPECT_NEAR(stats.stddev(), sigma, sigma * 0.1);
+}
+
+TEST(Fading, SmallScaleGainHasUnitMean) {
+  const FadingModel model{{.shadowing_sigma_db = 0.0, .nakagami_m = 3.0, .seed = 2}};
+  RunningStats stats;
+  for (std::uint64_t tick = 0; tick < 20000; ++tick) {
+    stats.add(model.small_scale_gain(1, 2, tick));
+  }
+  EXPECT_NEAR(stats.mean(), 1.0, 0.05);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(Fading, SmallScaleVarianceShrinksWithM) {
+  // Nakagami power gain variance = 1/m: m=1 (Rayleigh) is much more volatile
+  // than m=10 (near-AWGN).
+  auto stddev_for = [](double m) {
+    const FadingModel model{{.shadowing_sigma_db = 0.0, .nakagami_m = m, .seed = 3}};
+    RunningStats stats;
+    for (std::uint64_t tick = 0; tick < 20000; ++tick) {
+      stats.add(model.small_scale_gain(4, 5, tick));
+    }
+    return stats.stddev();
+  };
+  const double s1 = stddev_for(1.0);
+  const double s10 = stddev_for(10.0);
+  EXPECT_GT(s1, 2.0 * s10);
+  EXPECT_NEAR(s1, 1.0, 0.25) << "Rayleigh power std ~ 1";
+}
+
+TEST(Fading, SmallScaleVariesPerTickAndPerPair) {
+  const FadingModel model{{.shadowing_sigma_db = 0.0, .nakagami_m = 2.0, .seed = 4}};
+  EXPECT_NE(model.small_scale_gain(1, 2, 0), model.small_scale_gain(1, 2, 1));
+  EXPECT_NE(model.small_scale_gain(1, 2, 0), model.small_scale_gain(1, 3, 0));
+}
+
+TEST(Fading, DeterministicAcrossInstances) {
+  const FadingParams params{.shadowing_sigma_db = 3.0, .nakagami_m = 2.0, .seed = 5};
+  const FadingModel a{params};
+  const FadingModel b{params};
+  for (std::uint64_t tick = 0; tick < 50; ++tick) {
+    EXPECT_DOUBLE_EQ(a.loss_db(7, 9, tick), b.loss_db(7, 9, tick));
+  }
+}
+
+TEST(Fading, SeedChangesRealization) {
+  const FadingModel a{{.shadowing_sigma_db = 3.0, .nakagami_m = 0.0, .seed = 1}};
+  const FadingModel b{{.shadowing_sigma_db = 3.0, .nakagami_m = 0.0, .seed = 2}};
+  EXPECT_NE(a.shadowing_db(1, 2), b.shadowing_db(1, 2));
+}
+
+}  // namespace
+}  // namespace mmv2v::phy

@@ -1,0 +1,73 @@
+// Parameterized MCS-table properties over every index and several receiver
+// noise figures.
+#include <gtest/gtest.h>
+
+#include "phy/mcs.hpp"
+
+namespace mmv2v::phy {
+namespace {
+
+class McsIndexProperties : public ::testing::TestWithParam<int> {
+ protected:
+  McsTable table_{};
+};
+
+TEST_P(McsIndexProperties, SelectAtThresholdDecodesAtLeastThisRate) {
+  const int mcs = GetParam();
+  const double snr = table_.required_snr_db(mcs) + 1e-9;
+  const auto pick = table_.select(snr);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_GE(table_.rate_of(*pick), table_.rate_of(mcs))
+      << "selection must never pick a slower scheme than a decodable one";
+}
+
+TEST_P(McsIndexProperties, JustBelowThresholdCannotUseThisMcs) {
+  const int mcs = GetParam();
+  const double snr = table_.required_snr_db(mcs) - 0.01;
+  const auto pick = table_.select(snr);
+  if (pick.has_value()) {
+    EXPECT_NE(*pick, mcs);
+  }
+}
+
+TEST_P(McsIndexProperties, RequiredSnrShiftsOneToOneWithNoiseFigure) {
+  const int mcs = GetParam();
+  const McsTable nf6{6.0};
+  const McsTable nf12{12.0};
+  EXPECT_NEAR(nf6.required_snr_db(mcs) - nf12.required_snr_db(mcs), 6.0, 1e-9);
+}
+
+TEST_P(McsIndexProperties, DataRateAtThresholdIsAtLeastTabulated) {
+  const int mcs = GetParam();
+  if (mcs == 0) GTEST_SKIP() << "MCS0 is control-only";
+  EXPECT_GE(table_.data_rate_bps(table_.required_snr_db(mcs) + 1e-9),
+            table_.rate_of(mcs));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllIndices, McsIndexProperties, ::testing::Range(0, 13),
+                         [](const auto& info) { return "MCS" + std::to_string(info.param); });
+
+TEST(McsTableGlobal, RatesStrictlyIncreaseWithIndexWithinFamilies) {
+  // Data rates are strictly increasing in index (the standard's table).
+  const McsTable table;
+  for (int m = 2; m <= 12; ++m) {
+    EXPECT_GT(table.rate_of(m), table.rate_of(m - 1));
+  }
+}
+
+TEST(McsTableGlobal, ControlPhyIsMostRobust) {
+  const McsTable table;
+  for (int m = 1; m <= 12; ++m) {
+    EXPECT_LT(table.required_snr_db(0), table.required_snr_db(m));
+  }
+}
+
+TEST(McsTableGlobal, NoiseFloorMatchesBandwidth) {
+  const McsTable full{10.0, 2.16e9};
+  const McsTable half{10.0, 1.08e9};
+  EXPECT_NEAR(full.noise_floor_dbm() - half.noise_floor_dbm(), 3.0103, 1e-3)
+      << "halving bandwidth lowers the floor by 3 dB";
+}
+
+}  // namespace
+}  // namespace mmv2v::phy

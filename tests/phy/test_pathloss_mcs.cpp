@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "phy/mcs.hpp"
+#include "phy/pathloss.hpp"
+
+namespace mmv2v::phy {
+namespace {
+
+TEST(PathLoss, MonotoneInDistance) {
+  const PathLossParams p;
+  double prev = path_loss_db(p, 1.0);
+  for (double d = 2.0; d <= 500.0; d *= 1.5) {
+    const double pl = path_loss_db(p, d);
+    EXPECT_GT(pl, prev);
+    prev = pl;
+  }
+}
+
+TEST(PathLoss, Eq1Composition) {
+  // PL(d) = a*10*log10(d) + O + 15*d/1000 with zero blockers.
+  const PathLossParams p{.exponent = 2.66, .intercept_db = 68.0, .per_blocker_db = 10.0,
+                         .atmospheric_db_per_km = 15.0};
+  EXPECT_NEAR(path_loss_db(p, 100.0), 2.66 * 10.0 * 2.0 + 68.0 + 1.5, 1e-9);
+  EXPECT_NEAR(path_loss_db(p, 1.0), 68.0 + 0.015, 1e-9);
+}
+
+TEST(PathLoss, BlockerPenaltyIsLinear) {
+  const PathLossParams p;
+  const double base = path_loss_db(p, 50.0, 0);
+  EXPECT_NEAR(path_loss_db(p, 50.0, 1) - base, p.per_blocker_db, 1e-12);
+  EXPECT_NEAR(path_loss_db(p, 50.0, 3) - base, 3.0 * p.per_blocker_db, 1e-12);
+}
+
+TEST(PathLoss, ClampsBelowOneMeter) {
+  const PathLossParams p;
+  EXPECT_DOUBLE_EQ(path_loss_db(p, 0.1), path_loss_db(p, 1.0));
+}
+
+TEST(PathLoss, ChannelGainInvertsLoss) {
+  const PathLossParams p;
+  const double g = channel_gain(p, 80.0, 1);
+  EXPECT_NEAR(10.0 * std::log10(g), -path_loss_db(p, 80.0, 1), 1e-9);
+}
+
+TEST(McsTable, RatesMatchStandard) {
+  const McsTable mcs;
+  EXPECT_DOUBLE_EQ(mcs.rate_of(0), 27.5e6);
+  EXPECT_DOUBLE_EQ(mcs.rate_of(1), 385.0e6);
+  EXPECT_DOUBLE_EQ(mcs.rate_of(12), 4620.0e6);
+  EXPECT_DOUBLE_EQ(McsTable::max_rate_bps(), 4.62e9);
+  EXPECT_THROW((void)mcs.rate_of(13), std::out_of_range);
+  EXPECT_THROW((void)mcs.rate_of(-1), std::out_of_range);
+}
+
+TEST(McsTable, RequiredSnrTracksSensitivity) {
+  const McsTable mcs{10.0};
+  // MCS12: -53 dBm sensitivity, noise floor ~-80.65 dBm, NF 10 dB.
+  EXPECT_NEAR(mcs.required_snr_db(12), -53.0 + 80.654 - 10.0, 0.01);
+  // Control PHY is far more robust than any data MCS.
+  EXPECT_LT(mcs.required_snr_db(0), mcs.required_snr_db(1));
+}
+
+TEST(McsTable, SelectPicksHighestRateNotHighestIndex) {
+  const McsTable mcs;
+  // At an SINR between MCS5's and MCS6's thresholds the higher-rate MCS6
+  // (whose sensitivity is better) must win even though 5 < 6.
+  const double snr = mcs.required_snr_db(6) + 0.1;
+  ASSERT_LT(mcs.required_snr_db(6), mcs.required_snr_db(5));
+  const auto pick = mcs.select(snr);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_GE(mcs.rate_of(*pick), mcs.rate_of(6));
+}
+
+TEST(McsTable, SelectReturnsNulloptBelowControl) {
+  const McsTable mcs;
+  EXPECT_FALSE(mcs.select(-40.0).has_value());
+  EXPECT_FALSE(mcs.control_decodable(-40.0));
+  EXPECT_TRUE(mcs.control_decodable(mcs.required_snr_db(0) + 0.01));
+}
+
+TEST(McsTable, DataRateMonotoneInSinr) {
+  const McsTable mcs;
+  double prev = -1.0;
+  for (double snr = -15.0; snr <= 30.0; snr += 0.5) {
+    const double r = mcs.data_rate_bps(snr);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(mcs.data_rate_bps(30.0), 4.62e9);
+  EXPECT_DOUBLE_EQ(mcs.data_rate_bps(-20.0), 0.0);
+}
+
+TEST(McsTable, ControlOnlyRegionHasZeroDataRate) {
+  const McsTable mcs;
+  const double snr = (mcs.required_snr_db(0) + mcs.required_snr_db(1)) / 2.0;
+  EXPECT_TRUE(mcs.control_decodable(snr));
+  EXPECT_DOUBLE_EQ(mcs.data_rate_bps(snr), 0.0);
+}
+
+TEST(Evm, MatchesInverseSqrtSinr) {
+  EXPECT_DOUBLE_EQ(evm_from_sinr(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(evm_from_sinr(100.0), 0.1);
+  EXPECT_NEAR(evm_from_sinr(4.0), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmv2v::phy

@@ -1,0 +1,230 @@
+#include "protocols/mmv2v/dcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "protocols/mmv2v/cns.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+net::NeighborEntry neighbor(net::NodeId id, double snr) {
+  net::NeighborEntry e;
+  e.id = id;
+  e.mac = net::MacAddress::for_vehicle(id);
+  e.snr_db = snr;
+  return e;
+}
+
+std::vector<net::MacAddress> macs_for(std::size_t n) {
+  std::vector<net::MacAddress> macs(n);
+  for (std::size_t i = 0; i < n; ++i) macs[i] = net::MacAddress::for_vehicle(i);
+  return macs;
+}
+
+/// Fully connected symmetric neighbor lists with given SNR(i,j).
+std::vector<std::vector<net::NeighborEntry>> clique(
+    std::size_t n, const std::function<double(std::size_t, std::size_t)>& snr) {
+  std::vector<std::vector<net::NeighborEntry>> lists(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) lists[i].push_back(neighbor(j, snr(i, j)));
+    }
+  }
+  return lists;
+}
+
+TEST(Cns, PairSlotIsSymmetricAndBounded) {
+  const ConsensualSchedule cns{7};
+  for (std::size_t a = 0; a < 30; ++a) {
+    for (std::size_t b = 0; b < 30; ++b) {
+      const int s = cns.pair_slot(net::MacAddress::for_vehicle(a),
+                                  net::MacAddress::for_vehicle(b));
+      EXPECT_GE(s, 0);
+      EXPECT_LT(s, 7);
+      EXPECT_EQ(s, cns.pair_slot(net::MacAddress::for_vehicle(b),
+                                 net::MacAddress::for_vehicle(a)));
+    }
+  }
+}
+
+TEST(Cns, ScheduledInRecursModuloC) {
+  const ConsensualSchedule cns{7};
+  const auto a = net::MacAddress::for_vehicle(1);
+  const auto b = net::MacAddress::for_vehicle(2);
+  const int slot = cns.pair_slot(a, b);
+  for (int m = 0; m < 40; ++m) {
+    EXPECT_EQ(cns.scheduled_in(a, b, m), m % 7 == slot);
+  }
+}
+
+TEST(Cns, RejectsNonPositiveModulus) {
+  EXPECT_THROW(ConsensualSchedule{0}, std::invalid_argument);
+  EXPECT_THROW(ConsensualSchedule{-3}, std::invalid_argument);
+}
+
+TEST(Dcm, ValidatesParameters) {
+  EXPECT_THROW(ConsensualMatching({0, 7}), std::invalid_argument);
+  EXPECT_THROW(ConsensualMatching({40, 0}), std::invalid_argument);
+}
+
+TEST(Dcm, CandidateRelationStaysMutual) {
+  // Core invariant: after any number of slots, i's candidate j implies j's
+  // candidate is i.
+  const std::size_t n = 12;
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(n);
+  const auto lists = clique(n, [](std::size_t i, std::size_t j) {
+    return 10.0 + static_cast<double>((i * 7 + j * 13) % 17);
+  });
+  const auto macs = macs_for(n);
+  Xoshiro256pp rng{11};
+  for (int m = 0; m < 40; ++m) {
+    dcm.run_slot(m, lists, macs, nullptr, rng);
+    const auto& st = dcm.candidates();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st[i].candidate.has_value()) {
+        EXPECT_EQ(st[*st[i].candidate].candidate, i) << "slot " << m;
+      }
+    }
+  }
+}
+
+TEST(Dcm, MatchingIsValidMatching) {
+  const std::size_t n = 20;
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(n);
+  const auto lists = clique(n, [](std::size_t i, std::size_t j) {
+    return 5.0 + static_cast<double>((i + j) % 11);
+  });
+  Xoshiro256pp rng{13};
+  dcm.run_all(lists, macs_for(n), nullptr, rng);
+  std::set<net::NodeId> seen;
+  for (const auto& [a, b] : dcm.matched_pairs()) {
+    EXPECT_LT(a, b);
+    EXPECT_TRUE(seen.insert(a).second) << "vehicle in two pairs";
+    EXPECT_TRUE(seen.insert(b).second) << "vehicle in two pairs";
+  }
+}
+
+TEST(Dcm, TwoVehiclesAlwaysPairUp) {
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(2);
+  const auto lists = clique(2, [](std::size_t, std::size_t) { return 10.0; });
+  Xoshiro256pp rng{17};
+  dcm.run_all(lists, macs_for(2), nullptr, rng);
+  ASSERT_EQ(dcm.matched_pairs().size(), 1u);
+  EXPECT_EQ(dcm.matched_pairs()[0], (std::pair<net::NodeId, net::NodeId>{0, 1}));
+}
+
+TEST(Dcm, PrefersBetterLinks) {
+  // Triangle where link (0,1) is far better than (0,2) and (1,2): the greedy
+  // matching must pick (0,1).
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(3);
+  const auto lists = clique(3, [](std::size_t i, std::size_t j) {
+    return (i + j == 1) ? 30.0 : 5.0;  // pair {0,1} has SNR 30
+  });
+  Xoshiro256pp rng{19};
+  dcm.run_all(lists, macs_for(3), nullptr, rng);
+  ASSERT_EQ(dcm.matched_pairs().size(), 1u);
+  EXPECT_EQ(dcm.matched_pairs()[0], (std::pair<net::NodeId, net::NodeId>{0, 1}));
+}
+
+TEST(Dcm, DroppedCandidateIsInformed) {
+  // 0-1 pair first, then 1 upgrades to 2 (better link): 0 must become
+  // candidate-less (the "link update" of paper Fig. 4).
+  ConsensualMatching dcm{{40, 1}};  // C=1: every pair negotiates every slot
+  dcm.reset(3);
+  std::vector<std::vector<net::NeighborEntry>> lists(3);
+  lists[0] = {neighbor(1, 10.0)};
+  lists[1] = {neighbor(0, 10.0), neighbor(2, 20.0)};
+  lists[2] = {neighbor(1, 20.0)};
+  Xoshiro256pp rng{23};
+  dcm.run_all(lists, macs_for(3), nullptr, rng);
+  const auto pairs = dcm.matched_pairs();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<net::NodeId, net::NodeId>{1, 2}));
+  EXPECT_FALSE(dcm.candidates()[0].candidate.has_value());
+}
+
+TEST(Dcm, CompletedPairsAreSkipped) {
+  core::TransferLedger ledger{100.0};
+  ledger.record(0, 1, 100.0);
+  ledger.record(1, 0, 100.0);  // pair (0,1) complete
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(3);
+  const auto lists = clique(3, [](std::size_t i, std::size_t j) {
+    return (i + j == 1) ? 30.0 : 5.0;
+  });
+  Xoshiro256pp rng{29};
+  dcm.run_all(lists, macs_for(3), &ledger, rng);
+  // (0,1) is done; the only possible matches involve vehicle 2.
+  for (const auto& [a, b] : dcm.matched_pairs()) {
+    EXPECT_TRUE(a == 2 || b == 2);
+  }
+  EXPECT_EQ(dcm.matched_pairs().size(), 1u);
+}
+
+TEST(Dcm, MoreSlotsNeverReduceMatchSize) {
+  const std::size_t n = 16;
+  const auto lists = clique(n, [](std::size_t i, std::size_t j) {
+    return 10.0 + static_cast<double>((i * 3 + j * 5) % 13);
+  });
+  const auto macs = macs_for(n);
+  std::size_t prev = 0;
+  for (int slots : {5, 10, 20, 40}) {
+    ConsensualMatching dcm{{slots, 7}};
+    dcm.reset(n);
+    Xoshiro256pp rng{31};
+    dcm.run_all(lists, macs, nullptr, rng);
+    const std::size_t matched = dcm.matched_pairs().size();
+    EXPECT_GE(matched + 1, prev) << "allow +-1 jitter from random slot picks";
+    prev = matched;
+  }
+}
+
+TEST(Dcm, SlotMismatchedSizesThrow) {
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(3);
+  const auto lists = clique(2, [](std::size_t, std::size_t) { return 1.0; });
+  Xoshiro256pp rng{1};
+  EXPECT_THROW(dcm.run_slot(0, lists, macs_for(2), nullptr, rng), std::invalid_argument);
+}
+
+TEST(Dcm, IsolatedVehiclesStayUnmatched) {
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(4);
+  std::vector<std::vector<net::NeighborEntry>> lists(4);  // nobody knows anyone
+  Xoshiro256pp rng{37};
+  dcm.run_all(lists, macs_for(4), nullptr, rng);
+  EXPECT_TRUE(dcm.matched_pairs().empty());
+  for (const auto& st : dcm.candidates()) EXPECT_FALSE(st.candidate.has_value());
+}
+
+TEST(Dcm, GreedyApproximatesMaxWeightMatchingOnSmallGraphs) {
+  // 4 vehicles, weights chosen so the greedy outcome is the true maximum
+  // weight matching {0-1, 2-3}: w(0,1)=30, w(2,3)=29, w(1,2)=20, others 5.
+  ConsensualMatching dcm{{80, 7}};
+  dcm.reset(4);
+  const auto w = [](std::size_t i, std::size_t j) -> double {
+    const auto key = std::minmax(i, j);
+    if (key == std::minmax<std::size_t>(0, 1)) return 30.0;
+    if (key == std::minmax<std::size_t>(2, 3)) return 29.0;
+    if (key == std::minmax<std::size_t>(1, 2)) return 20.0;
+    return 5.0;
+  };
+  const auto lists = clique(4, w);
+  Xoshiro256pp rng{41};
+  dcm.run_all(lists, macs_for(4), nullptr, rng);
+  std::set<std::pair<net::NodeId, net::NodeId>> pairs(dcm.matched_pairs().begin(),
+                                                      dcm.matched_pairs().end());
+  EXPECT_TRUE(pairs.count({0, 1}) == 1);
+  EXPECT_TRUE(pairs.count({2, 3}) == 1);
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

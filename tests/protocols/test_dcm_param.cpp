@@ -1,0 +1,136 @@
+// Parameterized DCM properties over the CNS modulus C and network size:
+// mutuality, matching validity, and approximate maximality.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <tuple>
+
+#include "protocols/mmv2v/dcm.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+struct DcmCase {
+  int modulus_c;
+  std::size_t vehicles;
+};
+
+class DcmProperties : public ::testing::TestWithParam<DcmCase> {
+ protected:
+  /// Geometric-ish random graph: i and j are neighbors iff |i-j| <= 3.
+  std::vector<std::vector<net::NeighborEntry>> band_graph(std::size_t n) const {
+    std::vector<std::vector<net::NeighborEntry>> lists(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j || (i > j ? i - j : j - i) > 3) continue;
+        net::NeighborEntry e;
+        e.id = j;
+        e.mac = net::MacAddress::for_vehicle(j);
+        e.snr_db = 10.0 + static_cast<double>((i * 31 + j * 17) % 23);
+        lists[i].push_back(e);
+      }
+    }
+    return lists;
+  }
+
+  std::vector<net::MacAddress> macs(std::size_t n) const {
+    std::vector<net::MacAddress> m(n);
+    for (std::size_t i = 0; i < n; ++i) m[i] = net::MacAddress::for_vehicle(i);
+    return m;
+  }
+};
+
+TEST_P(DcmProperties, CandidatesAreMutualAfterEverySlot) {
+  const auto [c, n] = GetParam();
+  ConsensualMatching dcm{{40, c}};
+  dcm.reset(n);
+  const auto lists = band_graph(n);
+  const auto ms = macs(n);
+  Xoshiro256pp rng{static_cast<std::uint64_t>(c * 1000 + static_cast<int>(n))};
+  for (int m = 0; m < 40; ++m) {
+    dcm.run_slot(m, lists, ms, nullptr, rng);
+    const auto& st = dcm.candidates();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st[i].candidate.has_value()) {
+        ASSERT_EQ(st[*st[i].candidate].candidate, i);
+      }
+    }
+  }
+}
+
+TEST_P(DcmProperties, MatchingIsValid) {
+  const auto [c, n] = GetParam();
+  ConsensualMatching dcm{{40, c}};
+  dcm.reset(n);
+  Xoshiro256pp rng{static_cast<std::uint64_t>(c * 7 + static_cast<int>(n))};
+  dcm.run_all(band_graph(n), macs(n), nullptr, rng);
+  std::set<net::NodeId> seen;
+  for (const auto& [a, b] : dcm.matched_pairs()) {
+    EXPECT_LT(a, b);
+    EXPECT_TRUE(seen.insert(a).second);
+    EXPECT_TRUE(seen.insert(b).second);
+    EXPECT_LE((b > a ? b - a : a - b), 3u) << "matched pairs must be graph neighbors";
+  }
+}
+
+TEST_P(DcmProperties, MatchingIsNearlyMaximal) {
+  // After M=40 slots, two unmatched mutual neighbors are an anomaly: their
+  // CNS slot recurred ~40/C times and both were free. Tolerate a small
+  // fraction from same-slot pick collisions.
+  const auto [c, n] = GetParam();
+  ConsensualMatching dcm{{40, c}};
+  dcm.reset(n);
+  const auto lists = band_graph(n);
+  Xoshiro256pp rng{static_cast<std::uint64_t>(c * 131 + static_cast<int>(n))};
+  dcm.run_all(lists, macs(n), nullptr, rng);
+
+  std::vector<bool> matched(n, false);
+  for (const auto& [a, b] : dcm.matched_pairs()) matched[a] = matched[b] = true;
+  std::size_t violations = 0;
+  std::size_t unmatched_adjacent_pairs = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& e : lists[i]) {
+      if (e.id <= i) continue;
+      if (!matched[i] && !matched[e.id]) {
+        ++unmatched_adjacent_pairs;
+        ++violations;
+      }
+    }
+  }
+  // C = 1 is the paper's pathological case (every neighbor in one slot,
+  // random tie-breaks): tolerate more residue there.
+  const std::size_t limit = c == 1 ? n / 4 : n / 10;
+  EXPECT_LE(violations, limit) << unmatched_adjacent_pairs
+                               << " unmatched adjacent pairs remain";
+}
+
+TEST_P(DcmProperties, RespectsLedgerExclusions) {
+  const auto [c, n] = GetParam();
+  core::TransferLedger ledger{1.0};
+  // Mark every pair involving vehicle 0 complete.
+  for (std::size_t j = 1; j <= 3 && j < n; ++j) {
+    ledger.record(0, j, 1.0);
+    ledger.record(j, 0, 1.0);
+  }
+  ConsensualMatching dcm{{40, c}};
+  dcm.reset(n);
+  Xoshiro256pp rng{99};
+  dcm.run_all(band_graph(n), macs(n), &ledger, rng);
+  for (const auto& [a, b] : dcm.matched_pairs()) {
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModulusAndSize, DcmProperties,
+    ::testing::Values(DcmCase{1, 20}, DcmCase{3, 20}, DcmCase{7, 20}, DcmCase{12, 20},
+                      DcmCase{7, 6}, DcmCase{7, 60}, DcmCase{4, 41}),
+    [](const auto& info) {
+      return "C" + std::to_string(info.param.modulus_c) + "_n" +
+             std::to_string(info.param.vehicles);
+    });
+
+}  // namespace
+}  // namespace mmv2v::protocols

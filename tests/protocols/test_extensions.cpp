@@ -1,0 +1,159 @@
+// Tests for the extension features beyond the paper's core design:
+// clock-synchronization error in SND and the persistent-matching variant.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/simulation.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "protocols/mmv2v/snd.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+double discovery_ratio(const core::World& world, const SndParams& params,
+                       std::uint64_t seed) {
+  const SyncNeighborDiscovery snd{params};
+  std::vector<net::NeighborTable> tables(world.size(), net::NeighborTable{5});
+  Xoshiro256pp rng{seed};
+  snd.run(world, 0, tables, rng);
+  std::size_t found = 0, total = 0;
+  for (net::NodeId i = 0; i < world.size(); ++i) {
+    for (net::NodeId j : world.ground_truth_neighbors(i)) {
+      ++total;
+      if (tables[i].contains(j)) ++found;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(found) / static_cast<double>(total);
+}
+
+class ClockErrorTest : public ::testing::Test {
+ protected:
+  ClockErrorTest() : world_(mmv2v::testing::small_scenario(18.0, 401), 401) {}
+  SndParams params(double sigma_s) const {
+    SndParams p;
+    p.max_neighbor_range_m = world_.config().comm_range_m;
+    p.clock_sigma_s = sigma_s;
+    return p;
+  }
+  core::World world_;
+};
+
+TEST_F(ClockErrorTest, GpsGradeSyncIsHarmless) {
+  // 100 ns (the paper's GPS budget) vs perfect sync: identical discovery.
+  const double perfect = discovery_ratio(world_, params(0.0), 9);
+  const double gps = discovery_ratio(world_, params(100e-9), 9);
+  EXPECT_DOUBLE_EQ(gps, perfect);
+}
+
+TEST_F(ClockErrorTest, DwellScaleErrorsDegradeDiscovery) {
+  const double perfect = discovery_ratio(world_, params(0.0), 9);
+  const double bad = discovery_ratio(world_, params(16e-6), 9);
+  EXPECT_LT(bad, perfect * 0.75);
+}
+
+TEST_F(ClockErrorTest, HugeErrorsKillMostDiscovery) {
+  const double huge = discovery_ratio(world_, params(200e-6), 9);
+  EXPECT_LT(huge, 0.15);
+}
+
+TEST_F(ClockErrorTest, OffsetsAreStableAndSeeded) {
+  const SyncNeighborDiscovery a{params(1e-6)};
+  const SyncNeighborDiscovery b{params(1e-6)};
+  for (net::NodeId v = 0; v < 20; ++v) {
+    EXPECT_DOUBLE_EQ(a.clock_offset_s(v), b.clock_offset_s(v));
+  }
+  SndParams reseeded = params(1e-6);
+  reseeded.clock_seed = 99;
+  const SyncNeighborDiscovery c{reseeded};
+  bool any_diff = false;
+  for (net::NodeId v = 0; v < 20; ++v) {
+    any_diff = any_diff || a.clock_offset_s(v) != c.clock_offset_s(v);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ClockErrorTest, ZeroSigmaMeansZeroOffsets) {
+  const SyncNeighborDiscovery snd{params(0.0)};
+  for (net::NodeId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(snd.clock_offset_s(v), 0.0);
+  }
+}
+
+class PersistentMatchingTest : public ::testing::Test {
+ protected:
+  static core::ScenarioConfig scenario(std::uint64_t seed) {
+    core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, seed);
+    s.horizon_s = 0.4;
+    s.task.rate_mbps = 5000.0;  // large task: pairs stay incomplete
+    return s;
+  }
+};
+
+TEST_F(PersistentMatchingTest, PairsSurviveAcrossFrames) {
+  MmV2VParams params;
+  params.persistent_matching = true;
+  params.seed = 5;
+  MmV2VProtocol protocol{params};
+  core::OhmSimulation sim{scenario(5), protocol};
+
+  std::vector<std::set<std::pair<net::NodeId, net::NodeId>>> matchings;
+  sim.set_frame_observer([&](const core::FrameContext&) {
+    matchings.emplace_back(protocol.current_matching().begin(),
+                           protocol.current_matching().end());
+  });
+  sim.run(0.0);
+
+  // With an undeliverable task every matched pair should persist: frame f+1's
+  // matching must contain (almost) every pair of frame f that stayed in range.
+  ASSERT_GE(matchings.size(), 3u);
+  std::size_t kept = 0, had = 0;
+  for (std::size_t f = 1; f < matchings.size(); ++f) {
+    for (const auto& pair : matchings[f - 1]) {
+      ++had;
+      if (matchings[f].count(pair) != 0) ++kept;
+    }
+  }
+  ASSERT_GT(had, 0u);
+  EXPECT_GT(static_cast<double>(kept) / static_cast<double>(had), 0.95);
+}
+
+TEST_F(PersistentMatchingTest, PerFrameModeReshufflesPairs) {
+  MmV2VParams params;
+  params.persistent_matching = false;
+  params.seed = 5;
+  MmV2VProtocol protocol{params};
+  core::OhmSimulation sim{scenario(5), protocol};
+  std::vector<std::set<std::pair<net::NodeId, net::NodeId>>> matchings;
+  sim.set_frame_observer([&](const core::FrameContext&) {
+    matchings.emplace_back(protocol.current_matching().begin(),
+                           protocol.current_matching().end());
+  });
+  sim.run(0.0);
+  // Some churn must exist (SNR-greedy keeps the best pairs, but the 0.5^K
+  // discovery misses reshuffle the rest).
+  std::size_t changed = 0;
+  for (std::size_t f = 1; f < matchings.size(); ++f) {
+    if (matchings[f] != matchings[f - 1]) ++changed;
+  }
+  EXPECT_GT(changed, 0u);
+}
+
+TEST_F(PersistentMatchingTest, MatchingStaysValidWithCarryOver) {
+  MmV2VParams params;
+  params.persistent_matching = true;
+  MmV2VProtocol protocol{params};
+  core::OhmSimulation sim{scenario(7), protocol};
+  sim.set_frame_observer([&](const core::FrameContext&) {
+    std::set<net::NodeId> seen;
+    for (const auto& [a, b] : protocol.current_matching()) {
+      ASSERT_TRUE(seen.insert(a).second) << "vehicle matched twice";
+      ASSERT_TRUE(seen.insert(b).second) << "vehicle matched twice";
+    }
+  });
+  sim.run(0.0);
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

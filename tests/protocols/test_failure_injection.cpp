@@ -1,0 +1,137 @@
+// Failure-injection and degenerate-configuration tests: the stack must stay
+// well-behaved (no crashes, sane metrics) when the radio environment or the
+// configuration is hostile.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "protocols/ad/ieee80211ad.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "protocols/rop/rop.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+TEST(FailureInjection, ExtremeBlockagePenaltyKillsAllBlockedLinks) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(20.0, 3);
+  s.channel.pathloss.per_blocker_db = 100.0;  // any blocker = dead link
+  s.horizon_s = 0.2;
+  MmV2VProtocol protocol{{}};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  // Ground-truth neighbors are LOS by definition, so progress still happens.
+  EXPECT_GE(sim.final_metrics().mean_atp(), 0.0);
+}
+
+TEST(FailureInjection, HugePathLossMakesRadioSilent) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 5);
+  s.channel.pathloss.intercept_db = 250.0;  // nothing decodes, ever
+  s.horizon_s = 0.1;
+  MmV2VProtocol protocol{{}};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  EXPECT_DOUBLE_EQ(sim.final_metrics().mean_atp(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.final_metrics().mean_ocr(), 0.0);
+}
+
+TEST(FailureInjection, TinyTxPowerDegradesGracefully) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 7);
+  s.horizon_s = 0.2;
+  core::ScenarioConfig weak = s;
+  weak.channel.tx_power_dbm = -20.0;
+
+  MmV2VProtocol p1{{}};
+  core::OhmSimulation strong_sim{s, p1};
+  strong_sim.run(0.0);
+  MmV2VProtocol p2{{}};
+  core::OhmSimulation weak_sim{weak, p2};
+  weak_sim.run(0.0);
+  EXPECT_LE(weak_sim.final_metrics().mean_atp(),
+            strong_sim.final_metrics().mean_atp() + 1e-9);
+}
+
+TEST(FailureInjection, SingleVehicleWorldIsQuietButAlive) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(1.0, 9);
+  s.traffic.bidirectional = false;
+  s.traffic.lanes_per_direction = 1;
+  s.traffic.road_length_m = 500.0;
+  s.horizon_s = 0.1;
+  MmV2VProtocol protocol{{}};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  EXPECT_TRUE(sim.final_metrics().per_vehicle.empty()) << "no neighbors anywhere";
+}
+
+TEST(FailureInjection, ZeroPcpProbabilityMeansNoPbss) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 11);
+  s.horizon_s = 0.1;
+  AdParams params;
+  params.pcp_probability = 0.0;
+  Ieee80211adProtocol protocol{params};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  EXPECT_EQ(protocol.pbss_count(), 0u);
+  EXPECT_DOUBLE_EQ(sim.final_metrics().mean_atp(), 0.0);
+}
+
+TEST(FailureInjection, AllPcpMeansNoMembers) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 13);
+  s.horizon_s = 0.1;
+  AdParams params;
+  params.pcp_probability = 1.0;
+  Ieee80211adProtocol protocol{params};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  for (const auto& group : protocol.pbss_members()) {
+    EXPECT_EQ(group.size(), 1u) << "PCP-only PBSSs cannot have members";
+  }
+  EXPECT_DOUBLE_EQ(sim.final_metrics().mean_atp(), 0.0);
+}
+
+TEST(FailureInjection, OverfullControlPlaneIsRejectedUpFront) {
+  // K and M so large that no UDT time remains must throw at construction of
+  // the schedule, not corrupt the frame.
+  MmV2VParams params;
+  params.snd.rounds = 20;   // 15.4 ms of sweeps
+  params.dcm.slots = 300;   // + 9 ms of negotiation > 20 ms frame
+  MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(10.0, 15);
+  s.horizon_s = 0.1;
+  core::OhmSimulation sim{s, protocol};
+  EXPECT_THROW(sim.run(0.0), std::invalid_argument);
+}
+
+TEST(FailureInjection, RopSurvivesEmptyDiscovery) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 17);
+  s.channel.pathloss.intercept_db = 250.0;  // discovery always fails
+  s.horizon_s = 0.1;
+  RopProtocol protocol{{}};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  EXPECT_TRUE(protocol.current_matching().empty());
+}
+
+TEST(FailureInjection, NarrowInterferenceRangeStillRuns) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 19);
+  s.interference_range_m = s.comm_range_m;  // cache barely covers comm range
+  s.horizon_s = 0.2;
+  MmV2VProtocol protocol{{}};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  EXPECT_GT(sim.final_metrics().mean_atp(), 0.0);
+}
+
+TEST(FailureInjection, HugeTaskNeverCompletesButProgresses) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 21);
+  s.task.rate_mbps = 1e6;  // absurd demand
+  s.horizon_s = 0.2;
+  MmV2VProtocol protocol{{}};
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  EXPECT_DOUBLE_EQ(sim.final_metrics().mean_ocr(), 0.0);
+  EXPECT_GT(sim.final_metrics().mean_atp(), 0.0);
+  EXPECT_LT(sim.final_metrics().mean_atp(), 0.05);
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

@@ -1,0 +1,142 @@
+#include "protocols/mmv2v/negotiation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/mmv2v/snd.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+class NegotiationTest : public ::testing::Test {
+ protected:
+  NegotiationTest()
+      : world_(mmv2v::testing::small_scenario(18.0, 501), 501),
+        alpha_(phy::BeamPattern::make(geom::deg_to_rad(30.0))),
+        beta_(phy::BeamPattern::make(geom::deg_to_rad(12.0))) {
+    // Populate tables via one full SND pass so sectors are realistic.
+    SndParams params;
+    params.max_neighbor_range_m = world_.config().comm_range_m;
+    const SyncNeighborDiscovery snd{params};
+    tables_.assign(world_.size(), net::NeighborTable{5});
+    Xoshiro256pp rng{77};
+    snd.run(world_, 0, tables_, rng);
+  }
+
+  /// All mutually discovered ground-truth pairs.
+  std::vector<std::pair<net::NodeId, net::NodeId>> discovered_pairs() const {
+    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+    for (net::NodeId i = 0; i < world_.size(); ++i) {
+      for (net::NodeId j : world_.ground_truth_neighbors(i)) {
+        if (j > i && tables_[i].contains(j) && tables_[j].contains(i)) {
+          pairs.emplace_back(i, j);
+        }
+      }
+    }
+    return pairs;
+  }
+
+  core::World world_;
+  phy::BeamPattern alpha_;
+  phy::BeamPattern beta_;
+  std::vector<net::NeighborTable> tables_;
+};
+
+TEST_F(NegotiationTest, SinglePairAlwaysSucceeds) {
+  const PhyNegotiationChannel channel{world_, tables_, alpha_, beta_, 24};
+  const auto pairs = discovered_pairs();
+  ASSERT_FALSE(pairs.empty());
+  for (std::size_t p = 0; p < std::min<std::size_t>(pairs.size(), 10); ++p) {
+    const auto ok = channel.exchange_succeeds({pairs[p]});
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_TRUE(ok[0]) << "isolated in-range exchange must decode";
+  }
+}
+
+TEST_F(NegotiationTest, ConcurrentSlotMostlySucceeds) {
+  // The paper's design claim: CNS-scheduled concurrent exchanges across the
+  // network rarely collide thanks to directional beams. Throw ALL discovered
+  // pairs into one slot (a worst case far beyond a real CNS slot) and the
+  // success rate should still be high.
+  const PhyNegotiationChannel channel{world_, tables_, alpha_, beta_, 24};
+  // Build a valid matching (disjoint vehicles) greedily.
+  std::vector<bool> used(world_.size(), false);
+  std::vector<std::pair<net::NodeId, net::NodeId>> slot_pairs;
+  for (const auto& [a, b] : discovered_pairs()) {
+    if (used[a] || used[b]) continue;
+    used[a] = used[b] = true;
+    slot_pairs.emplace_back(a, b);
+  }
+  ASSERT_GT(slot_pairs.size(), 5u);
+  const auto ok = channel.exchange_succeeds(slot_pairs);
+  std::size_t succeeded = 0;
+  for (bool b : ok) succeeded += b ? 1 : 0;
+  EXPECT_GT(static_cast<double>(succeeded) / static_cast<double>(ok.size()), 0.8);
+}
+
+TEST_F(NegotiationTest, OutOfRangePairFails) {
+  const PhyNegotiationChannel channel{world_, tables_, alpha_, beta_, 24};
+  // Find two vehicles with no cached geometry (beyond interference range).
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (net::NodeId j = i + 1; j < world_.size(); ++j) {
+      if (world_.pair(i, j) == nullptr) {
+        const auto ok = channel.exchange_succeeds({{i, j}});
+        EXPECT_FALSE(ok[0]);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "all pairs within range in this world";
+}
+
+TEST_F(NegotiationTest, DcmHonorsChannelVerdict) {
+  // A channel that rejects everything must leave DCM with no matches.
+  class RejectAll final : public NegotiationChannel {
+   public:
+    [[nodiscard]] std::vector<bool> exchange_succeeds(
+        const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const override {
+      return std::vector<bool>(pairs.size(), false);
+    }
+  };
+  ConsensualMatching dcm{{40, 7}};
+  dcm.reset(world_.size());
+  std::vector<std::vector<net::NeighborEntry>> neighbors(world_.size());
+  std::vector<net::MacAddress> macs(world_.size());
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    neighbors[i] = tables_[i].entries();
+    macs[i] = world_.mac(i);
+  }
+  Xoshiro256pp rng{31};
+  const RejectAll reject;
+  dcm.run_all(neighbors, macs, nullptr, rng, &reject);
+  EXPECT_TRUE(dcm.matched_pairs().empty());
+}
+
+TEST_F(NegotiationTest, IdealChannelMatchesNullBehavior) {
+  class AcceptAll final : public NegotiationChannel {
+   public:
+    [[nodiscard]] std::vector<bool> exchange_succeeds(
+        const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const override {
+      return std::vector<bool>(pairs.size(), true);
+    }
+  };
+  std::vector<std::vector<net::NeighborEntry>> neighbors(world_.size());
+  std::vector<net::MacAddress> macs(world_.size());
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    neighbors[i] = tables_[i].entries();
+    macs[i] = world_.mac(i);
+  }
+  ConsensualMatching with_channel{{40, 7}};
+  with_channel.reset(world_.size());
+  ConsensualMatching without{{40, 7}};
+  without.reset(world_.size());
+  Xoshiro256pp rng_a{31};
+  Xoshiro256pp rng_b{31};
+  const AcceptAll accept;
+  with_channel.run_all(neighbors, macs, nullptr, rng_a, &accept);
+  without.run_all(neighbors, macs, nullptr, rng_b);
+  EXPECT_EQ(with_channel.matched_pairs(), without.matched_pairs());
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

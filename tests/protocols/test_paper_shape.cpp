@@ -1,0 +1,115 @@
+// Regression guard for the reproduction's headline shapes (EXPERIMENTS.md):
+// run all three protocols on one moderate scenario and assert the paper's
+// qualitative orderings. Uses a smaller world than the benches for speed but
+// a fixed seed so thresholds are stable.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "protocols/ad/ieee80211ad.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "protocols/rop/rop.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+struct Outcome {
+  double ocr;
+  double atp;
+  double dtp;
+};
+
+template <typename Protocol, typename Params>
+Outcome run(const core::ScenarioConfig& scenario, Params params) {
+  Protocol protocol{params};
+  core::OhmSimulation sim{scenario, protocol};
+  sim.run(0.0);
+  const auto& m = sim.final_metrics();
+  return {m.mean_ocr(), m.mean_atp(), m.mean_dtp()};
+}
+
+class PaperShape : public ::testing::Test {
+ protected:
+  static core::ScenarioConfig scenario() {
+    core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 901);
+    s.horizon_s = 0.6;
+    return s;
+  }
+};
+
+namespace {
+MmV2VParams mm_params(std::uint64_t seed) {
+  MmV2VParams p;
+  p.seed = seed;
+  return p;
+}
+RopParams rop_params(std::uint64_t seed) {
+  RopParams p;
+  p.seed = seed;
+  return p;
+}
+AdParams ad_params(std::uint64_t seed) {
+  AdParams p;
+  p.seed = seed;
+  return p;
+}
+}  // namespace
+
+TEST_F(PaperShape, MmV2VDominatesBothBaselines) {
+  const Outcome mm = run<MmV2VProtocol>(scenario(), mm_params(1));
+  const Outcome rop = run<RopProtocol>(scenario(), rop_params(2));
+  const Outcome ad = run<Ieee80211adProtocol>(scenario(), ad_params(3));
+
+  // Fig. 9 orderings at normal density: mmV2V well ahead of both baselines
+  // (paper: 0.742 vs 0.319 and 0.465 at 15 vpl).
+  EXPECT_GT(mm.ocr, 1.3 * ad.ocr);
+  EXPECT_GT(mm.ocr, 1.8 * rop.ocr);
+  EXPECT_GT(mm.atp, ad.atp);
+  EXPECT_GT(mm.atp, rop.atp);
+  // And the absolute level is in the paper's neighborhood.
+  EXPECT_GT(mm.ocr, 0.55);
+  EXPECT_LT(mm.ocr, 0.95);
+}
+
+TEST_F(PaperShape, MmV2VIsFairerAtNormalLoad) {
+  // Fig. 9c: at moderate density mmV2V completes most tasks, giving small
+  // DTP relative to the baselines' skewed progress.
+  const Outcome mm = run<MmV2VProtocol>(scenario(), mm_params(4));
+  const Outcome rop = run<RopProtocol>(scenario(), rop_params(5));
+  EXPECT_LT(mm.dtp, rop.dtp + 0.05);
+}
+
+TEST_F(PaperShape, DensityDegradesEveryProtocol) {
+  core::ScenarioConfig sparse = scenario();
+  sparse.traffic.density_vpl = 10.0;
+  core::ScenarioConfig dense = scenario();
+  dense.traffic.density_vpl = 30.0;
+
+  const double mm_sparse = run<MmV2VProtocol>(sparse, mm_params(6)).ocr;
+  const double mm_dense = run<MmV2VProtocol>(dense, mm_params(6)).ocr;
+  EXPECT_GT(mm_sparse, mm_dense) << "more neighbors = more task per vehicle";
+
+  const double ad_sparse = run<Ieee80211adProtocol>(sparse, ad_params(7)).ocr;
+  const double ad_dense = run<Ieee80211adProtocol>(dense, ad_params(7)).ocr;
+  EXPECT_GT(ad_sparse, ad_dense);
+  // 802.11ad's collapse is steeper than mmV2V's (PBSS serialization).
+  EXPECT_GT(mm_dense / std::max(mm_sparse, 1e-9),
+            ad_dense / std::max(ad_sparse, 1e-9) - 0.05);
+}
+
+TEST_F(PaperShape, DiscoveryLawAnchorsAtKThree) {
+  // Theorem 2's working point: with K = 3 a single frame discovers most of
+  // the neighborhood, so mmV2V's first frame already matches many pairs.
+  MmV2VParams params;
+  params.seed = 8;
+  MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = scenario();
+  s.horizon_s = 0.02;  // exactly one frame
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  EXPECT_GT(protocol.current_matching().size(), sim.world().size() / 6)
+      << "one frame must already pair a large fraction of the network";
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

@@ -1,0 +1,186 @@
+// End-to-end protocol tests: each OHM protocol driven by OhmSimulation on a
+// small world, checking progress, invariants, and the paper's qualitative
+// ordering on a coarse scale.
+#include <gtest/gtest.h>
+
+#include "core/simulation.hpp"
+#include "protocols/ad/ieee80211ad.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "protocols/rop/rop.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+core::ScenarioConfig integration_scenario(std::uint64_t seed) {
+  core::ScenarioConfig s = mmv2v::testing::small_scenario(15.0, seed);
+  s.horizon_s = 0.4;  // 20 frames
+  return s;
+}
+
+TEST(MmV2VIntegration, MakesProgressAndRespectsInvariants) {
+  MmV2VParams params;
+  params.seed = 1;
+  MmV2VProtocol protocol{params};
+  core::OhmSimulation sim{integration_scenario(1), protocol};
+  sim.run(0.0);
+
+  const auto& m = sim.final_metrics();
+  EXPECT_GT(m.mean_atp(), 0.05) << "data must flow";
+  EXPECT_GT(sim.frames_run(), 0u);
+  // Matching of the last frame is a valid matching.
+  std::set<net::NodeId> seen;
+  for (const auto& [a, b] : protocol.current_matching()) {
+    EXPECT_TRUE(seen.insert(a).second);
+    EXPECT_TRUE(seen.insert(b).second);
+  }
+}
+
+TEST(MmV2VIntegration, ControlOverheadMatchesSchedule) {
+  MmV2VParams params;
+  MmV2VProtocol protocol{params};
+  core::OhmSimulation sim{integration_scenario(2), protocol};
+  sim.run(0.0);
+  // K=3, M=40, S=24: SND 2.304 ms + DCM 1.2 ms + refinement ~0.21 ms.
+  EXPECT_NEAR(protocol.control_overhead_s(), 3.7e-3, 0.3e-3);
+  EXPECT_LT(protocol.udt_start_offset_s(), 5e-3) << "paper: control < 5 ms";
+}
+
+TEST(MmV2VIntegration, CompletedNeighborsAreNotRematched) {
+  MmV2VParams params;
+  params.seed = 3;
+  MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = integration_scenario(3);
+  s.task.rate_mbps = 1.0;  // trivially small task: completes in one frame
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.0);
+  // With a trivial task nearly everything completes.
+  EXPECT_GT(sim.final_metrics().mean_ocr(), 0.8);
+  // DCM skipped completed pairs at match time, so a small task leaves most
+  // of the network with nothing left to schedule: the final matching must be
+  // far smaller than the first-frame matching would be (~size/2 pairs).
+  EXPECT_LT(protocol.current_matching().size(), sim.world().size() / 4);
+}
+
+TEST(MmV2VIntegration, DeterministicGivenSeeds) {
+  auto run = [] {
+    MmV2VParams params;
+    params.seed = 7;
+    MmV2VProtocol protocol{params};
+    core::OhmSimulation sim{integration_scenario(7), protocol};
+    sim.run(0.0);
+    return sim.final_metrics().mean_atp();
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(RopIntegration, RunsAndLagsMmV2V) {
+  RopParams rop_params;
+  rop_params.seed = 11;
+  RopProtocol rop{rop_params};
+  core::OhmSimulation rop_sim{integration_scenario(11), rop};
+  rop_sim.run(0.0);
+
+  MmV2VParams mm_params;
+  mm_params.seed = 11;
+  MmV2VProtocol mm{mm_params};
+  core::OhmSimulation mm_sim{integration_scenario(11), mm};
+  mm_sim.run(0.0);
+
+  EXPECT_GE(rop_sim.final_metrics().mean_atp(), 0.0);
+  EXPECT_GT(mm_sim.final_metrics().mean_atp(), rop_sim.final_metrics().mean_atp())
+      << "coordinated discovery must beat the random baseline";
+}
+
+TEST(RopIntegration, MatchingIsValid) {
+  RopParams params;
+  params.seed = 13;
+  RopProtocol protocol{params};
+  core::OhmSimulation sim{integration_scenario(13), protocol};
+  sim.run(0.0);
+  std::set<net::NodeId> seen;
+  for (const auto& [a, b] : protocol.current_matching()) {
+    EXPECT_LT(a, b);
+    EXPECT_TRUE(seen.insert(a).second);
+    EXPECT_TRUE(seen.insert(b).second);
+  }
+}
+
+TEST(AdIntegration, FormsPbssAndMovesData) {
+  AdParams params;
+  params.seed = 17;
+  Ieee80211adProtocol protocol{params};
+  core::OhmSimulation sim{integration_scenario(17), protocol};
+  sim.run(0.0);
+  EXPECT_GT(protocol.pbss_count(), 0u) << "with p=0.3 some PCPs must exist";
+  EXPECT_GT(sim.final_metrics().mean_atp(), 0.0);
+}
+
+TEST(AdIntegration, PbssMembershipIsDisjoint) {
+  AdParams params;
+  params.seed = 19;
+  Ieee80211adProtocol protocol{params};
+  core::OhmSimulation sim{integration_scenario(19), protocol};
+  sim.run(0.0);
+  std::set<net::NodeId> seen;
+  for (const auto& group : protocol.pbss_members()) {
+    EXPECT_FALSE(group.empty());
+    for (net::NodeId v : group) {
+      EXPECT_TRUE(seen.insert(v).second) << "vehicle in two PBSSs";
+    }
+  }
+}
+
+TEST(AdIntegration, DtiStartsAfterBtiAndAbft) {
+  AdParams params;
+  Ieee80211adProtocol protocol{params};
+  core::OhmSimulation sim{integration_scenario(23), protocol};
+  sim.run(0.0);
+  // BTI: 24 * 16 us = 0.384 ms; A-BFT 0.5 ms.
+  EXPECT_NEAR(protocol.udt_start_offset_s(), 0.884e-3, 1e-6);
+}
+
+TEST(Simulation, SamplesAtRequestedInterval) {
+  MmV2VParams params;
+  MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = integration_scenario(29);
+  s.horizon_s = 0.3;
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.1);
+  ASSERT_GE(sim.samples().size(), 3u);
+  EXPECT_NEAR(sim.samples()[0].time_s, 0.1, 1e-9);
+  EXPECT_NEAR(sim.samples().back().time_s, 0.3, 1e-9);
+}
+
+TEST(Simulation, AtpNeverDecreasesOverSamples) {
+  MmV2VParams params;
+  MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = integration_scenario(31);
+  s.horizon_s = 0.4;
+  core::OhmSimulation sim{s, protocol};
+  sim.run(0.1);
+  // The ledger only accumulates; with mild topology churn mean ATP should be
+  // (weakly) increasing up to small neighborhood-composition noise.
+  for (std::size_t i = 1; i < sim.samples().size(); ++i) {
+    EXPECT_GE(sim.samples()[i].metrics.mean_atp(),
+              sim.samples()[i - 1].metrics.mean_atp() - 0.05);
+  }
+}
+
+TEST(Simulation, ThrowsOnMisalignedFrameAndTick) {
+  MmV2VParams params;
+  MmV2VProtocol protocol{params};
+  core::ScenarioConfig s = integration_scenario(37);
+  s.timing.mobility_tick_s = 3e-3;  // does not divide 20 ms
+  EXPECT_THROW((core::OhmSimulation{s, protocol}), std::invalid_argument);
+}
+
+TEST(Simulation, FinalMetricsRequiresRun) {
+  MmV2VParams params;
+  MmV2VProtocol protocol{params};
+  core::OhmSimulation sim{integration_scenario(41), protocol};
+  EXPECT_THROW((void)sim.final_metrics(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

@@ -1,0 +1,234 @@
+#include "protocols/mmv2v/snd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+class SndTest : public ::testing::Test {
+ protected:
+  SndTest() : world_(mmv2v::testing::small_scenario(15.0, 101), 101) {}
+
+  SndParams params_with_range() const {
+    SndParams p;
+    p.max_neighbor_range_m = world_.config().comm_range_m;
+    return p;
+  }
+
+  double discovery_ratio(const std::vector<net::NeighborTable>& tables) const {
+    std::size_t found = 0;
+    std::size_t total = 0;
+    for (net::NodeId i = 0; i < world_.size(); ++i) {
+      for (net::NodeId j : world_.ground_truth_neighbors(i)) {
+        ++total;
+        if (tables[i].contains(j)) ++found;
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(found) / static_cast<double>(total);
+  }
+
+  core::World world_;
+};
+
+TEST_F(SndTest, ValidatesParameters) {
+  SndParams p;
+  p.sectors = 23;
+  EXPECT_THROW(SyncNeighborDiscovery{p}, std::invalid_argument) << "odd sectors";
+  p = SndParams{};
+  p.p_tx = 0.0;
+  EXPECT_THROW(SyncNeighborDiscovery{p}, std::invalid_argument);
+  p = SndParams{};
+  p.rounds = 0;
+  EXPECT_THROW(SyncNeighborDiscovery{p}, std::invalid_argument);
+}
+
+TEST_F(SndTest, OppositeRolesDiscoverInOneRound) {
+  // Force a deterministic split: all even ids transmit first. Every pair
+  // with opposite first-sweep roles must discover each other (role swap
+  // covers the other direction): with capture idealized away the sweep
+  // rendezvous is a geometric guarantee.
+  SndParams p = params_with_range();
+  p.ideal_capture = true;
+  const SyncNeighborDiscovery snd{p};
+  std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+  std::vector<bool> tx_first(world_.size());
+  for (std::size_t i = 0; i < world_.size(); ++i) tx_first[i] = (i % 2 == 0);
+  snd.run_round(world_, 0, tx_first, tables);
+
+  std::size_t opposite_pairs = 0;
+  std::size_t discovered = 0;
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (net::NodeId j : world_.ground_truth_neighbors(i)) {
+      if (tx_first[i] == tx_first[j]) continue;
+      ++opposite_pairs;
+      if (tables[i].contains(j)) ++discovered;
+    }
+  }
+  ASSERT_GT(opposite_pairs, 0u);
+  EXPECT_GT(static_cast<double>(discovered) / static_cast<double>(opposite_pairs), 0.99);
+}
+
+TEST_F(SndTest, CaptureCollisionsLoseOnlyAMinority) {
+  // Same setup with the physical capture model: collinear same-sector
+  // transmitters can collide, but the large majority still gets through.
+  const SyncNeighborDiscovery snd{params_with_range()};
+  std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+  std::vector<bool> tx_first(world_.size());
+  for (std::size_t i = 0; i < world_.size(); ++i) tx_first[i] = (i % 2 == 0);
+  snd.run_round(world_, 0, tx_first, tables);
+  std::size_t opposite_pairs = 0;
+  std::size_t discovered = 0;
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (net::NodeId j : world_.ground_truth_neighbors(i)) {
+      if (tx_first[i] == tx_first[j]) continue;
+      ++opposite_pairs;
+      if (tables[i].contains(j)) ++discovered;
+    }
+  }
+  ASSERT_GT(opposite_pairs, 0u);
+  EXPECT_GT(static_cast<double>(discovered) / static_cast<double>(opposite_pairs), 0.7);
+}
+
+TEST_F(SndTest, SameRolesNeverDiscover) {
+  const SyncNeighborDiscovery snd{params_with_range()};
+  std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+  // Everyone transmits first, everyone receives second: no Tx/Rx overlap
+  // between same-role pairs within the round.
+  std::vector<bool> all_tx(world_.size(), true);
+  snd.run_round(world_, 0, all_tx, tables);
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    EXPECT_EQ(tables[i].size(), 0u) << "identical roles cannot rendezvous";
+  }
+}
+
+TEST_F(SndTest, DiscoveryRatioApproachesTheorem2) {
+  const SndParams p = params_with_range();
+  double prev_ratio = 0.0;
+  for (int k = 1; k <= 4; ++k) {
+    SndParams pk = p;
+    pk.rounds = k;
+    const SyncNeighborDiscovery snd{pk};
+    mmv2v::RunningStats ratio;
+    for (int rep = 0; rep < 5; ++rep) {
+      std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+      Xoshiro256pp rng{static_cast<std::uint64_t>(1000 + rep * 13 + k)};
+      snd.run(world_, 0, tables, rng);
+      ratio.add(discovery_ratio(tables));
+    }
+    const double expected = 1.0 - std::pow(0.5, k);
+    EXPECT_GT(ratio.mean(), prev_ratio) << "more rounds discover more";
+    EXPECT_LT(ratio.mean(), expected + 0.05) << "cannot beat the combinatorial bound";
+    EXPECT_GT(ratio.mean(), expected - 0.18) << "PHY losses stay moderate";
+    prev_ratio = ratio.mean();
+  }
+}
+
+TEST_F(SndTest, RecordedSectorPointsTowardNeighbor) {
+  const SyncNeighborDiscovery snd{params_with_range()};
+  std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+  Xoshiro256pp rng{99};
+  snd.run(world_, 0, tables, rng);
+  const geom::SectorGrid grid{snd.params().sectors};
+  std::size_t checked = 0;
+  std::size_t correct = 0;
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (const net::NeighborEntry& e : tables[i].entries()) {
+      const core::PairGeom* p = world_.pair(i, e.id);
+      if (p == nullptr) continue;
+      ++checked;
+      if (e.sector_toward == grid.sector_of(p->bearing_rad)) ++correct;
+    }
+  }
+  ASSERT_GT(checked, 0u);
+  // The main-lobe rendezvous records the true sector; only rare side-lobe-
+  // only discoveries may disagree.
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(checked), 0.9);
+}
+
+TEST_F(SndTest, RangeAdmissionFiltersFarNeighbors) {
+  SndParams near = params_with_range();
+  near.max_neighbor_range_m = 40.0;
+  const SyncNeighborDiscovery snd{near};
+  std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+  Xoshiro256pp rng{7};
+  snd.run(world_, 0, tables, rng);
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (const net::NeighborEntry& e : tables[i].entries()) {
+      const core::PairGeom* p = world_.pair(i, e.id);
+      ASSERT_NE(p, nullptr);
+      EXPECT_LE(p->distance_m, 40.0);
+    }
+  }
+}
+
+TEST_F(SndTest, SnrAdmissionFiltersWeakLinks) {
+  SndParams p = params_with_range();
+  p.admission_snr_db = 15.0;
+  const SyncNeighborDiscovery snd{p};
+  std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+  Xoshiro256pp rng{7};
+  snd.run(world_, 0, tables, rng);
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (const net::NeighborEntry& e : tables[i].entries()) {
+      EXPECT_GE(e.snr_db, 15.0);
+    }
+  }
+}
+
+TEST_F(SndTest, IdealCaptureFindsAtLeastAsMany) {
+  SndParams real = params_with_range();
+  SndParams ideal = real;
+  ideal.ideal_capture = true;
+  mmv2v::RunningStats real_ratio, ideal_ratio;
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<net::NeighborTable> t1(world_.size(), net::NeighborTable{5});
+    std::vector<net::NeighborTable> t2(world_.size(), net::NeighborTable{5});
+    Xoshiro256pp rng1{static_cast<std::uint64_t>(rep + 1)};
+    Xoshiro256pp rng2{static_cast<std::uint64_t>(rep + 1)};
+    SyncNeighborDiscovery{real}.run(world_, 0, t1, rng1);
+    SyncNeighborDiscovery{ideal}.run(world_, 0, t2, rng2);
+    real_ratio.add(discovery_ratio(t1));
+    ideal_ratio.add(discovery_ratio(t2));
+  }
+  EXPECT_GE(ideal_ratio.mean() + 1e-9, real_ratio.mean());
+}
+
+TEST_F(SndTest, AdmissionSnrHelperTracksLinkBudget) {
+  const SyncNeighborDiscovery snd{params_with_range()};
+  const auto& channel = world_.channel();
+  const double at40 = admission_snr_for_range(channel, snd.tx_pattern(), snd.rx_pattern(),
+                                              40.0);
+  const double at80 = admission_snr_for_range(channel, snd.tx_pattern(), snd.rx_pattern(),
+                                              80.0);
+  EXPECT_GT(at40, at80) << "closer range = higher admission SNR";
+  // The margin parameter shifts the threshold one-for-one.
+  EXPECT_NEAR(admission_snr_for_range(channel, snd.tx_pattern(), snd.rx_pattern(), 80.0,
+                                      0.0) -
+                  at80,
+              6.0, 1e-9);
+  // Path-loss delta over a distance doubling: a*10*log10(2) plus atmospheric.
+  const double expected_delta =
+      channel.params().pathloss.exponent * 10.0 * std::log10(2.0) +
+      channel.params().pathloss.atmospheric_db_per_km * 0.04;
+  EXPECT_NEAR(at40 - at80, expected_delta, 1e-9);
+}
+
+TEST_F(SndTest, ObservationsStampedWithFrame) {
+  const SyncNeighborDiscovery snd{params_with_range()};
+  std::vector<net::NeighborTable> tables(world_.size(), net::NeighborTable{5});
+  Xoshiro256pp rng{55};
+  snd.run(world_, 42, tables, rng);
+  for (net::NodeId i = 0; i < world_.size(); ++i) {
+    for (const net::NeighborEntry& e : tables[i].entries()) {
+      EXPECT_EQ(e.last_seen_frame, 42u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

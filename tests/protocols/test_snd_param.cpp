@@ -1,0 +1,111 @@
+// Parameterized SND sweeps: Theorem 2's discovery-ratio law over (p, K) and
+// structural invariants over sector counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "protocols/mmv2v/snd.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+core::World& shared_world() {
+  static core::World world{mmv2v::testing::small_scenario(18.0, 777), 777};
+  return world;
+}
+
+double measured_ratio(const SndParams& params, int reps, std::uint64_t seed) {
+  const core::World& world = shared_world();
+  const SyncNeighborDiscovery snd{params};
+  mmv2v::RunningStats ratio;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<net::NeighborTable> tables(world.size(), net::NeighborTable{5});
+    Xoshiro256pp rng{seed + static_cast<std::uint64_t>(r) * 101};
+    snd.run(world, 0, tables, rng);
+    std::size_t found = 0, total = 0;
+    for (net::NodeId i = 0; i < world.size(); ++i) {
+      for (net::NodeId j : world.ground_truth_neighbors(i)) {
+        ++total;
+        if (tables[i].contains(j)) ++found;
+      }
+    }
+    if (total > 0) ratio.add(static_cast<double>(found) / static_cast<double>(total));
+  }
+  return ratio.mean();
+}
+
+SndParams ideal_params() {
+  SndParams p;
+  p.ideal_capture = true;  // isolate the combinatorial role-coin effect
+  p.max_neighbor_range_m = shared_world().config().comm_range_m;
+  return p;
+}
+
+// --- Theorem 2(a): ratio ~ 1 - [p^2 + (1-p)^2]^K over K ---------------------
+
+class DiscoveryRoundsLaw : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiscoveryRoundsLaw, MatchesTheorem2) {
+  SndParams p = ideal_params();
+  p.rounds = GetParam();
+  const double expected = 1.0 - std::pow(0.5, GetParam());
+  const double measured = measured_ratio(p, 6, 50 + static_cast<std::uint64_t>(GetParam()));
+  EXPECT_NEAR(measured, expected, 0.06) << "K=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, DiscoveryRoundsLaw, ::testing::Values(1, 2, 3, 4, 5),
+                         [](const auto& info) { return "K" + std::to_string(info.param); });
+
+// --- Theorem 2(b): p = 0.5 maximizes single-round discovery -----------------
+
+class RoleProbabilityLaw : public ::testing::TestWithParam<double> {};
+
+TEST_P(RoleProbabilityLaw, MatchesExpectedRatio) {
+  SndParams params = ideal_params();
+  params.rounds = 1;
+  params.p_tx = GetParam();
+  const double p = GetParam();
+  const double expected = 1.0 - (p * p + (1.0 - p) * (1.0 - p));
+  const double measured =
+      measured_ratio(params, 8, 900 + static_cast<std::uint64_t>(p * 100));
+  EXPECT_NEAR(measured, expected, 0.07) << "p=" << p;
+}
+
+TEST_P(RoleProbabilityLaw, NeverBeatsHalf) {
+  SndParams params = ideal_params();
+  params.rounds = 1;
+  params.p_tx = GetParam();
+  SndParams half = params;
+  half.p_tx = 0.5;
+  const double at_p = measured_ratio(params, 8, 1300);
+  const double at_half = measured_ratio(half, 8, 1300);
+  EXPECT_LE(at_p, at_half + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(PSweep, RoleProbabilityLaw,
+                         ::testing::Values(0.2, 0.35, 0.5, 0.65, 0.8),
+                         [](const auto& info) {
+                           return "p" + std::to_string(static_cast<int>(info.param * 100));
+                         });
+
+// --- Sector-count invariants -------------------------------------------------
+
+class SectorCountProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(SectorCountProperties, DiscoveryWorksForAnyEvenSectorCount) {
+  SndParams p = ideal_params();
+  p.sectors = GetParam();
+  // Keep beams matched to the sector pitch so the rendezvous stays covered.
+  p.alpha_deg = 2.0 * 360.0 / GetParam();
+  p.beta_deg = 0.8 * 360.0 / GetParam();
+  const double measured = measured_ratio(p, 3, 2000 + static_cast<std::uint64_t>(GetParam()));
+  EXPECT_GT(measured, 0.70) << "S=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(SSweep, SectorCountProperties, ::testing::Values(8, 12, 16, 24, 36),
+                         [](const auto& info) { return "S" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace mmv2v::protocols

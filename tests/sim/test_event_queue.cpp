@@ -1,0 +1,131 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmv2v::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(1.0, [&] { ran = true; });
+  q.schedule(2.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  while (!q.empty()) q.run_next();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelUnknownOrFiredReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(id)) << "already fired";
+  EXPECT_FALSE(q.cancel(9999)) << "unknown id";
+  EXPECT_FALSE(q.cancel(0));
+}
+
+TEST(EventQueue, LiveCountTracksCancellations) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.live_count(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.live_count(), 1u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0) << "cancelled front is skipped";
+}
+
+TEST(EventQueue, EmptyQueueThrowsOnAccess) {
+  EventQueue q;
+  EXPECT_THROW((void)q.next_time(), std::logic_error);
+  EXPECT_THROW((void)q.run_next(), std::logic_error);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(1.0, [&] {
+    fired.push_back(1.0);
+    q.schedule(1.5, [&] { fired.push_back(1.5); });
+  });
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 1.5}));
+}
+
+TEST(Engine, RunUntilAdvancesClock) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(0.5, [&] { ++count; });
+  engine.schedule_at(1.5, [&] { ++count; });
+  engine.run_until(1.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 1.0);
+  engine.run_until(2.0);
+  EXPECT_EQ(count, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine;
+  double fired_at = -1.0;
+  engine.schedule_at(1.0, [&] {
+    engine.schedule_in(0.25, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 1.25);
+}
+
+TEST(Engine, RejectsPastAndNegative) {
+  Engine engine;
+  engine.run_until(5.0);
+  EXPECT_THROW(engine.schedule_at(4.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, ResetClearsEverything) {
+  Engine engine;
+  engine.schedule_at(1.0, [] {});
+  engine.run_until(0.5);
+  engine.reset();
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+  EXPECT_TRUE(engine.queue().empty());
+}
+
+TEST(EventQueue, StressManyEventsStayOrdered) {
+  EventQueue q;
+  std::vector<double> times;
+  // Insert in a scrambled order.
+  for (int i = 0; i < 2000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.schedule(t, [&times, t] { times.push_back(t); });
+  }
+  while (!q.empty()) q.run_next();
+  ASSERT_EQ(times.size(), 2000u);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::sim

@@ -1,0 +1,74 @@
+#include "sim/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmv2v::sim {
+namespace {
+
+// Paper configuration: S=24, K=3, M=40, s=6 refinement beams.
+FrameSchedule paper_schedule() { return FrameSchedule{TimingConfig{}, 24, 3, 40, 6}; }
+
+TEST(FrameSchedule, SndRoundMatchesPaperTiming) {
+  // "For scanning 24 sectors, one round of SND takes 0.8 ms" — 24 dwells of
+  // 16 us twice (role swap) = 0.768 ms.
+  const FrameSchedule s = paper_schedule();
+  EXPECT_NEAR(s.sector_dwell_s(), 16e-6, 1e-12);
+  EXPECT_NEAR(s.snd_round_s(), 0.768e-3, 1e-9);
+  EXPECT_NEAR(s.snd_round_s(), 0.8e-3, 0.05e-3) << "paper quotes ~0.8 ms";
+}
+
+TEST(FrameSchedule, DcmSlotMatchesPaperTiming) {
+  const FrameSchedule s = paper_schedule();
+  EXPECT_NEAR(s.timing().negotiation_slot_s, 0.03e-3, 1e-12);
+  EXPECT_NEAR(s.dcm_total_s(), 40 * 0.03e-3, 1e-12);
+}
+
+TEST(FrameSchedule, ControlPhasesUnderFiveMs) {
+  // Paper Section IV-B3: SND + DCM take < 5 ms, so topology is static.
+  const FrameSchedule s = paper_schedule();
+  EXPECT_LT(s.snd_total_s() + s.dcm_total_s(), 5e-3);
+}
+
+TEST(FrameSchedule, PhaseOffsetsAreContiguous) {
+  const FrameSchedule s = paper_schedule();
+  EXPECT_DOUBLE_EQ(s.snd_start_s(), 0.0);
+  EXPECT_DOUBLE_EQ(s.dcm_start_s(), s.snd_total_s());
+  EXPECT_DOUBLE_EQ(s.refinement_start_s(), s.snd_total_s() + s.dcm_total_s());
+  EXPECT_DOUBLE_EQ(s.udt_start_s(), s.refinement_start_s() + s.refinement_s());
+  EXPECT_NEAR(s.udt_start_s() + s.udt_duration_s(), s.timing().frame_s, 1e-12);
+}
+
+TEST(FrameSchedule, MostOfTheFrameIsForData) {
+  const FrameSchedule s = paper_schedule();
+  EXPECT_GT(s.udt_duration_s(), 0.75 * s.timing().frame_s);
+}
+
+TEST(FrameSchedule, RefinementScalesWithBeams) {
+  const FrameSchedule s6 = FrameSchedule{TimingConfig{}, 24, 3, 40, 6};
+  const FrameSchedule s12 = FrameSchedule{TimingConfig{}, 24, 3, 40, 12};
+  EXPECT_GT(s12.refinement_s(), s6.refinement_s());
+}
+
+TEST(FrameSchedule, ValidatesArguments) {
+  const TimingConfig t;
+  EXPECT_THROW((FrameSchedule{t, 23, 3, 40, 6}), std::invalid_argument) << "odd sectors";
+  EXPECT_THROW((FrameSchedule{t, 0, 3, 40, 6}), std::invalid_argument);
+  EXPECT_THROW((FrameSchedule{t, 24, 0, 40, 6}), std::invalid_argument);
+  EXPECT_THROW((FrameSchedule{t, 24, 3, 0, 6}), std::invalid_argument);
+  EXPECT_THROW((FrameSchedule{t, 24, 3, 40, 0}), std::invalid_argument);
+}
+
+TEST(FrameSchedule, RejectsOverfullFrame) {
+  TimingConfig t;
+  t.frame_s = 2e-3;  // 2 ms frame cannot hold 3 SND rounds + 40 slots
+  EXPECT_THROW((FrameSchedule{t, 24, 3, 40, 6}), std::invalid_argument);
+}
+
+TEST(FrameSchedule, ManyRoundsEatDataTime) {
+  const double udt_k1 = FrameSchedule{TimingConfig{}, 24, 1, 40, 6}.udt_duration_s();
+  const double udt_k4 = FrameSchedule{TimingConfig{}, 24, 4, 40, 6}.udt_duration_s();
+  EXPECT_NEAR(udt_k1 - udt_k4, 3 * 0.768e-3, 1e-9);
+}
+
+}  // namespace
+}  // namespace mmv2v::sim

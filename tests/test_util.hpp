@@ -1,0 +1,21 @@
+// Shared helpers for protocol/core tests: small deterministic worlds.
+#pragma once
+
+#include "core/scenario.hpp"
+#include "core/world.hpp"
+
+namespace mmv2v::testing {
+
+/// A small scenario that builds fast: short road, moderate density.
+inline core::ScenarioConfig small_scenario(double density_vpl = 15.0,
+                                           std::uint64_t seed = 1) {
+  core::ScenarioConfig s;
+  s.traffic.road_length_m = 500.0;
+  s.traffic.density_vpl = density_vpl;
+  s.traffic_warmup_s = 2.0;
+  s.horizon_s = 0.2;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace mmv2v::testing

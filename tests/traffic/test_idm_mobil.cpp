@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "traffic/idm.hpp"
+#include "traffic/mobil.hpp"
+
+namespace mmv2v::traffic {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Idm, FreeRoadAcceleratesTowardDesiredSpeed) {
+  const IdmParams p;
+  EXPECT_NEAR(idm_acceleration(p, 0.0, 30.0, kInf, 0.0), p.a_max, 1e-9)
+      << "standing start on a free road accelerates at a_max";
+  EXPECT_NEAR(idm_acceleration(p, 30.0, 30.0, kInf, 0.0), 0.0, 1e-9)
+      << "at desired speed acceleration vanishes";
+  EXPECT_LT(idm_acceleration(p, 35.0, 30.0, kInf, 0.0), 0.0)
+      << "above desired speed the driver brakes";
+}
+
+TEST(Idm, CloseGapTriggersBraking) {
+  const IdmParams p;
+  // 20 m/s with only 5 m to a stopped leader: hard braking.
+  EXPECT_LT(idm_acceleration(p, 20.0, 30.0, 5.0, 20.0), -4.0);
+}
+
+TEST(Idm, EquilibriumGapIsSteady) {
+  const IdmParams p;
+  const double v = 25.0;
+  // At gap s* with zero closing speed, acceleration is a_max*(1 - (v/v0)^4 - 1)
+  // evaluated with v0 -> infinity-like (choose v0 so the free term is tiny).
+  const double v0 = 1000.0;
+  const double eq_gap = idm_desired_gap(p, v, 0.0);
+  EXPECT_NEAR(idm_acceleration(p, v, v0, eq_gap, 0.0), 0.0, 0.01);
+}
+
+TEST(Idm, DesiredGapGrowsWithSpeedAndClosingRate) {
+  const IdmParams p;
+  EXPECT_GT(idm_desired_gap(p, 20.0, 0.0), idm_desired_gap(p, 10.0, 0.0));
+  EXPECT_GT(idm_desired_gap(p, 20.0, 5.0), idm_desired_gap(p, 20.0, 0.0));
+  EXPECT_GE(idm_desired_gap(p, 0.0, 0.0), p.min_gap_m);
+}
+
+TEST(Idm, NegativeApproachRateNeverShrinksGapBelowMin) {
+  const IdmParams p;
+  // Receding leader: dynamic term clamps at zero, never below s0.
+  EXPECT_DOUBLE_EQ(idm_desired_gap(p, 10.0, -50.0), p.min_gap_m);
+}
+
+TEST(Idm, ContactGapDoesNotExplode) {
+  const IdmParams p;
+  const double a = idm_acceleration(p, 10.0, 30.0, 0.0, 0.0);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_LT(a, -p.b_comfort);
+}
+
+TEST(Mobil, SafetyVetoOnHardBraking) {
+  const MobilParams p;
+  MobilAccelerations a;
+  a.self_after = 1.0;
+  a.self_before = -1.0;
+  a.new_follower_after = -p.b_safe - 0.1;  // would brake too hard
+  EXPECT_FALSE(mobil_safe(p, a));
+  EXPECT_FALSE(mobil_should_change(p, a));
+}
+
+TEST(Mobil, IncentiveRequiresNetGain) {
+  const MobilParams p;
+  MobilAccelerations a;
+  a.self_after = 0.5;
+  a.self_before = 0.0;  // own gain 0.5 > threshold + bias (0.3)
+  EXPECT_TRUE(mobil_incentive(p, a));
+  a.self_after = 0.2;  // gain 0.2 < 0.3
+  EXPECT_FALSE(mobil_incentive(p, a));
+}
+
+TEST(Mobil, PolitenessWeighsOthersHarm) {
+  const MobilParams p;  // politeness 0.3
+  MobilAccelerations a;
+  a.self_after = 1.0;
+  a.self_before = 0.0;
+  // New follower loses 3 m/s^2 of acceleration: 1.0 + 0.3*(-3) = 0.1 < 0.3.
+  a.new_follower_before = 0.0;
+  a.new_follower_after = -3.0;
+  EXPECT_FALSE(mobil_incentive(p, a));
+  // A selfish driver (politeness 0) would go.
+  MobilParams selfish = p;
+  selfish.politeness = 0.0;
+  EXPECT_TRUE(mobil_incentive(selfish, a));
+}
+
+TEST(Mobil, OldFollowerReliefCounts) {
+  const MobilParams p;
+  MobilAccelerations a;
+  a.self_after = 0.25;
+  a.self_before = 0.0;  // own gain alone just below threshold+bias
+  a.old_follower_before = -1.0;
+  a.old_follower_after = 0.0;  // leaving relieves the old follower by 1
+  EXPECT_TRUE(mobil_incentive(p, a)) << "0.25 + 0.3*1.0 = 0.55 > 0.3";
+}
+
+}  // namespace
+}  // namespace mmv2v::traffic

@@ -1,0 +1,69 @@
+#include "traffic/road.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mmv2v::traffic {
+namespace {
+
+TEST(RoadGeometry, RejectsBadDimensions) {
+  EXPECT_THROW((RoadGeometry{0.0, 3, 5.0}), std::invalid_argument);
+  EXPECT_THROW((RoadGeometry{1000.0, 0, 5.0}), std::invalid_argument);
+  EXPECT_THROW((RoadGeometry{1000.0, 3, -1.0}), std::invalid_argument);
+}
+
+TEST(RoadGeometry, WrapIsPeriodic) {
+  const RoadGeometry road{1000.0, 3, 5.0};
+  EXPECT_DOUBLE_EQ(road.wrap(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(road.wrap(1000.0), 0.0);
+  EXPECT_DOUBLE_EQ(road.wrap(1250.0), 250.0);
+  EXPECT_DOUBLE_EQ(road.wrap(-10.0), 990.0);
+}
+
+TEST(RoadGeometry, ForwardGapOnRing) {
+  const RoadGeometry road{1000.0, 3, 5.0};
+  EXPECT_DOUBLE_EQ(road.forward_gap(100.0, 150.0), 50.0);
+  EXPECT_DOUBLE_EQ(road.forward_gap(950.0, 30.0), 80.0) << "wraps the seam";
+  EXPECT_DOUBLE_EQ(road.forward_gap(100.0, 100.0), 0.0);
+}
+
+TEST(RoadGeometry, SignedSeparationShortestPath) {
+  const RoadGeometry road{1000.0, 3, 5.0};
+  EXPECT_DOUBLE_EQ(road.signed_separation(100.0, 150.0), 50.0);
+  EXPECT_DOUBLE_EQ(road.signed_separation(150.0, 100.0), -50.0);
+  EXPECT_DOUBLE_EQ(road.signed_separation(990.0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(road.signed_separation(10.0, 990.0), -20.0);
+}
+
+TEST(RoadGeometry, LaneCentersMirrorAcrossMedian) {
+  const RoadGeometry road{1000.0, 3, 5.0};
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kForward, 0), -2.5);
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kForward, 2), -12.5);
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kBackward, 0), 2.5);
+  EXPECT_DOUBLE_EQ(road.lane_center_y(Direction::kBackward, 2), 12.5);
+  EXPECT_THROW((void)road.lane_center_y(Direction::kForward, 3), std::out_of_range);
+}
+
+TEST(RoadGeometry, PositionMapsTravelCoordinates) {
+  const RoadGeometry road{1000.0, 3, 5.0};
+  // Forward vehicles move toward +x.
+  const auto pf = road.position(Direction::kForward, 100.0, -2.5);
+  EXPECT_DOUBLE_EQ(pf.x, 100.0);
+  EXPECT_DOUBLE_EQ(pf.y, -2.5);
+  // Backward vehicles at travel coordinate s sit at world x = L - s and move
+  // toward -x as s grows.
+  const auto pb0 = road.position(Direction::kBackward, 100.0, 2.5);
+  const auto pb1 = road.position(Direction::kBackward, 110.0, 2.5);
+  EXPECT_DOUBLE_EQ(pb0.x, 900.0);
+  EXPECT_LT(pb1.x, pb0.x);
+}
+
+TEST(RoadGeometry, HeadingMatchesDirection) {
+  const RoadGeometry road{1000.0, 3, 5.0};
+  EXPECT_DOUBLE_EQ(road.heading(Direction::kForward).x, 1.0);
+  EXPECT_DOUBLE_EQ(road.heading(Direction::kBackward).x, -1.0);
+  EXPECT_DOUBLE_EQ(direction_sign(Direction::kForward), 1.0);
+  EXPECT_DOUBLE_EQ(direction_sign(Direction::kBackward), -1.0);
+}
+
+}  // namespace
+}  // namespace mmv2v::traffic

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+#include "traffic/traffic_sim.hpp"
+
+namespace mmv2v::traffic {
+namespace {
+
+TrafficConfig zoned_config() {
+  TrafficConfig c;
+  c.density_vpl = 20.0;
+  c.bidirectional = false;
+  c.speed_zones.push_back(SpeedZone{400.0, 600.0, 30.0});
+  return c;
+}
+
+TEST(SpeedZone, ContainsIsHalfOpen) {
+  const SpeedZone zone{100.0, 200.0, 50.0};
+  EXPECT_TRUE(zone.contains(100.0));
+  EXPECT_TRUE(zone.contains(199.9));
+  EXPECT_FALSE(zone.contains(200.0));
+  EXPECT_FALSE(zone.contains(99.9));
+}
+
+TEST(SpeedZone, VehiclesSlowDownInside) {
+  TrafficSimulator sim{zoned_config(), 3};
+  for (int i = 0; i < 6000; ++i) sim.step(0.005);  // 30 s to reach steady state
+
+  double inside_speed = 0.0, outside_speed = 0.0;
+  int inside_n = 0, outside_n = 0;
+  for (const VehicleState& v : sim.vehicles()) {
+    const double x = v.position(sim.road()).x;
+    if (x >= 420.0 && x < 600.0) {  // interior, past the deceleration edge
+      inside_speed += v.speed_mps;
+      ++inside_n;
+    } else if (x < 300.0 || x >= 700.0) {
+      outside_speed += v.speed_mps;
+      ++outside_n;
+    }
+  }
+  ASSERT_GT(inside_n, 0);
+  ASSERT_GT(outside_n, 0);
+  inside_speed /= inside_n;
+  outside_speed /= outside_n;
+  EXPECT_LT(inside_speed, units::kmh_to_mps(36.0)) << "zone limit is 30 km/h";
+  EXPECT_GT(outside_speed, inside_speed + 2.0);
+}
+
+TEST(SpeedZone, CausesUpstreamDensification) {
+  TrafficSimulator sim{zoned_config(), 5};
+  for (int i = 0; i < 6000; ++i) sim.step(0.005);
+  // Count vehicles in the 200 m upstream of the zone vs 200 m far downstream.
+  int upstream = 0, downstream = 0;
+  for (const VehicleState& v : sim.vehicles()) {
+    const double x = v.position(sim.road()).x;
+    if (x >= 200.0 && x < 400.0) ++upstream;
+    if (x >= 700.0 && x < 900.0) ++downstream;
+  }
+  EXPECT_GT(upstream, downstream)
+      << "traffic must pile up before the bottleneck and thin out after";
+}
+
+TEST(SpeedZone, NoZoneMeansNoEffect) {
+  TrafficConfig plain = zoned_config();
+  plain.speed_zones.clear();
+  TrafficSimulator sim{plain, 3};
+  for (int i = 0; i < 2000; ++i) sim.step(0.005);
+  for (const VehicleState& v : sim.vehicles()) {
+    EXPECT_DOUBLE_EQ(sim.effective_desired_speed(v), v.desired_speed_mps);
+  }
+}
+
+TEST(SpeedZone, StillCollisionFreeUnderCongestion) {
+  TrafficSimulator sim{zoned_config(), 7};
+  for (int i = 0; i < 6000; ++i) sim.step(0.005);
+  for (const VehicleState& a : sim.vehicles()) {
+    for (const VehicleState& b : sim.vehicles()) {
+      if (a.id >= b.id || a.direction != b.direction || a.lane != b.lane) continue;
+      EXPECT_GT(std::abs(sim.road().signed_separation(a.s, b.s)), a.dims.length_m * 0.9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::traffic

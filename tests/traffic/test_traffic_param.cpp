@@ -1,0 +1,64 @@
+// Parameterized traffic-safety sweep: across densities and seeds the
+// microsimulator must stay collision-free, conserve vehicles, and keep
+// speeds physical.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/units.hpp"
+#include "traffic/traffic_sim.hpp"
+
+namespace mmv2v::traffic {
+namespace {
+
+class TrafficSafetySweep
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {
+ protected:
+  TrafficConfig config() const {
+    TrafficConfig c;
+    c.density_vpl = std::get<0>(GetParam());
+    return c;
+  }
+  std::uint64_t seed() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(TrafficSafetySweep, TenSecondsWithoutCollisionOrLoss) {
+  TrafficSimulator sim{config(), seed()};
+  const std::size_t n0 = sim.size();
+  for (int i = 0; i < 2000; ++i) sim.step(0.005);  // 10 s
+  EXPECT_EQ(sim.size(), n0);
+  for (const VehicleState& a : sim.vehicles()) {
+    EXPECT_GE(a.speed_mps, 0.0);
+    EXPECT_LE(a.speed_mps, units::kmh_to_mps(90.0));
+    for (const VehicleState& b : sim.vehicles()) {
+      if (a.id >= b.id || a.direction != b.direction || a.lane != b.lane) continue;
+      EXPECT_GT(std::abs(sim.road().signed_separation(a.s, b.s)), a.dims.length_m * 0.9)
+          << "overlap between " << a.id << " and " << b.id << " at density "
+          << config().density_vpl;
+    }
+  }
+}
+
+TEST_P(TrafficSafetySweep, MeanSpeedStaysInBandEnvelope) {
+  TrafficSimulator sim{config(), seed()};
+  for (int i = 0; i < 1000; ++i) sim.step(0.005);
+  double mean = 0.0;
+  for (const VehicleState& v : sim.vehicles()) mean += v.speed_mps;
+  mean /= static_cast<double>(sim.size());
+  // Free-flow bands span 40-80 km/h; congestion may slow traffic but a
+  // functioning model keeps the fleet moving.
+  EXPECT_GT(mean, units::kmh_to_mps(10.0));
+  EXPECT_LT(mean, units::kmh_to_mps(82.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityBySeed, TrafficSafetySweep,
+    ::testing::Combine(::testing::Values(5.0, 15.0, 30.0, 45.0),
+                       ::testing::Values(1ull, 1234ull)),
+    [](const auto& info) {
+      return "vpl" + std::to_string(static_cast<int>(std::get<0>(info.param))) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mmv2v::traffic

@@ -1,0 +1,163 @@
+#include "traffic/traffic_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/units.hpp"
+
+namespace mmv2v::traffic {
+namespace {
+
+TrafficConfig small_config(double density = 15.0, bool bidir = true) {
+  TrafficConfig c;
+  c.density_vpl = density;
+  c.bidirectional = bidir;
+  return c;
+}
+
+TEST(TrafficSim, SpawnsExpectedVehicleCount) {
+  const TrafficSimulator sim{small_config(15.0, true), 1};
+  EXPECT_EQ(sim.size(), 15u * 3u * 2u);
+  const TrafficSimulator one_dir{small_config(10.0, false), 1};
+  EXPECT_EQ(one_dir.size(), 10u * 3u);
+}
+
+TEST(TrafficSim, ZeroDensityIsEmpty) {
+  const TrafficSimulator sim{small_config(0.0), 1};
+  EXPECT_EQ(sim.size(), 0u);
+  EXPECT_DOUBLE_EQ(sim.mean_degree(100.0), 0.0);
+}
+
+TEST(TrafficSim, RejectsBadConfig) {
+  TrafficConfig c = small_config();
+  c.density_vpl = -1.0;
+  EXPECT_THROW((TrafficSimulator{c, 1}), std::invalid_argument);
+  c = small_config();
+  c.lane_speed_bands.resize(1);
+  EXPECT_THROW((TrafficSimulator{c, 1}), std::invalid_argument);
+}
+
+TEST(TrafficSim, DeterministicForSameSeed) {
+  TrafficSimulator a{small_config(), 42};
+  TrafficSimulator b{small_config(), 42};
+  for (int i = 0; i < 200; ++i) {
+    a.step(0.005);
+    b.step(0.005);
+  }
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    EXPECT_DOUBLE_EQ(a.vehicle(v).s, b.vehicle(v).s);
+    EXPECT_DOUBLE_EQ(a.vehicle(v).speed_mps, b.vehicle(v).speed_mps);
+    EXPECT_EQ(a.vehicle(v).lane, b.vehicle(v).lane);
+  }
+}
+
+TEST(TrafficSim, SpeedsStayInPhysicalBounds) {
+  TrafficSimulator sim{small_config(25.0), 7};
+  for (int i = 0; i < 2000; ++i) sim.step(0.005);
+  for (const VehicleState& v : sim.vehicles()) {
+    EXPECT_GE(v.speed_mps, 0.0);
+    // Desired speeds top out at 80 km/h; allow a small overshoot margin.
+    EXPECT_LE(v.speed_mps, units::kmh_to_mps(85.0));
+  }
+}
+
+TEST(TrafficSim, NoCollisionsAfterLongRun) {
+  TrafficSimulator sim{small_config(30.0), 11};
+  for (int i = 0; i < 4000; ++i) sim.step(0.005);  // 20 s
+  // Same-lane same-direction vehicles must keep positive bumper gaps.
+  for (const VehicleState& a : sim.vehicles()) {
+    for (const VehicleState& b : sim.vehicles()) {
+      if (a.id >= b.id || a.direction != b.direction || a.lane != b.lane) continue;
+      const double gap = std::abs(sim.road().signed_separation(a.s, b.s));
+      EXPECT_GT(gap, a.dims.length_m * 0.9)
+          << "vehicles " << a.id << " and " << b.id << " overlap";
+    }
+  }
+}
+
+TEST(TrafficSim, StepRejectsNonPositiveDt) {
+  TrafficSimulator sim{small_config(), 1};
+  EXPECT_THROW(sim.step(0.0), std::invalid_argument);
+  EXPECT_THROW(sim.step(-0.1), std::invalid_argument);
+}
+
+TEST(TrafficSim, LaneChangesHappenButLanesStayValid) {
+  TrafficConfig c = small_config(20.0);
+  TrafficSimulator sim{c, 3};
+  for (int i = 0; i < 6000; ++i) sim.step(0.005);  // 30 s
+  for (const VehicleState& v : sim.vehicles()) {
+    EXPECT_GE(v.lane, 0);
+    EXPECT_LT(v.lane, c.lanes_per_direction);
+    EXPECT_LE(std::abs(v.lateral_y), c.lanes_per_direction * c.lane_width_m);
+  }
+  // With mixed speed bands some drivers should change lanes within 30 s.
+  EXPECT_GT(sim.completed_lane_changes(), 0u);
+}
+
+TEST(TrafficSim, DisablingLaneChangesFreezesLanes) {
+  TrafficConfig c = small_config(20.0);
+  c.enable_lane_changes = false;
+  TrafficSimulator sim{c, 3};
+  std::vector<int> lanes_before;
+  for (const VehicleState& v : sim.vehicles()) lanes_before.push_back(v.lane);
+  for (int i = 0; i < 2000; ++i) sim.step(0.005);
+  for (const VehicleState& v : sim.vehicles()) {
+    EXPECT_EQ(v.lane, lanes_before[v.id]);
+  }
+  EXPECT_EQ(sim.completed_lane_changes(), 0u);
+}
+
+TEST(TrafficSim, DensityIsConservedOnRing) {
+  TrafficSimulator sim{small_config(20.0), 5};
+  const std::size_t n0 = sim.size();
+  for (int i = 0; i < 2000; ++i) sim.step(0.005);
+  EXPECT_EQ(sim.size(), n0) << "periodic boundary must not lose vehicles";
+  for (const VehicleState& v : sim.vehicles()) {
+    EXPECT_GE(v.s, 0.0);
+    EXPECT_LT(v.s, sim.road().length());
+  }
+}
+
+TEST(TrafficSim, MeanDegreeGrowsWithDensity) {
+  const TrafficSimulator sparse{small_config(10.0), 9};
+  const TrafficSimulator dense{small_config(30.0), 9};
+  EXPECT_GT(dense.mean_degree(80.0), sparse.mean_degree(80.0));
+}
+
+TEST(TrafficSim, LosNeighborsAreSymmetric) {
+  const TrafficSimulator sim{small_config(15.0), 13};
+  const auto los = sim.make_los_evaluator();
+  for (VehicleId i = 0; i < sim.size(); ++i) {
+    for (VehicleId j : sim.los_neighbors(i, 80.0, los)) {
+      const auto back = sim.los_neighbors(j, 80.0, los);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end())
+          << "LOS neighborhood must be symmetric (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(TrafficSim, FasterLanesCarryFasterDesiredSpeeds) {
+  const TrafficSimulator sim{small_config(20.0), 17};
+  // Lane 2's band (60-80) must dominate lane 0's (40-60) on average.
+  double lane0 = 0.0, lane2 = 0.0;
+  int n0 = 0, n2 = 0;
+  for (const VehicleState& v : sim.vehicles()) {
+    if (v.lane == 0) { lane0 += v.desired_speed_mps; ++n0; }
+    if (v.lane == 2) { lane2 += v.desired_speed_mps; ++n2; }
+  }
+  ASSERT_GT(n0, 0);
+  ASSERT_GT(n2, 0);
+  EXPECT_GT(lane2 / n2, lane0 / n0);
+}
+
+TEST(TrafficSim, BodiesMatchPositions) {
+  const TrafficSimulator sim{small_config(10.0), 21};
+  for (const VehicleState& v : sim.vehicles()) {
+    const auto body = v.body(sim.road());
+    EXPECT_TRUE(body.contains(v.position(sim.road())));
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::traffic
