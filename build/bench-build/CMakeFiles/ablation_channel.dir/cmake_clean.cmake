@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_channel"
+  "../bench/ablation_channel.pdb"
+  "CMakeFiles/ablation_channel.dir/ablation_channel.cpp.o"
+  "CMakeFiles/ablation_channel.dir/ablation_channel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_discovery"
+  "../bench/ablation_discovery.pdb"
+  "CMakeFiles/ablation_discovery.dir/ablation_discovery.cpp.o"
+  "CMakeFiles/ablation_discovery.dir/ablation_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

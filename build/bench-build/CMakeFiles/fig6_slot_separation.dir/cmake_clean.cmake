@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_slot_separation"
+  "../bench/fig6_slot_separation.pdb"
+  "CMakeFiles/fig6_slot_separation.dir/fig6_slot_separation.cpp.o"
+  "CMakeFiles/fig6_slot_separation.dir/fig6_slot_separation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_slot_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_slot_separation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_discovery_rounds"
+  "../bench/fig7_discovery_rounds.pdb"
+  "CMakeFiles/fig7_discovery_rounds.dir/fig7_discovery_rounds.cpp.o"
+  "CMakeFiles/fig7_discovery_rounds.dir/fig7_discovery_rounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_discovery_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_negotiation_slots"
+  "../bench/fig8_negotiation_slots.pdb"
+  "CMakeFiles/fig8_negotiation_slots.dir/fig8_negotiation_slots.cpp.o"
+  "CMakeFiles/fig8_negotiation_slots.dir/fig8_negotiation_slots.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_negotiation_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

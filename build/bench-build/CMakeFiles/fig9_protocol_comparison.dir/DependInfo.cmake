@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_protocol_comparison.cpp" "bench-build/CMakeFiles/fig9_protocol_comparison.dir/fig9_protocol_comparison.cpp.o" "gcc" "bench-build/CMakeFiles/fig9_protocol_comparison.dir/fig9_protocol_comparison.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmv2v_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mmv2v_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mmv2v_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmv2v_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmv2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mmv2v_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmv2v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/mmv2v_protocols.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_protocol_comparison"
+  "../bench/fig9_protocol_comparison.pdb"
+  "CMakeFiles/fig9_protocol_comparison.dir/fig9_protocol_comparison.cpp.o"
+  "CMakeFiles/fig9_protocol_comparison.dir/fig9_protocol_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_protocol_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

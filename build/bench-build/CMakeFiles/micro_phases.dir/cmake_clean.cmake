@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_phases"
+  "../bench/micro_phases.pdb"
+  "CMakeFiles/micro_phases.dir/micro_phases.cpp.o"
+  "CMakeFiles/micro_phases.dir/micro_phases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_phy"
+  "../bench/micro_phy.pdb"
+  "CMakeFiles/micro_phy.dir/micro_phy.cpp.o"
+  "CMakeFiles/micro_phy.dir/micro_phy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

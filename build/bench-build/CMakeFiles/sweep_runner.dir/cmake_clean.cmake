@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sweep_runner"
+  "../bench/sweep_runner.pdb"
+  "CMakeFiles/sweep_runner.dir/sweep_runner.cpp.o"
+  "CMakeFiles/sweep_runner.dir/sweep_runner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/theorem2_discovery"
+  "../bench/theorem2_discovery.pdb"
+  "CMakeFiles/theorem2_discovery.dir/theorem2_discovery.cpp.o"
+  "CMakeFiles/theorem2_discovery.dir/theorem2_discovery.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem2_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

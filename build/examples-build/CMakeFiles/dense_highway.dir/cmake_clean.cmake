@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dense_highway"
+  "../examples/dense_highway.pdb"
+  "CMakeFiles/dense_highway.dir/dense_highway.cpp.o"
+  "CMakeFiles/dense_highway.dir/dense_highway.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_highway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

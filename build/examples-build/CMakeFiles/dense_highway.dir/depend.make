@@ -1,0 +1,2 @@
+# Empty dependencies file for dense_highway.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/platoon_share"
+  "../examples/platoon_share.pdb"
+  "CMakeFiles/platoon_share.dir/platoon_share.cpp.o"
+  "CMakeFiles/platoon_share.dir/platoon_share.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platoon_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/protocol_walkthrough"
+  "../examples/protocol_walkthrough.pdb"
+  "CMakeFiles/protocol_walkthrough.dir/protocol_walkthrough.cpp.o"
+  "CMakeFiles/protocol_walkthrough.dir/protocol_walkthrough.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

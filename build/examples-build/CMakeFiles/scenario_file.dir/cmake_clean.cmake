@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/scenario_file"
+  "../examples/scenario_file.pdb"
+  "CMakeFiles/scenario_file.dir/scenario_file.cpp.o"
+  "CMakeFiles/scenario_file.dir/scenario_file.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

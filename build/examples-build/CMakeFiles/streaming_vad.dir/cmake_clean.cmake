@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/streaming_vad"
+  "../examples/streaming_vad.pdb"
+  "CMakeFiles/streaming_vad.dir/streaming_vad.cpp.o"
+  "CMakeFiles/streaming_vad.dir/streaming_vad.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_vad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

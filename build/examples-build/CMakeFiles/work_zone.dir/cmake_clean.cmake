@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/work_zone"
+  "../examples/work_zone.pdb"
+  "CMakeFiles/work_zone.dir/work_zone.cpp.o"
+  "CMakeFiles/work_zone.dir/work_zone.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_apps.dir/sensor_stream.cpp.o"
+  "CMakeFiles/mmv2v_apps.dir/sensor_stream.cpp.o.d"
+  "CMakeFiles/mmv2v_apps.dir/streaming.cpp.o"
+  "CMakeFiles/mmv2v_apps.dir/streaming.cpp.o.d"
+  "libmmv2v_apps.a"
+  "libmmv2v_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_common.dir/config_parser.cpp.o"
+  "CMakeFiles/mmv2v_common.dir/config_parser.cpp.o.d"
+  "CMakeFiles/mmv2v_common.dir/logging.cpp.o"
+  "CMakeFiles/mmv2v_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mmv2v_common.dir/stats.cpp.o"
+  "CMakeFiles/mmv2v_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mmv2v_common.dir/svg_plot.cpp.o"
+  "CMakeFiles/mmv2v_common.dir/svg_plot.cpp.o.d"
+  "libmmv2v_common.a"
+  "libmmv2v_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_core.dir/experiment.cpp.o"
+  "CMakeFiles/mmv2v_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/mmv2v_core.dir/ledger.cpp.o"
+  "CMakeFiles/mmv2v_core.dir/ledger.cpp.o.d"
+  "CMakeFiles/mmv2v_core.dir/metrics.cpp.o"
+  "CMakeFiles/mmv2v_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/mmv2v_core.dir/simulation.cpp.o"
+  "CMakeFiles/mmv2v_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/mmv2v_core.dir/trace.cpp.o"
+  "CMakeFiles/mmv2v_core.dir/trace.cpp.o.d"
+  "CMakeFiles/mmv2v_core.dir/world.cpp.o"
+  "CMakeFiles/mmv2v_core.dir/world.cpp.o.d"
+  "libmmv2v_core.a"
+  "libmmv2v_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

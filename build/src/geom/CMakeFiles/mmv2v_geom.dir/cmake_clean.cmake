@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_geom.dir/los.cpp.o"
+  "CMakeFiles/mmv2v_geom.dir/los.cpp.o.d"
+  "CMakeFiles/mmv2v_geom.dir/rect.cpp.o"
+  "CMakeFiles/mmv2v_geom.dir/rect.cpp.o.d"
+  "libmmv2v_geom.a"
+  "libmmv2v_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

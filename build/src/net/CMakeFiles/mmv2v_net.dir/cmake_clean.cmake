@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_net.dir/mac_address.cpp.o"
+  "CMakeFiles/mmv2v_net.dir/mac_address.cpp.o.d"
+  "CMakeFiles/mmv2v_net.dir/neighbor_table.cpp.o"
+  "CMakeFiles/mmv2v_net.dir/neighbor_table.cpp.o.d"
+  "libmmv2v_net.a"
+  "libmmv2v_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmv2v_net.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/antenna.cpp" "src/phy/CMakeFiles/mmv2v_phy.dir/antenna.cpp.o" "gcc" "src/phy/CMakeFiles/mmv2v_phy.dir/antenna.cpp.o.d"
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/mmv2v_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/mmv2v_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/codebook.cpp" "src/phy/CMakeFiles/mmv2v_phy.dir/codebook.cpp.o" "gcc" "src/phy/CMakeFiles/mmv2v_phy.dir/codebook.cpp.o.d"
+  "/root/repo/src/phy/fading.cpp" "src/phy/CMakeFiles/mmv2v_phy.dir/fading.cpp.o" "gcc" "src/phy/CMakeFiles/mmv2v_phy.dir/fading.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/mmv2v_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/mmv2v_phy.dir/mcs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmv2v_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mmv2v_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_phy.dir/antenna.cpp.o"
+  "CMakeFiles/mmv2v_phy.dir/antenna.cpp.o.d"
+  "CMakeFiles/mmv2v_phy.dir/channel.cpp.o"
+  "CMakeFiles/mmv2v_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/mmv2v_phy.dir/codebook.cpp.o"
+  "CMakeFiles/mmv2v_phy.dir/codebook.cpp.o.d"
+  "CMakeFiles/mmv2v_phy.dir/fading.cpp.o"
+  "CMakeFiles/mmv2v_phy.dir/fading.cpp.o.d"
+  "CMakeFiles/mmv2v_phy.dir/mcs.cpp.o"
+  "CMakeFiles/mmv2v_phy.dir/mcs.cpp.o.d"
+  "libmmv2v_phy.a"
+  "libmmv2v_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/ad/ieee80211ad.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/ad/ieee80211ad.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/ad/ieee80211ad.cpp.o.d"
+  "/root/repo/src/protocols/mmv2v/cns.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/cns.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/cns.cpp.o.d"
+  "/root/repo/src/protocols/mmv2v/dcm.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/dcm.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/dcm.cpp.o.d"
+  "/root/repo/src/protocols/mmv2v/mmv2v.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/mmv2v.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/mmv2v.cpp.o.d"
+  "/root/repo/src/protocols/mmv2v/negotiation.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/negotiation.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/negotiation.cpp.o.d"
+  "/root/repo/src/protocols/mmv2v/refinement.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/refinement.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/refinement.cpp.o.d"
+  "/root/repo/src/protocols/mmv2v/snd.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/snd.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/mmv2v/snd.cpp.o.d"
+  "/root/repo/src/protocols/rop/rop.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/rop/rop.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/rop/rop.cpp.o.d"
+  "/root/repo/src/protocols/udt_engine.cpp" "src/protocols/CMakeFiles/mmv2v_protocols.dir/udt_engine.cpp.o" "gcc" "src/protocols/CMakeFiles/mmv2v_protocols.dir/udt_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmv2v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mmv2v_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmv2v_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmv2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mmv2v_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mmv2v_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmv2v_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_protocols.dir/ad/ieee80211ad.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/ad/ieee80211ad.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/cns.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/cns.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/dcm.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/dcm.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/mmv2v.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/mmv2v.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/negotiation.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/negotiation.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/refinement.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/refinement.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/snd.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/mmv2v/snd.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/rop/rop.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/rop/rop.cpp.o.d"
+  "CMakeFiles/mmv2v_protocols.dir/udt_engine.cpp.o"
+  "CMakeFiles/mmv2v_protocols.dir/udt_engine.cpp.o.d"
+  "libmmv2v_protocols.a"
+  "libmmv2v_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mmv2v_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/mmv2v_sim.dir/frame.cpp.o"
+  "CMakeFiles/mmv2v_sim.dir/frame.cpp.o.d"
+  "libmmv2v_sim.a"
+  "libmmv2v_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmv2v_traffic.dir/traffic_sim.cpp.o"
+  "CMakeFiles/mmv2v_traffic.dir/traffic_sim.cpp.o.d"
+  "libmmv2v_traffic.a"
+  "libmmv2v_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmv2v_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_experiment.cpp" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "/root/repo/tests/core/test_ledger_metrics.cpp" "tests/CMakeFiles/test_core.dir/core/test_ledger_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ledger_metrics.cpp.o.d"
+  "/root/repo/tests/core/test_trace.cpp" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "/root/repo/tests/core/test_world.cpp" "tests/CMakeFiles/test_core.dir/core/test_world.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_world.cpp.o.d"
+  "/root/repo/tests/core/test_world_fading.cpp" "tests/CMakeFiles/test_core.dir/core/test_world_fading.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_world_fading.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmv2v_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mmv2v_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mmv2v_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmv2v_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmv2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mmv2v_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmv2v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/mmv2v_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mmv2v_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_experiment.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ledger_metrics.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ledger_metrics.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_trace.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_world.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_world.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_world_fading.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_world_fading.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

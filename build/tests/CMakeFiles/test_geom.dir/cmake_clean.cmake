@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geom.dir/geom/test_angles.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_angles.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_rect_los.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_rect_los.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_sector_param.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_sector_param.cpp.o.d"
+  "CMakeFiles/test_geom.dir/geom/test_vec2.cpp.o"
+  "CMakeFiles/test_geom.dir/geom/test_vec2.cpp.o.d"
+  "test_geom"
+  "test_geom.pdb"
+  "test_geom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/test_antenna.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_antenna.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_antenna_param.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_antenna_param.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_channel.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_channel.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_fading.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_fading.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_mcs_param.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_mcs_param.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/test_pathloss_mcs.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/test_pathloss_mcs.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocols/test_dcm.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_dcm.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_dcm.cpp.o.d"
+  "/root/repo/tests/protocols/test_dcm_param.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_dcm_param.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_dcm_param.cpp.o.d"
+  "/root/repo/tests/protocols/test_extensions.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_extensions.cpp.o.d"
+  "/root/repo/tests/protocols/test_failure_injection.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/protocols/test_ieee80211ad.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_ieee80211ad.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_ieee80211ad.cpp.o.d"
+  "/root/repo/tests/protocols/test_negotiation.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_negotiation.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_negotiation.cpp.o.d"
+  "/root/repo/tests/protocols/test_paper_shape.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_paper_shape.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_paper_shape.cpp.o.d"
+  "/root/repo/tests/protocols/test_protocols_integration.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_protocols_integration.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_protocols_integration.cpp.o.d"
+  "/root/repo/tests/protocols/test_refinement_udt.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_refinement_udt.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_refinement_udt.cpp.o.d"
+  "/root/repo/tests/protocols/test_snd.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_snd.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_snd.cpp.o.d"
+  "/root/repo/tests/protocols/test_snd_param.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_snd_param.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_snd_param.cpp.o.d"
+  "/root/repo/tests/protocols/test_udt_windows.cpp" "tests/CMakeFiles/test_protocols.dir/protocols/test_udt_windows.cpp.o" "gcc" "tests/CMakeFiles/test_protocols.dir/protocols/test_udt_windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmv2v_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/mmv2v_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/mmv2v_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmv2v_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mmv2v_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mmv2v_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmv2v_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/mmv2v_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/mmv2v_apps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocols.dir/protocols/test_dcm.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_dcm.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_dcm_param.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_dcm_param.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_extensions.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_extensions.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_failure_injection.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_ieee80211ad.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_ieee80211ad.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_negotiation.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_negotiation.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_paper_shape.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_paper_shape.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_protocols_integration.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_protocols_integration.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_refinement_udt.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_refinement_udt.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_snd.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_snd.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_snd_param.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_snd_param.cpp.o.d"
+  "CMakeFiles/test_protocols.dir/protocols/test_udt_windows.cpp.o"
+  "CMakeFiles/test_protocols.dir/protocols/test_udt_windows.cpp.o.d"
+  "test_protocols"
+  "test_protocols.pdb"
+  "test_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/test_idm_mobil.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_idm_mobil.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_road.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_road.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_speed_zone.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_speed_zone.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_traffic_param.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_traffic_param.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_traffic_sim.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_traffic_sim.cpp.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
