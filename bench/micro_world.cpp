@@ -1,0 +1,93 @@
+// Microbenchmark for the spatial-grid world engine: times refresh_snapshot()
+// and full density-sweep wall-clock at 10/30/60 vehicles per lane, emitting
+// key=value lines so before/after speedups are easy to diff in a PR.
+//
+// Usage:
+//   micro_world [refresh_iters=20] [sweep_reps=2] [sweep_horizon_s=0.3]
+//               [threads=<hardware>]
+#include "bench_util.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/experiment.hpp"
+#include "core/world.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmv2v;
+  const ConfigMap cli = bench::parse_cli(argc, argv);
+  const int refresh_iters = static_cast<int>(cli.get_or("refresh_iters", std::int64_t{20}));
+  const int sweep_reps = static_cast<int>(cli.get_or("sweep_reps", std::int64_t{2}));
+  const double sweep_horizon_s = cli.get_or("sweep_horizon_s", 0.3);
+  const int hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  const int threads = static_cast<int>(cli.get_or("threads", std::int64_t{hw}));
+
+  std::printf("# micro_world: spatial-grid engine timings (lower is better)\n");
+  std::printf("hardware_threads=%d\n", hw);
+
+  // --- refresh_snapshot cost per density --------------------------------
+  for (const double vpl : {10.0, 30.0, 60.0}) {
+    core::ScenarioConfig s = bench::make_scenario(vpl, /*seed=*/1);
+    s.traffic_warmup_s = 2.0;
+    core::World world{s, 1};
+    // Warm the caches / scratch buffers once before timing.
+    world.refresh_snapshot();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < refresh_iters; ++i) {
+      world.advance(0.005);  // mobility tick: move + rebuild snapshot
+    }
+    const double advance_us = seconds_since(t0) * 1e6 / refresh_iters;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    for (int i = 0; i < refresh_iters; ++i) {
+      world.refresh_snapshot();  // snapshot rebuild only, fixed positions
+    }
+    const double refresh_us = seconds_since(t1) * 1e6 / refresh_iters;
+
+    std::size_t cached_pairs = 0;
+    for (net::NodeId i = 0; i < world.size(); ++i) cached_pairs += world.nearby(i).size();
+    std::printf(
+        "refresh vpl=%.0f vehicles=%zu cached_pairs=%zu refresh_us=%.1f advance_us=%.1f\n",
+        vpl, world.size(), cached_pairs / 2, refresh_us, advance_us);
+  }
+
+  // --- full sweep wall-clock, serial vs parallel ------------------------
+  core::ExperimentConfig experiment;
+  experiment.densities_vpl = {10.0, 30.0, 60.0};
+  experiment.repetitions = sweep_reps;
+  experiment.horizon_s = sweep_horizon_s;
+  experiment.seed = 1;
+
+  core::ScenarioConfig base;
+  base.traffic.road_length_m = 500.0;
+  base.traffic_warmup_s = 2.0;
+
+  const core::ProtocolFactory factory = [](std::uint64_t seed)
+      -> std::unique_ptr<core::OhmProtocol> {
+    return std::make_unique<protocols::MmV2VProtocol>(bench::make_mmv2v_params(seed));
+  };
+
+  std::vector<int> thread_counts{1};
+  if (threads > 1) thread_counts.push_back(threads);
+  double serial_s = 0.0;
+  for (const int t : thread_counts) {
+    experiment.threads = t;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto points = core::run_density_sweep(experiment, base, factory);
+    const double wall = seconds_since(t0);
+    if (t == 1) serial_s = wall;
+    std::printf("sweep threads=%d cells=%zu wall_s=%.3f speedup=%.2f ocr0=%.3f\n", t,
+                experiment.densities_vpl.size() * static_cast<std::size_t>(sweep_reps),
+                wall, serial_s > 0.0 ? serial_s / wall : 1.0, points.front().ocr.mean());
+  }
+  return 0;
+}

@@ -45,6 +45,8 @@ int main(int argc, char** argv) {
   experiment.repetitions = static_cast<int>(cli.get_or("reps", std::int64_t{3}));
   experiment.horizon_s = cli.get_or("horizon_s", 1.5);
   experiment.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
+  // 0 = one worker per hardware thread; results are identical either way.
+  experiment.threads = static_cast<int>(cli.get_or("threads", std::int64_t{0}));
 
   core::ScenarioConfig base;
   base.task.rate_mbps = cli.get_or("rate_mbps", 200.0);

@@ -54,4 +54,18 @@ namespace mmv2v {
   return cns_hash(a) + cns_hash(b);
 }
 
+/// Derive an independent stream seed from a base seed plus two stream
+/// indices via chained SplitMix64 finalizer rounds. Unlike additive schemes
+/// (`seed + a*P + b*Q`), distinct (base, s1, s2) triples cannot collide by
+/// simple arithmetic coincidence: each round is bijective in its input, so
+/// the full mixing only repeats if two triples already agree at every stage.
+/// Used for per-cell experiment seeding (density index x repetition).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t s1,
+                                                  std::uint64_t s2) noexcept {
+  std::uint64_t h = mix64(base + 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ (s1 + 0x9e3779b97f4a7c15ULL));
+  h = mix64(h ^ (s2 + 0x9e3779b97f4a7c15ULL));
+  return h;
+}
+
 }  // namespace mmv2v

@@ -1,13 +1,73 @@
 #include "core/experiment.hpp"
 
+#include <atomic>
+#include <exception>
 #include <iomanip>
+#include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
+#include "common/hash.hpp"
 #include "core/metrics.hpp"
 #include "core/simulation.hpp"
 
 namespace mmv2v::core {
+namespace {
+
+/// Everything one (density, repetition) cell contributes to its SweepPoint,
+/// in the order the serial merge consumes it.
+struct CellResult {
+  double degree = 0.0;
+  double ocr = 0.0;
+  double atp = 0.0;
+  double dtp = 0.0;
+  double fairness = 0.0;
+  std::vector<double> ocr_samples;
+  std::vector<double> atp_samples;
+};
+
+CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
+                    const ProtocolFactory& factory, std::mutex& factory_mutex,
+                    std::size_t density_index, int rep) {
+  // Mixed (not additive) seed derivation: distinct cells cannot alias even
+  // when densities are close or repetitions many.
+  const std::uint64_t seed =
+      derive_seed(config.seed, static_cast<std::uint64_t>(density_index),
+                  static_cast<std::uint64_t>(rep));
+  ScenarioConfig scenario = base;
+  scenario.traffic.density_vpl = config.densities_vpl[density_index];
+  scenario.horizon_s = config.horizon_s;
+  scenario.seed = seed;
+
+  std::unique_ptr<OhmProtocol> protocol;
+  {
+    // The factory is user code (often a capturing lambda); don't assume it
+    // tolerates concurrent invocation.
+    const std::lock_guard<std::mutex> lock{factory_mutex};
+    protocol = factory(seed ^ 0xabcd);
+  }
+  OhmSimulation sim{scenario, *protocol};
+  sim.run(0.0);
+
+  const NetworkMetrics& m = sim.final_metrics();
+  CellResult out;
+  out.degree = sim.world().mean_degree();
+  out.ocr = m.mean_ocr();
+  out.atp = m.mean_atp();
+  out.dtp = m.mean_dtp();
+  out.fairness = network_atp_fairness(m);
+  out.ocr_samples.reserve(m.per_vehicle.size());
+  out.atp_samples.reserve(m.per_vehicle.size());
+  for (const VehicleMetrics& v : m.per_vehicle) {
+    out.ocr_samples.push_back(v.ocr);
+    out.atp_samples.push_back(v.atp);
+  }
+  return out;
+}
+
+}  // namespace
 
 std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
                                           const ScenarioConfig& base,
@@ -17,34 +77,63 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
   }
   if (!factory) throw std::invalid_argument{"experiment: null protocol factory"};
 
+  const std::size_t reps = static_cast<std::size_t>(config.repetitions);
+  const std::size_t n_cells = config.densities_vpl.size() * reps;
+  std::vector<CellResult> cells(n_cells);
+  std::vector<std::exception_ptr> errors(n_cells);
+  std::mutex factory_mutex;
+
+  const auto run_cell_at = [&](std::size_t k) {
+    try {
+      cells[k] = run_cell(config, base, factory, factory_mutex, k / reps,
+                          static_cast<int>(k % reps));
+    } catch (...) {
+      errors[k] = std::current_exception();
+    }
+  };
+
+  std::size_t workers = config.threads > 0
+                            ? static_cast<std::size_t>(config.threads)
+                            : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min(workers, n_cells);
+
+  if (workers <= 1) {
+    for (std::size_t k = 0; k < n_cells; ++k) run_cell_at(k);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (std::size_t k = next.fetch_add(1); k < n_cells; k = next.fetch_add(1)) {
+          run_cell_at(k);
+        }
+      });
+    }
+  }  // jthread destructors join the pool
+
+  // Surface the first failure in deterministic cell order.
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+
+  // Merge in canonical (density, repetition) order: the exact `add` sequence
+  // the old serial runner performed, so aggregates are bit-identical no
+  // matter how the cells were scheduled.
   std::vector<SweepPoint> points;
   points.reserve(config.densities_vpl.size());
-  for (const double density : config.densities_vpl) {
+  for (std::size_t di = 0; di < config.densities_vpl.size(); ++di) {
     SweepPoint point;
-    point.density_vpl = density;
-    for (int rep = 0; rep < config.repetitions; ++rep) {
-      const std::uint64_t seed =
-          config.seed + static_cast<std::uint64_t>(rep) * 7919 +
-          static_cast<std::uint64_t>(density * 131.0);
-      ScenarioConfig scenario = base;
-      scenario.traffic.density_vpl = density;
-      scenario.horizon_s = config.horizon_s;
-      scenario.seed = seed;
-
-      const std::unique_ptr<OhmProtocol> protocol = factory(seed ^ 0xabcd);
-      OhmSimulation sim{scenario, *protocol};
-      sim.run(0.0);
-
-      const NetworkMetrics& m = sim.final_metrics();
-      point.degree.add(sim.world().mean_degree());
-      point.ocr.add(m.mean_ocr());
-      point.atp.add(m.mean_atp());
-      point.dtp.add(m.mean_dtp());
-      point.fairness.add(network_atp_fairness(m));
-      for (const VehicleMetrics& v : m.per_vehicle) {
-        point.ocr_samples.add(v.ocr);
-        point.atp_samples.add(v.atp);
-      }
+    point.density_vpl = config.densities_vpl[di];
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const CellResult& cell = cells[di * reps + rep];
+      point.degree.add(cell.degree);
+      point.ocr.add(cell.ocr);
+      point.atp.add(cell.atp);
+      point.dtp.add(cell.dtp);
+      point.fairness.add(cell.fairness);
+      for (double v : cell.ocr_samples) point.ocr_samples.add(v);
+      for (double v : cell.atp_samples) point.atp_samples.add(v);
     }
     points.push_back(std::move(point));
   }

@@ -24,6 +24,10 @@ struct ExperimentConfig {
   int repetitions = 3;
   double horizon_s = 1.5;
   std::uint64_t seed = 1;
+  /// Worker threads for the sweep. Each (density, repetition) cell is an
+  /// independent deterministic simulation, so results are bit-identical for
+  /// any thread count. <= 0 selects std::thread::hardware_concurrency().
+  int threads = 0;
 };
 
 /// Aggregated outcome of one sweep point.
@@ -41,6 +45,10 @@ struct SweepPoint {
 
 /// Run a density sweep: for each density, `repetitions` independent worlds
 /// and protocol instances. `base` provides every non-density scenario knob.
+/// Cells run concurrently on `config.threads` workers; each cell derives a
+/// self-contained seed from (config.seed, density index, repetition) and
+/// results are merged in deterministic (density, repetition) order, so the
+/// output does not depend on thread count or scheduling.
 [[nodiscard]] std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
                                                         const ScenarioConfig& base,
                                                         const ProtocolFactory& factory);

@@ -1,5 +1,7 @@
 #include "core/world.hpp"
 
+#include <algorithm>
+
 #include "geom/angles.hpp"
 
 namespace mmv2v::core {
@@ -27,40 +29,82 @@ void World::advance(double dt) {
 void World::refresh_snapshot() {
   los_ = traffic_.make_los_evaluator();
   const std::size_t n = traffic_.size();
-  nearby_.assign(n, {});
   const double radius = config_.interference_range_m;
   const double radius_sq = radius * radius;
 
-  std::vector<geom::Vec2> pos(n);
-  for (std::size_t i = 0; i < n; ++i) pos[i] = traffic_.position_of(i);
+  positions_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) positions_[i] = traffic_.position_of(i);
+
+  // Index positions so candidate pairs come from nearby cells only. A cell of
+  // radius/4 keeps the per-query window tight (±25% overshoot per axis)
+  // without exploding the number of cells visited.
+  grid_.rebuild(positions_, std::max(1.0, radius / 4.0));
+
+  // Pass 1: enumerate unordered in-range pairs (i < j, ascending in both
+  // coordinates — the same discovery order as the old N^2 double loop) and
+  // compute their geometry once per pair.
+  struct UndirectedPair {
+    std::uint32_t i;
+    std::uint32_t j;
+    double distance_m;
+    int blockers;
+    double fade_db;
+  };
+  std::vector<UndirectedPair> pairs;
+  pairs.reserve(pair_arena_.size() / 2 + 16);
+  std::vector<std::uint32_t> degree(n, 0);
 
   const auto& vehicles = traffic_.vehicles();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      if (geom::distance_sq(pos[i], pos[j]) > radius_sq) continue;
-      const double d = geom::distance(pos[i], pos[j]);
-      int blockers = los_.blocker_count(pos[i], pos[j], i, j);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    candidates_.clear();
+    grid_.for_each_in_radius(positions_[i], radius, [&](std::uint32_t j) {
+      if (j > i && geom::distance_sq(positions_[i], positions_[j]) <= radius_sq) {
+        candidates_.push_back(j);
+      }
+    });
+    std::sort(candidates_.begin(), candidates_.end());
+    for (const std::uint32_t j : candidates_) {
+      const double d = geom::distance(positions_[i], positions_[j]);
+      int blockers = los_.blocker_count(positions_[i], positions_[j], i, j);
       if (vehicles[i].direction != vehicles[j].direction) {
         blockers += config_.cross_median_blockers;
       }
       const double fade = fading_.enabled() ? fading_.loss_db(i, j, tick_) : 0.0;
-      nearby_[i].push_back(PairGeom{j, d, geom::bearing(pos[i], pos[j]), blockers, fade});
-      nearby_[j].push_back(PairGeom{i, d, geom::bearing(pos[j], pos[i]), blockers, fade});
+      pairs.push_back(UndirectedPair{i, j, d, blockers, fade});
+      ++degree[i];
+      ++degree[j];
     }
+  }
+
+  // Pass 2: scatter both directed views of each pair into one flat arena,
+  // grouped by owner. Because pairs were discovered with i and j ascending,
+  // sequential placement leaves every per-node group sorted by `other`.
+  pair_offsets_.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) pair_offsets_[i + 1] = pair_offsets_[i] + degree[i];
+  pair_arena_.resize(pair_offsets_[n]);
+  std::vector<std::uint32_t> cursor(pair_offsets_.begin(), pair_offsets_.end() - 1);
+  for (const UndirectedPair& p : pairs) {
+    const double bearing_ij = geom::bearing(positions_[p.i], positions_[p.j]);
+    const double bearing_ji = geom::bearing(positions_[p.j], positions_[p.i]);
+    pair_arena_[cursor[p.i]++] =
+        PairGeom{p.j, p.distance_m, bearing_ij, p.blockers, p.fade_db};
+    pair_arena_[cursor[p.j]++] =
+        PairGeom{p.i, p.distance_m, bearing_ji, p.blockers, p.fade_db};
   }
 }
 
 const PairGeom* World::pair(net::NodeId a, net::NodeId b) const noexcept {
-  if (a >= nearby_.size()) return nullptr;
-  for (const PairGeom& p : nearby_[a]) {
-    if (p.other == b) return &p;
-  }
-  return nullptr;
+  if (a >= size() || pair_offsets_.size() <= a + 1) return nullptr;
+  const PairGeom* first = pair_arena_.data() + pair_offsets_[a];
+  const PairGeom* last = pair_arena_.data() + pair_offsets_[a + 1];
+  const PairGeom* it = std::lower_bound(
+      first, last, b, [](const PairGeom& p, net::NodeId id) { return p.other < id; });
+  return (it != last && it->other == b) ? it : nullptr;
 }
 
 std::vector<net::NodeId> World::ground_truth_neighbors(net::NodeId id) const {
   std::vector<net::NodeId> out;
-  for (const PairGeom& p : nearby_.at(id)) {
+  for (const PairGeom& p : nearby(id)) {
     if (p.distance_m <= config_.comm_range_m && p.blockers == 0) out.push_back(p.other);
   }
   return out;
@@ -68,8 +112,12 @@ std::vector<net::NodeId> World::ground_truth_neighbors(net::NodeId id) const {
 
 double World::mean_degree() const {
   if (size() == 0) return 0.0;
+  // Every qualifying directed arena entry is one (vehicle, neighbor) edge, so
+  // one linear pass over the arena counts all neighborhoods at once.
   std::size_t total = 0;
-  for (std::size_t i = 0; i < size(); ++i) total += ground_truth_neighbors(i).size();
+  for (const PairGeom& p : pair_arena_) {
+    if (p.distance_m <= config_.comm_range_m && p.blockers == 0) ++total;
+  }
   return static_cast<double>(total) / static_cast<double>(size());
 }
 

@@ -11,6 +11,7 @@
 #include "common/units.hpp"
 #include "core/scenario.hpp"
 #include "geom/los.hpp"
+#include "geom/spatial_grid.hpp"
 #include "net/mac_address.hpp"
 #include "phy/channel.hpp"
 #include "traffic/traffic_sim.hpp"
@@ -57,9 +58,13 @@ class World {
   }
   [[nodiscard]] geom::Vec2 position(net::NodeId id) const { return traffic_.position_of(id); }
 
-  /// All cached pairs within interference range of `id`.
+  /// All cached pairs within interference range of `id`, sorted ascending by
+  /// `other`. The span points into the snapshot arena and is invalidated by
+  /// the next refresh.
   [[nodiscard]] std::span<const PairGeom> nearby(net::NodeId id) const {
-    return nearby_.at(id);
+    const std::uint32_t begin = pair_offsets_.at(id);
+    const std::uint32_t end = pair_offsets_.at(id + 1);
+    return {pair_arena_.data() + begin, end - begin};
   }
 
   /// Cached geometry from a toward b, if within interference range.
@@ -77,7 +82,17 @@ class World {
   phy::ChannelModel channel_;
   phy::FadingModel fading_;
   geom::LosEvaluator los_;
-  std::vector<std::vector<PairGeom>> nearby_;
+  /// Uniform grid over antenna positions; pair enumeration queries it instead
+  /// of testing all N^2 pairs.
+  geom::SpatialGrid grid_;
+  /// Flat snapshot arena: all directed PairGeom entries, grouped by owning
+  /// node (pair_offsets_[id] .. pair_offsets_[id+1]) and sorted by `other`
+  /// within each group so pair() is a binary search.
+  std::vector<PairGeom> pair_arena_;
+  std::vector<std::uint32_t> pair_offsets_;
+  // Scratch buffers reused across refreshes (no steady-state allocation).
+  std::vector<geom::Vec2> positions_;
+  std::vector<std::uint32_t> candidates_;
   std::uint64_t tick_ = 0;
 };
 

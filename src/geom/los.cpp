@@ -1,23 +1,62 @@
 #include "geom/los.hpp"
 
+#include <algorithm>
+
 namespace mmv2v::geom {
+
+void LosEvaluator::rebuild_index() {
+  max_radius_ = 0.0;
+  centers_.resize(blockers_.size());
+  radii_.resize(blockers_.size());
+  inscribed_sq_.resize(blockers_.size());
+  owners_.resize(blockers_.size());
+  for (std::size_t i = 0; i < blockers_.size(); ++i) {
+    const OrientedRect& body = blockers_[i].body;
+    centers_[i] = body.center();
+    radii_[i] = body.half_length() + body.half_width();
+    // Shrink by a margin so the early-accept below never disagrees with the
+    // epsilon-guarded exact test on tangent segments.
+    const double inscribed =
+        std::max(0.0, std::min(body.half_length(), body.half_width()) - 1e-6);
+    inscribed_sq_[i] = inscribed * inscribed;
+    owners_[i] = blockers_[i].owner_id;
+    max_radius_ = std::max(max_radius_, radii_[i]);
+  }
+  // Cells a couple of body-radii wide: fine enough that a segment query's
+  // per-row column windows hold only vehicles actually near the corridor.
+  const double cell = std::max(4.0, 2.0 * max_radius_);
+  grid_.rebuild(centers_, cell);
+}
 
 int LosEvaluator::blocker_count(Vec2 a, Vec2 b, std::size_t owner_a,
                                 std::size_t owner_b) const noexcept {
   int count = 0;
-  for (const Blocker& blocker : blockers_) {
-    if (blocker.owner_id == owner_a || blocker.owner_id == owner_b) continue;
+  const double seg_min_x = std::min(a.x, b.x);
+  const double seg_max_x = std::max(a.x, b.x);
+  const double seg_min_y = std::min(a.y, b.y);
+  const double seg_max_y = std::max(a.y, b.y);
+  grid_.for_each_near_segment(a, b, max_radius_, [&](std::uint32_t idx) {
     // Cheap reject: blocker must overlap the segment's bounding box inflated
     // by its circumscribed radius.
-    const Vec2 c = blocker.body.center();
-    const double r = blocker.body.half_length() + blocker.body.half_width();
-    const double min_x = std::min(a.x, b.x) - r;
-    const double max_x = std::max(a.x, b.x) + r;
-    const double min_y = std::min(a.y, b.y) - r;
-    const double max_y = std::max(a.y, b.y) + r;
-    if (c.x < min_x || c.x > max_x || c.y < min_y || c.y > max_y) continue;
-    if (blocker.body.intersects_segment(a, b)) ++count;
-  }
+    const Vec2 c = centers_[idx];
+    const double r = radii_[idx];
+    if (c.x < seg_min_x - r || c.x > seg_max_x + r || c.y < seg_min_y - r ||
+        c.y > seg_max_y + r)
+      return;
+    // An intersecting body's center lies within its circumradius of the
+    // segment, so this rejects corridor vehicles the axis-aligned box keeps
+    // (e.g. alongside a diagonal cross-lane link) before the exact test.
+    const double d_sq = segment_distance_sq(a, b, c);
+    if (d_sq > r * r) return;
+    if (owners_[idx] == owner_a || owners_[idx] == owner_b) return;
+    // Conversely, a segment point strictly inside the inscribed circle is
+    // interior to the body: certain hit, skip the corner-by-corner test.
+    if (d_sq < inscribed_sq_[idx]) {
+      ++count;
+      return;
+    }
+    if (blockers_[idx].body.intersects_segment(a, b)) ++count;
+  });
   return count;
 }
 

@@ -1,12 +1,17 @@
 // Line-of-sight evaluation between antenna positions with vehicle bodies as
 // blockers. The path-loss model (paper Eq. 1) takes the number of blockers
 // on the direct path; LosEvaluator computes that count geometrically.
+//
+// Blocker bodies are indexed in a SpatialGrid keyed by their centers, so a
+// query touches only the bodies whose cells the (inflated) LOS segment
+// crosses instead of scanning every vehicle on the road.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "geom/rect.hpp"
+#include "geom/spatial_grid.hpp"
 #include "geom/vec2.hpp"
 
 namespace mmv2v::geom {
@@ -22,10 +27,20 @@ struct Blocker {
 class LosEvaluator {
  public:
   LosEvaluator() = default;
-  explicit LosEvaluator(std::vector<Blocker> blockers) : blockers_(std::move(blockers)) {}
+  explicit LosEvaluator(std::vector<Blocker> blockers) : blockers_(std::move(blockers)) {
+    rebuild_index();
+  }
 
-  void clear() noexcept { blockers_.clear(); }
-  void add(Blocker blocker) { blockers_.push_back(std::move(blocker)); }
+  void clear() {
+    blockers_.clear();
+    rebuild_index();
+  }
+  /// O(n) — rebuilds the spatial index. Bulk callers should construct from a
+  /// full blocker vector instead.
+  void add(Blocker blocker) {
+    blockers_.push_back(std::move(blocker));
+    rebuild_index();
+  }
   [[nodiscard]] std::size_t size() const noexcept { return blockers_.size(); }
 
   /// Number of distinct bodies crossing the segment (a, b), excluding the two
@@ -40,7 +55,22 @@ class LosEvaluator {
   }
 
  private:
+  void rebuild_index();
+
   std::vector<Blocker> blockers_;
+  SpatialGrid grid_;
+  /// Structure-of-arrays mirror of blockers_ (center / circumradius / owner)
+  /// so the query prefilter reads compact arrays and only candidates that
+  /// survive it touch the full OrientedRect.
+  std::vector<Vec2> centers_;
+  std::vector<double> radii_;
+  /// Squared inscribed radius (minus a safety margin): a segment passing
+  /// closer than this to the center certainly crosses the body.
+  std::vector<double> inscribed_sq_;
+  std::vector<std::size_t> owners_;
+  /// Largest circumscribed radius over all bodies: a body can only intersect
+  /// a segment if its center lies within this distance of it.
+  double max_radius_ = 0.0;
 };
 
 }  // namespace mmv2v::geom

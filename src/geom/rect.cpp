@@ -1,6 +1,7 @@
 #include "geom/rect.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace mmv2v::geom {
 
@@ -37,15 +38,26 @@ bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) noexcept {
 }
 
 bool OrientedRect::intersects_segment(Vec2 a, Vec2 b) const noexcept {
-  if (contains(a) || contains(b)) return true;
-  const auto cs = corners();
-  for (int i = 0; i < 4; ++i) {
-    if (segments_intersect(a, b, cs[static_cast<std::size_t>(i)],
-                           cs[static_cast<std::size_t>((i + 1) % 4)])) {
-      return true;
-    }
-  }
-  return false;
+  // Slab test in the body frame: project both endpoints onto (axis, perp)
+  // and clip the segment parameter against the closed rectangle. Boundary
+  // touches count as intersection, like contains()/segments_intersect().
+  const Vec2 perp = axis_.perp();
+  const Vec2 da = a - center_;
+  const Vec2 db = b - center_;
+  double t0 = 0.0;
+  double t1 = 1.0;
+  const auto clip = [&t0, &t1](double p0, double p1, double limit) noexcept {
+    const double d = p1 - p0;
+    if (d == 0.0) return std::abs(p0) <= limit;
+    double u0 = (-limit - p0) / d;
+    double u1 = (limit - p0) / d;
+    if (u0 > u1) std::swap(u0, u1);
+    t0 = std::max(t0, u0);
+    t1 = std::min(t1, u1);
+    return t0 <= t1;
+  };
+  return clip(da.dot(axis_), db.dot(axis_), half_length_ + kEps) &&
+         clip(da.dot(perp), db.dot(perp), half_width_ + kEps);
 }
 
 }  // namespace mmv2v::geom

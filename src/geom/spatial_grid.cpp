@@ -1,0 +1,72 @@
+#include "geom/spatial_grid.hpp"
+
+#include <cassert>
+
+namespace mmv2v::geom {
+
+namespace {
+
+/// Number of cells covering an extent, capped; writes the per-axis cell size
+/// actually used (>= requested when the cap kicks in).
+int axis_cells(double extent, double requested_cell, double& cell_out) {
+  const int wanted = static_cast<int>(extent / requested_cell) + 1;
+  if (wanted <= SpatialGrid::kMaxCellsPerAxis) {
+    cell_out = requested_cell;
+    return wanted;
+  }
+  // Grow cells just enough that the max coordinate still maps below the cap.
+  cell_out = extent / static_cast<double>(SpatialGrid::kMaxCellsPerAxis) * (1.0 + 1e-12);
+  return SpatialGrid::kMaxCellsPerAxis;
+}
+
+}  // namespace
+
+void SpatialGrid::rebuild(std::span<const Vec2> points, double cell_size_m) {
+  assert(cell_size_m > 0.0);
+  indices_.clear();
+  cell_offsets_.clear();
+  if (points.empty()) {
+    nx_ = ny_ = 0;
+    return;
+  }
+
+  double min_x = points[0].x;
+  double max_x = points[0].x;
+  double min_y = points[0].y;
+  double max_y = points[0].y;
+  for (const Vec2& p : points) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  origin_x_ = min_x;
+  origin_y_ = min_y;
+  nx_ = axis_cells(max_x - min_x, cell_size_m, cell_x_);
+  ny_ = axis_cells(max_y - min_y, cell_size_m, cell_y_);
+  inv_cell_x_ = 1.0 / cell_x_;
+  inv_cell_y_ = 1.0 / cell_y_;
+
+  const std::size_t n_cells = static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_);
+  cell_offsets_.assign(n_cells + 1, 0);
+
+  // Counting sort by cell, row-major; stable, so indices within a cell stay
+  // in point order and query visit order is deterministic.
+  cells_scratch_.resize(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::uint32_t cell = static_cast<std::uint32_t>(row_of(points[i].y)) *
+                                   static_cast<std::uint32_t>(nx_) +
+                               static_cast<std::uint32_t>(col_of(points[i].x));
+    cells_scratch_[i] = cell;
+    ++cell_offsets_[cell + 1];
+  }
+  for (std::size_t c = 1; c <= n_cells; ++c) cell_offsets_[c] += cell_offsets_[c - 1];
+
+  indices_.resize(points.size());
+  std::vector<std::uint32_t> cursor(cell_offsets_.begin(), cell_offsets_.end() - 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    indices_[cursor[cells_scratch_[i]]++] = static_cast<std::uint32_t>(i);
+  }
+}
+
+}  // namespace mmv2v::geom

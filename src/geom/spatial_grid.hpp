@@ -1,0 +1,139 @@
+// Uniform spatial grid over 2-D points, rebuilt once per mobility tick and
+// queried by every consumer of pairwise geometry. Two query shapes cover the
+// engine's needs:
+//   * disc queries   — candidate neighbors for pair enumeration
+//     (World::refresh_snapshot), and
+//   * capsule queries — candidate blockers whose body could intersect a
+//     LOS segment (LosEvaluator::blocker_count).
+//
+// The grid is conservative: a query visits every indexed point inside the
+// shape, possibly plus a few just outside it (points whose *cell* overlaps
+// the query's per-row column window). Callers always apply their exact
+// predicate (distance check, rect intersection) to the visited candidates,
+// so over-inclusion costs a little time and never correctness. Each indexed
+// point lives in exactly one cell and is visited at most once per query.
+//
+// Storage is a dense row-major CSR over the points' bounding box: cells of a
+// row are adjacent in one flat index array, so a query is a handful of
+// contiguous scans (one per row band) with no hashing and no per-cell
+// branching — the dominant cost is touching the candidates themselves. The
+// cell count per axis is capped, growing cells instead, so degenerate
+// bounding boxes cannot blow up memory.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace mmv2v::geom {
+
+class SpatialGrid {
+ public:
+  SpatialGrid() = default;
+
+  /// Index `points` with square cells of side `cell_size_m` (> 0; cells grow
+  /// if the bounding box would need more than kMaxCellsPerAxis per axis).
+  /// Invalidates the previous contents. Indices reported by queries refer to
+  /// positions in this span.
+  void rebuild(std::span<const Vec2> points, double cell_size_m);
+
+  [[nodiscard]] std::size_t size() const noexcept { return indices_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return indices_.empty(); }
+  [[nodiscard]] double cell_size() const noexcept { return std::max(cell_x_, cell_y_); }
+
+  /// Visit the indices of all points whose cell column window overlaps the
+  /// disc (center, radius). Superset of the points inside the disc.
+  template <typename Visitor>
+  void for_each_in_radius(Vec2 center, double radius, Visitor&& visit) const {
+    if (indices_.empty()) return;
+    const int row0 = row_of(center.y - radius);
+    const int row1 = row_of(center.y + radius);
+    const int col0 = col_of(center.x - radius);
+    const int col1 = col_of(center.x + radius);
+    for (int row = row0; row <= row1; ++row) {
+      scan_row(row, col0, col1, visit);
+    }
+  }
+
+  /// Visit the indices of all points near the segment (a, b): for every cell
+  /// row the segment is clipped to the row's (radius-inflated) band and only
+  /// the resulting column window is scanned. Superset of the points within
+  /// `radius` of the segment.
+  template <typename Visitor>
+  void for_each_near_segment(Vec2 a, Vec2 b, double radius, Visitor&& visit) const {
+    if (indices_.empty()) return;
+    const int row0 = row_of(std::min(a.y, b.y) - radius);
+    const int row1 = row_of(std::max(a.y, b.y) + radius);
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    for (int row = row0; row <= row1; ++row) {
+      // y-band of this row, inflated by the capsule radius.
+      const double band_lo = origin_y_ + static_cast<double>(row) * cell_y_ - radius;
+      const double band_hi = band_lo + cell_y_ + 2.0 * radius;
+      double x_min;
+      double x_max;
+      if (std::abs(dy) < 1e-12) {
+        if (a.y < band_lo || a.y > band_hi) continue;
+        x_min = std::min(a.x, b.x);
+        x_max = std::max(a.x, b.x);
+      } else {
+        // Clip the segment parameter to where its y lies inside the band.
+        double t0 = (band_lo - a.y) / dy;
+        double t1 = (band_hi - a.y) / dy;
+        if (t0 > t1) std::swap(t0, t1);
+        t0 = std::max(0.0, t0);
+        t1 = std::min(1.0, t1);
+        if (t0 > t1) continue;
+        const double xa = a.x + dx * t0;
+        const double xb = a.x + dx * t1;
+        x_min = std::min(xa, xb);
+        x_max = std::max(xa, xb);
+      }
+      scan_row(row, col_of(x_min - radius), col_of(x_max + radius), visit);
+    }
+  }
+
+  /// Hard cap on cells per axis (cells grow instead); bounds the offsets
+  /// array at a few MB even for pathological bounding boxes.
+  static constexpr int kMaxCellsPerAxis = 1024;
+
+ private:
+  [[nodiscard]] int col_of(double x) const noexcept {
+    const int c = static_cast<int>(std::floor((x - origin_x_) * inv_cell_x_));
+    return std::clamp(c, 0, nx_ - 1);
+  }
+  [[nodiscard]] int row_of(double y) const noexcept {
+    const int r = static_cast<int>(std::floor((y - origin_y_) * inv_cell_y_));
+    return std::clamp(r, 0, ny_ - 1);
+  }
+
+  template <typename Visitor>
+  void scan_row(int row, int col0, int col1, Visitor& visit) const {
+    // Cells of one row are contiguous in the CSR arrays: the whole column
+    // window is a single flat range of point indices.
+    const std::uint32_t* offsets = cell_offsets_.data() + static_cast<std::size_t>(row) * nx_;
+    const std::uint32_t end = offsets[col1 + 1];
+    for (std::uint32_t e = offsets[col0]; e < end; ++e) visit(indices_[e]);
+  }
+
+  double origin_x_ = 0.0;
+  double origin_y_ = 0.0;
+  double cell_x_ = 1.0;
+  double cell_y_ = 1.0;
+  double inv_cell_x_ = 1.0;
+  double inv_cell_y_ = 1.0;
+  int nx_ = 0;
+  int ny_ = 0;
+  /// CSR offsets per cell, row-major (size nx*ny + 1).
+  std::vector<std::uint32_t> cell_offsets_;
+  /// Point indices grouped by cell (stable within a cell).
+  std::vector<std::uint32_t> indices_;
+  /// Reused between rebuilds to avoid per-tick allocation churn.
+  std::vector<std::uint32_t> cells_scratch_;
+};
+
+}  // namespace mmv2v::geom

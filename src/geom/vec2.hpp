@@ -44,4 +44,15 @@ struct Vec2 {
   return (a - b).norm_sq();
 }
 
+/// Squared distance from point p to the closed segment (a, b). Degenerate
+/// segments (a == b) reduce to point distance.
+[[nodiscard]] constexpr double segment_distance_sq(Vec2 a, Vec2 b, Vec2 p) noexcept {
+  const Vec2 ab = b - a;
+  const double len_sq = ab.norm_sq();
+  if (len_sq <= 0.0) return distance_sq(a, p);
+  double t = (p - a).dot(ab) / len_sq;
+  t = t < 0.0 ? 0.0 : (t > 1.0 ? 1.0 : t);
+  return distance_sq(a + ab * t, p);
+}
+
 }  // namespace mmv2v::geom

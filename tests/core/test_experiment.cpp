@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
+#include "common/hash.hpp"
 #include "core/metrics.hpp"
 #include "protocols/mmv2v/mmv2v.hpp"
 #include "test_util.hpp"
@@ -54,6 +56,53 @@ TEST(Experiment, ValidatesInput) {
                std::invalid_argument);
   EXPECT_THROW(run_density_sweep(tiny_experiment(), tiny_base(), nullptr),
                std::invalid_argument);
+}
+
+TEST(Experiment, ThreadCountDoesNotChangeResults) {
+  // The parallel runner's contract: (density, repetition) cells are
+  // self-contained and merged in canonical order, so any worker count yields
+  // bit-identical SweepPoints.
+  ExperimentConfig e = tiny_experiment();
+  e.repetitions = 3;
+  std::vector<std::vector<SweepPoint>> runs;
+  for (const int threads : {1, 2, 8}) {
+    e.threads = threads;
+    runs.push_back(run_density_sweep(e, tiny_base(), mmv2v_factory()));
+  }
+  const auto& ref = runs.front();
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const SweepPoint& a = ref[i];
+      const SweepPoint& b = runs[r][i];
+      EXPECT_DOUBLE_EQ(b.density_vpl, a.density_vpl);
+      EXPECT_EQ(b.degree.count(), a.degree.count());
+      EXPECT_DOUBLE_EQ(b.degree.mean(), a.degree.mean());
+      EXPECT_DOUBLE_EQ(b.ocr.mean(), a.ocr.mean());
+      EXPECT_DOUBLE_EQ(b.ocr.stddev(), a.ocr.stddev());
+      EXPECT_DOUBLE_EQ(b.atp.mean(), a.atp.mean());
+      EXPECT_DOUBLE_EQ(b.dtp.mean(), a.dtp.mean());
+      EXPECT_DOUBLE_EQ(b.fairness.mean(), a.fairness.mean());
+      ASSERT_EQ(b.ocr_samples.raw().size(), a.ocr_samples.raw().size());
+      for (std::size_t k = 0; k < a.ocr_samples.raw().size(); ++k) {
+        EXPECT_DOUBLE_EQ(b.ocr_samples.raw()[k], a.ocr_samples.raw()[k]);
+        EXPECT_DOUBLE_EQ(b.atp_samples.raw()[k], a.atp_samples.raw()[k]);
+      }
+    }
+  }
+}
+
+TEST(Experiment, PerCellSeedsDoNotCollide) {
+  // The old additive scheme (seed + rep*7919 + density*131) aliased cells;
+  // mixed derivation must give every (density index, rep) cell its own seed.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t di = 0; di < 40; ++di) {
+    for (std::uint64_t rep = 0; rep < 40; ++rep) {
+      seeds.push_back(derive_seed(7, di, rep));
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
 }
 
 TEST(Experiment, IsDeterministic) {

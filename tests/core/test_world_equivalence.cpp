@@ -1,0 +1,166 @@
+// Brute-force equivalence for the grid-driven snapshot engine: the flat-arena
+// snapshot must contain exactly the PairGeom entries the old O(N^2 * B) path
+// produced — same pairs, distances, bearings, blocker counts and fading — on
+// randomized scenarios, including after mobility ticks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/world.hpp"
+#include "geom/angles.hpp"
+#include "phy/fading.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+struct RefPair {
+  net::NodeId other = 0;
+  double distance_m = 0.0;
+  double bearing_rad = 0.0;
+  int blockers = 0;
+  double extra_loss_db = 0.0;
+};
+
+/// Reference blocker count: plain scan over every body, no grid, no prefilter.
+int brute_blockers(const std::vector<geom::Blocker>& bodies, geom::Vec2 a, geom::Vec2 b,
+                   std::size_t owner_a, std::size_t owner_b) {
+  int count = 0;
+  for (const geom::Blocker& blocker : bodies) {
+    if (blocker.owner_id == owner_a || blocker.owner_id == owner_b) continue;
+    if (blocker.body.intersects_segment(a, b)) ++count;
+  }
+  return count;
+}
+
+/// The old World::refresh_snapshot, reimplemented from first principles.
+std::vector<std::vector<RefPair>> reference_snapshot(const World& world, std::uint64_t tick) {
+  const auto& traffic = world.traffic();
+  const std::size_t n = traffic.size();
+  const ScenarioConfig& config = world.config();
+  const phy::FadingModel fading{config.fading};
+
+  std::vector<geom::Vec2> pos(n);
+  std::vector<geom::Blocker> bodies;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = traffic.position_of(i);
+    bodies.push_back(geom::Blocker{traffic.vehicles()[i].body(traffic.road()), i});
+  }
+
+  const double radius_sq = config.interference_range_m * config.interference_range_m;
+  std::vector<std::vector<RefPair>> nearby(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (geom::distance_sq(pos[i], pos[j]) > radius_sq) continue;
+      const double d = geom::distance(pos[i], pos[j]);
+      int blockers = brute_blockers(bodies, pos[i], pos[j], i, j);
+      if (traffic.vehicles()[i].direction != traffic.vehicles()[j].direction) {
+        blockers += config.cross_median_blockers;
+      }
+      const double fade = fading.enabled() ? fading.loss_db(i, j, tick) : 0.0;
+      nearby[i].push_back({j, d, geom::bearing(pos[i], pos[j]), blockers, fade});
+      nearby[j].push_back({i, d, geom::bearing(pos[j], pos[i]), blockers, fade});
+    }
+  }
+  return nearby;
+}
+
+void expect_snapshot_equals_reference(const World& world, std::uint64_t tick) {
+  const auto reference = reference_snapshot(world, tick);
+  ASSERT_EQ(world.size(), reference.size());
+  std::size_t total_pairs = 0;
+  for (net::NodeId i = 0; i < world.size(); ++i) {
+    const auto actual = world.nearby(i);
+    const auto& expected = reference[i];
+    ASSERT_EQ(actual.size(), expected.size()) << "node " << i;
+    // The old path appended partners in ascending order; the arena must too.
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(actual[k].other, expected[k].other) << "node " << i << " entry " << k;
+      EXPECT_DOUBLE_EQ(actual[k].distance_m, expected[k].distance_m);
+      EXPECT_DOUBLE_EQ(actual[k].bearing_rad, expected[k].bearing_rad);
+      EXPECT_EQ(actual[k].blockers, expected[k].blockers);
+      EXPECT_DOUBLE_EQ(actual[k].extra_loss_db, expected[k].extra_loss_db);
+    }
+    total_pairs += expected.size();
+
+    // pair() binary search agrees with the reference list, in both hit and
+    // miss directions.
+    for (const RefPair& e : expected) {
+      const PairGeom* p = world.pair(i, e.other);
+      ASSERT_NE(p, nullptr);
+      EXPECT_DOUBLE_EQ(p->distance_m, e.distance_m);
+    }
+    for (net::NodeId j : {net::NodeId{0}, world.size() / 2, world.size() - 1}) {
+      const bool in_ref = std::any_of(expected.begin(), expected.end(),
+                                      [&](const RefPair& e) { return e.other == j; });
+      EXPECT_EQ(world.pair(i, j) != nullptr, in_ref) << i << "," << j;
+    }
+  }
+
+  // mean_degree must equal the reference count of LOS-in-comm-range edges.
+  std::size_t ref_degree_total = 0;
+  for (const auto& list : reference) {
+    for (const RefPair& e : list) {
+      if (e.distance_m <= world.config().comm_range_m && e.blockers == 0) ++ref_degree_total;
+    }
+  }
+  const double ref_mean = world.size() == 0
+                              ? 0.0
+                              : static_cast<double>(ref_degree_total) /
+                                    static_cast<double>(world.size());
+  EXPECT_DOUBLE_EQ(world.mean_degree(), ref_mean);
+  SUCCEED() << total_pairs;
+}
+
+TEST(WorldEquivalence, RandomizedScenariosMatchBruteForce) {
+  for (const double density : {8.0, 15.0, 25.0}) {
+    for (const std::uint64_t seed : {1ULL, 42ULL}) {
+      const World world{mmv2v::testing::small_scenario(density, seed), seed};
+      expect_snapshot_equals_reference(world, /*tick=*/0);
+    }
+  }
+}
+
+TEST(WorldEquivalence, HoldsAcrossMobilityTicks) {
+  World world{mmv2v::testing::small_scenario(18.0, 9), 9};
+  std::uint64_t tick = 0;
+  expect_snapshot_equals_reference(world, tick);
+  for (int step = 0; step < 4; ++step) {
+    world.advance(0.1);
+    ++tick;
+    expect_snapshot_equals_reference(world, tick);
+  }
+}
+
+TEST(WorldEquivalence, WithFadingEnabled) {
+  ScenarioConfig s = mmv2v::testing::small_scenario(15.0, 5);
+  s.fading.shadowing_sigma_db = 4.0;
+  s.fading.nakagami_m = 3.0;
+  World world{s, 5};
+  expect_snapshot_equals_reference(world, 0);
+  world.advance(0.05);
+  expect_snapshot_equals_reference(world, 1);
+}
+
+TEST(WorldEquivalence, OpenMedianAndLongRange) {
+  ScenarioConfig s = mmv2v::testing::small_scenario(20.0, 3);
+  s.cross_median_blockers = 0;
+  s.interference_range_m = 400.0;  // grid window larger than the road width
+  World world{s, 3};
+  expect_snapshot_equals_reference(world, 0);
+}
+
+TEST(WorldEquivalence, NearbyListsSortedByOther) {
+  const World world{mmv2v::testing::small_scenario(15.0, 2), 2};
+  for (net::NodeId i = 0; i < world.size(); ++i) {
+    const auto span = world.nearby(i);
+    EXPECT_TRUE(std::is_sorted(span.begin(), span.end(),
+                               [](const PairGeom& x, const PairGeom& y) {
+                                 return x.other < y.other;
+                               }));
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::core

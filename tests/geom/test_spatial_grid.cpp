@@ -1,0 +1,198 @@
+// Brute-force equivalence suite for the spatial grid and the grid-backed
+// LosEvaluator: every query must report a superset of the exact answer, and
+// after applying the exact predicate the sets must match exactly.
+#include "geom/spatial_grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/los.hpp"
+
+namespace mmv2v::geom {
+namespace {
+
+std::vector<Vec2> random_points(std::size_t n, std::uint64_t seed) {
+  Xoshiro256pp rng{seed};
+  std::vector<Vec2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Highway-shaped domain: long in x, narrow in y.
+    out.push_back({rng.uniform(0.0, 1000.0), rng.uniform(-20.0, 20.0)});
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> sorted(std::vector<std::uint32_t> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+TEST(SpatialGrid, RadiusQueryMatchesBruteForce) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    const auto points = random_points(120, seed);
+    for (const double cell : {5.0, 17.3, 55.0}) {
+      SpatialGrid grid;
+      grid.rebuild(points, cell);
+      ASSERT_EQ(grid.size(), points.size());
+      Xoshiro256pp rng{seed ^ 0x5eed};
+      for (int q = 0; q < 40; ++q) {
+        const Vec2 center{rng.uniform(-50.0, 1050.0), rng.uniform(-30.0, 30.0)};
+        const double radius = rng.uniform(1.0, 240.0);
+        const double radius_sq = radius * radius;
+
+        std::vector<std::uint32_t> exact;
+        std::vector<std::uint32_t> candidates;
+        grid.for_each_in_radius(center, radius, [&](std::uint32_t i) {
+          candidates.push_back(i);
+          if (distance_sq(points[i], center) <= radius_sq) exact.push_back(i);
+        });
+        // Each indexed point is visited at most once.
+        auto unique_candidates = sorted(candidates);
+        EXPECT_EQ(std::adjacent_find(unique_candidates.begin(), unique_candidates.end()),
+                  unique_candidates.end());
+
+        std::vector<std::uint32_t> brute;
+        for (std::uint32_t i = 0; i < points.size(); ++i) {
+          if (distance_sq(points[i], center) <= radius_sq) brute.push_back(i);
+        }
+        EXPECT_EQ(sorted(exact), brute) << "cell=" << cell << " r=" << radius;
+      }
+    }
+  }
+}
+
+TEST(SpatialGrid, SegmentQueryMatchesBruteForce) {
+  for (const std::uint64_t seed : {7ULL, 8ULL}) {
+    const auto points = random_points(150, seed);
+    for (const double cell : {8.0, 13.0, 40.0}) {
+      SpatialGrid grid;
+      grid.rebuild(points, cell);
+      Xoshiro256pp rng{seed ^ 0xcafe};
+      for (int q = 0; q < 40; ++q) {
+        const Vec2 a{rng.uniform(0.0, 1000.0), rng.uniform(-25.0, 25.0)};
+        const Vec2 b{rng.uniform(0.0, 1000.0), rng.uniform(-25.0, 25.0)};
+        const double radius = rng.uniform(0.5, 12.0);
+        const double radius_sq = radius * radius;
+
+        std::vector<std::uint32_t> exact;
+        grid.for_each_near_segment(a, b, radius, [&](std::uint32_t i) {
+          if (segment_distance_sq(a, b, points[i]) <= radius_sq) exact.push_back(i);
+        });
+
+        std::vector<std::uint32_t> brute;
+        for (std::uint32_t i = 0; i < points.size(); ++i) {
+          if (segment_distance_sq(a, b, points[i]) <= radius_sq) brute.push_back(i);
+        }
+        EXPECT_EQ(sorted(exact), brute) << "cell=" << cell << " r=" << radius;
+      }
+    }
+  }
+}
+
+TEST(SpatialGrid, DegenerateSegmentBehavesAsDisc) {
+  const auto points = random_points(60, 11);
+  SpatialGrid grid;
+  grid.rebuild(points, 10.0);
+  const Vec2 p{500.0, 0.0};
+  std::vector<std::uint32_t> via_segment;
+  grid.for_each_near_segment(p, p, 30.0, [&](std::uint32_t i) {
+    if (distance_sq(points[i], p) <= 30.0 * 30.0) via_segment.push_back(i);
+  });
+  std::vector<std::uint32_t> via_radius;
+  grid.for_each_in_radius(p, 30.0, [&](std::uint32_t i) {
+    if (distance_sq(points[i], p) <= 30.0 * 30.0) via_radius.push_back(i);
+  });
+  EXPECT_EQ(sorted(via_segment), sorted(via_radius));
+}
+
+TEST(SpatialGrid, EmptyAndDefaultGridsVisitNothing) {
+  SpatialGrid grid;  // never rebuilt
+  int visits = 0;
+  grid.for_each_in_radius({0, 0}, 1e6, [&](std::uint32_t) { ++visits; });
+  grid.for_each_near_segment({0, 0}, {100, 0}, 1e6, [&](std::uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  EXPECT_TRUE(grid.empty());
+
+  grid.rebuild({}, 10.0);
+  grid.for_each_in_radius({0, 0}, 1e6, [&](std::uint32_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(SpatialGrid, CoincidentPointsAllReported) {
+  std::vector<Vec2> points(17, Vec2{42.0, 7.0});
+  SpatialGrid grid;
+  grid.rebuild(points, 5.0);
+  std::vector<std::uint32_t> found;
+  grid.for_each_in_radius({42.0, 7.0}, 1.0, [&](std::uint32_t i) { found.push_back(i); });
+  ASSERT_EQ(found.size(), points.size());
+  auto s = sorted(found);
+  for (std::uint32_t i = 0; i < s.size(); ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(SpatialGrid, NegativeCoordinatesWork) {
+  std::vector<Vec2> points{{-512.3, -7.0}, {-511.0, -6.5}, {300.0, 4.0}};
+  SpatialGrid grid;
+  grid.rebuild(points, 9.0);
+  std::vector<std::uint32_t> found;
+  grid.for_each_in_radius({-511.5, -6.7}, 3.0, [&](std::uint32_t i) {
+    if (distance_sq(points[i], {-511.5, -6.7}) <= 9.0) found.push_back(i);
+  });
+  EXPECT_EQ(sorted(found), (std::vector<std::uint32_t>{0, 1}));
+}
+
+/// Reference blocker count: the old O(B) scan, kept here as the oracle.
+int brute_blocker_count(const std::vector<Blocker>& blockers, Vec2 a, Vec2 b,
+                        std::size_t owner_a, std::size_t owner_b) {
+  int count = 0;
+  for (const Blocker& blocker : blockers) {
+    if (blocker.owner_id == owner_a || blocker.owner_id == owner_b) continue;
+    if (blocker.body.intersects_segment(a, b)) ++count;
+  }
+  return count;
+}
+
+TEST(LosEvaluatorGrid, BlockerCountMatchesBruteForce) {
+  for (const std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    Xoshiro256pp rng{seed};
+    std::vector<Blocker> blockers;
+    for (std::size_t i = 0; i < 90; ++i) {
+      const Vec2 center{rng.uniform(0.0, 800.0), rng.uniform(-15.0, 15.0)};
+      const Vec2 heading = rng.bernoulli(0.5) ? Vec2{1.0, 0.0} : Vec2{-1.0, 0.0};
+      blockers.push_back(Blocker{OrientedRect{center, heading, 2.3, 0.9}, i});
+    }
+    const LosEvaluator los{blockers};
+    for (int q = 0; q < 120; ++q) {
+      const std::size_t oa = rng.uniform_int(std::uint64_t{90});
+      const std::size_t ob = rng.uniform_int(std::uint64_t{90});
+      const Vec2 a = blockers[oa].body.center();
+      const Vec2 b = blockers[ob].body.center();
+      EXPECT_EQ(los.blocker_count(a, b, oa, ob), brute_blocker_count(blockers, a, b, oa, ob))
+          << "seed=" << seed << " q=" << q;
+    }
+    // Long diagonal links crossing many cells.
+    for (int q = 0; q < 20; ++q) {
+      const Vec2 a{rng.uniform(0.0, 800.0), rng.uniform(-25.0, 25.0)};
+      const Vec2 b{rng.uniform(0.0, 800.0), rng.uniform(-25.0, 25.0)};
+      EXPECT_EQ(los.blocker_count(a, b, 1000, 1001),
+                brute_blocker_count(blockers, a, b, 1000, 1001));
+    }
+  }
+}
+
+TEST(LosEvaluatorGrid, AddAndClearKeepIndexFresh) {
+  LosEvaluator los;
+  EXPECT_EQ(los.blocker_count({0, 0}, {100, 0}, 50, 51), 0);
+  los.add(Blocker{OrientedRect{{40, 0}, {1, 0}, 2.3, 0.9}, 1});
+  EXPECT_EQ(los.blocker_count({0, 0}, {100, 0}, 50, 51), 1);
+  los.add(Blocker{OrientedRect{{60, 0}, {1, 0}, 2.3, 0.9}, 2});
+  EXPECT_EQ(los.blocker_count({0, 0}, {100, 0}, 50, 51), 2);
+  los.clear();
+  EXPECT_EQ(los.blocker_count({0, 0}, {100, 0}, 50, 51), 0);
+  EXPECT_EQ(los.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mmv2v::geom
