@@ -2,6 +2,8 @@
 // assembly with paper defaults, CLI overrides, and table printing.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -15,10 +17,22 @@
 
 namespace mmv2v::bench {
 
-/// Parse "key=value" CLI arguments.
+/// Parse "key=value" CLI arguments. GNU-style spellings are normalized so
+/// `--trace-out=x.jsonl` and `trace_out=x.jsonl` are equivalent: leading
+/// dashes are stripped and dashes in the key become underscores.
 inline ConfigMap parse_cli(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::string& arg : args) {
+    std::size_t start = 0;
+    while (start < arg.size() && arg[start] == '-') ++start;
+    arg.erase(0, start);
+    const std::size_t eq = arg.find('=');
+    for (std::size_t i = 0; i < std::min(eq, arg.size()); ++i) {
+      if (arg[i] == '-') arg[i] = '_';
+    }
+  }
   ConfigMap cfg;
-  cfg.apply_overrides(std::vector<std::string>(argv + 1, argv + argc));
+  cfg.apply_overrides(args);
   return cfg;
 }
 

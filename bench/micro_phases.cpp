@@ -4,8 +4,11 @@
 // (paper Section IV-A numbers) for cross-checking.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 
+#include "common/metrics_registry.hpp"
+#include "core/instrument.hpp"
 #include "core/simulation.hpp"
 #include "protocols/mmv2v/dcm.hpp"
 #include "protocols/mmv2v/mmv2v.hpp"
@@ -64,17 +67,31 @@ void BM_DcmFullPass(benchmark::State& state) {
 }
 BENCHMARK(BM_DcmFullPass)->Arg(15)->Arg(30);
 
-void BM_FullFrame(benchmark::State& state) {
+void run_full_frame(benchmark::State& state, bool instrument) {
   // One whole mmV2V frame (SND + DCM + refinement + 4 UDT sub-steps +
-  // mobility) via the public simulation facade.
+  // mobility) via the public simulation facade. The instrumented variant
+  // attaches the observability layer; comparing the two bounds its overhead
+  // (and the disabled case pins the "near-zero cost when off" claim).
   core::ScenarioConfig s = bench_scenario(static_cast<double>(state.range(0)));
   s.horizon_s = 1e9;  // never hit inside the loop; we drive frames manually
   protocols::MmV2VParams params;
   protocols::MmV2VProtocol protocol{params};
   core::World world{s, s.seed};
   core::TransferLedger ledger{1e12};
+
+  MetricsRegistry metrics;
+  core::TraceRecorder trace;
+  core::Instrumentation instr{metrics, trace};
+  if (instrument) protocol.set_instrumentation(&instr);
+
   std::uint64_t frame = 0;
   for (auto _ : state) {
+    if (instrument) {
+      instr.set_frame(frame, static_cast<double>(frame) * 0.02);
+      // Keep memory bounded over long benchmark runs: the event stream is
+      // per-frame data, a real consumer drains it each frame.
+      trace.clear();
+    }
     core::FrameContext ctx{world, ledger, frame, static_cast<double>(frame) * 0.02};
     protocol.begin_frame(ctx);
     const double udt_start = protocol.udt_start_offset_s();
@@ -85,11 +102,18 @@ void BM_FullFrame(benchmark::State& state) {
       world.advance(0.005);
       prev = b;
     }
+    protocol.end_frame(ctx);
     ++frame;
   }
+  protocol.set_instrumentation(nullptr);
   state.SetLabel("vehicles=" + std::to_string(world.size()));
 }
+
+void BM_FullFrame(benchmark::State& state) { run_full_frame(state, false); }
 BENCHMARK(BM_FullFrame)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_FullFrameInstrumented(benchmark::State& state) { run_full_frame(state, true); }
+BENCHMARK(BM_FullFrameInstrumented)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -47,6 +47,10 @@ int main(int argc, char** argv) {
   experiment.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
   // 0 = one worker per hardware thread; results are identical either way.
   experiment.threads = static_cast<int>(cli.get_or("threads", std::int64_t{0}));
+  // --trace-out=FILE turns on the observability layer: every cell runs
+  // instrumented and the merged JSONL event trace lands in FILE (first line
+  // = run manifest, sibling FILE.manifest.json).
+  experiment.trace_out = cli.get_or("trace_out", std::string{});
 
   core::ScenarioConfig base;
   base.task.rate_mbps = cli.get_or("rate_mbps", 200.0);
@@ -84,8 +88,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto points = core::run_density_sweep(experiment, base, factory);
+  core::SweepTrace trace;
+  const auto points = core::run_density_sweep(
+      experiment, base, factory, experiment.trace_out.empty() ? nullptr : &trace);
   core::print_sweep(std::cout, protocol + " density sweep", points);
+  if (!experiment.trace_out.empty()) {
+    std::printf("\ntrace: %s (digest %016llx), manifest: %s.manifest.json\n",
+                experiment.trace_out.c_str(),
+                static_cast<unsigned long long>(trace.digest), experiment.trace_out.c_str());
+  }
 
   // Per-vehicle OCR deciles at each density (compact CDF view).
   std::printf("\nper-vehicle OCR percentiles:\n%6s %8s %8s %8s %8s %8s\n", "vpl", "p10",

@@ -1,0 +1,98 @@
+#include "common/metrics_registry.hpp"
+
+#include "common/textio.hpp"
+
+namespace mmv2v {
+namespace {
+
+template <typename Map>
+auto* find_in(const Map& map, std::string_view name) {
+  const auto it = map.find(name);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string{name}, Counter{}).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string{name}, Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                                      std::size_t buckets) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string{name}, Histogram{lo, hi, buckets}).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find_in(counters_, name);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find_in(gauges_, name);
+}
+
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  return find_in(histograms_, name);
+}
+
+void MetricsRegistry::reset_values() {
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.clear();
+}
+
+void MetricsRegistry::append_json(std::string& out) const {
+  out += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    io::append_json_string(out, name);
+    out += ':';
+    io::append_number(out, c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    io::append_json_string(out, name);
+    out += ':';
+    io::append_number(out, g.value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    io::append_json_string(out, name);
+    out += ":{\"lo\":";
+    io::append_number(out, h.lo());
+    out += ",\"hi\":";
+    io::append_number(out, h.hi());
+    out += ",\"counts\":[";
+    for (std::size_t b = 0; b < h.bin_count(); ++b) {
+      if (b != 0) out += ',';
+      io::append_number(out, static_cast<std::uint64_t>(h.count(b)));
+    }
+    out += "]}";
+  }
+  out += "}}";
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  append_json(out);
+  return out;
+}
+
+}  // namespace mmv2v

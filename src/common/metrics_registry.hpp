@@ -1,0 +1,83 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms for
+// the observability layer (DESIGN.md Section 8).
+//
+// The registry is built for a single-threaded simulation cell (one registry
+// per OhmSimulation; the parallel sweep runner gives every cell its own and
+// merges serialized output in canonical order). Registration — the only
+// operation that touches the name index — is the cold path; it returns a
+// handle whose address is stable for the registry's lifetime, so the hot
+// path is a plain wait-free integer add / double store on the handle with no
+// lookup, no lock and no atomic RMW. When instrumentation is disabled the
+// protocols never call in here at all (a null Instrumentation pointer), so
+// the disabled cost is one predictable branch per phase.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+
+namespace mmv2v {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double v) noexcept { value_ += v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create. References remain valid for the registry's lifetime
+  /// (std::map nodes are stable under insertion).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Fixed-bucket histogram over [lo, hi); out-of-range samples clamp into
+  /// the edge bins (see Histogram). The bucket layout is fixed by the first
+  /// registration; later calls with the same name ignore lo/hi/buckets.
+  Histogram& histogram(std::string_view name, double lo, double hi, std::size_t buckets);
+
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const Histogram* find_histogram(std::string_view name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Zero every metric, keeping registrations (and handles) alive.
+  void reset_values();
+
+  /// Append one canonical JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"lo":..,"hi":..,
+  /// "counts":[..]}}}. Keys are emitted in lexicographic order and numbers
+  /// via locale-independent round-trip formatting, so the output is stable
+  /// input for golden-trace digests.
+  void append_json(std::string& out) const;
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace mmv2v

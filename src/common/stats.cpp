@@ -129,6 +129,11 @@ void Histogram::add(double x) noexcept {
   ++total_;
 }
 
+void Histogram::clear() noexcept {
+  counts_.assign(counts_.size(), 0);
+  total_ = 0;
+}
+
 double Histogram::bin_center(std::size_t bin) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + (static_cast<double>(bin) + 0.5) * width;

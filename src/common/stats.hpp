@@ -79,7 +79,11 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x) noexcept;
+  /// Zero every bin, keeping the bucket layout.
+  void clear() noexcept;
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
   [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] double bin_center(std::size_t bin) const;

@@ -1,0 +1,67 @@
+// Locale-independent, deterministic text formatting for the CSV/JSONL
+// observability outputs. std::ostream's operator<< for floating point goes
+// through the imbued locale (a German global locale turns 0.5 into "0,5"
+// and corrupts CSV); std::to_chars is locale-free and emits the shortest
+// representation that round-trips, so traces are byte-identical across
+// machines and safe to hash for golden-trace regression digests.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mmv2v::io {
+
+/// Append a double in shortest round-trip decimal form ("0.02", "1e+22").
+/// Non-finite values (which no well-formed trace should contain) are spelled
+/// "nan" / "inf" / "-inf" so they are at least greppable.
+inline void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += std::isnan(v) ? "nan" : (v > 0.0 ? "inf" : "-inf");
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+inline void append_number(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+inline void append_number(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+/// Append `s` as a JSON string literal (quotes included), escaping the
+/// characters RFC 8259 requires.
+inline void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xf];
+          out += hex[static_cast<unsigned char>(c) & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace mmv2v::io

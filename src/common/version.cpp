@@ -1,0 +1,11 @@
+#include "common/version.hpp"
+
+#ifndef MMV2V_GIT_DESCRIBE
+#define MMV2V_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mmv2v {
+
+std::string_view git_describe() noexcept { return MMV2V_GIT_DESCRIBE; }
+
+}  // namespace mmv2v

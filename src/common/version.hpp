@@ -1,0 +1,13 @@
+// Build provenance for run manifests: the git description of the working
+// tree the binary was built from, captured by CMake at configure time.
+#pragma once
+
+#include <string_view>
+
+namespace mmv2v {
+
+/// `git describe --always --dirty` output at configure time, or "unknown"
+/// when the source tree is not a git checkout.
+[[nodiscard]] std::string_view git_describe() noexcept;
+
+}  // namespace mmv2v

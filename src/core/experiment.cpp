@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <exception>
+#include <fstream>
 #include <iomanip>
 #include <mutex>
 #include <ostream>
@@ -10,6 +11,8 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/textio.hpp"
+#include "common/version.hpp"
 #include "core/metrics.hpp"
 #include "core/simulation.hpp"
 
@@ -26,11 +29,14 @@ struct CellResult {
   double fairness = 0.0;
   std::vector<double> ocr_samples;
   std::vector<double> atp_samples;
+  /// This cell's serialized observability chunk (empty when not tracing).
+  std::string trace_jsonl;
+  std::string protocol_name;
 };
 
 CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
                     const ProtocolFactory& factory, std::mutex& factory_mutex,
-                    std::size_t density_index, int rep) {
+                    std::size_t density_index, int rep, bool instrument) {
   // Mixed (not additive) seed derivation: distinct cells cannot alias even
   // when densities are close or repetitions many.
   const std::uint64_t seed =
@@ -48,11 +54,26 @@ CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
     const std::lock_guard<std::mutex> lock{factory_mutex};
     protocol = factory(seed ^ 0xabcd);
   }
-  OhmSimulation sim{scenario, *protocol};
+  OhmSimulation sim{scenario, *protocol, SimulationOptions{instrument}};
   sim.run(0.0);
 
   const NetworkMetrics& m = sim.final_metrics();
   CellResult out;
+  out.protocol_name = std::string{protocol->name()};
+  if (instrument) {
+    std::string& buf = out.trace_jsonl;
+    buf += "{\"ev\":\"cell_begin\",\"density_vpl\":";
+    io::append_number(buf, scenario.traffic.density_vpl);
+    buf += ",\"rep\":";
+    io::append_number(buf, static_cast<std::uint64_t>(rep));
+    buf += ",\"seed\":";
+    io::append_number(buf, seed);
+    buf += "}\n";
+    sim.trace().append_events_jsonl(buf);
+    buf += "{\"ev\":\"cell_end\",\"metrics\":";
+    sim.metrics().append_json(buf);
+    buf += "}\n";
+  }
   out.degree = sim.world().mean_degree();
   out.ocr = m.mean_ocr();
   out.atp = m.mean_atp();
@@ -67,15 +88,54 @@ CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
   return out;
 }
 
+/// Run manifest: environment facts identifying what produced a trace. Kept
+/// out of the event digest (it names the thread count and build).
+std::string build_manifest(const ExperimentConfig& config, const ScenarioConfig& base,
+                           const std::string& protocol_name, std::size_t workers) {
+  std::string out = "{\"ev\":\"manifest\",\"protocol\":";
+  io::append_json_string(out, protocol_name);
+  out += ",\"git_describe\":";
+  io::append_json_string(out, git_describe());
+  out += ",\"seed\":";
+  io::append_number(out, config.seed);
+  out += ",\"threads\":";
+  io::append_number(out, static_cast<std::uint64_t>(workers));
+  out += ",\"repetitions\":";
+  io::append_number(out, static_cast<std::int64_t>(config.repetitions));
+  out += ",\"horizon_s\":";
+  io::append_number(out, config.horizon_s);
+  out += ",\"densities_vpl\":[";
+  for (std::size_t i = 0; i < config.densities_vpl.size(); ++i) {
+    if (i != 0) out += ',';
+    io::append_number(out, config.densities_vpl[i]);
+  }
+  out += "],\"scenario\":{\"road_length_m\":";
+  io::append_number(out, base.traffic.road_length_m);
+  out += ",\"lanes_per_direction\":";
+  io::append_number(out, static_cast<std::int64_t>(base.traffic.lanes_per_direction));
+  out += ",\"bidirectional\":";
+  out += base.traffic.bidirectional ? "true" : "false";
+  out += ",\"comm_range_m\":";
+  io::append_number(out, base.comm_range_m);
+  out += ",\"frame_s\":";
+  io::append_number(out, base.timing.frame_s);
+  out += ",\"task_rate_mbps\":";
+  io::append_number(out, base.task.rate_mbps);
+  out += "}}";
+  return out;
+}
+
 }  // namespace
 
 std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
                                           const ScenarioConfig& base,
-                                          const ProtocolFactory& factory) {
+                                          const ProtocolFactory& factory,
+                                          SweepTrace* trace) {
   if (config.repetitions <= 0) {
     throw std::invalid_argument{"experiment: repetitions must be >= 1"};
   }
   if (!factory) throw std::invalid_argument{"experiment: null protocol factory"};
+  const bool tracing = trace != nullptr || !config.trace_out.empty();
 
   const std::size_t reps = static_cast<std::size_t>(config.repetitions);
   const std::size_t n_cells = config.densities_vpl.size() * reps;
@@ -86,7 +146,7 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
   const auto run_cell_at = [&](std::size_t k) {
     try {
       cells[k] = run_cell(config, base, factory, factory_mutex, k / reps,
-                          static_cast<int>(k % reps));
+                          static_cast<int>(k % reps), tracing);
     } catch (...) {
       errors[k] = std::current_exception();
     }
@@ -136,6 +196,26 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
       for (double v : cell.atp_samples) point.atp_samples.add(v);
     }
     points.push_back(std::move(point));
+  }
+
+  if (tracing && !cells.empty()) {
+    SweepTrace merged;
+    // Canonical (density, repetition) order — identical for any thread count.
+    for (const CellResult& cell : cells) merged.events_jsonl += cell.trace_jsonl;
+    merged.digest = fnv1a64(merged.events_jsonl);
+    merged.manifest_json = build_manifest(config, base, cells.front().protocol_name, workers);
+
+    if (!config.trace_out.empty()) {
+      std::ofstream events_file{config.trace_out, std::ios::binary};
+      if (!events_file) {
+        throw std::runtime_error{"experiment: cannot open trace_out file " + config.trace_out};
+      }
+      events_file << merged.manifest_json << '\n' << merged.events_jsonl;
+
+      std::ofstream manifest_file{config.trace_out + ".manifest.json", std::ios::binary};
+      if (manifest_file) manifest_file << merged.manifest_json << '\n';
+    }
+    if (trace != nullptr) *trace = std::move(merged);
   }
   return points;
 }

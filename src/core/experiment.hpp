@@ -28,6 +28,26 @@ struct ExperimentConfig {
   /// independent deterministic simulation, so results are bit-identical for
   /// any thread count. <= 0 selects std::thread::hardware_concurrency().
   int threads = 0;
+  /// When non-empty, run every cell instrumented and write the merged JSONL
+  /// event trace here (first line = run manifest) plus a sibling
+  /// `<trace_out>.manifest.json`. Empty (default) = no instrumentation.
+  std::string trace_out;
+};
+
+/// In-memory capture of one sweep's observability output (see DESIGN.md
+/// Section 8). Cells are instrumented independently and their JSONL chunks
+/// merged in canonical (density, repetition) order, so `events_jsonl` and
+/// `digest` are bit-identical for any thread count. The manifest is kept
+/// out of the digest on purpose: it records environment facts (thread
+/// count, build) that must not perturb golden-trace comparisons.
+struct SweepTrace {
+  /// Merged event stream: per cell a `cell_begin` line, the cell's events,
+  /// then a `cell_end` line carrying the cell's metrics registry.
+  std::string events_jsonl;
+  /// Run manifest JSON object (scenario, seed, threads, build).
+  std::string manifest_json;
+  /// FNV-1a 64 over events_jsonl.
+  std::uint64_t digest = 0;
 };
 
 /// Aggregated outcome of one sweep point.
@@ -49,9 +69,13 @@ struct SweepPoint {
 /// self-contained seed from (config.seed, density index, repetition) and
 /// results are merged in deterministic (density, repetition) order, so the
 /// output does not depend on thread count or scheduling.
+/// `trace` (optional) captures the run's observability output in memory;
+/// passing it — or setting config.trace_out — turns instrumentation on for
+/// every cell.
 [[nodiscard]] std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
                                                         const ScenarioConfig& base,
-                                                        const ProtocolFactory& factory);
+                                                        const ProtocolFactory& factory,
+                                                        SweepTrace* trace = nullptr);
 
 /// Render a sweep as an aligned text table.
 void print_sweep(std::ostream& out, const std::string& title,

@@ -1,0 +1,52 @@
+// Instrumentation: the thin sink protocols write observability data through.
+// It bundles a MetricsRegistry (named counters/gauges/histograms) and a
+// TraceRecorder (structured JSONL events) and stamps every emitted event
+// with the current frame number and simulation time.
+//
+// Protocols hold a nullable `Instrumentation*` (see OhmProtocol); when it is
+// null — the default — no metric or event call is ever made, so the disabled
+// cost is one predictable branch per phase. OhmSimulation owns one
+// Instrumentation per cell, keeping the hot path single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/metrics_registry.hpp"
+#include "core/trace.hpp"
+
+namespace mmv2v::core {
+
+class Instrumentation {
+ public:
+  Instrumentation(MetricsRegistry& metrics, TraceRecorder& trace)
+      : metrics_(&metrics), trace_(&trace) {}
+
+  /// Stamp subsequent events with this frame/time (called by the simulation
+  /// loop at each frame boundary).
+  void set_frame(std::uint64_t frame, double time_s) noexcept {
+    frame_ = frame;
+    time_s_ = time_s;
+  }
+
+  [[nodiscard]] std::uint64_t frame() const noexcept { return frame_; }
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return *metrics_; }
+  [[nodiscard]] TraceRecorder& trace() noexcept { return *trace_; }
+
+  /// Record `event`, stamping it with the current frame and time.
+  void emit(TraceEvent event) {
+    event.frame = frame_;
+    event.time_s = time_s_;
+    trace_->record_event(std::move(event));
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  TraceRecorder* trace_;
+  std::uint64_t frame_ = 0;
+  double time_s_ = 0.0;
+};
+
+}  // namespace mmv2v::core

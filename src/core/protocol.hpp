@@ -13,6 +13,8 @@
 
 namespace mmv2v::core {
 
+class Instrumentation;
+
 struct FrameContext {
   World& world;
   TransferLedger& ledger;
@@ -46,6 +48,16 @@ class OhmProtocol {
   /// Number of links (matched pairs / scheduled service periods) this frame
   /// activated; feeds the trace recorder.
   [[nodiscard]] virtual std::size_t active_link_count() const { return 0; }
+
+  /// Attach (or detach, with nullptr) an observability sink. The protocol
+  /// does not own it; the simulation keeps it alive for the run and detaches
+  /// before destroying it. Protocols must tolerate a null sink — it is the
+  /// default and the zero-overhead configuration.
+  void set_instrumentation(Instrumentation* instr) noexcept { instr_ = instr; }
+  [[nodiscard]] Instrumentation* instrumentation() const noexcept { return instr_; }
+
+ protected:
+  Instrumentation* instr_ = nullptr;
 };
 
 }  // namespace mmv2v::core

@@ -9,7 +9,8 @@
 
 namespace mmv2v::core {
 
-OhmSimulation::OhmSimulation(ScenarioConfig config, OhmProtocol& protocol)
+OhmSimulation::OhmSimulation(ScenarioConfig config, OhmProtocol& protocol,
+                             SimulationOptions options)
     : config_(std::move(config)),
       world_(config_, config_.seed),
       ledger_(config_.unit_bits()),
@@ -19,6 +20,16 @@ OhmSimulation::OhmSimulation(ScenarioConfig config, OhmProtocol& protocol)
   if (std::fmod(frame + 1e-12, tick) > 1e-9) {
     throw std::invalid_argument{"frame duration must be a multiple of the mobility tick"};
   }
+  if (options.instrument) {
+    instrumentation_ = std::make_unique<Instrumentation>(metrics_, trace_);
+    protocol_.set_instrumentation(instrumentation_.get());
+  }
+}
+
+OhmSimulation::~OhmSimulation() {
+  // The protocol outlives the simulation; never leave it with a dangling
+  // sink pointer.
+  if (instrumentation_ != nullptr) protocol_.set_instrumentation(nullptr);
 }
 
 void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start) {
@@ -29,6 +40,11 @@ void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start)
   FrameContext ctx{world_, ledger_, frame_index, frame_start};
   const double frame = config_.timing.frame_s;
   const double tick = config_.timing.mobility_tick_s;
+
+  if (instrumentation_ != nullptr) {
+    instrumentation_->set_frame(frame_index, frame_start);
+    instrumentation_->emit(TraceEvent{"frame_begin"}.u64("vehicles", world_.size()));
+  }
 
   engine.schedule_at(frame_start, [&] {
     protocol_.begin_frame(ctx);
@@ -52,9 +68,15 @@ void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start)
   if (observer_) observer_(ctx);
 
   const double total = ledger_.total_delivered();
-  const double prev_total = trace_.empty() ? 0.0 : trace_.frames().back().bits_total;
+  const double prev_total = trace_.frames().empty() ? 0.0 : trace_.frames().back().bits_total;
   trace_.add_frame(FrameRecord{frame_index, frame_start, protocol_.active_link_count(),
                                total - prev_total, total});
+  if (instrumentation_ != nullptr) {
+    instrumentation_->emit(TraceEvent{"frame_end"}
+                               .u64("active_links", protocol_.active_link_count())
+                               .f64("bits_delivered", total - prev_total)
+                               .f64("bits_total", total));
+  }
   ++frames_run_;
 }
 

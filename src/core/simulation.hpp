@@ -7,6 +7,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/metrics_registry.hpp"
+#include "core/instrument.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "core/scenario.hpp"
@@ -16,6 +18,13 @@
 
 namespace mmv2v::core {
 
+struct SimulationOptions {
+  /// Attach the observability layer (phase metrics + JSONL events) to the
+  /// protocol for this run. Off by default: protocols then see a null
+  /// Instrumentation pointer and pay only a branch per phase.
+  bool instrument = false;
+};
+
 class OhmSimulation {
  public:
   /// Called at the end of every frame (after UDT completes); used by
@@ -23,7 +32,12 @@ class OhmSimulation {
   using FrameObserver = std::function<void(const FrameContext&)>;
 
   /// The protocol must outlive the simulation.
-  OhmSimulation(ScenarioConfig config, OhmProtocol& protocol);
+  OhmSimulation(ScenarioConfig config, OhmProtocol& protocol,
+                SimulationOptions options = {});
+  ~OhmSimulation();
+
+  OhmSimulation(const OhmSimulation&) = delete;
+  OhmSimulation& operator=(const OhmSimulation&) = delete;
 
   void set_frame_observer(FrameObserver observer) { observer_ = std::move(observer); }
 
@@ -38,6 +52,10 @@ class OhmSimulation {
   [[nodiscard]] const NetworkMetrics& final_metrics() const;
   [[nodiscard]] std::uint64_t frames_run() const noexcept { return frames_run_; }
   [[nodiscard]] const TraceRecorder& trace() const noexcept { return trace_; }
+  /// Phase metrics accumulated over the run (empty unless
+  /// SimulationOptions::instrument was set).
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] bool instrumented() const noexcept { return instrumentation_ != nullptr; }
 
  private:
   void run_one_frame(std::uint64_t frame_index, double frame_start);
@@ -49,6 +67,8 @@ class OhmSimulation {
   FrameObserver observer_;
   std::vector<MetricsSample> samples_;
   TraceRecorder trace_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<Instrumentation> instrumentation_;
   std::uint64_t frames_run_ = 0;
 };
 

@@ -2,7 +2,36 @@
 
 #include <ostream>
 
+#include "common/hash.hpp"
+#include "common/textio.hpp"
+
 namespace mmv2v::core {
+
+void TraceEvent::append_json(std::string& out) const {
+  out += "{\"frame\":";
+  io::append_number(out, frame);
+  out += ",\"t\":";
+  io::append_number(out, time_s);
+  out += ",\"ev\":";
+  io::append_json_string(out, type);
+  for (const TraceField& f : fields) {
+    out += ',';
+    io::append_json_string(out, f.key);
+    out += ':';
+    switch (f.kind) {
+      case TraceField::Kind::kU64:
+        io::append_number(out, f.u64);
+        break;
+      case TraceField::Kind::kF64:
+        io::append_number(out, f.f64);
+        break;
+      case TraceField::Kind::kStr:
+        io::append_json_string(out, f.str);
+        break;
+    }
+  }
+  out += '}';
+}
 
 double TraceRecorder::mean_throughput_bps() const {
   if (frames_.size() < 2) return 0.0;
@@ -21,29 +50,75 @@ double TraceRecorder::mean_active_links() const {
   return acc / static_cast<double>(frames_.size());
 }
 
-void TraceRecorder::write_csv(std::ostream& out) const {
-  out << "frame,time_s,active_links,bits_delivered,bits_total\n";
-  for (const FrameRecord& f : frames_) {
-    out << f.frame << ',' << f.time_s << ',' << f.active_links << ',' << f.bits_delivered
-        << ',' << f.bits_total << '\n';
+void TraceRecorder::append_events_jsonl(std::string& out) const {
+  for (const TraceEvent& e : events_) {
+    e.append_json(out);
+    out += '\n';
   }
+}
+
+void TraceRecorder::write_events_jsonl(std::ostream& out) const {
+  std::string buf;
+  append_events_jsonl(buf);
+  out << buf;
+}
+
+std::uint64_t TraceRecorder::events_digest() const {
+  std::string buf;
+  append_events_jsonl(buf);
+  return fnv1a64(buf);
+}
+
+void TraceRecorder::write_csv(std::ostream& out) const {
+  std::string buf = "frame,time_s,active_links,bits_delivered,bits_total\n";
+  for (const FrameRecord& f : frames_) {
+    io::append_number(buf, f.frame);
+    buf += ',';
+    io::append_number(buf, f.time_s);
+    buf += ',';
+    io::append_number(buf, static_cast<std::uint64_t>(f.active_links));
+    buf += ',';
+    io::append_number(buf, f.bits_delivered);
+    buf += ',';
+    io::append_number(buf, f.bits_total);
+    buf += '\n';
+  }
+  out << buf;
 }
 
 void TraceRecorder::write_metrics_csv(std::ostream& out,
                                       const std::vector<MetricsSample>& samples) {
-  out << "time_s,mean_ocr,mean_atp,mean_dtp,vehicles\n";
+  std::string buf = "time_s,mean_ocr,mean_atp,mean_dtp,vehicles\n";
   for (const MetricsSample& s : samples) {
-    out << s.time_s << ',' << s.metrics.mean_ocr() << ',' << s.metrics.mean_atp() << ','
-        << s.metrics.mean_dtp() << ',' << s.metrics.per_vehicle.size() << '\n';
+    io::append_number(buf, s.time_s);
+    buf += ',';
+    io::append_number(buf, s.metrics.mean_ocr());
+    buf += ',';
+    io::append_number(buf, s.metrics.mean_atp());
+    buf += ',';
+    io::append_number(buf, s.metrics.mean_dtp());
+    buf += ',';
+    io::append_number(buf, static_cast<std::uint64_t>(s.metrics.per_vehicle.size()));
+    buf += '\n';
   }
+  out << buf;
 }
 
 void TraceRecorder::write_per_vehicle_csv(std::ostream& out, const NetworkMetrics& metrics) {
-  out << "vehicle,neighbors,ocr,atp,dtp\n";
+  std::string buf = "vehicle,neighbors,ocr,atp,dtp\n";
   for (const VehicleMetrics& v : metrics.per_vehicle) {
-    out << v.id << ',' << v.neighbor_count << ',' << v.ocr << ',' << v.atp << ',' << v.dtp
-        << '\n';
+    io::append_number(buf, static_cast<std::uint64_t>(v.id));
+    buf += ',';
+    io::append_number(buf, static_cast<std::uint64_t>(v.neighbor_count));
+    buf += ',';
+    io::append_number(buf, v.ocr);
+    buf += ',';
+    io::append_number(buf, v.atp);
+    buf += ',';
+    io::append_number(buf, v.dtp);
+    buf += '\n';
   }
+  out << buf;
 }
 
 }  // namespace mmv2v::core

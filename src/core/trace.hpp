@@ -1,11 +1,14 @@
-// Per-frame trace recording and CSV export. OhmSimulation records one
-// FrameRecord per protocol frame; downstream tooling (plots, regression
-// dashboards) consumes the CSV.
+// Per-frame trace recording, structured JSONL event tracing and CSV export.
+// OhmSimulation records one FrameRecord per protocol frame; instrumented
+// protocol phases additionally emit TraceEvents (DESIGN.md Section 8).
+// Downstream tooling (plots, regression dashboards, the golden-trace test)
+// consumes the CSV / JSONL.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/metrics.hpp"
@@ -24,18 +27,79 @@ struct FrameRecord {
   double bits_total = 0.0;
 };
 
+/// One typed key/value attribute of a TraceEvent. A tiny closed sum type
+/// beats a JSON library dependency: every field serializes deterministically
+/// (locale-free, canonical number formatting) so event streams can be hashed.
+struct TraceField {
+  enum class Kind : std::uint8_t { kU64, kF64, kStr };
+
+  std::string key;
+  Kind kind = Kind::kU64;
+  std::uint64_t u64 = 0;
+  double f64 = 0.0;
+  std::string str;
+};
+
+/// A structured event emitted by an instrumented protocol phase. Fields keep
+/// insertion order in the serialized line; `frame`/`time_s` are stamped by
+/// the Instrumentation sink, not by the emitter.
+struct TraceEvent {
+  std::uint64_t frame = 0;
+  double time_s = 0.0;
+  std::string type;
+
+  std::vector<TraceField> fields;
+
+  explicit TraceEvent(std::string_view event_type) : type(event_type) {}
+
+  TraceEvent& u64(std::string_view key, std::uint64_t value) {
+    fields.push_back({std::string{key}, TraceField::Kind::kU64, value, 0.0, {}});
+    return *this;
+  }
+  TraceEvent& f64(std::string_view key, double value) {
+    fields.push_back({std::string{key}, TraceField::Kind::kF64, 0, value, {}});
+    return *this;
+  }
+  TraceEvent& str(std::string_view key, std::string_view value) {
+    fields.push_back({std::string{key}, TraceField::Kind::kStr, 0, 0.0, std::string{value}});
+    return *this;
+  }
+
+  /// Serialize as one JSON object (no trailing newline):
+  /// {"frame":3,"t":0.06,"ev":"snd_round","round":2,...}
+  void append_json(std::string& out) const;
+};
+
 class TraceRecorder {
  public:
   void add_frame(FrameRecord record) { frames_.push_back(record); }
-  void clear() { frames_.clear(); }
+  void record_event(TraceEvent event) { events_.push_back(std::move(event)); }
+  void clear() {
+    frames_.clear();
+    events_.clear();
+  }
 
   [[nodiscard]] const std::vector<FrameRecord>& frames() const noexcept { return frames_; }
-  [[nodiscard]] bool empty() const noexcept { return frames_.empty(); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  [[nodiscard]] bool empty() const noexcept { return frames_.empty() && events_.empty(); }
 
-  /// Aggregate network throughput over the recorded window [bit/s].
+  /// Aggregate network throughput over the recorded window [bit/s]. Needs at
+  /// least two frames to infer the frame duration; with fewer it returns 0
+  /// rather than dividing by a zero-length window.
   [[nodiscard]] double mean_throughput_bps() const;
-  /// Mean number of concurrently active links per frame.
+  /// Mean number of concurrently active links per frame (0 when no frames
+  /// were recorded).
   [[nodiscard]] double mean_active_links() const;
+
+  /// Append the event stream as JSONL (one canonical JSON object per line,
+  /// '\n'-terminated). Byte-stable across machines and locales.
+  void append_events_jsonl(std::string& out) const;
+  void write_events_jsonl(std::ostream& out) const;
+
+  /// FNV-1a 64-bit digest of the serialized event stream — the golden-trace
+  /// regression fingerprint. Identical event streams hash identically
+  /// regardless of thread count because serialization is canonical.
+  [[nodiscard]] std::uint64_t events_digest() const;
 
   /// Write the frame series as CSV (header + one row per frame).
   void write_csv(std::ostream& out) const;
@@ -46,6 +110,7 @@ class TraceRecorder {
 
  private:
   std::vector<FrameRecord> frames_;
+  std::vector<TraceEvent> events_;
 };
 
 }  // namespace mmv2v::core

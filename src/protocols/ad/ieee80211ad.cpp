@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/units.hpp"
+#include "core/instrument.hpp"
 #include "geom/angles.hpp"
 #include "phy/pathloss.hpp"
 
@@ -26,7 +27,8 @@ void Ieee80211adProtocol::ensure_initialized(const core::World& world) {
 }
 
 void Ieee80211adProtocol::run_bti(const core::World& world,
-                                  std::vector<std::vector<net::NodeId>>& joinable) {
+                                  std::vector<std::vector<net::NodeId>>& joinable,
+                                  SndRoundStats* stats) {
   const std::size_t n = world.size();
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
@@ -54,7 +56,11 @@ void Ieee80211adProtocol::run_bti(const core::World& world,
       }
       if (best == kNone) continue;
       const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
-      if (!channel.mcs().control_decodable(sinr_db)) continue;
+      if (!channel.mcs().control_decodable(sinr_db)) {
+        if (stats != nullptr) ++stats->decode_failures;
+        continue;
+      }
+      if (stats != nullptr) ++stats->decodes;
       if (std::find(joinable[j].begin(), joinable[j].end(), best) == joinable[j].end()) {
         joinable[j].push_back(best);
       }
@@ -86,7 +92,16 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
 
   // 3. BTI: who can hear whom.
   std::vector<std::vector<net::NodeId>> joinable(n);
-  run_bti(world, joinable);
+  SndRoundStats bti_stats;
+  run_bti(world, joinable, instr_ != nullptr ? &bti_stats : nullptr);
+  if (instr_ != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    m.counter("discovery.decodes").add(bti_stats.decodes);
+    m.counter("discovery.decode_failures").add(bti_stats.decode_failures);
+    instr_->emit(core::TraceEvent{"bti"}
+                     .u64("hits", bti_stats.decodes)
+                     .u64("misses", bti_stats.decode_failures));
+  }
 
   // 4. Membership maintenance: drop members whose PCP disbanded, whose
   // beacon no longer decodes, or who have nothing left to exchange inside
@@ -122,6 +137,7 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
         rng_.uniform_int(static_cast<std::uint64_t>(params_.abft_slots)));
     attempts.push_back(Attempt{v, pcp, slot});
   }
+  std::size_t frame_collisions = 0;
   for (const Attempt& a : attempts) {
     bool collided = false;
     for (const Attempt& b : attempts) {
@@ -132,9 +148,13 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
     }
     if (collided) {
       ++abft_collisions_;
+      ++frame_collisions;
     } else {
       member_of_[a.vehicle] = a.pcp;
     }
+  }
+  if (instr_ != nullptr) {
+    instr_->metrics().counter("abft.collisions").add(frame_collisions);
   }
 
   // 6. Materialize the PBSS lists.
@@ -162,6 +182,8 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
                        2.0 * (timing.control_preamble_s + timing.sifs_s);
 
   udt_.clear();
+  RefineStats refine_stats;
+  RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;
   for (const std::vector<net::NodeId>& group : pbss_members_) {
     std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
     for (std::size_t x = 0; x < group.size(); ++x) {
@@ -196,7 +218,7 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
       const int sector_a = grid_.sector_of(ab->bearing_rad);
       const int sector_b = grid_.sector_of(geom::wrap_two_pi(ab->bearing_rad + geom::kPi));
       const BeamRefinement::Result beams =
-          refinement_->refine(world, a, sector_a, b, sector_b, beacon_pattern_);
+          refinement_->refine(world, a, sector_a, b, sector_b, beacon_pattern_, refine_sink);
 
       const bool a_first = world.mac(a) > world.mac(b);
       const net::NodeId first = a_first ? a : b;
@@ -207,6 +229,19 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
                         second_bearing, &refinement_->narrow_pattern(), data_start, sp_end);
     }
   }
+  if (instr_ != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    m.counter("refine.pairs").add(refine_stats.pairs);
+    m.counter("refine.probes").add(refine_stats.probes);
+    m.counter("refine.fallbacks").add(refine_stats.fallbacks);
+    m.gauge("links.active").set(static_cast<double>(active_link_count()));
+    m.gauge("pbss.count").set(static_cast<double>(pbss_members_.size()));
+    m.gauge("pbss.associated").set(static_cast<double>(associated_count_));
+    instr_->emit(core::TraceEvent{"matching"}
+                     .u64("pairs", active_link_count())
+                     .u64("pbss", pbss_members_.size())
+                     .u64("associated", associated_count_));
+  }
 }
 
 void Ieee80211adProtocol::begin_frame(core::FrameContext& ctx) {
@@ -215,12 +250,26 @@ void Ieee80211adProtocol::begin_frame(core::FrameContext& ctx) {
                        (timing.ssw_frame_s + timing.beam_switch_s);
   dti_start_s_ = bti_s + params_.abft_s;
 
+  udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
   elect_and_associate(ctx);
   schedule_dti(ctx);
 }
 
 void Ieee80211adProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
   udt_.step(ctx, t0, t1);
+}
+
+void Ieee80211adProtocol::end_frame(core::FrameContext& /*ctx*/) {
+  if (instr_ == nullptr) return;
+  MetricsRegistry& m = instr_->metrics();
+  for (const DirectedTransfer& t : udt_.transfers()) {
+    if (t.delivered_bits <= 0.0) continue;
+    m.gauge("udt.delivered_bits").add(t.delivered_bits);
+    instr_->emit(core::TraceEvent{"link"}
+                     .u64("tx", t.tx)
+                     .u64("rx", t.rx)
+                     .f64("bits", t.delivered_bits));
+  }
 }
 
 }  // namespace mmv2v::protocols

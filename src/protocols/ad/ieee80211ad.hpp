@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "protocols/mmv2v/refinement.hpp"
+#include "protocols/mmv2v/snd.hpp"
 #include "protocols/udt_engine.hpp"
 
 namespace mmv2v::protocols {
@@ -57,6 +58,7 @@ class Ieee80211adProtocol final : public core::OhmProtocol {
   void begin_frame(core::FrameContext& ctx) override;
   [[nodiscard]] double udt_start_offset_s() const override { return dti_start_s_; }
   void udt_step(core::FrameContext& ctx, double t0, double t1) override;
+  void end_frame(core::FrameContext& ctx) override;
   /// Scheduled service periods this beacon interval (two transfers per SP).
   [[nodiscard]] std::size_t active_link_count() const override {
     return udt_.transfers().size() / 2;
@@ -76,8 +78,10 @@ class Ieee80211adProtocol final : public core::OhmProtocol {
   static constexpr net::NodeId kNone = static_cast<net::NodeId>(-1);
 
   void ensure_initialized(const core::World& world);
-  /// Beacon decode set for vehicle j given the current PCPs.
-  void run_bti(const core::World& world, std::vector<std::vector<net::NodeId>>& joinable);
+  /// Beacon decode set for vehicle j given the current PCPs. `stats`
+  /// (optional) counts beacon decodes / decode failures.
+  void run_bti(const core::World& world, std::vector<std::vector<net::NodeId>>& joinable,
+               SndRoundStats* stats);
   void elect_and_associate(core::FrameContext& ctx);
   void schedule_dti(core::FrameContext& ctx);
 

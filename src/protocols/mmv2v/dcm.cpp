@@ -24,7 +24,7 @@ int ConsensualMatching::run_slot(int m,
                                  const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
-                                 const NegotiationChannel* channel) {
+                                 const NegotiationChannel* channel, DcmSlotStats* stats) {
   const std::size_t n = state_.size();
   if (neighbors.size() != n || macs.size() != n) {
     throw std::invalid_argument{"DCM: neighbors/macs must match reset() size"};
@@ -46,6 +46,7 @@ int ConsensualMatching::run_slot(int m,
     }
     if (picked != nullptr) {
       choice[i] = SlotChoice{true, picked->id, picked->snr_db};
+      if (stats != nullptr) ++stats->proposals;
     }
   }
 
@@ -61,6 +62,12 @@ int ConsensualMatching::run_slot(int m,
   }
   std::vector<bool> ok(negotiating.size(), true);
   if (channel != nullptr) ok = channel->exchange_succeeds(negotiating);
+  if (stats != nullptr) {
+    stats->mutual_pairs += negotiating.size();
+    for (const bool success : ok) {
+      if (!success) ++stats->exchange_failures;
+    }
+  }
 
   // Step 3: successful exchanges update candidates; both adopt the link iff
   // it improves (or establishes) each side's candidate. Previous candidates
@@ -74,19 +81,36 @@ int ConsensualMatching::run_slot(int m,
         !state_[i].candidate.has_value() || choice[i].link_db > state_[i].quality_db;
     const bool improve_j =
         !state_[j].candidate.has_value() || choice[j].link_db > state_[j].quality_db;
-    if (!improve_i || !improve_j) continue;
+    if (!improve_i || !improve_j) {
+      if (stats != nullptr) ++stats->conflicts;
+      continue;
+    }
     if (state_[i].candidate == j) continue;  // already linked
 
+    if (stats != nullptr) {
+      DcmAdoption adoption;
+      adoption.a = i;
+      adoption.b = j;
+      adoption.q_a = choice[i].link_db;
+      adoption.q_b = choice[j].link_db;
+      adoption.had_prev_a = state_[i].candidate.has_value();
+      adoption.had_prev_b = state_[j].candidate.has_value();
+      adoption.prev_q_a = state_[i].quality_db;
+      adoption.prev_q_b = state_[j].quality_db;
+      stats->adoptions_detail.push_back(adoption);
+    }
     for (const net::NodeId v : {i, j}) {
       if (state_[v].candidate.has_value()) {
         CandidateState& prev = state_[*state_[v].candidate];
         // The dropped partner had `v` as its candidate (mutuality invariant).
         prev.candidate.reset();
         prev.quality_db = 0.0;
+        if (stats != nullptr) ++stats->drops;
       }
     }
     state_[i] = CandidateState{j, choice[i].link_db};
     state_[j] = CandidateState{i, choice[j].link_db};
+    if (stats != nullptr) ++stats->adoptions;
     ++updates;
   }
   return updates;
@@ -95,9 +119,9 @@ int ConsensualMatching::run_slot(int m,
 void ConsensualMatching::run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
-                                 const NegotiationChannel* channel) {
+                                 const NegotiationChannel* channel, DcmSlotStats* stats) {
   for (int m = 0; m < params_.slots; ++m) {
-    run_slot(m, neighbors, macs, ledger, rng, channel);
+    run_slot(m, neighbors, macs, ledger, rng, channel, stats);
   }
 }
 

@@ -11,6 +11,7 @@
 // frame's matching.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -47,6 +48,39 @@ struct CandidateState {
   double quality_db = 0.0;
 };
 
+/// One adoption recorded during a slot, with enough context to check the
+/// DCM improvement invariant: at adoption time the new link must strictly
+/// improve each side's candidate (or establish a first one).
+struct DcmAdoption {
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  /// New link quality as measured by each side [dB].
+  double q_a = 0.0;
+  double q_b = 0.0;
+  /// Quality of the candidate each side held immediately before adopting.
+  double prev_q_a = 0.0;
+  double prev_q_b = 0.0;
+  bool had_prev_a = false;
+  bool had_prev_b = false;
+};
+
+/// Per-slot observability counters.
+struct DcmSlotStats {
+  /// Vehicles that picked a CNS-scheduled neighbor this slot.
+  std::uint64_t proposals = 0;
+  /// Mutual picks (pairs that attempted a negotiation exchange).
+  std::uint64_t mutual_pairs = 0;
+  /// Exchanges lost to the negotiation channel.
+  std::uint64_t exchange_failures = 0;
+  /// Exchanges adopted by both sides.
+  std::uint64_t adoptions = 0;
+  /// Exchanges declined because at least one side would not improve.
+  std::uint64_t conflicts = 0;
+  /// Previous candidates displaced by adoptions.
+  std::uint64_t drops = 0;
+  std::vector<DcmAdoption> adoptions_detail;
+};
+
 class ConsensualMatching {
  public:
   explicit ConsensualMatching(DcmParams params);
@@ -62,14 +96,18 @@ class ConsensualMatching {
   /// `ledger` (nullptr = no filtering) are skipped. `macs[i]` is vehicle i's
   /// address for the CNS hash. An optional NegotiationChannel models the
   /// over-the-air exchange. Returns the number of links (re)established.
+  /// When `stats` is non-null the slot's counters are accumulated into it.
   int run_slot(int m, const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
-               Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr);
+               Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
+               DcmSlotStats* stats = nullptr);
 
-  /// Run all M slots.
+  /// Run all M slots. When `stats` is non-null, counters accumulate over
+  /// all slots into the single sink.
   void run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
-               Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr);
+               Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
+               DcmSlotStats* stats = nullptr);
 
   [[nodiscard]] const std::vector<CandidateState>& candidates() const noexcept {
     return state_;

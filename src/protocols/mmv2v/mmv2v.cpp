@@ -1,5 +1,6 @@
 #include "protocols/mmv2v/mmv2v.hpp"
 
+#include "core/instrument.hpp"
 #include "protocols/mmv2v/negotiation.hpp"
 
 #include <stdexcept>
@@ -50,10 +51,28 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
   ensure_initialized(ctx);
   const core::World& world = ctx.world;
   const std::size_t n = world.size();
+  udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
 
   // 1. Synchronized neighbor discovery; stale entries age out first.
   for (auto& table : tables_) table.age_out(ctx.frame);
-  snd_->run(world, ctx.frame, tables_, rng_);
+  std::vector<SndRoundStats> snd_stats;
+  snd_->run(world, ctx.frame, tables_, rng_, instr_ != nullptr ? &snd_stats : nullptr);
+  if (instr_ != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    for (std::size_t k = 0; k < snd_stats.size(); ++k) {
+      const SndRoundStats& r = snd_stats[k];
+      m.counter("discovery.decodes").add(r.decodes);
+      m.counter("discovery.decode_failures").add(r.decode_failures);
+      m.counter("discovery.admission_rejects").add(r.admission_rejects);
+      m.counter("discovery.sync_skips").add(r.sync_skips);
+      instr_->emit(core::TraceEvent{"snd_round"}
+                       .u64("round", k)
+                       .u64("hits", r.decodes)
+                       .u64("misses", r.decode_failures)
+                       .u64("admission_rejects", r.admission_rejects)
+                       .u64("sync_skips", r.sync_skips));
+    }
+  }
 
   // Persistent-matching extension: keep last frame's still-viable pairs and
   // withdraw their endpoints from this frame's negotiation.
@@ -79,18 +98,46 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
     }
   }
   dcm_->reset(n);
+  DcmSlotStats dcm_stats;
+  DcmSlotStats* dcm_sink = instr_ != nullptr ? &dcm_stats : nullptr;
+  NegotiationStats neg_stats;
   if (params_.physical_negotiation) {
-    const PhyNegotiationChannel channel{world, tables_, snd_->tx_pattern(),
-                                        snd_->rx_pattern(), params_.snd.sectors};
-    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, &channel);
+    const PhyNegotiationChannel channel{world,
+                                        tables_,
+                                        snd_->tx_pattern(),
+                                        snd_->rx_pattern(),
+                                        params_.snd.sectors,
+                                        instr_ != nullptr ? &neg_stats : nullptr};
+    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, &channel, dcm_sink);
   } else {
-    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_);
+    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, nullptr, dcm_sink);
   }
   matching_ = dcm_->matched_pairs();
   matching_.insert(matching_.end(), carried.begin(), carried.end());
+  if (instr_ != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    m.counter("match.proposals").add(dcm_stats.proposals);
+    m.counter("match.mutual_pairs").add(dcm_stats.mutual_pairs);
+    m.counter("match.exchange_failures").add(dcm_stats.exchange_failures);
+    m.counter("match.adoptions").add(dcm_stats.adoptions);
+    m.counter("match.conflicts").add(dcm_stats.conflicts);
+    m.counter("match.drops").add(dcm_stats.drops);
+    m.counter("negotiation.half_attempts").add(neg_stats.half_attempts);
+    m.counter("negotiation.half_failures").add(neg_stats.half_failures);
+    m.gauge("links.active").set(static_cast<double>(matching_.size()));
+    instr_->emit(core::TraceEvent{"matching"}
+                     .u64("pairs", matching_.size())
+                     .u64("proposals", dcm_stats.proposals)
+                     .u64("adoptions", dcm_stats.adoptions)
+                     .u64("conflicts", dcm_stats.conflicts)
+                     .u64("drops", dcm_stats.drops)
+                     .u64("exchange_failures", dcm_stats.exchange_failures));
+  }
 
   // 3 + 4. Beam refinement per matched pair, then register the TDD session.
   udt_.clear();
+  RefineStats refine_stats;
+  RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;
   const double udt_start = schedule_->udt_start_s();
   const double frame_end = world.config().timing.frame_s;
   for (const auto& [a, b] : matching_) {
@@ -98,8 +145,9 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
     const auto entry_ba = tables_[b].find(a);
     if (!entry_ab || !entry_ba) continue;  // cannot happen if DCM used the tables
 
-    const BeamRefinement::Result beams = refinement_->refine(
-        world, a, entry_ab->sector_toward, b, entry_ba->sector_toward, snd_->tx_pattern());
+    const BeamRefinement::Result beams =
+        refinement_->refine(world, a, entry_ab->sector_toward, b, entry_ba->sector_toward,
+                            snd_->tx_pattern(), refine_sink);
 
     // The larger MAC address transmits first (paper Section III footnote).
     const bool a_first = macs_[a] > macs_[b];
@@ -110,10 +158,33 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
     udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
                       second_bearing, &refinement_->narrow_pattern(), udt_start, frame_end);
   }
+  if (instr_ != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    m.counter("refine.pairs").add(refine_stats.pairs);
+    m.counter("refine.probes").add(refine_stats.probes);
+    m.counter("refine.fallbacks").add(refine_stats.fallbacks);
+    instr_->emit(core::TraceEvent{"refinement"}
+                     .u64("pairs", refine_stats.pairs)
+                     .u64("probes", refine_stats.probes)
+                     .u64("fallbacks", refine_stats.fallbacks));
+  }
 }
 
 void MmV2VProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
   udt_.step(ctx, t0, t1);
+}
+
+void MmV2VProtocol::end_frame(core::FrameContext& /*ctx*/) {
+  if (instr_ == nullptr) return;
+  MetricsRegistry& m = instr_->metrics();
+  for (const DirectedTransfer& t : udt_.transfers()) {
+    if (t.delivered_bits <= 0.0) continue;
+    m.gauge("udt.delivered_bits").add(t.delivered_bits);
+    instr_->emit(core::TraceEvent{"link"}
+                     .u64("tx", t.tx)
+                     .u64("rx", t.rx)
+                     .f64("bits", t.delivered_bits));
+  }
 }
 
 }  // namespace mmv2v::protocols

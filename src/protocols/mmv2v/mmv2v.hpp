@@ -49,6 +49,7 @@ class MmV2VProtocol final : public core::OhmProtocol {
   void begin_frame(core::FrameContext& ctx) override;
   [[nodiscard]] double udt_start_offset_s() const override;
   void udt_step(core::FrameContext& ctx, double t0, double t1) override;
+  void end_frame(core::FrameContext& ctx) override;
   [[nodiscard]] std::size_t active_link_count() const override { return matching_.size(); }
 
   // --- component access (benches / tests) --------------------------------

@@ -8,12 +8,14 @@ namespace mmv2v::protocols {
 PhyNegotiationChannel::PhyNegotiationChannel(const core::World& world,
                                              const std::vector<net::NeighborTable>& tables,
                                              const phy::BeamPattern& tx_pattern,
-                                             const phy::BeamPattern& rx_pattern, int sectors)
+                                             const phy::BeamPattern& rx_pattern, int sectors,
+                                             NegotiationStats* stats)
     : world_(world),
       tables_(tables),
       tx_pattern_(tx_pattern),
       rx_pattern_(rx_pattern),
-      grid_(sectors) {}
+      grid_(sectors),
+      stats_(stats) {}
 
 void PhyNegotiationChannel::evaluate_half(
     const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
@@ -46,10 +48,12 @@ void PhyNegotiationChannel::evaluate_half(
 
   for (std::size_t p = 0; p < pairs.size(); ++p) {
     if (!ok[p]) continue;
+    if (stats_ != nullptr) ++stats_->half_attempts;
     const HalfLink& link = links[p];
     const core::PairGeom* g = world_.pair(link.rx, link.tx);
     if (g == nullptr) {
       ok[p] = false;
+      if (stats_ != nullptr) ++stats_->half_failures;
       continue;
     }
     const double tx_to_rx = geom::wrap_two_pi(g->bearing_rad + geom::kPi);
@@ -71,7 +75,10 @@ void PhyNegotiationChannel::evaluate_half(
           rx_pattern_.gain(geom::angular_distance(gi->bearing_rad, link.rx_bearing));
     }
     const double sinr_db = units::linear_to_db(signal / (noise_w + interference));
-    if (!channel.mcs().control_decodable(sinr_db)) ok[p] = false;
+    if (!channel.mcs().control_decodable(sinr_db)) {
+      ok[p] = false;
+      if (stats_ != nullptr) ++stats_->half_failures;
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 // concurrent interference.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/world.hpp"
@@ -18,14 +19,26 @@
 
 namespace mmv2v::protocols {
 
+/// Observability counters for the negotiation link layer, accumulated across
+/// every slot of a frame when a sink is attached.
+struct NegotiationStats {
+  /// Half-slot transmissions evaluated (two per pair per slot).
+  std::uint64_t half_attempts = 0;
+  /// Half-slot transmissions that failed to decode (geometry miss or SINR
+  /// below the control threshold).
+  std::uint64_t half_failures = 0;
+};
+
 class PhyNegotiationChannel final : public NegotiationChannel {
  public:
   /// `tables` must outlive the channel and hold each vehicle's sector toward
   /// its neighbors; `tx_pattern`/`rx_pattern` are the discovery beams.
+  /// `stats` (optional, must outlive the channel) accumulates link-layer
+  /// counters across exchange_succeeds calls.
   PhyNegotiationChannel(const core::World& world,
                         const std::vector<net::NeighborTable>& tables,
                         const phy::BeamPattern& tx_pattern, const phy::BeamPattern& rx_pattern,
-                        int sectors);
+                        int sectors, NegotiationStats* stats = nullptr);
 
   [[nodiscard]] std::vector<bool> exchange_succeeds(
       const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const override;
@@ -40,6 +53,7 @@ class PhyNegotiationChannel final : public NegotiationChannel {
   const phy::BeamPattern& tx_pattern_;
   const phy::BeamPattern& rx_pattern_;
   geom::SectorGrid grid_;
+  NegotiationStats* stats_;
 };
 
 }  // namespace mmv2v::protocols

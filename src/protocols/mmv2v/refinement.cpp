@@ -37,15 +37,21 @@ std::vector<double> BeamRefinement::candidate_bearings(int sector) const {
 
 BeamRefinement::Result BeamRefinement::refine(const core::World& world, net::NodeId a,
                                               int sector_a, net::NodeId b, int sector_b,
-                                              const phy::BeamPattern& wide) const {
+                                              const phy::BeamPattern& wide,
+                                              RefineStats* stats) const {
   Result result;
+  if (stats != nullptr) ++stats->pairs;
   const core::PairGeom* ab = world.pair(a, b);
   const core::PairGeom* ba = world.pair(b, a);
   if (ab == nullptr || ba == nullptr) {
     // Out of cached range: fall back to sector centers; no measurable power.
     result.bearing_a = grid_.center(sector_a);
     result.bearing_b = grid_.center(sector_b);
+    if (stats != nullptr) ++stats->fallbacks;
     return result;
+  }
+  if (stats != nullptr) {
+    stats->probes += 2ULL * static_cast<std::uint64_t>(beams_per_side_);
   }
 
   const phy::ChannelModel& channel = world.channel();

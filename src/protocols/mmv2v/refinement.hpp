@@ -5,12 +5,25 @@
 // peer's wide beam, then roles flip with the winner held fixed.
 #pragma once
 
+#include <cstdint>
+
 #include "core/world.hpp"
 #include "geom/angles.hpp"
 #include "net/mac_address.hpp"
 #include "phy/antenna.hpp"
 
 namespace mmv2v::protocols {
+
+/// Observability counters for the refinement phase (one frame's worth when
+/// accumulated by the protocol driver).
+struct RefineStats {
+  /// Matched pairs refined.
+  std::uint64_t pairs = 0;
+  /// Narrow-beam probes evaluated (2 * beams_per_side per refined pair).
+  std::uint64_t probes = 0;
+  /// Pairs out of cached range that fell back to sector centers.
+  std::uint64_t fallbacks = 0;
+};
 
 struct RefinementParams {
   /// Narrowest beam width theta_min [deg].
@@ -40,9 +53,11 @@ class BeamRefinement {
 
   /// Cross search between vehicles a and b. `sector_a` is a's discovery
   /// sector toward b and vice versa; `wide` is the pattern held by the
-  /// non-searching side (the discovery Tx beam).
+  /// non-searching side (the discovery Tx beam). `stats` (optional)
+  /// accumulates probe counters across calls.
   [[nodiscard]] Result refine(const core::World& world, net::NodeId a, int sector_a,
-                              net::NodeId b, int sector_b, const phy::BeamPattern& wide) const;
+                              net::NodeId b, int sector_b, const phy::BeamPattern& wide,
+                              RefineStats* stats = nullptr) const;
 
   /// Candidate boresights spanning one sector.
   [[nodiscard]] std::vector<double> candidate_bearings(int sector) const;

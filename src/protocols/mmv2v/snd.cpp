@@ -36,27 +36,32 @@ SyncNeighborDiscovery::SyncNeighborDiscovery(SndParams params)
 }
 
 void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
-                                std::vector<net::NeighborTable>& tables,
-                                Xoshiro256pp& rng) const {
+                                std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
+                                std::vector<SndRoundStats>* round_stats) const {
   const std::size_t n = world.size();
   std::vector<bool> tx_first(n);
+  if (round_stats != nullptr) {
+    round_stats->assign(static_cast<std::size_t>(params_.rounds), SndRoundStats{});
+  }
   for (int k = 0; k < params_.rounds; ++k) {
     for (std::size_t i = 0; i < n; ++i) tx_first[i] = rng.bernoulli(params_.p_tx);
-    run_round(world, frame, tx_first, tables);
+    run_round(world, frame, tx_first, tables,
+              round_stats != nullptr ? &(*round_stats)[static_cast<std::size_t>(k)] : nullptr);
   }
 }
 
 void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t frame,
                                       const std::vector<bool>& tx_first,
-                                      std::vector<net::NeighborTable>& tables) const {
+                                      std::vector<net::NeighborTable>& tables,
+                                      SndRoundStats* stats) const {
   if (tx_first.size() != world.size() || tables.size() != world.size()) {
     throw std::invalid_argument{"SND: role/table vectors must match the vehicle count"};
   }
-  run_sweep(world, frame, tx_first, tables);
+  run_sweep(world, frame, tx_first, tables, stats);
   // Role swap (paper Section III-B4).
   std::vector<bool> swapped(tx_first.size());
   for (std::size_t i = 0; i < tx_first.size(); ++i) swapped[i] = !tx_first[i];
-  run_sweep(world, frame, swapped, tables);
+  run_sweep(world, frame, swapped, tables, stats);
 }
 
 double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
@@ -74,7 +79,8 @@ double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
 
 void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t frame,
                                       const std::vector<bool>& is_tx,
-                                      std::vector<net::NeighborTable>& tables) const {
+                                      std::vector<net::NeighborTable>& tables,
+                                      SndRoundStats* stats) const {
   const phy::ChannelModel& channel = world.channel();
   const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double noise_w = channel.noise_watts();
@@ -103,6 +109,7 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
         // transmitter's SSW frame enough to decode the preamble.
         if (params_.clock_sigma_s > 0.0 &&
             std::abs(clock[p.other] - clock[rx]) > params_.sector_dwell_s / 2.0) {
+          if (stats != nullptr) ++stats->sync_skips;
           continue;
         }
         // Reverse bearing (Tx -> Rx) is the receiver's bearing plus pi.
@@ -123,12 +130,15 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
       const auto record = [&](const core::PairGeom& p, double w) {
         const double snr_db = units::linear_to_db(w / noise_w);
         if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
+          if (stats != nullptr) ++stats->admission_rejects;
           return;
         }
         if (!std::isnan(params_.max_neighbor_range_m) &&
             p.distance_m > params_.max_neighbor_range_m) {
+          if (stats != nullptr) ++stats->admission_rejects;
           return;
         }
+        if (stats != nullptr) ++stats->decodes;
         net::NeighborEntry entry;
         entry.id = p.other;
         entry.mac = world.mac(p.other);
@@ -149,6 +159,8 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
         for (const auto& [p, w] : arrivals) {
           if (channel.mcs().control_decodable(units::linear_to_db(w / noise_w))) {
             record(*p, w);
+          } else if (stats != nullptr) {
+            ++stats->decode_failures;
           }
         }
       } else {
@@ -156,7 +168,11 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
         // SINR against the other concurrent sweepers clears the threshold.
         const double sinr_db =
             units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
-        if (channel.mcs().control_decodable(sinr_db)) record(*best, best_w);
+        if (channel.mcs().control_decodable(sinr_db)) {
+          record(*best, best_w);
+        } else if (stats != nullptr) {
+          ++stats->decode_failures;
+        }
       }
     }
   }

@@ -61,6 +61,21 @@ struct SndParams {
   std::uint64_t clock_seed = 0xc10c;
 };
 
+/// Per-round observability counters (all zero-initialized; accumulated over
+/// the round's two sweeps when a stats sink is passed to run/run_round).
+struct SndRoundStats {
+  /// Observations admitted into a neighbor table.
+  std::uint64_t decodes = 0;
+  /// Arrivals that failed the control-PHY decode (capture SINR or, under
+  /// ideal_capture, interference-free SNR below threshold).
+  std::uint64_t decode_failures = 0;
+  /// Decoded arrivals rejected by the admission SNR / range filters.
+  std::uint64_t admission_rejects = 0;
+  /// Tx/Rx pairs skipped because their relative clock offset exceeded half
+  /// the sector dwell (sync-error model).
+  std::uint64_t sync_skips = 0;
+};
+
 /// Compute the wide-beam boresight SNR at distance `range_m` (LOS) minus an
 /// alignment margin; using this as SndParams::admission_snr_db makes the
 /// discovered neighborhood match the ground-truth N_i radius. The margin
@@ -84,21 +99,25 @@ class SyncNeighborDiscovery {
 
   /// Run K rounds on the current world snapshot, inserting observations into
   /// the per-vehicle neighbor tables (indexed by NodeId). `frame` stamps the
-  /// entries; `rng` drives the role draws.
+  /// entries; `rng` drives the role draws. When `round_stats` is non-null it
+  /// is resized to K and filled with one SndRoundStats per round.
   void run(const core::World& world, std::uint64_t frame,
-           std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng) const;
+           std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
+           std::vector<SndRoundStats>* round_stats = nullptr) const;
 
   /// One round with externally fixed roles (roles[i] true = transmitter in
   /// the first sweep). Exposed for tests and the Theorem 2 bench.
   void run_round(const core::World& world, std::uint64_t frame,
-                 const std::vector<bool>& tx_first, std::vector<net::NeighborTable>& tables) const;
+                 const std::vector<bool>& tx_first, std::vector<net::NeighborTable>& tables,
+                 SndRoundStats* stats = nullptr) const;
 
   /// Stable clock offset of a vehicle under the sync-error model [s].
   [[nodiscard]] double clock_offset_s(net::NodeId id) const;
 
  private:
   void run_sweep(const core::World& world, std::uint64_t frame,
-                 const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables) const;
+                 const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables,
+                 SndRoundStats* stats) const;
 
   SndParams params_;
   phy::BeamPattern alpha_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/units.hpp"
+#include "core/instrument.hpp"
 #include "phy/pathloss.hpp"
 
 namespace mmv2v::protocols {
@@ -42,7 +43,8 @@ double RopProtocol::udt_start_offset_s() const {
   return schedule_->udt_start_s();
 }
 
-void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t frame) {
+void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t frame,
+                                     SndRoundStats* stats) {
   const std::size_t n = world.size();
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
@@ -81,8 +83,15 @@ void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t fra
 
     const double snr_db = units::linear_to_db(best_w / noise_w);
     const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
-    if (!channel.mcs().control_decodable(sinr_db)) continue;
-    if (!std::isnan(max_range_m_) && best->distance_m > max_range_m_) continue;
+    if (!channel.mcs().control_decodable(sinr_db)) {
+      if (stats != nullptr) ++stats->decode_failures;
+      continue;
+    }
+    if (!std::isnan(max_range_m_) && best->distance_m > max_range_m_) {
+      if (stats != nullptr) ++stats->admission_rejects;
+      continue;
+    }
+    if (stats != nullptr) ++stats->decodes;
 
     // One-way discovery (paper Section IV-A: "the corresponding Tx vehicle
     // is identified by the Rx vehicle"): only the receiver learns the link.
@@ -164,21 +173,41 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
   // and a random beam direction per sweep period (two per round, mirroring
   // SND's pre/post role-swap sweeps) and holds them, so each sweep period is
   // a single alignment lottery instead of SND's guaranteed rendezvous.
+  udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
+  SndRoundStats disc_stats;
+  SndRoundStats* disc_sink = instr_ != nullptr ? &disc_stats : nullptr;
   for (int sweep = 0; sweep < 2 * params_.discovery.rounds; ++sweep) {
-    run_discovery_step(world, ctx.frame);
+    run_discovery_step(world, ctx.frame, disc_sink);
+  }
+  if (instr_ != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    m.counter("discovery.decodes").add(disc_stats.decodes);
+    m.counter("discovery.decode_failures").add(disc_stats.decode_failures);
+    m.counter("discovery.admission_rejects").add(disc_stats.admission_rejects);
+    instr_->emit(core::TraceEvent{"discovery"}
+                     .u64("hits", disc_stats.decodes)
+                     .u64("misses", disc_stats.decode_failures)
+                     .u64("admission_rejects", disc_stats.admission_rejects));
   }
 
   random_matching(ctx);
+  if (instr_ != nullptr) {
+    instr_->metrics().gauge("links.active").set(static_cast<double>(matching_.size()));
+    instr_->emit(core::TraceEvent{"matching"}.u64("pairs", matching_.size()));
+  }
 
   udt_.clear();
+  RefineStats refine_stats;
+  RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;
   const double udt_start = schedule_->udt_start_s();
   const double frame_end = world.config().timing.frame_s;
   for (const auto& [a, b] : matching_) {
     const auto entry_ab = tables_[a].find(b);
     const auto entry_ba = tables_[b].find(a);
     if (!entry_ab || !entry_ba) continue;
-    const BeamRefinement::Result beams = refinement_->refine(
-        world, a, entry_ab->sector_toward, b, entry_ba->sector_toward, alpha_);
+    const BeamRefinement::Result beams =
+        refinement_->refine(world, a, entry_ab->sector_toward, b, entry_ba->sector_toward,
+                            alpha_, refine_sink);
     const bool a_first = world.mac(a) > world.mac(b);
     const net::NodeId first = a_first ? a : b;
     const net::NodeId second = a_first ? b : a;
@@ -187,10 +216,29 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
     udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
                       second_bearing, &refinement_->narrow_pattern(), udt_start, frame_end);
   }
+  if (instr_ != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    m.counter("refine.pairs").add(refine_stats.pairs);
+    m.counter("refine.probes").add(refine_stats.probes);
+    m.counter("refine.fallbacks").add(refine_stats.fallbacks);
+  }
 }
 
 void RopProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
   udt_.step(ctx, t0, t1);
+}
+
+void RopProtocol::end_frame(core::FrameContext& /*ctx*/) {
+  if (instr_ == nullptr) return;
+  MetricsRegistry& m = instr_->metrics();
+  for (const DirectedTransfer& t : udt_.transfers()) {
+    if (t.delivered_bits <= 0.0) continue;
+    m.gauge("udt.delivered_bits").add(t.delivered_bits);
+    instr_->emit(core::TraceEvent{"link"}
+                     .u64("tx", t.tx)
+                     .u64("rx", t.rx)
+                     .f64("bits", t.delivered_bits));
+  }
 }
 
 }  // namespace mmv2v::protocols

@@ -51,6 +51,7 @@ class RopProtocol final : public core::OhmProtocol {
   void begin_frame(core::FrameContext& ctx) override;
   [[nodiscard]] double udt_start_offset_s() const override;
   void udt_step(core::FrameContext& ctx, double t0, double t1) override;
+  void end_frame(core::FrameContext& ctx) override;
   [[nodiscard]] std::size_t active_link_count() const override { return matching_.size(); }
 
   [[nodiscard]] const std::vector<net::NeighborTable>& tables() const { return tables_; }
@@ -61,7 +62,8 @@ class RopProtocol final : public core::OhmProtocol {
 
  private:
   void ensure_initialized(core::FrameContext& ctx);
-  void run_discovery_step(const core::World& world, std::uint64_t frame);
+  void run_discovery_step(const core::World& world, std::uint64_t frame,
+                          SndRoundStats* stats);
   void random_matching(core::FrameContext& ctx);
 
   RopParams params_;

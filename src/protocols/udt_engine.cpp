@@ -1,7 +1,9 @@
 #include "protocols/udt_engine.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/metrics_registry.hpp"
 #include "common/units.hpp"
 #include "geom/angles.hpp"
 #include "phy/pathloss.hpp"
@@ -19,7 +21,20 @@ void UdtEngine::add_tdd_pair(net::NodeId first_tx, double first_tx_bearing,
                        second_pattern, first_pattern});
 }
 
-double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) const {
+void UdtEngine::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    // mmWave link SINR spans roughly [-20, 60] dB between cell edge and
+    // boresight-adjacent vehicles; clamping bins catch the tails.
+    sinr_hist_ = &metrics_->histogram("udt.sinr_db", -20.0, 60.0, 40);
+    segments_ = &metrics_->counter("udt.segments");
+  } else {
+    sinr_hist_ = nullptr;
+    segments_ = nullptr;
+  }
+}
+
+double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) {
   if (t1 <= t0 || transfers_.empty()) return 0.0;
 
   // Elementary intervals: cut [t0, t1) at every window boundary inside it.
@@ -37,14 +52,14 @@ double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) const {
   const double noise_w = channel.noise_watts();
 
   double total_bits = 0.0;
-  std::vector<const DirectedTransfer*> active;
+  std::vector<DirectedTransfer*> active;
   for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
     const double seg0 = cuts[c];
     const double seg1 = cuts[c + 1];
     const double mid = (seg0 + seg1) / 2.0;
 
     active.clear();
-    for (const DirectedTransfer& t : transfers_) {
+    for (DirectedTransfer& t : transfers_) {
       if (t.window_start_s <= mid && mid < t.window_end_s &&
           !ctx.ledger.direction_complete(t.tx, t.rx)) {
         active.push_back(&t);
@@ -52,7 +67,7 @@ double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) const {
     }
     if (active.empty()) continue;
 
-    for (const DirectedTransfer* t : active) {
+    for (DirectedTransfer* t : active) {
       const core::PairGeom* geom_rx = world.pair(t->rx, t->tx);
       if (geom_rx == nullptr) continue;  // drifted out of range mid-frame
 
@@ -67,7 +82,7 @@ double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) const {
 
       // Interference from every other concurrently active transmitter.
       double interference_w = 0.0;
-      for (const DirectedTransfer* k : active) {
+      for (const DirectedTransfer* k : std::as_const(active)) {
         if (k == t || k->tx == t->tx || k->tx == t->rx) continue;
         const core::PairGeom* gk = world.pair(t->rx, k->tx);
         if (gk == nullptr) continue;  // beyond the interference radius
@@ -81,9 +96,15 @@ double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) const {
       }
 
       const double sinr_db = units::linear_to_db(signal_w / (noise_w + interference_w));
+      if (sinr_hist_ != nullptr) {
+        sinr_hist_->add(sinr_db);
+        segments_->add();
+      }
       const double rate = channel.mcs().data_rate_bps(sinr_db);
       if (rate <= 0.0) continue;
-      total_bits += ctx.ledger.record(t->tx, t->rx, rate * (seg1 - seg0));
+      const double credited = ctx.ledger.record(t->tx, t->rx, rate * (seg1 - seg0));
+      t->delivered_bits += credited;
+      total_bits += credited;
     }
   }
   return total_bits;

@@ -14,6 +14,12 @@
 #include "core/protocol.hpp"
 #include "phy/antenna.hpp"
 
+namespace mmv2v {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}
+
 namespace mmv2v::protocols {
 
 struct DirectedTransfer {
@@ -27,6 +33,8 @@ struct DirectedTransfer {
   double rx_bearing_rad = 0.0;
   const phy::BeamPattern* tx_pattern = nullptr;
   const phy::BeamPattern* rx_pattern = nullptr;
+  /// Bits credited to this transfer so far (accumulated by step()).
+  double delivered_bits = 0.0;
 };
 
 class UdtEngine {
@@ -45,12 +53,23 @@ class UdtEngine {
                     double start_s, double end_s);
 
   /// Integrate transfers over the in-frame interval [t0, t1), crediting the
-  /// ledger. A directed transfer stops radiating once its direction of the
-  /// task is complete. Returns total bits credited.
-  double step(core::FrameContext& ctx, double t0, double t1) const;
+  /// ledger and each transfer's delivered_bits. A directed transfer stops
+  /// radiating once its direction of the task is complete. Returns total
+  /// bits credited.
+  double step(core::FrameContext& ctx, double t0, double t1);
+
+  /// Attach (or detach, with nullptr) a metrics sink: step() then samples
+  /// each active segment's SINR into the `udt.sinr_db` histogram and counts
+  /// `udt.segments`. Null — the default — keeps the data plane metric-free.
+  void set_metrics(MetricsRegistry* metrics);
 
  private:
   std::vector<DirectedTransfer> transfers_;
+  MetricsRegistry* metrics_ = nullptr;
+  // Cached handles (stable addresses; see MetricsRegistry) so the per-segment
+  // hot path avoids name lookups.
+  Histogram* sinr_hist_ = nullptr;
+  Counter* segments_ = nullptr;
 };
 
 }  // namespace mmv2v::protocols

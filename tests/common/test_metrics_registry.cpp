@@ -1,0 +1,117 @@
+#include "common/metrics_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mmv2v {
+namespace {
+
+TEST(MetricsRegistry, CounterGetOrCreate) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("discovery.decodes");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  // Same name yields the same counter.
+  EXPECT_EQ(&reg.counter("discovery.decodes"), &c);
+  EXPECT_EQ(reg.counter("discovery.decodes").value(), 42u);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricsRegistry, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("links.active");
+  g.set(3.0);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("links.active").value(), 4.5);
+}
+
+TEST(MetricsRegistry, HistogramLayoutFixedByFirstRegistration) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("udt.sinr_db", -20.0, 60.0, 40);
+  h.add(0.0);
+  h.add(1000.0);  // clamps into the top bin
+  // A second registration with different bounds returns the same histogram.
+  Histogram& again = reg.histogram("udt.sinr_db", 0.0, 1.0, 2);
+  EXPECT_EQ(&again, &h);
+  EXPECT_DOUBLE_EQ(again.lo(), -20.0);
+  EXPECT_DOUBLE_EQ(again.hi(), 60.0);
+  EXPECT_EQ(again.total(), 2u);
+}
+
+TEST(MetricsRegistry, HandleAddressesSurviveLaterRegistrations) {
+  // The hot path caches Counter*/Histogram* across frames; registering more
+  // metrics later must not move existing handles.
+  MetricsRegistry reg;
+  Counter* first = &reg.counter("a.first");
+  Gauge* gauge = &reg.gauge("a.gauge");
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("bulk." + std::to_string(i));
+    reg.gauge("bulkg." + std::to_string(i));
+  }
+  first->add(7);
+  gauge->set(2.5);
+  EXPECT_EQ(reg.find_counter("a.first")->value(), 7u);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("a.gauge")->value(), 2.5);
+}
+
+TEST(MetricsRegistry, FindReturnsNullForUnknownNames) {
+  MetricsRegistry reg;
+  reg.counter("known");
+  EXPECT_NE(reg.find_counter("known"), nullptr);
+  EXPECT_EQ(reg.find_counter("unknown"), nullptr);
+  EXPECT_EQ(reg.find_gauge("unknown"), nullptr);
+  EXPECT_EQ(reg.find_histogram("unknown"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h", 0.0, 10.0, 5);
+  // A single-bucket histogram exercised the old reset bug; keep it covered.
+  Histogram& h1 = reg.histogram("h1", 0.0, 1.0, 1);
+  c.add(3);
+  g.set(9.0);
+  h.add(5.0);
+  h1.add(0.5);
+
+  reg.reset_values();
+
+  EXPECT_EQ(reg.size(), 4u);
+  EXPECT_EQ(&reg.counter("c"), &c);  // handles still valid
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h1.total(), 0u);
+  // Layout survives the reset.
+  EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+  EXPECT_DOUBLE_EQ(h.hi(), 10.0);
+  h1.add(0.5);
+  EXPECT_EQ(h1.total(), 1u);
+}
+
+TEST(MetricsRegistry, JsonIsCanonical) {
+  MetricsRegistry reg;
+  // Register out of lexicographic order; output must still be sorted.
+  reg.counter("z.last").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("mid").set(0.5);
+  reg.histogram("hist", 0.0, 2.0, 2).add(0.5);
+
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json,
+            "{\"counters\":{\"a.first\":1,\"z.last\":2},"
+            "\"gauges\":{\"mid\":0.5},"
+            "\"histograms\":{\"hist\":{\"lo\":0,\"hi\":2,\"counts\":[1,0]}}}");
+}
+
+TEST(MetricsRegistry, EmptyRegistryJson) {
+  const MetricsRegistry reg;
+  EXPECT_EQ(reg.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+}  // namespace
+}  // namespace mmv2v

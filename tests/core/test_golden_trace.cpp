@@ -1,0 +1,105 @@
+// Golden-trace regression harness (DESIGN.md Section 8): a fixed-seed
+// ~20-vehicle scenario is swept with instrumentation on, and the serialized
+// JSONL event stream is fingerprinted. The digest below is the checked-in
+// golden value; any change to discovery, matching, refinement, the data
+// plane, the RNG streams or the serialization shows up here first.
+//
+// The trace is required to be bit-identical for any worker count: cells are
+// instrumented independently and merged in canonical (density, repetition)
+// order, and the manifest (which names the thread count) stays out of the
+// digest.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+/// FNV-1a 64 of the golden scenario's event stream. On an intentional
+/// behavior change, run this test once: the failure message prints the new
+/// digest to check in here.
+constexpr std::uint64_t kGoldenDigest = 0x7f943a0236b31366ULL;
+
+ExperimentConfig golden_experiment(int threads) {
+  ExperimentConfig config;
+  config.densities_vpl = {10.0};
+  config.repetitions = 2;
+  config.horizon_s = 0.2;  // 10 frames
+  config.seed = 20260806;
+  config.threads = threads;
+  return config;
+}
+
+ScenarioConfig golden_scenario() {
+  ScenarioConfig s;
+  s.traffic.road_length_m = 500.0;
+  s.traffic.lanes_per_direction = 2;
+  s.traffic_warmup_s = 2.0;
+  return s;  // 10 vpl x 0.5 km x 4 lanes ~= 20 vehicles
+}
+
+ProtocolFactory mmv2v_factory() {
+  return [](std::uint64_t seed) -> std::unique_ptr<OhmProtocol> {
+    protocols::MmV2VParams p;
+    p.seed = seed;
+    return std::make_unique<protocols::MmV2VProtocol>(p);
+  };
+}
+
+SweepTrace run_golden(int threads) {
+  SweepTrace trace;
+  const auto points =
+      run_density_sweep(golden_experiment(threads), golden_scenario(), mmv2v_factory(), &trace);
+  EXPECT_EQ(points.size(), 1u);
+  return trace;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+TEST(GoldenTrace, MatchesCheckedInDigest) {
+  const SweepTrace trace = run_golden(/*threads=*/1);
+  ASSERT_FALSE(trace.events_jsonl.empty());
+  EXPECT_EQ(trace.digest, kGoldenDigest)
+      << "event stream diverged from the golden trace; if the behavior change "
+         "is intentional, update kGoldenDigest to " << hex64(trace.digest);
+}
+
+TEST(GoldenTrace, BitIdenticalAcrossThreadCounts) {
+  const SweepTrace serial = run_golden(/*threads=*/1);
+  const SweepTrace parallel = run_golden(/*threads=*/4);
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(serial.events_jsonl, parallel.events_jsonl);
+}
+
+TEST(GoldenTrace, StreamHasExpectedShape) {
+  const SweepTrace trace = run_golden(/*threads=*/2);
+  // One cell_begin/cell_end bracket per (density, repetition) cell, in
+  // canonical order; the manifest is a separate artifact, not an event.
+  EXPECT_NE(trace.events_jsonl.find("{\"ev\":\"cell_begin\",\"density_vpl\":10,\"rep\":0,"),
+            std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("{\"ev\":\"cell_begin\",\"density_vpl\":10,\"rep\":1,"),
+            std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"cell_end\",\"metrics\":{"), std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"snd_round\""), std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"matching\""), std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"frame_end\""), std::string::npos);
+  EXPECT_EQ(trace.events_jsonl.find("\"ev\":\"manifest\""), std::string::npos);
+
+  EXPECT_NE(trace.manifest_json.find("\"ev\":\"manifest\""), std::string::npos);
+  EXPECT_NE(trace.manifest_json.find("\"protocol\":\"mmV2V\""), std::string::npos);
+  EXPECT_NE(trace.manifest_json.find("\"git_describe\":"), std::string::npos);
+  EXPECT_NE(trace.manifest_json.find("\"threads\":2"), std::string::npos);
+  EXPECT_NE(trace.manifest_json.find("\"seed\":20260806"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmv2v::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <locale>
 #include <sstream>
 
 #include "core/simulation.hpp"
@@ -16,6 +17,108 @@ TEST(TraceRecorder, EmptyRecorder) {
   EXPECT_TRUE(trace.empty());
   EXPECT_DOUBLE_EQ(trace.mean_throughput_bps(), 0.0);
   EXPECT_DOUBLE_EQ(trace.mean_active_links(), 0.0);
+}
+
+TEST(TraceRecorder, SingleFrameThroughputGuard) {
+  // One frame gives no window length — the mean must be a clean 0, not a
+  // division by zero.
+  TraceRecorder trace;
+  trace.add_frame({0, 0.0, 3, 10e6, 10e6});
+  EXPECT_DOUBLE_EQ(trace.mean_throughput_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.mean_active_links(), 3.0);
+}
+
+TEST(TraceRecorder, EventsOnlyRecorderIsNotEmpty) {
+  TraceRecorder trace;
+  trace.record_event(TraceEvent{"matching"});
+  EXPECT_FALSE(trace.empty());
+  // Frame aggregates still guard against the missing frame series.
+  EXPECT_DOUBLE_EQ(trace.mean_throughput_bps(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.mean_active_links(), 0.0);
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceEvent, SerializesFieldsInInsertionOrder) {
+  TraceEvent e{"snd_round"};
+  e.frame = 3;
+  e.time_s = 0.06;
+  e.u64("round", 2).f64("ratio", 0.875).str("note", "a\"b\\c");
+  std::string out;
+  e.append_json(out);
+  EXPECT_EQ(out,
+            "{\"frame\":3,\"t\":0.06,\"ev\":\"snd_round\","
+            "\"round\":2,\"ratio\":0.875,\"note\":\"a\\\"b\\\\c\"}");
+}
+
+TEST(TraceRecorder, EventsJsonlAndDigestAreStable) {
+  const auto fill = [](TraceRecorder& t) {
+    TraceEvent a{"frame_begin"};
+    a.frame = 0;
+    a.u64("vehicles", 20);
+    t.record_event(a);
+    TraceEvent b{"link"};
+    b.frame = 0;
+    b.u64("tx", 1).u64("rx", 2).f64("bits", 1.5e6);
+    t.record_event(b);
+  };
+  TraceRecorder t1, t2;
+  fill(t1);
+  fill(t2);
+
+  std::string jsonl;
+  t1.append_events_jsonl(jsonl);
+  EXPECT_EQ(jsonl,
+            "{\"frame\":0,\"t\":0,\"ev\":\"frame_begin\",\"vehicles\":20}\n"
+            "{\"frame\":0,\"t\":0,\"ev\":\"link\",\"tx\":1,\"rx\":2,\"bits\":1500000}\n");
+
+  // Identical streams hash identically; any change perturbs the digest.
+  EXPECT_EQ(t1.events_digest(), t2.events_digest());
+  TraceEvent extra{"link"};
+  extra.u64("tx", 9);
+  t2.record_event(extra);
+  EXPECT_NE(t1.events_digest(), t2.events_digest());
+
+  std::ostringstream stream;
+  t1.write_events_jsonl(stream);
+  EXPECT_EQ(stream.str(), jsonl);
+}
+
+/// A locale whose numeric formatting would corrupt CSV/JSONL if any writer
+/// went through locale-aware formatting: ',' decimal point, '.' grouping.
+struct GermanishPunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+TEST(TraceRecorder, OutputIsLocaleIndependent) {
+  TraceRecorder trace;
+  trace.add_frame({0, 0.0, 1, 5.0, 5.0});
+  trace.add_frame({1, 0.02, 2, 1234567.5, 1234572.5});
+  TraceEvent e{"link"};
+  e.time_s = 0.02;
+  e.f64("bits", 1234567.5);
+  trace.record_event(e);
+
+  std::ostringstream ref_csv, ref_jsonl;
+  trace.write_csv(ref_csv);
+  trace.write_events_jsonl(ref_jsonl);
+  const std::uint64_t ref_digest = trace.events_digest();
+
+  const std::locale old =
+      std::locale::global(std::locale(std::locale::classic(), new GermanishPunct));
+  std::ostringstream csv, jsonl;
+  trace.write_csv(csv);
+  trace.write_events_jsonl(jsonl);
+  const std::uint64_t digest = trace.events_digest();
+  std::locale::global(old);
+
+  EXPECT_EQ(csv.str(), ref_csv.str());
+  EXPECT_EQ(jsonl.str(), ref_jsonl.str());
+  EXPECT_EQ(digest, ref_digest);
+  // Sanity: the hostile locale really would have produced "1.234.567,5".
+  EXPECT_NE(csv.str().find("1234567.5"), std::string::npos);
 }
 
 TEST(TraceRecorder, AggregatesFromRecords) {

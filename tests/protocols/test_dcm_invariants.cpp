@@ -1,0 +1,157 @@
+// Randomized DCM invariant harness (DESIGN.md Section 8): over many random
+// neighbor graphs, the distributed matching must always produce a valid
+// matching, every adoption must strictly improve (or establish) both sides'
+// candidates at adoption time, the observability counters must stay
+// consistent with each other, and the TDD sessions scheduled for the
+// matching must respect half-duplex.
+//
+// Note the invariant is per-adoption, not per-slot-end: a vehicle can
+// legitimately end a slot worse off than it started when its partner was
+// displaced mid-slot. DcmSlotStats::adoptions_detail records the quality on
+// both sides at the instant of adoption, which is where the paper's
+// improvement rule actually applies.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/angles.hpp"
+#include "phy/antenna.hpp"
+#include "protocols/mmv2v/dcm.hpp"
+#include "protocols/udt_engine.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+struct RandomGraph {
+  std::vector<std::vector<net::NeighborEntry>> neighbors;
+  std::vector<net::MacAddress> macs;
+};
+
+/// Symmetric random graph: each edge exists with probability `p_edge` and
+/// both endpoints measure the same SNR (the paper's reciprocal channel).
+RandomGraph random_graph(std::size_t n, double p_edge, Xoshiro256pp& rng) {
+  RandomGraph g;
+  g.neighbors.resize(n);
+  g.macs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) g.macs[i] = net::MacAddress::for_vehicle(i);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (!rng.bernoulli(p_edge)) continue;
+      const double snr = rng.uniform(0.0, 40.0);
+      net::NeighborEntry e;
+      e.snr_db = snr;
+      e.id = j;
+      e.mac = g.macs[j];
+      g.neighbors[i].push_back(e);
+      e.id = i;
+      e.mac = g.macs[i];
+      g.neighbors[j].push_back(e);
+    }
+  }
+  return g;
+}
+
+TEST(DcmInvariants, RandomGraphsProduceValidImprovingMatchings) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Xoshiro256pp rng{seed};
+    const std::size_t n = 4 + rng.uniform_int(21);  // 4..24 vehicles
+    const double p_edge = rng.uniform(0.2, 0.9);
+    const RandomGraph g = random_graph(n, p_edge, rng);
+
+    ConsensualMatching dcm{{40, 7}};
+    dcm.reset(n);
+    DcmSlotStats stats;
+    dcm.run_all(g.neighbors, g.macs, nullptr, rng, nullptr, &stats);
+
+    // Valid matching: no vehicle appears in two pairs, pairs are ordered,
+    // and the candidate relation is mutual.
+    std::set<net::NodeId> seen;
+    for (const auto& [a, b] : dcm.matched_pairs()) {
+      EXPECT_LT(a, b) << "seed " << seed;
+      EXPECT_TRUE(seen.insert(a).second) << "vehicle " << a << " in two pairs, seed " << seed;
+      EXPECT_TRUE(seen.insert(b).second) << "vehicle " << b << " in two pairs, seed " << seed;
+    }
+    const auto& st = dcm.candidates();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (st[i].candidate.has_value()) {
+        ASSERT_LT(*st[i].candidate, n) << "seed " << seed;
+        EXPECT_EQ(st[*st[i].candidate].candidate, i) << "seed " << seed;
+      }
+    }
+
+    // Adoption rule: at adoption time the new link strictly improves (or
+    // establishes) both sides' candidates.
+    ASSERT_EQ(stats.adoptions, stats.adoptions_detail.size()) << "seed " << seed;
+    for (const DcmAdoption& ad : stats.adoptions_detail) {
+      EXPECT_NE(ad.a, ad.b) << "seed " << seed;
+      if (ad.had_prev_a) {
+        EXPECT_GT(ad.q_a, ad.prev_q_a) << "non-improving adoption, seed " << seed;
+      }
+      if (ad.had_prev_b) {
+        EXPECT_GT(ad.q_b, ad.prev_q_b) << "non-improving adoption, seed " << seed;
+      }
+    }
+
+    // Counter consistency: a mutual pick resolves to exactly one of
+    // {exchange failure, conflict, adoption, already-linked no-op}; every
+    // pick of a mutual pair was a proposal; a displaced candidate belongs
+    // to some adoption (at most one per side).
+    EXPECT_LE(stats.adoptions + stats.conflicts + stats.exchange_failures, stats.mutual_pairs)
+        << "seed " << seed;
+    EXPECT_LE(2 * stats.mutual_pairs, stats.proposals) << "seed " << seed;
+    EXPECT_LE(stats.drops, 2 * stats.adoptions) << "seed " << seed;
+    EXPECT_EQ(stats.exchange_failures, 0u) << "ideal channel, seed " << seed;
+
+    // The surviving matching must be non-empty whenever anything was adopted
+    // and the graph has at least one edge both sides kept.
+    if (stats.adoptions > 0) {
+      EXPECT_FALSE(dcm.matched_pairs().empty()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(DcmInvariants, TddSessionsRespectHalfDuplex) {
+  const phy::BeamPattern beam = phy::BeamPattern::make(geom::deg_to_rad(12.0));
+  for (std::uint64_t seed = 500; seed < 560; ++seed) {
+    Xoshiro256pp rng{seed};
+    const std::size_t n = 6 + rng.uniform_int(15);
+    const RandomGraph g = random_graph(n, 0.6, rng);
+    ConsensualMatching dcm{{40, 7}};
+    dcm.reset(n);
+    dcm.run_all(g.neighbors, g.macs, nullptr, rng);
+
+    UdtEngine engine;
+    for (const auto& [a, b] : dcm.matched_pairs()) {
+      const double bearing = rng.uniform(0.0, 2.0 * geom::kPi);
+      engine.add_tdd_pair(a, bearing, &beam, b, geom::wrap_two_pi(bearing + geom::kPi),
+                          &beam, 0.0052, 0.020);
+    }
+
+    // Half-duplex: no vehicle's transmit window may overlap a window in
+    // which it receives (TDD splits the session; matched pairs are disjoint
+    // so cross-pair overlap cannot involve the same vehicle).
+    const auto overlaps = [](const DirectedTransfer& x, const DirectedTransfer& y) {
+      return x.window_start_s < y.window_end_s && y.window_start_s < x.window_end_s;
+    };
+    const auto& transfers = engine.transfers();
+    for (const DirectedTransfer& tx_half : transfers) {
+      EXPECT_LT(tx_half.window_start_s, tx_half.window_end_s) << "seed " << seed;
+      for (const DirectedTransfer& other : transfers) {
+        if (&tx_half == &other) continue;
+        const bool same_vehicle = tx_half.tx == other.tx || tx_half.tx == other.rx ||
+                                  tx_half.rx == other.tx || tx_half.rx == other.rx;
+        if (same_vehicle) {
+          EXPECT_FALSE(overlaps(tx_half, other))
+              << "vehicle radiates and listens simultaneously, seed " << seed;
+        }
+      }
+    }
+    EXPECT_EQ(transfers.size(), 2 * dcm.matched_pairs().size()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols

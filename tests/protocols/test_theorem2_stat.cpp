@@ -1,0 +1,102 @@
+// Statistical validation of Theorem 2 (paper Section III-B): with
+// transmitter probability p = 0.5 and role-swapped sweeps, an ordered
+// neighbor pair rendezvouses in a round iff the two vehicles draw different
+// roles, so after K independent rounds the discovery ratio is 1 - 0.5^K.
+//
+// The PHY is not ideal at sector edges (beta = 12 deg < the 15 deg sector),
+// so the test first builds the *rendezvous-certain* universe: the ordered
+// pairs that actually decode when their rendezvous happens. Six forced
+// rounds with tx_first[i] = bit k of i cover every ordered pair of distinct
+// vehicles (n <= 64) in both directions on the static world, and decode is
+// deterministic (no fading, ideal capture). Within that universe the only
+// randomness left is the role draws, which is exactly what Theorem 2
+// quantifies; per-pair indicators are pairwise independent, so a binomial
+// 3-sigma band around 1 - 0.5^K is a sound acceptance region.
+//
+// Labeled `stat` (not tier1): hundreds of sweeps of real PHY work.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/world.hpp"
+#include "net/neighbor_table.hpp"
+#include "protocols/mmv2v/snd.hpp"
+#include "test_util.hpp"
+
+namespace mmv2v::protocols {
+namespace {
+
+using OrderedPair = std::pair<net::NodeId, net::NodeId>;
+
+SndParams theorem2_params(const core::World& world, int rounds) {
+  SndParams p;
+  p.rounds = rounds;
+  p.ideal_capture = true;  // Theorem 2 abstracts from SSW collisions
+  p.max_neighbor_range_m = world.config().comm_range_m;
+  return p;
+}
+
+/// Ordered pairs (i observed j) currently present in the tables.
+std::set<OrderedPair> discovered_pairs(const std::vector<net::NeighborTable>& tables) {
+  std::set<OrderedPair> pairs;
+  for (net::NodeId i = 0; i < tables.size(); ++i) {
+    for (const net::NeighborEntry& e : tables[i].entries()) pairs.insert({i, e.id});
+  }
+  return pairs;
+}
+
+TEST(Theorem2, DiscoveryRatioMatchesOneMinusHalfPowK) {
+  const core::World world{mmv2v::testing::small_scenario(12.0, 4242), 4242};
+  const std::size_t n = world.size();
+  ASSERT_GE(n, 10u);
+  ASSERT_LE(n, 64u) << "forced-role construction covers 2^6 vehicles";
+
+  // Rendezvous-certain universe: for every ordered pair of distinct vehicles
+  // some forced round assigns them different first-sweep roles, so both
+  // sweep directions happen for every pair; what remains in the tables is
+  // exactly the set of pairs whose PHY decode succeeds when aligned.
+  const SyncNeighborDiscovery probe{theorem2_params(world, 1)};
+  std::vector<net::NeighborTable> tables(n, net::NeighborTable{1000});
+  for (int k = 0; k < 6; ++k) {
+    std::vector<bool> tx_first(n);
+    for (std::size_t i = 0; i < n; ++i) tx_first[i] = ((i >> k) & 1u) != 0;
+    probe.run_round(world, 0, tx_first, tables);
+  }
+  const std::set<OrderedPair> universe = discovered_pairs(tables);
+  ASSERT_GT(universe.size(), 40u) << "scenario too sparse for a meaningful band";
+
+  Xoshiro256pp rng{99};
+  constexpr int kTrials = 160;
+  for (int K = 1; K <= 6; ++K) {
+    const SyncNeighborDiscovery snd{theorem2_params(world, K)};
+    std::size_t hits = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::vector<net::NeighborTable> trial_tables(n, net::NeighborTable{1000});
+      snd.run(world, 0, trial_tables, rng);
+      const std::set<OrderedPair> found = discovered_pairs(trial_tables);
+      for (const OrderedPair& pair : universe) hits += found.count(pair);
+      // Random rounds can never discover outside the rendezvous-certain set
+      // on this static world.
+      for (const OrderedPair& pair : found) {
+        ASSERT_EQ(universe.count(pair), 1u)
+            << "pair (" << pair.first << "," << pair.second
+            << ") decoded in a random round but not in the forced rounds";
+      }
+    }
+    const double N = static_cast<double>(kTrials) * static_cast<double>(universe.size());
+    const double p = 1.0 - std::pow(0.5, K);
+    const double ratio = static_cast<double>(hits) / N;
+    const double sigma = std::sqrt(p * (1.0 - p) / N);
+    EXPECT_NEAR(ratio, p, 3.0 * sigma)
+        << "K=" << K << " empirical discovery ratio " << ratio << " outside the 3-sigma band of "
+        << p << " (sigma=" << sigma << ", universe=" << universe.size() << ")";
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::protocols
