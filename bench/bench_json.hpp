@@ -1,0 +1,197 @@
+// BENCH_results.json read/write/compare for the unified bench harness.
+//
+// Canonical schema (one object per run):
+//   {"suite": "...",
+//    "benchmarks": [{"name": "...", "ns_per_op": N, "p50": N, "p99": N,
+//                    "ops": N, "bytes": N}, ...],
+//    "manifest": {"git_describe": "...", "compiler": "...", "flags": "...",
+//                 "threads": N, "cpu": "..."}}
+//
+// Writing goes through common/textio.hpp (locale-free, round-trip doubles);
+// reading through common/json_mini.hpp, so a written report parses back
+// losslessly. compare_results() implements the perf-regression gate used by
+// `bench_runner --compare`: a benchmark is a regression when its ns_per_op
+// exceeds the baseline by more than `threshold` (fractional, e.g. 0.10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json_mini.hpp"
+#include "common/textio.hpp"
+
+namespace mmv2v::bench {
+
+struct BenchManifest {
+  std::string git_describe;
+  std::string compiler;
+  std::string flags;
+  std::uint64_t threads = 0;
+  std::string cpu;
+};
+
+struct BenchReport {
+  std::string suite;
+  std::vector<BenchResult> benchmarks;
+  BenchManifest manifest;
+};
+
+inline std::string to_json(const BenchReport& report) {
+  std::string out = "{\"suite\":";
+  io::append_json_string(out, report.suite);
+  out += ",\"benchmarks\":[";
+  bool first = true;
+  for (const BenchResult& b : report.benchmarks) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    io::append_json_string(out, b.name);
+    out += ",\"ns_per_op\":";
+    io::append_number(out, b.ns_per_op);
+    out += ",\"p50\":";
+    io::append_number(out, b.p50_ns);
+    out += ",\"p99\":";
+    io::append_number(out, b.p99_ns);
+    out += ",\"ops\":";
+    io::append_number(out, b.ops);
+    out += ",\"bytes\":";
+    io::append_number(out, b.bytes);
+    out += '}';
+  }
+  out += "],\"manifest\":{\"git_describe\":";
+  io::append_json_string(out, report.manifest.git_describe);
+  out += ",\"compiler\":";
+  io::append_json_string(out, report.manifest.compiler);
+  out += ",\"flags\":";
+  io::append_json_string(out, report.manifest.flags);
+  out += ",\"threads\":";
+  io::append_number(out, report.manifest.threads);
+  out += ",\"cpu\":";
+  io::append_json_string(out, report.manifest.cpu);
+  out += "}}\n";
+  return out;
+}
+
+/// Parse a BENCH_results.json document. Throws std::runtime_error on
+/// malformed JSON or a missing/mistyped required field.
+inline BenchReport parse_results_json(std::string_view text) {
+  const json::Value doc = json::Value::parse(text);
+  BenchReport report;
+  report.suite = doc.string_or("suite", "");
+  const json::Value* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    throw std::runtime_error{"bench results: missing \"benchmarks\" array"};
+  }
+  for (const json::Value& entry : benchmarks->array()) {
+    BenchResult b;
+    const json::Value* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) {
+      throw std::runtime_error{"bench results: benchmark without a \"name\""};
+    }
+    b.name = name->str();
+    const json::Value* ns = entry.find("ns_per_op");
+    if (ns == nullptr || !ns->is_number()) {
+      throw std::runtime_error{"bench results: \"" + b.name + "\" lacks ns_per_op"};
+    }
+    b.ns_per_op = ns->number();
+    b.p50_ns = entry.number_or("p50", 0.0);
+    b.p99_ns = entry.number_or("p99", 0.0);
+    b.ops = static_cast<std::uint64_t>(entry.number_or("ops", 0.0));
+    b.bytes = static_cast<std::uint64_t>(entry.number_or("bytes", 0.0));
+    report.benchmarks.push_back(std::move(b));
+  }
+  if (const json::Value* manifest = doc.find("manifest"); manifest != nullptr) {
+    report.manifest.git_describe = manifest->string_or("git_describe", "");
+    report.manifest.compiler = manifest->string_or("compiler", "");
+    report.manifest.flags = manifest->string_or("flags", "");
+    report.manifest.threads = static_cast<std::uint64_t>(manifest->number_or("threads", 0.0));
+    report.manifest.cpu = manifest->string_or("cpu", "");
+  }
+  return report;
+}
+
+struct CompareRow {
+  enum class Status { Ok, Regression, Improvement, MissingInCurrent, New };
+  std::string name;
+  double baseline_ns = 0.0;
+  double current_ns = 0.0;
+  double delta = 0.0;  ///< current/baseline - 1; 0 when either side is absent
+  Status status = Status::Ok;
+};
+
+struct CompareOutcome {
+  std::vector<CompareRow> rows;
+  bool regression = false;
+};
+
+/// Compare current results to a baseline, benchmark by benchmark (matched by
+/// name, baseline order first, then current-only entries). `threshold` is
+/// the tolerated fractional slowdown; an equal-magnitude speedup is flagged
+/// Improvement (informational). Benchmarks present on only one side are
+/// reported but never count as regressions.
+inline CompareOutcome compare_results(const BenchReport& baseline, const BenchReport& current,
+                                      double threshold) {
+  const auto find_in = [](const BenchReport& r, const std::string& name) -> const BenchResult* {
+    for (const BenchResult& b : r.benchmarks) {
+      if (b.name == name) return &b;
+    }
+    return nullptr;
+  };
+
+  CompareOutcome out;
+  for (const BenchResult& base : baseline.benchmarks) {
+    CompareRow row;
+    row.name = base.name;
+    row.baseline_ns = base.ns_per_op;
+    if (const BenchResult* cur = find_in(current, base.name); cur != nullptr) {
+      row.current_ns = cur->ns_per_op;
+      row.delta = base.ns_per_op > 0.0 ? cur->ns_per_op / base.ns_per_op - 1.0 : 0.0;
+      if (row.delta > threshold) {
+        row.status = CompareRow::Status::Regression;
+        out.regression = true;
+      } else if (row.delta < -threshold) {
+        row.status = CompareRow::Status::Improvement;
+      }
+    } else {
+      row.status = CompareRow::Status::MissingInCurrent;
+    }
+    out.rows.push_back(std::move(row));
+  }
+  for (const BenchResult& cur : current.benchmarks) {
+    if (find_in(baseline, cur.name) != nullptr) continue;
+    CompareRow row;
+    row.name = cur.name;
+    row.current_ns = cur.ns_per_op;
+    row.status = CompareRow::Status::New;
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+/// Per-benchmark delta table, one row per CompareRow.
+inline std::string format_compare_table(const CompareOutcome& outcome) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-40s %14s %14s %9s  %s\n", "benchmark", "baseline_ns",
+                "current_ns", "delta", "status");
+  out += line;
+  for (const CompareRow& row : outcome.rows) {
+    const char* status = "ok";
+    switch (row.status) {
+      case CompareRow::Status::Ok: status = "ok"; break;
+      case CompareRow::Status::Regression: status = "REGRESSION"; break;
+      case CompareRow::Status::Improvement: status = "improvement"; break;
+      case CompareRow::Status::MissingInCurrent: status = "missing in current"; break;
+      case CompareRow::Status::New: status = "new (no baseline)"; break;
+    }
+    std::snprintf(line, sizeof line, "%-40s %14.1f %14.1f %+8.1f%%  %s\n", row.name.c_str(),
+                  row.baseline_ns, row.current_ns, row.delta * 100.0, status);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mmv2v::bench

@@ -1,0 +1,378 @@
+// Unified benchmark harness with machine-readable output and a regression
+// gate (DESIGN.md Section 9).
+//
+// Runs declared suites of microbenchmarks under one measurement policy
+// (calibrated batch sizes, warmup, outlier-trimmed mean — see bench_util.hpp)
+// and emits canonical BENCH_results.json. `--compare baseline.json` prints a
+// per-benchmark delta table and exits nonzero when any benchmark regressed
+// beyond `--threshold`, which is the CI perf gate.
+//
+// Usage:
+//   bench_runner --suite smoke --out BENCH_results.json
+//   bench_runner --suite all --prof-trace run.ctf.json
+//   bench_runner --results BENCH_results.json
+//   bench_runner --compare bench/baselines/smoke.json --threshold 0.10
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "common/profiler.hpp"
+#include "common/rng.hpp"
+#include "common/version.hpp"
+#include "core/experiment.hpp"
+#include "core/world.hpp"
+#include "geom/los.hpp"
+#include "phy/antenna.hpp"
+#include "phy/channel.hpp"
+#include "phy/mcs.hpp"
+#include "phy/pathloss.hpp"
+#include "protocols/mmv2v/dcm.hpp"
+#include "protocols/mmv2v/snd.hpp"
+#include "traffic/traffic_sim.hpp"
+
+namespace {
+
+using namespace mmv2v;
+using bench::BenchPolicy;
+using bench::BenchResult;
+
+/// One declared benchmark: a name and a factory that builds its state and
+/// returns the timed closure. Building outside the timed region keeps setup
+/// (world warmup, table fills) out of the measurement.
+struct BenchCase {
+  const char* name;
+  const char* suite;  ///< "micro_phy" | "micro_world" | "micro_phases" | "sweep"
+  bool in_smoke;      ///< member of the quick CI smoke suite
+  std::function<std::function<void()>()> make;
+};
+
+core::ScenarioConfig bench_scenario(double vpl) {
+  core::ScenarioConfig s;
+  s.traffic.density_vpl = vpl;
+  s.traffic_warmup_s = 2.0;
+  s.seed = 99;
+  return s;
+}
+
+std::vector<BenchCase> declare_benchmarks() {
+  std::vector<BenchCase> cases;
+
+  // --- micro_phy: PHY / geometry kernels --------------------------------
+  cases.push_back({"phy.antenna_gain", "micro_phy", true, [] {
+    auto pattern = std::make_shared<phy::BeamPattern>(
+        phy::BeamPattern::make(geom::deg_to_rad(30.0)));
+    auto gamma = std::make_shared<double>(0.0);
+    return [pattern, gamma] {
+      *gamma += 0.01;
+      if (*gamma > geom::kPi) *gamma = -geom::kPi;
+      volatile double g = pattern->gain(*gamma);
+      (void)g;
+    };
+  }});
+  cases.push_back({"phy.pathloss", "micro_phy", false, [] {
+    auto params = std::make_shared<phy::PathLossParams>();
+    auto d = std::make_shared<double>(1.0);
+    return [params, d] {
+      *d = *d > 200.0 ? 1.0 : *d + 0.37;
+      volatile double g = phy::channel_gain(*params, *d, 1);
+      (void)g;
+    };
+  }});
+  cases.push_back({"phy.mcs_select", "micro_phy", false, [] {
+    auto mcs = std::make_shared<phy::McsTable>();
+    auto snr = std::make_shared<double>(-10.0);
+    return [mcs, snr] {
+      *snr = *snr > 25.0 ? -10.0 : *snr + 0.13;
+      volatile double r = mcs->data_rate_bps(*snr);
+      (void)r;
+    };
+  }});
+  cases.push_back({"phy.sinr_16_interferers", "micro_phy", false, [] {
+    struct State {
+      phy::ChannelModel channel{};
+      phy::BeamPattern narrow = phy::BeamPattern::make(geom::deg_to_rad(3.0));
+      geom::LosEvaluator los;
+      std::vector<phy::Emitter> interferers;
+    };
+    auto s = std::make_shared<State>();
+    for (int k = 0; k < 16; ++k) {
+      s->interferers.push_back(phy::Emitter{static_cast<std::size_t>(10 + k),
+                                            {20.0 + 10.0 * k, 30.0},
+                                            phy::Beam{1.0, &s->narrow},
+                                            28.0});
+    }
+    return [s] {
+      const phy::Emitter tx{0, {0, 0}, phy::Beam{0.0, &s->narrow}, 28.0};
+      const phy::Receiver rx{1, {0, 66}, phy::Beam{geom::kPi, &s->narrow}};
+      volatile double v = s->channel.sinr_db(tx, rx, s->interferers, s->los);
+      (void)v;
+    };
+  }});
+  cases.push_back({"phy.los_120_blockers", "micro_phy", false, [] {
+    auto los = std::make_shared<geom::LosEvaluator>();
+    for (std::size_t k = 0; k < 120; ++k) {
+      const double x = static_cast<double>(k) * 12.0;
+      const double y = (k % 2 == 0) ? 0.0 : 5.0;
+      los->add(geom::Blocker{geom::OrientedRect{{x, y}, {1, 0}, 2.3, 0.9}, k});
+    }
+    return [los] {
+      volatile int n = los->blocker_count({0, 0}, {140.0, 5.0}, 0, 11);
+      (void)n;
+    };
+  }});
+  cases.push_back({"phy.xoshiro", "micro_phy", false, [] {
+    auto rng = std::make_shared<Xoshiro256pp>(1);
+    return [rng] {
+      volatile std::uint64_t v = (*rng)();
+      (void)v;
+    };
+  }});
+
+  // --- micro_world: traffic + spatial-grid snapshot ---------------------
+  cases.push_back({"world.traffic_step_30vpl", "micro_world", false, [] {
+    traffic::TrafficConfig cfg;
+    cfg.density_vpl = 30.0;
+    auto sim = std::make_shared<traffic::TrafficSimulator>(cfg, 1);
+    return [sim] { sim->step(0.005); };
+  }});
+  cases.push_back({"world.refresh_30vpl", "micro_world", true, [] {
+    auto world = std::make_shared<core::World>(bench_scenario(30.0), 99);
+    return [world] { world->refresh_snapshot(); };
+  }});
+  cases.push_back({"world.advance_30vpl", "micro_world", false, [] {
+    auto world = std::make_shared<core::World>(bench_scenario(30.0), 99);
+    return [world] { world->advance(0.005); };
+  }});
+
+  // --- micro_phases: protocol control-plane phases ----------------------
+  cases.push_back({"phases.snd_round_15vpl", "micro_phases", true, [] {
+    struct State {
+      core::World world;
+      protocols::SyncNeighborDiscovery snd;
+      std::vector<net::NeighborTable> tables;
+      std::vector<bool> roles;
+      std::uint64_t frame = 0;
+      State(core::ScenarioConfig s, protocols::SndParams p)
+          : world{std::move(s), 99}, snd{p}, tables(world.size(), net::NeighborTable{5}),
+            roles(world.size()) {
+        for (std::size_t i = 0; i < roles.size(); ++i) roles[i] = (i % 2 == 0);
+      }
+    };
+    core::ScenarioConfig scenario = bench_scenario(15.0);
+    protocols::SndParams params;
+    params.max_neighbor_range_m = scenario.comm_range_m;
+    auto s = std::make_shared<State>(std::move(scenario), params);
+    return [s] { s->snd.run_round(s->world, s->frame++, s->roles, s->tables); };
+  }});
+  cases.push_back({"phases.dcm_pass_15vpl", "micro_phases", true, [] {
+    struct State {
+      core::World world{bench_scenario(15.0), 99};
+      std::vector<std::vector<net::NeighborEntry>> neighbors;
+      std::vector<net::MacAddress> macs;
+      protocols::ConsensualMatching dcm{{40, 7}};
+      Xoshiro256pp rng{5};
+    };
+    auto s = std::make_shared<State>();
+    protocols::SndParams snd_params;
+    snd_params.max_neighbor_range_m = s->world.config().comm_range_m;
+    const protocols::SyncNeighborDiscovery snd{snd_params};
+    std::vector<net::NeighborTable> tables(s->world.size(), net::NeighborTable{5});
+    snd.run(s->world, 0, tables, s->rng);
+    s->neighbors.resize(s->world.size());
+    s->macs.resize(s->world.size());
+    for (net::NodeId i = 0; i < s->world.size(); ++i) {
+      s->neighbors[i] = tables[i].entries();
+      s->macs[i] = s->world.mac(i);
+    }
+    return [s] {
+      s->dcm.reset(s->world.size());
+      s->dcm.run_all(s->neighbors, s->macs, nullptr, s->rng);
+    };
+  }});
+
+  // --- sweep: end-to-end density sweep through the public runner --------
+  cases.push_back({"sweep.mmv2v_2x1_cells", "sweep", true, [] {
+    return [] {
+      core::ExperimentConfig experiment;
+      experiment.densities_vpl = {10.0, 20.0};
+      experiment.repetitions = 1;
+      experiment.horizon_s = 0.1;
+      experiment.seed = 1;
+      experiment.threads = 1;
+      core::ScenarioConfig base;
+      base.traffic.road_length_m = 500.0;
+      base.traffic_warmup_s = 2.0;
+      const core::ProtocolFactory factory = [](std::uint64_t seed) {
+        return std::unique_ptr<core::OhmProtocol>{
+            std::make_unique<protocols::MmV2VProtocol>(bench::make_mmv2v_params(seed))};
+      };
+      const auto points = core::run_density_sweep(experiment, base, factory);
+      volatile double ocr = points.front().ocr.mean();
+      (void)ocr;
+    };
+  }});
+
+  return cases;
+}
+
+std::string cpu_model() {
+  std::ifstream cpuinfo{"/proc/cpuinfo"};
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos && line.compare(0, 10, "model name") == 0) {
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "unknown";
+}
+
+bench::BenchManifest build_manifest() {
+  bench::BenchManifest m;
+  m.git_describe = std::string{git_describe()};
+#if defined(__clang__)
+  m.compiler = std::string{"clang "} + __clang_version__;
+#elif defined(__GNUC__)
+  m.compiler = std::string{"gcc "} + __VERSION__;
+#else
+  m.compiler = "unknown";
+#endif
+#if defined(MMV2V_BENCH_BUILD_FLAGS)
+  m.flags = MMV2V_BENCH_BUILD_FLAGS;
+#else
+  m.flags = "";
+#endif
+  m.threads = std::max(1u, std::thread::hardware_concurrency());
+  m.cpu = cpu_model();
+  return m;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream file{path, std::ios::binary};
+  if (!file) throw std::runtime_error{"cannot open " + path};
+  std::ostringstream ss;
+  ss << file.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmv2v;
+
+  const std::vector<bench::FlagSpec> specs{
+      {"suite", "smoke",
+       "suite to run: smoke | micro_phy | micro_world | micro_phases | sweep | all"},
+      {"out", "BENCH_results.json", "write results JSON here ('-' = stdout only)"},
+      {"results", "", "skip running; load current results from this JSON file"},
+      {"compare", "", "baseline BENCH_results.json; exit 1 on regression"},
+      {"threshold", "0.10", "tolerated fractional slowdown for --compare"},
+      {"reps", "12", "timed repetitions per benchmark"},
+      {"warmup_reps", "2", "untimed warmup repetitions per benchmark"},
+      {"min_rep_s", "0.02", "calibrate batch size until one rep takes this long"},
+      {"trim_fraction", "0.1", "fraction of reps trimmed from each tail"},
+      {"threads", "0", "reserved knob for sweep-style cases (0 = hardware)"},
+      {"prof_trace", "", "enable the profiler and write a Chrome trace here"},
+      {"prof_report", "false", "enable the profiler and print the scope hierarchy"},
+  };
+  const bench::FlagParse cli = bench::parse_flags(argc, argv, specs);
+  if (cli.show_help) {
+    bench::print_flag_help(stdout, "bench_runner",
+                           "Unified benchmark harness: runs declared suites, emits canonical\n"
+                           "BENCH_results.json, and gates regressions against a baseline.",
+                           specs);
+    return 0;
+  }
+  if (!cli.error.empty()) {
+    std::fprintf(stderr, "bench_runner: %s (try --help)\n", cli.error.c_str());
+    return 2;
+  }
+
+  const std::string suite = cli.values.get_or("suite", std::string{"smoke"});
+  const std::string results_path = cli.values.get_or("results", std::string{});
+  const std::string prof_trace = cli.values.get_or("prof_trace", std::string{});
+  const bool prof_report = cli.values.get_or("prof_report", false);
+
+  BenchPolicy policy;
+  policy.reps = static_cast<int>(cli.values.get_or("reps", std::int64_t{12}));
+  policy.warmup_reps = static_cast<int>(cli.values.get_or("warmup_reps", std::int64_t{2}));
+  policy.min_rep_s = cli.values.get_or("min_rep_s", 0.02);
+  policy.trim_fraction = cli.values.get_or("trim_fraction", 0.1);
+
+  bench::BenchReport report;
+  try {
+    if (!results_path.empty()) {
+      report = bench::parse_results_json(read_file(results_path));
+    } else {
+      const auto selected = [&suite](const BenchCase& c) {
+        if (suite == "all") return true;
+        if (suite == "smoke") return c.in_smoke;
+        return suite == c.suite;
+      };
+      const std::vector<BenchCase> cases = declare_benchmarks();
+      const bool any = std::any_of(cases.begin(), cases.end(), selected);
+      if (!any) {
+        std::fprintf(stderr, "bench_runner: unknown suite '%s' (try --help)\n", suite.c_str());
+        return 2;
+      }
+      if (!prof_trace.empty() || prof_report) prof::set_enabled(true);
+
+      report.suite = suite;
+      report.manifest = build_manifest();
+      for (const BenchCase& c : cases) {
+        if (!selected(c)) continue;
+        std::function<void()> fn = c.make();
+        const BenchResult r = bench::measure(c.name, policy, fn);
+        std::printf("%-40s %12.1f ns/op  p50 %12.1f  p99 %12.1f  (%llu ops)\n",
+                    r.name.c_str(), r.ns_per_op, r.p50_ns, r.p99_ns,
+                    static_cast<unsigned long long>(r.ops));
+        report.benchmarks.push_back(r);
+      }
+
+      if (prof_report) std::printf("\n%s", prof::report_text().c_str());
+      if (!prof_trace.empty()) {
+        prof::write_chrome_trace(prof_trace);
+        std::printf("profiler trace: %s (load in Perfetto / chrome://tracing)\n",
+                    prof_trace.c_str());
+      }
+
+      const std::string out_path = cli.values.get_or("out", std::string{"BENCH_results.json"});
+      if (out_path != "-") {
+        std::ofstream out_file{out_path, std::ios::binary};
+        if (!out_file) {
+          std::fprintf(stderr, "bench_runner: cannot write %s\n", out_path.c_str());
+          return 2;
+        }
+        out_file << bench::to_json(report);
+        std::printf("results: %s\n", out_path.c_str());
+      } else {
+        std::printf("%s", bench::to_json(report).c_str());
+      }
+    }
+
+    const std::string baseline_path = cli.values.get_or("compare", std::string{});
+    if (!baseline_path.empty()) {
+      const bench::BenchReport baseline = bench::parse_results_json(read_file(baseline_path));
+      const double threshold = cli.values.get_or("threshold", 0.10);
+      const bench::CompareOutcome outcome =
+          bench::compare_results(baseline, report, threshold);
+      std::printf("\ncompare vs %s (threshold %.0f%%):\n%s", baseline_path.c_str(),
+                  threshold * 100.0, bench::format_compare_table(outcome).c_str());
+      if (outcome.regression) {
+        std::fprintf(stderr, "bench_runner: performance regression detected\n");
+        return 1;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_runner: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -3,13 +3,16 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config_parser.hpp"
+#include "common/stats.hpp"
 #include "core/simulation.hpp"
 #include "protocols/ad/ieee80211ad.hpp"
 #include "protocols/mmv2v/mmv2v.hpp"
@@ -34,6 +37,156 @@ inline ConfigMap parse_cli(int argc, char** argv) {
   ConfigMap cfg;
   cfg.apply_overrides(args);
   return cfg;
+}
+
+/// One declared CLI knob for the strict flag parser (parse_flags). Names are
+/// canonical underscore form ("vpl_min"); the user may spell them with any
+/// dash/underscore mix and leading dashes.
+struct FlagSpec {
+  const char* name;
+  const char* def;  ///< default shown in --help; "" means "unset"
+  const char* help;
+};
+
+struct FlagParse {
+  ConfigMap values;
+  bool show_help = false;
+  std::string error;  ///< non-empty on an unknown flag or a missing value
+};
+
+/// Normalize one CLI token: strip leading dashes, map '-' to '_' in the key
+/// part (before any '='), leave the value part untouched.
+inline std::string normalize_flag(std::string arg) {
+  std::size_t start = 0;
+  while (start < arg.size() && arg[start] == '-') ++start;
+  arg.erase(0, start);
+  const std::size_t eq = arg.find('=');
+  for (std::size_t i = 0; i < std::min(eq, arg.size()); ++i) {
+    if (arg[i] == '-') arg[i] = '_';
+  }
+  return arg;
+}
+
+/// Strict declared-flags CLI parser: accepts `--key=value`, `--key value`
+/// and bare `key=value`, plus `--help`. Any key not in `specs` is an error
+/// (reported in FlagParse::error; callers should exit 2).
+inline FlagParse parse_flags(int argc, char** argv, const std::vector<FlagSpec>& specs) {
+  const auto known = [&specs](const std::string& key) {
+    return std::any_of(specs.begin(), specs.end(),
+                       [&key](const FlagSpec& s) { return key == s.name; });
+  };
+  FlagParse out;
+  for (const FlagSpec& s : specs) {
+    if (s.def[0] != '\0') out.values.set(s.name, s.def);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = normalize_flag(argv[i]);
+    if (arg == "help" || arg == "h") {
+      out.show_help = true;
+      return out;
+    }
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      const std::string key = arg.substr(0, eq);
+      if (!known(key)) {
+        out.error = "unknown flag '" + key + "'";
+        return out;
+      }
+      out.values.set(key, arg.substr(eq + 1));
+      continue;
+    }
+    if (!known(arg)) {
+      out.error = "unknown flag '" + arg + "'";
+      return out;
+    }
+    if (i + 1 >= argc) {
+      out.error = "flag '" + arg + "' expects a value";
+      return out;
+    }
+    out.values.set(arg, argv[++i]);
+  }
+  return out;
+}
+
+/// Print a --help page listing every declared knob with its default.
+inline void print_flag_help(std::FILE* out, const char* program, const char* summary,
+                           const std::vector<FlagSpec>& specs) {
+  std::fprintf(out, "usage: %s [--key=value | --key value | key=value]...\n\n%s\n\nflags:\n",
+               program, summary);
+  for (const FlagSpec& s : specs) {
+    std::fprintf(out, "  --%-18s %s", s.name, s.help);
+    if (s.def[0] != '\0') std::fprintf(out, " (default: %s)", s.def);
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out, "  --%-18s %s\n", "help", "print this message and exit");
+}
+
+/// Measurement policy for the unified bench harness: calibrated iteration
+/// counts, warmup repetitions, and an outlier-trimmed mean across timed
+/// repetitions.
+struct BenchPolicy {
+  int warmup_reps = 2;
+  int reps = 12;
+  double trim_fraction = 0.1;  ///< fraction of reps dropped from each tail
+  double min_rep_s = 0.02;     ///< calibrate iterations until one rep takes this long
+};
+
+/// One benchmark's summary in the canonical BENCH_results.json shape.
+struct BenchResult {
+  std::string name;
+  double ns_per_op = 0.0;  ///< trimmed mean over repetitions
+  double p50_ns = 0.0;     ///< median per-op time across repetitions
+  double p99_ns = 0.0;
+  std::uint64_t ops = 0;    ///< total operations executed in timed reps
+  std::uint64_t bytes = 0;  ///< bytes processed per op, 0 when meaningless
+};
+
+/// Time `fn` under `policy`: double the batch size until one batch meets
+/// min_rep_s, run warmup_reps untimed batches, then `reps` timed batches.
+/// ns_per_op is the mean after trimming trim_fraction of the batches from
+/// each tail; p50/p99 come from the untrimmed per-batch distribution.
+template <typename Fn>
+BenchResult measure(std::string name, const BenchPolicy& policy, Fn&& fn,
+                    std::uint64_t bytes = 0) {
+  using clock = std::chrono::steady_clock;
+  const auto batch_seconds = [&fn](std::uint64_t iters) {
+    const auto start = clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) fn();
+    return std::chrono::duration<double>(clock::now() - start).count();
+  };
+
+  std::uint64_t iters = 1;
+  double elapsed = batch_seconds(iters);
+  while (elapsed < policy.min_rep_s && iters < (1ULL << 40)) {
+    iters *= 2;
+    elapsed = batch_seconds(iters);
+  }
+  for (int r = 0; r < policy.warmup_reps; ++r) batch_seconds(iters);
+
+  SampleSet per_op_ns;
+  for (int r = 0; r < std::max(1, policy.reps); ++r) {
+    per_op_ns.add(batch_seconds(iters) * 1e9 / static_cast<double>(iters));
+  }
+
+  std::vector<double> sorted = per_op_ns.raw();
+  std::sort(sorted.begin(), sorted.end());
+  const auto trim = static_cast<std::size_t>(policy.trim_fraction *
+                                             static_cast<double>(sorted.size()));
+  double sum = 0.0;
+  std::size_t kept = 0;
+  for (std::size_t k = trim; k + trim < sorted.size(); ++k) {
+    sum += sorted[k];
+    ++kept;
+  }
+
+  BenchResult out;
+  out.name = std::move(name);
+  out.ns_per_op = kept > 0 ? sum / static_cast<double>(kept) : per_op_ns.mean();
+  out.p50_ns = per_op_ns.percentile(50.0);
+  out.p99_ns = per_op_ns.percentile(99.0);
+  out.ops = iters * static_cast<std::uint64_t>(std::max(1, policy.reps));
+  out.bytes = bytes;
+  return out;
 }
 
 /// Paper-default scenario (Section IV-A / IV-C) at a given density.

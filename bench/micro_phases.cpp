@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/metrics_registry.hpp"
+#include "common/profiler.hpp"
 #include "core/instrument.hpp"
 #include "core/simulation.hpp"
 #include "protocols/mmv2v/dcm.hpp"
@@ -114,6 +115,46 @@ BENCHMARK(BM_FullFrame)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
 
 void BM_FullFrameInstrumented(benchmark::State& state) { run_full_frame(state, true); }
 BENCHMARK(BM_FullFrameInstrumented)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
+
+void BM_FullFrameProfiled(benchmark::State& state) {
+  // Same frame loop as BM_FullFrame but with the wall-clock profiler
+  // recording every PROF_SCOPE. Comparing against BM_FullFrame measures the
+  // enabled-profiler overhead; BM_FullFrame itself (profiler compiled in but
+  // disabled) vs a MMV2V_PROFILER=OFF build pins the disabled cost, which
+  // must be within run-to-run noise.
+  prof::set_enabled(true);
+  prof::reset();
+  core::ScenarioConfig s = bench_scenario(static_cast<double>(state.range(0)));
+  s.horizon_s = 1e9;
+  protocols::MmV2VParams params;
+  protocols::MmV2VProtocol protocol{params};
+  core::World world{s, s.seed};
+  core::TransferLedger ledger{1e12};
+
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    // ~17 records/frame: reset periodically so a long --benchmark_min_time
+    // run cannot grow the arenas without bound (reset is off the timed hot
+    // path's critical cost — it is one vector clear per thread).
+    if ((frame & 0xff) == 0) prof::reset();
+    core::FrameContext ctx{world, ledger, frame, static_cast<double>(frame) * 0.02};
+    protocol.begin_frame(ctx);
+    const double udt_start = protocol.udt_start_offset_s();
+    double prev = 0.0;
+    for (double b = 0.005; b <= 0.020 + 1e-12; b += 0.005) {
+      const double t0 = std::max(prev, udt_start);
+      if (b > t0) protocol.udt_step(ctx, t0, b);
+      world.advance(0.005);
+      prev = b;
+    }
+    protocol.end_frame(ctx);
+    ++frame;
+  }
+  prof::set_enabled(false);
+  prof::reset();
+  state.SetLabel("vehicles=" + std::to_string(world.size()));
+}
+BENCHMARK(BM_FullFrameProfiled)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

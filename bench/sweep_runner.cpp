@@ -4,13 +4,15 @@
 //
 // Usage examples:
 //   sweep_runner protocol=mmv2v densities=10,20,30 reps=3 horizon_s=1.5
-//   sweep_runner protocol=ad vpl_min=10 vpl_max=30 vpl_step=5
+//   sweep_runner --protocol ad --vpl-min 10 --vpl-max 30 --vpl-step 5
 //   sweep_runner protocol=mmv2v k=4 m=60 c=9 shadowing_db=4
+//   sweep_runner --prof-trace sweep.ctf.json --prof-report
 #include "bench_util.hpp"
 
 #include <iostream>
 #include <sstream>
 
+#include "common/profiler.hpp"
 #include "core/experiment.hpp"
 
 namespace {
@@ -37,7 +39,42 @@ int main(int argc, char** argv) {
   using namespace mmv2v;
   using namespace mmv2v::bench;
 
-  const ConfigMap cli = parse_cli(argc, argv);
+  const std::vector<FlagSpec> specs{
+      {"protocol", "mmv2v", "protocol under test: mmv2v | rop | ad"},
+      {"densities", "", "explicit density list, e.g. 10,20,30 (overrides vpl_*)"},
+      {"vpl_min", "10", "sweep start density [vehicles/lane]"},
+      {"vpl_max", "30", "sweep end density [vehicles/lane]"},
+      {"vpl_step", "5", "sweep density step [vehicles/lane]"},
+      {"reps", "3", "repetitions (independent seeds) per density"},
+      {"horizon_s", "1.5", "simulated horizon per cell [s]"},
+      {"seed", "1", "root seed; cell seeds derive from (seed, density, rep)"},
+      {"threads", "0", "worker threads (0 = one per hardware thread)"},
+      {"rate_mbps", "200", "per-pair task demand [Mbit/s]"},
+      {"comm_range_m", "80", "communication/admission range [m]"},
+      {"shadowing_db", "0", "log-normal shadowing sigma (0 = off) [dB]"},
+      {"nakagami_m", "0", "Nakagami-m small-scale fading shape (0 = off)"},
+      {"k", "3", "mmV2V SND rounds per frame"},
+      {"m", "40", "mmV2V DCM negotiation slots per frame"},
+      {"c", "7", "mmV2V CNS modulus"},
+      {"persistent", "false", "mmV2V: carry viable matches across frames"},
+      {"trace_out", "", "write the merged JSONL event trace (enables instrumentation)"},
+      {"prof_trace", "", "enable the profiler and write a Chrome trace (Perfetto) here"},
+      {"prof_report", "false", "enable the profiler and print the scope hierarchy"},
+  };
+  const FlagParse parsed = parse_flags(argc, argv, specs);
+  if (parsed.show_help) {
+    print_flag_help(stdout, "sweep_runner",
+                    "Density sweep over one protocol; prints the metric table and\n"
+                    "per-vehicle OCR percentiles. Optional JSONL event trace and\n"
+                    "wall-clock profile.",
+                    specs);
+    return 0;
+  }
+  if (!parsed.error.empty()) {
+    std::fprintf(stderr, "sweep_runner: %s (try --help)\n", parsed.error.c_str());
+    return 2;
+  }
+  const ConfigMap& cli = parsed.values;
   const std::string protocol = cli.get_or("protocol", std::string{"mmv2v"});
 
   core::ExperimentConfig experiment;
@@ -51,6 +88,10 @@ int main(int argc, char** argv) {
   // instrumented and the merged JSONL event trace lands in FILE (first line
   // = run manifest, sibling FILE.manifest.json).
   experiment.trace_out = cli.get_or("trace_out", std::string{});
+
+  const std::string prof_trace = cli.get_or("prof_trace", std::string{});
+  const bool prof_report = cli.get_or("prof_report", false);
+  if (!prof_trace.empty() || prof_report) prof::set_enabled(true);
 
   core::ScenarioConfig base;
   base.task.rate_mbps = cli.get_or("rate_mbps", 200.0);
@@ -106,6 +147,14 @@ int main(int argc, char** argv) {
                 p.ocr_samples.percentile(10), p.ocr_samples.percentile(25),
                 p.ocr_samples.percentile(50), p.ocr_samples.percentile(75),
                 p.ocr_samples.percentile(90));
+  }
+
+  // Sweep workers have joined by now, so the profiler is quiescent.
+  if (prof_report) std::printf("\n%s", prof::report_text().c_str());
+  if (!prof_trace.empty()) {
+    prof::write_chrome_trace(prof_trace);
+    std::printf("\nprofiler trace: %s (load in Perfetto / chrome://tracing)\n",
+                prof_trace.c_str());
   }
   return 0;
 }

@@ -1,0 +1,300 @@
+#include "common/json_mini.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <stdexcept>
+
+namespace mmv2v::json {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  throw std::runtime_error{"json: " + what + " at byte " + std::to_string(offset)};
+}
+
+/// Append a Unicode code point as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xc0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xe0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  } else {
+    out += static_cast<char>(0xf0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3f));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+    out += static_cast<char>(0x80 | (cp & 0x3f));
+  }
+}
+
+}  // namespace
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing content");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(pos_, std::string{"expected '"} + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        Value v;
+        v.type_ = Value::Type::String;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "bad literal");
+        return Value{};
+      default: return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.type_ = Value::Type::Bool;
+    v.bool_ = b;
+    return v;
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value v;
+    v.type_ = Value::Type::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object_.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value v;
+    v.type_ = Value::Type::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array_.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail(pos_ - 1, "raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = parse_hex4();
+          // Surrogate pair: \uD800-\uDBFF must be followed by a low
+          // surrogate escape; an unpaired surrogate is malformed input.
+          if (cp >= 0xd800 && cp <= 0xdbff) {
+            if (text_.substr(pos_, 2) != "\\u") fail(pos_, "unpaired high surrogate");
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xdc00 || low > 0xdfff) fail(pos_ - 4, "unpaired high surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+          } else if (cp >= 0xdc00 && cp <= 0xdfff) {
+            fail(pos_ - 4, "unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(pos_ - 1, "bad escape");
+      }
+    }
+  }
+
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+    std::uint32_t cp = 0;
+    for (int k = 0; k < 4; ++k) {
+      const char h = text_[pos_++];
+      cp <<= 4;
+      if (h >= '0' && h <= '9') {
+        cp |= static_cast<std::uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+      } else {
+        fail(pos_ - 1, "bad hex digit");
+      }
+    }
+    return cp;
+  }
+
+  Value parse_number() {
+    // RFC 8259 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? — in
+    // particular no leading zeros, no bare trailing '.', no leading '+'.
+    const std::size_t start = pos_;
+    const auto digit = [this] {
+      return pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]));
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) fail(start, "bad number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit()) fail(start, "bad number");  // leading zero
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) fail(start, "bad number");  // '.' needs at least one digit
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digit()) fail(start, "bad number");
+      while (digit()) ++pos_;
+    }
+    double out = 0.0;
+    const auto res = std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_) fail(start, "bad number");
+    Value v;
+    v.type_ = Value::Type::Number;
+    v.number_ = out;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+Value Value::parse(std::string_view text) { return Parser{text}.parse_document(); }
+
+bool Value::boolean() const {
+  if (type_ != Type::Bool) throw std::runtime_error{"json: value is not a bool"};
+  return bool_;
+}
+
+double Value::number() const {
+  if (type_ != Type::Number) throw std::runtime_error{"json: value is not a number"};
+  return number_;
+}
+
+const std::string& Value::str() const {
+  if (type_ != Type::String) throw std::runtime_error{"json: value is not a string"};
+  return string_;
+}
+
+const std::vector<Value>& Value::array() const {
+  if (type_ != Type::Array) throw std::runtime_error{"json: value is not an array"};
+  return array_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::object() const {
+  if (type_ != Type::Object) throw std::runtime_error{"json: value is not an object"};
+  return object_;
+}
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (type_ != Type::Object) return nullptr;
+  const Value* found = nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) found = &v;  // last duplicate wins
+  }
+  return found;
+}
+
+double Value::number_or(std::string_view key, double fallback) const noexcept {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->number_ : fallback;
+}
+
+std::string Value::string_or(std::string_view key, std::string fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->string_ : fallback;
+}
+
+}  // namespace mmv2v::json

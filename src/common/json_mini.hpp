@@ -1,0 +1,63 @@
+// Minimal JSON reader for the repo's own machine-readable artifacts
+// (BENCH_results.json baselines, run manifests, profiler reports). This is a
+// strict RFC 8259 subset parser — objects, arrays, strings (with escapes),
+// numbers, booleans, null — returning an immutable value tree. It is the
+// read-side counterpart of the write-side helpers in `common/textio.hpp`;
+// everything those emit parses back losslessly.
+//
+// Not a general-purpose JSON library: no streaming, no comments, no
+// duplicate-key policy beyond last-wins, input must be one complete value.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mmv2v::json {
+
+class Value {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  /// Parse one complete JSON value (trailing whitespace allowed). Throws
+  /// std::runtime_error with a byte offset on malformed input.
+  [[nodiscard]] static Value parse(std::string_view text);
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+  [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+  [[nodiscard]] bool is_number() const noexcept { return type_ == Type::Number; }
+  [[nodiscard]] bool is_string() const noexcept { return type_ == Type::String; }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+  [[nodiscard]] bool is_object() const noexcept { return type_ == Type::Object; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool boolean() const;
+  [[nodiscard]] double number() const;
+  [[nodiscard]] const std::string& str() const;
+  [[nodiscard]] const std::vector<Value>& array() const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& object() const;
+
+  /// Object member lookup (last duplicate wins); nullptr when absent or when
+  /// this value is not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const noexcept;
+
+  /// Convenience: find(key) as a specific type, or the fallback when the key
+  /// is absent / mistyped.
+  [[nodiscard]] double number_or(std::string_view key, double fallback) const noexcept;
+  [[nodiscard]] std::string string_or(std::string_view key, std::string fallback) const;
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+}  // namespace mmv2v::json

@@ -50,6 +50,14 @@ void MetricsRegistry::reset_values() {
   for (auto& [name, h] : histograms_) h.clear();
 }
 
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).add(c.value());
+  for (const auto& [name, g] : other.gauges_) gauge(name).add(g.value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.lo(), h.hi(), h.bin_count()).merge(h);
+  }
+}
+
 void MetricsRegistry::append_json(std::string& out) const {
   out += "{\"counters\":{";
   bool first = true;

@@ -66,6 +66,12 @@ class MetricsRegistry {
   /// Zero every metric, keeping registrations (and handles) alive.
   void reset_values();
 
+  /// Accumulate another registry into this one: counters and gauges add,
+  /// histograms merge bin-for-bin. Metrics absent here are registered first
+  /// (histograms with `other`'s bucket layout). Throws std::invalid_argument
+  /// when a histogram exists in both registries with different layouts.
+  void merge_from(const MetricsRegistry& other);
+
   /// Append one canonical JSON object:
   /// {"counters":{...},"gauges":{...},"histograms":{name:{"lo":..,"hi":..,
   /// "counts":[..]}}}. Keys are emitted in lexicographic order and numbers

@@ -1,0 +1,297 @@
+#include "common/profiler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "common/textio.hpp"
+
+namespace mmv2v::prof {
+namespace detail {
+
+struct ThreadArena {
+  std::vector<ScopeRecord> records;
+  std::vector<std::uint32_t> open_stack;
+  std::uint32_t tid = 0;
+};
+
+namespace {
+
+/// Owns every arena for the process lifetime. Threads register once (under
+/// the mutex) and then write their own arena lock-free; arenas of exited
+/// threads keep their records until reset().
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadArena>> arenas;
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - registry().epoch)
+      .count();
+}
+
+}  // namespace
+
+ThreadArena& arena() {
+  thread_local ThreadArena* mine = nullptr;
+  if (mine == nullptr) {
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock{reg.mutex};
+    reg.arenas.push_back(std::make_unique<ThreadArena>());
+    mine = reg.arenas.back().get();
+    mine->tid = static_cast<std::uint32_t>(reg.arenas.size() - 1);
+    mine->records.reserve(4096);
+  }
+  return *mine;
+}
+
+std::uint32_t open_scope(ThreadArena& arena, const char* name) noexcept {
+  const auto index = static_cast<std::uint32_t>(arena.records.size());
+  const std::uint32_t parent = arena.open_stack.empty() ? kNoParent : arena.open_stack.back();
+  arena.records.push_back(ScopeRecord{name, parent, now_ns(), -1});
+  arena.open_stack.push_back(index);
+  return index;
+}
+
+void close_scope(ThreadArena& arena, std::uint32_t index) noexcept {
+  ScopeRecord& record = arena.records[index];
+  record.dur_ns = now_ns() - record.start_ns;
+  // Scopes are RAII so destruction order guarantees LIFO; tolerate a foreign
+  // top defensively (it only degrades parent attribution, never memory).
+  if (!arena.open_stack.empty() && arena.open_stack.back() == index) {
+    arena.open_stack.pop_back();
+  }
+}
+
+std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+void reset() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock{reg.mutex};
+  for (auto& arena : reg.arenas) {
+    arena->records.clear();
+    arena->open_stack.clear();
+  }
+}
+
+std::size_t total_records() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock{reg.mutex};
+  std::size_t total = 0;
+  for (const auto& arena : reg.arenas) total += arena->records.size();
+  return total;
+}
+
+namespace {
+
+/// Call-tree node used while aggregating arenas. Children are keyed by name
+/// *string* (not pointer) so identical scopes merge across threads and
+/// translation units.
+struct AggNode {
+  std::string name;
+  int parent = -1;
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t child_ns = 0;
+  std::vector<double> durations_ns;
+  std::map<std::string, int, std::less<>> children;
+};
+
+struct Aggregation {
+  std::vector<AggNode> nodes;
+  std::map<std::string, int, std::less<>> roots;
+
+  int child_of(int parent, const char* name) {
+    auto& index = parent < 0 ? roots : nodes[static_cast<std::size_t>(parent)].children;
+    const auto it = index.find(name);
+    if (it != index.end()) return it->second;
+    const int id = static_cast<int>(nodes.size());
+    index.emplace(name, id);
+    AggNode node;
+    node.name = name;
+    node.parent = parent;
+    nodes.push_back(std::move(node));
+    return id;
+  }
+};
+
+Aggregation aggregate() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock{reg.mutex};
+  Aggregation agg;
+  std::vector<int> node_of_record;
+  for (const auto& arena : reg.arenas) {
+    node_of_record.assign(arena->records.size(), -1);
+    for (std::size_t r = 0; r < arena->records.size(); ++r) {
+      const ScopeRecord& record = arena->records[r];
+      // A record's parent always precedes it (scopes open parents first),
+      // so its node id is already resolved.
+      const int parent =
+          record.parent == kNoParent ? -1 : node_of_record[record.parent];
+      const int id = agg.child_of(parent, record.name);
+      node_of_record[r] = id;
+      if (record.dur_ns < 0) continue;  // still open: skip from aggregates
+      AggNode& node = agg.nodes[static_cast<std::size_t>(id)];
+      ++node.count;
+      node.total_ns += record.dur_ns;
+      node.durations_ns.push_back(static_cast<double>(record.dur_ns));
+      if (parent >= 0) agg.nodes[static_cast<std::size_t>(parent)].child_ns += record.dur_ns;
+    }
+  }
+  return agg;
+}
+
+void emit_preorder(const Aggregation& agg, const std::map<std::string, int, std::less<>>& index,
+                   const std::string& prefix, int depth, std::vector<ReportNode>& out) {
+  for (const auto& [name, id] : index) {
+    const AggNode& node = agg.nodes[static_cast<std::size_t>(id)];
+    if (node.count == 0 && node.children.empty()) continue;  // only-open scopes
+    ReportNode rep;
+    rep.path = prefix.empty() ? name : prefix + "/" + name;
+    rep.name = name;
+    rep.depth = depth;
+    rep.count = node.count;
+    rep.total_ns = node.total_ns;
+    rep.self_ns = node.total_ns - node.child_ns;
+    if (!node.durations_ns.empty()) {
+      SampleSet samples;
+      samples.add_all(node.durations_ns);
+      rep.p50_ns = samples.percentile(50.0);
+      rep.p99_ns = samples.percentile(99.0);
+    }
+    // Recurse with a stable copy: a reference into `out` would dangle as
+    // soon as a nested push_back reallocates the vector.
+    const std::string child_prefix = rep.path;
+    out.push_back(std::move(rep));
+    emit_preorder(agg, node.children, child_prefix, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::vector<ReportNode> report() {
+  const Aggregation agg = aggregate();
+  std::vector<ReportNode> out;
+  emit_preorder(agg, agg.roots, "", 0, out);
+  return out;
+}
+
+std::string report_text() {
+  const std::vector<ReportNode> nodes = report();
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-44s %10s %12s %12s %11s %11s\n", "scope", "count",
+                "total_ms", "self_ms", "p50_us", "p99_us");
+  out += line;
+  for (const ReportNode& n : nodes) {
+    std::string label(static_cast<std::size_t>(n.depth) * 2, ' ');
+    label += n.name;
+    std::snprintf(line, sizeof line, "%-44s %10llu %12.3f %12.3f %11.1f %11.1f\n",
+                  label.c_str(), static_cast<unsigned long long>(n.count),
+                  static_cast<double>(n.total_ns) / 1e6,
+                  static_cast<double>(n.self_ns) / 1e6, n.p50_ns / 1e3, n.p99_ns / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+std::string report_json() {
+  const std::vector<ReportNode> nodes = report();
+  std::string out = "{\"scopes\":[";
+  bool first = true;
+  for (const ReportNode& n : nodes) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"path\":";
+    io::append_json_string(out, n.path);
+    out += ",\"name\":";
+    io::append_json_string(out, n.name);
+    out += ",\"depth\":";
+    io::append_number(out, static_cast<std::int64_t>(n.depth));
+    out += ",\"count\":";
+    io::append_number(out, n.count);
+    out += ",\"total_ns\":";
+    io::append_number(out, n.total_ns);
+    out += ",\"self_ns\":";
+    io::append_number(out, n.self_ns);
+    out += ",\"p50_ns\":";
+    io::append_number(out, n.p50_ns);
+    out += ",\"p99_ns\":";
+    io::append_number(out, n.p99_ns);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string chrome_trace_json() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock{reg.mutex};
+  std::string out = "[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+    out += event;
+  };
+  {
+    std::string meta = R"({"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"mmv2v"}})";
+    emit(meta);
+  }
+  for (const auto& arena : reg.arenas) {
+    if (arena->records.empty()) continue;
+    std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    io::append_number(meta, static_cast<std::uint64_t>(arena->tid));
+    meta += ",\"args\":{\"name\":\"worker-";
+    io::append_number(meta, static_cast<std::uint64_t>(arena->tid));
+    meta += "\"}}";
+    emit(meta);
+    for (const ScopeRecord& record : arena->records) {
+      if (record.dur_ns < 0) continue;  // unclosed scope: no complete event
+      std::string event = "{\"name\":";
+      io::append_json_string(event, record.name);
+      event += ",\"cat\":\"mmv2v\",\"ph\":\"X\",\"ts\":";
+      io::append_number(event, static_cast<double>(record.start_ns) / 1e3);
+      event += ",\"dur\":";
+      io::append_number(event, static_cast<double>(record.dur_ns) / 1e3);
+      event += ",\"pid\":0,\"tid\":";
+      io::append_number(event, static_cast<std::uint64_t>(arena->tid));
+      event += '}';
+      emit(event);
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  std::ofstream file{path, std::ios::binary};
+  if (!file) throw std::runtime_error{"profiler: cannot open trace file " + path};
+  file << chrome_trace_json();
+  if (!file) throw std::runtime_error{"profiler: failed writing trace file " + path};
+}
+
+}  // namespace mmv2v::prof

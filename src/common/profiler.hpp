@@ -1,0 +1,133 @@
+// Hierarchical wall-clock profiler (DESIGN.md Section 9).
+//
+// `PROF_SCOPE("dcm.negotiate")` opens an RAII scoped timer that appends one
+// fixed-size record to a thread-local arena: two steady_clock reads and a
+// vector push per scope, no lock, no allocation in steady state, no shared
+// writes. Scopes nest naturally (each arena keeps an open-scope stack), so
+// the registry can later merge every arena into
+//   (a) an aggregated hierarchical report — count / total / self / p50 / p99
+//       per call-tree node, as an aligned text table or canonical JSON — and
+//   (b) Chrome Trace Event Format JSON (chrome://tracing, Perfetto), one
+//       track per recorded thread.
+//
+// The profiler is runtime-gated: scopes cost one relaxed atomic load and a
+// predicted branch while disabled (`prof::set_enabled(false)`, the default),
+// and the whole facility compiles to nothing when the build defines
+// MMV2V_PROFILER_DISABLED (CMake option MMV2V_PROFILER=OFF). It observes
+// wall-clock only — it never touches RNG streams, metrics or event traces,
+// so enabling it cannot perturb golden-trace digests (tested).
+//
+// Threading contract: recording is safe from any number of threads (each
+// writes only its own arena; arena registration takes a mutex once per
+// thread). `report*()`, `chrome_trace_json()` and `reset()` must run while
+// no scope is being recorded — call them between runs, after worker pools
+// have joined.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmv2v::prof {
+
+/// One closed (or still-open) scope instance in a thread's arena.
+struct ScopeRecord {
+  const char* name;       ///< static string literal passed to PROF_SCOPE
+  std::uint32_t parent;   ///< arena index of the enclosing scope, kNoParent at root
+  std::int64_t start_ns;  ///< steady_clock ns since the global profiler epoch
+  std::int64_t dur_ns;    ///< scope duration; -1 while still open
+};
+
+inline constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+namespace detail {
+
+struct ThreadArena;
+
+/// This thread's arena, registering it on first use.
+[[nodiscard]] ThreadArena& arena();
+[[nodiscard]] std::uint32_t open_scope(ThreadArena& arena, const char* name) noexcept;
+void close_scope(ThreadArena& arena, std::uint32_t index) noexcept;
+
+[[nodiscard]] std::atomic<bool>& enabled_flag() noexcept;
+
+}  // namespace detail
+
+/// Is recording on? Relaxed load — this is the whole disabled-path cost.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept;
+
+/// Discard every recorded scope (arenas stay registered, handles stay
+/// valid). Quiescent-only: no scope may be open on any thread.
+void reset();
+
+/// Total records across all arenas (cheap bookkeeping for long benchmark
+/// loops that want to bound profiler memory via periodic reset()).
+[[nodiscard]] std::size_t total_records();
+
+/// One aggregated call-tree node, merged across threads.
+struct ReportNode {
+  std::string path;        ///< "/"-joined scope names from the root, e.g. "sweep.cell/sim.frame"
+  std::string name;        ///< leaf scope name
+  int depth = 0;           ///< 0 at root
+  std::uint64_t count = 0;
+  std::int64_t total_ns = 0;  ///< sum of scope durations
+  std::int64_t self_ns = 0;   ///< total minus time in direct children
+  double p50_ns = 0.0;        ///< median single-invocation duration
+  double p99_ns = 0.0;
+};
+
+/// Aggregated hierarchy in deterministic pre-order (children sorted by
+/// name). Open (unclosed) scopes are skipped.
+[[nodiscard]] std::vector<ReportNode> report();
+
+/// Aligned, indented text table of report().
+[[nodiscard]] std::string report_text();
+
+/// Canonical JSON: {"scopes":[{"path":..,"name":..,"depth":..,"count":..,
+/// "total_ns":..,"self_ns":..,"p50_ns":..,"p99_ns":..},...]} in pre-order.
+[[nodiscard]] std::string report_json();
+
+/// Chrome Trace Event Format JSON array: one complete ("ph":"X") event per
+/// record with microsecond timestamps, one tid per recorded thread, plus
+/// thread_name metadata. Loads in chrome://tracing and Perfetto.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`. Throws std::runtime_error on I/O
+/// failure.
+void write_chrome_trace(const std::string& path);
+
+/// RAII scoped timer; prefer the PROF_SCOPE macro.
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(const char* name) noexcept {
+    if (enabled()) {
+      arena_ = &detail::arena();
+      index_ = detail::open_scope(*arena_, name);
+    }
+  }
+  ~ScopeTimer() {
+    if (arena_ != nullptr) detail::close_scope(*arena_, index_);
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  detail::ThreadArena* arena_ = nullptr;
+  std::uint32_t index_ = 0;
+};
+
+}  // namespace mmv2v::prof
+
+#if defined(MMV2V_PROFILER_DISABLED)
+#define PROF_SCOPE(name) ((void)0)
+#else
+#define MMV2V_PROF_CONCAT_INNER(a, b) a##b
+#define MMV2V_PROF_CONCAT(a, b) MMV2V_PROF_CONCAT_INNER(a, b)
+#define PROF_SCOPE(name) \
+  ::mmv2v::prof::ScopeTimer MMV2V_PROF_CONCAT(prof_scope_, __LINE__) { name }
+#endif

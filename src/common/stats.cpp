@@ -84,8 +84,14 @@ double SampleSet::max() const {
 }
 
 double SampleSet::percentile(double q) const {
+  // Validate before the empty check so a NaN / out-of-range q never
+  // silently succeeds on one call site and throws on another. The negated
+  // comparison also rejects NaN (all comparisons with NaN are false), which
+  // would otherwise reach an undefined float-to-integer cast below.
+  if (!(q >= 0.0 && q <= 100.0)) {
+    throw std::invalid_argument{"percentile q out of [0,100]"};
+  }
   if (samples_.empty()) return 0.0;
-  if (q < 0.0 || q > 100.0) throw std::invalid_argument{"percentile q out of [0,100]"};
   ensure_sorted();
   const double rank = q / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
@@ -134,6 +140,14 @@ void Histogram::clear() noexcept {
   total_ = 0;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (other.lo_ != lo_ || other.hi_ != hi_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument{"histogram merge: bucket layouts differ"};
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) counts_[b] += other.counts_[b];
+  total_ += other.total_;
+}
+
 double Histogram::bin_center(std::size_t bin) const {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   return lo_ + (static_cast<double>(bin) + 0.5) * width;
@@ -142,6 +156,37 @@ double Histogram::bin_center(std::size_t bin) const {
 double Histogram::fraction(std::size_t bin) const {
   return total_ == 0 ? 0.0
                      : static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::percentile(double q) const {
+  if (!(q >= 0.0 && q <= 100.0)) {
+    throw std::invalid_argument{"percentile q out of [0,100]"};
+  }
+  if (total_ == 0) return 0.0;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  // Target rank in (0, total]: the q-th fraction of the mass. q=0 maps to
+  // the first occupied bin's lower edge via the loop below.
+  const double target = q / 100.0 * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      // Interpolate inside this bin, treating its mass as uniform. For q=0
+      // (target 0) this is the bin's lower edge; for q=100 on the last
+      // occupied bin, frac = 1 gives the upper edge.
+      const double frac =
+          (target - cumulative) / static_cast<double>(counts_[b]);
+      return lo_ + (static_cast<double>(b) + frac) * width;
+    }
+    cumulative = next;
+  }
+  // Floating-point slack at q=100: fall back to the upper edge of the last
+  // occupied bin.
+  for (std::size_t b = counts_.size(); b-- > 0;) {
+    if (counts_[b] != 0) return lo_ + (static_cast<double>(b) + 1.0) * width;
+  }
+  return 0.0;
 }
 
 std::string Histogram::ascii(std::size_t width) const {

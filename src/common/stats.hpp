@@ -50,7 +50,10 @@ class SampleSet {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
-  /// Linear-interpolated percentile, q in [0, 100]. Empty set returns 0.
+  /// Linear-interpolated percentile over the sorted samples (rank
+  /// q/100*(n-1), the same convention as numpy's default). Empty set returns
+  /// 0; a single sample is every percentile; q outside [0, 100] — including
+  /// NaN — throws std::invalid_argument.
   [[nodiscard]] double percentile(double q) const;
   [[nodiscard]] double median() const { return percentile(50.0); }
 
@@ -81,6 +84,10 @@ class Histogram {
   void add(double x) noexcept;
   /// Zero every bin, keeping the bucket layout.
   void clear() noexcept;
+  /// Accumulate another histogram's counts bin-for-bin. Throws
+  /// std::invalid_argument unless `other` has the identical [lo, hi) range
+  /// and bin count.
+  void merge(const Histogram& other);
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] double lo() const noexcept { return lo_; }
   [[nodiscard]] double hi() const noexcept { return hi_; }
@@ -88,6 +95,13 @@ class Histogram {
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
   [[nodiscard]] double bin_center(std::size_t bin) const;
   [[nodiscard]] double fraction(std::size_t bin) const;
+
+  /// Percentile estimated by linear interpolation inside the covering bin
+  /// (samples are assumed uniform within a bin). q in [0, 100]; q outside —
+  /// including NaN — throws std::invalid_argument. Empty histogram returns
+  /// 0. p0 is the lower edge of the first occupied bin, p100 the upper edge
+  /// of the last occupied bin.
+  [[nodiscard]] double percentile(double q) const;
 
   /// Render a terse ASCII sparkline (for example programs / debugging).
   [[nodiscard]] std::string ascii(std::size_t width = 50) const;

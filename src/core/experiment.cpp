@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/hash.hpp"
+#include "common/profiler.hpp"
 #include "common/textio.hpp"
 #include "common/version.hpp"
 #include "core/metrics.hpp"
@@ -37,6 +38,7 @@ struct CellResult {
 CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
                     const ProtocolFactory& factory, std::mutex& factory_mutex,
                     std::size_t density_index, int rep, bool instrument) {
+  PROF_SCOPE("sweep.cell");
   // Mixed (not additive) seed derivation: distinct cells cannot alias even
   // when densities are close or repetitions many.
   const std::uint64_t seed =

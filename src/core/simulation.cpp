@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "common/profiler.hpp"
 #include "sim/event_queue.hpp"
 
 namespace mmv2v::core {
@@ -33,6 +34,7 @@ OhmSimulation::~OhmSimulation() {
 }
 
 void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start) {
+  PROF_SCOPE("sim.frame");
   // Frame execution is driven by the discrete-event engine: the frame-start
   // event runs the control phases, then one event per mobility tick moves
   // data over the preceding sub-interval and advances the traffic world.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/profiler.hpp"
 #include "geom/angles.hpp"
 
 namespace mmv2v::core {
@@ -21,12 +22,14 @@ World::World(ScenarioConfig config, std::uint64_t seed)
 }
 
 void World::advance(double dt) {
+  PROF_SCOPE("world.advance");
   traffic_.step(dt);
   ++tick_;
   refresh_snapshot();
 }
 
 void World::refresh_snapshot() {
+  PROF_SCOPE("world.refresh");
   los_ = traffic_.make_los_evaluator();
   const std::size_t n = traffic_.size();
   const double radius = config_.interference_range_m;

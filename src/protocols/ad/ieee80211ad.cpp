@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "core/instrument.hpp"
 #include "geom/angles.hpp"
@@ -29,6 +30,7 @@ void Ieee80211adProtocol::ensure_initialized(const core::World& world) {
 void Ieee80211adProtocol::run_bti(const core::World& world,
                                   std::vector<std::vector<net::NodeId>>& joinable,
                                   SndRoundStats* stats) {
+  PROF_SCOPE("snd.run");
   const std::size_t n = world.size();
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
@@ -69,6 +71,7 @@ void Ieee80211adProtocol::run_bti(const core::World& world,
 }
 
 void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
+  PROF_SCOPE("dcm.run");
   const core::World& world = ctx.world;
   const std::size_t n = world.size();
   ensure_initialized(world);
@@ -174,6 +177,7 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
 }
 
 void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
+  PROF_SCOPE("udt.schedule");
   const core::World& world = ctx.world;
   const sim::TimingConfig& timing = world.config().timing;
   const double dti_end_s = timing.frame_s;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/profiler.hpp"
+
 namespace mmv2v::protocols {
 
 ConsensualMatching::ConsensualMatching(DcmParams params)
@@ -25,6 +27,7 @@ int ConsensualMatching::run_slot(int m,
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
                                  const NegotiationChannel* channel, DcmSlotStats* stats) {
+  PROF_SCOPE("dcm.slot");
   const std::size_t n = state_.size();
   if (neighbors.size() != n || macs.size() != n) {
     throw std::invalid_argument{"DCM: neighbors/macs must match reset() size"};
@@ -120,6 +123,7 @@ void ConsensualMatching::run_all(const std::vector<std::vector<net::NeighborEntr
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
                                  const NegotiationChannel* channel, DcmSlotStats* stats) {
+  PROF_SCOPE("dcm.run");
   for (int m = 0; m < params_.slots; ++m) {
     run_slot(m, neighbors, macs, ledger, rng, channel, stats);
   }

@@ -1,5 +1,6 @@
 #include "protocols/mmv2v/mmv2v.hpp"
 
+#include "common/profiler.hpp"
 #include "core/instrument.hpp"
 #include "protocols/mmv2v/negotiation.hpp"
 
@@ -135,6 +136,7 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
   }
 
   // 3 + 4. Beam refinement per matched pair, then register the TDD session.
+  PROF_SCOPE("udt.schedule");
   udt_.clear();
   RefineStats refine_stats;
   RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;

@@ -1,5 +1,6 @@
 #include "protocols/mmv2v/negotiation.hpp"
 
+#include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "geom/angles.hpp"
 
@@ -84,6 +85,7 @@ void PhyNegotiationChannel::evaluate_half(
 
 std::vector<bool> PhyNegotiationChannel::exchange_succeeds(
     const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const {
+  PROF_SCOPE("dcm.negotiate");
   std::vector<bool> ok(pairs.size(), true);
   // First half: larger MAC transmits (paper footnote); second half swaps.
   std::vector<bool> first_is_tx(pairs.size());

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "phy/pathloss.hpp"
 
@@ -39,6 +40,7 @@ BeamRefinement::Result BeamRefinement::refine(const core::World& world, net::Nod
                                               int sector_a, net::NodeId b, int sector_b,
                                               const phy::BeamPattern& wide,
                                               RefineStats* stats) const {
+  PROF_SCOPE("udt.refine");
   Result result;
   if (stats != nullptr) ++stats->pairs;
   const core::PairGeom* ab = world.pair(a, b);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hash.hpp"
+#include "common/profiler.hpp"
 #include "common/units.hpp"
 
 namespace mmv2v::protocols {
@@ -38,6 +39,7 @@ SyncNeighborDiscovery::SyncNeighborDiscovery(SndParams params)
 void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
                                 std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
                                 std::vector<SndRoundStats>* round_stats) const {
+  PROF_SCOPE("snd.run");
   const std::size_t n = world.size();
   std::vector<bool> tx_first(n);
   if (round_stats != nullptr) {
@@ -54,6 +56,7 @@ void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t fr
                                       const std::vector<bool>& tx_first,
                                       std::vector<net::NeighborTable>& tables,
                                       SndRoundStats* stats) const {
+  PROF_SCOPE("snd.round");
   if (tx_first.size() != world.size() || tables.size() != world.size()) {
     throw std::invalid_argument{"SND: role/table vectors must match the vehicle count"};
   }

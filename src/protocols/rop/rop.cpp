@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "core/instrument.hpp"
 #include "phy/pathloss.hpp"
@@ -45,6 +46,7 @@ double RopProtocol::udt_start_offset_s() const {
 
 void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t frame,
                                      SndRoundStats* stats) {
+  PROF_SCOPE("snd.round");
   const std::size_t n = world.size();
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
@@ -112,6 +114,7 @@ void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t fra
 }
 
 void RopProtocol::random_matching(core::FrameContext& ctx) {
+  PROF_SCOPE("dcm.run");
   const std::size_t n = ctx.world.size();
   if (partner_.size() != n) partner_.assign(n, n);  // n = unmatched
 
@@ -176,8 +179,11 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
   udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
   SndRoundStats disc_stats;
   SndRoundStats* disc_sink = instr_ != nullptr ? &disc_stats : nullptr;
-  for (int sweep = 0; sweep < 2 * params_.discovery.rounds; ++sweep) {
-    run_discovery_step(world, ctx.frame, disc_sink);
+  {
+    PROF_SCOPE("snd.run");
+    for (int sweep = 0; sweep < 2 * params_.discovery.rounds; ++sweep) {
+      run_discovery_step(world, ctx.frame, disc_sink);
+    }
   }
   if (instr_ != nullptr) {
     MetricsRegistry& m = instr_->metrics();
@@ -196,6 +202,7 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
     instr_->emit(core::TraceEvent{"matching"}.u64("pairs", matching_.size()));
   }
 
+  PROF_SCOPE("udt.schedule");
   udt_.clear();
   RefineStats refine_stats;
   RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;

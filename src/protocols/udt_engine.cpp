@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/metrics_registry.hpp"
+#include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "geom/angles.hpp"
 #include "phy/pathloss.hpp"
@@ -35,6 +36,7 @@ void UdtEngine::set_metrics(MetricsRegistry* metrics) {
 }
 
 double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) {
+  PROF_SCOPE("udt.step");
   if (t1 <= t0 || transfers_.empty()) return 0.0;
 
   // Elementary intervals: cut [t0, t1) at every window boundary inside it.

@@ -1,0 +1,163 @@
+// Tests for the bench harness plumbing: the strict flag parser, the
+// BENCH_results.json read/write round trip, and the --compare regression
+// gate (a 2x slowdown must be flagged so bench_runner exits nonzero).
+#include "bench_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mmv2v::bench {
+namespace {
+
+BenchReport make_report(std::vector<std::pair<std::string, double>> entries) {
+  BenchReport r;
+  r.suite = "smoke";
+  for (auto& [name, ns] : entries) {
+    BenchResult b;
+    b.name = std::move(name);
+    b.ns_per_op = ns;
+    r.benchmarks.push_back(std::move(b));
+  }
+  return r;
+}
+
+TEST(BenchCompare, TwoXSlowdownIsARegression) {
+  const BenchReport baseline = make_report({{"phy.pathloss", 100.0}});
+  const BenchReport current = make_report({{"phy.pathloss", 200.0}});
+  const CompareOutcome out = compare_results(baseline, current, 0.10);
+  ASSERT_EQ(out.rows.size(), 1u);
+  EXPECT_TRUE(out.regression);
+  EXPECT_EQ(out.rows[0].status, CompareRow::Status::Regression);
+  EXPECT_DOUBLE_EQ(out.rows[0].delta, 1.0);
+}
+
+TEST(BenchCompare, WithinThresholdPasses) {
+  const BenchReport baseline = make_report({{"a", 100.0}, {"b", 100.0}});
+  const BenchReport current = make_report({{"a", 109.0}, {"b", 95.0}});
+  const CompareOutcome out = compare_results(baseline, current, 0.10);
+  EXPECT_FALSE(out.regression);
+  EXPECT_EQ(out.rows[0].status, CompareRow::Status::Ok);
+  EXPECT_EQ(out.rows[1].status, CompareRow::Status::Ok);
+}
+
+TEST(BenchCompare, LargeSpeedupIsInformationalOnly) {
+  const BenchReport baseline = make_report({{"a", 100.0}});
+  const BenchReport current = make_report({{"a", 40.0}});
+  const CompareOutcome out = compare_results(baseline, current, 0.10);
+  EXPECT_FALSE(out.regression);
+  EXPECT_EQ(out.rows[0].status, CompareRow::Status::Improvement);
+}
+
+TEST(BenchCompare, MissingAndNewBenchmarksAreNotRegressions) {
+  const BenchReport baseline = make_report({{"removed", 50.0}, {"kept", 10.0}});
+  const BenchReport current = make_report({{"kept", 10.0}, {"added", 5.0}});
+  const CompareOutcome out = compare_results(baseline, current, 0.10);
+  EXPECT_FALSE(out.regression);
+  ASSERT_EQ(out.rows.size(), 3u);
+  EXPECT_EQ(out.rows[0].name, "removed");
+  EXPECT_EQ(out.rows[0].status, CompareRow::Status::MissingInCurrent);
+  EXPECT_EQ(out.rows[1].status, CompareRow::Status::Ok);
+  EXPECT_EQ(out.rows[2].name, "added");
+  EXPECT_EQ(out.rows[2].status, CompareRow::Status::New);
+}
+
+TEST(BenchCompare, ZeroBaselineNeverDividesByZero) {
+  const BenchReport baseline = make_report({{"a", 0.0}});
+  const BenchReport current = make_report({{"a", 100.0}});
+  const CompareOutcome out = compare_results(baseline, current, 0.10);
+  EXPECT_FALSE(out.regression);
+  EXPECT_DOUBLE_EQ(out.rows[0].delta, 0.0);
+}
+
+TEST(BenchCompare, TableNamesEveryRowAndStatus) {
+  const BenchReport baseline = make_report({{"slow", 100.0}, {"gone", 1.0}});
+  const BenchReport current = make_report({{"slow", 300.0}, {"fresh", 2.0}});
+  const std::string table = format_compare_table(compare_results(baseline, current, 0.10));
+  EXPECT_NE(table.find("slow"), std::string::npos);
+  EXPECT_NE(table.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(table.find("missing in current"), std::string::npos);
+  EXPECT_NE(table.find("new (no baseline)"), std::string::npos);
+}
+
+TEST(BenchJson, RoundTripsReportWithManifest) {
+  BenchReport report = make_report({{"phy.pathloss", 123.5}});
+  report.benchmarks[0].p50_ns = 120.0;
+  report.benchmarks[0].p99_ns = 150.25;
+  report.benchmarks[0].ops = 1'000'000;
+  report.benchmarks[0].bytes = 64;
+  report.manifest.git_describe = "v1.2-3-gabc";
+  report.manifest.compiler = "gcc 13.2 \"test\"";
+  report.manifest.flags = "-O3 -DNDEBUG [Release]";
+  report.manifest.threads = 16;
+  report.manifest.cpu = "Test CPU @ 3.0GHz";
+
+  const BenchReport back = parse_results_json(to_json(report));
+  EXPECT_EQ(back.suite, "smoke");
+  ASSERT_EQ(back.benchmarks.size(), 1u);
+  EXPECT_EQ(back.benchmarks[0].name, "phy.pathloss");
+  EXPECT_DOUBLE_EQ(back.benchmarks[0].ns_per_op, 123.5);
+  EXPECT_DOUBLE_EQ(back.benchmarks[0].p50_ns, 120.0);
+  EXPECT_DOUBLE_EQ(back.benchmarks[0].p99_ns, 150.25);
+  EXPECT_EQ(back.benchmarks[0].ops, 1'000'000u);
+  EXPECT_EQ(back.benchmarks[0].bytes, 64u);
+  EXPECT_EQ(back.manifest.git_describe, "v1.2-3-gabc");
+  EXPECT_EQ(back.manifest.compiler, "gcc 13.2 \"test\"");
+  EXPECT_EQ(back.manifest.flags, "-O3 -DNDEBUG [Release]");
+  EXPECT_EQ(back.manifest.threads, 16u);
+  EXPECT_EQ(back.manifest.cpu, "Test CPU @ 3.0GHz");
+}
+
+TEST(BenchJson, ParseRejectsMissingRequiredFields) {
+  EXPECT_THROW((void)parse_results_json("{}"), std::runtime_error);
+  EXPECT_THROW((void)parse_results_json(R"({"benchmarks":[{"ns_per_op":1}]})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_results_json(R"({"benchmarks":[{"name":"a"}]})"),
+               std::runtime_error);
+  EXPECT_THROW((void)parse_results_json("not json"), std::runtime_error);
+  // Manifest is optional; percentiles and ops default to zero.
+  const BenchReport ok =
+      parse_results_json(R"({"suite":"s","benchmarks":[{"name":"a","ns_per_op":2}]})");
+  EXPECT_DOUBLE_EQ(ok.benchmarks[0].ns_per_op, 2.0);
+  EXPECT_EQ(ok.benchmarks[0].ops, 0u);
+}
+
+TEST(BenchFlags, ParsesAllSpellingsAndSeedsDefaults) {
+  const std::vector<FlagSpec> specs{{"vpl_min", "10", "lowest density"},
+                                    {"trace_out", "", "trace path"},
+                                    {"reps", "3", "repetitions"}};
+  const char* argv[] = {"prog", "--vpl-min=20", "--reps", "7", "trace_out=t.json"};
+  FlagParse p = parse_flags(5, const_cast<char**>(argv), specs);
+  EXPECT_TRUE(p.error.empty());
+  EXPECT_FALSE(p.show_help);
+  EXPECT_EQ(p.values.get_or("vpl_min", std::int64_t{0}), 20);
+  EXPECT_EQ(p.values.get_or("reps", std::int64_t{0}), 7);
+  EXPECT_EQ(p.values.get_or("trace_out", std::string{}), "t.json");
+
+  const char* only_prog[] = {"prog"};
+  p = parse_flags(1, const_cast<char**>(only_prog), specs);
+  EXPECT_EQ(p.values.get_or("vpl_min", std::int64_t{0}), 10);  // default pre-seeded
+  EXPECT_EQ(p.values.get_or("reps", std::int64_t{0}), 3);
+}
+
+TEST(BenchFlags, UnknownFlagAndMissingValueAreErrors) {
+  const std::vector<FlagSpec> specs{{"reps", "3", "repetitions"}};
+  const char* unknown[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(parse_flags(2, const_cast<char**>(unknown), specs).error.empty());
+  const char* unknown_bare[] = {"prog", "bogus"};
+  EXPECT_FALSE(parse_flags(2, const_cast<char**>(unknown_bare), specs).error.empty());
+  const char* dangling[] = {"prog", "--reps"};
+  EXPECT_FALSE(parse_flags(2, const_cast<char**>(dangling), specs).error.empty());
+}
+
+TEST(BenchFlags, HelpShortCircuits) {
+  const std::vector<FlagSpec> specs{{"reps", "3", "repetitions"}};
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_TRUE(parse_flags(2, const_cast<char**>(argv), specs).show_help);
+  const char* short_form[] = {"prog", "-h"};
+  EXPECT_TRUE(parse_flags(2, const_cast<char**>(short_form), specs).show_help);
+}
+
+}  // namespace
+}  // namespace mmv2v::bench

@@ -1,0 +1,118 @@
+#include "common/json_mini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/textio.hpp"
+
+namespace mmv2v {
+namespace {
+
+TEST(JsonMini, ParsesScalars) {
+  EXPECT_TRUE(json::Value::parse("null").is_null());
+  EXPECT_TRUE(json::Value::parse("true").boolean());
+  EXPECT_FALSE(json::Value::parse("false").boolean());
+  EXPECT_DOUBLE_EQ(json::Value::parse("42").number(), 42.0);
+  EXPECT_DOUBLE_EQ(json::Value::parse("-3.5e2").number(), -350.0);
+  EXPECT_EQ(json::Value::parse("\"hi\"").str(), "hi");
+  EXPECT_DOUBLE_EQ(json::Value::parse("  7  ").number(), 7.0);  // ws both sides
+}
+
+TEST(JsonMini, ParsesNestedContainers) {
+  const json::Value doc = json::Value::parse(
+      R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}, "f": []})");
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array()[1].number(), 2.0);
+  EXPECT_EQ(a->array()[2].string_or("b", ""), "c");
+  EXPECT_TRUE(doc.find("d")->find("e")->is_null());
+  EXPECT_TRUE(doc.find("f")->array().empty());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonMini, StringEscapes) {
+  EXPECT_EQ(json::Value::parse(R"("\" \\ \/ \b \f \n \r \t")").str(),
+            "\" \\ / \b \f \n \r \t");
+  EXPECT_EQ(json::Value::parse(R"("Aé")").str(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 as 😀 -> 4-byte UTF-8.
+  EXPECT_EQ(json::Value::parse(R"("😀")").str(), "\xf0\x9f\x98\x80");
+  // Lone high surrogate is malformed.
+  EXPECT_THROW((void)json::Value::parse(R"("\ud83d")"), std::runtime_error);
+  // Raw control characters must be escaped.
+  EXPECT_THROW((void)json::Value::parse("\"a\nb\""), std::runtime_error);
+}
+
+TEST(JsonMini, RoundTripsTextioOutput) {
+  // Everything the write-side helpers emit must parse back losslessly.
+  std::string text = "{\"label\":";
+  io::append_json_string(text, "line1\nline2 \"quoted\" \x01");
+  text += ",\"pi\":";
+  io::append_number(text, 3.141592653589793);
+  text += ",\"big\":";
+  io::append_number(text, std::uint64_t{1} << 53);
+  text += "}";
+  const json::Value doc = json::Value::parse(text);
+  EXPECT_EQ(doc.find("label")->str(), "line1\nline2 \"quoted\" \x01");
+  EXPECT_DOUBLE_EQ(doc.find("pi")->number(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(doc.find("big")->number(), 9007199254740992.0);
+}
+
+TEST(JsonMini, RejectsMalformedInput) {
+  EXPECT_THROW((void)json::Value::parse(""), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("{\"a\":1,}"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("{'a':1}"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("01"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("+1"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("1."), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("\"unterminated"), std::runtime_error);
+  // Trailing content after one complete value is an error.
+  EXPECT_THROW((void)json::Value::parse("1 2"), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("{} {}"), std::runtime_error);
+}
+
+TEST(JsonMini, ErrorsCarryByteOffset) {
+  try {
+    (void)json::Value::parse("[1, 2, x]");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The message names the byte offset of the offending character.
+    EXPECT_NE(std::string{e.what()}.find("7"), std::string::npos) << e.what();
+  }
+}
+
+TEST(JsonMini, DuplicateKeysLastWins) {
+  const json::Value doc = json::Value::parse(R"({"k": 1, "k": 2})");
+  EXPECT_DOUBLE_EQ(doc.find("k")->number(), 2.0);
+  EXPECT_EQ(doc.object().size(), 2u);  // both members retained in order
+}
+
+TEST(JsonMini, TypedAccessorsThrowOnMismatch) {
+  const json::Value num = json::Value::parse("1");
+  EXPECT_THROW((void)num.str(), std::runtime_error);
+  EXPECT_THROW((void)num.array(), std::runtime_error);
+  EXPECT_THROW((void)num.object(), std::runtime_error);
+  EXPECT_THROW((void)num.boolean(), std::runtime_error);
+  EXPECT_THROW((void)json::Value::parse("\"s\"").number(), std::runtime_error);
+  // find on a non-object is a harmless nullptr, not a throw.
+  EXPECT_EQ(num.find("k"), nullptr);
+}
+
+TEST(JsonMini, FallbackAccessors) {
+  const json::Value doc = json::Value::parse(R"({"n": 2.5, "s": "txt", "b": true})");
+  EXPECT_DOUBLE_EQ(doc.number_or("n", -1.0), 2.5);
+  EXPECT_DOUBLE_EQ(doc.number_or("absent", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.number_or("s", -1.0), -1.0);  // mistyped -> fallback
+  EXPECT_EQ(doc.string_or("s", "def"), "txt");
+  EXPECT_EQ(doc.string_or("absent", "def"), "def");
+  EXPECT_EQ(doc.string_or("n", "def"), "def");
+}
+
+}  // namespace
+}  // namespace mmv2v

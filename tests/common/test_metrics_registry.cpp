@@ -113,5 +113,83 @@ TEST(MetricsRegistry, EmptyRegistryJson) {
   EXPECT_EQ(reg.to_json(), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
 }
 
+TEST(MetricsRegistry, JsonHistogramBucketBoundaryValue) {
+  // A sample exactly on an interior bucket edge belongs to the upper bucket
+  // ([lo, hi) bins), and the serialized counts must reflect that.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("edge", 0.0, 4.0, 4);
+  h.add(1.0);  // exactly on the 0/1 edge: bin 1
+  h.add(2.0);  // exactly on the 1/2 edge: bin 2
+  h.add(4.0);  // == hi: clamps into the top bin
+  EXPECT_EQ(reg.to_json(),
+            "{\"counters\":{},\"gauges\":{},"
+            "\"histograms\":{\"edge\":{\"lo\":0,\"hi\":4,\"counts\":[0,1,1,1]}}}");
+}
+
+TEST(MetricsRegistry, MergeFromAccumulates) {
+  MetricsRegistry a;
+  a.counter("hits").add(2);
+  a.gauge("load").set(1.5);
+  a.histogram("lat", 0.0, 10.0, 5).add(1.0);
+
+  MetricsRegistry b;
+  b.counter("hits").add(3);
+  b.counter("only_in_b").add(7);
+  b.gauge("load").set(2.0);
+  b.histogram("lat", 0.0, 10.0, 5).add(1.0);
+  b.histogram("only_b_hist", 0.0, 1.0, 2).add(0.2);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("hits")->value(), 5u);
+  EXPECT_EQ(a.find_counter("only_in_b")->value(), 7u);
+  EXPECT_DOUBLE_EQ(a.find_gauge("load")->value(), 3.5);
+  EXPECT_EQ(a.find_histogram("lat")->total(), 2u);
+  EXPECT_EQ(a.find_histogram("lat")->count(0), 2u);
+  // Absent histograms are registered with the source's layout.
+  ASSERT_NE(a.find_histogram("only_b_hist"), nullptr);
+  EXPECT_DOUBLE_EQ(a.find_histogram("only_b_hist")->hi(), 1.0);
+  EXPECT_EQ(a.find_histogram("only_b_hist")->total(), 1u);
+  // b is untouched.
+  EXPECT_EQ(b.find_counter("hits")->value(), 3u);
+}
+
+TEST(MetricsRegistry, MergeFromIsOverflowFreeNearUint64Max) {
+  // Counters must accumulate across many merged registries without any
+  // intermediate signed/float conversion; value arithmetic is modulo-free
+  // within uint64 range.
+  constexpr std::uint64_t kBig = 0x8000000000000000ULL;  // 2^63
+  MetricsRegistry a;
+  a.counter("events").add(kBig - 1);
+  MetricsRegistry b;
+  b.counter("events").add(kBig - 1);
+  a.merge_from(b);
+  EXPECT_EQ(a.find_counter("events")->value(), 2 * (kBig - 1));
+  EXPECT_GT(a.find_counter("events")->value(), kBig);
+}
+
+TEST(MetricsRegistry, MergeFromRejectsHistogramLayoutMismatch) {
+  MetricsRegistry a;
+  a.histogram("lat", 0.0, 10.0, 5);
+  MetricsRegistry b;
+  b.histogram("lat", 0.0, 20.0, 5);
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergedJsonStaysCanonicallyOrdered) {
+  MetricsRegistry a;
+  a.counter("m.mid").add(1);
+  MetricsRegistry b;
+  b.counter("z.last").add(1);
+  b.counter("a.first").add(1);
+  a.merge_from(b);
+  const std::string json = a.to_json();
+  const std::size_t pa = json.find("a.first");
+  const std::size_t pm = json.find("m.mid");
+  const std::size_t pz = json.find("z.last");
+  ASSERT_NE(pa, std::string::npos);
+  EXPECT_LT(pa, pm);
+  EXPECT_LT(pm, pz);
+}
+
 }  // namespace
 }  // namespace mmv2v

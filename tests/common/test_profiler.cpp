@@ -1,0 +1,196 @@
+#include "common/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/json_mini.hpp"
+
+namespace mmv2v {
+namespace {
+
+/// Every profiler test owns the global registry for its duration; reset on
+/// both ends so tests compose in any order. In a MMV2V_PROFILER=OFF build
+/// PROF_SCOPE compiles to nothing, so every recording test is skipped —
+/// except DisabledRecordsNothing, whose expectation holds either way.
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prof::reset();
+    prof::set_enabled(true);
+  }
+  void TearDown() override {
+    prof::set_enabled(false);
+    prof::reset();
+  }
+};
+
+void spin_for(std::chrono::microseconds d) {
+  const auto until = std::chrono::steady_clock::now() + d;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+#if defined(MMV2V_PROFILER_DISABLED)
+#define SKIP_WITHOUT_PROFILER() GTEST_SKIP() << "profiler compiled out (MMV2V_PROFILER=OFF)"
+#else
+#define SKIP_WITHOUT_PROFILER() ((void)0)
+#endif
+
+const prof::ReportNode* find_path(const std::vector<prof::ReportNode>& nodes,
+                                  std::string_view path) {
+  for (const prof::ReportNode& n : nodes) {
+    if (n.path == path) return &n;
+  }
+  return nullptr;
+}
+
+TEST_F(ProfilerTest, DisabledRecordsNothing) {
+  prof::set_enabled(false);
+  {
+    PROF_SCOPE("should.not.appear");
+  }
+  EXPECT_EQ(prof::total_records(), 0u);
+  EXPECT_TRUE(prof::report().empty());
+}
+
+TEST_F(ProfilerTest, NestedScopesBuildHierarchy) {
+  SKIP_WITHOUT_PROFILER();
+  for (int i = 0; i < 3; ++i) {
+    PROF_SCOPE("outer");
+    spin_for(std::chrono::microseconds{200});
+    {
+      PROF_SCOPE("inner");
+      spin_for(std::chrono::microseconds{100});
+    }
+  }
+  const std::vector<prof::ReportNode> nodes = prof::report();
+  const prof::ReportNode* outer = find_path(nodes, "outer");
+  const prof::ReportNode* inner = find_path(nodes, "outer/inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 3u);
+  EXPECT_EQ(inner->count, 3u);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  // Child time is contained in the parent, and self = total - children.
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+  EXPECT_EQ(outer->self_ns, outer->total_ns - inner->total_ns);
+  // Each invocation spun >= 100us inner, >= 300us outer (inner included).
+  EXPECT_GE(inner->total_ns, 3 * 100'000);
+  EXPECT_GE(outer->total_ns, 3 * 300'000);
+  EXPECT_GT(inner->p50_ns, 0.0);
+  EXPECT_GE(inner->p99_ns, inner->p50_ns);
+}
+
+TEST_F(ProfilerTest, SameNameAtDifferentDepthsStaysSeparate) {
+  SKIP_WITHOUT_PROFILER();
+  {
+    PROF_SCOPE("step");
+    PROF_SCOPE("step");
+  }
+  const std::vector<prof::ReportNode> nodes = prof::report();
+  const prof::ReportNode* root = find_path(nodes, "step");
+  const prof::ReportNode* nested = find_path(nodes, "step/step");
+  ASSERT_NE(root, nullptr);
+  ASSERT_NE(nested, nullptr);
+  EXPECT_EQ(root->count, 1u);
+  EXPECT_EQ(nested->count, 1u);
+}
+
+TEST_F(ProfilerTest, MergesAcrossThreads) {
+  SKIP_WITHOUT_PROFILER();
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50;
+  {
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < kThreads; ++t) {
+      pool.emplace_back([] {
+        for (int i = 0; i < kIters; ++i) {
+          PROF_SCOPE("worker.item");
+        }
+      });
+    }
+  }  // joined
+  const std::vector<prof::ReportNode> nodes = prof::report();
+  const prof::ReportNode* item = find_path(nodes, "worker.item");
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->count, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST_F(ProfilerTest, ResetClearsRecords) {
+  SKIP_WITHOUT_PROFILER();
+  {
+    PROF_SCOPE("transient");
+  }
+  EXPECT_GT(prof::total_records(), 0u);
+  prof::reset();
+  EXPECT_EQ(prof::total_records(), 0u);
+  EXPECT_TRUE(prof::report().empty());
+}
+
+TEST_F(ProfilerTest, ReportJsonParses) {
+  SKIP_WITHOUT_PROFILER();
+  {
+    PROF_SCOPE("a");
+    PROF_SCOPE("b");
+  }
+  const json::Value doc = json::Value::parse(prof::report_json());
+  const json::Value* scopes = doc.find("scopes");
+  ASSERT_NE(scopes, nullptr);
+  ASSERT_EQ(scopes->array().size(), 2u);
+  const json::Value& first = scopes->array()[0];
+  EXPECT_EQ(first.find("path")->str(), "a");
+  EXPECT_EQ(first.find("count")->number(), 1.0);
+  EXPECT_GE(first.find("total_ns")->number(), 0.0);
+  const json::Value& second = scopes->array()[1];
+  EXPECT_EQ(second.find("path")->str(), "a/b");
+  EXPECT_EQ(second.find("depth")->number(), 1.0);
+}
+
+TEST_F(ProfilerTest, ChromeTraceIsValidJsonWithThreadTracks) {
+  SKIP_WITHOUT_PROFILER();
+  {
+    std::vector<std::jthread> pool;
+    for (int t = 0; t < 2; ++t) {
+      pool.emplace_back([] {
+        PROF_SCOPE("track.scope");
+        spin_for(std::chrono::microseconds{50});
+      });
+    }
+  }
+  const json::Value doc = json::Value::parse(prof::chrome_trace_json());
+  ASSERT_TRUE(doc.is_array());
+  int meta_threads = 0;
+  int complete_events = 0;
+  for (const json::Value& event : doc.array()) {
+    const std::string ph = event.string_or("ph", "");
+    if (ph == "M" && event.string_or("name", "") == "thread_name") ++meta_threads;
+    if (ph == "X") {
+      ++complete_events;
+      EXPECT_EQ(event.find("name")->str(), "track.scope");
+      EXPECT_EQ(event.string_or("cat", ""), "mmv2v");
+      EXPECT_GE(event.find("dur")->number(), 50.0);  // microseconds
+      ASSERT_NE(event.find("ts"), nullptr);
+      ASSERT_NE(event.find("tid"), nullptr);
+    }
+  }
+  EXPECT_EQ(meta_threads, 2);
+  EXPECT_EQ(complete_events, 2);
+}
+
+TEST_F(ProfilerTest, ReportTextListsScopes) {
+  SKIP_WITHOUT_PROFILER();
+  {
+    PROF_SCOPE("alpha");
+    PROF_SCOPE("beta");
+  }
+  const std::string text = prof::report_text();
+  EXPECT_NE(text.find("scope"), std::string::npos);  // header
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("  beta"), std::string::npos);  // indented child
+}
+
+}  // namespace
+}  // namespace mmv2v

@@ -84,6 +84,31 @@ TEST(SampleSet, PercentileRejectsBadQ) {
   s.add(1.0);
   EXPECT_THROW((void)s.percentile(-1.0), std::invalid_argument);
   EXPECT_THROW((void)s.percentile(101.0), std::invalid_argument);
+  // NaN must throw, not fall through the range check into an undefined
+  // float-to-size_t cast (regression test for the negated-comparison guard).
+  EXPECT_THROW((void)s.percentile(std::nan("")), std::invalid_argument);
+  // Invalid q throws even on an empty set — same contract on every call site.
+  SampleSet empty;
+  EXPECT_THROW((void)empty.percentile(std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)empty.percentile(-0.5), std::invalid_argument);
+}
+
+TEST(SampleSet, SingleSampleIsEveryPercentile) {
+  SampleSet s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(37.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 42.0);
+}
+
+TEST(SampleSet, PercentileMatchesNumpyRankConvention) {
+  // rank = q/100 * (n-1): for n=5 over {1..5}, p25 lands exactly on index 1.
+  SampleSet s;
+  s.add_all({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.percentile(25.0), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(90.0), 4.6);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 4.96);
 }
 
 TEST(SampleSet, CdfAtMatchesDefinition) {
@@ -143,6 +168,69 @@ TEST(Histogram, RejectsDegenerateConstruction) {
   EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
   EXPECT_THROW((Histogram{1.0, 1.0, 4}), std::invalid_argument);
   EXPECT_THROW((Histogram{2.0, 1.0, 4}), std::invalid_argument);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram empty{0.0, 10.0, 10};
+  EXPECT_DOUBLE_EQ(empty.percentile(50.0), 0.0);
+  EXPECT_THROW((void)empty.percentile(std::nan("")), std::invalid_argument);
+  EXPECT_THROW((void)empty.percentile(-1.0), std::invalid_argument);
+  EXPECT_THROW((void)empty.percentile(100.5), std::invalid_argument);
+
+  // Single sample in bin [3, 4): p0 = lower edge, p100 = upper edge,
+  // p50 = bin midpoint (mass uniform within the bin).
+  Histogram one{0.0, 10.0, 10};
+  one.add(3.5);
+  EXPECT_DOUBLE_EQ(one.percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(one.percentile(50.0), 3.5);
+  EXPECT_DOUBLE_EQ(one.percentile(100.0), 4.0);
+}
+
+TEST(Histogram, PercentileInterpolatesBetweenBuckets) {
+  // 2 samples in [0,1), 2 in [1,2): cumulative mass hits 50% exactly at the
+  // bucket edge, 25% at the middle of the first bin's mass.
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.2);
+  h.add(0.8);
+  h.add(1.2);
+  h.add(1.8);
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 1.0);  // value exactly on a bucket edge
+  EXPECT_DOUBLE_EQ(h.percentile(25.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.percentile(75.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 2.0);
+}
+
+TEST(Histogram, PercentileSkipsEmptyBuckets) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(1.5);  // bin 1
+  h.add(8.5);  // bin 8
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);    // lower edge of first occupied bin
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 9.0);  // upper edge of last occupied bin
+  EXPECT_DOUBLE_EQ(h.percentile(50.0), 2.0);   // half the mass sits in bin 1
+}
+
+TEST(Histogram, MergeAccumulatesBinForBin) {
+  Histogram a{0.0, 10.0, 10};
+  Histogram b{0.0, 10.0, 10};
+  a.add(1.5);
+  a.add(5.5);
+  b.add(1.5);
+  b.add(9.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(5), 1u);
+  EXPECT_EQ(a.count(9), 1u);
+}
+
+TEST(Histogram, MergeRejectsMismatchedLayouts) {
+  Histogram a{0.0, 10.0, 10};
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 20)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 5.0, 10)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(1.0, 10.0, 10)), std::invalid_argument);
+  a.merge(Histogram(0.0, 10.0, 10));  // identical layout: fine
+  EXPECT_EQ(a.total(), 0u);
 }
 
 TEST(Histogram, AsciiRendersOneLinePerBin) {

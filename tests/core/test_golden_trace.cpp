@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "common/profiler.hpp"
 #include "core/experiment.hpp"
 #include "protocols/mmv2v/mmv2v.hpp"
 
@@ -78,6 +79,26 @@ TEST(GoldenTrace, BitIdenticalAcrossThreadCounts) {
   const SweepTrace parallel = run_golden(/*threads=*/4);
   EXPECT_EQ(serial.digest, parallel.digest);
   EXPECT_EQ(serial.events_jsonl, parallel.events_jsonl);
+}
+
+TEST(GoldenTrace, DigestUnchangedWithProfilingEnabled) {
+  // The wall-clock profiler only reads clocks — it must not touch any RNG
+  // stream or reorder work, so the golden digest is identical with it on.
+  prof::reset();
+  prof::set_enabled(true);
+  const SweepTrace trace = run_golden(/*threads=*/2);
+  prof::set_enabled(false);
+  EXPECT_EQ(trace.digest, kGoldenDigest)
+      << "profiling perturbed the event stream; digest is now " << hex64(trace.digest);
+#if !defined(MMV2V_PROFILER_DISABLED)
+  // And it actually profiled the sweep: the wired scopes show up.
+  EXPECT_GT(prof::total_records(), 0u);
+  const std::string report = prof::report_text();
+  EXPECT_NE(report.find("sweep.cell"), std::string::npos);
+  EXPECT_NE(report.find("snd.run"), std::string::npos);
+  EXPECT_NE(report.find("dcm.run"), std::string::npos);
+#endif
+  prof::reset();
 }
 
 TEST(GoldenTrace, StreamHasExpectedShape) {
