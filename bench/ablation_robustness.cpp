@@ -1,0 +1,158 @@
+// Ablation E8 (DESIGN.md §10): protocol robustness under injected faults.
+//
+//  E8.1 control-message loss — OCR/ATP of all three protocols as the
+//       stationary loss rate rises, memoryless vs bursty (Gilbert-Elliott).
+//  E8.2 clock drift — mmV2V's slotted rendezvous vs drift sigma (ROP has no
+//       frame synchronization and serves as the drift-immune contrast).
+//  E8.3 GPS noise — position error vs the 80 m neighborhood-admission check.
+//  E8.4 churn — radios dropping out mid-frame and rejoining frames later.
+//
+// Usage: ablation_robustness [vpl=D] [horizon_s=T] [seed=S] [out=FILE.json]
+//
+// With out=FILE.json the degradation curves are also written as one JSON
+// document (CI uploads it next to the bench smoke results).
+#include "bench_util.hpp"
+
+#include "common/textio.hpp"
+
+namespace {
+
+using namespace mmv2v;
+using namespace mmv2v::bench;
+
+/// One measured point of one study's degradation curve.
+struct CurvePoint {
+  const char* study;
+  double knob = 0.0;
+  double burst_len = 1.0;
+  double ocr_mmv2v = 0.0;
+  double ocr_rop = 0.0;
+  double ocr_ad = 0.0;  ///< NaN-free: studies without 11ad leave it at 0
+  bool has_ad = false;
+};
+
+std::string curves_json(const std::vector<CurvePoint>& points) {
+  std::string out = "{\"ablation\":\"robustness\",\"metric\":\"ocr\",\"points\":[";
+  bool first = true;
+  for (const CurvePoint& p : points) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"study\":";
+    io::append_json_string(out, p.study);
+    out += ",\"knob\":";
+    io::append_number(out, p.knob);
+    out += ",\"burst_len\":";
+    io::append_number(out, p.burst_len);
+    out += ",\"mmv2v\":";
+    io::append_number(out, p.ocr_mmv2v);
+    out += ",\"rop\":";
+    io::append_number(out, p.ocr_rop);
+    if (p.has_ad) {
+      out += ",\"ad\":";
+      io::append_number(out, p.ocr_ad);
+    }
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ConfigMap cli = parse_cli(argc, argv);
+  const double vpl = cli.get_or("vpl", 15.0);
+  const double horizon = cli.get_or("horizon_s", 1.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{47}));
+  const std::string out_path = cli.get_or("out", std::string{});
+  std::vector<CurvePoint> curve;
+
+  print_header("Ablation E8.1: control-message loss (OCR at 15 vpl)");
+  std::printf("%-18s | %8s %8s %8s\n", "ctrl loss", "mmV2V", "ROP", "11ad");
+  for (const double burst : {1.0, 4.0}) {
+    for (const double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+      if (burst > 1.0 && loss == 0.0) continue;  // identical to the top row
+      core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+      scenario.fault.ctrl_loss = loss;
+      scenario.fault.burst_len = burst;
+      char label[32];
+      std::snprintf(label, sizeof label, "%.0f%%%s", loss * 100.0,
+                    burst > 1.0 ? " burst L=4" : "");
+      CurvePoint p{"ctrl_loss", loss, burst};
+      p.ocr_mmv2v =
+          run_once<protocols::MmV2VProtocol>(scenario, make_mmv2v_params(seed ^ 1)).ocr;
+      p.ocr_rop = run_once<protocols::RopProtocol>(scenario, make_rop_params(seed ^ 2)).ocr;
+      p.ocr_ad =
+          run_once<protocols::Ieee80211adProtocol>(scenario, make_ad_params(seed ^ 3)).ocr;
+      p.has_ad = true;
+      std::printf("%-18s | %8.3f %8.3f %8.3f\n", label, p.ocr_mmv2v, p.ocr_rop, p.ocr_ad);
+      curve.push_back(p);
+    }
+  }
+  std::printf("expectation: monotone OCR degradation; bursts hurt more than\n"
+              "memoryless loss at equal rate because whole negotiation windows\n"
+              "vanish; 11ad suffers doubly (lost beacons drain associations)\n");
+
+  print_header("Ablation E8.2: clock drift (mmV2V slotted rendezvous)");
+  std::printf("%12s | %8s %8s\n", "drift sigma", "mmV2V", "ROP");
+  for (const double drift_us : {0.0, 5.0, 15.0, 40.0, 100.0}) {
+    core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    scenario.fault.clock_drift_us = drift_us;
+    CurvePoint p{"clock_drift_us", drift_us};
+    p.ocr_mmv2v =
+        run_once<protocols::MmV2VProtocol>(scenario, make_mmv2v_params(seed ^ 4)).ocr;
+    p.ocr_rop = run_once<protocols::RopProtocol>(scenario, make_rop_params(seed ^ 5)).ocr;
+    std::printf("%9.0f us | %8.3f %8.3f\n", drift_us, p.ocr_mmv2v, p.ocr_rop);
+    curve.push_back(p);
+  }
+  std::printf("expectation: mmV2V decays once drift approaches the 15 us\n"
+              "half-slot window; ROP is asynchronous and stays flat\n");
+
+  print_header("Ablation E8.3: GPS noise at the admission check");
+  std::printf("%10s | %8s %8s\n", "gps sigma", "mmV2V", "ROP");
+  for (const double sigma_m : {0.0, 2.0, 5.0, 10.0, 20.0}) {
+    core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    scenario.fault.gps_sigma_m = sigma_m;
+    CurvePoint p{"gps_sigma_m", sigma_m};
+    p.ocr_mmv2v =
+        run_once<protocols::MmV2VProtocol>(scenario, make_mmv2v_params(seed ^ 6)).ocr;
+    p.ocr_rop = run_once<protocols::RopProtocol>(scenario, make_rop_params(seed ^ 7)).ocr;
+    std::printf("%8.0f m | %8.3f %8.3f\n", sigma_m, p.ocr_mmv2v, p.ocr_rop);
+    curve.push_back(p);
+  }
+  std::printf("expectation: mild — noise only flips admissions near the 80 m\n"
+              "boundary, and border links carry little of the OHM task anyway\n");
+
+  print_header("Ablation E8.4: vehicle churn (radio dropout/rejoin)");
+  std::printf("%11s | %8s %8s %8s\n", "churn rate", "mmV2V", "ROP", "11ad");
+  for (const double rate : {0.0, 0.02, 0.05, 0.1, 0.2}) {
+    core::ScenarioConfig scenario = make_scenario(vpl, seed, horizon);
+    scenario.fault.churn_rate = rate;
+    CurvePoint p{"churn_rate", rate};
+    p.ocr_mmv2v =
+        run_once<protocols::MmV2VProtocol>(scenario, make_mmv2v_params(seed ^ 8)).ocr;
+    p.ocr_rop = run_once<protocols::RopProtocol>(scenario, make_rop_params(seed ^ 9)).ocr;
+    p.ocr_ad =
+        run_once<protocols::Ieee80211adProtocol>(scenario, make_ad_params(seed ^ 10)).ocr;
+    p.has_ad = true;
+    std::printf("%10.0f%% | %8.3f %8.3f %8.3f\n", rate * 100.0, p.ocr_mmv2v, p.ocr_rop,
+                p.ocr_ad);
+    curve.push_back(p);
+  }
+  std::printf("expectation: per-frame re-matching (mmV2V, ROP) sheds churned\n"
+              "vehicles within a frame; 11ad pays extra because a dark PCP\n"
+              "strands its whole PBSS until members drain and re-associate\n");
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_robustness: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string json = curves_json(curve);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\ncurves: %s\n", out_path.c_str());
+  }
+  return 0;
+}

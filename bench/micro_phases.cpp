@@ -14,6 +14,7 @@
 #include "protocols/mmv2v/dcm.hpp"
 #include "protocols/mmv2v/mmv2v.hpp"
 #include "protocols/mmv2v/snd.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/frame.hpp"
 
 namespace {
@@ -109,6 +110,31 @@ void run_full_frame(benchmark::State& state, bool instrument) {
   protocol.set_instrumentation(nullptr);
   state.SetLabel("vehicles=" + std::to_string(world.size()));
 }
+
+void BM_EventQueueCancelChurn(benchmark::State& state) {
+  // Regression guard for EventQueue::cancel: with the pending-id set it is
+  // O(log n) amortized instead of an O(n) heap scan, so heavy cancel traffic
+  // against a deep queue (timeout-style workloads re-arm and cancel
+  // constantly) stays flat as the queue grows.
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      ids.push_back(q.schedule(static_cast<double>((i * 7919) % depth) + 1.0, [] {}));
+    }
+    state.ResumeTiming();
+    // Cancel every other event, back to front (worst case for a heap scan).
+    for (std::size_t i = ids.size(); i >= 2; i -= 2) {
+      benchmark::DoNotOptimize(q.cancel(ids[i - 1]));
+    }
+    while (!q.empty()) q.run_next();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(depth / 2));
+}
+BENCHMARK(BM_EventQueueCancelChurn)->Arg(1 << 10)->Arg(1 << 14);
 
 void BM_FullFrame(benchmark::State& state) { run_full_frame(state, false); }
 BENCHMARK(BM_FullFrame)->Arg(15)->Arg(30)->Unit(benchmark::kMillisecond);

@@ -57,6 +57,11 @@ int main(int argc, char** argv) {
       {"m", "40", "mmV2V DCM negotiation slots per frame"},
       {"c", "7", "mmV2V CNS modulus"},
       {"persistent", "false", "mmV2V: carry viable matches across frames"},
+      {"fault.clock_drift_us", "0", "fault: per-vehicle clock drift sigma [us] (0 = off)"},
+      {"fault.ctrl_loss", "0", "fault: stationary control-message loss rate (0 = off)"},
+      {"fault.burst_len", "1", "fault: mean loss-burst length (Gilbert-Elliott; <=1 = Bernoulli)"},
+      {"fault.gps_sigma_m", "0", "fault: GPS position noise sigma per axis [m] (0 = off)"},
+      {"fault.churn_rate", "0", "fault: per-vehicle per-frame radio dropout probability (0 = off)"},
       {"trace_out", "", "write the merged JSONL event trace (enables instrumentation)"},
       {"prof_trace", "", "enable the profiler and write a Chrome trace (Perfetto) here"},
       {"prof_report", "false", "enable the profiler and print the scope hierarchy"},
@@ -98,6 +103,11 @@ int main(int argc, char** argv) {
   base.comm_range_m = cli.get_or("comm_range_m", base.comm_range_m);
   base.fading.shadowing_sigma_db = cli.get_or("shadowing_db", 0.0);
   base.fading.nakagami_m = cli.get_or("nakagami_m", 0.0);
+  base.fault.clock_drift_us = cli.get_or("fault.clock_drift_us", 0.0);
+  base.fault.ctrl_loss = cli.get_or("fault.ctrl_loss", 0.0);
+  base.fault.burst_len = cli.get_or("fault.burst_len", 1.0);
+  base.fault.gps_sigma_m = cli.get_or("fault.gps_sigma_m", 0.0);
+  base.fault.churn_rate = cli.get_or("fault.churn_rate", 0.0);
 
   core::ProtocolFactory factory;
   if (protocol == "mmv2v") {

@@ -33,6 +33,11 @@ mmv2v::core::ScenarioConfig scenario_from(const mmv2v::ConfigMap& cfg) {
   s.horizon_s = cfg.get_or("horizon_s", s.horizon_s);
   s.seed = static_cast<std::uint64_t>(
       cfg.get_or("seed", static_cast<std::int64_t>(s.seed)));
+  s.fault.clock_drift_us = cfg.get_or("fault.clock_drift_us", s.fault.clock_drift_us);
+  s.fault.ctrl_loss = cfg.get_or("fault.ctrl_loss", s.fault.ctrl_loss);
+  s.fault.burst_len = cfg.get_or("fault.burst_len", s.fault.burst_len);
+  s.fault.gps_sigma_m = cfg.get_or("fault.gps_sigma_m", s.fault.gps_sigma_m);
+  s.fault.churn_rate = cfg.get_or("fault.churn_rate", s.fault.churn_rate);
   return s;
 }
 

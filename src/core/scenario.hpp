@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "fault/fault_params.hpp"
 #include "phy/channel.hpp"
 #include "phy/fading.hpp"
 #include "sim/frame.hpp"
@@ -28,6 +29,9 @@ struct ScenarioConfig {
   phy::FadingParams fading;
   sim::TimingConfig timing;
   TaskParams task;
+  /// Deterministic impairment knobs (all zero = ideal conditions; see
+  /// fault/fault_params.hpp and DESIGN.md Section 10).
+  fault::FaultParams fault;
 
   /// One-hop neighborhood radius defining the ground-truth N_i [m].
   double comm_range_m = 80.0;

@@ -1,0 +1,44 @@
+// Fault-injection knobs (DESIGN.md Section 10). Part of the scenario — the
+// fault model describes the deployment's impairments, not a protocol choice,
+// so every protocol under test faces the same plan. All knobs default to
+// zero/off; `enabled()` false guarantees the fault layer draws no random
+// number, registers no metric and emits no event, keeping the golden trace
+// bit-identical to a build without faults.
+#pragma once
+
+namespace mmv2v::fault {
+
+struct FaultParams {
+  /// Per-vehicle clock-synchronization drift sigma [us]. Each vehicle holds
+  /// a stable Gaussian offset; a pair whose relative offset exceeds half the
+  /// relevant dwell window (SND sector dwell, DCM negotiation slot) misses
+  /// its rendezvous. 0 disables.
+  double clock_drift_us = 0.0;
+  /// Stationary control-message loss rate in [0, 1): SSW frames, DMG
+  /// beacons, negotiation halves, drop-informs and refinement probes are
+  /// erased with this long-run probability. 0 disables.
+  double ctrl_loss = 0.0;
+  /// Mean loss-burst length [messages] for the Gilbert-Elliott chain behind
+  /// `ctrl_loss`. <= 1 degenerates to independent Bernoulli losses.
+  double burst_len = 1.0;
+  /// Probability a delivered control message is corrupted (fails its CRC and
+  /// is discarded like a loss, but counted separately). 0 disables.
+  double ctrl_corrupt = 0.0;
+  /// GPS position-noise sigma per axis [m], redrawn each frame. Feeds the
+  /// neighborhood-admission range check (SSW frames carry the sender's
+  /// reported position). 0 disables.
+  double gps_sigma_m = 0.0;
+  /// Per-vehicle per-frame probability of a radio dropout (churn). The
+  /// radio dies at a uniform time inside the dropout frame and stays down
+  /// for a geometric number of frames before rejoining. 0 disables.
+  double churn_rate = 0.0;
+  /// Mean outage length [frames] once a dropout starts (>= 1).
+  double churn_outage_frames = 5.0;
+
+  [[nodiscard]] constexpr bool enabled() const noexcept {
+    return clock_drift_us > 0.0 || ctrl_loss > 0.0 || ctrl_corrupt > 0.0 ||
+           gps_sigma_m > 0.0 || churn_rate > 0.0;
+  }
+};
+
+}  // namespace mmv2v::fault

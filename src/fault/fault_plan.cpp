@@ -1,0 +1,157 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/hash.hpp"
+#include "geom/angles.hpp"
+
+namespace mmv2v::fault {
+
+namespace {
+
+/// Counter-based standard normal: Box-Muller on two hashed uniforms derived
+/// from `key`. No generator state is consumed, so the value is a pure
+/// function of the key and call order cannot perturb other streams.
+double hashed_normal(std::uint64_t key) {
+  const double u1 =
+      static_cast<double>((key | 1ULL) >> 11) * 0x1.0p-53 + 0x1.0p-54;
+  const double u2 =
+      static_cast<double>((mix64(key) | 1ULL) >> 11) * 0x1.0p-53 + 0x1.0p-54;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * geom::kPi * u2);
+}
+
+constexpr std::uint64_t kClockTag = 0xc10cdULL;
+constexpr std::uint64_t kGpsTag = 0x69e5ULL;
+constexpr std::uint64_t kCtrlTag = 0xc7a1ULL;
+constexpr std::uint64_t kChurnTag = 0xcca0ULL;
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultParams& params, std::uint64_t seed)
+    : params_{params},
+      clock_key_{derive_seed(seed, kClockTag, 0)},
+      gps_key_{derive_seed(seed, kGpsTag, 0)},
+      rng_ctrl_{derive_seed(seed, kCtrlTag, 0)},
+      rng_churn_{derive_seed(seed, kChurnTag, 0)} {
+  // Gilbert-Elliott parameterization from the user-facing (stationary loss,
+  // mean burst length) pair. With leave rate r = 1/L the stationary bad-state
+  // probability pi_B = p / (p + r) equals ctrl_loss when
+  // p = r * pi_B / (1 - pi_B); clamping p at 1 caps the achievable loss rate
+  // at L / (L + 1) which only binds for extreme (loss, burst) combinations.
+  ge_memoryless_ = params_.burst_len <= 1.0;
+  if (!ge_memoryless_ && params_.ctrl_loss > 0.0 && params_.ctrl_loss < 1.0) {
+    const double r = 1.0 / params_.burst_len;
+    ge_p_leave_bad_ = r;
+    ge_p_enter_bad_ =
+        std::min(1.0, r * params_.ctrl_loss / (1.0 - params_.ctrl_loss));
+  }
+}
+
+void FaultPlan::begin_frame(std::uint64_t frame, std::size_t vehicle_count,
+                            double frame_s) {
+  frame_ = frame;
+  frame_stats_ = FaultFrameStats{};
+  if (params_.churn_rate <= 0.0) return;
+
+  if (churn_.size() != vehicle_count) churn_.assign(vehicle_count, ChurnState{});
+  for (std::size_t i = 0; i < churn_.size(); ++i) {
+    ChurnState& c = churn_[i];
+    if (c.down) {
+      if (frame >= c.down_until_frame) {
+        c = ChurnState{};  // radio back up from the top of this frame
+        ++frame_stats_.churn_rejoins;
+      } else {
+        // Outage continues: fully dark for this frame's control plane.
+        c.down_from_s = 0.0;
+        ++frame_stats_.churn_down;
+        continue;
+      }
+    }
+    if (rng_churn_.bernoulli(params_.churn_rate)) {
+      c.down = true;
+      // Death strikes a uniform time into this frame: the control phases at
+      // the frame head still run, but the data window past this point is
+      // lost. Outage length is 1 + geometric (mean churn_outage_frames).
+      c.down_from_s = rng_churn_.uniform(0.0, frame_s);
+      const double mean_extra = std::max(0.0, params_.churn_outage_frames - 1.0);
+      std::uint64_t extra = 0;
+      if (mean_extra > 0.0) {
+        const double q = mean_extra / (1.0 + mean_extra);  // P(one more frame)
+        while (extra < 1000 && rng_churn_.bernoulli(q)) ++extra;
+      }
+      c.down_until_frame = frame + 1 + extra;
+      ++frame_stats_.churn_drops;
+    }
+  }
+}
+
+double FaultPlan::clock_offset_s(net::NodeId id) const {
+  if (params_.clock_drift_us <= 0.0) return 0.0;
+  const std::uint64_t key = mix64(static_cast<std::uint64_t>(id) ^ clock_key_);
+  return params_.clock_drift_us * 1e-6 * hashed_normal(key);
+}
+
+bool FaultPlan::ctrl_lost(net::NodeId sender, CtrlKind kind) {
+  if (params_.ctrl_loss <= 0.0 && params_.ctrl_corrupt <= 0.0) return false;
+
+  bool lost = false;
+  if (params_.ctrl_loss > 0.0) {
+    if (ge_memoryless_) {
+      lost = rng_ctrl_.bernoulli(params_.ctrl_loss);
+    } else {
+      // Advance the two-state chain first, then read the loss off the new
+      // state: stationary loss rate is exactly pi_B = ctrl_loss and bad-state
+      // dwell (= burst length in calls) is geometric with mean burst_len.
+      LossChain& chain = chains_[sender];
+      if (chain.bad) {
+        if (rng_ctrl_.bernoulli(ge_p_leave_bad_)) chain.bad = false;
+      } else if (rng_ctrl_.bernoulli(ge_p_enter_bad_)) {
+        chain.bad = true;
+      }
+      lost = chain.bad;
+    }
+  }
+  if (lost) {
+    count_drop(kind);
+    return true;
+  }
+  if (params_.ctrl_corrupt > 0.0 && rng_ctrl_.bernoulli(params_.ctrl_corrupt)) {
+    ++frame_stats_.corruptions;
+    return true;
+  }
+  return false;
+}
+
+geom::Vec2 FaultPlan::gps_offset(net::NodeId id) const {
+  if (params_.gps_sigma_m <= 0.0) return geom::Vec2{0.0, 0.0};
+  const std::uint64_t key =
+      derive_seed(gps_key_, static_cast<std::uint64_t>(id), frame_);
+  return geom::Vec2{params_.gps_sigma_m * hashed_normal(key),
+                    params_.gps_sigma_m * hashed_normal(mix64(key ^ 0x5a5aULL))};
+}
+
+bool FaultPlan::control_down(net::NodeId id) const {
+  if (id >= churn_.size()) return false;
+  const ChurnState& c = churn_[id];
+  return c.down && c.down_from_s <= 0.0;
+}
+
+double FaultPlan::udt_down_from_s(net::NodeId id) const {
+  if (id >= churn_.size() || !churn_[id].down) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return churn_[id].down_from_s;
+}
+
+void FaultPlan::count_drop(CtrlKind kind) {
+  switch (kind) {
+    case CtrlKind::kSsw: ++frame_stats_.ssw_drops; break;
+    case CtrlKind::kNegotiation: ++frame_stats_.negotiation_drops; break;
+    case CtrlKind::kInform: ++frame_stats_.inform_drops; break;
+    case CtrlKind::kRefine: ++frame_stats_.refine_drops; break;
+  }
+}
+
+}  // namespace mmv2v::fault

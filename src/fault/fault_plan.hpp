@@ -1,0 +1,138 @@
+// Deterministic per-run fault plan (DESIGN.md Section 10).
+//
+// A FaultPlan owns every random stream behind the injected impairments, all
+// derived from one seed via `derive_seed` and fully independent of the
+// protocol / traffic / channel RNGs: compiling the layer in and constructing
+// no plan (or a plan with all knobs zero) leaves every other stream's draw
+// sequence untouched, so the golden-trace digest is bit-identical.
+//
+// Protocols hold the plan as a nullable pointer and query it at the exact
+// points where a real radio would fail: clock offsets at rendezvous windows,
+// a Gilbert-Elliott loss chain per control-message sender, per-frame GPS
+// noise at the admission check, and a churn state machine that takes radios
+// down mid-frame and back up frames later.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_params.hpp"
+#include "geom/vec2.hpp"
+#include "net/mac_address.hpp"
+
+namespace mmv2v::fault {
+
+/// Control-plane message classes subject to loss/corruption. 802.11ad DMG
+/// beacons ride the kSsw class (they serve the same discovery role).
+enum class CtrlKind : std::uint8_t {
+  kSsw = 0,
+  kNegotiation = 1,
+  kInform = 2,
+  kRefine = 3,
+};
+
+/// Per-frame injection bookkeeping, reset by `begin_frame`. Protocols read
+/// this after their control phases to publish `fault.*` counters and the
+/// per-frame trace event.
+struct FaultFrameStats {
+  std::uint64_t ssw_drops = 0;
+  std::uint64_t negotiation_drops = 0;
+  std::uint64_t inform_drops = 0;
+  std::uint64_t refine_drops = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t sync_misses = 0;
+  std::uint64_t churn_drops = 0;
+  std::uint64_t churn_rejoins = 0;
+  std::uint64_t churn_down = 0;
+  std::uint64_t udt_truncations = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return ssw_drops + negotiation_drops + inform_drops + refine_drops +
+           corruptions + sync_misses + churn_drops + churn_rejoins +
+           churn_down + udt_truncations;
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(const FaultParams& params, std::uint64_t seed);
+
+  [[nodiscard]] const FaultParams& params() const noexcept { return params_; }
+  [[nodiscard]] bool enabled() const noexcept { return params_.enabled(); }
+
+  /// Advance the churn state machine into `frame` and reset frame stats.
+  /// Must be called once per frame before any other query.
+  void begin_frame(std::uint64_t frame, std::size_t vehicle_count,
+                   double frame_s);
+
+  /// Stable per-vehicle clock offset [s] (Gaussian, sigma = clock_drift_us).
+  /// Counter-based: no RNG state is consumed, so call order is irrelevant.
+  [[nodiscard]] double clock_offset_s(net::NodeId id) const;
+
+  /// Record a rendezvous missed because of injected clock drift.
+  void note_sync_miss() { ++frame_stats_.sync_misses; }
+
+  /// Evaluate the loss/corruption chain for one control message from
+  /// `sender`. Returns true when the message never decodes (lost in a bad
+  /// burst state, or delivered-but-corrupted). Advances `sender`'s
+  /// Gilbert-Elliott chain exactly once per call; chains persist across
+  /// frames so bursts span frame boundaries.
+  bool ctrl_lost(net::NodeId sender, CtrlKind kind);
+
+  /// Per-frame GPS error vector [m] for `id` (2-D Gaussian, sigma per axis =
+  /// gps_sigma_m). Counter-based on (seed, id, frame): stable within a frame,
+  /// redrawn across frames.
+  [[nodiscard]] geom::Vec2 gps_offset(net::NodeId id) const;
+
+  /// True when `id`'s radio is down for this frame's whole control plane
+  /// (the outage started in an earlier frame). A vehicle whose dropout
+  /// starts mid-frame still runs its control phases and only loses the tail
+  /// of its data window.
+  [[nodiscard]] bool control_down(net::NodeId id) const;
+
+  /// Frame-relative time [s] at which `id`'s radio dies this frame, or
+  /// +infinity when it stays up. Protocols clip scheduled UDT windows at
+  /// this boundary.
+  [[nodiscard]] double udt_down_from_s(net::NodeId id) const;
+
+  /// Record a UDT window clipped or skipped because of churn.
+  void note_udt_truncation() { ++frame_stats_.udt_truncations; }
+
+  [[nodiscard]] const FaultFrameStats& frame_stats() const noexcept {
+    return frame_stats_;
+  }
+
+ private:
+  struct ChurnState {
+    bool down = false;
+    std::uint64_t down_until_frame = 0;  ///< first frame back up
+    double down_from_s = 0.0;  ///< frame-relative death time in the frame the
+                               ///< outage started; 0 on later outage frames
+  };
+
+  struct LossChain {
+    bool bad = false;
+  };
+
+  void count_drop(CtrlKind kind);
+
+  FaultParams params_;
+  std::uint64_t clock_key_ = 0;
+  std::uint64_t gps_key_ = 0;
+  Xoshiro256pp rng_ctrl_;
+  Xoshiro256pp rng_churn_;
+  // Gilbert-Elliott transition probabilities derived from (ctrl_loss,
+  // burst_len): r = 1/burst, p = r * loss / (1 - loss) (clamped to 1).
+  double ge_p_enter_bad_ = 0.0;
+  double ge_p_leave_bad_ = 1.0;
+  bool ge_memoryless_ = true;
+  std::unordered_map<net::NodeId, LossChain> chains_;
+  std::vector<ChurnState> churn_;
+  std::uint64_t frame_ = 0;
+  FaultFrameStats frame_stats_{};
+};
+
+}  // namespace mmv2v::fault

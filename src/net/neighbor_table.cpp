@@ -16,7 +16,13 @@ void NeighborTable::observe(NeighborEntry entry) {
 
 void NeighborTable::age_out(std::uint64_t current_frame) {
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (current_frame - it->second.last_seen_frame > max_age_frames_) {
+    // Entries stamped later than `current_frame` (replayed observations, or a
+    // node rejoining with a stale table) are not stale: the unsigned
+    // subtraction would wrap to ~2^64 and silently erase them.
+    const NeighborEntry& e = it->second;
+    const bool stale = e.last_seen_frame <= current_frame &&
+                       current_frame - e.last_seen_frame > max_age_frames_;
+    if (stale) {
       it = entries_.erase(it);
     } else {
       ++it;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "common/hash.hpp"
 #include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "core/instrument.hpp"
 #include "geom/angles.hpp"
 #include "phy/pathloss.hpp"
+#include "protocols/fault_instrument.hpp"
 
 namespace mmv2v::protocols {
 
@@ -25,6 +27,10 @@ void Ieee80211adProtocol::ensure_initialized(const core::World& world) {
   if (pcp_tenure_.size() == world.size()) return;
   pcp_tenure_.assign(world.size(), 0);
   member_of_.assign(world.size(), kNone);
+  if (world.config().fault.enabled() && fault_ == nullptr) {
+    fault_ = std::make_unique<fault::FaultPlan>(world.config().fault,
+                                                derive_seed(params_.seed, 0xfa17ULL, 0));
+  }
 }
 
 void Ieee80211adProtocol::run_bti(const core::World& world,
@@ -40,11 +46,14 @@ void Ieee80211adProtocol::run_bti(const core::World& world,
     const double sweep_center = grid_.center(t);
     for (net::NodeId j = 0; j < n; ++j) {
       if (pcp_tenure_[j] > 0) continue;  // PCPs transmit, they don't scan
+      if (fault_ != nullptr && fault_->control_down(j)) continue;
       double total_w = 0.0;
       double best_w = 0.0;
       net::NodeId best = kNone;
       for (const core::PairGeom& p : world.nearby(j)) {
         if (pcp_tenure_[p.other] <= 0) continue;
+        // A churned-down PCP stops beaconing (tenure keeps ticking).
+        if (fault_ != nullptr && fault_->control_down(p.other)) continue;
         const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
         const double g_t =
             beacon_pattern_.gain(geom::angular_distance(back_bearing, sweep_center));
@@ -59,6 +68,11 @@ void Ieee80211adProtocol::run_bti(const core::World& world,
       if (best == kNone) continue;
       const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
       if (!channel.mcs().control_decodable(sinr_db)) {
+        if (stats != nullptr) ++stats->decode_failures;
+        continue;
+      }
+      // DMG beacons ride the SSW loss class of the fault layer.
+      if (fault_ != nullptr && fault_->ctrl_lost(best, fault::CtrlKind::kSsw)) {
         if (stats != nullptr) ++stats->decode_failures;
         continue;
       }
@@ -85,8 +99,10 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
     }
   }
 
-  // 2. Election: free vehicles (no PBSS, no role) may become PCP.
+  // 2. Election: free vehicles (no PBSS, no role) may become PCP. A
+  // churned-down radio cannot stand for election.
   for (net::NodeId v = 0; v < n; ++v) {
+    if (fault_ != nullptr && fault_->control_down(v)) continue;
     if (pcp_tenure_[v] == 0 && member_of_[v] == kNone &&
         rng_.bernoulli(params_.pcp_probability)) {
       pcp_tenure_[v] = params_.pcp_tenure_frames;
@@ -135,9 +151,13 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
   std::vector<Attempt> attempts;
   for (net::NodeId v = 0; v < n; ++v) {
     if (pcp_tenure_[v] > 0 || member_of_[v] != kNone || joinable[v].empty()) continue;
+    if (fault_ != nullptr && fault_->control_down(v)) continue;
     const net::NodeId pcp = joinable[v][rng_.uniform_int(joinable[v].size())];
     const int slot = static_cast<int>(
         rng_.uniform_int(static_cast<std::uint64_t>(params_.abft_slots)));
+    // The A-BFT SSW frame itself can be erased by the fault layer; the
+    // vehicle simply retries next beacon interval.
+    if (fault_ != nullptr && fault_->ctrl_lost(v, fault::CtrlKind::kNegotiation)) continue;
     attempts.push_back(Attempt{v, pcp, slot});
   }
   std::size_t frame_collisions = 0;
@@ -192,6 +212,10 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
     std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
     for (std::size_t x = 0; x < group.size(); ++x) {
       for (std::size_t y = x + 1; y < group.size(); ++y) {
+        if (fault_ != nullptr && (fault_->control_down(group[x]) ||
+                                  fault_->control_down(group[y]))) {
+          continue;  // a dark radio gets no service period
+        }
         if (!ctx.ledger.pair_complete(group[x], group[y])) {
           pairs.emplace_back(group[x], group[y]);
         }
@@ -212,8 +236,17 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
       const auto [a, b] = pairs[k];
       const double sp_start = dti_start_s_ + static_cast<double>(k) * sp_len;
       const double data_start = sp_start + sls_s;
-      const double sp_end = sp_start + sp_len;
+      double sp_end = sp_start + sp_len;
       if (data_start >= sp_end) continue;  // SP too short: all SLS, no data
+      // Churn can kill either radio mid-frame: clip the SP at the earlier
+      // death; skip the SP when no data time survives.
+      if (fault_ != nullptr) {
+        const double clipped = std::min(
+            {sp_end, fault_->udt_down_from_s(a), fault_->udt_down_from_s(b)});
+        if (clipped < sp_end) fault_->note_udt_truncation();
+        if (clipped <= data_start) continue;
+        sp_end = clipped;
+      }
 
       // In-SP SLS: both ends end up with refined narrow beams (the refine
       // helper models the cross search on the current snapshot).
@@ -221,8 +254,26 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
       if (ab == nullptr) continue;
       const int sector_a = grid_.sector_of(ab->bearing_rad);
       const int sector_b = grid_.sector_of(geom::wrap_two_pi(ab->bearing_rad + geom::kPi));
-      const BeamRefinement::Result beams =
-          refinement_->refine(world, a, sector_a, b, sector_b, beacon_pattern_, refine_sink);
+
+      // Lost SLS feedback degrades the pair to sector-center alignment.
+      bool refine_lost = false;
+      if (fault_ != nullptr) {
+        const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine);
+        const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
+        refine_lost = lost_a || lost_b;
+      }
+      BeamRefinement::Result beams{};
+      if (refine_lost) {
+        beams.bearing_a = grid_.center(sector_a);
+        beams.bearing_b = grid_.center(sector_b);
+        if (refine_sink != nullptr) {
+          ++refine_sink->pairs;
+          ++refine_sink->fallbacks;
+        }
+      } else {
+        beams = refinement_->refine(world, a, sector_a, b, sector_b, beacon_pattern_,
+                                    refine_sink);
+      }
 
       const bool a_first = world.mac(a) > world.mac(b);
       const net::NodeId first = a_first ? a : b;
@@ -255,8 +306,13 @@ void Ieee80211adProtocol::begin_frame(core::FrameContext& ctx) {
   dti_start_s_ = bti_s + params_.abft_s;
 
   udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
+  ensure_initialized(ctx.world);
+  if (fault_ != nullptr) {
+    fault_->begin_frame(ctx.frame, ctx.world.size(), timing.frame_s);
+  }
   elect_and_associate(ctx);
   schedule_dti(ctx);
+  if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
 }
 
 void Ieee80211adProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {

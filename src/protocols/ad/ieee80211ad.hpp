@@ -26,6 +26,7 @@
 
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
+#include "fault/fault_plan.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
 #include "protocols/udt_engine.hpp"
@@ -98,6 +99,11 @@ class Ieee80211adProtocol final : public core::OhmProtocol {
   std::vector<net::NodeId> member_of_;
   /// Members per PBSS for the current frame; element 0 is the PCP.
   std::vector<std::vector<net::NodeId>> pbss_members_;
+  /// Non-null iff the scenario enables fault injection. DMG beacons ride the
+  /// SSW loss class; A-BFT SSW frames the negotiation class. A churned-down
+  /// PCP keeps its tenure but stops beaconing, so its members drain away via
+  /// the beacon-decode maintenance check.
+  std::unique_ptr<fault::FaultPlan> fault_;
   UdtEngine udt_;
   double dti_start_s_ = 0.0;
   std::size_t abft_collisions_ = 0;

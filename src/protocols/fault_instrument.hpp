@@ -1,0 +1,44 @@
+// Shared fault-counter publication for all protocol stacks: every injected
+// fault lands in a `fault.*` counter plus one typed per-frame trace event.
+//
+// Only call this when a FaultPlan is active. Merely registering a counter
+// changes the canonical metrics JSON (and with it the golden-trace digest),
+// so no-fault runs must never touch these names.
+#pragma once
+
+#include "core/instrument.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace mmv2v::protocols {
+
+inline void publish_fault_stats(core::Instrumentation* instr,
+                                const fault::FaultPlan& fault) {
+  if (instr == nullptr) return;
+  const fault::FaultFrameStats& s = fault.frame_stats();
+  MetricsRegistry& m = instr->metrics();
+  m.counter("fault.ssw_drops").add(s.ssw_drops);
+  m.counter("fault.negotiation_drops").add(s.negotiation_drops);
+  m.counter("fault.inform_drops").add(s.inform_drops);
+  m.counter("fault.refine_drops").add(s.refine_drops);
+  m.counter("fault.corruptions").add(s.corruptions);
+  m.counter("fault.sync_misses").add(s.sync_misses);
+  m.counter("fault.churn_drops").add(s.churn_drops);
+  m.counter("fault.churn_rejoins").add(s.churn_rejoins);
+  m.counter("fault.churn_down").add(s.churn_down);
+  m.counter("fault.udt_truncations").add(s.udt_truncations);
+  if (s.total() > 0) {
+    instr->emit(core::TraceEvent{"fault"}
+                    .u64("ssw_drops", s.ssw_drops)
+                    .u64("negotiation_drops", s.negotiation_drops)
+                    .u64("inform_drops", s.inform_drops)
+                    .u64("refine_drops", s.refine_drops)
+                    .u64("corruptions", s.corruptions)
+                    .u64("sync_misses", s.sync_misses)
+                    .u64("churn_drops", s.churn_drops)
+                    .u64("churn_rejoins", s.churn_rejoins)
+                    .u64("churn_down", s.churn_down)
+                    .u64("udt_truncations", s.udt_truncations));
+  }
+}
+
+}  // namespace mmv2v::protocols

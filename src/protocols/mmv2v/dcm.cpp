@@ -1,8 +1,10 @@
 #include "protocols/mmv2v/dcm.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/profiler.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace mmv2v::protocols {
 
@@ -26,7 +28,8 @@ int ConsensualMatching::run_slot(int m,
                                  const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
-                                 const NegotiationChannel* channel, DcmSlotStats* stats) {
+                                 const NegotiationChannel* channel, DcmSlotStats* stats,
+                                 fault::FaultPlan* fault) {
   PROF_SCOPE("dcm.slot");
   const std::size_t n = state_.size();
   if (neighbors.size() != n || macs.size() != n) {
@@ -38,6 +41,7 @@ int ConsensualMatching::run_slot(int m,
   // case it picks one at random (paper Section III-C1).
   std::vector<SlotChoice> choice(n);
   for (net::NodeId i = 0; i < n; ++i) {
+    if (fault != nullptr && fault->control_down(i)) continue;  // radio dark
     const net::NeighborEntry* picked = nullptr;
     int eligible = 0;
     for (const net::NeighborEntry& e : neighbors[i]) {
@@ -65,6 +69,26 @@ int ConsensualMatching::run_slot(int m,
   }
   std::vector<bool> ok(negotiating.size(), true);
   if (channel != nullptr) ok = channel->exchange_succeeds(negotiating);
+  if (fault != nullptr) {
+    for (std::size_t p = 0; p < negotiating.size(); ++p) {
+      if (!ok[p]) continue;
+      const auto [i, j] = negotiating[p];
+      // Clock drift: a pair whose relative offset exceeds half the
+      // negotiation slot never meets on the air.
+      if (fault->params().clock_drift_us > 0.0 &&
+          std::abs(fault->clock_offset_s(i) - fault->clock_offset_s(j)) >
+              params_.slot_sync_window_s / 2.0) {
+        ok[p] = false;
+        fault->note_sync_miss();
+        continue;
+      }
+      // Each negotiation half can be erased independently. Evaluate both
+      // unconditionally so each sender's loss chain advances exactly once.
+      const bool lost_i = fault->ctrl_lost(i, fault::CtrlKind::kNegotiation);
+      const bool lost_j = fault->ctrl_lost(j, fault::CtrlKind::kNegotiation);
+      if (lost_i || lost_j) ok[p] = false;
+    }
+  }
   if (stats != nullptr) {
     stats->mutual_pairs += negotiating.size();
     for (const bool success : ok) {
@@ -80,15 +104,25 @@ int ConsensualMatching::run_slot(int m,
     if (!ok[p]) continue;
     const auto [i, j] = negotiating[p];
 
-    const bool improve_i =
-        !state_[i].candidate.has_value() || choice[i].link_db > state_[i].quality_db;
-    const bool improve_j =
-        !state_[j].candidate.has_value() || choice[j].link_db > state_[j].quality_db;
+    // Re-negotiating one's own current candidate counts as improving: under
+    // ideal signaling this only occurs mutually (the pair is already linked
+    // and the exchange is a no-op), but after a lost drop-inform one side
+    // may hold the other as a stale one-directional candidate, and equal
+    // quality must not block re-synchronizing the pair.
+    const bool relink_i = state_[i].candidate == j;
+    const bool relink_j = state_[j].candidate == i;
+    if (relink_i && relink_j) {
+      if (stats != nullptr) ++stats->conflicts;  // declined: no side improves
+      continue;
+    }
+    const bool improve_i = relink_i || !state_[i].candidate.has_value() ||
+                           choice[i].link_db > state_[i].quality_db;
+    const bool improve_j = relink_j || !state_[j].candidate.has_value() ||
+                           choice[j].link_db > state_[j].quality_db;
     if (!improve_i || !improve_j) {
       if (stats != nullptr) ++stats->conflicts;
       continue;
     }
-    if (state_[i].candidate == j) continue;  // already linked
 
     if (stats != nullptr) {
       DcmAdoption adoption;
@@ -100,15 +134,30 @@ int ConsensualMatching::run_slot(int m,
       adoption.had_prev_b = state_[j].candidate.has_value();
       adoption.prev_q_a = state_[i].quality_db;
       adoption.prev_q_b = state_[j].quality_db;
+      adoption.relink_a = relink_i;
+      adoption.relink_b = relink_j;
       stats->adoptions_detail.push_back(adoption);
     }
     for (const net::NodeId v : {i, j}) {
-      if (state_[v].candidate.has_value()) {
-        CandidateState& prev = state_[*state_[v].candidate];
-        // The dropped partner had `v` as its candidate (mutuality invariant).
+      const net::NodeId partner = (v == i) ? j : i;
+      if (!state_[v].candidate.has_value() || *state_[v].candidate == partner) {
+        continue;  // nothing to displace (or relinking the partner itself)
+      }
+      CandidateState& prev = state_[*state_[v].candidate];
+      if (stats != nullptr) ++stats->drops;
+      // The drop-inform rides the second half-slot. When the fault layer
+      // erases it the displaced partner keeps its stale candidate until a
+      // later re-negotiation; matched_pairs() requires mutuality, so the
+      // stale record never reaches the matching.
+      if (fault != nullptr && fault->ctrl_lost(v, fault::CtrlKind::kInform)) {
+        continue;
+      }
+      // Only clear the displaced partner if it still points back at v.
+      // Under lost informs v's own record may be stale, and blindly
+      // resetting would sever an innocent third party's link.
+      if (prev.candidate == v) {
         prev.candidate.reset();
         prev.quality_db = 0.0;
-        if (stats != nullptr) ++stats->drops;
       }
     }
     state_[i] = CandidateState{j, choice[i].link_db};
@@ -122,10 +171,11 @@ int ConsensualMatching::run_slot(int m,
 void ConsensualMatching::run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
-                                 const NegotiationChannel* channel, DcmSlotStats* stats) {
+                                 const NegotiationChannel* channel, DcmSlotStats* stats,
+                                 fault::FaultPlan* fault) {
   PROF_SCOPE("dcm.run");
   for (int m = 0; m < params_.slots; ++m) {
-    run_slot(m, neighbors, macs, ledger, rng, channel, stats);
+    run_slot(m, neighbors, macs, ledger, rng, channel, stats, fault);
   }
 }
 

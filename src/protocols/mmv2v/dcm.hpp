@@ -6,9 +6,12 @@
 // with no candidate always improves). A replaced candidate is informed in
 // the second half of the slot and becomes candidate-less.
 //
-// The candidate relation is therefore mutual at all times — an invariant the
-// test suite checks — and the set of mutual candidates after M slots is the
-// frame's matching.
+// Under ideal signaling the candidate relation is mutual at all times. A
+// lost drop-inform (fault layer) leaves the displaced side holding a stale
+// one-directional candidate until a later re-negotiation re-synchronizes it;
+// the frame's matching is always the set of MUTUAL candidate pairs after M
+// slots, so stale entries can cost capacity but never produce an asymmetric
+// match — an invariant the test suite checks under fault seeds.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +23,10 @@
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/cns.hpp"
 
+namespace mmv2v::fault {
+class FaultPlan;
+}  // namespace mmv2v::fault
+
 namespace mmv2v::protocols {
 
 struct DcmParams {
@@ -27,6 +34,11 @@ struct DcmParams {
   int slots = 40;
   /// CNS modulus C.
   int modulus_c = 7;
+  /// Rendezvous window for injected clock drift: a scheduled pair whose
+  /// relative clock offset exceeds half of this misses its negotiation slot.
+  /// Matches TimingConfig::negotiation_slot_s; only read under a FaultPlan
+  /// with clock drift enabled.
+  double slot_sync_window_s = 0.03e-3;
 };
 
 /// Link-layer hook deciding whether a negotiation exchange succeeds.
@@ -62,6 +74,11 @@ struct DcmAdoption {
   double prev_q_b = 0.0;
   bool had_prev_a = false;
   bool had_prev_b = false;
+  /// True when that side's previous candidate was the partner itself: a
+  /// re-adoption that re-synchronizes state left stale by a lost drop-inform.
+  /// Relinks carry equal (not strictly improving) quality by construction.
+  bool relink_a = false;
+  bool relink_b = false;
 };
 
 /// Per-slot observability counters.
@@ -97,17 +114,19 @@ class ConsensualMatching {
   /// address for the CNS hash. An optional NegotiationChannel models the
   /// over-the-air exchange. Returns the number of links (re)established.
   /// When `stats` is non-null the slot's counters are accumulated into it.
+  /// A non-null `fault` injects clock-drift slot misses, negotiation-half
+  /// and drop-inform losses, and keeps churned-down vehicles silent.
   int run_slot(int m, const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
                Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
-               DcmSlotStats* stats = nullptr);
+               DcmSlotStats* stats = nullptr, fault::FaultPlan* fault = nullptr);
 
   /// Run all M slots. When `stats` is non-null, counters accumulate over
   /// all slots into the single sink.
   void run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
                Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
-               DcmSlotStats* stats = nullptr);
+               DcmSlotStats* stats = nullptr, fault::FaultPlan* fault = nullptr);
 
   [[nodiscard]] const std::vector<CandidateState>& candidates() const noexcept {
     return state_;

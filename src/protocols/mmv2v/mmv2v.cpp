@@ -1,9 +1,12 @@
 #include "protocols/mmv2v/mmv2v.hpp"
 
+#include "common/hash.hpp"
 #include "common/profiler.hpp"
 #include "core/instrument.hpp"
+#include "protocols/fault_instrument.hpp"
 #include "protocols/mmv2v/negotiation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mmv2v::protocols {
@@ -32,6 +35,17 @@ void MmV2VProtocol::ensure_initialized(core::FrameContext& ctx) {
       world.config().timing, params_.snd.sectors, params_.snd.rounds, params_.dcm.slots,
       refinement_->beams_per_side());
 
+  if (world.config().fault.enabled()) {
+    // Seed the plan from the protocol seed through an extra derive_seed tag:
+    // its streams never touch rng_, so reproducibility is per (seed, knobs).
+    fault_ = std::make_unique<fault::FaultPlan>(world.config().fault,
+                                                derive_seed(params_.seed, 0xfa17ULL, 0));
+    if (params_.dcm.slot_sync_window_s != world.config().timing.negotiation_slot_s) {
+      params_.dcm.slot_sync_window_s = world.config().timing.negotiation_slot_s;
+      dcm_ = std::make_unique<ConsensualMatching>(params_.dcm);
+    }
+  }
+
   tables_.assign(n, net::NeighborTable{params_.neighbor_max_age_frames});
   macs_.resize(n);
   for (net::NodeId i = 0; i < n; ++i) macs_[i] = world.mac(i);
@@ -53,11 +67,15 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
   const core::World& world = ctx.world;
   const std::size_t n = world.size();
   udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
+  if (fault_ != nullptr) {
+    fault_->begin_frame(ctx.frame, n, world.config().timing.frame_s);
+  }
 
   // 1. Synchronized neighbor discovery; stale entries age out first.
   for (auto& table : tables_) table.age_out(ctx.frame);
   std::vector<SndRoundStats> snd_stats;
-  snd_->run(world, ctx.frame, tables_, rng_, instr_ != nullptr ? &snd_stats : nullptr);
+  snd_->run(world, ctx.frame, tables_, rng_, instr_ != nullptr ? &snd_stats : nullptr,
+            fault_.get());
   if (instr_ != nullptr) {
     MetricsRegistry& m = instr_->metrics();
     for (std::size_t k = 0; k < snd_stats.size(); ++k) {
@@ -82,6 +100,11 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
   if (params_.persistent_matching) {
     for (const auto& [a, b] : matching_) {
       if (ctx.ledger.pair_complete(a, b) || world.pair(a, b) == nullptr) continue;
+      // A churned-out endpoint cannot renew the link; re-negotiate later.
+      if (fault_ != nullptr &&
+          (fault_->control_down(a) || fault_->control_down(b))) {
+        continue;
+      }
       carried.emplace_back(a, b);
       carried_over[a] = carried_over[b] = true;
     }
@@ -109,9 +132,9 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
                                         snd_->rx_pattern(),
                                         params_.snd.sectors,
                                         instr_ != nullptr ? &neg_stats : nullptr};
-    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, &channel, dcm_sink);
+    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, &channel, dcm_sink, fault_.get());
   } else {
-    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, nullptr, dcm_sink);
+    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, nullptr, dcm_sink, fault_.get());
   }
   matching_ = dcm_->matched_pairs();
   matching_.insert(matching_.end(), carried.begin(), carried.end());
@@ -147,9 +170,38 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
     const auto entry_ba = tables_[b].find(a);
     if (!entry_ab || !entry_ba) continue;  // cannot happen if DCM used the tables
 
-    const BeamRefinement::Result beams =
-        refinement_->refine(world, a, entry_ab->sector_toward, b, entry_ba->sector_toward,
-                            snd_->tx_pattern(), refine_sink);
+    // Churn can kill either radio mid-frame: clip the pair's TDD window at
+    // the earlier death. A window that dies before UDT starts is not worth
+    // the refinement airtime.
+    double window_end = frame_end;
+    if (fault_ != nullptr) {
+      window_end = std::min({frame_end, fault_->udt_down_from_s(a),
+                             fault_->udt_down_from_s(b)});
+      if (window_end < frame_end) fault_->note_udt_truncation();
+      if (window_end <= udt_start) continue;
+    }
+
+    // When the fault layer erases a refinement feedback message the pair
+    // falls back to its discovery sector centers (wide-beam alignment) —
+    // degraded SNR, not a dead link.
+    bool refine_lost = false;
+    if (fault_ != nullptr) {
+      const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine);
+      const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
+      refine_lost = lost_a || lost_b;
+    }
+    BeamRefinement::Result beams{};
+    if (refine_lost) {
+      beams.bearing_a = snd_->grid().center(entry_ab->sector_toward);
+      beams.bearing_b = snd_->grid().center(entry_ba->sector_toward);
+      if (refine_sink != nullptr) {
+        ++refine_sink->pairs;
+        ++refine_sink->fallbacks;
+      }
+    } else {
+      beams = refinement_->refine(world, a, entry_ab->sector_toward, b,
+                                  entry_ba->sector_toward, snd_->tx_pattern(), refine_sink);
+    }
 
     // The larger MAC address transmits first (paper Section III footnote).
     const bool a_first = macs_[a] > macs_[b];
@@ -158,7 +210,8 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
     const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
     const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
     udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
-                      second_bearing, &refinement_->narrow_pattern(), udt_start, frame_end);
+                      second_bearing, &refinement_->narrow_pattern(), udt_start,
+                      window_end);
   }
   if (instr_ != nullptr) {
     MetricsRegistry& m = instr_->metrics();
@@ -170,6 +223,7 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
                      .u64("probes", refine_stats.probes)
                      .u64("fallbacks", refine_stats.fallbacks));
   }
+  if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
 }
 
 void MmV2VProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {

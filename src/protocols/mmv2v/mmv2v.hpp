@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/dcm.hpp"
 #include "protocols/mmv2v/refinement.hpp"
@@ -78,6 +79,9 @@ class MmV2VProtocol final : public core::OhmProtocol {
   std::vector<net::MacAddress> macs_;
   std::vector<std::pair<net::NodeId, net::NodeId>> matching_;
   UdtEngine udt_;
+  /// Non-null iff the scenario enables fault injection; its RNG streams are
+  /// derived independently of rng_, so a null plan is behavior-identical.
+  std::unique_ptr<fault::FaultPlan> fault_;
   bool initialized_ = false;
 };
 

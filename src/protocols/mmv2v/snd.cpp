@@ -6,6 +6,7 @@
 #include "common/hash.hpp"
 #include "common/profiler.hpp"
 #include "common/units.hpp"
+#include "fault/fault_plan.hpp"
 
 namespace mmv2v::protocols {
 
@@ -38,7 +39,8 @@ SyncNeighborDiscovery::SyncNeighborDiscovery(SndParams params)
 
 void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
                                 std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
-                                std::vector<SndRoundStats>* round_stats) const {
+                                std::vector<SndRoundStats>* round_stats,
+                                fault::FaultPlan* fault) const {
   PROF_SCOPE("snd.run");
   const std::size_t n = world.size();
   std::vector<bool> tx_first(n);
@@ -48,23 +50,24 @@ void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
   for (int k = 0; k < params_.rounds; ++k) {
     for (std::size_t i = 0; i < n; ++i) tx_first[i] = rng.bernoulli(params_.p_tx);
     run_round(world, frame, tx_first, tables,
-              round_stats != nullptr ? &(*round_stats)[static_cast<std::size_t>(k)] : nullptr);
+              round_stats != nullptr ? &(*round_stats)[static_cast<std::size_t>(k)] : nullptr,
+              fault);
   }
 }
 
 void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t frame,
                                       const std::vector<bool>& tx_first,
                                       std::vector<net::NeighborTable>& tables,
-                                      SndRoundStats* stats) const {
+                                      SndRoundStats* stats, fault::FaultPlan* fault) const {
   PROF_SCOPE("snd.round");
   if (tx_first.size() != world.size() || tables.size() != world.size()) {
     throw std::invalid_argument{"SND: role/table vectors must match the vehicle count"};
   }
-  run_sweep(world, frame, tx_first, tables, stats);
+  run_sweep(world, frame, tx_first, tables, stats, fault);
   // Role swap (paper Section III-B4).
   std::vector<bool> swapped(tx_first.size());
   for (std::size_t i = 0; i < tx_first.size(); ++i) swapped[i] = !tx_first[i];
-  run_sweep(world, frame, swapped, tables, stats);
+  run_sweep(world, frame, swapped, tables, stats, fault);
 }
 
 double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
@@ -83,15 +86,23 @@ double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
 void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t frame,
                                       const std::vector<bool>& is_tx,
                                       std::vector<net::NeighborTable>& tables,
-                                      SndRoundStats* stats) const {
+                                      SndRoundStats* stats, fault::FaultPlan* fault) const {
   const phy::ChannelModel& channel = world.channel();
   const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double noise_w = channel.noise_watts();
 
+  // Injected fault-layer drift stacks on top of the protocol's own
+  // sync-error model; both feed the same rendezvous-overlap test.
+  const bool fault_clock = fault != nullptr && fault->params().clock_drift_us > 0.0;
+  const bool clock_active = params_.clock_sigma_s > 0.0 || fault_clock;
   std::vector<double> clock(world.size(), 0.0);
-  if (params_.clock_sigma_s > 0.0) {
-    for (net::NodeId i = 0; i < world.size(); ++i) clock[i] = clock_offset_s(i);
+  if (clock_active) {
+    for (net::NodeId i = 0; i < world.size(); ++i) {
+      clock[i] = clock_offset_s(i) +
+                 (fault_clock ? fault->clock_offset_s(i) : 0.0);
+    }
   }
+  const bool fault_gps = fault != nullptr && fault->params().gps_sigma_m > 0.0;
 
   for (int t = 0; t < grid_.count(); ++t) {
     const double sweep_center = grid_.center(t);
@@ -99,6 +110,7 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
 
     for (net::NodeId rx = 0; rx < world.size(); ++rx) {
       if (is_tx[rx]) continue;
+      if (fault != nullptr && fault->control_down(rx)) continue;
 
       // Accumulate the power of every concurrent transmitter as heard
       // through this receiver's sensing beam.
@@ -108,11 +120,13 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
       std::vector<std::pair<const core::PairGeom*, double>> arrivals;
       for (const core::PairGeom& p : world.nearby(rx)) {
         if (!is_tx[p.other]) continue;
+        if (fault != nullptr && fault->control_down(p.other)) continue;
         // Unsynchronized pair: the receiver's dwell no longer overlaps the
         // transmitter's SSW frame enough to decode the preamble.
-        if (params_.clock_sigma_s > 0.0 &&
+        if (clock_active &&
             std::abs(clock[p.other] - clock[rx]) > params_.sector_dwell_s / 2.0) {
           if (stats != nullptr) ++stats->sync_skips;
+          if (fault_clock) fault->note_sync_miss();
           continue;
         }
         // Reverse bearing (Tx -> Rx) is the receiver's bearing plus pi.
@@ -131,13 +145,28 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
       if (best == nullptr) continue;
 
       const auto record = [&](const core::PairGeom& p, double w) {
+        // A decodable arrival can still be erased by the fault layer's loss
+        // chain (the SSW frame itself is lost/corrupted on the air).
+        if (fault != nullptr && fault->ctrl_lost(p.other, fault::CtrlKind::kSsw)) {
+          if (stats != nullptr) ++stats->decode_failures;
+          return;
+        }
         const double snr_db = units::linear_to_db(w / noise_w);
         if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
           if (stats != nullptr) ++stats->admission_rejects;
           return;
         }
+        // The range filter compares GPS positions: the SSW frame carries the
+        // sender's reported position, the receiver uses its own fix. Both
+        // carry the injected per-frame GPS error.
+        double admission_distance_m = p.distance_m;
+        if (fault_gps) {
+          const geom::Vec2 tx_pos = world.position(p.other) + fault->gps_offset(p.other);
+          const geom::Vec2 rx_pos = world.position(rx) + fault->gps_offset(rx);
+          admission_distance_m = geom::distance(tx_pos, rx_pos);
+        }
         if (!std::isnan(params_.max_neighbor_range_m) &&
-            p.distance_m > params_.max_neighbor_range_m) {
+            admission_distance_m > params_.max_neighbor_range_m) {
           if (stats != nullptr) ++stats->admission_rejects;
           return;
         }

@@ -26,6 +26,10 @@
 #include "net/neighbor_table.hpp"
 #include "phy/antenna.hpp"
 
+namespace mmv2v::fault {
+class FaultPlan;
+}  // namespace mmv2v::fault
+
 namespace mmv2v::protocols {
 
 struct SndParams {
@@ -101,15 +105,19 @@ class SyncNeighborDiscovery {
   /// the per-vehicle neighbor tables (indexed by NodeId). `frame` stamps the
   /// entries; `rng` drives the role draws. When `round_stats` is non-null it
   /// is resized to K and filled with one SndRoundStats per round.
+  /// A non-null `fault` adds injected clock drift to the sync-error model,
+  /// erases SSW frames per its loss chains, perturbs the range-admission
+  /// positions with GPS noise, and silences churned-down radios.
   void run(const core::World& world, std::uint64_t frame,
            std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
-           std::vector<SndRoundStats>* round_stats = nullptr) const;
+           std::vector<SndRoundStats>* round_stats = nullptr,
+           fault::FaultPlan* fault = nullptr) const;
 
   /// One round with externally fixed roles (roles[i] true = transmitter in
   /// the first sweep). Exposed for tests and the Theorem 2 bench.
   void run_round(const core::World& world, std::uint64_t frame,
                  const std::vector<bool>& tx_first, std::vector<net::NeighborTable>& tables,
-                 SndRoundStats* stats = nullptr) const;
+                 SndRoundStats* stats = nullptr, fault::FaultPlan* fault = nullptr) const;
 
   /// Stable clock offset of a vehicle under the sync-error model [s].
   [[nodiscard]] double clock_offset_s(net::NodeId id) const;
@@ -117,7 +125,7 @@ class SyncNeighborDiscovery {
  private:
   void run_sweep(const core::World& world, std::uint64_t frame,
                  const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables,
-                 SndRoundStats* stats) const;
+                 SndRoundStats* stats, fault::FaultPlan* fault) const;
 
   SndParams params_;
   phy::BeamPattern alpha_;

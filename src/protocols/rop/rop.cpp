@@ -3,10 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/hash.hpp"
 #include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "core/instrument.hpp"
 #include "phy/pathloss.hpp"
+#include "protocols/fault_instrument.hpp"
+
+#include <algorithm>
 
 namespace mmv2v::protocols {
 
@@ -36,6 +40,10 @@ void RopProtocol::ensure_initialized(core::FrameContext& ctx) {
                                                    params_.discovery.rounds, 1,
                                                    refinement_->beams_per_side());
   tables_.assign(world.size(), net::NeighborTable{params_.neighbor_max_age_frames});
+  if (world.config().fault.enabled()) {
+    fault_ = std::make_unique<fault::FaultPlan>(world.config().fault,
+                                                derive_seed(params_.seed, 0xfa17ULL, 0));
+  }
   initialized_ = true;
 }
 
@@ -62,6 +70,7 @@ void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t fra
 
   for (net::NodeId rx = 0; rx < n; ++rx) {
     if (is_tx[rx]) continue;
+    if (fault_ != nullptr && fault_->control_down(rx)) continue;
     const double sense_center = grid_.center(sector[rx]);
 
     double total_w = 0.0;
@@ -69,6 +78,7 @@ void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t fra
     const core::PairGeom* best = nullptr;
     for (const core::PairGeom& p : world.nearby(rx)) {
       if (!is_tx[p.other]) continue;
+      if (fault_ != nullptr && fault_->control_down(p.other)) continue;
       const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
       const double g_t =
           alpha_.gain(geom::angular_distance(back_bearing, grid_.center(sector[p.other])));
@@ -89,7 +99,19 @@ void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t fra
       if (stats != nullptr) ++stats->decode_failures;
       continue;
     }
-    if (!std::isnan(max_range_m_) && best->distance_m > max_range_m_) {
+    // Fault layer: the winning control frame itself can be erased on the air.
+    if (fault_ != nullptr && fault_->ctrl_lost(best->other, fault::CtrlKind::kSsw)) {
+      if (stats != nullptr) ++stats->decode_failures;
+      continue;
+    }
+    // Range admission compares (possibly GPS-noisy) reported positions.
+    double admission_distance_m = best->distance_m;
+    if (fault_ != nullptr && fault_->params().gps_sigma_m > 0.0) {
+      const geom::Vec2 tx_pos = world.position(best->other) + fault_->gps_offset(best->other);
+      const geom::Vec2 rx_pos = world.position(rx) + fault_->gps_offset(rx);
+      admission_distance_m = geom::distance(tx_pos, rx_pos);
+    }
+    if (!std::isnan(max_range_m_) && admission_distance_m > max_range_m_) {
       if (stats != nullptr) ++stats->admission_rejects;
       continue;
     }
@@ -144,9 +166,11 @@ void RopProtocol::random_matching(core::FrameContext& ctx) {
     for (net::NodeId i = 0; i < n; ++i) {
       choice[i] = n;
       if (partner_[i] != n) continue;
+      if (fault_ != nullptr && fault_->control_down(i)) continue;  // radio dark
       int eligible = 0;
       for (const net::NeighborEntry& e : tables_[i].entries()) {
         if (partner_[e.id] != n || ctx.ledger.pair_complete(i, e.id)) continue;
+        if (fault_ != nullptr && fault_->control_down(e.id)) continue;
         ++eligible;
         if (rng_.uniform_int(static_cast<std::uint64_t>(eligible)) == 0) choice[i] = e.id;
       }
@@ -154,6 +178,13 @@ void RopProtocol::random_matching(core::FrameContext& ctx) {
     for (net::NodeId i = 0; i < n; ++i) {
       const net::NodeId j = choice[i];
       if (j < n && j > i && choice[j] == i) {
+        // The mutual-choice exchange needs both announcements delivered.
+        // Evaluate both losses so each sender's chain advances exactly once.
+        if (fault_ != nullptr) {
+          const bool lost_i = fault_->ctrl_lost(i, fault::CtrlKind::kNegotiation);
+          const bool lost_j = fault_->ctrl_lost(j, fault::CtrlKind::kNegotiation);
+          if (lost_i || lost_j) continue;
+        }
         partner_[i] = j;
         partner_[j] = i;
       }
@@ -169,6 +200,9 @@ void RopProtocol::random_matching(core::FrameContext& ctx) {
 void RopProtocol::begin_frame(core::FrameContext& ctx) {
   ensure_initialized(ctx);
   const core::World& world = ctx.world;
+  if (fault_ != nullptr) {
+    fault_->begin_frame(ctx.frame, world.size(), world.config().timing.frame_s);
+  }
 
   for (auto& table : tables_) table.age_out(ctx.frame);
 
@@ -212,16 +246,42 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
     const auto entry_ab = tables_[a].find(b);
     const auto entry_ba = tables_[b].find(a);
     if (!entry_ab || !entry_ba) continue;
-    const BeamRefinement::Result beams =
-        refinement_->refine(world, a, entry_ab->sector_toward, b, entry_ba->sector_toward,
-                            alpha_, refine_sink);
+
+    // Clip the TDD window at the earlier churn death; skip refinement when
+    // nothing of the data window survives.
+    double window_end = frame_end;
+    if (fault_ != nullptr) {
+      window_end = std::min({frame_end, fault_->udt_down_from_s(a),
+                             fault_->udt_down_from_s(b)});
+      if (window_end < frame_end) fault_->note_udt_truncation();
+      if (window_end <= udt_start) continue;
+    }
+
+    bool refine_lost = false;
+    if (fault_ != nullptr) {
+      const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine);
+      const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
+      refine_lost = lost_a || lost_b;
+    }
+    BeamRefinement::Result beams{};
+    if (refine_lost) {
+      beams.bearing_a = grid_.center(entry_ab->sector_toward);
+      beams.bearing_b = grid_.center(entry_ba->sector_toward);
+      if (refine_sink != nullptr) {
+        ++refine_sink->pairs;
+        ++refine_sink->fallbacks;
+      }
+    } else {
+      beams = refinement_->refine(world, a, entry_ab->sector_toward, b,
+                                  entry_ba->sector_toward, alpha_, refine_sink);
+    }
     const bool a_first = world.mac(a) > world.mac(b);
     const net::NodeId first = a_first ? a : b;
     const net::NodeId second = a_first ? b : a;
     const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
     const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
     udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
-                      second_bearing, &refinement_->narrow_pattern(), udt_start, frame_end);
+                      second_bearing, &refinement_->narrow_pattern(), udt_start, window_end);
   }
   if (instr_ != nullptr) {
     MetricsRegistry& m = instr_->metrics();
@@ -229,6 +289,7 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
     m.counter("refine.probes").add(refine_stats.probes);
     m.counter("refine.fallbacks").add(refine_stats.fallbacks);
   }
+  if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
 }
 
 void RopProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {

@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
@@ -81,6 +82,10 @@ class RopProtocol final : public core::OhmProtocol {
   /// match formed on a bogus side-lobe sector never moves data).
   std::unordered_map<std::uint64_t, double> last_eta_;
   UdtEngine udt_;
+  /// Non-null iff the scenario enables fault injection. ROP has no frame
+  /// synchronization, so clock drift does not apply; loss, GPS noise and
+  /// churn hit it like any radio.
+  std::unique_ptr<fault::FaultPlan> fault_;
   double max_range_m_ = std::numeric_limits<double>::quiet_NaN();
   bool initialized_ = false;
 };

@@ -8,16 +8,16 @@ EventId EventQueue::schedule(SimTime at, std::function<void()> action) {
   const EventId id = next_id_++;
   heap_.push_back(Entry{at, next_seq_++, id, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), heap_later);
+  pending_.insert(id);
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Only mark ids that are actually still pending.
-  const bool pending = std::any_of(heap_.begin(), heap_.end(),
-                                   [id](const Entry& e) { return e.id == id; });
-  if (!pending) return false;
-  return cancelled_.insert(id).second;
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  // Keep the front live so next_time()/run_next() stay O(1) const reads.
+  drop_cancelled_front();
+  return true;
 }
 
 void EventQueue::drop_cancelled_front() {
@@ -31,23 +31,20 @@ void EventQueue::drop_cancelled_front() {
 }
 
 SimTime EventQueue::next_time() const {
-  // const_cast-free variant: scan past cancelled entries without mutating.
-  // The heap front is the earliest entry; cancelled fronts are rare, so a
-  // copy of the lazy-drop logic on a const path would complicate things —
-  // instead we require callers to go through run_next()/empty() which keep
-  // the front live. Enforce that invariant here.
-  auto* self = const_cast<EventQueue*>(this);
-  self->drop_cancelled_front();
-  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  if (pending_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  // Mutators keep the front live, so this is a pure read.
   return heap_.front().at;
 }
 
 SimTime EventQueue::run_next() {
-  drop_cancelled_front();
-  if (heap_.empty()) throw std::logic_error{"EventQueue::run_next on empty queue"};
+  if (pending_.empty()) throw std::logic_error{"EventQueue::run_next on empty queue"};
   std::pop_heap(heap_.begin(), heap_.end(), heap_later);
   Entry entry = std::move(heap_.back());
   heap_.pop_back();
+  pending_.erase(entry.id);
+  // Restore the live-front invariant before running the action (which may
+  // itself inspect the queue).
+  drop_cancelled_front();
   entry.action();
   return entry.at;
 }

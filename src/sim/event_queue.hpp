@@ -19,13 +19,14 @@ class EventQueue {
   /// scheduling order. Returns an id usable with cancel().
   EventId schedule(SimTime at, std::function<void()> action);
 
-  /// Cancel a pending event (lazy deletion). Cancelling an already-fired or
-  /// unknown id returns false.
+  /// Cancel a pending event. Membership is O(1) via the pending-id set;
+  /// non-front entries are dropped lazily when they surface at the heap top.
+  /// Cancelling an already-fired or unknown id returns false.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const noexcept { return live_count() == 0; }
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
   [[nodiscard]] std::size_t live_count() const noexcept {
-    return heap_.size() - cancelled_.size();
+    return pending_.size();
   }
   [[nodiscard]] SimTime next_time() const;
 
@@ -50,6 +51,11 @@ class EventQueue {
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
   std::vector<Entry> heap_;
+  /// Ids scheduled but neither fired nor cancelled. Invariant maintained by
+  /// every mutator: the heap is empty or its front entry is pending, so the
+  /// const accessors never need to mutate.
+  std::unordered_set<EventId> pending_;
+  /// Cancelled ids still physically in the heap, awaiting lazy removal.
   std::unordered_set<EventId> cancelled_;
 };
 

@@ -1,0 +1,54 @@
+// The shared golden-trace fixture: a fixed-seed ~20-vehicle scenario swept
+// with instrumentation on. Used by the golden-digest regression test and by
+// the fault-layer determinism suite (which must reproduce the exact same
+// digest when every fault knob is zero).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+
+namespace mmv2v::core::golden {
+
+/// FNV-1a 64 of the golden scenario's event stream. On an intentional
+/// behavior change, run test_golden once: the failure message prints the new
+/// digest to check in here.
+constexpr std::uint64_t kGoldenDigest = 0x7f943a0236b31366ULL;
+
+inline ExperimentConfig golden_experiment(int threads) {
+  ExperimentConfig config;
+  config.densities_vpl = {10.0};
+  config.repetitions = 2;
+  config.horizon_s = 0.2;  // 10 frames
+  config.seed = 20260806;
+  config.threads = threads;
+  return config;
+}
+
+inline ScenarioConfig golden_scenario() {
+  ScenarioConfig s;
+  s.traffic.road_length_m = 500.0;
+  s.traffic.lanes_per_direction = 2;
+  s.traffic_warmup_s = 2.0;
+  return s;  // 10 vpl x 0.5 km x 4 lanes ~= 20 vehicles
+}
+
+inline ProtocolFactory mmv2v_factory() {
+  return [](std::uint64_t seed) -> std::unique_ptr<OhmProtocol> {
+    protocols::MmV2VParams p;
+    p.seed = seed;
+    return std::make_unique<protocols::MmV2VProtocol>(p);
+  };
+}
+
+inline std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace mmv2v::core::golden

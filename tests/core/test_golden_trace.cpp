@@ -10,47 +10,20 @@
 // digest.
 #include <gtest/gtest.h>
 
-#include <cstdio>
-#include <memory>
 #include <string>
 
 #include "common/profiler.hpp"
 #include "core/experiment.hpp"
-#include "protocols/mmv2v/mmv2v.hpp"
+#include "core/golden_scenario.hpp"
 
 namespace mmv2v::core {
 namespace {
 
-/// FNV-1a 64 of the golden scenario's event stream. On an intentional
-/// behavior change, run this test once: the failure message prints the new
-/// digest to check in here.
-constexpr std::uint64_t kGoldenDigest = 0x7f943a0236b31366ULL;
-
-ExperimentConfig golden_experiment(int threads) {
-  ExperimentConfig config;
-  config.densities_vpl = {10.0};
-  config.repetitions = 2;
-  config.horizon_s = 0.2;  // 10 frames
-  config.seed = 20260806;
-  config.threads = threads;
-  return config;
-}
-
-ScenarioConfig golden_scenario() {
-  ScenarioConfig s;
-  s.traffic.road_length_m = 500.0;
-  s.traffic.lanes_per_direction = 2;
-  s.traffic_warmup_s = 2.0;
-  return s;  // 10 vpl x 0.5 km x 4 lanes ~= 20 vehicles
-}
-
-ProtocolFactory mmv2v_factory() {
-  return [](std::uint64_t seed) -> std::unique_ptr<OhmProtocol> {
-    protocols::MmV2VParams p;
-    p.seed = seed;
-    return std::make_unique<protocols::MmV2VProtocol>(p);
-  };
-}
+using golden::golden_experiment;
+using golden::golden_scenario;
+using golden::hex64;
+using golden::kGoldenDigest;
+using golden::mmv2v_factory;
 
 SweepTrace run_golden(int threads) {
   SweepTrace trace;
@@ -58,12 +31,6 @@ SweepTrace run_golden(int threads) {
       run_density_sweep(golden_experiment(threads), golden_scenario(), mmv2v_factory(), &trace);
   EXPECT_EQ(points.size(), 1u);
   return trace;
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[19];
-  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
-  return buf;
 }
 
 TEST(GoldenTrace, MatchesCheckedInDigest) {

@@ -1,0 +1,110 @@
+// End-to-end guarantees of the fault-injection layer on the golden scenario:
+//
+//   * all knobs zero  -> the event-stream digest equals the checked-in golden
+//     value, proving the layer's mere presence perturbs nothing;
+//   * knobs on        -> the digest is still bit-identical across worker
+//     thread counts (fault RNG streams are per-cell, not per-thread);
+//   * knobs on        -> the digest differs from golden and the trace carries
+//     `fault` events, proving injection actually happened;
+//   * raising ctrl_loss degrades OCR monotonically — the protocols lose
+//     capacity gracefully instead of crashing or deadlocking.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/golden_scenario.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+using golden::golden_experiment;
+using golden::golden_scenario;
+using golden::hex64;
+using golden::kGoldenDigest;
+using golden::mmv2v_factory;
+
+SweepTrace run_with_faults(const fault::FaultParams& faults, int threads) {
+  ScenarioConfig s = golden_scenario();
+  s.fault = faults;
+  SweepTrace trace;
+  const auto points =
+      run_density_sweep(golden_experiment(threads), s, mmv2v_factory(), &trace);
+  EXPECT_EQ(points.size(), 1u);
+  return trace;
+}
+
+fault::FaultParams all_faults() {
+  fault::FaultParams f;
+  f.clock_drift_us = 10.0;
+  f.ctrl_loss = 0.2;
+  f.burst_len = 3.0;
+  f.gps_sigma_m = 2.0;
+  f.churn_rate = 0.05;
+  return f;
+}
+
+TEST(FaultDeterminism, AllKnobsZeroReproducesGoldenDigest) {
+  const SweepTrace trace = run_with_faults(fault::FaultParams{}, /*threads=*/1);
+  EXPECT_EQ(trace.digest, kGoldenDigest)
+      << "a zeroed fault config perturbed the event stream; digest is now "
+      << hex64(trace.digest);
+  EXPECT_EQ(trace.events_jsonl.find("\"ev\":\"fault\""), std::string::npos);
+}
+
+TEST(FaultDeterminism, FaultedRunIsBitIdenticalAcrossThreadCounts) {
+  const SweepTrace serial = run_with_faults(all_faults(), /*threads=*/1);
+  const SweepTrace parallel = run_with_faults(all_faults(), /*threads=*/4);
+  EXPECT_EQ(serial.digest, parallel.digest);
+  EXPECT_EQ(serial.events_jsonl, parallel.events_jsonl);
+}
+
+TEST(FaultDeterminism, FaultedRunDivergesFromGoldenAndEmitsFaultEvents) {
+  const SweepTrace trace = run_with_faults(all_faults(), /*threads=*/2);
+  EXPECT_NE(trace.digest, kGoldenDigest);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"fault\""), std::string::npos);
+  // The stream still has the normal shape: faults degrade, never derail.
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"snd_round\""), std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"frame_end\""), std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"cell_end\""), std::string::npos);
+}
+
+TEST(FaultDeterminism, OcrDegradesMonotonicallyWithControlLoss) {
+  // Longer horizon and more reps than the golden config so the OCR means are
+  // stable enough to order; still < 1 s of wall clock.
+  ExperimentConfig config = golden_experiment(/*threads=*/0);
+  config.repetitions = 4;
+  config.horizon_s = 0.4;
+  std::vector<double> ocr;
+  for (const double loss : {0.0, 0.4, 0.9}) {
+    ScenarioConfig s = golden_scenario();
+    s.fault.ctrl_loss = loss;
+    const auto points = run_density_sweep(config, s, mmv2v_factory());
+    ASSERT_EQ(points.size(), 1u);
+    ocr.push_back(points[0].ocr.mean());
+  }
+  EXPECT_GT(ocr[0], ocr[1]);
+  EXPECT_GT(ocr[1], ocr[2]);
+  EXPECT_GT(ocr[0], 0.0);
+}
+
+TEST(FaultDeterminism, HeavyFaultSweepCompletesWithoutDerailing) {
+  // Aggressive everything: the run must finish, produce frames for every
+  // cell, and keep some OCR (bursty 40% loss is harsh, not fatal).
+  fault::FaultParams f;
+  f.clock_drift_us = 40.0;
+  f.ctrl_loss = 0.4;
+  f.burst_len = 5.0;
+  f.ctrl_corrupt = 0.05;
+  f.gps_sigma_m = 5.0;
+  f.churn_rate = 0.15;
+  f.churn_outage_frames = 3.0;
+  const SweepTrace trace = run_with_faults(f, /*threads=*/2);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"frame_end\""), std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"ev\":\"fault\""), std::string::npos);
+  EXPECT_NE(trace.events_jsonl.find("\"churn_down\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmv2v::core

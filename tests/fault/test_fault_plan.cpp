@@ -1,0 +1,251 @@
+// Unit tests for the deterministic fault plan: Gilbert-Elliott loss
+// statistics, counter-based clock/GPS noise, the churn state machine, and
+// seed reproducibility. Everything here runs on the plan in isolation — the
+// end-to-end guarantees (golden digest, thread invariance, graceful
+// degradation) live in test_fault_determinism.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace mmv2v::fault {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xfa17'2026'0806ULL;
+
+FaultParams loss_only(double loss, double burst) {
+  FaultParams p;
+  p.ctrl_loss = loss;
+  p.burst_len = burst;
+  return p;
+}
+
+TEST(FaultParams, EnabledOnlyWhenAKnobIsNonZero) {
+  FaultParams p;
+  EXPECT_FALSE(p.enabled());
+  p.burst_len = 8.0;  // burst length alone injects nothing
+  EXPECT_FALSE(p.enabled());
+  p.ctrl_loss = 0.1;
+  EXPECT_TRUE(p.enabled());
+}
+
+TEST(FaultPlan, BernoulliLossMatchesConfiguredRate) {
+  FaultPlan plan{loss_only(0.25, 1.0), kSeed};
+  plan.begin_frame(0, 4, 20e-3);
+  const int draws = 200000;
+  int lost = 0;
+  for (int i = 0; i < draws; ++i) {
+    lost += plan.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / draws, 0.25, 0.01);
+  EXPECT_EQ(plan.frame_stats().ssw_drops, static_cast<std::uint64_t>(lost));
+}
+
+TEST(FaultPlan, GilbertElliottMatchesRateAndBurstLength) {
+  // Stationary loss rate must still equal ctrl_loss, but losses must arrive
+  // in runs of mean length ~burst_len.
+  const double loss = 0.2;
+  const double burst = 4.0;
+  FaultPlan plan{loss_only(loss, burst), kSeed};
+  plan.begin_frame(0, 4, 20e-3);
+  const int draws = 400000;
+  int lost = 0;
+  int runs = 0;
+  bool in_run = false;
+  for (int i = 0; i < draws; ++i) {
+    const bool l = plan.ctrl_lost(net::NodeId{0}, CtrlKind::kNegotiation);
+    lost += l ? 1 : 0;
+    if (l && !in_run) ++runs;
+    in_run = l;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / draws, loss, 0.01);
+  ASSERT_GT(runs, 0);
+  EXPECT_NEAR(static_cast<double>(lost) / runs, burst, 0.25);
+}
+
+TEST(FaultPlan, ChainsAreIndependentPerSender) {
+  // Sender 0's draws must not perturb sender 1's loss rate.
+  FaultPlan lone{loss_only(0.3, 3.0), kSeed};
+  FaultPlan pair{loss_only(0.3, 3.0), kSeed};
+  lone.begin_frame(0, 4, 20e-3);
+  pair.begin_frame(0, 4, 20e-3);
+  const int draws = 100000;
+  int lost_lone = 0;
+  int lost_pair = 0;
+  for (int i = 0; i < draws; ++i) {
+    lost_lone += lone.ctrl_lost(net::NodeId{1}, CtrlKind::kSsw) ? 1 : 0;
+    (void)pair.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw);
+    lost_pair += pair.ctrl_lost(net::NodeId{1}, CtrlKind::kSsw) ? 1 : 0;
+  }
+  // Both see the stationary rate; interleaving shifts which draws land where,
+  // so only the statistics (not the sequences) are comparable.
+  EXPECT_NEAR(static_cast<double>(lost_lone) / draws, 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(lost_pair) / draws, 0.3, 0.02);
+}
+
+TEST(FaultPlan, CorruptionCountsSeparatelyFromLoss) {
+  FaultParams p;
+  p.ctrl_corrupt = 0.5;
+  FaultPlan plan{p, kSeed};
+  plan.begin_frame(0, 2, 20e-3);
+  const int draws = 50000;
+  int lost = 0;
+  for (int i = 0; i < draws; ++i) {
+    lost += plan.ctrl_lost(net::NodeId{0}, CtrlKind::kRefine) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / draws, 0.5, 0.02);
+  // Corruptions are tallied in their own counter, not the per-kind drops.
+  EXPECT_EQ(plan.frame_stats().corruptions, static_cast<std::uint64_t>(lost));
+  EXPECT_EQ(plan.frame_stats().refine_drops, 0u);
+}
+
+TEST(FaultPlan, ClockOffsetsAreStableAndScaleWithSigma) {
+  FaultParams p;
+  p.clock_drift_us = 50.0;
+  FaultPlan plan{p, kSeed};
+  plan.begin_frame(0, 64, 20e-3);
+  // Counter-based: repeated queries and query order change nothing.
+  const double a = plan.clock_offset_s(net::NodeId{7});
+  const double b = plan.clock_offset_s(net::NodeId{3});
+  EXPECT_EQ(plan.clock_offset_s(net::NodeId{7}), a);
+  EXPECT_EQ(plan.clock_offset_s(net::NodeId{3}), b);
+  EXPECT_NE(a, b);
+
+  // Empirical sigma over many vehicles tracks the knob (in seconds).
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double o = plan.clock_offset_s(static_cast<net::NodeId>(i));
+    sum_sq += o * o;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 50.0e-6, 5.0e-6);
+}
+
+TEST(FaultPlan, GpsOffsetsAreStableWithinAFrameAndRedrawnAcross) {
+  FaultParams p;
+  p.gps_sigma_m = 3.0;
+  FaultPlan plan{p, kSeed};
+  plan.begin_frame(0, 8, 20e-3);
+  const geom::Vec2 frame0 = plan.gps_offset(net::NodeId{5});
+  EXPECT_EQ(plan.gps_offset(net::NodeId{5}).x, frame0.x);
+  EXPECT_EQ(plan.gps_offset(net::NodeId{5}).y, frame0.y);
+  plan.begin_frame(1, 8, 20e-3);
+  const geom::Vec2 frame1 = plan.gps_offset(net::NodeId{5});
+  EXPECT_TRUE(frame1.x != frame0.x || frame1.y != frame0.y);
+
+  double sum_sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const geom::Vec2 o = plan.gps_offset(static_cast<net::NodeId>(i));
+    sum_sq += o.x * o.x + o.y * o.y;
+  }
+  EXPECT_NEAR(std::sqrt(sum_sq / (2 * n)), 3.0, 0.3);
+}
+
+TEST(FaultPlan, ChurnOutageStartsPartialThenGoesDark) {
+  FaultParams p;
+  p.churn_rate = 1.0;  // every vehicle drops in frame 0
+  p.churn_outage_frames = 1000;
+  FaultPlan plan{p, kSeed};
+  plan.begin_frame(0, 4, 20e-3);
+  EXPECT_EQ(plan.frame_stats().churn_drops, 4u);
+  for (net::NodeId v = 0; v < 4; ++v) {
+    // The outage starts mid-frame: control still runs, the data tail dies.
+    EXPECT_FALSE(plan.control_down(v));
+    const double t = plan.udt_down_from_s(v);
+    EXPECT_GE(t, 0.0);
+    EXPECT_LT(t, 20e-3);
+  }
+  plan.begin_frame(1, 4, 20e-3);
+  for (net::NodeId v = 0; v < 4; ++v) {
+    EXPECT_TRUE(plan.control_down(v));
+    EXPECT_EQ(plan.udt_down_from_s(v), 0.0);
+  }
+  EXPECT_EQ(plan.frame_stats().churn_down, 4u);
+  EXPECT_EQ(plan.frame_stats().churn_drops, 0u);
+}
+
+TEST(FaultPlan, ChurnRejoinRestoresTheRadio) {
+  FaultParams p;
+  p.churn_rate = 1.0;
+  p.churn_outage_frames = 1.0;  // minimum outage: down this frame, up next
+  FaultPlan plan{p, kSeed};
+  plan.begin_frame(0, 16, 20e-3);
+  EXPECT_EQ(plan.frame_stats().churn_drops, 16u);
+  plan.begin_frame(1, 16, 20e-3);
+  // A one-frame outage ends at the top of the next frame: everyone rejoins
+  // and runs the control plane again, even though churn_rate = 1 starts a
+  // fresh mid-frame outage immediately after.
+  EXPECT_EQ(plan.frame_stats().churn_rejoins, 16u);
+  for (net::NodeId v = 0; v < 16; ++v) EXPECT_FALSE(plan.control_down(v));
+
+  // With moderate churn some vehicle that was fully dark comes back with an
+  // untouched data window (udt_down_from_s = +inf), proving the rejoin path
+  // actually clears the churn state rather than only re-arming it.
+  FaultParams q;
+  q.churn_rate = 0.3;
+  q.churn_outage_frames = 2.0;
+  FaultPlan moderate{q, kSeed};
+  moderate.begin_frame(0, 16, 20e-3);
+  std::vector<bool> was_dark(16, false);
+  bool saw_clean_rejoin = false;
+  for (std::uint64_t f = 1; f < 50 && !saw_clean_rejoin; ++f) {
+    moderate.begin_frame(f, 16, 20e-3);
+    for (net::NodeId v = 0; v < 16; ++v) {
+      if (was_dark[v] && !moderate.control_down(v) &&
+          moderate.udt_down_from_s(v) == std::numeric_limits<double>::infinity()) {
+        saw_clean_rejoin = true;
+      }
+      was_dark[v] = moderate.control_down(v);
+    }
+  }
+  EXPECT_TRUE(saw_clean_rejoin);
+}
+
+TEST(FaultPlan, SameSeedSameParamsReproducesExactly) {
+  FaultParams p;
+  p.ctrl_loss = 0.15;
+  p.burst_len = 3.0;
+  p.churn_rate = 0.05;
+  p.clock_drift_us = 20.0;
+  p.gps_sigma_m = 2.0;
+  FaultPlan a{p, kSeed};
+  FaultPlan b{p, kSeed};
+  for (std::uint64_t f = 0; f < 5; ++f) {
+    a.begin_frame(f, 12, 20e-3);
+    b.begin_frame(f, 12, 20e-3);
+    for (net::NodeId v = 0; v < 12; ++v) {
+      EXPECT_EQ(a.control_down(v), b.control_down(v));
+      EXPECT_EQ(a.udt_down_from_s(v), b.udt_down_from_s(v));
+      EXPECT_EQ(a.clock_offset_s(v), b.clock_offset_s(v));
+      EXPECT_EQ(a.gps_offset(v).x, b.gps_offset(v).x);
+      EXPECT_EQ(a.gps_offset(v).y, b.gps_offset(v).y);
+      EXPECT_EQ(a.ctrl_lost(v, CtrlKind::kSsw), b.ctrl_lost(v, CtrlKind::kSsw));
+      EXPECT_EQ(a.ctrl_lost(v, CtrlKind::kNegotiation),
+                b.ctrl_lost(v, CtrlKind::kNegotiation));
+    }
+    EXPECT_EQ(a.frame_stats().total(), b.frame_stats().total());
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan a{loss_only(0.5, 1.0), kSeed};
+  FaultPlan b{loss_only(0.5, 1.0), kSeed + 1};
+  a.begin_frame(0, 2, 20e-3);
+  b.begin_frame(0, 2, 20e-3);
+  int mismatches = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw) !=
+        b.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw)) {
+      ++mismatches;
+    }
+  }
+  EXPECT_GT(mismatches, 0);
+}
+
+}  // namespace
+}  // namespace mmv2v::fault

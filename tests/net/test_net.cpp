@@ -85,6 +85,20 @@ TEST(NeighborTable, AgeOutDropsStaleEntries) {
   EXPECT_TRUE(t.contains(2));
 }
 
+TEST(NeighborTable, AgeOutIgnoresEntriesFromFutureFrames) {
+  // Regression: age_out computed `current_frame - last_seen_frame` unsigned,
+  // so an entry stamped ahead of the caller's frame (replayed trace, frame
+  // counter reset) wrapped to ~2^64 and was evicted as infinitely stale.
+  NeighborTable t{2};
+  t.observe(entry(1, 10));
+  t.age_out(7);  // caller's clock is behind the entry's stamp
+  EXPECT_TRUE(t.contains(1)) << "future-stamped entry must not wrap to stale";
+  t.age_out(10);
+  EXPECT_TRUE(t.contains(1));
+  t.age_out(13);  // now genuinely 3 > 2 frames old
+  EXPECT_FALSE(t.contains(1));
+}
+
 TEST(NeighborTable, EntriesSeenInFiltersByFrame) {
   NeighborTable t{10};
   t.observe(entry(1, 3));

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "fault/fault_plan.hpp"
 #include "geom/angles.hpp"
 #include "phy/antenna.hpp"
 #include "protocols/mmv2v/dcm.hpp"
@@ -83,14 +84,16 @@ TEST(DcmInvariants, RandomGraphsProduceValidImprovingMatchings) {
     }
 
     // Adoption rule: at adoption time the new link strictly improves (or
-    // establishes) both sides' candidates.
+    // establishes) both sides' candidates. A relink — re-negotiating the
+    // vehicle's own current candidate to heal a possibly-stale link — is the
+    // one adoption allowed without strict improvement.
     ASSERT_EQ(stats.adoptions, stats.adoptions_detail.size()) << "seed " << seed;
     for (const DcmAdoption& ad : stats.adoptions_detail) {
       EXPECT_NE(ad.a, ad.b) << "seed " << seed;
-      if (ad.had_prev_a) {
+      if (ad.had_prev_a && !ad.relink_a) {
         EXPECT_GT(ad.q_a, ad.prev_q_a) << "non-improving adoption, seed " << seed;
       }
-      if (ad.had_prev_b) {
+      if (ad.had_prev_b && !ad.relink_b) {
         EXPECT_GT(ad.q_b, ad.prev_q_b) << "non-improving adoption, seed " << seed;
       }
     }
@@ -111,6 +114,69 @@ TEST(DcmInvariants, RandomGraphsProduceValidImprovingMatchings) {
       EXPECT_FALSE(dcm.matched_pairs().empty()) << "seed " << seed;
     }
   }
+}
+
+TEST(DcmInvariants, LossyControlNeverProducesAsymmetricMatches) {
+  // The paper's DCM assumes the drop-inform in the second half-slot always
+  // arrives. Under injected loss it can vanish, leaving the displaced side
+  // with a stale candidate — which must only ever cost capacity, never
+  // produce an asymmetric *match*: matched_pairs() is built from mutual
+  // candidate links, every per-adoption invariant still holds, and a vehicle
+  // whose stale candidate resolves by relink does so without faking an
+  // improvement.
+  std::uint64_t total_fault_drops = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Xoshiro256pp rng{seed};
+    const std::size_t n = 4 + rng.uniform_int(21);
+    const double p_edge = rng.uniform(0.2, 0.9);
+    const RandomGraph g = random_graph(n, p_edge, rng);
+
+    fault::FaultParams fp;
+    fp.ctrl_loss = rng.uniform(0.05, 0.6);
+    fp.burst_len = 1.0 + rng.uniform(0.0, 4.0);
+    fault::FaultPlan fault{fp, seed ^ 0xfa17ULL};
+    fault.begin_frame(0, n, 20e-3);
+
+    ConsensualMatching dcm{{40, 7}};
+    dcm.reset(n);
+    DcmSlotStats stats;
+    dcm.run_all(g.neighbors, g.macs, nullptr, rng, nullptr, &stats, &fault);
+
+    // Matched pairs are mutual and disjoint even when informs were dropped.
+    std::set<net::NodeId> seen;
+    for (const auto& [a, b] : dcm.matched_pairs()) {
+      EXPECT_LT(a, b) << "seed " << seed;
+      EXPECT_TRUE(seen.insert(a).second) << "vehicle " << a << " in two pairs, seed " << seed;
+      EXPECT_TRUE(seen.insert(b).second) << "vehicle " << b << " in two pairs, seed " << seed;
+    }
+    // Stale one-way candidate links may survive a lost inform; a matched
+    // vehicle's link, however, must be mutual.
+    const auto& st = dcm.candidates();
+    for (const auto& [a, b] : dcm.matched_pairs()) {
+      ASSERT_TRUE(st[a].candidate.has_value()) << "seed " << seed;
+      ASSERT_TRUE(st[b].candidate.has_value()) << "seed " << seed;
+      EXPECT_EQ(*st[a].candidate, b) << "seed " << seed;
+      EXPECT_EQ(*st[b].candidate, a) << "seed " << seed;
+    }
+
+    ASSERT_EQ(stats.adoptions, stats.adoptions_detail.size()) << "seed " << seed;
+    for (const DcmAdoption& ad : stats.adoptions_detail) {
+      if (ad.had_prev_a && !ad.relink_a) {
+        EXPECT_GT(ad.q_a, ad.prev_q_a) << "non-improving adoption, seed " << seed;
+      }
+      if (ad.had_prev_b && !ad.relink_b) {
+        EXPECT_GT(ad.q_b, ad.prev_q_b) << "non-improving adoption, seed " << seed;
+      }
+    }
+    // Lost negotiations surface as exchange failures, never as silent
+    // successes: every negotiation drop failed some mutual pair's exchange.
+    EXPECT_LE(stats.exchange_failures, stats.mutual_pairs) << "seed " << seed;
+    total_fault_drops += fault.frame_stats().negotiation_drops +
+                         fault.frame_stats().inform_drops;
+  }
+  // Across 200 seeds of >= 5% loss the injector certainly fired; a zero here
+  // means the fault hook fell out of the slot loop.
+  EXPECT_GT(total_fault_drops, 0u);
 }
 
 TEST(DcmInvariants, TddSessionsRespectHalfDuplex) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mmv2v::sim {
@@ -110,6 +112,60 @@ TEST(Engine, ResetClearsEverything) {
   engine.reset();
   EXPECT_DOUBLE_EQ(engine.now(), 0.0);
   EXPECT_TRUE(engine.queue().empty());
+}
+
+TEST(EventQueue, NextTimeSkipsRunsOfCancelledFrontEvents) {
+  // The heap keeps the invariant "front is live" eagerly at cancel time, so
+  // next_time() is a pure read even when every earlier event was cancelled.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 50; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(i), [] {}));
+  }
+  for (int i = 0; i < 49; ++i) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+  EXPECT_EQ(q.live_count(), 1u);
+  const EventQueue& cq = q;  // next_time() must be callable on a const queue
+  EXPECT_DOUBLE_EQ(cq.next_time(), 49.0);
+  EXPECT_DOUBLE_EQ(q.run_next(), 49.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelChurnStressStaysConsistent) {
+  // Regression harness for the O(n)-scan cancel: heavy interleaved
+  // schedule/cancel traffic must keep live_count, next_time and the fired
+  // set exactly consistent. Deterministic LCG so the test is reproducible.
+  EventQueue q;
+  std::vector<EventId> live;
+  std::vector<int> fired;
+  int cancelled_payloads = 0;
+  std::uint64_t lcg = 1;
+  const auto next_rand = [&lcg] {
+    lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+    return lcg >> 33;
+  };
+  int scheduled = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int k = 0; k < 10; ++k) {
+      const double t = 1.0 + static_cast<double>(next_rand() % 1000);
+      const int payload = scheduled++;
+      live.push_back(q.schedule(t, [&fired, payload] { fired.push_back(payload); }));
+    }
+    for (int k = 0; k < 5 && !live.empty(); ++k) {
+      const std::size_t pick = next_rand() % live.size();
+      if (q.cancel(live[pick])) ++cancelled_payloads;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    if (!q.empty()) {
+      const double front = q.next_time();
+      EXPECT_DOUBLE_EQ(q.run_next(), front);
+    }
+  }
+  const std::size_t ran_in_rounds = fired.size();
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired.size() + static_cast<std::size_t>(cancelled_payloads),
+            static_cast<std::size_t>(scheduled));
+  EXPECT_GT(ran_in_rounds, 0u);
+  EXPECT_GT(cancelled_payloads, 0);
 }
 
 TEST(EventQueue, StressManyEventsStayOrdered) {
