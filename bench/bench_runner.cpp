@@ -21,6 +21,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/alloc_hook.hpp"
 #include "common/profiler.hpp"
 #include "common/rng.hpp"
 #include "common/version.hpp"
@@ -46,7 +47,7 @@ using bench::BenchResult;
 /// (world warmup, table fills) out of the measurement.
 struct BenchCase {
   const char* name;
-  const char* suite;  ///< "micro_phy" | "micro_world" | "micro_phases" | "sweep"
+  const char* suite;  ///< "micro_phy" | "micro_world" | "micro_phases" | "sim" | "sweep"
   bool in_smoke;      ///< member of the quick CI smoke suite
   std::function<std::function<void()>()> make;
 };
@@ -59,7 +60,7 @@ core::ScenarioConfig bench_scenario(double vpl) {
   return s;
 }
 
-std::vector<BenchCase> declare_benchmarks() {
+std::vector<BenchCase> declare_benchmarks(const core::EngineParams& engine) {
   std::vector<BenchCase> cases;
 
   // --- micro_phy: PHY / geometry kernels --------------------------------
@@ -195,6 +196,42 @@ std::vector<BenchCase> declare_benchmarks() {
     };
   }});
 
+  // --- sim: whole-frame pipeline at high density ------------------------
+  cases.push_back({"sim.frame_60vpl", "sim", false, [engine] {
+    // One complete mmV2V frame (SND + DCM + refinement + 4 UDT sub-steps +
+    // mobility) on a dense 60 vpl world, driven the same way micro_phases'
+    // BM_FullFrame drives it. This is the headline single-frame cost the
+    // staged pipeline is meant to shrink; `--engine.threads N` sets the
+    // intra-frame worker-lane count and `--engine.arena_bytes` the per-lane
+    // frame-arena capacity.
+    struct State {
+      core::World world;
+      core::TransferLedger ledger{1e12};
+      protocols::MmV2VProtocol protocol;
+      std::uint64_t frame = 0;
+      State(core::ScenarioConfig s, const protocols::MmV2VParams& p)
+          : world{std::move(s), 99}, protocol{p} {}
+    };
+    core::ScenarioConfig scenario = bench_scenario(60.0);
+    scenario.engine = engine;
+    auto s = std::make_shared<State>(std::move(scenario), protocols::MmV2VParams{});
+    return [s] {
+      core::FrameContext ctx{s->world, s->ledger, s->frame,
+                             static_cast<double>(s->frame) * 0.02};
+      s->protocol.begin_frame(ctx);
+      const double udt_start = s->protocol.udt_start_offset_s();
+      double prev = 0.0;
+      for (double b = 0.005; b <= 0.020 + 1e-12; b += 0.005) {
+        const double t0 = std::max(prev, udt_start);
+        if (b > t0) s->protocol.udt_step(ctx, t0, b);
+        s->world.advance(0.005);
+        prev = b;
+      }
+      s->protocol.end_frame(ctx);
+      ++s->frame;
+    };
+  }});
+
   // --- sweep: end-to-end density sweep through the public runner --------
   cases.push_back({"sweep.mmv2v_2x1_cells", "sweep", true, [] {
     return [] {
@@ -269,7 +306,7 @@ int main(int argc, char** argv) {
 
   const std::vector<bench::FlagSpec> specs{
       {"suite", "smoke",
-       "suite to run: smoke | micro_phy | micro_world | micro_phases | sweep | all"},
+       "suite to run: smoke | micro_phy | micro_world | micro_phases | sim | sweep | all"},
       {"out", "BENCH_results.json", "write results JSON here ('-' = stdout only)"},
       {"results", "", "skip running; load current results from this JSON file"},
       {"compare", "", "baseline BENCH_results.json; exit 1 on regression"},
@@ -279,6 +316,8 @@ int main(int argc, char** argv) {
       {"min_rep_s", "0.02", "calibrate batch size until one rep takes this long"},
       {"trim_fraction", "0.1", "fraction of reps trimmed from each tail"},
       {"threads", "0", "reserved knob for sweep-style cases (0 = hardware)"},
+      {"engine.threads", "1", "intra-frame worker lanes for sim cases (0 = one per hardware thread)"},
+      {"engine.arena_bytes", "1048576", "per-lane frame-arena capacity [bytes]"},
       {"prof_trace", "", "enable the profiler and write a Chrome trace here"},
       {"prof_report", "false", "enable the profiler and print the scope hierarchy"},
   };
@@ -316,7 +355,8 @@ int main(int argc, char** argv) {
         if (suite == "smoke") return c.in_smoke;
         return suite == c.suite;
       };
-      const std::vector<BenchCase> cases = declare_benchmarks();
+      const core::EngineParams engine = parse_engine_knobs(cli.values);
+      const std::vector<BenchCase> cases = declare_benchmarks(engine);
       const bool any = std::any_of(cases.begin(), cases.end(), selected);
       if (!any) {
         std::fprintf(stderr, "bench_runner: unknown suite '%s' (try --help)\n", suite.c_str());
@@ -330,9 +370,21 @@ int main(int argc, char** argv) {
         if (!selected(c)) continue;
         std::function<void()> fn = c.make();
         const BenchResult r = bench::measure(c.name, policy, fn);
-        std::printf("%-40s %12.1f ns/op  p50 %12.1f  p99 %12.1f  (%llu ops)\n",
+        std::printf("%-40s %12.1f ns/op  p50 %12.1f  p99 %12.1f  (%llu ops)",
                     r.name.c_str(), r.ns_per_op, r.p50_ns, r.p99_ns,
                     static_cast<unsigned long long>(r.ops));
+        if (alloc_hook::active()) {
+          // Steady-state heap traffic per op: the measurement loop above has
+          // already warmed every lazily-grown buffer, so this probe sees
+          // exactly the per-iteration allocations.
+          constexpr int kAllocProbeIters = 16;
+          const std::uint64_t before = alloc_hook::allocations();
+          for (int k = 0; k < kAllocProbeIters; ++k) fn();
+          const double allocs_per_op =
+              static_cast<double>(alloc_hook::allocations() - before) / kAllocProbeIters;
+          std::printf("  %9.1f allocs/op", allocs_per_op);
+        }
+        std::printf("\n");
         report.benchmarks.push_back(r);
       }
 

@@ -48,7 +48,9 @@ int main(int argc, char** argv) {
       {"reps", "3", "repetitions (independent seeds) per density"},
       {"horizon_s", "1.5", "simulated horizon per cell [s]"},
       {"seed", "1", "root seed; cell seeds derive from (seed, density, rep)"},
-      {"threads", "0", "worker threads (0 = one per hardware thread)"},
+      {"threads", "0", "sweep-cell worker threads (0 = one per hardware thread)"},
+      {"engine.threads", "1", "intra-frame worker lanes per cell (0 = one per hardware thread)"},
+      {"engine.arena_bytes", "1048576", "per-lane frame-arena capacity [bytes]"},
       {"rate_mbps", "200", "per-pair task demand [Mbit/s]"},
       {"comm_range_m", "80", "communication/admission range [m]"},
       {"shadowing_db", "0", "log-normal shadowing sigma (0 = off) [dB]"},
@@ -99,6 +101,14 @@ int main(int argc, char** argv) {
   if (!prof_trace.empty() || prof_report) prof::set_enabled(true);
 
   core::ScenarioConfig base;
+  // Intra-frame execution knobs (worker lanes + arena sizing). Any setting
+  // yields bit-identical sweep results; see DESIGN.md Section 11.
+  try {
+    base.engine = parse_engine_knobs(cli);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_runner: %s (try --help)\n", e.what());
+    return 2;
+  }
   base.task.rate_mbps = cli.get_or("rate_mbps", 200.0);
   base.comm_range_m = cli.get_or("comm_range_m", base.comm_range_m);
   base.fading.shadowing_sigma_db = cli.get_or("shadowing_db", 0.0);

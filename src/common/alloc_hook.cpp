@@ -1,0 +1,111 @@
+// Counting replacements for the global allocation functions. Sanitizer
+// builds disable the hook entirely: ASan/TSan interpose on malloc and expect
+// their own operator new definitions, and fighting their interceptors would
+// corrupt their bookkeeping.
+#include "common/alloc_hook.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MMV2V_ALLOC_HOOK_DISABLED 1
+#endif
+#if !defined(MMV2V_ALLOC_HOOK_DISABLED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MMV2V_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+namespace mmv2v::alloc_hook {
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+bool active() {
+#if defined(MMV2V_ALLOC_HOOK_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::uint64_t allocations() { return g_allocations.load(std::memory_order_relaxed); }
+
+namespace detail {
+inline void count_one() { g_allocations.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace detail
+
+}  // namespace mmv2v::alloc_hook
+
+#if !defined(MMV2V_ALLOC_HOOK_DISABLED)
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  mmv2v::alloc_hook::detail::count_one();
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  mmv2v::alloc_hook::detail::count_one();
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  void* p = nullptr;
+  if (posix_memalign(&p, alignment, size != 0 ? size : 1) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = counted_alloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t al) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t al) {
+  if (void* p = counted_aligned_alloc(size, static_cast<std::size_t>(al))) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new(std::size_t size, std::align_val_t al, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void* operator new[](std::size_t size, std::align_val_t al, const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // !MMV2V_ALLOC_HOOK_DISABLED

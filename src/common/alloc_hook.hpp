@@ -1,0 +1,20 @@
+// Global operator-new counting hook. Compile alloc_hook.cpp directly into a
+// binary (not via a static library, where the replacement operators may not
+// be pulled from the archive) to count every heap allocation the process
+// makes. Used by bench_runner's allocs/op column and the steady-state
+// zero-allocation pipeline test.
+#pragma once
+
+#include <cstdint>
+
+namespace mmv2v::alloc_hook {
+
+/// True when the counting operator-new replacement is compiled into this
+/// binary. False under ASan/TSan, whose interceptors own the allocator.
+bool active();
+
+/// Number of global operator new / new[] calls since process start.
+/// Monotonic; sample before/after a region and subtract.
+std::uint64_t allocations();
+
+}  // namespace mmv2v::alloc_hook

@@ -1,0 +1,138 @@
+// Monotonic bump allocator for frame-scoped scratch. A MonotonicArena hands
+// out raw bytes from a single pre-sized block; reset() rewinds the bump
+// pointer in O(1) so the same storage serves every frame. Requests that do
+// not fit the main block fall back to individually malloc'd overflow blocks
+// (freed on reset), so an undersized arena degrades to the heap instead of
+// failing — `overflow_count()` exposes the miss so benches can flag it.
+//
+// ArenaAllocator<T> adapts the arena to the std allocator interface, so
+// `std::vector<T, ArenaAllocator<T>>` (and node containers) can draw
+// frame-lifetime storage. deallocate() is a no-op: memory is reclaimed in
+// bulk by reset(). Neither class is thread-safe; give each worker lane its
+// own arena.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace mmv2v {
+
+class MonotonicArena {
+ public:
+  /// `capacity` bytes are reserved up front; 0 defers the main block until
+  /// the first allocation (which then overflows to the heap).
+  explicit MonotonicArena(std::size_t capacity = 1 << 20) : capacity_(capacity) {
+    if (capacity_ > 0) block_ = static_cast<std::byte*>(::operator new(capacity_));
+  }
+  ~MonotonicArena() {
+    release_overflow();
+    ::operator delete(block_);
+  }
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+  MonotonicArena(MonotonicArena&& other) noexcept
+      : block_(other.block_),
+        capacity_(other.capacity_),
+        used_(other.used_),
+        overflow_(std::move(other.overflow_)),
+        overflow_count_(other.overflow_count_) {
+    other.block_ = nullptr;
+    other.capacity_ = 0;
+    other.used_ = 0;
+    other.overflow_.clear();
+    other.overflow_count_ = 0;
+  }
+  MonotonicArena& operator=(MonotonicArena&&) = delete;
+
+  /// Bump-allocate `size` bytes aligned to `align` (a power of two). Falls
+  /// back to the heap when the main block is exhausted.
+  void* allocate(std::size_t size, std::size_t align = alignof(std::max_align_t)) {
+    // Align the address, not just the offset: operator new only guarantees
+    // the block base up to __STDCPP_DEFAULT_NEW_ALIGNMENT__, so over-aligned
+    // requests need the base folded into the computation.
+    const auto base = reinterpret_cast<std::uintptr_t>(block_);
+    const std::uintptr_t bumped =
+        (base + used_ + align - 1) & ~(static_cast<std::uintptr_t>(align) - 1);
+    const std::size_t aligned = static_cast<std::size_t>(bumped - base);
+    if (aligned + size <= capacity_) {
+      used_ = aligned + size;
+      return block_ + aligned;
+    }
+    ++overflow_count_;
+    void* p = ::operator new(size, std::align_val_t{align});
+    overflow_.push_back(OverflowBlock{p, std::align_val_t{align}});
+    return p;
+  }
+
+  /// Rewind to empty. The main block is kept; overflow blocks are freed.
+  /// Everything previously allocated from this arena is invalidated.
+  void reset() {
+    used_ = 0;
+    release_overflow();
+  }
+
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Allocations since construction that missed the main block. A nonzero
+  /// steady-state count means `capacity` is undersized for the workload.
+  [[nodiscard]] std::uint64_t overflow_count() const noexcept { return overflow_count_; }
+
+ private:
+  struct OverflowBlock {
+    void* ptr;
+    std::align_val_t align;
+  };
+
+  void release_overflow() {
+    for (const OverflowBlock& b : overflow_) ::operator delete(b.ptr, b.align);
+    overflow_.clear();
+  }
+
+  std::byte* block_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::vector<OverflowBlock> overflow_;
+  std::uint64_t overflow_count_ = 0;
+};
+
+/// std-compatible allocator view over a MonotonicArena. Copies (including
+/// rebound copies) share the arena; equality compares arena identity, so
+/// containers can move between allocator copies without element-wise churn.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(MonotonicArena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) noexcept {}  // bulk-reclaimed by reset()
+
+  [[nodiscard]] MonotonicArena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ == other.arena();
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const noexcept {
+    return arena_ != other.arena();
+  }
+
+ private:
+  MonotonicArena* arena_;
+};
+
+/// Frame-lifetime vector: storage comes from the arena, dies at reset().
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace mmv2v

@@ -139,4 +139,23 @@ bool ConfigMap::get_or(std::string_view key, bool def) const {
   return get_bool(key).value_or(def);
 }
 
+core::EngineParams parse_engine_knobs(const ConfigMap& config) {
+  core::EngineParams engine;
+  if (config.contains("engine.threads")) {
+    const auto threads = config.get_int("engine.threads");
+    if (!threads || *threads < 0) {
+      throw std::runtime_error{"engine.threads must be an integer >= 0 (0 = hardware threads)"};
+    }
+    engine.threads = static_cast<int>(*threads);
+  }
+  if (config.contains("engine.arena_bytes")) {
+    const auto bytes = config.get_int("engine.arena_bytes");
+    if (!bytes || *bytes < 0) {
+      throw std::runtime_error{"engine.arena_bytes must be an integer >= 0"};
+    }
+    engine.arena_bytes = static_cast<std::size_t>(*bytes);
+  }
+  return engine;
+}
+
 }  // namespace mmv2v

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "core/engine_params.hpp"
+
 namespace mmv2v {
 
 class ConfigMap {
@@ -48,5 +50,11 @@ class ConfigMap {
  private:
   std::map<std::string, std::string, std::less<>> entries_;
 };
+
+/// Parse the `engine.*` knob group (`engine.threads`, `engine.arena_bytes`)
+/// into execution-engine parameters. Missing keys keep the EngineParams
+/// defaults; malformed or negative values throw std::runtime_error. These
+/// knobs never change simulation results, only how frames are computed.
+[[nodiscard]] core::EngineParams parse_engine_knobs(const ConfigMap& config);
 
 }  // namespace mmv2v

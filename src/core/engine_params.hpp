@@ -1,0 +1,22 @@
+// Execution-engine knobs for the staged frame pipeline. These control HOW a
+// frame is computed (worker lanes, scratch arena sizing), never WHAT it
+// computes: any setting must produce bit-identical results, a property the
+// pipeline tests check by comparing golden digests across thread counts.
+#pragma once
+
+#include <cstddef>
+
+namespace mmv2v::core {
+
+struct EngineParams {
+  /// Worker lanes for intra-frame parallel phase loops (including the
+  /// caller). 1 = fully serial (the default, and the reference behavior);
+  /// 0 = one lane per hardware thread.
+  int threads = 1;
+  /// Capacity of each per-lane frame arena [bytes]. Undersizing is safe —
+  /// allocations overflow to the heap — but costs the zero-allocation
+  /// steady state.
+  std::size_t arena_bytes = 1 << 20;
+};
+
+}  // namespace mmv2v::core

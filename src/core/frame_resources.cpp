@@ -1,0 +1,18 @@
+#include "core/frame_resources.hpp"
+
+namespace mmv2v::core {
+
+FrameResources::FrameResources(const EngineParams& params)
+    : params_(params), pool_(params.threads) {
+  arenas_.reserve(static_cast<std::size_t>(pool_.lanes()));
+  for (int lane = 0; lane < pool_.lanes(); ++lane) {
+    arenas_.emplace_back(params_.arena_bytes);
+  }
+}
+
+void FrameResources::begin_frame() {
+  for (MonotonicArena& arena : arenas_) arena.reset();
+  stats_.reset();
+}
+
+}  // namespace mmv2v::core

@@ -1,0 +1,44 @@
+// Per-frame execution resources shared by every phase of the staged
+// pipeline: one scratch arena per worker lane, the persistent worker pool,
+// and the unified PhaseStats sink. A Simulation owns one FrameResources for
+// its whole run and calls begin_frame() at each frame boundary, which
+// rewinds the arenas (O(1)) and clears the stats — so steady-state frames
+// reuse the same storage with no heap traffic.
+#pragma once
+
+#include <vector>
+
+#include "common/arena.hpp"
+#include "core/engine_params.hpp"
+#include "core/phase_stats.hpp"
+#include "sim/worker_pool.hpp"
+
+namespace mmv2v::core {
+
+class FrameResources {
+ public:
+  explicit FrameResources(const EngineParams& params = {});
+
+  FrameResources(const FrameResources&) = delete;
+  FrameResources& operator=(const FrameResources&) = delete;
+
+  /// Rewind all lane arenas and clear the stats sink. Call at each frame
+  /// boundary before any phase runs; everything arena-allocated in the
+  /// previous frame is invalidated.
+  void begin_frame();
+
+  [[nodiscard]] const EngineParams& params() const noexcept { return params_; }
+  [[nodiscard]] sim::WorkerPool& pool() noexcept { return pool_; }
+  /// Scratch arena for worker lane `lane` (0 = the dispatching thread).
+  [[nodiscard]] MonotonicArena& arena(int lane = 0) { return arenas_[static_cast<std::size_t>(lane)]; }
+  [[nodiscard]] int lanes() const noexcept { return pool_.lanes(); }
+  [[nodiscard]] PhaseStats& stats() noexcept { return stats_; }
+
+ private:
+  EngineParams params_;
+  sim::WorkerPool pool_;
+  std::vector<MonotonicArena> arenas_;
+  PhaseStats stats_;
+};
+
+}  // namespace mmv2v::core

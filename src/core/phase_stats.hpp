@@ -1,0 +1,111 @@
+// Per-frame phase observability counters, unified across protocol stacks.
+// PhaseStats hangs off core::FrameContext so phase implementations write to
+// one shared sink instead of threading per-struct out-params through every
+// signature. The component structs live here (rather than in the protocol
+// headers that originally defined them) so core can own the aggregate;
+// protocol headers keep compatibility aliases.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/mac_address.hpp"
+
+namespace mmv2v::core {
+
+/// Per-round discovery counters (SND rounds; also reused by the ROP and
+/// 802.11ad discovery loops where the semantics line up).
+struct SndRoundStats {
+  /// Observations admitted into a neighbor table.
+  std::uint64_t decodes = 0;
+  /// Arrivals that failed the control-PHY decode (capture SINR or, under
+  /// ideal_capture, interference-free SNR below threshold).
+  std::uint64_t decode_failures = 0;
+  /// Decoded arrivals rejected by the admission SNR / range filters.
+  std::uint64_t admission_rejects = 0;
+  /// Tx/Rx pairs skipped because their relative clock offset exceeded half
+  /// the sector dwell (sync-error model).
+  std::uint64_t sync_skips = 0;
+};
+
+/// One adoption recorded during a DCM slot, with enough context to check the
+/// improvement invariant: at adoption time the new link must strictly
+/// improve each side's candidate (or establish a first one).
+struct DcmAdoption {
+  net::NodeId a = 0;
+  net::NodeId b = 0;
+  /// New link quality as measured by each side [dB].
+  double q_a = 0.0;
+  double q_b = 0.0;
+  /// Quality of the candidate each side held immediately before adopting.
+  double prev_q_a = 0.0;
+  double prev_q_b = 0.0;
+  bool had_prev_a = false;
+  bool had_prev_b = false;
+  /// True when that side's previous candidate was the partner itself: a
+  /// re-adoption that re-synchronizes state left stale by a lost drop-inform.
+  /// Relinks carry equal (not strictly improving) quality by construction.
+  bool relink_a = false;
+  bool relink_b = false;
+};
+
+/// Matching-phase counters, accumulated over all negotiation slots.
+struct DcmSlotStats {
+  /// Vehicles that picked a CNS-scheduled neighbor this slot.
+  std::uint64_t proposals = 0;
+  /// Mutual picks (pairs that attempted a negotiation exchange).
+  std::uint64_t mutual_pairs = 0;
+  /// Exchanges lost to the negotiation channel.
+  std::uint64_t exchange_failures = 0;
+  /// Exchanges adopted by both sides.
+  std::uint64_t adoptions = 0;
+  /// Exchanges declined because at least one side would not improve.
+  std::uint64_t conflicts = 0;
+  /// Previous candidates displaced by adoptions.
+  std::uint64_t drops = 0;
+  std::vector<DcmAdoption> adoptions_detail;
+};
+
+/// Negotiation link-layer counters, accumulated across every slot of a frame.
+struct NegotiationStats {
+  /// Half-slot transmissions evaluated (two per pair per slot).
+  std::uint64_t half_attempts = 0;
+  /// Half-slot transmissions that failed to decode (geometry miss or SINR
+  /// below the control threshold).
+  std::uint64_t half_failures = 0;
+};
+
+/// Beam-refinement counters (one frame's worth).
+struct RefineStats {
+  /// Matched pairs refined.
+  std::uint64_t pairs = 0;
+  /// Narrow-beam probes evaluated (2 * beams_per_side per refined pair).
+  std::uint64_t probes = 0;
+  /// Pairs out of cached range that fell back to sector centers.
+  std::uint64_t fallbacks = 0;
+};
+
+/// The per-frame aggregate: one sink for every phase of every protocol
+/// stack. reset() clears counters while keeping vector capacity, so a
+/// steady-state frame records stats without heap traffic.
+struct PhaseStats {
+  std::vector<SndRoundStats> snd_rounds;
+  DcmSlotStats dcm;
+  NegotiationStats negotiation;
+  RefineStats refine;
+
+  void reset() {
+    snd_rounds.clear();
+    dcm.proposals = 0;
+    dcm.mutual_pairs = 0;
+    dcm.exchange_failures = 0;
+    dcm.adoptions = 0;
+    dcm.conflicts = 0;
+    dcm.drops = 0;
+    dcm.adoptions_detail.clear();
+    negotiation = NegotiationStats{};
+    refine = RefineStats{};
+  }
+};
+
+}  // namespace mmv2v::core

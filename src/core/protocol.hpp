@@ -14,6 +14,8 @@
 namespace mmv2v::core {
 
 class Instrumentation;
+class FrameResources;
+struct PhaseStats;
 
 struct FrameContext {
   World& world;
@@ -22,17 +24,54 @@ struct FrameContext {
   std::uint64_t frame = 0;
   /// Absolute simulation time of the frame start [s].
   double frame_start_s = 0.0;
+  /// Shared execution resources (worker pool, per-lane arenas). Null is
+  /// valid and means "run serially with protocol-owned scratch".
+  FrameResources* resources = nullptr;
+  /// Unified per-frame stats sink. Null disables stats collection — the
+  /// zero-overhead configuration, matching a null Instrumentation.
+  PhaseStats* stats = nullptr;
 };
 
-class OhmProtocol {
- public:
-  virtual ~OhmProtocol() = default;
+/// The canonical OHM frame stages, in execution order. Every protocol stack
+/// maps its control pipeline onto these three: neighbor discovery (SND /
+/// random-order probing / BTI sweeps), matching (DCM negotiation / random
+/// matching / PBSS election + A-BFT), and data-transfer setup (beam
+/// refinement + TDD session scheduling).
+enum class Phase {
+  kSnd,
+  kDcm,
+  kUdt,
+};
 
+/// Staged frame pipeline interface: a frame is begin_frame (which by default
+/// runs the three phases in order), the mobility-driven udt_step calls made
+/// by the simulation loop, then end_frame. Implementations may override
+/// run_phase to expose individual stages, or begin_frame wholesale.
+class PhaseEngine {
+ public:
+  virtual ~PhaseEngine() = default;
+
+  virtual void begin_frame(FrameContext& ctx) = 0;
+  virtual void run_phase(FrameContext& ctx, Phase phase) = 0;
+  virtual void end_frame(FrameContext& ctx) = 0;
+};
+
+class OhmProtocol : public PhaseEngine {
+ public:
   [[nodiscard]] virtual std::string_view name() const = 0;
 
   /// Run the control phases (discovery, matching, beam refinement) on the
-  /// frame-start snapshot and set up this frame's data sessions.
-  virtual void begin_frame(FrameContext& ctx) = 0;
+  /// frame-start snapshot and set up this frame's data sessions. The default
+  /// simply runs the three stages in canonical order.
+  void begin_frame(FrameContext& ctx) override {
+    run_phase(ctx, Phase::kSnd);
+    run_phase(ctx, Phase::kDcm);
+    run_phase(ctx, Phase::kUdt);
+  }
+
+  /// Run one control stage. Protocols that override begin_frame directly
+  /// (the pre-pipeline style) may leave this empty.
+  void run_phase(FrameContext& /*ctx*/, Phase /*phase*/) override {}
 
   /// Offset within the frame at which data transmission begins [s].
   [[nodiscard]] virtual double udt_start_offset_s() const = 0;
@@ -43,7 +82,7 @@ class OhmProtocol {
   virtual void udt_step(FrameContext& ctx, double t0, double t1) = 0;
 
   /// Frame teardown hook.
-  virtual void end_frame(FrameContext& /*ctx*/) {}
+  void end_frame(FrameContext& /*ctx*/) override {}
 
   /// Number of links (matched pairs / scheduled service periods) this frame
   /// activated; feeds the trace recorder.

@@ -6,6 +6,7 @@
 #include <cstdint>
 
 #include "common/units.hpp"
+#include "core/engine_params.hpp"
 #include "fault/fault_params.hpp"
 #include "phy/channel.hpp"
 #include "phy/fading.hpp"
@@ -32,6 +33,9 @@ struct ScenarioConfig {
   /// Deterministic impairment knobs (all zero = ideal conditions; see
   /// fault/fault_params.hpp and DESIGN.md Section 10).
   fault::FaultParams fault;
+  /// Execution-engine knobs (worker lanes, arena sizing). Results are
+  /// bit-identical across settings; see DESIGN.md Section 11.
+  EngineParams engine;
 
   /// One-hop neighborhood radius defining the ground-truth N_i [m].
   double comm_range_m = 80.0;

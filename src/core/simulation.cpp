@@ -6,7 +6,6 @@
 
 #include "common/logging.hpp"
 #include "common/profiler.hpp"
-#include "sim/event_queue.hpp"
 
 namespace mmv2v::core {
 
@@ -15,6 +14,7 @@ OhmSimulation::OhmSimulation(ScenarioConfig config, OhmProtocol& protocol,
     : config_(std::move(config)),
       world_(config_, config_.seed),
       ledger_(config_.unit_bits()),
+      resources_(config_.engine),
       protocol_(protocol) {
   const double frame = config_.timing.frame_s;
   const double tick = config_.timing.mobility_tick_s;
@@ -35,11 +35,15 @@ OhmSimulation::~OhmSimulation() {
 
 void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start) {
   PROF_SCOPE("sim.frame");
-  // Frame execution is driven by the discrete-event engine: the frame-start
-  // event runs the control phases, then one event per mobility tick moves
-  // data over the preceding sub-interval and advances the traffic world.
-  sim::Engine engine;
+  // Staged frame pipeline: the control phases run on the frame-start
+  // snapshot (via begin_frame), then the loop below moves data over each
+  // mobility sub-interval and advances the traffic world — the same schedule
+  // the discrete-event engine used to produce, but with the per-frame
+  // resources (arenas, worker pool, stats sink) rewound up front.
+  resources_.begin_frame();
   FrameContext ctx{world_, ledger_, frame_index, frame_start};
+  ctx.resources = &resources_;
+  ctx.stats = instrumentation_ != nullptr ? &resources_.stats() : nullptr;
   const double frame = config_.timing.frame_s;
   const double tick = config_.timing.mobility_tick_s;
 
@@ -48,24 +52,19 @@ void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start)
     instrumentation_->emit(TraceEvent{"frame_begin"}.u64("vehicles", world_.size()));
   }
 
-  engine.schedule_at(frame_start, [&] {
-    protocol_.begin_frame(ctx);
-    const double udt_start = protocol_.udt_start_offset_s();
-    if (udt_start < 0.0 || udt_start >= frame) {
-      throw std::logic_error{"protocol UDT start offset outside the frame"};
-    }
-    double prev = 0.0;
-    for (double boundary = tick; boundary <= frame + 1e-12; boundary += tick) {
-      const double t0 = std::max(prev, udt_start);
-      const double t1 = std::min(boundary, frame);
-      engine.schedule_at(frame_start + boundary, [&, t0, t1] {
-        if (t1 > t0) protocol_.udt_step(ctx, t0, t1);
-        world_.advance(tick);
-      });
-      prev = boundary;
-    }
-  });
-  engine.run_until(frame_start + frame);
+  protocol_.begin_frame(ctx);
+  const double udt_start = protocol_.udt_start_offset_s();
+  if (udt_start < 0.0 || udt_start >= frame) {
+    throw std::logic_error{"protocol UDT start offset outside the frame"};
+  }
+  double prev = 0.0;
+  for (double boundary = tick; boundary <= frame + 1e-12; boundary += tick) {
+    const double t0 = std::max(prev, udt_start);
+    const double t1 = std::min(boundary, frame);
+    if (t1 > t0) protocol_.udt_step(ctx, t0, t1);
+    world_.advance(tick);
+    prev = boundary;
+  }
   protocol_.end_frame(ctx);
   if (observer_) observer_(ctx);
 

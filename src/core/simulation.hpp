@@ -8,13 +8,13 @@
 #include <vector>
 
 #include "common/metrics_registry.hpp"
+#include "core/frame_resources.hpp"
 #include "core/instrument.hpp"
 #include "core/metrics.hpp"
 #include "core/protocol.hpp"
 #include "core/scenario.hpp"
 #include "core/trace.hpp"
 #include "core/world.hpp"
-#include "sim/event_queue.hpp"
 
 namespace mmv2v::core {
 
@@ -63,6 +63,7 @@ class OhmSimulation {
   ScenarioConfig config_;
   World world_;
   TransferLedger ledger_;
+  FrameResources resources_;
   OhmProtocol& protocol_;
   FrameObserver observer_;
   std::vector<MetricsSample> samples_;

@@ -50,6 +50,21 @@ class NeighborTable {
   [[nodiscard]] std::vector<NeighborEntry> entries() const;
   /// Entries discovered in `frame` exactly (N_i^f).
   [[nodiscard]] std::vector<NeighborEntry> entries_seen_in(std::uint64_t frame) const;
+  /// Allocation-free variant of entries(): invoke `f(entry)` for each
+  /// current entry, in the same (map) order entries() returns.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& [id, e] : entries_) f(e);
+  }
+
+  /// Allocation-free variant of entries_seen_in: invoke `f(entry)` for each
+  /// entry seen in `frame`, in the same (map) order entries_seen_in returns.
+  template <typename F>
+  void for_each_seen_in(std::uint64_t frame, F&& f) const {
+    for (const auto& [id, e] : entries_) {
+      if (e.last_seen_frame == frame) f(e);
+    }
+  }
 
  private:
   std::uint64_t max_age_frames_;

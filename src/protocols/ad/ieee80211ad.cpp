@@ -9,8 +9,37 @@
 #include "geom/angles.hpp"
 #include "phy/pathloss.hpp"
 #include "protocols/fault_instrument.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace mmv2v::protocols {
+
+namespace {
+
+/// One PCP transmitter visible to a listener: sweep-invariant quantities
+/// (channel gain, back bearing) cached once per listener instead of once per
+/// sector of the beacon sweep.
+struct BtiCandidate {
+  net::NodeId pcp = 0;
+  double back_bearing = 0.0;
+  double g_c = 0.0;
+};
+
+/// Listener-sweep scratch; thread_local so each pool lane reuses its own
+/// buffer across frames (the pool's threads persist).
+struct BtiScratch {
+  std::vector<BtiCandidate> cands;
+};
+
+BtiScratch& bti_scratch() {
+  thread_local BtiScratch scratch;
+  return scratch;
+}
+
+/// Listeners per worker chunk. The chunk grid depends only on the vehicle
+/// count, so per-chunk counters merge identically at any lane count.
+constexpr std::size_t kListenerGrain = 8;
+
+}  // namespace
 
 Ieee80211adProtocol::Ieee80211adProtocol(AdParams params)
     : params_(params),
@@ -33,10 +62,91 @@ void Ieee80211adProtocol::ensure_initialized(const core::World& world) {
   }
 }
 
-void Ieee80211adProtocol::run_bti(const core::World& world,
-                                  std::vector<std::vector<net::NodeId>>& joinable,
-                                  SndRoundStats* stats) {
+void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats) {
   PROF_SCOPE("snd.run");
+  const core::World& world = ctx.world;
+  if (fault_ != nullptr) {
+    run_bti_fault(world, stats);
+    return;
+  }
+
+  const std::size_t n = world.size();
+  const phy::ChannelModel& channel = world.channel();
+  const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+  const int sectors = grid_.count();
+
+  // Listener-outer sweep: each listener's PCP candidate set is invariant
+  // across the beacon sweep, so the channel gain is computed once per
+  // (listener, PCP) instead of once per sector. Each listener writes only
+  // its own joinable_ row; counters accumulate per chunk and merge below.
+  sim::WorkerPool* pool = ctx.resources != nullptr ? &ctx.resources->pool() : nullptr;
+  const std::size_t chunks = sim::WorkerPool::chunk_count(n, kListenerGrain);
+  bti_partials_.assign(chunks, SndRoundStats{});
+
+  auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    SndRoundStats& part = bti_partials_[chunk];
+    BtiScratch& scratch = bti_scratch();
+    for (std::size_t j = begin; j < end; ++j) {
+      if (pcp_tenure_[j] > 0) continue;  // PCPs transmit, they don't scan
+      scratch.cands.clear();
+      for (const core::PairGeom& p : world.nearby(j)) {
+        if (pcp_tenure_[p.other] <= 0) continue;
+        BtiCandidate c;
+        c.pcp = p.other;
+        c.back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+        c.g_c = core::pair_channel_gain(channel.params(), p);
+        scratch.cands.push_back(c);
+      }
+      if (scratch.cands.empty()) continue;
+
+      for (int t = 0; t < sectors; ++t) {
+        const double sweep_center = grid_.center(t);
+        double total_w = 0.0;
+        double best_w = 0.0;
+        net::NodeId best = kNone;
+        for (const BtiCandidate& c : scratch.cands) {
+          const double g_t =
+              beacon_pattern_.gain(geom::angular_distance(c.back_bearing, sweep_center));
+          const double w = p_w * g_t * c.g_c;  // quasi-omni rx gain = 1
+          total_w += w;
+          if (w > best_w) {
+            best_w = w;
+            best = c.pcp;
+          }
+        }
+        if (best == kNone) continue;
+        const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
+        if (!channel.mcs().control_decodable(sinr_db)) {
+          ++part.decode_failures;
+          continue;
+        }
+        ++part.decodes;
+        if (std::find(joinable_[j].begin(), joinable_[j].end(), best) ==
+            joinable_[j].end()) {
+          joinable_[j].push_back(best);
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->for_chunks(n, kListenerGrain, process);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      process(c, c * kListenerGrain, std::min(n, (c + 1) * kListenerGrain));
+    }
+  }
+
+  if (stats != nullptr) {
+    for (const SndRoundStats& part : bti_partials_) {
+      stats->decodes += part.decodes;
+      stats->decode_failures += part.decode_failures;
+    }
+  }
+}
+
+void Ieee80211adProtocol::run_bti_fault(const core::World& world, SndRoundStats* stats) {
   const std::size_t n = world.size();
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
@@ -46,14 +156,14 @@ void Ieee80211adProtocol::run_bti(const core::World& world,
     const double sweep_center = grid_.center(t);
     for (net::NodeId j = 0; j < n; ++j) {
       if (pcp_tenure_[j] > 0) continue;  // PCPs transmit, they don't scan
-      if (fault_ != nullptr && fault_->control_down(j)) continue;
+      if (fault_->control_down(j)) continue;
       double total_w = 0.0;
       double best_w = 0.0;
       net::NodeId best = kNone;
       for (const core::PairGeom& p : world.nearby(j)) {
         if (pcp_tenure_[p.other] <= 0) continue;
         // A churned-down PCP stops beaconing (tenure keeps ticking).
-        if (fault_ != nullptr && fault_->control_down(p.other)) continue;
+        if (fault_->control_down(p.other)) continue;
         const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
         const double g_t =
             beacon_pattern_.gain(geom::angular_distance(back_bearing, sweep_center));
@@ -72,23 +182,48 @@ void Ieee80211adProtocol::run_bti(const core::World& world,
         continue;
       }
       // DMG beacons ride the SSW loss class of the fault layer.
-      if (fault_ != nullptr && fault_->ctrl_lost(best, fault::CtrlKind::kSsw)) {
+      if (fault_->ctrl_lost(best, fault::CtrlKind::kSsw)) {
         if (stats != nullptr) ++stats->decode_failures;
         continue;
       }
       if (stats != nullptr) ++stats->decodes;
-      if (std::find(joinable[j].begin(), joinable[j].end(), best) == joinable[j].end()) {
-        joinable[j].push_back(best);
+      if (std::find(joinable_[j].begin(), joinable_[j].end(), best) ==
+          joinable_[j].end()) {
+        joinable_[j].push_back(best);
       }
     }
   }
 }
 
-void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
-  PROF_SCOPE("dcm.run");
+void Ieee80211adProtocol::run_phase(core::FrameContext& ctx, core::Phase phase) {
+  switch (phase) {
+    case core::Phase::kSnd:
+      phase_snd(ctx);
+      break;
+    case core::Phase::kDcm:
+      phase_dcm(ctx);
+      break;
+    case core::Phase::kUdt:
+      phase_udt(ctx);
+      break;
+  }
+}
+
+// Discovery phase: tenure bookkeeping, self-election, and the BTI beacon
+// sweep that tells every free vehicle which PCPs it can hear.
+void Ieee80211adProtocol::phase_snd(core::FrameContext& ctx) {
   const core::World& world = ctx.world;
-  const std::size_t n = world.size();
+  const sim::TimingConfig& timing = world.config().timing;
+  const double bti_s = static_cast<double>(grid_.count()) *
+                       (timing.ssw_frame_s + timing.beam_switch_s);
+  dti_start_s_ = bti_s + params_.abft_s;
+
+  udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
   ensure_initialized(world);
+  if (fault_ != nullptr) {
+    fault_->begin_frame(ctx.frame, world.size(), timing.frame_s);
+  }
+  const std::size_t n = world.size();
 
   // 1. Tenure bookkeeping: expired PCPs disband and release their members.
   for (net::NodeId v = 0; v < n; ++v) {
@@ -110,17 +245,28 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
   }
 
   // 3. BTI: who can hear whom.
-  std::vector<std::vector<net::NodeId>> joinable(n);
-  SndRoundStats bti_stats;
-  run_bti(world, joinable, instr_ != nullptr ? &bti_stats : nullptr);
-  if (instr_ != nullptr) {
-    MetricsRegistry& m = instr_->metrics();
-    m.counter("discovery.decodes").add(bti_stats.decodes);
-    m.counter("discovery.decode_failures").add(bti_stats.decode_failures);
-    instr_->emit(core::TraceEvent{"bti"}
-                     .u64("hits", bti_stats.decodes)
-                     .u64("misses", bti_stats.decode_failures));
+  joinable_.resize(n);
+  for (auto& row : joinable_) row.clear();
+  SndRoundStats* bti_sink = nullptr;
+  if (instr_ != nullptr && ctx.stats != nullptr) {
+    ctx.stats->snd_rounds.assign(1, SndRoundStats{});
+    bti_sink = &ctx.stats->snd_rounds.front();
   }
+  run_bti(ctx, bti_sink);
+  if (bti_sink != nullptr) {
+    MetricsRegistry& m = instr_->metrics();
+    m.counter("discovery.decodes").add(bti_sink->decodes);
+    m.counter("discovery.decode_failures").add(bti_sink->decode_failures);
+    instr_->emit(core::TraceEvent{"bti"}
+                     .u64("hits", bti_sink->decodes)
+                     .u64("misses", bti_sink->decode_failures));
+  }
+}
+
+// Matching phase: membership maintenance and the A-BFT contention.
+void Ieee80211adProtocol::phase_dcm(core::FrameContext& ctx) {
+  PROF_SCOPE("dcm.run");
+  const std::size_t n = ctx.world.size();
 
   // 4. Membership maintenance: drop members whose PCP disbanded, whose
   // beacon no longer decodes, or who have nothing left to exchange inside
@@ -130,7 +276,7 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
     if (pcp == kNone) continue;
     const bool pcp_alive = pcp_tenure_[pcp] > 0;
     const bool beacon_ok =
-        std::find(joinable[v].begin(), joinable[v].end(), pcp) != joinable[v].end();
+        std::find(joinable_[v].begin(), joinable_[v].end(), pcp) != joinable_[v].end();
     bool work_left = !ctx.ledger.pair_complete(v, pcp);
     for (net::NodeId m = 0; m < n && !work_left; ++m) {
       if (m != v && member_of_[m] == pcp && !ctx.ledger.pair_complete(v, m)) {
@@ -143,27 +289,22 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
   // 5. A-BFT: unassociated vehicles pick a random decodable PBSS and a
   // random contention slot; same (PBSS, slot) pairs collide and retry next
   // beacon interval.
-  struct Attempt {
-    net::NodeId vehicle;
-    net::NodeId pcp;
-    int slot;
-  };
-  std::vector<Attempt> attempts;
+  attempts_.clear();
   for (net::NodeId v = 0; v < n; ++v) {
-    if (pcp_tenure_[v] > 0 || member_of_[v] != kNone || joinable[v].empty()) continue;
+    if (pcp_tenure_[v] > 0 || member_of_[v] != kNone || joinable_[v].empty()) continue;
     if (fault_ != nullptr && fault_->control_down(v)) continue;
-    const net::NodeId pcp = joinable[v][rng_.uniform_int(joinable[v].size())];
+    const net::NodeId pcp = joinable_[v][rng_.uniform_int(joinable_[v].size())];
     const int slot = static_cast<int>(
         rng_.uniform_int(static_cast<std::uint64_t>(params_.abft_slots)));
     // The A-BFT SSW frame itself can be erased by the fault layer; the
     // vehicle simply retries next beacon interval.
     if (fault_ != nullptr && fault_->ctrl_lost(v, fault::CtrlKind::kNegotiation)) continue;
-    attempts.push_back(Attempt{v, pcp, slot});
+    attempts_.push_back(AbftAttempt{v, pcp, slot});
   }
   std::size_t frame_collisions = 0;
-  for (const Attempt& a : attempts) {
+  for (const AbftAttempt& a : attempts_) {
     bool collided = false;
-    for (const Attempt& b : attempts) {
+    for (const AbftAttempt& b : attempts_) {
       if (&a != &b && a.pcp == b.pcp && a.slot == b.slot) {
         collided = true;
         break;
@@ -180,23 +321,28 @@ void Ieee80211adProtocol::elect_and_associate(core::FrameContext& ctx) {
     instr_->metrics().counter("abft.collisions").add(frame_collisions);
   }
 
-  // 6. Materialize the PBSS lists.
-  pbss_members_.clear();
+  // 6. Materialize the PBSS lists (rows reused frame-over-frame).
+  std::size_t groups = 0;
   associated_count_ = 0;
   for (net::NodeId v = 0; v < n; ++v) {
     if (pcp_tenure_[v] <= 0) continue;
-    std::vector<net::NodeId> group{v};
+    if (groups == pbss_members_.size()) pbss_members_.emplace_back();
+    std::vector<net::NodeId>& group = pbss_members_[groups];
+    group.clear();
+    group.push_back(v);
     for (net::NodeId m = 0; m < n; ++m) {
       if (member_of_[m] == v) {
         group.push_back(m);
         ++associated_count_;
       }
     }
-    pbss_members_.push_back(std::move(group));
+    ++groups;
   }
+  pbss_members_.resize(groups);
 }
 
-void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
+// DTI phase: round-robin service periods inside every PBSS.
+void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
   PROF_SCOPE("udt.schedule");
   const core::World& world = ctx.world;
   const sim::TimingConfig& timing = world.config().timing;
@@ -206,10 +352,10 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
                        2.0 * (timing.control_preamble_s + timing.sifs_s);
 
   udt_.clear();
-  RefineStats refine_stats;
-  RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;
+  core::RefineStats* refine_sink =
+      instr_ != nullptr && ctx.stats != nullptr ? &ctx.stats->refine : nullptr;
   for (const std::vector<net::NodeId>& group : pbss_members_) {
-    std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+    sp_pairs_.clear();
     for (std::size_t x = 0; x < group.size(); ++x) {
       for (std::size_t y = x + 1; y < group.size(); ++y) {
         if (fault_ != nullptr && (fault_->control_down(group[x]) ||
@@ -217,23 +363,24 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
           continue;  // a dark radio gets no service period
         }
         if (!ctx.ledger.pair_complete(group[x], group[y])) {
-          pairs.emplace_back(group[x], group[y]);
+          sp_pairs_.emplace_back(group[x], group[y]);
         }
       }
     }
-    if (pairs.empty()) continue;
+    if (sp_pairs_.empty()) continue;
 
     // Fisher-Yates shuffle, then cap: statistical round-robin across frames.
-    for (std::size_t k = pairs.size(); k > 1; --k) {
-      std::swap(pairs[k - 1], pairs[rng_.uniform_int(k)]);
+    for (std::size_t k = sp_pairs_.size(); k > 1; --k) {
+      std::swap(sp_pairs_[k - 1], sp_pairs_[rng_.uniform_int(k)]);
     }
-    if (static_cast<int>(pairs.size()) > params_.max_sps) {
-      pairs.resize(static_cast<std::size_t>(params_.max_sps));
+    if (static_cast<int>(sp_pairs_.size()) > params_.max_sps) {
+      sp_pairs_.resize(static_cast<std::size_t>(params_.max_sps));
     }
 
-    const double sp_len = (dti_end_s - dti_start_s_) / static_cast<double>(pairs.size());
-    for (std::size_t k = 0; k < pairs.size(); ++k) {
-      const auto [a, b] = pairs[k];
+    const double sp_len =
+        (dti_end_s - dti_start_s_) / static_cast<double>(sp_pairs_.size());
+    for (std::size_t k = 0; k < sp_pairs_.size(); ++k) {
+      const auto [a, b] = sp_pairs_[k];
       const double sp_start = dti_start_s_ + static_cast<double>(k) * sp_len;
       const double data_start = sp_start + sls_s;
       double sp_end = sp_start + sp_len;
@@ -262,30 +409,13 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
         const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
         refine_lost = lost_a || lost_b;
       }
-      BeamRefinement::Result beams{};
-      if (refine_lost) {
-        beams.bearing_a = grid_.center(sector_a);
-        beams.bearing_b = grid_.center(sector_b);
-        if (refine_sink != nullptr) {
-          ++refine_sink->pairs;
-          ++refine_sink->fallbacks;
-        }
-      } else {
-        beams = refinement_->refine(world, a, sector_a, b, sector_b, beacon_pattern_,
-                                    refine_sink);
-      }
-
-      const bool a_first = world.mac(a) > world.mac(b);
-      const net::NodeId first = a_first ? a : b;
-      const net::NodeId second = a_first ? b : a;
-      const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
-      const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
-      udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
-                        second_bearing, &refinement_->narrow_pattern(), data_start, sp_end);
+      schedule_refined_pair(ctx, *refinement_, grid_, beacon_pattern_, a, sector_a, b,
+                            sector_b, data_start, sp_end, refine_lost, refine_sink);
     }
   }
-  if (instr_ != nullptr) {
+  if (instr_ != nullptr && ctx.stats != nullptr) {
     MetricsRegistry& m = instr_->metrics();
+    const RefineStats& refine_stats = ctx.stats->refine;
     m.counter("refine.pairs").add(refine_stats.pairs);
     m.counter("refine.probes").add(refine_stats.probes);
     m.counter("refine.fallbacks").add(refine_stats.fallbacks);
@@ -297,39 +427,7 @@ void Ieee80211adProtocol::schedule_dti(core::FrameContext& ctx) {
                      .u64("pbss", pbss_members_.size())
                      .u64("associated", associated_count_));
   }
-}
-
-void Ieee80211adProtocol::begin_frame(core::FrameContext& ctx) {
-  const sim::TimingConfig& timing = ctx.world.config().timing;
-  const double bti_s = static_cast<double>(grid_.count()) *
-                       (timing.ssw_frame_s + timing.beam_switch_s);
-  dti_start_s_ = bti_s + params_.abft_s;
-
-  udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
-  ensure_initialized(ctx.world);
-  if (fault_ != nullptr) {
-    fault_->begin_frame(ctx.frame, ctx.world.size(), timing.frame_s);
-  }
-  elect_and_associate(ctx);
-  schedule_dti(ctx);
   if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
-}
-
-void Ieee80211adProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
-  udt_.step(ctx, t0, t1);
-}
-
-void Ieee80211adProtocol::end_frame(core::FrameContext& /*ctx*/) {
-  if (instr_ == nullptr) return;
-  MetricsRegistry& m = instr_->metrics();
-  for (const DirectedTransfer& t : udt_.transfers()) {
-    if (t.delivered_bits <= 0.0) continue;
-    m.gauge("udt.delivered_bits").add(t.delivered_bits);
-    instr_->emit(core::TraceEvent{"link"}
-                     .u64("tx", t.tx)
-                     .u64("rx", t.rx)
-                     .f64("bits", t.delivered_bits));
-  }
 }
 
 }  // namespace mmv2v::protocols

@@ -19,6 +19,9 @@
 //
 // Simplifications vs the full standard (documented in DESIGN.md): ATI is
 // omitted and association signalling is folded into the A-BFT charge.
+//
+// Pipeline mapping: kSnd = election + BTI sweep, kDcm = membership
+// maintenance + A-BFT contention, kUdt = DTI service-period scheduling.
 #pragma once
 
 #include <memory>
@@ -29,7 +32,7 @@
 #include "fault/fault_plan.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
-#include "protocols/udt_engine.hpp"
+#include "protocols/staged.hpp"
 
 namespace mmv2v::protocols {
 
@@ -51,15 +54,13 @@ struct AdParams {
   std::uint64_t seed = 0x5eed;
 };
 
-class Ieee80211adProtocol final : public core::OhmProtocol {
+class Ieee80211adProtocol final : public StagedOhmProtocol {
  public:
   explicit Ieee80211adProtocol(AdParams params);
 
   [[nodiscard]] std::string_view name() const override { return "802.11ad"; }
-  void begin_frame(core::FrameContext& ctx) override;
+  void run_phase(core::FrameContext& ctx, core::Phase phase) override;
   [[nodiscard]] double udt_start_offset_s() const override { return dti_start_s_; }
-  void udt_step(core::FrameContext& ctx, double t0, double t1) override;
-  void end_frame(core::FrameContext& ctx) override;
   /// Scheduled service periods this beacon interval (two transfers per SP).
   [[nodiscard]] std::size_t active_link_count() const override {
     return udt_.transfers().size() / 2;
@@ -78,13 +79,22 @@ class Ieee80211adProtocol final : public core::OhmProtocol {
  private:
   static constexpr net::NodeId kNone = static_cast<net::NodeId>(-1);
 
+  struct AbftAttempt {
+    net::NodeId vehicle;
+    net::NodeId pcp;
+    int slot;
+  };
+
   void ensure_initialized(const core::World& world);
-  /// Beacon decode set for vehicle j given the current PCPs. `stats`
-  /// (optional) counts beacon decodes / decode failures.
-  void run_bti(const core::World& world, std::vector<std::vector<net::NodeId>>& joinable,
-               SndRoundStats* stats);
-  void elect_and_associate(core::FrameContext& ctx);
-  void schedule_dti(core::FrameContext& ctx);
+  void phase_snd(core::FrameContext& ctx);
+  void phase_dcm(core::FrameContext& ctx);
+  void phase_udt(core::FrameContext& ctx);
+  /// Beacon decode set per vehicle given the current PCPs, into joinable_.
+  /// `stats` (optional) counts beacon decodes / decode failures.
+  void run_bti(core::FrameContext& ctx, SndRoundStats* stats);
+  /// Serial listener-inner sweep used whenever fault injection is active
+  /// (loss-chain draws must happen in global sweep order).
+  void run_bti_fault(const core::World& world, SndRoundStats* stats);
 
   AdParams params_;
   Xoshiro256pp rng_;
@@ -104,7 +114,11 @@ class Ieee80211adProtocol final : public core::OhmProtocol {
   /// PCP keeps its tenure but stops beaconing, so its members drain away via
   /// the beacon-decode maintenance check.
   std::unique_ptr<fault::FaultPlan> fault_;
-  UdtEngine udt_;
+  // Per-frame scratch, reused across frames (capacity retained).
+  std::vector<std::vector<net::NodeId>> joinable_;
+  std::vector<SndRoundStats> bti_partials_;
+  std::vector<AbftAttempt> attempts_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> sp_pairs_;
   double dti_start_s_ = 0.0;
   std::size_t abft_collisions_ = 0;
   std::size_t associated_count_ = 0;

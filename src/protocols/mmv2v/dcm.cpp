@@ -15,15 +15,6 @@ ConsensualMatching::ConsensualMatching(DcmParams params)
 
 void ConsensualMatching::reset(std::size_t n) { state_.assign(n, CandidateState{}); }
 
-namespace {
-struct SlotChoice {
-  bool active = false;
-  net::NodeId partner = 0;
-  /// Own measurement of the link quality to the partner [dB].
-  double link_db = 0.0;
-};
-}  // namespace
-
 int ConsensualMatching::run_slot(int m,
                                  const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                                  const std::vector<net::MacAddress>& macs,
@@ -39,7 +30,8 @@ int ConsensualMatching::run_slot(int m,
   // Step 1: every vehicle independently picks the neighbor the CNS assigns
   // to this slot; a hash collision or small C can assign several, in which
   // case it picks one at random (paper Section III-C1).
-  std::vector<SlotChoice> choice(n);
+  choice_.assign(n, SlotChoice{});
+  std::vector<SlotChoice>& choice = choice_;
   for (net::NodeId i = 0; i < n; ++i) {
     if (fault != nullptr && fault->control_down(i)) continue;  // radio dark
     const net::NeighborEntry* picked = nullptr;
@@ -59,7 +51,8 @@ int ConsensualMatching::run_slot(int m,
 
   // Step 2: collect the mutual picks, then let the link layer decide which
   // of the concurrent exchanges actually decode.
-  std::vector<std::pair<net::NodeId, net::NodeId>> negotiating;
+  negotiating_.clear();
+  std::vector<std::pair<net::NodeId, net::NodeId>>& negotiating = negotiating_;
   for (net::NodeId i = 0; i < n; ++i) {
     if (!choice[i].active) continue;
     const net::NodeId j = choice[i].partner;
@@ -67,8 +60,9 @@ int ConsensualMatching::run_slot(int m,
     if (!choice[j].active || choice[j].partner != i) continue;
     negotiating.emplace_back(i, j);
   }
-  std::vector<bool> ok(negotiating.size(), true);
-  if (channel != nullptr) ok = channel->exchange_succeeds(negotiating);
+  ok_.assign(negotiating.size(), true);
+  std::vector<bool>& ok = ok_;
+  if (channel != nullptr) channel->exchange_succeeds(negotiating, ok);
   if (fault != nullptr) {
     for (std::size_t p = 0; p < negotiating.size(); ++p) {
       if (!ok[p]) continue;
@@ -171,22 +165,29 @@ int ConsensualMatching::run_slot(int m,
 void ConsensualMatching::run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
-                                 const NegotiationChannel* channel, DcmSlotStats* stats,
+                                 const NegotiationChannel* channel, core::PhaseStats* stats,
                                  fault::FaultPlan* fault) {
   PROF_SCOPE("dcm.run");
+  DcmSlotStats* slot_stats = stats != nullptr ? &stats->dcm : nullptr;
   for (int m = 0; m < params_.slots; ++m) {
-    run_slot(m, neighbors, macs, ledger, rng, channel, stats, fault);
+    run_slot(m, neighbors, macs, ledger, rng, channel, slot_stats, fault);
   }
 }
 
 std::vector<std::pair<net::NodeId, net::NodeId>> ConsensualMatching::matched_pairs() const {
   std::vector<std::pair<net::NodeId, net::NodeId>> pairs;
+  matched_pairs_into(pairs);
+  return pairs;
+}
+
+void ConsensualMatching::matched_pairs_into(
+    std::vector<std::pair<net::NodeId, net::NodeId>>& out) const {
+  out.clear();
   for (net::NodeId i = 0; i < state_.size(); ++i) {
     if (!state_[i].candidate.has_value()) continue;
     const net::NodeId j = *state_[i].candidate;
-    if (j > i && state_[j].candidate == i) pairs.emplace_back(i, j);
+    if (j > i && state_[j].candidate == i) out.emplace_back(i, j);
   }
-  return pairs;
 }
 
 }  // namespace mmv2v::protocols

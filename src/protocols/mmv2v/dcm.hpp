@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "core/ledger.hpp"
+#include "core/phase_stats.hpp"
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/cns.hpp"
 
@@ -44,14 +45,29 @@ struct DcmParams {
 /// Link-layer hook deciding whether a negotiation exchange succeeds.
 /// `pairs` are ALL pairs negotiating concurrently in this slot (both ends
 /// beam at each other with their discovery beams); an implementation can
-/// model mutual interference between them. Return the indices of `pairs`
-/// whose exchange decodes on both ends. Null channel = ideal (all succeed),
-/// which matches the paper's assumption that the CNS avoids collisions.
+/// model mutual interference between them. `ok` arrives sized to
+/// pairs.size() and all-true; clear the entries whose exchange fails to
+/// decode on either end. Null channel = ideal (all succeed), which matches
+/// the paper's assumption that the CNS avoids collisions.
+///
+/// The out-param form lets the caller reuse one buffer across all M slots
+/// of a frame. Implementations overriding it should also pull the
+/// convenience overload into scope (`using NegotiationChannel::
+/// exchange_succeeds;`) so one-shot callers keep working.
 class NegotiationChannel {
  public:
   virtual ~NegotiationChannel() = default;
-  [[nodiscard]] virtual std::vector<bool> exchange_succeeds(
-      const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const = 0;
+  virtual void exchange_succeeds(
+      const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
+      std::vector<bool>& ok) const = 0;
+
+  /// One-shot convenience over the out-param form.
+  [[nodiscard]] std::vector<bool> exchange_succeeds(
+      const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const {
+    std::vector<bool> ok(pairs.size(), true);
+    exchange_succeeds(pairs, ok);
+    return ok;
+  }
 };
 
 struct CandidateState {
@@ -60,43 +76,10 @@ struct CandidateState {
   double quality_db = 0.0;
 };
 
-/// One adoption recorded during a slot, with enough context to check the
-/// DCM improvement invariant: at adoption time the new link must strictly
-/// improve each side's candidate (or establish a first one).
-struct DcmAdoption {
-  net::NodeId a = 0;
-  net::NodeId b = 0;
-  /// New link quality as measured by each side [dB].
-  double q_a = 0.0;
-  double q_b = 0.0;
-  /// Quality of the candidate each side held immediately before adopting.
-  double prev_q_a = 0.0;
-  double prev_q_b = 0.0;
-  bool had_prev_a = false;
-  bool had_prev_b = false;
-  /// True when that side's previous candidate was the partner itself: a
-  /// re-adoption that re-synchronizes state left stale by a lost drop-inform.
-  /// Relinks carry equal (not strictly improving) quality by construction.
-  bool relink_a = false;
-  bool relink_b = false;
-};
-
-/// Per-slot observability counters.
-struct DcmSlotStats {
-  /// Vehicles that picked a CNS-scheduled neighbor this slot.
-  std::uint64_t proposals = 0;
-  /// Mutual picks (pairs that attempted a negotiation exchange).
-  std::uint64_t mutual_pairs = 0;
-  /// Exchanges lost to the negotiation channel.
-  std::uint64_t exchange_failures = 0;
-  /// Exchanges adopted by both sides.
-  std::uint64_t adoptions = 0;
-  /// Exchanges declined because at least one side would not improve.
-  std::uint64_t conflicts = 0;
-  /// Previous candidates displaced by adoptions.
-  std::uint64_t drops = 0;
-  std::vector<DcmAdoption> adoptions_detail;
-};
+/// Stats structs live in core/phase_stats.hpp (hanging off FrameContext);
+/// the aliases keep existing call sites source-compatible.
+using DcmAdoption = core::DcmAdoption;
+using DcmSlotStats = core::DcmSlotStats;
 
 class ConsensualMatching {
  public:
@@ -121,12 +104,12 @@ class ConsensualMatching {
                Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
                DcmSlotStats* stats = nullptr, fault::FaultPlan* fault = nullptr);
 
-  /// Run all M slots. When `stats` is non-null, counters accumulate over
-  /// all slots into the single sink.
+  /// Run all M slots. When `stats` is non-null, matching counters accumulate
+  /// over all slots into stats->dcm.
   void run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
                Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
-               DcmSlotStats* stats = nullptr, fault::FaultPlan* fault = nullptr);
+               core::PhaseStats* stats = nullptr, fault::FaultPlan* fault = nullptr);
 
   [[nodiscard]] const std::vector<CandidateState>& candidates() const noexcept {
     return state_;
@@ -135,10 +118,24 @@ class ConsensualMatching {
   /// The current matching: mutual candidate pairs (a < b).
   [[nodiscard]] std::vector<std::pair<net::NodeId, net::NodeId>> matched_pairs() const;
 
+  /// Allocation-free variant: clears and refills `out` with the matching.
+  void matched_pairs_into(std::vector<std::pair<net::NodeId, net::NodeId>>& out) const;
+
  private:
+  struct SlotChoice {
+    bool active = false;
+    net::NodeId partner = 0;
+    /// Own measurement of the link quality to the partner [dB].
+    double link_db = 0.0;
+  };
+
   DcmParams params_;
   ConsensualSchedule cns_;
   std::vector<CandidateState> state_;
+  // Per-slot scratch, reused across the M slots and across frames.
+  std::vector<SlotChoice> choice_;
+  std::vector<std::pair<net::NodeId, net::NodeId>> negotiating_;
+  std::vector<bool> ok_;
 };
 
 }  // namespace mmv2v::protocols

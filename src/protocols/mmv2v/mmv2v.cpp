@@ -2,9 +2,9 @@
 
 #include "common/hash.hpp"
 #include "common/profiler.hpp"
+#include "core/frame_resources.hpp"
 #include "core/instrument.hpp"
 #include "protocols/fault_instrument.hpp"
-#include "protocols/mmv2v/negotiation.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -62,7 +62,22 @@ double MmV2VProtocol::control_overhead_s() const {
   return schedule_->udt_start_s();
 }
 
-void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
+void MmV2VProtocol::run_phase(core::FrameContext& ctx, core::Phase phase) {
+  switch (phase) {
+    case core::Phase::kSnd:
+      phase_snd(ctx);
+      break;
+    case core::Phase::kDcm:
+      phase_dcm(ctx);
+      break;
+    case core::Phase::kUdt:
+      phase_udt(ctx);
+      break;
+  }
+}
+
+// Phase 1 — synchronized neighbor discovery; stale entries age out first.
+void MmV2VProtocol::phase_snd(core::FrameContext& ctx) {
   ensure_initialized(ctx);
   const core::World& world = ctx.world;
   const std::size_t n = world.size();
@@ -71,15 +86,13 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
     fault_->begin_frame(ctx.frame, n, world.config().timing.frame_s);
   }
 
-  // 1. Synchronized neighbor discovery; stale entries age out first.
   for (auto& table : tables_) table.age_out(ctx.frame);
-  std::vector<SndRoundStats> snd_stats;
-  snd_->run(world, ctx.frame, tables_, rng_, instr_ != nullptr ? &snd_stats : nullptr,
-            fault_.get());
-  if (instr_ != nullptr) {
+  snd_->run(ctx, tables_, rng_, fault_.get());
+  if (instr_ != nullptr && ctx.stats != nullptr) {
     MetricsRegistry& m = instr_->metrics();
-    for (std::size_t k = 0; k < snd_stats.size(); ++k) {
-      const SndRoundStats& r = snd_stats[k];
+    const std::vector<SndRoundStats>& rounds = ctx.stats->snd_rounds;
+    for (std::size_t k = 0; k < rounds.size(); ++k) {
+      const SndRoundStats& r = rounds[k];
       m.counter("discovery.decodes").add(r.decodes);
       m.counter("discovery.decode_failures").add(r.decode_failures);
       m.counter("discovery.admission_rejects").add(r.admission_rejects);
@@ -92,11 +105,20 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
                        .u64("sync_skips", r.sync_skips));
     }
   }
+}
+
+// Phase 2 — distributed consensual matching over THIS frame's discoveries
+// N_i^f (paper Section III-A): a neighbor missed by this frame's SND
+// (expected fraction 0.5^K) is not negotiable until rediscovered — this is
+// exactly the tradeoff that makes K = 3 optimal in Fig. 7.
+void MmV2VProtocol::phase_dcm(core::FrameContext& ctx) {
+  const core::World& world = ctx.world;
+  const std::size_t n = world.size();
 
   // Persistent-matching extension: keep last frame's still-viable pairs and
   // withdraw their endpoints from this frame's negotiation.
-  std::vector<std::pair<net::NodeId, net::NodeId>> carried;
-  std::vector<bool> carried_over(n, false);
+  carried_.clear();
+  carried_over_.assign(n, 0);
   if (params_.persistent_matching) {
     for (const auto& [a, b] : matching_) {
       if (ctx.ledger.pair_complete(a, b) || world.pair(a, b) == nullptr) continue;
@@ -105,41 +127,39 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
           (fault_->control_down(a) || fault_->control_down(b))) {
         continue;
       }
-      carried.emplace_back(a, b);
-      carried_over[a] = carried_over[b] = true;
+      carried_.emplace_back(a, b);
+      carried_over_[a] = carried_over_[b] = 1;
     }
   }
 
-  // 2. Distributed consensual matching over THIS frame's discoveries N_i^f
-  // (paper Section III-A): a neighbor missed by this frame's SND (expected
-  // fraction 0.5^K) is not negotiable until rediscovered — this is exactly
-  // the tradeoff that makes K = 3 optimal in Fig. 7.
-  std::vector<std::vector<net::NeighborEntry>> neighbors(n);
+  neighbors_.resize(n);
   for (net::NodeId i = 0; i < n; ++i) {
-    if (carried_over[i]) continue;  // busy with a persistent link
-    for (const net::NeighborEntry& e : tables_[i].entries_seen_in(ctx.frame)) {
-      if (!carried_over[e.id]) neighbors[i].push_back(e);
-    }
+    neighbors_[i].clear();
+    if (carried_over_[i] != 0) continue;  // busy with a persistent link
+    tables_[i].for_each_seen_in(ctx.frame, [&](const net::NeighborEntry& e) {
+      if (carried_over_[e.id] == 0) neighbors_[i].push_back(e);
+    });
   }
   dcm_->reset(n);
-  DcmSlotStats dcm_stats;
-  DcmSlotStats* dcm_sink = instr_ != nullptr ? &dcm_stats : nullptr;
-  NegotiationStats neg_stats;
+  core::PhaseStats* stats = ctx.stats;
   if (params_.physical_negotiation) {
-    const PhyNegotiationChannel channel{world,
-                                        tables_,
-                                        snd_->tx_pattern(),
-                                        snd_->rx_pattern(),
-                                        params_.snd.sectors,
-                                        instr_ != nullptr ? &neg_stats : nullptr};
-    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, &channel, dcm_sink, fault_.get());
+    if (!channel_ || channel_world_ != &world) {
+      channel_.emplace(world, tables_, snd_->tx_pattern(), snd_->rx_pattern(),
+                       params_.snd.sectors);
+      channel_world_ = &world;
+    }
+    channel_->set_stats(stats != nullptr ? &stats->negotiation : nullptr);
+    channel_->set_pool(ctx.resources != nullptr ? &ctx.resources->pool() : nullptr);
+    dcm_->run_all(neighbors_, macs_, &ctx.ledger, rng_, &*channel_, stats, fault_.get());
   } else {
-    dcm_->run_all(neighbors, macs_, &ctx.ledger, rng_, nullptr, dcm_sink, fault_.get());
+    dcm_->run_all(neighbors_, macs_, &ctx.ledger, rng_, nullptr, stats, fault_.get());
   }
-  matching_ = dcm_->matched_pairs();
-  matching_.insert(matching_.end(), carried.begin(), carried.end());
-  if (instr_ != nullptr) {
+  dcm_->matched_pairs_into(matching_);
+  matching_.insert(matching_.end(), carried_.begin(), carried_.end());
+  if (instr_ != nullptr && stats != nullptr) {
     MetricsRegistry& m = instr_->metrics();
+    const DcmSlotStats& dcm_stats = stats->dcm;
+    const NegotiationStats& neg_stats = stats->negotiation;
     m.counter("match.proposals").add(dcm_stats.proposals);
     m.counter("match.mutual_pairs").add(dcm_stats.mutual_pairs);
     m.counter("match.exchange_failures").add(dcm_stats.exchange_failures);
@@ -157,12 +177,16 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
                      .u64("drops", dcm_stats.drops)
                      .u64("exchange_failures", dcm_stats.exchange_failures));
   }
+}
 
-  // 3 + 4. Beam refinement per matched pair, then register the TDD session.
+// Phases 3 + 4 — beam refinement per matched pair, then register the TDD
+// session with the shared data plane.
+void MmV2VProtocol::phase_udt(core::FrameContext& ctx) {
+  const core::World& world = ctx.world;
   PROF_SCOPE("udt.schedule");
   udt_.clear();
-  RefineStats refine_stats;
-  RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;
+  core::RefineStats* refine_sink =
+      instr_ != nullptr && ctx.stats != nullptr ? &ctx.stats->refine : nullptr;
   const double udt_start = schedule_->udt_start_s();
   const double frame_end = world.config().timing.frame_s;
   for (const auto& [a, b] : matching_) {
@@ -181,40 +205,19 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
       if (window_end <= udt_start) continue;
     }
 
-    // When the fault layer erases a refinement feedback message the pair
-    // falls back to its discovery sector centers (wide-beam alignment) —
-    // degraded SNR, not a dead link.
     bool refine_lost = false;
     if (fault_ != nullptr) {
       const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine);
       const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
       refine_lost = lost_a || lost_b;
     }
-    BeamRefinement::Result beams{};
-    if (refine_lost) {
-      beams.bearing_a = snd_->grid().center(entry_ab->sector_toward);
-      beams.bearing_b = snd_->grid().center(entry_ba->sector_toward);
-      if (refine_sink != nullptr) {
-        ++refine_sink->pairs;
-        ++refine_sink->fallbacks;
-      }
-    } else {
-      beams = refinement_->refine(world, a, entry_ab->sector_toward, b,
-                                  entry_ba->sector_toward, snd_->tx_pattern(), refine_sink);
-    }
-
-    // The larger MAC address transmits first (paper Section III footnote).
-    const bool a_first = macs_[a] > macs_[b];
-    const net::NodeId first = a_first ? a : b;
-    const net::NodeId second = a_first ? b : a;
-    const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
-    const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
-    udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
-                      second_bearing, &refinement_->narrow_pattern(), udt_start,
-                      window_end);
+    schedule_refined_pair(ctx, *refinement_, snd_->grid(), snd_->tx_pattern(), a,
+                          entry_ab->sector_toward, b, entry_ba->sector_toward, udt_start,
+                          window_end, refine_lost, refine_sink);
   }
-  if (instr_ != nullptr) {
+  if (instr_ != nullptr && ctx.stats != nullptr) {
     MetricsRegistry& m = instr_->metrics();
+    const RefineStats& refine_stats = ctx.stats->refine;
     m.counter("refine.pairs").add(refine_stats.pairs);
     m.counter("refine.probes").add(refine_stats.probes);
     m.counter("refine.fallbacks").add(refine_stats.fallbacks);
@@ -224,23 +227,6 @@ void MmV2VProtocol::begin_frame(core::FrameContext& ctx) {
                      .u64("fallbacks", refine_stats.fallbacks));
   }
   if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
-}
-
-void MmV2VProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
-  udt_.step(ctx, t0, t1);
-}
-
-void MmV2VProtocol::end_frame(core::FrameContext& /*ctx*/) {
-  if (instr_ == nullptr) return;
-  MetricsRegistry& m = instr_->metrics();
-  for (const DirectedTransfer& t : udt_.transfers()) {
-    if (t.delivered_bits <= 0.0) continue;
-    m.gauge("udt.delivered_bits").add(t.delivered_bits);
-    instr_->emit(core::TraceEvent{"link"}
-                     .u64("tx", t.tx)
-                     .u64("rx", t.rx)
-                     .f64("bits", t.delivered_bits));
-  }
 }
 
 }  // namespace mmv2v::protocols

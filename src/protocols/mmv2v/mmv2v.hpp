@@ -4,10 +4,13 @@
 //   3. beam refinement for every matched pair,
 //   4. UDT  — half-duplex TDD data exchange for the rest of the frame.
 // Completed neighbors are excluded from subsequent matchings until the task
-// ledger says otherwise (paper Section III-A).
+// ledger says otherwise (paper Section III-A). The stages map one-to-one
+// onto the staged pipeline phases (kSnd, kDcm, kUdt — refinement rides with
+// UDT session setup).
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -15,9 +18,10 @@
 #include "fault/fault_plan.hpp"
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/dcm.hpp"
+#include "protocols/mmv2v/negotiation.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
-#include "protocols/udt_engine.hpp"
+#include "protocols/staged.hpp"
 #include "sim/frame.hpp"
 
 namespace mmv2v::protocols {
@@ -42,15 +46,13 @@ struct MmV2VParams {
   std::uint64_t seed = 0x5eed;
 };
 
-class MmV2VProtocol final : public core::OhmProtocol {
+class MmV2VProtocol final : public StagedOhmProtocol {
  public:
   explicit MmV2VProtocol(MmV2VParams params);
 
   [[nodiscard]] std::string_view name() const override { return "mmV2V"; }
-  void begin_frame(core::FrameContext& ctx) override;
+  void run_phase(core::FrameContext& ctx, core::Phase phase) override;
   [[nodiscard]] double udt_start_offset_s() const override;
-  void udt_step(core::FrameContext& ctx, double t0, double t1) override;
-  void end_frame(core::FrameContext& ctx) override;
   [[nodiscard]] std::size_t active_link_count() const override { return matching_.size(); }
 
   // --- component access (benches / tests) --------------------------------
@@ -68,6 +70,9 @@ class MmV2VProtocol final : public core::OhmProtocol {
 
  private:
   void ensure_initialized(core::FrameContext& ctx);
+  void phase_snd(core::FrameContext& ctx);
+  void phase_dcm(core::FrameContext& ctx);
+  void phase_udt(core::FrameContext& ctx);
 
   MmV2VParams params_;
   Xoshiro256pp rng_;
@@ -78,10 +83,17 @@ class MmV2VProtocol final : public core::OhmProtocol {
   std::vector<net::NeighborTable> tables_;
   std::vector<net::MacAddress> macs_;
   std::vector<std::pair<net::NodeId, net::NodeId>> matching_;
-  UdtEngine udt_;
   /// Non-null iff the scenario enables fault injection; its RNG streams are
   /// derived independently of rng_, so a null plan is behavior-identical.
   std::unique_ptr<fault::FaultPlan> fault_;
+  /// Persistent physical-negotiation channel; kept alive across frames so
+  /// its scratch retains capacity (stats/pool are re-pointed each frame).
+  std::optional<PhyNegotiationChannel> channel_;
+  const core::World* channel_world_ = nullptr;
+  // Per-frame scratch, reused across frames (capacity retained).
+  std::vector<std::pair<net::NodeId, net::NodeId>> carried_;
+  std::vector<unsigned char> carried_over_;
+  std::vector<std::vector<net::NeighborEntry>> neighbors_;
   bool initialized_ = false;
 };
 

@@ -1,22 +1,34 @@
 #include "protocols/mmv2v/negotiation.hpp"
 
+#include <algorithm>
+
 #include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "geom/angles.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace mmv2v::protocols {
+
+namespace {
+/// Pairs per worker chunk. The chunk grid depends only on the pair count,
+/// so per-chunk counters merge identically at any lane count.
+constexpr std::size_t kPairGrain = 4;
+/// Below this many pairs the dispatch overhead outweighs the win.
+constexpr std::size_t kParallelThreshold = 8;
+}  // namespace
 
 PhyNegotiationChannel::PhyNegotiationChannel(const core::World& world,
                                              const std::vector<net::NeighborTable>& tables,
                                              const phy::BeamPattern& tx_pattern,
                                              const phy::BeamPattern& rx_pattern, int sectors,
-                                             NegotiationStats* stats)
+                                             NegotiationStats* stats, sim::WorkerPool* pool)
     : world_(world),
       tables_(tables),
       tx_pattern_(tx_pattern),
       rx_pattern_(rx_pattern),
       grid_(sectors),
-      stats_(stats) {}
+      stats_(stats),
+      pool_(pool) {}
 
 void PhyNegotiationChannel::evaluate_half(
     const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
@@ -28,74 +40,95 @@ void PhyNegotiationChannel::evaluate_half(
   // Beam boresights for this half: the transmitter of each pair points its
   // wide Tx beam at the stored sector toward its partner; the receiver
   // points its wide Rx beam likewise.
-  struct HalfLink {
-    net::NodeId tx = 0;
-    net::NodeId rx = 0;
-    double tx_bearing = 0.0;
-    double rx_bearing = 0.0;
-  };
-  std::vector<HalfLink> links(pairs.size());
-  for (std::size_t p = 0; p < pairs.size(); ++p) {
+  const std::size_t n = pairs.size();
+  links_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) {
     const auto [a, b] = pairs[p];
     const net::NodeId tx = first_is_tx[p] ? a : b;
     const net::NodeId rx = first_is_tx[p] ? b : a;
     const auto toward_rx = tables_[tx].find(rx);
     const auto toward_tx = tables_[rx].find(tx);
-    links[p].tx = tx;
-    links[p].rx = rx;
-    links[p].tx_bearing = toward_rx ? grid_.center(toward_rx->sector_toward) : 0.0;
-    links[p].rx_bearing = toward_tx ? grid_.center(toward_tx->sector_toward) : 0.0;
+    links_[p].tx = tx;
+    links_[p].rx = rx;
+    links_[p].tx_bearing = toward_rx ? grid_.center(toward_rx->sector_toward) : 0.0;
+    links_[p].rx_bearing = toward_tx ? grid_.center(toward_tx->sector_toward) : 0.0;
   }
 
-  for (std::size_t p = 0; p < pairs.size(); ++p) {
-    if (!ok[p]) continue;
-    if (stats_ != nullptr) ++stats_->half_attempts;
-    const HalfLink& link = links[p];
-    const core::PairGeom* g = world_.pair(link.rx, link.tx);
-    if (g == nullptr) {
-      ok[p] = false;
-      if (stats_ != nullptr) ++stats_->half_failures;
-      continue;
-    }
-    const double tx_to_rx = geom::wrap_two_pi(g->bearing_rad + geom::kPi);
-    const double signal =
-        p_w * tx_pattern_.gain(geom::angular_distance(tx_to_rx, link.tx_bearing)) *
-        core::pair_channel_gain(channel.params(), *g) *
-        rx_pattern_.gain(geom::angular_distance(g->bearing_rad, link.rx_bearing));
+  // Each pair's decode test reads only the world snapshot and its own
+  // half_ok_ byte, so pairs evaluate independently across lanes; counters
+  // accumulate per chunk and merge below.
+  half_ok_.resize(n);
+  for (std::size_t p = 0; p < n; ++p) half_ok_[p] = ok[p] ? 1 : 0;
+  const std::size_t chunks = sim::WorkerPool::chunk_count(n, kPairGrain);
+  partials_.assign(chunks, NegotiationStats{});
 
-    double interference = 0.0;
-    for (std::size_t q = 0; q < pairs.size(); ++q) {
-      if (q == p) continue;
-      const HalfLink& other = links[q];
-      const core::PairGeom* gi = world_.pair(link.rx, other.tx);
-      if (gi == nullptr) continue;
-      const double i_to_rx = geom::wrap_two_pi(gi->bearing_rad + geom::kPi);
-      interference +=
-          p_w * tx_pattern_.gain(geom::angular_distance(i_to_rx, other.tx_bearing)) *
-          core::pair_channel_gain(channel.params(), *gi) *
-          rx_pattern_.gain(geom::angular_distance(gi->bearing_rad, link.rx_bearing));
+  auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    NegotiationStats& part = partials_[chunk];
+    for (std::size_t p = begin; p < end; ++p) {
+      if (half_ok_[p] == 0) continue;
+      ++part.half_attempts;
+      const HalfLink& link = links_[p];
+      const core::PairGeom* g = world_.pair(link.rx, link.tx);
+      if (g == nullptr) {
+        half_ok_[p] = 0;
+        ++part.half_failures;
+        continue;
+      }
+      const double tx_to_rx = geom::wrap_two_pi(g->bearing_rad + geom::kPi);
+      const double signal =
+          p_w * tx_pattern_.gain(geom::angular_distance(tx_to_rx, link.tx_bearing)) *
+          core::pair_channel_gain(channel.params(), *g) *
+          rx_pattern_.gain(geom::angular_distance(g->bearing_rad, link.rx_bearing));
+
+      double interference = 0.0;
+      for (std::size_t q = 0; q < n; ++q) {
+        if (q == p) continue;
+        const HalfLink& other = links_[q];
+        const core::PairGeom* gi = world_.pair(link.rx, other.tx);
+        if (gi == nullptr) continue;
+        const double i_to_rx = geom::wrap_two_pi(gi->bearing_rad + geom::kPi);
+        interference +=
+            p_w * tx_pattern_.gain(geom::angular_distance(i_to_rx, other.tx_bearing)) *
+            core::pair_channel_gain(channel.params(), *gi) *
+            rx_pattern_.gain(geom::angular_distance(gi->bearing_rad, link.rx_bearing));
+      }
+      const double sinr_db = units::linear_to_db(signal / (noise_w + interference));
+      if (!channel.mcs().control_decodable(sinr_db)) {
+        half_ok_[p] = 0;
+        ++part.half_failures;
+      }
     }
-    const double sinr_db = units::linear_to_db(signal / (noise_w + interference));
-    if (!channel.mcs().control_decodable(sinr_db)) {
-      ok[p] = false;
-      if (stats_ != nullptr) ++stats_->half_failures;
+  };
+
+  if (pool_ != nullptr && n >= kParallelThreshold) {
+    pool_->for_chunks(n, kPairGrain, process);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      process(c, c * kPairGrain, std::min(n, (c + 1) * kPairGrain));
     }
   }
+
+  if (stats_ != nullptr) {
+    for (const NegotiationStats& part : partials_) {
+      stats_->half_attempts += part.half_attempts;
+      stats_->half_failures += part.half_failures;
+    }
+  }
+  for (std::size_t p = 0; p < n; ++p) ok[p] = half_ok_[p] != 0;
 }
 
-std::vector<bool> PhyNegotiationChannel::exchange_succeeds(
-    const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const {
+void PhyNegotiationChannel::exchange_succeeds(
+    const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
+    std::vector<bool>& ok) const {
   PROF_SCOPE("dcm.negotiate");
-  std::vector<bool> ok(pairs.size(), true);
   // First half: larger MAC transmits (paper footnote); second half swaps.
-  std::vector<bool> first_is_tx(pairs.size());
+  roles_.resize(pairs.size());
   for (std::size_t p = 0; p < pairs.size(); ++p) {
-    first_is_tx[p] = world_.mac(pairs[p].first) > world_.mac(pairs[p].second);
+    roles_[p] = world_.mac(pairs[p].first) > world_.mac(pairs[p].second);
   }
-  evaluate_half(pairs, first_is_tx, ok);
-  for (std::size_t p = 0; p < pairs.size(); ++p) first_is_tx[p] = !first_is_tx[p];
-  evaluate_half(pairs, first_is_tx, ok);
-  return ok;
+  evaluate_half(pairs, roles_, ok);
+  for (std::size_t p = 0; p < pairs.size(); ++p) roles_[p] = !roles_[p];
+  evaluate_half(pairs, roles_, ok);
 }
 
 }  // namespace mmv2v::protocols

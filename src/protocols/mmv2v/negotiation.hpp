@@ -7,46 +7,66 @@
 // at the stored sector, while its partner listens with the wide Rx beam; the
 // exchange succeeds iff both halves decode at the control MCS under the
 // concurrent interference.
+//
+// The per-pair evaluation is stateless (pure reads of the world snapshot),
+// so an attached WorkerPool spreads the O(pairs^2) interference sum across
+// lanes; per-chunk counters merge in chunk order, keeping the stats and the
+// ok vector bit-identical at any lane count.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/phase_stats.hpp"
 #include "core/world.hpp"
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/dcm.hpp"
 #include "phy/antenna.hpp"
 
+namespace mmv2v::sim {
+class WorkerPool;
+}  // namespace mmv2v::sim
+
 namespace mmv2v::protocols {
 
-/// Observability counters for the negotiation link layer, accumulated across
-/// every slot of a frame when a sink is attached.
-struct NegotiationStats {
-  /// Half-slot transmissions evaluated (two per pair per slot).
-  std::uint64_t half_attempts = 0;
-  /// Half-slot transmissions that failed to decode (geometry miss or SINR
-  /// below the control threshold).
-  std::uint64_t half_failures = 0;
-};
+/// Alias into the unified per-frame stats (core/phase_stats.hpp).
+using NegotiationStats = core::NegotiationStats;
 
 class PhyNegotiationChannel final : public NegotiationChannel {
  public:
   /// `tables` must outlive the channel and hold each vehicle's sector toward
   /// its neighbors; `tx_pattern`/`rx_pattern` are the discovery beams.
   /// `stats` (optional, must outlive the channel) accumulates link-layer
-  /// counters across exchange_succeeds calls.
+  /// counters across exchange_succeeds calls. `pool` (optional) parallelizes
+  /// the per-pair SINR evaluation.
   PhyNegotiationChannel(const core::World& world,
                         const std::vector<net::NeighborTable>& tables,
                         const phy::BeamPattern& tx_pattern, const phy::BeamPattern& rx_pattern,
-                        int sectors, NegotiationStats* stats = nullptr);
+                        int sectors, NegotiationStats* stats = nullptr,
+                        sim::WorkerPool* pool = nullptr);
 
-  [[nodiscard]] std::vector<bool> exchange_succeeds(
-      const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const override;
+  using NegotiationChannel::exchange_succeeds;
+  void exchange_succeeds(const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
+                         std::vector<bool>& ok) const override;
+
+  /// Re-point the counter sink / worker pool for the next frame. A protocol
+  /// driver keeps one channel alive across frames (preserving the scratch
+  /// capacity) and refreshes these per frame from its FrameContext.
+  void set_stats(NegotiationStats* stats) noexcept { stats_ = stats; }
+  void set_pool(sim::WorkerPool* pool) noexcept { pool_ = pool; }
 
  private:
-  /// One transmission half: `tx_of` maps pair index to its transmitter.
+  /// One transmission half: `first_is_tx` maps pair index to which side
+  /// transmits.
   void evaluate_half(const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs,
                      const std::vector<bool>& first_is_tx, std::vector<bool>& ok) const;
+
+  struct HalfLink {
+    net::NodeId tx = 0;
+    net::NodeId rx = 0;
+    double tx_bearing = 0.0;
+    double rx_bearing = 0.0;
+  };
 
   const core::World& world_;
   const std::vector<net::NeighborTable>& tables_;
@@ -54,6 +74,14 @@ class PhyNegotiationChannel final : public NegotiationChannel {
   const phy::BeamPattern& rx_pattern_;
   geom::SectorGrid grid_;
   NegotiationStats* stats_;
+  sim::WorkerPool* pool_;
+  // Per-call scratch (reused across the M slots of a frame). half_ok_ is a
+  // byte vector because concurrent lanes cannot safely write distinct
+  // elements of a std::vector<bool>.
+  mutable std::vector<HalfLink> links_;
+  mutable std::vector<bool> roles_;
+  mutable std::vector<unsigned char> half_ok_;
+  mutable std::vector<NegotiationStats> partials_;
 };
 
 }  // namespace mmv2v::protocols

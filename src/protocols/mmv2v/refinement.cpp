@@ -60,13 +60,19 @@ BeamRefinement::Result BeamRefinement::refine(const core::World& world, net::Nod
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double g_c = core::pair_channel_gain(channel.params(), *ab);
 
+  // Candidate boresights are generated inline (same arithmetic as
+  // candidate_bearings) so the hot path allocates nothing.
+  const double step = grid_.width() / static_cast<double>(beams_per_side_);
+
   // Pass 1: a sweeps its narrow candidates against b's wide beam (held at
   // b's discovery sector center).
   const double b_wide_center = grid_.center(sector_b);
   const double g_b_wide = wide.gain(geom::angular_distance(ba->bearing_rad, b_wide_center));
   double best_a = grid_.center(sector_a);
   double best_w = -1.0;
-  for (const double c : candidate_bearings(sector_a)) {
+  const double start_a = static_cast<double>(sector_a) * grid_.width();
+  for (int k = 0; k < beams_per_side_; ++k) {
+    const double c = geom::wrap_two_pi(start_a + (static_cast<double>(k) + 0.5) * step);
     const double g_a = narrow_.gain(geom::angular_distance(ab->bearing_rad, c));
     const double w = p_w * g_a * g_c * g_b_wide;
     if (w > best_w) {
@@ -79,7 +85,9 @@ BeamRefinement::Result BeamRefinement::refine(const core::World& world, net::Nod
   const double g_a_final = narrow_.gain(geom::angular_distance(ab->bearing_rad, best_a));
   double best_b = b_wide_center;
   best_w = -1.0;
-  for (const double c : candidate_bearings(sector_b)) {
+  const double start_b = static_cast<double>(sector_b) * grid_.width();
+  for (int k = 0; k < beams_per_side_; ++k) {
+    const double c = geom::wrap_two_pi(start_b + (static_cast<double>(k) + 0.5) * step);
     const double g_b = narrow_.gain(geom::angular_distance(ba->bearing_rad, c));
     const double w = p_w * g_a_final * g_c * g_b;
     if (w > best_w) {

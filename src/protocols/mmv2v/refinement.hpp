@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "core/phase_stats.hpp"
 #include "core/world.hpp"
 #include "geom/angles.hpp"
 #include "net/mac_address.hpp"
@@ -15,15 +16,9 @@
 namespace mmv2v::protocols {
 
 /// Observability counters for the refinement phase (one frame's worth when
-/// accumulated by the protocol driver).
-struct RefineStats {
-  /// Matched pairs refined.
-  std::uint64_t pairs = 0;
-  /// Narrow-beam probes evaluated (2 * beams_per_side per refined pair).
-  std::uint64_t probes = 0;
-  /// Pairs out of cached range that fell back to sector centers.
-  std::uint64_t fallbacks = 0;
-};
+/// accumulated by the protocol driver). Defined in core/phase_stats.hpp so
+/// they can hang off core::FrameContext.
+using RefineStats = core::RefineStats;
 
 struct RefinementParams {
   /// Narrowest beam width theta_min [deg].

@@ -1,14 +1,49 @@
 #include "protocols/mmv2v/snd.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "common/hash.hpp"
 #include "common/profiler.hpp"
 #include "common/units.hpp"
+#include "core/frame_resources.hpp"
 #include "fault/fault_plan.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace mmv2v::protocols {
+
+namespace {
+
+/// Per-receiver arrival candidate with the sector-invariant parts of the
+/// link budget hoisted out of the sector loop: the reverse bearing and the
+/// channel gain do not depend on the swept sector, so caching them turns
+/// S (= 24) pathloss evaluations per pair into one.
+struct SweepCandidate {
+  const core::PairGeom* pair;
+  double back_bearing;
+  double g_c;
+};
+
+/// Worker-lane scratch. thread_local on the pool's persistent threads, so
+/// capacity survives across sweeps and frames — steady-state sweeps touch
+/// no heap.
+struct LaneScratch {
+  std::vector<SweepCandidate> cands;
+  std::vector<double> watts;
+};
+
+LaneScratch& lane_scratch() {
+  thread_local LaneScratch scratch;
+  return scratch;
+}
+
+/// Receivers per worker chunk. The chunk grid depends only on the vehicle
+/// count, never the lane count, so counters merged per chunk are identical
+/// at any engine.threads setting.
+constexpr std::size_t kRxGrain = 8;
+
+}  // namespace
 
 double admission_snr_for_range(const phy::ChannelModel& channel,
                                const phy::BeamPattern& tx_pattern,
@@ -37,21 +72,39 @@ SyncNeighborDiscovery::SyncNeighborDiscovery(SndParams params)
   if (params.rounds <= 0) throw std::invalid_argument{"SND: rounds must be >= 1"};
 }
 
+void SyncNeighborDiscovery::run(const core::FrameContext& ctx,
+                                std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
+                                fault::FaultPlan* fault) const {
+  run_rounds(ctx.world, ctx.frame, tables, rng,
+             ctx.stats != nullptr ? &ctx.stats->snd_rounds : nullptr, fault,
+             ctx.resources != nullptr ? &ctx.resources->pool() : nullptr);
+}
+
 void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
                                 std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
                                 std::vector<SndRoundStats>* round_stats,
                                 fault::FaultPlan* fault) const {
+  run_rounds(world, frame, tables, rng, round_stats, fault, nullptr);
+}
+
+void SyncNeighborDiscovery::run_rounds(const core::World& world, std::uint64_t frame,
+                                       std::vector<net::NeighborTable>& tables,
+                                       Xoshiro256pp& rng,
+                                       std::vector<SndRoundStats>* round_stats,
+                                       fault::FaultPlan* fault,
+                                       sim::WorkerPool* pool) const {
   PROF_SCOPE("snd.run");
   const std::size_t n = world.size();
-  std::vector<bool> tx_first(n);
+  tx_first_.resize(n);
   if (round_stats != nullptr) {
     round_stats->assign(static_cast<std::size_t>(params_.rounds), SndRoundStats{});
   }
   for (int k = 0; k < params_.rounds; ++k) {
-    for (std::size_t i = 0; i < n; ++i) tx_first[i] = rng.bernoulli(params_.p_tx);
-    run_round(world, frame, tx_first, tables,
-              round_stats != nullptr ? &(*round_stats)[static_cast<std::size_t>(k)] : nullptr,
-              fault);
+    for (std::size_t i = 0; i < n; ++i) tx_first_[i] = rng.bernoulli(params_.p_tx);
+    run_round_impl(world, frame, tx_first_, tables,
+                   round_stats != nullptr ? &(*round_stats)[static_cast<std::size_t>(k)]
+                                          : nullptr,
+                   fault, pool);
   }
 }
 
@@ -59,15 +112,31 @@ void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t fr
                                       const std::vector<bool>& tx_first,
                                       std::vector<net::NeighborTable>& tables,
                                       SndRoundStats* stats, fault::FaultPlan* fault) const {
+  run_round_impl(world, frame, tx_first, tables, stats, fault, nullptr);
+}
+
+void SyncNeighborDiscovery::run_round_impl(const core::World& world, std::uint64_t frame,
+                                           const std::vector<bool>& tx_first,
+                                           std::vector<net::NeighborTable>& tables,
+                                           SndRoundStats* stats, fault::FaultPlan* fault,
+                                           sim::WorkerPool* pool) const {
   PROF_SCOPE("snd.round");
   if (tx_first.size() != world.size() || tables.size() != world.size()) {
     throw std::invalid_argument{"SND: role/table vectors must match the vehicle count"};
   }
-  run_sweep(world, frame, tx_first, tables, stats, fault);
+  if (fault != nullptr) {
+    run_sweep_fault(world, frame, tx_first, tables, stats, fault);
+  } else {
+    run_sweep(world, frame, tx_first, tables, stats, pool);
+  }
   // Role swap (paper Section III-B4).
-  std::vector<bool> swapped(tx_first.size());
-  for (std::size_t i = 0; i < tx_first.size(); ++i) swapped[i] = !tx_first[i];
-  run_sweep(world, frame, swapped, tables, stats, fault);
+  swapped_.resize(tx_first.size());
+  for (std::size_t i = 0; i < tx_first.size(); ++i) swapped_[i] = !tx_first[i];
+  if (fault != nullptr) {
+    run_sweep_fault(world, frame, swapped_, tables, stats, fault);
+  } else {
+    run_sweep(world, frame, swapped_, tables, stats, pool);
+  }
 }
 
 double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
@@ -86,7 +155,152 @@ double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
 void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t frame,
                                       const std::vector<bool>& is_tx,
                                       std::vector<net::NeighborTable>& tables,
-                                      SndRoundStats* stats, fault::FaultPlan* fault) const {
+                                      SndRoundStats* stats, sim::WorkerPool* pool) const {
+  const phy::ChannelModel& channel = world.channel();
+  const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+
+  const bool clock_active = params_.clock_sigma_s > 0.0;
+  if (clock_active) {
+    clock_.resize(world.size());
+    for (net::NodeId i = 0; i < world.size(); ++i) clock_[i] = clock_offset_s(i);
+  }
+
+  const std::size_t n = world.size();
+  const std::size_t chunks = sim::WorkerPool::chunk_count(n, kRxGrain);
+  if (stats != nullptr) partials_.assign(chunks, SndRoundStats{});
+
+  auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    SndRoundStats* part = stats != nullptr ? &partials_[chunk] : nullptr;
+    LaneScratch& scratch = lane_scratch();
+    for (net::NodeId rx = begin; rx < end; ++rx) {
+      if (is_tx[rx]) continue;
+
+      // Sector-invariant filtering and link-budget terms, once per receiver.
+      scratch.cands.clear();
+      for (const core::PairGeom& p : world.nearby(rx)) {
+        if (!is_tx[p.other]) continue;
+        // Unsynchronized pair: the receiver's dwell no longer overlaps the
+        // transmitter's SSW frame enough to decode the preamble. The
+        // reference sector-outer loop re-tests this per sector, so the skip
+        // counts S times per sweep.
+        if (clock_active &&
+            std::abs(clock_[p.other] - clock_[rx]) > params_.sector_dwell_s / 2.0) {
+          if (part != nullptr) {
+            part->sync_skips += static_cast<std::uint64_t>(grid_.count());
+          }
+          continue;
+        }
+        // Reverse bearing (Tx -> Rx) is the receiver's bearing plus pi.
+        scratch.cands.push_back(
+            SweepCandidate{&p, geom::wrap_two_pi(p.bearing_rad + geom::kPi),
+                           core::pair_channel_gain(channel.params(), p)});
+      }
+      if (scratch.cands.empty()) continue;
+
+      for (int t = 0; t < grid_.count(); ++t) {
+        const double sweep_center = grid_.center(t);
+        const double sense_center = grid_.center(grid_.opposite(t));
+
+        // Accumulate the power of every concurrent transmitter as heard
+        // through this receiver's sensing beam.
+        double total_w = 0.0;
+        double best_w = 0.0;
+        const core::PairGeom* best = nullptr;
+        const bool ideal = params_.ideal_capture;
+        if (ideal) scratch.watts.clear();
+        for (const SweepCandidate& c : scratch.cands) {
+          const double g_t =
+              alpha_.gain(geom::angular_distance(c.back_bearing, sweep_center));
+          const double g_r =
+              beta_.gain(geom::angular_distance(c.pair->bearing_rad, sense_center));
+          const double w = tx_power_w * g_t * c.g_c * g_r;
+          total_w += w;
+          if (ideal) scratch.watts.push_back(w);
+          if (w > best_w) {
+            best_w = w;
+            best = c.pair;
+          }
+        }
+        if (best == nullptr) continue;
+
+        const auto record = [&](const core::PairGeom& p, double w) {
+          const double snr_db = units::linear_to_db(w / noise_w);
+          if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
+            if (part != nullptr) ++part->admission_rejects;
+            return;
+          }
+          if (!std::isnan(params_.max_neighbor_range_m) &&
+              p.distance_m > params_.max_neighbor_range_m) {
+            if (part != nullptr) ++part->admission_rejects;
+            return;
+          }
+          if (part != nullptr) ++part->decodes;
+          net::NeighborEntry entry;
+          entry.id = p.other;
+          entry.mac = world.mac(p.other);
+          // The receiver can only attribute the arrival to the sector it was
+          // sensing. For the main-lobe rendezvous this IS the true sector
+          // toward the transmitter; a side-lobe decode records a wrong
+          // sector, but the strongest same-frame observation (the
+          // rendezvous) wins in the table.
+          entry.sector_toward = grid_.opposite(t);
+          entry.snr_db = snr_db;
+          entry.last_seen_frame = frame;
+          tables[rx].observe(entry);
+        };
+
+        if (ideal) {
+          // Idealization: every transmitter whose interference-free SNR
+          // clears the control threshold decodes (perfect multi-packet
+          // reception).
+          for (std::size_t i = 0; i < scratch.cands.size(); ++i) {
+            const double w = scratch.watts[i];
+            if (channel.mcs().control_decodable(units::linear_to_db(w / noise_w))) {
+              record(*scratch.cands[i].pair, w);
+            } else if (part != nullptr) {
+              ++part->decode_failures;
+            }
+          }
+        } else {
+          // Capture model: only the strongest arrival decodes, and only if
+          // its SINR against the other concurrent sweepers clears the
+          // threshold.
+          const double sinr_db =
+              units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
+          if (channel.mcs().control_decodable(sinr_db)) {
+            record(*best, best_w);
+          } else if (part != nullptr) {
+            ++part->decode_failures;
+          }
+        }
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->for_chunks(n, kRxGrain, process);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      process(c, c * kRxGrain, std::min(n, (c + 1) * kRxGrain));
+    }
+  }
+
+  if (stats != nullptr) {
+    for (const SndRoundStats& part : partials_) {
+      stats->decodes += part.decodes;
+      stats->decode_failures += part.decode_failures;
+      stats->admission_rejects += part.admission_rejects;
+      stats->sync_skips += part.sync_skips;
+    }
+  }
+}
+
+void SyncNeighborDiscovery::run_sweep_fault(const core::World& world, std::uint64_t frame,
+                                            const std::vector<bool>& is_tx,
+                                            std::vector<net::NeighborTable>& tables,
+                                            SndRoundStats* stats,
+                                            fault::FaultPlan* fault) const {
   const phy::ChannelModel& channel = world.channel();
   const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double noise_w = channel.noise_watts();

@@ -14,6 +14,13 @@
 // SSW frames collide; we decode the strongest arrival iff its SINR clears
 // the control-PHY threshold (capture model). Set `ideal_capture` to decode
 // whenever the interference-free SNR clears the threshold instead.
+//
+// Execution: the fault-free sweep runs receiver-outer so each receiver's
+// per-pair channel gain is computed once instead of once per sector, and
+// receivers are chunked across the frame pipeline's worker lanes (each
+// receiver exclusively owns its table; counters merge per chunk). Runs with
+// a FaultPlan keep the original sector-outer loop, whose global visit order
+// the fault loss chains depend on.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +28,8 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "core/phase_stats.hpp"
+#include "core/protocol.hpp"
 #include "core/world.hpp"
 #include "geom/angles.hpp"
 #include "net/neighbor_table.hpp"
@@ -29,6 +38,10 @@
 namespace mmv2v::fault {
 class FaultPlan;
 }  // namespace mmv2v::fault
+
+namespace mmv2v::sim {
+class WorkerPool;
+}  // namespace mmv2v::sim
 
 namespace mmv2v::protocols {
 
@@ -65,20 +78,9 @@ struct SndParams {
   std::uint64_t clock_seed = 0xc10c;
 };
 
-/// Per-round observability counters (all zero-initialized; accumulated over
-/// the round's two sweeps when a stats sink is passed to run/run_round).
-struct SndRoundStats {
-  /// Observations admitted into a neighbor table.
-  std::uint64_t decodes = 0;
-  /// Arrivals that failed the control-PHY decode (capture SINR or, under
-  /// ideal_capture, interference-free SNR below threshold).
-  std::uint64_t decode_failures = 0;
-  /// Decoded arrivals rejected by the admission SNR / range filters.
-  std::uint64_t admission_rejects = 0;
-  /// Tx/Rx pairs skipped because their relative clock offset exceeded half
-  /// the sector dwell (sync-error model).
-  std::uint64_t sync_skips = 0;
-};
+/// Per-round observability counters (moved to core/phase_stats.hpp so they
+/// can hang off core::FrameContext; the alias keeps existing call sites).
+using SndRoundStats = core::SndRoundStats;
 
 /// Compute the wide-beam boresight SNR at distance `range_m` (LOS) minus an
 /// alignment margin; using this as SndParams::admission_snr_db makes the
@@ -100,6 +102,12 @@ class SyncNeighborDiscovery {
   [[nodiscard]] const phy::BeamPattern& tx_pattern() const noexcept { return alpha_; }
   [[nodiscard]] const phy::BeamPattern& rx_pattern() const noexcept { return beta_; }
   [[nodiscard]] const geom::SectorGrid& grid() const noexcept { return grid_; }
+
+  /// Staged-pipeline entry point: run K rounds on the frame-start snapshot,
+  /// drawing worker lanes from ctx.resources (null = serial) and writing
+  /// per-round counters into ctx.stats->snd_rounds (null = no stats).
+  void run(const core::FrameContext& ctx, std::vector<net::NeighborTable>& tables,
+           Xoshiro256pp& rng, fault::FaultPlan* fault = nullptr) const;
 
   /// Run K rounds on the current world snapshot, inserting observations into
   /// the per-vehicle neighbor tables (indexed by NodeId). `frame` stamps the
@@ -123,14 +131,35 @@ class SyncNeighborDiscovery {
   [[nodiscard]] double clock_offset_s(net::NodeId id) const;
 
  private:
+  void run_rounds(const core::World& world, std::uint64_t frame,
+                  std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
+                  std::vector<SndRoundStats>* round_stats, fault::FaultPlan* fault,
+                  sim::WorkerPool* pool) const;
+  void run_round_impl(const core::World& world, std::uint64_t frame,
+                      const std::vector<bool>& tx_first,
+                      std::vector<net::NeighborTable>& tables, SndRoundStats* stats,
+                      fault::FaultPlan* fault, sim::WorkerPool* pool) const;
+  /// Receiver-outer fast sweep (fault == nullptr only).
   void run_sweep(const core::World& world, std::uint64_t frame,
                  const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables,
-                 SndRoundStats* stats, fault::FaultPlan* fault) const;
+                 SndRoundStats* stats, sim::WorkerPool* pool) const;
+  /// Original sector-outer sweep, kept verbatim for fault runs: the loss
+  /// chains in a FaultPlan advance in global (t, rx, pair) visit order.
+  void run_sweep_fault(const core::World& world, std::uint64_t frame,
+                       const std::vector<bool>& is_tx,
+                       std::vector<net::NeighborTable>& tables, SndRoundStats* stats,
+                       fault::FaultPlan* fault) const;
 
   SndParams params_;
   phy::BeamPattern alpha_;
   phy::BeamPattern beta_;
   geom::SectorGrid grid_;
+  // Frame-scoped scratch, reused across rounds/frames to keep steady-state
+  // frames allocation-free. Written serially before any parallel dispatch.
+  mutable std::vector<bool> tx_first_;
+  mutable std::vector<bool> swapped_;
+  mutable std::vector<double> clock_;
+  mutable std::vector<SndRoundStats> partials_;
 };
 
 }  // namespace mmv2v::protocols

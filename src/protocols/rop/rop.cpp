@@ -9,10 +9,18 @@
 #include "core/instrument.hpp"
 #include "phy/pathloss.hpp"
 #include "protocols/fault_instrument.hpp"
+#include "sim/worker_pool.hpp"
 
 #include <algorithm>
 
 namespace mmv2v::protocols {
+
+namespace {
+/// Receivers per worker chunk for the fault-free discovery sweep. The chunk
+/// grid depends only on the vehicle count, so per-chunk counters merge
+/// identically at any lane count.
+constexpr std::size_t kRxGrain = 8;
+}  // namespace
 
 RopProtocol::RopProtocol(RopParams params)
     : params_(params),
@@ -52,86 +60,165 @@ double RopProtocol::udt_start_offset_s() const {
   return schedule_->udt_start_s();
 }
 
-void RopProtocol::run_discovery_step(const core::World& world, std::uint64_t frame,
-                                     SndRoundStats* stats) {
+void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* stats) {
   PROF_SCOPE("snd.round");
+  const core::World& world = ctx.world;
+  const std::uint64_t frame = ctx.frame;
   const std::size_t n = world.size();
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double noise_w = channel.noise_watts();
 
-  // Random role and random absolute sector per vehicle for this step.
-  std::vector<bool> is_tx(n);
-  std::vector<int> sector(n);
+  // Random role and random absolute sector per vehicle for this step; drawn
+  // serially up front so the receiver sweep below is free of RNG state.
+  is_tx_.resize(n);
+  sector_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    is_tx[i] = rng_.bernoulli(params_.discovery.p_tx);
-    sector[i] = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(grid_.count())));
+    is_tx_[i] = rng_.bernoulli(params_.discovery.p_tx) ? 1 : 0;
+    sector_[i] = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(grid_.count())));
   }
 
-  for (net::NodeId rx = 0; rx < n; ++rx) {
-    if (is_tx[rx]) continue;
-    if (fault_ != nullptr && fault_->control_down(rx)) continue;
-    const double sense_center = grid_.center(sector[rx]);
+  if (fault_ != nullptr) {
+    // Fault runs stay serial: ctrl_lost advances per-sender loss chains in
+    // global receiver order, which a chunked sweep would permute.
+    for (net::NodeId rx = 0; rx < n; ++rx) {
+      if (is_tx_[rx] != 0) continue;
+      if (fault_->control_down(rx)) continue;
+      const double sense_center = grid_.center(sector_[rx]);
 
-    double total_w = 0.0;
-    double best_w = 0.0;
-    const core::PairGeom* best = nullptr;
-    for (const core::PairGeom& p : world.nearby(rx)) {
-      if (!is_tx[p.other]) continue;
-      if (fault_ != nullptr && fault_->control_down(p.other)) continue;
-      const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
-      const double g_t =
-          alpha_.gain(geom::angular_distance(back_bearing, grid_.center(sector[p.other])));
-      const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
-      const double g_c = core::pair_channel_gain(channel.params(), p);
-      const double w = p_w * g_t * g_c * g_r;
-      total_w += w;
-      if (w > best_w) {
-        best_w = w;
-        best = &p;
+      double total_w = 0.0;
+      double best_w = 0.0;
+      const core::PairGeom* best = nullptr;
+      for (const core::PairGeom& p : world.nearby(rx)) {
+        if (is_tx_[p.other] == 0) continue;
+        if (fault_->control_down(p.other)) continue;
+        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+        const double g_t = alpha_.gain(
+            geom::angular_distance(back_bearing, grid_.center(sector_[p.other])));
+        const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
+        const double g_c = core::pair_channel_gain(channel.params(), p);
+        const double w = p_w * g_t * g_c * g_r;
+        total_w += w;
+        if (w > best_w) {
+          best_w = w;
+          best = &p;
+        }
       }
-    }
-    if (best == nullptr) continue;
+      if (best == nullptr) continue;
 
-    const double snr_db = units::linear_to_db(best_w / noise_w);
-    const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
-    if (!channel.mcs().control_decodable(sinr_db)) {
-      if (stats != nullptr) ++stats->decode_failures;
-      continue;
-    }
-    // Fault layer: the winning control frame itself can be erased on the air.
-    if (fault_ != nullptr && fault_->ctrl_lost(best->other, fault::CtrlKind::kSsw)) {
-      if (stats != nullptr) ++stats->decode_failures;
-      continue;
-    }
-    // Range admission compares (possibly GPS-noisy) reported positions.
-    double admission_distance_m = best->distance_m;
-    if (fault_ != nullptr && fault_->params().gps_sigma_m > 0.0) {
-      const geom::Vec2 tx_pos = world.position(best->other) + fault_->gps_offset(best->other);
-      const geom::Vec2 rx_pos = world.position(rx) + fault_->gps_offset(rx);
-      admission_distance_m = geom::distance(tx_pos, rx_pos);
-    }
-    if (!std::isnan(max_range_m_) && admission_distance_m > max_range_m_) {
-      if (stats != nullptr) ++stats->admission_rejects;
-      continue;
-    }
-    if (stats != nullptr) ++stats->decodes;
+      const double snr_db = units::linear_to_db(best_w / noise_w);
+      const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
+      if (!channel.mcs().control_decodable(sinr_db)) {
+        if (stats != nullptr) ++stats->decode_failures;
+        continue;
+      }
+      // Fault layer: the winning control frame itself can be erased on the air.
+      if (fault_->ctrl_lost(best->other, fault::CtrlKind::kSsw)) {
+        if (stats != nullptr) ++stats->decode_failures;
+        continue;
+      }
+      // Range admission compares (possibly GPS-noisy) reported positions.
+      double admission_distance_m = best->distance_m;
+      if (fault_->params().gps_sigma_m > 0.0) {
+        const geom::Vec2 tx_pos =
+            world.position(best->other) + fault_->gps_offset(best->other);
+        const geom::Vec2 rx_pos = world.position(rx) + fault_->gps_offset(rx);
+        admission_distance_m = geom::distance(tx_pos, rx_pos);
+      }
+      if (!std::isnan(max_range_m_) && admission_distance_m > max_range_m_) {
+        if (stats != nullptr) ++stats->admission_rejects;
+        continue;
+      }
+      if (stats != nullptr) ++stats->decodes;
 
-    // One-way discovery (paper Section IV-A: "the corresponding Tx vehicle
-    // is identified by the Rx vehicle"): only the receiver learns the link.
-    // The pair can only match once both sides have independently discovered
-    // each other — ROP's structural weakness vs SND's role swapping.
-    net::NeighborEntry entry;
-    entry.id = best->other;
-    entry.mac = world.mac(best->other);
-    // The receiver attributes the arrival to its (random) sensing sector; a
-    // side-lobe decode therefore stores a wrong sector and later beam
-    // refinement searches the wrong direction — ROP's info is only as good
-    // as its lottery.
-    entry.sector_toward = sector[rx];
-    entry.snr_db = snr_db;
-    entry.last_seen_frame = frame;
-    tables_[rx].observe(entry);
+      // One-way discovery (paper Section IV-A: "the corresponding Tx vehicle
+      // is identified by the Rx vehicle"): only the receiver learns the link.
+      // The pair can only match once both sides have independently discovered
+      // each other — ROP's structural weakness vs SND's role swapping.
+      net::NeighborEntry entry;
+      entry.id = best->other;
+      entry.mac = world.mac(best->other);
+      // The receiver attributes the arrival to its (random) sensing sector; a
+      // side-lobe decode therefore stores a wrong sector and later beam
+      // refinement searches the wrong direction — ROP's info is only as good
+      // as its lottery.
+      entry.sector_toward = sector_[rx];
+      entry.snr_db = snr_db;
+      entry.last_seen_frame = frame;
+      tables_[rx].observe(entry);
+    }
+    return;
+  }
+
+  // Fault-free sweep: each receiver reads only the world snapshot and the
+  // role/sector draws and writes only its own table, so receivers process
+  // independently across lanes; counters accumulate per chunk and merge in
+  // chunk order below.
+  sim::WorkerPool* pool = ctx.resources != nullptr ? &ctx.resources->pool() : nullptr;
+  const std::size_t chunks = sim::WorkerPool::chunk_count(n, kRxGrain);
+  partials_.assign(chunks, SndRoundStats{});
+
+  auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    SndRoundStats& part = partials_[chunk];
+    for (net::NodeId rx = begin; rx < end; ++rx) {
+      if (is_tx_[rx] != 0) continue;
+      const double sense_center = grid_.center(sector_[rx]);
+
+      double total_w = 0.0;
+      double best_w = 0.0;
+      const core::PairGeom* best = nullptr;
+      for (const core::PairGeom& p : world.nearby(rx)) {
+        if (is_tx_[p.other] == 0) continue;
+        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+        const double g_t = alpha_.gain(
+            geom::angular_distance(back_bearing, grid_.center(sector_[p.other])));
+        const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
+        const double g_c = core::pair_channel_gain(channel.params(), p);
+        const double w = p_w * g_t * g_c * g_r;
+        total_w += w;
+        if (w > best_w) {
+          best_w = w;
+          best = &p;
+        }
+      }
+      if (best == nullptr) continue;
+
+      const double snr_db = units::linear_to_db(best_w / noise_w);
+      const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
+      if (!channel.mcs().control_decodable(sinr_db)) {
+        ++part.decode_failures;
+        continue;
+      }
+      if (!std::isnan(max_range_m_) && best->distance_m > max_range_m_) {
+        ++part.admission_rejects;
+        continue;
+      }
+      ++part.decodes;
+
+      net::NeighborEntry entry;
+      entry.id = best->other;
+      entry.mac = world.mac(best->other);
+      entry.sector_toward = sector_[rx];
+      entry.snr_db = snr_db;
+      entry.last_seen_frame = frame;
+      tables_[rx].observe(entry);
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->for_chunks(n, kRxGrain, process);
+  } else {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      process(c, c * kRxGrain, std::min(n, (c + 1) * kRxGrain));
+    }
+  }
+
+  if (stats != nullptr) {
+    for (const SndRoundStats& part : partials_) {
+      stats->decodes += part.decodes;
+      stats->decode_failures += part.decode_failures;
+      stats->admission_rejects += part.admission_rejects;
+    }
   }
 }
 
@@ -161,23 +248,23 @@ void RopProtocol::random_matching(core::FrameContext& ctx) {
 
   // Unmatched vehicles make random mutual-choice attempts; a formed match
   // persists until released above.
-  std::vector<net::NodeId> choice(n, n);
+  choice_.assign(n, n);
   for (int round = 0; round < params_.matching_rounds; ++round) {
     for (net::NodeId i = 0; i < n; ++i) {
-      choice[i] = n;
+      choice_[i] = n;
       if (partner_[i] != n) continue;
       if (fault_ != nullptr && fault_->control_down(i)) continue;  // radio dark
       int eligible = 0;
-      for (const net::NeighborEntry& e : tables_[i].entries()) {
-        if (partner_[e.id] != n || ctx.ledger.pair_complete(i, e.id)) continue;
-        if (fault_ != nullptr && fault_->control_down(e.id)) continue;
+      tables_[i].for_each([&](const net::NeighborEntry& e) {
+        if (partner_[e.id] != n || ctx.ledger.pair_complete(i, e.id)) return;
+        if (fault_ != nullptr && fault_->control_down(e.id)) return;
         ++eligible;
-        if (rng_.uniform_int(static_cast<std::uint64_t>(eligible)) == 0) choice[i] = e.id;
-      }
+        if (rng_.uniform_int(static_cast<std::uint64_t>(eligible)) == 0) choice_[i] = e.id;
+      });
     }
     for (net::NodeId i = 0; i < n; ++i) {
-      const net::NodeId j = choice[i];
-      if (j < n && j > i && choice[j] == i) {
+      const net::NodeId j = choice_[i];
+      if (j < n && j > i && choice_[j] == i) {
         // The mutual-choice exchange needs both announcements delivered.
         // Evaluate both losses so each sender's chain advances exactly once.
         if (fault_ != nullptr) {
@@ -197,7 +284,26 @@ void RopProtocol::random_matching(core::FrameContext& ctx) {
   }
 }
 
-void RopProtocol::begin_frame(core::FrameContext& ctx) {
+void RopProtocol::run_phase(core::FrameContext& ctx, core::Phase phase) {
+  switch (phase) {
+    case core::Phase::kSnd:
+      phase_snd(ctx);
+      break;
+    case core::Phase::kDcm:
+      phase_dcm(ctx);
+      break;
+    case core::Phase::kUdt:
+      phase_udt(ctx);
+      break;
+  }
+}
+
+// Discovery phase. Same airtime as K SND rounds, but naive: a vehicle draws
+// a random role and a random beam direction per sweep period (two per round,
+// mirroring SND's pre/post role-swap sweeps) and holds them, so each sweep
+// period is a single alignment lottery instead of SND's guaranteed
+// rendezvous.
+void RopProtocol::phase_snd(core::FrameContext& ctx) {
   ensure_initialized(ctx);
   const core::World& world = ctx.world;
   if (fault_ != nullptr) {
@@ -206,20 +312,21 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
 
   for (auto& table : tables_) table.age_out(ctx.frame);
 
-  // Same airtime as K SND rounds, but naive: a vehicle draws a random role
-  // and a random beam direction per sweep period (two per round, mirroring
-  // SND's pre/post role-swap sweeps) and holds them, so each sweep period is
-  // a single alignment lottery instead of SND's guaranteed rendezvous.
   udt_.set_metrics(instr_ != nullptr ? &instr_->metrics() : nullptr);
-  SndRoundStats disc_stats;
-  SndRoundStats* disc_sink = instr_ != nullptr ? &disc_stats : nullptr;
+  SndRoundStats* disc_sink = nullptr;
+  if (instr_ != nullptr && ctx.stats != nullptr) {
+    // ROP aggregates its whole discovery budget into one stats round.
+    ctx.stats->snd_rounds.assign(1, SndRoundStats{});
+    disc_sink = &ctx.stats->snd_rounds.front();
+  }
   {
     PROF_SCOPE("snd.run");
     for (int sweep = 0; sweep < 2 * params_.discovery.rounds; ++sweep) {
-      run_discovery_step(world, ctx.frame, disc_sink);
+      run_discovery_step(ctx, disc_sink);
     }
   }
-  if (instr_ != nullptr) {
+  if (disc_sink != nullptr) {
+    const SndRoundStats& disc_stats = *disc_sink;
     MetricsRegistry& m = instr_->metrics();
     m.counter("discovery.decodes").add(disc_stats.decodes);
     m.counter("discovery.decode_failures").add(disc_stats.decode_failures);
@@ -229,17 +336,22 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
                      .u64("misses", disc_stats.decode_failures)
                      .u64("admission_rejects", disc_stats.admission_rejects));
   }
+}
 
+void RopProtocol::phase_dcm(core::FrameContext& ctx) {
   random_matching(ctx);
   if (instr_ != nullptr) {
     instr_->metrics().gauge("links.active").set(static_cast<double>(matching_.size()));
     instr_->emit(core::TraceEvent{"matching"}.u64("pairs", matching_.size()));
   }
+}
 
+void RopProtocol::phase_udt(core::FrameContext& ctx) {
+  const core::World& world = ctx.world;
   PROF_SCOPE("udt.schedule");
   udt_.clear();
-  RefineStats refine_stats;
-  RefineStats* refine_sink = instr_ != nullptr ? &refine_stats : nullptr;
+  core::RefineStats* refine_sink =
+      instr_ != nullptr && ctx.stats != nullptr ? &ctx.stats->refine : nullptr;
   const double udt_start = schedule_->udt_start_s();
   const double frame_end = world.config().timing.frame_s;
   for (const auto& [a, b] : matching_) {
@@ -263,50 +375,18 @@ void RopProtocol::begin_frame(core::FrameContext& ctx) {
       const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
       refine_lost = lost_a || lost_b;
     }
-    BeamRefinement::Result beams{};
-    if (refine_lost) {
-      beams.bearing_a = grid_.center(entry_ab->sector_toward);
-      beams.bearing_b = grid_.center(entry_ba->sector_toward);
-      if (refine_sink != nullptr) {
-        ++refine_sink->pairs;
-        ++refine_sink->fallbacks;
-      }
-    } else {
-      beams = refinement_->refine(world, a, entry_ab->sector_toward, b,
-                                  entry_ba->sector_toward, alpha_, refine_sink);
-    }
-    const bool a_first = world.mac(a) > world.mac(b);
-    const net::NodeId first = a_first ? a : b;
-    const net::NodeId second = a_first ? b : a;
-    const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
-    const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
-    udt_.add_tdd_pair(first, first_bearing, &refinement_->narrow_pattern(), second,
-                      second_bearing, &refinement_->narrow_pattern(), udt_start, window_end);
+    schedule_refined_pair(ctx, *refinement_, grid_, alpha_, a, entry_ab->sector_toward, b,
+                          entry_ba->sector_toward, udt_start, window_end, refine_lost,
+                          refine_sink);
   }
-  if (instr_ != nullptr) {
+  if (instr_ != nullptr && ctx.stats != nullptr) {
     MetricsRegistry& m = instr_->metrics();
+    const RefineStats& refine_stats = ctx.stats->refine;
     m.counter("refine.pairs").add(refine_stats.pairs);
     m.counter("refine.probes").add(refine_stats.probes);
     m.counter("refine.fallbacks").add(refine_stats.fallbacks);
   }
   if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
-}
-
-void RopProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
-  udt_.step(ctx, t0, t1);
-}
-
-void RopProtocol::end_frame(core::FrameContext& /*ctx*/) {
-  if (instr_ == nullptr) return;
-  MetricsRegistry& m = instr_->metrics();
-  for (const DirectedTransfer& t : udt_.transfers()) {
-    if (t.delivered_bits <= 0.0) continue;
-    m.gauge("udt.delivered_bits").add(t.delivered_bits);
-    instr_->emit(core::TraceEvent{"link"}
-                     .u64("tx", t.tx)
-                     .u64("rx", t.rx)
-                     .f64("bits", t.delivered_bits));
-  }
 }
 
 }  // namespace mmv2v::protocols

@@ -24,7 +24,7 @@
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
-#include "protocols/udt_engine.hpp"
+#include "protocols/staged.hpp"
 #include "sim/frame.hpp"
 
 namespace mmv2v::protocols {
@@ -44,15 +44,13 @@ struct RopParams {
   std::uint64_t seed = 0x5eed;
 };
 
-class RopProtocol final : public core::OhmProtocol {
+class RopProtocol final : public StagedOhmProtocol {
  public:
   explicit RopProtocol(RopParams params);
 
   [[nodiscard]] std::string_view name() const override { return "ROP"; }
-  void begin_frame(core::FrameContext& ctx) override;
+  void run_phase(core::FrameContext& ctx, core::Phase phase) override;
   [[nodiscard]] double udt_start_offset_s() const override;
-  void udt_step(core::FrameContext& ctx, double t0, double t1) override;
-  void end_frame(core::FrameContext& ctx) override;
   [[nodiscard]] std::size_t active_link_count() const override { return matching_.size(); }
 
   [[nodiscard]] const std::vector<net::NeighborTable>& tables() const { return tables_; }
@@ -63,8 +61,10 @@ class RopProtocol final : public core::OhmProtocol {
 
  private:
   void ensure_initialized(core::FrameContext& ctx);
-  void run_discovery_step(const core::World& world, std::uint64_t frame,
-                          SndRoundStats* stats);
+  void phase_snd(core::FrameContext& ctx);
+  void phase_dcm(core::FrameContext& ctx);
+  void phase_udt(core::FrameContext& ctx);
+  void run_discovery_step(core::FrameContext& ctx, SndRoundStats* stats);
   void random_matching(core::FrameContext& ctx);
 
   RopParams params_;
@@ -81,11 +81,15 @@ class RopProtocol final : public core::OhmProtocol {
   /// Pair progress at the previous frame, to release stalled matches (a
   /// match formed on a bogus side-lobe sector never moves data).
   std::unordered_map<std::uint64_t, double> last_eta_;
-  UdtEngine udt_;
   /// Non-null iff the scenario enables fault injection. ROP has no frame
   /// synchronization, so clock drift does not apply; loss, GPS noise and
   /// churn hit it like any radio.
   std::unique_ptr<fault::FaultPlan> fault_;
+  // Per-step scratch, reused across steps and frames (capacity retained).
+  std::vector<unsigned char> is_tx_;
+  std::vector<int> sector_;
+  std::vector<SndRoundStats> partials_;
+  std::vector<net::NodeId> choice_;
   double max_range_m_ = std::numeric_limits<double>::quiet_NaN();
   bool initialized_ = false;
 };

@@ -1,0 +1,73 @@
+#include "protocols/staged.hpp"
+
+#include "common/metrics_registry.hpp"
+#include "core/frame_resources.hpp"
+#include "core/instrument.hpp"
+
+namespace mmv2v::protocols {
+
+void StagedOhmProtocol::begin_frame(core::FrameContext& ctx) {
+  if (ctx.resources == nullptr) {
+    if (own_resources_ == nullptr) {
+      // Standalone drivers (benches, unit tests) that call the protocol
+      // without an OhmSimulation still honor the scenario's engine knobs.
+      own_resources_ = std::make_unique<core::FrameResources>(ctx.world.config().engine);
+    }
+    own_resources_->begin_frame();
+    ctx.resources = own_resources_.get();
+  }
+  if (ctx.stats == nullptr && instr_ != nullptr) {
+    ctx.stats = &ctx.resources->stats();
+  }
+  core::OhmProtocol::begin_frame(ctx);
+}
+
+void StagedOhmProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) {
+  udt_.step(ctx, t0, t1);
+}
+
+void StagedOhmProtocol::end_frame(core::FrameContext& /*ctx*/) {
+  if (instr_ == nullptr) return;
+  MetricsRegistry& m = instr_->metrics();
+  for (const DirectedTransfer& t : udt_.transfers()) {
+    if (t.delivered_bits <= 0.0) continue;
+    m.gauge("udt.delivered_bits").add(t.delivered_bits);
+    instr_->emit(core::TraceEvent{"link"}
+                     .u64("tx", t.tx)
+                     .u64("rx", t.rx)
+                     .f64("bits", t.delivered_bits));
+  }
+}
+
+void StagedOhmProtocol::schedule_refined_pair(core::FrameContext& ctx,
+                                              const BeamRefinement& refinement,
+                                              const geom::SectorGrid& grid,
+                                              const phy::BeamPattern& wide, net::NodeId a,
+                                              int sector_a, net::NodeId b, int sector_b,
+                                              double start_s, double end_s, bool refine_lost,
+                                              core::RefineStats* stats) {
+  // When the fault layer erases a refinement feedback message the pair falls
+  // back to its discovery sector centers (wide-beam alignment) — degraded
+  // SNR, not a dead link.
+  BeamRefinement::Result beams{};
+  if (refine_lost) {
+    beams.bearing_a = grid.center(sector_a);
+    beams.bearing_b = grid.center(sector_b);
+    if (stats != nullptr) {
+      ++stats->pairs;
+      ++stats->fallbacks;
+    }
+  } else {
+    beams = refinement.refine(ctx.world, a, sector_a, b, sector_b, wide, stats);
+  }
+
+  const bool a_first = ctx.world.mac(a) > ctx.world.mac(b);
+  const net::NodeId first = a_first ? a : b;
+  const net::NodeId second = a_first ? b : a;
+  const double first_bearing = a_first ? beams.bearing_a : beams.bearing_b;
+  const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
+  udt_.add_tdd_pair(first, first_bearing, &refinement.narrow_pattern(), second,
+                    second_bearing, &refinement.narrow_pattern(), start_s, end_s);
+}
+
+}  // namespace mmv2v::protocols

@@ -1,0 +1,50 @@
+// Shared scaffolding for protocol stacks on the staged frame pipeline.
+// StagedOhmProtocol supplies the parts every stack repeats:
+//   - FrameContext resource wiring: a driver that attaches no FrameResources
+//     (bare benches, unit tests) gets a protocol-owned fallback, and an
+//     instrumented run gets the unified PhaseStats sink hooked up;
+//   - the data plane (one UdtEngine) with its udt_step / end_frame plumbing
+//     and per-link trace events;
+//   - refine-or-fallback scheduling of one matched pair's TDD session.
+// Concrete stacks implement run_phase(kSnd | kDcm | kUdt) and inherit the
+// canonical begin_frame sequencing from OhmProtocol.
+#pragma once
+
+#include <memory>
+
+#include "core/frame_resources.hpp"
+#include "core/phase_stats.hpp"
+#include "core/protocol.hpp"
+#include "geom/angles.hpp"
+#include "protocols/mmv2v/refinement.hpp"
+#include "protocols/udt_engine.hpp"
+
+namespace mmv2v::protocols {
+
+class StagedOhmProtocol : public core::OhmProtocol {
+ public:
+  void begin_frame(core::FrameContext& ctx) override;
+  void udt_step(core::FrameContext& ctx, double t0, double t1) override;
+  void end_frame(core::FrameContext& ctx) override;
+
+ protected:
+  /// Refine (or, when `refine_lost`, fall back to the sector centers of
+  /// `grid`) the beams of matched pair (a, b) and register its half-duplex
+  /// TDD session over [start_s, end_s). The larger MAC transmits first
+  /// (paper Section III footnote). `stats` may be null.
+  void schedule_refined_pair(core::FrameContext& ctx, const BeamRefinement& refinement,
+                             const geom::SectorGrid& grid, const phy::BeamPattern& wide,
+                             net::NodeId a, int sector_a, net::NodeId b, int sector_b,
+                             double start_s, double end_s, bool refine_lost,
+                             core::RefineStats* stats);
+
+  /// Shared data plane; phases register transfers, udt_step integrates them.
+  UdtEngine udt_;
+
+ private:
+  /// Fallback resources for drivers that attach none; created lazily so a
+  /// protocol driven through an attached FrameResources never pays for it.
+  std::unique_ptr<core::FrameResources> own_resources_;
+};
+
+}  // namespace mmv2v::protocols

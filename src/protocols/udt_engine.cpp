@@ -6,8 +6,10 @@
 #include "common/metrics_registry.hpp"
 #include "common/profiler.hpp"
 #include "common/units.hpp"
+#include "core/frame_resources.hpp"
 #include "geom/angles.hpp"
 #include "phy/pathloss.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace mmv2v::protocols {
 
@@ -35,74 +37,107 @@ void UdtEngine::set_metrics(MetricsRegistry* metrics) {
   }
 }
 
+namespace {
+/// Active transfers per worker chunk / minimum count worth dispatching.
+constexpr std::size_t kTransferGrain = 8;
+constexpr std::size_t kTransferParallelThreshold = 16;
+}  // namespace
+
 double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) {
   PROF_SCOPE("udt.step");
   if (t1 <= t0 || transfers_.empty()) return 0.0;
 
   // Elementary intervals: cut [t0, t1) at every window boundary inside it.
-  std::vector<double> cuts{t0, t1};
+  cuts_.clear();
+  cuts_.push_back(t0);
+  cuts_.push_back(t1);
   for (const DirectedTransfer& t : transfers_) {
-    if (t.window_start_s > t0 && t.window_start_s < t1) cuts.push_back(t.window_start_s);
-    if (t.window_end_s > t0 && t.window_end_s < t1) cuts.push_back(t.window_end_s);
+    if (t.window_start_s > t0 && t.window_start_s < t1) cuts_.push_back(t.window_start_s);
+    if (t.window_end_s > t0 && t.window_end_s < t1) cuts_.push_back(t.window_end_s);
   }
-  std::sort(cuts.begin(), cuts.end());
-  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  std::sort(cuts_.begin(), cuts_.end());
+  cuts_.erase(std::unique(cuts_.begin(), cuts_.end()), cuts_.end());
 
   const core::World& world = ctx.world;
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double noise_w = channel.noise_watts();
+  sim::WorkerPool* pool =
+      ctx.resources != nullptr ? &ctx.resources->pool() : nullptr;
 
   double total_bits = 0.0;
-  std::vector<DirectedTransfer*> active;
-  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
-    const double seg0 = cuts[c];
-    const double seg1 = cuts[c + 1];
+  for (std::size_t c = 0; c + 1 < cuts_.size(); ++c) {
+    const double seg0 = cuts_[c];
+    const double seg1 = cuts_[c + 1];
     const double mid = (seg0 + seg1) / 2.0;
 
-    active.clear();
+    active_.clear();
     for (DirectedTransfer& t : transfers_) {
       if (t.window_start_s <= mid && mid < t.window_end_s &&
           !ctx.ledger.direction_complete(t.tx, t.rx)) {
-        active.push_back(&t);
+        active_.push_back(&t);
       }
     }
-    if (active.empty()) continue;
+    if (active_.empty()) continue;
 
-    for (DirectedTransfer* t : active) {
-      const core::PairGeom* geom_rx = world.pair(t->rx, t->tx);
-      if (geom_rx == nullptr) continue;  // drifted out of range mid-frame
+    // Stage 1 — evaluate each active transfer's SINR. Pure reads of the
+    // world snapshot and the (frozen-for-this-segment) active set, so
+    // transfers evaluate independently across lanes.
+    results_.resize(active_.size());
+    auto evaluate = [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const DirectedTransfer* t = active_[i];
+        TransferResult& out = results_[i];
+        out.valid = false;
+        const core::PairGeom* geom_rx = world.pair(t->rx, t->tx);
+        if (geom_rx == nullptr) continue;  // drifted out of range mid-frame
 
-      // Wanted signal through both refined beams.
-      const double tx_to_rx = geom::wrap_two_pi(geom_rx->bearing_rad + geom::kPi);
-      const double g_t =
-          t->tx_pattern->gain(geom::angular_distance(tx_to_rx, t->tx_bearing_rad));
-      const double g_r =
-          t->rx_pattern->gain(geom::angular_distance(geom_rx->bearing_rad, t->rx_bearing_rad));
-      const double g_c = core::pair_channel_gain(channel.params(), *geom_rx);
-      const double signal_w = p_w * g_t * g_c * g_r;
+        // Wanted signal through both refined beams.
+        const double tx_to_rx = geom::wrap_two_pi(geom_rx->bearing_rad + geom::kPi);
+        const double g_t =
+            t->tx_pattern->gain(geom::angular_distance(tx_to_rx, t->tx_bearing_rad));
+        const double g_r = t->rx_pattern->gain(
+            geom::angular_distance(geom_rx->bearing_rad, t->rx_bearing_rad));
+        const double g_c = core::pair_channel_gain(channel.params(), *geom_rx);
+        const double signal_w = p_w * g_t * g_c * g_r;
 
-      // Interference from every other concurrently active transmitter.
-      double interference_w = 0.0;
-      for (const DirectedTransfer* k : std::as_const(active)) {
-        if (k == t || k->tx == t->tx || k->tx == t->rx) continue;
-        const core::PairGeom* gk = world.pair(t->rx, k->tx);
-        if (gk == nullptr) continue;  // beyond the interference radius
-        const double k_to_rx = geom::wrap_two_pi(gk->bearing_rad + geom::kPi);
-        const double gk_t =
-            k->tx_pattern->gain(geom::angular_distance(k_to_rx, k->tx_bearing_rad));
-        const double gk_r =
-            t->rx_pattern->gain(geom::angular_distance(gk->bearing_rad, t->rx_bearing_rad));
-        const double gk_c = core::pair_channel_gain(channel.params(), *gk);
-        interference_w += p_w * gk_t * gk_c * gk_r;
+        // Interference from every other concurrently active transmitter.
+        double interference_w = 0.0;
+        for (const DirectedTransfer* k : std::as_const(active_)) {
+          if (k == t || k->tx == t->tx || k->tx == t->rx) continue;
+          const core::PairGeom* gk = world.pair(t->rx, k->tx);
+          if (gk == nullptr) continue;  // beyond the interference radius
+          const double k_to_rx = geom::wrap_two_pi(gk->bearing_rad + geom::kPi);
+          const double gk_t =
+              k->tx_pattern->gain(geom::angular_distance(k_to_rx, k->tx_bearing_rad));
+          const double gk_r =
+              t->rx_pattern->gain(geom::angular_distance(gk->bearing_rad, t->rx_bearing_rad));
+          const double gk_c = core::pair_channel_gain(channel.params(), *gk);
+          interference_w += p_w * gk_t * gk_c * gk_r;
+        }
+
+        out.sinr_db = units::linear_to_db(signal_w / (noise_w + interference_w));
+        out.rate = channel.mcs().data_rate_bps(out.sinr_db);
+        out.valid = true;
       }
+    };
+    if (pool != nullptr && active_.size() >= kTransferParallelThreshold) {
+      pool->for_chunks(active_.size(), kTransferGrain, evaluate);
+    } else {
+      evaluate(0, 0, active_.size());
+    }
 
-      const double sinr_db = units::linear_to_db(signal_w / (noise_w + interference_w));
+    // Stage 2 — commit serially in active order: the histogram accumulates
+    // floating-point sums and the ledger credits are capped by remaining
+    // task bits, so both are order-sensitive.
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (!results_[i].valid) continue;
+      DirectedTransfer* t = active_[i];
       if (sinr_hist_ != nullptr) {
-        sinr_hist_->add(sinr_db);
+        sinr_hist_->add(results_[i].sinr_db);
         segments_->add();
       }
-      const double rate = channel.mcs().data_rate_bps(sinr_db);
+      const double rate = results_[i].rate;
       if (rate <= 0.0) continue;
       const double credited = ctx.ledger.record(t->tx, t->rx, rate * (seg1 - seg0));
       t->delivered_bits += credited;

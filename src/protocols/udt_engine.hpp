@@ -64,12 +64,25 @@ class UdtEngine {
   void set_metrics(MetricsRegistry* metrics);
 
  private:
+  /// Per-transfer outcome of the (pure, parallelizable) SINR evaluation;
+  /// committing to the histogram and the ledger stays serial in active
+  /// order, so results are bit-identical at any lane count.
+  struct TransferResult {
+    double sinr_db = 0.0;
+    double rate = 0.0;
+    bool valid = false;
+  };
+
   std::vector<DirectedTransfer> transfers_;
   MetricsRegistry* metrics_ = nullptr;
   // Cached handles (stable addresses; see MetricsRegistry) so the per-segment
   // hot path avoids name lookups.
   Histogram* sinr_hist_ = nullptr;
   Counter* segments_ = nullptr;
+  // Per-step scratch, reused across segments and frames.
+  std::vector<double> cuts_;
+  std::vector<DirectedTransfer*> active_;
+  std::vector<TransferResult> results_;
 };
 
 }  // namespace mmv2v::protocols

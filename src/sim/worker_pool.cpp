@@ -1,0 +1,95 @@
+#include "sim/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace mmv2v::sim {
+
+WorkerPool::WorkerPool(int threads) {
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw != 0 ? static_cast<int>(hw) : 1;
+  }
+  const int worker_count = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this](const std::stop_token& st) { worker_main(st); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::jthread& w : workers_) w.request_stop();
+  }
+  cv_.notify_all();
+  // std::jthread joins on destruction.
+}
+
+void WorkerPool::parallel_for(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = chunk_count(n, grain);
+  if (workers_.empty() || chunks <= 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      fn(ctx, c, c * grain, std::min(n, (c + 1) * grain));
+    }
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = fn;
+    ctx_ = ctx;
+    n_ = n;
+    grain_ = grain;
+    chunks_ = chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_workers_ = workers_.size();
+    ++generation_;
+  }
+  cv_.notify_all();
+
+  drain_chunks(fn, ctx, n, grain, chunks);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_workers_ == 0; });
+}
+
+void WorkerPool::drain_chunks(ChunkFn fn, void* ctx, std::size_t n, std::size_t grain,
+                              std::size_t chunks) {
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= chunks) return;
+    fn(ctx, c, c * grain, std::min(n, (c + 1) * grain));
+  }
+}
+
+void WorkerPool::worker_main(const std::stop_token& st) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    ChunkFn fn = nullptr;
+    void* ctx = nullptr;
+    std::size_t n = 0;
+    std::size_t grain = 0;
+    std::size_t chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, st, [&] { return generation_ != seen; });
+      if (generation_ == seen) return;  // stop requested with no new job
+      seen = generation_;
+      fn = fn_;
+      ctx = ctx_;
+      n = n_;
+      grain = grain_;
+      chunks = chunks_;
+    }
+    drain_chunks(fn, ctx, n, grain, chunks);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_workers_;
+      if (pending_workers_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace mmv2v::sim

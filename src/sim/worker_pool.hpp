@@ -1,0 +1,93 @@
+// Persistent worker pool for intra-frame parallel phase loops. Mirrors the
+// std::jthread pattern of core::run_density_sweep, but keeps the threads
+// alive across frames so per-lane (thread_local) scratch buffers retain
+// their capacity — a prerequisite for allocation-free steady-state frames.
+//
+// Determinism contract: parallel_for() splits [0, n) into a chunk grid that
+// depends only on (n, grain) — never on the lane count or on claim timing.
+// Chunks are claimed dynamically (atomic counter), but each chunk index maps
+// to a fixed index range, so per-chunk results (e.g. partial stats) can be
+// merged in chunk order for bit-identical output at any thread count. The
+// callback must not consume shared RNG state; loops that need randomness
+// draw it serially beforehand (or derive per-item seeds via derive_seed).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mmv2v::sim {
+
+class WorkerPool {
+ public:
+  /// Raw chunk callback: (ctx, chunk index, [begin, end) item range).
+  using ChunkFn = void (*)(void* ctx, std::size_t chunk, std::size_t begin, std::size_t end);
+
+  /// `threads` is the total lane count including the caller: 1 (or 0 workers
+  /// available) runs everything inline on the calling thread; n spawns n - 1
+  /// workers. 0 means one lane per hardware thread.
+  explicit WorkerPool(int threads = 1);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Lanes executing chunks (workers + the caller).
+  [[nodiscard]] int lanes() const noexcept { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Chunks parallel_for() will create for `n` items at `grain` — size the
+  /// per-chunk partial-result array with this before dispatching.
+  [[nodiscard]] static std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept {
+    if (n == 0) return 0;
+    if (grain == 0) grain = 1;
+    return (n + grain - 1) / grain;
+  }
+
+  /// Run fn over every chunk of [0, n); returns after all chunks complete.
+  /// The caller participates, so a 1-lane pool degenerates to a plain loop.
+  /// fn must not throw and must only write state owned by its chunk (or
+  /// per-chunk partial slots).
+  void parallel_for(std::size_t n, std::size_t grain, ChunkFn fn, void* ctx);
+
+  /// Lambda convenience over parallel_for: f(chunk, begin, end). The callable
+  /// lives on the caller's stack — no type-erasure allocation.
+  template <typename F>
+  void for_chunks(std::size_t n, std::size_t grain, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    parallel_for(
+        n, grain,
+        [](void* ctx, std::size_t chunk, std::size_t begin, std::size_t end) {
+          (*static_cast<Fn*>(ctx))(chunk, begin, end);
+        },
+        const_cast<void*>(static_cast<const void*>(std::addressof(f))));
+  }
+
+ private:
+  void worker_main(const std::stop_token& st);
+  void drain_chunks(ChunkFn fn, void* ctx, std::size_t n, std::size_t grain,
+                    std::size_t chunks);
+
+  std::vector<std::jthread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable_any cv_;
+  std::condition_variable done_cv_;
+  // Job slot, published under mutex_ and stamped with a generation counter so
+  // workers never miss or re-run a dispatch.
+  std::uint64_t generation_ = 0;
+  ChunkFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t grain_ = 0;
+  std::size_t chunks_ = 0;
+  std::size_t pending_workers_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+};
+
+}  // namespace mmv2v::sim

@@ -1,0 +1,154 @@
+// MonotonicArena / ArenaAllocator coverage: alignment, overflow fallback,
+// O(1) reset-reuse, and std-container adaptation. The arena is the storage
+// backbone of the staged frame pipeline (DESIGN.md Section 11), so these
+// pin its contract independently of any protocol.
+#include "common/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mmv2v {
+namespace {
+
+std::uintptr_t addr(const void* p) { return reinterpret_cast<std::uintptr_t>(p); }
+
+TEST(Arena, AlignmentRespected) {
+  MonotonicArena arena{4096};
+  // Interleave odd sizes with growing alignment requests; every pointer must
+  // honor its alignment even when the bump cursor is left misaligned.
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
+                            std::size_t{16}, std::size_t{32}, std::size_t{64}}) {
+    void* misalign = arena.allocate(3, 1);
+    ASSERT_NE(misalign, nullptr);
+    void* p = arena.allocate(24, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(addr(p) % align, 0u) << "align " << align;
+  }
+  EXPECT_EQ(arena.overflow_count(), 0u);
+}
+
+TEST(Arena, BumpAdvancesWithinCapacity) {
+  MonotonicArena arena{1024};
+  EXPECT_EQ(arena.capacity(), 1024u);
+  EXPECT_EQ(arena.used(), 0u);
+  void* a = arena.allocate(100, 8);
+  void* b = arena.allocate(100, 8);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_GE(arena.used(), 200u);
+  EXPECT_LE(arena.used(), arena.capacity());
+  EXPECT_EQ(arena.overflow_count(), 0u);
+  // Both blocks are writable and distinct.
+  std::memset(a, 0xAB, 100);
+  std::memset(b, 0xCD, 100);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[99], 0xAB);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[0], 0xCD);
+}
+
+TEST(Arena, ExhaustionFallsBackToHeap) {
+  MonotonicArena arena{64};
+  void* fits = arena.allocate(32, 8);
+  ASSERT_NE(fits, nullptr);
+  EXPECT_EQ(arena.overflow_count(), 0u);
+
+  // Too large for the remaining block: served from the heap, still usable.
+  void* big = arena.allocate(256, 16);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(addr(big) % 16, 0u);
+  std::memset(big, 0x5A, 256);
+  EXPECT_EQ(arena.overflow_count(), 1u);
+
+  void* big2 = arena.allocate(512, 64);
+  ASSERT_NE(big2, nullptr);
+  EXPECT_EQ(addr(big2) % 64, 0u);
+  EXPECT_EQ(arena.overflow_count(), 2u);
+
+  // reset() reclaims the overflow blocks; the miss counter stays monotonic
+  // so steady-state probes can detect undersizing across frames.
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  EXPECT_EQ(arena.overflow_count(), 2u);
+}
+
+TEST(Arena, ZeroCapacityDegradesToHeap) {
+  MonotonicArena arena{0};
+  EXPECT_EQ(arena.capacity(), 0u);
+  void* p = arena.allocate(40, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x11, 40);
+  EXPECT_EQ(arena.overflow_count(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+}
+
+TEST(Arena, ResetReusesTheSameStorage) {
+  MonotonicArena arena{1024};
+  void* first = arena.allocate(128, 16);
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  void* again = arena.allocate(128, 16);
+  // Monotonic bump from a rewound cursor: the same bytes come back, which is
+  // what makes steady-state frames allocation-free.
+  EXPECT_EQ(first, again);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  MonotonicArena src{512};
+  void* p = src.allocate(64, 8);
+  ASSERT_NE(p, nullptr);
+  const std::size_t used = src.used();
+
+  MonotonicArena dst{std::move(src)};
+  EXPECT_EQ(dst.capacity(), 512u);
+  EXPECT_EQ(dst.used(), used);
+  // The block moved wholesale, so prior pointers remain valid via dst.
+  std::memset(p, 0x3C, 64);
+  EXPECT_EQ(src.capacity(), 0u);  // NOLINT(bugprone-use-after-move): post-move state is specified
+  EXPECT_EQ(src.used(), 0u);
+}
+
+TEST(ArenaAllocator, VectorDrawsFromArena) {
+  MonotonicArena arena{1 << 16};
+  ArenaVector<int> v{ArenaAllocator<int>{arena}};
+  for (int i = 0; i < 1000; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[i], i * 3);
+  // Growth (including the geometric reallocations) came out of the arena.
+  EXPECT_GE(arena.used(), 1000 * sizeof(int));
+  EXPECT_EQ(arena.overflow_count(), 0u);
+}
+
+TEST(ArenaAllocator, NodeContainerWorks) {
+  MonotonicArena arena{1 << 16};
+  using Alloc = ArenaAllocator<std::pair<const int, double>>;
+  std::unordered_map<int, double, std::hash<int>, std::equal_to<int>, Alloc> map{Alloc{arena}};
+  for (int i = 0; i < 200; ++i) map.emplace(i, i * 0.5);
+  ASSERT_EQ(map.size(), 200u);
+  EXPECT_DOUBLE_EQ(map.at(117), 58.5);
+  map.erase(117);  // deallocate() is a no-op; erase must still be legal
+  EXPECT_EQ(map.count(117), 0u);
+  EXPECT_GT(arena.used(), 0u);
+}
+
+TEST(ArenaAllocator, EqualityIsArenaIdentity) {
+  MonotonicArena a{256};
+  MonotonicArena b{256};
+  const ArenaAllocator<int> on_a{a};
+  const ArenaAllocator<int> also_a{a};
+  const ArenaAllocator<int> on_b{b};
+  EXPECT_TRUE(on_a == also_a);
+  EXPECT_TRUE(on_a != on_b);
+  // Rebound copies (what node containers do internally) share the arena.
+  const ArenaAllocator<double> rebound{on_a};
+  EXPECT_EQ(rebound.arena(), &a);
+  EXPECT_TRUE(rebound == ArenaAllocator<double>{also_a});
+}
+
+}  // namespace
+}  // namespace mmv2v

@@ -64,8 +64,9 @@ TEST(DcmInvariants, RandomGraphsProduceValidImprovingMatchings) {
 
     ConsensualMatching dcm{{40, 7}};
     dcm.reset(n);
-    DcmSlotStats stats;
-    dcm.run_all(g.neighbors, g.macs, nullptr, rng, nullptr, &stats);
+    core::PhaseStats frame_stats;
+    dcm.run_all(g.neighbors, g.macs, nullptr, rng, nullptr, &frame_stats);
+    const DcmSlotStats& stats = frame_stats.dcm;
 
     // Valid matching: no vehicle appears in two pairs, pairs are ordered,
     // and the candidate relation is mutual.
@@ -139,8 +140,9 @@ TEST(DcmInvariants, LossyControlNeverProducesAsymmetricMatches) {
 
     ConsensualMatching dcm{{40, 7}};
     dcm.reset(n);
-    DcmSlotStats stats;
-    dcm.run_all(g.neighbors, g.macs, nullptr, rng, nullptr, &stats, &fault);
+    core::PhaseStats frame_stats;
+    dcm.run_all(g.neighbors, g.macs, nullptr, rng, nullptr, &frame_stats, &fault);
+    const DcmSlotStats& stats = frame_stats.dcm;
 
     // Matched pairs are mutual and disjoint even when informs were dropped.
     std::set<net::NodeId> seen;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "protocols/mmv2v/snd.hpp"
 #include "test_util.hpp"
 
@@ -93,9 +95,10 @@ TEST_F(NegotiationTest, DcmHonorsChannelVerdict) {
   // A channel that rejects everything must leave DCM with no matches.
   class RejectAll final : public NegotiationChannel {
    public:
-    [[nodiscard]] std::vector<bool> exchange_succeeds(
-        const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const override {
-      return std::vector<bool>(pairs.size(), false);
+    using NegotiationChannel::exchange_succeeds;
+    void exchange_succeeds(const std::vector<std::pair<net::NodeId, net::NodeId>>& /*pairs*/,
+                           std::vector<bool>& ok) const override {
+      std::fill(ok.begin(), ok.end(), false);
     }
   };
   ConsensualMatching dcm{{40, 7}};
@@ -115,9 +118,10 @@ TEST_F(NegotiationTest, DcmHonorsChannelVerdict) {
 TEST_F(NegotiationTest, IdealChannelMatchesNullBehavior) {
   class AcceptAll final : public NegotiationChannel {
    public:
-    [[nodiscard]] std::vector<bool> exchange_succeeds(
-        const std::vector<std::pair<net::NodeId, net::NodeId>>& pairs) const override {
-      return std::vector<bool>(pairs.size(), true);
+    using NegotiationChannel::exchange_succeeds;
+    void exchange_succeeds(const std::vector<std::pair<net::NodeId, net::NodeId>>& /*pairs*/,
+                           std::vector<bool>& /*ok*/) const override {
+      // `ok` arrives all-true: accepting everything is a no-op.
     }
   };
   std::vector<std::vector<net::NeighborEntry>> neighbors(world_.size());
