@@ -232,6 +232,56 @@ std::vector<BenchCase> declare_benchmarks(const core::EngineParams& engine) {
     };
   }});
 
+  // --- sim: city-scale world with fidelity tiering ----------------------
+  cases.push_back({"sim.city_10k", "sim", false, [engine] {
+    // A 9x9 signalized city grid carrying ~10.4k vehicles (~29x the
+    // sim.frame_60vpl world) with ONE 1 km-wide focus region (500 m radius)
+    // in the city center. Fidelity tiering keeps the full protocol stack
+    // and pair geometry inside the region and degrades the rest of the city
+    // to OnRails kinematics plus statistical channel occupancy, which is
+    // what holds the whole-frame cost within a small factor of the
+    // 360-vehicle ring (EXPERIMENTS.md E9 tracks the ratio; the acceptance
+    // bar is <= 3x sim.frame_60vpl's p50).
+    struct State {
+      core::World world;
+      core::TransferLedger ledger{1e12};
+      protocols::MmV2VProtocol protocol;
+      std::uint64_t frame = 0;
+      State(core::ScenarioConfig s, const protocols::MmV2VParams& p)
+          : world{std::move(s), 99}, protocol{p} {}
+    };
+    core::ScenarioConfig scenario = bench_scenario(40.0);
+    scenario.traffic_warmup_s = 0.5;  // 10k vehicles: keep setup sane
+    scenario.network.topology = traffic::NetworkTopology::kCityGrid;
+    scenario.network.grid_rows = 9;
+    scenario.network.grid_cols = 9;
+    scenario.network.block_m = 450.0;
+    scenario.traffic.lanes_per_direction = 2;
+    scenario.tier.enabled = true;
+    scenario.tier.focus.push_back(core::FocusRegion{{1800.0, 1800.0}, 500.0});
+    scenario.tier.kinematic_radius_m = 100.0;
+    // Let the tier map settle quickly after the synthetic spawn.
+    scenario.tier.promote_budget = 256;
+    scenario.tier.demote_budget = 256;
+    scenario.engine = engine;
+    auto s = std::make_shared<State>(std::move(scenario), protocols::MmV2VParams{});
+    return [s] {
+      core::FrameContext ctx{s->world, s->ledger, s->frame,
+                             static_cast<double>(s->frame) * 0.02};
+      s->protocol.begin_frame(ctx);
+      const double udt_start = s->protocol.udt_start_offset_s();
+      double prev = 0.0;
+      for (double b = 0.005; b <= 0.020 + 1e-12; b += 0.005) {
+        const double t0 = std::max(prev, udt_start);
+        if (b > t0) s->protocol.udt_step(ctx, t0, b);
+        s->world.advance(0.005);
+        prev = b;
+      }
+      s->protocol.end_frame(ctx);
+      ++s->frame;
+    };
+  }});
+
   // --- sweep: end-to-end density sweep through the public runner --------
   cases.push_back({"sweep.mmv2v_2x1_cells", "sweep", true, [] {
     return [] {

@@ -1,0 +1,80 @@
+// City-scale world microbenchmarks (E9): cost of one mobility tick +
+// snapshot refresh as the road network grows, and what fidelity tiering and
+// sharding buy back. Emits the scaling table quoted in EXPERIMENTS.md E9.
+//
+//   BM_CityAdvance/<rows>/<tiered>   — world.advance(5 ms) on an NxN grid,
+//                                      full fidelity (tiered=0) vs one
+//                                      focus region + tiering (tiered=1)
+//   BM_CityAdvanceSharded/<shards>   — tiered 7x7 advance across world.shards
+#include <benchmark/benchmark.h>
+
+#include "core/fidelity.hpp"
+#include "core/scenario.hpp"
+#include "core/world.hpp"
+#include "traffic/road_network.hpp"
+
+namespace {
+
+using namespace mmv2v;
+
+core::ScenarioConfig city_scenario(int rows, bool tiered) {
+  core::ScenarioConfig s;
+  s.network.topology = traffic::NetworkTopology::kCityGrid;
+  s.network.grid_rows = rows;
+  s.network.grid_cols = rows;
+  s.network.block_m = 450.0;
+  s.traffic.lanes_per_direction = 2;
+  s.traffic.lane_width_m = 3.5;
+  s.traffic.density_vpl = 40.0;
+  s.traffic_warmup_s = 0.5;
+  s.seed = 99;
+  if (tiered) {
+    const double center = 450.0 * static_cast<double>(rows - 1) / 2.0;
+    s.tier.enabled = true;
+    s.tier.focus.push_back(core::FocusRegion{{center, center}, 500.0});
+    s.tier.kinematic_radius_m = 100.0;
+    s.tier.promote_budget = 256;
+    s.tier.demote_budget = 256;
+  }
+  return s;
+}
+
+void BM_CityAdvance(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool tiered = state.range(1) != 0;
+  core::World world{city_scenario(rows, tiered), 99};
+  for (auto _ : state) {
+    world.advance(0.005);
+  }
+  state.counters["vehicles"] = static_cast<double>(world.size());
+  state.counters["full"] =
+      static_cast<double>(world.tier_count(traffic::FidelityTier::kFull));
+  state.counters["onrails"] =
+      static_cast<double>(world.tier_count(traffic::FidelityTier::kOnRails));
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(world.size()));
+}
+BENCHMARK(BM_CityAdvance)
+    ->Args({3, 0})
+    ->Args({3, 1})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({7, 0})
+    ->Args({7, 1})
+    ->Args({9, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CityAdvanceSharded(benchmark::State& state) {
+  core::ScenarioConfig s = city_scenario(7, /*tiered=*/true);
+  s.engine.world_shards = static_cast<int>(state.range(0));
+  core::World world{s, 99};
+  for (auto _ : state) {
+    world.advance(0.005);
+  }
+  state.counters["vehicles"] = static_cast<double>(world.size());
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(world.size()));
+}
+BENCHMARK(BM_CityAdvanceSharded)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

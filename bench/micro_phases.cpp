@@ -111,6 +111,32 @@ void run_full_frame(benchmark::State& state, bool instrument) {
   state.SetLabel("vehicles=" + std::to_string(world.size()));
 }
 
+void BM_AbftCollisionCheck(benchmark::State& state) {
+  // The A-BFT slot-collision test from protocols/ad: bucket attempts by
+  // (pcp, slot) key and count multiplicity over a sorted scratch. Replaced
+  // an all-pairs O(m^2) scan; this pins the new O(m log m) cost per frame.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kSlots = 8;
+  Xoshiro256pp rng{42};
+  std::vector<std::uint64_t> keys(m);
+  for (auto& k : keys) {
+    k = rng.uniform_int(m / 4 + 1) * kSlots + rng.uniform_int(kSlots);
+  }
+  std::vector<std::uint64_t> sorted;
+  for (auto _ : state) {
+    sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t collisions = 0;
+    for (const std::uint64_t k : keys) {
+      const auto [lo, hi] = std::equal_range(sorted.begin(), sorted.end(), k);
+      collisions += (hi - lo > 1) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(collisions);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(m));
+}
+BENCHMARK(BM_AbftCollisionCheck)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_EventQueueCancelChurn(benchmark::State& state) {
   // Regression guard for EventQueue::cancel: with the pending-id set it is
   // O(log n) amortized instead of an O(n) heap scan, so heavy cancel traffic

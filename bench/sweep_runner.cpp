@@ -51,6 +51,20 @@ int main(int argc, char** argv) {
       {"threads", "0", "sweep-cell worker threads (0 = one per hardware thread)"},
       {"engine.threads", "1", "intra-frame worker lanes per cell (0 = one per hardware thread)"},
       {"engine.arena_bytes", "1048576", "per-lane frame-arena capacity [bytes]"},
+      {"engine.lane_budget", "0", "process-wide worker-lane budget (0 = hardware threads)"},
+      {"world.shards", "1", "rectangular world shards for pair enumeration"},
+      {"network.topology", "legacy_ring", "road topology: ring | legacy_ring | ring_network | city_grid"},
+      {"network.grid_rows", "4", "city_grid: horizontal road count (>= 2)"},
+      {"network.grid_cols", "4", "city_grid: vertical road count (>= 2)"},
+      {"network.block_m", "250", "city_grid: block edge length [m]"},
+      {"network.signal_green_s", "12", "city_grid: per-approach signal green phase [s]"},
+      {"tier.enabled", "false", "enable Full/Kinematic/OnRails fidelity tiering"},
+      {"tier.focus", "", "focus regions as x,y,radius triples separated by ';'"},
+      {"tier.kinematic_radius_m", "400", "Kinematic band width beyond the focus edge [m]"},
+      {"tier.hysteresis_m", "25", "extra demotion distance beyond each exit radius [m]"},
+      {"tier.promote_budget", "32", "max tier promotions per snapshot refresh"},
+      {"tier.demote_budget", "32", "max tier demotions per snapshot refresh"},
+      {"tier.onrails_duty_cycle", "0.02", "per-OnRails-vehicle channel duty cycle in [0,1]"},
       {"rate_mbps", "200", "per-pair task demand [Mbit/s]"},
       {"comm_range_m", "80", "communication/admission range [m]"},
       {"shadowing_db", "0", "log-normal shadowing sigma (0 = off) [dB]"},
@@ -105,6 +119,10 @@ int main(int argc, char** argv) {
   // yields bit-identical sweep results; see DESIGN.md Section 11.
   try {
     base.engine = parse_engine_knobs(cli);
+    // World topology (network.*) and fidelity tiering (tier.*) — these DO
+    // change results; the defaults reproduce the legacy full-fidelity ring.
+    base.network = parse_network_knobs(cli);
+    base.tier = parse_tier_knobs(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_runner: %s (try --help)\n", e.what());
     return 2;

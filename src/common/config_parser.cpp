@@ -1,6 +1,7 @@
 #include "common/config_parser.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cctype>
 #include <charconv>
 #include <fstream>
@@ -155,7 +156,137 @@ core::EngineParams parse_engine_knobs(const ConfigMap& config) {
     }
     engine.arena_bytes = static_cast<std::size_t>(*bytes);
   }
+  if (config.contains("engine.lane_budget")) {
+    const auto budget = config.get_int("engine.lane_budget");
+    if (!budget || *budget < 0) {
+      throw std::runtime_error{
+          "engine.lane_budget must be an integer >= 0 (0 = hardware threads)"};
+    }
+    engine.lane_budget = static_cast<int>(*budget);
+  }
+  if (config.contains("world.shards")) {
+    const auto shards = config.get_int("world.shards");
+    if (!shards || *shards < 1) {
+      throw std::runtime_error{"world.shards must be an integer >= 1"};
+    }
+    engine.world_shards = static_cast<int>(*shards);
+  }
   return engine;
+}
+
+namespace {
+
+int parse_positive_int(const ConfigMap& config, std::string_view key, int def) {
+  if (!config.contains(key)) return def;
+  const auto v = config.get_int(key);
+  if (!v || *v < 1) {
+    throw std::runtime_error{std::string{key} + " must be an integer >= 1"};
+  }
+  return static_cast<int>(*v);
+}
+
+double parse_positive_double(const ConfigMap& config, std::string_view key, double def) {
+  if (!config.contains(key)) return def;
+  const auto v = config.get_double(key);
+  if (!v || *v <= 0.0) {
+    throw std::runtime_error{std::string{key} + " must be a number > 0"};
+  }
+  return *v;
+}
+
+/// Parse "x,y,radius" into one focus region.
+core::FocusRegion parse_focus_region(std::string_view spec) {
+  std::array<double, 3> fields{};
+  std::size_t field = 0;
+  std::size_t pos = 0;
+  while (field < 3) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string token{trim(spec.substr(pos, comma - pos))};
+    try {
+      std::size_t consumed = 0;
+      fields[field] = std::stod(token, &consumed);
+      if (consumed != token.size()) throw std::invalid_argument{token};
+    } catch (const std::exception&) {
+      throw std::runtime_error{"tier.focus: expected x,y,radius triples, got '" +
+                               std::string{spec} + "'"};
+    }
+    ++field;
+    pos = comma + 1;
+    if (field < 3 && comma == spec.size()) {
+      throw std::runtime_error{"tier.focus: expected x,y,radius triples, got '" +
+                               std::string{spec} + "'"};
+    }
+  }
+  if (pos <= spec.size() && !trim(spec.substr(std::min(pos, spec.size()))).empty()) {
+    throw std::runtime_error{"tier.focus: trailing garbage in '" + std::string{spec} + "'"};
+  }
+  if (fields[2] <= 0.0) {
+    throw std::runtime_error{"tier.focus: region radius must be > 0"};
+  }
+  return core::FocusRegion{{fields[0], fields[1]}, fields[2]};
+}
+
+}  // namespace
+
+traffic::NetworkConfig parse_network_knobs(const ConfigMap& config) {
+  traffic::NetworkConfig net;
+  if (const auto topo = config.get_string("network.topology")) {
+    const std::string t = lower(*topo);
+    if (t == "ring" || t == "legacy_ring") {
+      net.topology = traffic::NetworkTopology::kLegacyRing;
+    } else if (t == "ring_network") {
+      net.topology = traffic::NetworkTopology::kRingNetwork;
+    } else if (t == "city_grid") {
+      net.topology = traffic::NetworkTopology::kCityGrid;
+    } else {
+      throw std::runtime_error{
+          "network.topology must be one of: ring, ring_network, city_grid"};
+    }
+  }
+  net.grid_rows = parse_positive_int(config, "network.grid_rows", net.grid_rows);
+  net.grid_cols = parse_positive_int(config, "network.grid_cols", net.grid_cols);
+  if (net.grid_rows < 2 || net.grid_cols < 2) {
+    throw std::runtime_error{"network.grid_rows/grid_cols must be >= 2"};
+  }
+  net.block_m = parse_positive_double(config, "network.block_m", net.block_m);
+  net.signal_green_s =
+      parse_positive_double(config, "network.signal_green_s", net.signal_green_s);
+  return net;
+}
+
+core::TierConfig parse_tier_knobs(const ConfigMap& config) {
+  core::TierConfig tier;
+  tier.enabled = config.get_or("tier.enabled", tier.enabled);
+  tier.kinematic_radius_m =
+      parse_positive_double(config, "tier.kinematic_radius_m", tier.kinematic_radius_m);
+  tier.hysteresis_m = parse_positive_double(config, "tier.hysteresis_m", tier.hysteresis_m);
+  tier.promote_budget = parse_positive_int(config, "tier.promote_budget", tier.promote_budget);
+  tier.demote_budget = parse_positive_int(config, "tier.demote_budget", tier.demote_budget);
+  if (config.contains("tier.onrails_duty_cycle")) {
+    const auto duty = config.get_double("tier.onrails_duty_cycle");
+    if (!duty || *duty < 0.0 || *duty > 1.0) {
+      throw std::runtime_error{"tier.onrails_duty_cycle must be in [0, 1]"};
+    }
+    tier.onrails_duty_cycle = *duty;
+  }
+  if (const auto focus = config.get_string("tier.focus")) {
+    std::size_t pos = 0;
+    const std::string_view spec{*focus};
+    while (pos <= spec.size()) {
+      const std::size_t semi = std::min(spec.find(';', pos), spec.size());
+      const std::string_view region = trim(spec.substr(pos, semi - pos));
+      if (!region.empty()) tier.focus.push_back(parse_focus_region(region));
+      if (semi == spec.size()) break;
+      pos = semi + 1;
+    }
+    if (tier.focus.empty()) {
+      throw std::runtime_error{"tier.focus: no regions in '" + *focus + "'"};
+    }
+  }
+  if (tier.enabled && tier.focus.empty()) {
+    throw std::runtime_error{"tier.enabled requires at least one tier.focus region"};
+  }
+  return tier;
 }
 
 }  // namespace mmv2v

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/engine_params.hpp"
+#include "core/fidelity.hpp"
+#include "traffic/road_network.hpp"
 
 namespace mmv2v {
 
@@ -51,10 +53,28 @@ class ConfigMap {
   std::map<std::string, std::string, std::less<>> entries_;
 };
 
-/// Parse the `engine.*` knob group (`engine.threads`, `engine.arena_bytes`)
-/// into execution-engine parameters. Missing keys keep the EngineParams
-/// defaults; malformed or negative values throw std::runtime_error. These
-/// knobs never change simulation results, only how frames are computed.
+/// Parse the execution-engine knob group (`engine.threads`,
+/// `engine.arena_bytes`, `engine.lane_budget`, `world.shards`) into
+/// EngineParams. Missing keys keep the defaults; malformed or out-of-range
+/// values throw std::runtime_error. These knobs never change simulation
+/// results, only how frames are computed.
 [[nodiscard]] core::EngineParams parse_engine_knobs(const ConfigMap& config);
+
+/// Parse the road-network topology knob group into NetworkConfig:
+///   network.topology     = ring | ring_network | city_grid
+///   network.grid_rows    / network.grid_cols   (city_grid node counts)
+///   network.block_m      (city block edge length [m])
+///   network.signal_green_s (per-axis green phase [s])
+/// Missing keys keep the defaults; malformed values throw std::runtime_error.
+[[nodiscard]] traffic::NetworkConfig parse_network_knobs(const ConfigMap& config);
+
+/// Parse the fidelity-tiering knob group into TierConfig:
+///   tier.enabled            = true | false
+///   tier.focus              = x,y,radius [; x,y,radius ...]   (focus regions)
+///   tier.kinematic_radius_m / tier.hysteresis_m
+///   tier.promote_budget     / tier.demote_budget
+///   tier.onrails_duty_cycle
+/// Missing keys keep the defaults; malformed values throw std::runtime_error.
+[[nodiscard]] core::TierConfig parse_tier_knobs(const ConfigMap& config);
 
 }  // namespace mmv2v

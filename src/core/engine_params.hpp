@@ -11,12 +11,26 @@ namespace mmv2v::core {
 struct EngineParams {
   /// Worker lanes for intra-frame parallel phase loops (including the
   /// caller). 1 = fully serial (the default, and the reference behavior);
-  /// 0 = one lane per hardware thread.
+  /// 0 = a flexible request: take whatever is left of the process-wide lane
+  /// budget (sim::LaneBudgeter). All lane counts go through the budgeter,
+  /// which prevents sweep-level and frame-level parallelism from
+  /// multiplying.
   int threads = 1;
+  /// Process-wide lane budget (sim::LaneBudgeter::set_budget), applied when
+  /// the FrameResources is built. 0 (default) leaves the budget unchanged;
+  /// > 0 caps the total lanes of every subsystem — sweep cells, world
+  /// shards, frame phases — at this count.
+  int lane_budget = 0;
   /// Capacity of each per-lane frame arena [bytes]. Undersizing is safe —
   /// allocations overflow to the heap — but costs the zero-allocation
   /// steady state.
   std::size_t arena_bytes = 1 << 20;
+  /// Rectangular world shards the snapshot pair enumeration is split into
+  /// (config key `world.shards`). Each shard owns an x-strip of vehicles and
+  /// receives a halo of bodies within interference range of its boundary;
+  /// shards run on budgeted lanes. 1 = unsharded. Results are bit-identical
+  /// for any value.
+  int world_shards = 1;
 };
 
 }  // namespace mmv2v::core

@@ -1,13 +1,11 @@
 #include "core/experiment.hpp"
 
-#include <atomic>
 #include <exception>
 #include <fstream>
 #include <iomanip>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
-#include <thread>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -16,6 +14,8 @@
 #include "common/version.hpp"
 #include "core/metrics.hpp"
 #include "core/simulation.hpp"
+#include "sim/lane_budgeter.hpp"
+#include "sim/worker_pool.hpp"
 
 namespace mmv2v::core {
 namespace {
@@ -154,25 +154,29 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
     }
   };
 
-  std::size_t workers = config.threads > 0
-                            ? static_cast<std::size_t>(config.threads)
-                            : std::max(1u, std::thread::hardware_concurrency());
-  workers = std::min(workers, n_cells);
+  // Sweep-cell lanes come from the process-wide budgeter, like every other
+  // fan-out point (frame phases, world shards): an explicit thread count is
+  // the user's choice, 0 takes the budget's flexible remainder. While the
+  // sweep holds its lease, each cell's FrameResources leases from what is
+  // left — so sweep x frame parallelism composes additively, never
+  // multiplicatively.
+  sim::LaneBudgeter::Lease lease =
+      sim::LaneBudgeter::instance().acquire(config.threads);
+  const std::size_t workers =
+      std::min(static_cast<std::size_t>(lease.lanes()), n_cells);
 
   if (workers <= 1) {
     for (std::size_t k = 0; k < n_cells; ++k) run_cell_at(k);
   } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::jthread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      pool.emplace_back([&] {
-        for (std::size_t k = next.fetch_add(1); k < n_cells; k = next.fetch_add(1)) {
-          run_cell_at(k);
-        }
-      });
-    }
-  }  // jthread destructors join the pool
+    // One chunk per cell, claimed dynamically — the same unified WorkerPool
+    // that runs intra-frame phase loops.
+    sim::WorkerPool pool{static_cast<int>(workers)};
+    pool.for_chunks(n_cells, 1,
+                    [&](std::size_t, std::size_t begin, std::size_t end) {
+                      for (std::size_t k = begin; k < end; ++k) run_cell_at(k);
+                    });
+  }
+  lease.release();
 
   // Surface the first failure in deterministic cell order.
   for (const std::exception_ptr& e : errors) {

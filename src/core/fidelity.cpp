@@ -1,0 +1,79 @@
+#include "core/fidelity.hpp"
+
+#include <limits>
+
+namespace mmv2v::core {
+
+namespace {
+
+using traffic::FidelityTier;
+
+/// One tier step from `from` toward `to` (tiers are ordered kFull=0 <
+/// kKinematic=1 < kOnRails=2, so "promote" decreases the value).
+FidelityTier step_toward(FidelityTier from, FidelityTier to) noexcept {
+  const auto f = static_cast<int>(from);
+  const auto t = static_cast<int>(to);
+  if (t < f) return static_cast<FidelityTier>(f - 1);
+  if (t > f) return static_cast<FidelityTier>(f + 1);
+  return from;
+}
+
+}  // namespace
+
+double FidelityTiering::edge_distance(geom::Vec2 p) const noexcept {
+  double best = std::numeric_limits<double>::infinity();
+  for (const FocusRegion& r : config_.focus) {
+    const double d = geom::distance(p, r.center) - r.radius_m;
+    if (d < best) best = d;
+  }
+  return best;
+}
+
+FidelityTier FidelityTiering::desired_tier(double d) const noexcept {
+  if (d <= 0.0) return FidelityTier::kFull;
+  if (d <= config_.kinematic_radius_m) return FidelityTier::kKinematic;
+  return FidelityTier::kOnRails;
+}
+
+void FidelityTiering::reset(std::span<const geom::Vec2> positions,
+                            std::vector<FidelityTier>& tiers) const {
+  tiers.assign(positions.size(), FidelityTier::kFull);
+  if (!active()) return;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    tiers[i] = desired_tier(edge_distance(positions[i]));
+  }
+}
+
+void FidelityTiering::update(std::span<const geom::Vec2> positions,
+                             std::vector<FidelityTier>& tiers) const {
+  if (!active()) {
+    tiers.assign(positions.size(), FidelityTier::kFull);
+    return;
+  }
+  tiers.resize(positions.size(), FidelityTier::kFull);
+  int promotions = 0;
+  int demotions = 0;
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const FidelityTier current = tiers[i];
+    const double d = edge_distance(positions[i]);
+    const FidelityTier target = desired_tier(d);
+    if (target == current) continue;
+    if (static_cast<int>(target) < static_cast<int>(current)) {
+      // Promotion (toward kFull): enter radii apply directly, no hysteresis
+      // — desired_tier() already said the vehicle is inside the enter radius.
+      if (promotions >= config_.promote_budget) continue;
+      tiers[i] = step_toward(current, target);
+      ++promotions;
+    } else {
+      // Demotion: only past the exit radius (enter radius + hysteresis).
+      const double exit_edge =
+          (current == FidelityTier::kFull) ? 0.0 : config_.kinematic_radius_m;
+      if (d <= exit_edge + config_.hysteresis_m) continue;
+      if (demotions >= config_.demote_budget) continue;
+      tiers[i] = step_toward(current, target);
+      ++demotions;
+    }
+  }
+}
+
+}  // namespace mmv2v::core

@@ -1,0 +1,90 @@
+// Fidelity tiering: assigns every vehicle one of three simulation tiers
+// (Full / Kinematic / OnRails) from its distance to the nearest focus
+// region. Focus regions are circles the experimenter cares about — inside
+// them the full StagedOhmProtocol runs over full-fidelity vehicles and the
+// golden digest stays pinned; far away, vehicles degrade to cheap on-rails
+// kinematics and a statistical channel-occupancy contribution.
+//
+// Two properties the tests pin down:
+//   * Hysteresis — a tier is entered at its radius but only exited at
+//     radius + hysteresis_m, so a vehicle oscillating across a boundary by
+//     less than the hysteresis band never flaps.
+//   * Budgets — at most promote_budget tier raises and demote_budget tier
+//     drops are applied per update (ascending vehicle id, one tier step per
+//     vehicle per update), bounding the per-tick cost of vehicles streaming
+//     into a focus region.
+//
+// The update is a pure serial function of (positions, previous tiers), so
+// tier assignment — and therefore the digest — is invariant across
+// engine.threads and world.shards.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "traffic/mobility_model.hpp"
+
+namespace mmv2v::core {
+
+/// One circular region of interest. Vehicles within `radius_m` of `center`
+/// are Full-fidelity candidates.
+struct FocusRegion {
+  geom::Vec2 center{0.0, 0.0};
+  double radius_m = 150.0;
+};
+
+struct TierConfig {
+  /// Master switch; false (default) keeps every vehicle at kFull and the
+  /// tiering engine completely out of the snapshot path.
+  bool enabled = false;
+  /// Regions of interest. Enabled tiering with no regions also degrades to
+  /// all-kFull (there is nothing to focus on).
+  std::vector<FocusRegion> focus;
+  /// Vehicles farther than this beyond the nearest region edge drop from
+  /// kKinematic to kOnRails [m].
+  double kinematic_radius_m = 400.0;
+  /// Hysteresis band: a tier entered at radius r is exited at r + this [m].
+  double hysteresis_m = 25.0;
+  /// Max tier raises (toward kFull) applied per snapshot update.
+  int promote_budget = 32;
+  /// Max tier drops (toward kOnRails) applied per snapshot update.
+  int demote_budget = 32;
+  /// Average airtime duty cycle assumed per OnRails vehicle when estimating
+  /// background channel occupancy (World::onrails_occupancy).
+  double onrails_duty_cycle = 0.02;
+};
+
+class FidelityTiering {
+ public:
+  explicit FidelityTiering(TierConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] const TierConfig& config() const noexcept { return config_; }
+  /// True when tiering can actually demote anybody.
+  [[nodiscard]] bool active() const noexcept {
+    return config_.enabled && !config_.focus.empty();
+  }
+
+  /// Assign every vehicle its desired tier directly — no hysteresis, no
+  /// budgets. Used for the first snapshot after spawn.
+  void reset(std::span<const geom::Vec2> positions,
+             std::vector<traffic::FidelityTier>& tiers) const;
+
+  /// One hysteresis- and budget-limited update step (ascending vehicle id,
+  /// at most one tier step per vehicle).
+  void update(std::span<const geom::Vec2> positions,
+              std::vector<traffic::FidelityTier>& tiers) const;
+
+  /// Signed distance beyond the nearest focus-region edge [m]: <= 0 inside
+  /// a region, > 0 outside all of them.
+  [[nodiscard]] double edge_distance(geom::Vec2 p) const noexcept;
+
+  /// Tier a vehicle at edge-distance `d` would settle to with no history.
+  [[nodiscard]] traffic::FidelityTier desired_tier(double d) const noexcept;
+
+ private:
+  TierConfig config_;
+};
+
+}  // namespace mmv2v::core

@@ -2,8 +2,21 @@
 
 namespace mmv2v::core {
 
+namespace {
+
+/// Apply the scenario's budget knob (if any) before leasing, then lease
+/// `threads` lanes (0 = the flexible remainder) from the process budgeter.
+sim::LaneBudgeter::Lease lease_lanes(const EngineParams& params) {
+  if (params.lane_budget > 0) {
+    sim::LaneBudgeter::instance().set_budget(params.lane_budget);
+  }
+  return sim::LaneBudgeter::instance().acquire(params.threads);
+}
+
+}  // namespace
+
 FrameResources::FrameResources(const EngineParams& params)
-    : params_(params), pool_(params.threads) {
+    : params_(params), lease_(lease_lanes(params)), pool_(lease_.lanes()) {
   arenas_.reserve(static_cast<std::size_t>(pool_.lanes()));
   for (int lane = 0; lane < pool_.lanes(); ++lane) {
     arenas_.emplace_back(params_.arena_bytes);

@@ -11,6 +11,7 @@
 #include "common/arena.hpp"
 #include "core/engine_params.hpp"
 #include "core/phase_stats.hpp"
+#include "sim/lane_budgeter.hpp"
 #include "sim/worker_pool.hpp"
 
 namespace mmv2v::core {
@@ -36,6 +37,10 @@ class FrameResources {
 
  private:
   EngineParams params_;
+  /// Lane lease from the process-wide budgeter; sizes the pool below and is
+  /// held for the resources' lifetime (declared first so the pool's threads
+  /// are joined before the lanes are returned).
+  sim::LaneBudgeter::Lease lease_;
   sim::WorkerPool pool_;
   std::vector<MonotonicArena> arenas_;
   PhaseStats stats_;

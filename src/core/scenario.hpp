@@ -7,10 +7,12 @@
 
 #include "common/units.hpp"
 #include "core/engine_params.hpp"
+#include "core/fidelity.hpp"
 #include "fault/fault_params.hpp"
 #include "phy/channel.hpp"
 #include "phy/fading.hpp"
 #include "sim/frame.hpp"
+#include "traffic/road_network.hpp"
 #include "traffic/traffic_sim.hpp"
 
 namespace mmv2v::core {
@@ -25,6 +27,9 @@ struct TaskParams {
 
 struct ScenarioConfig {
   traffic::TrafficConfig traffic;
+  /// World topology: the legacy ring (default, golden-pinned) or a road
+  /// network (ring-as-network, signalized city grid). See traffic/road_network.hpp.
+  traffic::NetworkConfig network;
   phy::ChannelParams channel;
   /// Optional shadowing / small-scale fading (defaults off; see phy/fading.hpp).
   phy::FadingParams fading;
@@ -36,6 +41,9 @@ struct ScenarioConfig {
   /// Execution-engine knobs (worker lanes, arena sizing). Results are
   /// bit-identical across settings; see DESIGN.md Section 11.
   EngineParams engine;
+  /// Fidelity tiering around focus regions (defaults off — every vehicle at
+  /// full fidelity; see core/fidelity.hpp and DESIGN.md Section 12).
+  TierConfig tier;
 
   /// One-hop neighborhood radius defining the ground-truth N_i [m].
   double comm_range_m = 80.0;

@@ -1,99 +1,300 @@
 #include "core/world.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 
 #include "common/profiler.hpp"
 #include "geom/angles.hpp"
+#include "sim/lane_budgeter.hpp"
+#include "sim/worker_pool.hpp"
+#include "traffic/network_traffic_sim.hpp"
+#include "traffic/road_network.hpp"
 
 namespace mmv2v::core {
 
+namespace {
+
+std::unique_ptr<traffic::MobilityModel> make_mobility(const ScenarioConfig& config,
+                                                      std::uint64_t seed) {
+  const traffic::TrafficConfig& t = config.traffic;
+  switch (config.network.topology) {
+    case traffic::NetworkTopology::kLegacyRing:
+      return std::make_unique<traffic::TrafficSimulator>(t, seed);
+    case traffic::NetworkTopology::kRingNetwork:
+      return std::make_unique<traffic::NetworkTrafficSimulator>(
+          traffic::RoadNetwork::ring(t.road_length_m, t.lanes_per_direction, t.lane_width_m,
+                                     t.bidirectional, t.lane_speed_bands),
+          t, seed);
+    case traffic::NetworkTopology::kCityGrid:
+      return std::make_unique<traffic::NetworkTrafficSimulator>(
+          traffic::RoadNetwork::city_grid(config.network.grid_rows, config.network.grid_cols,
+                                          config.network.block_m, t.lanes_per_direction,
+                                          t.lane_width_m, t.lane_speed_bands,
+                                          config.network.signal_green_s),
+          t, seed);
+  }
+  throw std::logic_error{"unknown network topology"};
+}
+
+}  // namespace
+
 World::World(ScenarioConfig config, std::uint64_t seed)
     : config_(std::move(config)),
-      traffic_(config_.traffic, seed),
+      mobility_(make_mobility(config_, seed)),
+      tiering_(config_.tier),
       channel_(config_.channel),
       fading_(config_.fading) {
+  if (config_.network.topology == traffic::NetworkTopology::kLegacyRing) {
+    ring_traffic_ = static_cast<traffic::TrafficSimulator*>(mobility_.get());
+  }
   // Let the traffic model relax from its synthetic initial placement so the
-  // radio protocol sees realistic headways and speeds.
+  // radio protocol sees realistic headways and speeds. Warmup always runs at
+  // full fidelity — tiers are installed with the first snapshot below.
   const double warmup_dt = 0.1;
   for (double t = 0.0; t < config_.traffic_warmup_s; t += warmup_dt) {
-    traffic_.step(warmup_dt);
+    mobility_->step(warmup_dt);
   }
   refresh_snapshot();
 }
 
+const traffic::TrafficSimulator& World::traffic() const {
+  if (ring_traffic_ == nullptr) {
+    throw std::logic_error{
+        "World::traffic(): scenario runs on a road network; use mobility()"};
+  }
+  return *ring_traffic_;
+}
+
 void World::advance(double dt) {
   PROF_SCOPE("world.advance");
-  traffic_.step(dt);
+  mobility_->step(dt);
   ++tick_;
   refresh_snapshot();
 }
 
 void World::refresh_snapshot() {
   PROF_SCOPE("world.refresh");
-  los_ = traffic_.make_los_evaluator();
-  const std::size_t n = traffic_.size();
-  const double radius = config_.interference_range_m;
-  const double radius_sq = radius * radius;
+  los_ = mobility_->make_los_evaluator();
+  const std::size_t n = mobility_->size();
 
   positions_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) positions_[i] = traffic_.position_of(i);
+  for (std::size_t i = 0; i < n; ++i) positions_[i] = mobility_->position_of(i);
 
   // Index positions so candidate pairs come from nearby cells only. A cell of
   // radius/4 keeps the per-query window tight (±25% overshoot per axis)
   // without exploding the number of cells visited.
-  grid_.rebuild(positions_, std::max(1.0, radius / 4.0));
+  grid_.rebuild(positions_, std::max(1.0, config_.interference_range_m / 4.0));
 
-  // Pass 1: enumerate unordered in-range pairs (i < j, ascending in both
-  // coordinates — the same discovery order as the old N^2 double loop) and
-  // compute their geometry once per pair.
-  struct UndirectedPair {
-    std::uint32_t i;
-    std::uint32_t j;
-    double distance_m;
-    int blockers;
-    double fade_db;
-  };
-  std::vector<UndirectedPair> pairs;
-  pairs.reserve(pair_arena_.size() / 2 + 16);
-  std::vector<std::uint32_t> degree(n, 0);
+  update_tiers();
 
-  const auto& vehicles = traffic_.vehicles();
-  for (std::uint32_t i = 0; i < n; ++i) {
-    candidates_.clear();
-    grid_.for_each_in_radius(positions_[i], radius, [&](std::uint32_t j) {
-      if (j > i && geom::distance_sq(positions_[i], positions_[j]) <= radius_sq) {
-        candidates_.push_back(j);
+  const std::size_t shard_count = std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(1, config_.engine.world_shards)),
+      std::max<std::size_t>(1, n));
+
+  if (shard_count <= 1) {
+    // Unsharded reference path: one owner list, the global evaluator,
+    // sequential placement leaves every group sorted (no group sort needed).
+    shards_.clear();
+    shard_los_.clear();
+    if (shard_pairs_.size() != 1) shard_pairs_.resize(1);
+    all_ids_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) all_ids_[i] = i;
+    enumerate_pairs(all_ids_, los_, shard_pairs_[0]);
+    scatter_pairs(/*sort_groups=*/false);
+    return;
+  }
+
+  build_shards(shard_count);
+  if (shard_pairs_.size() != shard_count) shard_pairs_.resize(shard_count);
+
+  // Shards run on whatever is left of the process lane budget; each shard
+  // writes only its own pair list, and the merge below is in fixed shard
+  // order, so the arena is bit-identical for any lane or shard count.
+  sim::LaneBudgeter::Lease lease = sim::LaneBudgeter::instance().acquire(0);
+  const std::size_t workers = std::min(static_cast<std::size_t>(lease.lanes()), shard_count);
+  if (workers <= 1) {
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      enumerate_pairs(shards_[s].owned, shard_los_[s], shard_pairs_[s]);
+    }
+  } else {
+    sim::WorkerPool pool{static_cast<int>(workers)};
+    pool.for_chunks(shard_count, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        enumerate_pairs(shards_[s].owned, shard_los_[s], shard_pairs_[s]);
       }
     });
-    std::sort(candidates_.begin(), candidates_.end());
-    for (const std::uint32_t j : candidates_) {
+  }
+  lease.release();
+  scatter_pairs(/*sort_groups=*/true);
+}
+
+void World::update_tiers() {
+  if (!tiering_.active()) {
+    if (!tiers_.empty()) {
+      tiers_.clear();
+      mobility_->set_tiers(nullptr);
+    }
+    return;
+  }
+  if (tiers_.empty()) {
+    tiering_.reset(positions_, tiers_);
+    mobility_->set_tiers(&tiers_);
+  } else {
+    tiering_.update(positions_, tiers_);
+  }
+}
+
+void World::enumerate_pairs(std::span<const std::uint32_t> owners,
+                            const geom::LosEvaluator& los,
+                            std::vector<UndirectedPair>& out) const {
+  const double radius = config_.interference_range_m;
+  const double radius_sq = radius * radius;
+  // OnRails vehicles get no cached pair geometry at all — their radio
+  // footprint is the statistical onrails_occupancy() estimate instead.
+  const bool tiered = !tiers_.empty();
+  std::vector<std::uint32_t> candidates;  // per-call scratch: lane-safe
+  out.clear();
+
+  for (const std::uint32_t i : owners) {
+    if (tiered && tiers_[i] == traffic::FidelityTier::kOnRails) continue;
+    candidates.clear();
+    grid_.for_each_in_radius(positions_[i], radius, [&](std::uint32_t j) {
+      if (j > i && geom::distance_sq(positions_[i], positions_[j]) <= radius_sq &&
+          !(tiered && tiers_[j] == traffic::FidelityTier::kOnRails)) {
+        candidates.push_back(j);
+      }
+    });
+    std::sort(candidates.begin(), candidates.end());
+    for (const std::uint32_t j : candidates) {
       const double d = geom::distance(positions_[i], positions_[j]);
-      int blockers = los_.blocker_count(positions_[i], positions_[j], i, j);
-      if (vehicles[i].direction != vehicles[j].direction) {
+      int blockers = los.blocker_count(positions_[i], positions_[j], i, j);
+      if (mobility_->cross_median(i, j)) {
         blockers += config_.cross_median_blockers;
       }
       const double fade = fading_.enabled() ? fading_.loss_db(i, j, tick_) : 0.0;
-      pairs.push_back(UndirectedPair{i, j, d, blockers, fade});
-      ++degree[i];
-      ++degree[j];
+      out.push_back(UndirectedPair{i, j, d, blockers, fade});
+    }
+  }
+}
+
+void World::build_shards(std::size_t shard_count) {
+  const std::size_t n = positions_.size();
+  double x_min = positions_[0].x;
+  double x_max = positions_[0].x;
+  for (const geom::Vec2& p : positions_) {
+    x_min = std::min(x_min, p.x);
+    x_max = std::max(x_max, p.x);
+  }
+  const double width = std::max(1e-6, (x_max - x_min) / static_cast<double>(shard_count));
+
+  shards_.assign(shard_count, {});
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_[s].x_min = x_min + static_cast<double>(s) * width;
+    shards_[s].x_max = (s + 1 == shard_count) ? x_max : x_min + static_cast<double>(s + 1) * width;
+  }
+  std::vector<std::uint32_t> owner_of(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto s = std::min(shard_count - 1,
+                            static_cast<std::size_t>(
+                                std::max(0.0, (positions_[i].x - x_min) / width)));
+    shards_[s].owned.push_back(i);
+    owner_of[i] = static_cast<std::uint32_t>(s);
+  }
+
+  // Halo margin: a body can affect an owned vehicle's links only if its
+  // center lies within interference range of the strip plus the largest
+  // body circumradius (blockers hang over the segment by at most that).
+  const auto& bodies = los_.blockers();
+  double max_body = 0.0;
+  for (const geom::Blocker& b : bodies) {
+    max_body = std::max(max_body, b.body.half_length() + b.body.half_width());
+  }
+  const double margin = config_.interference_range_m + max_body;
+
+  shard_los_.assign(shard_count, geom::LosEvaluator{});
+  std::vector<geom::Blocker> local;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    WorldShard& shard = shards_[s];
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (owner_of[i] != s && positions_[i].x >= shard.x_min - margin &&
+          positions_[i].x <= shard.x_max + margin) {
+        shard.halo.push_back(i);
+      }
+    }
+    local.clear();
+    local.reserve(shard.owned.size() + shard.halo.size());
+    for (const std::uint32_t i : shard.owned) local.push_back(bodies[i]);
+    for (const std::uint32_t i : shard.halo) local.push_back(bodies[i]);
+    shard_los_[s] = geom::LosEvaluator{local};
+  }
+}
+
+void World::scatter_pairs(bool sort_groups) {
+  const std::size_t n = positions_.size();
+  std::vector<std::uint32_t> degree(n, 0);
+  for (const auto& pairs : shard_pairs_) {
+    for (const UndirectedPair& p : pairs) {
+      ++degree[p.i];
+      ++degree[p.j];
     }
   }
 
-  // Pass 2: scatter both directed views of each pair into one flat arena,
-  // grouped by owner. Because pairs were discovered with i and j ascending,
-  // sequential placement leaves every per-node group sorted by `other`.
+  // Scatter both directed views of each pair into one flat arena, grouped by
+  // owner. In the unsharded pass pairs arrive with i and j ascending, so
+  // sequential placement leaves every group sorted; shard-interleaved
+  // discovery needs the explicit group sort to restore the canonical order.
   pair_offsets_.assign(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) pair_offsets_[i + 1] = pair_offsets_[i] + degree[i];
   pair_arena_.resize(pair_offsets_[n]);
   std::vector<std::uint32_t> cursor(pair_offsets_.begin(), pair_offsets_.end() - 1);
-  for (const UndirectedPair& p : pairs) {
-    const double bearing_ij = geom::bearing(positions_[p.i], positions_[p.j]);
-    const double bearing_ji = geom::bearing(positions_[p.j], positions_[p.i]);
-    pair_arena_[cursor[p.i]++] =
-        PairGeom{p.j, p.distance_m, bearing_ij, p.blockers, p.fade_db};
-    pair_arena_[cursor[p.j]++] =
-        PairGeom{p.i, p.distance_m, bearing_ji, p.blockers, p.fade_db};
+  for (const auto& pairs : shard_pairs_) {
+    for (const UndirectedPair& p : pairs) {
+      const double bearing_ij = geom::bearing(positions_[p.i], positions_[p.j]);
+      const double bearing_ji = geom::bearing(positions_[p.j], positions_[p.i]);
+      pair_arena_[cursor[p.i]++] =
+          PairGeom{p.j, p.distance_m, bearing_ij, p.blockers, p.fade_db};
+      pair_arena_[cursor[p.j]++] =
+          PairGeom{p.i, p.distance_m, bearing_ji, p.blockers, p.fade_db};
+    }
   }
+  if (sort_groups) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::sort(pair_arena_.begin() + pair_offsets_[i],
+                pair_arena_.begin() + pair_offsets_[i + 1],
+                [](const PairGeom& a, const PairGeom& b) { return a.other < b.other; });
+    }
+  }
+}
+
+std::size_t World::tier_count(traffic::FidelityTier t) const noexcept {
+  if (tiers_.empty()) {
+    return t == traffic::FidelityTier::kFull ? size() : 0;
+  }
+  std::size_t n = 0;
+  for (const traffic::FidelityTier tier : tiers_) n += (tier == t) ? 1 : 0;
+  return n;
+}
+
+std::size_t World::onrails_near(net::NodeId id) const {
+  if (tiers_.empty()) return 0;
+  const double radius = config_.interference_range_m;
+  const double radius_sq = radius * radius;
+  const geom::Vec2 p = positions_.at(id);
+  std::size_t count = 0;
+  grid_.for_each_in_radius(p, radius, [&](std::uint32_t j) {
+    if (j != id && tiers_[j] == traffic::FidelityTier::kOnRails &&
+        geom::distance_sq(p, positions_[j]) <= radius_sq) {
+      ++count;
+    }
+  });
+  return count;
+}
+
+double World::onrails_occupancy(net::NodeId id) const {
+  const double duty = std::clamp(config_.tier.onrails_duty_cycle, 0.0, 1.0);
+  const auto count = static_cast<double>(onrails_near(id));
+  return 1.0 - std::pow(1.0 - duty, count);
 }
 
 const PairGeom* World::pair(net::NodeId a, net::NodeId b) const noexcept {

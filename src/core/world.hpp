@@ -4,16 +4,19 @@
 // protocol component consumes.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "common/units.hpp"
+#include "core/fidelity.hpp"
 #include "core/scenario.hpp"
 #include "geom/los.hpp"
 #include "geom/spatial_grid.hpp"
 #include "net/mac_address.hpp"
 #include "phy/channel.hpp"
+#include "traffic/mobility_model.hpp"
 #include "traffic/traffic_sim.hpp"
 
 namespace mmv2v::core {
@@ -38,6 +41,19 @@ struct PairGeom {
   return gain;
 }
 
+/// One rectangular world shard: an x-strip of owned vehicles plus the halo
+/// of bodies within interference reach of the strip. Pair enumeration and
+/// LOS queries for owned vehicles only touch the shard's local evaluator —
+/// the halo is what makes cross-shard links exact (DESIGN.md Section 12).
+struct WorldShard {
+  double x_min = 0.0;
+  double x_max = 0.0;
+  /// Owned vehicle ids, ascending.
+  std::vector<std::uint32_t> owned;
+  /// Non-owned vehicle ids whose bodies can block or link to owned ones.
+  std::vector<std::uint32_t> halo;
+};
+
 class World {
  public:
   World(ScenarioConfig config, std::uint64_t seed);
@@ -47,16 +63,39 @@ class World {
   /// Rebuild the snapshot from current vehicle positions.
   void refresh_snapshot();
 
+  /// Shard layout of the last snapshot (empty when world.shards == 1).
+  [[nodiscard]] const std::vector<WorldShard>& shards() const noexcept { return shards_; }
+
+  /// Fidelity tier of vehicle `id` for the current snapshot (kFull whenever
+  /// tiering is disabled).
+  [[nodiscard]] traffic::FidelityTier tier_of(net::NodeId id) const {
+    return tiers_.empty() ? traffic::FidelityTier::kFull : tiers_.at(id);
+  }
+  /// Number of vehicles currently in tier `t`.
+  [[nodiscard]] std::size_t tier_count(traffic::FidelityTier t) const noexcept;
+  /// Number of OnRails vehicles within interference range of `id`. OnRails
+  /// traffic never gets cached pair geometry; this count is its statistical
+  /// footprint.
+  [[nodiscard]] std::size_t onrails_near(net::NodeId id) const;
+  /// Background channel-occupancy probability from OnRails traffic around
+  /// `id`: 1 - (1 - duty)^count, i.e. the chance at least one background
+  /// transmitter is on the air, assuming independent duty cycles.
+  [[nodiscard]] double onrails_occupancy(net::NodeId id) const;
+
   [[nodiscard]] const ScenarioConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const traffic::TrafficSimulator& traffic() const noexcept { return traffic_; }
+  /// The mobility model driving this world (ring or road network).
+  [[nodiscard]] const traffic::MobilityModel& mobility() const noexcept { return *mobility_; }
+  /// The legacy ring simulator; throws std::logic_error when the scenario
+  /// runs on a road network (NetworkTopology != kLegacyRing).
+  [[nodiscard]] const traffic::TrafficSimulator& traffic() const;
   [[nodiscard]] const phy::ChannelModel& channel() const noexcept { return channel_; }
   [[nodiscard]] const geom::LosEvaluator& los() const noexcept { return los_; }
 
-  [[nodiscard]] std::size_t size() const noexcept { return traffic_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return mobility_->size(); }
   [[nodiscard]] net::MacAddress mac(net::NodeId id) const {
     return net::MacAddress::for_vehicle(id);
   }
-  [[nodiscard]] geom::Vec2 position(net::NodeId id) const { return traffic_.position_of(id); }
+  [[nodiscard]] geom::Vec2 position(net::NodeId id) const { return mobility_->position_of(id); }
 
   /// All cached pairs within interference range of `id`, sorted ascending by
   /// `other`. The span points into the snapshot arena and is invalidated by
@@ -77,11 +116,42 @@ class World {
   [[nodiscard]] double mean_degree() const;
 
  private:
+  /// One unordered in-range pair discovered during the snapshot pass.
+  struct UndirectedPair {
+    std::uint32_t i;
+    std::uint32_t j;
+    double distance_m;
+    int blockers;
+    double fade_db;
+  };
+
+  /// Partition vehicles into x-strips and collect halos (world.shards > 1).
+  void build_shards(std::size_t shard_count);
+  /// Enumerate pairs owned by one shard into `out` using evaluator `los`.
+  void enumerate_pairs(std::span<const std::uint32_t> owners, const geom::LosEvaluator& los,
+                       std::vector<UndirectedPair>& out) const;
+  /// Scatter discovered pairs into the per-owner arena groups.
+  void scatter_pairs(bool sort_groups);
+
+  /// Refresh tiers_ from the freshly computed positions (see fidelity.hpp).
+  void update_tiers();
+
   ScenarioConfig config_;
-  traffic::TrafficSimulator traffic_;
+  std::unique_ptr<traffic::MobilityModel> mobility_;
+  FidelityTiering tiering_;
+  /// Per-vehicle tiers; empty when tiering is inactive. The mobility model
+  /// holds a pointer to this vector (set_tiers), so it lives on the World.
+  std::vector<traffic::FidelityTier> tiers_;
+  /// Non-null only for NetworkTopology::kLegacyRing (aliases mobility_).
+  traffic::TrafficSimulator* ring_traffic_ = nullptr;
   phy::ChannelModel channel_;
   phy::FadingModel fading_;
   geom::LosEvaluator los_;
+  std::vector<WorldShard> shards_;
+  /// Per-shard local evaluators (owned + halo bodies).
+  std::vector<geom::LosEvaluator> shard_los_;
+  /// Per-shard discovered pairs, merged in shard order after the parallel pass.
+  std::vector<std::vector<UndirectedPair>> shard_pairs_;
   /// Uniform grid over antenna positions; pair enumeration queries it instead
   /// of testing all N^2 pairs.
   geom::SpatialGrid grid_;
@@ -92,7 +162,7 @@ class World {
   std::vector<std::uint32_t> pair_offsets_;
   // Scratch buffers reused across refreshes (no steady-state allocation).
   std::vector<geom::Vec2> positions_;
-  std::vector<std::uint32_t> candidates_;
+  std::vector<std::uint32_t> all_ids_;
   std::uint64_t tick_ = 0;
 };
 

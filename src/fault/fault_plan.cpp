@@ -27,25 +27,45 @@ constexpr std::uint64_t kGpsTag = 0x69e5ULL;
 constexpr std::uint64_t kCtrlTag = 0xc7a1ULL;
 constexpr std::uint64_t kChurnTag = 0xcca0ULL;
 
+// Per-step stream tags inside one loss chain.
+constexpr std::uint64_t kGeStepTag = 0x6e57ULL;
+constexpr std::uint64_t kLossTag = 0x1055ULL;
+constexpr std::uint64_t kCorruptTag = 0xc0bbULL;
+constexpr std::uint64_t kStationaryTag = 0x57a7ULL;
+
+/// Backward-scan horizon for resolving the burst state. The scan ends at the
+/// first regeneration point, reached with probability p_enter + p_leave per
+/// step; the residual probability of an unresolved scan is
+/// (1 - p_enter - p_leave)^kMaxScan — negligible for any realistic knobs.
+constexpr std::uint64_t kMaxScan = 4096;
+
+/// Uniform in [0, 1) from a hashed 64-bit key.
+double to_unit(std::uint64_t key) {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
 }  // namespace
 
 FaultPlan::FaultPlan(const FaultParams& params, std::uint64_t seed)
     : params_{params},
       clock_key_{derive_seed(seed, kClockTag, 0)},
       gps_key_{derive_seed(seed, kGpsTag, 0)},
-      rng_ctrl_{derive_seed(seed, kCtrlTag, 0)},
+      ctrl_key_{derive_seed(seed, kCtrlTag, 0)},
       rng_churn_{derive_seed(seed, kChurnTag, 0)} {
   // Gilbert-Elliott parameterization from the user-facing (stationary loss,
   // mean burst length) pair. With leave rate r = 1/L the stationary bad-state
   // probability pi_B = p / (p + r) equals ctrl_loss when
-  // p = r * pi_B / (1 - pi_B); clamping p at 1 caps the achievable loss rate
-  // at L / (L + 1) which only binds for extreme (loss, burst) combinations.
+  // p = r * pi_B / (1 - pi_B). The regeneration coupling below needs
+  // p + r <= 1 (disjoint enter/leave regions of the per-step uniform); that
+  // fails only for burst_len < 1/(1 - loss), which is exactly where the GE
+  // process degenerates to iid draws — so those knobs fall back to the
+  // memoryless model at the same stationary rate.
   ge_memoryless_ = params_.burst_len <= 1.0;
   if (!ge_memoryless_ && params_.ctrl_loss > 0.0 && params_.ctrl_loss < 1.0) {
     const double r = 1.0 / params_.burst_len;
     ge_p_leave_bad_ = r;
-    ge_p_enter_bad_ =
-        std::min(1.0, r * params_.ctrl_loss / (1.0 - params_.ctrl_loss));
+    ge_p_enter_bad_ = r * params_.ctrl_loss / (1.0 - params_.ctrl_loss);
+    if (ge_p_enter_bad_ + ge_p_leave_bad_ > 1.0) ge_memoryless_ = true;
   }
 }
 
@@ -93,35 +113,78 @@ double FaultPlan::clock_offset_s(net::NodeId id) const {
   return params_.clock_drift_us * 1e-6 * hashed_normal(key);
 }
 
-bool FaultPlan::ctrl_lost(net::NodeId sender, CtrlKind kind) {
-  if (params_.ctrl_loss <= 0.0 && params_.ctrl_corrupt <= 0.0) return false;
+bool FaultPlan::bad_at(std::uint64_t chain_key, std::uint64_t step) const {
+  // Regeneration-scan coupling: the per-step uniform u_j decides
+  //   u_j <  p_enter            -> bad at j  (regardless of history)
+  //   u_j >= 1 - p_leave        -> good at j (regardless of history)
+  //   otherwise                 -> hold the state of j - 1.
+  // For the marginals this is exactly the two-state chain (given the good
+  // state, P(bad next) = p_enter; given bad, P(good next) = p_leave), but
+  // the state at any step resolves by scanning backward to the most recent
+  // decisive step — a pure function of the step index, so queries commute.
+  for (std::uint64_t d = 0; d <= kMaxScan; ++d) {
+    const std::uint64_t j = step - d;
+    const double u = to_unit(derive_seed(chain_key, j, kGeStepTag));
+    if (u < ge_p_enter_bad_) return true;
+    if (u >= 1.0 - ge_p_leave_bad_) return false;
+    if (j == 0) return false;  // chains start in the good state
+  }
+  // Unresolved after the horizon (vanishing probability): stationary draw,
+  // constant per scan-sized block so neighboring steps almost always agree.
+  return to_unit(derive_seed(chain_key, step / (kMaxScan + 1), kStationaryTag)) <
+         params_.ctrl_loss;
+}
 
-  bool lost = false;
+CtrlFate FaultPlan::ctrl_fate_at_step(net::NodeId sender, CtrlKind kind,
+                                      std::uint64_t step) const {
+  if (params_.ctrl_loss <= 0.0 && params_.ctrl_corrupt <= 0.0) {
+    return CtrlFate::kDelivered;
+  }
+  const std::uint64_t chain_key = derive_seed(
+      ctrl_key_, static_cast<std::uint64_t>(sender), static_cast<std::uint64_t>(kind));
   if (params_.ctrl_loss > 0.0) {
-    if (ge_memoryless_) {
-      lost = rng_ctrl_.bernoulli(params_.ctrl_loss);
-    } else {
-      // Advance the two-state chain first, then read the loss off the new
-      // state: stationary loss rate is exactly pi_B = ctrl_loss and bad-state
-      // dwell (= burst length in calls) is geometric with mean burst_len.
-      LossChain& chain = chains_[sender];
-      if (chain.bad) {
-        if (rng_ctrl_.bernoulli(ge_p_leave_bad_)) chain.bad = false;
-      } else if (rng_ctrl_.bernoulli(ge_p_enter_bad_)) {
-        chain.bad = true;
-      }
-      lost = chain.bad;
-    }
+    const bool lost =
+        ge_memoryless_
+            ? to_unit(derive_seed(chain_key, step, kLossTag)) < params_.ctrl_loss
+            : bad_at(chain_key, step);
+    if (lost) return CtrlFate::kLost;
   }
-  if (lost) {
+  if (params_.ctrl_corrupt > 0.0 &&
+      to_unit(derive_seed(chain_key, step, kCorruptTag)) < params_.ctrl_corrupt) {
+    return CtrlFate::kCorrupted;
+  }
+  return CtrlFate::kDelivered;
+}
+
+CtrlFate FaultPlan::ctrl_fate(net::NodeId sender, CtrlKind kind, std::uint64_t slot,
+                              std::uint64_t slots_per_frame) const {
+  return ctrl_fate_at_step(sender, kind, frame_ * slots_per_frame + slot);
+}
+
+void FaultPlan::note_ctrl_fate(CtrlFate fate, CtrlKind kind) {
+  if (fate == CtrlFate::kLost) {
     count_drop(kind);
-    return true;
-  }
-  if (params_.ctrl_corrupt > 0.0 && rng_ctrl_.bernoulli(params_.ctrl_corrupt)) {
+  } else if (fate == CtrlFate::kCorrupted) {
     ++frame_stats_.corruptions;
-    return true;
   }
-  return false;
+}
+
+void FaultPlan::note_ctrl_outcomes(CtrlKind kind, std::uint64_t losses,
+                                   std::uint64_t corruptions) {
+  switch (kind) {
+    case CtrlKind::kSsw: frame_stats_.ssw_drops += losses; break;
+    case CtrlKind::kNegotiation: frame_stats_.negotiation_drops += losses; break;
+    case CtrlKind::kInform: frame_stats_.inform_drops += losses; break;
+    case CtrlKind::kRefine: frame_stats_.refine_drops += losses; break;
+  }
+  frame_stats_.corruptions += corruptions;
+}
+
+bool FaultPlan::ctrl_lost(net::NodeId sender, CtrlKind kind, std::uint64_t slot,
+                          std::uint64_t slots_per_frame) {
+  const CtrlFate fate = ctrl_fate(sender, kind, slot, slots_per_frame);
+  note_ctrl_fate(fate, kind);
+  return fate != CtrlFate::kDelivered;
 }
 
 geom::Vec2 FaultPlan::gps_offset(net::NodeId id) const {

@@ -8,14 +8,20 @@
 //
 // Protocols hold the plan as a nullable pointer and query it at the exact
 // points where a real radio would fail: clock offsets at rendezvous windows,
-// a Gilbert-Elliott loss chain per control-message sender, per-frame GPS
+// a Gilbert-Elliott loss process per (sender, message class), per-frame GPS
 // noise at the admission check, and a churn state machine that takes radios
 // down mid-frame and back up frames later.
+//
+// The loss process is counter-based: the burst state at chain step k is a
+// pure function of (seed, sender, kind, k), resolved by scanning hashed
+// per-step uniforms backward to the most recent regeneration point. No
+// mutable chain state exists, so loss queries are order-independent and
+// safe to evaluate concurrently from worker lanes — faulted frames run on
+// the same pooled sweeps as fault-free ones.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -32,6 +38,13 @@ enum class CtrlKind : std::uint8_t {
   kNegotiation = 1,
   kInform = 2,
   kRefine = 3,
+};
+
+/// Outcome of one control transmission under the fault plan.
+enum class CtrlFate : std::uint8_t {
+  kDelivered = 0,
+  kLost = 1,       ///< erased in a bad burst state
+  kCorrupted = 2,  ///< delivered but undecodable
 };
 
 /// Per-frame injection bookkeeping, reset by `begin_frame`. Protocols read
@@ -75,12 +88,33 @@ class FaultPlan {
   /// Record a rendezvous missed because of injected clock drift.
   void note_sync_miss() { ++frame_stats_.sync_misses; }
 
-  /// Evaluate the loss/corruption chain for one control message from
-  /// `sender`. Returns true when the message never decodes (lost in a bad
-  /// burst state, or delivered-but-corrupted). Advances `sender`'s
-  /// Gilbert-Elliott chain exactly once per call; chains persist across
-  /// frames so bursts span frame boundaries.
-  bool ctrl_lost(net::NodeId sender, CtrlKind kind);
+  /// Fate of the control message `sender` transmits in intra-frame slot
+  /// `slot` (of `slots_per_frame` transmission opportunities this frame) for
+  /// message class `kind`. Pure counter-based query on the chain step
+  /// frame * slots_per_frame + slot: order-independent, const, and safe from
+  /// worker lanes. Does not touch frame stats — pair with note_ctrl_fate /
+  /// note_ctrl_outcomes. Chains are per (sender, kind) and step across
+  /// frames, so bursts span frame boundaries.
+  [[nodiscard]] CtrlFate ctrl_fate(net::NodeId sender, CtrlKind kind,
+                                   std::uint64_t slot = 0,
+                                   std::uint64_t slots_per_frame = 1) const;
+
+  /// Fate at an absolute chain step (exposed for the statistical pins).
+  [[nodiscard]] CtrlFate ctrl_fate_at_step(net::NodeId sender, CtrlKind kind,
+                                           std::uint64_t step) const;
+
+  /// Tally one ctrl_fate outcome into the per-frame stats.
+  void note_ctrl_fate(CtrlFate fate, CtrlKind kind);
+  /// Bulk tally for pooled sweeps: merge per-chunk loss/corruption counts.
+  void note_ctrl_outcomes(CtrlKind kind, std::uint64_t losses,
+                          std::uint64_t corruptions);
+  /// Bulk tally of rendezvous misses from injected clock drift.
+  void note_sync_misses(std::uint64_t count) { frame_stats_.sync_misses += count; }
+
+  /// Convenience for serial call sites: ctrl_fate + note_ctrl_fate. Returns
+  /// true when the message never decodes (lost or corrupted).
+  bool ctrl_lost(net::NodeId sender, CtrlKind kind, std::uint64_t slot = 0,
+                 std::uint64_t slots_per_frame = 1);
 
   /// Per-frame GPS error vector [m] for `id` (2-D Gaussian, sigma per axis =
   /// gps_sigma_m). Counter-based on (seed, id, frame): stable within a frame,
@@ -113,23 +147,24 @@ class FaultPlan {
                                ///< outage started; 0 on later outage frames
   };
 
-  struct LossChain {
-    bool bad = false;
-  };
-
   void count_drop(CtrlKind kind);
+  /// Burst (bad) state of chain `chain_key` at step `step`: backward scan to
+  /// the most recent regeneration point among the hashed per-step uniforms.
+  [[nodiscard]] bool bad_at(std::uint64_t chain_key, std::uint64_t step) const;
 
   FaultParams params_;
   std::uint64_t clock_key_ = 0;
   std::uint64_t gps_key_ = 0;
-  Xoshiro256pp rng_ctrl_;
+  std::uint64_t ctrl_key_ = 0;
   Xoshiro256pp rng_churn_;
   // Gilbert-Elliott transition probabilities derived from (ctrl_loss,
-  // burst_len): r = 1/burst, p = r * loss / (1 - loss) (clamped to 1).
+  // burst_len): r = 1/burst, p = r * loss / (1 - loss). The counter-based
+  // regeneration coupling needs p + r <= 1; outside that (burst_len below
+  // 1/(1-loss), the iid limit) the process falls back to memoryless draws at
+  // the stationary rate.
   double ge_p_enter_bad_ = 0.0;
   double ge_p_leave_bad_ = 1.0;
   bool ge_memoryless_ = true;
-  std::unordered_map<net::NodeId, LossChain> chains_;
   std::vector<ChurnState> churn_;
   std::uint64_t frame_ = 0;
   FaultFrameStats frame_stats_{};

@@ -43,6 +43,11 @@ class LosEvaluator {
   }
   [[nodiscard]] std::size_t size() const noexcept { return blockers_.size(); }
 
+  /// The indexed bodies, in construction order (vehicle id order when built
+  /// by a mobility model). World sharding subsets these into per-shard
+  /// evaluators.
+  [[nodiscard]] const std::vector<Blocker>& blockers() const noexcept { return blockers_; }
+
   /// Number of distinct bodies crossing the segment (a, b), excluding the two
   /// endpoint owners.
   [[nodiscard]] int blocker_count(Vec2 a, Vec2 b, std::size_t owner_a,

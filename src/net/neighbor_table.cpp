@@ -1,51 +1,72 @@
 #include "net/neighbor_table.hpp"
 
+#include <algorithm>
+
 namespace mmv2v::net {
 
+std::size_t NeighborTable::lower_bound(NodeId id) const {
+  const auto it = std::lower_bound(
+      slab_.begin(), slab_.end(), id,
+      [](const NeighborEntry& e, NodeId target) { return e.id < target; });
+  return static_cast<std::size_t>(it - slab_.begin());
+}
+
+std::size_t NeighborTable::find_index(NodeId id) const {
+  const std::size_t at = lower_bound(id);
+  if (at < slab_.size() && slab_[at].id == id) return at;
+  return kNpos;
+}
+
 void NeighborTable::observe(NeighborEntry entry) {
-  auto [it, inserted] = entries_.try_emplace(entry.id, entry);
-  if (inserted) return;
-  // Newer frames replace; within one frame keep the strongest measurement
-  // (the main-lobe rendezvous beats any side-lobe sighting).
-  if (entry.last_seen_frame > it->second.last_seen_frame ||
-      (entry.last_seen_frame == it->second.last_seen_frame &&
-       entry.snr_db > it->second.snr_db)) {
-    it->second = entry;
+  const std::size_t at = lower_bound(entry.id);
+  if (at < slab_.size() && slab_[at].id == entry.id) {
+    // Newer frames replace; within one frame keep the strongest measurement
+    // (the main-lobe rendezvous beats any side-lobe sighting).
+    NeighborEntry& existing = slab_[at];
+    if (entry.last_seen_frame > existing.last_seen_frame ||
+        (entry.last_seen_frame == existing.last_seen_frame &&
+         entry.snr_db > existing.snr_db)) {
+      existing = entry;
+    }
+    return;
   }
+  slab_.insert(slab_.begin() + static_cast<std::ptrdiff_t>(at), entry);
 }
 
 void NeighborTable::age_out(std::uint64_t current_frame) {
-  for (auto it = entries_.begin(); it != entries_.end();) {
+  // In-place compaction preserving ascending-NodeId order; the erased tail
+  // is trimmed without releasing capacity, so steady-state churn is
+  // allocation-free.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < slab_.size(); ++i) {
+    const NeighborEntry& e = slab_[i];
     // Entries stamped later than `current_frame` (replayed observations, or a
     // node rejoining with a stale table) are not stale: the unsigned
     // subtraction would wrap to ~2^64 and silently erase them.
-    const NeighborEntry& e = it->second;
     const bool stale = e.last_seen_frame <= current_frame &&
                        current_frame - e.last_seen_frame > max_age_frames_;
-    if (stale) {
-      it = entries_.erase(it);
-    } else {
-      ++it;
+    if (!stale) {
+      if (keep != i) slab_[keep] = e;
+      ++keep;
     }
   }
+  slab_.resize(keep);
+}
+
+void NeighborTable::erase(NodeId id) {
+  const std::size_t at = find_index(id);
+  if (at != kNpos) slab_.erase(slab_.begin() + static_cast<std::ptrdiff_t>(at));
 }
 
 std::optional<NeighborEntry> NeighborTable::find(NodeId id) const {
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return std::nullopt;
-  return it->second;
-}
-
-std::vector<NeighborEntry> NeighborTable::entries() const {
-  std::vector<NeighborEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, e] : entries_) out.push_back(e);
-  return out;
+  const std::size_t at = find_index(id);
+  if (at == kNpos) return std::nullopt;
+  return slab_[at];
 }
 
 std::vector<NeighborEntry> NeighborTable::entries_seen_in(std::uint64_t frame) const {
   std::vector<NeighborEntry> out;
-  for (const auto& [id, e] : entries_) {
+  for (const NeighborEntry& e : slab_) {
     if (e.last_seen_frame == frame) out.push_back(e);
   }
   return out;

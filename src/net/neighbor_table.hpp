@@ -6,11 +6,17 @@
 // Entries age out after `max_age_frames` frames without re-discovery, and
 // the union over frames U_l N_i^l (paper Section III-A) is what UDT's
 // completion bookkeeping consumes.
+//
+// Storage is a slab: one contiguous vector kept sorted by NodeId. Lookups
+// are binary searches, iteration is a cache-dense linear walk in ascending
+// NodeId order (the trace digest depends on that order), and age-out is an
+// in-place compaction that never touches the heap — under node churn at
+// 100+ vpl the per-frame expiry sweep reuses the slab's capacity instead of
+// freeing and re-allocating map nodes.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/mac_address.hpp"
@@ -37,38 +43,50 @@ class NeighborTable {
   void observe(NeighborEntry entry);
 
   /// Drop entries older than max_age_frames relative to `current_frame`.
+  /// In-place compaction of the slab: no allocation, no deallocation.
   void age_out(std::uint64_t current_frame);
 
-  void erase(NodeId id) { entries_.erase(id); }
-  void clear() { entries_.clear(); }
+  void erase(NodeId id);
+  void clear() { slab_.clear(); }
 
-  [[nodiscard]] bool contains(NodeId id) const { return entries_.count(id) != 0; }
+  [[nodiscard]] bool contains(NodeId id) const { return find_index(id) != kNpos; }
   [[nodiscard]] std::optional<NeighborEntry> find(NodeId id) const;
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return slab_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slab_.capacity(); }
 
-  /// All current entries (unordered).
-  [[nodiscard]] std::vector<NeighborEntry> entries() const;
-  /// Entries discovered in `frame` exactly (N_i^f).
+  /// All current entries, ascending by NodeId (a view of the slab itself).
+  [[nodiscard]] const std::vector<NeighborEntry>& entries() const noexcept {
+    return slab_;
+  }
+  /// Entries discovered in `frame` exactly (N_i^f), ascending by NodeId.
   [[nodiscard]] std::vector<NeighborEntry> entries_seen_in(std::uint64_t frame) const;
   /// Allocation-free variant of entries(): invoke `f(entry)` for each
-  /// current entry, in the same (map) order entries() returns.
+  /// current entry, in ascending NodeId order.
   template <typename F>
   void for_each(F&& f) const {
-    for (const auto& [id, e] : entries_) f(e);
+    for (const NeighborEntry& e : slab_) f(e);
   }
 
   /// Allocation-free variant of entries_seen_in: invoke `f(entry)` for each
-  /// entry seen in `frame`, in the same (map) order entries_seen_in returns.
+  /// entry seen in `frame`, in ascending NodeId order.
   template <typename F>
   void for_each_seen_in(std::uint64_t frame, F&& f) const {
-    for (const auto& [id, e] : entries_) {
+    for (const NeighborEntry& e : slab_) {
       if (e.last_seen_frame == frame) f(e);
     }
   }
 
  private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  /// Index of `id` in the slab, or kNpos.
+  [[nodiscard]] std::size_t find_index(NodeId id) const;
+  /// First slab index whose id is >= `id` (insertion point).
+  [[nodiscard]] std::size_t lower_bound(NodeId id) const;
+
   std::uint64_t max_age_frames_;
-  std::unordered_map<NodeId, NeighborEntry> entries_;
+  /// Entries sorted ascending by NodeId; ids are unique.
+  std::vector<NeighborEntry> slab_;
 };
 
 }  // namespace mmv2v::net

@@ -65,11 +65,6 @@ void Ieee80211adProtocol::ensure_initialized(const core::World& world) {
 void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats) {
   PROF_SCOPE("snd.run");
   const core::World& world = ctx.world;
-  if (fault_ != nullptr) {
-    run_bti_fault(world, stats);
-    return;
-  }
-
   const std::size_t n = world.size();
   const phy::ChannelModel& channel = world.channel();
   const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
@@ -84,14 +79,21 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
   const std::size_t chunks = sim::WorkerPool::chunk_count(n, kListenerGrain);
   bti_partials_.assign(chunks, SndRoundStats{});
 
+  fault::FaultPlan* fault = fault_.get();
+  if (fault != nullptr) fault_partials_.assign(chunks, {0, 0});
+  const auto sectors_per_frame = static_cast<std::uint64_t>(sectors);
+
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     SndRoundStats& part = bti_partials_[chunk];
     BtiScratch& scratch = bti_scratch();
     for (std::size_t j = begin; j < end; ++j) {
       if (pcp_tenure_[j] > 0) continue;  // PCPs transmit, they don't scan
+      if (fault != nullptr && fault->control_down(j)) continue;
       scratch.cands.clear();
       for (const core::PairGeom& p : world.nearby(j)) {
         if (pcp_tenure_[p.other] <= 0) continue;
+        // A churned-down PCP stops beaconing (tenure keeps ticking).
+        if (fault != nullptr && fault->control_down(p.other)) continue;
         BtiCandidate c;
         c.pcp = p.other;
         c.back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
@@ -121,6 +123,22 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
           ++part.decode_failures;
           continue;
         }
+        // DMG beacons ride the SSW loss class, keyed per (PCP, sector slot):
+        // every listener of one beacon transmission sees the same fate.
+        if (fault != nullptr) {
+          const fault::CtrlFate fate =
+              fault->ctrl_fate(best, fault::CtrlKind::kSsw,
+                               static_cast<std::uint64_t>(t), sectors_per_frame);
+          if (fate != fault::CtrlFate::kDelivered) {
+            if (fate == fault::CtrlFate::kLost) {
+              ++fault_partials_[chunk].first;
+            } else {
+              ++fault_partials_[chunk].second;
+            }
+            ++part.decode_failures;
+            continue;
+          }
+        }
         ++part.decodes;
         if (std::find(joinable_[j].begin(), joinable_[j].end(), best) ==
             joinable_[j].end()) {
@@ -144,54 +162,14 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
       stats->decode_failures += part.decode_failures;
     }
   }
-}
-
-void Ieee80211adProtocol::run_bti_fault(const core::World& world, SndRoundStats* stats) {
-  const std::size_t n = world.size();
-  const phy::ChannelModel& channel = world.channel();
-  const double p_w = units::dbm_to_watts(channel.params().tx_power_dbm);
-  const double noise_w = channel.noise_watts();
-
-  for (int t = 0; t < grid_.count(); ++t) {
-    const double sweep_center = grid_.center(t);
-    for (net::NodeId j = 0; j < n; ++j) {
-      if (pcp_tenure_[j] > 0) continue;  // PCPs transmit, they don't scan
-      if (fault_->control_down(j)) continue;
-      double total_w = 0.0;
-      double best_w = 0.0;
-      net::NodeId best = kNone;
-      for (const core::PairGeom& p : world.nearby(j)) {
-        if (pcp_tenure_[p.other] <= 0) continue;
-        // A churned-down PCP stops beaconing (tenure keeps ticking).
-        if (fault_->control_down(p.other)) continue;
-        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
-        const double g_t =
-            beacon_pattern_.gain(geom::angular_distance(back_bearing, sweep_center));
-        const double g_c = core::pair_channel_gain(channel.params(), p);
-        const double w = p_w * g_t * g_c;  // quasi-omni rx gain = 1
-        total_w += w;
-        if (w > best_w) {
-          best_w = w;
-          best = p.other;
-        }
-      }
-      if (best == kNone) continue;
-      const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
-      if (!channel.mcs().control_decodable(sinr_db)) {
-        if (stats != nullptr) ++stats->decode_failures;
-        continue;
-      }
-      // DMG beacons ride the SSW loss class of the fault layer.
-      if (fault_->ctrl_lost(best, fault::CtrlKind::kSsw)) {
-        if (stats != nullptr) ++stats->decode_failures;
-        continue;
-      }
-      if (stats != nullptr) ++stats->decodes;
-      if (std::find(joinable_[j].begin(), joinable_[j].end(), best) ==
-          joinable_[j].end()) {
-        joinable_[j].push_back(best);
-      }
+  if (fault != nullptr) {
+    std::uint64_t losses = 0;
+    std::uint64_t corruptions = 0;
+    for (const auto& [lost, corrupted] : fault_partials_) {
+      losses += lost;
+      corruptions += corrupted;
     }
+    fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, losses, corruptions);
   }
 }
 
@@ -301,20 +279,27 @@ void Ieee80211adProtocol::phase_dcm(core::FrameContext& ctx) {
     if (fault_ != nullptr && fault_->ctrl_lost(v, fault::CtrlKind::kNegotiation)) continue;
     attempts_.push_back(AbftAttempt{v, pcp, slot});
   }
+  // Bucket the attempts by (pcp, slot): a slot collides iff two or more SSW
+  // frames landed in it. Counting over a sorted key scratch replaces the old
+  // all-pairs O(m^2) scan (BM_AbftCollisionCheck in bench/micro_phases.cpp
+  // has the datapoint) while visiting attempts in the identical order.
   std::size_t frame_collisions = 0;
-  for (const AbftAttempt& a : attempts_) {
-    bool collided = false;
-    for (const AbftAttempt& b : attempts_) {
-      if (&a != &b && a.pcp == b.pcp && a.slot == b.slot) {
-        collided = true;
-        break;
-      }
-    }
-    if (collided) {
+  const auto slot_count = static_cast<std::uint64_t>(params_.abft_slots);
+  abft_keys_.resize(attempts_.size());
+  for (std::size_t k = 0; k < attempts_.size(); ++k) {
+    abft_keys_[k] = static_cast<std::uint64_t>(attempts_[k].pcp) * slot_count +
+                    static_cast<std::uint64_t>(attempts_[k].slot);
+  }
+  abft_sorted_ = abft_keys_;
+  std::sort(abft_sorted_.begin(), abft_sorted_.end());
+  for (std::size_t k = 0; k < attempts_.size(); ++k) {
+    const auto [lo, hi] =
+        std::equal_range(abft_sorted_.begin(), abft_sorted_.end(), abft_keys_[k]);
+    if (hi - lo > 1) {
       ++abft_collisions_;
       ++frame_collisions;
     } else {
-      member_of_[a.vehicle] = a.pcp;
+      member_of_[attempts_[k].vehicle] = attempts_[k].pcp;
     }
   }
   if (instr_ != nullptr) {
@@ -402,11 +387,13 @@ void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
       const int sector_a = grid_.sector_of(ab->bearing_rad);
       const int sector_b = grid_.sector_of(geom::wrap_two_pi(ab->bearing_rad + geom::kPi));
 
-      // Lost SLS feedback degrades the pair to sector-center alignment.
+      // Lost SLS feedback degrades the pair to sector-center alignment. The
+      // in-SP SLS of service period k is one transmission slot per side.
       bool refine_lost = false;
       if (fault_ != nullptr) {
-        const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine);
-        const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
+        const auto sps = static_cast<std::uint64_t>(std::max(1, params_.max_sps));
+        const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine, k, sps);
+        const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine, k, sps);
         refine_lost = lost_a || lost_b;
       }
       schedule_refined_pair(ctx, *refinement_, grid_, beacon_pattern_, a, sector_a, b,

@@ -24,6 +24,7 @@
 // maintenance + A-BFT contention, kUdt = DTI service-period scheduling.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -90,11 +91,10 @@ class Ieee80211adProtocol final : public StagedOhmProtocol {
   void phase_dcm(core::FrameContext& ctx);
   void phase_udt(core::FrameContext& ctx);
   /// Beacon decode set per vehicle given the current PCPs, into joinable_.
-  /// `stats` (optional) counts beacon decodes / decode failures.
+  /// `stats` (optional) counts beacon decodes / decode failures. Fault runs
+  /// share the pooled sweep: beacon losses are counter-based per (PCP,
+  /// sector slot), so all listeners of one beacon see the same fate.
   void run_bti(core::FrameContext& ctx, SndRoundStats* stats);
-  /// Serial listener-inner sweep used whenever fault injection is active
-  /// (loss-chain draws must happen in global sweep order).
-  void run_bti_fault(const core::World& world, SndRoundStats* stats);
 
   AdParams params_;
   Xoshiro256pp rng_;
@@ -117,7 +117,14 @@ class Ieee80211adProtocol final : public StagedOhmProtocol {
   // Per-frame scratch, reused across frames (capacity retained).
   std::vector<std::vector<net::NodeId>> joinable_;
   std::vector<SndRoundStats> bti_partials_;
+  /// Per-chunk BTI fault tallies (losses, corruptions), merged after the
+  /// pooled sweep (the FaultPlan's counters are not lane-safe).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fault_partials_;
   std::vector<AbftAttempt> attempts_;
+  /// (pcp, slot) keys of attempts_ plus a sorted copy; the A-BFT collision
+  /// check counts key multiplicity instead of scanning all attempt pairs.
+  std::vector<std::uint64_t> abft_keys_;
+  std::vector<std::uint64_t> abft_sorted_;
   std::vector<std::pair<net::NodeId, net::NodeId>> sp_pairs_;
   double dti_start_s_ = 0.0;
   std::size_t abft_collisions_ = 0;

@@ -76,10 +76,13 @@ int ConsensualMatching::run_slot(int m,
         fault->note_sync_miss();
         continue;
       }
-      // Each negotiation half can be erased independently. Evaluate both
-      // unconditionally so each sender's loss chain advances exactly once.
-      const bool lost_i = fault->ctrl_lost(i, fault::CtrlKind::kNegotiation);
-      const bool lost_j = fault->ctrl_lost(j, fault::CtrlKind::kNegotiation);
+      // Each negotiation half can be erased independently; the loss process
+      // is keyed per (sender, slot), so each sender's chain steps once per
+      // negotiation slot regardless of evaluation order.
+      const auto slots = static_cast<std::uint64_t>(params_.slots);
+      const auto slot = static_cast<std::uint64_t>(m);
+      const bool lost_i = fault->ctrl_lost(i, fault::CtrlKind::kNegotiation, slot, slots);
+      const bool lost_j = fault->ctrl_lost(j, fault::CtrlKind::kNegotiation, slot, slots);
       if (lost_i || lost_j) ok[p] = false;
     }
   }
@@ -143,7 +146,9 @@ int ConsensualMatching::run_slot(int m,
       // erases it the displaced partner keeps its stale candidate until a
       // later re-negotiation; matched_pairs() requires mutuality, so the
       // stale record never reaches the matching.
-      if (fault != nullptr && fault->ctrl_lost(v, fault::CtrlKind::kInform)) {
+      if (fault != nullptr &&
+          fault->ctrl_lost(v, fault::CtrlKind::kInform, static_cast<std::uint64_t>(m),
+                           static_cast<std::uint64_t>(params_.slots))) {
         continue;
       }
       // Only clear the displaced partner if it still points back at v.

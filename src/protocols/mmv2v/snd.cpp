@@ -104,7 +104,7 @@ void SyncNeighborDiscovery::run_rounds(const core::World& world, std::uint64_t f
     run_round_impl(world, frame, tx_first_, tables,
                    round_stats != nullptr ? &(*round_stats)[static_cast<std::size_t>(k)]
                                           : nullptr,
-                   fault, pool);
+                   fault, pool, k);
   }
 }
 
@@ -112,31 +112,23 @@ void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t fr
                                       const std::vector<bool>& tx_first,
                                       std::vector<net::NeighborTable>& tables,
                                       SndRoundStats* stats, fault::FaultPlan* fault) const {
-  run_round_impl(world, frame, tx_first, tables, stats, fault, nullptr);
+  run_round_impl(world, frame, tx_first, tables, stats, fault, nullptr, 0);
 }
 
 void SyncNeighborDiscovery::run_round_impl(const core::World& world, std::uint64_t frame,
                                            const std::vector<bool>& tx_first,
                                            std::vector<net::NeighborTable>& tables,
                                            SndRoundStats* stats, fault::FaultPlan* fault,
-                                           sim::WorkerPool* pool) const {
+                                           sim::WorkerPool* pool, int round) const {
   PROF_SCOPE("snd.round");
   if (tx_first.size() != world.size() || tables.size() != world.size()) {
     throw std::invalid_argument{"SND: role/table vectors must match the vehicle count"};
   }
-  if (fault != nullptr) {
-    run_sweep_fault(world, frame, tx_first, tables, stats, fault);
-  } else {
-    run_sweep(world, frame, tx_first, tables, stats, pool);
-  }
+  run_sweep(world, frame, tx_first, tables, stats, fault, 2 * round, pool);
   // Role swap (paper Section III-B4).
   swapped_.resize(tx_first.size());
   for (std::size_t i = 0; i < tx_first.size(); ++i) swapped_[i] = !tx_first[i];
-  if (fault != nullptr) {
-    run_sweep_fault(world, frame, swapped_, tables, stats, fault);
-  } else {
-    run_sweep(world, frame, swapped_, tables, stats, pool);
-  }
+  run_sweep(world, frame, swapped_, tables, stats, fault, 2 * round + 1, pool);
 }
 
 double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
@@ -155,31 +147,49 @@ double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
 void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t frame,
                                       const std::vector<bool>& is_tx,
                                       std::vector<net::NeighborTable>& tables,
-                                      SndRoundStats* stats, sim::WorkerPool* pool) const {
+                                      SndRoundStats* stats, fault::FaultPlan* fault,
+                                      int sweep, sim::WorkerPool* pool) const {
   const phy::ChannelModel& channel = world.channel();
   const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double noise_w = channel.noise_watts();
 
-  const bool clock_active = params_.clock_sigma_s > 0.0;
+  // Injected fault-layer drift stacks on top of the protocol's own
+  // sync-error model; both feed the same rendezvous-overlap test.
+  const bool fault_clock = fault != nullptr && fault->params().clock_drift_us > 0.0;
+  const bool clock_active = params_.clock_sigma_s > 0.0 || fault_clock;
   if (clock_active) {
     clock_.resize(world.size());
-    for (net::NodeId i = 0; i < world.size(); ++i) clock_[i] = clock_offset_s(i);
+    for (net::NodeId i = 0; i < world.size(); ++i) {
+      clock_[i] = clock_offset_s(i) + (fault_clock ? fault->clock_offset_s(i) : 0.0);
+    }
   }
+  const bool fault_gps = fault != nullptr && fault->params().gps_sigma_m > 0.0;
+  // SSW loss is keyed per (transmitter, transmission slot): slot = this
+  // sweep's index within the frame times the sector count, plus the swept
+  // sector. Every receiver of one transmission sees the same fate.
+  const auto slots_per_frame = static_cast<std::uint64_t>(params_.rounds) * 2ULL *
+                               static_cast<std::uint64_t>(grid_.count());
+  const std::uint64_t slot_base =
+      static_cast<std::uint64_t>(sweep) * static_cast<std::uint64_t>(grid_.count());
 
   const std::size_t n = world.size();
   const std::size_t chunks = sim::WorkerPool::chunk_count(n, kRxGrain);
   if (stats != nullptr) partials_.assign(chunks, SndRoundStats{});
+  if (fault != nullptr) fault_partials_.assign(chunks, FaultPartial{});
 
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     SndRoundStats* part = stats != nullptr ? &partials_[chunk] : nullptr;
+    FaultPartial* fault_part = fault != nullptr ? &fault_partials_[chunk] : nullptr;
     LaneScratch& scratch = lane_scratch();
     for (net::NodeId rx = begin; rx < end; ++rx) {
       if (is_tx[rx]) continue;
+      if (fault != nullptr && fault->control_down(rx)) continue;
 
       // Sector-invariant filtering and link-budget terms, once per receiver.
       scratch.cands.clear();
       for (const core::PairGeom& p : world.nearby(rx)) {
         if (!is_tx[p.other]) continue;
+        if (fault != nullptr && fault->control_down(p.other)) continue;
         // Unsynchronized pair: the receiver's dwell no longer overlaps the
         // transmitter's SSW frame enough to decode the preamble. The
         // reference sector-outer loop re-tests this per sector, so the skip
@@ -188,6 +198,9 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
             std::abs(clock_[p.other] - clock_[rx]) > params_.sector_dwell_s / 2.0) {
           if (part != nullptr) {
             part->sync_skips += static_cast<std::uint64_t>(grid_.count());
+          }
+          if (fault_clock) {
+            fault_part->sync_misses += static_cast<std::uint64_t>(grid_.count());
           }
           continue;
         }
@@ -225,13 +238,39 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
         if (best == nullptr) continue;
 
         const auto record = [&](const core::PairGeom& p, double w) {
+          // A decodable arrival can still be erased by the fault layer's
+          // loss process (the SSW frame itself is lost/corrupted on the air).
+          if (fault != nullptr) {
+            const fault::CtrlFate fate =
+                fault->ctrl_fate(p.other, fault::CtrlKind::kSsw,
+                                 slot_base + static_cast<std::uint64_t>(t),
+                                 slots_per_frame);
+            if (fate != fault::CtrlFate::kDelivered) {
+              if (fate == fault::CtrlFate::kLost) {
+                ++fault_part->ssw_losses;
+              } else {
+                ++fault_part->ssw_corruptions;
+              }
+              if (part != nullptr) ++part->decode_failures;
+              return;
+            }
+          }
           const double snr_db = units::linear_to_db(w / noise_w);
           if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
             if (part != nullptr) ++part->admission_rejects;
             return;
           }
+          // The range filter compares GPS positions: the SSW frame carries
+          // the sender's reported position, the receiver uses its own fix.
+          // Both carry the injected per-frame GPS error.
+          double admission_distance_m = p.distance_m;
+          if (fault_gps) {
+            const geom::Vec2 tx_pos = world.position(p.other) + fault->gps_offset(p.other);
+            const geom::Vec2 rx_pos = world.position(rx) + fault->gps_offset(rx);
+            admission_distance_m = geom::distance(tx_pos, rx_pos);
+          }
           if (!std::isnan(params_.max_neighbor_range_m) &&
-              p.distance_m > params_.max_neighbor_range_m) {
+              admission_distance_m > params_.max_neighbor_range_m) {
             if (part != nullptr) ++part->admission_rejects;
             return;
           }
@@ -294,133 +333,16 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
       stats->sync_skips += part.sync_skips;
     }
   }
-}
-
-void SyncNeighborDiscovery::run_sweep_fault(const core::World& world, std::uint64_t frame,
-                                            const std::vector<bool>& is_tx,
-                                            std::vector<net::NeighborTable>& tables,
-                                            SndRoundStats* stats,
-                                            fault::FaultPlan* fault) const {
-  const phy::ChannelModel& channel = world.channel();
-  const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
-  const double noise_w = channel.noise_watts();
-
-  // Injected fault-layer drift stacks on top of the protocol's own
-  // sync-error model; both feed the same rendezvous-overlap test.
-  const bool fault_clock = fault != nullptr && fault->params().clock_drift_us > 0.0;
-  const bool clock_active = params_.clock_sigma_s > 0.0 || fault_clock;
-  std::vector<double> clock(world.size(), 0.0);
-  if (clock_active) {
-    for (net::NodeId i = 0; i < world.size(); ++i) {
-      clock[i] = clock_offset_s(i) +
-                 (fault_clock ? fault->clock_offset_s(i) : 0.0);
+  if (fault != nullptr) {
+    FaultPartial total;
+    for (const FaultPartial& part : fault_partials_) {
+      total.ssw_losses += part.ssw_losses;
+      total.ssw_corruptions += part.ssw_corruptions;
+      total.sync_misses += part.sync_misses;
     }
-  }
-  const bool fault_gps = fault != nullptr && fault->params().gps_sigma_m > 0.0;
-
-  for (int t = 0; t < grid_.count(); ++t) {
-    const double sweep_center = grid_.center(t);
-    const double sense_center = grid_.center(grid_.opposite(t));
-
-    for (net::NodeId rx = 0; rx < world.size(); ++rx) {
-      if (is_tx[rx]) continue;
-      if (fault != nullptr && fault->control_down(rx)) continue;
-
-      // Accumulate the power of every concurrent transmitter as heard
-      // through this receiver's sensing beam.
-      double total_w = 0.0;
-      double best_w = 0.0;
-      const core::PairGeom* best = nullptr;
-      std::vector<std::pair<const core::PairGeom*, double>> arrivals;
-      for (const core::PairGeom& p : world.nearby(rx)) {
-        if (!is_tx[p.other]) continue;
-        if (fault != nullptr && fault->control_down(p.other)) continue;
-        // Unsynchronized pair: the receiver's dwell no longer overlaps the
-        // transmitter's SSW frame enough to decode the preamble.
-        if (clock_active &&
-            std::abs(clock[p.other] - clock[rx]) > params_.sector_dwell_s / 2.0) {
-          if (stats != nullptr) ++stats->sync_skips;
-          if (fault_clock) fault->note_sync_miss();
-          continue;
-        }
-        // Reverse bearing (Tx -> Rx) is the receiver's bearing plus pi.
-        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
-        const double g_t = alpha_.gain(geom::angular_distance(back_bearing, sweep_center));
-        const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
-        const double g_c = core::pair_channel_gain(channel.params(), p);
-        const double w = tx_power_w * g_t * g_c * g_r;
-        total_w += w;
-        arrivals.emplace_back(&p, w);
-        if (w > best_w) {
-          best_w = w;
-          best = &p;
-        }
-      }
-      if (best == nullptr) continue;
-
-      const auto record = [&](const core::PairGeom& p, double w) {
-        // A decodable arrival can still be erased by the fault layer's loss
-        // chain (the SSW frame itself is lost/corrupted on the air).
-        if (fault != nullptr && fault->ctrl_lost(p.other, fault::CtrlKind::kSsw)) {
-          if (stats != nullptr) ++stats->decode_failures;
-          return;
-        }
-        const double snr_db = units::linear_to_db(w / noise_w);
-        if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
-          if (stats != nullptr) ++stats->admission_rejects;
-          return;
-        }
-        // The range filter compares GPS positions: the SSW frame carries the
-        // sender's reported position, the receiver uses its own fix. Both
-        // carry the injected per-frame GPS error.
-        double admission_distance_m = p.distance_m;
-        if (fault_gps) {
-          const geom::Vec2 tx_pos = world.position(p.other) + fault->gps_offset(p.other);
-          const geom::Vec2 rx_pos = world.position(rx) + fault->gps_offset(rx);
-          admission_distance_m = geom::distance(tx_pos, rx_pos);
-        }
-        if (!std::isnan(params_.max_neighbor_range_m) &&
-            admission_distance_m > params_.max_neighbor_range_m) {
-          if (stats != nullptr) ++stats->admission_rejects;
-          return;
-        }
-        if (stats != nullptr) ++stats->decodes;
-        net::NeighborEntry entry;
-        entry.id = p.other;
-        entry.mac = world.mac(p.other);
-        // The receiver can only attribute the arrival to the sector it was
-        // sensing. For the main-lobe rendezvous this IS the true sector
-        // toward the transmitter; a side-lobe decode records a wrong sector,
-        // but the strongest same-frame observation (the rendezvous) wins in
-        // the table.
-        entry.sector_toward = grid_.opposite(t);
-        entry.snr_db = snr_db;
-        entry.last_seen_frame = frame;
-        tables[rx].observe(entry);
-      };
-
-      if (params_.ideal_capture) {
-        // Idealization: every transmitter whose interference-free SNR clears
-        // the control threshold decodes (perfect multi-packet reception).
-        for (const auto& [p, w] : arrivals) {
-          if (channel.mcs().control_decodable(units::linear_to_db(w / noise_w))) {
-            record(*p, w);
-          } else if (stats != nullptr) {
-            ++stats->decode_failures;
-          }
-        }
-      } else {
-        // Capture model: only the strongest arrival decodes, and only if its
-        // SINR against the other concurrent sweepers clears the threshold.
-        const double sinr_db =
-            units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
-        if (channel.mcs().control_decodable(sinr_db)) {
-          record(*best, best_w);
-        } else if (stats != nullptr) {
-          ++stats->decode_failures;
-        }
-      }
-    }
+    fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.ssw_losses,
+                              total.ssw_corruptions);
+    fault->note_sync_misses(total.sync_misses);
   }
 }
 

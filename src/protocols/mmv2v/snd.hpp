@@ -15,12 +15,14 @@
 // the control-PHY threshold (capture model). Set `ideal_capture` to decode
 // whenever the interference-free SNR clears the threshold instead.
 //
-// Execution: the fault-free sweep runs receiver-outer so each receiver's
-// per-pair channel gain is computed once instead of once per sector, and
-// receivers are chunked across the frame pipeline's worker lanes (each
-// receiver exclusively owns its table; counters merge per chunk). Runs with
-// a FaultPlan keep the original sector-outer loop, whose global visit order
-// the fault loss chains depend on.
+// Execution: the sweep runs receiver-outer so each receiver's per-pair
+// channel gain is computed once instead of once per sector, and receivers
+// are chunked across the frame pipeline's worker lanes (each receiver
+// exclusively owns its table; counters merge per chunk). Fault runs ride
+// the same pooled sweep: the loss process is counter-based on the
+// (sender, transmission slot) pair, so every receiver of one SSW
+// transmission sees the same fate and no shared chain state serializes the
+// lanes.
 #pragma once
 
 #include <cstdint>
@@ -138,17 +140,20 @@ class SyncNeighborDiscovery {
   void run_round_impl(const core::World& world, std::uint64_t frame,
                       const std::vector<bool>& tx_first,
                       std::vector<net::NeighborTable>& tables, SndRoundStats* stats,
-                      fault::FaultPlan* fault, sim::WorkerPool* pool) const;
-  /// Receiver-outer fast sweep (fault == nullptr only).
+                      fault::FaultPlan* fault, sim::WorkerPool* pool, int round) const;
+  /// Per-chunk fault tallies, merged into the FaultPlan's frame stats after
+  /// the parallel section (the plan's counters are not lane-safe).
+  struct FaultPartial {
+    std::uint64_t ssw_losses = 0;
+    std::uint64_t ssw_corruptions = 0;
+    std::uint64_t sync_misses = 0;
+  };
+  /// Receiver-outer pooled sweep; `sweep` indexes this sweep within the
+  /// frame (0..2*rounds-1) and keys the per-transmission SSW loss slots.
   void run_sweep(const core::World& world, std::uint64_t frame,
                  const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables,
-                 SndRoundStats* stats, sim::WorkerPool* pool) const;
-  /// Original sector-outer sweep, kept verbatim for fault runs: the loss
-  /// chains in a FaultPlan advance in global (t, rx, pair) visit order.
-  void run_sweep_fault(const core::World& world, std::uint64_t frame,
-                       const std::vector<bool>& is_tx,
-                       std::vector<net::NeighborTable>& tables, SndRoundStats* stats,
-                       fault::FaultPlan* fault) const;
+                 SndRoundStats* stats, fault::FaultPlan* fault, int sweep,
+                 sim::WorkerPool* pool) const;
 
   SndParams params_;
   phy::BeamPattern alpha_;
@@ -160,6 +165,7 @@ class SyncNeighborDiscovery {
   mutable std::vector<bool> swapped_;
   mutable std::vector<double> clock_;
   mutable std::vector<SndRoundStats> partials_;
+  mutable std::vector<FaultPartial> fault_partials_;
 };
 
 }  // namespace mmv2v::protocols

@@ -60,7 +60,8 @@ double RopProtocol::udt_start_offset_s() const {
   return schedule_->udt_start_s();
 }
 
-void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* stats) {
+void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* stats,
+                                     int sweep) {
   PROF_SCOPE("snd.round");
   const core::World& world = ctx.world;
   const std::uint64_t frame = ctx.frame;
@@ -78,90 +79,26 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
     sector_[i] = static_cast<int>(rng_.uniform_int(static_cast<std::uint64_t>(grid_.count())));
   }
 
-  if (fault_ != nullptr) {
-    // Fault runs stay serial: ctrl_lost advances per-sender loss chains in
-    // global receiver order, which a chunked sweep would permute.
-    for (net::NodeId rx = 0; rx < n; ++rx) {
-      if (is_tx_[rx] != 0) continue;
-      if (fault_->control_down(rx)) continue;
-      const double sense_center = grid_.center(sector_[rx]);
-
-      double total_w = 0.0;
-      double best_w = 0.0;
-      const core::PairGeom* best = nullptr;
-      for (const core::PairGeom& p : world.nearby(rx)) {
-        if (is_tx_[p.other] == 0) continue;
-        if (fault_->control_down(p.other)) continue;
-        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
-        const double g_t = alpha_.gain(
-            geom::angular_distance(back_bearing, grid_.center(sector_[p.other])));
-        const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
-        const double g_c = core::pair_channel_gain(channel.params(), p);
-        const double w = p_w * g_t * g_c * g_r;
-        total_w += w;
-        if (w > best_w) {
-          best_w = w;
-          best = &p;
-        }
-      }
-      if (best == nullptr) continue;
-
-      const double snr_db = units::linear_to_db(best_w / noise_w);
-      const double sinr_db = units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
-      if (!channel.mcs().control_decodable(sinr_db)) {
-        if (stats != nullptr) ++stats->decode_failures;
-        continue;
-      }
-      // Fault layer: the winning control frame itself can be erased on the air.
-      if (fault_->ctrl_lost(best->other, fault::CtrlKind::kSsw)) {
-        if (stats != nullptr) ++stats->decode_failures;
-        continue;
-      }
-      // Range admission compares (possibly GPS-noisy) reported positions.
-      double admission_distance_m = best->distance_m;
-      if (fault_->params().gps_sigma_m > 0.0) {
-        const geom::Vec2 tx_pos =
-            world.position(best->other) + fault_->gps_offset(best->other);
-        const geom::Vec2 rx_pos = world.position(rx) + fault_->gps_offset(rx);
-        admission_distance_m = geom::distance(tx_pos, rx_pos);
-      }
-      if (!std::isnan(max_range_m_) && admission_distance_m > max_range_m_) {
-        if (stats != nullptr) ++stats->admission_rejects;
-        continue;
-      }
-      if (stats != nullptr) ++stats->decodes;
-
-      // One-way discovery (paper Section IV-A: "the corresponding Tx vehicle
-      // is identified by the Rx vehicle"): only the receiver learns the link.
-      // The pair can only match once both sides have independently discovered
-      // each other — ROP's structural weakness vs SND's role swapping.
-      net::NeighborEntry entry;
-      entry.id = best->other;
-      entry.mac = world.mac(best->other);
-      // The receiver attributes the arrival to its (random) sensing sector; a
-      // side-lobe decode therefore stores a wrong sector and later beam
-      // refinement searches the wrong direction — ROP's info is only as good
-      // as its lottery.
-      entry.sector_toward = sector_[rx];
-      entry.snr_db = snr_db;
-      entry.last_seen_frame = frame;
-      tables_[rx].observe(entry);
-    }
-    return;
-  }
-
-  // Fault-free sweep: each receiver reads only the world snapshot and the
-  // role/sector draws and writes only its own table, so receivers process
-  // independently across lanes; counters accumulate per chunk and merge in
-  // chunk order below.
+  // Each receiver reads only the world snapshot and the role/sector draws
+  // and writes only its own table, so receivers process independently across
+  // lanes; counters accumulate per chunk and merge in chunk order below.
+  // Fault runs ride the same sweep: the counter-based loss process keys the
+  // beacon fate on (sender, sweep), so every receiver of one transmission
+  // sees the same result regardless of lane order.
+  fault::FaultPlan* fault = fault_.get();
+  const bool fault_gps = fault != nullptr && fault->params().gps_sigma_m > 0.0;
+  const auto sweeps_per_frame =
+      static_cast<std::uint64_t>(2 * params_.discovery.rounds);
   sim::WorkerPool* pool = ctx.resources != nullptr ? &ctx.resources->pool() : nullptr;
   const std::size_t chunks = sim::WorkerPool::chunk_count(n, kRxGrain);
   partials_.assign(chunks, SndRoundStats{});
+  if (fault != nullptr) fault_partials_.assign(chunks, {0, 0});
 
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     SndRoundStats& part = partials_[chunk];
     for (net::NodeId rx = begin; rx < end; ++rx) {
       if (is_tx_[rx] != 0) continue;
+      if (fault != nullptr && fault->control_down(rx)) continue;
       const double sense_center = grid_.center(sector_[rx]);
 
       double total_w = 0.0;
@@ -169,6 +106,7 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
       const core::PairGeom* best = nullptr;
       for (const core::PairGeom& p : world.nearby(rx)) {
         if (is_tx_[p.other] == 0) continue;
+        if (fault != nullptr && fault->control_down(p.other)) continue;
         const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
         const double g_t = alpha_.gain(
             geom::angular_distance(back_bearing, grid_.center(sector_[p.other])));
@@ -189,15 +127,46 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
         ++part.decode_failures;
         continue;
       }
-      if (!std::isnan(max_range_m_) && best->distance_m > max_range_m_) {
+      // Fault layer: the winning control frame itself can be erased on the air.
+      if (fault != nullptr) {
+        const fault::CtrlFate fate =
+            fault->ctrl_fate(best->other, fault::CtrlKind::kSsw,
+                             static_cast<std::uint64_t>(sweep), sweeps_per_frame);
+        if (fate != fault::CtrlFate::kDelivered) {
+          if (fate == fault::CtrlFate::kLost) {
+            ++fault_partials_[chunk].first;
+          } else {
+            ++fault_partials_[chunk].second;
+          }
+          ++part.decode_failures;
+          continue;
+        }
+      }
+      // Range admission compares (possibly GPS-noisy) reported positions.
+      double admission_distance_m = best->distance_m;
+      if (fault_gps) {
+        const geom::Vec2 tx_pos =
+            world.position(best->other) + fault->gps_offset(best->other);
+        const geom::Vec2 rx_pos = world.position(rx) + fault->gps_offset(rx);
+        admission_distance_m = geom::distance(tx_pos, rx_pos);
+      }
+      if (!std::isnan(max_range_m_) && admission_distance_m > max_range_m_) {
         ++part.admission_rejects;
         continue;
       }
       ++part.decodes;
 
+      // One-way discovery (paper Section IV-A: "the corresponding Tx vehicle
+      // is identified by the Rx vehicle"): only the receiver learns the link.
+      // The pair can only match once both sides have independently discovered
+      // each other — ROP's structural weakness vs SND's role swapping.
       net::NeighborEntry entry;
       entry.id = best->other;
       entry.mac = world.mac(best->other);
+      // The receiver attributes the arrival to its (random) sensing sector; a
+      // side-lobe decode therefore stores a wrong sector and later beam
+      // refinement searches the wrong direction — ROP's info is only as good
+      // as its lottery.
       entry.sector_toward = sector_[rx];
       entry.snr_db = snr_db;
       entry.last_seen_frame = frame;
@@ -219,6 +188,15 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
       stats->decode_failures += part.decode_failures;
       stats->admission_rejects += part.admission_rejects;
     }
+  }
+  if (fault != nullptr) {
+    std::uint64_t losses = 0;
+    std::uint64_t corruptions = 0;
+    for (const auto& [l, c] : fault_partials_) {
+      losses += l;
+      corruptions += c;
+    }
+    fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, losses, corruptions);
   }
 }
 
@@ -265,11 +243,15 @@ void RopProtocol::random_matching(core::FrameContext& ctx) {
     for (net::NodeId i = 0; i < n; ++i) {
       const net::NodeId j = choice_[i];
       if (j < n && j > i && choice_[j] == i) {
-        // The mutual-choice exchange needs both announcements delivered.
-        // Evaluate both losses so each sender's chain advances exactly once.
+        // The mutual-choice exchange needs both announcements delivered; the
+        // loss process steps once per matching round per sender.
         if (fault_ != nullptr) {
-          const bool lost_i = fault_->ctrl_lost(i, fault::CtrlKind::kNegotiation);
-          const bool lost_j = fault_->ctrl_lost(j, fault::CtrlKind::kNegotiation);
+          const auto rounds = static_cast<std::uint64_t>(params_.matching_rounds);
+          const auto slot = static_cast<std::uint64_t>(round);
+          const bool lost_i =
+              fault_->ctrl_lost(i, fault::CtrlKind::kNegotiation, slot, rounds);
+          const bool lost_j =
+              fault_->ctrl_lost(j, fault::CtrlKind::kNegotiation, slot, rounds);
           if (lost_i || lost_j) continue;
         }
         partner_[i] = j;
@@ -322,7 +304,7 @@ void RopProtocol::phase_snd(core::FrameContext& ctx) {
   {
     PROF_SCOPE("snd.run");
     for (int sweep = 0; sweep < 2 * params_.discovery.rounds; ++sweep) {
-      run_discovery_step(ctx, disc_sink);
+      run_discovery_step(ctx, disc_sink, sweep);
     }
   }
   if (disc_sink != nullptr) {

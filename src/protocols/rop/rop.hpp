@@ -64,7 +64,9 @@ class RopProtocol final : public StagedOhmProtocol {
   void phase_snd(core::FrameContext& ctx);
   void phase_dcm(core::FrameContext& ctx);
   void phase_udt(core::FrameContext& ctx);
-  void run_discovery_step(core::FrameContext& ctx, SndRoundStats* stats);
+  /// One discovery sweep; `sweep` indexes it within the frame
+  /// (0..2*rounds-1) and keys the per-beacon fault-loss slots.
+  void run_discovery_step(core::FrameContext& ctx, SndRoundStats* stats, int sweep);
   void random_matching(core::FrameContext& ctx);
 
   RopParams params_;
@@ -89,6 +91,8 @@ class RopProtocol final : public StagedOhmProtocol {
   std::vector<unsigned char> is_tx_;
   std::vector<int> sector_;
   std::vector<SndRoundStats> partials_;
+  /// Per-chunk fault tallies (losses, corruptions), merged after the sweep.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fault_partials_;
   std::vector<net::NodeId> choice_;
   double max_range_m_ = std::numeric_limits<double>::quiet_NaN();
   bool initialized_ = false;

@@ -1,0 +1,89 @@
+#include "sim/lane_budgeter.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace mmv2v::sim {
+
+namespace {
+
+int hardware_lanes() {
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+LaneBudgeter::LaneBudgeter() : budget_(hardware_lanes()) {}
+
+LaneBudgeter& LaneBudgeter::instance() {
+  static LaneBudgeter budgeter;
+  return budgeter;
+}
+
+void LaneBudgeter::set_budget(int lanes) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (lanes <= 0) {
+    budget_ = hardware_lanes();
+    explicit_budget_ = false;
+  } else {
+    budget_ = lanes;
+    explicit_budget_ = true;
+  }
+}
+
+int LaneBudgeter::budget() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return budget_;
+}
+
+int LaneBudgeter::extra_in_use() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return extra_in_use_;
+}
+
+LaneBudgeter::Lease LaneBudgeter::acquire(int want) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  // The caller is itself a lane, so the remainder available for extra
+  // workers is budget - 1 minus what other leases already hold.
+  const int available = std::max(0, budget_ - 1 - extra_in_use_);
+  int granted = 0;
+  if (want <= 0) {
+    granted = 1 + available;
+  } else if (explicit_budget_) {
+    granted = 1 + std::min(want - 1, available);
+  } else {
+    granted = want;  // explicit ask under the hardware default: honored
+  }
+  extra_in_use_ += granted - 1;
+  return Lease{this, granted};
+}
+
+void LaneBudgeter::release_extra(int extra) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  extra_in_use_ = std::max(0, extra_in_use_ - extra);
+}
+
+LaneBudgeter::Lease::Lease(Lease&& other) noexcept
+    : owner_(other.owner_), lanes_(other.lanes_) {
+  other.owner_ = nullptr;
+  other.lanes_ = 0;
+}
+
+LaneBudgeter::Lease& LaneBudgeter::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    owner_ = other.owner_;
+    lanes_ = other.lanes_;
+    other.owner_ = nullptr;
+    other.lanes_ = 0;
+  }
+  return *this;
+}
+
+void LaneBudgeter::Lease::release() {
+  if (owner_ != nullptr && lanes_ > 1) owner_->release_extra(lanes_ - 1);
+  owner_ = nullptr;
+  lanes_ = 0;
+}
+
+}  // namespace mmv2v::sim

@@ -1,0 +1,83 @@
+// Process-wide lane budget for every parallel subsystem (DESIGN.md
+// Section 12). Before the budgeter, thread counts multiplied: a density
+// sweep on `ExperimentConfig::threads` workers ran one simulation per
+// worker, and each simulation's FrameResources spawned `engine.threads`
+// intra-frame lanes — oversubscribing the machine by the product. Now every
+// fan-out point (sweep cells, world shards, frame phases) leases its lanes
+// from one LaneBudgeter, which apportions a single process-wide budget.
+//
+// Grant policy:
+//   * A flexible request (`want <= 0`, the "use the hardware" default)
+//     receives whatever is left of the budget, never less than 1. Nested
+//     flexible requests therefore degrade gracefully: a sweep that leased
+//     the whole budget leaves 1 lane (serial) for each cell's frame
+//     pipeline instead of multiplying.
+//   * An explicit request (`want >= 1`) is honored in full while the budget
+//     is the hardware default — an explicit `engine.threads = 8` is the
+//     user's deliberate choice, and results are bit-identical at any lane
+//     count — but is clamped to the remaining budget once a budget has been
+//     set explicitly (`engine.lane_budget` / set_budget), which gives the
+//     knob authority over every subsystem at once.
+//
+// Lanes only control HOW work is executed, never WHAT is computed: the
+// WorkerPool chunk grid is lane-count independent, so any grant produces
+// bit-identical results (the pipeline and world test suites pin this).
+#pragma once
+
+#include <mutex>
+
+namespace mmv2v::sim {
+
+class LaneBudgeter {
+ public:
+  /// The process-wide instance every subsystem leases from.
+  static LaneBudgeter& instance();
+
+  /// Total concurrent lanes the process may use. `lanes <= 0` restores the
+  /// hardware default (std::thread::hardware_concurrency, at least 1) and
+  /// clears the explicit-budget flag.
+  void set_budget(int lanes);
+  [[nodiscard]] int budget() const;
+  /// Lanes currently leased beyond the callers themselves (a lease of g
+  /// lanes accounts for g - 1 extra threads: the caller is the first lane).
+  [[nodiscard]] int extra_in_use() const;
+
+  /// RAII lane lease. Movable; releases its extra lanes on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    /// Granted lane count, including the calling thread (>= 1; 0 only for a
+    /// default-constructed empty lease).
+    [[nodiscard]] int lanes() const noexcept { return lanes_; }
+    void release();
+
+   private:
+    friend class LaneBudgeter;
+    Lease(LaneBudgeter* owner, int lanes) : owner_(owner), lanes_(lanes) {}
+    LaneBudgeter* owner_ = nullptr;
+    int lanes_ = 0;
+  };
+
+  /// Lease lanes per the grant policy above. Thread-safe; the returned lease
+  /// releases its share when destroyed.
+  [[nodiscard]] Lease acquire(int want);
+
+  /// A fresh budgeter for tests; production code uses instance().
+  LaneBudgeter();
+
+ private:
+  void release_extra(int extra);
+
+  mutable std::mutex mutex_;
+  int budget_ = 1;
+  int extra_in_use_ = 0;
+  bool explicit_budget_ = false;
+};
+
+}  // namespace mmv2v::sim

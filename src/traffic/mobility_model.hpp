@@ -1,0 +1,66 @@
+// Abstract mobility interface consumed by core::World: anything that can
+// advance vehicles in time and answer the radio-relevant queries (positions,
+// body rectangles for blockage, median crossings). Two implementations:
+//
+//   TrafficSimulator         — the legacy single-ring IDM/MOBIL simulator
+//   NetworkTrafficSimulator  — the same car-following model generalized to a
+//                              RoadNetwork graph (city grids, signals, turns)
+//
+// The interface is deliberately narrow: World caches all pairwise geometry
+// itself, so the mobility model only has to report per-vehicle state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geom/los.hpp"
+#include "geom/vec2.hpp"
+#include "traffic/vehicle_state.hpp"
+
+namespace mmv2v::traffic {
+
+/// Simulation fidelity assigned per vehicle by the world's tiering engine
+/// (core::FidelityTiering). The mobility model may use the tier to cheapen
+/// far-away vehicles; the world uses it to skip pair geometry for kOnRails.
+enum class FidelityTier : std::uint8_t {
+  /// Full IDM/MOBIL car following plus full radio geometry.
+  kFull = 0,
+  /// Car following without lane changes; full radio geometry.
+  kKinematic = 1,
+  /// Constant-ish speed along the rails, signals ignored; contributes only a
+  /// statistical channel-occupancy estimate, never cached pair geometry.
+  kOnRails = 2,
+};
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Advance all vehicles by dt seconds (typically the 5 ms mobility tick).
+  virtual void step(double dt) = 0;
+
+  /// Install the per-vehicle fidelity tiers (indexed by VehicleId; owned by
+  /// the caller, which keeps the vector alive and updates it in place).
+  /// Passing nullptr — and the default implementation — means every vehicle
+  /// runs at full fidelity.
+  virtual void set_tiers(const std::vector<FidelityTier>* /*tiers*/) {}
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// World position of vehicle `id`'s antenna (roof center).
+  [[nodiscard]] virtual geom::Vec2 position_of(VehicleId id) const = 0;
+
+  /// Current longitudinal speed [m/s].
+  [[nodiscard]] virtual double speed_of(VehicleId id) const = 0;
+
+  /// Blockage evaluator snapshot over the current vehicle bodies.
+  [[nodiscard]] virtual geom::LosEvaluator make_los_evaluator() const = 0;
+
+  /// True when the straight path between a and b crosses a physical median
+  /// (guardrail/divider); the world snapshot charges such links extra
+  /// blockers (ScenarioConfig::cross_median_blockers).
+  [[nodiscard]] virtual bool cross_median(VehicleId a, VehicleId b) const = 0;
+};
+
+}  // namespace mmv2v::traffic

@@ -1,0 +1,387 @@
+#include "traffic/network_traffic_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+#include "common/units.hpp"
+
+namespace mmv2v::traffic {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Map a 64-bit hash to a uniform double in [0, 1).
+double hashed_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+NetworkTrafficSimulator::NetworkTrafficSimulator(RoadNetwork network, TrafficConfig config,
+                                                 std::uint64_t seed)
+    : net_(std::move(network)),
+      config_(std::move(config)),
+      rng_(seed),
+      turn_key_(derive_seed(seed, 0x7475726eULL, 0)),      // 'turn'
+      resample_key_(derive_seed(seed, 0x72737064ULL, 1)) {  // 'rspd'
+  if (config_.density_vpl < 0.0) {
+    throw std::invalid_argument{"TrafficConfig: negative density"};
+  }
+  spawn_all();
+  rebuild_lane_index();
+}
+
+double NetworkTrafficSimulator::sample_desired_speed(SegmentId seg, int lane) {
+  const LaneSpeedBand& band =
+      net_.segment(seg).speed_bands.at(static_cast<std::size_t>(lane));
+  return units::kmh_to_mps(rng_.uniform(band.min_kmh, band.max_kmh));
+}
+
+void NetworkTrafficSimulator::spawn_all() {
+  // Segment id order generalizes the legacy (direction, lane) order: the
+  // ring network spawns forward lanes 0..L-1 then backward lanes 0..L-1 with
+  // the identical rng_ draw sequence.
+  for (SegmentId seg = 0; seg < net_.segment_count(); ++seg) {
+    const auto per_lane = static_cast<int>(
+        std::lround(config_.density_vpl * net_.segment(seg).length() / 1000.0));
+    for (int lane = 0; lane < net_.segment(seg).lanes; ++lane) {
+      spawn_lane(seg, lane, per_lane);
+    }
+  }
+}
+
+void NetworkTrafficSimulator::spawn_lane(SegmentId seg, int lane, int count) {
+  if (count <= 0) return;
+  const double length = net_.segment(seg).length();
+  const double spacing = length / static_cast<double>(count);
+  // Jitter must keep initial ordering so nobody spawns inside a neighbor.
+  const double max_jitter = std::max(0.0, (spacing - config_.dims.length_m - 1.0) / 2.0);
+  for (int k = 0; k < count; ++k) {
+    NetVehicleState v;
+    v.id = vehicles_.size();
+    v.segment = seg;
+    v.lane = lane;
+    v.target_lane = lane;
+    v.s = net_.wrap(seg, static_cast<double>(k) * spacing +
+                             rng_.uniform(-max_jitter, max_jitter));
+    v.lateral = net_.lane_offset(seg, lane);
+    v.desired_speed_mps = sample_desired_speed(seg, lane);
+    v.speed_mps = v.desired_speed_mps;
+    v.dims = config_.dims;
+    vehicles_.push_back(v);
+  }
+}
+
+void NetworkTrafficSimulator::rebuild_lane_index() {
+  lane_index_.assign(net_.total_lane_slots(), {});
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    const NetVehicleState& v = vehicles_[i];
+    lane_index_[net_.lane_slot(v.segment, v.lane)].push_back(i);
+  }
+  for (auto& lane : lane_index_) {
+    std::sort(lane.begin(), lane.end(),
+              [this](std::size_t a, std::size_t b) { return vehicles_[a].s < vehicles_[b].s; });
+  }
+}
+
+SegmentId NetworkTrafficSimulator::next_segment_of(const NetVehicleState& v) const {
+  const RoadSegment& seg = net_.segment(v.segment);
+  if (seg.loop) return v.segment;
+  const std::span<const SegmentId> outs = net_.successors(v.segment);
+  if (outs.empty()) return v.segment;
+  const SegmentId rev = net_.reverse_of(v.segment);
+  std::size_t options = 0;
+  for (const SegmentId sid : outs) options += (sid != rev) ? 1 : 0;
+  const std::uint64_t h = derive_seed(turn_key_, v.id, v.crossings);
+  if (options == 0) return outs[h % outs.size()];  // dead end: U-turn
+  std::uint64_t pick = h % options;
+  for (const SegmentId sid : outs) {
+    if (sid == rev) continue;
+    if (pick == 0) return sid;
+    --pick;
+  }
+  return outs.front();
+}
+
+NetworkTrafficSimulator::Neighbors NetworkTrafficSimulator::find_neighbors(
+    const NetVehicleState& v, int lane) const {
+  Neighbors out;
+  const RoadSegment& seg = net_.segment(v.segment);
+  if (lane < 0 || lane >= seg.lanes) return out;
+  const auto& slot = lane_index_[net_.lane_slot(v.segment, lane)];
+
+  double best_ahead = kInf;
+  double best_behind = kInf;
+  for (std::size_t idx : slot) {
+    if (vehicles_[idx].id == v.id) continue;
+    const double ahead = net_.forward_gap(v.segment, v.s, vehicles_[idx].s);
+    if (ahead > 0.0 && ahead < best_ahead) {
+      best_ahead = ahead;
+      out.leader = idx;
+    }
+    const double behind = net_.forward_gap(v.segment, vehicles_[idx].s, v.s);
+    if (behind > 0.0 && behind < best_behind) {
+      best_behind = behind;
+      out.follower = idx;
+    }
+  }
+
+  // Open segment with a clear road ahead: look one hop into the chosen
+  // successor so platoons do not pile into a junction blindly. (Loop
+  // segments never take this branch, keeping the ring path bit-identical.)
+  if (!seg.loop && out.leader == kNone) {
+    const SegmentId next = next_segment_of(v);
+    if (next != v.segment) {
+      const int next_lane = std::min(lane, net_.segment(next).lanes - 1);
+      double best_s = kInf;
+      for (std::size_t idx : lane_index_[net_.lane_slot(next, next_lane)]) {
+        if (vehicles_[idx].s < best_s) {
+          best_s = vehicles_[idx].s;
+          out.leader = idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double NetworkTrafficSimulator::center_gap(const NetVehicleState& back,
+                                           const NetVehicleState& front) const {
+  if (back.segment == front.segment) {
+    return net_.forward_gap(back.segment, back.s, front.s);
+  }
+  // Front vehicle sits on the successor segment: remaining distance on our
+  // segment plus its progress into the next one.
+  return (net_.segment(back.segment).length() - back.s) + front.s;
+}
+
+double NetworkTrafficSimulator::bumper_gap(const NetVehicleState& back,
+                                           const NetVehicleState& front) const {
+  return center_gap(back, front) - (back.dims.length_m + front.dims.length_m) / 2.0;
+}
+
+double NetworkTrafficSimulator::effective_desired_speed(const NetVehicleState& v) const {
+  double v0 = v.desired_speed_mps;
+  if (!config_.speed_zones.empty()) {
+    const double x = net_.position(v.segment, v.s, v.lateral).x;
+    for (const SpeedZone& zone : config_.speed_zones) {
+      if (zone.contains(x)) v0 = std::min(v0, units::kmh_to_mps(zone.limit_kmh));
+    }
+  }
+  return v0;
+}
+
+double NetworkTrafficSimulator::accel_with_leader(const NetVehicleState& v,
+                                                  std::size_t leader_idx) const {
+  const double v0 = effective_desired_speed(v);
+  if (leader_idx == kNone) {
+    return idm_acceleration(config_.idm, v.speed_mps, v0, kInf, 0.0);
+  }
+  const NetVehicleState& leader = vehicles_[leader_idx];
+  return idm_acceleration(config_.idm, v.speed_mps, v0, bumper_gap(v, leader),
+                          v.speed_mps - leader.speed_mps);
+}
+
+double NetworkTrafficSimulator::accel_toward_signal(const NetVehicleState& v,
+                                                    double accel) const {
+  const RoadSegment& seg = net_.segment(v.segment);
+  if (seg.loop || net_.entry_open(v.segment, time_s_)) return accel;
+  // Red phase: brake for a virtual stopped leader at the stop line.
+  const double gap = std::max(0.01, (seg.length() - v.s) - v.dims.length_m / 2.0);
+  const double red = idm_acceleration(config_.idm, v.speed_mps, effective_desired_speed(v),
+                                      gap, v.speed_mps);
+  return std::min(accel, red);
+}
+
+void NetworkTrafficSimulator::maybe_change_lane(NetVehicleState& v) {
+  const Neighbors cur = find_neighbors(v, v.lane);
+  const double self_before = accel_with_leader(v, cur.leader);
+  const int lanes = net_.segment(v.segment).lanes;
+
+  for (const int delta : {-1, +1}) {
+    const int target = v.lane + delta;
+    if (target < 0 || target >= lanes) continue;
+
+    const Neighbors tgt = find_neighbors(v, target);
+    MobilAccelerations a;
+    a.self_before = self_before;
+    a.self_after = accel_with_leader(v, tgt.leader);
+
+    if (tgt.follower != kNone) {
+      const NetVehicleState& nf = vehicles_[tgt.follower];
+      a.new_follower_before = accel_with_leader(nf, tgt.leader);
+      a.new_follower_after =
+          idm_acceleration(config_.idm, nf.speed_mps, effective_desired_speed(nf),
+                           bumper_gap(nf, v), nf.speed_mps - v.speed_mps);
+      // Hard safety: refuse changes that would start inside the follower.
+      if (bumper_gap(nf, v) < config_.idm.min_gap_m) continue;
+    }
+    if (tgt.leader != kNone && bumper_gap(v, vehicles_[tgt.leader]) < config_.idm.min_gap_m) {
+      continue;
+    }
+    if (cur.follower != kNone) {
+      const NetVehicleState& of = vehicles_[cur.follower];
+      a.old_follower_before =
+          idm_acceleration(config_.idm, of.speed_mps, effective_desired_speed(of),
+                           bumper_gap(of, v), of.speed_mps - v.speed_mps);
+      a.old_follower_after = accel_with_leader(of, cur.leader);
+    }
+
+    if (mobil_should_change(config_.mobil, a)) {
+      v.changing_lane = true;
+      v.target_lane = target;
+      v.lane_change_progress = 0.0;
+      v.lane = target;  // occupy the target lane immediately for gap logic
+      v.desired_speed_mps = sample_desired_speed(v.segment, target);
+      v.lane_change_cooldown_s = config_.mobil.cooldown_s;
+      return;
+    }
+  }
+}
+
+void NetworkTrafficSimulator::apply_lane_change_kinematics(NetVehicleState& v, double dt) {
+  const double target = net_.lane_offset(v.segment, v.lane);
+  if (!v.changing_lane) {
+    v.lateral = target;
+    return;
+  }
+  v.lane_change_progress += dt / config_.mobil.duration_s;
+  if (v.lane_change_progress >= 1.0) {
+    v.changing_lane = false;
+    v.lane_change_progress = 0.0;
+    v.lateral = target;
+    ++completed_lane_changes_;
+    return;
+  }
+  // Smoothstep lateral trajectory between the old and new lane centers.
+  const double t = v.lane_change_progress;
+  const double smooth = t * t * (3.0 - 2.0 * t);
+  const double source = v.lateral;
+  // Move a fraction of the remaining distance so the path is C1-ish even if
+  // the change was pre-empted mid-way.
+  v.lateral =
+      source + (target - source) * smooth * dt / (config_.mobil.duration_s * (1.0 - t) + dt);
+  // Snap when close.
+  if (std::abs(v.lateral - target) < 1e-3) v.lateral = target;
+}
+
+void NetworkTrafficSimulator::cross_junctions(NetVehicleState& v, double new_s,
+                                              bool obey_signals) {
+  while (true) {
+    const RoadSegment& seg = net_.segment(v.segment);
+    const double length = seg.length();
+    if (new_s < length) {
+      v.s = new_s;
+      return;
+    }
+    if (obey_signals && !net_.entry_open(v.segment, time_s_)) {
+      // IDM braking normally stops short of the line; this clamp guarantees
+      // a coarse dt cannot jump a red light.
+      v.s = std::max(0.0, std::min(new_s, length - v.dims.length_m / 2.0));
+      v.speed_mps = 0.0;
+      return;
+    }
+    const SegmentId next = next_segment_of(v);
+    new_s -= length;
+    if (next == v.segment) continue;  // isolated segment: wrap around
+    v.segment = next;
+    ++v.crossings;
+    const RoadSegment& ns = net_.segment(next);
+    if (v.lane >= ns.lanes) v.lane = ns.lanes - 1;
+    v.target_lane = v.lane;
+    v.changing_lane = false;
+    v.lane_change_progress = 0.0;
+    v.lateral = net_.lane_offset(next, v.lane);
+    // Counter-based desired-speed resample from the new segment's band: a
+    // turn never consumes the sequential rng_ stream.
+    const LaneSpeedBand& band = ns.speed_bands[static_cast<std::size_t>(v.lane)];
+    const double u = hashed_unit(derive_seed(resample_key_, v.id, v.crossings));
+    v.desired_speed_mps =
+        units::kmh_to_mps(band.min_kmh + u * (band.max_kmh - band.min_kmh));
+  }
+}
+
+void NetworkTrafficSimulator::step(double dt) {
+  if (dt <= 0.0) throw std::invalid_argument{"step dt must be positive"};
+  time_s_ += dt;
+  rebuild_lane_index();
+
+  // Phase 1: longitudinal accelerations from the current snapshot. OnRails
+  // vehicles skip IDM/neighbor search entirely — they relax toward their
+  // desired speed in phase 3.
+  std::vector<double> accel(vehicles_.size(), 0.0);
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    if (tier_of(i) == FidelityTier::kOnRails) continue;
+    const NetVehicleState& v = vehicles_[i];
+    accel[i] = accel_toward_signal(v, accel_with_leader(v, find_neighbors(v, v.lane).leader));
+  }
+
+  // Phase 2: lane-change decisions (Poisson-thinned so drivers don't all
+  // evaluate on the same tick). Only kFull vehicles run MOBIL; skipping
+  // before the bernoulli draw means an all-kFull tiering consumes the
+  // identical rng_ stream as no tiering at all.
+  if (config_.enable_lane_changes) {
+    const double check_p = std::min(1.0, config_.lane_change_check_rate_hz * dt);
+    for (NetVehicleState& v : vehicles_) {
+      if (tier_of(v.id) != FidelityTier::kFull) continue;
+      if (net_.segment(v.segment).lanes <= 1) continue;
+      if (v.changing_lane || v.lane_change_cooldown_s > 0.0) continue;
+      if (!rng_.bernoulli(check_p)) continue;
+      maybe_change_lane(v);
+    }
+  }
+
+  // Phase 3: integrate.
+  for (std::size_t i = 0; i < vehicles_.size(); ++i) {
+    NetVehicleState& v = vehicles_[i];
+    const bool on_rails = tier_of(i) == FidelityTier::kOnRails;
+    if (on_rails) {
+      // Cheap rail kinematics: first-order relaxation toward the desired
+      // speed (τ = 5 s). Keeps demoted vehicles moving — even one demoted
+      // while stopped at a red light — without any neighbor interaction.
+      constexpr double kRelaxTau = 5.0;
+      v.accel_mps2 = 0.0;
+      v.speed_mps += (v.desired_speed_mps - v.speed_mps) * std::min(1.0, dt / kRelaxTau);
+    } else {
+      v.accel_mps2 = accel[i];
+      v.speed_mps = std::max(0.0, v.speed_mps + accel[i] * dt);
+    }
+    if (net_.segment(v.segment).loop) {
+      v.s = net_.wrap(v.segment, v.s + v.speed_mps * dt);
+    } else {
+      // OnRails vehicles ignore signals: a red-light clamp would freeze them
+      // at zero speed with no IDM to pull away again.
+      cross_junctions(v, v.s + v.speed_mps * dt, /*obey_signals=*/!on_rails);
+    }
+    v.lane_change_cooldown_s = std::max(0.0, v.lane_change_cooldown_s - dt);
+    apply_lane_change_kinematics(v, dt);
+  }
+}
+
+geom::Vec2 NetworkTrafficSimulator::position_of(VehicleId id) const {
+  const NetVehicleState& v = vehicles_.at(id);
+  return net_.position(v.segment, v.s, v.lateral);
+}
+
+geom::LosEvaluator NetworkTrafficSimulator::make_los_evaluator() const {
+  std::vector<geom::Blocker> blockers;
+  blockers.reserve(vehicles_.size());
+  for (const NetVehicleState& v : vehicles_) {
+    const geom::Vec2 pos = net_.position(v.segment, v.s, v.lateral);
+    const geom::Vec2 dir = net_.heading(v.segment, v.s);
+    blockers.push_back(
+        geom::Blocker{geom::OrientedRect{pos, dir, v.dims.length_m / 2.0, v.dims.width_m / 2.0},
+                      v.id});
+  }
+  return geom::LosEvaluator{std::move(blockers)};
+}
+
+bool NetworkTrafficSimulator::cross_median(VehicleId a, VehicleId b) const {
+  const int ga = net_.segment(vehicles_.at(a).segment).median_group;
+  const int gb = net_.segment(vehicles_.at(b).segment).median_group;
+  return ga >= 0 && gb >= 0 && ga != gb;
+}
+
+}  // namespace mmv2v::traffic

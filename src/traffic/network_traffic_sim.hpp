@@ -1,0 +1,137 @@
+// Network traffic simulator: the IDM/MOBIL microsimulation generalized from
+// the single ring road to a RoadNetwork graph. Car-following, lane changes
+// and integration mirror TrafficSimulator phase-for-phase and draw-for-draw,
+// so on the degenerate ring network (RoadNetwork::ring) vehicle trajectories
+// are bit-identical to the legacy simulator — the golden digest holds.
+//
+// Graph-only behavior (turn choices at junctions, desired-speed resampling
+// when entering a new segment) is counter-based: hashed from
+// (seed, vehicle id, junction-crossing count) via derive_seed, never drawn
+// from the sequential rng_ stream. The ring network crosses no junction, so
+// its rng_ consumption is exactly the legacy sequence.
+//
+// Signals: a red phase at the end segment's node acts as a virtual stopped
+// leader at the stop line; integration additionally clamps at the line so a
+// coarse dt cannot jump a red light.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/los.hpp"
+#include "traffic/idm.hpp"
+#include "traffic/mobil.hpp"
+#include "traffic/mobility_model.hpp"
+#include "traffic/road_network.hpp"
+#include "traffic/traffic_sim.hpp"
+#include "traffic/vehicle_state.hpp"
+
+namespace mmv2v::traffic {
+
+/// Kinematic state of one vehicle addressed on the network.
+struct NetVehicleState {
+  VehicleId id = 0;
+  SegmentId segment = 0;
+  int lane = 0;
+  /// Arc length along the segment's centerline [m].
+  double s = 0.0;
+  /// Signed lateral offset from the centerline (interpolates during a lane
+  /// change); lane centers sit at RoadNetwork::lane_offset.
+  double lateral = 0.0;
+  double speed_mps = 0.0;
+  double accel_mps2 = 0.0;
+  double desired_speed_mps = 0.0;
+  VehicleDims dims;
+
+  bool changing_lane = false;
+  int target_lane = 0;
+  double lane_change_progress = 0.0;
+  double lane_change_cooldown_s = 0.0;
+
+  /// Junctions crossed since spawn; keys the counter-based turn and
+  /// desired-speed hashing.
+  std::uint32_t crossings = 0;
+};
+
+class NetworkTrafficSimulator final : public MobilityModel {
+ public:
+  /// Spawns `density_vpl` vehicles per lane-km on every segment, evenly
+  /// spaced with jitter (same scheme as TrafficSimulator).
+  NetworkTrafficSimulator(RoadNetwork network, TrafficConfig config, std::uint64_t seed);
+
+  void step(double dt) override;
+
+  /// Install per-vehicle fidelity tiers. kKinematic vehicles skip the MOBIL
+  /// lane-change evaluation; kOnRails vehicles skip IDM entirely and relax
+  /// toward their desired speed while ignoring signals. With every vehicle
+  /// at kFull (or tiers == nullptr) the step is bit-identical to untiered.
+  void set_tiers(const std::vector<FidelityTier>* tiers) override { tiers_ = tiers; }
+
+  [[nodiscard]] std::size_t size() const noexcept override { return vehicles_.size(); }
+  [[nodiscard]] geom::Vec2 position_of(VehicleId id) const override;
+  [[nodiscard]] double speed_of(VehicleId id) const override {
+    return vehicles_.at(id).speed_mps;
+  }
+  [[nodiscard]] geom::LosEvaluator make_los_evaluator() const override;
+  [[nodiscard]] bool cross_median(VehicleId a, VehicleId b) const override;
+
+  [[nodiscard]] const RoadNetwork& network() const noexcept { return net_; }
+  [[nodiscard]] const TrafficConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<NetVehicleState>& vehicles() const noexcept {
+    return vehicles_;
+  }
+  [[nodiscard]] const NetVehicleState& vehicle(VehicleId id) const { return vehicles_.at(id); }
+  [[nodiscard]] double time_s() const noexcept { return time_s_; }
+  [[nodiscard]] std::size_t completed_lane_changes() const noexcept {
+    return completed_lane_changes_;
+  }
+
+  /// The successor segment vehicle `v` will turn into at its next junction
+  /// (deterministic in (seed, v.id, v.crossings); U-turns only at dead ends).
+  [[nodiscard]] SegmentId next_segment_of(const NetVehicleState& v) const;
+
+  /// Desired speed after applying any world-x speed zone.
+  [[nodiscard]] double effective_desired_speed(const NetVehicleState& v) const;
+
+ private:
+  struct Neighbors {
+    std::size_t leader = kNone;
+    std::size_t follower = kNone;
+  };
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  void spawn_all();
+  void spawn_lane(SegmentId seg, int lane, int count);
+  void rebuild_lane_index();
+  [[nodiscard]] Neighbors find_neighbors(const NetVehicleState& v, int lane) const;
+  /// Center-to-center longitudinal distance from back to front; supports a
+  /// front vehicle on back's chosen successor segment.
+  [[nodiscard]] double center_gap(const NetVehicleState& back, const NetVehicleState& front) const;
+  [[nodiscard]] double bumper_gap(const NetVehicleState& back, const NetVehicleState& front) const;
+  [[nodiscard]] double accel_with_leader(const NetVehicleState& v, std::size_t leader_idx) const;
+  [[nodiscard]] double accel_toward_signal(const NetVehicleState& v, double accel) const;
+  void maybe_change_lane(NetVehicleState& v);
+  void apply_lane_change_kinematics(NetVehicleState& v, double dt);
+  [[nodiscard]] double sample_desired_speed(SegmentId seg, int lane);
+  void cross_junctions(NetVehicleState& v, double new_s, bool obey_signals);
+  [[nodiscard]] FidelityTier tier_of(std::size_t idx) const noexcept {
+    return (tiers_ == nullptr || idx >= tiers_->size()) ? FidelityTier::kFull
+                                                        : (*tiers_)[idx];
+  }
+
+  RoadNetwork net_;
+  TrafficConfig config_;
+  Xoshiro256pp rng_;
+  std::uint64_t turn_key_ = 0;
+  std::uint64_t resample_key_ = 0;
+  std::vector<NetVehicleState> vehicles_;
+  /// Per-vehicle fidelity tiers, owned by the world; nullptr = all kFull.
+  const std::vector<FidelityTier>* tiers_ = nullptr;
+  /// Vehicles sorted by s per flat (segment, lane) slot.
+  std::vector<std::vector<std::size_t>> lane_index_;
+  double time_s_ = 0.0;
+  std::size_t completed_lane_changes_ = 0;
+};
+
+}  // namespace mmv2v::traffic

@@ -20,6 +20,15 @@ namespace mmv2v::traffic {
 
 enum class Direction { kForward, kBackward };
 
+/// Per-lane free-flow speed band; drivers sample their desired speed
+/// uniformly from the band of their current lane (paper Section IV-A:
+/// 40-60 / 50-70 / 60-80 km/h for lanes 0/1/2). Shared by the legacy ring
+/// road and the road-network segments.
+struct LaneSpeedBand {
+  double min_kmh = 40.0;
+  double max_kmh = 60.0;
+};
+
 [[nodiscard]] constexpr double direction_sign(Direction d) noexcept {
   return d == Direction::kForward ? 1.0 : -1.0;
 }

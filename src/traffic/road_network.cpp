@@ -1,0 +1,235 @@
+#include "traffic/road_network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+namespace mmv2v::traffic {
+
+namespace {
+
+/// Length of one polyline piece. Axis-aligned pieces are measured exactly
+/// (|dx| or |dy|) so straight segments reproduce their nominal length
+/// bit-for-bit — sqrt(L*L) can be off by an ulp for general L, which would
+/// break the ring network's bit-equivalence with RoadGeometry.
+double piece_length(geom::Vec2 d) noexcept {
+  if (d.y == 0.0) return std::abs(d.x);
+  if (d.x == 0.0) return std::abs(d.y);
+  return d.norm();
+}
+
+/// Unit direction of one piece; exact for axis-aligned pieces.
+geom::Vec2 piece_direction(geom::Vec2 d, double len) noexcept {
+  if (d.y == 0.0) return {d.x > 0.0 ? 1.0 : -1.0, 0.0};
+  if (d.x == 0.0) return {0.0, d.y > 0.0 ? 1.0 : -1.0};
+  return d / len;
+}
+
+}  // namespace
+
+RoadNetwork::RoadNetwork(std::vector<NetNode> nodes, std::vector<RoadSegment> segments,
+                         double signal_green_s)
+    : nodes_(std::move(nodes)), segments_(std::move(segments)), signal_green_s_(signal_green_s) {
+  if (segments_.empty()) throw std::invalid_argument{"RoadNetwork: no segments"};
+  if (signal_green_s_ <= 0.0) throw std::invalid_argument{"RoadNetwork: green time <= 0"};
+
+  lane_base_.assign(segments_.size() + 1, 0);
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    RoadSegment& seg = segments_[i];
+    if (seg.centerline.size() < 2) {
+      throw std::invalid_argument{"RoadNetwork: segment centerline needs >= 2 points"};
+    }
+    if (seg.lanes <= 0 || seg.lane_width_m <= 0.0) {
+      throw std::invalid_argument{"RoadNetwork: segment lanes/width must be positive"};
+    }
+    if (static_cast<int>(seg.speed_bands.size()) < seg.lanes) {
+      throw std::invalid_argument{"RoadNetwork: need a speed band per lane"};
+    }
+    if (seg.from >= nodes_.size() || seg.to >= nodes_.size()) {
+      throw std::invalid_argument{"RoadNetwork: segment endpoint out of range"};
+    }
+    const std::size_t pieces = seg.centerline.size() - 1;
+    seg.cum_s.assign(seg.centerline.size(), 0.0);
+    seg.piece_dir.resize(pieces);
+    seg.piece_left.resize(pieces);
+    for (std::size_t k = 0; k < pieces; ++k) {
+      const geom::Vec2 d = seg.centerline[k + 1] - seg.centerline[k];
+      const double len = piece_length(d);
+      if (len <= 0.0) throw std::invalid_argument{"RoadNetwork: zero-length piece"};
+      seg.cum_s[k + 1] = seg.cum_s[k] + len;
+      seg.piece_dir[k] = piece_direction(d, len);
+      seg.piece_left[k] = seg.piece_dir[k].perp();
+    }
+    lane_base_[i + 1] = lane_base_[i] + static_cast<std::size_t>(seg.lanes);
+  }
+
+  // Node adjacency from the segment endpoints (declared lists are ignored —
+  // the segments are the source of truth). Loop segments join no junction.
+  for (NetNode& n : nodes_) {
+    n.incoming.clear();
+    n.outgoing.clear();
+  }
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].loop) continue;
+    nodes_[segments_[i].to].incoming.push_back(static_cast<SegmentId>(i));
+    nodes_[segments_[i].from].outgoing.push_back(static_cast<SegmentId>(i));
+  }
+
+  // Reverse twins by endpoint pair.
+  std::map<std::pair<NetNodeId, NetNodeId>, SegmentId> by_endpoints;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (!segments_[i].loop) {
+      by_endpoints.emplace(std::pair{segments_[i].from, segments_[i].to},
+                           static_cast<SegmentId>(i));
+    }
+  }
+  reverse_of_.assign(segments_.size(), kInvalidSegment);
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i].loop) continue;
+    const auto it = by_endpoints.find({segments_[i].to, segments_[i].from});
+    if (it != by_endpoints.end()) reverse_of_[i] = it->second;
+  }
+}
+
+std::size_t RoadNetwork::piece_index(const RoadSegment& seg, double s) const noexcept {
+  const auto it = std::upper_bound(seg.cum_s.begin(), seg.cum_s.end(), s);
+  const std::size_t k = static_cast<std::size_t>(it - seg.cum_s.begin());
+  const std::size_t pieces = seg.centerline.size() - 1;
+  return k == 0 ? 0 : std::min(k - 1, pieces - 1);
+}
+
+double RoadNetwork::wrap(SegmentId seg, double s) const noexcept {
+  const double length = segments_[seg].length();
+  s = std::fmod(s, length);
+  return s < 0.0 ? s + length : s;
+}
+
+double RoadNetwork::forward_gap(SegmentId seg, double s_back, double s_front) const noexcept {
+  return segments_[seg].loop ? wrap(seg, s_front - s_back) : s_front - s_back;
+}
+
+double RoadNetwork::lane_offset(SegmentId seg, int lane) const {
+  const RoadSegment& s = segments_.at(seg);
+  if (lane < 0 || lane >= s.lanes) throw std::out_of_range{"lane index"};
+  const double w = s.lane_width_m;
+  return -(w / 2.0 + static_cast<double>(lane) * w);
+}
+
+geom::Vec2 RoadNetwork::position(SegmentId seg, double s, double lateral) const {
+  const RoadSegment& sg = segments_.at(seg);
+  const std::size_t k = piece_index(sg, s);
+  const double t = s - sg.cum_s[k];
+  const geom::Vec2 p = sg.centerline[k];
+  const geom::Vec2 d = sg.piece_dir[k];
+  const geom::Vec2 n = sg.piece_left[k];
+  return {p.x + d.x * t + n.x * lateral, p.y + d.y * t + n.y * lateral};
+}
+
+geom::Vec2 RoadNetwork::heading(SegmentId seg, double s) const {
+  const RoadSegment& sg = segments_.at(seg);
+  return sg.piece_dir[piece_index(sg, s)];
+}
+
+std::span<const SegmentId> RoadNetwork::successors(SegmentId seg) const {
+  return nodes_[segments_.at(seg).to].outgoing;
+}
+
+int RoadNetwork::approach_axis(SegmentId seg) const {
+  const geom::Vec2 d = segments_.at(seg).piece_dir.back();
+  return std::abs(d.x) >= std::abs(d.y) ? 0 : 1;
+}
+
+bool RoadNetwork::entry_open(SegmentId seg, double time_s) const {
+  const RoadSegment& sg = segments_.at(seg);
+  if (sg.loop) return true;
+  const NetNode& n = nodes_[sg.to];
+  if (n.kind != NodeKind::kSignal) return true;
+  const auto cycle = static_cast<std::uint64_t>(std::max(0.0, time_s) / signal_green_s_);
+  const int green_axis = static_cast<int>((cycle + static_cast<std::uint64_t>(n.signal_phase)) % 2);
+  return approach_axis(seg) == green_axis;
+}
+
+RoadNetwork RoadNetwork::ring(double length_m, int lanes_per_direction, double lane_width_m,
+                              bool bidirectional, std::vector<LaneSpeedBand> speed_bands) {
+  if (length_m <= 0.0 || lanes_per_direction <= 0 || lane_width_m <= 0.0) {
+    throw std::invalid_argument{"RoadNetwork::ring: all dimensions must be positive"};
+  }
+  std::vector<NetNode> nodes(1);
+  nodes[0].position = {0.0, 0.0};
+
+  std::vector<RoadSegment> segments;
+  RoadSegment forward;
+  forward.centerline = {{0.0, 0.0}, {length_m, 0.0}};
+  forward.from = forward.to = 0;
+  forward.loop = true;
+  forward.lanes = lanes_per_direction;
+  forward.lane_width_m = lane_width_m;
+  forward.speed_bands = speed_bands;
+  forward.median_group = 0;
+  segments.push_back(std::move(forward));
+
+  if (bidirectional) {
+    RoadSegment backward;
+    backward.centerline = {{length_m, 0.0}, {0.0, 0.0}};
+    backward.from = backward.to = 0;
+    backward.loop = true;
+    backward.lanes = lanes_per_direction;
+    backward.lane_width_m = lane_width_m;
+    backward.speed_bands = std::move(speed_bands);
+    backward.median_group = 1;
+    segments.push_back(std::move(backward));
+  }
+  return RoadNetwork{std::move(nodes), std::move(segments)};
+}
+
+RoadNetwork RoadNetwork::city_grid(int rows, int cols, double block_m, int lanes_per_direction,
+                                   double lane_width_m, std::vector<LaneSpeedBand> speed_bands,
+                                   double signal_green_s) {
+  if (rows < 2 || cols < 2) throw std::invalid_argument{"city_grid: need >= 2x2 nodes"};
+  if (block_m <= 0.0) throw std::invalid_argument{"city_grid: block size <= 0"};
+
+  std::vector<NetNode> nodes(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+  const auto node_id = [cols](int r, int c) {
+    return static_cast<NetNodeId>(r * cols + c);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      NetNode& n = nodes[node_id(r, c)];
+      n.position = {static_cast<double>(c) * block_m, static_cast<double>(r) * block_m};
+      // Interior nodes see crossing flows and get a signal; boundary nodes
+      // only merge/turn. Alternating phase offsets give a green wave.
+      const bool interior = r > 0 && r + 1 < rows && c > 0 && c + 1 < cols;
+      n.kind = interior ? NodeKind::kSignal : NodeKind::kMerge;
+      n.signal_phase = (r + c) % 2;
+    }
+  }
+
+  std::vector<RoadSegment> segments;
+  const auto add_edge = [&](NetNodeId a, NetNodeId b) {
+    RoadSegment seg;
+    seg.centerline = {nodes[a].position, nodes[b].position};
+    seg.from = a;
+    seg.to = b;
+    seg.lanes = lanes_per_direction;
+    seg.lane_width_m = lane_width_m;
+    seg.speed_bands = speed_bands;
+    segments.push_back(std::move(seg));
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        add_edge(node_id(r, c), node_id(r, c + 1));
+        add_edge(node_id(r, c + 1), node_id(r, c));
+      }
+      if (r + 1 < rows) {
+        add_edge(node_id(r, c), node_id(r + 1, c));
+        add_edge(node_id(r + 1, c), node_id(r, c));
+      }
+    }
+  }
+  return RoadNetwork{std::move(nodes), std::move(segments), signal_green_s};
+}
+
+}  // namespace mmv2v::traffic

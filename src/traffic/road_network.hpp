@@ -1,0 +1,185 @@
+// Road network: a graph of directed road segments joined at nodes, the
+// city-scale generalization of the single RoadGeometry ring. A segment is a
+// polyline centerline with a lane count, per-lane speed bands and arc-length
+// addressing (segment, lane, s); a node joins segment ends and can carry a
+// two-phase traffic signal. Lane k of a segment runs at lateral offset
+// -(w/2 + k*w) from the centerline (to the right of travel, matching the
+// legacy ring's forward-direction layout), so a two-segment forward/backward
+// ring reproduces the legacy RoadGeometry world coordinates bit-for-bit.
+//
+// All geometry is evaluated lazily from (segment, lane, s); the network is
+// immutable after construction. Factories:
+//   RoadNetwork::ring(...)      — degenerate network equal to the legacy ring
+//   RoadNetwork::city_grid(...) — rows x cols Manhattan grid with signalized
+//                                 intersections
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "traffic/road.hpp"
+
+namespace mmv2v::traffic {
+
+using SegmentId = std::uint32_t;
+using NetNodeId = std::uint32_t;
+
+inline constexpr SegmentId kInvalidSegment = static_cast<SegmentId>(-1);
+
+enum class NodeKind : std::uint8_t {
+  /// Segment ends join without conflict (ring closure, boundary U-turns).
+  kMerge,
+  /// Crossing flows, no signal (priority is not modeled; entry always open).
+  kIntersection,
+  /// Two-phase signalized crossing: east-west and north-south alternate.
+  kSignal,
+};
+
+struct NetNode {
+  geom::Vec2 position;
+  NodeKind kind = NodeKind::kMerge;
+  /// Phase offset of the signal cycle (0 or 1); adjacent grid intersections
+  /// alternate so platoons see a green wave on average.
+  int signal_phase = 0;
+  std::vector<SegmentId> incoming;
+  std::vector<SegmentId> outgoing;
+};
+
+/// One directed road segment. `centerline` has >= 2 points; travel runs from
+/// centerline.front() (node `from`) to centerline.back() (node `to`).
+struct RoadSegment {
+  std::vector<geom::Vec2> centerline;
+  NetNodeId from = 0;
+  NetNodeId to = 0;
+  /// Closed circuit: s wraps modulo length and the segment has no junction
+  /// behavior (the legacy ring).
+  bool loop = false;
+  int lanes = 1;
+  double lane_width_m = 5.0;
+  /// Desired-speed band per lane index (size >= lanes).
+  std::vector<LaneSpeedBand> speed_bands;
+  /// Carriageways sharing a physical median are tagged with the same
+  /// median_group >= 0 on opposite sides; links between vehicles in
+  /// *different* non-negative groups are charged cross-median blockers.
+  /// -1 (default) = no median.
+  int median_group = -1;
+
+  // --- derived by RoadNetwork's constructor ------------------------------
+  /// Cumulative arc length at each centerline point; back() is the length.
+  std::vector<double> cum_s;
+  /// Unit travel direction of each polyline piece (centerline.size() - 1).
+  std::vector<geom::Vec2> piece_dir;
+  /// Unit left normal of each piece (perp of piece_dir).
+  std::vector<geom::Vec2> piece_left;
+
+  [[nodiscard]] double length() const noexcept { return cum_s.back(); }
+};
+
+class RoadNetwork {
+ public:
+  /// Takes ownership of nodes and segments, derives per-piece geometry and
+  /// node adjacency, and validates the graph (throws std::invalid_argument).
+  RoadNetwork(std::vector<NetNode> nodes, std::vector<RoadSegment> segments,
+              double signal_green_s = 12.0);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+  [[nodiscard]] const NetNode& node(NetNodeId id) const { return nodes_.at(id); }
+  [[nodiscard]] const RoadSegment& segment(SegmentId id) const { return segments_.at(id); }
+  [[nodiscard]] const std::vector<RoadSegment>& segments() const noexcept { return segments_; }
+  [[nodiscard]] double signal_green_s() const noexcept { return signal_green_s_; }
+
+  /// Total lane slots over all segments (sum of per-segment lane counts).
+  [[nodiscard]] std::size_t total_lane_slots() const noexcept { return lane_base_.back(); }
+  /// Flat index of (segment, lane) into [0, total_lane_slots()).
+  [[nodiscard]] std::size_t lane_slot(SegmentId seg, int lane) const {
+    return lane_base_.at(seg) + static_cast<std::size_t>(lane);
+  }
+
+  /// Wrap s into [0, length) of the segment (fmod, matching RoadGeometry).
+  [[nodiscard]] double wrap(SegmentId seg, double s) const noexcept;
+
+  /// Forward gap from s_back to s_front along the segment: wrapped into
+  /// [0, length) on loops, the raw (possibly negative) difference otherwise.
+  [[nodiscard]] double forward_gap(SegmentId seg, double s_back, double s_front) const noexcept;
+
+  /// Lateral offset of lane k's center from the segment centerline
+  /// (negative: lanes sit to the right of travel).
+  [[nodiscard]] double lane_offset(SegmentId seg, int lane) const;
+
+  /// World position at arc length s with signed lateral offset.
+  [[nodiscard]] geom::Vec2 position(SegmentId seg, double s, double lateral) const;
+
+  /// Unit travel heading at arc length s.
+  [[nodiscard]] geom::Vec2 heading(SegmentId seg, double s) const;
+
+  /// Segments leaving the end node of `seg` (candidates for turning into).
+  [[nodiscard]] std::span<const SegmentId> successors(SegmentId seg) const;
+
+  /// The opposite-direction twin of `seg` (same endpoints, reversed), or
+  /// kInvalidSegment.
+  [[nodiscard]] SegmentId reverse_of(SegmentId seg) const { return reverse_of_.at(seg); }
+
+  /// True when a vehicle at the end of `seg` may enter the junction at
+  /// simulation time t: always, except on a red phase of a kSignal node.
+  /// The two-phase cycle alternates east-west (axis 0) and north-south
+  /// (axis 1) every signal_green_s seconds.
+  [[nodiscard]] bool entry_open(SegmentId seg, double time_s) const;
+
+  /// Axis class of the travel direction at the end of `seg`: 0 when mostly
+  /// east-west, 1 when mostly north-south.
+  [[nodiscard]] int approach_axis(SegmentId seg) const;
+
+  // --- factories ---------------------------------------------------------
+
+  /// Degenerate network reproducing the legacy RoadGeometry ring bit-for-bit:
+  /// one loop segment per direction (forward at median_group 0, backward at
+  /// 1), lanes at the legacy lateral offsets.
+  [[nodiscard]] static RoadNetwork ring(double length_m, int lanes_per_direction,
+                                        double lane_width_m, bool bidirectional,
+                                        std::vector<LaneSpeedBand> speed_bands);
+
+  /// rows x cols Manhattan grid with `block_m` spacing; every interior
+  /// intersection is signalized (two-phase, alternating offsets), boundary
+  /// nodes merge/U-turn. One segment per direction per block edge.
+  [[nodiscard]] static RoadNetwork city_grid(int rows, int cols, double block_m,
+                                             int lanes_per_direction, double lane_width_m,
+                                             std::vector<LaneSpeedBand> speed_bands,
+                                             double signal_green_s);
+
+ private:
+  [[nodiscard]] std::size_t piece_index(const RoadSegment& seg, double s) const noexcept;
+
+  std::vector<NetNode> nodes_;
+  std::vector<RoadSegment> segments_;
+  std::vector<SegmentId> reverse_of_;
+  /// lane_base_[seg] = first flat lane slot of the segment; size + 1 sentinel.
+  std::vector<std::size_t> lane_base_;
+  double signal_green_s_ = 12.0;
+};
+
+/// Which world topology a scenario runs on (ScenarioConfig::network).
+enum class NetworkTopology : std::uint8_t {
+  /// The legacy single-ring TrafficSimulator (default; golden-pinned).
+  kLegacyRing,
+  /// The same ring expressed as a RoadNetwork and driven by the network
+  /// simulator — bit-identical world positions to kLegacyRing.
+  kRingNetwork,
+  /// Signalized Manhattan grid (city-scale scenarios).
+  kCityGrid,
+};
+
+/// Scenario-level network knobs (parsed from `network.*` config keys). Lane
+/// count, lane width, per-lane speed bands and density come from the shared
+/// TrafficConfig.
+struct NetworkConfig {
+  NetworkTopology topology = NetworkTopology::kLegacyRing;
+  int grid_rows = 4;
+  int grid_cols = 4;
+  double block_m = 250.0;
+  double signal_green_s = 12.0;
+};
+
+}  // namespace mmv2v::traffic

@@ -11,18 +11,11 @@
 #include "geom/los.hpp"
 #include "traffic/idm.hpp"
 #include "traffic/mobil.hpp"
+#include "traffic/mobility_model.hpp"
 #include "traffic/road.hpp"
 #include "traffic/vehicle_state.hpp"
 
 namespace mmv2v::traffic {
-
-/// Per-lane free-flow speed band; drivers sample their desired speed
-/// uniformly from the band of their current lane (paper Section IV-A:
-/// 40-60 / 50-70 / 60-80 km/h for lanes 0/1/2).
-struct LaneSpeedBand {
-  double min_kmh = 40.0;
-  double max_kmh = 60.0;
-};
 
 /// A road segment with a reduced speed limit (work zone, curve, tunnel):
 /// drivers cap their desired speed while inside [start_x, end_x) in world
@@ -56,28 +49,37 @@ struct TrafficConfig {
   std::vector<SpeedZone> speed_zones;
 };
 
-class TrafficSimulator {
+class TrafficSimulator final : public MobilityModel {
  public:
   TrafficSimulator(TrafficConfig config, std::uint64_t seed);
 
   /// Advance all vehicles by dt seconds (typically the 5 ms mobility tick).
-  void step(double dt);
+  void step(double dt) override;
 
   [[nodiscard]] const RoadGeometry& road() const noexcept { return road_; }
   [[nodiscard]] const TrafficConfig& config() const noexcept { return config_; }
   [[nodiscard]] const std::vector<VehicleState>& vehicles() const noexcept { return vehicles_; }
-  [[nodiscard]] std::size_t size() const noexcept { return vehicles_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept override { return vehicles_.size(); }
   [[nodiscard]] const VehicleState& vehicle(VehicleId id) const { return vehicles_.at(id); }
 
-  [[nodiscard]] geom::Vec2 position_of(VehicleId id) const {
+  [[nodiscard]] geom::Vec2 position_of(VehicleId id) const override {
     return vehicles_.at(id).position(road_);
+  }
+
+  [[nodiscard]] double speed_of(VehicleId id) const override {
+    return vehicles_.at(id).speed_mps;
+  }
+
+  /// Opposite-direction links cross the ring's central median.
+  [[nodiscard]] bool cross_median(VehicleId a, VehicleId b) const override {
+    return vehicles_.at(a).direction != vehicles_.at(b).direction;
   }
 
   /// Euclidean distance between two vehicles' antennas.
   [[nodiscard]] double distance(VehicleId a, VehicleId b) const;
 
   /// Build a blockage evaluator snapshot from the current vehicle bodies.
-  [[nodiscard]] geom::LosEvaluator make_los_evaluator() const;
+  [[nodiscard]] geom::LosEvaluator make_los_evaluator() const override;
 
   /// Ground-truth one-hop neighborhood: vehicles within `range_m` with LOS
   /// (paper Section II-B). `los` must be a snapshot from the same tick.

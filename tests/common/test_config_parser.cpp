@@ -72,5 +72,69 @@ TEST(ConfigMap, MissingFileThrows) {
   EXPECT_THROW(ConfigMap::load("/nonexistent/path/config.txt"), std::runtime_error);
 }
 
+TEST(NetworkKnobs, DefaultsToLegacyRing) {
+  const auto net = parse_network_knobs(ConfigMap::parse(""));
+  EXPECT_EQ(net.topology, traffic::NetworkTopology::kLegacyRing);
+}
+
+TEST(NetworkKnobs, ParsesCityGrid) {
+  const auto net = parse_network_knobs(ConfigMap::parse(
+      "network.topology = city_grid\nnetwork.grid_rows = 5\n"
+      "network.grid_cols = 6\nnetwork.block_m = 300\nnetwork.signal_green_s = 9\n"));
+  EXPECT_EQ(net.topology, traffic::NetworkTopology::kCityGrid);
+  EXPECT_EQ(net.grid_rows, 5);
+  EXPECT_EQ(net.grid_cols, 6);
+  EXPECT_DOUBLE_EQ(net.block_m, 300.0);
+  EXPECT_DOUBLE_EQ(net.signal_green_s, 9.0);
+}
+
+TEST(NetworkKnobs, RejectsBadValues) {
+  EXPECT_THROW(parse_network_knobs(ConfigMap::parse("network.topology = moebius\n")),
+               std::runtime_error);
+  EXPECT_THROW(parse_network_knobs(ConfigMap::parse("network.grid_rows = 1\n")),
+               std::runtime_error);
+  EXPECT_THROW(parse_network_knobs(ConfigMap::parse("network.block_m = -5\n")),
+               std::runtime_error);
+}
+
+TEST(TierKnobs, ParsesFocusRegionList) {
+  const auto tier = parse_tier_knobs(ConfigMap::parse(
+      "tier.enabled = true\n"
+      "tier.focus = 100, 200, 50 ; 1800,1800,500\n"
+      "tier.kinematic_radius_m = 120\ntier.hysteresis_m = 15\n"
+      "tier.promote_budget = 8\ntier.demote_budget = 9\n"
+      "tier.onrails_duty_cycle = 0.05\n"));
+  EXPECT_TRUE(tier.enabled);
+  ASSERT_EQ(tier.focus.size(), 2u);
+  EXPECT_DOUBLE_EQ(tier.focus[0].center.x, 100.0);
+  EXPECT_DOUBLE_EQ(tier.focus[0].center.y, 200.0);
+  EXPECT_DOUBLE_EQ(tier.focus[0].radius_m, 50.0);
+  EXPECT_DOUBLE_EQ(tier.focus[1].radius_m, 500.0);
+  EXPECT_DOUBLE_EQ(tier.kinematic_radius_m, 120.0);
+  EXPECT_DOUBLE_EQ(tier.hysteresis_m, 15.0);
+  EXPECT_EQ(tier.promote_budget, 8);
+  EXPECT_EQ(tier.demote_budget, 9);
+  EXPECT_DOUBLE_EQ(tier.onrails_duty_cycle, 0.05);
+}
+
+TEST(TierKnobs, DisabledByDefault) {
+  const auto tier = parse_tier_knobs(ConfigMap::parse(""));
+  EXPECT_FALSE(tier.enabled);
+  EXPECT_TRUE(tier.focus.empty());
+}
+
+TEST(TierKnobs, RejectsBadValues) {
+  EXPECT_THROW(parse_tier_knobs(ConfigMap::parse("tier.enabled = true\n")),
+               std::runtime_error);  // no focus region
+  EXPECT_THROW(parse_tier_knobs(ConfigMap::parse("tier.focus = 1,2\n")),
+               std::runtime_error);  // not a triple
+  EXPECT_THROW(parse_tier_knobs(ConfigMap::parse("tier.focus = 1,2,3,4\n")),
+               std::runtime_error);  // trailing garbage
+  EXPECT_THROW(parse_tier_knobs(ConfigMap::parse("tier.focus = 1,2,-3\n")),
+               std::runtime_error);  // negative radius
+  EXPECT_THROW(parse_tier_knobs(ConfigMap::parse("tier.onrails_duty_cycle = 1.5\n")),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace mmv2v

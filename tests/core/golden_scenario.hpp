@@ -16,8 +16,10 @@ namespace mmv2v::core::golden {
 
 /// FNV-1a 64 of the golden scenario's event stream. On an intentional
 /// behavior change, run test_golden once: the failure message prints the new
-/// digest to check in here.
-constexpr std::uint64_t kGoldenDigest = 0x7f943a0236b31366ULL;
+/// digest to check in here. Last re-pin: NeighborTable moved to a sorted slab
+/// (ascending-NodeId iteration is now the defined order), which changed
+/// which DCM candidate wins reservoir ties.
+constexpr std::uint64_t kGoldenDigest = 0x93df0b8b3b343617ULL;
 
 inline ExperimentConfig golden_experiment(int threads) {
   ExperimentConfig config;

@@ -39,15 +39,21 @@ TEST(FaultPlan, BernoulliLossMatchesConfiguredRate) {
   const int draws = 200000;
   int lost = 0;
   for (int i = 0; i < draws; ++i) {
-    lost += plan.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw) ? 1 : 0;
+    lost += plan.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw,
+                           static_cast<std::uint64_t>(i))
+                ? 1
+                : 0;
   }
   EXPECT_NEAR(static_cast<double>(lost) / draws, 0.25, 0.01);
   EXPECT_EQ(plan.frame_stats().ssw_drops, static_cast<std::uint64_t>(lost));
 }
 
 TEST(FaultPlan, GilbertElliottMatchesRateAndBurstLength) {
-  // Stationary loss rate must still equal ctrl_loss, but losses must arrive
-  // in runs of mean length ~burst_len.
+  // Statistical pin for the counter-based loss process: the stationary loss
+  // rate must equal ctrl_loss and losses must arrive in runs of mean length
+  // ~burst_len, exactly like the serial chain it replaced. With ~20k runs the
+  // standard error of the mean run length is ~0.025, so 0.25 is a 10-sigma
+  // pin that still catches any parameterization or coupling regression.
   const double loss = 0.2;
   const double burst = 4.0;
   FaultPlan plan{loss_only(loss, burst), kSeed};
@@ -57,7 +63,9 @@ TEST(FaultPlan, GilbertElliottMatchesRateAndBurstLength) {
   int runs = 0;
   bool in_run = false;
   for (int i = 0; i < draws; ++i) {
-    const bool l = plan.ctrl_lost(net::NodeId{0}, CtrlKind::kNegotiation);
+    const bool l = plan.ctrl_fate_at_step(net::NodeId{0}, CtrlKind::kNegotiation,
+                                          static_cast<std::uint64_t>(i)) ==
+                   CtrlFate::kLost;
     lost += l ? 1 : 0;
     if (l && !in_run) ++runs;
     in_run = l;
@@ -67,23 +75,42 @@ TEST(FaultPlan, GilbertElliottMatchesRateAndBurstLength) {
   EXPECT_NEAR(static_cast<double>(lost) / runs, burst, 0.25);
 }
 
+TEST(FaultPlan, LossQueriesAreOrderIndependent) {
+  // The whole point of the counter-based process: the fate at a step is a
+  // pure function of (seed, sender, kind, step). Querying backward, querying
+  // twice, or interleaving other senders must not change anything.
+  const FaultPlan plan{loss_only(0.2, 4.0), kSeed};
+  const int steps = 4096;
+  std::vector<CtrlFate> forward(steps);
+  for (int i = 0; i < steps; ++i) {
+    forward[i] = plan.ctrl_fate_at_step(net::NodeId{3}, CtrlKind::kSsw,
+                                        static_cast<std::uint64_t>(i));
+  }
+  for (int i = steps - 1; i >= 0; --i) {
+    (void)plan.ctrl_fate_at_step(net::NodeId{9}, CtrlKind::kSsw,
+                                 static_cast<std::uint64_t>(i));
+    EXPECT_EQ(plan.ctrl_fate_at_step(net::NodeId{3}, CtrlKind::kSsw,
+                                     static_cast<std::uint64_t>(i)),
+              forward[i]);
+  }
+}
+
 TEST(FaultPlan, ChainsAreIndependentPerSender) {
-  // Sender 0's draws must not perturb sender 1's loss rate.
+  // Counter-based chains are keyed per (sender, kind): sender 0's queries
+  // cannot perturb sender 1's sequence — bit-exact, not just statistically.
   FaultPlan lone{loss_only(0.3, 3.0), kSeed};
   FaultPlan pair{loss_only(0.3, 3.0), kSeed};
   lone.begin_frame(0, 4, 20e-3);
   pair.begin_frame(0, 4, 20e-3);
   const int draws = 100000;
-  int lost_lone = 0;
   int lost_pair = 0;
   for (int i = 0; i < draws; ++i) {
-    lost_lone += lone.ctrl_lost(net::NodeId{1}, CtrlKind::kSsw) ? 1 : 0;
-    (void)pair.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw);
-    lost_pair += pair.ctrl_lost(net::NodeId{1}, CtrlKind::kSsw) ? 1 : 0;
+    const auto step = static_cast<std::uint64_t>(i);
+    (void)pair.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw, step);
+    const bool l = pair.ctrl_lost(net::NodeId{1}, CtrlKind::kSsw, step);
+    EXPECT_EQ(lone.ctrl_lost(net::NodeId{1}, CtrlKind::kSsw, step), l);
+    lost_pair += l ? 1 : 0;
   }
-  // Both see the stationary rate; interleaving shifts which draws land where,
-  // so only the statistics (not the sequences) are comparable.
-  EXPECT_NEAR(static_cast<double>(lost_lone) / draws, 0.3, 0.02);
   EXPECT_NEAR(static_cast<double>(lost_pair) / draws, 0.3, 0.02);
 }
 
@@ -95,12 +122,33 @@ TEST(FaultPlan, CorruptionCountsSeparatelyFromLoss) {
   const int draws = 50000;
   int lost = 0;
   for (int i = 0; i < draws; ++i) {
-    lost += plan.ctrl_lost(net::NodeId{0}, CtrlKind::kRefine) ? 1 : 0;
+    lost += plan.ctrl_lost(net::NodeId{0}, CtrlKind::kRefine,
+                           static_cast<std::uint64_t>(i))
+                ? 1
+                : 0;
   }
   EXPECT_NEAR(static_cast<double>(lost) / draws, 0.5, 0.02);
   // Corruptions are tallied in their own counter, not the per-kind drops.
   EXPECT_EQ(plan.frame_stats().corruptions, static_cast<std::uint64_t>(lost));
   EXPECT_EQ(plan.frame_stats().refine_drops, 0u);
+}
+
+TEST(FaultPlan, BurstsSpanFrameBoundaries) {
+  // ctrl_fate steps the chain at frame * slots_per_frame + slot, so the last
+  // slot of frame f and slot 0 of frame f+1 are adjacent chain steps and a
+  // burst can straddle them. Pin the addressing: the fate sequence read via
+  // per-frame (slot, slots_per_frame) queries must equal the flat
+  // ctrl_fate_at_step sequence.
+  FaultPlan plan{loss_only(0.2, 4.0), kSeed};
+  const std::uint64_t spf = 48;
+  std::uint64_t step = 0;
+  for (std::uint64_t f = 0; f < 20; ++f) {
+    plan.begin_frame(f, 4, 20e-3);
+    for (std::uint64_t s = 0; s < spf; ++s, ++step) {
+      EXPECT_EQ(plan.ctrl_fate(net::NodeId{2}, CtrlKind::kSsw, s, spf),
+                plan.ctrl_fate_at_step(net::NodeId{2}, CtrlKind::kSsw, step));
+    }
+  }
 }
 
 TEST(FaultPlan, ClockOffsetsAreStableAndScaleWithSigma) {
@@ -239,8 +287,9 @@ TEST(FaultPlan, DifferentSeedsDiverge) {
   b.begin_frame(0, 2, 20e-3);
   int mismatches = 0;
   for (int i = 0; i < 256; ++i) {
-    if (a.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw) !=
-        b.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw)) {
+    const auto step = static_cast<std::uint64_t>(i);
+    if (a.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw, step) !=
+        b.ctrl_lost(net::NodeId{0}, CtrlKind::kSsw, step)) {
       ++mismatches;
     }
   }

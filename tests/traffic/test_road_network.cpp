@@ -1,0 +1,217 @@
+// RoadNetwork graph geometry and the network traffic simulator. The load-
+// bearing test is the bit-exact ring equivalence: the degenerate ring
+// network must reproduce the legacy TrafficSimulator's world positions
+// bit-for-bit (the golden digest depends on it).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+#include "traffic/network_traffic_sim.hpp"
+#include "traffic/road_network.hpp"
+#include "traffic/traffic_sim.hpp"
+
+namespace mmv2v::traffic {
+namespace {
+
+RoadNetwork ring_of(const TrafficConfig& c) {
+  return RoadNetwork::ring(c.road_length_m, c.lanes_per_direction, c.lane_width_m,
+                           c.bidirectional, c.lane_speed_bands);
+}
+
+RoadNetwork small_grid(double green_s = 12.0) {
+  return RoadNetwork::city_grid(3, 3, 200.0, 2, 3.5,
+                                {{40.0, 60.0}, {50.0, 70.0}}, green_s);
+}
+
+TEST(RoadNetwork, RingGeometryMatchesLegacyRoadBitExact) {
+  TrafficConfig c;  // 1 km, 3 lanes of 5 m per direction, bidirectional
+  const RoadGeometry road{c.road_length_m, c.lanes_per_direction, c.lane_width_m};
+  const RoadNetwork net = ring_of(c);
+  ASSERT_EQ(net.segment_count(), 2u);
+  EXPECT_EQ(net.segment(0).length(), road.length());
+  EXPECT_EQ(net.segment(1).length(), road.length());
+
+  for (int lane = 0; lane < c.lanes_per_direction; ++lane) {
+    // Forward world y = lane offset, backward world y = -lane offset.
+    for (const double s : {0.0, 1.5, 250.25, 999.75}) {
+      const geom::Vec2 fwd = net.position(0, s, net.lane_offset(0, lane));
+      const geom::Vec2 legacy_fwd =
+          road.position(Direction::kForward, s, road.lane_center_y(Direction::kForward, lane));
+      EXPECT_EQ(fwd.x, legacy_fwd.x);
+      EXPECT_EQ(fwd.y, legacy_fwd.y);
+
+      const geom::Vec2 bwd = net.position(1, s, net.lane_offset(1, lane));
+      const geom::Vec2 legacy_bwd = road.position(Direction::kBackward, s,
+                                                  road.lane_center_y(Direction::kBackward, lane));
+      EXPECT_EQ(bwd.x, legacy_bwd.x);
+      EXPECT_EQ(bwd.y, legacy_bwd.y);
+    }
+    EXPECT_EQ(net.heading(0, 10.0), (geom::Vec2{1.0, 0.0}));
+    EXPECT_EQ(net.heading(1, 10.0), (geom::Vec2{-1.0, 0.0}));
+  }
+}
+
+TEST(RoadNetwork, RingSimulatorMatchesLegacySimulatorBitExact) {
+  TrafficConfig c;
+  c.density_vpl = 12.0;
+  const std::uint64_t seed = 42;
+  TrafficSimulator legacy{c, seed};
+  NetworkTrafficSimulator net{ring_of(c), c, seed};
+  ASSERT_EQ(net.size(), legacy.size());
+  ASSERT_GT(net.size(), 0u);
+
+  const auto expect_identical = [&] {
+    for (VehicleId id = 0; id < legacy.size(); ++id) {
+      const geom::Vec2 a = legacy.position_of(id);
+      const geom::Vec2 b = net.position_of(id);
+      ASSERT_EQ(a.x, b.x) << "vehicle " << id;
+      ASSERT_EQ(a.y, b.y) << "vehicle " << id;
+      ASSERT_EQ(legacy.speed_of(id), net.speed_of(id)) << "vehicle " << id;
+    }
+  };
+  expect_identical();
+  for (int i = 0; i < 400; ++i) {
+    legacy.step(0.05);
+    net.step(0.05);
+  }
+  expect_identical();
+  EXPECT_EQ(net.completed_lane_changes(), legacy.completed_lane_changes());
+}
+
+TEST(RoadNetwork, RingCrossMedianMatchesDirections) {
+  TrafficConfig c;
+  c.density_vpl = 6.0;
+  const std::uint64_t seed = 7;
+  TrafficSimulator legacy{c, seed};
+  NetworkTrafficSimulator net{ring_of(c), c, seed};
+  for (VehicleId a = 0; a < net.size(); ++a) {
+    for (VehicleId b = a + 1; b < net.size(); ++b) {
+      EXPECT_EQ(net.cross_median(a, b), legacy.cross_median(a, b));
+    }
+  }
+}
+
+TEST(RoadNetwork, CityGridTopology) {
+  const RoadNetwork net = small_grid();
+  EXPECT_EQ(net.node_count(), 9u);
+  // 12 undirected block edges, one segment per direction.
+  EXPECT_EQ(net.segment_count(), 24u);
+  int signals = 0;
+  for (NetNodeId n = 0; n < net.node_count(); ++n) {
+    if (net.node(n).kind == NodeKind::kSignal) ++signals;
+  }
+  EXPECT_EQ(signals, 1);  // only the center node of a 3x3 grid is interior
+
+  for (SegmentId s = 0; s < net.segment_count(); ++s) {
+    // Every grid segment has a reverse twin and at least one successor.
+    EXPECT_NE(net.reverse_of(s), kInvalidSegment);
+    EXPECT_FALSE(net.successors(s).empty());
+    EXPECT_EQ(net.segment(s).length(), 200.0);
+  }
+}
+
+TEST(RoadNetwork, SignalAlternatesAxesOverTime) {
+  const double green = 5.0;
+  const RoadNetwork net = small_grid(green);
+  // Find segments entering the center (signalized) node from each axis.
+  const NetNodeId center = 4;
+  ASSERT_EQ(net.node(center).kind, NodeKind::kSignal);
+  SegmentId ew = kInvalidSegment;
+  SegmentId ns = kInvalidSegment;
+  for (const SegmentId s : net.node(center).incoming) {
+    (net.approach_axis(s) == 0 ? ew : ns) = s;
+  }
+  ASSERT_NE(ew, kInvalidSegment);
+  ASSERT_NE(ns, kInvalidSegment);
+
+  for (double t = 0.25; t < 4.0 * green; t += green) {
+    // Exactly one axis is green at any time, and the axes swap each cycle.
+    EXPECT_NE(net.entry_open(ew, t), net.entry_open(ns, t)) << "t=" << t;
+    EXPECT_NE(net.entry_open(ew, t), net.entry_open(ew, t + green)) << "t=" << t;
+  }
+  // Merge (boundary) nodes never gate entry.
+  for (SegmentId s = 0; s < net.segment_count(); ++s) {
+    if (net.node(net.segment(s).to).kind != NodeKind::kSignal) {
+      EXPECT_TRUE(net.entry_open(s, 1.0));
+    }
+  }
+}
+
+TEST(RoadNetwork, CityGridConservesVehiclesInBounds) {
+  TrafficConfig c;
+  c.lanes_per_direction = 2;
+  c.lane_width_m = 3.5;
+  c.density_vpl = 10.0;
+  NetworkTrafficSimulator sim{small_grid(), c, 99};
+  const std::size_t n = sim.size();
+  ASSERT_GT(n, 0u);
+  for (int i = 0; i < 1200; ++i) sim.step(0.05);
+  EXPECT_EQ(sim.size(), n);
+  for (const NetVehicleState& v : sim.vehicles()) {
+    const RoadSegment& seg = sim.network().segment(v.segment);
+    EXPECT_GE(v.s, 0.0);
+    EXPECT_LT(v.s, seg.length());
+    EXPECT_GE(v.lane, 0);
+    EXPECT_LT(v.lane, seg.lanes);
+    EXPECT_GE(v.speed_mps, 0.0);
+    // Desired speed stays within some lane band of the segment.
+    const double kmh = units::mps_to_kmh(v.desired_speed_mps);
+    bool in_band = false;
+    for (const LaneSpeedBand& band : seg.speed_bands) {
+      in_band = in_band || (kmh >= band.min_kmh - 1e-9 && kmh <= band.max_kmh + 1e-9);
+    }
+    EXPECT_TRUE(in_band) << "desired speed " << kmh << " km/h outside all bands";
+  }
+}
+
+TEST(RoadNetwork, CityGridVehiclesActuallyTurn) {
+  TrafficConfig c;
+  c.lanes_per_direction = 2;
+  c.lane_width_m = 3.5;
+  c.density_vpl = 8.0;
+  NetworkTrafficSimulator sim{small_grid(), c, 3};
+  for (int i = 0; i < 2400; ++i) sim.step(0.05);
+  std::size_t crossed = 0;
+  for (const NetVehicleState& v : sim.vehicles()) crossed += v.crossings > 0 ? 1 : 0;
+  // Two minutes of driving on 200 m blocks: most vehicles passed a junction.
+  EXPECT_GT(crossed, sim.size() / 2);
+}
+
+TEST(RoadNetwork, CityGridIsSeedDeterministic) {
+  TrafficConfig c;
+  c.lanes_per_direction = 2;
+  c.lane_width_m = 3.5;
+  c.density_vpl = 8.0;
+  NetworkTrafficSimulator a{small_grid(), c, 11};
+  NetworkTrafficSimulator b{small_grid(), c, 11};
+  NetworkTrafficSimulator other{small_grid(), c, 12};
+  for (int i = 0; i < 600; ++i) {
+    a.step(0.05);
+    b.step(0.05);
+    other.step(0.05);
+  }
+  bool diverged = false;
+  for (VehicleId id = 0; id < a.size(); ++id) {
+    const geom::Vec2 pa = a.position_of(id);
+    const geom::Vec2 pb = b.position_of(id);
+    ASSERT_EQ(pa.x, pb.x);
+    ASSERT_EQ(pa.y, pb.y);
+    const geom::Vec2 po = other.position_of(id);
+    diverged = diverged || pa.x != po.x || pa.y != po.y;
+  }
+  EXPECT_TRUE(diverged) << "different seeds should produce different traffic";
+}
+
+TEST(RoadNetwork, RejectsMalformedInput) {
+  EXPECT_THROW(RoadNetwork({}, {}), std::invalid_argument);
+  EXPECT_THROW(RoadNetwork::ring(0.0, 3, 5.0, true, {{40, 60}, {50, 70}, {60, 80}}),
+               std::invalid_argument);
+  EXPECT_THROW(RoadNetwork::ring(1000.0, 3, 5.0, true, {{40, 60}}), std::invalid_argument);
+  EXPECT_THROW(RoadNetwork::city_grid(1, 3, 200.0, 2, 3.5, {{40, 60}, {50, 70}}, 12.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmv2v::traffic

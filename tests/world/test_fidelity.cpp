@@ -1,0 +1,193 @@
+// World-scale suite, part 3: fidelity tiering. Focus regions must keep the
+// full protocol stack (and the golden digest) pinned inside them; tier
+// transitions must be hysteretic, budget-limited, and deterministic.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/fidelity.hpp"
+#include "core/golden_scenario.hpp"
+#include "core/world.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+using golden::golden_experiment;
+using golden::golden_scenario;
+using golden::kGoldenDigest;
+using golden::mmv2v_factory;
+using traffic::FidelityTier;
+
+TierConfig covering_tiers() {
+  TierConfig tier;
+  tier.enabled = true;
+  // One focus region swallowing the whole legacy ring: every vehicle stays
+  // kFull, so tiering must be a behavioral no-op.
+  tier.focus.push_back(FocusRegion{{250.0, 0.0}, 1e6});
+  return tier;
+}
+
+ScenarioConfig tiered_city(double focus_radius) {
+  ScenarioConfig s = golden_scenario();
+  s.network.topology = traffic::NetworkTopology::kCityGrid;
+  s.network.grid_rows = 3;
+  s.network.grid_cols = 3;
+  s.network.block_m = 200.0;
+  s.traffic.lanes_per_direction = 2;
+  s.traffic.lane_width_m = 3.5;
+  s.traffic.density_vpl = 10.0;
+  s.tier.enabled = true;
+  s.tier.focus.push_back(FocusRegion{{200.0, 200.0}, focus_radius});
+  s.tier.kinematic_radius_m = 120.0;
+  s.tier.hysteresis_m = 20.0;
+  return s;
+}
+
+// A focus region covering the whole scenario keeps every vehicle at kFull,
+// and the full StagedOhmProtocol must then reproduce the golden digest bit
+// for bit — on the legacy ring and on the ring-as-network topology.
+TEST(FidelityTiers, CoveringFocusRegionKeepsGoldenDigest) {
+  for (const bool as_network : {false, true}) {
+    ScenarioConfig s = golden_scenario();
+    if (as_network) s.network.topology = traffic::NetworkTopology::kRingNetwork;
+    s.tier = covering_tiers();
+    SweepTrace trace;
+    const auto points =
+        run_density_sweep(golden_experiment(1), s, mmv2v_factory(), &trace);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(trace.digest, kGoldenDigest) << "as_network=" << as_network;
+  }
+}
+
+TEST(FidelityTiers, HysteresisPreventsBoundaryFlapping) {
+  TierConfig cfg;
+  cfg.enabled = true;
+  cfg.focus.push_back(FocusRegion{{0.0, 0.0}, 100.0});
+  cfg.kinematic_radius_m = 200.0;
+  cfg.hysteresis_m = 30.0;
+  const FidelityTiering tiering{cfg};
+
+  // One vehicle just inside the Full region, then oscillating across the
+  // edge by less than the hysteresis band: the tier must never change.
+  std::vector<geom::Vec2> pos{{99.0, 0.0}};
+  std::vector<FidelityTier> tiers;
+  tiering.reset(pos, tiers);
+  ASSERT_EQ(tiers[0], FidelityTier::kFull);
+  for (int k = 0; k < 20; ++k) {
+    pos[0].x = (k % 2 == 0) ? 99.0 : 100.0 + cfg.hysteresis_m / 2.0;
+    tiering.update(pos, tiers);
+    EXPECT_EQ(tiers[0], FidelityTier::kFull) << "iteration " << k;
+  }
+  // Past the exit radius the demotion does happen.
+  pos[0].x = 100.0 + cfg.hysteresis_m + 1.0;
+  tiering.update(pos, tiers);
+  EXPECT_EQ(tiers[0], FidelityTier::kKinematic);
+  // And the same band protects the Kinematic/OnRails boundary.
+  pos[0].x = 100.0 + cfg.kinematic_radius_m + cfg.hysteresis_m - 1.0;
+  tiering.update(pos, tiers);
+  EXPECT_EQ(tiers[0], FidelityTier::kKinematic);
+  pos[0].x = 100.0 + cfg.kinematic_radius_m + cfg.hysteresis_m + 1.0;
+  tiering.update(pos, tiers);
+  EXPECT_EQ(tiers[0], FidelityTier::kOnRails);
+}
+
+TEST(FidelityTiers, BudgetsCapTransitionsPerUpdate) {
+  TierConfig cfg;
+  cfg.enabled = true;
+  cfg.focus.push_back(FocusRegion{{0.0, 0.0}, 100.0});
+  cfg.kinematic_radius_m = 200.0;
+  cfg.hysteresis_m = 10.0;
+  cfg.promote_budget = 3;
+  cfg.demote_budget = 5;
+  const FidelityTiering tiering{cfg};
+
+  // 20 vehicles inside the region, then all teleported far outside.
+  std::vector<geom::Vec2> pos(20, geom::Vec2{50.0, 0.0});
+  std::vector<FidelityTier> tiers;
+  tiering.reset(pos, tiers);
+  for (auto& p : pos) p.x = 1000.0;
+  tiering.update(pos, tiers);
+  std::size_t demoted = 0;
+  for (const FidelityTier t : tiers) demoted += (t != FidelityTier::kFull) ? 1 : 0;
+  EXPECT_EQ(demoted, 5u);  // demote_budget, ascending id
+
+  // Teleport back: promotions are budgeted too, one tier step per update.
+  for (auto& p : pos) p.x = 50.0;
+  tiering.update(pos, tiers);
+  std::size_t promoted = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    promoted += (tiers[i] == FidelityTier::kFull) ? 1 : 0;
+  }
+  EXPECT_EQ(promoted, 3u);  // promote_budget
+}
+
+// The named world-label invariant: tier assignment over a live city-grid
+// world is a deterministic function of the scenario and seed.
+TEST(FidelityTiers, TierHysteresisDeterministicAcrossRuns) {
+  const ScenarioConfig s = tiered_city(150.0);
+  World a{s, 7};
+  World b{s, 7};
+  bool saw_non_full = false;
+  for (int tick = 0; tick < 40; ++tick) {
+    a.advance(0.1);
+    b.advance(0.1);
+    ASSERT_EQ(a.size(), b.size());
+    for (net::NodeId id = 0; id < a.size(); ++id) {
+      ASSERT_EQ(a.tier_of(id), b.tier_of(id)) << "tick " << tick << " id " << id;
+      saw_non_full |= a.tier_of(id) != FidelityTier::kFull;
+    }
+  }
+  EXPECT_TRUE(saw_non_full) << "scenario never exercised a demotion";
+  EXPECT_EQ(a.tier_count(FidelityTier::kFull) + a.tier_count(FidelityTier::kKinematic) +
+                a.tier_count(FidelityTier::kOnRails),
+            a.size());
+}
+
+TEST(FidelityTiers, OnRailsVehiclesDropOutOfPairGeometry) {
+  // Small focus region in one corner of the grid: far vehicles go OnRails.
+  ScenarioConfig s = tiered_city(100.0);
+  s.tier.focus[0].center = {0.0, 0.0};
+  s.tier.kinematic_radius_m = 80.0;
+  s.tier.demote_budget = 10'000;  // let everyone settle immediately
+  World world{s, 3};
+  for (int tick = 0; tick < 30; ++tick) world.advance(0.1);
+
+  const std::size_t on_rails = world.tier_count(FidelityTier::kOnRails);
+  ASSERT_GT(on_rails, 0u);
+  ASSERT_GT(world.tier_count(FidelityTier::kFull), 0u);
+
+  std::size_t checked = 0;
+  bool saw_occupancy = false;
+  for (net::NodeId id = 0; id < world.size(); ++id) {
+    if (world.tier_of(id) == FidelityTier::kOnRails) {
+      // No cached geometry in either direction.
+      EXPECT_TRUE(world.nearby(id).empty()) << "id " << id;
+      ++checked;
+    } else {
+      for (const PairGeom& p : world.nearby(id)) {
+        EXPECT_NE(world.tier_of(p.other), FidelityTier::kOnRails)
+            << id << " -> " << p.other;
+      }
+      if (world.onrails_near(id) > 0) {
+        saw_occupancy = true;
+        EXPECT_GT(world.onrails_occupancy(id), 0.0);
+        EXPECT_LT(world.onrails_occupancy(id), 1.0);
+      }
+    }
+  }
+  EXPECT_EQ(checked, on_rails);
+  EXPECT_TRUE(saw_occupancy) << "no full-tier vehicle saw OnRails traffic nearby";
+}
+
+TEST(FidelityTiers, DisabledTieringReportsAllFull) {
+  const World world{golden_scenario(), 5};
+  EXPECT_EQ(world.tier_count(FidelityTier::kFull), world.size());
+  EXPECT_EQ(world.tier_count(FidelityTier::kOnRails), 0u);
+  EXPECT_EQ(world.tier_of(0), FidelityTier::kFull);
+  EXPECT_EQ(world.onrails_near(0), 0u);
+  EXPECT_EQ(world.onrails_occupancy(0), 0.0);
+}
+
+}  // namespace
+}  // namespace mmv2v::core

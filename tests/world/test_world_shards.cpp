@@ -1,0 +1,127 @@
+// World-scale suite, part 2: sharded snapshots. Sharding the pair
+// enumeration into x-strips with halo exchange is an execution detail — the
+// cached geometry and the golden digest must be bit-identical for any shard
+// count, and every in-range pair must match a brute-force enumeration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/golden_scenario.hpp"
+#include "core/world.hpp"
+#include "geom/spatial_grid.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+using golden::golden_experiment;
+using golden::golden_scenario;
+using golden::kGoldenDigest;
+using golden::mmv2v_factory;
+
+ScenarioConfig grid_scenario(int shards) {
+  ScenarioConfig s = golden_scenario();
+  s.network.topology = traffic::NetworkTopology::kCityGrid;
+  s.network.grid_rows = 3;
+  s.network.grid_cols = 3;
+  s.network.block_m = 150.0;
+  s.traffic.lanes_per_direction = 2;
+  s.traffic.lane_width_m = 3.5;
+  s.traffic.density_vpl = 10.0;
+  s.engine.world_shards = shards;
+  return s;
+}
+
+void expect_identical_snapshots(const World& a, const World& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (net::NodeId id = 0; id < a.size(); ++id) {
+    const auto pa = a.nearby(id);
+    const auto pb = b.nearby(id);
+    ASSERT_EQ(pa.size(), pb.size()) << "node " << id;
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      EXPECT_EQ(pa[k].other, pb[k].other) << "node " << id;
+      EXPECT_EQ(pa[k].distance_m, pb[k].distance_m) << "node " << id;
+      EXPECT_EQ(pa[k].bearing_rad, pb[k].bearing_rad) << "node " << id;
+      EXPECT_EQ(pa[k].blockers, pb[k].blockers) << "node " << id;
+      EXPECT_EQ(pa[k].extra_loss_db, pb[k].extra_loss_db) << "node " << id;
+    }
+  }
+}
+
+TEST(WorldShards, ShardedSnapshotBitIdenticalToUnsharded) {
+  for (const int shards : {2, 4, 7}) {
+    const World reference{grid_scenario(1), 11};
+    const World sharded{grid_scenario(shards), 11};
+    expect_identical_snapshots(reference, sharded);
+  }
+}
+
+TEST(WorldShards, ShardLayoutPartitionsVehicles) {
+  const World world{grid_scenario(4), 11};
+  const auto& shards = world.shards();
+  ASSERT_EQ(shards.size(), 4u);
+  std::vector<int> seen(world.size(), 0);
+  for (const WorldShard& s : shards) {
+    EXPECT_LE(s.x_min, s.x_max);
+    for (const std::uint32_t i : s.owned) {
+      ++seen[i];
+      EXPECT_GE(world.position(i).x, s.x_min - 1e-9);
+    }
+    // Halo bodies are close enough to matter and are never owned twice.
+    for (const std::uint32_t i : s.halo) {
+      const double x = world.position(i).x;
+      EXPECT_TRUE(x < s.x_min || x > s.x_max ||
+                  (x >= s.x_min - 1e-9 && x <= s.x_max + 1e-9));
+    }
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);
+}
+
+TEST(WorldShards, CrossShardPairsMatchBruteForce) {
+  const ScenarioConfig scenario = grid_scenario(4);
+  const World world{scenario, 23};
+  ASSERT_GT(world.size(), 10u);
+  const double range = scenario.interference_range_m;
+  std::size_t checked = 0;
+  for (net::NodeId a = 0; a < world.size(); ++a) {
+    for (net::NodeId b = a + 1; b < world.size(); ++b) {
+      const geom::Vec2 pa = world.position(a);
+      const geom::Vec2 pb = world.position(b);
+      const double d = geom::distance(pa, pb);
+      const PairGeom* cached = world.pair(a, b);
+      if (geom::distance_sq(pa, pb) > range * range) {
+        EXPECT_EQ(cached, nullptr) << a << "," << b;
+        continue;
+      }
+      ASSERT_NE(cached, nullptr) << a << "," << b;
+      EXPECT_EQ(cached->distance_m, d);
+      // Blocker count through the shard-local evaluator (with halo) must
+      // equal the count over the global evaluator.
+      int expected = world.los().blocker_count(pa, pb, a, b);
+      if (world.mobility().cross_median(a, b)) {
+        expected += scenario.cross_median_blockers;
+      }
+      EXPECT_EQ(cached->blockers, expected) << a << "," << b;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(WorldShards, GoldenDigestInvariantAcrossShardAndLaneCounts) {
+  for (const int shards : {2, 4}) {
+    for (const int threads : {1, 4}) {
+      ScenarioConfig s = golden_scenario();
+      s.engine.world_shards = shards;
+      SweepTrace trace;
+      const auto points =
+          run_density_sweep(golden_experiment(threads), s, mmv2v_factory(), &trace);
+      ASSERT_EQ(points.size(), 1u);
+      EXPECT_EQ(trace.digest, kGoldenDigest)
+          << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::core
