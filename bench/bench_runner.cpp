@@ -368,6 +368,7 @@ int main(int argc, char** argv) {
       {"threads", "0", "reserved knob for sweep-style cases (0 = hardware)"},
       {"engine.threads", "1", "intra-frame worker lanes for sim cases (0 = one per hardware thread)"},
       {"engine.arena_bytes", "1048576", "per-lane frame-arena capacity [bytes]"},
+      {"engine.batched_kernels", "true", "route hot frame loops through the batched SoA kernels (bit-identical either way)"},
       {"prof_trace", "", "enable the profiler and write a Chrome trace here"},
       {"prof_report", "false", "enable the profiler and print the scope hierarchy"},
   };

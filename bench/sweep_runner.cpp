@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
       {"engine.threads", "1", "intra-frame worker lanes per cell (0 = one per hardware thread)"},
       {"engine.arena_bytes", "1048576", "per-lane frame-arena capacity [bytes]"},
       {"engine.lane_budget", "0", "process-wide worker-lane budget (0 = hardware threads)"},
+      {"engine.batched_kernels", "true", "route hot frame loops through the batched SoA kernels (bit-identical either way)"},
       {"world.shards", "1", "rectangular world shards for pair enumeration"},
       {"network.topology", "legacy_ring", "road topology: ring | legacy_ring | ring_network | city_grid"},
       {"network.grid_rows", "4", "city_grid: horizontal road count (>= 2)"},

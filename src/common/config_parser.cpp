@@ -164,6 +164,13 @@ core::EngineParams parse_engine_knobs(const ConfigMap& config) {
     }
     engine.lane_budget = static_cast<int>(*budget);
   }
+  if (config.contains("engine.batched_kernels")) {
+    const auto batched = config.get_bool("engine.batched_kernels");
+    if (!batched) {
+      throw std::runtime_error{"engine.batched_kernels must be a boolean"};
+    }
+    engine.batched_kernels = *batched;
+  }
   if (config.contains("world.shards")) {
     const auto shards = config.get_int("world.shards");
     if (!shards || *shards < 1) {

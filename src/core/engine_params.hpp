@@ -25,6 +25,12 @@ struct EngineParams {
   /// allocations overflow to the heap — but costs the zero-allocation
   /// steady state.
   std::size_t arena_bytes = 1 << 20;
+  /// Route the hot per-frame loops (pair enumeration LOS, sweep gain/SINR
+  /// evaluation, admission filtering) through the batched SoA kernels in
+  /// phy/kernels and geom/batch instead of the scalar reference paths
+  /// (config key `engine.batched_kernels`). Bit-identical either way — the
+  /// kernels differential suite and the golden digest pin it.
+  bool batched_kernels = true;
   /// Rectangular world shards the snapshot pair enumeration is split into
   /// (config key `world.shards`). Each shard owns an x-strip of vehicles and
   /// receives a halo of bodies within interference range of its boundary;

@@ -6,6 +6,7 @@
 
 #include "common/profiler.hpp"
 #include "geom/angles.hpp"
+#include "geom/batch.hpp"
 #include "sim/lane_budgeter.hpp"
 #include "sim/worker_pool.hpp"
 #include "traffic/network_traffic_sim.hpp"
@@ -75,7 +76,10 @@ void World::advance(double dt) {
 
 void World::refresh_snapshot() {
   PROF_SCOPE("world.refresh");
-  los_ = mobility_->make_los_evaluator();
+  {
+    PROF_SCOPE("world.los_build");
+    los_ = mobility_->make_los_evaluator();
+  }
   const std::size_t n = mobility_->size();
 
   positions_.resize(n);
@@ -148,12 +152,21 @@ void World::update_tiers() {
 void World::enumerate_pairs(std::span<const std::uint32_t> owners,
                             const geom::LosEvaluator& los,
                             std::vector<UndirectedPair>& out) const {
+  PROF_SCOPE("world.enumerate");
   const double radius = config_.interference_range_m;
   const double radius_sq = radius * radius;
   // OnRails vehicles get no cached pair geometry at all — their radio
   // footprint is the statistical onrails_occupancy() estimate instead.
   const bool tiered = !tiers_.empty();
+  const bool batched = config_.engine.batched_kernels;
   std::vector<std::uint32_t> candidates;  // per-call scratch: lane-safe
+  // LOS corridor (engine.batched_kernels): one sorted SoA mirror of the
+  // evaluator per call, then every blocker count scans a contiguous
+  // x-window with the identical predicate chain instead of walking the
+  // spatial grid per segment. thread_local so sharded refreshes keep one
+  // retained corridor per lane.
+  thread_local geom::LosCorridor corridor;
+  if (batched) corridor.gather(los);
   out.clear();
 
   for (const std::uint32_t i : owners) {
@@ -168,7 +181,8 @@ void World::enumerate_pairs(std::span<const std::uint32_t> owners,
     std::sort(candidates.begin(), candidates.end());
     for (const std::uint32_t j : candidates) {
       const double d = geom::distance(positions_[i], positions_[j]);
-      int blockers = los.blocker_count(positions_[i], positions_[j], i, j);
+      int blockers = batched ? corridor.count(positions_[i], positions_[j], i, j)
+                             : los.blocker_count(positions_[i], positions_[j], i, j);
       if (mobility_->cross_median(i, j)) {
         blockers += config_.cross_median_blockers;
       }
@@ -231,6 +245,7 @@ void World::build_shards(std::size_t shard_count) {
 }
 
 void World::scatter_pairs(bool sort_groups) {
+  PROF_SCOPE("world.scatter");
   const std::size_t n = positions_.size();
   std::vector<std::uint32_t> degree(n, 0);
   for (const auto& pairs : shard_pairs_) {
@@ -264,6 +279,16 @@ void World::scatter_pairs(bool sort_groups) {
                 pair_arena_.begin() + pair_offsets_[i + 1],
                 [](const PairGeom& a, const PairGeom& b) { return a.other < b.other; });
     }
+  }
+
+  if (config_.engine.batched_kernels) {
+    gains_.resize(pair_arena_.size());
+    const phy::ChannelParams& ch = channel_.params();
+    for (std::size_t k = 0; k < pair_arena_.size(); ++k) {
+      gains_[k] = pair_channel_gain(ch, pair_arena_[k]);
+    }
+  } else {
+    gains_.clear();
   }
 }
 

@@ -109,6 +109,24 @@ class World {
   /// Cached geometry from a toward b, if within interference range.
   [[nodiscard]] const PairGeom* pair(net::NodeId a, net::NodeId b) const noexcept;
 
+  /// Linear channel gain of an arena entry (the span from nearby() or the
+  /// pointer from pair()). With engine.batched_kernels the whole arena's
+  /// gains are computed once per snapshot; off, this evaluates on demand —
+  /// bit-identical either way, since the cache stores the same expression.
+  [[nodiscard]] double cached_gain(const PairGeom& g) const noexcept {
+    if (gains_.empty()) return pair_channel_gain(channel_.params(), g);
+    return gains_[static_cast<std::size_t>(&g - pair_arena_.data())];
+  }
+
+  /// Cached gains aligned index-for-index with nearby(id); empty span when
+  /// the cache is off (engine.batched_kernels = false).
+  [[nodiscard]] std::span<const double> nearby_gains(net::NodeId id) const {
+    if (gains_.empty()) return {};
+    const std::uint32_t begin = pair_offsets_.at(id);
+    const std::uint32_t end = pair_offsets_.at(id + 1);
+    return {gains_.data() + begin, end - begin};
+  }
+
   /// Ground-truth one-hop neighborhood N_i: LOS vehicles within comm range.
   [[nodiscard]] std::vector<net::NodeId> ground_truth_neighbors(net::NodeId id) const;
 
@@ -160,6 +178,11 @@ class World {
   /// within each group so pair() is a binary search.
   std::vector<PairGeom> pair_arena_;
   std::vector<std::uint32_t> pair_offsets_;
+  /// Pair-gain cache, aligned with pair_arena_ (empty when
+  /// engine.batched_kernels is off). pair_channel_gain is consumed several
+  /// times per directed entry per frame (six SND sweeps, negotiation, UDT);
+  /// computing it once per snapshot amortizes the pow() calls.
+  std::vector<double> gains_;
   // Scratch buffers reused across refreshes (no steady-state allocation).
   std::vector<geom::Vec2> positions_;
   std::vector<std::uint32_t> all_ids_;

@@ -23,7 +23,11 @@ inline constexpr double kTwoPi = 2.0 * std::numbers::pi;
 /// Wrap an angle to [0, 2*pi).
 [[nodiscard]] inline double wrap_two_pi(double a) noexcept {
   a = std::fmod(a, kTwoPi);
-  return a < 0.0 ? a + kTwoPi : a;
+  if (a < 0.0) a += kTwoPi;
+  // A tiny negative remainder rounds up to exactly 2*pi (e.g. fmod(-1e-20)
+  // + 2*pi), which would violate the documented [0, 2*pi) contract; fold it
+  // back to 0, where the true value (~2*pi - epsilon) wraps to anyway.
+  return a == kTwoPi ? 0.0 : a;
 }
 
 /// Wrap an angle to (-pi, pi].

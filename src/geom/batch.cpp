@@ -1,0 +1,247 @@
+#include "geom/batch.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mmv2v::geom {
+
+void reverse_bearing_batch(const double* bearing, int n, double* out) {
+  // bearing + pi lands in [pi, 3*pi), inside the bounded-wrap domain.
+  for (int i = 0; i < n; ++i) out[i] = wrap_two_pi_bounded(bearing[i] + kPi);
+}
+
+void reverse_bearing_batch_scalar(const double* bearing, int n, double* out) {
+  for (int i = 0; i < n; ++i) out[i] = wrap_two_pi(bearing[i] + kPi);
+}
+
+void angular_distance_batch(const double* angle, double ref, int n, double* out) {
+  for (int i = 0; i < n; ++i) out[i] = angular_distance_bounded(angle[i], ref);
+}
+
+void angular_distance_batch_scalar(const double* angle, double ref, int n, double* out) {
+  for (int i = 0; i < n; ++i) out[i] = angular_distance(angle[i], ref);
+}
+
+void distance_sq_batch(const double* x, const double* y, double ox, double oy, int n,
+                       double* out) {
+  for (int i = 0; i < n; ++i) {
+    const double dx = x[i] - ox;
+    const double dy = y[i] - oy;
+    out[i] = dx * dx + dy * dy;
+  }
+}
+
+void distance_sq_batch_scalar(const double* x, const double* y, double ox, double oy, int n,
+                              double* out) {
+  for (int i = 0; i < n; ++i) out[i] = distance_sq(Vec2{x[i], y[i]}, Vec2{ox, oy});
+}
+
+void admission_mask(const double* distance_m, int n, double max_range_m, std::uint8_t* out) {
+  // `!(d > max)` admits both the exactly-at-range element and everything
+  // when max is NaN — branchless, and identical to the scalar reject.
+  for (int i = 0; i < n; ++i) out[i] = distance_m[i] > max_range_m ? 0 : 1;
+}
+
+void admission_mask_scalar(const double* distance_m, int n, double max_range_m,
+                           std::uint8_t* out) {
+  for (int i = 0; i < n; ++i) {
+    const bool reject = !std::isnan(max_range_m) && distance_m[i] > max_range_m;
+    out[i] = reject ? 0 : 1;
+  }
+}
+
+void sector_index_batch(const SectorGrid& grid, const double* bearing, int n,
+                        std::int32_t* out) {
+  const double w = grid.width();
+  const int count = grid.count();
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::int32_t>(wrap_two_pi_bounded(bearing[i]) / w);
+    out[i] = idx >= count ? count - 1 : idx;
+  }
+}
+
+void sector_index_batch_scalar(const SectorGrid& grid, const double* bearing, int n,
+                               std::int32_t* out) {
+  for (int i = 0; i < n; ++i) out[i] = grid.sector_of(bearing[i]);
+}
+
+void LosCorridor::gather(const LosEvaluator& los) {
+  los_ = &los;
+  rmax_ = los.max_circumradius();
+  const std::span<const Vec2> centers = los.centers();
+  const auto n = static_cast<std::uint32_t>(centers.size());
+
+  // Bucket bodies into y-stripes, then sort by (stripe, center x) so each
+  // count() scans only its segment's x-window inside the stripes its y-band
+  // overlaps. Stripe height is at least a body diameter so a typical band
+  // (two circumradii tall) touches only a couple of stripes.
+  double ymin = 0.0;
+  double ymax = 0.0;
+  if (n > 0) {
+    ymin = ymax = centers[0].y;
+    for (std::uint32_t i = 1; i < n; ++i) {
+      ymin = std::min(ymin, centers[i].y);
+      ymax = std::max(ymax, centers[i].y);
+    }
+  }
+  const double span = ymax - ymin;
+  const double min_h = std::max(2.0 * rmax_, 1e-3);
+  const auto nstripes = span > min_h
+                            ? static_cast<std::size_t>(span / min_h)
+                            : std::size_t{1};
+  stripe_y0_ = ymin;
+  stripe_inv_h_ = span > 0.0 ? static_cast<double>(nstripes) / span : 0.0;
+  const auto stripe_of = [&](double y) {
+    const auto raw = static_cast<std::ptrdiff_t>((y - stripe_y0_) * stripe_inv_h_);
+    return static_cast<std::size_t>(
+        std::clamp(raw, std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(nstripes) - 1));
+  };
+
+  order_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
+  std::sort(order_.begin(), order_.end(), [&](std::uint32_t l, std::uint32_t r) {
+    const std::size_t sl = stripe_of(centers[l].y);
+    const std::size_t sr = stripe_of(centers[r].y);
+    if (sl != sr) return sl < sr;
+    return centers[l].x < centers[r].x;
+  });
+
+  stripe_start_.assign(nstripes + 1, 0);
+  for (std::uint32_t i = 0; i < n; ++i) ++stripe_start_[stripe_of(centers[order_[i]].y) + 1];
+  for (std::size_t s = 0; s < nstripes; ++s) stripe_start_[s + 1] += stripe_start_[s];
+
+  cx_.clear();
+  cy_.clear();
+  r_sq_.clear();
+  ux_.clear();
+  uy_.clear();
+  hl_.clear();
+  hw_.clear();
+  inscribed_sq_.clear();
+  owner_.clear();
+  body_.clear();
+  const std::span<const double> radii = los.circumradii();
+  const std::span<const double> ins = los.inscribed_sq();
+  const std::span<const std::size_t> owners = los.owners();
+  const std::span<const Vec2> axes = los.axes();
+  const std::span<const double> hls = los.half_lengths();
+  const std::span<const double> hws = los.half_widths();
+  for (const std::uint32_t idx : order_) {
+    cx_.push_back(centers[idx].x);
+    cy_.push_back(centers[idx].y);
+    r_sq_.push_back(radii[idx] * radii[idx]);
+    ux_.push_back(axes[idx].x);
+    uy_.push_back(axes[idx].y);
+    hl_.push_back(hls[idx]);
+    hw_.push_back(hws[idx]);
+    inscribed_sq_.push_back(ins[idx]);
+    owner_.push_back(owners[idx]);
+    body_.push_back(idx);
+  }
+}
+
+int LosCorridor::count(Vec2 a, Vec2 b, std::size_t owner_a, std::size_t owner_b) const {
+  if (cx_.empty()) return 0;
+  const double lo = std::min(a.x, b.x) - rmax_;
+  const double hi = std::max(a.x, b.x) + rmax_;
+  const double ylo = std::min(a.y, b.y) - rmax_;
+  const double yhi = std::max(a.y, b.y) + rmax_;
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+
+  // Stripes overlapping the inflated y-band. The clamp of the same monotone
+  // floor used at gather time guarantees s0..s1 is a superset of every body
+  // whose center y lies inside the band; pass 1 rejects the rest.
+  const auto nstripes = stripe_start_.size() - 1;
+  const auto clamp_stripe = [&](double y) {
+    const auto raw = static_cast<std::ptrdiff_t>((y - stripe_y0_) * stripe_inv_h_);
+    return static_cast<std::size_t>(
+        std::clamp(raw, std::ptrdiff_t{0}, static_cast<std::ptrdiff_t>(nstripes) - 1));
+  };
+  const std::size_t s0 = clamp_stripe(ylo);
+  const std::size_t s1 = clamp_stripe(yhi);
+
+  int count = 0;
+  for (std::size_t s = s0; s <= s1; ++s) {
+    const auto begin = stripe_start_[s];
+    const auto end = stripe_start_[s + 1];
+    // Restrict the x-window to where the segment passes through this
+    // stripe's y-range (grown by rmax, since a blocker center can sit one
+    // circumradius off the segment). For a cross-lane diagonal this shrinks
+    // the scan from the full bounding box to a tube around the segment, the
+    // same pruning the scalar grid walk gets from its per-row column
+    // windows. kMargin (applied in y, before the division, so near-flat
+    // segments inflate it by |abx/aby| automatically) dwarfs every rounding
+    // error in the stripe-membership floor and the interpolation below;
+    // pass 1 and pass 2 stay exact, so the margin only costs a few extra
+    // candidates.
+    double slo = lo;
+    double shi = hi;
+    if (aby != 0.0 && stripe_inv_h_ > 0.0) {
+      constexpr double kMargin = 1e-6;
+      const double h = 1.0 / stripe_inv_h_;
+      const double ys_lo =
+          (s == s0 ? ylo : stripe_y0_ + static_cast<double>(s) * h) - rmax_ - kMargin;
+      const double ys_hi =
+          (s == s1 ? yhi : stripe_y0_ + static_cast<double>(s + 1) * h) + rmax_ + kMargin;
+      double t1 = (ys_lo - a.y) / aby;
+      double t2 = (ys_hi - a.y) / aby;
+      if (t1 > t2) std::swap(t1, t2);
+      t1 = std::clamp(t1, 0.0, 1.0);
+      t2 = std::clamp(t2, 0.0, 1.0);
+      const double x1 = a.x + t1 * abx;
+      const double x2 = a.x + t2 * abx;
+      slo = std::max(slo, std::min(x1, x2) - rmax_ - kMargin);
+      shi = std::min(shi, std::max(x1, x2) + rmax_ + kMargin);
+    }
+    const auto first = static_cast<std::size_t>(
+        std::lower_bound(cx_.begin() + begin, cx_.begin() + end, slo) - cx_.begin());
+    std::size_t last = first;
+    while (last < end && cx_[last] <= shi) ++last;
+    const std::size_t win = last - first;
+    if (win == 0) continue;
+
+    // Pass 1 (vectorized, conservative): y-band plus the normal-axis
+    // separation reject of geom::normal_axis_separated, folded into one
+    // branchless slack value (negative = provably clear). The slack form
+    // support^2 - cross^2 < 0 is the same IEEE boolean as the helper's
+    // cross^2 > support^2 (subtraction is sign-exact), so this pass rejects
+    // the identical body set as the scalar chain in LosEvaluator.
+    if (near_.size() < win) near_.resize(win);
+    const double* cx = cx_.data() + first;
+    const double* cy = cy_.data() + first;
+    const double* ux = ux_.data() + first;
+    const double* uy = uy_.data() + first;
+    const double* hl = hl_.data() + first;
+    const double* hw = hw_.data() + first;
+    double* near = near_.data();
+    for (std::size_t k = 0; k < win; ++k) {
+      const double cross = abx * (cy[k] - a.y) - aby * (cx[k] - a.x);
+      const double su = abx * uy[k] - aby * ux[k];
+      const double sv = abx * ux[k] + aby * uy[k];
+      const double support = hl[k] * std::abs(su) + hw[k] * std::abs(sv);
+      const double band = std::min(cy[k] - ylo, yhi - cy[k]);
+      near[k] = std::min(band, support * support - cross * cross);
+    }
+
+    // Pass 2 (survivors only): the identical predicate chain to
+    // LosEvaluator::blocker_count — circumradius distance reject, owner
+    // exclusion, inscribed-circle early accept, exact rect-segment test.
+    // Counting is commutative, so gather and stripe order are free.
+    for (std::size_t k = 0; k < win; ++k) {
+      if (near[k] < 0.0) continue;
+      const std::size_t g = first + k;
+      const double d_sq = segment_distance_sq(a, b, Vec2{cx_[g], cy_[g]});
+      if (d_sq > r_sq_[g]) continue;
+      if (owner_[g] == owner_a || owner_[g] == owner_b) continue;
+      if (d_sq < inscribed_sq_[g]) {
+        ++count;
+        continue;
+      }
+      if (los_->blockers()[body_[g]].body.intersects_segment(a, b)) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace mmv2v::geom

@@ -1,0 +1,123 @@
+// Batched geometry kernels over SoA arrays (DESIGN.md Section 13).
+//
+// Every batched kernel here has a *_scalar twin that applies the original
+// per-element routine in a plain loop; tests/phy/test_kernels.cpp checks the
+// two bit-exact against each other over randomized sweeps. The batched
+// bodies are written auto-vectorizer-first: contiguous loads, no lambdas,
+// branchless selects where the math allows, and bounded-domain angle
+// arithmetic that replaces libm fmod with compare-and-subtract — exact by
+// the Sterbenz lemma, so results stay bit-identical to geom/angles.hpp.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/angles.hpp"
+#include "geom/los.hpp"
+#include "geom/vec2.hpp"
+
+namespace mmv2v::geom {
+
+/// wrap_two_pi() for |a| < 4*pi, without the fmod call. Bit-exact: for
+/// a in [2*pi, 4*pi) the subtraction a - 2*pi is exact (Sterbenz: the
+/// operands are within 2x of each other), which is precisely the remainder
+/// fmod computes; for a in (-2*pi, 2*pi) fmod is the identity; the single
+/// rounding operation (the += 2*pi for negative a) is the same in both.
+[[nodiscard]] inline double wrap_two_pi_bounded(double a) noexcept {
+  if (a >= kTwoPi) a -= kTwoPi;
+  if (a < 0.0) a += kTwoPi;
+  return a == kTwoPi ? 0.0 : a;
+}
+
+/// angular_distance(a, b) for a, b in [0, 2*pi], without the fmod call.
+/// Bit-exact to the geom/angles.hpp composition (see wrap_two_pi_bounded;
+/// the d -= 2*pi folds for d in [pi, 2*pi] are likewise Sterbenz-exact).
+[[nodiscard]] inline double angular_distance_bounded(double a, double b) noexcept {
+  double d = a - b;
+  if (d >= kTwoPi) d -= kTwoPi;
+  if (d < 0.0) d += kTwoPi;
+  if (d == kTwoPi) d = 0.0;
+  if (d > kPi) d -= kTwoPi;
+  return std::abs(d);
+}
+
+/// out[i] = wrap_two_pi(bearing[i] + pi) — the reverse (Tx -> Rx) bearing of
+/// a stored Rx -> Tx bearing. Requires bearing[i] in [0, 2*pi).
+void reverse_bearing_batch(const double* bearing, int n, double* out);
+void reverse_bearing_batch_scalar(const double* bearing, int n, double* out);
+
+/// out[i] = angular_distance(angle[i], ref). Requires inputs in [0, 2*pi].
+void angular_distance_batch(const double* angle, double ref, int n, double* out);
+void angular_distance_batch_scalar(const double* angle, double ref, int n, double* out);
+
+/// out[i] = distance_sq({x[i], y[i]}, {ox, oy}).
+void distance_sq_batch(const double* x, const double* y, double ox, double oy, int n,
+                       double* out);
+void distance_sq_batch_scalar(const double* x, const double* y, double ox, double oy, int n,
+                              double* out);
+
+/// Admission mask: out[i] = 1 unless distance_m[i] > max_range_m (so a NaN
+/// max admits everything and the exactly-at-range element is admitted) —
+/// the same `!(isnan(max) ...) && d > max` reject every protocol uses.
+void admission_mask(const double* distance_m, int n, double max_range_m, std::uint8_t* out);
+void admission_mask_scalar(const double* distance_m, int n, double max_range_m,
+                           std::uint8_t* out);
+
+/// out[i] = grid.sector_of(bearing[i]).
+void sector_index_batch(const SectorGrid& grid, const double* bearing, int n,
+                        std::int32_t* out);
+void sector_index_batch_scalar(const SectorGrid& grid, const double* bearing, int n,
+                               std::int32_t* out);
+
+/// Batched LOS blocker counting for the dense segment fans of World pair
+/// enumeration. gather() mirrors ALL of an evaluator's bodies into an SoA
+/// sorted by center x — once per snapshot, with no spatial-grid traversal —
+/// and each count() runs the identical predicate chain as
+/// LosEvaluator::blocker_count over the x-window of its segment: a
+/// contiguous prefilter scan instead of a per-segment grid walk. A body can
+/// intersect a segment only if its center lies within one circumradius of
+/// it, so the x-window (segment x-extent grown by the largest circumradius)
+/// provably contains every counted body; the segment bounding-box reject of
+/// the scalar path is implied by the circumradius distance test, so
+/// dropping it cannot change which bodies reach the exact intersection
+/// test.
+class LosCorridor {
+ public:
+  /// Mirror every body of `los` into the sorted SoA. The evaluator must
+  /// outlive the corridor's use (count() reads its OrientedRects).
+  void gather(const LosEvaluator& los);
+
+  /// Same result as los.blocker_count(a, b, owner_a, owner_b) for the
+  /// gathered evaluator (checked by the kernels differential suite).
+  [[nodiscard]] int count(Vec2 a, Vec2 b, std::size_t owner_a, std::size_t owner_b) const;
+
+ private:
+  const LosEvaluator* los_ = nullptr;
+  double rmax_ = 0.0;
+  // y-stripe partition: bodies are bucketed by center y into horizontal
+  // stripes (lanes, roughly) so a count() scans only the stripes its
+  // inflated y-band overlaps instead of every lane in the x-window. Stripe
+  // lookup is the same monotone floor((y - y0) * inv_h) for bodies and
+  // queries, so the scanned stripes always form a superset of the y-band.
+  double stripe_y0_ = 0.0;
+  double stripe_inv_h_ = 0.0;
+  std::vector<std::size_t> stripe_start_;  // nstripes + 1 offsets into the SoA
+  // SoA mirror of the gathered candidate bodies, sorted by (stripe, center x)
+  // so each count() visits only its segment's x-window per stripe.
+  std::vector<double> cx_;
+  std::vector<double> cy_;
+  std::vector<double> r_sq_;
+  std::vector<double> ux_;
+  std::vector<double> uy_;
+  std::vector<double> hl_;
+  std::vector<double> hw_;
+  std::vector<double> inscribed_sq_;
+  std::vector<std::size_t> owner_;
+  std::vector<std::uint32_t> body_;
+  std::vector<std::uint32_t> order_;    // gather scratch
+  mutable std::vector<double> near_;  // count() pass-1 slack scratch
+};
+
+}  // namespace mmv2v::geom

@@ -10,10 +10,16 @@ void LosEvaluator::rebuild_index() {
   radii_.resize(blockers_.size());
   inscribed_sq_.resize(blockers_.size());
   owners_.resize(blockers_.size());
+  axes_.resize(blockers_.size());
+  half_lengths_.resize(blockers_.size());
+  half_widths_.resize(blockers_.size());
   for (std::size_t i = 0; i < blockers_.size(); ++i) {
     const OrientedRect& body = blockers_[i].body;
     centers_[i] = body.center();
     radii_[i] = body.half_length() + body.half_width();
+    axes_[i] = body.axis();
+    half_lengths_[i] = body.half_length();
+    half_widths_[i] = body.half_width();
     // Shrink by a margin so the early-accept below never disagrees with the
     // epsilon-guarded exact test on tangent segments.
     const double inscribed =
@@ -43,6 +49,12 @@ int LosEvaluator::blocker_count(Vec2 a, Vec2 b, std::size_t owner_a,
     if (c.x < seg_min_x - r || c.x > seg_max_x + r || c.y < seg_min_y - r ||
         c.y > seg_max_y + r)
       return;
+    // Separating-axis reject along the segment normal: strictly tighter than
+    // the circumradius band for the common alongside-the-link vehicles, so
+    // most of them never reach the distance or corner tests.
+    if (normal_axis_separated(a, b, c, axes_[idx], half_lengths_[idx], half_widths_[idx])) {
+      return;
+    }
     // An intersecting body's center lies within its circumradius of the
     // segment, so this rejects corridor vehicles the axis-aligned box keeps
     // (e.g. alongside a diagonal cross-lane link) before the exact test.

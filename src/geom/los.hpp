@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "geom/rect.hpp"
@@ -48,6 +49,24 @@ class LosEvaluator {
   /// evaluators.
   [[nodiscard]] const std::vector<Blocker>& blockers() const noexcept { return blockers_; }
 
+  // Read-only views of the prefilter index, for batched kernels
+  // (geom::LosCorridor) that run the same predicate chain over their own
+  // gather order.
+  [[nodiscard]] const SpatialGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] std::span<const Vec2> centers() const noexcept { return centers_; }
+  [[nodiscard]] std::span<const double> circumradii() const noexcept { return radii_; }
+  [[nodiscard]] std::span<const double> inscribed_sq() const noexcept {
+    return inscribed_sq_;
+  }
+  [[nodiscard]] std::span<const std::size_t> owners() const noexcept { return owners_; }
+  [[nodiscard]] std::span<const Vec2> axes() const noexcept { return axes_; }
+  [[nodiscard]] std::span<const double> half_lengths() const noexcept {
+    return half_lengths_;
+  }
+  [[nodiscard]] std::span<const double> half_widths() const noexcept { return half_widths_; }
+  /// Largest circumscribed radius over all bodies.
+  [[nodiscard]] double max_circumradius() const noexcept { return max_radius_; }
+
   /// Number of distinct bodies crossing the segment (a, b), excluding the two
   /// endpoint owners.
   [[nodiscard]] int blocker_count(Vec2 a, Vec2 b, std::size_t owner_a,
@@ -73,6 +92,10 @@ class LosEvaluator {
   /// closer than this to the center certainly crosses the body.
   std::vector<double> inscribed_sq_;
   std::vector<std::size_t> owners_;
+  /// Unit headings and half-extents, for the normal-axis separation reject.
+  std::vector<Vec2> axes_;
+  std::vector<double> half_lengths_;
+  std::vector<double> half_widths_;
   /// Largest circumscribed radius over all bodies: a body can only intersect
   /// a segment if its center lies within this distance of it.
   double max_radius_ = 0.0;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 
 #include "geom/vec2.hpp"
 
@@ -19,6 +20,7 @@ class OrientedRect {
         half_width_(half_width) {}
 
   [[nodiscard]] Vec2 center() const noexcept { return center_; }
+  [[nodiscard]] Vec2 axis() const noexcept { return axis_; }
   [[nodiscard]] double half_length() const noexcept { return half_length_; }
   [[nodiscard]] double half_width() const noexcept { return half_width_; }
 
@@ -51,5 +53,29 @@ class OrientedRect {
 
 /// True if segments (p1, p2) and (q1, q2) intersect (inclusive of endpoints).
 [[nodiscard]] bool segments_intersect(Vec2 p1, Vec2 p2, Vec2 q1, Vec2 q2) noexcept;
+
+/// Separating-axis reject along the normal of segment (a, b) for a rectangle
+/// centered at c with unit heading `axis` and half-extents (half_length,
+/// half_width). Every point of the segment projects onto its own normal at
+/// the single value a x b-ish offset `cross / |b - a|`, and the rectangle
+/// projects to an interval of half-width `support / |b - a|`, so
+/// cross^2 > support^2 proves the two are disjoint — a strictly tighter
+/// reject than the isotropic circumradius test, and sound for any segment
+/// including degenerate ones (cross == 0 never separates).
+///
+/// geom::LosCorridor reproduces this exact expression in slack form
+/// (support^2 - cross^2 < 0); IEEE subtraction is sign-exact, so both
+/// formulations reject the identical body set bit-for-bit.
+[[nodiscard]] inline bool normal_axis_separated(Vec2 a, Vec2 b, Vec2 c, Vec2 axis,
+                                                double half_length,
+                                                double half_width) noexcept {
+  const double abx = b.x - a.x;
+  const double aby = b.y - a.y;
+  const double cross = abx * (c.y - a.y) - aby * (c.x - a.x);
+  const double su = abx * axis.y - aby * axis.x;
+  const double sv = abx * axis.x + aby * axis.y;
+  const double support = half_length * std::abs(su) + half_width * std::abs(sv);
+  return cross * cross > support * support;
+}
 
 }  // namespace mmv2v::geom

@@ -1,0 +1,147 @@
+#include "phy/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.hpp"
+#include "geom/batch.hpp"
+
+namespace mmv2v::phy::kernels {
+
+SumArgmax sum_and_argmax(const double* w, int n) {
+  SumArgmax r;
+  for (int i = 0; i < n; ++i) {
+    r.total_w += w[i];
+    if (w[i] > r.best_w) {
+      r.best_w = w[i];
+      r.best_idx = i;
+    }
+  }
+  return r;
+}
+
+void gain_batch(const BeamPattern& pattern, const double* gamma, int n, double* out) {
+  const double theta1 = pattern.main_lobe_boundary();
+  const double g1 = pattern.main_gain();
+  const double g2 = pattern.side_gain();
+  const double half = pattern.width() / 2.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = std::abs(gamma[i]);
+    if (g >= theta1) {
+      out[i] = g2;
+    } else {
+      const double x = g / half;
+      out[i] = g1 * std::pow(10.0, -0.3 * x * x);
+    }
+  }
+}
+
+void gain_batch_scalar(const BeamPattern& pattern, const double* gamma, int n, double* out) {
+  for (int i = 0; i < n; ++i) out[i] = pattern.gain(gamma[i]);
+}
+
+void sector_gain_table(const BeamPattern& pattern, const geom::SectorGrid& grid,
+                       const double* angle, int n, bool opposite, double* out) {
+  const int s = grid.count();
+  const double w = grid.width();
+  const double g2 = pattern.side_gain();
+  const double theta1 = pattern.main_lobe_boundary();
+  // Window half-width in sectors. An angle in sector tb sits within w of the
+  // center of any sector at circular index distance <= 1 from tb; at index
+  // distance k the offset to the center is at least (k - 1.5) * w in the
+  // worst case (including a possible +-1 sector_of rounding at the boundary).
+  // With k >= ceil(theta1 / w) + 2 that lower bound is >= theta1 + 0.5 * w,
+  // a margin ~15 orders of magnitude above fp rounding of the distance — so
+  // outside the window gain() returns exactly g2 and we can skip computing it.
+  const int k = static_cast<int>(std::ceil(theta1 / w)) + 2;
+  if (2 * k - 1 >= s) {
+    // Window covers the whole circle: compute every entry exactly.
+    sector_gain_table_scalar(pattern, grid, angle, n, opposite, out);
+    return;
+  }
+  std::fill(out, out + static_cast<std::size_t>(s) * static_cast<std::size_t>(n), g2);
+  const int half = s / 2;
+  for (int i = 0; i < n; ++i) {
+    const double a = angle[i];
+    const int tb = grid.sector_of(a);
+    for (int dt = -(k - 1); dt <= k - 1; ++dt) {
+      int e = tb + dt;  // sector whose center the pattern points at
+      if (e < 0) e += s;
+      if (e >= s) e -= s;
+      // Row index t such that the consumed boresight sector is e: the
+      // `opposite` tables store gain toward center(opposite(t)), so invert
+      // opposite() to find which row e belongs to.
+      const int t = opposite ? (e + s - half) % s : e;
+      out[static_cast<std::size_t>(t) * static_cast<std::size_t>(n) + i] =
+          pattern.gain(geom::angular_distance_bounded(a, grid.center(e)));
+    }
+  }
+}
+
+void sector_gain_table_scalar(const BeamPattern& pattern, const geom::SectorGrid& grid,
+                              const double* angle, int n, bool opposite, double* out) {
+  const int s = grid.count();
+  for (int t = 0; t < s; ++t) {
+    const double c = grid.center(opposite ? grid.opposite(t) : t);
+    double* row = out + static_cast<std::size_t>(t) * static_cast<std::size_t>(n);
+    for (int i = 0; i < n; ++i) row[i] = pattern.gain(geom::angular_distance(angle[i], c));
+  }
+}
+
+void rx_watts_batch(double p_w, const double* g_t, const double* g_c, const double* g_r,
+                    int n, double* out) {
+  for (int i = 0; i < n; ++i) out[i] = ((p_w * g_t[i]) * g_c[i]) * g_r[i];
+}
+
+void rx_watts_batch_scalar(double p_w, const double* g_t, const double* g_c,
+                           const double* g_r, int n, double* out) {
+  for (int i = 0; i < n; ++i) {
+    const double w = p_w * g_t[i] * g_c[i] * g_r[i];
+    out[i] = w;
+  }
+}
+
+void rx_watts_gather(double p_w, const double* g_t, const double* g_c, const double* g_r,
+                     const std::int32_t* idx, int n, double* out) {
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(idx[i]);
+    out[i] = ((p_w * g_t[k]) * g_c[k]) * g_r[k];
+  }
+}
+
+void rx_watts_gather_scalar(double p_w, const double* g_t, const double* g_c,
+                            const double* g_r, const std::int32_t* idx, int n, double* out) {
+  for (int i = 0; i < n; ++i) {
+    const auto k = static_cast<std::size_t>(idx[i]);
+    const double w = p_w * g_t[k] * g_c[k] * g_r[k];
+    out[i] = w;
+  }
+}
+
+void rx_watts2_batch(double p_w, const double* g_t, const double* g_c, int n, double* out) {
+  for (int i = 0; i < n; ++i) out[i] = (p_w * g_t[i]) * g_c[i];
+}
+
+void rx_watts2_batch_scalar(double p_w, const double* g_t, const double* g_c, int n,
+                            double* out) {
+  for (int i = 0; i < n; ++i) {
+    const double w = p_w * g_t[i] * g_c[i];
+    out[i] = w;
+  }
+}
+
+void sinr_db_batch(const double* signal_w, const double* interference_w, double noise_w,
+                   int n, double* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = 10.0 * std::log10(signal_w[i] / (noise_w + interference_w[i]));
+  }
+}
+
+void sinr_db_batch_scalar(const double* signal_w, const double* interference_w,
+                          double noise_w, int n, double* out) {
+  for (int i = 0; i < n; ++i) {
+    out[i] = units::linear_to_db(signal_w[i] / (noise_w + interference_w[i]));
+  }
+}
+
+}  // namespace mmv2v::phy::kernels

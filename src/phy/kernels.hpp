@@ -1,0 +1,92 @@
+// Batched PHY kernels over SoA candidate arrays (DESIGN.md Section 13).
+//
+// These are the inner loops of every sweep phase — two-lobe beam gain,
+// received watts, SINR — restructured so a whole candidate array is
+// processed per call instead of one pair at a time. Each batched kernel has
+// a *_scalar twin that applies the original per-element routine in a plain
+// loop; tests/phy/test_kernels.cpp pins the two bit-exact against each
+// other, and the golden trace digest pins the wired-up protocols.
+//
+// Bit-exactness rules the kernels obey:
+//   * per-element arithmetic is the identical expression tree (the watts
+//     product associates as ((p_w * g_t) * g_c) * g_r, exactly like the
+//     scalar paths);
+//   * order-sensitive reductions (the capture-model total + argmax) stay
+//     serial loops in element order;
+//   * the sector-window shortcut in sector_gain_table() only skips elements
+//     it can prove land in the flat side lobe, where gain() returns the
+//     constant g2 exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "geom/angles.hpp"
+#include "phy/antenna.hpp"
+
+namespace mmv2v::phy::kernels {
+
+/// Ordered sum + strict argmax of a watts row: total accumulates in element
+/// order; best starts at 0 so best_idx stays -1 unless some w > 0 — the
+/// exact accumulation every sweep loop uses.
+struct SumArgmax {
+  double total_w = 0.0;
+  double best_w = 0.0;
+  int best_idx = -1;
+};
+
+[[nodiscard]] SumArgmax sum_and_argmax(const double* w, int n);
+
+/// out[i] = pattern.gain(gamma[i]). The batched body keeps the pow() only on
+/// main-lobe elements (gamma < theta1); side-lobe elements take the constant
+/// g2 — the same branch gain() resolves per call, without the call.
+void gain_batch(const BeamPattern& pattern, const double* gamma, int n, double* out);
+void gain_batch_scalar(const BeamPattern& pattern, const double* gamma, int n, double* out);
+
+/// Row-major S x n sweep-gain table:
+///   out[t * n + i] = pattern.gain(angular_distance(angle[i], grid.center(e)))
+/// with e = grid.opposite(t) when `opposite` (receive-side tables index by
+/// the swept sector but point the pattern at the opposite sector's center),
+/// else e = t. Requires angle[i] in [0, 2*pi).
+///
+/// The batched body fills everything with the side-lobe constant g2 and
+/// computes the exact gain only inside a window of sectors around each
+/// angle's own sector: outside ceil(theta1/width)+2 sectors, the offset to
+/// the sector center exceeds theta1 by at least half a sector width, so
+/// gain() returns exactly g2 — proved margin, checked by the differential
+/// suite.
+void sector_gain_table(const BeamPattern& pattern, const geom::SectorGrid& grid,
+                       const double* angle, int n, bool opposite, double* out);
+void sector_gain_table_scalar(const BeamPattern& pattern, const geom::SectorGrid& grid,
+                              const double* angle, int n, bool opposite, double* out);
+
+/// out[i] = ((p_w * g_t[i]) * g_c[i]) * g_r[i] — the four-factor link budget
+/// in the scalar paths' association order.
+void rx_watts_batch(double p_w, const double* g_t, const double* g_c, const double* g_r,
+                    int n, double* out);
+void rx_watts_batch_scalar(double p_w, const double* g_t, const double* g_c,
+                           const double* g_r, int n, double* out);
+
+/// Gathered variant of rx_watts_batch for frame-major sweep replay: the gain
+/// tables and channel gains stay indexed by the receiver's full nearby list
+/// and idx[] selects this sweep's candidate subset, so
+///   out[i] = ((p_w * g_t[idx[i]]) * g_c[idx[i]]) * g_r[idx[i]]
+/// — bit-identical to compacting the arrays first and calling
+/// rx_watts_batch.
+void rx_watts_gather(double p_w, const double* g_t, const double* g_c, const double* g_r,
+                     const std::int32_t* idx, int n, double* out);
+void rx_watts_gather_scalar(double p_w, const double* g_t, const double* g_c,
+                            const double* g_r, const std::int32_t* idx, int n, double* out);
+
+/// out[i] = (p_w * g_t[i]) * g_c[i] — quasi-omni receive (rx gain = 1).
+void rx_watts2_batch(double p_w, const double* g_t, const double* g_c, int n, double* out);
+void rx_watts2_batch_scalar(double p_w, const double* g_t, const double* g_c, int n,
+                            double* out);
+
+/// out[i] = 10 * log10(signal_w[i] / (noise_w + interference_w[i])).
+void sinr_db_batch(const double* signal_w, const double* interference_w, double noise_w,
+                   int n, double* out);
+void sinr_db_batch_scalar(const double* signal_w, const double* interference_w,
+                          double noise_w, int n, double* out);
+
+}  // namespace mmv2v::phy::kernels

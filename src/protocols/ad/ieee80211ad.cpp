@@ -7,6 +7,8 @@
 #include "common/units.hpp"
 #include "core/instrument.hpp"
 #include "geom/angles.hpp"
+#include "geom/batch.hpp"
+#include "phy/kernels.hpp"
 #include "phy/pathloss.hpp"
 #include "protocols/fault_instrument.hpp"
 #include "sim/worker_pool.hpp"
@@ -28,6 +30,14 @@ struct BtiCandidate {
 /// buffer across frames (the pool's threads persist).
 struct BtiScratch {
   std::vector<BtiCandidate> cands;
+  // SoA backing for the batched sweep: bearings, channel gains, the S x m
+  // beacon gain table, per-sector watts, and candidate PCP ids.
+  std::vector<double> bearing;
+  std::vector<double> back;
+  std::vector<double> g_c;
+  std::vector<double> g_t;
+  std::vector<double> watts;
+  std::vector<net::NodeId> pcps;
 };
 
 BtiScratch& bti_scratch() {
@@ -83,38 +93,84 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
   if (fault != nullptr) fault_partials_.assign(chunks, {0, 0});
   const auto sectors_per_frame = static_cast<std::uint64_t>(sectors);
 
+  const bool batched = world.config().engine.batched_kernels;
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     SndRoundStats& part = bti_partials_[chunk];
     BtiScratch& scratch = bti_scratch();
     for (std::size_t j = begin; j < end; ++j) {
       if (pcp_tenure_[j] > 0) continue;  // PCPs transmit, they don't scan
       if (fault != nullptr && fault->control_down(j)) continue;
-      scratch.cands.clear();
-      for (const core::PairGeom& p : world.nearby(j)) {
-        if (pcp_tenure_[p.other] <= 0) continue;
-        // A churned-down PCP stops beaconing (tenure keeps ticking).
-        if (fault != nullptr && fault->control_down(p.other)) continue;
-        BtiCandidate c;
-        c.pcp = p.other;
-        c.back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
-        c.g_c = core::pair_channel_gain(channel.params(), p);
-        scratch.cands.push_back(c);
+      int m = 0;
+      if (batched) {
+        // SoA gather, then the shared kernels: one S x m beacon gain table
+        // per listener (bearings are sweep-invariant) instead of S passes of
+        // per-candidate pattern evaluations.
+        const std::span<const core::PairGeom> nearby = world.nearby(j);
+        const std::span<const double> gains = world.nearby_gains(j);
+        if (scratch.bearing.size() < nearby.size()) {
+          scratch.bearing.resize(nearby.size());
+          scratch.back.resize(nearby.size());
+          scratch.g_c.resize(nearby.size());
+          scratch.watts.resize(nearby.size());
+          scratch.pcps.resize(nearby.size());
+        }
+        for (std::size_t k = 0; k < nearby.size(); ++k) {
+          const core::PairGeom& p = nearby[k];
+          if (pcp_tenure_[p.other] <= 0) continue;
+          // A churned-down PCP stops beaconing (tenure keeps ticking).
+          if (fault != nullptr && fault->control_down(p.other)) continue;
+          scratch.bearing[m] = p.bearing_rad;
+          scratch.g_c[m] = gains.empty() ? core::pair_channel_gain(channel.params(), p)
+                                         : gains[k];
+          scratch.pcps[m] = p.other;
+          ++m;
+        }
+        if (m == 0) continue;
+        const std::size_t table = static_cast<std::size_t>(sectors) * static_cast<std::size_t>(m);
+        if (scratch.g_t.size() < table) scratch.g_t.resize(table);
+        geom::reverse_bearing_batch(scratch.bearing.data(), m, scratch.back.data());
+        phy::kernels::sector_gain_table(beacon_pattern_, grid_, scratch.back.data(), m,
+                                        /*opposite=*/false, scratch.g_t.data());
+      } else {
+        scratch.cands.clear();
+        for (const core::PairGeom& p : world.nearby(j)) {
+          if (pcp_tenure_[p.other] <= 0) continue;
+          // A churned-down PCP stops beaconing (tenure keeps ticking).
+          if (fault != nullptr && fault->control_down(p.other)) continue;
+          BtiCandidate c;
+          c.pcp = p.other;
+          c.back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+          c.g_c = core::pair_channel_gain(channel.params(), p);
+          scratch.cands.push_back(c);
+        }
+        if (scratch.cands.empty()) continue;
       }
-      if (scratch.cands.empty()) continue;
 
       for (int t = 0; t < sectors; ++t) {
-        const double sweep_center = grid_.center(t);
         double total_w = 0.0;
         double best_w = 0.0;
         net::NodeId best = kNone;
-        for (const BtiCandidate& c : scratch.cands) {
-          const double g_t =
-              beacon_pattern_.gain(geom::angular_distance(c.back_bearing, sweep_center));
-          const double w = p_w * g_t * c.g_c;  // quasi-omni rx gain = 1
-          total_w += w;
-          if (w > best_w) {
-            best_w = w;
-            best = c.pcp;
+        if (batched) {
+          const std::size_t row = static_cast<std::size_t>(t) * static_cast<std::size_t>(m);
+          phy::kernels::rx_watts2_batch(p_w, scratch.g_t.data() + row, scratch.g_c.data(),
+                                        m, scratch.watts.data());
+          const phy::kernels::SumArgmax acc =
+              phy::kernels::sum_and_argmax(scratch.watts.data(), m);
+          if (acc.best_idx < 0) continue;
+          total_w = acc.total_w;
+          best_w = acc.best_w;
+          best = scratch.pcps[static_cast<std::size_t>(acc.best_idx)];
+        } else {
+          const double sweep_center = grid_.center(t);
+          for (const BtiCandidate& c : scratch.cands) {
+            const double g_t =
+                beacon_pattern_.gain(geom::angular_distance(c.back_bearing, sweep_center));
+            const double w = p_w * g_t * c.g_c;  // quasi-omni rx gain = 1
+            total_w += w;
+            if (w > best_w) {
+              best_w = w;
+              best = c.pcp;
+            }
           }
         }
         if (best == kNone) continue;

@@ -5,6 +5,8 @@
 #include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "geom/angles.hpp"
+#include "geom/batch.hpp"
+#include "phy/kernels.hpp"
 #include "sim/worker_pool.hpp"
 
 namespace mmv2v::protocols {
@@ -62,8 +64,86 @@ void PhyNegotiationChannel::evaluate_half(
   const std::size_t chunks = sim::WorkerPool::chunk_count(n, kPairGrain);
   partials_.assign(chunks, NegotiationStats{});
 
+  const bool batched = world_.config().engine.batched_kernels;
+  const std::size_t node_count = world_.size();
+
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     NegotiationStats& part = partials_[chunk];
+    if (batched) {
+      // NodeId -> index into nearby(rx); rebuilt (and un-built) per receiver
+      // so the q-loop lookups are O(1) instead of the scalar path's binary
+      // searches. The q-ordered gather keeps the interference sum in the
+      // scalar summation order, so the result stays bit-identical.
+      thread_local std::vector<std::int32_t> slot;
+      thread_local std::vector<double> bear;
+      thread_local std::vector<double> ang_tx;
+      thread_local std::vector<double> ang_rx;
+      thread_local std::vector<double> g_t;
+      thread_local std::vector<double> g_r;
+      thread_local std::vector<double> g_c;
+      if (slot.size() < node_count) slot.assign(node_count, -1);
+      bear.resize(n);
+      ang_tx.resize(n);
+      ang_rx.resize(n);
+      g_t.resize(n);
+      g_r.resize(n);
+      g_c.resize(n);
+      for (std::size_t p = begin; p < end; ++p) {
+        if (half_ok_[p] == 0) continue;
+        ++part.half_attempts;
+        const HalfLink& link = links_[p];
+        const std::span<const core::PairGeom> nb = world_.nearby(link.rx);
+        const std::span<const double> ng = world_.nearby_gains(link.rx);
+        for (std::size_t i = 0; i < nb.size(); ++i) {
+          slot[nb[i].other] = static_cast<std::int32_t>(i);
+        }
+        const std::int32_t si = slot[link.tx];
+        if (si < 0) {
+          half_ok_[p] = 0;
+          ++part.half_failures;
+          for (const core::PairGeom& e : nb) slot[e.other] = -1;
+          continue;
+        }
+        const core::PairGeom& g = nb[static_cast<std::size_t>(si)];
+        const double tx_to_rx = geom::wrap_two_pi_bounded(g.bearing_rad + geom::kPi);
+        const double g_ch = ng.empty() ? core::pair_channel_gain(channel.params(), g)
+                                       : ng[static_cast<std::size_t>(si)];
+        const double signal =
+            p_w *
+            tx_pattern_.gain(geom::angular_distance_bounded(tx_to_rx, link.tx_bearing)) *
+            g_ch *
+            rx_pattern_.gain(geom::angular_distance_bounded(g.bearing_rad, link.rx_bearing));
+
+        int m = 0;
+        for (std::size_t q = 0; q < n; ++q) {
+          if (q == p) continue;
+          const HalfLink& other = links_[q];
+          const std::int32_t qi = slot[other.tx];
+          if (qi < 0) continue;
+          const core::PairGeom& gi = nb[static_cast<std::size_t>(qi)];
+          bear[m] = gi.bearing_rad;
+          ang_tx[m] = geom::angular_distance_bounded(
+              geom::wrap_two_pi_bounded(gi.bearing_rad + geom::kPi), other.tx_bearing);
+          g_c[m] = ng.empty() ? core::pair_channel_gain(channel.params(), gi)
+                              : ng[static_cast<std::size_t>(qi)];
+          ++m;
+        }
+        for (const core::PairGeom& e : nb) slot[e.other] = -1;
+        geom::angular_distance_batch(bear.data(), link.rx_bearing, m, ang_rx.data());
+        phy::kernels::gain_batch(tx_pattern_, ang_tx.data(), m, g_t.data());
+        phy::kernels::gain_batch(rx_pattern_, ang_rx.data(), m, g_r.data());
+        double interference = 0.0;
+        for (int i = 0; i < m; ++i) {
+          interference += p_w * g_t[i] * g_c[i] * g_r[i];
+        }
+        const double sinr_db = units::linear_to_db(signal / (noise_w + interference));
+        if (!channel.mcs().control_decodable(sinr_db)) {
+          half_ok_[p] = 0;
+          ++part.half_failures;
+        }
+      }
+      return;
+    }
     for (std::size_t p = begin; p < end; ++p) {
       if (half_ok_[p] == 0) continue;
       ++part.half_attempts;

@@ -9,6 +9,8 @@
 #include "common/units.hpp"
 #include "core/frame_resources.hpp"
 #include "fault/fault_plan.hpp"
+#include "geom/batch.hpp"
+#include "phy/kernels.hpp"
 #include "sim/worker_pool.hpp"
 
 namespace mmv2v::protocols {
@@ -31,7 +33,19 @@ struct SweepCandidate {
 struct LaneScratch {
   std::vector<SweepCandidate> cands;
   std::vector<double> watts;
+  // SoA backing for the batched path when no FrameResources (and thus no
+  // arena workspace) is available.
+  std::vector<double> bearing;
+  std::vector<double> back_bearing;
+  std::vector<double> g_c;
+  std::vector<double> g_t;
+  std::vector<double> g_r;
+  std::vector<const core::PairGeom*> pairs;
 };
+
+double* alloc_doubles(MonotonicArena& arena, std::size_t n) {
+  return static_cast<double*>(arena.allocate(n * sizeof(double), alignof(double)));
+}
 
 LaneScratch& lane_scratch() {
   thread_local LaneScratch scratch;
@@ -77,7 +91,7 @@ void SyncNeighborDiscovery::run(const core::FrameContext& ctx,
                                 fault::FaultPlan* fault) const {
   run_rounds(ctx.world, ctx.frame, tables, rng,
              ctx.stats != nullptr ? &ctx.stats->snd_rounds : nullptr, fault,
-             ctx.resources != nullptr ? &ctx.resources->pool() : nullptr);
+             ctx.resources);
 }
 
 void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
@@ -92,13 +106,63 @@ void SyncNeighborDiscovery::run_rounds(const core::World& world, std::uint64_t f
                                        Xoshiro256pp& rng,
                                        std::vector<SndRoundStats>* round_stats,
                                        fault::FaultPlan* fault,
-                                       sim::WorkerPool* pool) const {
+                                       core::FrameResources* resources) const {
   PROF_SCOPE("snd.run");
   const std::size_t n = world.size();
-  tx_first_.resize(n);
+  sim::WorkerPool* pool = resources != nullptr ? &resources->pool() : nullptr;
+
+  // Carve the per-lane SoA sweep workspaces out of the frame arenas, once
+  // per frame and serially (the arenas are not lane-safe to grow from inside
+  // the parallel section). Sized by the frame's largest neighborhood, so
+  // every receiver batch fits without per-receiver allocation.
+  workspaces_.clear();
+  if (world.config().engine.batched_kernels && resources != nullptr) {
+    std::size_t maxc = 0;
+    for (net::NodeId i = 0; i < n; ++i) maxc = std::max(maxc, world.nearby(i).size());
+    if (maxc > 0) {
+      const auto sectors = static_cast<std::size_t>(grid_.count());
+      const int lanes = resources->lanes();
+      workspaces_.resize(static_cast<std::size_t>(lanes));
+      for (int l = 0; l < lanes; ++l) {
+        MonotonicArena& arena = resources->arena(l);
+        SweepWorkspace& ws = workspaces_[static_cast<std::size_t>(l)];
+        ws.cap = maxc;
+        ws.bearing = alloc_doubles(arena, maxc);
+        ws.back_bearing = alloc_doubles(arena, maxc);
+        ws.g_c = alloc_doubles(arena, maxc);
+        ws.watts = alloc_doubles(arena, maxc);
+        ws.g_t = alloc_doubles(arena, sectors * maxc);
+        ws.g_r = alloc_doubles(arena, sectors * maxc);
+        ws.pairs = static_cast<const core::PairGeom**>(
+            arena.allocate(maxc * sizeof(const core::PairGeom*), alignof(const core::PairGeom*)));
+        ws.idx = static_cast<std::int32_t*>(
+            arena.allocate(maxc * sizeof(std::int32_t), alignof(std::int32_t)));
+      }
+    }
+  }
+
   if (round_stats != nullptr) {
     round_stats->assign(static_cast<std::size_t>(params_.rounds), SndRoundStats{});
   }
+
+  // Frame-major schedule: pre-draw every round's roles (the sweeps never
+  // touch the RNG, so drawing K*n Bernoullis up front consumes the exact
+  // stream the round-by-round loop would), then run one pooled pass that
+  // computes each receiver's sector gain tables once and replays all 2K
+  // sweeps against them.
+  if (world.config().engine.batched_kernels && resources != nullptr && !workspaces_.empty()) {
+    const auto rounds = static_cast<std::size_t>(params_.rounds);
+    roles_.resize(rounds * n);
+    for (std::size_t k = 0; k < rounds; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        roles_[k * n + i] = rng.bernoulli(params_.p_tx) ? 1 : 0;
+      }
+    }
+    run_frame_major(world, frame, tables, round_stats, fault, *resources);
+    return;
+  }
+
+  tx_first_.resize(n);
   for (int k = 0; k < params_.rounds; ++k) {
     for (std::size_t i = 0; i < n; ++i) tx_first_[i] = rng.bernoulli(params_.p_tx);
     run_round_impl(world, frame, tx_first_, tables,
@@ -112,6 +176,9 @@ void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t fr
                                       const std::vector<bool>& tx_first,
                                       std::vector<net::NeighborTable>& tables,
                                       SndRoundStats* stats, fault::FaultPlan* fault) const {
+  // No FrameResources on this entry point: drop any workspaces from a prior
+  // run() whose arena frame has since been rewound.
+  workspaces_.clear();
   run_round_impl(world, frame, tx_first, tables, stats, fault, nullptr, 0);
 }
 
@@ -177,17 +244,176 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
   if (stats != nullptr) partials_.assign(chunks, SndRoundStats{});
   if (fault != nullptr) fault_partials_.assign(chunks, FaultPartial{});
 
+  const bool batched = world.config().engine.batched_kernels;
+  const auto sector_count = static_cast<std::size_t>(grid_.count());
+  const bool ideal = params_.ideal_capture;
+
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     SndRoundStats* part = stats != nullptr ? &partials_[chunk] : nullptr;
     FaultPartial* fault_part = fault != nullptr ? &fault_partials_[chunk] : nullptr;
     LaneScratch& scratch = lane_scratch();
+    // Arena workspace of this lane (batched path); when run without
+    // FrameResources the thread_local scratch vectors back the same arrays.
+    const bool have_arena_ws = batched && !workspaces_.empty();
+    SweepWorkspace ws =
+        have_arena_ws
+            ? workspaces_[static_cast<std::size_t>(pool != nullptr ? pool->current_lane() : 0)]
+            : SweepWorkspace{};
     for (net::NodeId rx = begin; rx < end; ++rx) {
       if (is_tx[rx]) continue;
       if (fault != nullptr && fault->control_down(rx)) continue;
 
+      const std::span<const core::PairGeom> nearby = world.nearby(rx);
+      if (nearby.empty()) continue;
+
+      const auto record = [&](int t, const core::PairGeom& p, double w) {
+        // A decodable arrival can still be erased by the fault layer's
+        // loss process (the SSW frame itself is lost/corrupted on the air).
+        if (fault != nullptr) {
+          const fault::CtrlFate fate =
+              fault->ctrl_fate(p.other, fault::CtrlKind::kSsw,
+                               slot_base + static_cast<std::uint64_t>(t),
+                               slots_per_frame);
+          if (fate != fault::CtrlFate::kDelivered) {
+            if (fate == fault::CtrlFate::kLost) {
+              ++fault_part->ssw_losses;
+            } else {
+              ++fault_part->ssw_corruptions;
+            }
+            if (part != nullptr) ++part->decode_failures;
+            return;
+          }
+        }
+        const double snr_db = units::linear_to_db(w / noise_w);
+        if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
+          if (part != nullptr) ++part->admission_rejects;
+          return;
+        }
+        // The range filter compares GPS positions: the SSW frame carries
+        // the sender's reported position, the receiver uses its own fix.
+        // Both carry the injected per-frame GPS error.
+        double admission_distance_m = p.distance_m;
+        if (fault_gps) {
+          const geom::Vec2 tx_pos = world.position(p.other) + fault->gps_offset(p.other);
+          const geom::Vec2 rx_pos = world.position(rx) + fault->gps_offset(rx);
+          admission_distance_m = geom::distance(tx_pos, rx_pos);
+        }
+        if (!std::isnan(params_.max_neighbor_range_m) &&
+            admission_distance_m > params_.max_neighbor_range_m) {
+          if (part != nullptr) ++part->admission_rejects;
+          return;
+        }
+        if (part != nullptr) ++part->decodes;
+        net::NeighborEntry entry;
+        entry.id = p.other;
+        entry.mac = world.mac(p.other);
+        // The receiver can only attribute the arrival to the sector it was
+        // sensing. For the main-lobe rendezvous this IS the true sector
+        // toward the transmitter; a side-lobe decode records a wrong
+        // sector, but the strongest same-frame observation (the
+        // rendezvous) wins in the table.
+        entry.sector_toward = grid_.opposite(t);
+        entry.snr_db = snr_db;
+        entry.last_seen_frame = frame;
+        tables[rx].observe(entry);
+      };
+
+      if (batched) {
+        if (!have_arena_ws) {
+          scratch.bearing.resize(nearby.size());
+          scratch.g_c.resize(nearby.size());
+          scratch.pairs.resize(nearby.size());
+          scratch.watts.resize(nearby.size());
+          ws.bearing = scratch.bearing.data();
+          ws.g_c = scratch.g_c.data();
+          ws.pairs = scratch.pairs.data();
+          ws.watts = scratch.watts.data();
+        }
+        const std::span<const double> gains = world.nearby_gains(rx);
+
+        // Sector-invariant SoA gather, once per receiver.
+        int cands = 0;
+        for (std::size_t k = 0; k < nearby.size(); ++k) {
+          const core::PairGeom& p = nearby[k];
+          if (!is_tx[p.other]) continue;
+          if (fault != nullptr && fault->control_down(p.other)) continue;
+          // Unsynchronized pair: the receiver's dwell no longer overlaps the
+          // transmitter's SSW frame enough to decode the preamble. The
+          // reference sector-outer loop re-tests this per sector, so the
+          // skip counts S times per sweep.
+          if (clock_active &&
+              std::abs(clock_[p.other] - clock_[rx]) > params_.sector_dwell_s / 2.0) {
+            if (part != nullptr) {
+              part->sync_skips += static_cast<std::uint64_t>(grid_.count());
+            }
+            if (fault_clock) {
+              fault_part->sync_misses += static_cast<std::uint64_t>(grid_.count());
+            }
+            continue;
+          }
+          ws.bearing[cands] = p.bearing_rad;
+          ws.g_c[cands] =
+              gains.empty() ? core::pair_channel_gain(channel.params(), p) : gains[k];
+          ws.pairs[cands] = &p;
+          ++cands;
+        }
+        if (cands == 0) continue;
+
+        if (!have_arena_ws) {
+          scratch.back_bearing.resize(static_cast<std::size_t>(cands));
+          scratch.g_t.resize(sector_count * static_cast<std::size_t>(cands));
+          scratch.g_r.resize(sector_count * static_cast<std::size_t>(cands));
+          ws.back_bearing = scratch.back_bearing.data();
+          ws.g_t = scratch.g_t.data();
+          ws.g_r = scratch.g_r.data();
+        }
+        // Reverse bearing (Tx -> Rx) is the receiver's bearing plus pi; the
+        // sweep/sense gain tables cover all S sectors for the whole batch.
+        geom::reverse_bearing_batch(ws.bearing, cands, ws.back_bearing);
+        phy::kernels::sector_gain_table(alpha_, grid_, ws.back_bearing, cands,
+                                        /*opposite=*/false, ws.g_t);
+        phy::kernels::sector_gain_table(beta_, grid_, ws.bearing, cands,
+                                        /*opposite=*/true, ws.g_r);
+
+        for (int t = 0; t < grid_.count(); ++t) {
+          const std::size_t row = static_cast<std::size_t>(t) * static_cast<std::size_t>(cands);
+          phy::kernels::rx_watts_batch(tx_power_w, ws.g_t + row, ws.g_c, ws.g_r + row,
+                                       cands, ws.watts);
+          const phy::kernels::SumArgmax acc = phy::kernels::sum_and_argmax(ws.watts, cands);
+          if (acc.best_idx < 0) continue;
+
+          if (ideal) {
+            // Idealization: every transmitter whose interference-free SNR
+            // clears the control threshold decodes (perfect multi-packet
+            // reception).
+            for (int i = 0; i < cands; ++i) {
+              const double w = ws.watts[i];
+              if (channel.mcs().control_decodable(units::linear_to_db(w / noise_w))) {
+                record(t, *ws.pairs[i], w);
+              } else if (part != nullptr) {
+                ++part->decode_failures;
+              }
+            }
+          } else {
+            // Capture model: only the strongest arrival decodes, and only if
+            // its SINR against the other concurrent sweepers clears the
+            // threshold.
+            const double sinr_db = units::linear_to_db(
+                acc.best_w / (noise_w + (acc.total_w - acc.best_w)));
+            if (channel.mcs().control_decodable(sinr_db)) {
+              record(t, *ws.pairs[acc.best_idx], acc.best_w);
+            } else if (part != nullptr) {
+              ++part->decode_failures;
+            }
+          }
+        }
+        continue;
+      }
+
+      // Scalar reference path (engine.batched_kernels = false).
       // Sector-invariant filtering and link-budget terms, once per receiver.
       scratch.cands.clear();
-      for (const core::PairGeom& p : world.nearby(rx)) {
+      for (const core::PairGeom& p : nearby) {
         if (!is_tx[p.other]) continue;
         if (fault != nullptr && fault->control_down(p.other)) continue;
         // Unsynchronized pair: the receiver's dwell no longer overlaps the
@@ -220,7 +446,6 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
         double total_w = 0.0;
         double best_w = 0.0;
         const core::PairGeom* best = nullptr;
-        const bool ideal = params_.ideal_capture;
         if (ideal) scratch.watts.clear();
         for (const SweepCandidate& c : scratch.cands) {
           const double g_t =
@@ -237,78 +462,20 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
         }
         if (best == nullptr) continue;
 
-        const auto record = [&](const core::PairGeom& p, double w) {
-          // A decodable arrival can still be erased by the fault layer's
-          // loss process (the SSW frame itself is lost/corrupted on the air).
-          if (fault != nullptr) {
-            const fault::CtrlFate fate =
-                fault->ctrl_fate(p.other, fault::CtrlKind::kSsw,
-                                 slot_base + static_cast<std::uint64_t>(t),
-                                 slots_per_frame);
-            if (fate != fault::CtrlFate::kDelivered) {
-              if (fate == fault::CtrlFate::kLost) {
-                ++fault_part->ssw_losses;
-              } else {
-                ++fault_part->ssw_corruptions;
-              }
-              if (part != nullptr) ++part->decode_failures;
-              return;
-            }
-          }
-          const double snr_db = units::linear_to_db(w / noise_w);
-          if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
-            if (part != nullptr) ++part->admission_rejects;
-            return;
-          }
-          // The range filter compares GPS positions: the SSW frame carries
-          // the sender's reported position, the receiver uses its own fix.
-          // Both carry the injected per-frame GPS error.
-          double admission_distance_m = p.distance_m;
-          if (fault_gps) {
-            const geom::Vec2 tx_pos = world.position(p.other) + fault->gps_offset(p.other);
-            const geom::Vec2 rx_pos = world.position(rx) + fault->gps_offset(rx);
-            admission_distance_m = geom::distance(tx_pos, rx_pos);
-          }
-          if (!std::isnan(params_.max_neighbor_range_m) &&
-              admission_distance_m > params_.max_neighbor_range_m) {
-            if (part != nullptr) ++part->admission_rejects;
-            return;
-          }
-          if (part != nullptr) ++part->decodes;
-          net::NeighborEntry entry;
-          entry.id = p.other;
-          entry.mac = world.mac(p.other);
-          // The receiver can only attribute the arrival to the sector it was
-          // sensing. For the main-lobe rendezvous this IS the true sector
-          // toward the transmitter; a side-lobe decode records a wrong
-          // sector, but the strongest same-frame observation (the
-          // rendezvous) wins in the table.
-          entry.sector_toward = grid_.opposite(t);
-          entry.snr_db = snr_db;
-          entry.last_seen_frame = frame;
-          tables[rx].observe(entry);
-        };
-
         if (ideal) {
-          // Idealization: every transmitter whose interference-free SNR
-          // clears the control threshold decodes (perfect multi-packet
-          // reception).
           for (std::size_t i = 0; i < scratch.cands.size(); ++i) {
             const double w = scratch.watts[i];
             if (channel.mcs().control_decodable(units::linear_to_db(w / noise_w))) {
-              record(*scratch.cands[i].pair, w);
+              record(t, *scratch.cands[i].pair, w);
             } else if (part != nullptr) {
               ++part->decode_failures;
             }
           }
         } else {
-          // Capture model: only the strongest arrival decodes, and only if
-          // its SINR against the other concurrent sweepers clears the
-          // threshold.
           const double sinr_db =
               units::linear_to_db(best_w / (noise_w + (total_w - best_w)));
           if (channel.mcs().control_decodable(sinr_db)) {
-            record(*best, best_w);
+            record(t, *best, best_w);
           } else if (part != nullptr) {
             ++part->decode_failures;
           }
@@ -343,6 +510,209 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
     fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.ssw_losses,
                               total.ssw_corruptions);
     fault->note_sync_misses(total.sync_misses);
+  }
+}
+
+void SyncNeighborDiscovery::run_frame_major(const core::World& world, std::uint64_t frame,
+                                            std::vector<net::NeighborTable>& tables,
+                                            std::vector<SndRoundStats>* round_stats,
+                                            fault::FaultPlan* fault,
+                                            core::FrameResources& resources) const {
+  PROF_SCOPE("snd.frame_major");
+  const std::size_t n = world.size();
+  if (tables.size() != n) {
+    throw std::invalid_argument{"SND: table vector must match the vehicle count"};
+  }
+  const phy::ChannelModel& channel = world.channel();
+  const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
+  const double noise_w = channel.noise_watts();
+  const auto rounds = static_cast<std::size_t>(params_.rounds);
+  const std::size_t sweeps = 2 * rounds;
+  const bool ideal = params_.ideal_capture;
+
+  const bool fault_clock = fault != nullptr && fault->params().clock_drift_us > 0.0;
+  const bool clock_active = params_.clock_sigma_s > 0.0 || fault_clock;
+  if (clock_active) {
+    clock_.resize(n);
+    for (net::NodeId i = 0; i < n; ++i) {
+      clock_[i] = clock_offset_s(i) + (fault_clock ? fault->clock_offset_s(i) : 0.0);
+    }
+  }
+  const bool fault_gps = fault != nullptr && fault->params().gps_sigma_m > 0.0;
+  const auto slots_per_frame =
+      static_cast<std::uint64_t>(params_.rounds) * 2ULL * static_cast<std::uint64_t>(grid_.count());
+
+  const std::size_t chunks = sim::WorkerPool::chunk_count(n, kRxGrain);
+  // One partial per (chunk, round) / (chunk, sweep): every counter is a u64
+  // sum, so merging them per round (or per sweep for the fault notes) after
+  // the single parallel pass gives the totals the sweep-major schedule
+  // accumulates sweep by sweep.
+  if (round_stats != nullptr) partials_.assign(chunks * rounds, SndRoundStats{});
+  if (fault != nullptr) fault_partials_.assign(chunks * sweeps, FaultPartial{});
+
+  sim::WorkerPool& pool = resources.pool();
+  auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    const SweepWorkspace& ws = workspaces_[static_cast<std::size_t>(pool.current_lane())];
+    for (net::NodeId rx = begin; rx < end; ++rx) {
+      // A churned-down control radio skips the whole frame: the sweep-major
+      // schedule rejects the receiver at every sweep with no counter.
+      if (fault != nullptr && fault->control_down(rx)) continue;
+      const std::span<const core::PairGeom> nearby = world.nearby(rx);
+      if (nearby.empty()) continue;
+      const auto full = static_cast<int>(nearby.size());
+      const std::span<const double> gains = world.nearby_gains(rx);
+
+      // Frame-constant per-pair terms over the FULL nearby list, computed
+      // once: bearings, channel gains, and both S x full sector gain
+      // tables. Every sweep's candidate set is a subset, and the kernels
+      // are per-element, so each used entry is bit-identical to the value
+      // the per-sweep gather would have produced.
+      for (int k = 0; k < full; ++k) {
+        const core::PairGeom& p = nearby[static_cast<std::size_t>(k)];
+        ws.bearing[k] = p.bearing_rad;
+        ws.g_c[k] = gains.empty() ? core::pair_channel_gain(channel.params(), p)
+                                  : gains[static_cast<std::size_t>(k)];
+      }
+      geom::reverse_bearing_batch(ws.bearing, full, ws.back_bearing);
+      phy::kernels::sector_gain_table(alpha_, grid_, ws.back_bearing, full,
+                                      /*opposite=*/false, ws.g_t);
+      phy::kernels::sector_gain_table(beta_, grid_, ws.bearing, full,
+                                      /*opposite=*/true, ws.g_r);
+
+      for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+        const std::uint8_t* role = roles_.data() + (sweep / 2) * n;
+        const bool first_half = (sweep % 2) == 0;
+        if ((role[rx] != 0) == first_half) continue;  // rx transmits this sweep
+        SndRoundStats* part =
+            round_stats != nullptr ? &partials_[chunk * rounds + sweep / 2] : nullptr;
+        FaultPartial* fault_part =
+            fault != nullptr ? &fault_partials_[chunk * sweeps + sweep] : nullptr;
+        const std::uint64_t slot_base =
+            static_cast<std::uint64_t>(sweep) * static_cast<std::uint64_t>(grid_.count());
+
+        // Per-sweep candidate gather: index into the frame tables instead
+        // of recomputing them. Filter order matches run_sweep (role, churn,
+        // clock), so every counter fires identically.
+        int cands = 0;
+        for (int k = 0; k < full; ++k) {
+          const core::PairGeom& p = nearby[static_cast<std::size_t>(k)];
+          if ((role[p.other] != 0) != first_half) continue;
+          if (fault != nullptr && fault->control_down(p.other)) continue;
+          if (clock_active &&
+              std::abs(clock_[p.other] - clock_[rx]) > params_.sector_dwell_s / 2.0) {
+            if (part != nullptr) {
+              part->sync_skips += static_cast<std::uint64_t>(grid_.count());
+            }
+            if (fault_clock) {
+              fault_part->sync_misses += static_cast<std::uint64_t>(grid_.count());
+            }
+            continue;
+          }
+          ws.idx[cands] = k;
+          ++cands;
+        }
+        if (cands == 0) continue;
+
+        const auto record = [&](int t, const core::PairGeom& p, double w) {
+          if (fault != nullptr) {
+            const fault::CtrlFate fate =
+                fault->ctrl_fate(p.other, fault::CtrlKind::kSsw,
+                                 slot_base + static_cast<std::uint64_t>(t), slots_per_frame);
+            if (fate != fault::CtrlFate::kDelivered) {
+              if (fate == fault::CtrlFate::kLost) {
+                ++fault_part->ssw_losses;
+              } else {
+                ++fault_part->ssw_corruptions;
+              }
+              if (part != nullptr) ++part->decode_failures;
+              return;
+            }
+          }
+          const double snr_db = units::linear_to_db(w / noise_w);
+          if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
+            if (part != nullptr) ++part->admission_rejects;
+            return;
+          }
+          double admission_distance_m = p.distance_m;
+          if (fault_gps) {
+            const geom::Vec2 tx_pos = world.position(p.other) + fault->gps_offset(p.other);
+            const geom::Vec2 rx_pos = world.position(rx) + fault->gps_offset(rx);
+            admission_distance_m = geom::distance(tx_pos, rx_pos);
+          }
+          if (!std::isnan(params_.max_neighbor_range_m) &&
+              admission_distance_m > params_.max_neighbor_range_m) {
+            if (part != nullptr) ++part->admission_rejects;
+            return;
+          }
+          if (part != nullptr) ++part->decodes;
+          net::NeighborEntry entry;
+          entry.id = p.other;
+          entry.mac = world.mac(p.other);
+          entry.sector_toward = grid_.opposite(t);
+          entry.snr_db = snr_db;
+          entry.last_seen_frame = frame;
+          tables[rx].observe(entry);
+        };
+
+        for (int t = 0; t < grid_.count(); ++t) {
+          const std::size_t row = static_cast<std::size_t>(t) * static_cast<std::size_t>(full);
+          phy::kernels::rx_watts_gather(tx_power_w, ws.g_t + row, ws.g_c, ws.g_r + row,
+                                        ws.idx, cands, ws.watts);
+          const phy::kernels::SumArgmax acc = phy::kernels::sum_and_argmax(ws.watts, cands);
+          if (acc.best_idx < 0) continue;
+
+          if (ideal) {
+            for (int i = 0; i < cands; ++i) {
+              const double w = ws.watts[i];
+              if (channel.mcs().control_decodable(units::linear_to_db(w / noise_w))) {
+                record(t, nearby[static_cast<std::size_t>(ws.idx[i])], w);
+              } else if (part != nullptr) {
+                ++part->decode_failures;
+              }
+            }
+          } else {
+            const double sinr_db =
+                units::linear_to_db(acc.best_w / (noise_w + (acc.total_w - acc.best_w)));
+            if (channel.mcs().control_decodable(sinr_db)) {
+              record(t, nearby[static_cast<std::size_t>(ws.idx[acc.best_idx])], acc.best_w);
+            } else if (part != nullptr) {
+              ++part->decode_failures;
+            }
+          }
+        }
+      }
+    }
+  };
+
+  pool.for_chunks(n, kRxGrain, process);
+
+  if (round_stats != nullptr) {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      SndRoundStats& out = (*round_stats)[r];
+      for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        const SndRoundStats& part = partials_[chunk * rounds + r];
+        out.decodes += part.decodes;
+        out.decode_failures += part.decode_failures;
+        out.admission_rejects += part.admission_rejects;
+        out.sync_skips += part.sync_skips;
+      }
+    }
+  }
+  if (fault != nullptr) {
+    // One note pair per sweep, in sweep order — the exact call sequence (and
+    // totals) the sweep-major schedule issues.
+    for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
+      FaultPartial total;
+      for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+        const FaultPartial& part = fault_partials_[chunk * sweeps + sweep];
+        total.ssw_losses += part.ssw_losses;
+        total.ssw_corruptions += part.ssw_corruptions;
+        total.sync_misses += part.sync_misses;
+      }
+      fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.ssw_losses,
+                                total.ssw_corruptions);
+      fault->note_sync_misses(total.sync_misses);
+    }
   }
 }
 

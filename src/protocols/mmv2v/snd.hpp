@@ -133,10 +133,27 @@ class SyncNeighborDiscovery {
   [[nodiscard]] double clock_offset_s(net::NodeId id) const;
 
  private:
+  /// Per-lane SoA sweep workspace, carved from the frame arena of the lane
+  /// once per run (engine.batched_kernels with FrameResources available).
+  /// Arrays hold one receiver's candidate batch at a time: bearings, cached
+  /// channel gains, and the S x cap sector gain tables the batched kernels
+  /// fill. cap is the frame's maximum nearby() count.
+  struct SweepWorkspace {
+    double* bearing = nullptr;       // [cap] rx -> tx bearings
+    double* back_bearing = nullptr;  // [cap] reverse (tx -> rx) bearings
+    double* g_c = nullptr;           // [cap] channel gains
+    double* watts = nullptr;         // [cap] per-sector received powers
+    double* g_t = nullptr;           // [S * cap] tx sweep-gain table
+    double* g_r = nullptr;           // [S * cap] rx sense-gain table
+    const core::PairGeom** pairs = nullptr;  // [cap] candidate identities
+    std::int32_t* idx = nullptr;  // [cap] per-sweep candidate indices (frame-major)
+    std::size_t cap = 0;
+  };
+
   void run_rounds(const core::World& world, std::uint64_t frame,
                   std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
                   std::vector<SndRoundStats>* round_stats, fault::FaultPlan* fault,
-                  sim::WorkerPool* pool) const;
+                  core::FrameResources* resources) const;
   void run_round_impl(const core::World& world, std::uint64_t frame,
                       const std::vector<bool>& tx_first,
                       std::vector<net::NeighborTable>& tables, SndRoundStats* stats,
@@ -154,6 +171,19 @@ class SyncNeighborDiscovery {
                  const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables,
                  SndRoundStats* stats, fault::FaultPlan* fault, int sweep,
                  sim::WorkerPool* pool) const;
+  /// Frame-major batched schedule (engine.batched_kernels + FrameResources):
+  /// all round roles are pre-drawn (identical RNG order — sweeps never touch
+  /// the stream), then one pooled pass computes each receiver's sector gain
+  /// tables once over its full nearby list — the bearings are frame
+  /// constants — and replays every sweep against them through per-sweep
+  /// candidate index gathers. Per receiver the (sweep, sector) observation
+  /// order is unchanged and all merged counters are commutative u64 sums, so
+  /// the trace digest matches the sweep-major reference schedule bit for
+  /// bit.
+  void run_frame_major(const core::World& world, std::uint64_t frame,
+                       std::vector<net::NeighborTable>& tables,
+                       std::vector<SndRoundStats>* round_stats, fault::FaultPlan* fault,
+                       core::FrameResources& resources) const;
 
   SndParams params_;
   phy::BeamPattern alpha_;
@@ -163,9 +193,16 @@ class SyncNeighborDiscovery {
   // frames allocation-free. Written serially before any parallel dispatch.
   mutable std::vector<bool> tx_first_;
   mutable std::vector<bool> swapped_;
+  /// Pre-drawn roles for the frame-major schedule, rounds x n (row k =
+  /// transmitter-in-first-sweep flags of round k).
+  mutable std::vector<std::uint8_t> roles_;
   mutable std::vector<double> clock_;
   mutable std::vector<SndRoundStats> partials_;
   mutable std::vector<FaultPartial> fault_partials_;
+  /// One arena-backed workspace per worker lane, rebuilt by run_rounds when
+  /// batched kernels are on and FrameResources is available; empty otherwise
+  /// (the sweep then uses retained thread_local scratch).
+  mutable std::vector<SweepWorkspace> workspaces_;
 };
 
 }  // namespace mmv2v::protocols

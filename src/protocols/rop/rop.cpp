@@ -7,6 +7,8 @@
 #include "common/profiler.hpp"
 #include "common/units.hpp"
 #include "core/instrument.hpp"
+#include "geom/batch.hpp"
+#include "phy/kernels.hpp"
 #include "phy/pathloss.hpp"
 #include "protocols/fault_instrument.hpp"
 #include "sim/worker_pool.hpp"
@@ -20,6 +22,26 @@ namespace {
 /// grid depends only on the vehicle count, so per-chunk counters merge
 /// identically at any lane count.
 constexpr std::size_t kRxGrain = 8;
+
+/// Per-lane SoA scratch for the batched discovery sweep; thread_local on the
+/// pool's persistent threads so steady-state sweeps touch no heap.
+struct RopScratch {
+  std::vector<double> bearing;
+  std::vector<double> center;  // per-candidate transmit sector center
+  std::vector<double> back;
+  std::vector<double> ang_t;
+  std::vector<double> ang_r;
+  std::vector<double> g_t;
+  std::vector<double> g_r;
+  std::vector<double> g_c;
+  std::vector<double> watts;
+  std::vector<const core::PairGeom*> pairs;
+};
+
+RopScratch& rop_scratch() {
+  thread_local RopScratch scratch;
+  return scratch;
+}
 }  // namespace
 
 RopProtocol::RopProtocol(RopParams params)
@@ -94,6 +116,7 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
   partials_.assign(chunks, SndRoundStats{});
   if (fault != nullptr) fault_partials_.assign(chunks, {0, 0});
 
+  const bool batched = world.config().engine.batched_kernels;
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     SndRoundStats& part = partials_[chunk];
     for (net::NodeId rx = begin; rx < end; ++rx) {
@@ -104,19 +127,69 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
       double total_w = 0.0;
       double best_w = 0.0;
       const core::PairGeom* best = nullptr;
-      for (const core::PairGeom& p : world.nearby(rx)) {
-        if (is_tx_[p.other] == 0) continue;
-        if (fault != nullptr && fault->control_down(p.other)) continue;
-        const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
-        const double g_t = alpha_.gain(
-            geom::angular_distance(back_bearing, grid_.center(sector_[p.other])));
-        const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
-        const double g_c = core::pair_channel_gain(channel.params(), p);
-        const double w = p_w * g_t * g_c * g_r;
-        total_w += w;
-        if (w > best_w) {
-          best_w = w;
-          best = &p;
+      if (batched) {
+        // SoA gather of the lottery candidates, then the shared kernel
+        // chain: reverse bearing, two-lobe gains, four-factor watts, ordered
+        // sum + strict argmax — the identical expression tree and
+        // accumulation order as the scalar loop below.
+        RopScratch& s = rop_scratch();
+        const std::span<const core::PairGeom> nearby = world.nearby(rx);
+        const std::span<const double> gains = world.nearby_gains(rx);
+        if (s.bearing.size() < nearby.size()) {
+          const std::size_t cap = nearby.size();
+          s.bearing.resize(cap);
+          s.center.resize(cap);
+          s.back.resize(cap);
+          s.ang_t.resize(cap);
+          s.ang_r.resize(cap);
+          s.g_t.resize(cap);
+          s.g_r.resize(cap);
+          s.g_c.resize(cap);
+          s.watts.resize(cap);
+          s.pairs.resize(cap);
+        }
+        int m = 0;
+        for (std::size_t k = 0; k < nearby.size(); ++k) {
+          const core::PairGeom& p = nearby[k];
+          if (is_tx_[p.other] == 0) continue;
+          if (fault != nullptr && fault->control_down(p.other)) continue;
+          s.bearing[m] = p.bearing_rad;
+          s.center[m] = grid_.center(sector_[p.other]);
+          s.g_c[m] = gains.empty() ? core::pair_channel_gain(channel.params(), p)
+                                   : gains[k];
+          s.pairs[m] = &p;
+          ++m;
+        }
+        if (m == 0) continue;
+        geom::reverse_bearing_batch(s.bearing.data(), m, s.back.data());
+        for (int i = 0; i < m; ++i) {
+          s.ang_t[i] = geom::angular_distance_bounded(s.back[i], s.center[i]);
+        }
+        phy::kernels::gain_batch(alpha_, s.ang_t.data(), m, s.g_t.data());
+        geom::angular_distance_batch(s.bearing.data(), sense_center, m, s.ang_r.data());
+        phy::kernels::gain_batch(beta_, s.ang_r.data(), m, s.g_r.data());
+        phy::kernels::rx_watts_batch(p_w, s.g_t.data(), s.g_c.data(), s.g_r.data(), m,
+                                     s.watts.data());
+        const phy::kernels::SumArgmax acc = phy::kernels::sum_and_argmax(s.watts.data(), m);
+        if (acc.best_idx < 0) continue;
+        total_w = acc.total_w;
+        best_w = acc.best_w;
+        best = s.pairs[static_cast<std::size_t>(acc.best_idx)];
+      } else {
+        for (const core::PairGeom& p : world.nearby(rx)) {
+          if (is_tx_[p.other] == 0) continue;
+          if (fault != nullptr && fault->control_down(p.other)) continue;
+          const double back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
+          const double g_t = alpha_.gain(
+              geom::angular_distance(back_bearing, grid_.center(sector_[p.other])));
+          const double g_r = beta_.gain(geom::angular_distance(p.bearing_rad, sense_center));
+          const double g_c = core::pair_channel_gain(channel.params(), p);
+          const double w = p_w * g_t * g_c * g_r;
+          total_w += w;
+          if (w > best_w) {
+            best_w = w;
+            best = &p;
+          }
         }
       }
       if (best == nullptr) continue;

@@ -64,6 +64,8 @@ double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) {
   const double noise_w = channel.noise_watts();
   sim::WorkerPool* pool =
       ctx.resources != nullptr ? &ctx.resources->pool() : nullptr;
+  const bool batched = world.config().engine.batched_kernels;
+  const std::size_t node_count = world.size();
 
   double total_bits = 0.0;
   for (std::size_t c = 0; c + 1 < cuts_.size(); ++c) {
@@ -85,10 +87,61 @@ double UdtEngine::step(core::FrameContext& ctx, double t0, double t1) {
     // transfers evaluate independently across lanes.
     results_.resize(active_.size());
     auto evaluate = [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+      // Batched path: an O(1) NodeId -> nearby-index slot array replaces the
+      // per-interferer binary search of world.pair(), and the snapshot's
+      // cached channel gains replace the per-term pathloss pow(). Same
+      // values, same expression order, same accumulation order — bit-exact
+      // against the lookup path (pinned by the kernels differential suite
+      // and the golden digest).
+      thread_local std::vector<std::int32_t> slot;
       for (std::size_t i = begin; i < end; ++i) {
         const DirectedTransfer* t = active_[i];
         TransferResult& out = results_[i];
         out.valid = false;
+        if (batched) {
+          const std::span<const core::PairGeom> nb = world.nearby(t->rx);
+          const std::span<const double> gains = world.nearby_gains(t->rx);
+          if (slot.size() < node_count) slot.assign(node_count, -1);
+          for (std::size_t m = 0; m < nb.size(); ++m) {
+            slot[nb[m].other] = static_cast<std::int32_t>(m);
+          }
+          const std::int32_t si = slot[t->tx];
+          if (si >= 0) {  // else: drifted out of range mid-frame
+            const core::PairGeom& grx = nb[static_cast<std::size_t>(si)];
+            const double tx_to_rx = geom::wrap_two_pi(grx.bearing_rad + geom::kPi);
+            const double g_t =
+                t->tx_pattern->gain(geom::angular_distance(tx_to_rx, t->tx_bearing_rad));
+            const double g_r =
+                t->rx_pattern->gain(geom::angular_distance(grx.bearing_rad, t->rx_bearing_rad));
+            const double g_c = gains.empty()
+                                   ? core::pair_channel_gain(channel.params(), grx)
+                                   : gains[static_cast<std::size_t>(si)];
+            const double signal_w = p_w * g_t * g_c * g_r;
+
+            double interference_w = 0.0;
+            for (const DirectedTransfer* k : std::as_const(active_)) {
+              if (k == t || k->tx == t->tx || k->tx == t->rx) continue;
+              const std::int32_t ki = slot[k->tx];
+              if (ki < 0) continue;  // beyond the interference radius
+              const core::PairGeom& gk = nb[static_cast<std::size_t>(ki)];
+              const double k_to_rx = geom::wrap_two_pi(gk.bearing_rad + geom::kPi);
+              const double gk_t =
+                  k->tx_pattern->gain(geom::angular_distance(k_to_rx, k->tx_bearing_rad));
+              const double gk_r =
+                  t->rx_pattern->gain(geom::angular_distance(gk.bearing_rad, t->rx_bearing_rad));
+              const double gk_c = gains.empty()
+                                      ? core::pair_channel_gain(channel.params(), gk)
+                                      : gains[static_cast<std::size_t>(ki)];
+              interference_w += p_w * gk_t * gk_c * gk_r;
+            }
+
+            out.sinr_db = units::linear_to_db(signal_w / (noise_w + interference_w));
+            out.rate = channel.mcs().data_rate_bps(out.sinr_db);
+            out.valid = true;
+          }
+          for (std::size_t m = 0; m < nb.size(); ++m) slot[nb[m].other] = -1;
+          continue;
+        }
         const core::PairGeom* geom_rx = world.pair(t->rx, t->tx);
         if (geom_rx == nullptr) continue;  // drifted out of range mid-frame
 

@@ -4,6 +4,9 @@
 
 namespace mmv2v::sim {
 
+thread_local const WorkerPool* WorkerPool::lane_pool_ = nullptr;
+thread_local int WorkerPool::lane_ = 0;
+
 WorkerPool::WorkerPool(int threads) {
   if (threads == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -12,7 +15,11 @@ WorkerPool::WorkerPool(int threads) {
   const int worker_count = std::max(0, threads - 1);
   workers_.reserve(static_cast<std::size_t>(worker_count));
   for (int i = 0; i < worker_count; ++i) {
-    workers_.emplace_back([this](const std::stop_token& st) { worker_main(st); });
+    workers_.emplace_back([this, i](const std::stop_token& st) {
+      lane_pool_ = this;
+      lane_ = i + 1;
+      worker_main(st);
+    });
   }
 }
 

@@ -41,6 +41,15 @@ class WorkerPool {
   /// Lanes executing chunks (workers + the caller).
   [[nodiscard]] int lanes() const noexcept { return static_cast<int>(workers_.size()) + 1; }
 
+  /// Lane index of the calling thread WITHIN THIS POOL: worker i of this
+  /// pool runs as lane i + 1; any other thread — including the dispatching
+  /// caller, even when that caller is itself a worker of a different pool
+  /// (e.g. a sweep-level lane running a whole cell) — is lane 0. Per-lane
+  /// frame scratch (core::FrameResources arenas) indexes by this, so a chunk
+  /// callback can reach its lane's arena without threading a lane id through
+  /// every call.
+  [[nodiscard]] int current_lane() const noexcept { return lane_pool_ == this ? lane_ : 0; }
+
   /// Chunks parallel_for() will create for `n` items at `grain` — size the
   /// per-chunk partial-result array with this before dispatching.
   [[nodiscard]] static std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept {
@@ -69,6 +78,11 @@ class WorkerPool {
   }
 
  private:
+  // Which pool this thread is a worker of (null for non-worker threads) and
+  // its lane index there; see current_lane().
+  static thread_local const WorkerPool* lane_pool_;
+  static thread_local int lane_;
+
   void worker_main(const std::stop_token& st);
   void drain_chunks(ChunkFn fn, void* ctx, std::size_t n, std::size_t grain,
                     std::size_t chunks);

@@ -18,6 +18,23 @@ TEST(Angles, WrapTwoPi) {
   EXPECT_NEAR(wrap_two_pi(5.0 * kTwoPi + 1.0), 1.0, 1e-9);
 }
 
+TEST(Angles, WrapTwoPiHonorsTheHalfOpenContract) {
+  // Regression: fmod of a tiny negative angle returns a tiny negative
+  // remainder, and adding 2*pi to it rounds to exactly 2*pi — which would
+  // escape the documented [0, 2*pi) range. The fold must return exactly 0,
+  // not approximately 0: sector_of() and the batched sector kernels divide
+  // by the sector width and index arrays with the result.
+  EXPECT_EQ(wrap_two_pi(kTwoPi), 0.0);
+  EXPECT_EQ(wrap_two_pi(-1e-20), 0.0);
+  EXPECT_EQ(wrap_two_pi(-1e-300), 0.0);
+  EXPECT_EQ(wrap_two_pi(2.0 * kTwoPi), 0.0);
+  for (double a = -40.0; a < 40.0; a += 0.0917) {
+    const double w = wrap_two_pi(a);
+    ASSERT_GE(w, 0.0) << "a = " << a;
+    ASSERT_LT(w, kTwoPi) << "a = " << a;
+  }
+}
+
 TEST(Angles, WrapPi) {
   EXPECT_NEAR(wrap_pi(kPi), kPi, 1e-12);
   EXPECT_NEAR(wrap_pi(kPi + 0.1), -kPi + 0.1, 1e-12);

@@ -1,0 +1,486 @@
+// Scalar-vs-batched differential harness for the SoA kernels (DESIGN.md
+// Section 13). Every batched kernel in phy/kernels and geom/batch is pinned
+// BIT-exact — compared through std::bit_cast, not EXPECT_DOUBLE_EQ — against
+// its *_scalar twin over randomized sweeps, because the engine promises that
+// `engine.batched_kernels` changes HOW a frame is computed, never WHAT: the
+// golden trace digest must not move when the knob flips.
+//
+// Structure: each suite draws a few dozen independent seeds (over 300
+// randomized cases across the file) and re-rolls batch size, parameters and
+// operands per seed; deterministic edge geometries — coincident positions,
+// bearings astride the ±pi wrap, the exactly-at-range admission boundary,
+// empty and single-element batches, sector-boundary bearings — are either
+// injected into the random batches or pinned in dedicated tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/angles.hpp"
+#include "geom/batch.hpp"
+#include "geom/los.hpp"
+#include "geom/rect.hpp"
+#include "phy/antenna.hpp"
+#include "phy/kernels.hpp"
+
+namespace mmv2v {
+namespace {
+
+using geom::kPi;
+using geom::kTwoPi;
+
+/// Bit-pattern equality: distinguishes +0.0 from -0.0 and treats any NaN
+/// payload as itself — the contract the golden digest actually depends on.
+::testing::AssertionResult BitsEqual(double a, double b) {
+  if (std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " (bits 0x" << std::hex
+         << std::bit_cast<std::uint64_t>(a) << " vs 0x"
+         << std::bit_cast<std::uint64_t>(b) << ")";
+}
+
+void ExpectArraysBitEqual(const double* a, const double* b, std::size_t n,
+                          const char* what) {
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(BitsEqual(a[i], b[i])) << what << " diverges at element " << i;
+  }
+}
+
+/// A batch of bearings in [0, 2*pi) with the edge geometries mixed in:
+/// element 0 is exactly 0, element 1 sits just below 2*pi (the wrap seam),
+/// element 2 is exactly pi, element 3 just above pi and element 4 just
+/// below — the ±pi wrap neighborhood every angular-distance bug lives in.
+std::vector<double> random_bearings(Xoshiro256pp& rng, std::size_t n) {
+  std::vector<double> a(n);
+  for (double& v : a) v = rng.uniform(0.0, kTwoPi);
+  if (n > 0) a[0] = 0.0;
+  if (n > 1) a[1] = std::nextafter(kTwoPi, 0.0);
+  if (n > 2) a[2] = kPi;
+  if (n > 3) a[3] = std::nextafter(kPi, 4.0);
+  if (n > 4) a[4] = std::nextafter(kPi, 0.0);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Bounded-domain angle arithmetic (the Sterbenz-exact fmod replacements).
+
+TEST(BoundedAngles, WrapMatchesFmodAcrossDomain) {
+  // wrap_two_pi_bounded is documented for |a| < 4*pi with a > -2*pi; sweep
+  // the whole domain plus the exact seam values.
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Xoshiro256pp rng{seed * 0x9e37 + 1};
+    for (int i = 0; i < 256; ++i) {
+      const double a = rng.uniform(-kTwoPi + 1e-9, 2.0 * kTwoPi);
+      ASSERT_TRUE(BitsEqual(geom::wrap_two_pi_bounded(a), geom::wrap_two_pi(a)))
+          << "a = " << a;
+    }
+  }
+  for (const double a : {0.0, -0.0, kPi, kTwoPi, std::nextafter(kTwoPi, 0.0),
+                         std::nextafter(kTwoPi, 7.0), 2.0 * kTwoPi * (1.0 - 1e-16),
+                         std::nextafter(-kTwoPi, 0.0), 1e-300, -1e-300}) {
+    EXPECT_TRUE(BitsEqual(geom::wrap_two_pi_bounded(a), geom::wrap_two_pi(a)))
+        << "a = " << a;
+  }
+}
+
+TEST(BoundedAngles, AngularDistanceMatchesReference) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Xoshiro256pp rng{0xd15c0 + seed};
+    for (int i = 0; i < 256; ++i) {
+      // Both operands in [0, 2*pi] — the closed upper end included, since
+      // cached bearings can legally hold an exact 2*pi before the fold.
+      const double a = std::min(rng.uniform(0.0, std::nextafter(kTwoPi, 7.0)), kTwoPi);
+      const double b = std::min(rng.uniform(0.0, std::nextafter(kTwoPi, 7.0)), kTwoPi);
+      ASSERT_TRUE(
+          BitsEqual(geom::angular_distance_bounded(a, b), geom::angular_distance(a, b)))
+          << "a = " << a << " b = " << b;
+    }
+  }
+  // The ±pi wrap seam and coincident operands, exactly.
+  EXPECT_TRUE(BitsEqual(geom::angular_distance_bounded(0.1, kTwoPi - 0.1),
+                        geom::angular_distance(0.1, kTwoPi - 0.1)));
+  EXPECT_TRUE(BitsEqual(geom::angular_distance_bounded(kTwoPi, 0.0),
+                        geom::angular_distance(kTwoPi, 0.0)));
+  EXPECT_TRUE(BitsEqual(geom::angular_distance_bounded(kPi, kPi),
+                        geom::angular_distance(kPi, kPi)));
+  EXPECT_EQ(geom::angular_distance_bounded(kTwoPi, 0.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// geom/batch.hpp SoA kernels.
+
+TEST(GeomBatch, ReverseBearingMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Xoshiro256pp rng{0xbea2 + seed};
+    const std::size_t n = seed == 0 ? 0 : (seed == 1 ? 1 : rng.uniform_int(96));
+    const std::vector<double> bearing = random_bearings(rng, n);
+    std::vector<double> batched(n), scalar(n);
+    geom::reverse_bearing_batch(bearing.data(), static_cast<int>(n), batched.data());
+    geom::reverse_bearing_batch_scalar(bearing.data(), static_cast<int>(n), scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), n, "reverse_bearing");
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitsEqual(batched[i], geom::wrap_two_pi(bearing[i] + kPi)))
+          << "bearing = " << bearing[i];
+    }
+  }
+}
+
+TEST(GeomBatch, AngularDistanceMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Xoshiro256pp rng{0xd157 + seed};
+    const std::size_t n = seed == 0 ? 0 : (seed == 1 ? 1 : rng.uniform_int(96));
+    const std::vector<double> angle = random_bearings(rng, n);
+    const double ref = seed % 3 == 0 ? 0.0 : rng.uniform(0.0, kTwoPi);
+    std::vector<double> batched(n), scalar(n);
+    geom::angular_distance_batch(angle.data(), ref, static_cast<int>(n), batched.data());
+    geom::angular_distance_batch_scalar(angle.data(), ref, static_cast<int>(n),
+                                        scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), n, "angular_distance");
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitsEqual(batched[i], geom::angular_distance(angle[i], ref)));
+    }
+  }
+}
+
+TEST(GeomBatch, DistanceSqMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Xoshiro256pp rng{0xd5 + seed};
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(80) + 1;
+    std::vector<double> x(n), y(n);
+    const double ox = rng.uniform(-500.0, 500.0);
+    const double oy = rng.uniform(-20.0, 20.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.uniform(-500.0, 500.0);
+      y[i] = rng.uniform(-20.0, 20.0);
+    }
+    if (n > 0) {  // coincident positions: distance must be exactly 0
+      x[0] = ox;
+      y[0] = oy;
+    }
+    std::vector<double> batched(n), scalar(n);
+    geom::distance_sq_batch(x.data(), y.data(), ox, oy, static_cast<int>(n),
+                            batched.data());
+    geom::distance_sq_batch_scalar(x.data(), y.data(), ox, oy, static_cast<int>(n),
+                                   scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), n, "distance_sq");
+    if (n > 0) {
+      EXPECT_EQ(batched[0], 0.0);
+    }
+  }
+}
+
+TEST(GeomBatch, AdmissionMaskMatchesScalarAndAdmitsTheBoundary) {
+  constexpr double kRange = 80.0;
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Xoshiro256pp rng{0xad31 + seed};
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(80) + 4;
+    std::vector<double> d(n);
+    for (double& v : d) v = rng.uniform(0.0, 2.0 * kRange);
+    if (n > 3) {
+      d[0] = kRange;                          // exactly at range: admitted
+      d[1] = std::nextafter(kRange, 1e9);     // one ulp beyond: rejected
+      d[2] = std::nextafter(kRange, 0.0);     // one ulp inside: admitted
+      d[3] = 0.0;                             // coincident positions
+    }
+    const double max_m =
+        seed % 4 == 0 ? std::numeric_limits<double>::quiet_NaN() : kRange;
+    std::vector<std::uint8_t> batched(n), scalar(n);
+    geom::admission_mask(d.data(), static_cast<int>(n), max_m, batched.data());
+    geom::admission_mask_scalar(d.data(), static_cast<int>(n), max_m, scalar.data());
+    ASSERT_EQ(batched, scalar);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool admit = !(!std::isnan(max_m) && d[i] > max_m);
+      ASSERT_EQ(batched[i] != 0, admit) << "d = " << d[i];
+    }
+    if (n > 3 && !std::isnan(max_m)) {
+      EXPECT_NE(batched[0], 0) << "the exactly-at-range neighbor must be admitted";
+      EXPECT_EQ(batched[1], 0);
+      EXPECT_NE(batched[2], 0);
+      EXPECT_NE(batched[3], 0);
+    }
+  }
+}
+
+TEST(GeomBatch, SectorIndexMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Xoshiro256pp rng{0x5ec7 + seed};
+    const geom::SectorGrid grid{static_cast<int>(4 + 4 * (seed % 6))};
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(96) + 8;
+    std::vector<double> bearing = random_bearings(rng, n);
+    // Exact sector boundaries and centers — the fp-rounding guard paths.
+    for (std::size_t i = 5; i < n && i < 5 + static_cast<std::size_t>(grid.count()); ++i) {
+      const int t = static_cast<int>(i - 5);
+      bearing[i] = (i % 2 == 0) ? static_cast<double>(t) * grid.width() : grid.center(t);
+    }
+    std::vector<std::int32_t> batched(n), scalar(n);
+    geom::sector_index_batch(grid, bearing.data(), static_cast<int>(n), batched.data());
+    geom::sector_index_batch_scalar(grid, bearing.data(), static_cast<int>(n),
+                                    scalar.data());
+    ASSERT_EQ(batched, scalar);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batched[i], grid.sector_of(bearing[i])) << "bearing = " << bearing[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// phy/kernels.hpp SoA kernels.
+
+phy::BeamPattern random_pattern(Xoshiro256pp& rng) {
+  const double width = geom::deg_to_rad(rng.uniform(6.0, 60.0));
+  const double down_db = rng.uniform(10.0, 30.0);
+  return phy::BeamPattern::make(width, down_db);
+}
+
+TEST(PhyKernels, GainBatchMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Xoshiro256pp rng{0x6a13 + seed};
+    const phy::BeamPattern pattern = random_pattern(rng);
+    const std::size_t n = seed == 0 ? 0 : (seed == 1 ? 1 : rng.uniform_int(128));
+    std::vector<double> gamma(n);
+    for (double& g : gamma) g = rng.uniform(0.0, kPi);
+    if (n > 2) {
+      gamma[0] = 0.0;                             // boresight
+      gamma[1] = pattern.main_lobe_boundary();    // exact lobe seam
+      gamma[2] = std::nextafter(pattern.main_lobe_boundary(), 0.0);
+    }
+    std::vector<double> batched(n), scalar(n);
+    phy::kernels::gain_batch(pattern, gamma.data(), static_cast<int>(n), batched.data());
+    phy::kernels::gain_batch_scalar(pattern, gamma.data(), static_cast<int>(n),
+                                    scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), n, "gain");
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(BitsEqual(batched[i], pattern.gain(gamma[i]))) << "gamma = " << gamma[i];
+    }
+  }
+}
+
+TEST(PhyKernels, SectorGainTableMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 48; ++seed) {
+    Xoshiro256pp rng{0x7ab1e + seed};
+    const phy::BeamPattern pattern = random_pattern(rng);
+    const int sectors = 4 + 4 * static_cast<int>(seed % 6);
+    const geom::SectorGrid grid{sectors};
+    const bool opposite = (seed % 2) == 1;
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(48) + 1;
+    const std::vector<double> angle = random_bearings(rng, n);
+    const std::size_t table = static_cast<std::size_t>(sectors) * n;
+    std::vector<double> batched(table), scalar(table);
+    phy::kernels::sector_gain_table(pattern, grid, angle.data(), static_cast<int>(n),
+                                    opposite, batched.data());
+    phy::kernels::sector_gain_table_scalar(pattern, grid, angle.data(),
+                                           static_cast<int>(n), opposite, scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), table, "sector_gain_table");
+    // Spot-check the documented formula: the sector-window shortcut may only
+    // skip elements whose gain is exactly the side-lobe constant.
+    for (int t = 0; t < sectors; ++t) {
+      const int e = opposite ? grid.opposite(t) : t;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double want =
+            pattern.gain(geom::angular_distance(angle[i], grid.center(e)));
+        ASSERT_TRUE(BitsEqual(batched[static_cast<std::size_t>(t) * n + i], want))
+            << "sector " << t << " angle " << angle[i];
+      }
+    }
+  }
+}
+
+TEST(PhyKernels, RxWattsMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Xoshiro256pp rng{0x3a77 + seed};
+    const double p_w = rng.uniform(1e-4, 1.0);
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(128) + 1;
+    std::vector<double> g_t(n), g_c(n), g_r(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      g_t[i] = rng.uniform(1e-3, 30.0);
+      g_c[i] = rng.uniform(1e-14, 1e-6);
+      g_r[i] = rng.uniform(1e-3, 30.0);
+    }
+    std::vector<double> batched(n), scalar(n);
+    phy::kernels::rx_watts_batch(p_w, g_t.data(), g_c.data(), g_r.data(),
+                                 static_cast<int>(n), batched.data());
+    phy::kernels::rx_watts_batch_scalar(p_w, g_t.data(), g_c.data(), g_r.data(),
+                                        static_cast<int>(n), scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), n, "rx_watts");
+
+    std::vector<double> batched2(n), scalar2(n);
+    phy::kernels::rx_watts2_batch(p_w, g_t.data(), g_c.data(), static_cast<int>(n),
+                                  batched2.data());
+    phy::kernels::rx_watts2_batch_scalar(p_w, g_t.data(), g_c.data(),
+                                         static_cast<int>(n), scalar2.data());
+    ExpectArraysBitEqual(batched2.data(), scalar2.data(), n, "rx_watts2");
+  }
+}
+
+TEST(PhyKernels, RxWattsGatherMatchesScalarAndCompaction) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Xoshiro256pp rng{0x6a7e2 + seed};
+    const double p_w = rng.uniform(1e-4, 1.0);
+    const std::size_t full = rng.uniform_int(96) + 1;
+    std::vector<double> g_t(full), g_c(full), g_r(full);
+    for (std::size_t i = 0; i < full; ++i) {
+      g_t[i] = rng.uniform(1e-3, 30.0);
+      g_c[i] = rng.uniform(1e-14, 1e-6);
+      g_r[i] = rng.uniform(1e-3, 30.0);
+    }
+    // A random (possibly empty, possibly repeating) candidate subset — the
+    // frame-major sweep replays different subsets against one gain table.
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(full + 1);
+    std::vector<std::int32_t> idx(n);
+    for (std::int32_t& k : idx) k = static_cast<std::int32_t>(rng.uniform_int(full));
+
+    std::vector<double> batched(n), scalar(n), compacted(n);
+    phy::kernels::rx_watts_gather(p_w, g_t.data(), g_c.data(), g_r.data(), idx.data(),
+                                  static_cast<int>(n), batched.data());
+    phy::kernels::rx_watts_gather_scalar(p_w, g_t.data(), g_c.data(), g_r.data(),
+                                         idx.data(), static_cast<int>(n), scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), n, "rx_watts_gather");
+
+    // Gathering must equal compact-first-then-rx_watts_batch bit for bit:
+    // that is the equivalence the frame-major SND schedule rests on.
+    std::vector<double> ct(n), cc(n), cr(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto k = static_cast<std::size_t>(idx[i]);
+      ct[i] = g_t[k];
+      cc[i] = g_c[k];
+      cr[i] = g_r[k];
+    }
+    phy::kernels::rx_watts_batch(p_w, ct.data(), cc.data(), cr.data(),
+                                 static_cast<int>(n), compacted.data());
+    ExpectArraysBitEqual(batched.data(), compacted.data(), n, "gather-vs-compaction");
+  }
+}
+
+TEST(PhyKernels, SinrDbMatchesScalar) {
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    Xoshiro256pp rng{0x51a2 + seed};
+    const double noise_w = rng.uniform(1e-13, 1e-9);
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(96) + 1;
+    std::vector<double> sig(n), itf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sig[i] = rng.uniform(1e-15, 1e-5);
+      itf[i] = (i % 3 == 0) ? 0.0 : rng.uniform(1e-15, 1e-7);
+    }
+    std::vector<double> batched(n), scalar(n);
+    phy::kernels::sinr_db_batch(sig.data(), itf.data(), noise_w, static_cast<int>(n),
+                                batched.data());
+    phy::kernels::sinr_db_batch_scalar(sig.data(), itf.data(), noise_w,
+                                       static_cast<int>(n), scalar.data());
+    ExpectArraysBitEqual(batched.data(), scalar.data(), n, "sinr_db");
+  }
+}
+
+TEST(PhyKernels, SumArgmaxMatchesSweepAccumulation) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Xoshiro256pp rng{0xa26 + seed};
+    const std::size_t n = seed == 0 ? 0 : rng.uniform_int(64) + 1;
+    std::vector<double> w(n);
+    for (double& v : w) v = rng.uniform_int(4) == 0 ? 0.0 : rng.uniform(0.0, 1e-8);
+    if (n > 2 && seed % 3 == 0) w[2] = w[n - 1];  // duplicate maxima candidate
+
+    const phy::kernels::SumArgmax acc =
+        phy::kernels::sum_and_argmax(w.data(), static_cast<int>(n));
+    // The reference is the exact accumulation every sweep loop used to run:
+    // ordered sum, strict > argmax seeded at 0 (so all-zero rows decode
+    // nothing and the FIRST of tied maxima wins).
+    double total = 0.0, best = 0.0;
+    int best_idx = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      total += w[i];
+      if (w[i] > best) {
+        best = w[i];
+        best_idx = static_cast<int>(i);
+      }
+    }
+    EXPECT_TRUE(BitsEqual(acc.total_w, total));
+    EXPECT_TRUE(BitsEqual(acc.best_w, best));
+    EXPECT_EQ(acc.best_idx, best_idx);
+  }
+  const phy::kernels::SumArgmax empty = phy::kernels::sum_and_argmax(nullptr, 0);
+  EXPECT_EQ(empty.best_idx, -1);
+  EXPECT_EQ(empty.total_w, 0.0);
+  const double zeros[3] = {0.0, 0.0, 0.0};
+  EXPECT_EQ(phy::kernels::sum_and_argmax(zeros, 3).best_idx, -1);
+}
+
+// ---------------------------------------------------------------------------
+// LosCorridor vs LosEvaluator::blocker_count — the batched LOS prefilter
+// (y-stripes, per-stripe x-windows, normal-axis separation, inscribed-radius
+// accept) must reproduce the scalar grid walk's count exactly.
+
+geom::LosEvaluator random_world(Xoshiro256pp& rng, std::size_t bodies) {
+  std::vector<geom::Blocker> blockers;
+  blockers.reserve(bodies);
+  for (std::size_t i = 0; i < bodies; ++i) {
+    const double heading = rng.uniform(0.0, kTwoPi);
+    const geom::Vec2 axis{std::sin(heading), std::cos(heading)};
+    const geom::Vec2 center{rng.uniform(0.0, 400.0), rng.uniform(-12.0, 12.0)};
+    blockers.push_back(geom::Blocker{
+        geom::OrientedRect{center, axis, rng.uniform(1.5, 3.0), rng.uniform(0.6, 1.2)},
+        i});
+  }
+  return geom::LosEvaluator{std::move(blockers)};
+}
+
+TEST(LosCorridor, CountMatchesEvaluatorOverRandomWorlds) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Xoshiro256pp rng{0x10c0 + seed};
+    const std::size_t bodies = seed == 0 ? 0 : (seed == 1 ? 1 : rng.uniform_int(120) + 2);
+    const geom::LosEvaluator los = random_world(rng, bodies);
+    geom::LosCorridor corridor;
+    corridor.gather(los);
+
+    for (int q = 0; q < 50; ++q) {
+      geom::Vec2 a{rng.uniform(-20.0, 420.0), rng.uniform(-15.0, 15.0)};
+      geom::Vec2 b{rng.uniform(-20.0, 420.0), rng.uniform(-15.0, 15.0)};
+      std::size_t owner_a = bodies > 0 ? rng.uniform_int(bodies) : 0;
+      std::size_t owner_b = bodies > 0 ? rng.uniform_int(bodies) : 0;
+      switch (q) {
+        case 0:  // coincident endpoints (zero-length segment)
+          b = a;
+          break;
+        case 1:  // a link between two gathered bodies, owners excluded
+          if (bodies > 1) {
+            a = los.blockers()[0].body.center();
+            b = los.blockers()[1].body.center();
+            owner_a = 0;
+            owner_b = 1;
+          }
+          break;
+        case 2:  // horizontal lane-parallel segment (stripe-aligned)
+          a.y = b.y = 0.0;
+          break;
+        case 3:  // near-vertical segment (worst case for the x-window)
+          b.x = a.x + 1e-9;
+          break;
+        case 4:  // far outside every stripe
+          a.y = 200.0;
+          b.y = 210.0;
+          break;
+        default:
+          break;
+      }
+      const int want = los.blocker_count(a, b, owner_a, owner_b);
+      const int got = corridor.count(a, b, owner_a, owner_b);
+      ASSERT_EQ(got, want) << "seed " << seed << " query " << q << ": segment ("
+                           << a.x << "," << a.y << ")-(" << b.x << "," << b.y << ")";
+    }
+  }
+}
+
+TEST(LosCorridor, EmptyEvaluatorCountsZero) {
+  geom::LosEvaluator los;
+  geom::LosCorridor corridor;
+  corridor.gather(los);
+  EXPECT_EQ(corridor.count({0.0, 0.0}, {100.0, 0.0}, 1, 2), 0);
+}
+
+}  // namespace
+}  // namespace mmv2v
