@@ -47,7 +47,7 @@ using bench::BenchResult;
 /// (world warmup, table fills) out of the measurement.
 struct BenchCase {
   const char* name;
-  const char* suite;  ///< "micro_phy" | "micro_world" | "micro_phases" | "sim" | "sweep"
+  const char* suite;  ///< "micro_phy" | "micro_world" | "micro_phases" | "sim" | "sweep" | "obs"
   bool in_smoke;      ///< member of the quick CI smoke suite
   std::function<std::function<void()>()> make;
 };
@@ -304,6 +304,42 @@ std::vector<BenchCase> declare_benchmarks(const core::EngineParams& engine) {
     };
   }});
 
+  // --- obs: trace-recording overhead through the public runner ----------
+  // Same tiny sweep three ways: untraced baseline, JSONL capture, binary
+  // .mmtrace capture with bounded flushing. The CI compare gate pins the
+  // recording overhead: a traced sweep must stay within the regression
+  // threshold of the shape it had when the baseline was recorded.
+  const auto traced_sweep = [](core::TraceFormat format, bool traced) {
+    return [format, traced] {
+      core::ExperimentConfig experiment;
+      experiment.densities_vpl = {10.0, 20.0};
+      experiment.repetitions = 1;
+      experiment.horizon_s = 0.1;
+      experiment.seed = 1;
+      experiment.threads = 1;
+      core::ScenarioConfig base;
+      base.traffic.road_length_m = 500.0;
+      base.traffic_warmup_s = 2.0;
+      base.trace.format = format;
+      base.trace.flush_events = format == core::TraceFormat::kBinary ? 256 : 0;
+      const core::ProtocolFactory factory = [](std::uint64_t seed) {
+        return std::unique_ptr<core::OhmProtocol>{
+            std::make_unique<protocols::MmV2VProtocol>(bench::make_mmv2v_params(seed))};
+      };
+      core::SweepTrace trace;
+      const auto points =
+          core::run_density_sweep(experiment, base, factory, traced ? &trace : nullptr);
+      volatile double ocr = points.front().ocr.mean();
+      (void)ocr;
+    };
+  };
+  cases.push_back({"obs.sweep_untraced", "obs", false,
+                   [traced_sweep] { return traced_sweep(core::TraceFormat::kJsonl, false); }});
+  cases.push_back({"obs.sweep_traced_jsonl", "obs", false,
+                   [traced_sweep] { return traced_sweep(core::TraceFormat::kJsonl, true); }});
+  cases.push_back({"obs.sweep_traced_binary", "obs", true,
+                   [traced_sweep] { return traced_sweep(core::TraceFormat::kBinary, true); }});
+
   return cases;
 }
 
@@ -356,7 +392,7 @@ int main(int argc, char** argv) {
 
   const std::vector<bench::FlagSpec> specs{
       {"suite", "smoke",
-       "suite to run: smoke | micro_phy | micro_world | micro_phases | sim | sweep | all"},
+       "suite to run: smoke | micro_phy | micro_world | micro_phases | sim | sweep | obs | all"},
       {"out", "BENCH_results.json", "write results JSON here ('-' = stdout only)"},
       {"results", "", "skip running; load current results from this JSON file"},
       {"compare", "", "baseline BENCH_results.json; exit 1 on regression"},

@@ -1,0 +1,123 @@
+// Trace-encoding microbenchmarks (DESIGN.md Section 14): serialization
+// throughput and on-disk density of the two trace formats over a realistic
+// event mix — one instrumented dense run with span events on. Pins the
+// .mmtrace claims: encode at least as fast as JSONL, several times smaller
+// per event, and decode fast enough that post-hoc replay is never the
+// bottleneck. Measured numbers are recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "obs/mmtrace.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+
+namespace {
+
+using namespace mmv2v;
+
+// One dense instrumented run (60 vpl, span events on) captured once; every
+// benchmark serializes the same realistic mix of protocol + span events.
+const std::vector<core::TraceEvent>& captured_events() {
+  static const std::vector<core::TraceEvent> events = [] {
+    core::ScenarioConfig s;
+    s.traffic.density_vpl = 60.0;
+    s.traffic_warmup_s = 2.0;
+    s.horizon_s = 0.5;
+    s.seed = 20260808;
+    s.trace.spans = true;
+    protocols::MmV2VParams params;
+    params.seed = s.seed;
+    protocols::MmV2VProtocol protocol{params};
+    core::OhmSimulation sim{s, protocol, core::SimulationOptions{.instrument = true}};
+    sim.run();
+    return sim.trace().events();
+  }();
+  return events;
+}
+
+std::string encode_jsonl(const std::vector<core::TraceEvent>& events) {
+  std::string out;
+  for (const core::TraceEvent& e : events) {
+    e.append_json(out);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string encode_mmtrace(const std::vector<core::TraceEvent>& events) {
+  obs::MmtraceWriter writer;
+  for (const core::TraceEvent& e : events) writer.add_event(e);
+  std::string file = obs::mmtrace_file_header();
+  std::vector<obs::ChunkInfo> chunks;
+  obs::append_mmtrace_chunks(file, chunks, writer.take());
+  obs::append_mmtrace_index(file, chunks);
+  return file;
+}
+
+void BM_TraceEncodeJsonl(benchmark::State& state) {
+  const auto& events = captured_events();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string out = encode_jsonl(events);
+    bytes = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events.size()));
+  state.counters["bytes_per_event"] =
+      static_cast<double>(bytes) / static_cast<double>(events.size());
+  state.SetLabel("events=" + std::to_string(events.size()));
+}
+BENCHMARK(BM_TraceEncodeJsonl)->Unit(benchmark::kMillisecond);
+
+void BM_TraceEncodeBinary(benchmark::State& state) {
+  const auto& events = captured_events();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string file = encode_mmtrace(events);
+    bytes = file.size();
+    benchmark::DoNotOptimize(file.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events.size()));
+  state.counters["bytes_per_event"] =
+      static_cast<double>(bytes) / static_cast<double>(events.size());
+  state.SetLabel("events=" + std::to_string(events.size()));
+}
+BENCHMARK(BM_TraceEncodeBinary)->Unit(benchmark::kMillisecond);
+
+void BM_TraceDecodeBinary(benchmark::State& state) {
+  // Post-hoc replay cost: decode every record and reconstruct the events
+  // (field vectors included), the exact work trace_export / the report
+  // loader do per event.
+  const auto& events = captured_events();
+  const std::string file = encode_mmtrace(events);
+  for (auto _ : state) {
+    std::size_t decoded = 0;
+    const obs::MmtraceStats stats =
+        obs::MmtraceReader{file}.for_each([&](const obs::MmtraceRecord& r) {
+          if (r.tag == obs::MmtraceTag::kEvent) ++decoded;
+        });
+    benchmark::DoNotOptimize(stats);
+    if (decoded != events.size() || stats.skipped_chunks != 0) {
+      state.SkipWithError("decode mismatch");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_TraceDecodeBinary)->Unit(benchmark::kMillisecond);
+
+void BM_TraceReplayToJsonl(benchmark::State& state) {
+  // The full trace_export path: binary file -> byte-identical JSONL.
+  const auto& events = captured_events();
+  const std::string file = encode_mmtrace(events);
+  for (auto _ : state) {
+    const std::string jsonl = obs::mmtrace_to_jsonl(file);
+    benchmark::DoNotOptimize(jsonl.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_TraceReplayToJsonl)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -9,11 +9,13 @@
 //   sweep_runner --prof-trace sweep.ctf.json --prof-report
 #include "bench_util.hpp"
 
+#include <fstream>
 #include <iostream>
 #include <sstream>
 
 #include "common/profiler.hpp"
 #include "core/experiment.hpp"
+#include "obs/stream_aggregator.hpp"
 
 namespace {
 
@@ -79,9 +81,14 @@ int main(int argc, char** argv) {
       {"fault.burst_len", "1", "fault: mean loss-burst length (Gilbert-Elliott; <=1 = Bernoulli)"},
       {"fault.gps_sigma_m", "0", "fault: GPS position noise sigma per axis [m] (0 = off)"},
       {"fault.churn_rate", "0", "fault: per-vehicle per-frame radio dropout probability (0 = off)"},
-      {"trace_out", "", "write the merged JSONL event trace (enables instrumentation)"},
+      {"trace_out", "", "write the merged event trace (enables instrumentation)"},
+      {"trace.format", "jsonl", "trace encoding: jsonl | binary (.mmtrace)"},
+      {"trace.flush_events", "0", "recorder flush batch size (0 = buffer the whole cell)"},
+      {"trace.spans", "false", "emit link-lifecycle span events and span.* metrics"},
+      {"progress_out", "", "rewrite a per-density rollup snapshot JSON here after every cell"},
       {"prof_trace", "", "enable the profiler and write a Chrome trace (Perfetto) here"},
       {"prof_report", "false", "enable the profiler and print the scope hierarchy"},
+      {"prof_json", "", "enable the profiler and write its JSON report here"},
   };
   const FlagParse parsed = parse_flags(argc, argv, specs);
   if (parsed.show_help) {
@@ -107,13 +114,21 @@ int main(int argc, char** argv) {
   // 0 = one worker per hardware thread; results are identical either way.
   experiment.threads = static_cast<int>(cli.get_or("threads", std::int64_t{0}));
   // --trace-out=FILE turns on the observability layer: every cell runs
-  // instrumented and the merged JSONL event trace lands in FILE (first line
-  // = run manifest, sibling FILE.manifest.json).
+  // instrumented and the merged event trace lands in FILE (trace.format
+  // selects JSONL or binary .mmtrace; sibling FILE.manifest.json either way).
   experiment.trace_out = cli.get_or("trace_out", std::string{});
 
+  // --progress-out=FILE streams per-density rollups: after every finished
+  // cell the aggregator atomically rewrites FILE, so a monitor can tail a
+  // sweep without waiting for it.
+  const std::string progress_out = cli.get_or("progress_out", std::string{});
+  obs::StreamAggregator aggregator{progress_out};
+  if (!progress_out.empty()) experiment.on_cell_done = aggregator.callback();
+
   const std::string prof_trace = cli.get_or("prof_trace", std::string{});
+  const std::string prof_json = cli.get_or("prof_json", std::string{});
   const bool prof_report = cli.get_or("prof_report", false);
-  if (!prof_trace.empty() || prof_report) prof::set_enabled(true);
+  if (!prof_trace.empty() || !prof_json.empty() || prof_report) prof::set_enabled(true);
 
   core::ScenarioConfig base;
   // Intra-frame execution knobs (worker lanes + arena sizing). Any setting
@@ -124,6 +139,8 @@ int main(int argc, char** argv) {
     // change results; the defaults reproduce the legacy full-fidelity ring.
     base.network = parse_network_knobs(cli);
     base.tier = parse_tier_knobs(cli);
+    // Observability knobs (trace.*): format, bounded flushing, span events.
+    base.trace = parse_trace_knobs(cli);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sweep_runner: %s (try --help)\n", e.what());
     return 2;
@@ -188,12 +205,30 @@ int main(int argc, char** argv) {
                 p.ocr_samples.percentile(90));
   }
 
+  if (!progress_out.empty()) {
+    std::printf("\nprogress snapshot: %s (%zu cells", progress_out.c_str(),
+                aggregator.cells_seen());
+    if (aggregator.write_failures() > 0) {
+      std::printf(", %zu snapshot writes failed", aggregator.write_failures());
+    }
+    std::printf(")\n");
+  }
+
   // Sweep workers have joined by now, so the profiler is quiescent.
   if (prof_report) std::printf("\n%s", prof::report_text().c_str());
   if (!prof_trace.empty()) {
     prof::write_chrome_trace(prof_trace);
     std::printf("\nprofiler trace: %s (load in Perfetto / chrome://tracing)\n",
                 prof_trace.c_str());
+  }
+  if (!prof_json.empty()) {
+    std::ofstream out{prof_json, std::ios::binary};
+    if (!out) {
+      std::fprintf(stderr, "sweep_runner: cannot open %s\n", prof_json.c_str());
+      return 1;
+    }
+    out << prof::report_json();
+    std::printf("profiler report: %s\n", prof_json.c_str());
   }
   return 0;
 }

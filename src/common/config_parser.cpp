@@ -296,4 +296,27 @@ core::TierConfig parse_tier_knobs(const ConfigMap& config) {
   return tier;
 }
 
+core::TraceParams parse_trace_knobs(const ConfigMap& config) {
+  core::TraceParams trace;
+  if (const auto format = config.get_string("trace.format")) {
+    const std::string f = lower(*format);
+    if (f == "jsonl") {
+      trace.format = core::TraceFormat::kJsonl;
+    } else if (f == "binary" || f == "mmtrace") {
+      trace.format = core::TraceFormat::kBinary;
+    } else {
+      throw std::runtime_error{"trace.format must be one of: jsonl, binary"};
+    }
+  }
+  if (config.contains("trace.flush_events")) {
+    const auto v = config.get_int("trace.flush_events");
+    if (!v || *v < 0) {
+      throw std::runtime_error{"trace.flush_events must be an integer >= 0"};
+    }
+    trace.flush_events = static_cast<std::size_t>(*v);
+  }
+  trace.spans = config.get_or("trace.spans", trace.spans);
+  return trace;
+}
+
 }  // namespace mmv2v

@@ -15,6 +15,7 @@
 
 #include "core/engine_params.hpp"
 #include "core/fidelity.hpp"
+#include "core/trace_params.hpp"
 #include "traffic/road_network.hpp"
 
 namespace mmv2v {
@@ -76,5 +77,13 @@ class ConfigMap {
 ///   tier.onrails_duty_cycle
 /// Missing keys keep the defaults; malformed values throw std::runtime_error.
 [[nodiscard]] core::TierConfig parse_tier_knobs(const ConfigMap& config);
+
+/// Parse the observability knob group into TraceParams:
+///   trace.format       = jsonl | binary
+///   trace.flush_events = integer >= 0 (0 = keep every event buffered)
+///   trace.spans        = true | false (link-lifecycle span events)
+/// Missing keys keep the defaults; malformed values throw std::runtime_error.
+/// These knobs never change simulation results, only the recorded trace.
+[[nodiscard]] core::TraceParams parse_trace_knobs(const ConfigMap& config);
 
 }  // namespace mmv2v

@@ -17,6 +17,7 @@ namespace detail {
 
 struct ThreadArena {
   std::vector<ScopeRecord> records;
+  std::vector<CounterRecord> counters;
   std::vector<std::uint32_t> open_stack;
   std::uint32_t tid = 0;
 };
@@ -92,6 +93,7 @@ void reset() {
   const std::lock_guard<std::mutex> lock{reg.mutex};
   for (auto& arena : reg.arenas) {
     arena->records.clear();
+    arena->counters.clear();
     arena->open_stack.clear();
   }
 }
@@ -101,6 +103,20 @@ std::size_t total_records() {
   const std::lock_guard<std::mutex> lock{reg.mutex};
   std::size_t total = 0;
   for (const auto& arena : reg.arenas) total += arena->records.size();
+  return total;
+}
+
+void record_counter(std::string_view track, double value) {
+  if (!enabled()) return;
+  detail::ThreadArena& mine = detail::arena();
+  mine.counters.push_back(CounterRecord{std::string{track}, detail::now_ns(), value});
+}
+
+std::size_t total_counter_records() {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> lock{reg.mutex};
+  std::size_t total = 0;
+  for (const auto& arena : reg.arenas) total += arena->counters.size();
   return total;
 }
 
@@ -262,7 +278,7 @@ std::string chrome_trace_json() {
     emit(meta);
   }
   for (const auto& arena : reg.arenas) {
-    if (arena->records.empty()) continue;
+    if (arena->records.empty() && arena->counters.empty()) continue;
     std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
     io::append_number(meta, static_cast<std::uint64_t>(arena->tid));
     meta += ",\"args\":{\"name\":\"worker-";
@@ -280,6 +296,18 @@ std::string chrome_trace_json() {
       event += ",\"pid\":0,\"tid\":";
       io::append_number(event, static_cast<std::uint64_t>(arena->tid));
       event += '}';
+      emit(event);
+    }
+    for (const CounterRecord& counter : arena->counters) {
+      std::string event = "{\"name\":";
+      io::append_json_string(event, counter.track);
+      event += ",\"cat\":\"mmv2v\",\"ph\":\"C\",\"ts\":";
+      io::append_number(event, static_cast<double>(counter.t_ns) / 1e3);
+      event += ",\"pid\":0,\"tid\":";
+      io::append_number(event, static_cast<std::uint64_t>(arena->tid));
+      event += ",\"args\":{\"value\":";
+      io::append_number(event, counter.value);
+      event += "}}";
       emit(event);
     }
   }

@@ -8,7 +8,8 @@
 //   (a) an aggregated hierarchical report — count / total / self / p50 / p99
 //       per call-tree node, as an aligned text table or canonical JSON — and
 //   (b) Chrome Trace Event Format JSON (chrome://tracing, Perfetto), one
-//       track per recorded thread.
+//       track per recorded thread plus one "ph":"C" counter track per
+//       record_counter() name (arena high-water marks, overflow counts, ...).
 //
 // The profiler is runtime-gated: scopes cost one relaxed atomic load and a
 // predicted branch while disabled (`prof::set_enabled(false)`, the default),
@@ -27,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mmv2v::prof {
@@ -68,6 +70,23 @@ void reset();
 /// Total records across all arenas (cheap bookkeeping for long benchmark
 /// loops that want to bound profiler memory via periodic reset()).
 [[nodiscard]] std::size_t total_records();
+
+/// One timestamped sample on a named counter track.
+struct CounterRecord {
+  std::string track;      ///< track name, e.g. "arena.lane0.used_bytes"
+  std::int64_t t_ns;      ///< steady_clock ns since the global profiler epoch
+  double value;
+};
+
+/// Record one sample on a named counter track (chrome_trace_json renders each
+/// track as a "ph":"C" counter series, one lane per distinct name). No-op
+/// while disabled; safe from any thread — samples land in the calling
+/// thread's arena. Unlike PROF_SCOPE this copies the track name, so callers
+/// on hot paths should prebuild the names and sample at frame granularity.
+void record_counter(std::string_view track, double value);
+
+/// Total counter samples across all arenas.
+[[nodiscard]] std::size_t total_counter_records();
 
 /// One aggregated call-tree node, merged across threads.
 struct ReportNode {

@@ -65,6 +65,20 @@ void SvgChart::add_series(std::string name, std::vector<std::pair<double, double
   series_.push_back(Series{std::move(name), std::move(points)});
 }
 
+void SvgChart::set_categories(std::vector<std::string> labels) {
+  categories_ = std::move(labels);
+}
+
+void SvgChart::add_bar_layer(std::string name, std::vector<double> values) {
+  if (categories_.empty()) {
+    throw std::logic_error{"SvgChart: set_categories before add_bar_layer"};
+  }
+  if (values.size() != categories_.size()) {
+    throw std::invalid_argument{"SvgChart: bar layer needs one value per category"};
+  }
+  bar_layers_.push_back(BarLayer{std::move(name), std::move(values)});
+}
+
 void SvgChart::set_x_range(double lo, double hi) {
   if (!(hi > lo)) throw std::invalid_argument{"SvgChart: x range needs hi > lo"};
   x_range_ = Range{lo, hi, true};
@@ -85,6 +99,21 @@ void SvgChart::fit_ranges() const {
         const double v = x_axis ? px : py;
         lo = std::min(lo, v);
         hi = std::max(hi, v);
+      }
+    }
+    if (!bar_layers_.empty()) {
+      if (x_axis) {
+        // Categorical slots occupy [0, n): one unit per category.
+        lo = std::min(lo, 0.0);
+        hi = std::max(hi, static_cast<double>(categories_.size()));
+      } else {
+        // Stacks grow from zero to the per-category layer sum.
+        lo = std::min(lo, 0.0);
+        for (std::size_t c = 0; c < categories_.size(); ++c) {
+          double stack = 0.0;
+          for (const BarLayer& layer : bar_layers_) stack += layer.values[c];
+          hi = std::max(hi, stack);
+        }
       }
     }
     if (!std::isfinite(lo)) {
@@ -129,17 +158,28 @@ std::string SvgChart::render() const {
       << plot_right - kMarginLeft << "\" height=\"" << plot_bottom - kMarginTop
       << "\" fill=\"none\" stroke=\"#333\"/>\n";
 
-  // Ticks and grid.
-  const double x_step = nice_step(x_range_.hi - x_range_.lo, 6);
-  for (double t = std::ceil(x_range_.lo / x_step) * x_step; t <= x_range_.hi + 1e-12;
-       t += x_step) {
-    const auto [px, py] = to_pixels(t, y_range_.lo);
-    svg << "<line x1=\"" << px << "\" y1=\"" << kMarginTop << "\" x2=\"" << px
-        << "\" y2=\"" << plot_bottom << "\" stroke=\"#ddd\"/>\n";
-    svg << "<text x=\"" << px << "\" y=\"" << plot_bottom + 16
-        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">"
-        << format_tick(t) << "</text>\n";
-    (void)py;
+  // Ticks and grid. Categorical charts label the slots instead of drawing
+  // numeric x ticks.
+  if (bar_layers_.empty()) {
+    const double x_step = nice_step(x_range_.hi - x_range_.lo, 6);
+    for (double t = std::ceil(x_range_.lo / x_step) * x_step; t <= x_range_.hi + 1e-12;
+         t += x_step) {
+      const auto [px, py] = to_pixels(t, y_range_.lo);
+      svg << "<line x1=\"" << px << "\" y1=\"" << kMarginTop << "\" x2=\"" << px
+          << "\" y2=\"" << plot_bottom << "\" stroke=\"#ddd\"/>\n";
+      svg << "<text x=\"" << px << "\" y=\"" << plot_bottom + 16
+          << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">"
+          << format_tick(t) << "</text>\n";
+      (void)py;
+    }
+  } else {
+    for (std::size_t c = 0; c < categories_.size(); ++c) {
+      const auto [px, py] = to_pixels(static_cast<double>(c) + 0.5, y_range_.lo);
+      svg << "<text x=\"" << px << "\" y=\"" << plot_bottom + 16
+          << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"11\">"
+          << escape_xml(categories_[c]) << "</text>\n";
+      (void)py;
+    }
   }
   const double y_step = nice_step(y_range_.hi - y_range_.lo, 6);
   for (double t = std::ceil(y_range_.lo / y_step) * y_step; t <= y_range_.hi + 1e-12;
@@ -164,6 +204,31 @@ std::string SvgChart::render() const {
         << "\" text-anchor=\"middle\" font-family=\"sans-serif\" font-size=\"12\" "
         << "transform=\"rotate(-90 14 " << (kMarginTop + plot_bottom) / 2 << ")\">"
         << escape_xml(y_label_) << "</text>\n";
+  }
+
+  // Stacked bars (under any line series), one legend swatch per layer.
+  for (std::size_t c = 0; c < categories_.size() && !bar_layers_.empty(); ++c) {
+    double base = 0.0;
+    for (std::size_t l = 0; l < bar_layers_.size(); ++l) {
+      const double v = bar_layers_[l].values[c];
+      if (v <= 0.0) continue;
+      const double slot = static_cast<double>(c);
+      const auto [x0, y_top] = to_pixels(slot + 0.15, base + v);
+      const auto [x1, y_bot] = to_pixels(slot + 0.85, base);
+      svg << "<rect x=\"" << x0 << "\" y=\"" << y_top << "\" width=\"" << x1 - x0
+          << "\" height=\"" << y_bot - y_top << "\" fill=\""
+          << kPalette[l % kPaletteSize] << "\" stroke=\"white\" stroke-width=\"0.5\"/>\n";
+      base += v;
+    }
+  }
+  for (std::size_t l = 0; l < bar_layers_.size(); ++l) {
+    const int ly = kMarginTop + 14 + static_cast<int>(series_.size() + l) * 18;
+    svg << "<rect x=\"" << plot_right + 10 << "\" y=\"" << ly - 6
+        << "\" width=\"24\" height=\"12\" fill=\"" << kPalette[l % kPaletteSize]
+        << "\"/>\n";
+    svg << "<text x=\"" << plot_right + 40 << "\" y=\"" << ly + 4
+        << "\" font-family=\"sans-serif\" font-size=\"12\">"
+        << escape_xml(bar_layers_[l].name) << "</text>\n";
   }
 
   // Series polylines + legend.

@@ -1,6 +1,7 @@
-// Dependency-free SVG line-chart writer. The figure benches use it to emit
-// visual counterparts of the paper's plots (OCR vs density, CDFs, ...)
-// without any plotting toolchain.
+// Dependency-free SVG chart writer (line series and stacked category bars).
+// The figure benches use it to emit visual counterparts of the paper's plots
+// (OCR vs density, CDFs, ...) and the obs report renders span-outcome
+// attribution bars with it — without any plotting toolchain.
 #pragma once
 
 #include <string>
@@ -16,6 +17,16 @@ class SvgChart {
   /// Add a named line series; colors cycle through a built-in palette.
   void add_series(std::string name, std::vector<std::pair<double, double>> points);
 
+  /// Switch the x axis to categorical mode: one bar slot per label. Must be
+  /// called before add_bar_layer.
+  void set_categories(std::vector<std::string> labels);
+  /// Add one stacked-bar layer: values[i] is this layer's contribution to
+  /// category i's stack (one value per category, checked). Layers stack in
+  /// insertion order; colors share the line-series palette. Throws
+  /// std::logic_error without categories, std::invalid_argument on a size
+  /// mismatch.
+  void add_bar_layer(std::string name, std::vector<double> values);
+
   void set_x_label(std::string label) { x_label_ = std::move(label); }
   void set_y_label(std::string label) { y_label_ = std::move(label); }
   /// Fix an axis range instead of auto-fitting the data.
@@ -29,6 +40,7 @@ class SvgChart {
   void save(const std::string& path) const;
 
   [[nodiscard]] std::size_t series_count() const noexcept { return series_.size(); }
+  [[nodiscard]] std::size_t bar_layer_count() const noexcept { return bar_layers_.size(); }
 
   // Exposed for tests: data-space -> pixel-space mapping of the current chart.
   [[nodiscard]] std::pair<double, double> to_pixels(double x, double y) const;
@@ -37,6 +49,10 @@ class SvgChart {
   struct Series {
     std::string name;
     std::vector<std::pair<double, double>> points;
+  };
+  struct BarLayer {
+    std::string name;
+    std::vector<double> values;
   };
   struct Range {
     double lo = 0.0;
@@ -52,6 +68,8 @@ class SvgChart {
   std::string x_label_;
   std::string y_label_;
   std::vector<Series> series_;
+  std::vector<std::string> categories_;
+  std::vector<BarLayer> bar_layers_;
   mutable Range x_range_;
   mutable Range y_range_;
 

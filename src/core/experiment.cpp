@@ -1,11 +1,13 @@
 #include "core/experiment.hpp"
 
+#include <atomic>
 #include <exception>
 #include <fstream>
 #include <iomanip>
 #include <mutex>
 #include <ostream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -14,6 +16,7 @@
 #include "common/version.hpp"
 #include "core/metrics.hpp"
 #include "core/simulation.hpp"
+#include "obs/mmtrace.hpp"
 #include "sim/lane_budgeter.hpp"
 #include "sim/worker_pool.hpp"
 
@@ -28,10 +31,14 @@ struct CellResult {
   double atp = 0.0;
   double dtp = 0.0;
   double fairness = 0.0;
+  std::uint64_t seed = 0;
   std::vector<double> ocr_samples;
   std::vector<double> atp_samples;
   /// This cell's serialized observability chunk (empty when not tracing).
+  /// JSONL format fills trace_jsonl; binary fills the chunk stream pair.
   std::string trace_jsonl;
+  std::string trace_binary;
+  std::vector<obs::ChunkInfo> trace_chunks;
   std::string protocol_name;
 };
 
@@ -56,25 +63,53 @@ CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
     const std::lock_guard<std::mutex> lock{factory_mutex};
     protocol = factory(seed ^ 0xabcd);
   }
-  OhmSimulation sim{scenario, *protocol, SimulationOptions{instrument}};
+
+  CellResult out;
+  out.seed = seed;
+  // Tracing streams through a sink so the recorder's buffer can stay bounded
+  // (trace.flush_events); the JSONL sink writes the exact bytes the old
+  // buffered append_events_jsonl path produced.
+  const bool binary = scenario.trace.format == TraceFormat::kBinary;
+  std::string cell_begin = "{\"ev\":\"cell_begin\",\"density_vpl\":";
+  io::append_number(cell_begin, scenario.traffic.density_vpl);
+  cell_begin += ",\"rep\":";
+  io::append_number(cell_begin, static_cast<std::uint64_t>(rep));
+  cell_begin += ",\"seed\":";
+  io::append_number(cell_begin, seed);
+  cell_begin += '}';
+  obs::MmtraceWriter writer;
+  obs::BinaryTraceSink binary_sink{writer};
+  JsonlTraceSink jsonl_sink{out.trace_jsonl};
+  SimulationOptions options{instrument};
+  if (instrument) {
+    if (binary) {
+      writer.add_line(cell_begin);
+      options.trace_sink = &binary_sink;
+    } else {
+      out.trace_jsonl = cell_begin;
+      out.trace_jsonl += '\n';
+      options.trace_sink = &jsonl_sink;
+    }
+  }
+
+  OhmSimulation sim{scenario, *protocol, options};
   sim.run(0.0);
 
   const NetworkMetrics& m = sim.final_metrics();
-  CellResult out;
   out.protocol_name = std::string{protocol->name()};
   if (instrument) {
-    std::string& buf = out.trace_jsonl;
-    buf += "{\"ev\":\"cell_begin\",\"density_vpl\":";
-    io::append_number(buf, scenario.traffic.density_vpl);
-    buf += ",\"rep\":";
-    io::append_number(buf, static_cast<std::uint64_t>(rep));
-    buf += ",\"seed\":";
-    io::append_number(buf, seed);
-    buf += "}\n";
-    sim.trace().append_events_jsonl(buf);
-    buf += "{\"ev\":\"cell_end\",\"metrics\":";
-    sim.metrics().append_json(buf);
-    buf += "}\n";
+    std::string cell_end = "{\"ev\":\"cell_end\",\"metrics\":";
+    sim.metrics().append_json(cell_end);
+    cell_end += '}';
+    if (binary) {
+      writer.add_line(cell_end);
+      obs::MmtraceWriter::ChunkStream cs = writer.take();
+      out.trace_binary = std::move(cs.bytes);
+      out.trace_chunks = std::move(cs.chunks);
+    } else {
+      out.trace_jsonl += cell_end;
+      out.trace_jsonl += '\n';
+    }
   }
   out.degree = sim.world().mean_degree();
   out.ocr = m.mean_ocr();
@@ -91,9 +126,12 @@ CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
 }
 
 /// Run manifest: environment facts identifying what produced a trace. Kept
-/// out of the event digest (it names the thread count and build).
+/// out of the event digest (it names the thread count and build), which also
+/// makes it the safe carrier for the per-cell summary table report tooling
+/// renders (obs/report.hpp).
 std::string build_manifest(const ExperimentConfig& config, const ScenarioConfig& base,
-                           const std::string& protocol_name, std::size_t workers) {
+                           const std::vector<CellResult>& cells, std::size_t workers) {
+  const std::string& protocol_name = cells.front().protocol_name;
   std::string out = "{\"ev\":\"manifest\",\"protocol\":";
   io::append_json_string(out, protocol_name);
   out += ",\"git_describe\":";
@@ -123,7 +161,30 @@ std::string build_manifest(const ExperimentConfig& config, const ScenarioConfig&
   io::append_number(out, base.timing.frame_s);
   out += ",\"task_rate_mbps\":";
   io::append_number(out, base.task.rate_mbps);
-  out += "}}";
+  out += "},\"cells\":[";
+  const auto reps = static_cast<std::size_t>(config.repetitions);
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    const CellResult& cell = cells[k];
+    if (k != 0) out += ',';
+    out += "{\"density_vpl\":";
+    io::append_number(out, config.densities_vpl[k / reps]);
+    out += ",\"rep\":";
+    io::append_number(out, static_cast<std::uint64_t>(k % reps));
+    out += ",\"seed\":";
+    io::append_number(out, cell.seed);
+    out += ",\"degree\":";
+    io::append_number(out, cell.degree);
+    out += ",\"ocr\":";
+    io::append_number(out, cell.ocr);
+    out += ",\"atp\":";
+    io::append_number(out, cell.atp);
+    out += ",\"dtp\":";
+    io::append_number(out, cell.dtp);
+    out += ",\"fairness\":";
+    io::append_number(out, cell.fairness);
+    out += '}';
+  }
+  out += "]}";
   return out;
 }
 
@@ -145,10 +206,28 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
   std::vector<std::exception_ptr> errors(n_cells);
   std::mutex factory_mutex;
 
+  std::atomic<std::size_t> completed{0};
   const auto run_cell_at = [&](std::size_t k) {
     try {
       cells[k] = run_cell(config, base, factory, factory_mutex, k / reps,
                           static_cast<int>(k % reps), tracing);
+      if (config.on_cell_done) {
+        const CellResult& cell = cells[k];
+        CellProgress progress;
+        progress.index = k;
+        progress.completed = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+        progress.total = n_cells;
+        progress.density_vpl = config.densities_vpl[k / reps];
+        progress.rep = static_cast<int>(k % reps);
+        progress.seed = cell.seed;
+        progress.protocol = cell.protocol_name;
+        progress.degree = cell.degree;
+        progress.ocr = cell.ocr;
+        progress.atp = cell.atp;
+        progress.dtp = cell.dtp;
+        progress.fairness = cell.fairness;
+        config.on_cell_done(progress);
+      }
     } catch (...) {
       errors[k] = std::current_exception();
     }
@@ -206,17 +285,44 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
 
   if (tracing && !cells.empty()) {
     SweepTrace merged;
-    // Canonical (density, repetition) order — identical for any thread count.
-    for (const CellResult& cell : cells) merged.events_jsonl += cell.trace_jsonl;
+    merged.manifest_json = build_manifest(config, base, cells, workers);
+    if (base.trace.format == TraceFormat::kBinary) {
+      // Assemble the .mmtrace image: header, one meta chunk carrying the
+      // manifest, each cell's (self-contained) chunk stream in canonical
+      // (density, repetition) order, then the index + footer. events_jsonl
+      // and the digest are derived by replay so every downstream consumer
+      // sees the same bytes the JSONL format would have produced.
+      std::string file = obs::mmtrace_file_header();
+      std::vector<obs::ChunkInfo> all_chunks;
+      obs::MmtraceWriter meta;
+      meta.add_line(merged.manifest_json, /*meta=*/true);
+      obs::append_mmtrace_chunks(file, all_chunks, meta.take());
+      for (CellResult& cell : cells) {
+        obs::append_mmtrace_chunks(
+            file, all_chunks,
+            obs::MmtraceWriter::ChunkStream{std::move(cell.trace_binary),
+                                            std::move(cell.trace_chunks)});
+      }
+      obs::append_mmtrace_index(file, all_chunks);
+      merged.events_jsonl = obs::mmtrace_to_jsonl(file, /*include_meta=*/false);
+      merged.binary = std::move(file);
+    } else {
+      // Canonical (density, repetition) order — identical for any thread
+      // count.
+      for (const CellResult& cell : cells) merged.events_jsonl += cell.trace_jsonl;
+    }
     merged.digest = fnv1a64(merged.events_jsonl);
-    merged.manifest_json = build_manifest(config, base, cells.front().protocol_name, workers);
 
     if (!config.trace_out.empty()) {
       std::ofstream events_file{config.trace_out, std::ios::binary};
       if (!events_file) {
         throw std::runtime_error{"experiment: cannot open trace_out file " + config.trace_out};
       }
-      events_file << merged.manifest_json << '\n' << merged.events_jsonl;
+      if (!merged.binary.empty()) {
+        events_file << merged.binary;
+      } else {
+        events_file << merged.manifest_json << '\n' << merged.events_jsonl;
+      }
 
       std::ofstream manifest_file{config.trace_out + ".manifest.json", std::ios::binary};
       if (manifest_file) manifest_file << merged.manifest_json << '\n';

@@ -3,6 +3,8 @@
 // are built on this.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -19,6 +21,26 @@ namespace mmv2v::core {
 /// from the experiment seed and the repetition index.
 using ProtocolFactory = std::function<std::unique_ptr<OhmProtocol>(std::uint64_t seed)>;
 
+/// Summary of one finished (density, repetition) cell, delivered to
+/// ExperimentConfig::on_cell_done as the sweep progresses.
+struct CellProgress {
+  /// Canonical cell index: density_index * repetitions + rep.
+  std::size_t index = 0;
+  /// Cells finished so far, including this one (completion order, not
+  /// canonical order).
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  double density_vpl = 0.0;
+  int rep = 0;
+  std::uint64_t seed = 0;
+  std::string protocol;
+  double degree = 0.0;
+  double ocr = 0.0;
+  double atp = 0.0;
+  double dtp = 0.0;
+  double fairness = 0.0;
+};
+
 struct ExperimentConfig {
   std::vector<double> densities_vpl{10.0, 15.0, 20.0, 25.0, 30.0};
   int repetitions = 3;
@@ -28,10 +50,17 @@ struct ExperimentConfig {
   /// independent deterministic simulation, so results are bit-identical for
   /// any thread count. <= 0 selects std::thread::hardware_concurrency().
   int threads = 0;
-  /// When non-empty, run every cell instrumented and write the merged JSONL
-  /// event trace here (first line = run manifest) plus a sibling
-  /// `<trace_out>.manifest.json`. Empty (default) = no instrumentation.
+  /// When non-empty, run every cell instrumented and write the merged event
+  /// trace here plus a sibling `<trace_out>.manifest.json`. The scenario's
+  /// trace.format selects the encoding: JSONL (first line = run manifest) or
+  /// binary .mmtrace (manifest as a leading meta chunk). Empty (default) =
+  /// no instrumentation.
   std::string trace_out;
+  /// Optional per-cell completion hook (streaming aggregators, progress
+  /// display). Invoked from sweep worker threads as cells finish — possibly
+  /// concurrently; the callee must synchronize its own state. Never invoked
+  /// for cells that threw.
+  std::function<void(const CellProgress&)> on_cell_done;
 };
 
 /// In-memory capture of one sweep's observability output (see DESIGN.md
@@ -44,10 +73,16 @@ struct SweepTrace {
   /// Merged event stream: per cell a `cell_begin` line, the cell's events,
   /// then a `cell_end` line carrying the cell's metrics registry.
   std::string events_jsonl;
-  /// Run manifest JSON object (scenario, seed, threads, build).
+  /// Run manifest JSON object (scenario, seed, threads, build, per-cell
+  /// summaries).
   std::string manifest_json;
   /// FNV-1a 64 over events_jsonl.
   std::uint64_t digest = 0;
+  /// Complete .mmtrace file image (only when the scenario's trace.format is
+  /// binary). `events_jsonl` and `digest` are then derived by replaying it,
+  /// so they stay byte-identical to what the JSONL format would have
+  /// produced.
+  std::string binary;
 };
 
 /// Aggregated outcome of one sweep point.

@@ -1,5 +1,9 @@
 #include "core/frame_resources.hpp"
 
+#include <string>
+
+#include "common/profiler.hpp"
+
 namespace mmv2v::core {
 
 namespace {
@@ -18,12 +22,26 @@ sim::LaneBudgeter::Lease lease_lanes(const EngineParams& params) {
 FrameResources::FrameResources(const EngineParams& params)
     : params_(params), lease_(lease_lanes(params)), pool_(lease_.lanes()) {
   arenas_.reserve(static_cast<std::size_t>(pool_.lanes()));
+  used_tracks_.reserve(static_cast<std::size_t>(pool_.lanes()));
+  overflow_tracks_.reserve(static_cast<std::size_t>(pool_.lanes()));
   for (int lane = 0; lane < pool_.lanes(); ++lane) {
     arenas_.emplace_back(params_.arena_bytes);
+    const std::string prefix = "arena.lane" + std::to_string(lane);
+    used_tracks_.push_back(prefix + ".used_bytes");
+    overflow_tracks_.push_back(prefix + ".overflows");
   }
 }
 
 void FrameResources::begin_frame() {
+  // Arenas grow monotonically within a frame, so sampling just before the
+  // rewind captures the previous frame's high-water mark per lane.
+  if (prof::enabled()) {
+    for (std::size_t lane = 0; lane < arenas_.size(); ++lane) {
+      prof::record_counter(used_tracks_[lane], static_cast<double>(arenas_[lane].used()));
+      prof::record_counter(overflow_tracks_[lane],
+                           static_cast<double>(arenas_[lane].overflow_count()));
+    }
+  }
   for (MonotonicArena& arena : arenas_) arena.reset();
   stats_.reset();
 }

@@ -6,6 +6,7 @@
 // reuse the same storage with no heap traffic.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "common/arena.hpp"
@@ -25,7 +26,9 @@ class FrameResources {
 
   /// Rewind all lane arenas and clear the stats sink. Call at each frame
   /// boundary before any phase runs; everything arena-allocated in the
-  /// previous frame is invalidated.
+  /// previous frame is invalidated. When the profiler is enabled, each
+  /// lane's previous-frame arena high-water mark and cumulative overflow
+  /// count are sampled onto "arena.laneN.*" counter tracks first.
   void begin_frame();
 
   [[nodiscard]] const EngineParams& params() const noexcept { return params_; }
@@ -43,6 +46,11 @@ class FrameResources {
   sim::LaneBudgeter::Lease lease_;
   sim::WorkerPool pool_;
   std::vector<MonotonicArena> arenas_;
+  /// Prebuilt per-lane counter-track names ("arena.laneN.used_bytes" /
+  /// "arena.laneN.overflows"), so the per-frame sample allocates nothing
+  /// beyond the profiler's own record.
+  std::vector<std::string> used_tracks_;
+  std::vector<std::string> overflow_tracks_;
   PhaseStats stats_;
 };
 

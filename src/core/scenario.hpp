@@ -8,6 +8,7 @@
 #include "common/units.hpp"
 #include "core/engine_params.hpp"
 #include "core/fidelity.hpp"
+#include "core/trace_params.hpp"
 #include "fault/fault_params.hpp"
 #include "phy/channel.hpp"
 #include "phy/fading.hpp"
@@ -44,6 +45,10 @@ struct ScenarioConfig {
   /// Fidelity tiering around focus regions (defaults off — every vehicle at
   /// full fidelity; see core/fidelity.hpp and DESIGN.md Section 12).
   TierConfig tier;
+  /// Observability knobs (trace format, bounded flushing, span events).
+  /// Never affect simulation results; defaults are golden-pinned (see
+  /// core/trace_params.hpp and DESIGN.md Section 14).
+  TraceParams trace;
 
   /// One-hop neighborhood radius defining the ground-truth N_i [m].
   double comm_range_m = 80.0;

@@ -6,8 +6,17 @@
 
 #include "common/logging.hpp"
 #include "common/profiler.hpp"
+#include "obs/span_builder.hpp"
+#include "obs/span_events.hpp"
 
 namespace mmv2v::core {
+
+/// Online span machinery: the builder consumes every recorded event via the
+/// recorder's observer hook; the once-filter dedups span_truth emission.
+struct OhmSimulation::SpanState {
+  obs::SpanBuilder builder;
+  obs::SpanOnce truth_once;
+};
 
 OhmSimulation::OhmSimulation(ScenarioConfig config, OhmProtocol& protocol,
                              SimulationOptions options)
@@ -24,6 +33,14 @@ OhmSimulation::OhmSimulation(ScenarioConfig config, OhmProtocol& protocol,
   if (options.instrument) {
     instrumentation_ = std::make_unique<Instrumentation>(metrics_, trace_);
     protocol_.set_instrumentation(instrumentation_.get());
+    if (config_.trace.spans) {
+      spans_ = std::make_unique<SpanState>();
+      trace_.set_event_observer(
+          [state = spans_.get()](const TraceEvent& e) { state->builder.on_event(e); });
+    }
+  }
+  if (options.trace_sink != nullptr) {
+    trace_.set_sink(options.trace_sink, config_.trace.flush_events);
   }
 }
 
@@ -50,6 +67,17 @@ void OhmSimulation::run_one_frame(std::uint64_t frame_index, double frame_start)
   if (instrumentation_ != nullptr) {
     instrumentation_->set_frame(frame_index, frame_start);
     instrumentation_->emit(TraceEvent{"frame_begin"}.u64("vehicles", world_.size()));
+    if (spans_ != nullptr) {
+      // Ground-truth span openers: one span_truth per pair, the first frame
+      // the pair is LOS within comm range (the denominator of outcome
+      // attribution — pairs the protocol *should* have served).
+      for (std::size_t i = 0; i < world_.size(); ++i) {
+        for (const net::NodeId n : world_.ground_truth_neighbors(i)) {
+          if (n <= i || !spans_->truth_once.first(i, n)) continue;
+          instrumentation_->emit(TraceEvent{obs::kSpanTruth}.u64("a", i).u64("b", n));
+        }
+      }
+    }
   }
 
   protocol_.begin_frame(ctx);
@@ -102,6 +130,10 @@ void OhmSimulation::run(double sample_interval_s) {
     samples_.push_back(
         MetricsSample{config_.horizon_s, evaluate_network(world_, ledger_)});
   }
+  // Publish span outcome rollups (only registers span.* metrics when spans
+  // were enabled), then drain any unflushed trace tail to the sink.
+  if (spans_ != nullptr) spans_->builder.publish(metrics_);
+  trace_.flush();
   MMV2V_LOG(kInfo) << protocol_.name() << ": ran " << frames_run_ << " frames, final OCR "
                    << final_metrics().mean_ocr();
 }

@@ -23,6 +23,11 @@ struct SimulationOptions {
   /// protocol for this run. Off by default: protocols then see a null
   /// Instrumentation pointer and pay only a branch per phase.
   bool instrument = false;
+  /// Optional streaming consumer for recorded trace events (must outlive the
+  /// simulation). With ScenarioConfig::trace.flush_events > 0 the recorder's
+  /// buffer is flushed to the sink every N events (bounded memory);
+  /// otherwise the sink receives the whole stream once at the end of run().
+  TraceSink* trace_sink = nullptr;
 };
 
 class OhmSimulation {
@@ -58,6 +63,10 @@ class OhmSimulation {
   [[nodiscard]] bool instrumented() const noexcept { return instrumentation_ != nullptr; }
 
  private:
+  /// Online link-lifecycle span machinery (obs/span_builder.hpp), allocated
+  /// only when instrumented with ScenarioConfig::trace.spans set.
+  struct SpanState;
+
   void run_one_frame(std::uint64_t frame_index, double frame_start);
 
   ScenarioConfig config_;
@@ -70,6 +79,7 @@ class OhmSimulation {
   TraceRecorder trace_;
   MetricsRegistry metrics_;
   std::unique_ptr<Instrumentation> instrumentation_;
+  std::unique_ptr<SpanState> spans_;
   std::uint64_t frames_run_ = 0;
 };
 

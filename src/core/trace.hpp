@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,18 +72,80 @@ struct TraceEvent {
   void append_json(std::string& out) const;
 };
 
+/// Streaming consumer of flushed trace events. A TraceRecorder with a sink
+/// attached hands batches of events over in record order and forgets them,
+/// bounding recorder memory for arbitrarily long runs. Implementations:
+/// JsonlTraceSink (below) and obs::BinaryTraceSink (obs/mmtrace.hpp).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Receive one batch of events in record order. A batch is delivered
+  /// exactly once; the events are destroyed after the call returns.
+  virtual void on_events(std::span<const TraceEvent> events) = 0;
+};
+
+/// TraceSink that appends each event's canonical JSONL line to a caller-owned
+/// string. Streaming through this sink produces bytes identical to a single
+/// append_events_jsonl() call over the same events.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::string& out) : out_(&out) {}
+  void on_events(std::span<const TraceEvent> events) override {
+    for (const TraceEvent& e : events) {
+      e.append_json(*out_);
+      *out_ += '\n';
+    }
+  }
+
+ private:
+  std::string* out_;
+};
+
 class TraceRecorder {
  public:
+  /// Observes every event as it is recorded (before any flush). Used by the
+  /// online span builder; unset (the default) costs one branch per event.
+  using EventObserver = std::function<void(const TraceEvent&)>;
+
   void add_frame(FrameRecord record) { frames_.push_back(record); }
-  void record_event(TraceEvent event) { events_.push_back(std::move(event)); }
+  void record_event(TraceEvent event) {
+    events_.push_back(std::move(event));
+    ++events_recorded_;
+    if (observer_) observer_(events_.back());
+    if (sink_ != nullptr && flush_every_ > 0 && events_.size() >= flush_every_) flush();
+  }
   void clear() {
     frames_.clear();
     events_.clear();
+    events_recorded_ = 0;
   }
 
+  /// Attach a streaming sink. With `flush_every` > 0 the in-memory buffer is
+  /// bounded: every `flush_every` events are pushed to the sink and dropped
+  /// from the buffer (the legacy keep-everything behavior needs
+  /// `flush_every` == 0 or no sink). Call flush() after the last event to
+  /// drain the tail. Pass nullptr to detach.
+  void set_sink(TraceSink* sink, std::size_t flush_every) {
+    sink_ = sink;
+    flush_every_ = sink == nullptr ? 0 : flush_every;
+  }
+  /// Push all buffered events to the attached sink and drop them. No-op
+  /// without a sink.
+  void flush() {
+    if (sink_ == nullptr || events_.empty()) return;
+    sink_->on_events(events_);
+    events_.clear();
+  }
+
+  void set_event_observer(EventObserver observer) { observer_ = std::move(observer); }
+
   [[nodiscard]] const std::vector<FrameRecord>& frames() const noexcept { return frames_; }
+  /// Events still buffered. With a flushing sink attached this is only the
+  /// unflushed tail; use events_recorded() for the run total.
   [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept { return events_; }
-  [[nodiscard]] bool empty() const noexcept { return frames_.empty() && events_.empty(); }
+  /// Total events recorded since construction / clear(), flushed or not.
+  [[nodiscard]] std::uint64_t events_recorded() const noexcept { return events_recorded_; }
+  [[nodiscard]] bool empty() const noexcept { return frames_.empty() && events_recorded_ == 0; }
 
   /// Aggregate network throughput over the recorded window [bit/s]. Needs at
   /// least two frames to infer the frame duration; with fewer it returns 0
@@ -91,8 +155,10 @@ class TraceRecorder {
   /// were recorded).
   [[nodiscard]] double mean_active_links() const;
 
-  /// Append the event stream as JSONL (one canonical JSON object per line,
-  /// '\n'-terminated). Byte-stable across machines and locales.
+  /// Append the *buffered* event stream as JSONL (one canonical JSON object
+  /// per line, '\n'-terminated). Byte-stable across machines and locales.
+  /// With a flushing sink attached, flushed events are no longer here — the
+  /// sink received their serialization instead.
   void append_events_jsonl(std::string& out) const;
   void write_events_jsonl(std::ostream& out) const;
 
@@ -111,6 +177,10 @@ class TraceRecorder {
  private:
   std::vector<FrameRecord> frames_;
   std::vector<TraceEvent> events_;
+  std::uint64_t events_recorded_ = 0;
+  TraceSink* sink_ = nullptr;
+  std::size_t flush_every_ = 0;
+  EventObserver observer_;
 };
 
 }  // namespace mmv2v::core

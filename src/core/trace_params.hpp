@@ -1,0 +1,44 @@
+// Trace/observability knob group (`trace.*`). Kept in its own dependency-free
+// header so ScenarioConfig, the CLI knob parser and the obs layer can all
+// include it without pulling in the trace machinery itself.
+//
+// None of these knobs change simulation results — only how (and how much)
+// observability data is recorded. The defaults reproduce the legacy
+// behavior bit-for-bit: full in-memory JSONL event buffering, no span
+// events, golden digest untouched (DESIGN.md Sections 8 and 14).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmv2v::core {
+
+enum class TraceFormat : std::uint8_t {
+  /// One canonical JSON object per line (the legacy format; golden-pinned).
+  kJsonl = 0,
+  /// Chunked binary flight-recorder format (.mmtrace): string-interned,
+  /// varint/delta-encoded, CRC-protected, with a trailing chunk index. A
+  /// JSONL export of an .mmtrace file is byte-identical to what kJsonl
+  /// would have written (DESIGN.md Section 14).
+  kBinary = 1,
+};
+
+struct TraceParams {
+  /// On-disk format of the merged sweep trace (trace.format = jsonl | binary).
+  TraceFormat format = TraceFormat::kJsonl;
+  /// Flush the recorder's in-memory event buffer to the attached sink every
+  /// N events, bounding trace memory for long runs (trace.flush_events).
+  /// 0 (default) keeps every event buffered for the whole run — the legacy
+  /// behavior, required by consumers that read trace().events() post-hoc.
+  /// Ignored when no sink is attached. The serialized byte stream is
+  /// identical for every setting.
+  std::size_t flush_events = 0;
+  /// Emit per-pair link-lifecycle span events (span_truth / span_disc /
+  /// span_match / span_sched / span_churn / span_udt) and publish span
+  /// outcome rollups into the metrics registry (trace.spans). Off by
+  /// default: span events extend the event stream, so enabling them
+  /// intentionally changes the trace digest.
+  bool spans = false;
+};
+
+}  // namespace mmv2v::core

@@ -1,0 +1,41 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte strings —
+// the per-chunk integrity check of the .mmtrace format (DESIGN.md
+// Section 14). Table-driven, table built at compile time; no zlib
+// dependency.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mmv2v::obs {
+
+namespace detail {
+
+consteval std::array<std::uint32_t, 256> crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = crc32_table();
+
+}  // namespace detail
+
+/// CRC-32 of `data` (standard init/final inversion; crc32("123456789") ==
+/// 0xCBF43926).
+[[nodiscard]] inline std::uint32_t crc32(std::string_view data) noexcept {
+  std::uint32_t c = 0xffffffffu;
+  for (const char ch : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<std::uint8_t>(ch)) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace mmv2v::obs

@@ -1,0 +1,554 @@
+// .mmtrace — the chunked binary flight-recorder trace format (DESIGN.md
+// Section 14).
+//
+// Layout:
+//   [8B "MMTRACE1"][u32 version]            file header
+//   chunk*                                  length-prefixed, CRC-protected
+//   index chunk                             chunk offsets/sizes/record counts
+//   [u64 index_offset][8B "MMTRIDX1"]       footer (seekable tail)
+//
+// Every chunk is self-contained: its string-intern table and frame/time
+// delta state reset at the chunk boundary, so a reader can skip a corrupted
+// or truncated chunk and keep decoding (the reader counts what it skipped).
+// Records inside a chunk payload:
+//   tag 0  intern     — define the next sequential string id (names, keys,
+//                       string field values share one per-chunk table)
+//   tag 1  line       — a raw JSONL line (cell_begin / cell_end framing);
+//                       included in the event-stream digest
+//   tag 2  meta line  — a raw JSONL line excluded from the digest (manifest)
+//   tag 3  event      — one TraceEvent: interned type id, flag byte
+//                       (frame/time same-as-previous), zigzag varint frame
+//                       delta, raw LE double time, varint field count, then
+//                       per field varint(key_id * 4 + kind) and the value
+//                       (varint u64 | raw LE double | interned string id)
+//
+// Replaying an .mmtrace file to JSONL reconstructs each TraceEvent and
+// re-serializes it through TraceEvent::append_json — the exact code path the
+// JSONL writer uses — so the export is byte-identical to a direct JSONL
+// trace and the FNV-1a golden digest is preserved.
+//
+// Header-only on purpose: core/experiment.cpp consumes the encoder for its
+// binary trace_out path, and the obs *library* depends on core — keeping
+// this layer in headers avoids a dependency cycle between the two targets.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "obs/crc32.hpp"
+#include "obs/varint.hpp"
+
+namespace mmv2v::obs {
+
+inline constexpr std::string_view kMmtraceMagic = "MMTRACE1";
+inline constexpr std::string_view kMmtraceTailMagic = "MMTRIDX1";
+inline constexpr std::uint32_t kMmtraceVersion = 1;
+inline constexpr std::uint32_t kChunkMagic = 0x4b4e4843u;  // "CHNK" little-endian
+inline constexpr std::uint32_t kIndexMagic = 0x58444e49u;  // "INDX" little-endian
+inline constexpr std::size_t kChunkHeaderBytes = 16;
+inline constexpr std::size_t kFileHeaderBytes = 12;
+inline constexpr std::size_t kFileFooterBytes = 16;
+/// Default soft chunk-payload limit: a chunk closes after the record that
+/// crosses it. Small enough that a corrupted chunk loses little, large
+/// enough that header + CRC overhead is negligible.
+inline constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+/// Record tags inside a chunk payload.
+enum class MmtraceTag : std::uint8_t { kIntern = 0, kLine = 1, kMetaLine = 2, kEvent = 3 };
+
+/// Field kinds packed into the low 2 bits of the field key varint.
+enum : std::uint8_t { kFieldU64 = 0, kFieldF64 = 1, kFieldStr = 2 };
+
+/// One completed chunk's place in a chunk stream (offsets are relative to
+/// the stream the chunk was written into; the file assembler re-bases them).
+struct ChunkInfo {
+  std::uint64_t offset = 0;  ///< chunk header start within the stream
+  std::uint32_t bytes = 0;   ///< header + payload size
+  std::uint32_t records = 0;
+};
+
+namespace detail {
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+[[nodiscard]] inline std::uint32_t get_u32(std::string_view in, std::size_t pos) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] inline std::uint64_t get_u64(std::string_view in, std::size_t pos) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace detail
+
+/// Streaming encoder producing a chunk stream (no file header/index — the
+/// assembler below adds those, so per-cell streams can be concatenated in
+/// canonical order exactly like the JSONL merge).
+class MmtraceWriter {
+ public:
+  explicit MmtraceWriter(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(chunk_bytes) {}
+
+  /// Append one trace event (interning its type, keys and string values).
+  void add_event(const core::TraceEvent& e) {
+    // Intern everything first: tag-0 records must precede the record that
+    // references them.
+    const std::uint64_t type_id = intern(e.type);
+    scratch_ids_.clear();
+    for (const core::TraceField& f : e.fields) {
+      scratch_ids_.push_back(intern(f.key));
+      if (f.kind == core::TraceField::Kind::kStr) scratch_ids_.push_back(intern(f.str));
+    }
+
+    put_varint(payload_, static_cast<std::uint64_t>(MmtraceTag::kEvent));
+    put_varint(payload_, type_id);
+    const bool same_frame = e.frame == prev_frame_;
+    const bool same_time =
+        std::bit_cast<std::uint64_t>(e.time_s) == std::bit_cast<std::uint64_t>(prev_time_);
+    payload_.push_back(static_cast<char>((same_frame ? 1 : 0) | (same_time ? 2 : 0)));
+    if (!same_frame) {
+      put_varint(payload_, zigzag(static_cast<std::int64_t>(e.frame - prev_frame_)));
+      prev_frame_ = e.frame;
+    }
+    if (!same_time) {
+      detail::put_f64(payload_, e.time_s);
+      prev_time_ = e.time_s;
+    }
+    put_varint(payload_, e.fields.size());
+    std::size_t id_at = 0;
+    for (const core::TraceField& f : e.fields) {
+      const std::uint64_t key_id = scratch_ids_[id_at++];
+      switch (f.kind) {
+        case core::TraceField::Kind::kU64:
+          put_varint(payload_, key_id * 4 + kFieldU64);
+          put_varint(payload_, f.u64);
+          break;
+        case core::TraceField::Kind::kF64:
+          put_varint(payload_, key_id * 4 + kFieldF64);
+          detail::put_f64(payload_, f.f64);
+          break;
+        case core::TraceField::Kind::kStr:
+          put_varint(payload_, key_id * 4 + kFieldStr);
+          put_varint(payload_, scratch_ids_[id_at++]);
+          break;
+      }
+    }
+    ++records_;
+    maybe_finish();
+  }
+
+  /// Append one raw JSONL line (without its trailing newline). Meta lines
+  /// (the manifest) are excluded from a digest-oriented replay.
+  void add_line(std::string_view line, bool meta = false) {
+    put_varint(payload_,
+               static_cast<std::uint64_t>(meta ? MmtraceTag::kMetaLine : MmtraceTag::kLine));
+    put_varint(payload_, line.size());
+    payload_.append(line);
+    ++records_;
+    maybe_finish();
+  }
+
+  /// Close the open chunk (if any), appending it to the stream. Idempotent.
+  void finish_chunk() {
+    if (payload_.empty()) return;
+    ChunkInfo info;
+    info.offset = stream_.size();
+    info.bytes = static_cast<std::uint32_t>(kChunkHeaderBytes + payload_.size());
+    info.records = records_;
+    detail::put_u32(stream_, kChunkMagic);
+    detail::put_u32(stream_, static_cast<std::uint32_t>(payload_.size()));
+    detail::put_u32(stream_, records_);
+    detail::put_u32(stream_, crc32(payload_));
+    stream_ += payload_;
+    chunks_.push_back(info);
+    payload_.clear();
+    records_ = 0;
+    // Chunks are self-contained: reset the intern table and delta state.
+    intern_.clear();
+    next_id_ = 0;
+    prev_frame_ = 0;
+    prev_time_ = 0.0;
+  }
+
+  struct ChunkStream {
+    std::string bytes;
+    std::vector<ChunkInfo> chunks;
+  };
+
+  /// Finish the open chunk and move out the completed stream, leaving the
+  /// writer empty and reusable.
+  [[nodiscard]] ChunkStream take() {
+    finish_chunk();
+    ChunkStream out{std::move(stream_), std::move(chunks_)};
+    stream_.clear();
+    chunks_.clear();
+    return out;
+  }
+
+  [[nodiscard]] std::size_t stream_bytes() const noexcept {
+    return stream_.size() + (payload_.empty() ? 0 : kChunkHeaderBytes + payload_.size());
+  }
+
+ private:
+  std::uint64_t intern(std::string_view s) {
+    const auto it = intern_.find(s);
+    if (it != intern_.end()) return it->second;
+    const std::uint64_t id = next_id_++;
+    intern_.emplace(std::string{s}, id);
+    put_varint(payload_, static_cast<std::uint64_t>(MmtraceTag::kIntern));
+    put_varint(payload_, s.size());
+    payload_.append(s);
+    ++records_;
+    return id;
+  }
+
+  void maybe_finish() {
+    if (payload_.size() >= chunk_bytes_) finish_chunk();
+  }
+
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::size_t chunk_bytes_;
+  std::string payload_;
+  std::uint32_t records_ = 0;
+  std::string stream_;
+  std::vector<ChunkInfo> chunks_;
+  std::unordered_map<std::string, std::uint64_t, StringHash, std::equal_to<>> intern_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t prev_frame_ = 0;
+  double prev_time_ = 0.0;
+  std::vector<std::uint64_t> scratch_ids_;
+};
+
+/// core::TraceSink adapter: stream flushed TraceRecorder batches into an
+/// MmtraceWriter. Attach with TraceRecorder::set_sink(&sink, flush_every) to
+/// bound recorder memory; the serialized chunk stream is identical for any
+/// flush cadence.
+class BinaryTraceSink final : public core::TraceSink {
+ public:
+  explicit BinaryTraceSink(MmtraceWriter& writer) : writer_(&writer) {}
+  void on_events(std::span<const core::TraceEvent> events) override {
+    for (const core::TraceEvent& e : events) writer_->add_event(e);
+  }
+
+ private:
+  MmtraceWriter* writer_;
+};
+
+// ---- file assembly ---------------------------------------------------------
+
+[[nodiscard]] inline std::string mmtrace_file_header() {
+  std::string out{kMmtraceMagic};
+  detail::put_u32(out, kMmtraceVersion);
+  return out;
+}
+
+/// Append one writer's chunk stream to a file image, re-basing its chunk
+/// offsets into `all`.
+inline void append_mmtrace_chunks(std::string& file, std::vector<ChunkInfo>& all,
+                                  MmtraceWriter::ChunkStream&& cs) {
+  const std::uint64_t base = file.size();
+  for (ChunkInfo info : cs.chunks) {
+    info.offset += base;
+    all.push_back(info);
+  }
+  file += cs.bytes;
+}
+
+/// Append the trailing index chunk and footer. Call once, after the last
+/// chunk stream.
+inline void append_mmtrace_index(std::string& file, const std::vector<ChunkInfo>& all) {
+  std::string payload;
+  std::uint64_t prev_offset = 0;
+  for (const ChunkInfo& info : all) {
+    put_varint(payload, info.offset - prev_offset);
+    put_varint(payload, info.bytes);
+    put_varint(payload, info.records);
+    prev_offset = info.offset;
+  }
+  const std::uint64_t index_offset = file.size();
+  detail::put_u32(file, kIndexMagic);
+  detail::put_u32(file, static_cast<std::uint32_t>(payload.size()));
+  detail::put_u32(file, static_cast<std::uint32_t>(all.size()));
+  detail::put_u32(file, crc32(payload));
+  file += payload;
+  detail::put_u64(file, index_offset);
+  file += kMmtraceTailMagic;
+}
+
+[[nodiscard]] inline bool is_mmtrace(std::string_view bytes) {
+  return bytes.size() >= kFileHeaderBytes && bytes.substr(0, kMmtraceMagic.size()) == kMmtraceMagic;
+}
+
+// ---- reading ---------------------------------------------------------------
+
+/// One decoded record handed to the reader's visitor.
+struct MmtraceRecord {
+  MmtraceTag tag = MmtraceTag::kEvent;
+  /// Raw line content for kLine / kMetaLine (view into the file buffer).
+  std::string_view line;
+  /// Reconstructed event for kEvent.
+  core::TraceEvent event{""};
+};
+
+/// Scan statistics from one reader pass.
+struct MmtraceStats {
+  std::size_t chunks = 0;          ///< chunks decoded successfully
+  std::size_t skipped_chunks = 0;  ///< corrupted / truncated chunks skipped
+  std::size_t events = 0;
+  std::size_t lines = 0;
+  std::size_t meta_lines = 0;
+  bool index_ok = false;  ///< trailing index present and CRC-valid
+};
+
+/// Sequential reader over a complete in-memory .mmtrace file. Tolerates
+/// corruption: a chunk with a bad magic, length, CRC or payload is skipped
+/// (and counted) without losing the rest of the stream. The trailing index
+/// is validated but not required.
+class MmtraceReader {
+ public:
+  explicit MmtraceReader(std::string_view file) : file_(file) {}
+
+  [[nodiscard]] bool valid_header() const {
+    return is_mmtrace(file_) && detail::get_u32(file_, kMmtraceMagic.size()) == kMmtraceVersion;
+  }
+
+  /// Visit every decodable record in stream order; returns scan statistics.
+  /// `fn` is called as fn(const MmtraceRecord&).
+  template <typename Fn>
+  MmtraceStats for_each(Fn&& fn) const {
+    MmtraceStats stats;
+    if (!valid_header()) {
+      stats.skipped_chunks = 1;
+      return stats;
+    }
+    std::size_t limit = file_.size();
+    // Footer: [u64 index_offset][8B tail magic]. When intact, chunks end at
+    // the index chunk.
+    if (file_.size() >= kFileHeaderBytes + kFileFooterBytes &&
+        file_.substr(file_.size() - kMmtraceTailMagic.size()) == kMmtraceTailMagic) {
+      const std::uint64_t index_offset = detail::get_u64(file_, file_.size() - kFileFooterBytes);
+      if (index_offset >= kFileHeaderBytes && index_offset + kChunkHeaderBytes <= file_.size() &&
+          detail::get_u32(file_, static_cast<std::size_t>(index_offset)) == kIndexMagic) {
+        const std::uint32_t payload_bytes =
+            detail::get_u32(file_, static_cast<std::size_t>(index_offset) + 4);
+        const std::size_t payload_at = static_cast<std::size_t>(index_offset) + kChunkHeaderBytes;
+        if (payload_at + payload_bytes <= file_.size() &&
+            crc32(file_.substr(payload_at, payload_bytes)) ==
+                detail::get_u32(file_, static_cast<std::size_t>(index_offset) + 12)) {
+          stats.index_ok = true;
+          limit = static_cast<std::size_t>(index_offset);
+        }
+      }
+    }
+
+    std::size_t pos = kFileHeaderBytes;
+    std::vector<std::string_view> interns;
+    std::vector<MmtraceRecord> records;
+    while (pos + kChunkHeaderBytes <= limit) {
+      const std::uint32_t magic = detail::get_u32(file_, pos);
+      if (magic == kIndexMagic) break;  // index reached without a footer
+      if (magic != kChunkMagic) {
+        // Bad header: resynchronize on the next chunk magic.
+        const std::size_t next = file_.find("CHNK", pos + 1);
+        ++stats.skipped_chunks;
+        if (next == std::string_view::npos || next >= limit) break;
+        pos = next;
+        continue;
+      }
+      const std::uint32_t payload_bytes = detail::get_u32(file_, pos + 4);
+      const std::uint32_t crc = detail::get_u32(file_, pos + 12);
+      if (pos + kChunkHeaderBytes + payload_bytes > limit) {
+        ++stats.skipped_chunks;  // truncated
+        break;
+      }
+      const std::string_view payload = file_.substr(pos + kChunkHeaderBytes, payload_bytes);
+      pos += kChunkHeaderBytes + payload_bytes;
+      if (crc32(payload) != crc) {
+        ++stats.skipped_chunks;
+        continue;
+      }
+      interns.clear();
+      records.clear();
+      if (!decode_chunk(payload, interns, records)) {
+        ++stats.skipped_chunks;
+        continue;
+      }
+      ++stats.chunks;
+      for (const MmtraceRecord& r : records) {
+        switch (r.tag) {
+          case MmtraceTag::kLine:
+            ++stats.lines;
+            break;
+          case MmtraceTag::kMetaLine:
+            ++stats.meta_lines;
+            break;
+          case MmtraceTag::kEvent:
+            ++stats.events;
+            break;
+          case MmtraceTag::kIntern:
+            break;
+        }
+        fn(static_cast<const MmtraceRecord&>(r));
+      }
+    }
+    return stats;
+  }
+
+ private:
+  /// Decode one CRC-valid chunk payload into records (intern records are
+  /// consumed, not emitted). Returns false on any malformed record.
+  [[nodiscard]] bool decode_chunk(std::string_view payload, std::vector<std::string_view>& interns,
+                                  std::vector<MmtraceRecord>& out) const {
+    std::size_t pos = 0;
+    std::uint64_t prev_frame = 0;
+    double prev_time = 0.0;
+    while (pos < payload.size()) {
+      std::uint64_t tag = 0;
+      if (!get_varint(payload, pos, tag)) return false;
+      switch (static_cast<MmtraceTag>(tag)) {
+        case MmtraceTag::kIntern: {
+          std::uint64_t len = 0;
+          if (!get_varint(payload, pos, len) || pos + len > payload.size()) return false;
+          interns.push_back(payload.substr(pos, len));
+          pos += len;
+          break;
+        }
+        case MmtraceTag::kLine:
+        case MmtraceTag::kMetaLine: {
+          std::uint64_t len = 0;
+          if (!get_varint(payload, pos, len) || pos + len > payload.size()) return false;
+          MmtraceRecord r;
+          r.tag = static_cast<MmtraceTag>(tag);
+          r.line = payload.substr(pos, len);
+          pos += len;
+          out.push_back(std::move(r));
+          break;
+        }
+        case MmtraceTag::kEvent: {
+          std::uint64_t type_id = 0;
+          if (!get_varint(payload, pos, type_id) || type_id >= interns.size()) return false;
+          if (pos >= payload.size()) return false;
+          const auto flags = static_cast<std::uint8_t>(payload[pos++]);
+          if ((flags & 1) == 0) {
+            std::uint64_t delta = 0;
+            if (!get_varint(payload, pos, delta)) return false;
+            prev_frame += static_cast<std::uint64_t>(unzigzag(delta));
+          }
+          if ((flags & 2) == 0) {
+            if (pos + 8 > payload.size()) return false;
+            prev_time = std::bit_cast<double>(detail::get_u64(payload, pos));
+            pos += 8;
+          }
+          MmtraceRecord r;
+          r.tag = MmtraceTag::kEvent;
+          r.event = core::TraceEvent{interns[type_id]};
+          r.event.frame = prev_frame;
+          r.event.time_s = prev_time;
+          std::uint64_t field_count = 0;
+          if (!get_varint(payload, pos, field_count)) return false;
+          for (std::uint64_t i = 0; i < field_count; ++i) {
+            std::uint64_t packed = 0;
+            if (!get_varint(payload, pos, packed)) return false;
+            const std::uint64_t key_id = packed / 4;
+            if (key_id >= interns.size()) return false;
+            const std::string_view key = interns[key_id];
+            switch (packed & 3) {
+              case kFieldU64: {
+                std::uint64_t v = 0;
+                if (!get_varint(payload, pos, v)) return false;
+                r.event.u64(key, v);
+                break;
+              }
+              case kFieldF64: {
+                if (pos + 8 > payload.size()) return false;
+                r.event.f64(key, std::bit_cast<double>(detail::get_u64(payload, pos)));
+                pos += 8;
+                break;
+              }
+              case kFieldStr: {
+                std::uint64_t sid = 0;
+                if (!get_varint(payload, pos, sid) || sid >= interns.size()) return false;
+                r.event.str(key, interns[sid]);
+                break;
+              }
+              default:
+                return false;
+            }
+          }
+          out.push_back(std::move(r));
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return true;
+  }
+
+  std::string_view file_;
+};
+
+/// Replay a complete .mmtrace file to JSONL. With `include_meta` the output
+/// is byte-identical to the direct JSONL trace file (manifest first line
+/// included); without it, to the digest-covered event stream only.
+[[nodiscard]] inline std::string mmtrace_to_jsonl(std::string_view file, bool include_meta = false,
+                                                  MmtraceStats* stats = nullptr) {
+  std::string out;
+  out.reserve(file.size() * 4);
+  const MmtraceReader reader{file};
+  const MmtraceStats s = reader.for_each([&](const MmtraceRecord& r) {
+    switch (r.tag) {
+      case MmtraceTag::kMetaLine:
+        if (!include_meta) return;
+        [[fallthrough]];
+      case MmtraceTag::kLine:
+        out += r.line;
+        out += '\n';
+        break;
+      case MmtraceTag::kEvent:
+        r.event.append_json(out);
+        out += '\n';
+        break;
+      case MmtraceTag::kIntern:
+        break;
+    }
+  });
+  if (stats != nullptr) *stats = s;
+  return out;
+}
+
+}  // namespace mmv2v::obs

@@ -1,0 +1,360 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/json_mini.hpp"
+#include "common/svg_plot.hpp"
+#include "core/trace.hpp"
+
+namespace mmv2v::obs {
+
+namespace {
+
+/// Reconstruct a TraceEvent from its canonical JSONL object. Every number
+/// comes back as f64 (JSON has one number type); the span builder's field
+/// getters are tolerant of that.
+core::TraceEvent event_from_json(const json::Value& v) {
+  core::TraceEvent e{v.string_or("ev", "")};
+  e.frame = static_cast<std::uint64_t>(v.number_or("frame", 0.0));
+  e.time_s = v.number_or("t", 0.0);
+  for (const auto& [key, field] : v.object()) {
+    if (key == "ev" || key == "frame" || key == "t") continue;
+    if (field.is_number()) {
+      e.f64(key, field.number());
+    } else if (field.is_string()) {
+      e.str(key, field.str());
+    }
+  }
+  return e;
+}
+
+void merge_rollup(SpanRollup& into, const SpanRollup& from) {
+  for (std::size_t i = 0; i < kSpanOutcomeCount; ++i) into.outcomes[i] += from.outcomes[i];
+  into.spans += from.spans;
+  into.truncations += from.truncations;
+  into.delivered_bits += from.delivered_bits;
+  into.disc_to_match_frames.add_all(from.disc_to_match_frames.raw());
+  into.match_to_delivery_frames.add_all(from.match_to_delivery_frames.raw());
+}
+
+/// One SpanBuilder per cell while walking the trace in record order, so
+/// outcomes can later be grouped by the cell's density. Pair ids repeat
+/// across cells (each cell is an independent world), which is exactly why
+/// one global builder would conflate them.
+struct SliceAccumulator {
+  struct Slice {
+    double density_vpl = 0.0;
+    SpanBuilder builder;
+  };
+  std::vector<Slice> slices;
+
+  SpanBuilder& current() {
+    if (slices.empty()) slices.emplace_back();  // bare stream: one implicit cell
+    return slices.back().builder;
+  }
+  void begin_cell(double density) {
+    slices.emplace_back();
+    slices.back().density_vpl = density;
+  }
+};
+
+std::string escape_html(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+ReportData load_report_data(std::string_view trace_bytes) {
+  ReportData data;
+  SliceAccumulator acc;
+
+  const auto on_marker_line = [&](std::string_view line) {
+    if (line.rfind("{\"ev\":\"cell_begin\"", 0) != 0) return true;  // not a cell marker
+    double density = 0.0;
+    try {
+      density = json::Value::parse(line).number_or("density_vpl", 0.0);
+    } catch (const std::exception&) {
+      // malformed marker: still open a slice so events stay cell-scoped
+    }
+    acc.begin_cell(density);
+    return true;
+  };
+
+  if (is_mmtrace(trace_bytes)) {
+    data.binary = true;
+    const MmtraceReader reader{trace_bytes};
+    data.stats = reader.for_each([&](const MmtraceRecord& r) {
+      if (r.tag == MmtraceTag::kMetaLine) {
+        if (data.manifest_json.empty()) data.manifest_json = std::string{r.line};
+      } else if (r.tag == MmtraceTag::kLine) {
+        on_marker_line(r.line);
+      } else if (r.tag == MmtraceTag::kEvent) {
+        ++data.events;
+        acc.current().on_event(r.event);
+      }
+    });
+  } else {
+    // JSONL: optional manifest first line, then one JSON object per line
+    // (cell markers and events both carry an "ev" key).
+    std::size_t pos = 0;
+    bool first = true;
+    while (pos < trace_bytes.size()) {
+      const std::size_t eol = std::min(trace_bytes.find('\n', pos), trace_bytes.size());
+      const std::string_view line = trace_bytes.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (first && (line.rfind("{\"ev\":\"manifest\"", 0) == 0 ||
+                    line.find("\"ev\":") == std::string_view::npos)) {
+        data.manifest_json = std::string{line};
+        first = false;
+        continue;
+      }
+      first = false;
+      if (line.rfind("{\"ev\":\"cell_begin\"", 0) == 0) {
+        on_marker_line(line);
+        continue;
+      }
+      if (line.rfind("{\"ev\":\"cell_end\"", 0) == 0) continue;
+      try {
+        ++data.events;
+        acc.current().on_event(event_from_json(json::Value::parse(line)));
+      } catch (const std::exception&) {
+        --data.events;  // unparseable line: skip
+      }
+    }
+  }
+
+  for (const SliceAccumulator::Slice& slice : acc.slices) {
+    const SpanRollup r = slice.builder.rollup();
+    if (r.spans == 0) continue;
+    merge_rollup(data.spans, r);
+    const auto it = std::find_if(
+        data.density_spans.begin(), data.density_spans.end(),
+        [&](const DensitySpans& d) { return d.density_vpl == slice.density_vpl; });
+    DensitySpans& bucket = it != data.density_spans.end() ? *it : data.density_spans.emplace_back();
+    bucket.density_vpl = slice.density_vpl;
+    merge_rollup(bucket.rollup, r);
+  }
+  std::sort(data.density_spans.begin(), data.density_spans.end(),
+            [](const DensitySpans& a, const DensitySpans& b) {
+              return a.density_vpl < b.density_vpl;
+            });
+
+  if (!data.manifest_json.empty()) {
+    try {
+      const json::Value m = json::Value::parse(data.manifest_json);
+      data.protocol = m.string_or("protocol", "");
+      if (const json::Value* cells = m.find("cells"); cells != nullptr && cells->is_array()) {
+        for (const json::Value& c : cells->array()) {
+          ReportCell cell;
+          cell.density_vpl = c.number_or("density_vpl", 0.0);
+          cell.rep = static_cast<int>(c.number_or("rep", 0.0));
+          cell.seed = static_cast<std::uint64_t>(c.number_or("seed", 0.0));
+          cell.degree = c.number_or("degree", 0.0);
+          cell.ocr = c.number_or("ocr", 0.0);
+          cell.atp = c.number_or("atp", 0.0);
+          cell.dtp = c.number_or("dtp", 0.0);
+          cell.fairness = c.number_or("fairness", 0.0);
+          data.cells.push_back(cell);
+        }
+      }
+    } catch (const std::exception&) {
+      // report still renders without manifest facts
+    }
+  }
+  return data;
+}
+
+namespace {
+
+/// Mean OCR / ATP per density from the manifest cell summaries.
+std::string render_ocr_chart(const std::vector<ReportCell>& cells) {
+  struct Bucket {
+    double density;
+    RunningStats ocr;
+    RunningStats atp;
+  };
+  std::vector<Bucket> buckets;
+  for (const ReportCell& c : cells) {
+    const auto it = std::find_if(buckets.begin(), buckets.end(),
+                                 [&](const Bucket& b) { return b.density == c.density_vpl; });
+    Bucket& b = it != buckets.end() ? *it : buckets.emplace_back();
+    b.density = c.density_vpl;
+    b.ocr.add(c.ocr);
+    b.atp.add(c.atp);
+  }
+  std::sort(buckets.begin(), buckets.end(),
+            [](const Bucket& a, const Bucket& b) { return a.density < b.density; });
+  SvgChart chart{760, 360, "One-hop Coverage Ratio vs density"};
+  chart.set_x_label("density [vehicles/lane/km]");
+  chart.set_y_label("OCR");
+  std::vector<std::pair<double, double>> points;
+  for (const Bucket& b : buckets) points.emplace_back(b.density, b.ocr.mean());
+  chart.add_series("OCR (mean)", std::move(points));
+  return chart.render();
+}
+
+std::string render_outcome_chart(const std::vector<DensitySpans>& density_spans) {
+  SvgChart chart{760, 360, "Span outcome attribution by density"};
+  chart.set_y_label("pair spans");
+  chart.set_x_label("density [vehicles/lane/km]");
+  std::vector<std::string> categories;
+  for (const DensitySpans& d : density_spans) categories.push_back(fmt(d.density_vpl));
+  chart.set_categories(std::move(categories));
+  for (std::size_t i = 0; i < kSpanOutcomeCount; ++i) {
+    std::vector<double> values;
+    for (const DensitySpans& d : density_spans) {
+      values.push_back(static_cast<double>(d.rollup.outcomes[i]));
+    }
+    chart.add_bar_layer(std::string{span_outcome_name(static_cast<SpanOutcome>(i))},
+                        std::move(values));
+  }
+  return chart.render();
+}
+
+std::string render_latency_chart(const SpanRollup& spans) {
+  SvgChart chart{760, 360, "Span latency percentiles"};
+  chart.set_x_label("percentile");
+  chart.set_y_label("frames");
+  const double percentiles[] = {5, 10, 25, 50, 75, 90, 95, 99};
+  const auto series = [&](const SampleSet& samples) {
+    std::vector<std::pair<double, double>> points;
+    for (const double p : percentiles) points.emplace_back(p, samples.percentile(p));
+    return points;
+  };
+  if (!spans.disc_to_match_frames.empty()) {
+    chart.add_series("discovery \xe2\x86\x92 match", series(spans.disc_to_match_frames));
+  }
+  if (!spans.match_to_delivery_frames.empty()) {
+    chart.add_series("match \xe2\x86\x92 first delivery", series(spans.match_to_delivery_frames));
+  }
+  return chart.render();
+}
+
+void append_profiler_table(std::string& html, std::string_view profiler_json) {
+  json::Value doc;
+  try {
+    doc = json::Value::parse(profiler_json);
+  } catch (const std::exception&) {
+    return;
+  }
+  const json::Value* scopes = doc.find("scopes");
+  if (scopes == nullptr || !scopes->is_array() || scopes->array().empty()) return;
+  html += "<h2>Profiler</h2>\n<table>\n<tr><th>scope</th><th>count</th>"
+          "<th>total [ms]</th><th>self [ms]</th><th>p50 [&micro;s]</th>"
+          "<th>p99 [&micro;s]</th></tr>\n";
+  for (const json::Value& s : scopes->array()) {
+    const int depth = static_cast<int>(s.number_or("depth", 0.0));
+    std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+    label += s.string_or("name", "?");
+    html += "<tr><td class=\"mono\">";
+    html += escape_html(label);
+    html += "</td><td>";
+    html += fmt(s.number_or("count", 0.0));
+    html += "</td><td>";
+    html += fmt(s.number_or("total_ns", 0.0) / 1e6);
+    html += "</td><td>";
+    html += fmt(s.number_or("self_ns", 0.0) / 1e6);
+    html += "</td><td>";
+    html += fmt(s.number_or("p50_ns", 0.0) / 1e3);
+    html += "</td><td>";
+    html += fmt(s.number_or("p99_ns", 0.0) / 1e3);
+    html += "</td></tr>\n";
+  }
+  html += "</table>\n";
+}
+
+}  // namespace
+
+std::string render_report_html(const ReportData& data, std::string_view title,
+                               std::string_view profiler_json) {
+  std::string html =
+      "<!doctype html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>";
+  html += escape_html(title);
+  html +=
+      "</title>\n<style>\n"
+      "body{font-family:sans-serif;margin:24px auto;max-width:860px;color:#222}\n"
+      "table{border-collapse:collapse;margin:12px 0}\n"
+      "td,th{border:1px solid #ccc;padding:4px 10px;font-size:14px;text-align:right}\n"
+      "th{background:#f2f2f2}\n"
+      "td.mono{font-family:monospace;text-align:left;white-space:pre}\n"
+      "svg{margin:12px 0}\n"
+      "</style>\n</head>\n<body>\n<h1>";
+  html += escape_html(title);
+  html += "</h1>\n";
+
+  html += "<h2>Run</h2>\n<table>\n";
+  const auto row = [&](std::string_view key, const std::string& value) {
+    html += "<tr><td class=\"mono\">";
+    html += escape_html(key);
+    html += "</td><td>";
+    html += escape_html(value);
+    html += "</td></tr>\n";
+  };
+  if (!data.protocol.empty()) row("protocol", data.protocol);
+  row("format", data.binary ? "binary (.mmtrace)" : "jsonl");
+  row("cells", fmt(static_cast<double>(data.cells.size())));
+  row("events", fmt(static_cast<double>(data.events)));
+  if (data.binary) {
+    row("chunks", fmt(static_cast<double>(data.stats.chunks)));
+    if (data.stats.skipped_chunks > 0) {
+      row("skipped chunks", fmt(static_cast<double>(data.stats.skipped_chunks)));
+    }
+    row("index", data.stats.index_ok ? "ok" : "missing/damaged");
+  }
+  if (data.spans.spans > 0) {
+    row("pair spans", fmt(static_cast<double>(data.spans.spans)));
+    row("delivered bits", fmt(data.spans.delivered_bits));
+    row("truncations", fmt(static_cast<double>(data.spans.truncations)));
+  }
+  html += "</table>\n";
+
+  if (!data.cells.empty()) {
+    html += "<h2>Coverage</h2>\n";
+    html += render_ocr_chart(data.cells);
+  }
+  if (!data.density_spans.empty()) {
+    html += "<h2>Span outcomes</h2>\n";
+    html += render_outcome_chart(data.density_spans);
+  }
+  if (!data.spans.disc_to_match_frames.empty() ||
+      !data.spans.match_to_delivery_frames.empty()) {
+    html += "<h2>Span latency</h2>\n";
+    html += render_latency_chart(data.spans);
+  }
+  if (!profiler_json.empty()) append_profiler_table(html, profiler_json);
+
+  html += "</body>\n</html>\n";
+  return html;
+}
+
+void write_report_html(const std::string& path, const ReportData& data, std::string_view title,
+                       std::string_view profiler_json) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error{"report: cannot open " + path};
+  out << render_report_html(data, title, profiler_json);
+  if (!out) throw std::runtime_error{"report: failed writing " + path};
+}
+
+}  // namespace mmv2v::obs

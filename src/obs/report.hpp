@@ -1,0 +1,71 @@
+// Run-report rendering (DESIGN.md Section 14): turns one recorded sweep
+// trace — binary .mmtrace or JSONL, auto-detected — into a self-contained
+// HTML document with inline SVG charts: OCR vs density, span outcome
+// attribution stacked bars, span-latency percentile curves and an optional
+// profiler summary table. No external assets; the file opens anywhere.
+//
+// The loader replays the trace post-hoc: manifest (run facts + per-cell
+// summaries) from the meta line, span events through one SpanBuilder per
+// cell so outcomes can be grouped by density. Missing pieces degrade
+// gracefully — a trace without span events still yields the OCR chart, a
+// bare event stream still yields the span charts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/mmtrace.hpp"
+#include "obs/span_builder.hpp"
+
+namespace mmv2v::obs {
+
+/// Per-cell summary parsed from the run manifest's "cells" array.
+struct ReportCell {
+  double density_vpl = 0.0;
+  int rep = 0;
+  std::uint64_t seed = 0;
+  double degree = 0.0;
+  double ocr = 0.0;
+  double atp = 0.0;
+  double dtp = 0.0;
+  double fairness = 0.0;
+};
+
+/// Span rollup over every cell at one density.
+struct DensitySpans {
+  double density_vpl = 0.0;
+  SpanRollup rollup;
+};
+
+/// Everything the HTML renderer needs, parsed from one trace.
+struct ReportData {
+  bool binary = false;          ///< input was .mmtrace (vs JSONL)
+  MmtraceStats stats;           ///< binary decode stats (zeros for JSONL)
+  std::string protocol;         ///< from the manifest ("" when absent)
+  std::string manifest_json;    ///< raw manifest line ("" when absent)
+  std::vector<ReportCell> cells;
+  SpanRollup spans;                       ///< whole-trace rollup
+  std::vector<DensitySpans> density_spans;  ///< sorted by density
+  std::uint64_t events = 0;     ///< trace events replayed
+};
+
+/// Parse a recorded trace into the report model. Accepts the bytes of a
+/// .mmtrace file or a JSONL trace (manifest first line, then events).
+[[nodiscard]] ReportData load_report_data(std::string_view trace_bytes);
+
+/// Render the report as one self-contained HTML document. `profiler_json`
+/// (optional) is a prof::report_json() document rendered as a per-scope
+/// table; pass "" to omit the section.
+[[nodiscard]] std::string render_report_html(const ReportData& data,
+                                             std::string_view title = "mmv2v run report",
+                                             std::string_view profiler_json = {});
+
+/// Write render_report_html() to `path`. Throws std::runtime_error on I/O
+/// failure.
+void write_report_html(const std::string& path, const ReportData& data,
+                       std::string_view title = "mmv2v run report",
+                       std::string_view profiler_json = {});
+
+}  // namespace mmv2v::obs

@@ -1,0 +1,241 @@
+// Link-lifecycle span builder (DESIGN.md Section 14).
+//
+// Stitches the span events of obs/span_events.hpp into one causal span per
+// vehicle pair — discovery round -> matching adoption -> refinement /
+// scheduling -> UDT windows — and terminates each span with an attributed
+// outcome. Works both online (as the TraceRecorder's event observer during a
+// run) and post-hoc (replaying a recorded event stream, from memory, JSONL
+// or .mmtrace); both paths produce identical rollups because attribution
+// depends only on per-pair event totals, not on arrival batching.
+//
+// Reconciliation guarantees (tested in tests/obs/test_spans.cpp):
+//   * churn event count        == fault.udt_truncations counter, exactly
+//     (emitted at the same call site)
+//   * sum of span_udt bits     == udt.delivered_bits gauge, bit-exact
+//     (same addition order as the gauge's per-transfer adds)
+// The refine fallback flag is intentionally NOT reconciled against
+// refine.fallbacks: the refinement engine also counts out-of-cached-range
+// pairs there, which is not a control-loss outcome.
+//
+// Header-only so core can drive it online without a core -> obs link edge.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics_registry.hpp"
+#include "common/stats.hpp"
+#include "core/trace.hpp"
+#include "obs/span_events.hpp"
+
+namespace mmv2v::obs {
+
+/// Attributed terminal outcome of one pair span, in attribution priority
+/// order (first matching condition wins; see span_outcome()).
+enum class SpanOutcome : std::uint8_t {
+  kDelivered = 0,        ///< at least one UDT window moved bits
+  kChurned = 1,          ///< nothing delivered; a fault clipped its windows
+  kLostCtrl = 2,         ///< nothing delivered; refinement control was lost
+  kBlockedNlos = 3,      ///< nothing delivered; its windows were blocked
+  kPreempted = 4,        ///< discovered or matched, but never given a usable window
+  kNeverDiscovered = 5,  ///< in range per ground truth, never mutually discovered
+};
+
+inline constexpr std::size_t kSpanOutcomeCount = 6;
+
+[[nodiscard]] constexpr std::string_view span_outcome_name(SpanOutcome o) noexcept {
+  switch (o) {
+    case SpanOutcome::kDelivered: return "delivered";
+    case SpanOutcome::kChurned: return "churned";
+    case SpanOutcome::kLostCtrl: return "lost_ctrl";
+    case SpanOutcome::kBlockedNlos: return "blocked_nlos";
+    case SpanOutcome::kPreempted: return "preempted";
+    case SpanOutcome::kNeverDiscovered: return "never_discovered";
+  }
+  return "?";
+}
+
+/// Everything known about one unordered vehicle pair's lifecycle.
+struct LinkSpan {
+  static constexpr std::uint64_t kNoFrame = ~std::uint64_t{0};
+
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint64_t truth_frame = kNoFrame;           ///< first ground-truth in-range frame
+  std::uint64_t disc_frame = kNoFrame;            ///< first mutual-discovery frame
+  std::uint64_t match_frame = kNoFrame;           ///< first matching adoption frame
+  std::uint64_t sched_frame = kNoFrame;           ///< first scheduled-window frame
+  std::uint64_t first_delivery_frame = kNoFrame;  ///< first frame with bits > 0
+  bool carried = false;                           ///< ever adopted via carry-over
+  std::uint64_t matches = 0;
+  std::uint64_t windows = 0;          ///< span_udt events (directed transfers)
+  std::uint64_t blocked_windows = 0;  ///< span_udt with blk != 0
+  std::uint64_t truncations = 0;      ///< span_churn events
+  std::uint64_t fallbacks = 0;        ///< span_sched with fb = 1
+  double delivered_bits = 0.0;
+
+  [[nodiscard]] bool discovered() const noexcept { return disc_frame != kNoFrame; }
+  [[nodiscard]] bool matched() const noexcept { return match_frame != kNoFrame; }
+};
+
+/// Deterministic outcome attribution (priority order documented on
+/// SpanOutcome): delivery beats churn beats control loss beats blockage.
+[[nodiscard]] inline SpanOutcome span_outcome(const LinkSpan& s) noexcept {
+  if (s.delivered_bits > 0.0) return SpanOutcome::kDelivered;
+  if (s.truncations > 0) return SpanOutcome::kChurned;
+  if (s.fallbacks > 0) return SpanOutcome::kLostCtrl;
+  if (s.blocked_windows > 0) return SpanOutcome::kBlockedNlos;
+  if (s.discovered() || s.matched()) return SpanOutcome::kPreempted;
+  return SpanOutcome::kNeverDiscovered;
+}
+
+/// Span rollup over one run (or one merged trace).
+struct SpanRollup {
+  std::array<std::uint64_t, kSpanOutcomeCount> outcomes{};
+  std::uint64_t spans = 0;
+  std::uint64_t truncations = 0;
+  double delivered_bits = 0.0;
+  /// Frames from first mutual discovery to first matching adoption.
+  mmv2v::SampleSet disc_to_match_frames;
+  /// Frames from first matching adoption to first delivered bits.
+  mmv2v::SampleSet match_to_delivery_frames;
+};
+
+class SpanBuilder {
+ public:
+  /// Consume one trace event; ignores every non-span type, so the whole
+  /// stream can be fed through unconditionally.
+  void on_event(const core::TraceEvent& e) {
+    if (e.type == kSpanUdt) {
+      LinkSpan& s = span(field_u64(e, "tx"), field_u64(e, "rx"));
+      ++s.windows;
+      const double bits = field_f64(e, "bits");
+      if (field_u64(e, "blk") != 0) ++s.blocked_windows;
+      if (bits > 0.0) {
+        // Same addition order as the udt.delivered_bits gauge: event order.
+        s.delivered_bits += bits;
+        if (s.first_delivery_frame == LinkSpan::kNoFrame) s.first_delivery_frame = e.frame;
+      }
+    } else if (e.type == kSpanTruth) {
+      note_first(span(e), e.frame, &LinkSpan::truth_frame);
+    } else if (e.type == kSpanDisc) {
+      note_first(span(e), e.frame, &LinkSpan::disc_frame);
+    } else if (e.type == kSpanMatch) {
+      LinkSpan& s = span(e);
+      note_first(s, e.frame, &LinkSpan::match_frame);
+      ++s.matches;
+      if (field_u64(e, "carried") != 0) s.carried = true;
+    } else if (e.type == kSpanSched) {
+      LinkSpan& s = span(e);
+      note_first(s, e.frame, &LinkSpan::sched_frame);
+      if (field_u64(e, "fb") != 0) ++s.fallbacks;
+    } else if (e.type == kSpanChurn) {
+      ++span(e).truncations;
+    }
+  }
+
+  [[nodiscard]] const std::unordered_map<std::uint64_t, LinkSpan>& spans() const noexcept {
+    return spans_;
+  }
+
+  /// Aggregate every span into outcome counts, totals and latency samples.
+  [[nodiscard]] SpanRollup rollup() const {
+    SpanRollup r;
+    // Deterministic iteration: collect keys, sort.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(spans_.size());
+    for (const auto& [key, span] : spans_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t key : keys) {
+      const LinkSpan& s = spans_.at(key);
+      ++r.spans;
+      ++r.outcomes[static_cast<std::size_t>(span_outcome(s))];
+      r.truncations += s.truncations;
+      r.delivered_bits += s.delivered_bits;
+      if (s.discovered() && s.matched()) {
+        r.disc_to_match_frames.add(static_cast<double>(s.match_frame - s.disc_frame));
+      }
+      if (s.matched() && s.first_delivery_frame != LinkSpan::kNoFrame) {
+        r.match_to_delivery_frames.add(
+            static_cast<double>(s.first_delivery_frame - s.match_frame));
+      }
+    }
+    return r;
+  }
+
+  /// Publish the rollup as span.* metrics. Only called when trace.spans is
+  /// on — registering these names changes the canonical metrics JSON, which
+  /// is part of the golden digest.
+  void publish(mmv2v::MetricsRegistry& metrics) const {
+    const SpanRollup r = rollup();
+    metrics.counter("span.count").add(r.spans);
+    for (std::size_t i = 0; i < kSpanOutcomeCount; ++i) {
+      std::string name{"span.outcome."};
+      name += span_outcome_name(static_cast<SpanOutcome>(i));
+      metrics.counter(name).add(r.outcomes[i]);
+    }
+    metrics.counter("span.truncations").add(r.truncations);
+    metrics.gauge("span.delivered_bits").add(r.delivered_bits);
+    if (!r.disc_to_match_frames.empty()) {
+      metrics.gauge("span.latency.disc_to_match_frames.p50")
+          .set(r.disc_to_match_frames.percentile(50.0));
+      metrics.gauge("span.latency.disc_to_match_frames.p95")
+          .set(r.disc_to_match_frames.percentile(95.0));
+    }
+    if (!r.match_to_delivery_frames.empty()) {
+      metrics.gauge("span.latency.match_to_delivery_frames.p50")
+          .set(r.match_to_delivery_frames.percentile(50.0));
+      metrics.gauge("span.latency.match_to_delivery_frames.p95")
+          .set(r.match_to_delivery_frames.percentile(95.0));
+    }
+  }
+
+  void clear() { spans_.clear(); }
+
+ private:
+  /// Tolerant field getters: events decoded from .mmtrace keep their original
+  /// kinds, but events re-parsed from JSONL carry every number as f64.
+  [[nodiscard]] static std::uint64_t field_u64(const core::TraceEvent& e, std::string_view key) {
+    for (const core::TraceField& f : e.fields) {
+      if (f.key == key) {
+        return f.kind == core::TraceField::Kind::kF64
+                   ? static_cast<std::uint64_t>(std::llround(f.f64))
+                   : f.u64;
+      }
+    }
+    return 0;
+  }
+  [[nodiscard]] static double field_f64(const core::TraceEvent& e, std::string_view key) {
+    for (const core::TraceField& f : e.fields) {
+      if (f.key == key) {
+        return f.kind == core::TraceField::Kind::kU64 ? static_cast<double>(f.u64) : f.f64;
+      }
+    }
+    return 0.0;
+  }
+
+  LinkSpan& span(std::uint64_t a, std::uint64_t b) {
+    LinkSpan& s = spans_[span_pair_key(a, b)];
+    if (s.a == 0 && s.b == 0) {
+      s.a = static_cast<std::uint32_t>(a < b ? a : b);
+      s.b = static_cast<std::uint32_t>(a < b ? b : a);
+    }
+    return s;
+  }
+  LinkSpan& span(const core::TraceEvent& e) {
+    return span(field_u64(e, "a"), field_u64(e, "b"));
+  }
+
+  static void note_first(LinkSpan& s, std::uint64_t frame, std::uint64_t LinkSpan::*member) {
+    if (s.*member == LinkSpan::kNoFrame) s.*member = frame;
+  }
+
+  std::unordered_map<std::uint64_t, LinkSpan> spans_;
+};
+
+}  // namespace mmv2v::obs

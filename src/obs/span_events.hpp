@@ -1,0 +1,69 @@
+// Link-lifecycle span event vocabulary (DESIGN.md Section 14).
+//
+// When `trace.spans` is on, the simulation and the protocol stacks emit one
+// small event at each boundary of a pair's lifecycle:
+//
+//   span_truth {a,b}          first frame the pair is ground-truth in range
+//                             (LOS within comm range) — emitted by the
+//                             simulation loop, once per pair
+//   span_disc  {a,b}          first frame with mutual discovery (each end in
+//                             the other's neighbor table / candidate set)
+//   span_match {a,b,carried}  the pair enters the UDT matching (carried = 1
+//                             when adopted from a previous frame's matching
+//                             rather than matched fresh this frame)
+//   span_sched {a,b,fb}       a refined UDT window was scheduled (fb = 1 when
+//                             refinement control was lost and the protocol
+//                             fell back to sector centers)
+//   span_churn {a,b,skip}     a fault clipped the pair's UDT window this
+//                             frame (skip = 1 when the whole window was
+//                             lost). Emitted at the same site as
+//                             FaultEngine::note_udt_truncation, so span churn
+//                             totals reconcile exactly with
+//                             fault.udt_truncations.
+//   span_udt   {tx,rx,bits,blk}  one directed transfer result at frame end;
+//                             blk: 0 = LOS, 1 = blocked (NLOS), 2 = out of
+//                             cached range. bits may be 0 for starved or
+//                             blocked windows.
+//
+// All span events are gated off by default: they extend the event stream, so
+// the golden digest only changes when `trace.spans` is explicitly enabled.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_set>
+
+namespace mmv2v::obs {
+
+inline constexpr std::string_view kSpanTruth = "span_truth";
+inline constexpr std::string_view kSpanDisc = "span_disc";
+inline constexpr std::string_view kSpanMatch = "span_match";
+inline constexpr std::string_view kSpanSched = "span_sched";
+inline constexpr std::string_view kSpanChurn = "span_churn";
+inline constexpr std::string_view kSpanUdt = "span_udt";
+
+/// Unordered pair key (ids are vehicle indexes, far below 2^32).
+[[nodiscard]] inline std::uint64_t span_pair_key(std::uint64_t a, std::uint64_t b) noexcept {
+  if (a > b) {
+    const std::uint64_t t = a;
+    a = b;
+    b = t;
+  }
+  return (a << 32) | b;
+}
+
+/// Once-per-pair filter for "first occurrence" span events (span_truth,
+/// span_disc). One instance per event type per run.
+class SpanOnce {
+ public:
+  /// True exactly the first time the unordered pair (a, b) is seen.
+  [[nodiscard]] bool first(std::uint64_t a, std::uint64_t b) {
+    return seen_.insert(span_pair_key(a, b)).second;
+  }
+  void clear() { seen_.clear(); }
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace mmv2v::obs

@@ -1,0 +1,115 @@
+#include "obs/stream_aggregator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/textio.hpp"
+
+namespace mmv2v::obs {
+
+StreamAggregator::StreamAggregator(std::string snapshot_path)
+    : snapshot_path_(std::move(snapshot_path)) {}
+
+void StreamAggregator::on_cell(const core::CellProgress& cell) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  ++seen_;
+  total_ = cell.total;
+  if (protocol_.empty()) protocol_ = cell.protocol;
+  const auto it = std::find_if(rollups_.begin(), rollups_.end(), [&](const DensityRollup& r) {
+    return r.density_vpl == cell.density_vpl;
+  });
+  DensityRollup& rollup = it != rollups_.end() ? *it : rollups_.emplace_back();
+  rollup.density_vpl = cell.density_vpl;
+  ++rollup.cells;
+  rollup.degree.add(cell.degree);
+  rollup.ocr.add(cell.ocr);
+  rollup.atp.add(cell.atp);
+  rollup.dtp.add(cell.dtp);
+  rollup.fairness.add(cell.fairness);
+  std::sort(rollups_.begin(), rollups_.end(),
+            [](const DensityRollup& a, const DensityRollup& b) {
+              return a.density_vpl < b.density_vpl;
+            });
+  if (!snapshot_path_.empty()) write_snapshot_locked();
+}
+
+std::function<void(const core::CellProgress&)> StreamAggregator::callback() {
+  return [this](const core::CellProgress& cell) { on_cell(cell); };
+}
+
+std::size_t StreamAggregator::cells_seen() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return seen_;
+}
+
+std::size_t StreamAggregator::write_failures() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return write_failures_;
+}
+
+std::vector<DensityRollup> StreamAggregator::rollups() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return rollups_;
+}
+
+std::string StreamAggregator::snapshot_json() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return snapshot_json_locked();
+}
+
+std::string StreamAggregator::snapshot_json_locked() const {
+  std::string out = "{\"completed\":";
+  io::append_number(out, static_cast<std::uint64_t>(seen_));
+  out += ",\"total\":";
+  io::append_number(out, static_cast<std::uint64_t>(total_));
+  out += ",\"protocol\":";
+  io::append_json_string(out, protocol_);
+  out += ",\"densities\":[";
+  bool first = true;
+  for (const DensityRollup& r : rollups_) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"density_vpl\":";
+    io::append_number(out, r.density_vpl);
+    out += ",\"cells\":";
+    io::append_number(out, r.cells);
+    out += ",\"degree_mean\":";
+    io::append_number(out, r.degree.mean());
+    out += ",\"ocr_mean\":";
+    io::append_number(out, r.ocr.mean());
+    out += ",\"ocr_stddev\":";
+    io::append_number(out, r.ocr.stddev());
+    out += ",\"atp_mean\":";
+    io::append_number(out, r.atp.mean());
+    out += ",\"dtp_mean\":";
+    io::append_number(out, r.dtp.mean());
+    out += ",\"fairness_mean\":";
+    io::append_number(out, r.fairness.mean());
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+void StreamAggregator::write_snapshot_locked() {
+  // Write-to-temp + rename: readers never observe a torn snapshot. rename(2)
+  // is atomic within a filesystem, and the temp file lives next to the
+  // target so they share one.
+  const std::string tmp = snapshot_path_ + ".tmp";
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) {
+      ++write_failures_;
+      return;
+    }
+    out << snapshot_json_locked();
+    if (!out.flush()) {
+      ++write_failures_;
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), snapshot_path_.c_str()) != 0) ++write_failures_;
+}
+
+}  // namespace mmv2v::obs

@@ -1,0 +1,78 @@
+// Streaming sweep aggregator (DESIGN.md Section 14, ROADMAP item 4
+// primitive): folds finished (density, repetition) cells into per-density
+// rollups *while a sweep is still running*, via the
+// ExperimentConfig::on_cell_done hook. After every cell it can rewrite a
+// snapshot JSON file atomically (tmp + rename), so external monitors always
+// read a complete, consistent document even mid-sweep.
+//
+// Thread-safety: on_cell() is invoked from sweep worker threads, possibly
+// concurrently; all state is guarded by one internal mutex. Snapshot write
+// failures never throw into the sweep — they are counted and surfaced via
+// write_failures().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/experiment.hpp"
+
+namespace mmv2v::obs {
+
+/// Rolling aggregate of every finished cell at one density.
+struct DensityRollup {
+  double density_vpl = 0.0;
+  std::uint64_t cells = 0;
+  RunningStats degree;
+  RunningStats ocr;
+  RunningStats atp;
+  RunningStats dtp;
+  RunningStats fairness;
+};
+
+class StreamAggregator {
+ public:
+  /// `snapshot_path` empty (the default) keeps the rollup in memory only;
+  /// otherwise every on_cell() rewrites that file atomically.
+  explicit StreamAggregator(std::string snapshot_path = {});
+
+  StreamAggregator(const StreamAggregator&) = delete;
+  StreamAggregator& operator=(const StreamAggregator&) = delete;
+
+  /// Fold one finished cell into its density's rollup, then (when
+  /// configured) rewrite the snapshot file. Thread-safe.
+  void on_cell(const core::CellProgress& cell);
+
+  /// Adapter bound to this aggregator for ExperimentConfig::on_cell_done.
+  /// The aggregator must outlive the sweep.
+  [[nodiscard]] std::function<void(const core::CellProgress&)> callback();
+
+  [[nodiscard]] std::size_t cells_seen() const;
+  [[nodiscard]] std::size_t write_failures() const;
+  /// Per-density rollups sorted by density (copy; safe mid-sweep).
+  [[nodiscard]] std::vector<DensityRollup> rollups() const;
+
+  /// The snapshot document — exactly the bytes the snapshot file holds after
+  /// the most recent on_cell():
+  ///   {"completed":N,"total":T,"protocol":"...","densities":[
+  ///     {"density_vpl":..,"cells":..,"degree_mean":..,"ocr_mean":..,
+  ///      "ocr_stddev":..,"atp_mean":..,"dtp_mean":..,"fairness_mean":..},..]}
+  [[nodiscard]] std::string snapshot_json() const;
+
+ private:
+  [[nodiscard]] std::string snapshot_json_locked() const;
+  void write_snapshot_locked();
+
+  mutable std::mutex mutex_;
+  std::string snapshot_path_;
+  std::string protocol_;
+  std::size_t total_ = 0;
+  std::size_t seen_ = 0;
+  std::size_t write_failures_ = 0;
+  std::vector<DensityRollup> rollups_;
+};
+
+}  // namespace mmv2v::obs

@@ -1,0 +1,50 @@
+// LEB128 varint and zigzag codecs for the .mmtrace flight-recorder format
+// (DESIGN.md Section 14). Header-only: the encoder is on the trace hot path
+// and the decoder runs in tools/tests; neither is worth a translation unit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mmv2v::obs {
+
+/// Append `v` as an unsigned LEB128 varint (7 bits per byte, high bit =
+/// continuation). 1 byte for v < 128, at most 10 bytes for 64-bit values.
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Zigzag-map a signed value so small magnitudes of either sign stay small:
+/// 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+[[nodiscard]] inline std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] inline std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Decode one varint from `in` at `pos`, advancing `pos`. Returns false on
+/// truncated or over-long (> 10 byte) input, leaving `pos` unspecified.
+[[nodiscard]] inline bool get_varint(std::string_view in, std::size_t& pos,
+                                     std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (unsigned shift = 0; shift < 70; shift += 7) {
+    if (pos >= in.size()) return false;
+    const auto byte = static_cast<std::uint8_t>(in[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mmv2v::obs

@@ -393,6 +393,7 @@ void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
                        2.0 * (timing.control_preamble_s + timing.sifs_s);
 
   udt_.clear();
+  const bool spans = instr_ != nullptr && world.config().trace.spans;
   core::RefineStats* refine_sink =
       instr_ != nullptr && ctx.stats != nullptr ? &ctx.stats->refine : nullptr;
   for (const std::vector<net::NodeId>& group : pbss_members_) {
@@ -409,6 +410,15 @@ void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
       }
     }
     if (sp_pairs_.empty()) continue;
+    if (spans) {
+      // span_disc: first frame a pair shares a PBSS and is SP-eligible —
+      // 802.11ad's analog of mutual discovery. Before the shuffle/cap so the
+      // set is the full candidate pool, not the scheduled subset.
+      for (const auto& [a, b] : sp_pairs_) {
+        if (!span_disc_once_.first(a, b)) continue;
+        instr_->emit(core::TraceEvent{obs::kSpanDisc}.u64("a", a).u64("b", b));
+      }
+    }
 
     // Fisher-Yates shuffle, then cap: statistical round-robin across frames.
     for (std::size_t k = sp_pairs_.size(); k > 1; --k) {
@@ -422,6 +432,11 @@ void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
         (dti_end_s - dti_start_s_) / static_cast<double>(sp_pairs_.size());
     for (std::size_t k = 0; k < sp_pairs_.size(); ++k) {
       const auto [a, b] = sp_pairs_[k];
+      if (spans) {
+        // Winning a service period is 802.11ad's matching adoption.
+        instr_->emit(
+            core::TraceEvent{obs::kSpanMatch}.u64("a", a).u64("b", b).u64("carried", 0));
+      }
       const double sp_start = dti_start_s_ + static_cast<double>(k) * sp_len;
       const double data_start = sp_start + sls_s;
       double sp_end = sp_start + sp_len;
@@ -431,7 +446,15 @@ void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
       if (fault_ != nullptr) {
         const double clipped = std::min(
             {sp_end, fault_->udt_down_from_s(a), fault_->udt_down_from_s(b)});
-        if (clipped < sp_end) fault_->note_udt_truncation();
+        if (clipped < sp_end) {
+          fault_->note_udt_truncation();
+          // Same site as the fault counter: span churn totals reconcile with
+          // fault.udt_truncations exactly.
+          if (spans) {
+            instr_->emit(core::TraceEvent{obs::kSpanChurn}.u64("a", a).u64("b", b).u64(
+                "skip", clipped <= data_start ? 1 : 0));
+          }
+        }
         if (clipped <= data_start) continue;
         sp_end = clipped;
       }

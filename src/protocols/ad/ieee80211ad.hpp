@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/span_events.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
 #include "protocols/staged.hpp"
@@ -126,6 +127,9 @@ class Ieee80211adProtocol final : public StagedOhmProtocol {
   std::vector<std::uint64_t> abft_keys_;
   std::vector<std::uint64_t> abft_sorted_;
   std::vector<std::pair<net::NodeId, net::NodeId>> sp_pairs_;
+  /// First-mutual-discovery filter for span_disc (only touched when
+  /// trace.spans is on).
+  obs::SpanOnce span_disc_once_;
   double dti_start_s_ = 0.0;
   std::size_t abft_collisions_ = 0;
   std::size_t associated_count_ = 0;

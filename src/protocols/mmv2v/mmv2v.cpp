@@ -114,6 +114,18 @@ void MmV2VProtocol::phase_snd(core::FrameContext& ctx) {
 void MmV2VProtocol::phase_dcm(core::FrameContext& ctx) {
   const core::World& world = ctx.world;
   const std::size_t n = world.size();
+  const bool spans = instr_ != nullptr && world.config().trace.spans;
+
+  if (spans) {
+    // span_disc: the first frame both ends hold a live table entry for each
+    // other — the protocol's view of the pair, before any matching filter.
+    for (net::NodeId i = 0; i < n; ++i) {
+      tables_[i].for_each_seen_in(ctx.frame, [&](const net::NeighborEntry& e) {
+        if (e.id <= i || !tables_[e.id].find(i) || !span_disc_once_.first(i, e.id)) return;
+        instr_->emit(core::TraceEvent{obs::kSpanDisc}.u64("a", i).u64("b", e.id));
+      });
+    }
+  }
 
   // Persistent-matching extension: keep last frame's still-viable pairs and
   // withdraw their endpoints from this frame's negotiation.
@@ -156,6 +168,15 @@ void MmV2VProtocol::phase_dcm(core::FrameContext& ctx) {
   }
   dcm_->matched_pairs_into(matching_);
   matching_.insert(matching_.end(), carried_.begin(), carried_.end());
+  if (spans) {
+    const std::size_t fresh = matching_.size() - carried_.size();
+    for (std::size_t idx = 0; idx < matching_.size(); ++idx) {
+      instr_->emit(core::TraceEvent{obs::kSpanMatch}
+                       .u64("a", matching_[idx].first)
+                       .u64("b", matching_[idx].second)
+                       .u64("carried", idx >= fresh ? 1 : 0));
+    }
+  }
   if (instr_ != nullptr && stats != nullptr) {
     MetricsRegistry& m = instr_->metrics();
     const DcmSlotStats& dcm_stats = stats->dcm;
@@ -201,7 +222,15 @@ void MmV2VProtocol::phase_udt(core::FrameContext& ctx) {
     if (fault_ != nullptr) {
       window_end = std::min({frame_end, fault_->udt_down_from_s(a),
                              fault_->udt_down_from_s(b)});
-      if (window_end < frame_end) fault_->note_udt_truncation();
+      if (window_end < frame_end) {
+        fault_->note_udt_truncation();
+        // Same site as the fault counter: span churn totals reconcile with
+        // fault.udt_truncations exactly.
+        if (instr_ != nullptr && world.config().trace.spans) {
+          instr_->emit(core::TraceEvent{obs::kSpanChurn}.u64("a", a).u64("b", b).u64(
+              "skip", window_end <= udt_start ? 1 : 0));
+        }
+      }
       if (window_end <= udt_start) continue;
     }
 

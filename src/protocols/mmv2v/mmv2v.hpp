@@ -17,6 +17,7 @@
 #include "core/protocol.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/neighbor_table.hpp"
+#include "obs/span_events.hpp"
 #include "protocols/mmv2v/dcm.hpp"
 #include "protocols/mmv2v/negotiation.hpp"
 #include "protocols/mmv2v/refinement.hpp"
@@ -94,6 +95,9 @@ class MmV2VProtocol final : public StagedOhmProtocol {
   std::vector<std::pair<net::NodeId, net::NodeId>> carried_;
   std::vector<unsigned char> carried_over_;
   std::vector<std::vector<net::NeighborEntry>> neighbors_;
+  /// First-mutual-discovery filter for span_disc (only touched when
+  /// trace.spans is on).
+  obs::SpanOnce span_disc_once_;
   bool initialized_ = false;
 };
 

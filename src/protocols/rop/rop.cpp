@@ -394,7 +394,28 @@ void RopProtocol::phase_snd(core::FrameContext& ctx) {
 }
 
 void RopProtocol::phase_dcm(core::FrameContext& ctx) {
+  const bool spans = instr_ != nullptr && ctx.world.config().trace.spans;
+  if (spans) {
+    // span_disc: first frame both ends hold a live table entry for each
+    // other (the protocol's discovery view of the pair).
+    const std::size_t n = ctx.world.size();
+    for (net::NodeId i = 0; i < n; ++i) {
+      tables_[i].for_each([&](const net::NeighborEntry& e) {
+        if (e.id <= i || !tables_[e.id].find(i) || !span_disc_once_.first(i, e.id)) return;
+        instr_->emit(core::TraceEvent{obs::kSpanDisc}.u64("a", i).u64("b", e.id));
+      });
+    }
+  }
   random_matching(ctx);
+  if (spans) {
+    // A pair already tracked in last_eta_ survived from an earlier frame —
+    // ROP's persistent-partner analog of a carried match.
+    for (const auto& [a, b] : matching_) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+      instr_->emit(core::TraceEvent{obs::kSpanMatch}.u64("a", a).u64("b", b).u64(
+          "carried", last_eta_.contains(key) ? 1 : 0));
+    }
+  }
   if (instr_ != nullptr) {
     instr_->metrics().gauge("links.active").set(static_cast<double>(matching_.size()));
     instr_->emit(core::TraceEvent{"matching"}.u64("pairs", matching_.size()));
@@ -420,7 +441,15 @@ void RopProtocol::phase_udt(core::FrameContext& ctx) {
     if (fault_ != nullptr) {
       window_end = std::min({frame_end, fault_->udt_down_from_s(a),
                              fault_->udt_down_from_s(b)});
-      if (window_end < frame_end) fault_->note_udt_truncation();
+      if (window_end < frame_end) {
+        fault_->note_udt_truncation();
+        // Same site as the fault counter: span churn totals reconcile with
+        // fault.udt_truncations exactly.
+        if (instr_ != nullptr && world.config().trace.spans) {
+          instr_->emit(core::TraceEvent{obs::kSpanChurn}.u64("a", a).u64("b", b).u64(
+              "skip", window_end <= udt_start ? 1 : 0));
+        }
+      }
       if (window_end <= udt_start) continue;
     }
 

@@ -22,6 +22,7 @@
 #include "core/protocol.hpp"
 #include "fault/fault_plan.hpp"
 #include "net/neighbor_table.hpp"
+#include "obs/span_events.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
 #include "protocols/staged.hpp"
@@ -94,6 +95,9 @@ class RopProtocol final : public StagedOhmProtocol {
   /// Per-chunk fault tallies (losses, corruptions), merged after the sweep.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> fault_partials_;
   std::vector<net::NodeId> choice_;
+  /// First-mutual-discovery filter for span_disc (only touched when
+  /// trace.spans is on).
+  obs::SpanOnce span_disc_once_;
   double max_range_m_ = std::numeric_limits<double>::quiet_NaN();
   bool initialized_ = false;
 };

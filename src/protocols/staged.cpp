@@ -3,6 +3,8 @@
 #include "common/metrics_registry.hpp"
 #include "core/frame_resources.hpp"
 #include "core/instrument.hpp"
+#include "core/world.hpp"
+#include "obs/span_events.hpp"
 
 namespace mmv2v::protocols {
 
@@ -26,16 +28,31 @@ void StagedOhmProtocol::udt_step(core::FrameContext& ctx, double t0, double t1) 
   udt_.step(ctx, t0, t1);
 }
 
-void StagedOhmProtocol::end_frame(core::FrameContext& /*ctx*/) {
+void StagedOhmProtocol::end_frame(core::FrameContext& ctx) {
   if (instr_ == nullptr) return;
+  const bool spans = ctx.world.config().trace.spans;
   MetricsRegistry& m = instr_->metrics();
   for (const DirectedTransfer& t : udt_.transfers()) {
-    if (t.delivered_bits <= 0.0) continue;
-    m.gauge("udt.delivered_bits").add(t.delivered_bits);
-    instr_->emit(core::TraceEvent{"link"}
-                     .u64("tx", t.tx)
-                     .u64("rx", t.rx)
-                     .f64("bits", t.delivered_bits));
+    if (t.delivered_bits > 0.0) {
+      m.gauge("udt.delivered_bits").add(t.delivered_bits);
+      instr_->emit(core::TraceEvent{"link"}
+                       .u64("tx", t.tx)
+                       .u64("rx", t.rx)
+                       .f64("bits", t.delivered_bits));
+    }
+    if (spans) {
+      // Span window outcome for *every* transfer, including starved and
+      // blocked zero-bit windows — attribution needs the failures too. The
+      // builder sums bits in this same order, so its total matches the
+      // udt.delivered_bits gauge bit-for-bit.
+      const core::PairGeom* pg = ctx.world.pair(t.tx, t.rx);
+      const std::uint64_t blk = pg == nullptr ? 2 : (pg->blockers > 0 ? 1 : 0);
+      instr_->emit(core::TraceEvent{obs::kSpanUdt}
+                       .u64("tx", t.tx)
+                       .u64("rx", t.rx)
+                       .f64("bits", t.delivered_bits)
+                       .u64("blk", blk));
+    }
   }
 }
 
@@ -68,6 +85,11 @@ void StagedOhmProtocol::schedule_refined_pair(core::FrameContext& ctx,
   const double second_bearing = a_first ? beams.bearing_b : beams.bearing_a;
   udt_.add_tdd_pair(first, first_bearing, &refinement.narrow_pattern(), second,
                     second_bearing, &refinement.narrow_pattern(), start_s, end_s);
+
+  if (instr_ != nullptr && ctx.world.config().trace.spans) {
+    instr_->emit(core::TraceEvent{obs::kSpanSched}.u64("a", a).u64("b", b).u64(
+        "fb", refine_lost ? 1 : 0));
+  }
 }
 
 }  // namespace mmv2v::protocols

@@ -1,0 +1,311 @@
+// .mmtrace flight-recorder format tests (DESIGN.md Section 14): codec
+// round-trips, the CRC check vector, synthetic multi-chunk encode/decode,
+// corruption recovery, and the headline guarantee — a binary golden sweep
+// replayed to JSONL is byte-identical to the direct JSONL writer and keeps
+// the checked-in golden digest, for every thread count, shard count and
+// flush cadence.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/experiment.hpp"
+#include "core/golden_scenario.hpp"
+#include "obs/crc32.hpp"
+#include "obs/mmtrace.hpp"
+#include "obs/varint.hpp"
+
+namespace mmv2v::obs {
+namespace {
+
+using core::ScenarioConfig;
+using core::SweepTrace;
+using core::TraceEvent;
+using core::golden::golden_experiment;
+using core::golden::golden_scenario;
+using core::golden::hex64;
+using core::golden::kGoldenDigest;
+using core::golden::mmv2v_factory;
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {0,     1,     127,   128,
+                                  300,   16383, 16384, 0xdeadbeefULL,
+                                  std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : values) {
+    std::string buf;
+    put_varint(buf, v);
+    EXPECT_LE(buf.size(), 10u);
+    std::size_t pos = 0;
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(get_varint(buf, pos, decoded)) << v;
+    EXPECT_EQ(decoded, v);
+    EXPECT_EQ(pos, buf.size()) << "decoder must consume exactly the encoding";
+  }
+}
+
+TEST(Varint, RejectsTruncatedInput) {
+  std::string buf;
+  put_varint(buf, std::numeric_limits<std::uint64_t>::max());
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::size_t pos = 0;
+    std::uint64_t decoded = 0;
+    EXPECT_FALSE(get_varint(std::string_view{buf}.substr(0, cut), pos, decoded));
+  }
+  // Over-long: 11 continuation bytes never terminate a valid varint.
+  const std::string overlong(11, '\x80');
+  std::size_t pos = 0;
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(get_varint(overlong, pos, decoded));
+}
+
+TEST(Varint, ZigzagRoundTripsSignedExtremes) {
+  const std::int64_t values[] = {0,  -1, 1,  -2, 2,  63, -64, 1'000'000, -1'000'000,
+                                 std::numeric_limits<std::int64_t>::min(),
+                                 std::numeric_limits<std::int64_t>::max()};
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(unzigzag(zigzag(v)), v);
+  }
+  // Small magnitudes of either sign stay small (the point of the mapping).
+  EXPECT_EQ(zigzag(0), 0u);
+  EXPECT_EQ(zigzag(-1), 1u);
+  EXPECT_EQ(zigzag(1), 2u);
+}
+
+TEST(Crc32, MatchesCheckVector) {
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+}
+
+// Build a small synthetic trace through a tiny-chunk writer and read it
+// back: every record must survive chunk boundaries, string interning resets,
+// JSON escaping and f64 bit patterns.
+TEST(Mmtrace, SyntheticMultiChunkRoundTrip) {
+  MmtraceWriter writer{/*chunk_bytes=*/64};  // force many chunks
+  std::vector<std::string> expected_lines;
+  std::string expected_jsonl;
+
+  const std::string manifest = R"({"ev":"manifest","note":"synthetic"})";
+  writer.add_line(manifest, /*meta=*/true);
+
+  const double weird = std::bit_cast<double>(0x7ff8dead'beef0001ULL);  // a NaN payload
+  for (int i = 0; i < 40; ++i) {
+    TraceEvent e{i % 2 == 0 ? "alpha" : "beta\"quoted\""};
+    e.frame = static_cast<std::uint64_t>(i / 3);
+    e.time_s = 0.02 * (i / 3);
+    e.u64("round", static_cast<std::uint64_t>(i));
+    e.u64("max", std::numeric_limits<std::uint64_t>::max());
+    e.f64("gain", i == 7 ? weird : -3.25 * i);
+    e.str("who", i % 5 == 0 ? "tab\there" : "plain");
+    writer.add_event(e);
+    e.append_json(expected_jsonl);
+    expected_jsonl += '\n';
+    if (i % 10 == 0) {
+      std::string line = R"({"ev":"cell_begin","i":)" + std::to_string(i) + "}";
+      writer.add_line(line);
+      expected_lines.push_back(line);
+      expected_jsonl += line;
+      expected_jsonl += '\n';
+    }
+  }
+
+  std::string file = mmtrace_file_header();
+  std::vector<ChunkInfo> chunks;
+  append_mmtrace_chunks(file, chunks, writer.take());
+  append_mmtrace_index(file, chunks);
+  ASSERT_GT(chunks.size(), 1u) << "64-byte chunks must split this stream";
+  ASSERT_TRUE(is_mmtrace(file));
+
+  MmtraceStats stats;
+  std::size_t meta_seen = 0;
+  std::size_t lines_seen = 0;
+  std::string replayed;
+  const MmtraceReader reader{file};
+  stats = reader.for_each([&](const MmtraceRecord& r) {
+    switch (r.tag) {
+      case MmtraceTag::kMetaLine:
+        ++meta_seen;
+        EXPECT_EQ(r.line, manifest);
+        break;
+      case MmtraceTag::kLine:
+        EXPECT_EQ(r.line, expected_lines[lines_seen++]);
+        replayed += r.line;
+        replayed += '\n';
+        break;
+      case MmtraceTag::kEvent:
+        r.event.append_json(replayed);
+        replayed += '\n';
+        break;
+      case MmtraceTag::kIntern:
+        break;
+    }
+  });
+  EXPECT_EQ(stats.chunks, chunks.size());
+  EXPECT_EQ(stats.skipped_chunks, 0u);
+  EXPECT_TRUE(stats.index_ok);
+  EXPECT_EQ(stats.events, 40u);
+  EXPECT_EQ(meta_seen, 1u);
+  EXPECT_EQ(lines_seen, expected_lines.size());
+
+  // Line-for-line interleaving preserved, bytes included (NaN bit pattern
+  // and escapes travel through the f64 raw encoding / intern table).
+  EXPECT_EQ(replayed, expected_jsonl);
+  EXPECT_EQ(mmtrace_to_jsonl(file, /*include_meta=*/false), expected_jsonl);
+  EXPECT_EQ(mmtrace_to_jsonl(file, /*include_meta=*/true),
+            manifest + "\n" + expected_jsonl);
+}
+
+TEST(Mmtrace, EmptyWriterYieldsValidEmptyFile) {
+  MmtraceWriter writer;
+  std::string file = mmtrace_file_header();
+  std::vector<ChunkInfo> chunks;
+  append_mmtrace_chunks(file, chunks, writer.take());
+  append_mmtrace_index(file, chunks);
+  EXPECT_TRUE(is_mmtrace(file));
+  EXPECT_EQ(chunks.size(), 0u);
+
+  MmtraceStats stats;
+  EXPECT_EQ(mmtrace_to_jsonl(file, true, &stats), "");
+  EXPECT_EQ(stats.chunks, 0u);
+  EXPECT_EQ(stats.skipped_chunks, 0u);
+  EXPECT_TRUE(stats.index_ok);
+}
+
+TEST(Mmtrace, DetectsForeignBytes) {
+  EXPECT_FALSE(is_mmtrace(""));
+  EXPECT_FALSE(is_mmtrace("MMTRACE"));                      // too short
+  EXPECT_FALSE(is_mmtrace(R"({"ev":"manifest"})"));         // a JSONL trace
+  EXPECT_FALSE(is_mmtrace(std::string("NOTTRACE") + "\x01\x00\x00\x00"));
+
+  // Garbage with no header: the reader reports one skipped "chunk" and stops.
+  const MmtraceStats stats = MmtraceReader{"garbage bytes, not a trace"}.for_each(
+      [](const MmtraceRecord&) { FAIL() << "no record should decode"; });
+  EXPECT_EQ(stats.chunks, 0u);
+  EXPECT_EQ(stats.skipped_chunks, 1u);
+}
+
+// ---- golden-sweep equivalence ----------------------------------------------
+
+SweepTrace run_golden(core::TraceFormat format, int threads, int shards,
+                      std::size_t flush_events) {
+  ScenarioConfig base = golden_scenario();
+  base.trace.format = format;
+  base.trace.flush_events = flush_events;
+  base.engine.world_shards = shards;
+  SweepTrace trace;
+  const auto points =
+      run_density_sweep(golden_experiment(threads), base, mmv2v_factory(), &trace);
+  EXPECT_EQ(points.size(), 1u);
+  return trace;
+}
+
+TEST(MmtraceGolden, BinarySweepReplaysByteIdenticalToJsonl) {
+  const SweepTrace jsonl =
+      run_golden(core::TraceFormat::kJsonl, /*threads=*/1, /*shards=*/1, 0);
+  ASSERT_FALSE(jsonl.events_jsonl.empty());
+  ASSERT_EQ(jsonl.digest, kGoldenDigest)
+      << "JSONL reference diverged first; binary comparison is meaningless. "
+         "New digest: " << hex64(jsonl.digest);
+  EXPECT_TRUE(jsonl.binary.empty()) << "JSONL runs must not pay for the binary image";
+
+  for (const int threads : {1, 4}) {
+    for (const int shards : {1, 2}) {
+      const SweepTrace binary =
+          run_golden(core::TraceFormat::kBinary, threads, shards, 0);
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " shards=" + std::to_string(shards));
+      ASSERT_FALSE(binary.binary.empty());
+      EXPECT_TRUE(is_mmtrace(binary.binary));
+      // events_jsonl / digest are derived by replaying the .mmtrace image.
+      EXPECT_EQ(binary.events_jsonl, jsonl.events_jsonl);
+      EXPECT_EQ(binary.digest, kGoldenDigest);
+
+      MmtraceStats stats;
+      EXPECT_EQ(mmtrace_to_jsonl(binary.binary, /*include_meta=*/false, &stats),
+                jsonl.events_jsonl);
+      EXPECT_EQ(stats.skipped_chunks, 0u);
+      EXPECT_TRUE(stats.index_ok);
+      EXPECT_GT(stats.meta_lines, 0u) << "manifest meta chunk missing";
+    }
+  }
+}
+
+TEST(MmtraceGolden, FlushCadenceDoesNotChangeTheBytes) {
+  // Bounded flushing streams the same events through the same encoder; the
+  // serialized image must be identical for any cadence.
+  const SweepTrace unbuffered =
+      run_golden(core::TraceFormat::kBinary, /*threads=*/2, /*shards=*/1, 0);
+  const SweepTrace chunky =
+      run_golden(core::TraceFormat::kBinary, /*threads=*/2, /*shards=*/1, 7);
+  EXPECT_EQ(unbuffered.binary, chunky.binary);
+  EXPECT_EQ(chunky.digest, kGoldenDigest);
+
+  const SweepTrace jsonl_flushed =
+      run_golden(core::TraceFormat::kJsonl, /*threads=*/2, /*shards=*/1, 3);
+  EXPECT_EQ(jsonl_flushed.digest, kGoldenDigest);
+}
+
+TEST(MmtraceGolden, CorruptedChunkIsSkippedNotFatal) {
+  SweepTrace trace = run_golden(core::TraceFormat::kBinary, 1, 1, 0);
+  ASSERT_FALSE(trace.binary.empty());
+  MmtraceStats clean;
+  const std::string full = mmtrace_to_jsonl(trace.binary, false, &clean);
+  ASSERT_GT(clean.chunks, 1u);
+  ASSERT_GT(clean.events, 0u);
+
+  // Flip one payload byte inside the second chunk (the first is the manifest
+  // meta chunk, which a digest replay skips anyway): its CRC fails, it is
+  // skipped, and every other chunk still decodes.
+  std::string damaged = trace.binary;
+  const std::size_t second_chunk =
+      kFileHeaderBytes + kChunkHeaderBytes + detail::get_u32(damaged, kFileHeaderBytes + 4);
+  ASSERT_EQ(detail::get_u32(damaged, second_chunk), kChunkMagic);
+  const std::size_t victim = second_chunk + kChunkHeaderBytes + 5;
+  damaged[victim] = static_cast<char>(damaged[victim] ^ 0xff);
+  MmtraceStats stats;
+  const std::string partial = mmtrace_to_jsonl(damaged, false, &stats);
+  EXPECT_EQ(stats.skipped_chunks, 1u);
+  EXPECT_EQ(stats.chunks, clean.chunks - 1);
+  EXPECT_TRUE(stats.index_ok) << "the index chunk was not touched";
+  EXPECT_LT(partial.size(), full.size());
+  EXPECT_GT(stats.events + stats.lines, 0u) << "surviving chunks must decode";
+}
+
+TEST(MmtraceGolden, TruncatedFileStopsCleanly) {
+  const SweepTrace trace = run_golden(core::TraceFormat::kBinary, 1, 1, 0);
+  ASSERT_GT(trace.binary.size(), kFileHeaderBytes + kChunkHeaderBytes + 32);
+
+  // Cut mid-first-chunk: no index, no complete chunk — clean empty replay.
+  const std::string stub = trace.binary.substr(0, kFileHeaderBytes + kChunkHeaderBytes + 8);
+  MmtraceStats stats;
+  EXPECT_EQ(mmtrace_to_jsonl(stub, true, &stats), "");
+  EXPECT_FALSE(stats.index_ok);
+  EXPECT_EQ(stats.chunks, 0u);
+  EXPECT_EQ(stats.skipped_chunks, 1u);
+
+  // Cut just past the footer magic's start: index unusable, chunks intact.
+  const std::string no_footer = trace.binary.substr(0, trace.binary.size() - 4);
+  MmtraceStats tail_stats;
+  const std::string replay = mmtrace_to_jsonl(no_footer, false, &tail_stats);
+  EXPECT_FALSE(tail_stats.index_ok);
+  EXPECT_EQ(replay, mmtrace_to_jsonl(trace.binary, false));
+}
+
+TEST(MmtraceGolden, BinaryIsSubstantiallySmallerThanJsonl) {
+  const SweepTrace jsonl = run_golden(core::TraceFormat::kJsonl, 1, 1, 0);
+  const SweepTrace binary = run_golden(core::TraceFormat::kBinary, 1, 1, 0);
+  ASSERT_FALSE(jsonl.events_jsonl.empty());
+  ASSERT_FALSE(binary.binary.empty());
+  // Interning + delta encoding should beat the text form by a wide margin;
+  // gate conservatively at 3x so the test is stable across event-mix drift
+  // (bench/micro_trace.cpp tracks the precise ratio).
+  EXPECT_LT(binary.binary.size() * 3, jsonl.events_jsonl.size())
+      << "binary=" << binary.binary.size() << "B jsonl=" << jsonl.events_jsonl.size() << "B";
+}
+
+}  // namespace
+}  // namespace mmv2v::obs

@@ -1,0 +1,213 @@
+// Streaming aggregator + run-report tests (DESIGN.md Section 14): per-cell
+// rollup folding and the atomic snapshot file, the on_cell_done wiring into
+// a real sweep, stacked-bar chart plumbing, and the report loader's parity
+// between binary and JSONL inputs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/json_mini.hpp"
+#include "common/svg_plot.hpp"
+#include "core/experiment.hpp"
+#include "core/golden_scenario.hpp"
+#include "obs/report.hpp"
+#include "obs/stream_aggregator.hpp"
+
+namespace mmv2v::obs {
+namespace {
+
+using core::CellProgress;
+using core::ScenarioConfig;
+using core::SweepTrace;
+using core::golden::golden_experiment;
+using core::golden::golden_scenario;
+using core::golden::mmv2v_factory;
+
+CellProgress make_cell(std::size_t completed, double density, int rep, double ocr) {
+  CellProgress c;
+  c.index = completed - 1;
+  c.completed = completed;
+  c.total = 3;
+  c.density_vpl = density;
+  c.rep = rep;
+  c.seed = 1000 + completed;
+  c.protocol = "mmV2V";
+  c.degree = 4.0 + rep;
+  c.ocr = ocr;
+  c.atp = 0.5 * ocr;
+  c.dtp = 0.25 * ocr;
+  c.fairness = 0.9;
+  return c;
+}
+
+TEST(StreamAggregator, FoldsCellsIntoSortedDensityRollups) {
+  StreamAggregator agg;
+  // Deliberately out of density order: rollups() must sort.
+  agg.on_cell(make_cell(1, 20.0, 0, 0.6));
+  agg.on_cell(make_cell(2, 10.0, 0, 0.8));
+  agg.on_cell(make_cell(3, 10.0, 1, 0.9));
+
+  EXPECT_EQ(agg.cells_seen(), 3u);
+  EXPECT_EQ(agg.write_failures(), 0u);
+  const std::vector<DensityRollup> rollups = agg.rollups();
+  ASSERT_EQ(rollups.size(), 2u);
+  EXPECT_EQ(rollups[0].density_vpl, 10.0);
+  EXPECT_EQ(rollups[0].cells, 2u);
+  EXPECT_DOUBLE_EQ(rollups[0].ocr.mean(), 0.85);
+  EXPECT_EQ(rollups[1].density_vpl, 20.0);
+  EXPECT_EQ(rollups[1].cells, 1u);
+  EXPECT_DOUBLE_EQ(rollups[1].ocr.mean(), 0.6);
+
+  // The snapshot document is valid JSON with the documented shape.
+  const json::Value doc = json::Value::parse(agg.snapshot_json());
+  EXPECT_EQ(doc.number_or("completed", -1.0), 3.0);
+  EXPECT_EQ(doc.number_or("total", -1.0), 3.0);
+  EXPECT_EQ(doc.string_or("protocol", ""), "mmV2V");
+  const json::Value* densities = doc.find("densities");
+  ASSERT_NE(densities, nullptr);
+  ASSERT_EQ(densities->array().size(), 2u);
+  EXPECT_EQ(densities->array()[0].number_or("density_vpl", -1.0), 10.0);
+  EXPECT_EQ(densities->array()[0].number_or("cells", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(densities->array()[0].number_or("ocr_mean", -1.0), 0.85);
+}
+
+TEST(StreamAggregator, RewritesTheSnapshotFileOnEveryCell) {
+  const std::string path = ::testing::TempDir() + "mmv2v_progress_snapshot.json";
+  StreamAggregator agg{path};
+  agg.on_cell(make_cell(1, 15.0, 0, 0.7));
+  EXPECT_EQ(agg.write_failures(), 0u);
+
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in) << "snapshot file missing after on_cell";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), agg.snapshot_json());
+
+  // A second cell replaces the document wholesale (tmp + rename — readers
+  // never see a partial write, so the file always parses).
+  agg.on_cell(make_cell(2, 15.0, 1, 0.5));
+  std::ifstream again{path, std::ios::binary};
+  std::ostringstream buf2;
+  buf2 << again.rdbuf();
+  EXPECT_EQ(buf2.str(), agg.snapshot_json());
+  EXPECT_NO_THROW(json::Value::parse(buf2.str()));
+}
+
+TEST(StreamAggregator, StreamsFromSweepWorkerThreads) {
+  StreamAggregator agg;
+  core::ExperimentConfig config = golden_experiment(/*threads=*/2);
+  config.on_cell_done = agg.callback();
+  const auto points = run_density_sweep(config, golden_scenario(), mmv2v_factory(), nullptr);
+  ASSERT_EQ(points.size(), 1u);
+
+  // 1 density x 2 repetitions.
+  EXPECT_EQ(agg.cells_seen(), 2u);
+  const std::vector<DensityRollup> rollups = agg.rollups();
+  ASSERT_EQ(rollups.size(), 1u);
+  EXPECT_EQ(rollups[0].density_vpl, 10.0);
+  EXPECT_EQ(rollups[0].cells, 2u);
+  // The streaming rollup must agree with the sweep's own aggregation.
+  EXPECT_DOUBLE_EQ(rollups[0].ocr.mean(), points[0].ocr.mean());
+  EXPECT_DOUBLE_EQ(rollups[0].atp.mean(), points[0].atp.mean());
+  EXPECT_DOUBLE_EQ(rollups[0].fairness.mean(), points[0].fairness.mean());
+}
+
+TEST(SvgChart, StackedBarsRenderAndValidate) {
+  SvgChart chart{400, 300, "outcomes"};
+  EXPECT_THROW(chart.add_bar_layer("early", {1.0}), std::logic_error);
+  chart.set_categories({"10", "20"});
+  EXPECT_THROW(chart.add_bar_layer("short", {1.0}), std::invalid_argument);
+  chart.add_bar_layer("delivered", {3.0, 5.0});
+  chart.add_bar_layer("churned", {1.0, 0.0});
+  EXPECT_EQ(chart.bar_layer_count(), 2u);
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("delivered"), std::string::npos);
+  EXPECT_NE(svg.find("churned"), std::string::npos);
+}
+
+// One spans-enabled golden sweep, loaded through both trace formats.
+struct LoadedPair {
+  SweepTrace trace;
+  ReportData binary;
+  ReportData jsonl;
+};
+
+LoadedPair load_golden_report() {
+  ScenarioConfig base = golden_scenario();
+  base.trace.spans = true;
+  base.trace.format = core::TraceFormat::kBinary;
+  LoadedPair out;
+  EXPECT_EQ(run_density_sweep(golden_experiment(2), base, mmv2v_factory(), &out.trace).size(),
+            1u);
+  out.binary = load_report_data(out.trace.binary);
+  // The JSONL trace file layout: manifest line first, then the event stream.
+  out.jsonl = load_report_data(out.trace.manifest_json + "\n" + out.trace.events_jsonl);
+  return out;
+}
+
+TEST(Report, LoadsBinaryAndJsonlTracesIdentically) {
+  const LoadedPair loaded = load_golden_report();
+  ASSERT_FALSE(loaded.trace.binary.empty());
+
+  EXPECT_TRUE(loaded.binary.binary);
+  EXPECT_FALSE(loaded.jsonl.binary);
+  EXPECT_TRUE(loaded.binary.stats.index_ok);
+  EXPECT_EQ(loaded.binary.stats.skipped_chunks, 0u);
+
+  for (const ReportData* data : {&loaded.binary, &loaded.jsonl}) {
+    EXPECT_EQ(data->protocol, "mmV2V");
+    ASSERT_EQ(data->cells.size(), 2u) << "manifest carries one summary per cell";
+    EXPECT_EQ(data->cells[0].density_vpl, 10.0);
+    EXPECT_EQ(data->cells[0].rep, 0);
+    EXPECT_EQ(data->cells[1].rep, 1);
+    ASSERT_EQ(data->density_spans.size(), 1u);
+    EXPECT_EQ(data->density_spans[0].density_vpl, 10.0);
+    EXPECT_GT(data->spans.spans, 0u);
+  }
+  // Format parity: same events, same span attribution.
+  EXPECT_EQ(loaded.binary.events, loaded.jsonl.events);
+  EXPECT_EQ(loaded.binary.spans.spans, loaded.jsonl.spans.spans);
+  EXPECT_EQ(loaded.binary.spans.outcomes, loaded.jsonl.spans.outcomes);
+  EXPECT_EQ(loaded.binary.spans.delivered_bits, loaded.jsonl.spans.delivered_bits);
+}
+
+TEST(Report, RendersSelfContainedHtml) {
+  const LoadedPair loaded = load_golden_report();
+  const std::string html = render_report_html(loaded.binary, "obs test report");
+  EXPECT_NE(html.find("obs test report"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos) << "charts must be inlined";
+  EXPECT_NE(html.find("delivered"), std::string::npos);
+  EXPECT_EQ(html.find("<script src"), std::string::npos) << "no external assets";
+
+  const std::string path = ::testing::TempDir() + "mmv2v_obs_report.html";
+  write_report_html(path, loaded.binary, "obs test report");
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), html);
+}
+
+TEST(Report, DegradesGracefullyOnBareEventStreams) {
+  // No manifest, no span events: the loader must still produce a renderable
+  // model instead of throwing.
+  const std::string bare =
+      "{\"frame\":0,\"t\":0,\"ev\":\"snd_round\",\"round\":1}\n"
+      "{\"frame\":1,\"t\":0.02,\"ev\":\"frame_end\"}\n";
+  const ReportData data = load_report_data(bare);
+  EXPECT_FALSE(data.binary);
+  EXPECT_EQ(data.events, 2u);
+  EXPECT_TRUE(data.cells.empty());
+  EXPECT_EQ(data.spans.spans, 0u);
+  const std::string html = render_report_html(data);
+  EXPECT_NE(html.find("<html"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmv2v::obs

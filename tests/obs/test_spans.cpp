@@ -1,0 +1,187 @@
+// Link-lifecycle span tests (DESIGN.md Section 14): the online span builder
+// must reconcile exactly against the protocol's own fault/UDT counters on a
+// faulted long-horizon run, the post-hoc replay paths (from the recorded
+// events and from an .mmtrace round trip) must reproduce the online rollup,
+// span events must be byte-identical across trace formats, and the whole
+// machinery must stay off — and digest-invisible — by default.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/golden_scenario.hpp"
+#include "core/simulation.hpp"
+#include "obs/mmtrace.hpp"
+#include "obs/span_builder.hpp"
+#include "obs/span_events.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+
+namespace mmv2v::obs {
+namespace {
+
+using core::OhmSimulation;
+using core::ScenarioConfig;
+using core::SimulationOptions;
+using core::SweepTrace;
+using core::golden::golden_experiment;
+using core::golden::golden_scenario;
+using core::golden::kGoldenDigest;
+using core::golden::mmv2v_factory;
+
+// The golden ~20-vehicle world run long enough (~200 frames) under a fault
+// cocktail — bursty control loss, churn, clock drift, GPS noise — that every
+// span outcome class has a chance to occur.
+ScenarioConfig faulted_scenario() {
+  ScenarioConfig s = golden_scenario();
+  s.horizon_s = 4.0;
+  s.traffic.density_vpl = 10.0;
+  s.seed = 20260806;
+  s.fault.ctrl_loss = 0.05;
+  s.fault.churn_rate = 0.02;
+  s.fault.clock_drift_us = 50.0;
+  s.fault.gps_sigma_m = 1.0;
+  s.trace.spans = true;
+  return s;
+}
+
+std::uint64_t counter_value(const MetricsRegistry& m, std::string_view name) {
+  const Counter* c = m.find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+TEST(SpanReconciliation, OutcomesMatchFaultAndUdtCountersExactly) {
+  const ScenarioConfig s = faulted_scenario();
+  protocols::MmV2VParams params;
+  params.seed = s.seed;
+  protocols::MmV2VProtocol protocol{params};
+  OhmSimulation sim{s, protocol, SimulationOptions{.instrument = true}};
+  sim.run();
+
+  const MetricsRegistry& m = sim.metrics();
+  // The fault cocktail must actually bite, or the reconciliation below is
+  // vacuous.
+  const std::uint64_t fault_truncations = counter_value(m, "fault.udt_truncations");
+  ASSERT_GT(fault_truncations, 0u)
+      << "fault knobs no longer produce truncations; retune faulted_scenario()";
+  ASSERT_GT(counter_value(m, "span.count"), 0u);
+
+  // Guarantee 1: churn span events are emitted at the truncation call site,
+  // so the totals agree exactly.
+  EXPECT_EQ(counter_value(m, "span.truncations"), fault_truncations);
+
+  // Guarantee 2: the span rollup adds per-transfer bits in the same (event)
+  // order as the udt.delivered_bits gauge — bit-exact double equality.
+  const Gauge* span_bits = m.find_gauge("span.delivered_bits");
+  const Gauge* udt_bits = m.find_gauge("udt.delivered_bits");
+  ASSERT_NE(span_bits, nullptr);
+  ASSERT_NE(udt_bits, nullptr);
+  EXPECT_EQ(span_bits->value(), udt_bits->value());
+
+  // Every span gets exactly one terminal outcome.
+  std::uint64_t outcome_sum = 0;
+  for (std::size_t i = 0; i < kSpanOutcomeCount; ++i) {
+    std::string name{"span.outcome."};
+    name += span_outcome_name(static_cast<SpanOutcome>(i));
+    outcome_sum += counter_value(m, name);
+  }
+  EXPECT_EQ(outcome_sum, counter_value(m, "span.count"));
+  EXPECT_GT(counter_value(m, "span.outcome.delivered"), 0u)
+      << "a 4 s run should deliver on at least one pair";
+}
+
+TEST(SpanReconciliation, PostHocReplayReproducesTheOnlineRollup) {
+  const ScenarioConfig s = faulted_scenario();
+  protocols::MmV2VParams params;
+  params.seed = s.seed;
+  protocols::MmV2VProtocol protocol{params};
+  OhmSimulation sim{s, protocol, SimulationOptions{.instrument = true}};
+  sim.run();
+  const MetricsRegistry& online = sim.metrics();
+  ASSERT_GT(counter_value(online, "span.count"), 0u);
+
+  // Replay 1: straight from the recorded event buffer.
+  SpanBuilder from_events;
+  for (const core::TraceEvent& e : sim.trace().events()) from_events.on_event(e);
+
+  // Replay 2: through a tiny-chunk .mmtrace round trip — interning, delta
+  // coding and chunk-boundary resets must not perturb attribution.
+  MmtraceWriter writer{/*chunk_bytes=*/512};
+  for (const core::TraceEvent& e : sim.trace().events()) writer.add_event(e);
+  std::string file = mmtrace_file_header();
+  std::vector<ChunkInfo> chunks;
+  append_mmtrace_chunks(file, chunks, writer.take());
+  append_mmtrace_index(file, chunks);
+  SpanBuilder from_binary;
+  const MmtraceStats stats = MmtraceReader{file}.for_each([&](const MmtraceRecord& r) {
+    if (r.tag == MmtraceTag::kEvent) from_binary.on_event(r.event);
+  });
+  ASSERT_EQ(stats.skipped_chunks, 0u);
+  ASSERT_GT(stats.chunks, 1u);
+
+  for (SpanBuilder* replay : {&from_events, &from_binary}) {
+    const SpanRollup r = replay->rollup();
+    EXPECT_EQ(r.spans, counter_value(online, "span.count"));
+    EXPECT_EQ(r.truncations, counter_value(online, "span.truncations"));
+    const Gauge* bits = online.find_gauge("span.delivered_bits");
+    ASSERT_NE(bits, nullptr);
+    EXPECT_EQ(r.delivered_bits, bits->value());
+    for (std::size_t i = 0; i < kSpanOutcomeCount; ++i) {
+      std::string name{"span.outcome."};
+      name += span_outcome_name(static_cast<SpanOutcome>(i));
+      EXPECT_EQ(r.outcomes[i], counter_value(online, name)) << name;
+    }
+  }
+}
+
+TEST(SpanEvents, SweepIsByteIdenticalAcrossTraceFormats) {
+  ScenarioConfig base = golden_scenario();
+  base.trace.spans = true;
+
+  SweepTrace jsonl;
+  base.trace.format = core::TraceFormat::kJsonl;
+  ASSERT_EQ(run_density_sweep(golden_experiment(2), base, mmv2v_factory(), &jsonl).size(), 1u);
+
+  SweepTrace binary;
+  base.trace.format = core::TraceFormat::kBinary;
+  ASSERT_EQ(run_density_sweep(golden_experiment(2), base, mmv2v_factory(), &binary).size(), 1u);
+
+  // Span events ride the same recorder, so the format equivalence holds for
+  // the extended stream too.
+  ASSERT_FALSE(jsonl.events_jsonl.empty());
+  EXPECT_EQ(jsonl.events_jsonl, binary.events_jsonl);
+  EXPECT_EQ(jsonl.digest, binary.digest);
+  // Enabling spans extends the stream — the digest must move off the golden
+  // value (it is an intentional, opt-in change).
+  EXPECT_NE(jsonl.digest, kGoldenDigest);
+  EXPECT_NE(jsonl.events_jsonl.find("\"ev\":\"span_disc\""), std::string::npos);
+  EXPECT_NE(jsonl.events_jsonl.find("\"ev\":\"span_udt\""), std::string::npos);
+  EXPECT_NE(jsonl.events_jsonl.find("\"span.count\":"), std::string::npos)
+      << "cell_end metrics must carry the span rollup";
+}
+
+TEST(SpanEvents, OffByDefaultAndInvisibleToTheGoldenDigest) {
+  // Same faulted run, spans left at the default: no span.* metric names may
+  // register (they would change the canonical metrics JSON).
+  ScenarioConfig s = faulted_scenario();
+  s.trace.spans = false;
+  protocols::MmV2VParams params;
+  params.seed = s.seed;
+  protocols::MmV2VProtocol protocol{params};
+  OhmSimulation sim{s, protocol, SimulationOptions{.instrument = true}};
+  sim.run();
+  EXPECT_EQ(sim.metrics().find_counter("span.count"), nullptr);
+  EXPECT_EQ(sim.metrics().find_gauge("span.delivered_bits"), nullptr);
+
+  // And the default golden sweep stream contains no span events at all.
+  SweepTrace trace;
+  ASSERT_EQ(run_density_sweep(golden_experiment(1), golden_scenario(), mmv2v_factory(), &trace)
+                .size(),
+            1u);
+  EXPECT_EQ(trace.digest, kGoldenDigest);
+  EXPECT_EQ(trace.events_jsonl.find("\"ev\":\"span_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmv2v::obs

@@ -1,0 +1,102 @@
+// trace_export: replay a binary .mmtrace flight recording back to canonical
+// JSONL. The decoder reuses the exact serializer the direct JSONL writer
+// uses, so the output is byte-identical to what `trace.format=jsonl` would
+// have recorded for the same run — including the FNV-1a event-stream digest
+// (the golden-trace fingerprint). Damaged chunks are skipped with a warning;
+// everything before and after a corrupt chunk still decodes.
+//
+// Usage:
+//   trace_export --in sweep.mmtrace --out sweep.jsonl
+//   trace_export --in sweep.mmtrace --digest        # print digest only
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "obs/mmtrace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mmv2v;
+  using namespace mmv2v::bench;
+
+  const std::vector<FlagSpec> specs{
+      {"in", "", "input .mmtrace file (required)"},
+      {"out", "", "output JSONL path (default: stdout)"},
+      {"include_meta", "true",
+       "emit digest-excluded meta lines (the run manifest) as leading lines"},
+      {"digest", "false", "print only the FNV-1a digest of the event stream"},
+  };
+  const FlagParse parsed = parse_flags(argc, argv, specs);
+  if (parsed.show_help) {
+    print_flag_help(stdout, "trace_export",
+                    "Replay a binary .mmtrace event trace as canonical JSONL,\n"
+                    "byte-identical to what the JSONL trace writer records.",
+                    specs);
+    return 0;
+  }
+  if (!parsed.error.empty()) {
+    std::fprintf(stderr, "trace_export: %s (try --help)\n", parsed.error.c_str());
+    return 2;
+  }
+  const std::string in_path = parsed.values.get_or("in", std::string{});
+  if (in_path.empty()) {
+    std::fprintf(stderr, "trace_export: --in is required (try --help)\n");
+    return 2;
+  }
+
+  std::ifstream in{in_path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "trace_export: cannot open %s\n", in_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  if (!obs::is_mmtrace(bytes)) {
+    std::fprintf(stderr, "trace_export: %s is not an mmtrace file\n", in_path.c_str());
+    return 1;
+  }
+
+  obs::MmtraceStats stats;
+  const bool digest_only = parsed.values.get_or("digest", false);
+  const bool include_meta = parsed.values.get_or("include_meta", true) && !digest_only;
+  const std::string jsonl = obs::mmtrace_to_jsonl(bytes, include_meta, &stats);
+  if (stats.skipped_chunks > 0) {
+    std::fprintf(stderr, "trace_export: skipped %zu damaged chunk(s) of %zu\n",
+                 stats.skipped_chunks, stats.chunks + stats.skipped_chunks);
+  }
+  if (!stats.index_ok) {
+    std::fprintf(stderr, "trace_export: trailing index missing or damaged\n");
+  }
+
+  if (digest_only) {
+    // The digest covers the digest-included stream only (events + cell
+    // marker lines), matching SweepTrace::digest and the golden tests.
+    std::printf("%016llx\n",
+                static_cast<unsigned long long>(fnv1a64(std::string_view{jsonl})));
+    return 0;
+  }
+
+  const std::string out_path = parsed.values.get_or("out", std::string{});
+  if (out_path.empty()) {
+    std::fwrite(jsonl.data(), 1, jsonl.size(), stdout);
+  } else {
+    std::ofstream out{out_path, std::ios::binary};
+    if (!out) {
+      std::fprintf(stderr, "trace_export: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    out << jsonl;
+    if (!out) {
+      std::fprintf(stderr, "trace_export: failed writing %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace_export: %s -> %s (%zu chunks, %zu events)\n",
+                 in_path.c_str(), out_path.c_str(), stats.chunks, stats.events);
+  }
+  return 0;
+}
