@@ -1,101 +1,50 @@
 // Generic density-sweep tool over any of the three protocols, built on
-// core::ExperimentRunner. Where the fig* benches pin the paper's exact
-// setups, this binary is the knob-turning entry point for new studies.
+// core::run_density_sweep and the shared sweep-spec knob table
+// (farm/sweep_spec.hpp). Where the fig* benches pin the paper's exact
+// setups, this binary is the knob-turning entry point for new studies — run
+// the sweep here, or hand it to the sweep farm with queue=.
 //
 // Usage examples:
 //   sweep_runner protocol=mmv2v densities=10,20,30 reps=3 horizon_s=1.5
 //   sweep_runner --protocol ad --vpl-min 10 --vpl-max 30 --vpl-step 5
-//   sweep_runner protocol=mmv2v k=4 m=60 c=9 shadowing_db=4
+//   sweep_runner protocol=mmv2v k=4 m=60 c=9 shadowing_db=4 out=results.json
+//   sweep_runner queue=/var/mmv2v/farm densities=10,20,30 reps=10
 //   sweep_runner --prof-trace sweep.ctf.json --prof-report
 #include "bench_util.hpp"
 
 #include <fstream>
 #include <iostream>
-#include <sstream>
 
 #include "common/profiler.hpp"
 #include "core/experiment.hpp"
+#include "farm/job_queue.hpp"
+#include "farm/sweep_spec.hpp"
+#include "obs/atomic_file.hpp"
 #include "obs/stream_aggregator.hpp"
-
-namespace {
-
-std::vector<double> parse_densities(const mmv2v::ConfigMap& cli) {
-  if (const auto list = cli.get_string("densities")) {
-    std::vector<double> out;
-    std::stringstream ss{*list};
-    std::string item;
-    while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
-    return out;
-  }
-  const double lo = cli.get_or("vpl_min", 10.0);
-  const double hi = cli.get_or("vpl_max", 30.0);
-  const double step = cli.get_or("vpl_step", 5.0);
-  std::vector<double> out;
-  for (double d = lo; d <= hi + 1e-9; d += step) out.push_back(d);
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mmv2v;
   using namespace mmv2v::bench;
 
-  const std::vector<FlagSpec> specs{
-      {"protocol", "mmv2v", "protocol under test: mmv2v | rop | ad"},
-      {"densities", "", "explicit density list, e.g. 10,20,30 (overrides vpl_*)"},
-      {"vpl_min", "10", "sweep start density [vehicles/lane]"},
-      {"vpl_max", "30", "sweep end density [vehicles/lane]"},
-      {"vpl_step", "5", "sweep density step [vehicles/lane]"},
-      {"reps", "3", "repetitions (independent seeds) per density"},
-      {"horizon_s", "1.5", "simulated horizon per cell [s]"},
-      {"seed", "1", "root seed; cell seeds derive from (seed, density, rep)"},
-      {"threads", "0", "sweep-cell worker threads (0 = one per hardware thread)"},
-      {"engine.threads", "1", "intra-frame worker lanes per cell (0 = one per hardware thread)"},
-      {"engine.arena_bytes", "1048576", "per-lane frame-arena capacity [bytes]"},
-      {"engine.lane_budget", "0", "process-wide worker-lane budget (0 = hardware threads)"},
-      {"engine.batched_kernels", "true", "route hot frame loops through the batched SoA kernels (bit-identical either way)"},
-      {"world.shards", "1", "rectangular world shards for pair enumeration"},
-      {"network.topology", "legacy_ring", "road topology: ring | legacy_ring | ring_network | city_grid"},
-      {"network.grid_rows", "4", "city_grid: horizontal road count (>= 2)"},
-      {"network.grid_cols", "4", "city_grid: vertical road count (>= 2)"},
-      {"network.block_m", "250", "city_grid: block edge length [m]"},
-      {"network.signal_green_s", "12", "city_grid: per-approach signal green phase [s]"},
-      {"tier.enabled", "false", "enable Full/Kinematic/OnRails fidelity tiering"},
-      {"tier.focus", "", "focus regions as x,y,radius triples separated by ';'"},
-      {"tier.kinematic_radius_m", "400", "Kinematic band width beyond the focus edge [m]"},
-      {"tier.hysteresis_m", "25", "extra demotion distance beyond each exit radius [m]"},
-      {"tier.promote_budget", "32", "max tier promotions per snapshot refresh"},
-      {"tier.demote_budget", "32", "max tier demotions per snapshot refresh"},
-      {"tier.onrails_duty_cycle", "0.02", "per-OnRails-vehicle channel duty cycle in [0,1]"},
-      {"rate_mbps", "200", "per-pair task demand [Mbit/s]"},
-      {"comm_range_m", "80", "communication/admission range [m]"},
-      {"shadowing_db", "0", "log-normal shadowing sigma (0 = off) [dB]"},
-      {"nakagami_m", "0", "Nakagami-m small-scale fading shape (0 = off)"},
-      {"k", "3", "mmV2V SND rounds per frame"},
-      {"m", "40", "mmV2V DCM negotiation slots per frame"},
-      {"c", "7", "mmV2V CNS modulus"},
-      {"persistent", "false", "mmV2V: carry viable matches across frames"},
-      {"fault.clock_drift_us", "0", "fault: per-vehicle clock drift sigma [us] (0 = off)"},
-      {"fault.ctrl_loss", "0", "fault: stationary control-message loss rate (0 = off)"},
-      {"fault.burst_len", "1", "fault: mean loss-burst length (Gilbert-Elliott; <=1 = Bernoulli)"},
-      {"fault.gps_sigma_m", "0", "fault: GPS position noise sigma per axis [m] (0 = off)"},
-      {"fault.churn_rate", "0", "fault: per-vehicle per-frame radio dropout probability (0 = off)"},
-      {"trace_out", "", "write the merged event trace (enables instrumentation)"},
-      {"trace.format", "jsonl", "trace encoding: jsonl | binary (.mmtrace)"},
-      {"trace.flush_events", "0", "recorder flush batch size (0 = buffer the whole cell)"},
-      {"trace.spans", "false", "emit link-lifecycle span events and span.* metrics"},
-      {"progress_out", "", "rewrite a per-density rollup snapshot JSON here after every cell"},
-      {"prof_trace", "", "enable the profiler and write a Chrome trace (Perfetto) here"},
-      {"prof_report", "false", "enable the profiler and print the scope hierarchy"},
-      {"prof_json", "", "enable the profiler and write its JSON report here"},
-  };
+  // One flag per sweep knob (shared table: the farm understands exactly the
+  // same keys), plus the runner-only flags below.
+  std::vector<FlagSpec> specs;
+  for (const farm::SweepKnob& knob : farm::sweep_knobs()) {
+    specs.push_back(FlagSpec{knob.name, knob.def, knob.help});
+  }
+  specs.push_back({"queue", "",
+                   "submit this sweep to a farm queue directory and exit (no local run)"});
+  specs.push_back({"prof_trace", "", "enable the profiler and write a Chrome trace (Perfetto) here"});
+  specs.push_back({"prof_report", "false", "enable the profiler and print the scope hierarchy"});
+  specs.push_back({"prof_json", "", "enable the profiler and write its JSON report here"});
+
   const FlagParse parsed = parse_flags(argc, argv, specs);
   if (parsed.show_help) {
     print_flag_help(stdout, "sweep_runner",
                     "Density sweep over one protocol; prints the metric table and\n"
-                    "per-vehicle OCR percentiles. Optional JSONL event trace and\n"
-                    "wall-clock profile.",
+                    "per-vehicle OCR percentiles. Optional JSONL event trace,\n"
+                    "aggregate-results JSON, wall-clock profile — or queue= to\n"
+                    "submit the sweep to a farm instead of running it here.",
                     specs);
     return 0;
   }
@@ -104,95 +53,101 @@ int main(int argc, char** argv) {
     return 2;
   }
   const ConfigMap& cli = parsed.values;
-  const std::string protocol = cli.get_or("protocol", std::string{"mmv2v"});
 
-  core::ExperimentConfig experiment;
-  experiment.densities_vpl = parse_densities(cli);
-  experiment.repetitions = static_cast<int>(cli.get_or("reps", std::int64_t{3}));
-  experiment.horizon_s = cli.get_or("horizon_s", 1.5);
-  experiment.seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{1}));
-  // 0 = one worker per hardware thread; results are identical either way.
-  experiment.threads = static_cast<int>(cli.get_or("threads", std::int64_t{0}));
-  // --trace-out=FILE turns on the observability layer: every cell runs
-  // instrumented and the merged event trace lands in FILE (trace.format
-  // selects JSONL or binary .mmtrace; sibling FILE.manifest.json either way).
-  experiment.trace_out = cli.get_or("trace_out", std::string{});
+  // The sweep-knob subset of the CLI, reduced to its canonical minimal form
+  // (defaults dropped) — what a farm submission enqueues and what the local
+  // run parses, so both paths execute the identical request.
+  ConfigMap sweep_config;
+  try {
+    ConfigMap knobs;
+    for (const auto& [key, value] : cli.entries()) {
+      if (farm::is_sweep_knob(key)) knobs.set(key, value);
+    }
+    sweep_config = farm::minimal_sweep_config(knobs);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_runner: %s (try --help)\n", e.what());
+    return 2;
+  }
 
-  // --progress-out=FILE streams per-density rollups: after every finished
-  // cell the aggregator atomically rewrites FILE, so a monitor can tail a
-  // sweep without waiting for it.
-  const std::string progress_out = cli.get_or("progress_out", std::string{});
-  obs::StreamAggregator aggregator{progress_out};
-  if (!progress_out.empty()) experiment.on_cell_done = aggregator.callback();
+  farm::SweepSpec spec;
+  core::ProtocolFactory factory;
+  try {
+    spec = farm::parse_sweep_spec(sweep_config);
+    factory = farm::make_sweep_protocol_factory(sweep_config);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_runner: %s (try --help)\n", e.what());
+    return 2;
+  }
+
+  const std::string queue_root = cli.get_or("queue", std::string{});
+  if (!queue_root.empty()) {
+    try {
+      farm::JobQueue queue{queue_root};
+      const std::string id =
+          queue.submit(farm::canonical_spec_text(sweep_config), spec.protocol);
+      std::printf("queued %s in %s (%zu cells); run `farm_runner queue=%s mode=serve`\n",
+                  id.c_str(), queue_root.c_str(), spec.cell_count(), queue_root.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep_runner: %s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  // Probe every output path before the sweep burns compute (trace_out and
+  // its manifest sibling are probed inside run_density_sweep).
+  try {
+    core::probe_output_path(spec.out_json, "out");
+    core::probe_output_path(spec.progress_out, "progress_out");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_runner: %s\n", e.what());
+    return 1;
+  }
+
+  // progress_out=FILE streams per-density rollups: after every finished cell
+  // the aggregator atomically rewrites FILE, so a monitor can tail a sweep
+  // without waiting for it.
+  obs::StreamAggregator aggregator{spec.progress_out};
+  if (!spec.progress_out.empty()) {
+    spec.experiment.on_cell_done = aggregator.callback();
+  }
 
   const std::string prof_trace = cli.get_or("prof_trace", std::string{});
   const std::string prof_json = cli.get_or("prof_json", std::string{});
   const bool prof_report = cli.get_or("prof_report", false);
   if (!prof_trace.empty() || !prof_json.empty() || prof_report) prof::set_enabled(true);
 
-  core::ScenarioConfig base;
-  // Intra-frame execution knobs (worker lanes + arena sizing). Any setting
-  // yields bit-identical sweep results; see DESIGN.md Section 11.
-  try {
-    base.engine = parse_engine_knobs(cli);
-    // World topology (network.*) and fidelity tiering (tier.*) — these DO
-    // change results; the defaults reproduce the legacy full-fidelity ring.
-    base.network = parse_network_knobs(cli);
-    base.tier = parse_tier_knobs(cli);
-    // Observability knobs (trace.*): format, bounded flushing, span events.
-    base.trace = parse_trace_knobs(cli);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "sweep_runner: %s (try --help)\n", e.what());
-    return 2;
-  }
-  base.task.rate_mbps = cli.get_or("rate_mbps", 200.0);
-  base.comm_range_m = cli.get_or("comm_range_m", base.comm_range_m);
-  base.fading.shadowing_sigma_db = cli.get_or("shadowing_db", 0.0);
-  base.fading.nakagami_m = cli.get_or("nakagami_m", 0.0);
-  base.fault.clock_drift_us = cli.get_or("fault.clock_drift_us", 0.0);
-  base.fault.ctrl_loss = cli.get_or("fault.ctrl_loss", 0.0);
-  base.fault.burst_len = cli.get_or("fault.burst_len", 1.0);
-  base.fault.gps_sigma_m = cli.get_or("fault.gps_sigma_m", 0.0);
-  base.fault.churn_rate = cli.get_or("fault.churn_rate", 0.0);
-
-  core::ProtocolFactory factory;
-  if (protocol == "mmv2v") {
-    protocols::MmV2VParams params;
-    params.snd.rounds = static_cast<int>(cli.get_or("k", std::int64_t{3}));
-    params.dcm.slots = static_cast<int>(cli.get_or("m", std::int64_t{40}));
-    params.dcm.modulus_c = static_cast<int>(cli.get_or("c", std::int64_t{7}));
-    params.persistent_matching = cli.get_or("persistent", false);
-    factory = [params](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
-      protocols::MmV2VParams p = params;
-      p.seed = seed;
-      return std::make_unique<protocols::MmV2VProtocol>(p);
-    };
-  } else if (protocol == "rop") {
-    factory = [](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
-      protocols::RopParams p;
-      p.seed = seed;
-      return std::make_unique<protocols::RopProtocol>(p);
-    };
-  } else if (protocol == "ad") {
-    factory = [](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
-      protocols::AdParams p;
-      p.seed = seed;
-      return std::make_unique<protocols::Ieee80211adProtocol>(p);
-    };
-  } else {
-    std::fprintf(stderr, "unknown protocol '%s' (use mmv2v | rop | ad)\n",
-                 protocol.c_str());
-    return 2;
-  }
-
   core::SweepTrace trace;
-  const auto points = core::run_density_sweep(
-      experiment, base, factory, experiment.trace_out.empty() ? nullptr : &trace);
-  core::print_sweep(std::cout, protocol + " density sweep", points);
-  if (!experiment.trace_out.empty()) {
+  std::vector<core::SweepPoint> points;
+  try {
+    points = core::run_density_sweep(spec.experiment, spec.base, factory,
+                                     spec.experiment.trace_out.empty() ? nullptr : &trace);
+  } catch (const core::SweepFailure& e) {
+    std::fprintf(stderr, "sweep_runner: %s\n", e.what());
+    for (const std::string& error : e.cell_errors()) {
+      std::fprintf(stderr, "  %s\n", error.c_str());
+    }
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sweep_runner: %s\n", e.what());
+    return 1;
+  }
+  core::print_sweep(std::cout, spec.protocol + " density sweep", points);
+  if (!spec.experiment.trace_out.empty()) {
     std::printf("\ntrace: %s (digest %016llx), manifest: %s.manifest.json\n",
-                experiment.trace_out.c_str(),
-                static_cast<unsigned long long>(trace.digest), experiment.trace_out.c_str());
+                spec.experiment.trace_out.c_str(),
+                static_cast<unsigned long long>(trace.digest),
+                spec.experiment.trace_out.c_str());
+  }
+
+  if (!spec.out_json.empty()) {
+    const std::string results =
+        core::sweep_points_json(spec.protocol, spec.experiment, points);
+    if (!obs::atomic_write_file(spec.out_json, results)) {
+      std::fprintf(stderr, "sweep_runner: cannot write %s\n", spec.out_json.c_str());
+      return 1;
+    }
+    std::printf("results: %s\n", spec.out_json.c_str());
   }
 
   // Per-vehicle OCR deciles at each density (compact CDF view).
@@ -205,8 +160,8 @@ int main(int argc, char** argv) {
                 p.ocr_samples.percentile(90));
   }
 
-  if (!progress_out.empty()) {
-    std::printf("\nprogress snapshot: %s (%zu cells", progress_out.c_str(),
+  if (!spec.progress_out.empty()) {
+    std::printf("\nprogress snapshot: %s (%zu cells", spec.progress_out.c_str(),
                 aggregator.cells_seen());
     if (aggregator.write_failures() > 0) {
       std::printf(", %zu snapshot writes failed", aggregator.write_failures());

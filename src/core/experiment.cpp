@@ -23,29 +23,13 @@
 namespace mmv2v::core {
 namespace {
 
-/// Everything one (density, repetition) cell contributes to its SweepPoint,
-/// in the order the serial merge consumes it.
-struct CellResult {
-  double degree = 0.0;
-  double ocr = 0.0;
-  double atp = 0.0;
-  double dtp = 0.0;
-  double fairness = 0.0;
-  std::uint64_t seed = 0;
-  std::vector<double> ocr_samples;
-  std::vector<double> atp_samples;
-  /// This cell's serialized observability chunk (empty when not tracing).
-  /// JSONL format fills trace_jsonl; binary fills the chunk stream pair.
-  std::string trace_jsonl;
-  std::string trace_binary;
-  std::vector<obs::ChunkInfo> trace_chunks;
-  std::string protocol_name;
-};
-
 CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
                     const ProtocolFactory& factory, std::mutex& factory_mutex,
-                    std::size_t density_index, int rep, bool instrument) {
+                    std::size_t index, bool instrument) {
   PROF_SCOPE("sweep.cell");
+  const std::size_t reps = static_cast<std::size_t>(config.repetitions);
+  const std::size_t density_index = index / reps;
+  const int rep = static_cast<int>(index % reps);
   // Mixed (not additive) seed derivation: distinct cells cannot alias even
   // when densities are close or repetitions many.
   const std::uint64_t seed =
@@ -65,6 +49,7 @@ CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
   }
 
   CellResult out;
+  out.index = index;
   out.seed = seed;
   // Tracing streams through a sink so the recorder's buffer can stay bounded
   // (trace.flush_events); the JSONL sink writes the exact bytes the old
@@ -123,6 +108,13 @@ CellResult run_cell(const ExperimentConfig& config, const ScenarioConfig& base,
     out.atp_samples.push_back(v.atp);
   }
   return out;
+}
+
+void validate_experiment(const ExperimentConfig& config, const ProtocolFactory& factory) {
+  if (config.repetitions <= 0) {
+    throw std::invalid_argument{"experiment: repetitions must be >= 1"};
+  }
+  if (!factory) throw std::invalid_argument{"experiment: null protocol factory"};
 }
 
 /// Run manifest: environment facts identifying what produced a trace. Kept
@@ -188,29 +180,220 @@ std::string build_manifest(const ExperimentConfig& config, const ScenarioConfig&
   return out;
 }
 
+std::string describe_cell_error(const ExperimentConfig& config, std::size_t index,
+                                const std::exception_ptr& error) {
+  const auto reps = static_cast<std::size_t>(config.repetitions);
+  std::string out = "cell ";
+  io::append_number(out, static_cast<std::uint64_t>(index));
+  out += " (density ";
+  io::append_number(out, config.densities_vpl[index / reps]);
+  out += ", rep ";
+  io::append_number(out, static_cast<std::uint64_t>(index % reps));
+  out += "): ";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    out += e.what();
+  } catch (...) {
+    out += "unknown error";
+  }
+  return out;
+}
+
 }  // namespace
+
+void probe_output_path(const std::string& path, std::string_view what) {
+  if (path.empty()) return;
+  // Append mode creates the file when missing but never truncates existing
+  // bytes, so probing cannot destroy a previous run's output.
+  std::ofstream probe{path, std::ios::binary | std::ios::app};
+  if (!probe) {
+    std::string message{"experiment: cannot open "};
+    message += what;
+    message += " path ";
+    message += path;
+    throw std::runtime_error{message};
+  }
+}
+
+CellResult run_sweep_cell(const ExperimentConfig& config, const ScenarioConfig& base,
+                          const ProtocolFactory& factory, std::size_t index,
+                          bool instrument) {
+  validate_experiment(config, factory);
+  if (index >= config.cell_count()) {
+    throw std::invalid_argument{"experiment: cell index out of range"};
+  }
+  std::mutex factory_mutex;
+  return run_cell(config, base, factory, factory_mutex, index, instrument);
+}
+
+SweepMerge merge_sweep_cells(const ExperimentConfig& config, const ScenarioConfig& base,
+                             std::vector<CellResult>&& cells, bool tracing,
+                             std::size_t workers) {
+  if (config.repetitions <= 0) {
+    throw std::invalid_argument{"experiment: repetitions must be >= 1"};
+  }
+  if (cells.size() != config.cell_count()) {
+    throw std::invalid_argument{"experiment: merge requires every sweep cell"};
+  }
+
+  SweepMerge merged;
+  // Merge in canonical (density, repetition) order: the exact `add` sequence
+  // the old serial runner performed, so aggregates are bit-identical no
+  // matter how the cells were scheduled — across threads, processes, or a
+  // checkpoint/resume boundary.
+  const auto reps = static_cast<std::size_t>(config.repetitions);
+  merged.points.reserve(config.densities_vpl.size());
+  for (std::size_t di = 0; di < config.densities_vpl.size(); ++di) {
+    SweepPoint point;
+    point.density_vpl = config.densities_vpl[di];
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const CellResult& cell = cells[di * reps + rep];
+      point.degree.add(cell.degree);
+      point.ocr.add(cell.ocr);
+      point.atp.add(cell.atp);
+      point.dtp.add(cell.dtp);
+      point.fairness.add(cell.fairness);
+      for (double v : cell.ocr_samples) point.ocr_samples.add(v);
+      for (double v : cell.atp_samples) point.atp_samples.add(v);
+    }
+    merged.points.push_back(std::move(point));
+  }
+
+  if (tracing && !cells.empty()) {
+    merged.traced = true;
+    merged.trace.manifest_json = build_manifest(config, base, cells, workers);
+    if (base.trace.format == TraceFormat::kBinary) {
+      // Assemble the .mmtrace image: header, one meta chunk carrying the
+      // manifest, each cell's (self-contained) chunk stream in canonical
+      // (density, repetition) order, then the index + footer. events_jsonl
+      // and the digest are derived by replay so every downstream consumer
+      // sees the same bytes the JSONL format would have produced.
+      std::string file = obs::mmtrace_file_header();
+      std::vector<obs::ChunkInfo> all_chunks;
+      obs::MmtraceWriter meta;
+      meta.add_line(merged.trace.manifest_json, /*meta=*/true);
+      obs::append_mmtrace_chunks(file, all_chunks, meta.take());
+      for (CellResult& cell : cells) {
+        obs::append_mmtrace_chunks(
+            file, all_chunks,
+            obs::MmtraceWriter::ChunkStream{std::move(cell.trace_binary),
+                                            std::move(cell.trace_chunks)});
+      }
+      obs::append_mmtrace_index(file, all_chunks);
+      merged.trace.events_jsonl = obs::mmtrace_to_jsonl(file, /*include_meta=*/false);
+      merged.trace.binary = std::move(file);
+    } else {
+      // Canonical (density, repetition) order — identical for any thread
+      // count.
+      for (const CellResult& cell : cells) merged.trace.events_jsonl += cell.trace_jsonl;
+    }
+    merged.trace.digest = fnv1a64(merged.trace.events_jsonl);
+  }
+  return merged;
+}
+
+void write_sweep_trace(const ExperimentConfig& config, const SweepTrace& trace) {
+  if (config.trace_out.empty()) return;
+  {
+    std::ofstream events_file{config.trace_out, std::ios::binary};
+    if (!events_file) {
+      throw std::runtime_error{"experiment: cannot open trace_out file " + config.trace_out};
+    }
+    if (!trace.binary.empty()) {
+      events_file << trace.binary;
+    } else {
+      events_file << trace.manifest_json << '\n' << trace.events_jsonl;
+    }
+    events_file.flush();
+    if (!events_file) {
+      throw std::runtime_error{"experiment: failed writing trace_out file " +
+                               config.trace_out};
+    }
+  }
+
+  const std::string manifest_path = config.trace_out + ".manifest.json";
+  std::ofstream manifest_file{manifest_path, std::ios::binary};
+  if (manifest_file) manifest_file << trace.manifest_json << '\n';
+  manifest_file.flush();
+  if (!manifest_file) {
+    // A missing manifest used to be swallowed; report tooling then failed
+    // hours later on a file nobody knew was absent.
+    throw std::runtime_error{"experiment: failed writing manifest file " + manifest_path};
+  }
+}
+
+std::string sweep_points_json(std::string_view protocol, const ExperimentConfig& config,
+                              const std::vector<SweepPoint>& points) {
+  std::string out = "{\"ev\":\"sweep_results\",\"protocol\":";
+  io::append_json_string(out, protocol);
+  out += ",\"seed\":";
+  io::append_number(out, config.seed);
+  out += ",\"repetitions\":";
+  io::append_number(out, static_cast<std::int64_t>(config.repetitions));
+  out += ",\"horizon_s\":";
+  io::append_number(out, config.horizon_s);
+  out += ",\"points\":[";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    if (i != 0) out += ',';
+    out += "{\"density_vpl\":";
+    io::append_number(out, p.density_vpl);
+    out += ",\"cells\":";
+    io::append_number(out, static_cast<std::uint64_t>(p.ocr.count()));
+    out += ",\"degree_mean\":";
+    io::append_number(out, p.degree.mean());
+    out += ",\"ocr_mean\":";
+    io::append_number(out, p.ocr.mean());
+    out += ",\"ocr_stddev\":";
+    io::append_number(out, p.ocr.stddev());
+    out += ",\"atp_mean\":";
+    io::append_number(out, p.atp.mean());
+    out += ",\"dtp_mean\":";
+    io::append_number(out, p.dtp.mean());
+    out += ",\"fairness_mean\":";
+    io::append_number(out, p.fairness.mean());
+    out += ",\"ocr_p10\":";
+    io::append_number(out, p.ocr_samples.percentile(10));
+    out += ",\"ocr_p50\":";
+    io::append_number(out, p.ocr_samples.percentile(50));
+    out += ",\"ocr_p90\":";
+    io::append_number(out, p.ocr_samples.percentile(90));
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
 
 std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
                                           const ScenarioConfig& base,
                                           const ProtocolFactory& factory,
                                           SweepTrace* trace) {
-  if (config.repetitions <= 0) {
-    throw std::invalid_argument{"experiment: repetitions must be >= 1"};
-  }
-  if (!factory) throw std::invalid_argument{"experiment: null protocol factory"};
+  validate_experiment(config, factory);
   const bool tracing = trace != nullptr || !config.trace_out.empty();
 
-  const std::size_t reps = static_cast<std::size_t>(config.repetitions);
-  const std::size_t n_cells = config.densities_vpl.size() * reps;
+  // Fail fast on unwritable output destinations: a typo'd trace_out
+  // directory must surface now, not after every cell has run.
+  probe_output_path(config.trace_out, "trace_out");
+  if (!config.trace_out.empty()) {
+    probe_output_path(config.trace_out + ".manifest.json", "trace manifest");
+  }
+
+  const std::size_t n_cells = config.cell_count();
   std::vector<CellResult> cells(n_cells);
   std::vector<std::exception_ptr> errors(n_cells);
   std::mutex factory_mutex;
 
   std::atomic<std::size_t> completed{0};
+  std::atomic<bool> failed{false};
+  const std::size_t reps = static_cast<std::size_t>(config.repetitions);
   const auto run_cell_at = [&](std::size_t k) {
+    // First-failure cancellation: cells not yet started are skipped once any
+    // cell fails (cells already in flight run to completion and report their
+    // own outcome).
+    if (failed.load(std::memory_order_relaxed)) return;
     try {
-      cells[k] = run_cell(config, base, factory, factory_mutex, k / reps,
-                          static_cast<int>(k % reps), tracing);
+      cells[k] = run_cell(config, base, factory, factory_mutex, k, tracing);
       if (config.on_cell_done) {
         const CellResult& cell = cells[k];
         CellProgress progress;
@@ -230,6 +413,7 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
       }
     } catch (...) {
       errors[k] = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
     }
   };
 
@@ -257,79 +441,28 @@ std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
   }
   lease.release();
 
-  // Surface the first failure in deterministic cell order.
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
+  if (failed.load(std::memory_order_relaxed)) {
+    // Aggregate every failed cell's message (in deterministic cell order)
+    // into one diagnostic instead of dropping all but the first.
+    std::vector<std::string> cell_errors;
+    for (std::size_t k = 0; k < n_cells; ++k) {
+      if (errors[k]) cell_errors.push_back(describe_cell_error(config, k, errors[k]));
+    }
+    std::string summary = "experiment: ";
+    io::append_number(summary, static_cast<std::uint64_t>(cell_errors.size()));
+    summary += cell_errors.size() == 1 ? " sweep cell failed" : " sweep cells failed";
+    summary += " (remaining cells cancelled): ";
+    for (std::size_t i = 0; i < cell_errors.size(); ++i) {
+      if (i != 0) summary += "; ";
+      summary += cell_errors[i];
+    }
+    throw SweepFailure{summary, std::move(cell_errors)};
   }
 
-  // Merge in canonical (density, repetition) order: the exact `add` sequence
-  // the old serial runner performed, so aggregates are bit-identical no
-  // matter how the cells were scheduled.
-  std::vector<SweepPoint> points;
-  points.reserve(config.densities_vpl.size());
-  for (std::size_t di = 0; di < config.densities_vpl.size(); ++di) {
-    SweepPoint point;
-    point.density_vpl = config.densities_vpl[di];
-    for (std::size_t rep = 0; rep < reps; ++rep) {
-      const CellResult& cell = cells[di * reps + rep];
-      point.degree.add(cell.degree);
-      point.ocr.add(cell.ocr);
-      point.atp.add(cell.atp);
-      point.dtp.add(cell.dtp);
-      point.fairness.add(cell.fairness);
-      for (double v : cell.ocr_samples) point.ocr_samples.add(v);
-      for (double v : cell.atp_samples) point.atp_samples.add(v);
-    }
-    points.push_back(std::move(point));
-  }
-
-  if (tracing && !cells.empty()) {
-    SweepTrace merged;
-    merged.manifest_json = build_manifest(config, base, cells, workers);
-    if (base.trace.format == TraceFormat::kBinary) {
-      // Assemble the .mmtrace image: header, one meta chunk carrying the
-      // manifest, each cell's (self-contained) chunk stream in canonical
-      // (density, repetition) order, then the index + footer. events_jsonl
-      // and the digest are derived by replay so every downstream consumer
-      // sees the same bytes the JSONL format would have produced.
-      std::string file = obs::mmtrace_file_header();
-      std::vector<obs::ChunkInfo> all_chunks;
-      obs::MmtraceWriter meta;
-      meta.add_line(merged.manifest_json, /*meta=*/true);
-      obs::append_mmtrace_chunks(file, all_chunks, meta.take());
-      for (CellResult& cell : cells) {
-        obs::append_mmtrace_chunks(
-            file, all_chunks,
-            obs::MmtraceWriter::ChunkStream{std::move(cell.trace_binary),
-                                            std::move(cell.trace_chunks)});
-      }
-      obs::append_mmtrace_index(file, all_chunks);
-      merged.events_jsonl = obs::mmtrace_to_jsonl(file, /*include_meta=*/false);
-      merged.binary = std::move(file);
-    } else {
-      // Canonical (density, repetition) order — identical for any thread
-      // count.
-      for (const CellResult& cell : cells) merged.events_jsonl += cell.trace_jsonl;
-    }
-    merged.digest = fnv1a64(merged.events_jsonl);
-
-    if (!config.trace_out.empty()) {
-      std::ofstream events_file{config.trace_out, std::ios::binary};
-      if (!events_file) {
-        throw std::runtime_error{"experiment: cannot open trace_out file " + config.trace_out};
-      }
-      if (!merged.binary.empty()) {
-        events_file << merged.binary;
-      } else {
-        events_file << merged.manifest_json << '\n' << merged.events_jsonl;
-      }
-
-      std::ofstream manifest_file{config.trace_out + ".manifest.json", std::ios::binary};
-      if (manifest_file) manifest_file << merged.manifest_json << '\n';
-    }
-    if (trace != nullptr) *trace = std::move(merged);
-  }
-  return points;
+  SweepMerge merged = merge_sweep_cells(config, base, std::move(cells), tracing, workers);
+  if (merged.traced) write_sweep_trace(config, merged.trace);
+  if (trace != nullptr && merged.traced) *trace = std::move(merged.trace);
+  return merged.points;
 }
 
 void print_sweep(std::ostream& out, const std::string& title,

@@ -1,6 +1,14 @@
 // Experiment runner: repeatable parameter sweeps over scenarios with
-// aggregation across seeds. The figure benches and the generic sweep tool
-// are built on this.
+// aggregation across seeds. The figure benches, the generic sweep tool and
+// the sweep-farm service (src/farm, DESIGN.md Section 15) are built on this.
+//
+// The unit of execution is one (density, repetition) *cell*: a fully
+// self-contained deterministic simulation whose seed derives from
+// (experiment seed, density index, repetition). run_density_sweep runs every
+// cell on a worker pool and merges in canonical order; the farm runs cells
+// one at a time across *processes* (run_sweep_cell), journals the results,
+// and performs the identical merge (merge_sweep_cells) at the end — so a
+// resumed sweep is bit-identical to an uninterrupted one.
 #pragma once
 
 #include <cstddef>
@@ -8,12 +16,15 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/stats.hpp"
 #include "core/protocol.hpp"
 #include "core/scenario.hpp"
+#include "obs/mmtrace.hpp"
 
 namespace mmv2v::core {
 
@@ -41,6 +52,29 @@ struct CellProgress {
   double fairness = 0.0;
 };
 
+/// Everything one (density, repetition) cell contributes to its SweepPoint,
+/// in the order the serial merge consumes it. This is the checkpoint unit:
+/// the farm's cell journal (farm/cell_journal.hpp) persists these records so
+/// a resumed sweep merges the exact bytes an uninterrupted run would have.
+struct CellResult {
+  /// Canonical cell index: density_index * repetitions + rep.
+  std::size_t index = 0;
+  double degree = 0.0;
+  double ocr = 0.0;
+  double atp = 0.0;
+  double dtp = 0.0;
+  double fairness = 0.0;
+  std::uint64_t seed = 0;
+  std::vector<double> ocr_samples;
+  std::vector<double> atp_samples;
+  /// This cell's serialized observability chunk (empty when not tracing).
+  /// JSONL format fills trace_jsonl; binary fills the chunk stream pair.
+  std::string trace_jsonl;
+  std::string trace_binary;
+  std::vector<obs::ChunkInfo> trace_chunks;
+  std::string protocol_name;
+};
+
 struct ExperimentConfig {
   std::vector<double> densities_vpl{10.0, 15.0, 20.0, 25.0, 30.0};
   int repetitions = 3;
@@ -61,6 +95,10 @@ struct ExperimentConfig {
   /// concurrently; the callee must synchronize its own state. Never invoked
   /// for cells that threw.
   std::function<void(const CellProgress&)> on_cell_done;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return repetitions > 0 ? densities_vpl.size() * static_cast<std::size_t>(repetitions) : 0;
+  }
 };
 
 /// In-memory capture of one sweep's observability output (see DESIGN.md
@@ -98,6 +136,74 @@ struct SweepPoint {
   SampleSet atp_samples;
 };
 
+/// Thrown when one or more sweep cells fail. Cells that had not started when
+/// the first failure was observed are cancelled (they contribute no error);
+/// every cell that did fail contributes one formatted entry so a multi-cell
+/// failure is diagnosed in one throw instead of dropping all but the first.
+class SweepFailure : public std::runtime_error {
+ public:
+  SweepFailure(const std::string& summary, std::vector<std::string> cell_errors)
+      : std::runtime_error(summary), cell_errors_(std::move(cell_errors)) {}
+
+  /// One "cell K (density D, rep R): message" entry per failed cell, in
+  /// canonical cell order.
+  [[nodiscard]] const std::vector<std::string>& cell_errors() const noexcept {
+    return cell_errors_;
+  }
+
+ private:
+  std::vector<std::string> cell_errors_;
+};
+
+/// Probe an output path by opening it for append (creating it if absent,
+/// never truncating existing content). Throws std::runtime_error naming
+/// `what` when the path cannot be opened — call this *before* hours of
+/// compute, not after (a typo'd trace_out directory used to throw away a
+/// whole completed sweep). Empty paths are silently accepted.
+void probe_output_path(const std::string& path, std::string_view what);
+
+/// Run one (density, repetition) cell of the sweep: `index` in
+/// [0, config.cell_count()), density index = index / repetitions, rep =
+/// index % repetitions. Fully deterministic: the cell's seed mixes
+/// (config.seed, density index, rep), so the same index always produces the
+/// same CellResult bytes — this is what makes cells resumable and
+/// work-stealable across processes. `instrument` turns tracing on (fills the
+/// trace_* fields using base.trace.format).
+[[nodiscard]] CellResult run_sweep_cell(const ExperimentConfig& config,
+                                        const ScenarioConfig& base,
+                                        const ProtocolFactory& factory, std::size_t index,
+                                        bool instrument);
+
+/// Canonical merge of a complete cell set. `cells` must hold every cell of
+/// the sweep in canonical (density, repetition) order — exactly
+/// config.cell_count() entries. Produces the same SweepPoints and SweepTrace
+/// bytes no matter how (threads, processes, resumed runs) the cells were
+/// computed. `workers` is recorded in the manifest only (it is excluded from
+/// the event digest); the farm passes 0.
+struct SweepMerge {
+  std::vector<SweepPoint> points;
+  SweepTrace trace;
+  bool traced = false;
+};
+[[nodiscard]] SweepMerge merge_sweep_cells(const ExperimentConfig& config,
+                                           const ScenarioConfig& base,
+                                           std::vector<CellResult>&& cells, bool tracing,
+                                           std::size_t workers);
+
+/// Write the merged trace to config.trace_out plus the sibling
+/// `<trace_out>.manifest.json`. Throws std::runtime_error if either write
+/// fails — a sweep's output must never be silently dropped. No-op when
+/// config.trace_out is empty.
+void write_sweep_trace(const ExperimentConfig& config, const SweepTrace& trace);
+
+/// Canonical machine-readable aggregate of a finished sweep (the `out=` file
+/// of sweep_runner and the farm's results.json). Deliberately contains no
+/// environment facts (threads, build, timing): the same sweep produces the
+/// same bytes whether it ran single-process, farmed, or resumed.
+[[nodiscard]] std::string sweep_points_json(std::string_view protocol,
+                                            const ExperimentConfig& config,
+                                            const std::vector<SweepPoint>& points);
+
 /// Run a density sweep: for each density, `repetitions` independent worlds
 /// and protocol instances. `base` provides every non-density scenario knob.
 /// Cells run concurrently on `config.threads` workers; each cell derives a
@@ -107,6 +213,10 @@ struct SweepPoint {
 /// `trace` (optional) captures the run's observability output in memory;
 /// passing it — or setting config.trace_out — turns instrumentation on for
 /// every cell.
+/// Output paths (trace_out and its manifest sibling) are probed before any
+/// cell runs; a bad path throws immediately. On cell failure, cells that
+/// have not started are cancelled and a SweepFailure aggregating every
+/// failed cell's message is thrown.
 [[nodiscard]] std::vector<SweepPoint> run_density_sweep(const ExperimentConfig& config,
                                                         const ScenarioConfig& base,
                                                         const ProtocolFactory& factory,

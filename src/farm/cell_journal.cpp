@@ -1,0 +1,185 @@
+#include "farm/cell_journal.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "obs/crc32.hpp"
+#include "obs/mmtrace.hpp"
+#include "obs/varint.hpp"
+
+namespace mmv2v::farm {
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 4;  // magic + length + crc
+
+void put_string(std::string& out, std::string_view s) {
+  obs::put_varint(out, s.size());
+  out.append(s);
+}
+
+void put_samples(std::string& out, const std::vector<double>& samples) {
+  obs::put_varint(out, samples.size());
+  for (const double v : samples) obs::detail::put_f64(out, v);
+}
+
+[[nodiscard]] bool get_f64(std::string_view in, std::size_t& pos, double& out) {
+  if (pos + 8 > in.size()) return false;
+  out = std::bit_cast<double>(obs::detail::get_u64(in, pos));
+  pos += 8;
+  return true;
+}
+
+[[nodiscard]] bool get_string(std::string_view in, std::size_t& pos, std::string* out) {
+  std::uint64_t len = 0;
+  if (!obs::get_varint(in, pos, len)) return false;
+  if (len > in.size() - pos) return false;
+  if (out != nullptr) out->assign(in.substr(pos, static_cast<std::size_t>(len)));
+  pos += static_cast<std::size_t>(len);
+  return true;
+}
+
+[[nodiscard]] bool get_samples(std::string_view in, std::size_t& pos,
+                               std::vector<double>* out) {
+  std::uint64_t count = 0;
+  if (!obs::get_varint(in, pos, count)) return false;
+  if (count > (in.size() - pos) / 8) return false;
+  if (out != nullptr) {
+    out->resize(static_cast<std::size_t>(count));
+    for (double& v : *out) {
+      if (!get_f64(in, pos, v)) return false;
+    }
+  } else {
+    pos += static_cast<std::size_t>(count) * 8;
+  }
+  return true;
+}
+
+/// Decode one payload. Strict: every field must parse and the payload must
+/// be fully consumed, else the frame is treated as corrupt.
+[[nodiscard]] bool decode_payload(std::string_view payload, core::CellResult& cell,
+                                  bool with_payloads) {
+  std::size_t pos = 0;
+  std::uint64_t index = 0;
+  std::uint64_t seed = 0;
+  if (!obs::get_varint(payload, pos, index)) return false;
+  if (!obs::get_varint(payload, pos, seed)) return false;
+  cell.index = static_cast<std::size_t>(index);
+  cell.seed = seed;
+  if (!get_f64(payload, pos, cell.degree)) return false;
+  if (!get_f64(payload, pos, cell.ocr)) return false;
+  if (!get_f64(payload, pos, cell.atp)) return false;
+  if (!get_f64(payload, pos, cell.dtp)) return false;
+  if (!get_f64(payload, pos, cell.fairness)) return false;
+  if (!get_string(payload, pos, &cell.protocol_name)) return false;
+  if (!get_samples(payload, pos, with_payloads ? &cell.ocr_samples : nullptr)) return false;
+  if (!get_samples(payload, pos, with_payloads ? &cell.atp_samples : nullptr)) return false;
+  if (!get_string(payload, pos, with_payloads ? &cell.trace_jsonl : nullptr)) return false;
+  if (!get_string(payload, pos, with_payloads ? &cell.trace_binary : nullptr)) return false;
+  std::uint64_t chunks = 0;
+  if (!obs::get_varint(payload, pos, chunks)) return false;
+  if (chunks > payload.size() - pos) return false;  // >= 3 varint bytes per chunk
+  if (with_payloads) cell.trace_chunks.reserve(static_cast<std::size_t>(chunks));
+  for (std::uint64_t i = 0; i < chunks; ++i) {
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t records = 0;
+    if (!obs::get_varint(payload, pos, offset)) return false;
+    if (!obs::get_varint(payload, pos, bytes)) return false;
+    if (!obs::get_varint(payload, pos, records)) return false;
+    if (with_payloads) {
+      obs::ChunkInfo info;
+      info.offset = offset;
+      info.bytes = static_cast<std::uint32_t>(bytes);
+      info.records = static_cast<std::uint32_t>(records);
+      cell.trace_chunks.push_back(info);
+    }
+  }
+  return pos == payload.size();
+}
+
+}  // namespace
+
+std::string encode_cell_record(const core::CellResult& cell) {
+  std::string payload;
+  obs::put_varint(payload, cell.index);
+  obs::put_varint(payload, cell.seed);
+  obs::detail::put_f64(payload, cell.degree);
+  obs::detail::put_f64(payload, cell.ocr);
+  obs::detail::put_f64(payload, cell.atp);
+  obs::detail::put_f64(payload, cell.dtp);
+  obs::detail::put_f64(payload, cell.fairness);
+  put_string(payload, cell.protocol_name);
+  put_samples(payload, cell.ocr_samples);
+  put_samples(payload, cell.atp_samples);
+  put_string(payload, cell.trace_jsonl);
+  put_string(payload, cell.trace_binary);
+  obs::put_varint(payload, cell.trace_chunks.size());
+  for (const obs::ChunkInfo& info : cell.trace_chunks) {
+    obs::put_varint(payload, info.offset);
+    obs::put_varint(payload, info.bytes);
+    obs::put_varint(payload, info.records);
+  }
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.append(kCellJournalMagic);
+  obs::detail::put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  obs::detail::put_u32(frame, obs::crc32(payload));
+  frame.append(payload);
+  return frame;
+}
+
+void replay_cell_journal(std::string_view bytes, JournalReplay& out, bool with_payloads) {
+  std::size_t pos = 0;
+  bool in_resync = false;
+  while (pos + kFrameHeaderBytes <= bytes.size()) {
+    // On any malformed frame: count one skip per damaged region and hunt for
+    // the next magic — later records survive a corrupted middle.
+    const auto resync = [&] {
+      if (!in_resync) {
+        ++out.skipped;
+        in_resync = true;
+      }
+      const std::size_t next = bytes.find(kCellJournalMagic, pos + 1);
+      pos = next == std::string_view::npos ? bytes.size() : next;
+    };
+
+    if (bytes.substr(pos, 4) != kCellJournalMagic) {
+      resync();
+      continue;
+    }
+    const std::uint32_t payload_bytes = obs::detail::get_u32(bytes, pos + 4);
+    const std::uint32_t crc = obs::detail::get_u32(bytes, pos + 8);
+    if (payload_bytes > bytes.size() - pos - kFrameHeaderBytes) {
+      // Truncated tail (killed mid-write) or corrupt length.
+      resync();
+      continue;
+    }
+    const std::string_view payload = bytes.substr(pos + kFrameHeaderBytes, payload_bytes);
+    core::CellResult cell;
+    if (obs::crc32(payload) != crc || !decode_payload(payload, cell, with_payloads)) {
+      resync();
+      continue;
+    }
+    in_resync = false;
+    ++out.records;
+    if (!out.cells.emplace(cell.index, std::move(cell)).second) ++out.duplicates;
+    pos += kFrameHeaderBytes + payload_bytes;
+  }
+  // A partial header at the very end is a torn write too.
+  if (pos < bytes.size() && !in_resync) ++out.skipped;
+}
+
+CellJournalWriter::CellJournalWriter(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::binary | std::ios::app) {
+  if (!out_) throw std::runtime_error{"cell journal: cannot open " + path_};
+}
+
+void CellJournalWriter::append(const core::CellResult& cell) {
+  const std::string frame = encode_cell_record(cell);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) throw std::runtime_error{"cell journal: write to " + path_ + " failed"};
+}
+
+}  // namespace mmv2v::farm

@@ -1,0 +1,69 @@
+// Cell-result checkpoint journal for the sweep farm (DESIGN.md Section 15).
+// Each worker process appends one framed record per finished sweep cell to
+// its own `journal-<pid>.mmcj` file inside the job directory; resume =
+// replay every journal, skip the indices already present, run the rest.
+//
+// Frame layout (all little-endian):
+//   "MMCJ"  u32 payload_bytes  u32 crc32(payload)  payload
+//
+// The payload serializes core::CellResult bit-exactly (doubles as raw IEEE
+// bits, integers as LEB128 varints), so a merge over replayed records
+// produces the same bytes as a merge over freshly computed ones. The reader
+// resyncs on the magic after a bad frame: a torn tail write or a flipped
+// byte loses at most the damaged record(s) — never the journal, never the
+// sweep.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/experiment.hpp"
+
+namespace mmv2v::farm {
+
+inline constexpr std::string_view kCellJournalMagic = "MMCJ";
+
+/// One framed record ("MMCJ" + length + crc + payload) for `cell`.
+[[nodiscard]] std::string encode_cell_record(const core::CellResult& cell);
+
+/// Outcome of replaying one or more journals.
+struct JournalReplay {
+  /// Recovered cells keyed by canonical cell index. On duplicate indices
+  /// (a re-run after a stale claim takeover) the first record wins — both
+  /// are bit-identical by determinism, so the choice is cosmetic.
+  std::map<std::size_t, core::CellResult> cells;
+  std::size_t records = 0;     ///< well-formed records decoded
+  std::size_t duplicates = 0;  ///< well-formed records for an already-seen index
+  std::size_t skipped = 0;     ///< corrupt or truncated frames dropped by resync
+};
+
+/// Replay journal `bytes` into `out` (accumulating across calls, so multiple
+/// workers' journals can be folded into one view). `with_payloads` = false
+/// skips copying the bulky fields (sample vectors, trace bytes) — enough for
+/// claim scans and progress rollups; the merge pass needs true.
+void replay_cell_journal(std::string_view bytes, JournalReplay& out, bool with_payloads);
+
+/// Append-only journal writer. One instance per (worker process, job);
+/// workers never share a journal file, so appends cannot interleave.
+class CellJournalWriter {
+ public:
+  /// Opens `path` for binary append (creating it if absent). Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit CellJournalWriter(std::string path);
+
+  /// Append one cell record and flush it to the OS. Throws
+  /// std::runtime_error on write failure — a cell whose checkpoint was
+  /// dropped must be treated as failed, not silently re-runnable.
+  void append(const core::CellResult& cell);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+}  // namespace mmv2v::farm

@@ -1,0 +1,293 @@
+#include "farm/farm_worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/config_parser.hpp"
+#include "common/logging.hpp"
+#include "common/textio.hpp"
+#include "farm/sweep_spec.hpp"
+#include "obs/atomic_file.hpp"
+#include "obs/stream_aggregator.hpp"
+
+namespace mmv2v::farm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Everything a worker needs to run cells of one job.
+struct JobContext {
+  SweepSpec spec;
+  core::ProtocolFactory factory;
+  bool tracing = false;
+  std::size_t cells = 0;
+};
+
+JobContext load_job(const JobRef& job) {
+  const ConfigMap config = ConfigMap::load((job.dir / "job.spec").string());
+  JobContext ctx;
+  ctx.spec = parse_sweep_spec(config);
+  // Relative output paths land inside the job directory, so identical specs
+  // submitted twice cannot clobber each other.
+  resolve_spec_paths(ctx.spec, job.dir);
+  ctx.factory = make_sweep_protocol_factory(config);
+  ctx.tracing = !ctx.spec.experiment.trace_out.empty();
+  ctx.cells = ctx.spec.cell_count();
+  if (ctx.cells == 0) throw std::runtime_error{"farm: job has no sweep cells"};
+  // Fail fast on every declared output before burning any compute.
+  core::probe_output_path(ctx.spec.experiment.trace_out, "trace_out");
+  if (!ctx.spec.experiment.trace_out.empty()) {
+    core::probe_output_path(ctx.spec.experiment.trace_out + ".manifest.json",
+                            "trace manifest");
+  }
+  core::probe_output_path(ctx.spec.out_json, "out");
+  core::probe_output_path(ctx.spec.progress_out, "progress_out");
+  return ctx;
+}
+
+std::string journal_name() {
+  return "journal-" + std::to_string(static_cast<long>(::getpid())) + ".mmcj";
+}
+
+std::optional<std::string> read_file(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Rewrite the job's progress snapshot (and the spec's progress_out mirror)
+/// from the current journal state. Best-effort: progress is advisory, so a
+/// failed write must never fail the job.
+void write_progress(const JobRef& job, const JobContext& ctx) {
+  JournalReplay replay = replay_job_journals(job.dir, false);
+  obs::StreamAggregator aggregator;
+  const auto reps = static_cast<std::size_t>(ctx.spec.experiment.repetitions);
+  std::size_t completed = 0;
+  for (const auto& [index, cell] : replay.cells) {
+    if (index >= ctx.cells) continue;  // foreign/corrupt index: ignore
+    core::CellProgress progress;
+    progress.index = index;
+    progress.completed = ++completed;
+    progress.total = ctx.cells;
+    progress.density_vpl = ctx.spec.experiment.densities_vpl[index / reps];
+    progress.rep = static_cast<int>(index % reps);
+    progress.seed = cell.seed;
+    progress.protocol = cell.protocol_name;
+    progress.degree = cell.degree;
+    progress.ocr = cell.ocr;
+    progress.atp = cell.atp;
+    progress.dtp = cell.dtp;
+    progress.fairness = cell.fairness;
+    aggregator.on_cell(progress);
+  }
+  const std::string snapshot = aggregator.snapshot_json();
+  if (!obs::atomic_write_file((job.dir / "progress.json").string(), snapshot)) {
+    MMV2V_LOG(kWarn) << "farm: progress snapshot write failed for job " << job.id;
+  }
+  if (!ctx.spec.progress_out.empty() &&
+      !obs::atomic_write_file(ctx.spec.progress_out, snapshot)) {
+    MMV2V_LOG(kWarn) << "farm: progress_out write failed for job " << job.id;
+  }
+}
+
+/// Replay every journal, rebuild the canonical cell vector and produce the
+/// job's outputs. Runs under the merge claim; idempotent (atomic writes +
+/// truncating trace writer), so a worker that dies mid-finalize is safely
+/// redone by the next one to steal the stale merge claim.
+void finalize_job(JobQueue& queue, const JobRef& job, const JobContext& ctx) {
+  JournalReplay replay = replay_job_journals(job.dir, true);
+  std::vector<core::CellResult> cells;
+  cells.reserve(ctx.cells);
+  for (std::size_t index = 0; index < ctx.cells; ++index) {
+    const auto it = replay.cells.find(index);
+    if (it == replay.cells.end()) {
+      throw std::runtime_error{"farm: journal lost cell " + std::to_string(index) +
+                               " between completeness check and merge"};
+    }
+    cells.push_back(std::move(it->second));
+  }
+  core::SweepMerge merged = core::merge_sweep_cells(ctx.spec.experiment, ctx.spec.base,
+                                                    std::move(cells), ctx.tracing,
+                                                    /*workers=*/0);
+  core::write_sweep_trace(ctx.spec.experiment, merged.trace);
+  const std::string results =
+      core::sweep_points_json(ctx.spec.protocol, ctx.spec.experiment, merged.points);
+  if (!ctx.spec.out_json.empty() && !obs::atomic_write_file(ctx.spec.out_json, results)) {
+    throw std::runtime_error{"farm: cannot write results to " + ctx.spec.out_json};
+  }
+
+  // Job-level summary the status tool and CI read from done/<id>/.
+  std::string summary = "{\"ev\":\"farm_result\",\"job\":";
+  io::append_json_string(summary, job.id);
+  summary += ",\"protocol\":";
+  io::append_json_string(summary, ctx.spec.protocol);
+  summary += ",\"cells\":";
+  io::append_number(summary, static_cast<std::uint64_t>(ctx.cells));
+  summary += ",\"journal_records\":";
+  io::append_number(summary, static_cast<std::uint64_t>(replay.records));
+  summary += ",\"journal_duplicates\":";
+  io::append_number(summary, static_cast<std::uint64_t>(replay.duplicates));
+  summary += ",\"journal_skipped\":";
+  io::append_number(summary, static_cast<std::uint64_t>(replay.skipped));
+  summary += ",\"traced\":";
+  summary += merged.traced ? "true" : "false";
+  summary += ",\"digest\":";
+  io::append_number(summary, merged.trace.digest);
+  summary += ",\"results\":";
+  // sweep_points_json ends in '\n'; embed without it.
+  summary.append(results.data(), results.size() - (results.ends_with('\n') ? 1 : 0));
+  summary += "}\n";
+  if (!obs::atomic_write_file((job.dir / "results.json").string(), summary)) {
+    throw std::runtime_error{"farm: cannot write " + (job.dir / "results.json").string()};
+  }
+  write_progress(job, ctx);
+  queue.finish(job);
+}
+
+/// True when the job's spec vanished, i.e. another worker already moved the
+/// job to done/ or failed/ — our in-flight state is obsolete, not an error.
+bool job_gone(const JobRef& job) {
+  std::error_code ec;
+  return !fs::exists(job.dir / "job.spec", ec);
+}
+
+/// Work on one active job: claim + run cells while any are claimable, then
+/// finalize if complete. Returns true when this call made progress (ran a
+/// cell, finalized, or failed the job).
+bool process_job(JobQueue& queue, const JobRef& job, const FarmOptions& options,
+                 FarmWorkerStats& stats) {
+  JobContext ctx;
+  try {
+    ctx = load_job(job);
+  } catch (const std::exception& e) {
+    if (job_gone(job)) return false;
+    MMV2V_LOG(kWarn) << "farm: job " << job.id << " rejected: " << e.what();
+    queue.fail(job, e.what());
+    ++stats.jobs_failed;
+    return true;
+  }
+
+  bool progressed = false;
+  std::optional<CellJournalWriter> journal;
+  while (options.max_cells == 0 || stats.cells_run < options.max_cells) {
+    // Fresh view every round: other workers' journals shrink our todo list.
+    const JournalReplay done = replay_job_journals(job.dir, false);
+    std::size_t claimed = ctx.cells;
+    bool gone = false;
+    for (std::size_t index = 0; index < ctx.cells; ++index) {
+      if (done.cells.contains(index)) continue;
+      const ClaimResult result = try_claim(job.dir, cell_claim_name(index));
+      if (result == ClaimResult::kClaimed) {
+        claimed = index;
+        break;
+      }
+      if (result == ClaimResult::kGone) {
+        gone = true;
+        break;
+      }
+    }
+    if (gone || claimed == ctx.cells) break;
+
+    try {
+      core::CellResult cell = core::run_sweep_cell(ctx.spec.experiment, ctx.spec.base,
+                                                   ctx.factory, claimed, ctx.tracing);
+      if (!journal) journal.emplace((job.dir / journal_name()).string());
+      journal->append(cell);
+    } catch (const std::exception& e) {
+      if (job_gone(job)) return progressed;
+      MMV2V_LOG(kWarn) << "farm: job " << job.id << " failed: " << e.what();
+      queue.fail(job, e.what());
+      ++stats.jobs_failed;
+      return true;
+    }
+    ++stats.cells_run;
+    progressed = true;
+    write_progress(job, ctx);
+  }
+
+  // Finalize once every cell is journaled; the merge claim picks exactly one
+  // finalizer (stale-takeover included, via try_claim).
+  try {
+    if (replay_job_journals(job.dir, false).cells.size() >= ctx.cells &&
+        try_claim(job.dir, merge_claim_name()) == ClaimResult::kClaimed) {
+      finalize_job(queue, job, ctx);
+      ++stats.jobs_finalized;
+      progressed = true;
+    }
+  } catch (const std::exception& e) {
+    if (job_gone(job)) return progressed;
+    MMV2V_LOG(kWarn) << "farm: job " << job.id << " finalize failed: " << e.what();
+    queue.fail(job, e.what());
+    ++stats.jobs_failed;
+    progressed = true;
+  }
+  return progressed;
+}
+
+}  // namespace
+
+JournalReplay replay_job_journals(const fs::path& job_dir, bool with_payloads) {
+  JournalReplay replay;
+  std::vector<fs::path> journals;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator{job_dir, ec}) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("journal-") && name.ends_with(".mmcj")) {
+      journals.push_back(entry.path());
+    }
+  }
+  // Deterministic fold order (first record wins on duplicates).
+  std::sort(journals.begin(), journals.end());
+  for (const fs::path& path : journals) {
+    if (const auto bytes = read_file(path)) {
+      replay_cell_journal(*bytes, replay, with_payloads);
+    }
+  }
+  return replay;
+}
+
+FarmWorkerStats run_farm_worker(const FarmOptions& options) {
+  JobQueue queue{options.queue_root};
+  FarmWorkerStats stats;
+  auto idle_since = std::chrono::steady_clock::now();
+  for (;;) {
+    bool progressed = false;
+    for (const JobRef& job : queue.active_jobs()) {
+      progressed = process_job(queue, job, options, stats) || progressed;
+      if (options.max_cells != 0 && stats.cells_run >= options.max_cells) return stats;
+    }
+    if (!progressed) {
+      if (const std::optional<JobRef> job = queue.activate_next()) {
+        ++stats.jobs_activated;
+        progressed = process_job(queue, *job, options, stats);
+        if (options.max_cells != 0 && stats.cells_run >= options.max_cells) return stats;
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (progressed) {
+      idle_since = now;
+      continue;
+    }
+    if (options.drain && queue.pending_jobs().empty() && queue.active_jobs().empty()) {
+      return stats;
+    }
+    if (options.idle_exit_s > 0.0 &&
+        std::chrono::duration<double>(now - idle_since).count() >= options.idle_exit_s) {
+      return stats;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{std::max(1, options.poll_ms)});
+  }
+}
+
+}  // namespace mmv2v::farm

@@ -1,0 +1,55 @@
+// Sweep-farm worker (DESIGN.md Section 15): the long-lived service loop
+// behind `farm_runner mode=work`. Each worker process repeatedly
+//   1. scans active jobs, claims unfinished cells (O_EXCL claim files,
+//      stealing claims whose owners died), runs them with run_sweep_cell and
+//      journals each CellResult before releasing it to the world;
+//   2. activates a pending job when no active job has claimable work;
+//   3. when every cell of a job is journaled, takes the merge claim and
+//      finalizes: replay journals -> merge_sweep_cells -> trace + results —
+//      bit-identical to an uninterrupted single-process sweep.
+// Killing a worker at any instant costs at most the cells it was currently
+// running; a resumed farm re-runs only those.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+
+#include "farm/cell_journal.hpp"
+#include "farm/job_queue.hpp"
+
+namespace mmv2v::farm {
+
+struct FarmOptions {
+  std::string queue_root;
+  /// Idle poll interval between queue scans.
+  int poll_ms = 200;
+  /// Exit once the queue holds no pending or active jobs (batch mode);
+  /// false = keep serving until killed (service mode).
+  bool drain = false;
+  /// > 0: exit after this much continuous idle time even with active jobs
+  /// (watchdog for service deployments that respawn workers).
+  double idle_exit_s = 0.0;
+  /// Test hook: stop after journaling this many cells (0 = unlimited). Used
+  /// to simulate a worker dying mid-sweep without actually killing it.
+  std::size_t max_cells = 0;
+};
+
+struct FarmWorkerStats {
+  std::size_t cells_run = 0;
+  std::size_t jobs_activated = 0;
+  std::size_t jobs_finalized = 0;
+  std::size_t jobs_failed = 0;
+};
+
+/// Run the worker loop until its exit condition (drain / idle_exit_s /
+/// max_cells) fires. Throws std::runtime_error only for queue-level failures
+/// (unusable queue root); job-level failures move the job to failed/ and the
+/// loop keeps serving.
+FarmWorkerStats run_farm_worker(const FarmOptions& options);
+
+/// Fold every journal-<pid>.mmcj in `job_dir` into one replay view.
+[[nodiscard]] JournalReplay replay_job_journals(const std::filesystem::path& job_dir,
+                                                bool with_payloads);
+
+}  // namespace mmv2v::farm

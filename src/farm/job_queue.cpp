@@ -1,0 +1,252 @@
+#include "farm/job_queue.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+namespace mmv2v::farm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Distinguishes temp files when one process submits several jobs.
+std::atomic<std::uint64_t> g_submit_counter{0};
+
+std::string format_job_id(std::uint64_t seq, std::string_view hint) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "job-%06llu", static_cast<unsigned long long>(seq));
+  std::string id{buf};
+  if (!hint.empty()) {
+    id += '-';
+    std::size_t kept = 0;
+    for (const char c : hint) {
+      if (kept >= 24) break;
+      const auto uc = static_cast<unsigned char>(c);
+      if (std::isalnum(uc) != 0 || c == '-' || c == '_') {
+        id += c;
+        ++kept;
+      }
+    }
+    while (!id.empty() && id.back() == '-') id.pop_back();
+  }
+  return id;
+}
+
+/// "job-NNNNNN..." -> NNNNNN, or nullopt for foreign names.
+std::optional<std::uint64_t> job_seq(std::string_view name) {
+  constexpr std::string_view prefix = "job-";
+  if (name.substr(0, prefix.size()) != prefix) return std::nullopt;
+  std::uint64_t seq = 0;
+  std::size_t digits = 0;
+  for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+    const auto uc = static_cast<unsigned char>(name[i]);
+    if (std::isdigit(uc) == 0) break;
+    seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  return seq;
+}
+
+std::vector<std::string> sorted_names(const fs::path& dir, bool strip_spec) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator{dir, ec}) {
+    std::string name = entry.path().filename().string();
+    if (strip_spec) {
+      constexpr std::string_view suffix = ".spec";
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+        continue;
+      }
+      name.resize(name.size() - suffix.size());
+    }
+    out.push_back(std::move(name));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<pid_t> read_claim_pid(const fs::path& claim) {
+  std::ifstream in{claim};
+  long pid = 0;
+  if (!in || !(in >> pid) || pid <= 0) return std::nullopt;
+  return static_cast<pid_t>(pid);
+}
+
+}  // namespace
+
+JobQueue::JobQueue(fs::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  for (const char* sub : {"pending", "active", "done", "failed"}) {
+    fs::create_directories(root_ / sub, ec);
+    if (ec) {
+      throw std::runtime_error{"job queue: cannot create " + (root_ / sub).string() + ": " +
+                               ec.message()};
+    }
+  }
+}
+
+std::string JobQueue::submit(std::string_view spec_text, std::string_view name_hint) {
+  // Stage the spec next to pending/ so link(2) stays on one filesystem.
+  const std::string tmp =
+      (root_ / ("submit-" + std::to_string(static_cast<long>(::getpid())) + "-" +
+                std::to_string(g_submit_counter.fetch_add(1, std::memory_order_relaxed))))
+          .string();
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    out.write(spec_text.data(), static_cast<std::streamsize>(spec_text.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error{"job queue: cannot stage spec in " + root_.string()};
+    }
+  }
+
+  // Next unused sequence number across every lifecycle stage, so a finished
+  // job's id is never reused while it is still visible in done/ or failed/.
+  std::uint64_t seq = 1;
+  const auto bump = [&](const std::vector<std::string>& names) {
+    for (const std::string& name : names) {
+      if (const auto s = job_seq(name)) seq = std::max(seq, *s + 1);
+    }
+  };
+  bump(pending_jobs());
+  bump(sorted_names(root_ / "active", false));
+  bump(sorted_names(root_ / "done", false));
+  bump(sorted_names(root_ / "failed", false));
+
+  // link(2) is atomic and fails with EEXIST when a concurrent submitter won
+  // the same id — bump the sequence and retry.
+  for (;; ++seq) {
+    const std::string id = format_job_id(seq, name_hint);
+    const fs::path dst = root_ / "pending" / (id + ".spec");
+    if (::link(tmp.c_str(), dst.c_str()) == 0) {
+      ::unlink(tmp.c_str());
+      return id;
+    }
+    if (errno != EEXIST) {
+      const int err = errno;
+      ::unlink(tmp.c_str());
+      throw std::runtime_error{"job queue: cannot enqueue " + dst.string() + ": " +
+                               std::system_category().message(err)};
+    }
+  }
+}
+
+std::vector<std::string> JobQueue::pending_jobs() const {
+  return sorted_names(root_ / "pending", true);
+}
+
+std::vector<JobRef> JobQueue::active_jobs() const {
+  std::vector<JobRef> out;
+  for (std::string& name : sorted_names(root_ / "active", false)) {
+    fs::path dir = root_ / "active" / name;
+    std::error_code ec;
+    // Half-activated jobs (no job.spec yet) are invisible until repaired by
+    // the next activate_next() pass.
+    if (!fs::exists(dir / "job.spec", ec)) continue;
+    out.push_back(JobRef{std::move(name), std::move(dir)});
+  }
+  return out;
+}
+
+std::vector<std::string> JobQueue::done_jobs() const {
+  return sorted_names(root_ / "done", false);
+}
+
+std::vector<std::string> JobQueue::failed_jobs() const {
+  return sorted_names(root_ / "failed", false);
+}
+
+std::optional<JobRef> JobQueue::activate_next() {
+  for (const std::string& id : pending_jobs()) {
+    const fs::path dir = root_ / "active" / id;
+    std::error_code ec;
+    fs::create_directories(dir / "claims", ec);
+    if (ec) continue;
+    const fs::path spec_dst = dir / "job.spec";
+    const fs::path spec_src = root_ / "pending" / (id + ".spec");
+    if (::rename(spec_src.c_str(), spec_dst.c_str()) != 0 && !fs::exists(spec_dst, ec)) {
+      // Lost the race to a worker that then moved the whole job on — skip.
+      continue;
+    }
+    return JobRef{id, dir};
+  }
+  return std::nullopt;
+}
+
+void JobQueue::finish(const JobRef& job) {
+  // Losing this rename means another worker finished the job first; both
+  // believed the merge claim, which only happens after a stale takeover, and
+  // the outputs are bit-identical either way.
+  (void)::rename(job.dir.c_str(), (root_ / "done" / job.id).c_str());
+}
+
+void JobQueue::fail(const JobRef& job, std::string_view reason) {
+  {
+    std::ofstream out{job.dir / "error.txt", std::ios::binary | std::ios::app};
+    out.write(reason.data(), static_cast<std::streamsize>(reason.size()));
+    out.put('\n');
+  }
+  (void)::rename(job.dir.c_str(), (root_ / "failed" / job.id).c_str());
+}
+
+bool pid_alive(pid_t pid) noexcept {
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+std::string cell_claim_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "cell-%06zu.claim", index);
+  return std::string{buf};
+}
+
+std::string merge_claim_name() { return "merge.claim"; }
+
+ClaimResult try_claim(const fs::path& job_dir, const std::string& name) {
+  const fs::path claim = job_dir / "claims" / name;
+  // Two rounds: acquire, or detect one stale owner, remove it and acquire.
+  // More than one takeover per call means live contention — report kHeld and
+  // let the caller move on to another cell.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(claim.c_str(), O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC, 0644);
+    if (fd >= 0) {
+      const std::string pid = std::to_string(static_cast<long>(::getpid())) + "\n";
+      const ssize_t written = ::write(fd, pid.data(), pid.size());
+      ::close(fd);
+      if (written != static_cast<ssize_t>(pid.size())) {
+        // A claim without a readable owner would deadlock takeover; release.
+        ::unlink(claim.c_str());
+        return ClaimResult::kHeld;
+      }
+      return ClaimResult::kClaimed;
+    }
+    if (errno == ENOENT) return ClaimResult::kGone;  // job moved to done/failed
+    if (errno != EEXIST) return ClaimResult::kHeld;
+    const std::optional<pid_t> owner = read_claim_pid(claim);
+    if (owner && pid_alive(*owner)) return ClaimResult::kHeld;
+    if (!owner) {
+      std::error_code ec;
+      // Owner pid not written yet (we raced the open/write gap) — only treat
+      // as stale if the file is still empty on a second look.
+      if (!std::filesystem::exists(claim, ec)) continue;
+      if (read_claim_pid(claim)) return ClaimResult::kHeld;
+    }
+    ::unlink(claim.c_str());  // stale: owner is gone — steal the cell
+  }
+  return ClaimResult::kHeld;
+}
+
+}  // namespace mmv2v::farm

@@ -1,0 +1,98 @@
+// Persistent on-disk job queue for the sweep farm (DESIGN.md Section 15).
+// The queue is a directory tree; every transition is a single atomic
+// filesystem operation, so any number of worker processes can cooperate
+// without a broker and a crash at any instant leaves a recoverable state:
+//
+//   <root>/pending/<id>.spec      submitted, waiting for a worker
+//   <root>/active/<id>/job.spec   activated; workers claim cells inside
+//   <root>/active/<id>/claims/    one O_EXCL file per claimed cell (+ merge)
+//   <root>/active/<id>/journal-<pid>.mmcj   per-worker cell checkpoints
+//   <root>/done/<id>/             finished (results.json, trace, journals)
+//   <root>/failed/<id>/           failed (error.txt has the diagnostics)
+//
+// Submit = write spec to a temp file, link(2) it into pending/ (id collision
+// => EEXIST => retry with the next id). Activate = mkdir active/<id>/claims,
+// rename(2) the spec to job.spec — idempotent, so a worker that dies between
+// the two steps leaves a state the next activation attempt repairs. Cell
+// claims are O_CREAT|O_EXCL files holding the owner pid; a claim whose owner
+// no longer runs (kill(pid, 0) fails) is stale and may be taken over, which
+// is what makes the farm work-steal from killed workers.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace mmv2v::farm {
+
+/// Handle to one activated job.
+struct JobRef {
+  std::string id;
+  std::filesystem::path dir;
+};
+
+/// Outcome of a claim attempt.
+enum class ClaimResult {
+  kClaimed,  ///< we own the claim file now
+  kHeld,     ///< a live process owns it
+  kGone,     ///< the job directory vanished (finished or failed elsewhere)
+};
+
+class JobQueue {
+ public:
+  /// Opens (creating if needed) the queue layout under `root`. Throws
+  /// std::runtime_error when the directories cannot be created.
+  explicit JobQueue(std::filesystem::path root);
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Enqueue a job spec; returns the assigned job id ("job-NNNNNN" or
+  /// "job-NNNNNN-<hint>"). Atomic: the spec appears in pending/ complete or
+  /// not at all. Throws std::runtime_error on I/O failure.
+  std::string submit(std::string_view spec_text, std::string_view name_hint = {});
+
+  /// Sorted job ids currently waiting in pending/.
+  [[nodiscard]] std::vector<std::string> pending_jobs() const;
+  /// Sorted refs for fully activated jobs (active/<id>/job.spec exists).
+  [[nodiscard]] std::vector<JobRef> active_jobs() const;
+  [[nodiscard]] std::vector<std::string> done_jobs() const;
+  [[nodiscard]] std::vector<std::string> failed_jobs() const;
+
+  /// Move the oldest pending job to active/ and return it; std::nullopt when
+  /// nothing is pending. Safe to race: exactly one of the racing workers
+  /// completes each activation, and a half-activated job (crashed worker) is
+  /// repaired in passing.
+  [[nodiscard]] std::optional<JobRef> activate_next();
+
+  /// Move a finished job to done/. Idempotent: losing the rename race to
+  /// another worker is not an error.
+  void finish(const JobRef& job);
+
+  /// Move a job to failed/, recording `reason` in <dir>/error.txt.
+  void fail(const JobRef& job, std::string_view reason);
+
+ private:
+  std::filesystem::path root_;
+};
+
+/// True when `pid` names a live process we could signal (EPERM counts as
+/// alive: the process exists, it just is not ours).
+[[nodiscard]] bool pid_alive(pid_t pid) noexcept;
+
+/// Claim file name for canonical cell `index`.
+[[nodiscard]] std::string cell_claim_name(std::size_t index);
+
+/// Claim file name guarding the final merge/finalize step.
+[[nodiscard]] std::string merge_claim_name();
+
+/// Try to acquire claim `name` inside `job_dir` for this process. A claim
+/// held by a dead process is removed and re-acquired (stale-claim takeover).
+[[nodiscard]] ClaimResult try_claim(const std::filesystem::path& job_dir,
+                                    const std::string& name);
+
+}  // namespace mmv2v::farm

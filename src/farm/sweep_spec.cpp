@@ -1,0 +1,227 @@
+#include "farm/sweep_spec.hpp"
+
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "protocols/ad/ieee80211ad.hpp"
+#include "protocols/mmv2v/mmv2v.hpp"
+#include "protocols/rop/rop.hpp"
+
+namespace mmv2v::farm {
+namespace {
+
+// The single source of truth for what a sweep job understands. sweep_runner
+// and farm_runner derive their flag lists from this table, so a knob added
+// here is automatically submittable, parseable and documented everywhere.
+constexpr std::array<SweepKnob, 45> kSweepKnobs{{
+    {"protocol", "mmv2v", "protocol under test: mmv2v | rop | ad"},
+    {"densities", "", "explicit density list, e.g. 10,20,30 (overrides vpl_*)"},
+    {"vpl_min", "10", "sweep start density [vehicles/lane]"},
+    {"vpl_max", "30", "sweep end density [vehicles/lane]"},
+    {"vpl_step", "5", "sweep density step [vehicles/lane]"},
+    {"reps", "3", "repetitions (independent seeds) per density"},
+    {"horizon_s", "1.5", "simulated horizon per cell [s]"},
+    {"seed", "1", "root seed; cell seeds derive from (seed, density, rep)"},
+    {"threads", "0", "sweep-cell worker threads (0 = one per hardware thread)"},
+    {"engine.threads", "1",
+     "intra-frame worker lanes per cell (0 = one per hardware thread)"},
+    {"engine.arena_bytes", "1048576", "per-lane frame-arena capacity [bytes]"},
+    {"engine.lane_budget", "0", "process-wide worker-lane budget (0 = hardware threads)"},
+    {"engine.batched_kernels", "true",
+     "route hot frame loops through the batched SoA kernels (bit-identical either way)"},
+    {"world.shards", "1", "rectangular world shards for pair enumeration"},
+    {"network.topology", "legacy_ring",
+     "road topology: ring | legacy_ring | ring_network | city_grid"},
+    {"network.grid_rows", "4", "city_grid: horizontal road count (>= 2)"},
+    {"network.grid_cols", "4", "city_grid: vertical road count (>= 2)"},
+    {"network.block_m", "250", "city_grid: block edge length [m]"},
+    {"network.signal_green_s", "12", "city_grid: per-approach signal green phase [s]"},
+    {"tier.enabled", "false", "enable Full/Kinematic/OnRails fidelity tiering"},
+    {"tier.focus", "", "focus regions as x,y,radius triples separated by ';'"},
+    {"tier.kinematic_radius_m", "400", "Kinematic band width beyond the focus edge [m]"},
+    {"tier.hysteresis_m", "25", "extra demotion distance beyond each exit radius [m]"},
+    {"tier.promote_budget", "32", "max tier promotions per snapshot refresh"},
+    {"tier.demote_budget", "32", "max tier demotions per snapshot refresh"},
+    {"tier.onrails_duty_cycle", "0.02", "per-OnRails-vehicle channel duty cycle in [0,1]"},
+    {"rate_mbps", "200", "per-pair task demand [Mbit/s]"},
+    {"comm_range_m", "80", "communication/admission range [m]"},
+    {"shadowing_db", "0", "log-normal shadowing sigma (0 = off) [dB]"},
+    {"nakagami_m", "0", "Nakagami-m small-scale fading shape (0 = off)"},
+    {"k", "3", "mmV2V SND rounds per frame"},
+    {"m", "40", "mmV2V DCM negotiation slots per frame"},
+    {"c", "7", "mmV2V CNS modulus"},
+    {"persistent", "false", "mmV2V: carry viable matches across frames"},
+    {"fault.clock_drift_us", "0", "fault: per-vehicle clock drift sigma [us] (0 = off)"},
+    {"fault.ctrl_loss", "0", "fault: stationary control-message loss rate (0 = off)"},
+    {"fault.burst_len", "1",
+     "fault: mean loss-burst length (Gilbert-Elliott; <=1 = Bernoulli)"},
+    {"fault.gps_sigma_m", "0", "fault: GPS position noise sigma per axis [m] (0 = off)"},
+    {"fault.churn_rate", "0",
+     "fault: per-vehicle per-frame radio dropout probability (0 = off)"},
+    {"trace_out", "", "write the merged event trace (enables instrumentation)"},
+    {"trace.format", "jsonl", "trace encoding: jsonl | binary (.mmtrace)"},
+    {"trace.flush_events", "0", "recorder flush batch size (0 = buffer the whole cell)"},
+    {"trace.spans", "false", "emit link-lifecycle span events and span.* metrics"},
+    {"out", "", "write the aggregate sweep-results JSON here"},
+    {"progress_out", "", "rewrite a per-density rollup snapshot JSON here after every cell"},
+}};
+
+std::vector<double> parse_densities(const ConfigMap& config) {
+  if (const auto list = config.get_string("densities"); list && !list->empty()) {
+    std::vector<double> out;
+    std::stringstream ss{*list};
+    std::string item;
+    while (std::getline(ss, item, ',')) out.push_back(std::stod(item));
+    if (out.empty()) throw std::runtime_error{"sweep spec: empty densities list"};
+    return out;
+  }
+  const double lo = config.get_or("vpl_min", 10.0);
+  const double hi = config.get_or("vpl_max", 30.0);
+  const double step = config.get_or("vpl_step", 5.0);
+  if (step <= 0.0) throw std::runtime_error{"sweep spec: vpl_step must be > 0"};
+  std::vector<double> out;
+  for (double d = lo; d <= hi + 1e-9; d += step) out.push_back(d);
+  if (out.empty()) throw std::runtime_error{"sweep spec: empty vpl_min..vpl_max range"};
+  return out;
+}
+
+// Defaults from the knob table, overlaid with the caller's settings, so the
+// downstream parse helpers see a complete document.
+ConfigMap with_defaults(const ConfigMap& config) {
+  ConfigMap full;
+  for (const SweepKnob& knob : kSweepKnobs) {
+    if (knob.def != nullptr && knob.def[0] != '\0') full.set(knob.name, knob.def);
+  }
+  for (const auto& [key, value] : config.entries()) full.set(key, value);
+  return full;
+}
+
+void resolve_one(std::string& path, const std::filesystem::path& base_dir) {
+  if (path.empty()) return;
+  const std::filesystem::path p{path};
+  if (p.is_absolute()) return;
+  path = (base_dir / p).string();
+}
+
+}  // namespace
+
+std::span<const SweepKnob> sweep_knobs() {
+  return {kSweepKnobs.data(), kSweepKnobs.size()};
+}
+
+bool is_sweep_knob(std::string_view key) { return find_sweep_knob(key) != nullptr; }
+
+const SweepKnob* find_sweep_knob(std::string_view key) {
+  const auto it = std::find_if(kSweepKnobs.begin(), kSweepKnobs.end(),
+                               [&](const SweepKnob& knob) { return key == knob.name; });
+  return it == kSweepKnobs.end() ? nullptr : &*it;
+}
+
+ConfigMap minimal_sweep_config(const ConfigMap& config) {
+  ConfigMap out;
+  for (const auto& [key, value] : config.entries()) {
+    const SweepKnob* knob = find_sweep_knob(key);
+    if (knob == nullptr) throw std::runtime_error{"sweep spec: unknown knob '" + key + "'"};
+    if (value == knob->def) continue;
+    if (value.empty()) continue;  // empty = unset for every sweep knob
+    out.set(key, value);
+  }
+  return out;
+}
+
+core::ProtocolFactory make_sweep_protocol_factory(const ConfigMap& config) {
+  const std::string protocol = config.get_or("protocol", std::string{"mmv2v"});
+  if (protocol == "mmv2v") {
+    protocols::MmV2VParams params;
+    params.snd.rounds = static_cast<int>(config.get_or("k", std::int64_t{3}));
+    params.dcm.slots = static_cast<int>(config.get_or("m", std::int64_t{40}));
+    params.dcm.modulus_c = static_cast<int>(config.get_or("c", std::int64_t{7}));
+    params.persistent_matching = config.get_or("persistent", false);
+    return [params](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
+      protocols::MmV2VParams p = params;
+      p.seed = seed;
+      return std::make_unique<protocols::MmV2VProtocol>(p);
+    };
+  }
+  if (protocol == "rop") {
+    return [](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
+      protocols::RopParams p;
+      p.seed = seed;
+      return std::make_unique<protocols::RopProtocol>(p);
+    };
+  }
+  if (protocol == "ad") {
+    return [](std::uint64_t seed) -> std::unique_ptr<core::OhmProtocol> {
+      protocols::AdParams p;
+      p.seed = seed;
+      return std::make_unique<protocols::Ieee80211adProtocol>(p);
+    };
+  }
+  throw std::runtime_error{"sweep spec: unknown protocol '" + protocol +
+                           "' (use mmv2v | rop | ad)"};
+}
+
+SweepSpec parse_sweep_spec(const ConfigMap& config) {
+  for (const auto& [key, value] : config.entries()) {
+    if (!is_sweep_knob(key)) {
+      throw std::runtime_error{"sweep spec: unknown knob '" + key + "'"};
+    }
+  }
+  const ConfigMap full = with_defaults(config);
+
+  SweepSpec spec;
+  spec.protocol = full.get_or("protocol", std::string{"mmv2v"});
+  spec.experiment.densities_vpl = parse_densities(full);
+  spec.experiment.repetitions = static_cast<int>(full.get_or("reps", std::int64_t{3}));
+  spec.experiment.horizon_s = full.get_or("horizon_s", 1.5);
+  spec.experiment.seed = static_cast<std::uint64_t>(full.get_or("seed", std::int64_t{1}));
+  spec.experiment.threads = static_cast<int>(full.get_or("threads", std::int64_t{0}));
+  spec.experiment.trace_out = full.get_or("trace_out", std::string{});
+  spec.out_json = full.get_or("out", std::string{});
+  spec.progress_out = full.get_or("progress_out", std::string{});
+
+  spec.base.engine = parse_engine_knobs(full);
+  spec.base.network = parse_network_knobs(full);
+  spec.base.tier = parse_tier_knobs(full);
+  spec.base.trace = parse_trace_knobs(full);
+  spec.base.task.rate_mbps = full.get_or("rate_mbps", 200.0);
+  spec.base.comm_range_m = full.get_or("comm_range_m", spec.base.comm_range_m);
+  spec.base.fading.shadowing_sigma_db = full.get_or("shadowing_db", 0.0);
+  spec.base.fading.nakagami_m = full.get_or("nakagami_m", 0.0);
+  spec.base.fault.clock_drift_us = full.get_or("fault.clock_drift_us", 0.0);
+  spec.base.fault.ctrl_loss = full.get_or("fault.ctrl_loss", 0.0);
+  spec.base.fault.burst_len = full.get_or("fault.burst_len", 1.0);
+  spec.base.fault.gps_sigma_m = full.get_or("fault.gps_sigma_m", 0.0);
+  spec.base.fault.churn_rate = full.get_or("fault.churn_rate", 0.0);
+
+  // Fail at parse time, not first-cell time, if the protocol is unknown.
+  (void)make_sweep_protocol_factory(full);
+  return spec;
+}
+
+std::string canonical_spec_text(const ConfigMap& config) {
+  std::string out = "# mmv2v sweep job spec\n";
+  // ConfigMap::entries() is a sorted map, so the rendering is canonical.
+  for (const auto& [key, value] : config.entries()) {
+    if (!is_sweep_knob(key)) {
+      throw std::runtime_error{"sweep spec: unknown knob '" + key + "'"};
+    }
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+void resolve_spec_paths(SweepSpec& spec, const std::filesystem::path& base_dir) {
+  resolve_one(spec.experiment.trace_out, base_dir);
+  resolve_one(spec.out_json, base_dir);
+  resolve_one(spec.progress_out, base_dir);
+}
+
+}  // namespace mmv2v::farm

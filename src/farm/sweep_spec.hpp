@@ -1,0 +1,80 @@
+// Declarative sweep-job specification shared by the one-shot sweep_runner
+// and the sweep farm (DESIGN.md Section 15). A job spec is a key=value
+// document in the ConfigMap dialect whose keys are exactly the sweep knobs
+// sweep_runner exposes as flags; parse_sweep_spec turns it into the
+// (ExperimentConfig, ScenarioConfig, protocol) triple a sweep needs, and
+// canonical_spec_text renders the normalized form that lands on the job
+// queue — so `sweep_runner queue=...` and `farm_runner mode=submit` enqueue
+// byte-identical specs for the same request.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <span>
+#include <string>
+
+#include "common/config_parser.hpp"
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+
+namespace mmv2v::farm {
+
+/// One sweep knob: name, default (empty = no default / pass-through), help
+/// line. The table is the single source of truth for the sweep_runner flag
+/// list, the farm_runner submit flags, and spec validation.
+struct SweepKnob {
+  const char* name;
+  const char* def;
+  const char* help;
+};
+
+/// Every knob a sweep job understands, in display order.
+[[nodiscard]] std::span<const SweepKnob> sweep_knobs();
+
+/// True when `key` names a sweep knob.
+[[nodiscard]] bool is_sweep_knob(std::string_view key);
+
+/// The knob named `key`, or nullptr.
+[[nodiscard]] const SweepKnob* find_sweep_knob(std::string_view key);
+
+/// Copy of `config` keeping only sweep knobs whose value differs from the
+/// knob default — the minimal form both submit front-ends (sweep_runner
+/// queue= and farm_runner mode=submit) reduce a request to, so the same
+/// request always enqueues the same spec bytes. Throws std::runtime_error on
+/// keys that are not sweep knobs.
+[[nodiscard]] ConfigMap minimal_sweep_config(const ConfigMap& config);
+
+/// Fully parsed sweep request.
+struct SweepSpec {
+  core::ExperimentConfig experiment;
+  core::ScenarioConfig base;
+  std::string protocol{"mmv2v"};
+  /// Aggregate results JSON path (core::sweep_points_json document).
+  std::string out_json;
+  /// Streaming per-density rollup snapshot path.
+  std::string progress_out;
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return experiment.cell_count(); }
+};
+
+/// Parse a spec, applying every knob default first. Throws
+/// std::runtime_error on unknown sweep keys, unknown protocols, or
+/// malformed knob values.
+[[nodiscard]] SweepSpec parse_sweep_spec(const ConfigMap& config);
+
+/// Protocol factory for the spec's protocol= / k= / m= / c= / persistent=
+/// knobs. Throws std::runtime_error on an unknown protocol name.
+[[nodiscard]] core::ProtocolFactory make_sweep_protocol_factory(const ConfigMap& config);
+
+/// Render the normalized spec document: only recognized sweep knobs, one
+/// `key = value` per line in sorted key order, defaults omitted unless set.
+/// Throws std::runtime_error if `config` holds a key that is not a sweep
+/// knob (a typo'd knob must fail at submit time, not after queueing).
+[[nodiscard]] std::string canonical_spec_text(const ConfigMap& config);
+
+/// Resolve the spec's relative output paths (trace_out, out, progress_out)
+/// against `base_dir` — the farm resolves them against the job directory so
+/// two jobs with the same spec text cannot clobber each other's outputs.
+void resolve_spec_paths(SweepSpec& spec, const std::filesystem::path& base_dir);
+
+}  // namespace mmv2v::farm

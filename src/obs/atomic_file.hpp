@@ -1,0 +1,61 @@
+// Atomic snapshot-file writes shared by the streaming aggregator and the
+// sweep farm: write the full document to a uniquely-named temp file next to
+// the target, then rename(2) it into place, so readers never observe a torn
+// file. The temp name mixes the pid and a process-global counter — two farm
+// worker processes (or two aggregators in one process) rewriting the same
+// snapshot path can never rename each other's half-written temp files, which
+// a fixed "<path>.tmp" name used to allow.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include <unistd.h>
+
+namespace mmv2v::obs {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_tmp_counter{0};
+}  // namespace detail
+
+/// A temp-file name unique across processes (pid) and across call sites
+/// within a process (monotonic counter): "<path>.tmp.<pid>.<n>". The temp
+/// lives next to the target so rename(2) stays within one filesystem.
+[[nodiscard]] inline std::string unique_tmp_path(const std::string& path) {
+  std::string out = path;
+  out += ".tmp.";
+  out += std::to_string(static_cast<long>(::getpid()));
+  out += '.';
+  out += std::to_string(
+      detail::g_tmp_counter.fetch_add(1, std::memory_order_relaxed));
+  return out;
+}
+
+/// Atomically replace `path` with `bytes` (unique temp + rename). Returns
+/// false — leaving no temp file behind — when the write or rename fails;
+/// never throws.
+[[nodiscard]] inline bool atomic_write_file(const std::string& path,
+                                            std::string_view bytes) {
+  const std::string tmp = unique_tmp_path(path);
+  {
+    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
+    if (!out) return false;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace mmv2v::obs

@@ -1,10 +1,10 @@
 #include "obs/stream_aggregator.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <fstream>
 
+#include "common/logging.hpp"
 #include "common/textio.hpp"
+#include "obs/atomic_file.hpp"
 
 namespace mmv2v::obs {
 
@@ -93,23 +93,16 @@ std::string StreamAggregator::snapshot_json_locked() const {
 }
 
 void StreamAggregator::write_snapshot_locked() {
-  // Write-to-temp + rename: readers never observe a torn snapshot. rename(2)
-  // is atomic within a filesystem, and the temp file lives next to the
-  // target so they share one.
-  const std::string tmp = snapshot_path_ + ".tmp";
-  {
-    std::ofstream out{tmp, std::ios::binary | std::ios::trunc};
-    if (!out) {
-      ++write_failures_;
-      return;
-    }
-    out << snapshot_json_locked();
-    if (!out.flush()) {
-      ++write_failures_;
-      return;
-    }
-  }
-  if (std::rename(tmp.c_str(), snapshot_path_.c_str()) != 0) ++write_failures_;
+  // Write-to-temp + rename: readers never observe a torn snapshot. The temp
+  // name is unique per (pid, write), so concurrent farm worker processes
+  // sharing one snapshot path cannot rename each other's half-written temp
+  // files (see obs/atomic_file.hpp).
+  if (atomic_write_file(snapshot_path_, snapshot_json_locked())) return;
+  ++write_failures_;
+  // A silently-bumped private counter hid dead dashboards for whole sweeps;
+  // say it out loud (once per failure) and keep the count queryable.
+  MMV2V_LOG(kWarn) << "StreamAggregator: snapshot write to '" << snapshot_path_
+                   << "' failed (" << write_failures_ << " failure(s) so far)";
 }
 
 }  // namespace mmv2v::obs

@@ -6,9 +6,11 @@
 // read a complete, consistent document even mid-sweep.
 //
 // Thread-safety: on_cell() is invoked from sweep worker threads, possibly
-// concurrently; all state is guarded by one internal mutex. Snapshot write
-// failures never throw into the sweep — they are counted and surfaced via
-// write_failures().
+// concurrently; all state is guarded by one internal mutex. Snapshot writes
+// use a per-(pid, write) unique temp name (obs/atomic_file.hpp), so multiple
+// farm worker processes may share one snapshot path. Write failures never
+// throw into the sweep — they are logged at warn level, counted, and
+// surfaced via write_failures().
 #pragma once
 
 #include <cstddef>

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include "common/hash.hpp"
@@ -124,6 +127,152 @@ TEST(Experiment, PrintSweepRendersTable) {
   EXPECT_NE(table.find("Jain"), std::string::npos);
   EXPECT_EQ(std::count(table.begin(), table.end(), '\n'),
             static_cast<std::ptrdiff_t>(points.size()) + 2);
+}
+
+TEST(Experiment, BadTraceOutFailsBeforeAnyCellRuns) {
+  // Regression: a typo'd trace_out directory used to surface only after the
+  // whole sweep had run (and then threw the results away). The probe must
+  // reject the path before the first cell starts.
+  ExperimentConfig e = tiny_experiment();
+  e.trace_out = (std::filesystem::temp_directory_path() / "mmv2v-no-such-dir" /
+                 "trace.jsonl")
+                    .string();
+  std::atomic<int> factory_calls{0};
+  const ProtocolFactory counting = [&](std::uint64_t seed) {
+    ++factory_calls;
+    return mmv2v_factory()(seed);
+  };
+  EXPECT_THROW(run_density_sweep(e, tiny_base(), counting), std::runtime_error);
+  EXPECT_EQ(factory_calls.load(), 0) << "cells ran despite an unwritable trace_out";
+}
+
+TEST(Experiment, ProbeOutputPathContract) {
+  EXPECT_NO_THROW(probe_output_path("", "out"));  // empty = unset
+  const auto dir = std::filesystem::temp_directory_path() / "mmv2v_probe_test";
+  std::filesystem::create_directories(dir);
+  const std::string ok = (dir / "probe.json").string();
+  EXPECT_NO_THROW(probe_output_path(ok, "out"));
+  // Probing must not truncate existing content.
+  {
+    std::ofstream out{ok, std::ios::binary};
+    out << "keep me";
+  }
+  EXPECT_NO_THROW(probe_output_path(ok, "out"));
+  std::ifstream in{ok};
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "keep me");
+  // A directory is not a writable file.
+  try {
+    probe_output_path(dir.string(), "out");
+    FAIL() << "probe accepted a directory";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("out"), std::string::npos)
+        << "diagnostic must name which output was bad";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, WriteSweepTraceThrowsWhenManifestWriteFails) {
+  // Regression: the manifest write had no failure branch — a sweep could
+  // "succeed" with a trace but no manifest. Force the manifest path to be a
+  // directory so only that second write fails.
+  const auto dir = std::filesystem::temp_directory_path() / "mmv2v_manifest_test";
+  std::filesystem::create_directories(dir);
+  ExperimentConfig e = tiny_experiment();
+  e.trace_out = (dir / "trace.jsonl").string();
+  std::filesystem::create_directories(dir / "trace.jsonl.manifest.json");
+  SweepTrace trace;
+  trace.events_jsonl = "{\"ev\":\"x\"}\n";
+  trace.manifest_json = "{}";
+  try {
+    write_sweep_trace(e, trace);
+    FAIL() << "manifest write failure was swallowed";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string{err.what()}.find("manifest"), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Experiment, FirstFailureCancelsRemainingCellsSerially) {
+  // Serial sweep, every cell would fail: the first failure must cancel the
+  // other cells (factory never called again) and the throw must carry the
+  // formatted per-cell diagnostic.
+  ExperimentConfig e = tiny_experiment();
+  e.threads = 1;
+  std::atomic<int> factory_calls{0};
+  const ProtocolFactory exploding = [&](std::uint64_t) -> std::unique_ptr<OhmProtocol> {
+    ++factory_calls;
+    throw std::runtime_error{"boom"};
+  };
+  try {
+    run_density_sweep(e, tiny_base(), exploding);
+    FAIL() << "sweep succeeded with a throwing factory";
+  } catch (const SweepFailure& failure) {
+    EXPECT_EQ(factory_calls.load(), 1) << "cells kept starting after the first failure";
+    ASSERT_EQ(failure.cell_errors().size(), 1u);
+    EXPECT_NE(failure.cell_errors()[0].find("cell 0 (density 10, rep 0): boom"),
+              std::string::npos)
+        << failure.cell_errors()[0];
+    EXPECT_NE(std::string{failure.what()}.find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(Experiment, ConcurrentFailuresAllAggregate) {
+  // With two workers, cells already in flight when the first failure lands
+  // still report their own outcome: every factory call that threw must
+  // surface as its own entry in SweepFailure::cell_errors().
+  ExperimentConfig e = tiny_experiment();
+  e.repetitions = 4;
+  e.threads = 2;
+  std::atomic<int> factory_calls{0};
+  const ProtocolFactory exploding = [&](std::uint64_t) -> std::unique_ptr<OhmProtocol> {
+    const int n = ++factory_calls;
+    throw std::runtime_error{"boom " + std::to_string(n)};
+  };
+  try {
+    run_density_sweep(e, tiny_base(), exploding);
+    FAIL() << "sweep succeeded with a throwing factory";
+  } catch (const SweepFailure& failure) {
+    EXPECT_EQ(failure.cell_errors().size(),
+              static_cast<std::size_t>(factory_calls.load()))
+        << "a failed cell's diagnostic was dropped";
+    EXPECT_GE(failure.cell_errors().size(), 1u);
+    EXPECT_LE(failure.cell_errors().size(), 2u)
+        << "cancellation let more cells start than there are workers";
+  }
+}
+
+TEST(Experiment, CellGranularRunAndMergeMatchesSweep) {
+  // The farm's execution path: run every cell individually, merge once, and
+  // get bit-identical points to run_density_sweep.
+  const ExperimentConfig e = tiny_experiment();
+  const ScenarioConfig base = tiny_base();
+  const auto reference = run_density_sweep(e, base, mmv2v_factory());
+  std::vector<CellResult> cells;
+  for (std::size_t k = 0; k < e.cell_count(); ++k) {
+    cells.push_back(run_sweep_cell(e, base, mmv2v_factory(), k, /*instrument=*/false));
+    EXPECT_EQ(cells.back().index, k);
+  }
+  const SweepMerge merged =
+      merge_sweep_cells(e, base, std::move(cells), /*tracing=*/false, /*workers=*/0);
+  ASSERT_EQ(merged.points.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_DOUBLE_EQ(merged.points[i].ocr.mean(), reference[i].ocr.mean());
+    EXPECT_DOUBLE_EQ(merged.points[i].atp.mean(), reference[i].atp.mean());
+    EXPECT_DOUBLE_EQ(merged.points[i].fairness.mean(), reference[i].fairness.mean());
+  }
+  EXPECT_EQ(sweep_points_json("mmv2v", e, merged.points),
+            sweep_points_json("mmv2v", e, reference));
+}
+
+TEST(Experiment, MergeRequiresEveryCell) {
+  const ExperimentConfig e = tiny_experiment();
+  const ScenarioConfig base = tiny_base();
+  std::vector<CellResult> cells;
+  cells.push_back(run_sweep_cell(e, base, mmv2v_factory(), 0, false));
+  EXPECT_THROW(merge_sweep_cells(e, base, std::move(cells), false, 0),
+               std::invalid_argument);
 }
 
 TEST(JainFairness, KnownValues) {

@@ -1,0 +1,175 @@
+// Cell-journal format tests (DESIGN.md Section 15): bit-exact round-trips of
+// CellResult records, torn-tail truncation losing only the damaged record,
+// mid-file corruption recovery via magic resync, and duplicate handling.
+#include "farm/cell_journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mmv2v::farm {
+namespace {
+
+core::CellResult sample_cell(std::size_t index) {
+  core::CellResult cell;
+  cell.index = index;
+  cell.seed = 0x9e3779b97f4a7c15ull + index;
+  cell.degree = 4.25 + static_cast<double>(index);
+  cell.ocr = 0.75;
+  cell.atp = 0.5;
+  cell.dtp = 0.1 * static_cast<double>(index);
+  cell.fairness = 0.999999999999;
+  cell.protocol_name = "mmV2V";
+  cell.ocr_samples = {0.1, 0.2, 0.3};
+  cell.atp_samples = {1.0, 0.0, -0.0, 2.5};
+  cell.trace_jsonl = "{\"ev\":\"cell_begin\"}\n{\"ev\":\"cell_end\"}\n";
+  cell.trace_binary = std::string{"\x00\x01MMCJ\xff binary-ish", 18};
+  obs::ChunkInfo info;
+  info.offset = 40;
+  info.bytes = 123;
+  info.records = 7;
+  cell.trace_chunks = {info, info};
+  return cell;
+}
+
+void expect_cells_equal(const core::CellResult& a, const core::CellResult& b) {
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_DOUBLE_EQ(a.degree, b.degree);
+  EXPECT_DOUBLE_EQ(a.ocr, b.ocr);
+  EXPECT_DOUBLE_EQ(a.atp, b.atp);
+  EXPECT_DOUBLE_EQ(a.dtp, b.dtp);
+  EXPECT_DOUBLE_EQ(a.fairness, b.fairness);
+  EXPECT_EQ(a.protocol_name, b.protocol_name);
+  EXPECT_EQ(a.ocr_samples, b.ocr_samples);
+  EXPECT_EQ(a.atp_samples, b.atp_samples);
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl);
+  EXPECT_EQ(a.trace_binary, b.trace_binary);
+  ASSERT_EQ(a.trace_chunks.size(), b.trace_chunks.size());
+  for (std::size_t i = 0; i < a.trace_chunks.size(); ++i) {
+    EXPECT_EQ(a.trace_chunks[i].offset, b.trace_chunks[i].offset);
+    EXPECT_EQ(a.trace_chunks[i].bytes, b.trace_chunks[i].bytes);
+    EXPECT_EQ(a.trace_chunks[i].records, b.trace_chunks[i].records);
+  }
+}
+
+TEST(CellJournal, RoundTripsEveryField) {
+  std::string journal;
+  journal += encode_cell_record(sample_cell(0));
+  journal += encode_cell_record(sample_cell(3));
+
+  JournalReplay replay;
+  replay_cell_journal(journal, replay, /*with_payloads=*/true);
+  EXPECT_EQ(replay.records, 2u);
+  EXPECT_EQ(replay.skipped, 0u);
+  EXPECT_EQ(replay.duplicates, 0u);
+  ASSERT_EQ(replay.cells.size(), 2u);
+  expect_cells_equal(replay.cells.at(0), sample_cell(0));
+  expect_cells_equal(replay.cells.at(3), sample_cell(3));
+}
+
+TEST(CellJournal, SummaryReplaySkipsBulkFields) {
+  std::string journal = encode_cell_record(sample_cell(5));
+  JournalReplay replay;
+  replay_cell_journal(journal, replay, /*with_payloads=*/false);
+  ASSERT_EQ(replay.cells.size(), 1u);
+  const core::CellResult& cell = replay.cells.at(5);
+  EXPECT_DOUBLE_EQ(cell.ocr, 0.75);
+  EXPECT_EQ(cell.protocol_name, "mmV2V");
+  EXPECT_TRUE(cell.ocr_samples.empty());
+  EXPECT_TRUE(cell.trace_jsonl.empty());
+  EXPECT_TRUE(cell.trace_binary.empty());
+  EXPECT_TRUE(cell.trace_chunks.empty());
+}
+
+TEST(CellJournal, TruncatedTailLosesOnlyTheLastRecord) {
+  // A worker killed mid-append leaves a torn final frame. Every earlier
+  // record must survive, at every possible truncation point.
+  const std::string full =
+      encode_cell_record(sample_cell(0)) + encode_cell_record(sample_cell(1));
+  const std::size_t first_bytes = encode_cell_record(sample_cell(0)).size();
+  for (std::size_t cut = first_bytes + 1; cut < full.size(); ++cut) {
+    JournalReplay replay;
+    replay_cell_journal(std::string_view{full}.substr(0, cut), replay, true);
+    ASSERT_EQ(replay.cells.size(), 1u) << "cut at " << cut;
+    EXPECT_TRUE(replay.cells.contains(0)) << "cut at " << cut;
+    EXPECT_EQ(replay.skipped, 1u) << "cut at " << cut;
+  }
+}
+
+TEST(CellJournal, CorruptMiddleRecordResyncsToLaterRecords) {
+  std::string journal;
+  journal += encode_cell_record(sample_cell(0));
+  const std::size_t middle = journal.size();
+  journal += encode_cell_record(sample_cell(1));
+  journal += encode_cell_record(sample_cell(2));
+  // Flip a payload byte of the middle record: its CRC fails, records 0 and 2
+  // must still replay.
+  journal[middle + 20] = static_cast<char>(journal[middle + 20] ^ 0x5a);
+
+  JournalReplay replay;
+  replay_cell_journal(journal, replay, true);
+  EXPECT_EQ(replay.cells.size(), 2u);
+  EXPECT_TRUE(replay.cells.contains(0));
+  EXPECT_TRUE(replay.cells.contains(2));
+  EXPECT_GE(replay.skipped, 1u);
+  expect_cells_equal(replay.cells.at(2), sample_cell(2));
+}
+
+TEST(CellJournal, GarbagePrefixResyncsToFirstRecord) {
+  const std::string journal =
+      "not a journal at all\n" + encode_cell_record(sample_cell(4));
+  JournalReplay replay;
+  replay_cell_journal(journal, replay, true);
+  ASSERT_EQ(replay.cells.size(), 1u);
+  expect_cells_equal(replay.cells.at(4), sample_cell(4));
+  EXPECT_EQ(replay.skipped, 1u);
+}
+
+TEST(CellJournal, DuplicateIndicesKeepFirstRecord) {
+  // A stale-claim takeover can journal a cell twice (in different files).
+  // Determinism makes both copies identical, but the replay contract is
+  // explicit: first one wins, duplicates are counted.
+  core::CellResult first = sample_cell(7);
+  core::CellResult second = sample_cell(7);
+  second.ocr = 0.123;  // divergent copy, to observe which one wins
+  std::string journal = encode_cell_record(first) + encode_cell_record(second);
+  JournalReplay replay;
+  replay_cell_journal(journal, replay, true);
+  EXPECT_EQ(replay.records, 2u);
+  EXPECT_EQ(replay.duplicates, 1u);
+  ASSERT_EQ(replay.cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(replay.cells.at(7).ocr, 0.75);
+}
+
+TEST(CellJournal, WriterAppendsAcrossReopens) {
+  const std::string path = ::testing::TempDir() + "mmv2v_cell_journal.mmcj";
+  std::remove(path.c_str());
+  {
+    CellJournalWriter writer{path};
+    writer.append(sample_cell(0));
+  }
+  {
+    // Re-opening (a restarted worker with the same pid) must append, not
+    // truncate.
+    CellJournalWriter writer{path};
+    writer.append(sample_cell(1));
+  }
+  std::ifstream in{path, std::ios::binary};
+  std::string bytes{std::istreambuf_iterator<char>{in}, std::istreambuf_iterator<char>{}};
+  JournalReplay replay;
+  replay_cell_journal(bytes, replay, true);
+  EXPECT_EQ(replay.cells.size(), 2u);
+  EXPECT_EQ(replay.skipped, 0u);
+}
+
+TEST(CellJournal, WriterThrowsOnUnopenablePath) {
+  EXPECT_THROW(CellJournalWriter{::testing::TempDir() + "mmv2v-no-such-dir/j.mmcj"},
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mmv2v::farm

@@ -1,0 +1,309 @@
+// Sweep-farm service tests (DESIGN.md Section 15): queue lifecycle, claim
+// protocol, and the headline contract — an interrupted-and-resumed farm run
+// produces output bytes identical to an uninterrupted one, whose digest and
+// aggregate JSON in turn match a plain in-process run_density_sweep.
+#include "farm/farm_worker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <unistd.h>
+
+#include "common/config_parser.hpp"
+#include "common/hash.hpp"
+#include "farm/job_queue.hpp"
+#include "farm/sweep_spec.hpp"
+#include "obs/mmtrace.hpp"
+
+namespace mmv2v::farm {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small but real sweep: 2 densities x 2 reps on a short horizon, binary
+// trace format so the journal carries chunk payloads.
+constexpr const char* kSpecText =
+    "densities = 10,14\n"
+    "reps = 2\n"
+    "horizon_s = 0.2\n"
+    "seed = 5\n"
+    "trace_out = run.trace\n"
+    "trace.format = binary\n"
+    "out = results_points.json\n";
+
+class FarmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path{::testing::TempDir()} /
+            ("mmv2v_farm_" +
+             std::string{::testing::UnitTest::GetInstance()->current_test_info()->name()});
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  [[nodiscard]] std::string queue_root() const { return (root_ / "queue").string(); }
+
+  static std::string read_file(const fs::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    EXPECT_TRUE(in) << "missing " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return std::move(buf).str();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FarmTest, SubmitActivateFinishLifecycle) {
+  JobQueue queue{queue_root()};
+  const std::string id = queue.submit("reps = 1\n", "smoke");
+  EXPECT_TRUE(id.starts_with("job-000001")) << id;
+  EXPECT_NE(id.find("smoke"), std::string::npos);
+  ASSERT_EQ(queue.pending_jobs().size(), 1u);
+  EXPECT_TRUE(queue.active_jobs().empty());
+
+  const std::optional<JobRef> job = queue.activate_next();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, id);
+  EXPECT_TRUE(queue.pending_jobs().empty());
+  ASSERT_EQ(queue.active_jobs().size(), 1u);
+  EXPECT_TRUE(fs::exists(job->dir / "job.spec"));
+  EXPECT_TRUE(fs::is_directory(job->dir / "claims"));
+  EXPECT_FALSE(queue.activate_next().has_value()) << "nothing left to activate";
+
+  queue.finish(*job);
+  EXPECT_TRUE(queue.active_jobs().empty());
+  ASSERT_EQ(queue.done_jobs().size(), 1u);
+  EXPECT_EQ(queue.done_jobs()[0], id);
+}
+
+TEST_F(FarmTest, SubmittedIdsNeverCollide) {
+  JobQueue queue{queue_root()};
+  const std::string a = queue.submit("reps = 1\n");
+  const std::string b = queue.submit("reps = 1\n");
+  EXPECT_NE(a, b);
+  // Ids stay unique even against jobs that already left pending/.
+  const std::optional<JobRef> job = queue.activate_next();
+  ASSERT_TRUE(job.has_value());
+  queue.finish(*job);
+  const std::string c = queue.submit("reps = 1\n");
+  EXPECT_NE(c, a);
+  EXPECT_NE(c, b);
+}
+
+TEST_F(FarmTest, CellClaimsAreExclusiveAndStaleClaimsAreStolen) {
+  JobQueue queue{queue_root()};
+  (void)queue.submit("reps = 1\n");
+  const std::optional<JobRef> job = queue.activate_next();
+  ASSERT_TRUE(job.has_value());
+
+  EXPECT_EQ(try_claim(job->dir, cell_claim_name(0)), ClaimResult::kClaimed);
+  // Our own live pid holds it now.
+  EXPECT_EQ(try_claim(job->dir, cell_claim_name(0)), ClaimResult::kHeld);
+
+  // A claim owned by a dead process is stolen.
+  {
+    std::ofstream out{job->dir / "claims" / cell_claim_name(1)};
+    out << 999999999 << "\n";  // beyond pid_max: certainly not running
+  }
+  EXPECT_FALSE(pid_alive(999999999));
+  EXPECT_EQ(try_claim(job->dir, cell_claim_name(1)), ClaimResult::kClaimed);
+
+  // Claims inside a vanished job report kGone, not a crash.
+  fs::remove_all(job->dir);
+  EXPECT_EQ(try_claim(job->dir, cell_claim_name(2)), ClaimResult::kGone);
+}
+
+TEST_F(FarmTest, DrainWorkerMatchesInProcessSweep) {
+  // Reference: the same spec run directly through run_density_sweep.
+  const ConfigMap config = ConfigMap::parse(kSpecText);
+  SweepSpec reference = parse_sweep_spec(config);
+  resolve_spec_paths(reference, root_ / "ref");
+  fs::create_directories(root_ / "ref");
+  core::SweepTrace ref_trace;
+  const auto ref_points =
+      core::run_density_sweep(reference.experiment, reference.base,
+                              make_sweep_protocol_factory(config), &ref_trace);
+  const std::string ref_json =
+      core::sweep_points_json(reference.protocol, reference.experiment, ref_points);
+
+  JobQueue queue{queue_root()};
+  (void)queue.submit(kSpecText, "drain");
+  FarmOptions options;
+  options.queue_root = queue_root();
+  options.drain = true;
+  const FarmWorkerStats stats = run_farm_worker(options);
+  EXPECT_EQ(stats.cells_run, 4u);
+  EXPECT_EQ(stats.jobs_activated, 1u);
+  EXPECT_EQ(stats.jobs_finalized, 1u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+
+  ASSERT_EQ(queue.done_jobs().size(), 1u);
+  const fs::path done = fs::path{queue_root()} / "done" / queue.done_jobs()[0];
+
+  // Aggregate JSON is bit-identical to the in-process sweep.
+  EXPECT_EQ(read_file(done / "results_points.json"), ref_json);
+  // The merged binary trace replays to the same event digest (the manifest
+  // meta chunk may differ: it records thread counts).
+  const std::string farm_trace = read_file(done / "run.trace");
+  EXPECT_EQ(fnv1a64(obs::mmtrace_to_jsonl(farm_trace, /*include_meta=*/false)),
+            ref_trace.digest);
+  // Progress snapshot reports completion.
+  const std::string progress = read_file(done / "progress.json");
+  EXPECT_NE(progress.find("\"completed\":4"), std::string::npos) << progress;
+}
+
+TEST_F(FarmTest, InterruptedFarmResumesBitIdentical) {
+  // Run A: uninterrupted single worker.
+  JobQueue queue_a{(root_ / "qa").string()};
+  (void)queue_a.submit(kSpecText, "full");
+  FarmOptions full;
+  full.queue_root = (root_ / "qa").string();
+  full.drain = true;
+  (void)run_farm_worker(full);
+  ASSERT_EQ(queue_a.done_jobs().size(), 1u);
+  const fs::path done_a = root_ / "qa" / "done" / queue_a.done_jobs()[0];
+
+  // Run B: a worker that "dies" after two cells (max_cells stops it exactly
+  // where SIGKILL would), then a fresh worker resumes.
+  JobQueue queue_b{(root_ / "qb").string()};
+  (void)queue_b.submit(kSpecText, "full");
+  FarmOptions interrupted = full;
+  interrupted.queue_root = (root_ / "qb").string();
+  interrupted.max_cells = 2;
+  const FarmWorkerStats first = run_farm_worker(interrupted);
+  EXPECT_EQ(first.cells_run, 2u);
+  EXPECT_EQ(first.jobs_finalized, 0u);
+  ASSERT_EQ(queue_b.active_jobs().size(), 1u) << "job must still be in flight";
+
+  FarmOptions resume = full;
+  resume.queue_root = (root_ / "qb").string();
+  const FarmWorkerStats second = run_farm_worker(resume);
+  EXPECT_EQ(second.cells_run, 2u) << "resume must re-run only the missing cells";
+  EXPECT_EQ(second.jobs_finalized, 1u);
+  ASSERT_EQ(queue_b.done_jobs().size(), 1u);
+  const fs::path done_b = root_ / "qb" / "done" / queue_b.done_jobs()[0];
+
+  // Byte-for-byte identical outputs: trace (manifest chunk included — both
+  // farm runs record workers=0) and aggregate JSON.
+  EXPECT_EQ(read_file(done_a / "run.trace"), read_file(done_b / "run.trace"));
+  EXPECT_EQ(read_file(done_a / "run.trace.manifest.json"),
+            read_file(done_b / "run.trace.manifest.json"));
+  EXPECT_EQ(read_file(done_a / "results_points.json"),
+            read_file(done_b / "results_points.json"));
+  EXPECT_EQ(read_file(done_a / "results.json"), read_file(done_b / "results.json"));
+}
+
+TEST_F(FarmTest, ResumeSurvivesTruncatedJournal) {
+  JobQueue queue{queue_root()};
+  (void)queue.submit(kSpecText, "trunc");
+  FarmOptions options;
+  options.queue_root = queue_root();
+  options.drain = true;
+  options.max_cells = 3;
+  (void)run_farm_worker(options);
+  ASSERT_EQ(queue.active_jobs().size(), 1u);
+  const JobRef job = queue.active_jobs()[0];
+
+  // Tear the journal tail: the last record loses some bytes, as if the
+  // worker was killed mid-append.
+  fs::path journal;
+  for (const auto& entry : fs::directory_iterator{job.dir}) {
+    if (entry.path().extension() == ".mmcj") journal = entry.path();
+  }
+  ASSERT_FALSE(journal.empty());
+  const auto size = fs::file_size(journal);
+  fs::resize_file(journal, size - 5);
+  const JournalReplay replay = replay_job_journals(job.dir, false);
+  EXPECT_EQ(replay.cells.size(), 2u) << "exactly the torn record is lost";
+  EXPECT_EQ(replay.skipped, 1u);
+
+  // The torn cell's claim is still on disk with our (live) pid, so steal
+  // protection would block an in-process resume; drop it like a dead
+  // worker's claim would be dropped.
+  fs::remove(job.dir / "claims" / cell_claim_name(2));
+
+  options.max_cells = 0;
+  const FarmWorkerStats stats = run_farm_worker(options);
+  EXPECT_EQ(stats.cells_run, 2u) << "torn cell re-runs, journaled cells do not";
+  EXPECT_EQ(stats.jobs_finalized, 1u);
+  EXPECT_EQ(queue.done_jobs().size(), 1u);
+}
+
+TEST_F(FarmTest, BadSpecMovesJobToFailedWithDiagnostics) {
+  JobQueue queue{queue_root()};
+  (void)queue.submit("protocol = warp_drive\n", "bad");
+  FarmOptions options;
+  options.queue_root = queue_root();
+  options.drain = true;
+  const FarmWorkerStats stats = run_farm_worker(options);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.cells_run, 0u);
+  ASSERT_EQ(queue.failed_jobs().size(), 1u);
+  const std::string error = read_file(fs::path{queue_root()} / "failed" /
+                                      queue.failed_jobs()[0] / "error.txt");
+  EXPECT_NE(error.find("warp_drive"), std::string::npos) << error;
+  EXPECT_TRUE(queue.pending_jobs().empty());
+  EXPECT_TRUE(queue.active_jobs().empty());
+}
+
+TEST_F(FarmTest, UnwritableOutputFailsTheJobBeforeAnyCell) {
+  // Satellite of the fail-fast bugfix: the farm probes every declared output
+  // before running cells, so a typo'd absolute path fails in milliseconds.
+  const std::string spec =
+      "densities = 10\nreps = 1\nhorizon_s = 0.2\n"
+      "out = /nonexistent-mmv2v-dir/results.json\n";
+  JobQueue queue{queue_root()};
+  (void)queue.submit(spec, "badout");
+  FarmOptions options;
+  options.queue_root = queue_root();
+  options.drain = true;
+  const FarmWorkerStats stats = run_farm_worker(options);
+  EXPECT_EQ(stats.cells_run, 0u) << "cells ran despite an unwritable out=";
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  ASSERT_EQ(queue.failed_jobs().size(), 1u);
+  const std::string error = read_file(fs::path{queue_root()} / "failed" /
+                                      queue.failed_jobs()[0] / "error.txt");
+  EXPECT_NE(error.find("out"), std::string::npos) << error;
+}
+
+TEST_F(FarmTest, SpecKnobTableRejectsTyposAtSubmitTime) {
+  EXPECT_THROW((void)parse_sweep_spec(ConfigMap::parse("horizon = 1\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)canonical_spec_text(ConfigMap::parse("repz = 3\n")),
+               std::runtime_error);
+  EXPECT_THROW((void)minimal_sweep_config(ConfigMap::parse("repz = 3\n")),
+               std::runtime_error);
+  // Round trip: canonical text parses back to the same minimal config.
+  const ConfigMap config = ConfigMap::parse("reps = 5\ndensities = 10,20\n");
+  const ConfigMap minimal = minimal_sweep_config(config);
+  const std::string text = canonical_spec_text(minimal);
+  EXPECT_EQ(canonical_spec_text(minimal_sweep_config(ConfigMap::parse(text))), text);
+  // Defaults are dropped from the minimal form.
+  const ConfigMap with_default = ConfigMap::parse("reps = 3\nseed = 9\n");
+  EXPECT_FALSE(minimal_sweep_config(with_default).contains("reps"));
+  EXPECT_TRUE(minimal_sweep_config(with_default).contains("seed"));
+}
+
+TEST_F(FarmTest, RelativeSpecPathsResolveIntoTheJobDirectory) {
+  const ConfigMap config = ConfigMap::parse(kSpecText);
+  SweepSpec spec = parse_sweep_spec(config);
+  resolve_spec_paths(spec, "/jobs/job-42");
+  EXPECT_EQ(spec.experiment.trace_out, "/jobs/job-42/run.trace");
+  EXPECT_EQ(spec.out_json, "/jobs/job-42/results_points.json");
+  // Absolute paths are left alone.
+  SweepSpec abs = parse_sweep_spec(config);
+  abs.out_json = "/tmp/elsewhere.json";
+  resolve_spec_paths(abs, "/jobs/job-42");
+  EXPECT_EQ(abs.out_json, "/tmp/elsewhere.json");
+}
+
+}  // namespace
+}  // namespace mmv2v::farm

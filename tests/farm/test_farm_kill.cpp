@@ -1,0 +1,154 @@
+// The farm's headline fault-tolerance contract, exercised with a real
+// SIGKILL: a farm_runner worker process is killed mid-sweep (torn journal
+// tails, orphaned cell claims and all), a fresh worker resumes the job, and
+// the merged outputs are byte-identical to an uninterrupted farm run.
+// Requires the farm_runner tool binary (FARM_RUNNER_BIN compile definition).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "farm/farm_worker.hpp"
+#include "farm/job_queue.hpp"
+
+namespace mmv2v::farm {
+namespace {
+
+namespace fs = std::filesystem;
+
+// 9 cells x ~0.1 s keeps the worker busy long enough to be killed mid-sweep
+// while the whole test stays in tier-1 time.
+constexpr const char* kSpecText =
+    "densities = 10,12,14\n"
+    "reps = 3\n"
+    "horizon_s = 0.4\n"
+    "seed = 11\n"
+    "trace_out = run.trace\n"
+    "trace.format = binary\n"
+    "out = results_points.json\n";
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << "missing " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+/// Spawn `farm_runner queue=<root> mode=work drain=true` with stdout/stderr
+/// silenced; returns the child pid.
+pid_t spawn_worker(const std::string& queue_root) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    ::close(devnull);
+  }
+  const std::string queue_flag = "queue=" + queue_root;
+  ::execl(FARM_RUNNER_BIN, "farm_runner", queue_flag.c_str(), "mode=work",
+          "drain=true", "poll_ms=20", static_cast<char*>(nullptr));
+  ::_exit(127);  // exec failed
+}
+
+TEST(FarmKill, SigkilledWorkerResumesBitIdentical) {
+  const fs::path root = fs::path{::testing::TempDir()} / "mmv2v_farm_kill";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  // Reference: the same job drained by an uninterrupted in-process worker.
+  const std::string ref_root = (root / "ref").string();
+  {
+    JobQueue queue{ref_root};
+    (void)queue.submit(kSpecText, "sweep");
+    FarmOptions options;
+    options.queue_root = ref_root;
+    options.drain = true;
+    const FarmWorkerStats stats = run_farm_worker(options);
+    ASSERT_EQ(stats.jobs_finalized, 1u);
+  }
+  JobQueue ref_queue{ref_root};
+  ASSERT_EQ(ref_queue.done_jobs().size(), 1u);
+  const fs::path ref_done = fs::path{ref_root} / "done" / ref_queue.done_jobs()[0];
+
+  // Victim run: a real farm_runner subprocess, SIGKILLed once its journal
+  // shows the first completed cell.
+  const std::string kill_root = (root / "kill").string();
+  JobQueue queue{kill_root};
+  (void)queue.submit(kSpecText, "sweep");
+  const pid_t worker = spawn_worker(kill_root);
+  ASSERT_GT(worker, 0) << "fork failed";
+
+  std::size_t journaled_at_kill = 0;
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds{120};
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto active = queue.active_jobs();
+    if (!active.empty()) {
+      journaled_at_kill = replay_job_journals(active[0].dir, false).cells.size();
+      if (journaled_at_kill >= 1) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds{2});
+  }
+  ASSERT_GE(journaled_at_kill, 1u) << "worker never journaled a cell";
+  ASSERT_EQ(::kill(worker, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(worker, &status, 0), worker);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "worker was not killed by the signal";
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  // The job must still be in flight with partial state on disk.
+  ASSERT_EQ(queue.done_jobs().size(), 0u) << "worker finished before the kill landed; "
+                                             "the spec needs more cells";
+  ASSERT_EQ(queue.active_jobs().size(), 1u);
+  const JobRef job = queue.active_jobs()[0];
+  const std::size_t journaled = replay_job_journals(job.dir, false).cells.size();
+  ASSERT_LT(journaled, 9u) << "nothing left to resume";
+  // The dead worker's claims outnumber its journal records whenever the kill
+  // landed mid-cell; either way they name a pid that no longer runs, so the
+  // resuming worker must steal them rather than wait forever.
+  std::size_t claims = 0;
+  for (const auto& entry : fs::directory_iterator{job.dir / "claims"}) {
+    ++claims;
+    std::ifstream in{entry.path()};
+    long pid = 0;
+    ASSERT_TRUE(in >> pid) << entry.path() << " holds no owner pid";
+    EXPECT_FALSE(pid_alive(static_cast<pid_t>(pid)))
+        << "claim " << entry.path() << " owned by a live process";
+  }
+  EXPECT_GE(claims, journaled);
+
+  // Resume in-process and drain to completion.
+  FarmOptions resume;
+  resume.queue_root = kill_root;
+  resume.drain = true;
+  const FarmWorkerStats stats = run_farm_worker(resume);
+  EXPECT_EQ(stats.jobs_finalized, 1u);
+  EXPECT_EQ(stats.cells_run, 9u - journaled)
+      << "resume must run exactly the cells the dead worker did not journal";
+
+  // Byte-identical outputs, interrupted or not.
+  ASSERT_EQ(queue.done_jobs().size(), 1u);
+  const fs::path done = fs::path{kill_root} / "done" / queue.done_jobs()[0];
+  EXPECT_EQ(read_file(done / "run.trace"), read_file(ref_done / "run.trace"));
+  EXPECT_EQ(read_file(done / "run.trace.manifest.json"),
+            read_file(ref_done / "run.trace.manifest.json"));
+  EXPECT_EQ(read_file(done / "results_points.json"),
+            read_file(ref_done / "results_points.json"));
+  EXPECT_EQ(read_file(done / "results.json"), read_file(ref_done / "results.json"));
+
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace mmv2v::farm

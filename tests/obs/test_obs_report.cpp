@@ -12,9 +12,11 @@
 #include <vector>
 
 #include "common/json_mini.hpp"
+#include "common/logging.hpp"
 #include "common/svg_plot.hpp"
 #include "core/experiment.hpp"
 #include "core/golden_scenario.hpp"
+#include "obs/atomic_file.hpp"
 #include "obs/report.hpp"
 #include "obs/stream_aggregator.hpp"
 
@@ -115,6 +117,50 @@ TEST(StreamAggregator, StreamsFromSweepWorkerThreads) {
   EXPECT_DOUBLE_EQ(rollups[0].ocr.mean(), points[0].ocr.mean());
   EXPECT_DOUBLE_EQ(rollups[0].atp.mean(), points[0].atp.mean());
   EXPECT_DOUBLE_EQ(rollups[0].fairness.mean(), points[0].fairness.mean());
+}
+
+TEST(StreamAggregator, SurfacesSnapshotWriteFailures) {
+  // Regression: write failures used to bump a private counter and nothing
+  // else — a dead dashboard for a whole sweep with zero evidence. Now each
+  // failure is logged at warn level and the counter is public.
+  const std::string path =
+      ::testing::TempDir() + "mmv2v-no-such-dir/sub/progress.json";
+  std::vector<std::string> warnings;
+  Logger::instance().set_sink([&](LogLevel level, std::string_view message) {
+    if (level == LogLevel::kWarn) warnings.emplace_back(message);
+  });
+  {
+    StreamAggregator agg{path};
+    agg.on_cell(make_cell(1, 15.0, 0, 0.7));
+    EXPECT_EQ(agg.write_failures(), 1u);
+    agg.on_cell(make_cell(2, 15.0, 1, 0.5));
+    EXPECT_EQ(agg.write_failures(), 2u);
+  }
+  Logger::instance().set_sink(nullptr);
+  ASSERT_EQ(warnings.size(), 2u) << "snapshot write failures must be logged";
+  EXPECT_NE(warnings[0].find(path), std::string::npos)
+      << "warning must name the failing snapshot path";
+}
+
+TEST(AtomicFile, TempNamesAreUniquePerWrite) {
+  const std::string a = unique_tmp_path("/tmp/snap.json");
+  const std::string b = unique_tmp_path("/tmp/snap.json");
+  EXPECT_NE(a, b) << "two writes racing on one tmp name can rename each "
+                     "other's half-written files";
+  EXPECT_TRUE(a.starts_with("/tmp/snap.json.tmp.")) << a;
+}
+
+TEST(AtomicFile, WritesReplacesAndFailsCleanly) {
+  const std::string path = ::testing::TempDir() + "mmv2v_atomic_file.json";
+  ASSERT_TRUE(atomic_write_file(path, "first"));
+  ASSERT_TRUE(atomic_write_file(path, "second"));
+  std::ifstream in{path, std::ios::binary};
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "second");
+  // Unwritable target: returns false and leaves no temp litter behind.
+  const std::string bad = ::testing::TempDir() + "mmv2v-no-such-dir/x.json";
+  EXPECT_FALSE(atomic_write_file(bad, "payload"));
 }
 
 TEST(SvgChart, StackedBarsRenderAndValidate) {

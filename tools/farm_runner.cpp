@@ -1,0 +1,211 @@
+// Sweep-farm service CLI (DESIGN.md Section 15): the operator entry point
+// for the persistent job queue built in src/farm.
+//
+// Usage examples:
+//   farm_runner queue=/var/mmv2v/farm mode=submit densities=10,20,30 reps=5
+//   farm_runner queue=/var/mmv2v/farm mode=submit spec=night_sweep.spec
+//   farm_runner queue=/var/mmv2v/farm mode=serve workers=4
+//   farm_runner queue=/var/mmv2v/farm mode=work drain=true
+//   farm_runner queue=/var/mmv2v/farm mode=status
+//
+// mode=work runs one worker loop in this process; mode=serve forks N worker
+// processes and waits for them — kill any of them at any instant and a
+// resumed farm re-runs only the cells that were in flight.
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "farm/farm_worker.hpp"
+#include "farm/job_queue.hpp"
+#include "farm/sweep_spec.hpp"
+
+namespace {
+
+using namespace mmv2v;
+
+/// Sweep-knob overrides the user actually passed (defaults are not baked
+/// into the farm_runner flag specs, so presence means "explicitly set").
+ConfigMap cli_sweep_overrides(const ConfigMap& cli) {
+  ConfigMap out;
+  for (const auto& [key, value] : cli.entries()) {
+    if (farm::is_sweep_knob(key)) out.set(key, value);
+  }
+  return out;
+}
+
+int run_submit(farm::JobQueue& queue, const ConfigMap& cli) {
+  ConfigMap request;
+  const std::string spec_path = cli.get_or("spec", std::string{});
+  if (!spec_path.empty()) request = ConfigMap::load(spec_path);
+  for (const auto& [key, value] : cli_sweep_overrides(cli).entries()) {
+    request.set(key, value);
+  }
+  const ConfigMap minimal = farm::minimal_sweep_config(request);
+  // Validate the whole request now — a typo'd knob or unknown protocol must
+  // fail at submit time, not inside a worker hours later.
+  (void)farm::parse_sweep_spec(minimal);
+  const std::string hint =
+      cli.get_or("name", minimal.get_or("protocol", std::string{"mmv2v"}));
+  const std::string id = queue.submit(farm::canonical_spec_text(minimal), hint);
+  std::printf("queued %s in %s\n", id.c_str(), queue.root().string().c_str());
+  return 0;
+}
+
+int run_work(const ConfigMap& cli, const std::string& queue_root) {
+  farm::FarmOptions options;
+  options.queue_root = queue_root;
+  options.poll_ms = static_cast<int>(cli.get_or("poll_ms", std::int64_t{200}));
+  options.drain = cli.get_or("drain", false);
+  options.idle_exit_s = cli.get_or("idle_exit_s", 0.0);
+  options.max_cells = static_cast<std::size_t>(cli.get_or("max_cells", std::int64_t{0}));
+  const farm::FarmWorkerStats stats = farm::run_farm_worker(options);
+  std::printf("worker %ld: %zu cell(s), %zu job(s) activated, %zu finalized, %zu failed\n",
+              static_cast<long>(::getpid()), stats.cells_run, stats.jobs_activated,
+              stats.jobs_finalized, stats.jobs_failed);
+  return 0;
+}
+
+int run_serve(const ConfigMap& cli, const std::string& queue_root) {
+  const auto workers =
+      static_cast<int>(cli.get_or("workers", std::int64_t{2}));
+  if (workers <= 0) {
+    std::fprintf(stderr, "farm_runner: workers must be >= 1\n");
+    return 2;
+  }
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      // Child: run one worker loop and report through the exit status.
+      int status = 1;
+      try {
+        status = run_work(cli, queue_root);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "farm_runner worker: %s\n", e.what());
+      }
+      ::_exit(status);
+    }
+    if (pid < 0) {
+      std::fprintf(stderr, "farm_runner: fork failed after %d worker(s)\n", i);
+      break;
+    }
+    children.push_back(pid);
+  }
+  if (children.empty()) return 1;
+  std::printf("serving %s with %zu worker process(es)\n", queue_root.c_str(),
+              children.size());
+  int exit_code = 0;
+  for (const pid_t pid : children) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      exit_code = 1;
+    }
+  }
+  return exit_code;
+}
+
+int run_status(farm::JobQueue& queue) {
+  const auto pending = queue.pending_jobs();
+  std::printf("queue %s\n", queue.root().string().c_str());
+  std::printf("pending (%zu):", pending.size());
+  for (const std::string& id : pending) std::printf(" %s", id.c_str());
+  std::printf("\n");
+  const auto active = queue.active_jobs();
+  std::printf("active (%zu):\n", active.size());
+  for (const farm::JobRef& job : active) {
+    std::size_t total = 0;
+    try {
+      const ConfigMap config = ConfigMap::load((job.dir / "job.spec").string());
+      total = farm::parse_sweep_spec(config).cell_count();
+    } catch (const std::exception&) {
+      // Unreadable spec: a worker will move the job to failed/ shortly.
+    }
+    const farm::JournalReplay replay = farm::replay_job_journals(job.dir, false);
+    std::printf("  %s: %zu/%zu cell(s) journaled", job.id.c_str(), replay.cells.size(),
+                total);
+    if (replay.skipped > 0) std::printf(", %zu corrupt frame(s) skipped", replay.skipped);
+    std::printf("\n");
+  }
+  const auto done = queue.done_jobs();
+  std::printf("done (%zu):", done.size());
+  for (const std::string& id : done) std::printf(" %s", id.c_str());
+  std::printf("\n");
+  const auto failed = queue.failed_jobs();
+  std::printf("failed (%zu):", failed.size());
+  for (const std::string& id : failed) std::printf(" %s", id.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mmv2v;
+  using namespace mmv2v::bench;
+
+  std::vector<FlagSpec> specs{
+      {"queue", "", "farm queue root directory (required)"},
+      {"mode", "work", "submit | work | serve | status"},
+      {"spec", "", "submit: job spec file to enqueue (knob flags override it)"},
+      {"name", "", "submit: human-readable job id suffix"},
+      {"workers", "2", "serve: worker processes to fork"},
+      {"poll_ms", "200", "work/serve: idle poll interval [ms]"},
+      {"drain", "false", "work/serve: exit once the queue is empty (batch mode)"},
+      {"idle_exit_s", "0", "work/serve: exit after this much continuous idle time (0 = never)"},
+      {"max_cells", "0", "work: stop after journaling N cells (test hook; 0 = unlimited)"},
+  };
+  // Every sweep knob is also a submit-mode override flag. Defaults stay
+  // empty here so only explicitly-passed knobs land in the job spec.
+  for (const farm::SweepKnob& knob : farm::sweep_knobs()) {
+    specs.push_back(FlagSpec{knob.name, "", knob.help});
+  }
+
+  const FlagParse parsed = parse_flags(argc, argv, specs);
+  if (parsed.show_help) {
+    print_flag_help(stdout, "farm_runner",
+                    "Sweep-farm service: submit sweep jobs to a persistent on-disk\n"
+                    "queue and serve them with work-stealing, crash-resumable worker\n"
+                    "processes (DESIGN.md Section 15).",
+                    specs);
+    return 0;
+  }
+  if (!parsed.error.empty()) {
+    std::fprintf(stderr, "farm_runner: %s (try --help)\n", parsed.error.c_str());
+    return 2;
+  }
+  const ConfigMap& cli = parsed.values;
+  const std::string queue_root = cli.get_or("queue", std::string{});
+  const std::string mode = cli.get_or("mode", std::string{"work"});
+  if (queue_root.empty()) {
+    std::fprintf(stderr, "farm_runner: queue= is required (try --help)\n");
+    return 2;
+  }
+
+  try {
+    if (mode == "submit") {
+      farm::JobQueue queue{queue_root};
+      return run_submit(queue, cli);
+    }
+    if (mode == "work") return run_work(cli, queue_root);
+    if (mode == "serve") return run_serve(cli, queue_root);
+    if (mode == "status") {
+      farm::JobQueue queue{queue_root};
+      return run_status(queue);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "farm_runner: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "farm_runner: unknown mode '%s' (try --help)\n", mode.c_str());
+  return 2;
+}
