@@ -1,0 +1,124 @@
+// Ablation E9 (DESIGN.md §16): control-plane failover under control-message
+// erasure. Sweeps the mmWave ctrl_loss rate against three transport stacks —
+//
+//   none        in-band mmWave only (the pre-failover baseline)
+//   sub6        + sub-6 GHz omnidirectional side channel (lossless, in range)
+//   sub6+relay  + one-hop relay recovery of NLOS-blocked negotiations
+//
+// for all three protocols, averaged over several seeds. ROP and 802.11ad
+// carry control traffic on the bus too but have no negotiation structure to
+// relay through, so the relay column only moves mmV2V.
+//
+// Usage: ablation_failover [vpl=D] [horizon_s=T] [seed=S] [seeds=N]
+//                          [out=FILE.json]
+//
+// With out=FILE.json the recovery curves are written as one JSON document
+// (CI uploads it next to the bench smoke results).
+#include "bench_util.hpp"
+
+#include "common/textio.hpp"
+
+namespace {
+
+using namespace mmv2v;
+using namespace mmv2v::bench;
+
+struct StackConfig {
+  const char* name;
+  bool sub6 = false;
+  bool relay = false;
+};
+
+constexpr StackConfig kStacks[] = {
+    {"none", false, false},
+    {"sub6", true, false},
+    {"sub6+relay", true, true},
+};
+
+/// One measured point: mean OCR of each protocol on one (loss, stack) cell.
+struct CurvePoint {
+  double loss = 0.0;
+  const char* stack = "none";
+  double ocr_mmv2v = 0.0;
+  double ocr_rop = 0.0;
+  double ocr_ad = 0.0;
+};
+
+std::string curves_json(const std::vector<CurvePoint>& points) {
+  std::string out = "{\"ablation\":\"failover\",\"metric\":\"ocr\",\"points\":[";
+  bool first = true;
+  for (const CurvePoint& p : points) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ctrl_loss\":";
+    io::append_number(out, p.loss);
+    out += ",\"stack\":";
+    io::append_json_string(out, p.stack);
+    out += ",\"mmv2v\":";
+    io::append_number(out, p.ocr_mmv2v);
+    out += ",\"rop\":";
+    io::append_number(out, p.ocr_rop);
+    out += ",\"ad\":";
+    io::append_number(out, p.ocr_ad);
+    out += '}';
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ConfigMap cli = parse_cli(argc, argv);
+  const double vpl = cli.get_or("vpl", 15.0);
+  const double horizon = cli.get_or("horizon_s", 1.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_or("seed", std::int64_t{47}));
+  const auto seeds = static_cast<int>(cli.get_or("seeds", std::int64_t{5}));
+  const std::string out_path = cli.get_or("out", std::string{});
+  std::vector<CurvePoint> curve;
+
+  print_header("Ablation E9: control-plane failover vs ctrl_loss (OCR at 15 vpl)");
+  std::printf("%9s %-11s | %8s %8s %8s\n", "ctrl loss", "stack", "mmV2V", "ROP", "11ad");
+  for (const double loss : {0.0, 0.1, 0.3, 0.5}) {
+    for (const StackConfig& stack : kStacks) {
+      CurvePoint p{loss, stack.name};
+      for (int rep = 0; rep < seeds; ++rep) {
+        const std::uint64_t s = seed + static_cast<std::uint64_t>(rep) * 1000;
+        core::ScenarioConfig scenario = make_scenario(vpl, s, horizon);
+        scenario.fault.ctrl_loss = loss;
+        scenario.net.sub6_enabled = stack.sub6;
+        scenario.net.sub6_loss = 0.0;
+        scenario.net.sub6_range_m = 1000.0;  // covers the whole road
+        scenario.net.relay_enabled = stack.relay;
+        p.ocr_mmv2v +=
+            run_once<protocols::MmV2VProtocol>(scenario, make_mmv2v_params(s ^ 1)).ocr;
+        p.ocr_rop += run_once<protocols::RopProtocol>(scenario, make_rop_params(s ^ 2)).ocr;
+        p.ocr_ad +=
+            run_once<protocols::Ieee80211adProtocol>(scenario, make_ad_params(s ^ 3)).ocr;
+      }
+      p.ocr_mmv2v /= seeds;
+      p.ocr_rop /= seeds;
+      p.ocr_ad /= seeds;
+      std::printf("%8.0f%% %-11s | %8.3f %8.3f %8.3f\n", loss * 100.0, stack.name,
+                  p.ocr_mmv2v, p.ocr_rop, p.ocr_ad);
+      curve.push_back(p);
+    }
+  }
+  std::printf("expectation: at 0%% loss all stacks tie (the fallback is idle);\n"
+              "from 10%% up the sub-6 stack recovers erased negotiations and the\n"
+              "gap widens with loss; relay adds a further NLOS-pair margin for\n"
+              "mmV2V only\n");
+
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ablation_failover: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    const std::string json = curves_json(curve);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\ncurves: %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -296,6 +296,21 @@ core::TierConfig parse_tier_knobs(const ConfigMap& config) {
   return tier;
 }
 
+net::NetParams parse_net_knobs(const ConfigMap& config) {
+  net::NetParams net;
+  net.sub6_enabled = config.get_or("net.sub6_enabled", net.sub6_enabled);
+  net.sub6_range_m = parse_positive_double(config, "net.sub6_range_m", net.sub6_range_m);
+  if (config.contains("net.sub6_loss")) {
+    const auto loss = config.get_double("net.sub6_loss");
+    if (!loss || *loss < 0.0 || *loss >= 1.0) {
+      throw std::runtime_error{"net.sub6_loss must be in [0, 1)"};
+    }
+    net.sub6_loss = *loss;
+  }
+  net.relay_enabled = config.get_or("net.relay_enabled", net.relay_enabled);
+  return net;
+}
+
 core::TraceParams parse_trace_knobs(const ConfigMap& config) {
   core::TraceParams trace;
   if (const auto format = config.get_string("trace.format")) {

@@ -16,6 +16,7 @@
 #include "core/engine_params.hpp"
 #include "core/fidelity.hpp"
 #include "core/trace_params.hpp"
+#include "net/net_params.hpp"
 #include "traffic/road_network.hpp"
 
 namespace mmv2v {
@@ -77,6 +78,14 @@ class ConfigMap {
 ///   tier.onrails_duty_cycle
 /// Missing keys keep the defaults; malformed values throw std::runtime_error.
 [[nodiscard]] core::TierConfig parse_tier_knobs(const ConfigMap& config);
+
+/// Parse the control-plane transport knob group into NetParams:
+///   net.sub6_enabled  = true | false (sub-6 GHz omnidirectional failover)
+///   net.sub6_range_m  = delivery range of the side channel [m] (> 0)
+///   net.sub6_loss     = stationary side-channel loss rate in [0, 1)
+///   net.relay_enabled = true | false (one-hop relay negotiation recovery)
+/// Missing keys keep the defaults; malformed values throw std::runtime_error.
+[[nodiscard]] net::NetParams parse_net_knobs(const ConfigMap& config);
 
 /// Parse the observability knob group into TraceParams:
 ///   trace.format       = jsonl | binary

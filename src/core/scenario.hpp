@@ -10,6 +10,7 @@
 #include "core/fidelity.hpp"
 #include "core/trace_params.hpp"
 #include "fault/fault_params.hpp"
+#include "net/net_params.hpp"
 #include "phy/channel.hpp"
 #include "phy/fading.hpp"
 #include "sim/frame.hpp"
@@ -39,6 +40,10 @@ struct ScenarioConfig {
   /// Deterministic impairment knobs (all zero = ideal conditions; see
   /// fault/fault_params.hpp and DESIGN.md Section 10).
   fault::FaultParams fault;
+  /// Control-plane transport knobs: sub-6 GHz failover side channel and
+  /// one-hop relay recovery (defaults off — single mmWave transport, golden
+  /// pinned; see net/net_params.hpp and DESIGN.md Section 16).
+  net::NetParams net;
   /// Execution-engine knobs (worker lanes, arena sizing). Results are
   /// bit-identical across settings; see DESIGN.md Section 11.
   EngineParams engine;

@@ -8,6 +8,7 @@
 #include "geom/angles.hpp"
 #include "geom/batch.hpp"
 #include "sim/lane_budgeter.hpp"
+#include "sim/pool_registry.hpp"
 #include "sim/worker_pool.hpp"
 #include "traffic/network_traffic_sim.hpp"
 #include "traffic/road_network.hpp"
@@ -109,26 +110,35 @@ void World::refresh_snapshot() {
     return;
   }
 
-  build_shards(shard_count);
   if (shard_pairs_.size() != shard_count) shard_pairs_.resize(shard_count);
 
   // Shards run on whatever is left of the process lane budget; each shard
-  // writes only its own pair list, and the merge below is in fixed shard
-  // order, so the arena is bit-identical for any lane or shard count.
+  // writes only its own state (halo, local evaluator, pair list), and the
+  // merge below is in fixed shard order, so the arena is bit-identical for
+  // any lane or shard count. The pool itself is checked out of the
+  // process-wide registry: its threads (and their thread_local scratch)
+  // persist across refreshes instead of respawning per mobility tick.
   sim::LaneBudgeter::Lease lease = sim::LaneBudgeter::instance().acquire(0);
   const std::size_t workers = std::min(static_cast<std::size_t>(lease.lanes()), shard_count);
-  if (workers <= 1) {
+  sim::PoolRegistry::Checkout checkout;
+  sim::WorkerPool* pool = nullptr;
+  if (workers > 1) {
+    checkout = sim::PoolRegistry::instance().checkout(static_cast<int>(workers));
+    pool = checkout.pool();
+  }
+  build_shards(shard_count, pool);
+  if (pool == nullptr) {
     for (std::size_t s = 0; s < shard_count; ++s) {
       enumerate_pairs(shards_[s].owned, shard_los_[s], shard_pairs_[s]);
     }
   } else {
-    sim::WorkerPool pool{static_cast<int>(workers)};
-    pool.for_chunks(shard_count, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+    pool->for_chunks(shard_count, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
       for (std::size_t s = begin; s < end; ++s) {
         enumerate_pairs(shards_[s].owned, shard_los_[s], shard_pairs_[s]);
       }
     });
   }
+  checkout.release();
   lease.release();
   scatter_pairs(/*sort_groups=*/true);
 }
@@ -192,7 +202,7 @@ void World::enumerate_pairs(std::span<const std::uint32_t> owners,
   }
 }
 
-void World::build_shards(std::size_t shard_count) {
+void World::build_shards(std::size_t shard_count, sim::WorkerPool* pool) {
   const std::size_t n = positions_.size();
   double x_min = positions_[0].x;
   double x_max = positions_[0].x;
@@ -227,8 +237,10 @@ void World::build_shards(std::size_t shard_count) {
   const double margin = config_.interference_range_m + max_body;
 
   shard_los_.assign(shard_count, geom::LosEvaluator{});
-  std::vector<geom::Blocker> local;
-  for (std::size_t s = 0; s < shard_count; ++s) {
+  // Each shard writes only its own halo and evaluator, so the per-shard loop
+  // runs on pool lanes when granted; the halo scan order (i ascending) and
+  // the evaluator's body order are identical either way.
+  auto build_one = [&](std::size_t s, std::vector<geom::Blocker>& local) {
     WorldShard& shard = shards_[s];
     for (std::uint32_t i = 0; i < n; ++i) {
       if (owner_of[i] != s && positions_[i].x >= shard.x_min - margin &&
@@ -241,6 +253,17 @@ void World::build_shards(std::size_t shard_count) {
     for (const std::uint32_t i : shard.owned) local.push_back(bodies[i]);
     for (const std::uint32_t i : shard.halo) local.push_back(bodies[i]);
     shard_los_[s] = geom::LosEvaluator{local};
+  };
+  if (pool == nullptr) {
+    std::vector<geom::Blocker> local;
+    for (std::size_t s = 0; s < shard_count; ++s) build_one(s, local);
+  } else {
+    pool->for_chunks(shard_count, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+      // Per-lane body scratch retains capacity across refreshes (the pool's
+      // threads persist via the registry).
+      thread_local std::vector<geom::Blocker> local;
+      for (std::size_t s = begin; s < end; ++s) build_one(s, local);
+    });
   }
 }
 

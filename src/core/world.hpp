@@ -19,6 +19,10 @@
 #include "traffic/mobility_model.hpp"
 #include "traffic/traffic_sim.hpp"
 
+namespace mmv2v::sim {
+class WorkerPool;
+}  // namespace mmv2v::sim
+
 namespace mmv2v::core {
 
 /// Cached geometry of an (ordered) nearby pair, valid for one snapshot.
@@ -144,7 +148,9 @@ class World {
   };
 
   /// Partition vehicles into x-strips and collect halos (world.shards > 1).
-  void build_shards(std::size_t shard_count);
+  /// The per-shard halo scan and local-evaluator build run on `pool` when it
+  /// is non-null (each shard writes only its own state), serially otherwise.
+  void build_shards(std::size_t shard_count, sim::WorkerPool* pool);
   /// Enumerate pairs owned by one shard into `out` using evaluator `los`.
   void enumerate_pairs(std::span<const std::uint32_t> owners, const geom::LosEvaluator& los,
                        std::vector<UndirectedPair>& out) const;

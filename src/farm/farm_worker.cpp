@@ -181,6 +181,13 @@ bool process_job(JobQueue& queue, const JobRef& job, const FarmOptions& options,
   bool progressed = false;
   std::optional<CellJournalWriter> journal;
   while (options.max_cells == 0 || stats.cells_run < options.max_cells) {
+    // Cancellation is honored at cell boundaries: finish the cell in flight,
+    // never start another. The marker travels with the directory to failed/.
+    if (JobQueue::cancel_requested(job)) {
+      queue.fail(job, "cancelled");
+      ++stats.jobs_failed;
+      return true;
+    }
     // Fresh view every round: other workers' journals shrink our todo list.
     const JournalReplay done = replay_job_journals(job.dir, false);
     std::size_t claimed = ctx.cells;
@@ -216,6 +223,12 @@ bool process_job(JobQueue& queue, const JobRef& job, const FarmOptions& options,
     write_progress(job, ctx);
   }
 
+  // A cancel that lands after the last cell still wins over finalization.
+  if (JobQueue::cancel_requested(job)) {
+    queue.fail(job, "cancelled");
+    ++stats.jobs_failed;
+    return true;
+  }
   // Finalize once every cell is journaled; the merge claim picks exactly one
   // finalizer (stale-takeover included, via try_claim).
   try {
@@ -263,7 +276,18 @@ FarmWorkerStats run_farm_worker(const FarmOptions& options) {
   auto idle_since = std::chrono::steady_clock::now();
   for (;;) {
     bool progressed = false;
-    for (const JobRef& job : queue.active_jobs()) {
+    // Same policy as activation: highest priority first, id order on ties
+    // (active_jobs() is id-sorted and the sort is stable).
+    std::vector<JobRef> active = queue.active_jobs();
+    std::vector<int> priorities;
+    priorities.reserve(active.size());
+    for (const JobRef& job : active) priorities.push_back(spec_priority(job.dir / "job.spec"));
+    std::vector<std::size_t> order(active.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) { return priorities[a] > priorities[b]; });
+    for (const std::size_t k : order) {
+      const JobRef& job = active[k];
       progressed = process_job(queue, job, options, stats) || progressed;
       if (options.max_cells != 0 && stats.cells_run >= options.max_cells) return stats;
     }

@@ -170,7 +170,21 @@ std::vector<std::string> JobQueue::failed_jobs() const {
 }
 
 std::optional<JobRef> JobQueue::activate_next() {
-  for (const std::string& id : pending_jobs()) {
+  // Highest priority first; within one priority, submission (id) order —
+  // pending_jobs() is already id-sorted and the sort is stable.
+  std::vector<std::string> ids = pending_jobs();
+  std::vector<int> priorities;
+  priorities.reserve(ids.size());
+  for (const std::string& id : ids) {
+    priorities.push_back(spec_priority(root_ / "pending" / (id + ".spec")));
+  }
+  std::vector<std::size_t> order(ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return priorities[a] > priorities[b];
+  });
+  for (const std::size_t k : order) {
+    const std::string& id = ids[k];
     const fs::path dir = root_ / "active" / id;
     std::error_code ec;
     fs::create_directories(dir / "claims", ec);
@@ -191,6 +205,33 @@ void JobQueue::finish(const JobRef& job) {
   // believed the merge claim, which only happens after a stale takeover, and
   // the outputs are bit-identical either way.
   (void)::rename(job.dir.c_str(), (root_ / "done" / job.id).c_str());
+}
+
+bool JobQueue::cancel(const std::string& id) {
+  std::error_code ec;
+  // Pending: take the spec off the queue first — once the unlink succeeds no
+  // worker can activate the job, and the failed/ entry is ours to write.
+  const fs::path pending_spec = root_ / "pending" / (id + ".spec");
+  if (::unlink(pending_spec.c_str()) == 0) {
+    const fs::path dir = root_ / "failed" / id;
+    fs::create_directories(dir, ec);
+    { std::ofstream marker{dir / cancel_marker_name()}; }
+    std::ofstream out{dir / "error.txt", std::ios::binary | std::ios::app};
+    out << "cancelled\n";
+    return true;
+  }
+  // Active: drop the marker; workers honor it at the next cell boundary.
+  const fs::path active_dir = root_ / "active" / id;
+  if (fs::exists(active_dir / "job.spec", ec)) {
+    std::ofstream marker{active_dir / cancel_marker_name()};
+    return static_cast<bool>(marker);
+  }
+  return false;
+}
+
+bool JobQueue::cancel_requested(const JobRef& job) noexcept {
+  std::error_code ec;
+  return fs::exists(job.dir / cancel_marker_name(), ec);
 }
 
 void JobQueue::fail(const JobRef& job, std::string_view reason) {
@@ -214,6 +255,32 @@ std::string cell_claim_name(std::size_t index) {
 }
 
 std::string merge_claim_name() { return "merge.claim"; }
+
+std::string cancel_marker_name() { return "cancelled"; }
+
+int spec_priority(const fs::path& spec_path) noexcept {
+  // A plain line scan instead of the full ConfigMap parse: this runs once
+  // per pending job per activation attempt, and a malformed spec must sort
+  // as priority 0 here and fail properly in load_job later.
+  std::ifstream in{spec_path};
+  std::string line;
+  while (in && std::getline(in, line)) {
+    std::size_t pos = line.find_first_not_of(" \t");
+    if (pos == std::string::npos || line[pos] == '#') continue;
+    constexpr std::string_view key = "priority";
+    if (line.compare(pos, key.size(), key) != 0) continue;
+    pos = line.find_first_not_of(" \t", pos + key.size());
+    if (pos == std::string::npos || (line[pos] != '=' && line[pos] != ':')) continue;
+    pos = line.find_first_not_of(" \t", pos + 1);
+    if (pos == std::string::npos) return 0;
+    try {
+      return std::stoi(line.substr(pos));
+    } catch (...) {
+      return 0;
+    }
+  }
+  return 0;
+}
 
 ClaimResult try_claim(const fs::path& job_dir, const std::string& name) {
   const fs::path claim = job_dir / "claims" / name;

@@ -63,11 +63,22 @@ class JobQueue {
   [[nodiscard]] std::vector<std::string> done_jobs() const;
   [[nodiscard]] std::vector<std::string> failed_jobs() const;
 
-  /// Move the oldest pending job to active/ and return it; std::nullopt when
-  /// nothing is pending. Safe to race: exactly one of the racing workers
-  /// completes each activation, and a half-activated job (crashed worker) is
-  /// repaired in passing.
+  /// Move the best pending job to active/ and return it; std::nullopt when
+  /// nothing is pending. "Best" = highest `priority` knob in the spec (0
+  /// when absent), ties broken by submission (id) order. Safe to race:
+  /// exactly one of the racing workers completes each activation, and a
+  /// half-activated job (crashed worker) is repaired in passing.
   [[nodiscard]] std::optional<JobRef> activate_next();
+
+  /// Request cancellation of job `id`. A pending job moves straight to
+  /// failed/ with a `cancelled` marker file; an active job gets the marker
+  /// dropped into its directory, which workers honor at the next cell
+  /// boundary (the job then moves to failed/, marker included). Returns
+  /// false when `id` is neither pending nor active.
+  bool cancel(const std::string& id);
+
+  /// True when `job` carries a cancellation marker.
+  [[nodiscard]] static bool cancel_requested(const JobRef& job) noexcept;
 
   /// Move a finished job to done/. Idempotent: losing the rename race to
   /// another worker is not an error.
@@ -89,6 +100,13 @@ class JobQueue {
 
 /// Claim file name guarding the final merge/finalize step.
 [[nodiscard]] std::string merge_claim_name();
+
+/// Name of the cancellation marker file inside a job directory.
+[[nodiscard]] std::string cancel_marker_name();
+
+/// The `priority` knob of the spec file at `spec_path` (0 when the file is
+/// unreadable or carries no priority). Higher values activate first.
+[[nodiscard]] int spec_priority(const std::filesystem::path& spec_path) noexcept;
 
 /// Try to acquire claim `name` inside `job_dir` for this process. A claim
 /// held by a dead process is removed and re-acquired (stale-claim takeover).

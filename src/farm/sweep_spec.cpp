@@ -17,7 +17,7 @@ namespace {
 // The single source of truth for what a sweep job understands. sweep_runner
 // and farm_runner derive their flag lists from this table, so a knob added
 // here is automatically submittable, parseable and documented everywhere.
-constexpr std::array<SweepKnob, 45> kSweepKnobs{{
+constexpr std::array<SweepKnob, 50> kSweepKnobs{{
     {"protocol", "mmv2v", "protocol under test: mmv2v | rop | ad"},
     {"densities", "", "explicit density list, e.g. 10,20,30 (overrides vpl_*)"},
     {"vpl_min", "10", "sweep start density [vehicles/lane]"},
@@ -62,6 +62,13 @@ constexpr std::array<SweepKnob, 45> kSweepKnobs{{
     {"fault.gps_sigma_m", "0", "fault: GPS position noise sigma per axis [m] (0 = off)"},
     {"fault.churn_rate", "0",
      "fault: per-vehicle per-frame radio dropout probability (0 = off)"},
+    {"net.sub6_enabled", "false",
+     "control plane: sub-6 GHz omnidirectional failover transport"},
+    {"net.sub6_range_m", "250", "control plane: sub-6 side-channel range [m]"},
+    {"net.sub6_loss", "0", "control plane: sub-6 stationary loss rate in [0,1)"},
+    {"net.relay_enabled", "false",
+     "control plane: one-hop relay recovery for NLOS-blocked negotiation"},
+    {"priority", "0", "farm worker claim priority (higher activates first)"},
     {"trace_out", "", "write the merged event trace (enables instrumentation)"},
     {"trace.format", "jsonl", "trace encoding: jsonl | binary (.mmtrace)"},
     {"trace.flush_events", "0", "recorder flush batch size (0 = buffer the whole cell)"},
@@ -197,6 +204,8 @@ SweepSpec parse_sweep_spec(const ConfigMap& config) {
   spec.base.fault.burst_len = full.get_or("fault.burst_len", 1.0);
   spec.base.fault.gps_sigma_m = full.get_or("fault.gps_sigma_m", 0.0);
   spec.base.fault.churn_rate = full.get_or("fault.churn_rate", 0.0);
+  spec.base.net = parse_net_knobs(full);
+  spec.priority = static_cast<int>(full.get_or("priority", std::int64_t{0}));
 
   // Fail at parse time, not first-cell time, if the protocol is unknown.
   (void)make_sweep_protocol_factory(full);

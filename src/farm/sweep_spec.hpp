@@ -53,6 +53,9 @@ struct SweepSpec {
   std::string out_json;
   /// Streaming per-density rollup snapshot path.
   std::string progress_out;
+  /// Worker claim priority: higher-priority jobs activate first; ties fall
+  /// back to submission (FIFO) order.
+  int priority = 0;
 
   [[nodiscard]] std::size_t cell_count() const noexcept { return experiment.cell_count(); }
 };

@@ -27,47 +27,15 @@ constexpr std::uint64_t kGpsTag = 0x69e5ULL;
 constexpr std::uint64_t kCtrlTag = 0xc7a1ULL;
 constexpr std::uint64_t kChurnTag = 0xcca0ULL;
 
-// Per-step stream tags inside one loss chain.
-constexpr std::uint64_t kGeStepTag = 0x6e57ULL;
-constexpr std::uint64_t kLossTag = 0x1055ULL;
-constexpr std::uint64_t kCorruptTag = 0xc0bbULL;
-constexpr std::uint64_t kStationaryTag = 0x57a7ULL;
-
-/// Backward-scan horizon for resolving the burst state. The scan ends at the
-/// first regeneration point, reached with probability p_enter + p_leave per
-/// step; the residual probability of an unresolved scan is
-/// (1 - p_enter - p_leave)^kMaxScan — negligible for any realistic knobs.
-constexpr std::uint64_t kMaxScan = 4096;
-
-/// Uniform in [0, 1) from a hashed 64-bit key.
-double to_unit(std::uint64_t key) {
-  return static_cast<double>(key >> 11) * 0x1.0p-53;
-}
-
 }  // namespace
 
 FaultPlan::FaultPlan(const FaultParams& params, std::uint64_t seed)
     : params_{params},
       clock_key_{derive_seed(seed, kClockTag, 0)},
       gps_key_{derive_seed(seed, kGpsTag, 0)},
-      ctrl_key_{derive_seed(seed, kCtrlTag, 0)},
-      rng_churn_{derive_seed(seed, kChurnTag, 0)} {
-  // Gilbert-Elliott parameterization from the user-facing (stationary loss,
-  // mean burst length) pair. With leave rate r = 1/L the stationary bad-state
-  // probability pi_B = p / (p + r) equals ctrl_loss when
-  // p = r * pi_B / (1 - pi_B). The regeneration coupling below needs
-  // p + r <= 1 (disjoint enter/leave regions of the per-step uniform); that
-  // fails only for burst_len < 1/(1 - loss), which is exactly where the GE
-  // process degenerates to iid draws — so those knobs fall back to the
-  // memoryless model at the same stationary rate.
-  ge_memoryless_ = params_.burst_len <= 1.0;
-  if (!ge_memoryless_ && params_.ctrl_loss > 0.0 && params_.ctrl_loss < 1.0) {
-    const double r = 1.0 / params_.burst_len;
-    ge_p_leave_bad_ = r;
-    ge_p_enter_bad_ = r * params_.ctrl_loss / (1.0 - params_.ctrl_loss);
-    if (ge_p_enter_bad_ + ge_p_leave_bad_ > 1.0) ge_memoryless_ = true;
-  }
-}
+      rng_churn_{derive_seed(seed, kChurnTag, 0)},
+      ctrl_chain_{params.ctrl_loss, params.ctrl_corrupt, params.burst_len,
+                  derive_seed(seed, kCtrlTag, 0)} {}
 
 void FaultPlan::begin_frame(std::uint64_t frame, std::size_t vehicle_count,
                             double frame_s) {
@@ -113,47 +81,9 @@ double FaultPlan::clock_offset_s(net::NodeId id) const {
   return params_.clock_drift_us * 1e-6 * hashed_normal(key);
 }
 
-bool FaultPlan::bad_at(std::uint64_t chain_key, std::uint64_t step) const {
-  // Regeneration-scan coupling: the per-step uniform u_j decides
-  //   u_j <  p_enter            -> bad at j  (regardless of history)
-  //   u_j >= 1 - p_leave        -> good at j (regardless of history)
-  //   otherwise                 -> hold the state of j - 1.
-  // For the marginals this is exactly the two-state chain (given the good
-  // state, P(bad next) = p_enter; given bad, P(good next) = p_leave), but
-  // the state at any step resolves by scanning backward to the most recent
-  // decisive step — a pure function of the step index, so queries commute.
-  for (std::uint64_t d = 0; d <= kMaxScan; ++d) {
-    const std::uint64_t j = step - d;
-    const double u = to_unit(derive_seed(chain_key, j, kGeStepTag));
-    if (u < ge_p_enter_bad_) return true;
-    if (u >= 1.0 - ge_p_leave_bad_) return false;
-    if (j == 0) return false;  // chains start in the good state
-  }
-  // Unresolved after the horizon (vanishing probability): stationary draw,
-  // constant per scan-sized block so neighboring steps almost always agree.
-  return to_unit(derive_seed(chain_key, step / (kMaxScan + 1), kStationaryTag)) <
-         params_.ctrl_loss;
-}
-
 CtrlFate FaultPlan::ctrl_fate_at_step(net::NodeId sender, CtrlKind kind,
                                       std::uint64_t step) const {
-  if (params_.ctrl_loss <= 0.0 && params_.ctrl_corrupt <= 0.0) {
-    return CtrlFate::kDelivered;
-  }
-  const std::uint64_t chain_key = derive_seed(
-      ctrl_key_, static_cast<std::uint64_t>(sender), static_cast<std::uint64_t>(kind));
-  if (params_.ctrl_loss > 0.0) {
-    const bool lost =
-        ge_memoryless_
-            ? to_unit(derive_seed(chain_key, step, kLossTag)) < params_.ctrl_loss
-            : bad_at(chain_key, step);
-    if (lost) return CtrlFate::kLost;
-  }
-  if (params_.ctrl_corrupt > 0.0 &&
-      to_unit(derive_seed(chain_key, step, kCorruptTag)) < params_.ctrl_corrupt) {
-    return CtrlFate::kCorrupted;
-  }
-  return CtrlFate::kDelivered;
+  return ctrl_chain_.fate_at_step(static_cast<std::uint64_t>(sender), kind, step);
 }
 
 CtrlFate FaultPlan::ctrl_fate(net::NodeId sender, CtrlKind kind, std::uint64_t slot,

@@ -26,26 +26,11 @@
 
 #include "common/rng.hpp"
 #include "fault/fault_params.hpp"
+#include "fault/loss_chain.hpp"
 #include "geom/vec2.hpp"
 #include "net/mac_address.hpp"
 
 namespace mmv2v::fault {
-
-/// Control-plane message classes subject to loss/corruption. 802.11ad DMG
-/// beacons ride the kSsw class (they serve the same discovery role).
-enum class CtrlKind : std::uint8_t {
-  kSsw = 0,
-  kNegotiation = 1,
-  kInform = 2,
-  kRefine = 3,
-};
-
-/// Outcome of one control transmission under the fault plan.
-enum class CtrlFate : std::uint8_t {
-  kDelivered = 0,
-  kLost = 1,       ///< erased in a bad burst state
-  kCorrupted = 2,  ///< delivered but undecodable
-};
 
 /// Per-frame injection bookkeeping, reset by `begin_frame`. Protocols read
 /// this after their control phases to publish `fault.*` counters and the
@@ -148,23 +133,15 @@ class FaultPlan {
   };
 
   void count_drop(CtrlKind kind);
-  /// Burst (bad) state of chain `chain_key` at step `step`: backward scan to
-  /// the most recent regeneration point among the hashed per-step uniforms.
-  [[nodiscard]] bool bad_at(std::uint64_t chain_key, std::uint64_t step) const;
 
   FaultParams params_;
   std::uint64_t clock_key_ = 0;
   std::uint64_t gps_key_ = 0;
-  std::uint64_t ctrl_key_ = 0;
   Xoshiro256pp rng_churn_;
-  // Gilbert-Elliott transition probabilities derived from (ctrl_loss,
-  // burst_len): r = 1/burst, p = r * loss / (1 - loss). The counter-based
-  // regeneration coupling needs p + r <= 1; outside that (burst_len below
-  // 1/(1-loss), the iid limit) the process falls back to memoryless draws at
-  // the stationary rate.
-  double ge_p_enter_bad_ = 0.0;
-  double ge_p_leave_bad_ = 1.0;
-  bool ge_memoryless_ = true;
+  /// In-band mmWave control-loss chain (fault/loss_chain.hpp). Failover
+  /// transports own independent chains keyed off their own seeds, so the
+  /// loss processes are per-transport.
+  LossChain ctrl_chain_;
   std::vector<ChurnState> churn_;
   std::uint64_t frame_ = 0;
   FaultFrameStats frame_stats_{};

@@ -1,0 +1,86 @@
+#include "fault/loss_chain.hpp"
+
+#include "common/hash.hpp"
+
+namespace mmv2v::fault {
+
+namespace {
+
+// Per-step stream tags inside one loss chain.
+constexpr std::uint64_t kGeStepTag = 0x6e57ULL;
+constexpr std::uint64_t kLossTag = 0x1055ULL;
+constexpr std::uint64_t kCorruptTag = 0xc0bbULL;
+constexpr std::uint64_t kStationaryTag = 0x57a7ULL;
+
+/// Backward-scan horizon for resolving the burst state. The scan ends at the
+/// first regeneration point, reached with probability p_enter + p_leave per
+/// step; the residual probability of an unresolved scan is
+/// (1 - p_enter - p_leave)^kMaxScan — negligible for any realistic knobs.
+constexpr std::uint64_t kMaxScan = 4096;
+
+/// Uniform in [0, 1) from a hashed 64-bit key.
+double to_unit(std::uint64_t key) {
+  return static_cast<double>(key >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+LossChain::LossChain(double loss, double corrupt, double burst_len, std::uint64_t key)
+    : loss_{loss}, corrupt_{corrupt}, key_{key} {
+  // Gilbert-Elliott parameterization from the user-facing (stationary loss,
+  // mean burst length) pair. With leave rate r = 1/L the stationary bad-state
+  // probability pi_B = p / (p + r) equals `loss` when
+  // p = r * pi_B / (1 - pi_B). The regeneration coupling below needs
+  // p + r <= 1 (disjoint enter/leave regions of the per-step uniform); that
+  // fails only for burst_len < 1/(1 - loss), which is exactly where the GE
+  // process degenerates to iid draws — so those knobs fall back to the
+  // memoryless model at the same stationary rate.
+  ge_memoryless_ = burst_len <= 1.0;
+  if (!ge_memoryless_ && loss_ > 0.0 && loss_ < 1.0) {
+    const double r = 1.0 / burst_len;
+    ge_p_leave_bad_ = r;
+    ge_p_enter_bad_ = r * loss_ / (1.0 - loss_);
+    if (ge_p_enter_bad_ + ge_p_leave_bad_ > 1.0) ge_memoryless_ = true;
+  }
+}
+
+bool LossChain::bad_at(std::uint64_t chain_key, std::uint64_t step) const {
+  // Regeneration-scan coupling: the per-step uniform u_j decides
+  //   u_j <  p_enter            -> bad at j  (regardless of history)
+  //   u_j >= 1 - p_leave        -> good at j (regardless of history)
+  //   otherwise                 -> hold the state of j - 1.
+  // For the marginals this is exactly the two-state chain (given the good
+  // state, P(bad next) = p_enter; given bad, P(good next) = p_leave), but
+  // the state at any step resolves by scanning backward to the most recent
+  // decisive step — a pure function of the step index, so queries commute.
+  for (std::uint64_t d = 0; d <= kMaxScan; ++d) {
+    const std::uint64_t j = step - d;
+    const double u = to_unit(derive_seed(chain_key, j, kGeStepTag));
+    if (u < ge_p_enter_bad_) return true;
+    if (u >= 1.0 - ge_p_leave_bad_) return false;
+    if (j == 0) return false;  // chains start in the good state
+  }
+  // Unresolved after the horizon (vanishing probability): stationary draw,
+  // constant per scan-sized block so neighboring steps almost always agree.
+  return to_unit(derive_seed(chain_key, step / (kMaxScan + 1), kStationaryTag)) < loss_;
+}
+
+CtrlFate LossChain::fate_at_step(std::uint64_t sender, CtrlKind kind,
+                                 std::uint64_t step) const {
+  if (loss_ <= 0.0 && corrupt_ <= 0.0) return CtrlFate::kDelivered;
+  const std::uint64_t chain_key =
+      derive_seed(key_, sender, static_cast<std::uint64_t>(kind));
+  if (loss_ > 0.0) {
+    const bool lost = ge_memoryless_
+                          ? to_unit(derive_seed(chain_key, step, kLossTag)) < loss_
+                          : bad_at(chain_key, step);
+    if (lost) return CtrlFate::kLost;
+  }
+  if (corrupt_ > 0.0 &&
+      to_unit(derive_seed(chain_key, step, kCorruptTag)) < corrupt_) {
+    return CtrlFate::kCorrupted;
+  }
+  return CtrlFate::kDelivered;
+}
+
+}  // namespace mmv2v::fault

@@ -1,0 +1,71 @@
+// Counter-based Gilbert-Elliott control-loss chain, reusable per transport
+// (DESIGN.md Sections 10 and 16). A LossChain owns no mutable state: the
+// burst state at chain step k is a pure function of (key, sender, kind, k),
+// resolved by scanning hashed per-step uniforms backward to the most recent
+// regeneration point. Queries therefore commute and are safe to evaluate
+// concurrently from worker lanes.
+//
+// The FaultPlan's in-band mmWave chain and the ControlPlane's sub-6 GHz
+// failover chain are both instances of this class with independent keys, so
+// enabling one transport never perturbs the draw sequence of another.
+#pragma once
+
+#include <cstdint>
+
+namespace mmv2v::fault {
+
+/// Control-plane message classes subject to loss/corruption. 802.11ad DMG
+/// beacons ride the kSsw class (they serve the same discovery role).
+enum class CtrlKind : std::uint8_t {
+  kSsw = 0,
+  kNegotiation = 1,
+  kInform = 2,
+  kRefine = 3,
+};
+
+/// Outcome of one control transmission under a loss chain.
+enum class CtrlFate : std::uint8_t {
+  kDelivered = 0,
+  kLost = 1,       ///< erased in a bad burst state
+  kCorrupted = 2,  ///< delivered but undecodable
+};
+
+class LossChain {
+ public:
+  /// Default-constructed chains are inert: every message is delivered.
+  LossChain() = default;
+
+  /// `loss` is the stationary loss rate in [0, 1), `corrupt` the independent
+  /// per-message corruption probability, `burst_len` the mean loss-burst
+  /// length (<= 1 degenerates to independent Bernoulli losses), `key` the
+  /// seed-derived root of this transport's chain family.
+  LossChain(double loss, double corrupt, double burst_len, std::uint64_t key);
+
+  [[nodiscard]] bool active() const noexcept { return loss_ > 0.0 || corrupt_ > 0.0; }
+  [[nodiscard]] double loss() const noexcept { return loss_; }
+
+  /// Fate of the message `sender` transmits for class `kind` at absolute
+  /// chain step `step`. Chains are per (sender, kind) and step across
+  /// frames, so bursts span frame boundaries.
+  [[nodiscard]] CtrlFate fate_at_step(std::uint64_t sender, CtrlKind kind,
+                                      std::uint64_t step) const;
+
+ private:
+  /// Burst (bad) state of chain `chain_key` at step `step`: backward scan to
+  /// the most recent regeneration point among the hashed per-step uniforms.
+  [[nodiscard]] bool bad_at(std::uint64_t chain_key, std::uint64_t step) const;
+
+  double loss_ = 0.0;
+  double corrupt_ = 0.0;
+  std::uint64_t key_ = 0;
+  // Gilbert-Elliott transition probabilities derived from (loss, burst_len):
+  // r = 1/burst, p = r * loss / (1 - loss). The counter-based regeneration
+  // coupling needs p + r <= 1; outside that (burst_len below 1/(1 - loss),
+  // the iid limit) the process falls back to memoryless draws at the
+  // stationary rate.
+  double ge_p_enter_bad_ = 0.0;
+  double ge_p_leave_bad_ = 1.0;
+  bool ge_memoryless_ = true;
+};
+
+}  // namespace mmv2v::fault

@@ -1,0 +1,128 @@
+#include "net/control_plane.hpp"
+
+#include "common/hash.hpp"
+
+namespace mmv2v::net {
+
+namespace {
+
+/// Root tag of the sub-6 transport's chain family under the plane seed.
+constexpr std::uint64_t kSub6Tag = 0x5b6cULL;
+
+}  // namespace
+
+const char* transport_name(TransportId id) noexcept {
+  switch (id) {
+    case TransportId::kMmWave: return "mmwave";
+    case TransportId::kSub6: return "sub6";
+    case TransportId::kRelay: return "relay";
+  }
+  return "?";
+}
+
+std::uint64_t message_id(const CtrlMessage& m) noexcept {
+  const std::uint64_t envelope =
+      derive_seed(static_cast<std::uint64_t>(m.sender),
+                  static_cast<std::uint64_t>(m.receiver),
+                  static_cast<std::uint64_t>(m.kind));
+  return derive_seed(envelope, m.slot, m.slots_per_frame);
+}
+
+fault::CtrlFate MmWaveTransport::fate(const CtrlMessage& m, std::uint64_t) const {
+  // The FaultPlan tracks the frame itself (begin_frame); delegating keeps
+  // the chain keys and steps bit-identical to the pre-bus direct queries.
+  if (fault_ == nullptr) return fault::CtrlFate::kDelivered;
+  return fault_->ctrl_fate(m.sender, m.kind, m.slot, m.slots_per_frame);
+}
+
+Sub6Transport::Sub6Transport(double range_m, double loss, std::uint64_t seed)
+    : range_m_(range_m),
+      chain_(loss, 0.0, /*burst_len=*/1.0, derive_seed(seed, kSub6Tag, 0)) {}
+
+fault::CtrlFate Sub6Transport::fate(const CtrlMessage& m, std::uint64_t frame) const {
+  // Same broadcast-fate semantics as the mmWave chain: one transmission, one
+  // fate for every receiver, stepped per (sender, kind) slot. The chain key
+  // descends from the plane seed, never the fault seed, so the two
+  // transports' loss processes are independent.
+  return chain_.fate_at_step(static_cast<std::uint64_t>(m.sender), m.kind,
+                             frame * m.slots_per_frame + m.slot);
+}
+
+std::optional<NodeId> select_relay(std::span<const RelayCandidate> candidates) noexcept {
+  const RelayCandidate* best = nullptr;
+  for (const RelayCandidate& c : candidates) {
+    if (best == nullptr || c.quality > best->quality ||
+        (c.quality == best->quality && c.id < best->id)) {
+      best = &c;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return best->id;
+}
+
+ControlPlane::ControlPlane(const NetParams& params, std::uint64_t seed,
+                           fault::FaultPlan* fault)
+    : params_(params), fault_(fault) {
+  stack_.push_back(std::make_unique<MmWaveTransport>(fault));
+  if (params_.sub6_enabled) {
+    stack_.push_back(
+        std::make_unique<Sub6Transport>(params_.sub6_range_m, params_.sub6_loss, seed));
+  }
+}
+
+ControlPlane::ControlPlane(std::vector<std::unique_ptr<Transport>> stack)
+    : stack_(std::move(stack)) {
+  // A hand-built stack is failover machinery by definition.
+  params_.sub6_enabled = true;
+}
+
+void ControlPlane::begin_frame(std::uint64_t frame) {
+  frame_ = frame;
+  stats_ = NetFrameStats{};
+  seen_.clear();
+}
+
+Delivery ControlPlane::send(const CtrlMessage& m) const {
+  // One copy per eligible transport; the receiver keeps the first successful
+  // copy in priority order and later successes dedup against its id.
+  Delivery d;
+  d.delivered = false;
+  for (const std::unique_ptr<Transport>& t : stack_) {
+    if (!t->eligible(m)) continue;
+    const fault::CtrlFate fate = t->fate(m, frame_);
+    if (t->id() == TransportId::kMmWave) d.mmwave = fate;
+    if (fate != fault::CtrlFate::kDelivered) continue;
+    if (!d.delivered) {
+      d.delivered = true;
+      d.via = t->id();
+    } else {
+      ++d.duplicates;
+    }
+  }
+  return d;
+}
+
+Delivery ControlPlane::send_noted(const CtrlMessage& m) {
+  Delivery d = send(m);
+  // Primary-path accounting identical to the pre-bus fault->ctrl_lost calls.
+  if (fault_ != nullptr) fault_->note_ctrl_fate(d.mmwave, m.kind);
+  if (d.delivered) {
+    // Receiver-side dedup across the frame: a retransmission of an id the
+    // receiver already accepted is dropped, not delivered twice.
+    if (!seen_.insert(message_id(m)).second) {
+      d.deduped = true;
+      ++d.duplicates;
+    }
+    if (!d.deduped && d.via == TransportId::kSub6) ++stats_.sub6_recoveries;
+  }
+  stats_.duplicates_dropped += d.duplicates;
+  return d;
+}
+
+std::optional<NodeId> ControlPlane::relay_via(
+    std::span<const RelayCandidate> candidates) const {
+  if (!params_.relay_enabled) return std::nullopt;
+  return select_relay(candidates);
+}
+
+}  // namespace mmv2v::net

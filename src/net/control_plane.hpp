@@ -1,0 +1,222 @@
+// Unified control-plane message bus (DESIGN.md Section 16).
+//
+// Every control message the protocol stacks exchange (SSW feedback, DMG
+// beacons, DCM negotiation halves, drop-informs, refinement feedback) is
+// sent through a ControlPlane instead of querying the FaultPlan directly.
+// The plane owns a priority-ordered stack of pluggable Transports:
+//
+//   1. kMmWave — the existing in-band directional path. Its fate comes from
+//      the FaultPlan's loss chain with the exact same keying as the
+//      pre-refactor direct queries, so with every failover knob off the
+//      golden trace digest is bit-identical.
+//   2. kSub6  — a low-rate omnidirectional sub-6 GHz side channel with its
+//      own range gate and its own per-transport loss chain
+//      (fault/loss_chain.hpp), keyed off an independent seed so enabling it
+//      never perturbs the mmWave chains.
+//
+// Failover policy: a send puts one copy on every eligible transport; the
+// receiver keeps the first successful copy in priority order and drops later
+// copies by message id (dedup). One-hop relay recovery is a separate policy
+// hook for negotiation: an NLOS-blocked pair recovers the exchange through
+// the best common neighbor, chosen deterministically.
+//
+// Every fate query is a pure function of (message identity, frame), so
+// `send` is const and safe from concurrent worker lanes; per-frame stats are
+// accumulated either serially (`send_noted`) or by merging per-chunk caller
+// partials in chunk order — faulted failover runs stay thread-count
+// invariant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "net/mac_address.hpp"
+#include "net/net_params.hpp"
+
+namespace mmv2v::net {
+
+/// Transports in priority order (lower value = preferred). kRelay is not a
+/// broadcast transport in the stack — it names the relay recovery path in
+/// delivery attributions and span outcomes.
+enum class TransportId : std::uint8_t {
+  kMmWave = 0,
+  kSub6 = 1,
+  kRelay = 2,
+};
+
+[[nodiscard]] const char* transport_name(TransportId id) noexcept;
+
+/// One typed control message on the bus. The payload structs themselves live
+/// in net/messages.hpp; delivery only depends on this envelope.
+struct CtrlMessage {
+  NodeId sender = 0;
+  NodeId receiver = 0;
+  fault::CtrlKind kind = fault::CtrlKind::kSsw;
+  /// Intra-frame transmission slot (of `slots_per_frame` opportunities).
+  std::uint64_t slot = 0;
+  std::uint64_t slots_per_frame = 1;
+  /// Geometric sender->receiver distance [m]; gates range-limited transports.
+  double distance_m = 0.0;
+};
+
+/// Stable 64-bit message id. All copies of one logical message — across
+/// transports and retransmissions — share it; receiver-side dedup keys on it.
+[[nodiscard]] std::uint64_t message_id(const CtrlMessage& m) noexcept;
+
+/// Outcome of one bus send.
+struct Delivery {
+  /// Final outcome after failover.
+  bool delivered = true;
+  /// Primary-path (mmWave) fate. Drives the fault.* accounting exactly as
+  /// the pre-refactor direct FaultPlan queries did, whether or not a
+  /// failover transport then recovered the message.
+  fault::CtrlFate mmwave = fault::CtrlFate::kDelivered;
+  /// Winning transport when delivered.
+  TransportId via = TransportId::kMmWave;
+  /// Successful copies dropped by receiver-side message-id dedup (a lower
+  /// priority transport also delivered after `via` won).
+  std::uint32_t duplicates = 0;
+  /// True when the receiver had already accepted this message id earlier in
+  /// the frame (send_noted only).
+  bool deduped = false;
+
+  [[nodiscard]] bool recovered() const noexcept {
+    return delivered && via != TransportId::kMmWave;
+  }
+};
+
+/// Transport contract: stateless fate oracles. `fate` must be a pure
+/// function of (message identity, frame) — no mutable state, so queries
+/// commute across worker lanes and across transports.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  [[nodiscard]] virtual TransportId id() const noexcept = 0;
+  /// True when this transport can physically carry `m` this frame (range,
+  /// medium availability). Ineligible transports carry no copy at all.
+  [[nodiscard]] virtual bool eligible(const CtrlMessage& m) const = 0;
+  /// Fate of the copy carried for `m` in frame `frame`.
+  [[nodiscard]] virtual fault::CtrlFate fate(const CtrlMessage& m,
+                                             std::uint64_t frame) const = 0;
+};
+
+/// In-band mmWave directional transport. Wraps the (nullable) FaultPlan: a
+/// null plan is an ideal channel. Always eligible — directional reachability
+/// was already established by the PHY decode that precedes the bus send.
+class MmWaveTransport final : public Transport {
+ public:
+  explicit MmWaveTransport(const fault::FaultPlan* fault) noexcept : fault_(fault) {}
+  [[nodiscard]] TransportId id() const noexcept override { return TransportId::kMmWave; }
+  [[nodiscard]] bool eligible(const CtrlMessage&) const override { return true; }
+  [[nodiscard]] fault::CtrlFate fate(const CtrlMessage& m,
+                                     std::uint64_t frame) const override;
+
+ private:
+  const fault::FaultPlan* fault_;
+};
+
+/// Sub-6 GHz omnidirectional side channel: a range gate plus an independent
+/// per-transport Gilbert-Elliott loss chain. No beam alignment and no mmWave
+/// blockage applies — that is the whole point of the fallback.
+class Sub6Transport final : public Transport {
+ public:
+  Sub6Transport(double range_m, double loss, std::uint64_t seed);
+  [[nodiscard]] TransportId id() const noexcept override { return TransportId::kSub6; }
+  [[nodiscard]] bool eligible(const CtrlMessage& m) const override {
+    return m.distance_m <= range_m_;
+  }
+  [[nodiscard]] fault::CtrlFate fate(const CtrlMessage& m,
+                                     std::uint64_t frame) const override;
+
+ private:
+  double range_m_;
+  fault::LossChain chain_;
+};
+
+/// Candidate common neighbor for one-hop relay recovery.
+struct RelayCandidate {
+  NodeId id = 0;
+  /// Bottleneck quality of the two legs (min of the per-leg SNRs).
+  double quality = 0.0;
+};
+
+/// Deterministic relay choice: maximize the bottleneck quality, break ties
+/// toward the lowest id. std::nullopt when no candidate exists.
+[[nodiscard]] std::optional<NodeId> select_relay(
+    std::span<const RelayCandidate> candidates) noexcept;
+
+/// Per-frame control-plane bookkeeping, reset by `begin_frame`. Published as
+/// net.* counters and the per-frame "net" trace event when the plane is
+/// active.
+struct NetFrameStats {
+  std::uint64_t sub6_recoveries = 0;
+  std::uint64_t relay_recoveries = 0;
+  std::uint64_t duplicates_dropped = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return sub6_recoveries + relay_recoveries + duplicates_dropped;
+  }
+};
+
+class ControlPlane {
+ public:
+  /// Standard stack: mmWave primary, sub-6 failover when enabled. `fault`
+  /// (nullable, must outlive the plane) is both the mmWave fate source and
+  /// the sink for primary-path loss accounting; `seed` roots the failover
+  /// transports' independent loss chains.
+  ControlPlane(const NetParams& params, std::uint64_t seed, fault::FaultPlan* fault);
+
+  /// Custom transport stack in priority order (tests / future transports).
+  explicit ControlPlane(std::vector<std::unique_ptr<Transport>> stack);
+
+  [[nodiscard]] const NetParams& params() const noexcept { return params_; }
+  /// True when any failover path (sub-6 or relay) is switched on. Inactive
+  /// planes add no metrics and no trace events.
+  [[nodiscard]] bool active() const noexcept { return params_.enabled(); }
+  [[nodiscard]] fault::FaultPlan* fault() const noexcept { return fault_; }
+
+  /// Reset per-frame stats and the dedup window. Call once per frame before
+  /// any send.
+  void begin_frame(std::uint64_t frame);
+
+  /// Pure bus send (worker-lane safe, no stats): one copy per eligible
+  /// transport, first success in priority order wins, later successes are
+  /// duplicates. Callers on pooled sweeps accumulate recovery/duplicate
+  /// counts in per-chunk partials and merge them in chunk order.
+  [[nodiscard]] Delivery send(const CtrlMessage& m) const;
+
+  /// Serial-site send: `send` plus the same per-frame accounting the
+  /// FaultPlan's ctrl_lost performed (primary fate noted into fault stats),
+  /// recovery/duplicate stats, and receiver-side message-id dedup across the
+  /// frame.
+  Delivery send_noted(const CtrlMessage& m);
+
+  /// Deterministic relay selection over caller-supplied common neighbors.
+  /// Returns the relay when relay recovery is enabled and a candidate
+  /// exists; pure (callers note the recovery).
+  [[nodiscard]] std::optional<NodeId> relay_via(
+      std::span<const RelayCandidate> candidates) const;
+
+  /// Bulk tallies for pooled call sites (merged per-chunk counts).
+  void note_sub6_recoveries(std::uint64_t n) { stats_.sub6_recoveries += n; }
+  void note_duplicates(std::uint64_t n) { stats_.duplicates_dropped += n; }
+  void note_relay_recovery() { ++stats_.relay_recoveries; }
+
+  [[nodiscard]] const NetFrameStats& frame_stats() const noexcept { return stats_; }
+
+ private:
+  NetParams params_{};
+  fault::FaultPlan* fault_ = nullptr;
+  std::vector<std::unique_ptr<Transport>> stack_;
+  std::uint64_t frame_ = 0;
+  NetFrameStats stats_{};
+  /// Message ids accepted this frame (send_noted sites only).
+  std::unordered_set<std::uint64_t> seen_;
+};
+
+}  // namespace mmv2v::net

@@ -1,0 +1,30 @@
+// Control-plane transport knobs (DESIGN.md Section 16). Part of the scenario
+// — which side channels exist is a deployment property, not a protocol
+// choice, so every protocol under test faces the same transport stack. All
+// knobs default to off; `enabled()` false guarantees the control plane adds
+// no transport, draws no random number and registers no metric, keeping the
+// golden trace bit-identical to the single-transport build.
+#pragma once
+
+namespace mmv2v::net {
+
+struct NetParams {
+  /// Enable the sub-6 GHz omnidirectional control side channel. Control
+  /// messages erased on the in-band mmWave path fail over to it.
+  bool sub6_enabled = false;
+  /// Sub-6 GHz delivery range [m]. Omnidirectional: no beam alignment and no
+  /// mmWave blockage model applies, only this range gate and `sub6_loss`.
+  double sub6_range_m = 250.0;
+  /// Stationary loss rate of the sub-6 channel in [0, 1). Runs on its own
+  /// per-transport loss chain, independent of `fault.ctrl_loss`.
+  double sub6_loss = 0.0;
+  /// Enable one-hop relay recovery: an NLOS-blocked pair whose negotiation
+  /// failed recovers it through the best common neighbor.
+  bool relay_enabled = false;
+
+  [[nodiscard]] constexpr bool enabled() const noexcept {
+    return sub6_enabled || relay_enabled;
+  }
+};
+
+}  // namespace mmv2v::net

@@ -44,9 +44,19 @@ enum class SpanOutcome : std::uint8_t {
   kBlockedNlos = 3,      ///< nothing delivered; its windows were blocked
   kPreempted = 4,        ///< discovered or matched, but never given a usable window
   kNeverDiscovered = 5,  ///< in range per ground truth, never mutually discovered
+  /// Delivered, and at least one matching adoption survived only through the
+  /// control plane's sub-6 GHz failover transport (DESIGN.md Section 16).
+  kRecoveredSub6 = 6,
+  /// Delivered, and at least one adoption survived only through a one-hop
+  /// relay; relay wins attribution over sub-6 (it is the deeper fallback).
+  kRecoveredRelay = 7,
 };
 
-inline constexpr std::size_t kSpanOutcomeCount = 6;
+inline constexpr std::size_t kSpanOutcomeCount = 8;
+/// Outcomes [0, kSpanOutcomeBaseCount) predate the control plane and are
+/// always registered by publish(); the recovery outcomes register only when
+/// nonzero, so span-enabled runs without failover keep their metrics JSON.
+inline constexpr std::size_t kSpanOutcomeBaseCount = 6;
 
 [[nodiscard]] constexpr std::string_view span_outcome_name(SpanOutcome o) noexcept {
   switch (o) {
@@ -56,6 +66,8 @@ inline constexpr std::size_t kSpanOutcomeCount = 6;
     case SpanOutcome::kBlockedNlos: return "blocked_nlos";
     case SpanOutcome::kPreempted: return "preempted";
     case SpanOutcome::kNeverDiscovered: return "never_discovered";
+    case SpanOutcome::kRecoveredSub6: return "recovered_sub6";
+    case SpanOutcome::kRecoveredRelay: return "recovered_relay";
   }
   return "?";
 }
@@ -77,6 +89,8 @@ struct LinkSpan {
   std::uint64_t blocked_windows = 0;  ///< span_udt with blk != 0
   std::uint64_t truncations = 0;      ///< span_churn events
   std::uint64_t fallbacks = 0;        ///< span_sched with fb = 1
+  std::uint64_t sub6_recoveries = 0;  ///< span_match with rec = sub-6
+  std::uint64_t relay_recoveries = 0; ///< span_match with rec = relay
   double delivered_bits = 0.0;
 
   [[nodiscard]] bool discovered() const noexcept { return disc_frame != kNoFrame; }
@@ -86,7 +100,11 @@ struct LinkSpan {
 /// Deterministic outcome attribution (priority order documented on
 /// SpanOutcome): delivery beats churn beats control loss beats blockage.
 [[nodiscard]] inline SpanOutcome span_outcome(const LinkSpan& s) noexcept {
-  if (s.delivered_bits > 0.0) return SpanOutcome::kDelivered;
+  if (s.delivered_bits > 0.0) {
+    if (s.relay_recoveries > 0) return SpanOutcome::kRecoveredRelay;
+    if (s.sub6_recoveries > 0) return SpanOutcome::kRecoveredSub6;
+    return SpanOutcome::kDelivered;
+  }
   if (s.truncations > 0) return SpanOutcome::kChurned;
   if (s.fallbacks > 0) return SpanOutcome::kLostCtrl;
   if (s.blocked_windows > 0) return SpanOutcome::kBlockedNlos;
@@ -130,6 +148,14 @@ class SpanBuilder {
       note_first(s, e.frame, &LinkSpan::match_frame);
       ++s.matches;
       if (field_u64(e, "carried") != 0) s.carried = true;
+      // "rec" is only present when the adoption survived via a failover
+      // transport; its value is the net::TransportId that rescued it.
+      const std::uint64_t rec = field_u64(e, "rec");
+      if (rec == 1) {
+        ++s.sub6_recoveries;
+      } else if (rec == 2) {
+        ++s.relay_recoveries;
+      }
     } else if (e.type == kSpanSched) {
       LinkSpan& s = span(e);
       note_first(s, e.frame, &LinkSpan::sched_frame);
@@ -175,6 +201,7 @@ class SpanBuilder {
     const SpanRollup r = rollup();
     metrics.counter("span.count").add(r.spans);
     for (std::size_t i = 0; i < kSpanOutcomeCount; ++i) {
+      if (i >= kSpanOutcomeBaseCount && r.outcomes[i] == 0) continue;
       std::string name{"span.outcome."};
       name += span_outcome_name(static_cast<SpanOutcome>(i));
       metrics.counter(name).add(r.outcomes[i]);

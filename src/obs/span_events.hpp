@@ -8,9 +8,13 @@
 //                             simulation loop, once per pair
 //   span_disc  {a,b}          first frame with mutual discovery (each end in
 //                             the other's neighbor table / candidate set)
-//   span_match {a,b,carried}  the pair enters the UDT matching (carried = 1
-//                             when adopted from a previous frame's matching
-//                             rather than matched fresh this frame)
+//   span_match {a,b,carried[,rec]}  the pair enters the UDT matching
+//                             (carried = 1 when adopted from a previous
+//                             frame's matching rather than matched fresh this
+//                             frame; rec, present only when the adoption
+//                             survived via a control-plane failover, is the
+//                             net::TransportId that rescued it: 1 = sub-6,
+//                             2 = one-hop relay)
 //   span_sched {a,b,fb}       a refined UDT window was scheduled (fb = 1 when
 //                             refinement control was lost and the protocol
 //                             fell back to sector centers)

@@ -24,6 +24,8 @@ struct BtiCandidate {
   net::NodeId pcp = 0;
   double back_bearing = 0.0;
   double g_c = 0.0;
+  /// Pair distance, carried along for the control bus (sub-6 eligibility).
+  double distance_m = 0.0;
 };
 
 /// Listener-sweep scratch; thread_local so each pool lane reuses its own
@@ -38,6 +40,7 @@ struct BtiScratch {
   std::vector<double> g_t;
   std::vector<double> watts;
   std::vector<net::NodeId> pcps;
+  std::vector<double> dist;
 };
 
 BtiScratch& bti_scratch() {
@@ -70,6 +73,12 @@ void Ieee80211adProtocol::ensure_initialized(const core::World& world) {
     fault_ = std::make_unique<fault::FaultPlan>(world.config().fault,
                                                 derive_seed(params_.seed, 0xfa17ULL, 0));
   }
+  if ((world.config().fault.enabled() || world.config().net.enabled()) &&
+      plane_ == nullptr) {
+    plane_ = std::make_unique<net::ControlPlane>(world.config().net,
+                                                 derive_seed(params_.seed, 0x6e70ULL, 0),
+                                                 fault_.get());
+  }
 }
 
 void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats) {
@@ -90,7 +99,8 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
   bti_partials_.assign(chunks, SndRoundStats{});
 
   fault::FaultPlan* fault = fault_.get();
-  if (fault != nullptr) fault_partials_.assign(chunks, {0, 0});
+  net::ControlPlane* plane = plane_.get();
+  if (plane != nullptr) fault_partials_.assign(chunks, NetPartial{});
   const auto sectors_per_frame = static_cast<std::uint64_t>(sectors);
 
   const bool batched = world.config().engine.batched_kernels;
@@ -113,6 +123,7 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
           scratch.g_c.resize(nearby.size());
           scratch.watts.resize(nearby.size());
           scratch.pcps.resize(nearby.size());
+          scratch.dist.resize(nearby.size());
         }
         for (std::size_t k = 0; k < nearby.size(); ++k) {
           const core::PairGeom& p = nearby[k];
@@ -123,6 +134,7 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
           scratch.g_c[m] = gains.empty() ? core::pair_channel_gain(channel.params(), p)
                                          : gains[k];
           scratch.pcps[m] = p.other;
+          scratch.dist[m] = p.distance_m;
           ++m;
         }
         if (m == 0) continue;
@@ -141,6 +153,7 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
           c.pcp = p.other;
           c.back_bearing = geom::wrap_two_pi(p.bearing_rad + geom::kPi);
           c.g_c = core::pair_channel_gain(channel.params(), p);
+          c.distance_m = p.distance_m;
           scratch.cands.push_back(c);
         }
         if (scratch.cands.empty()) continue;
@@ -150,6 +163,7 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
         double total_w = 0.0;
         double best_w = 0.0;
         net::NodeId best = kNone;
+        double best_dist = 0.0;
         if (batched) {
           const std::size_t row = static_cast<std::size_t>(t) * static_cast<std::size_t>(m);
           phy::kernels::rx_watts2_batch(p_w, scratch.g_t.data() + row, scratch.g_c.data(),
@@ -160,6 +174,7 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
           total_w = acc.total_w;
           best_w = acc.best_w;
           best = scratch.pcps[static_cast<std::size_t>(acc.best_idx)];
+          best_dist = scratch.dist[static_cast<std::size_t>(acc.best_idx)];
         } else {
           const double sweep_center = grid_.center(t);
           for (const BtiCandidate& c : scratch.cands) {
@@ -170,6 +185,7 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
             if (w > best_w) {
               best_w = w;
               best = c.pcp;
+              best_dist = c.distance_m;
             }
           }
         }
@@ -180,20 +196,29 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
           continue;
         }
         // DMG beacons ride the SSW loss class, keyed per (PCP, sector slot):
-        // every listener of one beacon transmission sees the same fate.
-        if (fault != nullptr) {
-          const fault::CtrlFate fate =
-              fault->ctrl_fate(best, fault::CtrlKind::kSsw,
-                               static_cast<std::uint64_t>(t), sectors_per_frame);
-          if (fate != fault::CtrlFate::kDelivered) {
-            if (fate == fault::CtrlFate::kLost) {
-              ++fault_partials_[chunk].first;
-            } else {
-              ++fault_partials_[chunk].second;
-            }
+        // every listener of one beacon transmission sees the same fate. The
+        // bus may recover an erased beacon over the sub-6 GHz side channel.
+        if (plane != nullptr) {
+          net::CtrlMessage msg;
+          msg.sender = best;
+          msg.receiver = static_cast<net::NodeId>(j);
+          msg.kind = fault::CtrlKind::kSsw;
+          msg.slot = static_cast<std::uint64_t>(t);
+          msg.slots_per_frame = sectors_per_frame;
+          msg.distance_m = best_dist;
+          const net::Delivery d = plane->send(msg);
+          NetPartial& np = fault_partials_[chunk];
+          if (d.mmwave == fault::CtrlFate::kLost) {
+            ++np.losses;
+          } else if (d.mmwave == fault::CtrlFate::kCorrupted) {
+            ++np.corruptions;
+          }
+          if (!d.delivered) {
             ++part.decode_failures;
             continue;
           }
+          if (d.recovered()) ++np.sub6_recoveries;
+          np.duplicates += d.duplicates;
         }
         ++part.decodes;
         if (std::find(joinable_[j].begin(), joinable_[j].end(), best) ==
@@ -218,14 +243,19 @@ void Ieee80211adProtocol::run_bti(core::FrameContext& ctx, SndRoundStats* stats)
       stats->decode_failures += part.decode_failures;
     }
   }
-  if (fault != nullptr) {
-    std::uint64_t losses = 0;
-    std::uint64_t corruptions = 0;
-    for (const auto& [lost, corrupted] : fault_partials_) {
-      losses += lost;
-      corruptions += corrupted;
+  if (plane != nullptr) {
+    NetPartial total;
+    for (const NetPartial& p : fault_partials_) {
+      total.losses += p.losses;
+      total.corruptions += p.corruptions;
+      total.sub6_recoveries += p.sub6_recoveries;
+      total.duplicates += p.duplicates;
     }
-    fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, losses, corruptions);
+    if (fault != nullptr) {
+      fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.losses, total.corruptions);
+    }
+    plane->note_sub6_recoveries(total.sub6_recoveries);
+    plane->note_duplicates(total.duplicates);
   }
 }
 
@@ -257,6 +287,7 @@ void Ieee80211adProtocol::phase_snd(core::FrameContext& ctx) {
   if (fault_ != nullptr) {
     fault_->begin_frame(ctx.frame, world.size(), timing.frame_s);
   }
+  if (plane_ != nullptr) plane_->begin_frame(ctx.frame);
   const std::size_t n = world.size();
 
   // 1. Tenure bookkeeping: expired PCPs disband and release their members.
@@ -331,8 +362,17 @@ void Ieee80211adProtocol::phase_dcm(core::FrameContext& ctx) {
     const int slot = static_cast<int>(
         rng_.uniform_int(static_cast<std::uint64_t>(params_.abft_slots)));
     // The A-BFT SSW frame itself can be erased by the fault layer; the
-    // vehicle simply retries next beacon interval.
-    if (fault_ != nullptr && fault_->ctrl_lost(v, fault::CtrlKind::kNegotiation)) continue;
+    // vehicle retries next beacon interval unless a sub-6 failover transport
+    // recovers the frame.
+    if (plane_ != nullptr) {
+      net::CtrlMessage msg;
+      msg.sender = v;
+      msg.receiver = pcp;
+      msg.kind = fault::CtrlKind::kNegotiation;
+      const core::PairGeom* pg = ctx.world.pair(v, pcp);
+      msg.distance_m = pg != nullptr ? pg->distance_m : 0.0;
+      if (!plane_->send_noted(msg).delivered) continue;
+    }
     attempts_.push_back(AbftAttempt{v, pcp, slot});
   }
   // Bucket the attempts by (pcp, slot): a slot collides iff two or more SSW
@@ -469,11 +509,19 @@ void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
       // Lost SLS feedback degrades the pair to sector-center alignment. The
       // in-SP SLS of service period k is one transmission slot per side.
       bool refine_lost = false;
-      if (fault_ != nullptr) {
-        const auto sps = static_cast<std::uint64_t>(std::max(1, params_.max_sps));
-        const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine, k, sps);
-        const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine, k, sps);
-        refine_lost = lost_a || lost_b;
+      if (plane_ != nullptr) {
+        net::CtrlMessage fb;
+        fb.kind = fault::CtrlKind::kRefine;
+        fb.slot = k;
+        fb.slots_per_frame = static_cast<std::uint64_t>(std::max(1, params_.max_sps));
+        fb.distance_m = ab->distance_m;
+        fb.sender = a;
+        fb.receiver = b;
+        const net::Delivery d_a = plane_->send_noted(fb);
+        fb.sender = b;
+        fb.receiver = a;
+        const net::Delivery d_b = plane_->send_noted(fb);
+        refine_lost = !d_a.delivered || !d_b.delivered;
       }
       schedule_refined_pair(ctx, *refinement_, grid_, beacon_pattern_, a, sector_a, b,
                             sector_b, data_start, sp_end, refine_lost, refine_sink);
@@ -494,6 +542,7 @@ void Ieee80211adProtocol::phase_udt(core::FrameContext& ctx) {
                      .u64("associated", associated_count_));
   }
   if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
+  if (plane_ != nullptr && plane_->active()) publish_net_stats(instr_, *plane_);
 }
 
 }  // namespace mmv2v::protocols

@@ -31,6 +31,7 @@
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "fault/fault_plan.hpp"
+#include "net/control_plane.hpp"
 #include "obs/span_events.hpp"
 #include "protocols/mmv2v/refinement.hpp"
 #include "protocols/mmv2v/snd.hpp"
@@ -115,12 +116,22 @@ class Ieee80211adProtocol final : public StagedOhmProtocol {
   /// PCP keeps its tenure but stops beaconing, so its members drain away via
   /// the beacon-decode maintenance check.
   std::unique_ptr<fault::FaultPlan> fault_;
+  /// Control-message bus; non-null iff fault injection or a failover
+  /// transport is enabled (DESIGN.md Section 16). Like ROP, 802.11ad uses
+  /// the sub-6 side channel but not relay recovery.
+  std::unique_ptr<net::ControlPlane> plane_;
   // Per-frame scratch, reused across frames (capacity retained).
   std::vector<std::vector<net::NodeId>> joinable_;
   std::vector<SndRoundStats> bti_partials_;
-  /// Per-chunk BTI fault tallies (losses, corruptions), merged after the
-  /// pooled sweep (the FaultPlan's counters are not lane-safe).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> fault_partials_;
+  /// Per-chunk BTI fault/bus tallies, merged after the pooled sweep (the
+  /// FaultPlan's and ControlPlane's counters are not lane-safe).
+  struct NetPartial {
+    std::uint64_t losses = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t sub6_recoveries = 0;
+    std::uint64_t duplicates = 0;
+  };
+  std::vector<NetPartial> fault_partials_;
   std::vector<AbftAttempt> attempts_;
   /// (pcp, slot) keys of attempts_ plus a sorted copy; the A-BFT collision
   /// check counts key multiplicity instead of scanning all attempt pairs.

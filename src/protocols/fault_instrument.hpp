@@ -1,13 +1,16 @@
-// Shared fault-counter publication for all protocol stacks: every injected
-// fault lands in a `fault.*` counter plus one typed per-frame trace event.
+// Shared fault- and control-plane-counter publication for all protocol
+// stacks: every injected fault lands in a `fault.*` counter plus one typed
+// per-frame trace event, and every failover rescue in a `net.*` counter.
 //
-// Only call this when a FaultPlan is active. Merely registering a counter
-// changes the canonical metrics JSON (and with it the golden-trace digest),
-// so no-fault runs must never touch these names.
+// Only call these when the FaultPlan / ControlPlane is active. Merely
+// registering a counter changes the canonical metrics JSON (and with it the
+// golden-trace digest), so no-fault / no-failover runs must never touch
+// these names.
 #pragma once
 
 #include "core/instrument.hpp"
 #include "fault/fault_plan.hpp"
+#include "net/control_plane.hpp"
 
 namespace mmv2v::protocols {
 
@@ -38,6 +41,24 @@ inline void publish_fault_stats(core::Instrumentation* instr,
                     .u64("churn_rejoins", s.churn_rejoins)
                     .u64("churn_down", s.churn_down)
                     .u64("udt_truncations", s.udt_truncations));
+  }
+}
+
+/// net.* counters and the per-frame "net" trace event. Guard calls on
+/// plane.active(): an mmWave-only bus must register nothing.
+inline void publish_net_stats(core::Instrumentation* instr,
+                              const net::ControlPlane& plane) {
+  if (instr == nullptr) return;
+  const net::NetFrameStats& s = plane.frame_stats();
+  MetricsRegistry& m = instr->metrics();
+  m.counter("net.sub6_recoveries").add(s.sub6_recoveries);
+  m.counter("net.relay_recoveries").add(s.relay_recoveries);
+  m.counter("net.duplicates_dropped").add(s.duplicates_dropped);
+  if (s.total() > 0) {
+    instr->emit(core::TraceEvent{"net"}
+                    .u64("sub6_recoveries", s.sub6_recoveries)
+                    .u64("relay_recoveries", s.relay_recoveries)
+                    .u64("duplicates_dropped", s.duplicates_dropped));
   }
 }
 

@@ -1,30 +1,69 @@
 #include "protocols/mmv2v/dcm.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "common/profiler.hpp"
+#include "core/world.hpp"
 #include "fault/fault_plan.hpp"
+#include "net/control_plane.hpp"
 
 namespace mmv2v::protocols {
+
+namespace {
+
+/// Order-free key for the rescue-attribution map.
+std::uint64_t pair_key(net::NodeId a, net::NodeId b) noexcept {
+  const auto lo = static_cast<std::uint64_t>(std::min(a, b));
+  const auto hi = static_cast<std::uint64_t>(std::max(a, b));
+  return (hi << 32) | lo;
+}
+
+double pair_distance_m(const core::World* world, net::NodeId a, net::NodeId b) {
+  if (world == nullptr) return 0.0;
+  return geom::distance(world->position(a), world->position(b));
+}
+
+}  // namespace
 
 ConsensualMatching::ConsensualMatching(DcmParams params)
     : params_(params), cns_(params.modulus_c) {
   if (params.slots <= 0) throw std::invalid_argument{"DCM: M must be >= 1"};
 }
 
-void ConsensualMatching::reset(std::size_t n) { state_.assign(n, CandidateState{}); }
+void ConsensualMatching::reset(std::size_t n) {
+  state_.assign(n, CandidateState{});
+  recovered_.clear();
+}
+
+std::optional<net::TransportId> ConsensualMatching::recovery(net::NodeId a,
+                                                             net::NodeId b) const {
+  const auto it = recovered_.find(pair_key(a, b));
+  if (it == recovered_.end()) return std::nullopt;
+  return static_cast<net::TransportId>(it->second);
+}
 
 int ConsensualMatching::run_slot(int m,
                                  const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
                                  const NegotiationChannel* channel, DcmSlotStats* stats,
-                                 fault::FaultPlan* fault) {
+                                 fault::FaultPlan* fault, net::ControlPlane* plane,
+                                 const core::World* world) {
   PROF_SCOPE("dcm.slot");
   const std::size_t n = state_.size();
   if (neighbors.size() != n || macs.size() != n) {
     throw std::invalid_argument{"DCM: neighbors/macs must match reset() size"};
+  }
+
+  // All control deliveries go through the bus; a fault-only caller gets a
+  // local single-transport bus issuing the identical chain queries.
+  std::optional<net::ControlPlane> local_plane;
+  if (plane == nullptr && fault != nullptr) {
+    local_plane.emplace(net::NetParams{}, /*seed=*/0, fault);
+    plane = &*local_plane;
   }
 
   // Step 1: every vehicle independently picks the neighbor the CNS assigns
@@ -62,28 +101,71 @@ int ConsensualMatching::run_slot(int m,
   }
   ok_.assign(negotiating.size(), true);
   std::vector<bool>& ok = ok_;
+  via_.assign(negotiating.size(),
+              static_cast<std::uint8_t>(net::TransportId::kMmWave));
   if (channel != nullptr) channel->exchange_succeeds(negotiating, ok);
-  if (fault != nullptr) {
+  if (plane != nullptr || fault != nullptr) {
+    const bool relay = plane != nullptr && plane->params().relay_enabled;
     for (std::size_t p = 0; p < negotiating.size(); ++p) {
-      if (!ok[p]) continue;
       const auto [i, j] = negotiating[p];
-      // Clock drift: a pair whose relative offset exceeds half the
-      // negotiation slot never meets on the air.
-      if (fault->params().clock_drift_us > 0.0 &&
-          std::abs(fault->clock_offset_s(i) - fault->clock_offset_s(j)) >
-              params_.slot_sync_window_s / 2.0) {
-        ok[p] = false;
-        fault->note_sync_miss();
-        continue;
+      bool sync_missed = false;
+      if (ok[p] && fault != nullptr) {
+        // Clock drift: a pair whose relative offset exceeds half the
+        // negotiation slot never meets on the air. A timing miss is not a
+        // blockage — no failover transport can recover it.
+        if (fault->params().clock_drift_us > 0.0 &&
+            std::abs(fault->clock_offset_s(i) - fault->clock_offset_s(j)) >
+                params_.slot_sync_window_s / 2.0) {
+          ok[p] = false;
+          sync_missed = true;
+          fault->note_sync_miss();
+        }
       }
-      // Each negotiation half can be erased independently; the loss process
-      // is keyed per (sender, slot), so each sender's chain steps once per
-      // negotiation slot regardless of evaluation order.
-      const auto slots = static_cast<std::uint64_t>(params_.slots);
-      const auto slot = static_cast<std::uint64_t>(m);
-      const bool lost_i = fault->ctrl_lost(i, fault::CtrlKind::kNegotiation, slot, slots);
-      const bool lost_j = fault->ctrl_lost(j, fault::CtrlKind::kNegotiation, slot, slots);
-      if (lost_i || lost_j) ok[p] = false;
+      if (ok[p] && plane != nullptr) {
+        // Each negotiation half rides the bus independently; the mmWave loss
+        // process is keyed per (sender, slot), so each sender's chain steps
+        // once per negotiation slot regardless of evaluation order. A sub-6
+        // delivery recovers an erased half.
+        const auto slots = static_cast<std::uint64_t>(params_.slots);
+        const auto slot = static_cast<std::uint64_t>(m);
+        net::CtrlMessage half;
+        half.kind = fault::CtrlKind::kNegotiation;
+        half.slot = slot;
+        half.slots_per_frame = slots;
+        half.distance_m = pair_distance_m(world, i, j);
+        half.sender = i;
+        half.receiver = j;
+        const net::Delivery d_i = plane->send_noted(half);
+        half.sender = j;
+        half.receiver = i;
+        const net::Delivery d_j = plane->send_noted(half);
+        if (!d_i.delivered || !d_j.delivered) {
+          ok[p] = false;
+        } else if (d_i.recovered() || d_j.recovered()) {
+          via_[p] = static_cast<std::uint8_t>(net::TransportId::kSub6);
+        }
+      }
+      // One-hop relay recovery: a failed exchange (directional PHY failure
+      // or unrecovered erasure) re-runs through the best common neighbor,
+      // max-min leg quality, ties toward the lowest id.
+      if (!ok[p] && !sync_missed && relay) {
+        relay_candidates_.clear();
+        for (const net::NeighborEntry& ei : neighbors[i]) {
+          if (ei.id == j) continue;
+          if (fault != nullptr && fault->control_down(ei.id)) continue;
+          for (const net::NeighborEntry& ej : neighbors[j]) {
+            if (ej.id != ei.id) continue;
+            relay_candidates_.push_back(
+                net::RelayCandidate{ei.id, std::min(ei.snr_db, ej.snr_db)});
+            break;
+          }
+        }
+        if (plane->relay_via(relay_candidates_).has_value()) {
+          ok[p] = true;
+          via_[p] = static_cast<std::uint8_t>(net::TransportId::kRelay);
+          plane->note_relay_recovery();
+        }
+      }
     }
   }
   if (stats != nullptr) {
@@ -142,14 +224,19 @@ int ConsensualMatching::run_slot(int m,
       }
       CandidateState& prev = state_[*state_[v].candidate];
       if (stats != nullptr) ++stats->drops;
-      // The drop-inform rides the second half-slot. When the fault layer
-      // erases it the displaced partner keeps its stale candidate until a
+      // The drop-inform rides the second half-slot. When every transport
+      // loses it the displaced partner keeps its stale candidate until a
       // later re-negotiation; matched_pairs() requires mutuality, so the
       // stale record never reaches the matching.
-      if (fault != nullptr &&
-          fault->ctrl_lost(v, fault::CtrlKind::kInform, static_cast<std::uint64_t>(m),
-                           static_cast<std::uint64_t>(params_.slots))) {
-        continue;
+      if (plane != nullptr) {
+        net::CtrlMessage inform;
+        inform.sender = v;
+        inform.receiver = *state_[v].candidate;
+        inform.kind = fault::CtrlKind::kInform;
+        inform.slot = static_cast<std::uint64_t>(m);
+        inform.slots_per_frame = static_cast<std::uint64_t>(params_.slots);
+        inform.distance_m = pair_distance_m(world, v, *state_[v].candidate);
+        if (!plane->send_noted(inform).delivered) continue;
       }
       // Only clear the displaced partner if it still points back at v.
       // Under lost informs v's own record may be stale, and blindly
@@ -161,6 +248,11 @@ int ConsensualMatching::run_slot(int m,
     }
     state_[i] = CandidateState{j, choice[i].link_db};
     state_[j] = CandidateState{i, choice[j].link_db};
+    if (via_[p] == static_cast<std::uint8_t>(net::TransportId::kMmWave)) {
+      recovered_.erase(pair_key(i, j));  // latest exchange needed no rescue
+    } else {
+      recovered_[pair_key(i, j)] = via_[p];
+    }
     if (stats != nullptr) ++stats->adoptions;
     ++updates;
   }
@@ -171,11 +263,17 @@ void ConsensualMatching::run_all(const std::vector<std::vector<net::NeighborEntr
                                  const std::vector<net::MacAddress>& macs,
                                  const core::TransferLedger* ledger, Xoshiro256pp& rng,
                                  const NegotiationChannel* channel, core::PhaseStats* stats,
-                                 fault::FaultPlan* fault) {
+                                 fault::FaultPlan* fault, net::ControlPlane* plane,
+                                 const core::World* world) {
   PROF_SCOPE("dcm.run");
+  std::optional<net::ControlPlane> local_plane;
+  if (plane == nullptr && fault != nullptr) {
+    local_plane.emplace(net::NetParams{}, /*seed=*/0, fault);
+    plane = &*local_plane;
+  }
   DcmSlotStats* slot_stats = stats != nullptr ? &stats->dcm : nullptr;
   for (int m = 0; m < params_.slots; ++m) {
-    run_slot(m, neighbors, macs, ledger, rng, channel, slot_stats, fault);
+    run_slot(m, neighbors, macs, ledger, rng, channel, slot_stats, fault, plane, world);
   }
 }
 

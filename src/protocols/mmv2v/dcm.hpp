@@ -16,17 +16,19 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/ledger.hpp"
 #include "core/phase_stats.hpp"
+#include "net/control_plane.hpp"
 #include "net/neighbor_table.hpp"
 #include "protocols/mmv2v/cns.hpp"
 
-namespace mmv2v::fault {
-class FaultPlan;
-}  // namespace mmv2v::fault
+namespace mmv2v::core {
+class World;
+}  // namespace mmv2v::core
 
 namespace mmv2v::protocols {
 
@@ -99,17 +101,25 @@ class ConsensualMatching {
   /// When `stats` is non-null the slot's counters are accumulated into it.
   /// A non-null `fault` injects clock-drift slot misses, negotiation-half
   /// and drop-inform losses, and keeps churned-down vehicles silent.
+  /// Negotiation halves and drop-informs are delivered over `plane` (the
+  /// control bus) when given — a sub-6 transport can then recover erased
+  /// halves, and relay recovery re-runs a failed exchange through the best
+  /// common neighbor. With only a `fault`, a local mmWave-only bus wraps it
+  /// (bit-identical fates and accounting). `world` supplies pair distances
+  /// for range-gated transports; null = distance 0 (always in range).
   int run_slot(int m, const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
                Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
-               DcmSlotStats* stats = nullptr, fault::FaultPlan* fault = nullptr);
+               DcmSlotStats* stats = nullptr, fault::FaultPlan* fault = nullptr,
+               net::ControlPlane* plane = nullptr, const core::World* world = nullptr);
 
   /// Run all M slots. When `stats` is non-null, matching counters accumulate
   /// over all slots into stats->dcm.
   void run_all(const std::vector<std::vector<net::NeighborEntry>>& neighbors,
                const std::vector<net::MacAddress>& macs, const core::TransferLedger* ledger,
                Xoshiro256pp& rng, const NegotiationChannel* channel = nullptr,
-               core::PhaseStats* stats = nullptr, fault::FaultPlan* fault = nullptr);
+               core::PhaseStats* stats = nullptr, fault::FaultPlan* fault = nullptr,
+               net::ControlPlane* plane = nullptr, const core::World* world = nullptr);
 
   [[nodiscard]] const std::vector<CandidateState>& candidates() const noexcept {
     return state_;
@@ -120,6 +130,13 @@ class ConsensualMatching {
 
   /// Allocation-free variant: clears and refills `out` with the matching.
   void matched_pairs_into(std::vector<std::pair<net::NodeId, net::NodeId>>& out) const;
+
+  /// Failover attribution of the exchange that last (re-)established the
+  /// link (a, b) since reset(): the transport that rescued it, or nullopt
+  /// when it went through on the directional path. Feeds span outcome
+  /// attribution (recovered_sub6 / recovered_relay).
+  [[nodiscard]] std::optional<net::TransportId> recovery(net::NodeId a,
+                                                         net::NodeId b) const;
 
  private:
   struct SlotChoice {
@@ -136,6 +153,11 @@ class ConsensualMatching {
   std::vector<SlotChoice> choice_;
   std::vector<std::pair<net::NodeId, net::NodeId>> negotiating_;
   std::vector<bool> ok_;
+  /// Winning transport per negotiating pair this slot (kMmWave = no rescue).
+  std::vector<std::uint8_t> via_;
+  std::vector<net::RelayCandidate> relay_candidates_;
+  /// (min,max)-keyed rescue attribution of adopted links; see recovery().
+  std::unordered_map<std::uint64_t, std::uint8_t> recovered_;
 };
 
 }  // namespace mmv2v::protocols

@@ -45,6 +45,13 @@ void MmV2VProtocol::ensure_initialized(core::FrameContext& ctx) {
       dcm_ = std::make_unique<ConsensualMatching>(params_.dcm);
     }
   }
+  if (world.config().fault.enabled() || world.config().net.enabled()) {
+    // The bus seed roots the failover transports' loss chains; it is derived
+    // under its own tag so enabling a side channel never perturbs the
+    // mmWave chains (or any other stream).
+    plane_ = std::make_unique<net::ControlPlane>(
+        world.config().net, derive_seed(params_.seed, 0x6e70ULL, 0), fault_.get());
+  }
 
   tables_.assign(n, net::NeighborTable{params_.neighbor_max_age_frames});
   macs_.resize(n);
@@ -85,9 +92,10 @@ void MmV2VProtocol::phase_snd(core::FrameContext& ctx) {
   if (fault_ != nullptr) {
     fault_->begin_frame(ctx.frame, n, world.config().timing.frame_s);
   }
+  if (plane_ != nullptr) plane_->begin_frame(ctx.frame);
 
   for (auto& table : tables_) table.age_out(ctx.frame);
-  snd_->run(ctx, tables_, rng_, fault_.get());
+  snd_->run(ctx, tables_, rng_, fault_.get(), plane_.get());
   if (instr_ != nullptr && ctx.stats != nullptr) {
     MetricsRegistry& m = instr_->metrics();
     const std::vector<SndRoundStats>& rounds = ctx.stats->snd_rounds;
@@ -162,19 +170,30 @@ void MmV2VProtocol::phase_dcm(core::FrameContext& ctx) {
     }
     channel_->set_stats(stats != nullptr ? &stats->negotiation : nullptr);
     channel_->set_pool(ctx.resources != nullptr ? &ctx.resources->pool() : nullptr);
-    dcm_->run_all(neighbors_, macs_, &ctx.ledger, rng_, &*channel_, stats, fault_.get());
+    dcm_->run_all(neighbors_, macs_, &ctx.ledger, rng_, &*channel_, stats, fault_.get(),
+                  plane_.get(), &world);
   } else {
-    dcm_->run_all(neighbors_, macs_, &ctx.ledger, rng_, nullptr, stats, fault_.get());
+    dcm_->run_all(neighbors_, macs_, &ctx.ledger, rng_, nullptr, stats, fault_.get(),
+                  plane_.get(), &world);
   }
   dcm_->matched_pairs_into(matching_);
   matching_.insert(matching_.end(), carried_.begin(), carried_.end());
   if (spans) {
     const std::size_t fresh = matching_.size() - carried_.size();
     for (std::size_t idx = 0; idx < matching_.size(); ++idx) {
-      instr_->emit(core::TraceEvent{obs::kSpanMatch}
-                       .u64("a", matching_[idx].first)
-                       .u64("b", matching_[idx].second)
-                       .u64("carried", idx >= fresh ? 1 : 0));
+      core::TraceEvent ev{obs::kSpanMatch};
+      ev.u64("a", matching_[idx].first)
+          .u64("b", matching_[idx].second)
+          .u64("carried", idx >= fresh ? 1 : 0);
+      // Failover attribution: which transport rescued the establishing
+      // exchange. Absent on direct-path matches, so traces without failover
+      // knobs stay byte-identical.
+      if (idx < fresh) {
+        const auto rec =
+            dcm_->recovery(matching_[idx].first, matching_[idx].second);
+        if (rec.has_value()) ev.u64("rec", static_cast<std::uint64_t>(*rec));
+      }
+      instr_->emit(std::move(ev));
     }
   }
   if (instr_ != nullptr && stats != nullptr) {
@@ -235,10 +254,20 @@ void MmV2VProtocol::phase_udt(core::FrameContext& ctx) {
     }
 
     bool refine_lost = false;
-    if (fault_ != nullptr) {
-      const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine);
-      const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
-      refine_lost = lost_a || lost_b;
+    if (plane_ != nullptr) {
+      // Both refinement feedback halves ride the bus; losing either (after
+      // failover) degrades the pair to quasi-omni fallback beams.
+      net::CtrlMessage fb;
+      fb.kind = fault::CtrlKind::kRefine;
+      const core::PairGeom* pg = world.pair(a, b);
+      fb.distance_m = pg != nullptr ? pg->distance_m : 0.0;
+      fb.sender = a;
+      fb.receiver = b;
+      const net::Delivery d_a = plane_->send_noted(fb);
+      fb.sender = b;
+      fb.receiver = a;
+      const net::Delivery d_b = plane_->send_noted(fb);
+      refine_lost = !d_a.delivered || !d_b.delivered;
     }
     schedule_refined_pair(ctx, *refinement_, snd_->grid(), snd_->tx_pattern(), a,
                           entry_ab->sector_toward, b, entry_ba->sector_toward, udt_start,
@@ -256,6 +285,7 @@ void MmV2VProtocol::phase_udt(core::FrameContext& ctx) {
                      .u64("fallbacks", refine_stats.fallbacks));
   }
   if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
+  if (plane_ != nullptr && plane_->active()) publish_net_stats(instr_, *plane_);
 }
 
 }  // namespace mmv2v::protocols

@@ -16,6 +16,7 @@
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "fault/fault_plan.hpp"
+#include "net/control_plane.hpp"
 #include "net/neighbor_table.hpp"
 #include "obs/span_events.hpp"
 #include "protocols/mmv2v/dcm.hpp"
@@ -87,6 +88,10 @@ class MmV2VProtocol final : public StagedOhmProtocol {
   /// Non-null iff the scenario enables fault injection; its RNG streams are
   /// derived independently of rng_, so a null plan is behavior-identical.
   std::unique_ptr<fault::FaultPlan> fault_;
+  /// Control-message bus (DESIGN.md Section 16). Non-null iff fault
+  /// injection or a failover transport is enabled; null = ideal in-band
+  /// signaling with zero bus overhead, bit-identical to the pre-bus stack.
+  std::unique_ptr<net::ControlPlane> plane_;
   /// Persistent physical-negotiation channel; kept alive across frames so
   /// its scratch retains capacity (stats/pool are re-pointed each frame).
   std::optional<PhyNegotiationChannel> channel_;

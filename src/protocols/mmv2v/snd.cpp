@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "common/hash.hpp"
@@ -10,6 +11,7 @@
 #include "core/frame_resources.hpp"
 #include "fault/fault_plan.hpp"
 #include "geom/batch.hpp"
+#include "net/control_plane.hpp"
 #include "phy/kernels.hpp"
 #include "sim/worker_pool.hpp"
 
@@ -88,28 +90,38 @@ SyncNeighborDiscovery::SyncNeighborDiscovery(SndParams params)
 
 void SyncNeighborDiscovery::run(const core::FrameContext& ctx,
                                 std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
-                                fault::FaultPlan* fault) const {
+                                fault::FaultPlan* fault, net::ControlPlane* plane) const {
   run_rounds(ctx.world, ctx.frame, tables, rng,
-             ctx.stats != nullptr ? &ctx.stats->snd_rounds : nullptr, fault,
+             ctx.stats != nullptr ? &ctx.stats->snd_rounds : nullptr, fault, plane,
              ctx.resources);
 }
 
 void SyncNeighborDiscovery::run(const core::World& world, std::uint64_t frame,
                                 std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
                                 std::vector<SndRoundStats>* round_stats,
-                                fault::FaultPlan* fault) const {
-  run_rounds(world, frame, tables, rng, round_stats, fault, nullptr);
+                                fault::FaultPlan* fault, net::ControlPlane* plane) const {
+  run_rounds(world, frame, tables, rng, round_stats, fault, plane, nullptr);
 }
 
 void SyncNeighborDiscovery::run_rounds(const core::World& world, std::uint64_t frame,
                                        std::vector<net::NeighborTable>& tables,
                                        Xoshiro256pp& rng,
                                        std::vector<SndRoundStats>* round_stats,
-                                       fault::FaultPlan* fault,
+                                       fault::FaultPlan* fault, net::ControlPlane* plane,
                                        core::FrameResources* resources) const {
   PROF_SCOPE("snd.run");
   const std::size_t n = world.size();
   sim::WorkerPool* pool = resources != nullptr ? &resources->pool() : nullptr;
+
+  // Every SSW delivery goes through the control bus. Callers that only carry
+  // a FaultPlan (tests, benches) get a local single-transport bus around it:
+  // the bus issues the exact chain queries the old direct path did, so fates
+  // and counters are bit-identical.
+  std::optional<net::ControlPlane> local_plane;
+  if (plane == nullptr && fault != nullptr) {
+    local_plane.emplace(net::NetParams{}, /*seed=*/0, fault);
+    plane = &*local_plane;
+  }
 
   // Carve the per-lane SoA sweep workspaces out of the frame arenas, once
   // per frame and serially (the arenas are not lane-safe to grow from inside
@@ -158,7 +170,7 @@ void SyncNeighborDiscovery::run_rounds(const core::World& world, std::uint64_t f
         roles_[k * n + i] = rng.bernoulli(params_.p_tx) ? 1 : 0;
       }
     }
-    run_frame_major(world, frame, tables, round_stats, fault, *resources);
+    run_frame_major(world, frame, tables, round_stats, fault, plane, *resources);
     return;
   }
 
@@ -168,7 +180,7 @@ void SyncNeighborDiscovery::run_rounds(const core::World& world, std::uint64_t f
     run_round_impl(world, frame, tx_first_, tables,
                    round_stats != nullptr ? &(*round_stats)[static_cast<std::size_t>(k)]
                                           : nullptr,
-                   fault, pool, k);
+                   fault, plane, pool, k);
   }
 }
 
@@ -179,23 +191,30 @@ void SyncNeighborDiscovery::run_round(const core::World& world, std::uint64_t fr
   // No FrameResources on this entry point: drop any workspaces from a prior
   // run() whose arena frame has since been rewound.
   workspaces_.clear();
-  run_round_impl(world, frame, tx_first, tables, stats, fault, nullptr, 0);
+  std::optional<net::ControlPlane> local_plane;
+  net::ControlPlane* plane = nullptr;
+  if (fault != nullptr) {
+    local_plane.emplace(net::NetParams{}, /*seed=*/0, fault);
+    plane = &*local_plane;
+  }
+  run_round_impl(world, frame, tx_first, tables, stats, fault, plane, nullptr, 0);
 }
 
 void SyncNeighborDiscovery::run_round_impl(const core::World& world, std::uint64_t frame,
                                            const std::vector<bool>& tx_first,
                                            std::vector<net::NeighborTable>& tables,
                                            SndRoundStats* stats, fault::FaultPlan* fault,
-                                           sim::WorkerPool* pool, int round) const {
+                                           net::ControlPlane* plane, sim::WorkerPool* pool,
+                                           int round) const {
   PROF_SCOPE("snd.round");
   if (tx_first.size() != world.size() || tables.size() != world.size()) {
     throw std::invalid_argument{"SND: role/table vectors must match the vehicle count"};
   }
-  run_sweep(world, frame, tx_first, tables, stats, fault, 2 * round, pool);
+  run_sweep(world, frame, tx_first, tables, stats, fault, plane, 2 * round, pool);
   // Role swap (paper Section III-B4).
   swapped_.resize(tx_first.size());
   for (std::size_t i = 0; i < tx_first.size(); ++i) swapped_[i] = !tx_first[i];
-  run_sweep(world, frame, swapped_, tables, stats, fault, 2 * round + 1, pool);
+  run_sweep(world, frame, swapped_, tables, stats, fault, plane, 2 * round + 1, pool);
 }
 
 double SyncNeighborDiscovery::clock_offset_s(net::NodeId id) const {
@@ -215,7 +234,8 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
                                       const std::vector<bool>& is_tx,
                                       std::vector<net::NeighborTable>& tables,
                                       SndRoundStats* stats, fault::FaultPlan* fault,
-                                      int sweep, sim::WorkerPool* pool) const {
+                                      net::ControlPlane* plane, int sweep,
+                                      sim::WorkerPool* pool) const {
   const phy::ChannelModel& channel = world.channel();
   const double tx_power_w = units::dbm_to_watts(channel.params().tx_power_dbm);
   const double noise_w = channel.noise_watts();
@@ -242,7 +262,7 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
   const std::size_t n = world.size();
   const std::size_t chunks = sim::WorkerPool::chunk_count(n, kRxGrain);
   if (stats != nullptr) partials_.assign(chunks, SndRoundStats{});
-  if (fault != nullptr) fault_partials_.assign(chunks, FaultPartial{});
+  if (plane != nullptr) fault_partials_.assign(chunks, FaultPartial{});
 
   const bool batched = world.config().engine.batched_kernels;
   const auto sector_count = static_cast<std::size_t>(grid_.count());
@@ -250,7 +270,7 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
 
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
     SndRoundStats* part = stats != nullptr ? &partials_[chunk] : nullptr;
-    FaultPartial* fault_part = fault != nullptr ? &fault_partials_[chunk] : nullptr;
+    FaultPartial* fault_part = plane != nullptr ? &fault_partials_[chunk] : nullptr;
     LaneScratch& scratch = lane_scratch();
     // Arena workspace of this lane (batched path); when run without
     // FrameResources the thread_local scratch vectors back the same arrays.
@@ -267,22 +287,31 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
       if (nearby.empty()) continue;
 
       const auto record = [&](int t, const core::PairGeom& p, double w) {
-        // A decodable arrival can still be erased by the fault layer's
-        // loss process (the SSW frame itself is lost/corrupted on the air).
-        if (fault != nullptr) {
-          const fault::CtrlFate fate =
-              fault->ctrl_fate(p.other, fault::CtrlKind::kSsw,
-                               slot_base + static_cast<std::uint64_t>(t),
-                               slots_per_frame);
-          if (fate != fault::CtrlFate::kDelivered) {
-            if (fate == fault::CtrlFate::kLost) {
-              ++fault_part->ssw_losses;
-            } else {
-              ++fault_part->ssw_corruptions;
-            }
+        // A decodable arrival can still be erased by the fault layer's loss
+        // process (the SSW frame itself is lost/corrupted on the air). The
+        // bus sends one copy per eligible transport; a sub-6 delivery
+        // recovers the erased feedback — the directional measurement (SNR,
+        // sector) is already in hand at this point.
+        if (plane != nullptr) {
+          net::CtrlMessage msg;
+          msg.sender = p.other;
+          msg.receiver = rx;
+          msg.kind = fault::CtrlKind::kSsw;
+          msg.slot = slot_base + static_cast<std::uint64_t>(t);
+          msg.slots_per_frame = slots_per_frame;
+          msg.distance_m = p.distance_m;
+          const net::Delivery d = plane->send(msg);
+          if (d.mmwave == fault::CtrlFate::kLost) {
+            ++fault_part->ssw_losses;
+          } else if (d.mmwave == fault::CtrlFate::kCorrupted) {
+            ++fault_part->ssw_corruptions;
+          }
+          if (!d.delivered) {
             if (part != nullptr) ++part->decode_failures;
             return;
           }
+          if (d.recovered()) ++fault_part->sub6_recoveries;
+          fault_part->duplicates += d.duplicates;
         }
         const double snr_db = units::linear_to_db(w / noise_w);
         if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
@@ -500,16 +529,22 @@ void SyncNeighborDiscovery::run_sweep(const core::World& world, std::uint64_t fr
       stats->sync_skips += part.sync_skips;
     }
   }
-  if (fault != nullptr) {
+  if (plane != nullptr) {
     FaultPartial total;
     for (const FaultPartial& part : fault_partials_) {
       total.ssw_losses += part.ssw_losses;
       total.ssw_corruptions += part.ssw_corruptions;
       total.sync_misses += part.sync_misses;
+      total.sub6_recoveries += part.sub6_recoveries;
+      total.duplicates += part.duplicates;
     }
-    fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.ssw_losses,
-                              total.ssw_corruptions);
-    fault->note_sync_misses(total.sync_misses);
+    if (fault != nullptr) {
+      fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.ssw_losses,
+                                total.ssw_corruptions);
+      fault->note_sync_misses(total.sync_misses);
+    }
+    plane->note_sub6_recoveries(total.sub6_recoveries);
+    plane->note_duplicates(total.duplicates);
   }
 }
 
@@ -517,6 +552,7 @@ void SyncNeighborDiscovery::run_frame_major(const core::World& world, std::uint6
                                             std::vector<net::NeighborTable>& tables,
                                             std::vector<SndRoundStats>* round_stats,
                                             fault::FaultPlan* fault,
+                                            net::ControlPlane* plane,
                                             core::FrameResources& resources) const {
   PROF_SCOPE("snd.frame_major");
   const std::size_t n = world.size();
@@ -548,7 +584,7 @@ void SyncNeighborDiscovery::run_frame_major(const core::World& world, std::uint6
   // the single parallel pass gives the totals the sweep-major schedule
   // accumulates sweep by sweep.
   if (round_stats != nullptr) partials_.assign(chunks * rounds, SndRoundStats{});
-  if (fault != nullptr) fault_partials_.assign(chunks * sweeps, FaultPartial{});
+  if (plane != nullptr) fault_partials_.assign(chunks * sweeps, FaultPartial{});
 
   sim::WorkerPool& pool = resources.pool();
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -586,7 +622,7 @@ void SyncNeighborDiscovery::run_frame_major(const core::World& world, std::uint6
         SndRoundStats* part =
             round_stats != nullptr ? &partials_[chunk * rounds + sweep / 2] : nullptr;
         FaultPartial* fault_part =
-            fault != nullptr ? &fault_partials_[chunk * sweeps + sweep] : nullptr;
+            plane != nullptr ? &fault_partials_[chunk * sweeps + sweep] : nullptr;
         const std::uint64_t slot_base =
             static_cast<std::uint64_t>(sweep) * static_cast<std::uint64_t>(grid_.count());
 
@@ -614,19 +650,26 @@ void SyncNeighborDiscovery::run_frame_major(const core::World& world, std::uint6
         if (cands == 0) continue;
 
         const auto record = [&](int t, const core::PairGeom& p, double w) {
-          if (fault != nullptr) {
-            const fault::CtrlFate fate =
-                fault->ctrl_fate(p.other, fault::CtrlKind::kSsw,
-                                 slot_base + static_cast<std::uint64_t>(t), slots_per_frame);
-            if (fate != fault::CtrlFate::kDelivered) {
-              if (fate == fault::CtrlFate::kLost) {
-                ++fault_part->ssw_losses;
-              } else {
-                ++fault_part->ssw_corruptions;
-              }
+          if (plane != nullptr) {
+            net::CtrlMessage msg;
+            msg.sender = p.other;
+            msg.receiver = rx;
+            msg.kind = fault::CtrlKind::kSsw;
+            msg.slot = slot_base + static_cast<std::uint64_t>(t);
+            msg.slots_per_frame = slots_per_frame;
+            msg.distance_m = p.distance_m;
+            const net::Delivery d = plane->send(msg);
+            if (d.mmwave == fault::CtrlFate::kLost) {
+              ++fault_part->ssw_losses;
+            } else if (d.mmwave == fault::CtrlFate::kCorrupted) {
+              ++fault_part->ssw_corruptions;
+            }
+            if (!d.delivered) {
               if (part != nullptr) ++part->decode_failures;
               return;
             }
+            if (d.recovered()) ++fault_part->sub6_recoveries;
+            fault_part->duplicates += d.duplicates;
           }
           const double snr_db = units::linear_to_db(w / noise_w);
           if (!std::isnan(params_.admission_snr_db) && snr_db < params_.admission_snr_db) {
@@ -698,7 +741,7 @@ void SyncNeighborDiscovery::run_frame_major(const core::World& world, std::uint6
       }
     }
   }
-  if (fault != nullptr) {
+  if (plane != nullptr) {
     // One note pair per sweep, in sweep order — the exact call sequence (and
     // totals) the sweep-major schedule issues.
     for (std::size_t sweep = 0; sweep < sweeps; ++sweep) {
@@ -708,10 +751,16 @@ void SyncNeighborDiscovery::run_frame_major(const core::World& world, std::uint6
         total.ssw_losses += part.ssw_losses;
         total.ssw_corruptions += part.ssw_corruptions;
         total.sync_misses += part.sync_misses;
+        total.sub6_recoveries += part.sub6_recoveries;
+        total.duplicates += part.duplicates;
       }
-      fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.ssw_losses,
-                                total.ssw_corruptions);
-      fault->note_sync_misses(total.sync_misses);
+      if (fault != nullptr) {
+        fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.ssw_losses,
+                                  total.ssw_corruptions);
+        fault->note_sync_misses(total.sync_misses);
+      }
+      plane->note_sub6_recoveries(total.sub6_recoveries);
+      plane->note_duplicates(total.duplicates);
     }
   }
 }

@@ -41,6 +41,10 @@ namespace mmv2v::fault {
 class FaultPlan;
 }  // namespace mmv2v::fault
 
+namespace mmv2v::net {
+class ControlPlane;
+}  // namespace mmv2v::net
+
 namespace mmv2v::sim {
 class WorkerPool;
 }  // namespace mmv2v::sim
@@ -108,8 +112,12 @@ class SyncNeighborDiscovery {
   /// Staged-pipeline entry point: run K rounds on the frame-start snapshot,
   /// drawing worker lanes from ctx.resources (null = serial) and writing
   /// per-round counters into ctx.stats->snd_rounds (null = no stats).
+  /// SSW delivery routes through `plane` when given (the protocol's control
+  /// bus: mmWave fate plus any sub-6 failover); with only a `fault`, a local
+  /// mmWave-only bus wraps it — same chain queries, bit-identical fates.
   void run(const core::FrameContext& ctx, std::vector<net::NeighborTable>& tables,
-           Xoshiro256pp& rng, fault::FaultPlan* fault = nullptr) const;
+           Xoshiro256pp& rng, fault::FaultPlan* fault = nullptr,
+           net::ControlPlane* plane = nullptr) const;
 
   /// Run K rounds on the current world snapshot, inserting observations into
   /// the per-vehicle neighbor tables (indexed by NodeId). `frame` stamps the
@@ -121,7 +129,8 @@ class SyncNeighborDiscovery {
   void run(const core::World& world, std::uint64_t frame,
            std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
            std::vector<SndRoundStats>* round_stats = nullptr,
-           fault::FaultPlan* fault = nullptr) const;
+           fault::FaultPlan* fault = nullptr,
+           net::ControlPlane* plane = nullptr) const;
 
   /// One round with externally fixed roles (roles[i] true = transmitter in
   /// the first sweep). Exposed for tests and the Theorem 2 bench.
@@ -153,24 +162,27 @@ class SyncNeighborDiscovery {
   void run_rounds(const core::World& world, std::uint64_t frame,
                   std::vector<net::NeighborTable>& tables, Xoshiro256pp& rng,
                   std::vector<SndRoundStats>* round_stats, fault::FaultPlan* fault,
-                  core::FrameResources* resources) const;
+                  net::ControlPlane* plane, core::FrameResources* resources) const;
   void run_round_impl(const core::World& world, std::uint64_t frame,
                       const std::vector<bool>& tx_first,
                       std::vector<net::NeighborTable>& tables, SndRoundStats* stats,
-                      fault::FaultPlan* fault, sim::WorkerPool* pool, int round) const;
-  /// Per-chunk fault tallies, merged into the FaultPlan's frame stats after
-  /// the parallel section (the plan's counters are not lane-safe).
+                      fault::FaultPlan* fault, net::ControlPlane* plane,
+                      sim::WorkerPool* pool, int round) const;
+  /// Per-chunk fault/bus tallies, merged into the FaultPlan's / bus's frame
+  /// stats after the parallel section (their counters are not lane-safe).
   struct FaultPartial {
     std::uint64_t ssw_losses = 0;
     std::uint64_t ssw_corruptions = 0;
     std::uint64_t sync_misses = 0;
+    std::uint64_t sub6_recoveries = 0;
+    std::uint64_t duplicates = 0;
   };
   /// Receiver-outer pooled sweep; `sweep` indexes this sweep within the
   /// frame (0..2*rounds-1) and keys the per-transmission SSW loss slots.
   void run_sweep(const core::World& world, std::uint64_t frame,
                  const std::vector<bool>& is_tx, std::vector<net::NeighborTable>& tables,
-                 SndRoundStats* stats, fault::FaultPlan* fault, int sweep,
-                 sim::WorkerPool* pool) const;
+                 SndRoundStats* stats, fault::FaultPlan* fault, net::ControlPlane* plane,
+                 int sweep, sim::WorkerPool* pool) const;
   /// Frame-major batched schedule (engine.batched_kernels + FrameResources):
   /// all round roles are pre-drawn (identical RNG order — sweeps never touch
   /// the stream), then one pooled pass computes each receiver's sector gain
@@ -183,7 +195,7 @@ class SyncNeighborDiscovery {
   void run_frame_major(const core::World& world, std::uint64_t frame,
                        std::vector<net::NeighborTable>& tables,
                        std::vector<SndRoundStats>* round_stats, fault::FaultPlan* fault,
-                       core::FrameResources& resources) const;
+                       net::ControlPlane* plane, core::FrameResources& resources) const;
 
   SndParams params_;
   phy::BeamPattern alpha_;

@@ -74,6 +74,11 @@ void RopProtocol::ensure_initialized(core::FrameContext& ctx) {
     fault_ = std::make_unique<fault::FaultPlan>(world.config().fault,
                                                 derive_seed(params_.seed, 0xfa17ULL, 0));
   }
+  if (world.config().fault.enabled() || world.config().net.enabled()) {
+    plane_ = std::make_unique<net::ControlPlane>(world.config().net,
+                                                 derive_seed(params_.seed, 0x6e70ULL, 0),
+                                                 fault_.get());
+  }
   initialized_ = true;
 }
 
@@ -108,13 +113,14 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
   // beacon fate on (sender, sweep), so every receiver of one transmission
   // sees the same result regardless of lane order.
   fault::FaultPlan* fault = fault_.get();
+  net::ControlPlane* plane = plane_.get();
   const bool fault_gps = fault != nullptr && fault->params().gps_sigma_m > 0.0;
   const auto sweeps_per_frame =
       static_cast<std::uint64_t>(2 * params_.discovery.rounds);
   sim::WorkerPool* pool = ctx.resources != nullptr ? &ctx.resources->pool() : nullptr;
   const std::size_t chunks = sim::WorkerPool::chunk_count(n, kRxGrain);
   partials_.assign(chunks, SndRoundStats{});
-  if (fault != nullptr) fault_partials_.assign(chunks, {0, 0});
+  if (plane != nullptr) fault_partials_.assign(chunks, NetPartial{});
 
   const bool batched = world.config().engine.batched_kernels;
   auto process = [&](std::size_t chunk, std::size_t begin, std::size_t end) {
@@ -200,20 +206,29 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
         ++part.decode_failures;
         continue;
       }
-      // Fault layer: the winning control frame itself can be erased on the air.
-      if (fault != nullptr) {
-        const fault::CtrlFate fate =
-            fault->ctrl_fate(best->other, fault::CtrlKind::kSsw,
-                             static_cast<std::uint64_t>(sweep), sweeps_per_frame);
-        if (fate != fault::CtrlFate::kDelivered) {
-          if (fate == fault::CtrlFate::kLost) {
-            ++fault_partials_[chunk].first;
-          } else {
-            ++fault_partials_[chunk].second;
-          }
+      // Control bus: the winning beacon itself can be erased on the air; a
+      // sub-6 GHz failover transport (when enabled) may recover the erasure.
+      if (plane != nullptr) {
+        net::CtrlMessage msg;
+        msg.sender = best->other;
+        msg.receiver = rx;
+        msg.kind = fault::CtrlKind::kSsw;
+        msg.slot = static_cast<std::uint64_t>(sweep);
+        msg.slots_per_frame = sweeps_per_frame;
+        msg.distance_m = best->distance_m;
+        const net::Delivery d = plane->send(msg);
+        NetPartial& np = fault_partials_[chunk];
+        if (d.mmwave == fault::CtrlFate::kLost) {
+          ++np.losses;
+        } else if (d.mmwave == fault::CtrlFate::kCorrupted) {
+          ++np.corruptions;
+        }
+        if (!d.delivered) {
           ++part.decode_failures;
           continue;
         }
+        if (d.recovered()) ++np.sub6_recoveries;
+        np.duplicates += d.duplicates;
       }
       // Range admission compares (possibly GPS-noisy) reported positions.
       double admission_distance_m = best->distance_m;
@@ -262,14 +277,19 @@ void RopProtocol::run_discovery_step(core::FrameContext& ctx, SndRoundStats* sta
       stats->admission_rejects += part.admission_rejects;
     }
   }
-  if (fault != nullptr) {
-    std::uint64_t losses = 0;
-    std::uint64_t corruptions = 0;
-    for (const auto& [l, c] : fault_partials_) {
-      losses += l;
-      corruptions += c;
+  if (plane != nullptr) {
+    NetPartial total;
+    for (const NetPartial& p : fault_partials_) {
+      total.losses += p.losses;
+      total.corruptions += p.corruptions;
+      total.sub6_recoveries += p.sub6_recoveries;
+      total.duplicates += p.duplicates;
     }
-    fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, losses, corruptions);
+    if (fault != nullptr) {
+      fault->note_ctrl_outcomes(fault::CtrlKind::kSsw, total.losses, total.corruptions);
+    }
+    plane->note_sub6_recoveries(total.sub6_recoveries);
+    plane->note_duplicates(total.duplicates);
   }
 }
 
@@ -317,15 +337,22 @@ void RopProtocol::random_matching(core::FrameContext& ctx) {
       const net::NodeId j = choice_[i];
       if (j < n && j > i && choice_[j] == i) {
         // The mutual-choice exchange needs both announcements delivered; the
-        // loss process steps once per matching round per sender.
-        if (fault_ != nullptr) {
-          const auto rounds = static_cast<std::uint64_t>(params_.matching_rounds);
-          const auto slot = static_cast<std::uint64_t>(round);
-          const bool lost_i =
-              fault_->ctrl_lost(i, fault::CtrlKind::kNegotiation, slot, rounds);
-          const bool lost_j =
-              fault_->ctrl_lost(j, fault::CtrlKind::kNegotiation, slot, rounds);
-          if (lost_i || lost_j) continue;
+        // loss process steps once per matching round per sender. Either half
+        // can fail over to the sub-6 side channel when one is enabled.
+        if (plane_ != nullptr) {
+          net::CtrlMessage half;
+          half.kind = fault::CtrlKind::kNegotiation;
+          half.slot = static_cast<std::uint64_t>(round);
+          half.slots_per_frame = static_cast<std::uint64_t>(params_.matching_rounds);
+          const core::PairGeom* pg = ctx.world.pair(i, j);
+          half.distance_m = pg != nullptr ? pg->distance_m : 0.0;
+          half.sender = i;
+          half.receiver = j;
+          const net::Delivery d_i = plane_->send_noted(half);
+          half.sender = j;
+          half.receiver = i;
+          const net::Delivery d_j = plane_->send_noted(half);
+          if (!d_i.delivered || !d_j.delivered) continue;
         }
         partner_[i] = j;
         partner_[j] = i;
@@ -364,6 +391,7 @@ void RopProtocol::phase_snd(core::FrameContext& ctx) {
   if (fault_ != nullptr) {
     fault_->begin_frame(ctx.frame, world.size(), world.config().timing.frame_s);
   }
+  if (plane_ != nullptr) plane_->begin_frame(ctx.frame);
 
   for (auto& table : tables_) table.age_out(ctx.frame);
 
@@ -454,10 +482,18 @@ void RopProtocol::phase_udt(core::FrameContext& ctx) {
     }
 
     bool refine_lost = false;
-    if (fault_ != nullptr) {
-      const bool lost_a = fault_->ctrl_lost(a, fault::CtrlKind::kRefine);
-      const bool lost_b = fault_->ctrl_lost(b, fault::CtrlKind::kRefine);
-      refine_lost = lost_a || lost_b;
+    if (plane_ != nullptr) {
+      net::CtrlMessage fb;
+      fb.kind = fault::CtrlKind::kRefine;
+      const core::PairGeom* pg = world.pair(a, b);
+      fb.distance_m = pg != nullptr ? pg->distance_m : 0.0;
+      fb.sender = a;
+      fb.receiver = b;
+      const net::Delivery d_a = plane_->send_noted(fb);
+      fb.sender = b;
+      fb.receiver = a;
+      const net::Delivery d_b = plane_->send_noted(fb);
+      refine_lost = !d_a.delivered || !d_b.delivered;
     }
     schedule_refined_pair(ctx, *refinement_, grid_, alpha_, a, entry_ab->sector_toward, b,
                           entry_ba->sector_toward, udt_start, window_end, refine_lost,
@@ -471,6 +507,7 @@ void RopProtocol::phase_udt(core::FrameContext& ctx) {
     m.counter("refine.fallbacks").add(refine_stats.fallbacks);
   }
   if (fault_ != nullptr) publish_fault_stats(instr_, *fault_);
+  if (plane_ != nullptr && plane_->active()) publish_net_stats(instr_, *plane_);
 }
 
 }  // namespace mmv2v::protocols

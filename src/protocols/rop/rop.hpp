@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "core/protocol.hpp"
 #include "fault/fault_plan.hpp"
+#include "net/control_plane.hpp"
 #include "net/neighbor_table.hpp"
 #include "obs/span_events.hpp"
 #include "protocols/mmv2v/refinement.hpp"
@@ -88,12 +89,23 @@ class RopProtocol final : public StagedOhmProtocol {
   /// synchronization, so clock drift does not apply; loss, GPS noise and
   /// churn hit it like any radio.
   std::unique_ptr<fault::FaultPlan> fault_;
+  /// Control-message bus; non-null iff fault injection or a failover
+  /// transport is enabled (DESIGN.md Section 16). ROP uses the sub-6 side
+  /// channel but not relay recovery — it has no negotiation structure to
+  /// relay through.
+  std::unique_ptr<net::ControlPlane> plane_;
   // Per-step scratch, reused across steps and frames (capacity retained).
   std::vector<unsigned char> is_tx_;
   std::vector<int> sector_;
   std::vector<SndRoundStats> partials_;
-  /// Per-chunk fault tallies (losses, corruptions), merged after the sweep.
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> fault_partials_;
+  /// Per-chunk fault/bus tallies, merged after the sweep.
+  struct NetPartial {
+    std::uint64_t losses = 0;
+    std::uint64_t corruptions = 0;
+    std::uint64_t sub6_recoveries = 0;
+    std::uint64_t duplicates = 0;
+  };
+  std::vector<NetPartial> fault_partials_;
   std::vector<net::NodeId> choice_;
   /// First-mutual-discovery filter for span_disc (only touched when
   /// trace.spans is on).

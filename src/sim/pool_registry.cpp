@@ -1,0 +1,55 @@
+#include "sim/pool_registry.hpp"
+
+#include <algorithm>
+
+namespace mmv2v::sim {
+
+PoolRegistry& PoolRegistry::instance() {
+  static PoolRegistry registry;
+  return registry;
+}
+
+PoolRegistry::Checkout PoolRegistry::checkout(int lanes) {
+  lanes = std::max(2, lanes);
+  {
+    std::lock_guard lock{mutex_};
+    for (auto it = idle_.begin(); it != idle_.end(); ++it) {
+      if ((*it)->lanes() == lanes) {
+        std::unique_ptr<WorkerPool> pool = std::move(*it);
+        idle_.erase(it);
+        return Checkout{this, std::move(pool)};
+      }
+    }
+  }
+  // Construct outside the lock: thread spawn is the slow path.
+  return Checkout{this, std::make_unique<WorkerPool>(lanes)};
+}
+
+void PoolRegistry::clear() {
+  std::vector<std::unique_ptr<WorkerPool>> doomed;
+  {
+    std::lock_guard lock{mutex_};
+    doomed.swap(idle_);
+  }
+  // Pools join their threads on destruction, outside the lock.
+}
+
+std::size_t PoolRegistry::idle_count() const {
+  std::lock_guard lock{mutex_};
+  return idle_.size();
+}
+
+void PoolRegistry::park(std::unique_ptr<WorkerPool> pool) {
+  std::lock_guard lock{mutex_};
+  idle_.push_back(std::move(pool));
+}
+
+void PoolRegistry::Checkout::release() {
+  if (owner_ != nullptr && pool_ != nullptr) {
+    owner_->park(std::move(pool_));
+  }
+  owner_ = nullptr;
+  pool_.reset();
+}
+
+}  // namespace mmv2v::sim

@@ -1,0 +1,87 @@
+// Process-wide registry of persistent WorkerPools (DESIGN.md Section 12).
+//
+// Subsystems that need intra-refresh parallelism for a bounded scope — the
+// world's sharded snapshot refresh, one-off parallel passes in tools — used
+// to construct a fresh WorkerPool per call, respawning threads every
+// mobility tick and discarding each lane's thread_local scratch. The
+// registry keeps idle pools alive between checkouts instead: a checkout
+// hands back a persistent pool with exactly the requested lane count
+// (creating one the first time), and returning it parks the pool for the
+// next caller of the same width.
+//
+// Lane-count exactness matters only for budget accounting, never for
+// results: the WorkerPool chunk grid depends only on (n, grain), so any
+// pool produces bit-identical output. Callers still lease their lane count
+// from the LaneBudgeter first — the registry recycles threads, it does not
+// grant them.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/worker_pool.hpp"
+
+namespace mmv2v::sim {
+
+class PoolRegistry {
+ public:
+  /// The process-wide instance. Pools parked here persist until clear().
+  static PoolRegistry& instance();
+
+  /// RAII checkout handle; returns the pool to the registry on destruction.
+  /// Movable, empty-constructible (pool() == nullptr until assigned).
+  class Checkout {
+   public:
+    Checkout() = default;
+    Checkout(Checkout&& other) noexcept : owner_(other.owner_), pool_(std::move(other.pool_)) {
+      other.owner_ = nullptr;
+    }
+    Checkout& operator=(Checkout&& other) noexcept {
+      if (this != &other) {
+        release();
+        owner_ = other.owner_;
+        pool_ = std::move(other.pool_);
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Checkout(const Checkout&) = delete;
+    Checkout& operator=(const Checkout&) = delete;
+    ~Checkout() { release(); }
+
+    [[nodiscard]] WorkerPool* pool() const noexcept { return pool_.get(); }
+    /// Park the pool back in the registry now (idempotent).
+    void release();
+
+   private:
+    friend class PoolRegistry;
+    Checkout(PoolRegistry* owner, std::unique_ptr<WorkerPool> pool)
+        : owner_(owner), pool_(std::move(pool)) {}
+    PoolRegistry* owner_ = nullptr;
+    std::unique_ptr<WorkerPool> pool_;
+  };
+
+  /// Check out a persistent pool with exactly `lanes` lanes (>= 2; a 1-lane
+  /// scope needs no pool — run inline). Reuses an idle pool of that width
+  /// when one is parked, constructs one otherwise.
+  [[nodiscard]] Checkout checkout(int lanes);
+
+  /// Destroy all idle pools (joins their threads). For tests and shutdown;
+  /// checked-out pools are unaffected and re-park afterwards.
+  void clear();
+
+  /// Idle pools currently parked (tests).
+  [[nodiscard]] std::size_t idle_count() const;
+
+  /// A fresh registry for tests; production code uses instance().
+  PoolRegistry() = default;
+
+ private:
+  void park(std::unique_ptr<WorkerPool> pool);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<WorkerPool>> idle_;
+};
+
+}  // namespace mmv2v::sim

@@ -292,6 +292,61 @@ TEST_F(FarmTest, SpecKnobTableRejectsTyposAtSubmitTime) {
   EXPECT_TRUE(minimal_sweep_config(with_default).contains("seed"));
 }
 
+TEST_F(FarmTest, PriorityOrdersActivationAndTiesKeepSubmissionOrder) {
+  JobQueue queue{queue_root()};
+  const std::string low_a = queue.submit("reps = 1\n", "low-a");
+  const std::string high = queue.submit("reps = 1\npriority = 5\n", "high");
+  const std::string low_b = queue.submit("reps = 1\n", "low-b");
+  EXPECT_EQ(spec_priority(fs::path{queue_root()} / "pending" / (high + ".spec")), 5);
+  EXPECT_EQ(spec_priority(fs::path{queue_root()} / "pending" / (low_a + ".spec")), 0);
+
+  // Highest priority first, then the priority-0 jobs in submission order.
+  std::optional<JobRef> job = queue.activate_next();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, high);
+  job = queue.activate_next();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, low_a);
+  job = queue.activate_next();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->id, low_b);
+}
+
+TEST_F(FarmTest, CancelPendingJobMovesItToFailedWithMarker) {
+  JobQueue queue{queue_root()};
+  const std::string id = queue.submit(kSpecText, "doomed");
+  ASSERT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.pending_jobs().empty());
+  ASSERT_EQ(queue.failed_jobs().size(), 1u);
+  EXPECT_EQ(queue.failed_jobs()[0], id);
+  const fs::path dir = fs::path{queue_root()} / "failed" / id;
+  EXPECT_TRUE(fs::exists(dir / cancel_marker_name()));
+  EXPECT_NE(read_file(dir / "error.txt").find("cancelled"), std::string::npos);
+  // A second cancel (or a cancel of a never-submitted id) reports failure.
+  EXPECT_FALSE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel("job-999999"));
+}
+
+TEST_F(FarmTest, CancelActiveJobStopsWorkerAtCellBoundary) {
+  JobQueue queue{queue_root()};
+  const std::string id = queue.submit(kSpecText, "doomed");
+  const std::optional<JobRef> job = queue.activate_next();
+  ASSERT_TRUE(job.has_value());
+  ASSERT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(JobQueue::cancel_requested(*job));
+
+  FarmOptions options;
+  options.queue_root = queue_root();
+  options.drain = true;
+  const FarmWorkerStats stats = run_farm_worker(options);
+  EXPECT_EQ(stats.cells_run, 0u) << "cancel must win before the first cell";
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  ASSERT_EQ(queue.failed_jobs().size(), 1u);
+  const fs::path dir = fs::path{queue_root()} / "failed" / id;
+  EXPECT_TRUE(fs::exists(dir / cancel_marker_name())) << "marker travels to failed/";
+  EXPECT_NE(read_file(dir / "error.txt").find("cancelled"), std::string::npos);
+}
+
 TEST_F(FarmTest, RelativeSpecPathsResolveIntoTheJobDirectory) {
   const ConfigMap config = ConfigMap::parse(kSpecText);
   SweepSpec spec = parse_sweep_spec(config);

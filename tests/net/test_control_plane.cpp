@@ -1,0 +1,215 @@
+// Control-plane bus unit tests (DESIGN.md Section 16): message-id dedup,
+// transport priority/failover ordering, relay selection, and the sub-6
+// transport's range gate + independent loss chain. Everything here is
+// deterministic — scripted transports pin the policy, real Sub6Transport
+// chains pin the fate function.
+#include "net/control_plane.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace mmv2v::net {
+namespace {
+
+/// Fixed-outcome transport: the policy tests script each rung of the stack.
+class ScriptedTransport final : public Transport {
+ public:
+  ScriptedTransport(TransportId id, bool eligible, fault::CtrlFate fate) noexcept
+      : id_(id), eligible_(eligible), fate_(fate) {}
+  [[nodiscard]] TransportId id() const noexcept override { return id_; }
+  [[nodiscard]] bool eligible(const CtrlMessage&) const override { return eligible_; }
+  [[nodiscard]] fault::CtrlFate fate(const CtrlMessage&, std::uint64_t) const override {
+    return fate_;
+  }
+
+ private:
+  TransportId id_;
+  bool eligible_;
+  fault::CtrlFate fate_;
+};
+
+ControlPlane scripted_plane(fault::CtrlFate mmwave, fault::CtrlFate sub6,
+                            bool sub6_eligible = true) {
+  std::vector<std::unique_ptr<Transport>> stack;
+  stack.push_back(
+      std::make_unique<ScriptedTransport>(TransportId::kMmWave, true, mmwave));
+  stack.push_back(
+      std::make_unique<ScriptedTransport>(TransportId::kSub6, sub6_eligible, sub6));
+  return ControlPlane{std::move(stack)};
+}
+
+CtrlMessage msg(NodeId sender = 3, NodeId receiver = 7,
+                fault::CtrlKind kind = fault::CtrlKind::kNegotiation,
+                std::uint64_t slot = 2, double distance_m = 50.0) {
+  CtrlMessage m;
+  m.sender = sender;
+  m.receiver = receiver;
+  m.kind = kind;
+  m.slot = slot;
+  m.slots_per_frame = 4;
+  m.distance_m = distance_m;
+  return m;
+}
+
+TEST(MessageId, StableAndSensitiveToEveryEnvelopeField) {
+  const CtrlMessage base = msg();
+  EXPECT_EQ(message_id(base), message_id(base)) << "same envelope, same id";
+  CtrlMessage other = base;
+  other.sender = base.sender + 1;
+  EXPECT_NE(message_id(base), message_id(other));
+  other = base;
+  other.receiver = base.receiver + 1;
+  EXPECT_NE(message_id(base), message_id(other));
+  other = base;
+  other.kind = fault::CtrlKind::kSsw;
+  EXPECT_NE(message_id(base), message_id(other));
+  other = base;
+  other.slot = base.slot + 1;
+  EXPECT_NE(message_id(base), message_id(other));
+  // Distance is geometry, not identity: copies on different transports (or a
+  // retransmission after the pair moved) are still the same message.
+  other = base;
+  other.distance_m = 999.0;
+  EXPECT_EQ(message_id(base), message_id(other));
+}
+
+TEST(ControlPlane, PrimarySuccessWinsAndLaterCopiesAreDuplicates) {
+  const ControlPlane plane =
+      scripted_plane(fault::CtrlFate::kDelivered, fault::CtrlFate::kDelivered);
+  const Delivery d = plane.send(msg());
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.via, TransportId::kMmWave);
+  EXPECT_EQ(d.mmwave, fault::CtrlFate::kDelivered);
+  EXPECT_EQ(d.duplicates, 1u) << "the sub-6 copy also arrived and was deduped";
+  EXPECT_FALSE(d.recovered());
+}
+
+TEST(ControlPlane, Sub6RecoversALostPrimaryAndKeepsItsFate) {
+  const ControlPlane plane =
+      scripted_plane(fault::CtrlFate::kLost, fault::CtrlFate::kDelivered);
+  const Delivery d = plane.send(msg());
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.via, TransportId::kSub6);
+  EXPECT_TRUE(d.recovered());
+  EXPECT_EQ(d.duplicates, 0u);
+  // Primary fate survives for fault.* accounting even though the message got
+  // through: the mmWave loss still happened.
+  EXPECT_EQ(d.mmwave, fault::CtrlFate::kLost);
+}
+
+TEST(ControlPlane, CorruptedPrimaryAlsoFailsOver) {
+  const ControlPlane plane =
+      scripted_plane(fault::CtrlFate::kCorrupted, fault::CtrlFate::kDelivered);
+  const Delivery d = plane.send(msg());
+  EXPECT_TRUE(d.delivered);
+  EXPECT_EQ(d.via, TransportId::kSub6);
+  EXPECT_EQ(d.mmwave, fault::CtrlFate::kCorrupted);
+}
+
+TEST(ControlPlane, AllTransportsFailingMeansLost) {
+  const ControlPlane plane =
+      scripted_plane(fault::CtrlFate::kLost, fault::CtrlFate::kLost);
+  const Delivery d = plane.send(msg());
+  EXPECT_FALSE(d.delivered);
+  EXPECT_FALSE(d.recovered());
+  EXPECT_EQ(d.duplicates, 0u);
+}
+
+TEST(ControlPlane, IneligibleTransportCarriesNoCopy) {
+  // Out-of-range sub-6: the lost primary has no rescuer.
+  const ControlPlane plane = scripted_plane(
+      fault::CtrlFate::kLost, fault::CtrlFate::kDelivered, /*sub6_eligible=*/false);
+  const Delivery d = plane.send(msg());
+  EXPECT_FALSE(d.delivered);
+  // And a delivered primary collects no phantom duplicate from it either.
+  const ControlPlane ok = scripted_plane(
+      fault::CtrlFate::kDelivered, fault::CtrlFate::kDelivered, /*sub6_eligible=*/false);
+  EXPECT_EQ(ok.send(msg()).duplicates, 0u);
+}
+
+TEST(ControlPlane, SendNotedDedupsRepeatsWithinAFrameAndResetsAcrossFrames) {
+  ControlPlane plane =
+      scripted_plane(fault::CtrlFate::kLost, fault::CtrlFate::kDelivered);
+  plane.begin_frame(0);
+  const Delivery first = plane.send_noted(msg());
+  EXPECT_TRUE(first.delivered);
+  EXPECT_FALSE(first.deduped);
+  EXPECT_EQ(plane.frame_stats().sub6_recoveries, 1u);
+
+  // Retransmission of the same id inside the frame: dropped, not recounted.
+  const Delivery repeat = plane.send_noted(msg());
+  EXPECT_TRUE(repeat.deduped);
+  EXPECT_EQ(plane.frame_stats().sub6_recoveries, 1u);
+  EXPECT_EQ(plane.frame_stats().duplicates_dropped, 1u);
+
+  // A different slot is a different message.
+  EXPECT_FALSE(plane.send_noted(msg(3, 7, fault::CtrlKind::kNegotiation, 3)).deduped);
+
+  // The dedup window and the stats are per-frame.
+  plane.begin_frame(1);
+  EXPECT_EQ(plane.frame_stats().total(), 0u);
+  EXPECT_FALSE(plane.send_noted(msg()).deduped);
+}
+
+TEST(SelectRelay, MaximizesBottleneckQualityAndBreaksTiesTowardLowId) {
+  const std::vector<RelayCandidate> candidates{
+      {.id = 5, .quality = 2.0}, {.id = 9, .quality = 3.0}, {.id = 3, .quality = 3.0}};
+  EXPECT_EQ(select_relay(candidates), NodeId{3});
+  EXPECT_EQ(select_relay(std::span<const RelayCandidate>{}), std::nullopt);
+  const std::vector<RelayCandidate> one{{.id = 11, .quality = -4.0}};
+  EXPECT_EQ(select_relay(one), NodeId{11});
+}
+
+TEST(ControlPlane, RelayViaIsGatedOnTheKnob) {
+  const std::vector<RelayCandidate> candidates{{.id = 4, .quality = 1.0}};
+  NetParams off;
+  const ControlPlane disabled{off, /*seed=*/1, /*fault=*/nullptr};
+  EXPECT_EQ(disabled.relay_via(candidates), std::nullopt);
+  EXPECT_FALSE(disabled.active());
+
+  NetParams on;
+  on.relay_enabled = true;
+  const ControlPlane enabled{on, /*seed=*/1, /*fault=*/nullptr};
+  EXPECT_TRUE(enabled.active());
+  EXPECT_EQ(enabled.relay_via(candidates), NodeId{4});
+}
+
+TEST(ControlPlane, StandardStackRespectsTheSub6RangeGate) {
+  NetParams params;
+  params.sub6_enabled = true;
+  params.sub6_range_m = 100.0;
+  params.sub6_loss = 0.0;
+  const ControlPlane plane{params, /*seed=*/7, /*fault=*/nullptr};
+  // Null fault plan = ideal mmWave, so an in-range lossless sub-6 copy shows
+  // up exactly as one duplicate — and an out-of-range one not at all.
+  EXPECT_EQ(plane.send(msg(3, 7, fault::CtrlKind::kSsw, 0, /*distance_m=*/50.0)).duplicates,
+            1u);
+  EXPECT_EQ(plane.send(msg(3, 7, fault::CtrlKind::kSsw, 0, /*distance_m=*/150.0)).duplicates,
+            0u);
+}
+
+TEST(Sub6Transport, FateIsDeterministicLosslessAtZeroAndLossyInBetween) {
+  const Sub6Transport lossless{250.0, 0.0, 42};
+  const Sub6Transport lossy{250.0, 0.4, 42};
+  const Sub6Transport lossy_again{250.0, 0.4, 42};
+  const Sub6Transport other_seed{250.0, 0.4, 43};
+  int losses = 0;
+  bool seed_diverged = false;
+  for (std::uint64_t frame = 0; frame < 400; ++frame) {
+    const CtrlMessage m = msg(3, 7, fault::CtrlKind::kSsw, frame % 4);
+    EXPECT_EQ(lossless.fate(m, frame), fault::CtrlFate::kDelivered);
+    const fault::CtrlFate fate = lossy.fate(m, frame);
+    EXPECT_EQ(fate, lossy_again.fate(m, frame)) << "same seed, same fate";
+    if (fate != fault::CtrlFate::kDelivered) ++losses;
+    seed_diverged = seed_diverged || fate != other_seed.fate(m, frame);
+  }
+  EXPECT_GT(losses, 0) << "a 40% chain that never loses is broken";
+  EXPECT_LT(losses, 400) << "a 40% chain that always loses is broken";
+  EXPECT_TRUE(seed_diverged) << "chains must key off the plane seed";
+}
+
+}  // namespace
+}  // namespace mmv2v::net

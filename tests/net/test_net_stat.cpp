@@ -1,0 +1,50 @@
+// Statistical failover invariant (DESIGN.md Section 16): across 200 seeded
+// repetitions per control-loss level, turning on the lossless in-range sub-6
+// fallback never lowers mean OCR. The fallback can only convert mmWave
+// erasures into deliveries — it adds no interference and no contention — so
+// mean OCR with the fallback must dominate mean OCR without it at every
+// ctrl_loss level (and strictly beat it once erasures are common).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/golden_scenario.hpp"
+
+namespace mmv2v::core {
+namespace {
+
+using golden::golden_experiment;
+using golden::golden_scenario;
+using golden::mmv2v_factory;
+
+double mean_ocr(const ExperimentConfig& config, const ScenarioConfig& scenario) {
+  const auto points = run_density_sweep(config, scenario, mmv2v_factory());
+  EXPECT_EQ(points.size(), 1u);
+  return points[0].ocr.mean();
+}
+
+TEST(NetFailoverStat, Sub6FallbackNeverLowersMeanOcrAtAnyLossLevel) {
+  ExperimentConfig config = golden_experiment(/*threads=*/0);
+  config.repetitions = 200;  // 200 independent seeds per (loss, config) point
+  for (const double loss : {0.0, 0.1, 0.3, 0.5}) {
+    ScenarioConfig baseline = golden_scenario();
+    baseline.fault.ctrl_loss = loss;
+    ScenarioConfig fallback = baseline;
+    fallback.net.sub6_enabled = true;
+    fallback.net.sub6_loss = 0.0;
+    fallback.net.sub6_range_m = 1000.0;  // covers the whole 500 m road
+    const double without = mean_ocr(config, baseline);
+    const double with = mean_ocr(config, fallback);
+    // Means, not per-seed: a single seed can tie (no erasure hit a message
+    // that mattered), but the mean must never go the wrong way.
+    EXPECT_GE(with + 1e-9, without) << "fallback hurt OCR at ctrl_loss=" << loss;
+    if (loss >= 0.3) {
+      EXPECT_GT(with, without)
+          << "heavy erasure with a lossless fallback must show a recovery gain";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmv2v::core

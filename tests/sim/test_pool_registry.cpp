@@ -1,0 +1,71 @@
+// PoolRegistry: persistent WorkerPool checkout/park lifecycle. The registry
+// only recycles execution threads — results must be identical whether a
+// pool is fresh or reused, and parked pools must actually be reused instead
+// of respawned.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "sim/pool_registry.hpp"
+
+namespace mmv2v::sim {
+namespace {
+
+TEST(PoolRegistry, CheckoutCreatesPoolWithRequestedLanes) {
+  PoolRegistry registry;
+  PoolRegistry::Checkout co = registry.checkout(3);
+  ASSERT_NE(co.pool(), nullptr);
+  EXPECT_EQ(co.pool()->lanes(), 3);
+  EXPECT_EQ(registry.idle_count(), 0u);
+}
+
+TEST(PoolRegistry, ReleaseParksAndSameWidthCheckoutReuses) {
+  PoolRegistry registry;
+  PoolRegistry::Checkout co = registry.checkout(2);
+  WorkerPool* first = co.pool();
+  co.release();
+  EXPECT_EQ(co.pool(), nullptr);
+  EXPECT_EQ(registry.idle_count(), 1u);
+
+  PoolRegistry::Checkout again = registry.checkout(2);
+  EXPECT_EQ(again.pool(), first);  // recycled, not respawned
+  EXPECT_EQ(registry.idle_count(), 0u);
+}
+
+TEST(PoolRegistry, DifferentWidthGetsAFreshPool) {
+  PoolRegistry registry;
+  registry.checkout(2).release();
+  ASSERT_EQ(registry.idle_count(), 1u);
+  PoolRegistry::Checkout wide = registry.checkout(4);
+  EXPECT_EQ(wide.pool()->lanes(), 4);
+  EXPECT_EQ(registry.idle_count(), 1u);  // the 2-lane pool stays parked
+}
+
+TEST(PoolRegistry, DestructionOfCheckoutParksThePool) {
+  PoolRegistry registry;
+  { PoolRegistry::Checkout co = registry.checkout(2); }
+  EXPECT_EQ(registry.idle_count(), 1u);
+  registry.clear();
+  EXPECT_EQ(registry.idle_count(), 0u);
+}
+
+TEST(PoolRegistry, ReusedPoolStillCoversEveryChunk) {
+  PoolRegistry registry;
+  registry.checkout(4).release();
+  PoolRegistry::Checkout co = registry.checkout(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  co.pool()->for_chunks(kN, 7, [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(PoolRegistry, ProcessInstanceIsStable) {
+  EXPECT_EQ(&PoolRegistry::instance(), &PoolRegistry::instance());
+}
+
+}  // namespace
+}  // namespace mmv2v::sim

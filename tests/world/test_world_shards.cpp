@@ -109,7 +109,7 @@ TEST(WorldShards, CrossShardPairsMatchBruteForce) {
 }
 
 TEST(WorldShards, GoldenDigestInvariantAcrossShardAndLaneCounts) {
-  for (const int shards : {2, 4}) {
+  for (const int shards : {1, 2, 4}) {
     for (const int threads : {1, 4}) {
       ScenarioConfig s = golden_scenario();
       s.engine.world_shards = shards;

@@ -6,6 +6,7 @@
 //   farm_runner queue=/var/mmv2v/farm mode=submit spec=night_sweep.spec
 //   farm_runner queue=/var/mmv2v/farm mode=serve workers=4
 //   farm_runner queue=/var/mmv2v/farm mode=work drain=true
+//   farm_runner queue=/var/mmv2v/farm mode=cancel job=job-000003
 //   farm_runner queue=/var/mmv2v/farm mode=status
 //
 // mode=work runs one worker loop in this process; mode=serve forks N worker
@@ -45,7 +46,10 @@ int run_submit(farm::JobQueue& queue, const ConfigMap& cli) {
   ConfigMap request;
   const std::string spec_path = cli.get_or("spec", std::string{});
   if (!spec_path.empty()) request = ConfigMap::load(spec_path);
-  for (const auto& [key, value] : cli_sweep_overrides(cli).entries()) {
+  // Named: entries() returns a reference into the ConfigMap, and a range-for
+  // over `temporary().entries()` would iterate a destroyed map.
+  const ConfigMap overrides = cli_sweep_overrides(cli);
+  for (const auto& [key, value] : overrides.entries()) {
     request.set(key, value);
   }
   const ConfigMap minimal = farm::minimal_sweep_config(request);
@@ -114,6 +118,20 @@ int run_serve(const ConfigMap& cli, const std::string& queue_root) {
   return exit_code;
 }
 
+int run_cancel(farm::JobQueue& queue, const ConfigMap& cli) {
+  const std::string id = cli.get_or("job", std::string{});
+  if (id.empty()) {
+    std::fprintf(stderr, "farm_runner: mode=cancel requires job= (try --help)\n");
+    return 2;
+  }
+  if (!queue.cancel(id)) {
+    std::fprintf(stderr, "farm_runner: job %s is neither pending nor active\n", id.c_str());
+    return 1;
+  }
+  std::printf("cancelled %s\n", id.c_str());
+  return 0;
+}
+
 int run_status(farm::JobQueue& queue) {
   const auto pending = queue.pending_jobs();
   std::printf("queue %s\n", queue.root().string().c_str());
@@ -155,9 +173,10 @@ int main(int argc, char** argv) {
 
   std::vector<FlagSpec> specs{
       {"queue", "", "farm queue root directory (required)"},
-      {"mode", "work", "submit | work | serve | status"},
+      {"mode", "work", "submit | work | serve | cancel | status"},
       {"spec", "", "submit: job spec file to enqueue (knob flags override it)"},
       {"name", "", "submit: human-readable job id suffix"},
+      {"job", "", "cancel: id of the pending/active job to cancel"},
       {"workers", "2", "serve: worker processes to fork"},
       {"poll_ms", "200", "work/serve: idle poll interval [ms]"},
       {"drain", "false", "work/serve: exit once the queue is empty (batch mode)"},
@@ -198,6 +217,10 @@ int main(int argc, char** argv) {
     }
     if (mode == "work") return run_work(cli, queue_root);
     if (mode == "serve") return run_serve(cli, queue_root);
+    if (mode == "cancel") {
+      farm::JobQueue queue{queue_root};
+      return run_cancel(queue, cli);
+    }
     if (mode == "status") {
       farm::JobQueue queue{queue_root};
       return run_status(queue);
